@@ -1,0 +1,401 @@
+//! ABI encoding and decoding per the Solidity contract ABI specification
+//! (head/tail scheme with 32-byte words).
+
+use crate::types::AbiType;
+use crate::value::AbiValue;
+use lsc_primitives::{Address, U256};
+use core::fmt;
+
+/// Error decoding ABI data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbiError {
+    /// Data ended before the declared content.
+    ShortData,
+    /// An offset pointed outside the buffer.
+    BadOffset,
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A bool word was neither 0 nor 1.
+    InvalidBool,
+    /// A length prefix exceeded sane bounds.
+    LengthOverflow,
+    /// Value shape did not match the target type at encode time.
+    TypeMismatch {
+        /// Expected type rendering.
+        expected: String,
+        /// Offending value rendering.
+        got: String,
+    },
+}
+
+impl fmt::Display for AbiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShortData => write!(f, "abi data truncated"),
+            Self::BadOffset => write!(f, "abi offset out of bounds"),
+            Self::InvalidUtf8 => write!(f, "abi string is not valid utf-8"),
+            Self::InvalidBool => write!(f, "abi bool word is not 0 or 1"),
+            Self::LengthOverflow => write!(f, "abi length prefix too large"),
+            Self::TypeMismatch { expected, got } => {
+                write!(f, "abi type mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbiError {}
+
+fn mismatch(expected: &AbiType, got: &AbiValue) -> AbiError {
+    AbiError::TypeMismatch {
+        expected: expected.canonical(),
+        got: format!("{got}"),
+    }
+}
+
+/// Encode `values` as if they were function arguments of types `types`.
+pub fn encode(types: &[AbiType], values: &[AbiValue]) -> Result<Vec<u8>, AbiError> {
+    encode_tuple_inner(types, values)
+}
+
+/// Encode a single value.
+pub fn encode_one(ty: &AbiType, value: &AbiValue) -> Result<Vec<u8>, AbiError> {
+    encode(std::slice::from_ref(ty), std::slice::from_ref(value))
+}
+
+fn encode_tuple_inner(types: &[AbiType], values: &[AbiValue]) -> Result<Vec<u8>, AbiError> {
+    if types.len() != values.len() {
+        return Err(AbiError::TypeMismatch {
+            expected: format!("{} values", types.len()),
+            got: format!("{} values", values.len()),
+        });
+    }
+    let head_size: usize = types.iter().map(AbiType::head_size).sum();
+    let mut head = Vec::with_capacity(head_size);
+    let mut tail: Vec<u8> = Vec::new();
+    for (ty, value) in types.iter().zip(values) {
+        if ty.is_dynamic() {
+            let offset = head_size + tail.len();
+            head.extend_from_slice(&U256::from(offset).to_be_bytes());
+            tail.extend_from_slice(&encode_body(ty, value)?);
+        } else {
+            head.extend_from_slice(&encode_body(ty, value)?);
+        }
+    }
+    head.extend_from_slice(&tail);
+    Ok(head)
+}
+
+/// Encode the body of one value (no outer offset word).
+fn encode_body(ty: &AbiType, value: &AbiValue) -> Result<Vec<u8>, AbiError> {
+    match (ty, value) {
+        (AbiType::Uint(_), _) | (AbiType::Int(_), _) => {
+            let v = value.as_uint().ok_or_else(|| mismatch(ty, value))?;
+            Ok(v.to_be_bytes().to_vec())
+        }
+        (AbiType::Address, AbiValue::Address(a)) => Ok(a.to_u256().to_be_bytes().to_vec()),
+        (AbiType::Bool, AbiValue::Bool(b)) => Ok(U256::from(*b).to_be_bytes().to_vec()),
+        (AbiType::String, AbiValue::String(s)) => Ok(encode_len_prefixed(s.as_bytes())),
+        (AbiType::Bytes, AbiValue::Bytes(b)) => Ok(encode_len_prefixed(b)),
+        (AbiType::FixedBytes(n), AbiValue::FixedBytes(b)) | (AbiType::FixedBytes(n), AbiValue::Bytes(b)) => {
+            if b.len() != *n as usize {
+                return Err(mismatch(ty, value));
+            }
+            let mut word = [0u8; 32];
+            word[..b.len()].copy_from_slice(b);
+            Ok(word.to_vec())
+        }
+        (AbiType::Array(inner), AbiValue::Array(items)) => {
+            let mut out = U256::from(items.len()).to_be_bytes().to_vec();
+            let inner_types: Vec<AbiType> = items.iter().map(|_| (**inner).clone()).collect();
+            out.extend_from_slice(&encode_tuple_inner(&inner_types, items)?);
+            Ok(out)
+        }
+        (AbiType::FixedArray(inner, n), AbiValue::Array(items)) => {
+            if items.len() != *n {
+                return Err(mismatch(ty, value));
+            }
+            let inner_types: Vec<AbiType> = items.iter().map(|_| (**inner).clone()).collect();
+            encode_tuple_inner(&inner_types, items)
+        }
+        (AbiType::Tuple(inner_types), AbiValue::Tuple(items)) => {
+            encode_tuple_inner(inner_types, items)
+        }
+        _ => Err(mismatch(ty, value)),
+    }
+}
+
+fn encode_len_prefixed(data: &[u8]) -> Vec<u8> {
+    let mut out = U256::from(data.len()).to_be_bytes().to_vec();
+    out.extend_from_slice(data);
+    // Right-pad to a word boundary.
+    let pad = (32 - data.len() % 32) % 32;
+    out.extend(std::iter::repeat_n(0u8, pad));
+    out
+}
+
+/// Decode `data` into values of the given `types`.
+pub fn decode(types: &[AbiType], data: &[u8]) -> Result<Vec<AbiValue>, AbiError> {
+    let mut offset = 0usize;
+    let mut out = Vec::with_capacity(types.len());
+    for ty in types {
+        let value = if ty.is_dynamic() {
+            let ptr = read_usize(data, offset)?;
+            decode_body(ty, data, ptr)?.0
+        } else {
+            decode_body(ty, data, offset)?.0
+        };
+        offset += ty.head_size();
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// Decode a single value of type `ty`.
+pub fn decode_one(ty: &AbiType, data: &[u8]) -> Result<AbiValue, AbiError> {
+    Ok(decode(std::slice::from_ref(ty), data)?.remove(0))
+}
+
+fn read_word(data: &[u8], offset: usize) -> Result<U256, AbiError> {
+    let end = offset.checked_add(32).ok_or(AbiError::BadOffset)?;
+    if end > data.len() {
+        return Err(AbiError::ShortData);
+    }
+    Ok(U256::from_be_slice(&data[offset..end]))
+}
+
+fn read_usize(data: &[u8], offset: usize) -> Result<usize, AbiError> {
+    read_word(data, offset)?
+        .to_usize()
+        .filter(|v| *v <= data.len().max(1 << 24))
+        .ok_or(AbiError::LengthOverflow)
+}
+
+/// Decode the body of one value starting at `offset`; returns the value and
+/// the static size it consumed.
+fn decode_body(ty: &AbiType, data: &[u8], offset: usize) -> Result<(AbiValue, usize), AbiError> {
+    match ty {
+        AbiType::Uint(_) => Ok((AbiValue::Uint(read_word(data, offset)?), 32)),
+        AbiType::Int(_) => Ok((AbiValue::Int(read_word(data, offset)?), 32)),
+        AbiType::Address => {
+            Ok((AbiValue::Address(Address::from_u256(read_word(data, offset)?)), 32))
+        }
+        AbiType::Bool => {
+            let w = read_word(data, offset)?;
+            if w == U256::ZERO {
+                Ok((AbiValue::Bool(false), 32))
+            } else if w == U256::ONE {
+                Ok((AbiValue::Bool(true), 32))
+            } else {
+                Err(AbiError::InvalidBool)
+            }
+        }
+        AbiType::FixedBytes(n) => {
+            let end = offset.checked_add(32).ok_or(AbiError::BadOffset)?;
+            if end > data.len() {
+                return Err(AbiError::ShortData);
+            }
+            Ok((AbiValue::FixedBytes(data[offset..offset + *n as usize].to_vec()), 32))
+        }
+        AbiType::String => {
+            let bytes = decode_len_prefixed(data, offset)?;
+            let s = String::from_utf8(bytes).map_err(|_| AbiError::InvalidUtf8)?;
+            Ok((AbiValue::String(s), 32))
+        }
+        AbiType::Bytes => Ok((AbiValue::Bytes(decode_len_prefixed(data, offset)?), 32)),
+        AbiType::Array(inner) => {
+            let len = read_usize(data, offset)?;
+            let base = offset + 32;
+            let mut items = Vec::with_capacity(len);
+            let mut head_cursor = base;
+            for _ in 0..len {
+                let value = if inner.is_dynamic() {
+                    let rel = read_usize(data, head_cursor)?;
+                    decode_body(inner, data, base.checked_add(rel).ok_or(AbiError::BadOffset)?)?.0
+                } else {
+                    decode_body(inner, data, head_cursor)?.0
+                };
+                head_cursor += inner.head_size();
+                items.push(value);
+            }
+            Ok((AbiValue::Array(items), 32))
+        }
+        AbiType::FixedArray(inner, n) => {
+            let mut items = Vec::with_capacity(*n);
+            let mut head_cursor = offset;
+            for _ in 0..*n {
+                let value = if inner.is_dynamic() {
+                    let rel = read_usize(data, head_cursor)?;
+                    decode_body(inner, data, offset.checked_add(rel).ok_or(AbiError::BadOffset)?)?.0
+                } else {
+                    decode_body(inner, data, head_cursor)?.0
+                };
+                head_cursor += inner.head_size();
+                items.push(value);
+            }
+            Ok((AbiValue::Array(items), ty.head_size()))
+        }
+        AbiType::Tuple(inner_types) => {
+            let mut items = Vec::with_capacity(inner_types.len());
+            let mut head_cursor = offset;
+            for inner in inner_types {
+                let value = if inner.is_dynamic() {
+                    let rel = read_usize(data, head_cursor)?;
+                    decode_body(inner, data, offset.checked_add(rel).ok_or(AbiError::BadOffset)?)?.0
+                } else {
+                    decode_body(inner, data, head_cursor)?.0
+                };
+                head_cursor += inner.head_size();
+                items.push(value);
+            }
+            Ok((AbiValue::Tuple(items), ty.head_size()))
+        }
+    }
+}
+
+fn decode_len_prefixed(data: &[u8], offset: usize) -> Result<Vec<u8>, AbiError> {
+    let len = read_usize(data, offset)?;
+    let start = offset.checked_add(32).ok_or(AbiError::BadOffset)?;
+    let end = start.checked_add(len).ok_or(AbiError::BadOffset)?;
+    if end > data.len() {
+        return Err(AbiError::ShortData);
+    }
+    Ok(data[start..end].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_primitives::hex;
+
+    fn t(s: &str) -> AbiType {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn encode_static_args() {
+        // transfer(address,uint256) example layout: two words.
+        let a = Address::from_label("to");
+        let enc = encode(
+            &[AbiType::Address, AbiType::uint()],
+            &[AbiValue::Address(a), AbiValue::uint(1000)],
+        )
+        .unwrap();
+        assert_eq!(enc.len(), 64);
+        assert_eq!(U256::from_be_slice(&enc[0..32]), a.to_u256());
+        assert_eq!(U256::from_be_slice(&enc[32..64]), U256::from_u64(1000));
+    }
+
+    #[test]
+    fn encode_string_matches_solidity_layout() {
+        // encode(("AB")) = offset 0x20 | len 2 | "AB" padded.
+        let enc = encode(&[t("string")], &[AbiValue::string("AB")]).unwrap();
+        assert_eq!(enc.len(), 96);
+        assert_eq!(U256::from_be_slice(&enc[0..32]), U256::from_u64(0x20));
+        assert_eq!(U256::from_be_slice(&enc[32..64]), U256::from_u64(2));
+        assert_eq!(&enc[64..66], b"AB");
+        assert!(enc[66..].iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn mixed_static_dynamic_heads() {
+        // (uint256, string, uint256): heads at 0,32,64; string tail at 96.
+        let enc = encode(
+            &[t("uint256"), t("string"), t("uint256")],
+            &[AbiValue::uint(1), AbiValue::string("hello"), AbiValue::uint(2)],
+        )
+        .unwrap();
+        assert_eq!(U256::from_be_slice(&enc[32..64]), U256::from_u64(96));
+        let dec = decode(&[t("uint256"), t("string"), t("uint256")], &enc).unwrap();
+        assert_eq!(dec[1].as_str(), Some("hello"));
+        assert_eq!(dec[2].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_complex() {
+        let types = [t("uint256[]"), t("(string,bool)"), t("bytes")];
+        let values = [
+            AbiValue::Array(vec![AbiValue::uint(1), AbiValue::uint(2), AbiValue::uint(3)]),
+            AbiValue::Tuple(vec![AbiValue::string("rental"), AbiValue::Bool(true)]),
+            AbiValue::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
+        ];
+        let enc = encode(&types, &values).unwrap();
+        let dec = decode(&types, &enc).unwrap();
+        assert_eq!(dec.as_slice(), values.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_nested_dynamic_array() {
+        let types = [t("string[]")];
+        let values = [AbiValue::Array(vec![
+            AbiValue::string("one"),
+            AbiValue::string("twotwo"),
+            AbiValue::string(""),
+        ])];
+        let enc = encode(&types, &values).unwrap();
+        let dec = decode(&types, &enc).unwrap();
+        assert_eq!(dec.as_slice(), values.as_slice());
+    }
+
+    #[test]
+    fn fixed_array_roundtrip() {
+        let types = [t("uint256[3]")];
+        let values = [AbiValue::Array(vec![
+            AbiValue::uint(7),
+            AbiValue::uint(8),
+            AbiValue::uint(9),
+        ])];
+        let enc = encode(&types, &values).unwrap();
+        assert_eq!(enc.len(), 96, "fixed arrays are inline");
+        let dec = decode(&types, &enc).unwrap();
+        assert_eq!(dec.as_slice(), values.as_slice());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let enc = encode(&[t("string")], &[AbiValue::string("hello world")]).unwrap();
+        // Cut into the string content itself (not just the padding).
+        assert!(decode(&[t("string")], &enc[..enc.len() - 32]).is_err());
+        assert_eq!(decode(&[t("uint256")], &[]), Err(AbiError::ShortData));
+    }
+
+    #[test]
+    fn decode_rejects_bad_bool() {
+        let word = U256::from_u64(2).to_be_bytes();
+        assert_eq!(decode(&[t("bool")], &word), Err(AbiError::InvalidBool));
+    }
+
+    #[test]
+    fn encode_rejects_shape_mismatch() {
+        assert!(encode(&[t("uint256")], &[AbiValue::string("x")]).is_err());
+        assert!(encode(&[t("uint256[2]")], &[AbiValue::Array(vec![AbiValue::uint(1)])]).is_err());
+        assert!(encode(&[t("uint256"), t("bool")], &[AbiValue::uint(1)]).is_err());
+    }
+
+    #[test]
+    fn known_solidity_vector() {
+        // web3.eth.abi.encodeParameters(['uint256','string'], ['2345675643', 'Hello!%'])
+        let enc = encode(
+            &[t("uint256"), t("string")],
+            &[
+                AbiValue::Uint(U256::from_u64(2345675643)),
+                AbiValue::string("Hello!%"),
+            ],
+        )
+        .unwrap();
+        let expected = "000000000000000000000000000000000000000000000000000000008bd02b7b\
+                        0000000000000000000000000000000000000000000000000000000000000040\
+                        0000000000000000000000000000000000000000000000000000000000000007\
+                        48656c6c6f212500000000000000000000000000000000000000000000000000";
+        assert_eq!(hex::encode(&enc), expected.replace(char::is_whitespace, ""));
+    }
+
+    #[test]
+    fn fixed_bytes_padding() {
+        let enc = encode(&[t("bytes4")], &[AbiValue::FixedBytes(vec![1, 2, 3, 4])]).unwrap();
+        assert_eq!(enc.len(), 32);
+        assert_eq!(&enc[..4], &[1, 2, 3, 4]);
+        assert!(enc[4..].iter().all(|b| *b == 0));
+        let dec = decode_one(&t("bytes4"), &enc).unwrap();
+        assert_eq!(dec.as_bytes(), Some(&[1u8, 2, 3, 4][..]));
+    }
+}

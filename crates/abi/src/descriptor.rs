@@ -1,0 +1,465 @@
+//! Contract interface descriptors: functions, events, constructor — the
+//! Rust model of the JSON ABI files the paper's application stores in IPFS
+//! and uploads through the dashboard (Fig. 9).
+
+use crate::codec::{self, AbiError};
+use crate::json::{parse, JsonError, JsonValue};
+use crate::types::AbiType;
+use crate::value::AbiValue;
+use lsc_primitives::{keccak256, H256};
+use core::fmt;
+
+/// A named, typed parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name (may be empty).
+    pub name: String,
+    /// Parameter type.
+    pub ty: AbiType,
+    /// For event inputs: whether the parameter is indexed (a topic).
+    pub indexed: bool,
+}
+
+impl Param {
+    /// Unindexed parameter.
+    pub fn new(name: impl Into<String>, ty: AbiType) -> Self {
+        Param { name: name.into(), ty, indexed: false }
+    }
+
+    /// Indexed event parameter.
+    pub fn indexed(name: impl Into<String>, ty: AbiType) -> Self {
+        Param { name: name.into(), ty, indexed: true }
+    }
+}
+
+/// Solidity state mutability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StateMutability {
+    /// Reads and writes state.
+    #[default]
+    NonPayable,
+    /// May receive ether.
+    Payable,
+    /// Reads state only.
+    View,
+    /// Touches no state.
+    Pure,
+}
+
+impl StateMutability {
+    fn as_str(self) -> &'static str {
+        match self {
+            StateMutability::NonPayable => "nonpayable",
+            StateMutability::Payable => "payable",
+            StateMutability::View => "view",
+            StateMutability::Pure => "pure",
+        }
+    }
+
+    fn from_str(s: &str) -> Self {
+        match s {
+            "payable" => StateMutability::Payable,
+            "view" | "constant" => StateMutability::View,
+            "pure" => StateMutability::Pure,
+            _ => StateMutability::NonPayable,
+        }
+    }
+}
+
+/// A callable contract function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Input parameters.
+    pub inputs: Vec<Param>,
+    /// Output parameters.
+    pub outputs: Vec<Param>,
+    /// Mutability (payable/view/…).
+    pub mutability: StateMutability,
+}
+
+impl Function {
+    /// Canonical signature, e.g. `payRent()` or `setNext(address)`.
+    pub fn signature(&self) -> String {
+        let args: Vec<String> = self.inputs.iter().map(|p| p.ty.canonical()).collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+
+    /// 4-byte call selector: `keccak(signature)[..4]`.
+    pub fn selector(&self) -> [u8; 4] {
+        let h = keccak256(self.signature().as_bytes());
+        [h[0], h[1], h[2], h[3]]
+    }
+
+    /// ABI-encode a call to this function (selector + arguments).
+    pub fn encode_call(&self, args: &[AbiValue]) -> Result<Vec<u8>, AbiError> {
+        let types: Vec<AbiType> = self.inputs.iter().map(|p| p.ty.clone()).collect();
+        let mut out = self.selector().to_vec();
+        out.extend_from_slice(&codec::encode(&types, args)?);
+        Ok(out)
+    }
+
+    /// Decode this function's return data.
+    pub fn decode_output(&self, data: &[u8]) -> Result<Vec<AbiValue>, AbiError> {
+        let types: Vec<AbiType> = self.outputs.iter().map(|p| p.ty.clone()).collect();
+        codec::decode(&types, data)
+    }
+
+    /// Decode calldata (after the selector) into the declared inputs.
+    pub fn decode_input(&self, data: &[u8]) -> Result<Vec<AbiValue>, AbiError> {
+        let types: Vec<AbiType> = self.inputs.iter().map(|p| p.ty.clone()).collect();
+        codec::decode(&types, data)
+    }
+}
+
+/// A contract event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event name.
+    pub name: String,
+    /// Inputs (indexed ones become topics).
+    pub inputs: Vec<Param>,
+    /// Anonymous events omit topic 0.
+    pub anonymous: bool,
+}
+
+impl Event {
+    /// Canonical signature, e.g. `paidRent(uint256,address)`.
+    pub fn signature(&self) -> String {
+        let args: Vec<String> = self.inputs.iter().map(|p| p.ty.canonical()).collect();
+        format!("{}({})", self.name, args.join(","))
+    }
+
+    /// Topic 0: `keccak(signature)`.
+    pub fn topic0(&self) -> H256 {
+        H256::keccak(self.signature().as_bytes())
+    }
+
+    /// Decode a log's unindexed data (indexed params come from topics).
+    pub fn decode_data(&self, data: &[u8]) -> Result<Vec<AbiValue>, AbiError> {
+        let types: Vec<AbiType> = self
+            .inputs
+            .iter()
+            .filter(|p| !p.indexed)
+            .map(|p| p.ty.clone())
+            .collect();
+        codec::decode(&types, data)
+    }
+}
+
+/// A full contract interface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Abi {
+    /// Constructor inputs (empty when there is no explicit constructor).
+    pub constructor_inputs: Vec<Param>,
+    /// Whether the constructor is payable.
+    pub constructor_payable: bool,
+    /// Functions by declaration order.
+    pub functions: Vec<Function>,
+    /// Events by declaration order.
+    pub events: Vec<Event>,
+}
+
+/// Error loading an ABI from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbiJsonError {
+    /// Underlying JSON syntax error.
+    Json(JsonError),
+    /// Document shape was not an ABI array.
+    Shape(String),
+}
+
+impl fmt::Display for AbiJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "{e}"),
+            Self::Shape(s) => write!(f, "abi json shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AbiJsonError {}
+
+impl Abi {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a function by 4-byte selector.
+    pub fn function_by_selector(&self, selector: [u8; 4]) -> Option<&Function> {
+        self.functions.iter().find(|f| f.selector() == selector)
+    }
+
+    /// Look up an event by name.
+    pub fn event(&self, name: &str) -> Option<&Event> {
+        self.events.iter().find(|e| e.name == name)
+    }
+
+    /// Look up an event by its topic-0 hash.
+    pub fn event_by_topic(&self, topic0: H256) -> Option<&Event> {
+        self.events.iter().find(|e| e.topic0() == topic0)
+    }
+
+    /// Encode constructor arguments (appended to init code at deploy time).
+    pub fn encode_constructor(&self, args: &[AbiValue]) -> Result<Vec<u8>, AbiError> {
+        let types: Vec<AbiType> =
+            self.constructor_inputs.iter().map(|p| p.ty.clone()).collect();
+        codec::encode(&types, args)
+    }
+
+    /// Serialize to the standard JSON ABI format.
+    pub fn to_json(&self) -> String {
+        let mut items = Vec::new();
+        if !self.constructor_inputs.is_empty() || self.constructor_payable {
+            items.push(JsonValue::object([
+                ("type", JsonValue::String("constructor".into())),
+                ("inputs", params_to_json(&self.constructor_inputs, false)),
+                (
+                    "stateMutability",
+                    JsonValue::String(
+                        if self.constructor_payable { "payable" } else { "nonpayable" }.into(),
+                    ),
+                ),
+            ]));
+        }
+        for f in &self.functions {
+            items.push(JsonValue::object([
+                ("type", JsonValue::String("function".into())),
+                ("name", JsonValue::String(f.name.clone())),
+                ("inputs", params_to_json(&f.inputs, false)),
+                ("outputs", params_to_json(&f.outputs, false)),
+                ("stateMutability", JsonValue::String(f.mutability.as_str().into())),
+            ]));
+        }
+        for e in &self.events {
+            items.push(JsonValue::object([
+                ("type", JsonValue::String("event".into())),
+                ("name", JsonValue::String(e.name.clone())),
+                ("inputs", params_to_json(&e.inputs, true)),
+                ("anonymous", JsonValue::Bool(e.anonymous)),
+            ]));
+        }
+        JsonValue::Array(items).to_json()
+    }
+
+    /// Parse the standard JSON ABI format.
+    pub fn from_json(text: &str) -> Result<Self, AbiJsonError> {
+        let doc = parse(text).map_err(AbiJsonError::Json)?;
+        let items = doc
+            .as_array()
+            .ok_or_else(|| AbiJsonError::Shape("top level must be an array".into()))?;
+        let mut abi = Abi::default();
+        for item in items {
+            let kind = item
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| AbiJsonError::Shape("entry missing \"type\"".into()))?;
+            match kind {
+                "constructor" => {
+                    abi.constructor_inputs = params_from_json(item.get("inputs"))?;
+                    abi.constructor_payable = item
+                        .get("stateMutability")
+                        .and_then(JsonValue::as_str)
+                        .map(|s| s == "payable")
+                        .unwrap_or(false);
+                }
+                "function" => {
+                    abi.functions.push(Function {
+                        name: item
+                            .get("name")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| AbiJsonError::Shape("function missing name".into()))?
+                            .to_string(),
+                        inputs: params_from_json(item.get("inputs"))?,
+                        outputs: params_from_json(item.get("outputs"))?,
+                        mutability: StateMutability::from_str(
+                            item.get("stateMutability").and_then(JsonValue::as_str).unwrap_or(""),
+                        ),
+                    });
+                }
+                "event" => {
+                    abi.events.push(Event {
+                        name: item
+                            .get("name")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| AbiJsonError::Shape("event missing name".into()))?
+                            .to_string(),
+                        inputs: params_from_json(item.get("inputs"))?,
+                        anonymous: item
+                            .get("anonymous")
+                            .and_then(JsonValue::as_bool)
+                            .unwrap_or(false),
+                    });
+                }
+                // fallback/receive entries are irrelevant here; skip.
+                _ => {}
+            }
+        }
+        Ok(abi)
+    }
+}
+
+fn params_to_json(params: &[Param], with_indexed: bool) -> JsonValue {
+    JsonValue::Array(
+        params
+            .iter()
+            .map(|p| {
+                let mut obj = vec![
+                    ("name", JsonValue::String(p.name.clone())),
+                    ("type", JsonValue::String(p.ty.canonical())),
+                ];
+                if with_indexed {
+                    obj.push(("indexed", JsonValue::Bool(p.indexed)));
+                }
+                JsonValue::object(obj)
+            })
+            .collect(),
+    )
+}
+
+fn params_from_json(value: Option<&JsonValue>) -> Result<Vec<Param>, AbiJsonError> {
+    let Some(value) = value else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| AbiJsonError::Shape("params must be an array".into()))?;
+    items
+        .iter()
+        .map(|item| {
+            let ty = item
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| AbiJsonError::Shape("param missing type".into()))?
+                .parse::<AbiType>()
+                .map_err(|e| AbiJsonError::Shape(e.to_string()))?;
+            Ok(Param {
+                name: item
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                ty,
+                indexed: item.get("indexed").and_then(JsonValue::as_bool).unwrap_or(false),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_primitives::hex;
+
+    fn u() -> AbiType {
+        AbiType::uint()
+    }
+
+    #[test]
+    fn selector_matches_known_vector() {
+        let f = Function {
+            name: "transfer".into(),
+            inputs: vec![Param::new("to", AbiType::Address), Param::new("amount", u())],
+            outputs: vec![],
+            mutability: StateMutability::NonPayable,
+        };
+        assert_eq!(f.signature(), "transfer(address,uint256)");
+        assert_eq!(hex::encode(f.selector()), "a9059cbb");
+    }
+
+    #[test]
+    fn encode_call_prepends_selector() {
+        let f = Function {
+            name: "payRent".into(),
+            inputs: vec![],
+            outputs: vec![],
+            mutability: StateMutability::Payable,
+        };
+        let call = f.encode_call(&[]).unwrap();
+        assert_eq!(call.len(), 4);
+        assert_eq!(call, f.selector().to_vec());
+    }
+
+    #[test]
+    fn event_topic_and_decode() {
+        let e = Event {
+            name: "paidRent".into(),
+            inputs: vec![Param::new("amount", u())],
+            anonymous: false,
+        };
+        assert_eq!(e.signature(), "paidRent(uint256)");
+        let data = codec::encode(&[u()], &[AbiValue::uint(12)]).unwrap();
+        let decoded = e.decode_data(&data).unwrap();
+        assert_eq!(decoded[0].as_u64(), Some(12));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let abi = Abi {
+            constructor_inputs: vec![
+                Param::new("_rent", u()),
+                Param::new("_house", AbiType::String),
+            ],
+            constructor_payable: true,
+            functions: vec![
+                Function {
+                    name: "payRent".into(),
+                    inputs: vec![],
+                    outputs: vec![],
+                    mutability: StateMutability::Payable,
+                },
+                Function {
+                    name: "getNext".into(),
+                    inputs: vec![],
+                    outputs: vec![Param::new("addr", AbiType::Address)],
+                    mutability: StateMutability::View,
+                },
+            ],
+            events: vec![Event {
+                name: "agreementConfirmed".into(),
+                inputs: vec![],
+                anonymous: false,
+            }],
+        };
+        let text = abi.to_json();
+        let parsed = Abi::from_json(&text).unwrap();
+        assert_eq!(parsed, abi);
+    }
+
+    #[test]
+    fn lookup_by_selector_and_topic() {
+        let abi = Abi {
+            functions: vec![Function {
+                name: "setNext".into(),
+                inputs: vec![Param::new("_next", AbiType::Address)],
+                outputs: vec![],
+                mutability: StateMutability::NonPayable,
+            }],
+            events: vec![Event { name: "x".into(), inputs: vec![], anonymous: false }],
+            ..Abi::default()
+        };
+        let f = &abi.functions[0];
+        assert_eq!(abi.function_by_selector(f.selector()).unwrap().name, "setNext");
+        assert!(abi.function_by_selector([0, 0, 0, 0]).is_none());
+        let e = &abi.events[0];
+        assert_eq!(abi.event_by_topic(e.topic0()).unwrap().name, "x");
+    }
+
+    #[test]
+    fn from_json_tolerates_extra_entries() {
+        let text = r#"[{"type":"fallback","stateMutability":"payable"},
+                       {"type":"function","name":"f","inputs":[],"outputs":[]}]"#;
+        let abi = Abi::from_json(text).unwrap();
+        assert_eq!(abi.functions.len(), 1);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_shapes() {
+        assert!(Abi::from_json("{}").is_err());
+        assert!(Abi::from_json(r#"[{"name":"f"}]"#).is_err());
+        assert!(Abi::from_json(r#"[{"type":"function"}]"#).is_err());
+        assert!(Abi::from_json(r#"[{"type":"function","name":"f","inputs":[{"type":"uint7"}]}]"#).is_err());
+    }
+}

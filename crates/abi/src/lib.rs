@@ -1,0 +1,43 @@
+//! # lsc-abi
+//!
+//! Contract ABI implementation: the type system ([`AbiType`]), runtime
+//! values ([`AbiValue`]), the head/tail encoder/decoder ([`codec`]),
+//! function selectors and event topics ([`descriptor`]), and the standard
+//! JSON ABI representation built on a self-contained JSON module
+//! ([`json`]).
+//!
+//! In the paper the JSON ABI is the artifact that makes deployed bytecode
+//! usable: it is uploaded with the contract (Fig. 9) and pinned to IPFS,
+//! keyed by contract address, so any party holding a version-list address
+//! can interact with that version.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod descriptor;
+pub mod json;
+pub mod types;
+pub mod value;
+
+pub use codec::{decode, decode_one, encode, encode_one, AbiError};
+pub use descriptor::{Abi, AbiJsonError, Event, Function, Param, StateMutability};
+pub use types::AbiType;
+pub use value::AbiValue;
+
+/// Compute the 4-byte selector of a human-readable signature like
+/// `"payRent()"`.
+pub fn selector(signature: &str) -> [u8; 4] {
+    let h = lsc_primitives::keccak256(signature.as_bytes());
+    [h[0], h[1], h[2], h[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn free_selector_helper() {
+        assert_eq!(
+            lsc_primitives::hex::encode(super::selector("transfer(address,uint256)")),
+            "a9059cbb"
+        );
+    }
+}

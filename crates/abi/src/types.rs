@@ -1,0 +1,225 @@
+//! The contract ABI type system and canonical signature rendering.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// An ABI parameter type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AbiType {
+    /// `uintN`, N in 8..=256 and a multiple of 8.
+    Uint(u16),
+    /// `intN`.
+    Int(u16),
+    /// `address` (20 bytes, encoded as a left-padded word).
+    Address,
+    /// `bool`.
+    Bool,
+    /// Dynamic `string` (UTF-8).
+    String,
+    /// Dynamic `bytes`.
+    Bytes,
+    /// `bytesN`, N in 1..=32.
+    FixedBytes(u8),
+    /// Dynamic array `T[]`.
+    Array(Box<AbiType>),
+    /// Fixed array `T[N]`.
+    FixedArray(Box<AbiType>, usize),
+    /// Tuple `(T1,...,Tn)` (struct).
+    Tuple(Vec<AbiType>),
+}
+
+impl AbiType {
+    /// Shorthand for `uint256`.
+    pub fn uint() -> Self {
+        AbiType::Uint(256)
+    }
+
+    /// True if the encoding of this type has dynamic length (string, bytes,
+    /// dynamic arrays, or composites containing one).
+    pub fn is_dynamic(&self) -> bool {
+        match self {
+            AbiType::String | AbiType::Bytes | AbiType::Array(_) => true,
+            AbiType::FixedArray(inner, _) => inner.is_dynamic(),
+            AbiType::Tuple(items) => items.iter().any(AbiType::is_dynamic),
+            _ => false,
+        }
+    }
+
+    /// Size in bytes of the head (static) part of the encoding.
+    pub fn head_size(&self) -> usize {
+        if self.is_dynamic() {
+            return 32;
+        }
+        match self {
+            AbiType::FixedArray(inner, n) => inner.head_size() * n,
+            AbiType::Tuple(items) => items.iter().map(AbiType::head_size).sum(),
+            _ => 32,
+        }
+    }
+
+    /// Canonical type string used in function signatures (`uint256`, …).
+    pub fn canonical(&self) -> String {
+        match self {
+            AbiType::Uint(bits) => format!("uint{bits}"),
+            AbiType::Int(bits) => format!("int{bits}"),
+            AbiType::Address => "address".to_string(),
+            AbiType::Bool => "bool".to_string(),
+            AbiType::String => "string".to_string(),
+            AbiType::Bytes => "bytes".to_string(),
+            AbiType::FixedBytes(n) => format!("bytes{n}"),
+            AbiType::Array(inner) => format!("{}[]", inner.canonical()),
+            AbiType::FixedArray(inner, n) => format!("{}[{n}]", inner.canonical()),
+            AbiType::Tuple(items) => {
+                let inner: Vec<String> = items.iter().map(AbiType::canonical).collect();
+                format!("({})", inner.join(","))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AbiType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// Error parsing an ABI type string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTypeError(pub String);
+
+impl fmt::Display for ParseTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid abi type: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTypeError {}
+
+impl FromStr for AbiType {
+    type Err = ParseTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        // Array suffixes bind outermost: parse from the right.
+        if let Some(base) = s.strip_suffix("[]") {
+            return Ok(AbiType::Array(Box::new(base.parse()?)));
+        }
+        if s.ends_with(']') {
+            let open = s.rfind('[').ok_or_else(|| ParseTypeError(s.to_string()))?;
+            let n: usize = s[open + 1..s.len() - 1]
+                .parse()
+                .map_err(|_| ParseTypeError(s.to_string()))?;
+            return Ok(AbiType::FixedArray(Box::new(s[..open].parse()?), n));
+        }
+        if s.starts_with('(') && s.ends_with(')') {
+            let inner = &s[1..s.len() - 1];
+            if inner.is_empty() {
+                return Ok(AbiType::Tuple(vec![]));
+            }
+            let mut items = Vec::new();
+            let mut depth = 0usize;
+            let mut start = 0usize;
+            for (i, c) in inner.char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        items.push(inner[start..i].parse()?);
+                        start = i + 1;
+                    }
+                    _ => {}
+                }
+            }
+            items.push(inner[start..].parse()?);
+            return Ok(AbiType::Tuple(items));
+        }
+        match s {
+            "address" => return Ok(AbiType::Address),
+            "bool" => return Ok(AbiType::Bool),
+            "string" => return Ok(AbiType::String),
+            "bytes" => return Ok(AbiType::Bytes),
+            "uint" => return Ok(AbiType::Uint(256)),
+            "int" => return Ok(AbiType::Int(256)),
+            _ => {}
+        }
+        if let Some(bits) = s.strip_prefix("uint") {
+            let bits: u16 = bits.parse().map_err(|_| ParseTypeError(s.to_string()))?;
+            if bits == 0 || bits > 256 || !bits.is_multiple_of(8) {
+                return Err(ParseTypeError(s.to_string()));
+            }
+            return Ok(AbiType::Uint(bits));
+        }
+        if let Some(bits) = s.strip_prefix("int") {
+            let bits: u16 = bits.parse().map_err(|_| ParseTypeError(s.to_string()))?;
+            if bits == 0 || bits > 256 || !bits.is_multiple_of(8) {
+                return Err(ParseTypeError(s.to_string()));
+            }
+            return Ok(AbiType::Int(bits));
+        }
+        if let Some(n) = s.strip_prefix("bytes") {
+            let n: u8 = n.parse().map_err(|_| ParseTypeError(s.to_string()))?;
+            if n == 0 || n > 32 {
+                return Err(ParseTypeError(s.to_string()));
+            }
+            return Ok(AbiType::FixedBytes(n));
+        }
+        Err(ParseTypeError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_roundtrip() {
+        for s in [
+            "uint256",
+            "int8",
+            "address",
+            "bool",
+            "string",
+            "bytes",
+            "bytes32",
+            "uint256[]",
+            "address[4]",
+            "(uint256,string)",
+            "(uint256,(bool,address))[]",
+            "string[][3]",
+        ] {
+            let t: AbiType = s.parse().unwrap();
+            assert_eq!(t.canonical(), s, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn uint_alias() {
+        assert_eq!("uint".parse::<AbiType>().unwrap(), AbiType::Uint(256));
+        assert_eq!("int".parse::<AbiType>().unwrap(), AbiType::Int(256));
+    }
+
+    #[test]
+    fn dynamic_detection() {
+        assert!("string".parse::<AbiType>().unwrap().is_dynamic());
+        assert!("uint8[]".parse::<AbiType>().unwrap().is_dynamic());
+        assert!("string[2]".parse::<AbiType>().unwrap().is_dynamic());
+        assert!(!"uint8[2]".parse::<AbiType>().unwrap().is_dynamic());
+        assert!(!"(uint256,bool)".parse::<AbiType>().unwrap().is_dynamic());
+        assert!("(uint256,string)".parse::<AbiType>().unwrap().is_dynamic());
+    }
+
+    #[test]
+    fn head_sizes() {
+        assert_eq!(AbiType::uint().head_size(), 32);
+        assert_eq!("uint8[3]".parse::<AbiType>().unwrap().head_size(), 96);
+        assert_eq!("string".parse::<AbiType>().unwrap().head_size(), 32);
+        assert_eq!("(uint256,bool)".parse::<AbiType>().unwrap().head_size(), 64);
+    }
+
+    #[test]
+    fn invalid_types_rejected() {
+        for s in ["uint7", "uint0", "uint264", "bytes0", "bytes33", "floof", "uint256[a]"] {
+            assert!(s.parse::<AbiType>().is_err(), "{s} should fail");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Runtime ABI values and conversions.
+
+use crate::types::AbiType;
+use lsc_primitives::{Address, U256};
+use core::fmt;
+
+/// A decoded/encodable ABI value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbiValue {
+    /// Unsigned integer (any width up to 256 bits).
+    Uint(U256),
+    /// Signed integer in two's-complement.
+    Int(U256),
+    /// 20-byte address.
+    Address(Address),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    String(String),
+    /// Dynamic byte array.
+    Bytes(Vec<u8>),
+    /// Fixed-size byte array (right-padded in encoding).
+    FixedBytes(Vec<u8>),
+    /// Homogeneous array.
+    Array(Vec<AbiValue>),
+    /// Heterogeneous tuple.
+    Tuple(Vec<AbiValue>),
+}
+
+impl AbiValue {
+    /// Build a `Uint` from a `u64`.
+    pub fn uint(v: u64) -> Self {
+        AbiValue::Uint(U256::from_u64(v))
+    }
+
+    /// Build a `String`.
+    pub fn string(s: impl Into<String>) -> Self {
+        AbiValue::String(s.into())
+    }
+
+    /// The [`AbiType`] this value encodes as (widths default to 256).
+    pub fn type_of(&self) -> AbiType {
+        match self {
+            AbiValue::Uint(_) => AbiType::Uint(256),
+            AbiValue::Int(_) => AbiType::Int(256),
+            AbiValue::Address(_) => AbiType::Address,
+            AbiValue::Bool(_) => AbiType::Bool,
+            AbiValue::String(_) => AbiType::String,
+            AbiValue::Bytes(_) => AbiType::Bytes,
+            AbiValue::FixedBytes(b) => AbiType::FixedBytes(b.len() as u8),
+            AbiValue::Array(items) => AbiType::Array(Box::new(
+                items.first().map(AbiValue::type_of).unwrap_or(AbiType::Uint(256)),
+            )),
+            AbiValue::Tuple(items) => AbiType::Tuple(items.iter().map(AbiValue::type_of).collect()),
+        }
+    }
+
+    /// Extract as unsigned integer.
+    pub fn as_uint(&self) -> Option<U256> {
+        match self {
+            AbiValue::Uint(v) | AbiValue::Int(v) => Some(*v),
+            AbiValue::Bool(b) => Some(U256::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Extract as `u64` if it fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_uint().and_then(|v| v.to_u64())
+    }
+
+    /// Extract as address.
+    pub fn as_address(&self) -> Option<Address> {
+        match self {
+            AbiValue::Address(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Extract as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AbiValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract as string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AbiValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract as byte slice (bytes or fixed bytes).
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            AbiValue::Bytes(b) | AbiValue::FixedBytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extract as array/tuple items.
+    pub fn as_slice(&self) -> Option<&[AbiValue]> {
+        match self {
+            AbiValue::Array(items) | AbiValue::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AbiValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbiValue::Uint(v) | AbiValue::Int(v) => write!(f, "{v}"),
+            AbiValue::Address(a) => write!(f, "{a}"),
+            AbiValue::Bool(b) => write!(f, "{b}"),
+            AbiValue::String(s) => write!(f, "{s:?}"),
+            AbiValue::Bytes(b) | AbiValue::FixedBytes(b) => {
+                write!(f, "0x{}", lsc_primitives::hex::encode(b))
+            }
+            AbiValue::Array(items) | AbiValue::Tuple(items) => {
+                let parts: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+                let (open, close) = if matches!(self, AbiValue::Array(_)) {
+                    ('[', ']')
+                } else {
+                    ('(', ')')
+                };
+                write!(f, "{open}{}{close}", parts.join(", "))
+            }
+        }
+    }
+}
+
+impl From<U256> for AbiValue {
+    fn from(v: U256) -> Self {
+        AbiValue::Uint(v)
+    }
+}
+
+impl From<u64> for AbiValue {
+    fn from(v: u64) -> Self {
+        AbiValue::uint(v)
+    }
+}
+
+impl From<Address> for AbiValue {
+    fn from(a: Address) -> Self {
+        AbiValue::Address(a)
+    }
+}
+
+impl From<bool> for AbiValue {
+    fn from(b: bool) -> Self {
+        AbiValue::Bool(b)
+    }
+}
+
+impl From<&str> for AbiValue {
+    fn from(s: &str) -> Self {
+        AbiValue::String(s.to_string())
+    }
+}
+
+impl From<String> for AbiValue {
+    fn from(s: String) -> Self {
+        AbiValue::String(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(AbiValue::uint(7).as_u64(), Some(7));
+        assert_eq!(AbiValue::Bool(true).as_uint(), Some(U256::ONE));
+        assert_eq!(AbiValue::string("hi").as_str(), Some("hi"));
+        let a = Address::from_label("x");
+        assert_eq!(AbiValue::Address(a).as_address(), Some(a));
+        assert_eq!(AbiValue::uint(1).as_address(), None);
+        assert_eq!(AbiValue::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AbiValue::uint(5).to_string(), "5");
+        assert_eq!(AbiValue::Bool(false).to_string(), "false");
+        assert_eq!(AbiValue::Bytes(vec![0xab]).to_string(), "0xab");
+        assert_eq!(
+            AbiValue::Tuple(vec![AbiValue::uint(1), AbiValue::Bool(true)]).to_string(),
+            "(1, true)"
+        );
+        assert_eq!(
+            AbiValue::Array(vec![AbiValue::uint(1), AbiValue::uint(2)]).to_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn type_inference() {
+        assert_eq!(AbiValue::uint(1).type_of(), AbiType::Uint(256));
+        assert_eq!(
+            AbiValue::Array(vec![AbiValue::Bool(true)]).type_of(),
+            AbiType::Array(Box::new(AbiType::Bool))
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based ABI codec verification: random typed values round-trip
+//! through encode/decode, and the JSON module round-trips arbitrary
+//! documents.
+
+use lsc_abi::json::{parse, JsonValue};
+use lsc_abi::{decode, encode, AbiType, AbiValue};
+use lsc_primitives::{Address, U256};
+use proptest::prelude::*;
+
+/// Generate a matching (type, value) pair.
+fn arb_typed_value() -> impl Strategy<Value = (AbiType, AbiValue)> {
+    let leaf = prop_oneof![
+        proptest::array::uniform4(any::<u64>())
+            .prop_map(|l| (AbiType::Uint(256), AbiValue::Uint(U256(l)))),
+        any::<bool>().prop_map(|b| (AbiType::Bool, AbiValue::Bool(b))),
+        proptest::array::uniform20(any::<u8>())
+            .prop_map(|b| (AbiType::Address, AbiValue::Address(Address(b)))),
+        "[a-zA-Z0-9 ]{0,60}".prop_map(|s| (AbiType::String, AbiValue::String(s))),
+        proptest::collection::vec(any::<u8>(), 0..50)
+            .prop_map(|b| (AbiType::Bytes, AbiValue::Bytes(b))),
+        (1usize..=32, proptest::collection::vec(any::<u8>(), 32)).prop_map(|(n, b)| {
+            (AbiType::FixedBytes(n as u8), AbiValue::FixedBytes(b[..n].to_vec()))
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Homogeneous dynamic array: replicate one element shape.
+            (inner.clone(), 0usize..4).prop_map(|((ty, value), n)| {
+                (
+                    AbiType::Array(Box::new(ty)),
+                    AbiValue::Array(std::iter::repeat_n(value, n).collect()),
+                )
+            }),
+            // Tuple of up to 3 shapes.
+            proptest::collection::vec(inner, 1..4).prop_map(|items| {
+                let (types, values): (Vec<_>, Vec<_>) = items.into_iter().unzip();
+                (AbiType::Tuple(types), AbiValue::Tuple(values))
+            }),
+        ]
+    })
+}
+
+/// Arbitrary JSON value (finite integers only to keep equality exact).
+fn arb_json() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|n| JsonValue::Number(n as f64)),
+        "[a-zA-Z0-9 _\\-\"\\\\]{0,24}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..4)
+                .prop_map(JsonValue::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn abi_roundtrip_single((ty, value) in arb_typed_value()) {
+        let encoded = encode(std::slice::from_ref(&ty), std::slice::from_ref(&value)).unwrap();
+        let decoded = decode(std::slice::from_ref(&ty), &encoded).unwrap();
+        prop_assert_eq!(decoded[0].clone(), value);
+    }
+
+    #[test]
+    fn abi_roundtrip_parameter_lists(items in proptest::collection::vec(arb_typed_value(), 0..5)) {
+        let (types, values): (Vec<_>, Vec<_>) = items.into_iter().unzip();
+        let encoded = encode(&types, &values).unwrap();
+        // Encoded length is always a multiple of a word.
+        prop_assert_eq!(encoded.len() % 32, 0);
+        let decoded = decode(&types, &encoded).unwrap();
+        prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(
+        (ty, _) in arb_typed_value(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Must return Ok or Err, never panic.
+        let _ = decode(std::slice::from_ref(&ty), &data);
+    }
+
+    #[test]
+    fn json_roundtrip(value in arb_json()) {
+        let text = value.to_json();
+        let parsed = parse(&text).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn json_parse_never_panics(text in "\\PC{0,80}") {
+        let _ = parse(&text);
+    }
+}

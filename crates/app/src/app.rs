@@ -1,0 +1,511 @@
+//! The decentralised rental-agreement application (presentation +
+//! business glue): user-specific dashboards, upload/deploy/confirm/pay/
+//! modify/terminate actions with role checks, backed by the contract
+//! manager (business tier), the database (data tier) and the chain.
+
+use crate::auth::{Auth, AuthError, SessionToken};
+use crate::db::{ContractRow, ContractRowState, Database, RowId, UserRow};
+use lsc_abi::AbiValue;
+use lsc_core::{ContractManager, CoreError, Rental, RentalState};
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{Address, U256};
+use lsc_web3::Web3;
+use core::fmt;
+
+/// Application-level errors.
+#[derive(Debug)]
+pub enum AppError {
+    /// Authentication failure.
+    Auth(AuthError),
+    /// Business-tier failure (chain, compile, ipfs…).
+    Core(CoreError),
+    /// The logged-in user may not perform this action.
+    Forbidden(String),
+    /// Referenced entity does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Auth(e) => write!(f, "{e}"),
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Forbidden(m) => write!(f, "forbidden: {m}"),
+            Self::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<AuthError> for AppError {
+    fn from(e: AuthError) -> Self {
+        Self::Auth(e)
+    }
+}
+
+impl From<CoreError> for AppError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+/// Result alias.
+pub type AppResult<T> = Result<T, AppError>;
+
+/// Dashboard actions a user can take on a contract (Figs. 7, 10, 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Tenant-side: confirm the agreement (pays the deposit).
+    ConfirmAgreement,
+    /// Tenant-side: pay this month's rent.
+    PayRent,
+    /// Tenant-side (v2): pay the maintenance fee.
+    PayMaintenance,
+    /// Either party (rules on chain): terminate the agreement.
+    Terminate,
+    /// Landlord-side: deploy a modified version.
+    Modify,
+    /// Anyone: inspect the version history / transactions.
+    ViewHistory,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ConfirmAgreement => write!(f, "CONFIRM_AGREEMENT"),
+            Self::PayRent => write!(f, "PAY"),
+            Self::PayMaintenance => write!(f, "PAY_MAINTENANCE"),
+            Self::Terminate => write!(f, "TERMINATE_AGREEMENT"),
+            Self::Modify => write!(f, "MODIFY"),
+            Self::ViewHistory => write!(f, "HISTORY"),
+        }
+    }
+}
+
+/// One reconstructed rent payment (from event logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaymentRecord {
+    /// Block the payment landed in.
+    pub block: u64,
+    /// The paying agreement.
+    pub address: Address,
+}
+
+/// One dashboard row.
+#[derive(Debug, Clone)]
+pub struct DashboardRow {
+    /// Contract display name.
+    pub name: String,
+    /// Chain address.
+    pub address: Address,
+    /// Version number.
+    pub version: u32,
+    /// Record state.
+    pub state: ContractRowState,
+    /// The logged-in user's role on this contract.
+    pub role: &'static str,
+    /// Actions currently available to this user.
+    pub actions: Vec<Action>,
+}
+
+/// The data behind the Fig. 7 dashboard screen.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    /// Logged-in user name.
+    pub user: String,
+    /// The user's chain balance in wei.
+    pub balance: U256,
+    /// Uploads available to deploy.
+    pub uploads: Vec<(u64, String)>,
+    /// Contracts the user participates in (or may join).
+    pub rows: Vec<DashboardRow>,
+}
+
+/// The web application.
+#[derive(Clone)]
+pub struct RentalApp {
+    manager: ContractManager,
+    db: Database,
+    auth: Auth,
+}
+
+impl RentalApp {
+    /// Assemble the application over a chain client and IPFS node.
+    pub fn new(web3: Web3, ipfs: IpfsNode) -> Self {
+        let db = Database::new();
+        RentalApp {
+            manager: ContractManager::new(web3, ipfs),
+            auth: Auth::new(db.clone()),
+            db,
+        }
+    }
+
+    /// The business tier underneath.
+    pub fn manager(&self) -> &ContractManager {
+        &self.manager
+    }
+
+    /// The data tier.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Register a user with their chain account.
+    pub fn register(
+        &self,
+        name: &str,
+        email: &str,
+        password: &str,
+        public_key: Address,
+    ) -> AppResult<RowId> {
+        self.manager.web3().wallet().unlock(public_key);
+        Ok(self.auth.register(name, email, password, public_key)?)
+    }
+
+    /// Log a user in.
+    pub fn login(&self, name: &str, password: &str) -> AppResult<SessionToken> {
+        Ok(self.auth.login(name, password)?)
+    }
+
+    /// Log out.
+    pub fn logout(&self, session: SessionToken) {
+        self.auth.logout(session);
+    }
+
+    fn current_user(&self, session: SessionToken) -> AppResult<UserRow> {
+        let id = self.auth.user_of(session)?;
+        self.db
+            .user(id)
+            .ok_or_else(|| AppError::NotFound("session user".into()))
+    }
+
+    /// Fig. 9: upload a contract (bytecode + ABI json).
+    pub fn upload_contract(
+        &self,
+        session: SessionToken,
+        name: &str,
+        bytecode: Vec<u8>,
+        abi_json: &str,
+    ) -> AppResult<u64> {
+        self.current_user(session)?;
+        Ok(self.manager.upload(name, bytecode, abi_json)?)
+    }
+
+    /// Fig. 10: deploy an uploaded contract; the logged-in user becomes
+    /// the landlord.
+    pub fn deploy_contract(
+        &self,
+        session: SessionToken,
+        upload_id: u64,
+        args: &[AbiValue],
+        value: U256,
+    ) -> AppResult<Address> {
+        let user = self.current_user(session)?;
+        let contract = self.manager.deploy(user.public_key, upload_id, args, value)?;
+        let record = self
+            .manager
+            .record(contract.address())
+            .ok_or_else(|| AppError::NotFound("version record".into()))?;
+        let abi_cid = self
+            .manager
+            .registry()
+            .cid_of(contract.address())
+            .ok_or_else(|| AppError::NotFound("abi cid".into()))?;
+        self.db.insert_contract(ContractRow {
+            id: 0,
+            landlord: user.id,
+            tenant: None,
+            version: record.version,
+            state: ContractRowState::Active,
+            abi: abi_cid,
+            address: contract.address(),
+            name: record.name,
+        });
+        Ok(contract.address())
+    }
+
+    /// Attach the legal PDF to a deployed contract (landlord only).
+    pub fn attach_document(
+        &self,
+        session: SessionToken,
+        address: Address,
+        pdf: &[u8],
+    ) -> AppResult<()> {
+        let (user, row) = self.user_and_row(session, address)?;
+        if row.landlord != user.id {
+            return Err(AppError::Forbidden("only the landlord uploads the document".into()));
+        }
+        self.manager.attach_document(address, pdf);
+        Ok(())
+    }
+
+    /// Fetch the legal PDF the tenant reviews before confirming.
+    pub fn view_document(&self, session: SessionToken, address: Address) -> AppResult<Vec<u8>> {
+        self.current_user(session)?;
+        Ok(self.manager.document(address)?)
+    }
+
+    fn user_and_row(
+        &self,
+        session: SessionToken,
+        address: Address,
+    ) -> AppResult<(UserRow, ContractRow)> {
+        let user = self.current_user(session)?;
+        let row = self
+            .db
+            .contract_by_address(address)
+            .ok_or_else(|| AppError::NotFound(format!("contract {address}")))?;
+        Ok((user, row))
+    }
+
+    fn rental_at(&self, address: Address) -> AppResult<Rental> {
+        Ok(Rental::at(self.manager.contract_at(address)?))
+    }
+
+    /// Tenant confirms the agreement (pays the deposit if the version
+    /// requires one).
+    pub fn confirm_agreement(&self, session: SessionToken, address: Address) -> AppResult<()> {
+        let (user, row) = self.user_and_row(session, address)?;
+        if row.landlord == user.id {
+            return Err(AppError::Forbidden("a landlord cannot confirm their own contract".into()));
+        }
+        let rental = self.rental_at(address)?;
+        rental.confirm_agreement(user.public_key)?;
+        self.db.update_contract(address, |c| c.tenant = Some(user.id));
+        Ok(())
+    }
+
+    /// Tenant pays the rent; ether moves to the landlord.
+    pub fn pay_rent(&self, session: SessionToken, address: Address) -> AppResult<()> {
+        let (user, row) = self.user_and_row(session, address)?;
+        if row.tenant != Some(user.id) {
+            return Err(AppError::Forbidden("only the tenant pays rent".into()));
+        }
+        let rental = self.rental_at(address)?;
+        rental.pay_rent(user.public_key)?;
+        Ok(())
+    }
+
+    /// Tenant pays the maintenance fee (modified version's new clause).
+    pub fn pay_maintenance(
+        &self,
+        session: SessionToken,
+        address: Address,
+        amount: U256,
+    ) -> AppResult<()> {
+        let (user, row) = self.user_and_row(session, address)?;
+        if row.tenant != Some(user.id) {
+            return Err(AppError::Forbidden("only the tenant pays maintenance".into()));
+        }
+        let rental = self.rental_at(address)?;
+        rental.pay_maintenance(user.public_key, amount)?;
+        Ok(())
+    }
+
+    /// Terminate the agreement (on-chain rules decide who may and what
+    /// happens to the deposit).
+    pub fn terminate(&self, session: SessionToken, address: Address) -> AppResult<()> {
+        let (user, row) = self.user_and_row(session, address)?;
+        if row.landlord != user.id && row.tenant != Some(user.id) {
+            return Err(AppError::Forbidden("only the parties can terminate".into()));
+        }
+        let rental = self.rental_at(address)?;
+        rental.terminate(user.public_key)?;
+        self.manager.mark_terminated(address);
+        self.db.update_contract(address, |c| c.state = ContractRowState::Terminated);
+        Ok(())
+    }
+
+    /// Fig. 11: the landlord modifies the agreement by deploying the
+    /// uploaded new version linked after `previous`; the previous version
+    /// becomes inactive and the tenant must re-confirm on the new one.
+    pub fn modify_contract(
+        &self,
+        session: SessionToken,
+        previous: Address,
+        upload_id: u64,
+        args: &[AbiValue],
+        migrate_keys: &[&str],
+    ) -> AppResult<Address> {
+        let (user, row) = self.user_and_row(session, previous)?;
+        if row.landlord != user.id {
+            return Err(AppError::Forbidden("only the landlord can modify the contract".into()));
+        }
+        let contract = self.manager.deploy_version(
+            user.public_key,
+            upload_id,
+            args,
+            U256::ZERO,
+            previous,
+            migrate_keys,
+        )?;
+        let record = self
+            .manager
+            .record(contract.address())
+            .ok_or_else(|| AppError::NotFound("version record".into()))?;
+        let abi_cid = self
+            .manager
+            .registry()
+            .cid_of(contract.address())
+            .ok_or_else(|| AppError::NotFound("abi cid".into()))?;
+        self.db.update_contract(previous, |c| c.state = ContractRowState::Inactive);
+        self.db.insert_contract(ContractRow {
+            id: 0,
+            landlord: user.id,
+            tenant: None, // tenant must confirm the modified agreement
+            version: record.version,
+            state: ContractRowState::Active,
+            abi: abi_cid,
+            address: contract.address(),
+            name: record.name,
+        });
+        Ok(contract.address())
+    }
+
+    /// Payment history of a contract reconstructed from its `paidRent`
+    /// event logs (`eth_getLogs`), with the block each payment landed in —
+    /// the dashboard's "transaction history" view.
+    pub fn payment_history(
+        &self,
+        session: SessionToken,
+        address: Address,
+    ) -> AppResult<Vec<PaymentRecord>> {
+        self.current_user(session)?;
+        let contract = self.manager.contract_at(address)?;
+        let head = self.manager.web3().block_number();
+        let events = contract
+            .events_in_range("paidRent", 0, head)
+            .map_err(CoreError::Web3)?;
+        Ok(events
+            .into_iter()
+            .map(|(block, _event)| PaymentRecord { block, address })
+            .collect())
+    }
+
+    /// Is the rent overdue on a started v2 agreement? Compares the
+    /// on-chain `nextBillingDate` with the chain clock. Base-version
+    /// contracts (no billing schedule) are never overdue.
+    pub fn rent_overdue(&self, session: SessionToken, address: Address) -> AppResult<bool> {
+        self.current_user(session)?;
+        let rental = self.rental_at(address)?;
+        if rental.state()? != RentalState::Started {
+            return Ok(false);
+        }
+        let contract = self.manager.contract_at(address)?;
+        if contract.abi().function("nextBillingDate").is_none() {
+            return Ok(false);
+        }
+        let due = contract
+            .call1("nextBillingDate", &[])
+            .map_err(CoreError::Web3)?
+            .as_u64()
+            .unwrap_or(u64::MAX);
+        Ok(self.manager.web3().timestamp() > due)
+    }
+
+    /// All of a landlord's or tenant's agreements with overdue rent.
+    pub fn overdue_contracts(&self, session: SessionToken) -> AppResult<Vec<Address>> {
+        let user = self.current_user(session)?;
+        let mut rows = self.db.contracts_of_landlord(user.id);
+        rows.extend(self.db.contracts_of_tenant(user.id));
+        let mut overdue = Vec::new();
+        for row in rows {
+            if row.state == ContractRowState::Active
+                && self.rent_overdue(session, row.address).unwrap_or(false)
+            {
+                overdue.push(row.address);
+            }
+        }
+        Ok(overdue)
+    }
+
+    /// The on-chain version history of a contract (evidence line).
+    pub fn version_history(
+        &self,
+        session: SessionToken,
+        address: Address,
+    ) -> AppResult<Vec<Address>> {
+        self.current_user(session)?;
+        Ok(self.manager.history(address)?)
+    }
+
+    /// Which actions the user can currently take on a contract row.
+    pub fn actions_for(&self, user: &UserRow, row: &ContractRow) -> Vec<Action> {
+        let mut actions = vec![Action::ViewHistory];
+        if row.state == ContractRowState::Terminated
+            || row.state == ContractRowState::Inactive
+        {
+            return actions;
+        }
+        let on_chain_state = self
+            .rental_at(row.address)
+            .and_then(|r| r.state().map_err(AppError::from))
+            .unwrap_or(RentalState::Terminated);
+        let has_maintenance = self
+            .manager
+            .contract_at(row.address)
+            .map(|c| c.abi().function("aNewFunction").is_some())
+            .unwrap_or(false);
+        if row.landlord == user.id {
+            if on_chain_state != RentalState::Terminated {
+                actions.push(Action::Terminate);
+                actions.push(Action::Modify);
+            }
+        } else if row.tenant == Some(user.id) {
+            if on_chain_state == RentalState::Started {
+                actions.push(Action::PayRent);
+                if has_maintenance {
+                    actions.push(Action::PayMaintenance);
+                }
+                actions.push(Action::Terminate);
+            }
+        } else if row.tenant.is_none() && on_chain_state == RentalState::Created {
+            actions.push(Action::ConfirmAgreement);
+        }
+        actions
+    }
+
+    /// Assemble the user-specific dashboard (Fig. 7).
+    pub fn dashboard(&self, session: SessionToken) -> AppResult<Dashboard> {
+        let user = self.current_user(session)?;
+        let uploads = self
+            .manager
+            .uploads()
+            .into_iter()
+            .map(|u| (u.id, u.name))
+            .collect();
+        let mut rows = Vec::new();
+        for row in self.db.contracts_of_landlord(user.id) {
+            rows.push(self.dashboard_row(&user, row, "landlord"));
+        }
+        for row in self.db.contracts_of_tenant(user.id) {
+            rows.push(self.dashboard_row(&user, row, "tenant"));
+        }
+        for row in self.db.open_contracts_for(user.id) {
+            rows.push(self.dashboard_row(&user, row, "available"));
+        }
+        Ok(Dashboard {
+            user: user.name.clone(),
+            balance: self.manager.web3().balance(user.public_key),
+            uploads,
+            rows,
+        })
+    }
+
+    fn dashboard_row(
+        &self,
+        user: &UserRow,
+        row: ContractRow,
+        role: &'static str,
+    ) -> DashboardRow {
+        DashboardRow {
+            name: row.name.clone(),
+            address: row.address,
+            version: row.version,
+            state: row.state,
+            role,
+            actions: self.actions_for(user, &row),
+        }
+    }
+}

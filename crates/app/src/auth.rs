@@ -1,0 +1,171 @@
+//! Authentication: the paper uses Django's auth with a modified user
+//! model; here it is salted-hash passwords plus opaque session tokens.
+//! Every dashboard action requires a logged-in session because "the
+//! actions are user-specific".
+
+use crate::db::{Database, RowId};
+use lsc_primitives::{keccak256, Address, H256};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Opaque session token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionToken(pub H256);
+
+/// Authentication errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Registration with a taken user name.
+    NameTaken,
+    /// Login with wrong name or password.
+    BadCredentials,
+    /// An action used an expired/unknown session.
+    NotLoggedIn,
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NameTaken => write!(f, "user name already registered"),
+            Self::BadCredentials => write!(f, "invalid user name or password"),
+            Self::NotLoggedIn => write!(f, "not logged in"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+fn hash_password(password: &str, salt: &[u8; 32]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(32 + password.len());
+    buf.extend_from_slice(salt);
+    buf.extend_from_slice(password.as_bytes());
+    keccak256(&buf)
+}
+
+/// Session-based authenticator over the user table.
+#[derive(Clone)]
+pub struct Auth {
+    db: Database,
+    sessions: Arc<RwLock<HashMap<SessionToken, RowId>>>,
+    counter: Arc<RwLock<u64>>,
+}
+
+impl Auth {
+    /// New authenticator over a database.
+    pub fn new(db: Database) -> Self {
+        Auth {
+            db,
+            sessions: Arc::new(RwLock::new(HashMap::new())),
+            counter: Arc::new(RwLock::new(0)),
+        }
+    }
+
+    /// Register a user; their chain account is the "public key" column.
+    pub fn register(
+        &self,
+        name: &str,
+        email: &str,
+        password: &str,
+        public_key: Address,
+    ) -> Result<RowId, AuthError> {
+        // Deterministic per-user salt (no OS randomness in this offline
+        // reproduction): salt = keccak(name ‖ email).
+        let salt = keccak256(format!("{name}\u{0}{email}").as_bytes());
+        let hash = hash_password(password, &salt);
+        self.db
+            .insert_user(name, email, hash, salt, public_key)
+            .ok_or(AuthError::NameTaken)
+    }
+
+    /// Log in; returns a session token.
+    pub fn login(&self, name: &str, password: &str) -> Result<SessionToken, AuthError> {
+        let user = self.db.user_by_name(name).ok_or(AuthError::BadCredentials)?;
+        if hash_password(password, &user.salt) != user.password_hash {
+            return Err(AuthError::BadCredentials);
+        }
+        let mut counter = self.counter.write();
+        *counter += 1;
+        let token = SessionToken(H256::keccak(
+            format!("session\u{0}{}\u{0}{}", user.id, *counter).as_bytes(),
+        ));
+        self.sessions.write().insert(token, user.id);
+        Ok(token)
+    }
+
+    /// Resolve a session to a user id.
+    pub fn user_of(&self, token: SessionToken) -> Result<RowId, AuthError> {
+        self.sessions
+            .read()
+            .get(&token)
+            .copied()
+            .ok_or(AuthError::NotLoggedIn)
+    }
+
+    /// Log out (invalidate the token).
+    pub fn logout(&self, token: SessionToken) {
+        self.sessions.write().remove(&token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auth() -> Auth {
+        Auth::new(Database::new())
+    }
+
+    #[test]
+    fn register_login_logout() {
+        let auth = auth();
+        let id = auth
+            .register("juned", "j@iiit", "hunter2", Address::from_label("j"))
+            .unwrap();
+        let token = auth.login("juned", "hunter2").unwrap();
+        assert_eq!(auth.user_of(token).unwrap(), id);
+        auth.logout(token);
+        assert_eq!(auth.user_of(token), Err(AuthError::NotLoggedIn));
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let auth = auth();
+        auth.register("a", "a@x", "secret", Address::ZERO).unwrap();
+        assert_eq!(auth.login("a", "wrong"), Err(AuthError::BadCredentials));
+        assert_eq!(auth.login("ghost", "secret"), Err(AuthError::BadCredentials));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let auth = auth();
+        auth.register("a", "a@x", "p", Address::ZERO).unwrap();
+        assert_eq!(
+            auth.register("a", "b@x", "p", Address::ZERO),
+            Err(AuthError::NameTaken)
+        );
+    }
+
+    #[test]
+    fn passwords_are_not_stored_plain() {
+        let db = Database::new();
+        let auth = Auth::new(db.clone());
+        auth.register("a", "a@x", "topsecret", Address::ZERO).unwrap();
+        let user = db.user_by_name("a").unwrap();
+        assert_ne!(&user.password_hash[..], b"topsecret".as_slice());
+        // Distinct users with the same password get distinct hashes (salt).
+        auth.register("b", "b@x", "topsecret", Address::ZERO).unwrap();
+        let other = db.user_by_name("b").unwrap();
+        assert_ne!(user.password_hash, other.password_hash);
+    }
+
+    #[test]
+    fn sessions_are_distinct() {
+        let auth = auth();
+        auth.register("a", "a@x", "p", Address::ZERO).unwrap();
+        let t1 = auth.login("a", "p").unwrap();
+        let t2 = auth.login("a", "p").unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(auth.user_of(t1).unwrap(), auth.user_of(t2).unwrap());
+    }
+}

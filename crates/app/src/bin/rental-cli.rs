@@ -1,0 +1,280 @@
+//! A command-line front end for the decentralised rental-agreement
+//! application — the presentation tier as a REPL. Reads commands from
+//! stdin (scriptable), prints the same dashboard screens as Figs. 7–11.
+//!
+//! ```text
+//! cargo run -p lsc-app --bin rental-cli <<'EOF'
+//! register landlady l@x pw 0
+//! register tenant t@x pw 1
+//! login landlady pw
+//! upload base
+//! deploy 0 1 10001-42MainSt 31536000
+//! dashboard
+//! login tenant pw
+//! confirm <address>
+//! pay <address>
+//! dashboard
+//! EOF
+//! ```
+
+use lsc_abi::AbiValue;
+use lsc_app::{dashboard, RentalApp, SessionToken};
+use lsc_chain::LocalNode;
+use lsc_core::contracts;
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+use std::io::{self, BufRead, Write};
+
+struct Cli {
+    app: RentalApp,
+    web3: Web3,
+    session: Option<SessionToken>,
+    last_address: Option<Address>,
+}
+
+impl Cli {
+    fn new() -> Self {
+        let web3 = Web3::new(LocalNode::new(10));
+        Cli {
+            app: RentalApp::new(web3.clone(), IpfsNode::new()),
+            web3,
+            session: None,
+            last_address: None,
+        }
+    }
+
+    fn session(&self) -> Result<SessionToken, String> {
+        self.session.ok_or_else(|| "log in first".to_string())
+    }
+
+    /// Resolve `<address>` or the literal `last` to an address.
+    fn address(&self, token: &str) -> Result<Address, String> {
+        if token == "last" {
+            return self.last_address.ok_or_else(|| "no previous address".into());
+        }
+        token.parse().map_err(|_| format!("bad address {token}"))
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<String, String> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] | ["#", ..] => Ok(String::new()),
+            ["help"] => Ok(HELP.to_string()),
+            ["accounts"] => Ok(self
+                .web3
+                .accounts()
+                .iter()
+                .enumerate()
+                .map(|(i, a)| format!("{i}: {a}  {} ETH", dashboard::format_ether(self.web3.balance(*a))))
+                .collect::<Vec<_>>()
+                .join("\n")),
+            ["register", name, email, password, account_index] => {
+                let index: usize = account_index.parse().map_err(|_| "bad account index")?;
+                let accounts = self.web3.accounts();
+                let key = *accounts.get(index).ok_or("no such dev account")?;
+                self.app
+                    .register(name, email, password, key)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("registered {name} with account {key}"))
+            }
+            ["login", name, password] => {
+                let token = self.app.login(name, password).map_err(|e| e.to_string())?;
+                self.session = Some(token);
+                Ok(format!("logged in as {name}"))
+            }
+            ["logout"] => {
+                if let Some(token) = self.session.take() {
+                    self.app.logout(token);
+                }
+                Ok("logged out".into())
+            }
+            ["upload", which] => {
+                let session = self.session()?;
+                let (name, artifact) = match *which {
+                    "base" => ("Basic rental contract", contracts::compile_base_rental()),
+                    "v2" => ("Modified rental contract", contracts::compile_rental_agreement()),
+                    "guarded" => ("Guarded rental contract", contracts::compile_guarded_rental()),
+                    other => return Err(format!("unknown contract kind `{other}` (base|v2|guarded)")),
+                };
+                let artifact = artifact.map_err(|e| e.to_string())?;
+                let id = self
+                    .app
+                    .upload_contract(session, name, artifact.bytecode.clone(), &artifact.abi.to_json())
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("uploaded `{name}` as #{id}"))
+            }
+            ["deploy", upload, rent_eth, house, seconds] => {
+                let session = self.session()?;
+                let upload: u64 = upload.parse().map_err(|_| "bad upload id")?;
+                let rent: u64 = rent_eth.parse().map_err(|_| "bad rent")?;
+                let term: u64 = seconds.parse().map_err(|_| "bad term")?;
+                let address = self
+                    .app
+                    .deploy_contract(
+                        session,
+                        upload,
+                        &[
+                            AbiValue::Uint(ether(rent)),
+                            AbiValue::string(*house),
+                            AbiValue::uint(term),
+                        ],
+                        U256::ZERO,
+                    )
+                    .map_err(|e| e.to_string())?;
+                self.last_address = Some(address);
+                Ok(format!("deployed at {address} (use `last` to refer to it)"))
+            }
+            ["deploy-v2", upload, rent_eth, deposit_eth, house, seconds] => {
+                let session = self.session()?;
+                let upload: u64 = upload.parse().map_err(|_| "bad upload id")?;
+                let rent: u64 = rent_eth.parse().map_err(|_| "bad rent")?;
+                let deposit: u64 = deposit_eth.parse().map_err(|_| "bad deposit")?;
+                let term: u64 = seconds.parse().map_err(|_| "bad term")?;
+                let address = self
+                    .app
+                    .deploy_contract(
+                        session,
+                        upload,
+                        &[
+                            AbiValue::Uint(ether(rent)),
+                            AbiValue::Uint(ether(deposit)),
+                            AbiValue::uint(term),
+                            AbiValue::Uint(U256::ZERO),
+                            AbiValue::Uint(ether(deposit) / U256::from_u64(4)),
+                            AbiValue::string(*house),
+                        ],
+                        U256::ZERO,
+                    )
+                    .map_err(|e| e.to_string())?;
+                self.last_address = Some(address);
+                Ok(format!("deployed v2 at {address}"))
+            }
+            ["attach-doc", address, text @ ..] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                let body = format!("%PDF-1.4 {}", text.join(" "));
+                self.app
+                    .attach_document(session, address, body.as_bytes())
+                    .map_err(|e| e.to_string())?;
+                Ok("document linked".into())
+            }
+            ["view-doc", address] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                let pdf = self.app.view_document(session, address).map_err(|e| e.to_string())?;
+                Ok(String::from_utf8_lossy(&pdf).into_owned())
+            }
+            ["confirm", address] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                self.app.confirm_agreement(session, address).map_err(|e| e.to_string())?;
+                Ok("agreement confirmed".into())
+            }
+            ["pay", address] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                self.app.pay_rent(session, address).map_err(|e| e.to_string())?;
+                Ok("rent paid".into())
+            }
+            ["terminate", address] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                self.app.terminate(session, address).map_err(|e| e.to_string())?;
+                Ok("contract terminated".into())
+            }
+            ["modify", address, upload, rent_eth, deposit_eth, house, seconds] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                let upload: u64 = upload.parse().map_err(|_| "bad upload id")?;
+                let rent: u64 = rent_eth.parse().map_err(|_| "bad rent")?;
+                let deposit: u64 = deposit_eth.parse().map_err(|_| "bad deposit")?;
+                let term: u64 = seconds.parse().map_err(|_| "bad term")?;
+                let new_address = self
+                    .app
+                    .modify_contract(
+                        session,
+                        address,
+                        upload,
+                        &[
+                            AbiValue::Uint(ether(rent)),
+                            AbiValue::Uint(ether(deposit)),
+                            AbiValue::uint(term),
+                            AbiValue::Uint(U256::ZERO),
+                            AbiValue::Uint(ether(deposit) / U256::from_u64(4)),
+                            AbiValue::string(*house),
+                        ],
+                        &[],
+                    )
+                    .map_err(|e| e.to_string())?;
+                self.last_address = Some(new_address);
+                Ok(format!("modified: new version at {new_address}"))
+            }
+            ["history", address] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                let chain = self.app.version_history(session, address).map_err(|e| e.to_string())?;
+                Ok(chain
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| format!("v{}: {a}", i + 1))
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
+            ["audit", address] => {
+                let address = self.address(address)?;
+                let report = lsc_core::audit_chain(self.app.manager(), address)
+                    .map_err(|e| e.to_string())?;
+                Ok(report.render())
+            }
+            ["dashboard"] => {
+                let session = self.session()?;
+                let d = self.app.dashboard(session).map_err(|e| e.to_string())?;
+                Ok(dashboard::render(&d))
+            }
+            ["warp", seconds] => {
+                let seconds: u64 = seconds.parse().map_err(|_| "bad seconds")?;
+                self.web3.increase_time(seconds);
+                Ok(format!("chain clock advanced {seconds}s"))
+            }
+            other => Err(format!("unknown command {:?} (try `help`)", other.join(" "))),
+        }
+    }
+}
+
+const HELP: &str = "commands:
+  accounts                                       list dev accounts
+  register <name> <email> <pw> <account-index>   create a user
+  login <name> <pw> | logout
+  upload base|v2|guarded                         compile & upload a contract
+  deploy <upload> <rent-eth> <house> <seconds>   deploy the base contract
+  deploy-v2 <upload> <rent> <deposit> <house> <seconds>
+  attach-doc <address|last> <text…>              link the legal PDF
+  view-doc <address|last>
+  confirm <address|last> | pay <…> | terminate <…>
+  modify <address|last> <upload> <rent> <deposit> <house> <seconds>
+  history <address|last> | audit <address|last>
+  dashboard | warp <seconds> | help | quit";
+
+fn main() {
+    let mut cli = Cli::new();
+    let stdin = io::stdin();
+    println!("legal-smart-contracts rental CLI — `help` for commands");
+    print!("> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match cli.dispatch(line) {
+            Ok(output) if output.is_empty() => {}
+            Ok(output) => println!("{output}"),
+            Err(message) => println!("error: {message}"),
+        }
+        print!("> ");
+        io::stdout().flush().ok();
+    }
+    println!("bye");
+}

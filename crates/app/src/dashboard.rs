@@ -1,0 +1,79 @@
+//! Text rendering of the web screens (Figs. 7, 9, 10, 11): the
+//! presentation tier, deterministic so tests can assert on it.
+
+use crate::app::Dashboard;
+use lsc_primitives::U256;
+
+/// Render a wei amount as ether with five decimals (the Fig. 7 screen
+/// shows e.g. `BALANCE - 189.83237`).
+pub fn format_ether(wei: U256) -> String {
+    let one = U256::from_u128(1_000_000_000_000_000_000);
+    let whole = wei / one;
+    let frac = wei % one;
+    // Five decimal places.
+    let scaled = frac / U256::from_u64(10_000_000_000_000);
+    format!("{whole}.{:05}", scaled.to_u64().unwrap_or(0))
+}
+
+/// Render the user dashboard as a fixed-width text screen.
+pub fn render(dashboard: &Dashboard) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "AVAILABLE CONTRACTS TO DEPLOY\nFOR USER - {} BALANCE - {}\n",
+        dashboard.user.to_uppercase(),
+        format_ether(dashboard.balance)
+    ));
+    out.push_str(&format!("{:<34} | {}\n", "Contract", "Action"));
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    for (id, name) in &dashboard.uploads {
+        out.push_str(&format!("{:<34} | DEPLOY (upload #{id})\n", name));
+    }
+    if !dashboard.rows.is_empty() {
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<34} | {:<9} | {:<4} | {:<10} | Actions\n",
+            "Contract", "Role", "Ver", "State"
+        ));
+        out.push_str(&"-".repeat(90));
+        out.push('\n');
+        for row in &dashboard.rows {
+            let actions: Vec<String> = row.actions.iter().map(|a| a.to_string()).collect();
+            out.push_str(&format!(
+                "{:<34} | {:<9} | v{:<3} | {:<10} | {}\n",
+                row.name,
+                row.role,
+                row.version,
+                row.state.to_string(),
+                actions.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ether_formatting() {
+        assert_eq!(format_ether(lsc_primitives::ether(189) + lsc_primitives::ether(1) * U256::from_u64(83237) / U256::from_u64(100000)), "189.83237");
+        assert_eq!(format_ether(U256::ZERO), "0.00000");
+        assert_eq!(format_ether(lsc_primitives::ether(1000)), "1000.00000");
+        assert_eq!(format_ether(U256::from_u64(1)), "0.00000", "dust truncates");
+    }
+
+    #[test]
+    fn renders_empty_dashboard() {
+        let d = Dashboard {
+            user: "juned_ali".into(),
+            balance: lsc_primitives::ether(189),
+            uploads: vec![],
+            rows: vec![],
+        };
+        let text = render(&d);
+        assert!(text.contains("FOR USER - JUNED_ALI BALANCE - 189.00000"));
+        assert!(text.contains("AVAILABLE CONTRACTS TO DEPLOY"));
+    }
+}

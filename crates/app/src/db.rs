@@ -1,0 +1,275 @@
+//! The data tier: a tiny in-memory relational store with the two tables
+//! the paper's Section IV-B defines —
+//! `User(name, email, password, public key)` and
+//! `Contract(landlord, tenant, version, state, abi)` — plus an
+//! auto-increment id and simple filtered queries, standing in for MySQL.
+
+use lsc_ipfs::Cid;
+use lsc_primitives::Address;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Row id.
+pub type RowId = u64;
+
+/// `User` table row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserRow {
+    /// Primary key.
+    pub id: RowId,
+    /// Display / login name.
+    pub name: String,
+    /// Email.
+    pub email: String,
+    /// Salted password hash (never the plain password).
+    pub password_hash: [u8; 32],
+    /// Salt used for the hash.
+    pub salt: [u8; 32],
+    /// The user's chain account ("public key" in the paper's schema) —
+    /// used to show balances and build the user-specific dashboard.
+    pub public_key: Address,
+}
+
+/// Contract record state, exactly the paper's three states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractRowState {
+    /// Awaiting deployment or execution — the current version executes.
+    Active,
+    /// A modified version took over (the paper's "passive"/inactive).
+    Inactive,
+    /// The agreement ended.
+    Terminated,
+}
+
+impl std::fmt::Display for ContractRowState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Active => write!(f, "active"),
+            Self::Inactive => write!(f, "inactive"),
+            Self::Terminated => write!(f, "terminated"),
+        }
+    }
+}
+
+/// `Contract` table row.
+#[derive(Debug, Clone)]
+pub struct ContractRow {
+    /// Primary key.
+    pub id: RowId,
+    /// Landlord user id.
+    pub landlord: RowId,
+    /// Tenant user id (None until an agreement is confirmed).
+    pub tenant: Option<RowId>,
+    /// Version number within its chain.
+    pub version: u32,
+    /// Record state.
+    pub state: ContractRowState,
+    /// CID of the ABI file (the paper's `abi` column, pointing into IPFS).
+    pub abi: Cid,
+    /// Deployed chain address.
+    pub address: Address,
+    /// Human-readable name of the uploaded contract.
+    pub name: String,
+}
+
+/// The in-memory database.
+#[derive(Clone, Default)]
+pub struct Database {
+    inner: Arc<RwLock<Tables>>,
+}
+
+#[derive(Default)]
+struct Tables {
+    users: Vec<UserRow>,
+    contracts: Vec<ContractRow>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a user; returns the row id. Fails when the name is taken.
+    pub fn insert_user(
+        &self,
+        name: &str,
+        email: &str,
+        password_hash: [u8; 32],
+        salt: [u8; 32],
+        public_key: Address,
+    ) -> Option<RowId> {
+        let mut tables = self.inner.write();
+        if tables.users.iter().any(|u| u.name == name) {
+            return None;
+        }
+        let id = tables.users.len() as RowId + 1;
+        tables.users.push(UserRow {
+            id,
+            name: name.to_string(),
+            email: email.to_string(),
+            password_hash,
+            salt,
+            public_key,
+        });
+        Some(id)
+    }
+
+    /// Fetch a user by id.
+    pub fn user(&self, id: RowId) -> Option<UserRow> {
+        self.inner.read().users.iter().find(|u| u.id == id).cloned()
+    }
+
+    /// Fetch a user by name (login).
+    pub fn user_by_name(&self, name: &str) -> Option<UserRow> {
+        self.inner.read().users.iter().find(|u| u.name == name).cloned()
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.inner.read().users.len()
+    }
+
+    /// Insert a contract row.
+    pub fn insert_contract(&self, mut row: ContractRow) -> RowId {
+        let mut tables = self.inner.write();
+        let id = tables.contracts.len() as RowId + 1;
+        row.id = id;
+        tables.contracts.push(row);
+        id
+    }
+
+    /// Fetch a contract row by chain address.
+    pub fn contract_by_address(&self, address: Address) -> Option<ContractRow> {
+        self.inner
+            .read()
+            .contracts
+            .iter()
+            .find(|c| c.address == address)
+            .cloned()
+    }
+
+    /// Update a contract row in place (matched by address).
+    pub fn update_contract(
+        &self,
+        address: Address,
+        update: impl FnOnce(&mut ContractRow),
+    ) -> bool {
+        let mut tables = self.inner.write();
+        match tables.contracts.iter_mut().find(|c| c.address == address) {
+            Some(row) => {
+                update(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All contracts where the user is the landlord.
+    pub fn contracts_of_landlord(&self, landlord: RowId) -> Vec<ContractRow> {
+        self.inner
+            .read()
+            .contracts
+            .iter()
+            .filter(|c| c.landlord == landlord)
+            .cloned()
+            .collect()
+    }
+
+    /// All contracts where the user is the tenant.
+    pub fn contracts_of_tenant(&self, tenant: RowId) -> Vec<ContractRow> {
+        self.inner
+            .read()
+            .contracts
+            .iter()
+            .filter(|c| c.tenant == Some(tenant))
+            .cloned()
+            .collect()
+    }
+
+    /// Contracts open for any tenant to confirm (active, no tenant yet,
+    /// not deployed by this user).
+    pub fn open_contracts_for(&self, user: RowId) -> Vec<ContractRow> {
+        self.inner
+            .read()
+            .contracts
+            .iter()
+            .filter(|c| {
+                c.state == ContractRowState::Active && c.tenant.is_none() && c.landlord != user
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Every contract row.
+    pub fn contracts(&self) -> Vec<ContractRow> {
+        self.inner.read().contracts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid() -> Cid {
+        Cid::raw(b"abi")
+    }
+
+    #[test]
+    fn user_names_are_unique() {
+        let db = Database::new();
+        let id = db
+            .insert_user("juned", "j@x", [0; 32], [1; 32], Address::from_label("j"))
+            .unwrap();
+        assert!(db.insert_user("juned", "other@x", [0; 32], [1; 32], Address::ZERO).is_none());
+        assert_eq!(db.user(id).unwrap().email, "j@x");
+        assert_eq!(db.user_by_name("juned").unwrap().id, id);
+        assert!(db.user(99).is_none());
+    }
+
+    #[test]
+    fn contract_queries_by_role() {
+        let db = Database::new();
+        let row = |landlord, tenant, address: &str| ContractRow {
+            id: 0,
+            landlord,
+            tenant,
+            version: 1,
+            state: ContractRowState::Active,
+            abi: cid(),
+            address: Address::from_label(address),
+            name: "rental".into(),
+        };
+        db.insert_contract(row(1, None, "a"));
+        db.insert_contract(row(1, Some(2), "b"));
+        db.insert_contract(row(2, None, "c"));
+        assert_eq!(db.contracts_of_landlord(1).len(), 2);
+        assert_eq!(db.contracts_of_tenant(2).len(), 1);
+        // User 2 sees only the open contract of landlord 1.
+        let open = db.open_contracts_for(2);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].address, Address::from_label("a"));
+    }
+
+    #[test]
+    fn update_contract_in_place() {
+        let db = Database::new();
+        let address = Address::from_label("x");
+        db.insert_contract(ContractRow {
+            id: 0,
+            landlord: 1,
+            tenant: None,
+            version: 1,
+            state: ContractRowState::Active,
+            abi: cid(),
+            address,
+            name: "r".into(),
+        });
+        assert!(db.update_contract(address, |c| c.state = ContractRowState::Terminated));
+        assert_eq!(
+            db.contract_by_address(address).unwrap().state,
+            ContractRowState::Terminated
+        );
+        assert!(!db.update_contract(Address::ZERO, |_| ()));
+    }
+}

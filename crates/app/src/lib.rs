@@ -1,0 +1,24 @@
+//! # lsc-app
+//!
+//! The decentralised rental-agreement web application — the paper's case
+//! study (Section IV), standing in for the Django/MySQL stack of Table I:
+//!
+//! * [`db`] — the data tier: `User` and `Contract` tables exactly as the
+//!   paper's Section IV-B defines them.
+//! * [`auth`] — login/session management ("a person needs to login to
+//!   perform actions; the actions are user-specific").
+//! * [`app::RentalApp`] — the application: upload (Fig. 9), deploy
+//!   (Fig. 10), confirm/pay (Fig. 4), modify/terminate (Fig. 11), plus the
+//!   per-user dashboard (Fig. 7).
+//! * [`dashboard`] — deterministic text rendering of the screens.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod auth;
+pub mod dashboard;
+pub mod db;
+
+pub use app::{Action, AppError, AppResult, Dashboard, DashboardRow, PaymentRecord, RentalApp};
+pub use auth::{Auth, AuthError, SessionToken};
+pub use db::{ContractRow, ContractRowState, Database, RowId, UserRow};

@@ -1,0 +1,131 @@
+//! Billing-schedule tests: overdue-rent detection against the chain clock
+//! and the event-log-backed payment history.
+
+use lsc_abi::AbiValue;
+use lsc_app::{RentalApp, SessionToken};
+use lsc_chain::LocalNode;
+use lsc_core::contracts;
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+
+struct World {
+    app: RentalApp,
+    web3: Web3,
+    landlord: SessionToken,
+    tenant: SessionToken,
+}
+
+fn setup() -> World {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    let app = RentalApp::new(web3.clone(), IpfsNode::new());
+    app.register("landlord", "l@x", "pw", accounts[0]).unwrap();
+    app.register("tenant", "t@x", "pw", accounts[1]).unwrap();
+    World {
+        landlord: app.login("landlord", "pw").unwrap(),
+        tenant: app.login("tenant", "pw").unwrap(),
+        app,
+        web3,
+    }
+}
+
+fn deploy_v2(w: &World) -> Address {
+    let artifact = contracts::compile_rental_agreement().unwrap();
+    let upload = w
+        .app
+        .upload_contract(w.landlord, "v2", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .unwrap();
+    w.app
+        .deploy_contract(
+            w.landlord,
+            upload,
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::Uint(ether(2)),
+                AbiValue::uint(365 * 24 * 3600),
+                AbiValue::Uint(U256::ZERO),
+                AbiValue::Uint(ether(1) / U256::from_u64(2)),
+                AbiValue::string("H-1"),
+            ],
+            U256::ZERO,
+        )
+        .unwrap()
+}
+
+fn deploy_base(w: &World) -> Address {
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = w
+        .app
+        .upload_contract(w.landlord, "base", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .unwrap();
+    w.app
+        .deploy_contract(
+            w.landlord,
+            upload,
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::string("H-1"),
+                AbiValue::uint(365 * 24 * 3600),
+            ],
+            U256::ZERO,
+        )
+        .unwrap()
+}
+
+#[test]
+fn overdue_follows_billing_schedule() {
+    let w = setup();
+    let address = deploy_v2(&w);
+    // Not started yet → never overdue.
+    assert!(!w.app.rent_overdue(w.tenant, address).unwrap());
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    // Within the first 30 days: fine.
+    assert!(!w.app.rent_overdue(w.tenant, address).unwrap());
+    // 31 days later: overdue.
+    w.web3.increase_time(31 * 24 * 3600);
+    assert!(w.app.rent_overdue(w.tenant, address).unwrap());
+    assert_eq!(w.app.overdue_contracts(w.tenant).unwrap(), vec![address]);
+    assert_eq!(w.app.overdue_contracts(w.landlord).unwrap(), vec![address]);
+    // Paying advances the schedule and clears the flag.
+    w.app.pay_rent(w.tenant, address).unwrap();
+    assert!(!w.app.rent_overdue(w.tenant, address).unwrap());
+    assert!(w.app.overdue_contracts(w.tenant).unwrap().is_empty());
+}
+
+#[test]
+fn base_contract_is_never_overdue() {
+    let w = setup();
+    let address = deploy_base(&w);
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    w.web3.increase_time(365 * 24 * 3600);
+    assert!(!w.app.rent_overdue(w.tenant, address).unwrap(), "no schedule on v1");
+}
+
+#[test]
+fn payment_history_from_event_logs() {
+    let w = setup();
+    let address = deploy_base(&w);
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    assert!(w.app.payment_history(w.tenant, address).unwrap().is_empty());
+    for _ in 0..3 {
+        w.app.pay_rent(w.tenant, address).unwrap();
+    }
+    let history = w.app.payment_history(w.tenant, address).unwrap();
+    assert_eq!(history.len(), 3);
+    // Strictly increasing block numbers (one tx per block).
+    assert!(history.windows(2).all(|w| w[0].block < w[1].block));
+    assert!(history.iter().all(|p| p.address == address));
+}
+
+#[test]
+fn terminated_contract_not_overdue() {
+    let w = setup();
+    let address = deploy_v2(&w);
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    w.web3.increase_time(40 * 24 * 3600);
+    assert!(w.app.rent_overdue(w.tenant, address).unwrap());
+    w.app.terminate(w.tenant, address).unwrap();
+    assert!(!w.app.rent_overdue(w.tenant, address).unwrap());
+    assert!(w.app.overdue_contracts(w.landlord).unwrap().is_empty());
+}

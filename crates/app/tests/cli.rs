@@ -1,0 +1,79 @@
+//! End-to-end test of the `rental-cli` binary: pipe a full landlord/tenant
+//! session through stdin and check the printed screens.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SCRIPT: &str = "\
+register landlady l@x pw 0
+register tenant t@x pw 1
+login landlady pw
+upload base
+deploy 0 1 10001-42MainSt 31536000
+attach-doc last twelve month lease
+login tenant pw
+view-doc last
+confirm last
+pay last
+history last
+dashboard
+audit last
+bogus command
+quit
+";
+
+#[test]
+fn cli_session_end_to_end() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rental-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cli starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(SCRIPT.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("cli exits");
+    assert!(output.status.success(), "cli exited with {:?}", output.status);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+
+    for expected in [
+        "registered landlady",
+        "logged in as landlady",
+        "uploaded `Basic rental contract` as #0",
+        "deployed at 0x",
+        "document linked",
+        "%PDF-1.4 twelve month lease",
+        "agreement confirmed",
+        "rent paid",
+        "v1: 0x",
+        "FOR USER - TENANT BALANCE -",
+        "EVIDENCE LINE AUDIT",
+        "INTACT",
+        "error: unknown command",
+        "bye",
+    ] {
+        assert!(stdout.contains(expected), "missing {expected:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_rejects_actions_without_login() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rental-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("cli starts");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"upload base\nquit\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("error: log in first"), "{stdout}");
+}

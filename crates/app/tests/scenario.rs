@@ -1,0 +1,277 @@
+//! Application-level scenario tests reproducing the paper's Section IV-A
+//! lifecycle and the web screens of Figs. 7–11.
+
+use lsc_abi::AbiValue;
+use lsc_app::{dashboard, Action, ContractRowState, RentalApp, SessionToken};
+use lsc_chain::LocalNode;
+use lsc_core::contracts::{self, RENTAL_DATA_KEYS};
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+
+struct World {
+    app: RentalApp,
+    landlord: SessionToken,
+    tenant: SessionToken,
+    landlord_key: Address,
+    tenant_key: Address,
+}
+
+fn setup() -> World {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    let app = RentalApp::new(web3, IpfsNode::new());
+    app.register("eleana_kafeza", "ek@zu.ac.ae", "landlord-pass", accounts[0]).unwrap();
+    app.register("juned_ali", "ja@iiit.ac.in", "tenant-pass", accounts[1]).unwrap();
+    let landlord = app.login("eleana_kafeza", "landlord-pass").unwrap();
+    let tenant = app.login("juned_ali", "tenant-pass").unwrap();
+    World { app, landlord, tenant, landlord_key: accounts[0], tenant_key: accounts[1] }
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("10001-42 Main"),
+        AbiValue::uint(365 * 24 * 3600),
+    ]
+}
+
+fn v2_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::Uint(ether(2)),
+        AbiValue::uint(365 * 24 * 3600),
+        AbiValue::Uint(U256::ZERO),
+        AbiValue::Uint(ether(1) / U256::from_u64(2)),
+        AbiValue::string("10001-42 Main"),
+    ]
+}
+
+/// Upload the base contract through the Fig. 9 flow (bytecode + ABI json).
+fn upload_base(w: &World) -> u64 {
+    let artifact = contracts::compile_base_rental().unwrap();
+    w.app
+        .upload_contract(
+            w.landlord,
+            "Basic rental contract",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
+        .unwrap()
+}
+
+fn upload_v2(w: &World) -> u64 {
+    let artifact = contracts::compile_rental_agreement().unwrap();
+    w.app
+        .upload_contract(
+            w.landlord,
+            "Modified rental contract",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
+        .unwrap()
+}
+
+#[test]
+fn paper_lifecycle_end_to_end() {
+    // The exact bullet list of Section IV-A2.
+    let w = setup();
+    // User logs in as a landlord — done in setup. Uploading contract:
+    let upload = upload_base(&w);
+    // Deploying a contract:
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    w.app
+        .attach_document(w.landlord, address, b"%PDF-1.4 the rental agreement in English")
+        .unwrap();
+    // User logs in as a tenant; reviews the English-language contract:
+    let pdf = w.app.view_document(w.tenant, address).unwrap();
+    assert!(pdf.starts_with(b"%PDF"));
+    // Tenant confirms the agreement:
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    // Tenant pays the rent, and for the next months:
+    let landlord_before = w.app.manager().web3().balance(w.landlord_key);
+    for _ in 0..3 {
+        w.app.pay_rent(w.tenant, address).unwrap();
+    }
+    assert_eq!(
+        w.app.manager().web3().balance(w.landlord_key) - landlord_before,
+        ether(3)
+    );
+    // Landlord can modify the legal contract and deploys it:
+    let upload2 = upload_v2(&w);
+    let address2 = w
+        .app
+        .modify_contract(w.landlord, address, upload2, &v2_args(), &[])
+        .unwrap();
+    // Tenant confirms the modified contract (pays the new deposit):
+    w.app.confirm_agreement(w.tenant, address2).unwrap();
+    w.app.pay_rent(w.tenant, address2).unwrap();
+    // Previous transactions stay linked: history covers both versions.
+    let history = w.app.version_history(w.tenant, address2).unwrap();
+    assert_eq!(history, vec![address, address2]);
+    // Tenant cancels midway: fine + half deposit withheld, rest refunded.
+    w.app.terminate(w.tenant, address2).unwrap();
+    let row = w.app.db().contract_by_address(address2).unwrap();
+    assert_eq!(row.state, ContractRowState::Terminated);
+}
+
+#[test]
+fn role_checks_at_the_application_layer() {
+    let w = setup();
+    let upload = upload_base(&w);
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+
+    // Landlord cannot confirm their own agreement.
+    assert!(w.app.confirm_agreement(w.landlord, address).is_err());
+    // Tenant cannot modify.
+    assert!(w
+        .app
+        .modify_contract(w.tenant, address, upload, &base_args(), &[])
+        .is_err());
+    // Tenant cannot pay before confirming.
+    assert!(w.app.pay_rent(w.tenant, address).is_err());
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    // A third user cannot pay or terminate.
+    let accounts = w.app.manager().web3().accounts();
+    w.app.register("intruder", "i@x", "p", accounts[2]).unwrap();
+    let intruder = w.app.login("intruder", "p").unwrap();
+    assert!(w.app.pay_rent(intruder, address).is_err());
+    assert!(w.app.terminate(intruder, address).is_err());
+    // Only landlord uploads the document.
+    assert!(w.app.attach_document(w.tenant, address, b"%PDF").is_err());
+}
+
+#[test]
+fn dashboard_actions_follow_contract_state() {
+    let w = setup();
+    let upload = upload_base(&w);
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+
+    // Tenant sees the open contract with CONFIRM_AGREEMENT.
+    let d = w.app.dashboard(w.tenant).unwrap();
+    let row = d.rows.iter().find(|r| r.address == address).unwrap();
+    assert_eq!(row.role, "available");
+    assert!(row.actions.contains(&Action::ConfirmAgreement));
+    assert!(!row.actions.contains(&Action::PayRent));
+
+    // Landlord sees TERMINATE and MODIFY.
+    let d = w.app.dashboard(w.landlord).unwrap();
+    let row = d.rows.iter().find(|r| r.address == address).unwrap();
+    assert_eq!(row.role, "landlord");
+    assert!(row.actions.contains(&Action::Terminate));
+    assert!(row.actions.contains(&Action::Modify));
+    assert!(!row.actions.contains(&Action::ConfirmAgreement));
+
+    // After confirmation the tenant gets PAY / TERMINATE instead.
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    let d = w.app.dashboard(w.tenant).unwrap();
+    let row = d.rows.iter().find(|r| r.address == address).unwrap();
+    assert_eq!(row.role, "tenant");
+    assert!(row.actions.contains(&Action::PayRent));
+    assert!(row.actions.contains(&Action::Terminate));
+    assert!(!row.actions.contains(&Action::ConfirmAgreement));
+
+    // After termination only the history remains.
+    w.app.terminate(w.landlord, address).unwrap();
+    let d = w.app.dashboard(w.tenant).unwrap();
+    let row = d.rows.iter().find(|r| r.address == address).unwrap();
+    assert_eq!(row.actions, vec![Action::ViewHistory]);
+}
+
+#[test]
+fn dashboard_renders_like_fig7() {
+    let w = setup();
+    let upload = upload_base(&w);
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let _ = address;
+    let d = w.app.dashboard(w.landlord).unwrap();
+    let screen = dashboard::render(&d);
+    assert!(screen.contains("AVAILABLE CONTRACTS TO DEPLOY"));
+    assert!(screen.contains("FOR USER - ELEANA_KAFEZA BALANCE -"));
+    assert!(screen.contains("Basic rental contract"));
+    assert!(screen.contains("DEPLOY"));
+    assert!(screen.contains("TERMINATE_AGREEMENT"));
+}
+
+#[test]
+fn maintenance_action_appears_only_on_v2() {
+    let w = setup();
+    let upload2 = upload_v2(&w);
+    let address = w.app.deploy_contract(w.landlord, upload2, &v2_args(), U256::ZERO).unwrap();
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    let d = w.app.dashboard(w.tenant).unwrap();
+    let row = d.rows.iter().find(|r| r.address == address).unwrap();
+    assert!(row.actions.contains(&Action::PayMaintenance));
+    w.app.pay_maintenance(w.tenant, address, ether(1) / U256::from_u64(10)).unwrap();
+}
+
+#[test]
+fn tenant_rejecting_modification_terminates_old_contract() {
+    // Paper: "Tenant can either confirm the modified contract or can
+    // reject it. If the tenant rejects the contract the previous contract
+    // is terminated."
+    let w = setup();
+    let upload = upload_base(&w);
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    let upload2 = upload_v2(&w);
+    let address2 = w
+        .app
+        .modify_contract(w.landlord, address, upload2, &v2_args(), &[])
+        .unwrap();
+    // Tenant rejects: does not confirm v2; the landlord terminates v1.
+    w.app.terminate(w.landlord, address).unwrap();
+    assert_eq!(
+        w.app.db().contract_by_address(address).unwrap().state,
+        ContractRowState::Terminated
+    );
+    // The new version remains open for another tenant.
+    let row2 = w.app.db().contract_by_address(address2).unwrap();
+    assert_eq!(row2.state, ContractRowState::Active);
+    assert_eq!(row2.tenant, None);
+    assert_eq!(row2.version, 2);
+}
+
+#[test]
+fn data_migration_through_app_modification() {
+    let w = setup();
+    w.app.manager().init_data_store(w.landlord_key).unwrap();
+    let store = w.app.manager().data_store().unwrap();
+    let upload = upload_base(&w);
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let contract = w.app.manager().contract_at(address).unwrap();
+    store
+        .snapshot_contract(w.landlord_key, &contract, RENTAL_DATA_KEYS)
+        .unwrap();
+    let upload2 = upload_v2(&w);
+    let address2 = w
+        .app
+        .modify_contract(w.landlord, address, upload2, &v2_args(), RENTAL_DATA_KEYS)
+        .unwrap();
+    assert_eq!(store.get(address2, "house").unwrap(), "10001-42 Main");
+    assert_eq!(store.get(address2, "rent").unwrap(), ether(1).to_string());
+}
+
+#[test]
+fn sessions_expire_on_logout() {
+    let w = setup();
+    let upload = upload_base(&w);
+    w.app.logout(w.landlord);
+    assert!(w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .is_err());
+}
+
+#[test]
+fn balances_on_dashboard_track_payments() {
+    let w = setup();
+    let upload = upload_base(&w);
+    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    w.app.confirm_agreement(w.tenant, address).unwrap();
+    let before = w.app.dashboard(w.landlord).unwrap().balance;
+    w.app.pay_rent(w.tenant, address).unwrap();
+    let after = w.app.dashboard(w.landlord).unwrap().balance;
+    assert_eq!(after - before, ether(1));
+    let _ = w.tenant_key;
+}

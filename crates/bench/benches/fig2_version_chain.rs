@@ -1,0 +1,60 @@
+//! Experiment F2 (Fig. 2): cost of the linked-list versioning mechanism.
+//! Building a chain of N versions is O(N) deployments + O(1) link updates
+//! per modification; traversing the evidence line is O(N) `eth_call`s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::BenchWorld;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_chain_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/build_version_chain");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let world = BenchWorld::new();
+                black_box(world.deploy_chain(n))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/traverse_evidence_line");
+    group.sample_size(10);
+    for n in [2usize, 8, 32] {
+        let world = BenchWorld::new();
+        let addresses = world.deploy_chain(n);
+        let tail = *addresses.last().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let history = world.manager.history(black_box(tail)).unwrap();
+                assert_eq!(history.len(), n);
+                black_box(history)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/verify_evidence_line");
+    group.sample_size(10);
+    let world = BenchWorld::new();
+    let addresses = world.deploy_chain(8);
+    group.bench_function("n=8", |b| {
+        b.iter(|| black_box(world.manager.verify_chain(addresses[0]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_chain_build, bench_chain_traversal, bench_chain_verification
+}
+criterion_main!(suite);

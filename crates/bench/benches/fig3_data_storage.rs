@@ -1,0 +1,87 @@
+//! Experiment F3 (Fig. 3): the DataStorage contract — write/read of the
+//! nested `address → string → string` mapping and attribute migration
+//! between versions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::BenchWorld;
+use lsc_core::DataStore;
+use lsc_primitives::Address;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup_store(world: &BenchWorld) -> DataStore {
+    world.manager.init_data_store(world.landlord).unwrap();
+    world.manager.data_store().unwrap()
+}
+
+fn bench_set_get(c: &mut Criterion) {
+    let world = BenchWorld::new();
+    let store = setup_store(&world);
+    let owner = Address::from_label("contract-v1");
+    store.set(world.landlord, owner, "rent", "1000000000000000000").unwrap();
+
+    let mut group = c.benchmark_group("fig3/data_storage");
+    group.sample_size(20);
+    group.bench_function("setValue", |b| {
+        b.iter(|| {
+            store
+                .set(world.landlord, owner, black_box("rent"), black_box("2000000000000000000"))
+                .unwrap()
+        })
+    });
+    group.bench_function("getValue", |b| {
+        b.iter(|| black_box(store.get(owner, black_box("rent")).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_key_length(c: &mut Criterion) {
+    // String keys hash their bytes: cost grows with key length.
+    let world = BenchWorld::new();
+    let store = setup_store(&world);
+    let owner = Address::from_label("contract-v1");
+    let mut group = c.benchmark_group("fig3/string_key_length");
+    group.sample_size(20);
+    for len in [8usize, 64, 512] {
+        let key = "k".repeat(len);
+        store.set(world.landlord, owner, &key, "value").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(store.get(owner, &key).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/migrate_attributes");
+    group.sample_size(10);
+    for n_attrs in [2usize, 8, 32] {
+        let world = BenchWorld::new();
+        let store = setup_store(&world);
+        let old = Address::from_label("old-version");
+        let keys: Vec<String> = (0..n_attrs).map(|i| format!("attr{i}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        for key in &keys {
+            store.set(world.landlord, old, key, "some stored value").unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n_attrs), &n_attrs, |b, _| {
+            let mut salt = 0u64;
+            b.iter(|| {
+                salt += 1;
+                let new = Address::from_label(&format!("new-version-{salt}"));
+                let moved = store.migrate(world.landlord, old, new, &key_refs).unwrap();
+                assert_eq!(moved, n_attrs);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_set_get, bench_key_length, bench_migration
+}
+criterion_main!(suite);

@@ -1,0 +1,77 @@
+//! Experiment F4 (Fig. 4): the deploy → confirm → pay-rent sequence, end
+//! to end through all four tiers, swept over lease length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::BenchWorld;
+use lsc_core::Rental;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/lifecycle");
+    group.sample_size(10);
+    for months in [1usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(months), &months, |b, &months| {
+            b.iter(|| {
+                let world = BenchWorld::new();
+                black_box(world.run_lifecycle(months))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_actions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/actions");
+    group.sample_size(20);
+    // One shared world; each iteration drives a fresh agreement. The
+    // setup refuels both parties — thousands of iterations would drain
+    // the 1000-ETH dev balances otherwise.
+    let world = BenchWorld::new();
+    let refuel = |world: &BenchWorld| {
+        world.web3.with_node(|node| {
+            node.faucet(world.landlord, lsc_primitives::ether(10));
+            node.faucet(world.tenant, lsc_primitives::ether(10));
+        });
+    };
+    group.bench_function("deploy", |b| {
+        b.iter_with_setup(
+            || refuel(&world),
+            |()| black_box(world.deploy_base()),
+        )
+    });
+    group.bench_function("confirm_agreement", |b| {
+        b.iter_with_setup(
+            || {
+                refuel(&world);
+                Rental::at(world.deploy_base())
+            },
+            |rental| {
+                rental.confirm_agreement(world.tenant).unwrap();
+            },
+        )
+    });
+    group.bench_function("pay_rent", |b| {
+        b.iter_with_setup(
+            || {
+                refuel(&world);
+                let rental = Rental::at(world.deploy_base());
+                rental.confirm_agreement(world.tenant).unwrap();
+                rental
+            },
+            |rental| {
+                rental.pay_rent(world.tenant).unwrap();
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_lifecycle, bench_single_actions
+}
+criterion_main!(suite);

@@ -1,0 +1,43 @@
+//! Experiments F5/F6 (Figs. 5 and 6): compiling and deploying the base
+//! and the modified rental contracts — the modified version carries more
+//! clauses, so both its code size and its deployment cost grow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsc_bench::{deployment_gas, BenchWorld};
+use lsc_core::contracts;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig56/compile");
+    group.bench_function("base_rental", |b| {
+        b.iter(|| black_box(contracts::compile_base_rental().unwrap()))
+    });
+    group.bench_function("rental_agreement_v2", |b| {
+        b.iter(|| black_box(contracts::compile_rental_agreement().unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    let world = BenchWorld::new();
+    let mut group = c.benchmark_group("fig56/deploy");
+    group.sample_size(20);
+    group.bench_function("base_rental", |b| {
+        b.iter(|| black_box(deployment_gas(&world.base, &world.base_args())))
+    });
+    group.bench_function("rental_agreement_v2", |b| {
+        b.iter(|| black_box(deployment_gas(&world.v2, &world.v2_args())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_compile, bench_deploy
+}
+criterion_main!(suite);

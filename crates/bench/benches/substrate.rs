@@ -1,0 +1,132 @@
+//! Substrate micro-benchmarks: the primitives every experiment sits on —
+//! keccak-256, U256 arithmetic, the EVM interpreter loop, ABI codec and
+//! the Solidity-subset compiler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lsc_abi::{AbiType, AbiValue};
+use lsc_core::contracts;
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_evm::{Evm, Host, Message, MockHost};
+use lsc_primitives::{keccak256, Address, U256};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/keccak256");
+    for size in [32usize, 256, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| keccak256(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/u256");
+    let a = U256::from_be_bytes(keccak256(b"a"));
+    let m = U256::from_be_bytes(keccak256(b"m"));
+    group.bench_function("mul", |b| b.iter(|| black_box(a).wrapping_mul(black_box(m))));
+    group.bench_function("div_rem", |b| b.iter(|| black_box(a).div_rem(black_box(m >> 128u32))));
+    group.bench_function("mul_mod", |b| b.iter(|| black_box(a).mul_mod(black_box(a), black_box(m))));
+    group.bench_function("to_decimal", |b| b.iter(|| black_box(a).to_decimal_string()));
+    group.finish();
+}
+
+fn bench_evm_loop(c: &mut Criterion) {
+    // sum 1..=1000 in a bytecode loop: measures raw interpreter dispatch.
+    let mut asm = Asm::new();
+    // locals: sum at mem[0], i at mem[32]
+    asm.push_u64(0).push_u64(0).op(op::MSTORE);
+    asm.push_u64(1).push_u64(32).op(op::MSTORE);
+    let top = asm.new_label();
+    let done = asm.new_label();
+    asm.place(top);
+    // if i > 1000 goto done
+    asm.push_u64(32).op(op::MLOAD).push_u64(1000).op(op::LT); // 1000 < i
+    asm.push_label(done).op(op::JUMPI);
+    // sum += i
+    asm.push_u64(0).op(op::MLOAD).push_u64(32).op(op::MLOAD).op(op::ADD);
+    asm.push_u64(0).op(op::MSTORE);
+    // i += 1
+    asm.push_u64(32).op(op::MLOAD).push_u64(1).op(op::ADD).push_u64(32).op(op::MSTORE);
+    asm.push_label(top).op(op::JUMP);
+    asm.place(done);
+    asm.push_u64(32).push_u64(0).op(op::RETURN);
+    let code = asm.assemble().unwrap();
+
+    c.bench_function("substrate/evm_sum_loop_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut host = MockHost::new();
+                host.set_code(Address::from_label("c"), code.clone());
+                host
+            },
+            |mut host| {
+                let msg = Message::call(
+                    Address::from_label("caller"),
+                    Address::from_label("c"),
+                    U256::ZERO,
+                    vec![],
+                    10_000_000,
+                );
+                let result = Evm::new(&mut host).execute(msg);
+                assert!(result.success);
+                black_box(result.output);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_abi(c: &mut Criterion) {
+    let types = [
+        AbiType::Uint(256),
+        AbiType::String,
+        AbiType::Address,
+        AbiType::Array(Box::new(AbiType::Uint(256))),
+    ];
+    let values = [
+        AbiValue::uint(12345),
+        AbiValue::string("10001-42 Main Street, long property description"),
+        AbiValue::Address(Address::from_label("tenant")),
+        AbiValue::Array((0..16).map(AbiValue::uint).collect()),
+    ];
+    let encoded = lsc_abi::encode(&types, &values).unwrap();
+    let mut group = c.benchmark_group("substrate/abi");
+    group.bench_function("encode", |b| b.iter(|| lsc_abi::encode(black_box(&types), black_box(&values))));
+    group.bench_function("decode", |b| b.iter(|| lsc_abi::decode(black_box(&types), black_box(&encoded))));
+    group.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let source = contracts::full_source();
+    c.bench_function("substrate/solc_compile_rental_suite", |b| {
+        b.iter(|| lsc_solc::compile_source(black_box(&source)).unwrap())
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let c = configure(c);
+    bench_keccak(c);
+    bench_u256(c);
+    bench_evm_loop(c);
+    bench_abi(c);
+    bench_compiler(c);
+}
+
+criterion_group! {
+    name = suite;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    targets = benches
+}
+criterion_main!(suite);

@@ -1,0 +1,22 @@
+//! # lsc-chain
+//!
+//! A local Ethereum-like chain — the workspace's Ganache. Provides the
+//! journaled [`WorldState`], [`Transaction`]/[`Receipt`]/[`Block`] types
+//! and the instant-mining [`LocalNode`] that executes transactions through
+//! `lsc-evm`.
+//!
+//! The paper tests its rental-agreement dapp against Ganache and deploys
+//! to mainnet via MetaMask; [`LocalNode`] plays both roles here (the
+//! wallet lives in `lsc-web3`).
+
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod snapshot;
+pub mod state;
+pub mod tx;
+
+pub use node::{ChainConfig, LocalNode};
+pub use snapshot::SnapshotError;
+pub use state::{Account, WorldState};
+pub use tx::{Block, Receipt, Transaction, TxError};

@@ -1,0 +1,605 @@
+//! The local development node — the workspace's Ganache.
+//!
+//! Instant mining: every submitted transaction is validated, executed by
+//! `lsc-evm` against the journaled [`WorldState`], and sealed into its own
+//! block. Dev accounts are pre-funded exactly like Ganache's unlocked
+//! accounts; time can be warped for testing time-dependent contract
+//! clauses (rent due dates, contract duration).
+
+use crate::state::WorldState;
+use crate::tx::{Block, Receipt, Transaction, TxError};
+use lsc_evm::{gas, BlockEnv, CallResult, Evm, Host, Log, Message};
+use lsc_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+
+/// Default balance for pre-funded dev accounts: 1000 ether.
+pub fn default_dev_balance() -> U256 {
+    lsc_primitives::ether(1000)
+}
+
+/// Chain configuration.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// EIP-155 chain id.
+    pub chain_id: u64,
+    /// Per-block gas limit.
+    pub block_gas_limit: u64,
+    /// Seconds the chain clock advances per mined block.
+    pub block_time: u64,
+    /// Genesis timestamp.
+    pub genesis_timestamp: u64,
+    /// Miner/coinbase address.
+    pub coinbase: Address,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            chain_id: 1337,
+            block_gas_limit: 30_000_000,
+            block_time: 1,
+            genesis_timestamp: 1_577_836_800, // 2020-01-01
+            coinbase: Address::from_label("coinbase"),
+        }
+    }
+}
+
+/// A Ganache-style instant-mining local node.
+pub struct LocalNode {
+    config: ChainConfig,
+    state: WorldState,
+    blocks: Vec<Block>,
+    receipts: HashMap<H256, Receipt>,
+    timestamp: u64,
+    dev_accounts: Vec<Address>,
+    snapshots: Vec<NodeSnapshot>,
+    pending: Vec<Transaction>,
+}
+
+struct NodeSnapshot {
+    state: WorldState,
+    blocks_len: usize,
+    timestamp: u64,
+}
+
+impl WorldState {
+    fn deep_clone(&self) -> WorldState {
+        // Journals are empty between transactions, so cloning accounts is
+        // a complete copy.
+        let mut clone = WorldState::new();
+        for (address, account) in self.iter_accounts() {
+            clone.restore_account(*address, account.clone());
+        }
+        clone
+    }
+}
+
+impl LocalNode {
+    /// Start a node with `n_accounts` pre-funded dev accounts.
+    pub fn new(n_accounts: usize) -> Self {
+        Self::with_config(ChainConfig::default(), n_accounts)
+    }
+
+    /// Start a node with explicit configuration.
+    pub fn with_config(config: ChainConfig, n_accounts: usize) -> Self {
+        let mut state = WorldState::new();
+        let mut dev_accounts = Vec::with_capacity(n_accounts);
+        for i in 0..n_accounts {
+            let address = Address::from_label(&format!("dev-account-{i}"));
+            state.credit(address, default_dev_balance());
+            dev_accounts.push(address);
+        }
+        state.commit();
+        let genesis = Block {
+            number: 0,
+            hash: Block::compute_hash(0, H256::ZERO, config.genesis_timestamp, &[]),
+            parent_hash: H256::ZERO,
+            timestamp: config.genesis_timestamp,
+            tx_hashes: vec![],
+            gas_used: 0,
+        };
+        LocalNode {
+            timestamp: config.genesis_timestamp,
+            config,
+            state,
+            blocks: vec![genesis],
+            receipts: HashMap::new(),
+            dev_accounts,
+            snapshots: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The pre-funded dev accounts.
+    pub fn accounts(&self) -> &[Address] {
+        &self.dev_accounts
+    }
+
+    /// Chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Current block height.
+    pub fn block_number(&self) -> u64 {
+        self.blocks.last().expect("genesis always present").number
+    }
+
+    /// Current chain time.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Fetch a block by number.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(usize::try_from(number).ok()?)
+    }
+
+    /// Fetch a receipt by transaction hash.
+    pub fn receipt(&self, tx_hash: H256) -> Option<&Receipt> {
+        self.receipts.get(&tx_hash)
+    }
+
+    /// `eth_getLogs`: logs in the inclusive block range, optionally
+    /// filtered by emitting address and/or topic-0.
+    pub fn logs(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, lsc_evm::Log)> {
+        let mut out = Vec::new();
+        for block in &self.blocks {
+            if block.number < from_block || block.number > to_block {
+                continue;
+            }
+            for tx_hash in &block.tx_hashes {
+                let Some(receipt) = self.receipts.get(tx_hash) else { continue };
+                for log in &receipt.logs {
+                    if let Some(filter) = address {
+                        if log.address != filter {
+                            continue;
+                        }
+                    }
+                    if let Some(filter) = topic0 {
+                        if log.topics.first() != Some(&filter) {
+                            continue;
+                        }
+                    }
+                    out.push((block.number, log.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Account balance.
+    pub fn balance(&self, address: Address) -> U256 {
+        self.state.balance(address)
+    }
+
+    /// Account nonce.
+    pub fn nonce(&self, address: Address) -> u64 {
+        self.state.nonce(address)
+    }
+
+    /// Contract code.
+    pub fn code(&self, address: Address) -> Vec<u8> {
+        self.state.code(address).as_ref().clone()
+    }
+
+    /// Read contract storage directly (diagnostics; `eth_getStorageAt`).
+    pub fn storage_at(&self, address: Address, key: U256) -> U256 {
+        self.state.storage(address, key)
+    }
+
+    /// Iterate all account states (state snapshot export).
+    pub fn state_accounts(&self) -> Vec<(Address, crate::state::Account)> {
+        self.state
+            .iter_accounts()
+            .map(|(address, account)| (*address, account.clone()))
+            .collect()
+    }
+
+    /// Install an account wholesale (state snapshot import).
+    pub fn restore_account_state(&mut self, address: Address, account: crate::state::Account) {
+        self.state.restore_account(address, account);
+        self.state.commit();
+    }
+
+    /// Credit an account out of thin air (dev faucet).
+    pub fn faucet(&mut self, address: Address, value: U256) {
+        self.state.credit(address, value);
+        self.state.commit();
+    }
+
+    /// Warp the chain clock forward (`evm_increaseTime`).
+    pub fn increase_time(&mut self, seconds: u64) {
+        self.timestamp += seconds;
+    }
+
+    /// Set the chain clock (`evm_setTime`); only forward jumps are allowed.
+    pub fn set_timestamp(&mut self, timestamp: u64) {
+        self.timestamp = self.timestamp.max(timestamp);
+    }
+
+    /// Take a snapshot of the whole chain (`evm_snapshot`).
+    pub fn snapshot(&mut self) -> usize {
+        self.snapshots.push(NodeSnapshot {
+            state: self.state.deep_clone(),
+            blocks_len: self.blocks.len(),
+            timestamp: self.timestamp,
+        });
+        self.snapshots.len() - 1
+    }
+
+    /// Roll the chain back to a snapshot (`evm_revert`).
+    pub fn revert_to_snapshot(&mut self, id: usize) -> bool {
+        if id >= self.snapshots.len() {
+            return false;
+        }
+        let snapshot = self.snapshots.swap_remove(id);
+        self.snapshots.truncate(id);
+        for block in self.blocks.drain(snapshot.blocks_len..) {
+            for tx in block.tx_hashes {
+                self.receipts.remove(&tx);
+            }
+        }
+        self.state = snapshot.state;
+        self.timestamp = snapshot.timestamp;
+        true
+    }
+
+    fn block_env(&self, gas_price: U256) -> (BlockEnv, U256) {
+        (
+            BlockEnv {
+                number: self.block_number() + 1,
+                timestamp: self.timestamp + self.config.block_time,
+                coinbase: self.config.coinbase,
+                gas_limit: self.config.block_gas_limit,
+                difficulty: U256::ZERO,
+                chain_id: self.config.chain_id,
+            },
+            gas_price,
+        )
+    }
+
+    /// Validate, execute and mine a transaction; returns its receipt.
+    /// Validate and execute one transaction against the given block env;
+    /// returns the receipt fields (block sealing is the caller's job).
+    fn execute_transaction(
+        &mut self,
+        tx: &Transaction,
+        env: &BlockEnv,
+    ) -> Result<(H256, Receipt), TxError> {
+        let expected_nonce = self.state.nonce(tx.from);
+        let nonce = tx.nonce.unwrap_or(expected_nonce);
+        if nonce != expected_nonce {
+            return Err(TxError::NonceMismatch { expected: expected_nonce, got: nonce });
+        }
+        let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
+        if tx.gas < intrinsic {
+            return Err(TxError::IntrinsicGasTooLow { required: intrinsic });
+        }
+        if tx.gas > self.config.block_gas_limit {
+            return Err(TxError::ExceedsBlockGasLimit);
+        }
+        let upfront = U256::from(tx.gas) * tx.gas_price;
+        let total = upfront
+            .checked_add(tx.value)
+            .ok_or(TxError::InsufficientFunds)?;
+        if self.state.balance(tx.from) < total {
+            return Err(TxError::InsufficientFunds);
+        }
+
+        // Buy gas.
+        let debited = self.state.debit(tx.from, upfront);
+        debug_assert!(debited, "balance checked above");
+
+        let recent_hashes: Vec<(u64, H256)> =
+            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+
+        let exec_gas = tx.gas - intrinsic;
+        let message = match tx.to {
+            Some(to) => {
+                // Calls bump the sender nonce here; creations bump it inside
+                // the EVM (the CREATE address derivation consumes it).
+                self.state.set_nonce(tx.from, expected_nonce + 1);
+                Message::call(tx.from, to, tx.value, tx.data.clone(), exec_gas)
+            }
+            None => Message::create(tx.from, tx.value, tx.data.clone(), exec_gas),
+        };
+
+        let (result, logs): (CallResult, Vec<Log>) = {
+            let mut host = StateHost {
+                state: &mut self.state,
+                env,
+                gas_price: tx.gas_price,
+                logs: Vec::new(),
+                snapshots: Vec::new(),
+                recent_hashes: &recent_hashes,
+            };
+            let result = Evm::new(&mut host).execute(message);
+            let logs = host.logs;
+            (result, logs)
+        };
+
+        // Settle gas: refund capped at half of what was used.
+        let exec_used = exec_gas - result.gas_left;
+        let refund = result.gas_refund.min(exec_used / 2);
+        let gas_used = intrinsic + exec_used - refund;
+        let reimburse = U256::from(tx.gas - gas_used) * tx.gas_price;
+        self.state.credit(tx.from, reimburse);
+        self.state.credit(self.config.coinbase, U256::from(gas_used) * tx.gas_price);
+        self.state.commit();
+
+        let tx_hash = tx.hash(nonce);
+        let receipt = Receipt {
+            tx_hash,
+            block_number: 0, // sealed by the caller
+            tx_index: 0,
+            status: u64::from(result.success),
+            gas_used,
+            contract_address: result.created,
+            logs,
+            output: result.output,
+        };
+        Ok((tx_hash, receipt))
+    }
+
+    /// Seal a block containing the given executed transactions.
+    fn seal_block(&mut self, mut receipts: Vec<(H256, Receipt)>) -> Block {
+        let parent = self.blocks.last().expect("genesis").hash;
+        self.timestamp += self.config.block_time;
+        let number = self.block_number() + 1;
+        let tx_hashes: Vec<H256> = receipts.iter().map(|(h, _)| *h).collect();
+        let gas_used = receipts.iter().map(|(_, r)| r.gas_used).sum();
+        let block = Block {
+            number,
+            hash: Block::compute_hash(number, parent, self.timestamp, &tx_hashes),
+            parent_hash: parent,
+            timestamp: self.timestamp,
+            tx_hashes,
+            gas_used,
+        };
+        for (index, (tx_hash, receipt)) in receipts.iter_mut().enumerate() {
+            receipt.block_number = number;
+            receipt.tx_index = index;
+            self.receipts.insert(*tx_hash, receipt.clone());
+        }
+        self.blocks.push(block.clone());
+        block
+    }
+
+    /// Validate, execute and instantly mine a transaction into its own
+    /// block; returns its receipt.
+    pub fn send_transaction(&mut self, tx: Transaction) -> Result<Receipt, TxError> {
+        let (env, _) = self.block_env(tx.gas_price);
+        let (tx_hash, receipt) = self.execute_transaction(&tx, &env)?;
+        self.seal_block(vec![(tx_hash, receipt.clone())]);
+        // Re-read to pick up the sealed block number / index.
+        Ok(self.receipts.get(&tx_hash).cloned().unwrap_or(receipt))
+    }
+
+    /// Queue a transaction without mining (batch mode). Validation happens
+    /// at mining time, when prior queued transactions have executed.
+    pub fn submit_transaction(&mut self, tx: Transaction) {
+        self.pending.push(tx);
+    }
+
+    /// Number of queued transactions.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mine every queued transaction into ONE block (in submission order).
+    /// Returns the sealed block and the errors of transactions that failed
+    /// validation (they are dropped, matching dev-node behaviour).
+    pub fn mine_block(&mut self) -> (Block, Vec<TxError>) {
+        let pending = std::mem::take(&mut self.pending);
+        let (env, _) = self.block_env(U256::from_u64(1));
+        let mut executed = Vec::with_capacity(pending.len());
+        let mut errors = Vec::new();
+        for tx in pending {
+            match self.execute_transaction(&tx, &env) {
+                Ok(entry) => executed.push(entry),
+                Err(e) => errors.push(e),
+            }
+        }
+        (self.seal_block(executed), errors)
+    }
+
+    /// `debug_traceCall`: execute a read-only call with a structured
+    /// instruction trace; state changes are discarded.
+    pub fn debug_trace_call(
+        &mut self,
+        from: Address,
+        to: Address,
+        data: Vec<u8>,
+    ) -> (CallResult, Vec<lsc_evm::TraceStep>) {
+        let (env, gas_price) = self.block_env(U256::from_u64(1));
+        let recent_hashes: Vec<(u64, H256)> =
+            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let checkpoint = self.state.checkpoint();
+        let (result, trace) = {
+            let mut host = StateHost {
+                state: &mut self.state,
+                env: &env,
+                gas_price,
+                logs: Vec::new(),
+                snapshots: Vec::new(),
+                recent_hashes: &recent_hashes,
+            };
+            let message = Message::call(from, to, U256::ZERO, data, 30_000_000);
+            let config = lsc_evm::Config { trace: true, ..Default::default() };
+            let mut evm = Evm::with_config(&mut host, config);
+            let result = evm.execute(message);
+            (result, std::mem::take(&mut evm.trace))
+        };
+        self.state.revert_to(checkpoint);
+        (result, trace)
+    }
+
+    /// Execute a read-only call (`eth_call`): state changes are discarded.
+    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+        let (env, gas_price) = self.block_env(U256::from_u64(1));
+        let recent_hashes: Vec<(u64, H256)> =
+            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let checkpoint = self.state.checkpoint();
+        let result = {
+            let mut host = StateHost {
+                state: &mut self.state,
+                env: &env,
+                gas_price,
+                logs: Vec::new(),
+                snapshots: Vec::new(),
+                recent_hashes: &recent_hashes,
+            };
+            let message = Message::call(from, to, U256::ZERO, data, 30_000_000);
+            Evm::new(&mut host).execute(message)
+        };
+        self.state.revert_to(checkpoint);
+        result
+    }
+
+    /// Estimate the gas a transaction would use (`eth_estimateGas`):
+    /// executes against a throwaway journal and reports actual usage.
+    pub fn estimate_gas(&mut self, tx: &Transaction) -> Result<u64, TxError> {
+        let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
+        let (env, gas_price) = self.block_env(tx.gas_price);
+        let recent_hashes: Vec<(u64, H256)> =
+            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let checkpoint = self.state.checkpoint();
+        let exec_gas = self.config.block_gas_limit - intrinsic;
+        let message = match tx.to {
+            Some(to) => Message::call(tx.from, to, tx.value, tx.data.clone(), exec_gas),
+            None => Message::create(tx.from, tx.value, tx.data.clone(), exec_gas),
+        };
+        let result = {
+            let mut host = StateHost {
+                state: &mut self.state,
+                env: &env,
+                gas_price,
+                logs: Vec::new(),
+                snapshots: Vec::new(),
+                recent_hashes: &recent_hashes,
+            };
+            Evm::new(&mut host).execute(message)
+        };
+        self.state.revert_to(checkpoint);
+        Ok(intrinsic + (exec_gas - result.gas_left))
+    }
+}
+
+/// Adapter implementing the EVM [`Host`] over [`WorldState`].
+struct StateHost<'a> {
+    state: &'a mut WorldState,
+    env: &'a BlockEnv,
+    gas_price: U256,
+    logs: Vec<Log>,
+    /// Snapshot id → (state checkpoint, logs length).
+    snapshots: Vec<(usize, usize)>,
+    recent_hashes: &'a [(u64, H256)],
+}
+
+impl Host for StateHost<'_> {
+    fn block(&self) -> &BlockEnv {
+        self.env
+    }
+
+    fn blockhash(&self, number: u64) -> H256 {
+        self.recent_hashes
+            .iter()
+            .find(|(n, _)| *n == number)
+            .map(|(_, h)| *h)
+            .unwrap_or(H256::ZERO)
+    }
+
+    fn gas_price(&self) -> U256 {
+        self.gas_price
+    }
+
+    fn exists(&self, address: Address) -> bool {
+        self.state.exists(address)
+    }
+
+    fn balance(&self, address: Address) -> U256 {
+        self.state.balance(address)
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.state.nonce(address)
+    }
+
+    fn code(&self, address: Address) -> Vec<u8> {
+        self.state.code(address).as_ref().clone()
+    }
+
+    fn code_hash(&self, address: Address) -> H256 {
+        self.state.code_hash(address)
+    }
+
+    fn sload(&mut self, address: Address, key: U256) -> U256 {
+        self.state.storage(address, key)
+    }
+
+    fn sstore(&mut self, address: Address, key: U256, value: U256) -> U256 {
+        self.state.set_storage(address, key, value)
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        if !self.state.debit(from, value) {
+            return false;
+        }
+        self.state.credit(to, value);
+        true
+    }
+
+    fn mint(&mut self, to: Address, value: U256) {
+        self.state.credit(to, value);
+    }
+
+    fn inc_nonce(&mut self, address: Address) -> u64 {
+        let nonce = self.state.nonce(address);
+        self.state.set_nonce(address, nonce + 1);
+        nonce
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        self.state.set_code(address, code);
+    }
+
+    fn create_account(&mut self, address: Address) {
+        self.state.create_account(address);
+    }
+
+    fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
+        let balance = self.state.balance(address);
+        if !balance.is_zero() {
+            let debited = self.state.debit(address, balance);
+            debug_assert!(debited);
+            self.state.credit(beneficiary, balance);
+        }
+        self.state.destroy_account(address);
+    }
+
+    fn log(&mut self, log: Log) {
+        self.logs.push(log);
+    }
+
+    fn snapshot(&mut self) -> usize {
+        self.snapshots.push((self.state.checkpoint(), self.logs.len()));
+        self.snapshots.len() - 1
+    }
+
+    fn revert(&mut self, snapshot: usize) {
+        let (checkpoint, logs_len) = self.snapshots[snapshot];
+        self.state.revert_to(checkpoint);
+        self.logs.truncate(logs_len);
+        self.snapshots.truncate(snapshot);
+    }
+}

@@ -1,0 +1,221 @@
+//! State snapshots: export the world state to a JSON document (using the
+//! workspace's self-contained JSON module) and import it into a fresh
+//! node — the dev-chain equivalent of a genesis file, so a test fixture
+//! or a demo deployment can be frozen and revived.
+
+use crate::node::LocalNode;
+use crate::state::Account;
+use lsc_abi::json::{parse, JsonValue};
+use lsc_primitives::{hex, Address, U256};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use core::fmt;
+
+/// Error importing a snapshot document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotError(pub String);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn bad<T>(message: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError(message.into()))
+}
+
+impl LocalNode {
+    /// Export the full world state (accounts, balances, nonces, code,
+    /// storage) plus the chain clock as a JSON document. Blocks and
+    /// receipts are history, not state, and are not exported.
+    pub fn export_state(&self) -> String {
+        let mut accounts: BTreeMap<String, JsonValue> = BTreeMap::new();
+        for (address, account) in self.state_accounts() {
+            let mut storage: BTreeMap<String, JsonValue> = BTreeMap::new();
+            for (slot, value) in &account.storage {
+                storage.insert(
+                    format!("{slot:x}"),
+                    JsonValue::String(format!("{value:x}")),
+                );
+            }
+            accounts.insert(
+                address.to_string(),
+                JsonValue::object([
+                    ("balance", JsonValue::String(account.balance.to_decimal_string())),
+                    ("nonce", JsonValue::Number(account.nonce as f64)),
+                    ("code", JsonValue::String(hex::encode(account.code.as_slice()))),
+                    ("storage", JsonValue::Object(storage)),
+                ]),
+            );
+        }
+        JsonValue::object([
+            ("timestamp", JsonValue::Number(self.timestamp() as f64)),
+            ("accounts", JsonValue::Object(accounts)),
+        ])
+        .to_json()
+    }
+
+    /// Import a state document into this node, replacing any accounts with
+    /// the same addresses (other accounts are left untouched).
+    pub fn import_state(&mut self, document: &str) -> Result<usize, SnapshotError> {
+        let doc = parse(document).map_err(|e| SnapshotError(e.to_string()))?;
+        let Some(JsonValue::Object(accounts)) = doc.get("accounts").cloned() else {
+            return bad("missing \"accounts\" object");
+        };
+        if let Some(ts) = doc.get("timestamp").and_then(|v| match v {
+            JsonValue::Number(n) => Some(*n as u64),
+            _ => None,
+        }) {
+            self.set_timestamp(ts);
+        }
+        let mut imported = 0;
+        for (address, body) in accounts {
+            let address: Address = address
+                .parse()
+                .map_err(|_| SnapshotError(format!("bad address {address}")))?;
+            let balance = body
+                .get("balance")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| SnapshotError("missing balance".into()))?;
+            let balance = U256::from_decimal_str(balance)
+                .map_err(|e| SnapshotError(e.to_string()))?;
+            let nonce = match body.get("nonce") {
+                Some(JsonValue::Number(n)) => *n as u64,
+                _ => return bad("missing nonce"),
+            };
+            let code = body
+                .get("code")
+                .and_then(JsonValue::as_str)
+                .map(hex::decode)
+                .transpose()
+                .map_err(|e| SnapshotError(e.to_string()))?
+                .unwrap_or_default();
+            let mut storage = std::collections::HashMap::new();
+            if let Some(JsonValue::Object(slots)) = body.get("storage") {
+                for (slot, value) in slots {
+                    let slot = U256::from_hex_str(slot)
+                        .map_err(|e| SnapshotError(e.to_string()))?;
+                    let value = value
+                        .as_str()
+                        .ok_or_else(|| SnapshotError("storage value must be a string".into()))?;
+                    let value = U256::from_hex_str(value)
+                        .map_err(|e| SnapshotError(e.to_string()))?;
+                    storage.insert(slot, value);
+                }
+            }
+            self.restore_account_state(
+                address,
+                Account { balance, nonce, code: Arc::new(code), storage },
+            );
+            imported += 1;
+        }
+        Ok(imported)
+    }
+}
+
+impl LocalNode {
+    /// Save the state snapshot to a file.
+    pub fn save_state(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.export_state())
+            .map_err(|e| SnapshotError(format!("write {}: {e}", path.display())))
+    }
+
+    /// Load a state snapshot from a file into this node.
+    pub fn load_state(&mut self, path: &std::path::Path) -> Result<usize, SnapshotError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SnapshotError(format!("read {}: {e}", path.display())))?;
+        self.import_state(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transaction;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut node = LocalNode::new(3);
+        let [a, b] = [node.accounts()[0], node.accounts()[1]];
+        // Make some history: transfer + a contract with storage.
+        let tx = Transaction {
+            from: a,
+            to: Some(b),
+            value: lsc_primitives::ether(7),
+            data: vec![],
+            gas: 21_000,
+            gas_price: U256::from_u64(1),
+            nonce: None,
+        };
+        node.send_transaction(tx).unwrap();
+        // Tiny init code that SSTOREs and deploys empty runtime:
+        // PUSH1 5; PUSH1 1; SSTORE; PUSH1 0; PUSH1 0; RETURN
+        let init = vec![0x60, 0x05, 0x60, 0x01, 0x55, 0x60, 0x00, 0x60, 0x00, 0xf3];
+        let receipt = node.send_transaction(Transaction::deploy(a, init)).unwrap();
+        let contract = receipt.contract_address.unwrap();
+        node.increase_time(999);
+
+        let snapshot = node.export_state();
+
+        let mut fresh = LocalNode::new(0);
+        let imported = fresh.import_state(&snapshot).unwrap();
+        assert!(imported >= 4, "three dev accounts + coinbase + contract");
+        assert_eq!(fresh.balance(a), node.balance(a));
+        assert_eq!(fresh.balance(b), node.balance(b));
+        assert_eq!(fresh.nonce(a), node.nonce(a));
+        assert_eq!(
+            fresh.storage_at(contract, U256::ONE),
+            U256::from_u64(5),
+            "contract storage travelled"
+        );
+        assert_eq!(fresh.timestamp(), node.timestamp());
+        // The revived chain keeps working: the imported account can pay.
+        let tx = Transaction {
+            from: a,
+            to: Some(b),
+            value: U256::from_u64(1),
+            data: vec![],
+            gas: 21_000,
+            gas_price: U256::from_u64(1),
+            nonce: None,
+        };
+        assert!(fresh.send_transaction(tx).is_ok());
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        let mut node = LocalNode::new(0);
+        assert!(node.import_state("not json").is_err());
+        assert!(node.import_state("{}").is_err());
+        assert!(node.import_state(r#"{"accounts":{"0xzz":{}}}"#).is_err());
+        assert!(node
+            .import_state(r#"{"accounts":{"0x0000000000000000000000000000000000000001":{}}}"#)
+            .is_err());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let node = LocalNode::new(2);
+        assert_eq!(node.export_state(), node.export_state());
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let mut node = LocalNode::new(2);
+        node.faucet(lsc_primitives::Address::from_label("extra"), U256::from_u64(55));
+        let path = std::env::temp_dir().join("lsc-chain-snapshot-test.json");
+        node.save_state(&path).unwrap();
+        let mut fresh = LocalNode::new(0);
+        let imported = fresh.load_state(&path).unwrap();
+        assert!(imported >= 3);
+        assert_eq!(
+            fresh.balance(lsc_primitives::Address::from_label("extra")),
+            U256::from_u64(55)
+        );
+        std::fs::remove_file(&path).ok();
+        assert!(fresh.load_state(std::path::Path::new("/nonexistent/nope.json")).is_err());
+    }
+}

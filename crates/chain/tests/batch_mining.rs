@@ -1,0 +1,99 @@
+//! Batch-mining tests: several transactions queued and sealed into one
+//! block, with per-transaction receipts, indices and error isolation.
+
+use lsc_chain::{LocalNode, Transaction, TxError};
+use lsc_primitives::{ether, Address, U256};
+
+fn transfer(from: Address, to: Address, wei: u64) -> Transaction {
+    Transaction {
+        from,
+        to: Some(to),
+        value: U256::from_u64(wei),
+        data: vec![],
+        gas: 21_000,
+        gas_price: U256::from_u64(1),
+        nonce: None,
+    }
+}
+
+#[test]
+fn multiple_transactions_in_one_block() {
+    let mut node = LocalNode::new(3);
+    let [a, b, c] = [node.accounts()[0], node.accounts()[1], node.accounts()[2]];
+    node.submit_transaction(transfer(a, b, 100));
+    node.submit_transaction(transfer(b, c, 50));
+    node.submit_transaction(transfer(c, a, 25));
+    assert_eq!(node.pending_count(), 3);
+    assert_eq!(node.block_number(), 0, "nothing mined yet");
+
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty());
+    assert_eq!(node.pending_count(), 0);
+    assert_eq!(block.number, 1);
+    assert_eq!(block.tx_hashes.len(), 3);
+    assert_eq!(block.gas_used, 3 * 21_000);
+    assert_eq!(node.block_number(), 1);
+
+    // Receipts carry the shared block number and sequential indices.
+    for (index, tx_hash) in block.tx_hashes.iter().enumerate() {
+        let receipt = node.receipt(*tx_hash).unwrap();
+        assert_eq!(receipt.block_number, 1);
+        assert_eq!(receipt.tx_index, index);
+        assert!(receipt.is_success());
+    }
+    // Net balance effect applied in order.
+    assert_eq!(node.balance(b), ether(1000) + U256::from_u64(50) - U256::from_u64(21_000));
+}
+
+#[test]
+fn sequential_nonces_from_one_sender_in_one_block() {
+    let mut node = LocalNode::new(2);
+    let [a, b] = [node.accounts()[0], node.accounts()[1]];
+    for _ in 0..5 {
+        node.submit_transaction(transfer(a, b, 10));
+    }
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(block.tx_hashes.len(), 5);
+    assert_eq!(node.nonce(a), 5);
+}
+
+#[test]
+fn invalid_transactions_are_dropped_not_fatal() {
+    let mut node = LocalNode::new(2);
+    let [a, b] = [node.accounts()[0], node.accounts()[1]];
+    let pauper = Address::from_label("pauper");
+    node.submit_transaction(transfer(a, b, 10));
+    node.submit_transaction(transfer(pauper, b, 10)); // no funds
+    node.submit_transaction(transfer(a, b, 20));
+    let (block, errors) = node.mine_block();
+    assert_eq!(block.tx_hashes.len(), 2, "valid ones mined");
+    assert_eq!(errors.len(), 1);
+    assert!(matches!(errors[0], TxError::InsufficientFunds));
+}
+
+#[test]
+fn empty_block_can_be_mined() {
+    let mut node = LocalNode::new(1);
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty());
+    assert_eq!(block.tx_hashes.len(), 0);
+    assert_eq!(block.gas_used, 0);
+    assert_eq!(node.block_number(), 1);
+}
+
+#[test]
+fn batch_and_instant_modes_interleave() {
+    let mut node = LocalNode::new(2);
+    let [a, b] = [node.accounts()[0], node.accounts()[1]];
+    node.send_transaction(transfer(a, b, 1)).unwrap(); // block 1
+    node.submit_transaction(transfer(a, b, 2));
+    node.submit_transaction(transfer(a, b, 3));
+    let (block, _) = node.mine_block(); // block 2
+    assert_eq!(block.number, 2);
+    node.send_transaction(transfer(a, b, 4)).unwrap(); // block 3
+    assert_eq!(node.block_number(), 3);
+    assert_eq!(node.nonce(a), 4);
+    // All logs/receipts queryable across both modes.
+    assert_eq!(node.block(2).unwrap().tx_hashes.len(), 2);
+}

@@ -1,0 +1,243 @@
+//! Integration tests for the local node: transaction lifecycle, deployment,
+//! gas settlement, receipts, time warping and chain snapshots.
+
+use lsc_chain::{LocalNode, Transaction, TxError};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_primitives::{Address, U256};
+
+/// Build init code that deploys the given runtime bytecode by writing it
+/// into memory one byte at a time and returning it.
+fn init_code_for(runtime: &[u8]) -> Vec<u8> {
+    let mut init = Asm::new();
+    for (i, byte) in runtime.iter().enumerate() {
+        init.push_u64(*byte as u64).push_u64(i as u64).op(op::MSTORE8);
+    }
+    init.push_u64(runtime.len() as u64).push_u64(0).op(op::RETURN);
+    init.assemble().unwrap()
+}
+
+/// Init code that deploys a runtime returning the constant 7.
+fn counter_init_code() -> Vec<u8> {
+    let mut runtime = Asm::new();
+    runtime.push_u64(7).push_u64(0).op(op::MSTORE);
+    runtime.push_u64(32).push_u64(0).op(op::RETURN);
+    init_code_for(&runtime.assemble().unwrap())
+}
+
+#[test]
+fn dev_accounts_are_prefunded() {
+    let node = LocalNode::new(5);
+    assert_eq!(node.accounts().len(), 5);
+    for account in node.accounts() {
+        assert_eq!(node.balance(*account), lsc_primitives::ether(1000));
+    }
+    assert_eq!(node.block_number(), 0);
+}
+
+#[test]
+fn simple_value_transfer() {
+    let mut node = LocalNode::new(2);
+    let [from, to] = [node.accounts()[0], node.accounts()[1]];
+    let tx = Transaction {
+        from,
+        to: Some(to),
+        value: lsc_primitives::ether(1),
+        data: vec![],
+        gas: 21_000,
+        gas_price: U256::from_u64(1),
+        nonce: None,
+    };
+    let receipt = node.send_transaction(tx).unwrap();
+    assert!(receipt.is_success());
+    assert_eq!(receipt.gas_used, 21_000);
+    assert_eq!(node.balance(to), lsc_primitives::ether(1001));
+    // Sender paid value + gas.
+    assert_eq!(
+        node.balance(from),
+        lsc_primitives::ether(999) - U256::from_u64(21_000)
+    );
+    // Coinbase earned the fee.
+    assert_eq!(node.balance(node.config().coinbase), U256::from_u64(21_000));
+    assert_eq!(node.block_number(), 1);
+    assert_eq!(node.nonce(from), 1);
+}
+
+#[test]
+fn deployment_creates_contract() {
+    let mut node = LocalNode::new(1);
+    let deployer = node.accounts()[0];
+    let receipt = node
+        .send_transaction(Transaction::deploy(deployer, counter_init_code()))
+        .unwrap();
+    assert!(receipt.is_success());
+    let address = receipt.contract_address.expect("deployed");
+    assert_eq!(address, Address::create(deployer, 0));
+    assert!(!node.code(address).is_empty());
+    // Call it.
+    let result = node.call(deployer, address, vec![]);
+    assert!(result.success);
+    assert_eq!(U256::from_be_slice(&result.output), U256::from_u64(7));
+    assert_eq!(node.nonce(deployer), 1);
+}
+
+#[test]
+fn nonce_validation() {
+    let mut node = LocalNode::new(2);
+    let from = node.accounts()[0];
+    let to = node.accounts()[1];
+    let mut tx = Transaction::call(from, to, vec![]);
+    tx.nonce = Some(5);
+    assert!(matches!(
+        node.send_transaction(tx),
+        Err(TxError::NonceMismatch { expected: 0, got: 5 })
+    ));
+}
+
+#[test]
+fn intrinsic_gas_enforced() {
+    let mut node = LocalNode::new(2);
+    let from = node.accounts()[0];
+    let to = node.accounts()[1];
+    let tx = Transaction::call(from, to, vec![1, 2, 3]).with_gas(21_000);
+    match node.send_transaction(tx) {
+        Err(TxError::IntrinsicGasTooLow { required }) => {
+            assert_eq!(required, 21_000 + 3 * 16);
+        }
+        other => panic!("expected intrinsic gas error, got {other:?}"),
+    }
+}
+
+#[test]
+fn insufficient_funds_rejected() {
+    let mut node = LocalNode::new(1);
+    let pauper = Address::from_label("pauper");
+    let to = node.accounts()[0];
+    let tx = Transaction::call(pauper, to, vec![]);
+    assert!(matches!(node.send_transaction(tx), Err(TxError::InsufficientFunds)));
+}
+
+#[test]
+fn block_gas_limit_enforced() {
+    let mut node = LocalNode::new(2);
+    let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![])
+        .with_gas(31_000_000);
+    assert!(matches!(node.send_transaction(tx), Err(TxError::ExceedsBlockGasLimit)));
+}
+
+#[test]
+fn reverted_tx_still_charges_gas_and_mines() {
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    // Deploy a contract whose runtime always reverts.
+    let mut runtime = Asm::new();
+    runtime.push_u64(0).push_u64(0).op(op::REVERT);
+    let runtime = runtime.assemble().unwrap();
+    let deploy = node
+        .send_transaction(Transaction::deploy(from, init_code_for(&runtime)))
+        .unwrap();
+    let address = deploy.contract_address.unwrap();
+    let balance_before = node.balance(from);
+    let receipt = node
+        .send_transaction(Transaction::call(from, address, vec![]))
+        .unwrap();
+    assert!(!receipt.is_success());
+    assert!(receipt.gas_used >= 21_000);
+    assert!(node.balance(from) < balance_before, "gas was charged");
+    assert_eq!(node.block_number(), 2);
+}
+
+#[test]
+fn time_warp_visible_to_contracts() {
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    // Runtime returning TIMESTAMP.
+    let mut runtime = Asm::new();
+    runtime.op(op::TIMESTAMP).push_u64(0).op(op::MSTORE);
+    runtime.push_u64(32).push_u64(0).op(op::RETURN);
+    let runtime = runtime.assemble().unwrap();
+    let address = node
+        .send_transaction(Transaction::deploy(from, init_code_for(&runtime)))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let t0 = U256::from_be_slice(&node.call(from, address, vec![]).output);
+    node.increase_time(30 * 24 * 3600); // one month
+    let t1 = U256::from_be_slice(&node.call(from, address, vec![]).output);
+    assert_eq!(t1 - t0, U256::from_u64(30 * 24 * 3600));
+}
+
+#[test]
+fn chain_snapshot_and_revert() {
+    let mut node = LocalNode::new(2);
+    let [from, to] = [node.accounts()[0], node.accounts()[1]];
+    let snap = node.snapshot();
+    let tx = Transaction {
+        from,
+        to: Some(to),
+        value: lsc_primitives::ether(5),
+        data: vec![],
+        gas: 21_000,
+        gas_price: U256::from_u64(1),
+        nonce: None,
+    };
+    let receipt = node.send_transaction(tx).unwrap();
+    assert_eq!(node.block_number(), 1);
+    assert!(node.revert_to_snapshot(snap));
+    assert_eq!(node.block_number(), 0);
+    assert_eq!(node.balance(to), lsc_primitives::ether(1000));
+    assert_eq!(node.nonce(from), 0);
+    assert!(node.receipt(receipt.tx_hash).is_none());
+    assert!(!node.revert_to_snapshot(99));
+}
+
+#[test]
+fn receipts_and_blocks_queryable() {
+    let mut node = LocalNode::new(2);
+    let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![]).with_gas(21_000);
+    let receipt = node.send_transaction(tx).unwrap();
+    let fetched = node.receipt(receipt.tx_hash).unwrap();
+    assert_eq!(fetched.block_number, 1);
+    let block = node.block(1).unwrap();
+    assert_eq!(block.tx_hashes, vec![receipt.tx_hash]);
+    assert_eq!(block.parent_hash, node.block(0).unwrap().hash);
+    assert!(node.block(2).is_none());
+}
+
+#[test]
+fn call_does_not_mutate_state() {
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    // Deploy a contract whose runtime SSTOREs then returns.
+    let mut runtime = Asm::new();
+    runtime.push_u64(1).push_u64(0).op(op::SSTORE).op(op::STOP);
+    let runtime = runtime.assemble().unwrap();
+    let address = node
+        .send_transaction(Transaction::deploy(from, init_code_for(&runtime)))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let result = node.call(from, address, vec![]);
+    assert!(result.success);
+    assert_eq!(node.storage_at(address, U256::ZERO), U256::ZERO, "eth_call discarded");
+    // A real transaction does persist.
+    node.send_transaction(Transaction::call(from, address, vec![])).unwrap();
+    assert_eq!(node.storage_at(address, U256::ZERO), U256::ONE);
+}
+
+#[test]
+fn estimate_gas_close_to_actual() {
+    let mut node = LocalNode::new(2);
+    let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![]);
+    let estimate = node.estimate_gas(&tx).unwrap();
+    let receipt = node.send_transaction(tx).unwrap();
+    assert_eq!(estimate, receipt.gas_used);
+}
+
+#[test]
+fn faucet_credits() {
+    let mut node = LocalNode::new(0);
+    let a = Address::from_label("someone");
+    node.faucet(a, lsc_primitives::ether(3));
+    assert_eq!(node.balance(a), lsc_primitives::ether(3));
+}

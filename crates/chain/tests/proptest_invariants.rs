@@ -1,0 +1,102 @@
+//! Property-based chain invariants: ether conservation across arbitrary
+//! transfer sequences, nonce monotonicity, snapshot/revert idempotence.
+
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::{ether, U256};
+use proptest::prelude::*;
+
+fn total_supply(node: &LocalNode, n_accounts: usize) -> U256 {
+    let mut total = U256::ZERO;
+    for account in node.accounts() {
+        total += node.balance(*account);
+    }
+    // Coinbase collects fees.
+    total += node.balance(node.config().coinbase);
+    // Any stray accounts created by transfers to fresh addresses are not
+    // possible here (we only move between dev accounts), so this is the
+    // whole supply.
+    let _ = n_accounts;
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ether_is_conserved_across_transfers(moves in proptest::collection::vec((0usize..4, 0usize..4, 1u64..5000), 0..25)) {
+        let mut node = LocalNode::new(4);
+        let accounts: Vec<_> = node.accounts().to_vec();
+        let supply_before = total_supply(&node, 4);
+        prop_assert_eq!(supply_before, ether(4000));
+
+        let mut accepted = 0u32;
+        for (from, to, finney) in moves {
+            let tx = Transaction {
+                from: accounts[from],
+                to: Some(accounts[to]),
+                value: U256::from_u64(finney) * U256::from_u64(1_000_000_000_000_000),
+                data: vec![],
+                gas: 21_000,
+                gas_price: U256::from_u64(1),
+                nonce: None,
+            };
+            if node.send_transaction(tx).is_ok() {
+                accepted += 1;
+            }
+        }
+        // Nothing minted, nothing burned: fees moved to the coinbase.
+        prop_assert_eq!(total_supply(&node, 4), supply_before);
+        prop_assert_eq!(node.block_number(), accepted as u64);
+    }
+
+    #[test]
+    fn nonces_grow_by_exactly_one_per_tx(count in 0usize..12) {
+        let mut node = LocalNode::new(2);
+        let [from, to] = [node.accounts()[0], node.accounts()[1]];
+        for i in 0..count {
+            prop_assert_eq!(node.nonce(from), i as u64);
+            node.send_transaction(
+                Transaction::call(from, to, vec![]).with_gas(21_000)
+            ).unwrap();
+        }
+        prop_assert_eq!(node.nonce(from), count as u64);
+        prop_assert_eq!(node.nonce(to), 0);
+    }
+
+    #[test]
+    fn snapshot_revert_roundtrips(pre in 0usize..6, post in 0usize..6) {
+        let mut node = LocalNode::new(2);
+        let [from, to] = [node.accounts()[0], node.accounts()[1]];
+        for _ in 0..pre {
+            node.send_transaction(Transaction::call(from, to, vec![]).with_gas(21_000)).unwrap();
+        }
+        let balance_at_snap = node.balance(from);
+        let block_at_snap = node.block_number();
+        let snap = node.snapshot();
+        for _ in 0..post {
+            node.send_transaction(Transaction::call(from, to, vec![]).with_gas(21_000)).unwrap();
+        }
+        prop_assert!(node.revert_to_snapshot(snap));
+        prop_assert_eq!(node.balance(from), balance_at_snap);
+        prop_assert_eq!(node.block_number(), block_at_snap);
+        prop_assert_eq!(node.nonce(from), pre as u64);
+        // The chain keeps working after a revert.
+        node.send_transaction(Transaction::call(from, to, vec![]).with_gas(21_000)).unwrap();
+        prop_assert_eq!(node.block_number(), block_at_snap + 1);
+    }
+
+    #[test]
+    fn block_hash_chain_is_linked(count in 1usize..10) {
+        let mut node = LocalNode::new(2);
+        let [from, to] = [node.accounts()[0], node.accounts()[1]];
+        for _ in 0..count {
+            node.send_transaction(Transaction::call(from, to, vec![]).with_gas(21_000)).unwrap();
+        }
+        for number in 1..=count as u64 {
+            let block = node.block(number).unwrap();
+            let parent = node.block(number - 1).unwrap();
+            prop_assert_eq!(block.parent_hash, parent.hash);
+            prop_assert!(block.timestamp >= parent.timestamp);
+        }
+    }
+}

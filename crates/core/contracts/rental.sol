@@ -1,0 +1,90 @@
+pragma solidity ^0.5.0;
+
+/* Fig. 2: the versioning node every legal contract derives from. Each
+   deployed version is a node in a doubly linked list; the links hold the
+   addresses of the neighbouring versions and are set by the contract
+   manager when a new version is deployed. */
+contract Node {
+    /* Address of the next contract linked */
+    address next;
+    /* Address of the previous contract linked */
+    address previous;
+
+    function getNext() public view returns (address addr) { return next; }
+    function getPrev() public view returns (address addr) { return previous; }
+    function setNext(address _next) public { next = _next; }
+    function setPrev(address _previous) public { previous = _previous; }
+}
+
+/* Fig. 3: the minimal data storage contract. The mapping keys are the
+   addresses of legal-contract versions; each version maps attribute names
+   to stringified values so logic-only updates can rebind the same data. */
+contract DataStorage {
+    mapping (address => mapping( string => string )) public keyValuePairs;
+
+    function setValue(address owner, string memory key, string memory value) public {
+        keyValuePairs[owner][key] = value;
+    }
+    function getValue(address owner, string memory key) public view returns (string memory) {
+        return keyValuePairs[owner][key];
+    }
+}
+
+/* Fig. 5: the base rental agreement. The paper elides the function bodies
+   ("confirmAgreement logic" etc.); they are implemented here following the
+   lifecycle in Section IV-A. */
+contract BaseRental is Node {
+    /* This declares a new complex type which will hold the paid rents */
+    struct PaidRent {
+        uint Monthid; /* The paid rent id */
+        uint value;   /* The amount of rent that is paid */
+    }
+    PaidRent[] public paidrents;
+    uint public createdTimestamp;
+    uint public rent;
+    /* Combination of zip code and house number */
+    string public house;
+    address payable public landlord, tenant;
+    uint public creationTime, contractTime;
+    enum State {Created, Started, Terminated}
+    State public state;
+
+    constructor (uint _rent, string memory _house, uint _contractTime) public payable {
+        rent = _rent;
+        house = _house;
+        contractTime = _contractTime;
+        landlord = msg.sender;
+        creationTime = now;
+        createdTimestamp = now;
+        state = State.Created;
+    }
+
+    event agreementConfirmed();
+    event paidRent();
+    event contractTerminated();
+
+    /* Confirm the lease agreement as tenant */
+    function confirmAgreement() public payable {
+        require(state == State.Created, "contract is not open for confirmation");
+        require(msg.sender != landlord, "landlord cannot confirm own agreement");
+        tenant = msg.sender;
+        state = State.Started;
+        emit agreementConfirmed();
+    }
+
+    function payRent() public payable {
+        require(state == State.Started, "agreement is not active");
+        require(msg.sender == tenant, "only the tenant pays rent");
+        require(msg.value == rent, "rent amount mismatch");
+        landlord.transfer(msg.value);
+        paidrents.push(PaidRent(paidrents.length + 1, msg.value));
+        emit paidRent();
+    }
+
+    function terminateContract() public payable {
+        require(msg.sender == landlord, "only the landlord can terminate");
+        require(state != State.Terminated, "already terminated");
+        state = State.Terminated;
+        emit contractTerminated();
+    }
+}

@@ -1,0 +1,37 @@
+/* Section V (future work): "more sophisticated techniques for
+   implementing the versioning where the already executed part of the
+   contract will not be able to change" and "introducing trust to the
+   system".
+
+   GuardedRental hardens the Fig. 2 Node by overriding the link setters:
+   (a) restricted to the landlord — a stranger cannot relink the evidence
+   line — and (b) write-once — once a version has a successor the link is
+   frozen, so the executed prefix of the chain can never be rewritten. */
+contract GuardedRental is BaseRental {
+    bool nextLocked;
+    bool prevLocked;
+
+    event versionLinked(address indexed neighbour, bool isNext);
+
+    function setNext(address _next) public {
+        require(msg.sender == landlord, "only the landlord links versions");
+        require(!nextLocked, "next pointer is write-once");
+        require(_next != address(0), "cannot link the zero address");
+        next = _next;
+        nextLocked = true;
+        emit versionLinked(_next, true);
+    }
+
+    function setPrev(address _previous) public {
+        require(msg.sender == landlord, "only the landlord links versions");
+        require(!prevLocked, "previous pointer is write-once");
+        require(_previous != address(0), "cannot link the zero address");
+        previous = _previous;
+        prevLocked = true;
+        emit versionLinked(_previous, false);
+    }
+
+    function isSuperseded() public view returns (bool) {
+        return nextLocked;
+    }
+}

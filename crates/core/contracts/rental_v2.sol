@@ -1,0 +1,95 @@
+/* Fig. 6: the updated (modified) rental agreement, deployed as the next
+   version in the linked list. Relative to BaseRental it adds a deposit
+   held in escrow by the contract, a rent discount, an early-termination
+   fine with the half/full deposit-refund rule of Section IV, a billing
+   schedule, and a new clause function (a maintenance fee — the example
+   modification the paper's Section III motivates). */
+contract RentalAgreement is BaseRental {
+    uint public deposit;
+    uint public discount;
+    uint public fine;
+    uint public nextBillingDate;
+    uint public monthCounter;
+    uint public maintenanceFeesPaid;
+
+    constructor (uint _rent, uint _deposit, uint _contractTime,
+                 uint _discount, uint _fine,
+                 string memory _house) public payable {
+        rent = _rent;
+        deposit = _deposit;
+        house = _house;
+        discount = _discount;
+        fine = _fine;
+        contractTime = _contractTime;
+        landlord = msg.sender;
+        createdTimestamp = block.timestamp;
+        creationTime = block.timestamp;
+        state = State.Created;
+    }
+
+    /* Events for DApps to listen to */
+    event agreementConfirmed();
+    event paidRent();
+    event contractTerminated();
+    event paidMaintenance(uint amount);
+
+    /* Confirm the lease agreement as tenant: the deposit is escrowed in
+       the contract until termination. */
+    function confirmAgreement() public payable {
+        require(state == State.Created, "contract is not open for confirmation");
+        require(msg.sender != landlord, "landlord cannot confirm own agreement");
+        require(msg.value == deposit, "deposit amount mismatch");
+        tenant = msg.sender;
+        state = State.Started;
+        nextBillingDate = now + 30 days;
+        emit agreementConfirmed();
+    }
+
+    /* Updated pay-rent logic: the discount applies and the billing
+       schedule advances. */
+    function payRent() public payable {
+        require(state == State.Started, "agreement is not active");
+        require(msg.sender == tenant, "only the tenant pays rent");
+        require(msg.value == rent - discount, "rent amount mismatch");
+        landlord.transfer(msg.value);
+        monthCounter += 1;
+        nextBillingDate += 30 days;
+        paidrents.push(PaidRent(monthCounter, msg.value));
+        emit paidRent();
+    }
+
+    /* Updated termination: the tenant may cancel midway paying the fine
+       (half the deposit is withheld); at or after the agreed period the
+       full deposit is returned. The landlord may also terminate, which
+       returns the full deposit to the tenant. */
+    function terminateContract() public payable {
+        require(state != State.Terminated, "already terminated");
+        if (state == State.Started && msg.sender == tenant) {
+            if (now < creationTime + contractTime) {
+                uint kept = deposit / 2 + fine;
+                if (kept > deposit) { kept = deposit; }
+                tenant.transfer(deposit - kept);
+                landlord.transfer(kept);
+            } else {
+                tenant.transfer(deposit);
+            }
+        } else {
+            require(msg.sender == landlord, "only the parties can terminate");
+            if (state == State.Started) {
+                tenant.transfer(deposit);
+            }
+        }
+        state = State.Terminated;
+        emit contractTerminated();
+    }
+
+    /* A new function to do something advanced: the maintenance-fee clause
+       introduced by the contract modification. */
+    function aNewFunction() public payable {
+        require(state == State.Started, "agreement is not active");
+        require(msg.sender == tenant, "only the tenant pays maintenance");
+        maintenanceFeesPaid += msg.value;
+        landlord.transfer(msg.value);
+        emit paidMaintenance(msg.value);
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's Solidity contracts (Figs. 2, 3, 5, 6), embedded as source
+//! and compiled on demand by `lsc-solc`.
+
+use lsc_solc::{compile_single, Artifact, CompileError};
+
+/// Fig. 2 (Node), Fig. 3 (DataStorage) and Fig. 5 (BaseRental) sources.
+pub const RENTAL_BASE_SOURCE: &str = include_str!("../contracts/rental.sol");
+
+/// Fig. 6 (RentalAgreement, the modified version) source.
+pub const RENTAL_V2_SOURCE: &str = include_str!("../contracts/rental_v2.sol");
+
+/// Section V future-work variant: guarded, write-once version links.
+pub const RENTAL_GUARDED_SOURCE: &str = include_str!("../contracts/rental_guarded.sol");
+
+/// The combined compilation unit (v2 inherits from the base file).
+pub fn full_source() -> String {
+    format!("{RENTAL_BASE_SOURCE}\n{RENTAL_V2_SOURCE}\n{RENTAL_GUARDED_SOURCE}")
+}
+
+/// Compile the guarded (future-work) rental contract.
+pub fn compile_guarded_rental() -> Result<Artifact, CompileError> {
+    compile_single(&full_source(), "GuardedRental")
+}
+
+/// Compile the `Node` linked-list base contract (Fig. 2).
+pub fn compile_node() -> Result<Artifact, CompileError> {
+    compile_single(RENTAL_BASE_SOURCE, "Node")
+}
+
+/// Compile the `DataStorage` contract (Fig. 3).
+pub fn compile_data_storage() -> Result<Artifact, CompileError> {
+    compile_single(RENTAL_BASE_SOURCE, "DataStorage")
+}
+
+/// Compile the `BaseRental` contract (Fig. 5).
+pub fn compile_base_rental() -> Result<Artifact, CompileError> {
+    compile_single(RENTAL_BASE_SOURCE, "BaseRental")
+}
+
+/// Compile the updated `RentalAgreement` contract (Fig. 6).
+pub fn compile_rental_agreement() -> Result<Artifact, CompileError> {
+    compile_single(&full_source(), "RentalAgreement")
+}
+
+/// The attribute names the rental agreements expose via public getters and
+/// migrate through the data-separation layer.
+pub const RENTAL_DATA_KEYS: &[&str] = &["rent", "house", "contractTime", "createdTimestamp"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_contracts_compile() {
+        let node = compile_node().expect("Node compiles");
+        assert!(node.abi.function("getNext").is_some());
+        assert!(node.abi.function("setPrev").is_some());
+
+        let ds = compile_data_storage().expect("DataStorage compiles");
+        assert!(ds.abi.function("keyValuePairs").is_some());
+        assert_eq!(ds.abi.function("keyValuePairs").unwrap().inputs.len(), 2);
+
+        let base = compile_base_rental().expect("BaseRental compiles");
+        for f in ["confirmAgreement", "payRent", "terminateContract", "getNext", "setNext"] {
+            assert!(base.abi.function(f).is_some(), "BaseRental missing {f}");
+        }
+        assert_eq!(base.abi.constructor_inputs.len(), 3);
+
+        let v2 = compile_rental_agreement().expect("RentalAgreement compiles");
+        for f in ["confirmAgreement", "payRent", "terminateContract", "aNewFunction", "deposit"] {
+            assert!(v2.abi.function(f).is_some(), "RentalAgreement missing {f}");
+        }
+        assert_eq!(v2.abi.constructor_inputs.len(), 6);
+    }
+
+    #[test]
+    fn version_layouts_are_slot_compatible() {
+        // The data-separation design requires base slots to be identical
+        // across versions: check `rent` and friends line up.
+        let base = compile_base_rental().unwrap();
+        let v2 = compile_rental_agreement().unwrap();
+        for key in ["rent", "house", "state", "landlord", "tenant", "paidrents"] {
+            let b = base.storage_layout.iter().find(|(n, _, _)| n == key).unwrap();
+            let v = v2.storage_layout.iter().find(|(n, _, _)| n == key).unwrap();
+            assert_eq!(b.1, v.1, "slot of `{key}` moved between versions");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Data/logic separation (Section III-C1): a shared on-chain
+//! `DataStorage` contract holds each version's attributes as string
+//! key/value pairs keyed by the version's address, so contract *logic* can
+//! be redeployed while the *data* survives. The application layer fetches
+//! values from the storage contract and assigns them into new versions.
+
+use crate::contracts::compile_data_storage;
+use crate::error::{CoreError, CoreResult};
+use lsc_abi::AbiValue;
+use lsc_primitives::{Address, U256};
+use lsc_web3::{Contract, Web3};
+
+/// Handle over a deployed `DataStorage` contract (Fig. 3).
+#[derive(Clone)]
+pub struct DataStore {
+    contract: Contract,
+}
+
+impl DataStore {
+    /// Compile and deploy a fresh `DataStorage` contract.
+    pub fn deploy(web3: &Web3, from: Address) -> CoreResult<Self> {
+        let artifact = compile_data_storage()?;
+        let (contract, _) =
+            web3.deploy(from, artifact.abi, artifact.bytecode, &[], U256::ZERO)?;
+        Ok(DataStore { contract })
+    }
+
+    /// Bind to an existing deployment.
+    pub fn at(contract: Contract) -> Self {
+        DataStore { contract }
+    }
+
+    /// The on-chain address of the storage contract.
+    pub fn address(&self) -> Address {
+        self.contract.address()
+    }
+
+    /// Store one attribute of a contract version.
+    pub fn set(&self, from: Address, owner: Address, key: &str, value: &str) -> CoreResult<()> {
+        self.contract.send(
+            from,
+            "setValue",
+            &[
+                AbiValue::Address(owner),
+                AbiValue::string(key),
+                AbiValue::string(value),
+            ],
+            U256::ZERO,
+        )?;
+        Ok(())
+    }
+
+    /// Read one attribute of a contract version.
+    pub fn get(&self, owner: Address, key: &str) -> CoreResult<String> {
+        let value = self.contract.call1(
+            "getValue",
+            &[AbiValue::Address(owner), AbiValue::string(key)],
+        )?;
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| CoreError::Invalid("getValue returned a non-string".into()))
+    }
+
+    /// Snapshot a set of public attributes of a deployed legal contract
+    /// into the data store, stringified (the paper's "take the data from
+    /// the data store smart contract" direction is the inverse,
+    /// [`DataStore::fetch_all`]).
+    pub fn snapshot_contract(
+        &self,
+        from: Address,
+        contract: &Contract,
+        keys: &[&str],
+    ) -> CoreResult<usize> {
+        let mut written = 0;
+        for key in keys {
+            let value = contract.call1(key, &[])?;
+            self.set(from, contract.address(), key, &value.to_plain_string())?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Fetch all attributes recorded for a version.
+    pub fn fetch_all(&self, owner: Address, keys: &[&str]) -> CoreResult<Vec<(String, String)>> {
+        keys.iter()
+            .map(|key| Ok((key.to_string(), self.get(owner, key)?)))
+            .collect()
+    }
+
+    /// Migrate every listed attribute from one version's record to the
+    /// next version's record (run by the manager on modification).
+    pub fn migrate(
+        &self,
+        from: Address,
+        old_version: Address,
+        new_version: Address,
+        keys: &[&str],
+    ) -> CoreResult<usize> {
+        let mut moved = 0;
+        for key in keys {
+            let value = self.get(old_version, key)?;
+            if value.is_empty() {
+                continue;
+            }
+            self.set(from, new_version, key, &value)?;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+}
+
+/// Stringify ABI values the way the data store records them.
+trait ToPlainString {
+    fn to_plain_string(&self) -> String;
+}
+
+impl ToPlainString for AbiValue {
+    fn to_plain_string(&self) -> String {
+        match self {
+            AbiValue::String(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+}

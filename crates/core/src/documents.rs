@@ -1,0 +1,83 @@
+//! The legal-document store: every smart contract is linked to the PDF of
+//! the natural-language agreement (Section IV: "Each smart contract is
+//! linked to a pdf of the legal contract"), stored content-addressed.
+
+use crate::error::{CoreError, CoreResult};
+use lsc_ipfs::{Cid, IpfsNode};
+use lsc_primitives::Address;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Address → legal document (PDF bytes in IPFS).
+#[derive(Clone)]
+pub struct DocumentStore {
+    ipfs: IpfsNode,
+    map: Arc<RwLock<HashMap<Address, Cid>>>,
+}
+
+impl DocumentStore {
+    /// New store over an IPFS node.
+    pub fn new(ipfs: IpfsNode) -> Self {
+        DocumentStore { ipfs, map: Arc::new(RwLock::new(HashMap::new())) }
+    }
+
+    /// Attach a document to a deployed contract version.
+    pub fn attach(&self, contract: Address, pdf_bytes: &[u8]) -> Cid {
+        let cid = self.ipfs.add_pinned(pdf_bytes);
+        self.map.write().insert(contract, cid);
+        cid
+    }
+
+    /// CID of a contract's document.
+    pub fn cid_of(&self, contract: Address) -> Option<Cid> {
+        self.map.read().get(&contract).copied()
+    }
+
+    /// Fetch the document a tenant reviews before confirming (Fig. 4 flow).
+    pub fn fetch(&self, contract: Address) -> CoreResult<Vec<u8>> {
+        let cid = self.cid_of(contract).ok_or(CoreError::UnknownContract(contract))?;
+        Ok(self.ipfs.cat(&cid)?)
+    }
+
+    /// Number of linked documents.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no documents are linked.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_and_fetch() {
+        let store = DocumentStore::new(IpfsNode::new());
+        let contract = Address::from_label("v1");
+        let pdf = b"%PDF-1.4 rental agreement for H-12345";
+        let cid = store.attach(contract, pdf);
+        assert_eq!(store.cid_of(contract), Some(cid));
+        assert_eq!(store.fetch(contract).unwrap(), pdf);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_document_errors() {
+        let store = DocumentStore::new(IpfsNode::new());
+        assert!(store.fetch(Address::from_label("none")).is_err());
+    }
+
+    #[test]
+    fn versions_share_identical_documents() {
+        let store = DocumentStore::new(IpfsNode::new());
+        let c1 = store.attach(Address::from_label("v1"), b"same pdf");
+        let c2 = store.attach(Address::from_label("v2"), b"same pdf");
+        assert_eq!(c1, c2, "content-addressing dedups");
+        assert_eq!(store.len(), 2);
+    }
+}

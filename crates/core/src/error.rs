@@ -1,0 +1,71 @@
+//! Error type for the contract-management layer.
+
+use lsc_ipfs::DagError;
+use lsc_solc::CompileError;
+use lsc_web3::Web3Error;
+use core::fmt;
+
+/// Anything that can go wrong in the business tier.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Chain/client failure.
+    Web3(Web3Error),
+    /// Compilation failure.
+    Compile(CompileError),
+    /// IPFS retrieval failure.
+    Ipfs(DagError),
+    /// ABI JSON was malformed.
+    AbiJson(lsc_abi::AbiJsonError),
+    /// No ABI registered for an address.
+    UnknownContract(lsc_primitives::Address),
+    /// No upload with that id.
+    UnknownUpload(u64),
+    /// The version chain is inconsistent on-chain.
+    BrokenChain(String),
+    /// A value failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Web3(e) => write!(f, "{e}"),
+            Self::Compile(e) => write!(f, "{e}"),
+            Self::Ipfs(e) => write!(f, "{e}"),
+            Self::AbiJson(e) => write!(f, "{e}"),
+            Self::UnknownContract(a) => write!(f, "no ABI registered for contract {a}"),
+            Self::UnknownUpload(id) => write!(f, "no uploaded contract with id {id}"),
+            Self::BrokenChain(m) => write!(f, "version chain broken: {m}"),
+            Self::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<Web3Error> for CoreError {
+    fn from(e: Web3Error) -> Self {
+        Self::Web3(e)
+    }
+}
+
+impl From<CompileError> for CoreError {
+    fn from(e: CompileError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+impl From<DagError> for CoreError {
+    fn from(e: DagError) -> Self {
+        Self::Ipfs(e)
+    }
+}
+
+impl From<lsc_abi::AbiJsonError> for CoreError {
+    fn from(e: lsc_abi::AbiJsonError) -> Self {
+        Self::AbiJson(e)
+    }
+}
+
+/// Result alias for the business tier.
+pub type CoreResult<T> = Result<T, CoreError>;

@@ -1,0 +1,88 @@
+//! # lsc-core
+//!
+//! The paper's contribution: a contract-management layer for **legal smart
+//! contracts that can be modified** despite blockchain immutability.
+//!
+//! * [`manager::ContractManager`] — the business tier (Fig. 1): upload,
+//!   deploy, modify, terminate.
+//! * [`versioning::VersionChain`] — the doubly-linked-list versioning
+//!   system (Fig. 2): each deployed version is a `Node`; the pointer chain
+//!   is the on-chain evidence line of modifications.
+//! * [`datastore::DataStore`] — data/logic separation via the shared
+//!   `DataStorage` contract (Fig. 3).
+//! * [`registry::AbiRegistry`] — address → CID → ABI-in-IPFS, so a version
+//!   address alone suffices to interact with it (Section III-C2).
+//! * [`documents::DocumentStore`] — each version links to the PDF of the
+//!   natural-language agreement.
+//! * [`lifecycle::Rental`] — the typed rental-agreement lifecycle
+//!   (Fig. 4): confirm + deposit, pay rent, modify, terminate with the
+//!   timely/untimely deposit split.
+//! * [`contracts`] — the paper's Solidity sources (Figs. 3, 5, 6),
+//!   compiled by `lsc-solc`.
+//! * [`negotiation::NegotiationBook`] and [`audit::audit_chain`] — the
+//!   Section V future-work extensions: negotiated modifications and
+//!   evidence-line audit reports.
+//!
+//! # Example
+//!
+//! Deploy the paper's base rental agreement, run a month of the lifecycle
+//! and modify the contract into a linked second version:
+//!
+//! ```
+//! use lsc_chain::LocalNode;
+//! use lsc_core::{contracts, ContractManager, Rental};
+//! use lsc_ipfs::IpfsNode;
+//! use lsc_web3::Web3;
+//! use lsc_abi::AbiValue;
+//! use lsc_primitives::{ether, U256};
+//!
+//! let web3 = Web3::new(LocalNode::new(4));
+//! let (landlord, tenant) = (web3.accounts()[0], web3.accounts()[1]);
+//! let manager = ContractManager::new(web3, IpfsNode::new());
+//!
+//! let base = contracts::compile_base_rental().unwrap();
+//! let upload = manager.upload_artifact("Basic rental contract", &base).unwrap();
+//! let args = vec![
+//!     AbiValue::Uint(ether(1)),
+//!     AbiValue::string("10001-42 Main St"),
+//!     AbiValue::uint(365 * 24 * 3600),
+//! ];
+//! let v1 = manager.deploy(landlord, upload, &args, U256::ZERO).unwrap();
+//!
+//! let rental = Rental::at(v1.clone());
+//! rental.confirm_agreement(tenant).unwrap();
+//! rental.pay_rent(tenant).unwrap();
+//!
+//! let v2 = manager
+//!     .deploy_version(landlord, upload, &args, U256::ZERO, v1.address(), &[])
+//!     .unwrap();
+//! assert_eq!(
+//!     manager.history(v2.address()).unwrap(),
+//!     vec![v1.address(), v2.address()],
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod contracts;
+pub mod datastore;
+pub mod documents;
+pub mod error;
+pub mod lifecycle;
+pub mod manager;
+pub mod negotiation;
+pub mod registry;
+pub mod templates;
+pub mod versioning;
+
+pub use audit::{audit_chain, AuditEntry, EvidenceReport};
+pub use datastore::DataStore;
+pub use documents::DocumentStore;
+pub use error::{CoreError, CoreResult};
+pub use lifecycle::{Rental, RentalState, RentalSummary};
+pub use manager::{ContractManager, UploadedContract, VersionRecord, VersionState};
+pub use negotiation::{NegotiationBook, Proposal, ProposalStatus};
+pub use registry::AbiRegistry;
+pub use templates::{CustomClause, Party, RentalTemplate};
+pub use versioning::VersionChain;

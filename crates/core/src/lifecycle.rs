@@ -1,0 +1,188 @@
+//! Typed lifecycle API over a deployed rental agreement — the sequence of
+//! Fig. 4: confirm agreement (+ deposit), pay rent (ether moves tenant →
+//! landlord), modify, terminate (timely/untimely deposit split).
+
+use crate::error::{CoreError, CoreResult};
+use lsc_abi::AbiValue;
+use lsc_chain::Receipt;
+use lsc_primitives::{Address, U256};
+use lsc_web3::Contract;
+use core::fmt;
+
+/// The on-chain `State` enum of the rental contracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RentalState {
+    /// Deployed, waiting for a tenant.
+    Created,
+    /// Tenant confirmed; rent is being paid.
+    Started,
+    /// Agreement over.
+    Terminated,
+}
+
+impl fmt::Display for RentalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Created => write!(f, "Created"),
+            Self::Started => write!(f, "Started"),
+            Self::Terminated => write!(f, "Terminated"),
+        }
+    }
+}
+
+/// A point-in-time summary of an agreement (dashboard row).
+#[derive(Debug, Clone)]
+pub struct RentalSummary {
+    /// Contract address.
+    pub address: Address,
+    /// Monthly rent in wei.
+    pub rent: U256,
+    /// Property identifier (zip code + house number).
+    pub house: String,
+    /// Landlord account.
+    pub landlord: Address,
+    /// Tenant account (zero until confirmed).
+    pub tenant: Address,
+    /// Current state.
+    pub state: RentalState,
+    /// Number of rents paid so far.
+    pub rents_paid: u64,
+}
+
+/// Typed wrapper over a deployed `BaseRental`/`RentalAgreement` version.
+#[derive(Clone)]
+pub struct Rental {
+    contract: Contract,
+}
+
+impl Rental {
+    /// Wrap a contract handle.
+    pub fn at(contract: Contract) -> Self {
+        Rental { contract }
+    }
+
+    /// The underlying handle.
+    pub fn contract(&self) -> &Contract {
+        &self.contract
+    }
+
+    /// On-chain address.
+    pub fn address(&self) -> Address {
+        self.contract.address()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> CoreResult<RentalState> {
+        let value = self.contract.call1("state", &[])?;
+        match value.as_u64() {
+            Some(0) => Ok(RentalState::Created),
+            Some(1) => Ok(RentalState::Started),
+            Some(2) => Ok(RentalState::Terminated),
+            other => Err(CoreError::Invalid(format!("unexpected state value {other:?}"))),
+        }
+    }
+
+    /// Monthly rent.
+    pub fn rent(&self) -> CoreResult<U256> {
+        Ok(self
+            .contract
+            .call1("rent", &[])?
+            .as_uint()
+            .unwrap_or(U256::ZERO))
+    }
+
+    /// Required deposit (zero for the base version which has none).
+    pub fn deposit(&self) -> CoreResult<U256> {
+        if self.contract.abi().function("deposit").is_none() {
+            return Ok(U256::ZERO);
+        }
+        Ok(self
+            .contract
+            .call1("deposit", &[])?
+            .as_uint()
+            .unwrap_or(U256::ZERO))
+    }
+
+    /// The effective rent payment amount (v2 applies the discount).
+    pub fn amount_due(&self) -> CoreResult<U256> {
+        let rent = self.rent()?;
+        if self.contract.abi().function("discount").is_none() {
+            return Ok(rent);
+        }
+        let discount = self
+            .contract
+            .call1("discount", &[])?
+            .as_uint()
+            .unwrap_or(U256::ZERO);
+        Ok(rent - discount)
+    }
+
+    /// Tenant confirms the agreement, attaching the required deposit.
+    pub fn confirm_agreement(&self, tenant: Address) -> CoreResult<Receipt> {
+        let deposit = self.deposit()?;
+        Ok(self.contract.send(tenant, "confirmAgreement", &[], deposit)?)
+    }
+
+    /// Tenant pays one month's rent; ether moves tenant → landlord.
+    pub fn pay_rent(&self, tenant: Address) -> CoreResult<Receipt> {
+        let amount = self.amount_due()?;
+        Ok(self.contract.send(tenant, "payRent", &[], amount)?)
+    }
+
+    /// Pay the maintenance fee (only on the modified version's new clause).
+    pub fn pay_maintenance(&self, tenant: Address, amount: U256) -> CoreResult<Receipt> {
+        if self.contract.abi().function("aNewFunction").is_none() {
+            return Err(CoreError::Invalid(
+                "this contract version has no maintenance clause".into(),
+            ));
+        }
+        Ok(self.contract.send(tenant, "aNewFunction", &[], amount)?)
+    }
+
+    /// Terminate the agreement (rules depend on caller and timing).
+    pub fn terminate(&self, who: Address) -> CoreResult<Receipt> {
+        Ok(self.contract.send(who, "terminateContract", &[], U256::ZERO)?)
+    }
+
+    /// Paid-rent history `(month_id, amount)` read from the public array.
+    pub fn paid_rents(&self) -> CoreResult<Vec<(u64, U256)>> {
+        let mut out = Vec::new();
+        for i in 0.. {
+            match self.contract.call("paidrents", &[AbiValue::uint(i)]) {
+                Ok(fields) => {
+                    let month = fields[0].as_u64().unwrap_or(0);
+                    let amount = fields[1].as_uint().unwrap_or(U256::ZERO);
+                    out.push((month, amount));
+                }
+                Err(_) => break, // out-of-bounds revert ends the scan
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dashboard summary.
+    pub fn summary(&self) -> CoreResult<RentalSummary> {
+        Ok(RentalSummary {
+            address: self.address(),
+            rent: self.rent()?,
+            house: self
+                .contract
+                .call1("house", &[])?
+                .as_str()
+                .unwrap_or_default()
+                .to_string(),
+            landlord: self
+                .contract
+                .call1("landlord", &[])?
+                .as_address()
+                .unwrap_or(Address::ZERO),
+            tenant: self
+                .contract
+                .call1("tenant", &[])?
+                .as_address()
+                .unwrap_or(Address::ZERO),
+            state: self.state()?,
+            rents_paid: self.paid_rents()?.len() as u64,
+        })
+    }
+}

@@ -1,0 +1,299 @@
+//! The Contract Manager — the business tier of Fig. 1. It owns the
+//! upload/deploy/modify workflow: contracts are uploaded as bytecode + ABI
+//! (Fig. 9), deployed to the blockchain tier (Fig. 10), and modified by
+//! deploying a new version that the manager links into the on-chain
+//! doubly linked list and whose data it migrates through the
+//! data-separation layer (Fig. 11).
+
+use crate::datastore::DataStore;
+use crate::documents::DocumentStore;
+use crate::error::{CoreError, CoreResult};
+use crate::registry::AbiRegistry;
+use crate::versioning::VersionChain;
+use lsc_abi::{Abi, AbiValue};
+use lsc_ipfs::{Cid, IpfsNode};
+use lsc_primitives::{Address, U256};
+use lsc_solc::Artifact;
+use lsc_web3::{Contract, Web3};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A contract uploaded to the manager (bytecode + ABI), ready to deploy.
+#[derive(Debug, Clone)]
+pub struct UploadedContract {
+    /// Upload id.
+    pub id: u64,
+    /// Display name ("Basic rental contract", …).
+    pub name: String,
+    /// Init bytecode.
+    pub bytecode: Vec<u8>,
+    /// Parsed ABI.
+    pub abi: Abi,
+    /// CID of the ABI JSON pinned in IPFS at upload time.
+    pub abi_cid: Cid,
+}
+
+/// Lifecycle state of a *version record* (the paper's active / inactive /
+/// terminated states from Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionState {
+    /// The currently executing version.
+    Active,
+    /// Superseded by a newer version (the paper's "passive").
+    Inactive,
+    /// The agreement ended.
+    Terminated,
+}
+
+/// Bookkeeping for one deployed version.
+#[derive(Debug, Clone)]
+pub struct VersionRecord {
+    /// On-chain address.
+    pub address: Address,
+    /// 1-based version number within its chain.
+    pub version: u32,
+    /// Name of the upload it came from.
+    pub name: String,
+    /// Deploying account (the landlord).
+    pub deployer: Address,
+    /// Block the deployment landed in.
+    pub block: u64,
+    /// Previous version (zero for the first).
+    pub previous: Option<Address>,
+    /// Record state.
+    pub state: VersionState,
+}
+
+/// The business-tier facade.
+#[derive(Clone)]
+pub struct ContractManager {
+    web3: Web3,
+    registry: AbiRegistry,
+    chain: VersionChain,
+    documents: DocumentStore,
+    data_store: Arc<RwLock<Option<DataStore>>>,
+    inner: Arc<RwLock<ManagerState>>,
+}
+
+#[derive(Default)]
+struct ManagerState {
+    uploads: Vec<UploadedContract>,
+    versions: HashMap<Address, VersionRecord>,
+}
+
+impl ContractManager {
+    /// Create a manager over a client and an IPFS node.
+    pub fn new(web3: Web3, ipfs: IpfsNode) -> Self {
+        let registry = AbiRegistry::new(ipfs.clone());
+        let chain = VersionChain::new(web3.clone(), registry.clone());
+        ContractManager {
+            web3,
+            registry,
+            chain,
+            documents: DocumentStore::new(ipfs),
+            data_store: Arc::new(RwLock::new(None)),
+            inner: Arc::new(RwLock::new(ManagerState::default())),
+        }
+    }
+
+    /// The chain client.
+    pub fn web3(&self) -> &Web3 {
+        &self.web3
+    }
+
+    /// The ABI registry (address → IPFS CID → ABI).
+    pub fn registry(&self) -> &AbiRegistry {
+        &self.registry
+    }
+
+    /// The version-chain walker.
+    pub fn version_chain(&self) -> &VersionChain {
+        &self.chain
+    }
+
+    /// The legal-document store.
+    pub fn documents(&self) -> &DocumentStore {
+        &self.documents
+    }
+
+    /// Deploy the shared `DataStorage` contract and enable data migration.
+    pub fn init_data_store(&self, from: Address) -> CoreResult<Address> {
+        let store = DataStore::deploy(&self.web3, from)?;
+        let address = store.address();
+        *self.data_store.write() = Some(store);
+        Ok(address)
+    }
+
+    /// The data-separation layer, when initialized.
+    pub fn data_store(&self) -> Option<DataStore> {
+        self.data_store.read().clone()
+    }
+
+    /// Upload a contract from raw bytecode + ABI JSON (Fig. 9: the
+    /// landlord uploads both files). The ABI is pinned into IPFS.
+    pub fn upload(&self, name: &str, bytecode: Vec<u8>, abi_json: &str) -> CoreResult<u64> {
+        let abi = Abi::from_json(abi_json)?;
+        if bytecode.is_empty() {
+            return Err(CoreError::Invalid("bytecode must not be empty".into()));
+        }
+        let abi_cid = self.registry.ipfs().add_pinned(abi_json.as_bytes());
+        let mut inner = self.inner.write();
+        let id = inner.uploads.len() as u64;
+        inner.uploads.push(UploadedContract {
+            id,
+            name: name.to_string(),
+            bytecode,
+            abi,
+            abi_cid,
+        });
+        Ok(id)
+    }
+
+    /// Upload a compiler artifact directly.
+    pub fn upload_artifact(&self, name: &str, artifact: &Artifact) -> CoreResult<u64> {
+        self.upload(name, artifact.bytecode.clone(), &artifact.abi.to_json())
+    }
+
+    /// All uploads (dashboard's "available contracts to deploy").
+    pub fn uploads(&self) -> Vec<UploadedContract> {
+        self.inner.read().uploads.clone()
+    }
+
+    fn upload_by_id(&self, id: u64) -> CoreResult<UploadedContract> {
+        self.inner
+            .read()
+            .uploads
+            .get(id as usize)
+            .cloned()
+            .ok_or(CoreError::UnknownUpload(id))
+    }
+
+    /// Deploy an upload as version 1 of a new legal contract (Fig. 10).
+    pub fn deploy(
+        &self,
+        from: Address,
+        upload_id: u64,
+        args: &[AbiValue],
+        value: U256,
+    ) -> CoreResult<Contract> {
+        let upload = self.upload_by_id(upload_id)?;
+        let (contract, receipt) =
+            self.web3.deploy(from, upload.abi.clone(), upload.bytecode.clone(), args, value)?;
+        self.registry.register(contract.address(), &upload.abi);
+        self.inner.write().versions.insert(
+            contract.address(),
+            VersionRecord {
+                address: contract.address(),
+                version: 1,
+                name: upload.name.clone(),
+                deployer: from,
+                block: receipt.block_number,
+                previous: None,
+                state: VersionState::Active,
+            },
+        );
+        Ok(contract)
+    }
+
+    /// Deploy an upload as the *next version* of `previous` (Fig. 11):
+    /// deploys, links both on-chain pointers, migrates data-store
+    /// attributes, and marks the old record inactive while keeping its
+    /// transaction history intact.
+    pub fn deploy_version(
+        &self,
+        from: Address,
+        upload_id: u64,
+        args: &[AbiValue],
+        value: U256,
+        previous: Address,
+        migrate_keys: &[&str],
+    ) -> CoreResult<Contract> {
+        let prior = self
+            .inner
+            .read()
+            .versions
+            .get(&previous)
+            .cloned()
+            .ok_or(CoreError::UnknownContract(previous))?;
+        if prior.deployer != from {
+            return Err(CoreError::Invalid(
+                "only the landlord who deployed a contract may modify it".into(),
+            ));
+        }
+        let upload = self.upload_by_id(upload_id)?;
+        let (contract, receipt) =
+            self.web3.deploy(from, upload.abi.clone(), upload.bytecode.clone(), args, value)?;
+        self.registry.register(contract.address(), &upload.abi);
+        // Link the versions on chain (the evidence line).
+        self.chain.link(from, previous, contract.address())?;
+        // Migrate attributes through the data-separation layer.
+        if !migrate_keys.is_empty() {
+            if let Some(store) = self.data_store() {
+                store.migrate(from, previous, contract.address(), migrate_keys)?;
+            }
+        }
+        let mut inner = self.inner.write();
+        if let Some(record) = inner.versions.get_mut(&previous) {
+            record.state = VersionState::Inactive;
+        }
+        inner.versions.insert(
+            contract.address(),
+            VersionRecord {
+                address: contract.address(),
+                version: prior.version + 1,
+                name: upload.name.clone(),
+                deployer: from,
+                block: receipt.block_number,
+                previous: Some(previous),
+                state: VersionState::Active,
+            },
+        );
+        Ok(contract)
+    }
+
+    /// The record for a deployed version.
+    pub fn record(&self, address: Address) -> Option<VersionRecord> {
+        self.inner.read().versions.get(&address).cloned()
+    }
+
+    /// All version records.
+    pub fn records(&self) -> Vec<VersionRecord> {
+        let mut records: Vec<VersionRecord> =
+            self.inner.read().versions.values().cloned().collect();
+        records.sort_by_key(|r| (r.block, r.address));
+        records
+    }
+
+    /// Mark a record terminated (called after the on-chain terminate).
+    pub fn mark_terminated(&self, address: Address) {
+        if let Some(record) = self.inner.write().versions.get_mut(&address) {
+            record.state = VersionState::Terminated;
+        }
+    }
+
+    /// Bind a contract handle using the registered ABI.
+    pub fn contract_at(&self, address: Address) -> CoreResult<Contract> {
+        self.chain.contract_at(address)
+    }
+
+    /// On-chain version history (earliest first) for any version address.
+    pub fn history(&self, address: Address) -> CoreResult<Vec<Address>> {
+        self.chain.history(address)
+    }
+
+    /// Verify the on-chain evidence line around `address`.
+    pub fn verify_chain(&self, address: Address) -> CoreResult<Vec<Address>> {
+        self.chain.verify(address)
+    }
+
+    /// Attach the natural-language agreement (PDF bytes) to a version.
+    pub fn attach_document(&self, contract: Address, pdf: &[u8]) -> Cid {
+        self.documents.attach(contract, pdf)
+    }
+
+    /// Fetch the linked legal document.
+    pub fn document(&self, contract: Address) -> CoreResult<Vec<u8>> {
+        self.documents.fetch(contract)
+    }
+}

@@ -1,0 +1,195 @@
+//! The modification-negotiation workflow (Sections I and IV): "we have
+//! unilateral changes that are negotiated among the parties while changes
+//! lead to the contract modification" — the landlord proposes new terms,
+//! the tenant reviews and accepts or rejects, and only an accepted
+//! proposal is enacted as a new linked version. Rejection terminates the
+//! previous contract, exactly the lifecycle bullet of Section IV-A2.
+
+use crate::error::{CoreError, CoreResult};
+use crate::manager::ContractManager;
+use lsc_abi::AbiValue;
+use lsc_primitives::{Address, U256};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Proposal lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposalStatus {
+    /// Waiting for the counterparty's decision.
+    Proposed,
+    /// Accepted but not yet deployed.
+    Accepted,
+    /// Rejected by the counterparty.
+    Rejected,
+    /// Deployed as a new version.
+    Enacted,
+    /// Withdrawn by the proposer.
+    Withdrawn,
+}
+
+/// A proposed modification of a deployed legal contract.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Proposal id.
+    pub id: u64,
+    /// The version being modified.
+    pub target: Address,
+    /// Proposing account (the landlord).
+    pub proposer: Address,
+    /// Counterparty who must decide (the tenant).
+    pub counterparty: Address,
+    /// Human-readable description of the change.
+    pub description: String,
+    /// Upload id of the new contract version.
+    pub upload_id: u64,
+    /// Constructor arguments of the new version.
+    pub args: Vec<AbiValue>,
+    /// Attribute keys to migrate through the data store.
+    pub migrate_keys: Vec<String>,
+    /// Current status.
+    pub status: ProposalStatus,
+    /// Address of the enacted version (once deployed).
+    pub enacted_as: Option<Address>,
+}
+
+/// Negotiation book over a contract manager.
+#[derive(Clone)]
+pub struct NegotiationBook {
+    manager: ContractManager,
+    proposals: Arc<RwLock<Vec<Proposal>>>,
+}
+
+impl NegotiationBook {
+    /// New book over a manager.
+    pub fn new(manager: ContractManager) -> Self {
+        NegotiationBook { manager, proposals: Arc::new(RwLock::new(Vec::new())) }
+    }
+
+    /// Landlord proposes a modification of `target` to `counterparty`.
+    #[allow(clippy::too_many_arguments)] // a proposal really has this many facets
+    pub fn propose(
+        &self,
+        proposer: Address,
+        counterparty: Address,
+        target: Address,
+        description: &str,
+        upload_id: u64,
+        args: Vec<AbiValue>,
+        migrate_keys: Vec<String>,
+    ) -> CoreResult<u64> {
+        let record = self
+            .manager
+            .record(target)
+            .ok_or(CoreError::UnknownContract(target))?;
+        if record.deployer != proposer {
+            return Err(CoreError::Invalid(
+                "only the landlord who deployed a contract may propose changes".into(),
+            ));
+        }
+        if proposer == counterparty {
+            return Err(CoreError::Invalid("cannot negotiate with oneself".into()));
+        }
+        let mut proposals = self.proposals.write();
+        let id = proposals.len() as u64;
+        proposals.push(Proposal {
+            id,
+            target,
+            proposer,
+            counterparty,
+            description: description.to_string(),
+            upload_id,
+            args,
+            migrate_keys,
+            status: ProposalStatus::Proposed,
+            enacted_as: None,
+        });
+        Ok(id)
+    }
+
+    /// Fetch a proposal.
+    pub fn proposal(&self, id: u64) -> Option<Proposal> {
+        self.proposals.read().get(id as usize).cloned()
+    }
+
+    /// All proposals awaiting a party's decision.
+    pub fn pending_for(&self, counterparty: Address) -> Vec<Proposal> {
+        self.proposals
+            .read()
+            .iter()
+            .filter(|p| p.counterparty == counterparty && p.status == ProposalStatus::Proposed)
+            .cloned()
+            .collect()
+    }
+
+    fn transition(
+        &self,
+        id: u64,
+        who: Address,
+        expect_party: fn(&Proposal) -> Address,
+        from: ProposalStatus,
+        to: ProposalStatus,
+    ) -> CoreResult<()> {
+        let mut proposals = self.proposals.write();
+        let proposal = proposals
+            .get_mut(id as usize)
+            .ok_or_else(|| CoreError::Invalid(format!("no proposal {id}")))?;
+        if expect_party(proposal) != who {
+            return Err(CoreError::Invalid("wrong party for this decision".into()));
+        }
+        if proposal.status != from {
+            return Err(CoreError::Invalid(format!(
+                "proposal {id} is {:?}, not {from:?}",
+                proposal.status
+            )));
+        }
+        proposal.status = to;
+        Ok(())
+    }
+
+    /// Counterparty accepts the proposed terms.
+    pub fn accept(&self, id: u64, who: Address) -> CoreResult<()> {
+        self.transition(id, who, |p| p.counterparty, ProposalStatus::Proposed, ProposalStatus::Accepted)
+    }
+
+    /// Counterparty rejects; per the paper the previous contract is then
+    /// terminated by the landlord out-of-band.
+    pub fn reject(&self, id: u64, who: Address) -> CoreResult<()> {
+        self.transition(id, who, |p| p.counterparty, ProposalStatus::Proposed, ProposalStatus::Rejected)
+    }
+
+    /// Proposer withdraws a pending proposal.
+    pub fn withdraw(&self, id: u64, who: Address) -> CoreResult<()> {
+        self.transition(id, who, |p| p.proposer, ProposalStatus::Proposed, ProposalStatus::Withdrawn)
+    }
+
+    /// Enact an accepted proposal: deploy the new version linked after the
+    /// target, migrating the listed attributes. Returns the new address.
+    pub fn enact(&self, id: u64, who: Address) -> CoreResult<Address> {
+        let proposal = self
+            .proposal(id)
+            .ok_or_else(|| CoreError::Invalid(format!("no proposal {id}")))?;
+        if proposal.proposer != who {
+            return Err(CoreError::Invalid("only the proposer enacts".into()));
+        }
+        if proposal.status != ProposalStatus::Accepted {
+            return Err(CoreError::Invalid(format!(
+                "proposal {id} is {:?}, not Accepted",
+                proposal.status
+            )));
+        }
+        let keys: Vec<&str> = proposal.migrate_keys.iter().map(String::as_str).collect();
+        let contract = self.manager.deploy_version(
+            proposal.proposer,
+            proposal.upload_id,
+            &proposal.args,
+            U256::ZERO,
+            proposal.target,
+            &keys,
+        )?;
+        let mut proposals = self.proposals.write();
+        let p = proposals.get_mut(id as usize).expect("checked above");
+        p.status = ProposalStatus::Enacted;
+        p.enacted_as = Some(contract.address());
+        Ok(contract.address())
+    }
+}

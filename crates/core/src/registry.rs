@@ -1,0 +1,167 @@
+//! The ABI registry: `address → CID → ABI JSON in IPFS`.
+//!
+//! This is the paper's Section III-C2 mechanism verbatim: versioning gives
+//! you the *address* of the next/previous contract, but interacting with
+//! it needs its *ABI*; so each deployed version's ABI file is stored in
+//! IPFS keyed by the contract address. The registry also publishes its
+//! address→CID manifest into IPFS so another party can bootstrap from a
+//! single manifest CID.
+
+use crate::error::{CoreError, CoreResult};
+use lsc_abi::json::{parse, JsonValue};
+use lsc_abi::Abi;
+use lsc_ipfs::{Cid, IpfsNode};
+use lsc_primitives::Address;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Thread-safe address→ABI registry backed by IPFS.
+#[derive(Clone)]
+pub struct AbiRegistry {
+    ipfs: IpfsNode,
+    map: Arc<RwLock<BTreeMap<Address, Cid>>>,
+}
+
+impl AbiRegistry {
+    /// New registry over an IPFS node.
+    pub fn new(ipfs: IpfsNode) -> Self {
+        AbiRegistry { ipfs, map: Arc::new(RwLock::new(BTreeMap::new())) }
+    }
+
+    /// The underlying IPFS node.
+    pub fn ipfs(&self) -> &IpfsNode {
+        &self.ipfs
+    }
+
+    /// Pin an ABI's JSON into IPFS and map the contract address to it.
+    pub fn register(&self, address: Address, abi: &Abi) -> Cid {
+        let cid = self.ipfs.add_pinned(abi.to_json().as_bytes());
+        self.map.write().insert(address, cid);
+        cid
+    }
+
+    /// CID of the ABI for an address.
+    pub fn cid_of(&self, address: Address) -> Option<Cid> {
+        self.map.read().get(&address).copied()
+    }
+
+    /// Fetch and parse the ABI for an address (the address→ABI path the
+    /// paper's interaction flow depends on).
+    pub fn abi_of(&self, address: Address) -> CoreResult<Abi> {
+        let cid = self.cid_of(address).ok_or(CoreError::UnknownContract(address))?;
+        let bytes = self.ipfs.cat(&cid)?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| CoreError::Invalid("abi file is not utf-8".into()))?;
+        Ok(Abi::from_json(&text)?)
+    }
+
+    /// Number of registered contracts.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Publish the address→CID manifest to IPFS; returns the manifest CID.
+    pub fn publish_manifest(&self) -> Cid {
+        let map = self.map.read();
+        let object: BTreeMap<String, JsonValue> = map
+            .iter()
+            .map(|(addr, cid)| (addr.to_string(), JsonValue::String(cid.to_string())))
+            .collect();
+        let json = JsonValue::Object(object).to_json();
+        self.ipfs.add_pinned(json.as_bytes())
+    }
+
+    /// Rebuild a registry from a published manifest CID.
+    pub fn from_manifest(ipfs: IpfsNode, manifest: Cid) -> CoreResult<Self> {
+        let bytes = ipfs.cat(&manifest)?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| CoreError::Invalid("manifest is not utf-8".into()))?;
+        let doc = parse(&text).map_err(|e| CoreError::Invalid(e.to_string()))?;
+        let JsonValue::Object(entries) = doc else {
+            return Err(CoreError::Invalid("manifest must be a json object".into()));
+        };
+        let mut map = BTreeMap::new();
+        for (addr, cid) in entries {
+            let address: Address = addr
+                .parse()
+                .map_err(|_| CoreError::Invalid(format!("bad address in manifest: {addr}")))?;
+            let cid: Cid = cid
+                .as_str()
+                .ok_or_else(|| CoreError::Invalid("manifest cid must be a string".into()))?
+                .parse()
+                .map_err(|_| CoreError::Invalid("bad cid in manifest".into()))?;
+            map.insert(address, cid);
+        }
+        Ok(AbiRegistry { ipfs, map: Arc::new(RwLock::new(map)) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_abi::{Function, Param, StateMutability};
+
+    fn sample_abi() -> Abi {
+        Abi {
+            functions: vec![Function {
+                name: "payRent".into(),
+                inputs: vec![],
+                outputs: vec![],
+                mutability: StateMutability::Payable,
+            }],
+            ..Abi::default()
+        }
+    }
+
+    #[test]
+    fn register_and_fetch_roundtrip() {
+        let registry = AbiRegistry::new(IpfsNode::new());
+        let address = Address::from_label("contract-v1");
+        let cid = registry.register(address, &sample_abi());
+        assert_eq!(registry.cid_of(address), Some(cid));
+        let fetched = registry.abi_of(address).unwrap();
+        assert!(fetched.function("payRent").is_some());
+    }
+
+    #[test]
+    fn unknown_address_errors() {
+        let registry = AbiRegistry::new(IpfsNode::new());
+        let ghost = Address::from_label("ghost");
+        assert!(matches!(
+            registry.abi_of(ghost),
+            Err(CoreError::UnknownContract(a)) if a == ghost
+        ));
+    }
+
+    #[test]
+    fn manifest_roundtrip_bootstraps_fresh_registry() {
+        let ipfs = IpfsNode::new();
+        let registry = AbiRegistry::new(ipfs.clone());
+        let a1 = Address::from_label("v1");
+        let a2 = Address::from_label("v2");
+        registry.register(a1, &sample_abi());
+        registry.register(a2, &Abi::default());
+        let manifest = registry.publish_manifest();
+
+        let restored = AbiRegistry::from_manifest(ipfs, manifest).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert!(restored.abi_of(a1).unwrap().function("payRent").is_some());
+        let p = Param::new("x", lsc_abi::AbiType::Uint(256));
+        let _ = p; // silence unused import path in older toolchains
+    }
+
+    #[test]
+    fn same_abi_same_cid() {
+        let registry = AbiRegistry::new(IpfsNode::new());
+        let c1 = registry.register(Address::from_label("a"), &sample_abi());
+        let c2 = registry.register(Address::from_label("b"), &sample_abi());
+        assert_eq!(c1, c2, "content addressing dedups identical ABIs");
+        assert_eq!(registry.ipfs().store().len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The contract versioning system (Fig. 2): every legal contract derives
+//! from `Node`, a doubly-linked-list node whose `next`/`previous` fields
+//! hold the addresses of the neighbouring versions *on chain*. The chain
+//! of versions is the tamper-evident "evidence line" of modifications.
+
+use crate::error::{CoreError, CoreResult};
+use crate::registry::AbiRegistry;
+use lsc_abi::AbiValue;
+use lsc_primitives::{Address, U256};
+use lsc_web3::{Contract, Web3};
+
+/// Operations over the on-chain doubly linked list of versions.
+#[derive(Clone)]
+pub struct VersionChain {
+    web3: Web3,
+    registry: AbiRegistry,
+}
+
+impl VersionChain {
+    /// Bind to a client and an ABI registry.
+    pub fn new(web3: Web3, registry: AbiRegistry) -> Self {
+        VersionChain { web3, registry }
+    }
+
+    /// Resolve a contract handle for an address via the ABI registry —
+    /// the paper's address→IPFS→ABI→interaction path.
+    pub fn contract_at(&self, address: Address) -> CoreResult<Contract> {
+        let abi = self.registry.abi_of(address)?;
+        Ok(self.web3.contract_at(abi, address))
+    }
+
+    /// Read the `next` pointer of a version (zero address = none).
+    pub fn next_of(&self, address: Address) -> CoreResult<Option<Address>> {
+        let contract = self.contract_at(address)?;
+        let next = contract.call1("getNext", &[])?;
+        Ok(next.as_address().filter(|a| !a.is_zero()))
+    }
+
+    /// Read the `previous` pointer of a version (zero address = none).
+    pub fn prev_of(&self, address: Address) -> CoreResult<Option<Address>> {
+        let contract = self.contract_at(address)?;
+        let prev = contract.call1("getPrev", &[])?;
+        Ok(prev.as_address().filter(|a| !a.is_zero()))
+    }
+
+    /// Link `new_version` after `previous` by setting both pointers, as
+    /// the contract manager does whenever a new version is deployed.
+    pub fn link(
+        &self,
+        from: Address,
+        previous: Address,
+        new_version: Address,
+    ) -> CoreResult<()> {
+        let prev_contract = self.contract_at(previous)?;
+        let new_contract = self.contract_at(new_version)?;
+        prev_contract.send(from, "setNext", &[AbiValue::Address(new_version)], U256::ZERO)?;
+        new_contract.send(from, "setPrev", &[AbiValue::Address(previous)], U256::ZERO)?;
+        Ok(())
+    }
+
+    /// Walk back to the first version.
+    pub fn head_of(&self, address: Address) -> CoreResult<Address> {
+        let mut current = address;
+        let mut hops = 0usize;
+        while let Some(prev) = self.prev_of(current)? {
+            current = prev;
+            hops += 1;
+            if hops > 10_000 {
+                return Err(CoreError::BrokenChain("previous-pointer cycle".into()));
+            }
+        }
+        Ok(current)
+    }
+
+    /// Walk forward to the latest version.
+    pub fn latest_of(&self, address: Address) -> CoreResult<Address> {
+        let mut current = address;
+        let mut hops = 0usize;
+        while let Some(next) = self.next_of(current)? {
+            current = next;
+            hops += 1;
+            if hops > 10_000 {
+                return Err(CoreError::BrokenChain("next-pointer cycle".into()));
+            }
+        }
+        Ok(current)
+    }
+
+    /// Full version history, earliest first, discovered entirely from
+    /// on-chain pointers (the evidence line).
+    pub fn history(&self, address: Address) -> CoreResult<Vec<Address>> {
+        let head = self.head_of(address)?;
+        let mut chain = vec![head];
+        let mut current = head;
+        while let Some(next) = self.next_of(current)? {
+            if chain.contains(&next) {
+                return Err(CoreError::BrokenChain("next-pointer cycle".into()));
+            }
+            chain.push(next);
+            current = next;
+        }
+        Ok(chain)
+    }
+
+    /// Verify the chain's bidirectional integrity: for every adjacent
+    /// pair, `a.next == b` and `b.previous == a`.
+    pub fn verify(&self, address: Address) -> CoreResult<Vec<Address>> {
+        let chain = self.history(address)?;
+        for pair in chain.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if self.next_of(a)? != Some(b) {
+                return Err(CoreError::BrokenChain(format!("{a} does not point forward to {b}")));
+            }
+            if self.prev_of(b)? != Some(a) {
+                return Err(CoreError::BrokenChain(format!("{b} does not point back to {a}")));
+            }
+        }
+        Ok(chain)
+    }
+}

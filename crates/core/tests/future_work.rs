@@ -1,0 +1,230 @@
+//! Tests of the Section V future-work features implemented beyond the
+//! paper's prototype: guarded write-once version links, the negotiation
+//! workflow, and the evidence-line audit report.
+
+use lsc_abi::AbiValue;
+use lsc_chain::LocalNode;
+use lsc_core::{audit_chain, contracts, ContractManager, NegotiationBook, ProposalStatus};
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+
+fn setup() -> (ContractManager, Address, Address) {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    (
+        ContractManager::new(web3, IpfsNode::new()),
+        accounts[0],
+        accounts[1],
+    )
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("H-1"),
+        AbiValue::uint(1000),
+    ]
+}
+
+// ---------- guarded write-once links ----------
+
+#[test]
+fn guarded_links_reject_strangers() {
+    let (manager, landlord, stranger) = setup();
+    let artifact = contracts::compile_guarded_rental().unwrap();
+    let upload = manager.upload_artifact("guarded", &artifact).unwrap();
+    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+
+    let target = Address::from_label("next-version");
+    // A stranger cannot relink the evidence line.
+    let attempt = contract.send(stranger, "setNext", &[AbiValue::Address(target)], U256::ZERO);
+    assert!(attempt.is_err());
+    match attempt {
+        Err(lsc_web3::Web3Error::Reverted { reason, .. }) => {
+            assert_eq!(reason.as_deref(), Some("only the landlord links versions"));
+        }
+        other => panic!("expected revert, got {other:?}"),
+    }
+    // The landlord can.
+    contract.send(landlord, "setNext", &[AbiValue::Address(target)], U256::ZERO).unwrap();
+    assert_eq!(contract.call1("getNext", &[]).unwrap().as_address(), Some(target));
+}
+
+#[test]
+fn guarded_links_are_write_once() {
+    let (manager, landlord, _) = setup();
+    let artifact = contracts::compile_guarded_rental().unwrap();
+    let upload = manager.upload_artifact("guarded", &artifact).unwrap();
+    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+
+    let v2 = Address::from_label("v2");
+    let attacker_choice = Address::from_label("elsewhere");
+    contract.send(landlord, "setNext", &[AbiValue::Address(v2)], U256::ZERO).unwrap();
+    assert_eq!(contract.call1("isSuperseded", &[]).unwrap().as_bool(), Some(true));
+    // Even the landlord cannot rewrite history afterwards.
+    let attempt =
+        contract.send(landlord, "setNext", &[AbiValue::Address(attacker_choice)], U256::ZERO);
+    assert!(attempt.is_err());
+    assert_eq!(contract.call1("getNext", &[]).unwrap().as_address(), Some(v2));
+    // The zero address is never linkable.
+    let fresh = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    assert!(fresh
+        .send(landlord, "setPrev", &[AbiValue::Address(Address::ZERO)], U256::ZERO)
+        .is_err());
+}
+
+#[test]
+fn guarded_contract_emits_link_events() {
+    let (manager, landlord, _) = setup();
+    let artifact = contracts::compile_guarded_rental().unwrap();
+    let upload = manager.upload_artifact("guarded", &artifact).unwrap();
+    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v2 = Address::from_label("v2");
+    let receipt = contract
+        .send(landlord, "setNext", &[AbiValue::Address(v2)], U256::ZERO)
+        .unwrap();
+    let events = contract.decode_logs(&receipt);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "versionLinked");
+    assert_eq!(events[0].params[0].1.as_address(), Some(v2));
+    assert_eq!(events[0].params[1].1.as_bool(), Some(true));
+}
+
+// ---------- negotiation workflow ----------
+
+#[test]
+fn negotiation_accept_then_enact() {
+    let (manager, landlord, tenant) = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+
+    let book = NegotiationBook::new(manager.clone());
+    let id = book
+        .propose(
+            landlord,
+            tenant,
+            v1.address(),
+            "raise rent to 2 ETH from next term",
+            upload,
+            vec![
+                AbiValue::Uint(ether(2)),
+                AbiValue::string("H-1"),
+                AbiValue::uint(1000),
+            ],
+            vec![],
+        )
+        .unwrap();
+    assert_eq!(book.pending_for(tenant).len(), 1);
+    // Cannot enact before acceptance.
+    assert!(book.enact(id, landlord).is_err());
+    book.accept(id, tenant).unwrap();
+    let v2 = book.enact(id, landlord).unwrap();
+
+    // The proposal is enacted and the chain is linked.
+    let proposal = book.proposal(id).unwrap();
+    assert_eq!(proposal.status, ProposalStatus::Enacted);
+    assert_eq!(proposal.enacted_as, Some(v2));
+    assert_eq!(manager.history(v2).unwrap(), vec![v1.address(), v2]);
+    // The new version carries the negotiated rent.
+    let c2 = manager.contract_at(v2).unwrap();
+    assert_eq!(c2.call1("rent", &[]).unwrap().as_uint(), Some(ether(2)));
+}
+
+#[test]
+fn negotiation_rejection_and_withdrawal() {
+    let (manager, landlord, tenant) = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let book = NegotiationBook::new(manager.clone());
+
+    let id = book
+        .propose(landlord, tenant, v1.address(), "worse terms", upload, base_args(), vec![])
+        .unwrap();
+    // The wrong party cannot decide.
+    assert!(book.accept(id, landlord).is_err());
+    book.reject(id, tenant).unwrap();
+    assert_eq!(book.proposal(id).unwrap().status, ProposalStatus::Rejected);
+    // A rejected proposal cannot be enacted; no new version exists.
+    assert!(book.enact(id, landlord).is_err());
+    assert_eq!(manager.history(v1.address()).unwrap().len(), 1);
+
+    // Withdrawal path.
+    let id2 = book
+        .propose(landlord, tenant, v1.address(), "second thoughts", upload, base_args(), vec![])
+        .unwrap();
+    book.withdraw(id2, landlord).unwrap();
+    assert_eq!(book.proposal(id2).unwrap().status, ProposalStatus::Withdrawn);
+    assert!(book.accept(id2, tenant).is_err(), "withdrawn proposals are closed");
+}
+
+#[test]
+fn negotiation_guards_proposer_identity() {
+    let (manager, landlord, tenant) = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let book = NegotiationBook::new(manager.clone());
+    // Tenant cannot propose on the landlord's contract.
+    assert!(book
+        .propose(tenant, landlord, v1.address(), "x", upload, base_args(), vec![])
+        .is_err());
+    // Self-negotiation is rejected.
+    assert!(book
+        .propose(landlord, landlord, v1.address(), "x", upload, base_args(), vec![])
+        .is_err());
+    // Unknown target contract.
+    assert!(book
+        .propose(landlord, tenant, Address::from_label("ghost"), "x", upload, base_args(), vec![])
+        .is_err());
+}
+
+// ---------- evidence audit ----------
+
+#[test]
+fn audit_report_covers_whole_chain() {
+    let (manager, landlord, _) = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    manager.attach_document(v1.address(), b"%PDF original terms");
+    let v2 = manager
+        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .unwrap();
+
+    let report = audit_chain(&manager, v2.address()).unwrap();
+    assert!(report.chain_intact);
+    assert_eq!(report.entries.len(), 2);
+    assert_eq!(report.entries[0].version, 1);
+    assert_eq!(report.entries[0].deployer, Some(landlord));
+    assert!(report.entries[0].document_cid.is_some());
+    assert!(report.entries[1].document_cid.is_none());
+    assert!(report.entries[0].abi_cid.is_some());
+    // Identical code ⇒ identical code hashes across versions.
+    assert_eq!(report.entries[0].code_hash, report.entries[1].code_hash);
+
+    let text = report.render();
+    assert!(text.contains("EVIDENCE LINE AUDIT"));
+    assert!(text.contains("INTACT"));
+    assert!(text.contains("v1"));
+    assert!(text.contains("v2"));
+}
+
+#[test]
+fn audit_flags_tampered_chain() {
+    let (manager, landlord, _) = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v2 = manager
+        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .unwrap();
+    // Tamper: point v2's previous somewhere else (unguarded base setters).
+    let v3 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    v2.send(landlord, "setPrev", &[AbiValue::Address(v3.address())], U256::ZERO).unwrap();
+    let report = audit_chain(&manager, v1.address()).unwrap();
+    assert!(!report.chain_intact);
+    assert!(report.render().contains("BROKEN"));
+}

@@ -1,0 +1,398 @@
+//! Integration tests of the paper's core mechanisms: the versioning
+//! linked list (Fig. 2), data/logic separation (Fig. 3), the address→ABI
+//! path through IPFS, the rental lifecycle (Fig. 4) and the modification
+//! workflow (Fig. 11).
+
+use lsc_abi::AbiValue;
+use lsc_chain::LocalNode;
+use lsc_core::contracts::{self, RENTAL_DATA_KEYS};
+use lsc_core::{ContractManager, Rental, RentalState, VersionState};
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+
+struct World {
+    manager: ContractManager,
+    landlord: Address,
+    tenant: Address,
+}
+
+fn setup() -> World {
+    let web3 = Web3::new(LocalNode::new(4));
+    let manager = ContractManager::new(web3.clone(), IpfsNode::new());
+    let accounts = web3.accounts();
+    World { manager, landlord: accounts[0], tenant: accounts[1] }
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),          // rent
+        AbiValue::string("10001-42 Main"), // house
+        AbiValue::uint(365 * 24 * 3600),   // contractTime
+    ]
+}
+
+fn v2_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),           // rent
+        AbiValue::Uint(ether(2)),           // deposit
+        AbiValue::uint(365 * 24 * 3600),    // contractTime
+        AbiValue::Uint(ether(1) / U256::from_u64(10)), // discount
+        AbiValue::Uint(ether(1) / U256::from_u64(2)),  // fine
+        AbiValue::string("10001-42 Main"),
+    ]
+}
+
+#[test]
+fn full_lifecycle_on_base_contract() {
+    let w = setup();
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = w.manager.upload_artifact("Basic rental contract", &artifact).unwrap();
+    let contract = w.manager.deploy(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let rental = Rental::at(contract);
+
+    assert_eq!(rental.state().unwrap(), RentalState::Created);
+    assert_eq!(rental.rent().unwrap(), ether(1));
+
+    // Tenant confirms (no deposit on the base version).
+    rental.confirm_agreement(w.tenant).unwrap();
+    assert_eq!(rental.state().unwrap(), RentalState::Started);
+
+    // Ether moves tenant → landlord on payRent.
+    let landlord_before = w.manager.web3().balance(w.landlord);
+    rental.pay_rent(w.tenant).unwrap();
+    rental.pay_rent(w.tenant).unwrap();
+    assert_eq!(
+        w.manager.web3().balance(w.landlord),
+        landlord_before + ether(2)
+    );
+    let paid = rental.paid_rents().unwrap();
+    assert_eq!(paid.len(), 2);
+    assert_eq!(paid[0], (1, ether(1)));
+    assert_eq!(paid[1], (2, ether(1)));
+
+    // Role checks: only the landlord terminates the base contract.
+    assert!(rental.terminate(w.tenant).is_err());
+    rental.terminate(w.landlord).unwrap();
+    assert_eq!(rental.state().unwrap(), RentalState::Terminated);
+
+    // And a terminated contract rejects further rent.
+    assert!(rental.pay_rent(w.tenant).is_err());
+}
+
+#[test]
+fn role_checks_enforced_on_chain() {
+    let w = setup();
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = w.manager.upload_artifact("base", &artifact).unwrap();
+    let contract = w.manager.deploy(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let rental = Rental::at(contract);
+
+    // Landlord cannot be their own tenant.
+    assert!(rental.confirm_agreement(w.landlord).is_err());
+    // Rent before confirmation is rejected.
+    assert!(rental.pay_rent(w.tenant).is_err());
+    rental.confirm_agreement(w.tenant).unwrap();
+    // A third party cannot pay the rent.
+    let other = w.manager.web3().accounts()[2];
+    assert!(rental.pay_rent(other).is_err());
+    // Wrong amount is rejected.
+    assert!(rental
+        .contract()
+        .send(w.tenant, "payRent", &[], ether(3))
+        .is_err());
+}
+
+#[test]
+fn modification_links_versions_both_ways() {
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up_base = w.manager.upload_artifact("Basic rental contract", &base).unwrap();
+    let up_v2 = w.manager.upload_artifact("Modified rental contract", &v2).unwrap();
+
+    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+    let c2 = w
+        .manager
+        .deploy_version(w.landlord, up_v2, &v2_args(), U256::ZERO, c1.address(), &[])
+        .unwrap();
+
+    // On-chain pointers (the evidence line).
+    let chain = w.manager.version_chain();
+    assert_eq!(chain.next_of(c1.address()).unwrap(), Some(c2.address()));
+    assert_eq!(chain.prev_of(c2.address()).unwrap(), Some(c1.address()));
+    assert_eq!(chain.next_of(c2.address()).unwrap(), None);
+    assert_eq!(chain.prev_of(c1.address()).unwrap(), None);
+
+    // History discovered from either end.
+    let expected = vec![c1.address(), c2.address()];
+    assert_eq!(w.manager.history(c1.address()).unwrap(), expected);
+    assert_eq!(w.manager.history(c2.address()).unwrap(), expected);
+    assert_eq!(w.manager.verify_chain(c1.address()).unwrap(), expected);
+
+    // Records: v1 inactive, v2 active, version numbers increment.
+    assert_eq!(w.manager.record(c1.address()).unwrap().state, VersionState::Inactive);
+    let r2 = w.manager.record(c2.address()).unwrap();
+    assert_eq!(r2.state, VersionState::Active);
+    assert_eq!(r2.version, 2);
+    assert_eq!(r2.previous, Some(c1.address()));
+}
+
+#[test]
+fn three_version_evidence_line() {
+    let w = setup();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up = w.manager.upload_artifact("Rental", &v2).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up, &v2_args(), U256::ZERO).unwrap();
+    let c2 = w
+        .manager
+        .deploy_version(w.landlord, up, &v2_args(), U256::ZERO, c1.address(), &[])
+        .unwrap();
+    let c3 = w
+        .manager
+        .deploy_version(w.landlord, up, &v2_args(), U256::ZERO, c2.address(), &[])
+        .unwrap();
+    let expected = vec![c1.address(), c2.address(), c3.address()];
+    // Traversal from the middle recovers the whole line.
+    assert_eq!(w.manager.history(c2.address()).unwrap(), expected);
+    assert_eq!(w.manager.verify_chain(c3.address()).unwrap(), expected);
+    assert_eq!(w.manager.version_chain().latest_of(c1.address()).unwrap(), c3.address());
+    assert_eq!(w.manager.version_chain().head_of(c3.address()).unwrap(), c1.address());
+    assert_eq!(w.manager.record(c3.address()).unwrap().version, 3);
+}
+
+#[test]
+fn only_original_landlord_can_modify() {
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let up = w.manager.upload_artifact("base", &base).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+    let intruder = w.manager.web3().accounts()[2];
+    let result = w
+        .manager
+        .deploy_version(intruder, up, &base_args(), U256::ZERO, c1.address(), &[]);
+    match result {
+        Err(err) => assert!(err.to_string().contains("landlord")),
+        Ok(_) => panic!("intruder was allowed to modify the contract"),
+    }
+}
+
+#[test]
+fn data_separation_migrates_attributes() {
+    let w = setup();
+    w.manager.init_data_store(w.landlord).unwrap();
+    let store = w.manager.data_store().unwrap();
+
+    let base = contracts::compile_base_rental().unwrap();
+    let up_base = w.manager.upload_artifact("base", &base).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+
+    // Snapshot the live contract's attributes into the DataStorage contract.
+    let written = store
+        .snapshot_contract(w.landlord, &c1, RENTAL_DATA_KEYS)
+        .unwrap();
+    assert_eq!(written, RENTAL_DATA_KEYS.len());
+    assert_eq!(store.get(c1.address(), "house").unwrap(), "10001-42 Main");
+    assert_eq!(store.get(c1.address(), "rent").unwrap(), ether(1).to_string());
+
+    // Deploy v2 with migration: the new version's record carries the data.
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up_v2 = w.manager.upload_artifact("v2", &v2).unwrap();
+    let c2 = w
+        .manager
+        .deploy_version(
+            w.landlord,
+            up_v2,
+            &v2_args(),
+            U256::ZERO,
+            c1.address(),
+            RENTAL_DATA_KEYS,
+        )
+        .unwrap();
+    assert_eq!(store.get(c2.address(), "house").unwrap(), "10001-42 Main");
+    assert_eq!(store.get(c2.address(), "rent").unwrap(), ether(1).to_string());
+    // Old record still intact (history preserved).
+    assert_eq!(store.get(c1.address(), "house").unwrap(), "10001-42 Main");
+    // Unset keys read as empty.
+    assert_eq!(store.get(c2.address(), "unset").unwrap(), "");
+}
+
+#[test]
+fn abi_travels_through_ipfs_by_address() {
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let up = w.manager.upload_artifact("base", &base).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+
+    // A different party holding only the ADDRESS can reconstruct the
+    // interface: registry → CID → IPFS → ABI → call.
+    let registry = w.manager.registry();
+    let cid = registry.cid_of(c1.address()).expect("abi pinned at deploy");
+    let raw = registry.ipfs().cat(&cid).unwrap();
+    let abi = lsc_abi::Abi::from_json(std::str::from_utf8(&raw).unwrap()).unwrap();
+    assert!(abi.function("payRent").is_some());
+
+    let rebound = w.manager.contract_at(c1.address()).unwrap();
+    assert_eq!(
+        rebound.call1("house", &[]).unwrap().as_str(),
+        Some("10001-42 Main")
+    );
+}
+
+#[test]
+fn registry_manifest_bootstraps_second_party() {
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let up = w.manager.upload_artifact("base", &base).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+    let manifest = w.manager.registry().publish_manifest();
+
+    // Second party: same IPFS network, fresh registry from the manifest.
+    let registry2 = lsc_core::AbiRegistry::from_manifest(
+        w.manager.registry().ipfs().clone(),
+        manifest,
+    )
+    .unwrap();
+    assert!(registry2.abi_of(c1.address()).unwrap().function("payRent").is_some());
+}
+
+#[test]
+fn tenant_reconfirms_after_modification() {
+    // The paper: "A tenant has to confirm the agreement again if the
+    // landlord modifies the contract."
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up_base = w.manager.upload_artifact("base", &base).unwrap();
+    let up_v2 = w.manager.upload_artifact("v2", &v2).unwrap();
+
+    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+    let rental_v1 = Rental::at(c1.clone());
+    rental_v1.confirm_agreement(w.tenant).unwrap();
+    rental_v1.pay_rent(w.tenant).unwrap();
+
+    // Landlord modifies: deploys v2 linked to v1; v1 is terminated.
+    let c2 = w
+        .manager
+        .deploy_version(w.landlord, up_v2, &v2_args(), U256::ZERO, c1.address(), &[])
+        .unwrap();
+    rental_v1.terminate(w.landlord).unwrap();
+    w.manager.mark_terminated(c1.address());
+
+    // The new version starts fresh: tenant must confirm again (with the
+    // new deposit clause) before paying the discounted rent.
+    let rental_v2 = Rental::at(c2);
+    assert_eq!(rental_v2.state().unwrap(), RentalState::Created);
+    assert!(rental_v2.pay_rent(w.tenant).is_err());
+    rental_v2.confirm_agreement(w.tenant).unwrap();
+    assert_eq!(rental_v2.deposit().unwrap(), ether(2));
+    let landlord_before = w.manager.web3().balance(w.landlord);
+    rental_v2.pay_rent(w.tenant).unwrap();
+    // Discounted rent: 1 ether - 0.1 ether.
+    assert_eq!(
+        w.manager.web3().balance(w.landlord) - landlord_before,
+        ether(1) - ether(1) / U256::from_u64(10)
+    );
+    // The old transactions remain reachable via the evidence line.
+    assert_eq!(rental_v1.paid_rents().unwrap().len(), 1);
+    assert_eq!(
+        w.manager.history(rental_v2.address()).unwrap(),
+        vec![rental_v1.address(), rental_v2.address()]
+    );
+}
+
+#[test]
+fn maintenance_clause_only_on_v2() {
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up_base = w.manager.upload_artifact("base", &base).unwrap();
+    let up_v2 = w.manager.upload_artifact("v2", &v2).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+    let c2 = w.manager.deploy(w.landlord, up_v2, &v2_args(), U256::ZERO).unwrap();
+
+    let r1 = Rental::at(c1);
+    let r2 = Rental::at(c2);
+    assert!(r1.pay_maintenance(w.tenant, ether(1)).is_err(), "v1 has no such clause");
+    r2.confirm_agreement(w.tenant).unwrap();
+    let landlord_before = w.manager.web3().balance(w.landlord);
+    r2.pay_maintenance(w.tenant, ether(1) / U256::from_u64(20)).unwrap();
+    assert_eq!(
+        w.manager.web3().balance(w.landlord) - landlord_before,
+        ether(1) / U256::from_u64(20)
+    );
+}
+
+#[test]
+fn untimely_termination_splits_deposit() {
+    let w = setup();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up = w.manager.upload_artifact("v2", &v2).unwrap();
+    let c = w.manager.deploy(w.landlord, up, &v2_args(), U256::ZERO).unwrap();
+    let rental = Rental::at(c);
+    rental.confirm_agreement(w.tenant).unwrap();
+    // Contract escrows the deposit.
+    assert_eq!(w.manager.web3().balance(rental.address()), ether(2));
+
+    // Tenant cancels early (untimely): half the deposit + fine withheld.
+    let tenant_before = w.manager.web3().balance(w.tenant);
+    let landlord_before = w.manager.web3().balance(w.landlord);
+    rental.terminate(w.tenant).unwrap();
+    let kept = ether(1) + ether(1) / U256::from_u64(2); // deposit/2 + fine
+    let refunded = ether(2) - kept;
+    assert_eq!(w.manager.web3().balance(w.landlord) - landlord_before, kept);
+    let tenant_after = w.manager.web3().balance(w.tenant);
+    // Tenant got the refund minus gas.
+    assert!(tenant_after > tenant_before);
+    assert!(tenant_after - tenant_before <= refunded);
+    assert_eq!(rental.state().unwrap(), RentalState::Terminated);
+    assert_eq!(w.manager.web3().balance(rental.address()), U256::ZERO);
+}
+
+#[test]
+fn timely_termination_returns_full_deposit() {
+    let w = setup();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up = w.manager.upload_artifact("v2", &v2).unwrap();
+    // One-month agreement.
+    let args = vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::Uint(ether(2)),
+        AbiValue::uint(30 * 24 * 3600),
+        AbiValue::Uint(U256::ZERO),
+        AbiValue::Uint(ether(1) / U256::from_u64(2)),
+        AbiValue::string("10001-42 Main"),
+    ];
+    let c = w.manager.deploy(w.landlord, up, &args, U256::ZERO).unwrap();
+    let rental = Rental::at(c);
+    rental.confirm_agreement(w.tenant).unwrap();
+
+    // Warp past the agreed period: termination is timely, full deposit.
+    w.manager.web3().increase_time(31 * 24 * 3600);
+    let landlord_before = w.manager.web3().balance(w.landlord);
+    rental.terminate(w.tenant).unwrap();
+    assert_eq!(w.manager.web3().balance(w.landlord), landlord_before, "landlord keeps nothing");
+    assert_eq!(w.manager.web3().balance(rental.address()), U256::ZERO);
+}
+
+#[test]
+fn documents_linked_to_versions() {
+    let w = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    let up = w.manager.upload_artifact("base", &base).unwrap();
+    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+    let pdf = b"%PDF-1.4 Rental agreement, 12 months, 1 ETH monthly";
+    w.manager.attach_document(c1.address(), pdf);
+    assert_eq!(w.manager.document(c1.address()).unwrap(), pdf);
+    assert!(w.manager.document(Address::from_label("nowhere")).is_err());
+}
+
+#[test]
+fn upload_validation() {
+    let w = setup();
+    assert!(w.manager.upload("bad", vec![], "[]").is_err());
+    assert!(w.manager.upload("bad", vec![1, 2, 3], "not json").is_err());
+    let id = w.manager.upload("ok", vec![0x60, 0x00], "[]").unwrap();
+    assert_eq!(id, 0);
+    assert!(w.manager.deploy(w.landlord, 99, &[], U256::ZERO).is_err());
+}

@@ -1,0 +1,240 @@
+//! A small EVM assembler with symbolic labels.
+//!
+//! The Solidity-subset compiler (`lsc-solc`) emits through this builder;
+//! tests in this crate use it to write readable bytecode programs.
+
+use crate::opcode::op;
+use lsc_primitives::U256;
+use std::collections::HashMap;
+
+/// A label identifier handed out by [`Asm::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+enum Entry {
+    /// A literal opcode byte.
+    Op(u8),
+    /// Raw immediate bytes (already part of a PUSH emitted via `push`).
+    Raw(Vec<u8>),
+    /// PUSH of a label's final offset (fixed-width placeholder).
+    PushLabel(Label),
+    /// Placement of a label (must be a JUMPDEST position).
+    Place(Label),
+}
+
+/// Errors produced during assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was pushed but never placed.
+    UnplacedLabel(usize),
+    /// A label was placed more than once.
+    DuplicateLabel(usize),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnplacedLabel(id) => write!(f, "label {id} pushed but never placed"),
+            Self::DuplicateLabel(id) => write!(f, "label {id} placed twice"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Width in bytes used for all label pushes (PUSH3 covers 16 MiB of code,
+/// far beyond the EIP-170 cap, and keeps offsets stable in one pass).
+const LABEL_PUSH_WIDTH: usize = 3;
+
+/// An append-only assembler buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Asm {
+    entries: Vec<Entry>,
+    next_label: usize,
+}
+
+impl Asm {
+    /// Empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Allocate a fresh label (place it later with [`Asm::place`]).
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Emit a raw opcode byte.
+    pub fn op(&mut self, byte: u8) -> &mut Self {
+        self.entries.push(Entry::Op(byte));
+        self
+    }
+
+    /// Emit the shortest PUSH for `value` (PUSH0/PUSH1..PUSH32).
+    pub fn push(&mut self, value: U256) -> &mut Self {
+        let len = value.byte_len();
+        if len == 0 {
+            // PUSH1 0x00 rather than PUSH0 keeps us compatible with the
+            // pre-Shanghai opcode set the paper's Solidity 0.5 toolchain used.
+            self.entries.push(Entry::Op(op::PUSH1));
+            self.entries.push(Entry::Raw(vec![0]));
+            return self;
+        }
+        let bytes = value.to_be_bytes();
+        self.entries.push(Entry::Op(op::PUSH1 + (len as u8) - 1));
+        self.entries.push(Entry::Raw(bytes[32 - len..].to_vec()));
+        self
+    }
+
+    /// Emit a PUSH of a small integer.
+    pub fn push_u64(&mut self, value: u64) -> &mut Self {
+        self.push(U256::from_u64(value))
+    }
+
+    /// Emit raw bytes verbatim (e.g. embedded runtime code).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.entries.push(Entry::Raw(bytes.to_vec()));
+        self
+    }
+
+    /// Emit a PUSH of `label`'s eventual byte offset.
+    pub fn push_label(&mut self, label: Label) -> &mut Self {
+        self.entries.push(Entry::PushLabel(label));
+        self
+    }
+
+    /// Place `label` here and emit a JUMPDEST.
+    pub fn place(&mut self, label: Label) -> &mut Self {
+        self.entries.push(Entry::Place(label));
+        self.entries.push(Entry::Op(op::JUMPDEST));
+        self
+    }
+
+    /// Place `label` here without emitting a JUMPDEST (for data offsets,
+    /// e.g. runtime code embedded after init code).
+    pub fn place_raw(&mut self, label: Label) -> &mut Self {
+        self.entries.push(Entry::Place(label));
+        self
+    }
+
+    /// Append another assembled fragment (labels must not overlap; intended
+    /// for concatenating independently assembled sections).
+    pub fn extend_raw(&mut self, bytes: Vec<u8>) -> &mut Self {
+        self.entries.push(Entry::Raw(bytes));
+        self
+    }
+
+    /// Current lower bound of the program size (labels count at fixed width).
+    pub fn len_estimate(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                Entry::Op(_) => 1,
+                Entry::Raw(b) => b.len(),
+                Entry::PushLabel(_) => 1 + LABEL_PUSH_WIDTH,
+                Entry::Place(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Resolve labels and produce final bytecode.
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        // Pass 1: compute offsets (label pushes are fixed width).
+        let mut offsets: HashMap<Label, usize> = HashMap::new();
+        let mut pc = 0usize;
+        for entry in &self.entries {
+            match entry {
+                Entry::Op(_) => pc += 1,
+                Entry::Raw(bytes) => pc += bytes.len(),
+                Entry::PushLabel(_) => pc += 1 + LABEL_PUSH_WIDTH,
+                Entry::Place(label) => {
+                    if offsets.insert(*label, pc).is_some() {
+                        return Err(AsmError::DuplicateLabel(label.0));
+                    }
+                }
+            }
+        }
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(pc);
+        for entry in &self.entries {
+            match entry {
+                Entry::Op(byte) => out.push(*byte),
+                Entry::Raw(bytes) => out.extend_from_slice(bytes),
+                Entry::PushLabel(label) => {
+                    let offset = *offsets.get(label).ok_or(AsmError::UnplacedLabel(label.0))?;
+                    out.push(op::PUSH1 + (LABEL_PUSH_WIDTH as u8) - 1);
+                    let be = (offset as u32).to_be_bytes();
+                    out.extend_from_slice(&be[4 - LABEL_PUSH_WIDTH..]);
+                }
+                Entry::Place(_) => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::disassemble;
+
+    #[test]
+    fn push_width_is_minimal() {
+        let mut a = Asm::new();
+        a.push_u64(0).push_u64(1).push_u64(256).push(U256::MAX);
+        let code = a.assemble().unwrap();
+        let rows = disassemble(&code);
+        assert_eq!(rows[0].1, "PUSH1 0x00");
+        assert_eq!(rows[1].1, "PUSH1 0x01");
+        assert_eq!(rows[2].1, "PUSH2 0x0100");
+        assert!(rows[3].1.starts_with("PUSH32 0xff"));
+    }
+
+    #[test]
+    fn labels_resolve_to_jumpdests() {
+        let mut a = Asm::new();
+        let target = a.new_label();
+        a.push_label(target).op(op::JUMP);
+        a.op(op::INVALID); // skipped
+        a.place(target);
+        a.op(op::STOP);
+        let code = a.assemble().unwrap();
+        // PUSH3 <offset> JUMP INVALID JUMPDEST STOP
+        assert_eq!(code.len(), 1 + 3 + 1 + 1 + 1 + 1);
+        let dest = u32::from_be_bytes([0, code[1], code[2], code[3]]) as usize;
+        assert_eq!(code[dest], op::JUMPDEST);
+        assert_eq!(code[dest + 1], op::STOP);
+    }
+
+    #[test]
+    fn unplaced_label_errors() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.push_label(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnplacedLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.place(l);
+        a.place(l);
+        assert!(matches!(a.assemble(), Err(AsmError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        let start = a.new_label();
+        a.place(start);
+        a.push_u64(1).op(op::POP);
+        a.push_label(start); // backward reference
+        a.op(op::POP);
+        let code = a.assemble().unwrap();
+        assert_eq!(code[0], op::JUMPDEST);
+    }
+}

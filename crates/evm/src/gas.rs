@@ -1,0 +1,251 @@
+//! Gas schedule and gas-metering helpers.
+//!
+//! The constants follow the Istanbul-era schedule closely enough that the
+//! *relative* costs the paper's design cares about are realistic: storage
+//! writes dominate, deployment pays per byte of code, calls pay a base fee
+//! plus value-transfer and new-account surcharges, and memory grows
+//! quadratically.
+
+use lsc_primitives::U256;
+
+/// Base fee charged for every transaction.
+pub const TX_BASE: u64 = 21_000;
+/// Extra base fee for contract-creating transactions.
+pub const TX_CREATE: u64 = 32_000;
+/// Per zero byte of transaction data.
+pub const TX_DATA_ZERO: u64 = 4;
+/// Per nonzero byte of transaction data.
+pub const TX_DATA_NONZERO: u64 = 16;
+
+/// Cheapest opcode tier (ADDRESS, CALLER, …).
+pub const BASE: u64 = 2;
+/// Very-low tier (ADD, SUB, PUSH, DUP, SWAP, …).
+pub const VERYLOW: u64 = 3;
+/// Low tier (MUL, DIV, …).
+pub const LOW: u64 = 5;
+/// Mid tier (ADDMOD, MULMOD, JUMP).
+pub const MID: u64 = 8;
+/// High tier (JUMPI).
+pub const HIGH: u64 = 10;
+/// `JUMPDEST` marker cost.
+pub const JUMPDEST: u64 = 1;
+
+/// `SLOAD` cost.
+pub const SLOAD: u64 = 800;
+/// `SSTORE` zero → nonzero.
+pub const SSTORE_SET: u64 = 20_000;
+/// `SSTORE` any other change.
+pub const SSTORE_RESET: u64 = 5_000;
+/// Refund for clearing a slot (nonzero → zero).
+pub const SSTORE_CLEAR_REFUND: u64 = 15_000;
+/// `BALANCE` / `EXTCODEHASH` cost.
+pub const BALANCE: u64 = 700;
+/// `EXTCODESIZE` / `EXTCODECOPY` base cost.
+pub const EXTCODE: u64 = 700;
+
+/// `KECCAK256` base cost.
+pub const KECCAK256: u64 = 30;
+/// `KECCAK256` cost per 32-byte word hashed.
+pub const KECCAK256_WORD: u64 = 6;
+/// Copy cost per word (CALLDATACOPY, CODECOPY, RETURNDATACOPY).
+pub const COPY_WORD: u64 = 3;
+
+/// `LOG` base cost.
+pub const LOG: u64 = 375;
+/// Additional cost per log topic.
+pub const LOG_TOPIC: u64 = 375;
+/// Cost per byte of log data.
+pub const LOG_DATA: u64 = 8;
+
+/// `CREATE` base cost.
+pub const CREATE: u64 = 32_000;
+/// Deposit cost per byte of deployed runtime code.
+pub const CODE_DEPOSIT_BYTE: u64 = 200;
+/// Maximum deployed code size (EIP-170).
+pub const MAX_CODE_SIZE: usize = 24_576;
+
+/// `CALL`-family base cost.
+pub const CALL: u64 = 700;
+/// Surcharge when the call transfers value.
+pub const CALL_VALUE: u64 = 9_000;
+/// Gas stipend granted to the callee on value transfer.
+pub const CALL_STIPEND: u64 = 2_300;
+/// Surcharge for calling into a non-existent account with value.
+pub const NEW_ACCOUNT: u64 = 25_000;
+
+/// `EXP` base cost.
+pub const EXP: u64 = 10;
+/// `EXP` cost per byte of exponent.
+pub const EXP_BYTE: u64 = 50;
+
+/// `SELFDESTRUCT` base cost.
+pub const SELFDESTRUCT: u64 = 5_000;
+/// Refund for self-destructing (pre-London semantics).
+pub const SELFDESTRUCT_REFUND: u64 = 24_000;
+
+/// `BLOCKHASH` cost.
+pub const BLOCKHASH: u64 = 20;
+
+/// Quadratic memory cost for `words` 32-byte words:
+/// `3*words + words^2 / 512`.
+pub fn memory_gas(words: u64) -> u64 {
+    3 * words + words * words / 512
+}
+
+/// Number of 32-byte words covering `bytes`.
+pub fn words(bytes: u64) -> u64 {
+    bytes.div_ceil(32)
+}
+
+/// Intrinsic gas of a transaction with the given payload.
+pub fn tx_intrinsic_gas(is_create: bool, data: &[u8]) -> u64 {
+    let mut gas = TX_BASE;
+    if is_create {
+        gas += TX_CREATE;
+    }
+    for b in data {
+        gas += if *b == 0 { TX_DATA_ZERO } else { TX_DATA_NONZERO };
+    }
+    gas
+}
+
+/// Dynamic cost of an `EXP` with the given exponent.
+pub fn exp_gas(exponent: U256) -> u64 {
+    EXP + EXP_BYTE * exponent.byte_len() as u64
+}
+
+/// The 63/64 rule: the most gas a frame may forward to a child call.
+pub fn max_call_gas(remaining: u64) -> u64 {
+    remaining - remaining / 64
+}
+
+/// Gas-metering counter for one frame.
+#[derive(Debug, Clone)]
+pub struct GasMeter {
+    limit: u64,
+    used: u64,
+    refund: u64,
+}
+
+/// Raised when a frame runs out of gas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfGas;
+
+impl GasMeter {
+    /// Start a meter with `limit` gas available.
+    pub fn new(limit: u64) -> Self {
+        GasMeter { limit, used: 0, refund: 0 }
+    }
+
+    /// Consume `amount` gas or fail.
+    #[inline]
+    pub fn charge(&mut self, amount: u64) -> Result<(), OutOfGas> {
+        let next = self.used.checked_add(amount).ok_or(OutOfGas)?;
+        if next > self.limit {
+            self.used = self.limit;
+            return Err(OutOfGas);
+        }
+        self.used = next;
+        Ok(())
+    }
+
+    /// Gas still available.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+
+    /// Gas consumed so far.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Record a refund (capped at settlement time, not here).
+    pub fn add_refund(&mut self, amount: u64) {
+        self.refund = self.refund.saturating_add(amount);
+    }
+
+    /// Remove previously recorded refund (e.g. reverted inner frame).
+    pub fn sub_refund(&mut self, amount: u64) {
+        self.refund = self.refund.saturating_sub(amount);
+    }
+
+    /// Accumulated refund.
+    pub fn refund(&self) -> u64 {
+        self.refund
+    }
+
+    /// Return unused gas from a child frame to this meter.
+    pub fn reclaim(&mut self, unused: u64) {
+        self.used = self.used.saturating_sub(unused);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_gas_is_quadratic() {
+        assert_eq!(memory_gas(0), 0);
+        assert_eq!(memory_gas(1), 3);
+        assert_eq!(memory_gas(32), 32 * 3 + 2);
+        assert!(memory_gas(10_000) > 10_000 * 3);
+    }
+
+    #[test]
+    fn word_rounding() {
+        assert_eq!(words(0), 0);
+        assert_eq!(words(1), 1);
+        assert_eq!(words(32), 1);
+        assert_eq!(words(33), 2);
+    }
+
+    #[test]
+    fn intrinsic_gas_counts_byte_classes() {
+        assert_eq!(tx_intrinsic_gas(false, &[]), 21_000);
+        assert_eq!(tx_intrinsic_gas(true, &[]), 53_000);
+        assert_eq!(tx_intrinsic_gas(false, &[0, 1, 0]), 21_000 + 4 + 16 + 4);
+    }
+
+    #[test]
+    fn meter_charges_and_fails() {
+        let mut m = GasMeter::new(100);
+        assert!(m.charge(60).is_ok());
+        assert_eq!(m.remaining(), 40);
+        assert_eq!(m.charge(41), Err(OutOfGas));
+        // After OOG the meter is exhausted.
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn meter_reclaims_child_gas() {
+        let mut m = GasMeter::new(100);
+        m.charge(80).unwrap();
+        m.reclaim(30);
+        assert_eq!(m.used(), 50);
+    }
+
+    #[test]
+    fn refund_bookkeeping() {
+        let mut m = GasMeter::new(100);
+        m.add_refund(10);
+        m.add_refund(5);
+        m.sub_refund(3);
+        assert_eq!(m.refund(), 12);
+    }
+
+    #[test]
+    fn exp_gas_scales_with_exponent_size() {
+        assert_eq!(exp_gas(U256::ZERO), 10);
+        assert_eq!(exp_gas(U256::from_u64(255)), 60);
+        assert_eq!(exp_gas(U256::from_u64(256)), 110);
+    }
+
+    #[test]
+    fn sixty_three_sixty_fourths() {
+        assert_eq!(max_call_gas(64), 63);
+        assert_eq!(max_call_gas(6400), 6300);
+    }
+}

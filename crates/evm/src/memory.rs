@@ -1,0 +1,133 @@
+//! Byte-addressed frame memory with word-granular expansion accounting.
+
+use lsc_primitives::U256;
+
+/// Expandable zero-initialized memory for one call frame.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    data: Vec<u8>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Memory { data: Vec::new() }
+    }
+
+    /// Current size in bytes (always a multiple of 32).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if never expanded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Current size in 32-byte words.
+    pub fn words(&self) -> u64 {
+        (self.data.len() / 32) as u64
+    }
+
+    /// Grow to cover `offset + len` bytes, rounding up to a word.
+    /// Returns the new word count (for gas accounting by the caller).
+    pub fn expand(&mut self, offset: usize, len: usize) -> u64 {
+        if len == 0 {
+            return self.words();
+        }
+        let end = offset.saturating_add(len);
+        let target_words = end.div_ceil(32);
+        if target_words * 32 > self.data.len() {
+            self.data.resize(target_words * 32, 0);
+        }
+        self.words()
+    }
+
+    /// Read 32 bytes at `offset` as a word (memory must already cover it).
+    pub fn load_word(&self, offset: usize) -> U256 {
+        let mut buf = [0u8; 32];
+        buf.copy_from_slice(&self.data[offset..offset + 32]);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Write a 32-byte word at `offset`.
+    pub fn store_word(&mut self, offset: usize, value: U256) {
+        self.data[offset..offset + 32].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Write a single byte at `offset`.
+    pub fn store_byte(&mut self, offset: usize, value: u8) {
+        self.data[offset] = value;
+    }
+
+    /// Copy `src` into memory at `offset`, zero-filling if `src` is shorter
+    /// than `len` (EVM copy semantics for out-of-range source reads).
+    pub fn store_slice_padded(&mut self, offset: usize, src: &[u8], len: usize) {
+        let copy = src.len().min(len);
+        self.data[offset..offset + copy].copy_from_slice(&src[..copy]);
+        for b in &mut self.data[offset + copy..offset + len] {
+            *b = 0;
+        }
+    }
+
+    /// Borrow `len` bytes starting at `offset`. A zero-length read is
+    /// valid at any offset (the EVM charges no expansion for it, so the
+    /// offset may point past the end of memory).
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        if len == 0 {
+            return &[];
+        }
+        &self.data[offset..offset + len]
+    }
+
+    /// Copy out `len` bytes starting at `offset` (zero-length reads are
+    /// valid at any offset).
+    pub fn to_vec(&self, offset: usize, len: usize) -> Vec<u8> {
+        self.slice(offset, len).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_rounds_to_words() {
+        let mut m = Memory::new();
+        assert_eq!(m.expand(0, 1), 1);
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.expand(30, 4), 2);
+        assert_eq!(m.len(), 64);
+        // Zero-length expansion never grows.
+        assert_eq!(m.expand(1000, 0), 2);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = Memory::new();
+        m.expand(0, 64);
+        let v = U256::from_u64(0xdead_beef);
+        m.store_word(32, v);
+        assert_eq!(m.load_word(32), v);
+        assert_eq!(m.load_word(0), U256::ZERO);
+    }
+
+    #[test]
+    fn padded_copy_zero_fills() {
+        let mut m = Memory::new();
+        m.expand(0, 32);
+        m.store_slice_padded(0, &[1, 2, 3], 8);
+        assert_eq!(m.slice(0, 8), &[1, 2, 3, 0, 0, 0, 0, 0]);
+        // Overwrite with shorter source zeroes the tail.
+        m.store_slice_padded(0, &[9], 3);
+        assert_eq!(m.slice(0, 4), &[9, 0, 0, 0]);
+    }
+
+    #[test]
+    fn store_byte() {
+        let mut m = Memory::new();
+        m.expand(0, 32);
+        m.store_byte(5, 0xab);
+        assert_eq!(m.slice(5, 1), &[0xab]);
+    }
+}

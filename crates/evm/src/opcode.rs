@@ -1,0 +1,273 @@
+//! EVM opcode definitions and static metadata (mnemonics, base gas,
+//! stack arity). The subset implemented covers everything the paper's
+//! contracts (and our Solidity-subset compiler) can emit, plus the general
+//! arithmetic/flow set so hand-written bytecode tests can exercise the
+//! interpreter thoroughly.
+
+/// Raw opcode byte values.
+#[allow(missing_docs)]
+pub mod op {
+    pub const STOP: u8 = 0x00;
+    pub const ADD: u8 = 0x01;
+    pub const MUL: u8 = 0x02;
+    pub const SUB: u8 = 0x03;
+    pub const DIV: u8 = 0x04;
+    pub const SDIV: u8 = 0x05;
+    pub const MOD: u8 = 0x06;
+    pub const SMOD: u8 = 0x07;
+    pub const ADDMOD: u8 = 0x08;
+    pub const MULMOD: u8 = 0x09;
+    pub const EXP: u8 = 0x0a;
+    pub const SIGNEXTEND: u8 = 0x0b;
+    pub const LT: u8 = 0x10;
+    pub const GT: u8 = 0x11;
+    pub const SLT: u8 = 0x12;
+    pub const SGT: u8 = 0x13;
+    pub const EQ: u8 = 0x14;
+    pub const ISZERO: u8 = 0x15;
+    pub const AND: u8 = 0x16;
+    pub const OR: u8 = 0x17;
+    pub const XOR: u8 = 0x18;
+    pub const NOT: u8 = 0x19;
+    pub const BYTE: u8 = 0x1a;
+    pub const SHL: u8 = 0x1b;
+    pub const SHR: u8 = 0x1c;
+    pub const SAR: u8 = 0x1d;
+    pub const KECCAK256: u8 = 0x20;
+    pub const ADDRESS: u8 = 0x30;
+    pub const BALANCE: u8 = 0x31;
+    pub const ORIGIN: u8 = 0x32;
+    pub const CALLER: u8 = 0x33;
+    pub const CALLVALUE: u8 = 0x34;
+    pub const CALLDATALOAD: u8 = 0x35;
+    pub const CALLDATASIZE: u8 = 0x36;
+    pub const CALLDATACOPY: u8 = 0x37;
+    pub const CODESIZE: u8 = 0x38;
+    pub const CODECOPY: u8 = 0x39;
+    pub const GASPRICE: u8 = 0x3a;
+    pub const EXTCODESIZE: u8 = 0x3b;
+    pub const EXTCODECOPY: u8 = 0x3c;
+    pub const RETURNDATASIZE: u8 = 0x3d;
+    pub const RETURNDATACOPY: u8 = 0x3e;
+    pub const EXTCODEHASH: u8 = 0x3f;
+    pub const BLOCKHASH: u8 = 0x40;
+    pub const COINBASE: u8 = 0x41;
+    pub const TIMESTAMP: u8 = 0x42;
+    pub const NUMBER: u8 = 0x43;
+    pub const DIFFICULTY: u8 = 0x44;
+    pub const GASLIMIT: u8 = 0x45;
+    pub const CHAINID: u8 = 0x46;
+    pub const SELFBALANCE: u8 = 0x47;
+    pub const POP: u8 = 0x50;
+    pub const MLOAD: u8 = 0x51;
+    pub const MSTORE: u8 = 0x52;
+    pub const MSTORE8: u8 = 0x53;
+    pub const SLOAD: u8 = 0x54;
+    pub const SSTORE: u8 = 0x55;
+    pub const JUMP: u8 = 0x56;
+    pub const JUMPI: u8 = 0x57;
+    pub const PC: u8 = 0x58;
+    pub const MSIZE: u8 = 0x59;
+    pub const GAS: u8 = 0x5a;
+    pub const JUMPDEST: u8 = 0x5b;
+    pub const PUSH0: u8 = 0x5f;
+    pub const PUSH1: u8 = 0x60;
+    pub const PUSH32: u8 = 0x7f;
+    pub const DUP1: u8 = 0x80;
+    pub const DUP2: u8 = 0x81;
+    pub const DUP3: u8 = 0x82;
+    pub const DUP4: u8 = 0x83;
+    pub const DUP16: u8 = 0x8f;
+    pub const SWAP1: u8 = 0x90;
+    pub const SWAP2: u8 = 0x91;
+    pub const SWAP3: u8 = 0x92;
+    pub const SWAP4: u8 = 0x93;
+    pub const SWAP16: u8 = 0x9f;
+    pub const LOG0: u8 = 0xa0;
+    pub const LOG4: u8 = 0xa4;
+    pub const CREATE: u8 = 0xf0;
+    pub const CALL: u8 = 0xf1;
+    pub const CALLCODE: u8 = 0xf2;
+    pub const RETURN: u8 = 0xf3;
+    pub const DELEGATECALL: u8 = 0xf4;
+    pub const CREATE2: u8 = 0xf5;
+    pub const STATICCALL: u8 = 0xfa;
+    pub const REVERT: u8 = 0xfd;
+    pub const INVALID: u8 = 0xfe;
+    pub const SELFDESTRUCT: u8 = 0xff;
+}
+
+/// Human-readable mnemonic for an opcode byte (used by the disassembler
+/// and execution traces).
+pub fn mnemonic(byte: u8) -> &'static str {
+    use op::*;
+    match byte {
+        STOP => "STOP",
+        ADD => "ADD",
+        MUL => "MUL",
+        SUB => "SUB",
+        DIV => "DIV",
+        SDIV => "SDIV",
+        MOD => "MOD",
+        SMOD => "SMOD",
+        ADDMOD => "ADDMOD",
+        MULMOD => "MULMOD",
+        EXP => "EXP",
+        SIGNEXTEND => "SIGNEXTEND",
+        LT => "LT",
+        GT => "GT",
+        SLT => "SLT",
+        SGT => "SGT",
+        EQ => "EQ",
+        ISZERO => "ISZERO",
+        AND => "AND",
+        OR => "OR",
+        XOR => "XOR",
+        NOT => "NOT",
+        BYTE => "BYTE",
+        SHL => "SHL",
+        SHR => "SHR",
+        SAR => "SAR",
+        KECCAK256 => "KECCAK256",
+        ADDRESS => "ADDRESS",
+        BALANCE => "BALANCE",
+        ORIGIN => "ORIGIN",
+        CALLER => "CALLER",
+        CALLVALUE => "CALLVALUE",
+        CALLDATALOAD => "CALLDATALOAD",
+        CALLDATASIZE => "CALLDATASIZE",
+        CALLDATACOPY => "CALLDATACOPY",
+        CODESIZE => "CODESIZE",
+        CODECOPY => "CODECOPY",
+        GASPRICE => "GASPRICE",
+        EXTCODESIZE => "EXTCODESIZE",
+        EXTCODECOPY => "EXTCODECOPY",
+        RETURNDATASIZE => "RETURNDATASIZE",
+        RETURNDATACOPY => "RETURNDATACOPY",
+        EXTCODEHASH => "EXTCODEHASH",
+        BLOCKHASH => "BLOCKHASH",
+        COINBASE => "COINBASE",
+        TIMESTAMP => "TIMESTAMP",
+        NUMBER => "NUMBER",
+        DIFFICULTY => "DIFFICULTY",
+        GASLIMIT => "GASLIMIT",
+        CHAINID => "CHAINID",
+        SELFBALANCE => "SELFBALANCE",
+        POP => "POP",
+        MLOAD => "MLOAD",
+        MSTORE => "MSTORE",
+        MSTORE8 => "MSTORE8",
+        SLOAD => "SLOAD",
+        SSTORE => "SSTORE",
+        JUMP => "JUMP",
+        JUMPI => "JUMPI",
+        PC => "PC",
+        MSIZE => "MSIZE",
+        GAS => "GAS",
+        JUMPDEST => "JUMPDEST",
+        PUSH0 => "PUSH0",
+        0x60..=0x7f => "PUSH",
+        0x80..=0x8f => "DUP",
+        0x90..=0x9f => "SWAP",
+        0xa0..=0xa4 => "LOG",
+        CREATE => "CREATE",
+        CALL => "CALL",
+        CALLCODE => "CALLCODE",
+        RETURN => "RETURN",
+        DELEGATECALL => "DELEGATECALL",
+        CREATE2 => "CREATE2",
+        STATICCALL => "STATICCALL",
+        REVERT => "REVERT",
+        SELFDESTRUCT => "SELFDESTRUCT",
+        _ => "INVALID",
+    }
+}
+
+/// True if `byte` is a `PUSH1..PUSH32` opcode.
+pub fn is_push(byte: u8) -> bool {
+    (op::PUSH1..=op::PUSH32).contains(&byte)
+}
+
+/// Number of immediate bytes following the opcode (nonzero only for PUSH).
+pub fn immediate_len(byte: u8) -> usize {
+    if is_push(byte) {
+        (byte - op::PUSH1 + 1) as usize
+    } else {
+        0
+    }
+}
+
+/// Compute the set of valid `JUMPDEST` offsets for `code`, skipping PUSH
+/// immediates (a 0x5b inside push data is not a valid destination).
+pub fn jumpdest_map(code: &[u8]) -> Vec<bool> {
+    let mut map = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let b = code[i];
+        if b == op::JUMPDEST {
+            map[i] = true;
+        }
+        i += 1 + immediate_len(b);
+    }
+    map
+}
+
+/// Disassemble bytecode into `(offset, mnemonic, immediate)` rows.
+pub fn disassemble(code: &[u8]) -> Vec<(usize, String)> {
+    let mut rows = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let b = code[i];
+        let imm = immediate_len(b);
+        let text = if imm > 0 {
+            let end = (i + 1 + imm).min(code.len());
+            let data: Vec<String> = code[i + 1..end].iter().map(|x| format!("{x:02x}")).collect();
+            format!("PUSH{} 0x{}", imm, data.join(""))
+        } else {
+            mnemonic(b).to_string()
+        };
+        rows.push((i, text));
+        i += 1 + imm;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_metadata() {
+        assert!(is_push(op::PUSH1));
+        assert!(is_push(op::PUSH32));
+        assert!(!is_push(op::PUSH0));
+        assert_eq!(immediate_len(op::PUSH1), 1);
+        assert_eq!(immediate_len(op::PUSH32), 32);
+        assert_eq!(immediate_len(op::ADD), 0);
+    }
+
+    #[test]
+    fn jumpdest_map_skips_push_data() {
+        // PUSH1 0x5b JUMPDEST — the first 0x5b is immediate data.
+        let code = [op::PUSH1, 0x5b, op::JUMPDEST];
+        let map = jumpdest_map(&code);
+        assert_eq!(map, vec![false, false, true]);
+    }
+
+    #[test]
+    fn disassembler_renders_push() {
+        let push2 = op::PUSH1 + 1;
+        let code = [push2, 0xab, 0xcd, op::ADD];
+        let rows = disassemble(&code);
+        assert_eq!(rows[0].1, "PUSH2 0xabcd");
+        assert_eq!(rows[1], (3, "ADD".to_string()));
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(mnemonic(op::ADD), "ADD");
+        assert_eq!(mnemonic(0x61), "PUSH");
+        assert_eq!(mnemonic(0x0c), "INVALID");
+        assert_eq!(mnemonic(op::SELFDESTRUCT), "SELFDESTRUCT");
+    }
+}

@@ -1,0 +1,133 @@
+//! The EVM operand stack: 256-bit words, maximum depth 1024.
+
+use lsc_primitives::U256;
+
+/// Maximum stack depth mandated by the Yellow Paper.
+pub const STACK_LIMIT: usize = 1024;
+
+/// Stack errors surface as frame halts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// Pop/dup/swap on too few items.
+    Underflow,
+    /// Push beyond 1024 items.
+    Overflow,
+}
+
+/// The operand stack.
+#[derive(Debug, Clone, Default)]
+pub struct Stack {
+    items: Vec<U256>,
+}
+
+impl Stack {
+    /// An empty stack with capacity reserved for typical frames.
+    pub fn new() -> Self {
+        Stack { items: Vec::with_capacity(64) }
+    }
+
+    /// Current depth.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Push a word.
+    #[inline]
+    pub fn push(&mut self, value: U256) -> Result<(), StackError> {
+        if self.items.len() >= STACK_LIMIT {
+            return Err(StackError::Overflow);
+        }
+        self.items.push(value);
+        Ok(())
+    }
+
+    /// Pop a word.
+    #[inline]
+    pub fn pop(&mut self) -> Result<U256, StackError> {
+        self.items.pop().ok_or(StackError::Underflow)
+    }
+
+    /// Peek at depth `n` (0 = top) without popping.
+    #[inline]
+    pub fn peek(&self, n: usize) -> Result<U256, StackError> {
+        let len = self.items.len();
+        if n >= len {
+            return Err(StackError::Underflow);
+        }
+        Ok(self.items[len - 1 - n])
+    }
+
+    /// `DUPn`: duplicate the word at depth `n-1` onto the top.
+    pub fn dup(&mut self, n: usize) -> Result<(), StackError> {
+        let v = self.peek(n - 1)?;
+        self.push(v)
+    }
+
+    /// `SWAPn`: exchange the top with the word at depth `n`.
+    pub fn swap(&mut self, n: usize) -> Result<(), StackError> {
+        let len = self.items.len();
+        if n >= len {
+            return Err(StackError::Underflow);
+        }
+        self.items.swap(len - 1, len - 1 - n);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        s.push(u(2)).unwrap();
+        assert_eq!(s.pop().unwrap(), u(2));
+        assert_eq!(s.pop().unwrap(), u(1));
+        assert_eq!(s.pop(), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn dup_and_swap() {
+        let mut s = Stack::new();
+        for i in 1..=3 {
+            s.push(u(i)).unwrap();
+        }
+        s.dup(3).unwrap(); // duplicates the bottom (1)
+        assert_eq!(s.peek(0).unwrap(), u(1));
+        s.pop().unwrap();
+        s.swap(2).unwrap(); // swap top (3) with bottom (1)
+        assert_eq!(s.pop().unwrap(), u(1));
+        assert_eq!(s.peek(1).unwrap(), u(3));
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut s = Stack::new();
+        for i in 0..STACK_LIMIT {
+            s.push(u(i as u64)).unwrap();
+        }
+        assert_eq!(s.push(u(0)), Err(StackError::Overflow));
+        assert_eq!(s.len(), STACK_LIMIT);
+    }
+
+    #[test]
+    fn underflow_on_dup_swap() {
+        let mut s = Stack::new();
+        s.push(u(9)).unwrap();
+        assert_eq!(s.dup(2), Err(StackError::Underflow));
+        assert_eq!(s.swap(1), Err(StackError::Underflow));
+    }
+}

@@ -1,0 +1,473 @@
+//! End-to-end interpreter tests over hand-assembled bytecode.
+
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_evm::{CallResult, Evm, Halt, Host, Message, MockHost};
+use lsc_primitives::{Address, U256};
+
+const GAS: u64 = 1_000_000;
+
+fn run_code(host: &mut MockHost, code: Vec<u8>, data: Vec<u8>, value: U256) -> CallResult {
+    let contract = Address::from_label("contract");
+    let caller = Address::from_label("caller");
+    host.fund(caller, U256::from_u64(1_000_000_000));
+    host.set_code(contract, code);
+    let msg = Message::call(caller, contract, value, data, GAS);
+    Evm::new(host).execute(msg)
+}
+
+/// Assemble a program that computes an expression and returns one word.
+fn return_top(asm: &mut Asm) -> Vec<u8> {
+    asm.push_u64(0).op(op::MSTORE); // mem[0] = top
+    asm.push_u64(32).push_u64(0).op(op::RETURN);
+    asm.assemble().unwrap()
+}
+
+fn returned_word(result: &CallResult) -> U256 {
+    assert!(result.success, "frame failed: {:?}", result.halt);
+    U256::from_be_slice(&result.output)
+}
+
+#[test]
+fn arithmetic_program() {
+    // (3 + 4) * 5 = 35
+    let mut a = Asm::new();
+    a.push_u64(4).push_u64(3).op(op::ADD).push_u64(5).op(op::MUL);
+    let code = return_top(&mut a);
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::from_u64(35));
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(42).op(op::DIV);
+    let code = return_top(&mut a);
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::ZERO);
+}
+
+#[test]
+fn conditional_jump_takes_branch() {
+    // if (1) return 7 else return 9
+    let mut a = Asm::new();
+    let then = a.new_label();
+    a.push_u64(1); // condition
+    a.push_label(then).op(op::JUMPI);
+    a.push_u64(9);
+    let end = a.new_label();
+    a.push_label(end).op(op::JUMP);
+    a.place(then);
+    a.push_u64(7);
+    a.place(end);
+    let code = return_top(&mut a);
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::from_u64(7));
+}
+
+#[test]
+fn invalid_jump_halts() {
+    let mut a = Asm::new();
+    a.push_u64(1).op(op::JUMP);
+    let code = a.assemble().unwrap();
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
+    assert_eq!(r.halt, Some(Halt::InvalidJump));
+    assert_eq!(r.gas_left, 0);
+}
+
+#[test]
+fn jump_into_push_immediate_is_invalid() {
+    // PUSH1 0x5b; PUSH1 1; JUMP — offset 1 is the 0x5b immediate, not a dest.
+    let code = vec![op::PUSH1, 0x5b, op::PUSH1, 0x01, op::JUMP];
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
+    assert_eq!(r.halt, Some(Halt::InvalidJump));
+}
+
+#[test]
+fn storage_write_read_and_refund() {
+    let mut host = MockHost::new();
+    // sstore(1, 77); sstore(1, 0);  -> refund for clearing
+    let mut a = Asm::new();
+    a.push_u64(77).push_u64(1).op(op::SSTORE);
+    a.push_u64(0).push_u64(1).op(op::SSTORE);
+    a.op(op::STOP);
+    let code = a.assemble().unwrap();
+    let r = run_code(&mut host, code, vec![], U256::ZERO);
+    assert!(r.success);
+    assert_eq!(r.gas_refund, lsc_evm::gas::SSTORE_CLEAR_REFUND);
+    let contract = Address::from_label("contract");
+    assert_eq!(host.sload(contract, U256::ONE), U256::ZERO);
+}
+
+#[test]
+fn sstore_gas_depends_on_previous_value() {
+    // Fresh slot costs SSTORE_SET; overwrite costs SSTORE_RESET.
+    let mut a = Asm::new();
+    a.push_u64(5).push_u64(9).op(op::SSTORE).op(op::STOP);
+    let code = a.assemble().unwrap();
+
+    let mut host = MockHost::new();
+    let r_fresh = run_code(&mut host, code.clone(), vec![], U256::ZERO);
+    let mut host2 = MockHost::new();
+    host2.storage.insert(
+        (Address::from_label("contract"), U256::from_u64(9)),
+        U256::from_u64(1),
+    );
+    let r_overwrite = run_code(&mut host2, code, vec![], U256::ZERO);
+    let fresh_used = GAS - r_fresh.gas_left;
+    let overwrite_used = GAS - r_overwrite.gas_left;
+    assert_eq!(
+        fresh_used - overwrite_used,
+        lsc_evm::gas::SSTORE_SET - lsc_evm::gas::SSTORE_RESET
+    );
+}
+
+#[test]
+fn calldata_load_and_size() {
+    // return calldataload(0) + calldatasize()
+    let mut a = Asm::new();
+    a.push_u64(0).op(op::CALLDATALOAD).op(op::CALLDATASIZE).op(op::ADD);
+    let code = return_top(&mut a);
+    let mut data = U256::from_u64(1000).to_be_bytes().to_vec();
+    data.extend_from_slice(&[0; 4]); // size 36
+    let r = run_code(&mut MockHost::new(), code, data, U256::ZERO);
+    assert_eq!(returned_word(&r), U256::from_u64(1036));
+}
+
+#[test]
+fn callvalue_and_caller_exposed() {
+    let mut a = Asm::new();
+    a.op(op::CALLVALUE).op(op::CALLER).op(op::ADD);
+    let code = return_top(&mut a);
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::from_u64(55));
+    let expected = Address::from_label("caller").to_u256() + U256::from_u64(55);
+    assert_eq!(returned_word(&r), expected);
+}
+
+#[test]
+fn value_transfer_moves_balance() {
+    let mut host = MockHost::new();
+    let code = vec![op::STOP];
+    let r = run_code(&mut host, code, vec![], U256::from_u64(1234));
+    assert!(r.success);
+    assert_eq!(host.balance(Address::from_label("contract")), U256::from_u64(1234));
+}
+
+#[test]
+fn insufficient_balance_halts() {
+    let mut host = MockHost::new();
+    let contract = Address::from_label("contract");
+    let pauper = Address::from_label("pauper");
+    host.set_code(contract, vec![op::STOP]);
+    let msg = Message::call(pauper, contract, U256::from_u64(10), vec![], GAS);
+    let r = Evm::new(&mut host).execute(msg);
+    assert_eq!(r.halt, Some(Halt::InsufficientBalance));
+}
+
+#[test]
+fn revert_returns_output_and_rolls_back_state() {
+    let mut host = MockHost::new();
+    // sstore(1, 5); mstore(0, 0xbad); revert(0, 32)
+    let mut a = Asm::new();
+    a.push_u64(5).push_u64(1).op(op::SSTORE);
+    a.push_u64(0xbad).push_u64(0).op(op::MSTORE);
+    a.push_u64(32).push_u64(0).op(op::REVERT);
+    let code = a.assemble().unwrap();
+    let r = run_code(&mut host, code, vec![], U256::ZERO);
+    assert!(!r.success);
+    assert!(r.reverted);
+    assert_eq!(U256::from_be_slice(&r.output), U256::from_u64(0xbad));
+    assert!(r.gas_left > 0, "revert returns remaining gas");
+    assert_eq!(host.sload(Address::from_label("contract"), U256::ONE), U256::ZERO);
+}
+
+#[test]
+fn out_of_gas_consumes_everything() {
+    let mut host = MockHost::new();
+    // Infinite loop.
+    let mut a = Asm::new();
+    let start = a.new_label();
+    a.place(start);
+    a.push_label(start).op(op::JUMP);
+    let code = a.assemble().unwrap();
+    let contract = Address::from_label("contract");
+    host.set_code(contract, code);
+    let msg = Message::call(Address::from_label("caller"), contract, U256::ZERO, vec![], 10_000);
+    let r = Evm::new(&mut host).execute(msg);
+    assert_eq!(r.halt, Some(Halt::OutOfGas));
+    assert_eq!(r.gas_left, 0);
+}
+
+#[test]
+fn logs_are_recorded_with_topics() {
+    let mut host = MockHost::new();
+    // log1(topic=0x42, data=mem[0..32] where mem[0]=7).
+    // LOG1 pops offset, then length, then the topic, so push in reverse.
+    let mut b = Asm::new();
+    b.push_u64(7).push_u64(0).op(op::MSTORE);
+    b.push_u64(0x42); // topic1 (popped last)
+    b.push_u64(32); // length
+    b.push_u64(0); // offset (popped first)
+    b.op(op::LOG0 + 1);
+    b.op(op::STOP);
+    let r = run_code(&mut host, b.assemble().unwrap(), vec![], U256::ZERO);
+    assert!(r.success, "halt: {:?}", r.halt);
+    assert_eq!(host.logs.len(), 1);
+    let log = &host.logs[0];
+    assert_eq!(log.address, Address::from_label("contract"));
+    assert_eq!(log.topics.len(), 1);
+    assert_eq!(log.topics[0].to_u256(), U256::from_u64(0x42));
+    assert_eq!(U256::from_be_slice(&log.data), U256::from_u64(7));
+}
+
+#[test]
+fn reverted_frame_drops_logs() {
+    let mut host = MockHost::new();
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(0).op(op::LOG0);
+    a.push_u64(0).push_u64(0).op(op::REVERT);
+    let r = run_code(&mut host, a.assemble().unwrap(), vec![], U256::ZERO);
+    assert!(r.reverted);
+    assert!(host.logs.is_empty());
+}
+
+#[test]
+fn create_deploys_runtime_code() {
+    let mut host = MockHost::new();
+    let deployer = Address::from_label("deployer");
+    host.fund(deployer, U256::from_u64(1_000_000));
+    // Init code: returns 2 bytes of runtime code [PUSH0-ish STOP]: mstore8 them and return.
+    // runtime = [0x60, 0x00] (PUSH1 0) — arbitrary.
+    let mut init = Asm::new();
+    init.push_u64(0x60).push_u64(0).op(op::MSTORE8);
+    init.push_u64(0x00).push_u64(1).op(op::MSTORE8);
+    init.push_u64(2).push_u64(0).op(op::RETURN);
+    let msg = Message::create(deployer, U256::ZERO, init.assemble().unwrap(), GAS);
+    let r = Evm::new(&mut host).execute(msg);
+    assert!(r.success, "halt: {:?}", r.halt);
+    let created = r.created.expect("created address");
+    assert_eq!(created, Address::create(deployer, 0));
+    assert_eq!(host.code(created), vec![0x60, 0x00]);
+    assert_eq!(host.nonce(created), 1, "EIP-161 start nonce");
+    assert_eq!(host.nonce(deployer), 1);
+}
+
+#[test]
+fn create_failure_reverts_account() {
+    let mut host = MockHost::new();
+    let deployer = Address::from_label("deployer");
+    host.fund(deployer, U256::from_u64(1_000_000));
+    // Init code that reverts.
+    let mut init = Asm::new();
+    init.push_u64(0).push_u64(0).op(op::REVERT);
+    let msg = Message::create(deployer, U256::from_u64(100), init.assemble().unwrap(), GAS);
+    let r = Evm::new(&mut host).execute(msg);
+    assert!(!r.success);
+    assert!(r.created.is_none());
+    // Funds stayed with the deployer.
+    assert_eq!(host.balance(deployer), U256::from_u64(1_000_000));
+}
+
+#[test]
+fn nested_call_returns_data() {
+    let mut host = MockHost::new();
+    let callee = Address::from_label("callee");
+    let _caller_contract = Address::from_label("contract");
+    // Callee returns 99.
+    let mut c = Asm::new();
+    c.push_u64(99);
+    host.set_code(callee, return_top(&mut c));
+    // Caller calls callee and returns the child's output.
+    // CALL(gas, to, value, inOff, inLen, outOff, outLen)
+    let mut a = Asm::new();
+    a.push_u64(32) // outLen
+        .push_u64(0) // outOff
+        .push_u64(0) // inLen
+        .push_u64(0) // inOff
+        .push_u64(0); // value
+    a.push(callee.to_u256());
+    a.push_u64(100_000); // gas
+    a.op(op::CALL);
+    a.op(op::POP); // drop success flag
+    a.push_u64(32).push_u64(0).op(op::RETURN);
+    let r = run_code(&mut host, a.assemble().unwrap(), vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::from_u64(99));
+}
+
+#[test]
+fn static_call_blocks_writes() {
+    let mut host = MockHost::new();
+    let callee = Address::from_label("callee");
+    // Callee tries to SSTORE.
+    let mut c = Asm::new();
+    c.push_u64(1).push_u64(1).op(op::SSTORE).op(op::STOP);
+    host.set_code(callee, c.assemble().unwrap());
+    // Caller STATICCALLs callee and returns the success flag.
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push(callee.to_u256());
+    a.push_u64(100_000);
+    a.op(op::STATICCALL);
+    let code = return_top(&mut a);
+    let r = run_code(&mut host, code, vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::ZERO, "child must fail");
+    assert_eq!(host.sload(callee, U256::ONE), U256::ZERO);
+}
+
+#[test]
+fn delegatecall_writes_to_caller_storage() {
+    let mut host = MockHost::new();
+    let lib = Address::from_label("library");
+    // Library writes 123 to slot 7 of *its caller's* storage.
+    let mut l = Asm::new();
+    l.push_u64(123).push_u64(7).op(op::SSTORE).op(op::STOP);
+    host.set_code(lib, l.assemble().unwrap());
+    // Proxy delegatecalls the library. DELEGATECALL(gas,to,inOff,inLen,outOff,outLen)
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push(lib.to_u256());
+    a.push_u64(200_000);
+    a.op(op::DELEGATECALL);
+    a.op(op::POP).op(op::STOP);
+    let r = run_code(&mut host, a.assemble().unwrap(), vec![], U256::ZERO);
+    assert!(r.success);
+    let proxy = Address::from_label("contract");
+    assert_eq!(host.sload(proxy, U256::from_u64(7)), U256::from_u64(123));
+    assert_eq!(host.sload(lib, U256::from_u64(7)), U256::ZERO);
+}
+
+#[test]
+fn call_to_empty_account_succeeds() {
+    let mut host = MockHost::new();
+    let nobody = Address::from_label("nobody");
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push(nobody.to_u256());
+    a.push_u64(50_000);
+    a.op(op::CALL);
+    let code = return_top(&mut a);
+    let r = run_code(&mut host, code, vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::ONE);
+}
+
+#[test]
+fn selfdestruct_pays_beneficiary() {
+    let mut host = MockHost::new();
+    let beneficiary = Address::from_label("beneficiary");
+    let mut a = Asm::new();
+    a.push(beneficiary.to_u256()).op(op::SELFDESTRUCT);
+    let r = run_code(&mut host, a.assemble().unwrap(), vec![], U256::from_u64(500));
+    assert!(r.success);
+    assert_eq!(host.balance(beneficiary), U256::from_u64(500));
+    assert!(host.code(Address::from_label("contract")).is_empty());
+}
+
+#[test]
+fn timestamp_and_number_come_from_block_env() {
+    let mut host = MockHost::new();
+    host.env.timestamp = 1_600_000_000;
+    host.env.number = 42;
+    let mut a = Asm::new();
+    a.op(op::TIMESTAMP).op(op::NUMBER).op(op::ADD);
+    let code = return_top(&mut a);
+    let r = run_code(&mut host, code, vec![], U256::ZERO);
+    assert_eq!(returned_word(&r), U256::from_u64(1_600_000_042));
+}
+
+#[test]
+fn keccak_opcode_hashes_memory() {
+    let mut a = Asm::new();
+    // keccak(mem[0..0]) == keccak256("")
+    a.push_u64(0).push_u64(0).op(op::KECCAK256);
+    let code = return_top(&mut a);
+    let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
+    assert_eq!(
+        returned_word(&r),
+        U256::from_be_bytes(lsc_primitives::keccak256(b""))
+    );
+}
+
+#[test]
+fn stack_underflow_halts() {
+    let r = run_code(&mut MockHost::new(), vec![op::ADD], vec![], U256::ZERO);
+    assert_eq!(r.halt, Some(Halt::StackUnderflow));
+}
+
+#[test]
+fn invalid_opcode_halts() {
+    let r = run_code(&mut MockHost::new(), vec![0x0c], vec![], U256::ZERO);
+    assert_eq!(r.halt, Some(Halt::InvalidOpcode(0x0c)));
+}
+
+#[test]
+fn memory_expansion_is_charged() {
+    // MSTORE at a large offset must cost much more than at offset 0.
+    let mut cheap = Asm::new();
+    cheap.push_u64(1).push_u64(0).op(op::MSTORE).op(op::STOP);
+    let mut dear = Asm::new();
+    dear.push_u64(1).push_u64(100_000).op(op::MSTORE).op(op::STOP);
+    let r_cheap = run_code(&mut MockHost::new(), cheap.assemble().unwrap(), vec![], U256::ZERO);
+    let r_dear = run_code(&mut MockHost::new(), dear.assemble().unwrap(), vec![], U256::ZERO);
+    assert!(r_cheap.success && r_dear.success);
+    let used_cheap = GAS - r_cheap.gas_left;
+    let used_dear = GAS - r_dear.gas_left;
+    assert!(used_dear > used_cheap + 9_000, "{used_dear} vs {used_cheap}");
+}
+
+#[test]
+fn returndatacopy_bounds_checked() {
+    let mut host = MockHost::new();
+    // No prior call → return buffer empty; copying 1 byte must halt.
+    let mut a = Asm::new();
+    a.push_u64(1).push_u64(0).push_u64(0).op(op::RETURNDATACOPY);
+    let r = run_code(&mut host, a.assemble().unwrap(), vec![], U256::ZERO);
+    assert_eq!(r.halt, Some(Halt::ReturnDataOutOfBounds));
+}
+
+#[test]
+fn call_depth_limit_enforced() {
+    let mut host = MockHost::new();
+    let contract = Address::from_label("contract");
+    // Contract calls itself forever; success flag of the inner call is
+    // returned. At depth 1024 the inner call fails rather than recursing.
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push(contract.to_u256());
+    a.op(op::GAS); // forward everything
+    a.op(op::CALL);
+    let code = return_top(&mut a);
+    host.set_code(contract, code);
+    let msg = Message::call(
+        Address::from_label("caller"),
+        contract,
+        U256::ZERO,
+        vec![],
+        30_000_000,
+    );
+    let r = Evm::new(&mut host).execute(msg);
+    // The outermost frame succeeds: recursion terminated (the 63/64 rule
+    // and the depth limit bound it) instead of spinning forever. Its output
+    // is its immediate child's success flag, and that child succeeded too.
+    assert!(r.success);
+    assert_eq!(U256::from_be_slice(&r.output), U256::ONE);
+    // Substantial gas was burned by the recursion tower.
+    assert!(30_000_000 - r.gas_left > 20_000);
+}
+
+#[test]
+fn depth_above_limit_halts_immediately() {
+    let mut host = MockHost::new();
+    let contract = Address::from_label("contract");
+    host.set_code(contract, vec![op::STOP]);
+    let mut msg = Message::call(
+        Address::from_label("caller"),
+        contract,
+        U256::ZERO,
+        vec![],
+        GAS,
+    );
+    msg.depth = lsc_evm::MAX_CALL_DEPTH + 1;
+    // Depth > 0 runs on the calling thread; the guard fires before any code.
+    let r = Evm::new(&mut host).execute(msg);
+    assert_eq!(r.halt, Some(Halt::CallDepth));
+}

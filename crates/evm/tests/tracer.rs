@@ -1,0 +1,102 @@
+//! Tests of the structured execution tracer (`Config::trace`).
+
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_evm::{Config, Evm, Host, Message, MockHost};
+use lsc_primitives::{Address, U256};
+
+fn traced_run(code: Vec<u8>) -> (lsc_evm::CallResult, Vec<lsc_evm::TraceStep>) {
+    let mut host = MockHost::new();
+    let contract = Address::from_label("contract");
+    let caller = Address::from_label("caller");
+    host.fund(caller, U256::from_u64(1_000_000));
+    host.set_code(contract, code);
+    let config = Config { trace: true, ..Default::default() };
+    let mut evm = Evm::with_config(&mut host, config);
+    let result = evm.execute(Message::call(caller, contract, U256::ZERO, vec![], 1_000_000));
+    let trace = std::mem::take(&mut evm.trace);
+    (result, trace)
+}
+
+#[test]
+fn trace_records_every_instruction_in_order() {
+    // PUSH1 2; PUSH1 3; ADD; STOP
+    let mut a = Asm::new();
+    a.push_u64(2).push_u64(3).op(op::ADD).op(op::STOP);
+    let (result, trace) = traced_run(a.assemble().unwrap());
+    assert!(result.success);
+    let mnemonics: Vec<&str> = trace.iter().map(|s| s.mnemonic()).collect();
+    assert_eq!(mnemonics, vec!["PUSH", "PUSH", "ADD", "STOP"]);
+    // PCs advance past immediates.
+    assert_eq!(trace[0].pc, 0);
+    assert_eq!(trace[1].pc, 2);
+    assert_eq!(trace[2].pc, 4);
+    // Stack depth grows with pushes.
+    assert_eq!(trace[0].stack_depth, 0);
+    assert_eq!(trace[2].stack_depth, 2);
+    // Gas decreases monotonically.
+    assert!(trace.windows(2).all(|w| w[0].gas_remaining >= w[1].gas_remaining));
+}
+
+#[test]
+fn trace_covers_nested_call_depths() {
+    let mut host = MockHost::new();
+    let callee = Address::from_label("callee");
+    let mut c = Asm::new();
+    c.push_u64(1).op(op::POP).op(op::STOP);
+    host.set_code(callee, c.assemble().unwrap());
+    // Caller CALLs callee.
+    let mut a = Asm::new();
+    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push(callee.to_u256());
+    a.push_u64(100_000);
+    a.op(op::CALL);
+    a.op(op::STOP);
+    let contract = Address::from_label("contract");
+    let caller = Address::from_label("caller");
+    host.set_code(contract, a.assemble().unwrap());
+    let config = Config { trace: true, ..Default::default() };
+    let mut evm = Evm::with_config(&mut host, config);
+    let result = evm.execute(Message::call(caller, contract, U256::ZERO, vec![], 1_000_000));
+    assert!(result.success);
+    let depths: std::collections::BTreeSet<u32> = evm.trace.iter().map(|s| s.depth).collect();
+    assert!(depths.contains(&0) && depths.contains(&1), "{depths:?}");
+    // The callee's three instructions appear at depth 1.
+    assert_eq!(evm.trace.iter().filter(|s| s.depth == 1).count(), 3);
+}
+
+#[test]
+fn trace_is_capped() {
+    // Infinite loop burns gas; the trace must stop at the cap (or when
+    // gas runs out, whichever first) without unbounded memory.
+    let mut a = Asm::new();
+    let top = a.new_label();
+    a.place(top);
+    a.push_label(top).op(op::JUMP);
+    let (result, trace) = traced_run(a.assemble().unwrap());
+    assert!(!result.success);
+    assert!(trace.len() <= lsc_evm::MAX_TRACE_STEPS);
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn tracing_does_not_change_semantics() {
+    let mut a = Asm::new();
+    a.push_u64(7).push_u64(0).op(op::MSTORE);
+    a.push_u64(32).push_u64(0).op(op::RETURN);
+    let code = a.assemble().unwrap();
+    let (traced, _) = traced_run(code.clone());
+    // Untraced run.
+    let mut host = MockHost::new();
+    let contract = Address::from_label("contract");
+    host.set_code(contract, code);
+    let untraced = Evm::new(&mut host).execute(Message::call(
+        Address::from_label("caller"),
+        contract,
+        U256::ZERO,
+        vec![],
+        1_000_000,
+    ));
+    assert_eq!(traced.output, untraced.output);
+    assert_eq!(traced.gas_left, untraced.gas_left);
+}

@@ -1,0 +1,144 @@
+//! Content identifiers: a multihash-style wrapper around keccak-256 with a
+//! codec tag distinguishing raw leaves from DAG nodes.
+
+use lsc_primitives::{hex, keccak256, H256};
+use core::fmt;
+use core::str::FromStr;
+
+/// Content codec of the identified block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Codec {
+    /// Raw bytes (a leaf chunk).
+    Raw,
+    /// A DAG node linking child CIDs.
+    DagNode,
+}
+
+impl Codec {
+    fn tag(self) -> u8 {
+        match self {
+            Codec::Raw => 0x55,     // matches multicodec "raw"
+            Codec::DagNode => 0x70, // matches multicodec "dag-pb" slot
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0x55 => Some(Codec::Raw),
+            0x70 => Some(Codec::DagNode),
+            _ => None,
+        }
+    }
+}
+
+/// A content identifier: codec tag + keccak-256 digest of the block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cid {
+    /// Block codec.
+    pub codec: Codec,
+    /// keccak-256 of the block body.
+    pub digest: H256,
+}
+
+impl Cid {
+    /// CID of a block body under the given codec.
+    pub fn of(codec: Codec, body: &[u8]) -> Self {
+        Cid { codec, digest: H256(keccak256(body)) }
+    }
+
+    /// CID of raw bytes.
+    pub fn raw(body: &[u8]) -> Self {
+        Cid::of(Codec::Raw, body)
+    }
+
+    /// Binary form: 1 codec byte + 32 digest bytes.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        out[0] = self.codec.tag();
+        out[1..].copy_from_slice(self.digest.as_bytes());
+        out
+    }
+
+    /// Parse the binary form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 33 {
+            return None;
+        }
+        Some(Cid {
+            codec: Codec::from_tag(bytes[0])?,
+            digest: H256::from_slice(&bytes[1..])?,
+        })
+    }
+}
+
+/// `Display`/`FromStr` use a `k` prefix + hex (base16 "multibase"), e.g.
+/// `k55c5d246…`.
+impl fmt::Display for Cid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", hex::encode(self.to_bytes()))
+    }
+}
+
+impl fmt::Debug for Cid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cid({self})")
+    }
+}
+
+/// Error parsing a CID string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCidError;
+
+impl fmt::Display for ParseCidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cid string")
+    }
+}
+
+impl std::error::Error for ParseCidError {}
+
+impl FromStr for Cid {
+    type Err = ParseCidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('k').ok_or(ParseCidError)?;
+        let bytes = hex::decode(body).map_err(|_| ParseCidError)?;
+        Cid::from_bytes(&bytes).ok_or(ParseCidError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cid_is_deterministic_and_content_sensitive() {
+        let a = Cid::raw(b"hello");
+        let b = Cid::raw(b"hello");
+        let c = Cid::raw(b"hello!");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(Cid::of(Codec::DagNode, b"hello"), a, "codec is part of identity");
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let cid = Cid::raw(b"abi file");
+        let s = cid.to_string();
+        assert!(s.starts_with('k'));
+        assert_eq!(s.parse::<Cid>().unwrap(), cid);
+        assert!("zzz".parse::<Cid>().is_err());
+        assert!("k00".parse::<Cid>().is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let cid = Cid::of(Codec::DagNode, b"node");
+        assert_eq!(Cid::from_bytes(&cid.to_bytes()), Some(cid));
+        assert_eq!(Cid::from_bytes(&[0u8; 5]), None);
+        // Unknown codec tag rejected.
+        let mut bad = cid.to_bytes();
+        bad[0] = 0x99;
+        assert_eq!(Cid::from_bytes(&bad), None);
+    }
+}

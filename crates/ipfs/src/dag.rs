@@ -1,0 +1,174 @@
+//! File-level API: chunking, DAG nodes and the [`IpfsNode`] facade the
+//! contract manager uses (`add` → CID, `cat` → bytes, pin, GC).
+
+use crate::cid::{Cid, Codec};
+use crate::store::BlockStore;
+use core::fmt;
+
+/// Chunk size for file leaves (256 KiB like go-ipfs; small files are a
+/// single raw block).
+pub const CHUNK_SIZE: usize = 256 * 1024;
+
+/// DAG-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A referenced block is not in the store.
+    MissingBlock(Cid),
+    /// A DAG node body failed to parse.
+    MalformedNode(Cid),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingBlock(cid) => write!(f, "missing block {cid}"),
+            Self::MalformedNode(cid) => write!(f, "malformed dag node {cid}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Parse the child links out of a DAG node body (a flat list of 33-byte
+/// binary CIDs).
+pub fn node_links(body: &[u8]) -> Option<Vec<Cid>> {
+    if !body.len().is_multiple_of(33) {
+        return None;
+    }
+    body.chunks_exact(33).map(Cid::from_bytes).collect()
+}
+
+/// The user-facing node: a block store plus file chunking.
+#[derive(Debug, Default, Clone)]
+pub struct IpfsNode {
+    store: BlockStore,
+}
+
+impl IpfsNode {
+    /// Fresh node with an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the raw block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Add a file: small inputs become one raw block, larger inputs are
+    /// chunked with a DAG node listing the leaves. Returns the root CID.
+    pub fn add(&self, data: &[u8]) -> Cid {
+        if data.len() <= CHUNK_SIZE {
+            return self.store.put(Codec::Raw, data.to_vec());
+        }
+        let mut links = Vec::new();
+        for chunk in data.chunks(CHUNK_SIZE) {
+            let cid = self.store.put(Codec::Raw, chunk.to_vec());
+            links.extend_from_slice(&cid.to_bytes());
+        }
+        self.store.put(Codec::DagNode, links)
+    }
+
+    /// Add and pin in one step (what the contract manager does for ABIs).
+    pub fn add_pinned(&self, data: &[u8]) -> Cid {
+        let cid = self.add(data);
+        self.store.pin(cid);
+        cid
+    }
+
+    /// Reassemble a file from its root CID.
+    pub fn cat(&self, root: &Cid) -> Result<Vec<u8>, DagError> {
+        let body = self.store.get(root).ok_or(DagError::MissingBlock(*root))?;
+        match root.codec {
+            Codec::Raw => Ok(body.as_ref().clone()),
+            Codec::DagNode => {
+                let links = node_links(&body).ok_or(DagError::MalformedNode(*root))?;
+                let mut out = Vec::new();
+                for link in links {
+                    let chunk = self.store.get(&link).ok_or(DagError::MissingBlock(link))?;
+                    if link.codec != Codec::Raw {
+                        return Err(DagError::MalformedNode(link));
+                    }
+                    out.extend_from_slice(&chunk);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Pin a root.
+    pub fn pin(&self, cid: Cid) {
+        self.store.pin(cid);
+    }
+
+    /// Unpin a root.
+    pub fn unpin(&self, cid: &Cid) {
+        self.store.unpin(cid);
+    }
+
+    /// Run GC; unpinned roots and their unique chunks are swept.
+    pub fn gc(&self) -> usize {
+        self.store.gc(|cid, body| {
+            if cid.codec == Codec::DagNode {
+                node_links(body).unwrap_or_default()
+            } else {
+                vec![]
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_file_roundtrip() {
+        let node = IpfsNode::new();
+        let cid = node.add(b"abi json here");
+        assert_eq!(cid.codec, Codec::Raw);
+        assert_eq!(node.cat(&cid).unwrap(), b"abi json here");
+    }
+
+    #[test]
+    fn large_file_chunks_and_roundtrips() {
+        let node = IpfsNode::new();
+        let data: Vec<u8> = (0..(CHUNK_SIZE * 2 + 100)).map(|i| (i % 251) as u8).collect();
+        let cid = node.add(&data);
+        assert_eq!(cid.codec, Codec::DagNode);
+        assert_eq!(node.cat(&cid).unwrap(), data);
+        // 3 leaves + 1 node
+        assert_eq!(node.store().len(), 4);
+    }
+
+    #[test]
+    fn dedup_identical_content() {
+        let node = IpfsNode::new();
+        let a = node.add(b"same");
+        let b = node.add(b"same");
+        assert_eq!(a, b);
+        assert_eq!(node.store().len(), 1);
+    }
+
+    #[test]
+    fn cat_missing_block_errors() {
+        let node = IpfsNode::new();
+        let ghost = Cid::raw(b"never added");
+        assert_eq!(node.cat(&ghost), Err(DagError::MissingBlock(ghost)));
+    }
+
+    #[test]
+    fn gc_respects_pins_across_dag() {
+        let node = IpfsNode::new();
+        let data: Vec<u8> = vec![7u8; CHUNK_SIZE + 1];
+        let root = node.add_pinned(&data);
+        let loose = node.add(b"garbage");
+        let swept = node.gc();
+        assert_eq!(swept, 1);
+        assert!(node.cat(&root).is_ok());
+        assert!(node.cat(&loose).is_err());
+        node.unpin(&root);
+        assert!(node.gc() >= 2);
+        assert!(node.store().is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! # lsc-ipfs
+//!
+//! A content-addressed store standing in for IPFS. The paper stores each
+//! deployed contract version's ABI (and the PDF legal document) in IPFS,
+//! keyed so that *an address alone is enough to recover the interface*:
+//! given a version-list pointer you fetch the ABI by content id and can
+//! then interact with that version.
+//!
+//! Implemented from scratch: CIDs (keccak-256 multihash-style), a block
+//! store, a fixed-size chunker building a two-level DAG for large files,
+//! pinning and mark-and-sweep garbage collection.
+
+#![warn(missing_docs)]
+
+pub mod cid;
+pub mod dag;
+pub mod store;
+
+pub use cid::Cid;
+pub use dag::{DagError, IpfsNode};
+pub use store::BlockStore;

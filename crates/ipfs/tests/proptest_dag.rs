@@ -1,0 +1,53 @@
+//! Property tests for the content-addressed store: roundtrips across the
+//! chunking boundary, identity stability, and GC safety.
+
+use lsc_ipfs::dag::CHUNK_SIZE;
+use lsc_ipfs::IpfsNode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn add_cat_roundtrip(len in 0usize..(3 * CHUNK_SIZE / 2), seed in any::<u8>()) {
+        let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+        let node = IpfsNode::new();
+        let cid = node.add(&data);
+        prop_assert_eq!(node.cat(&cid).unwrap(), data);
+    }
+
+    #[test]
+    fn identity_is_stable_across_nodes(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let a = IpfsNode::new();
+        let b = IpfsNode::new();
+        prop_assert_eq!(a.add(&data), b.add(&data));
+    }
+
+    #[test]
+    fn gc_never_touches_pinned_content(
+        pinned in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..6),
+        loose in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 0..6),
+    ) {
+        let node = IpfsNode::new();
+        let pinned_cids: Vec<_> = pinned.iter().map(|d| node.add_pinned(d)).collect();
+        for d in &loose {
+            node.add(d);
+        }
+        node.gc();
+        for (cid, data) in pinned_cids.iter().zip(&pinned) {
+            prop_assert_eq!(&node.cat(cid).unwrap(), data);
+        }
+        // A second GC is a no-op.
+        prop_assert_eq!(node.gc(), 0);
+    }
+}
+
+#[test]
+fn chunk_boundary_exact_sizes() {
+    let node = IpfsNode::new();
+    for len in [CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 2 * CHUNK_SIZE, 2 * CHUNK_SIZE + 1] {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let cid = node.add(&data);
+        assert_eq!(node.cat(&cid).unwrap(), data, "len={len}");
+    }
+}

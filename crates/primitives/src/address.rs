@@ -1,0 +1,172 @@
+//! 20-byte account/contract addresses and the two address-derivation
+//! schemes (`CREATE` via RLP, `CREATE2` via salt).
+
+use crate::hex::{self, FromHexError};
+use crate::keccak::keccak256;
+use crate::rlp::{self, Item};
+use crate::u256::U256;
+use core::fmt;
+use core::str::FromStr;
+
+/// A 20-byte Ethereum address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address; used as "null" (e.g. an unset linked-list pointer,
+    /// exactly as the paper's `next`/`previous` fields default to it).
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// True iff this is the zero address.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|b| *b == 0)
+    }
+
+    /// View as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Parse from a slice; must be exactly 20 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        <[u8; 20]>::try_from(bytes).ok().map(Address)
+    }
+
+    /// Deterministic address from an arbitrary label — handy for test
+    /// accounts ("alice", "landlord", …).
+    pub fn from_label(label: &str) -> Self {
+        let h = keccak256(label.as_bytes());
+        Address(h[12..32].try_into().expect("20 bytes"))
+    }
+
+    /// `CREATE` address: `keccak(rlp([sender, nonce]))[12..]`.
+    pub fn create(sender: Address, nonce: u64) -> Address {
+        let encoded = rlp::encode(&Item::List(vec![
+            Item::Bytes(sender.0.to_vec()),
+            Item::from_u64(nonce),
+        ]));
+        let h = keccak256(&encoded);
+        Address(h[12..32].try_into().expect("20 bytes"))
+    }
+
+    /// `CREATE2` address: `keccak(0xff ++ sender ++ salt ++ keccak(init_code))[12..]`.
+    pub fn create2(sender: Address, salt: [u8; 32], init_code: &[u8]) -> Address {
+        let mut buf = Vec::with_capacity(1 + 20 + 32 + 32);
+        buf.push(0xff);
+        buf.extend_from_slice(&sender.0);
+        buf.extend_from_slice(&salt);
+        buf.extend_from_slice(&keccak256(init_code));
+        let h = keccak256(&buf);
+        Address(h[12..32].try_into().expect("20 bytes"))
+    }
+
+    /// Widen to a 256-bit word (zero-padded high bytes), as the EVM stores
+    /// addresses on the stack.
+    pub fn to_u256(&self) -> U256 {
+        let mut buf = [0u8; 32];
+        buf[12..].copy_from_slice(&self.0);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Truncate a 256-bit word to an address (low 20 bytes).
+    pub fn from_u256(v: U256) -> Self {
+        let bytes = v.to_be_bytes();
+        Address(bytes[12..32].try_into().expect("20 bytes"))
+    }
+}
+
+impl From<[u8; 20]> for Address {
+    fn from(b: [u8; 20]) -> Self {
+        Address(b)
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", hex::encode(self.0))
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Address {
+    type Err = FromHexError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = hex::decode(s)?;
+        Address::from_slice(&bytes).ok_or(FromHexError::OddLength)
+    }
+}
+
+impl serde::Serialize for Address {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Address {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_address_known_vector() {
+        // keccak(rlp([0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0, 0]))[12..]
+        // = cd234a471b72ba2f1ccf0a70fcaba648a5eecd8d (the canonical example).
+        let sender: Address = "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0".parse().unwrap();
+        assert_eq!(
+            Address::create(sender, 0).to_string(),
+            "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d"
+        );
+        assert_eq!(
+            Address::create(sender, 1).to_string(),
+            "0x343c43a37d37dff08ae8c4a11544c718abb4fcf8"
+        );
+    }
+
+    #[test]
+    fn create2_is_deterministic_and_salt_sensitive() {
+        let sender = Address::from_label("deployer");
+        let a = Address::create2(sender, [0u8; 32], b"code");
+        let b = Address::create2(sender, [1u8; 32], b"code");
+        assert_ne!(a, b);
+        assert_eq!(a, Address::create2(sender, [0u8; 32], b"code"));
+    }
+
+    #[test]
+    fn u256_roundtrip_truncates_high_bytes() {
+        let a = Address::from_label("alice");
+        assert_eq!(Address::from_u256(a.to_u256()), a);
+        let with_high = a.to_u256() | (U256::ONE << 200u32);
+        assert_eq!(Address::from_u256(with_high), a);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let a = Address::from_label("bob");
+        assert_eq!(a.to_string().parse::<Address>().unwrap(), a);
+        assert!(Address::ZERO.is_zero());
+        assert!(!a.is_zero());
+        assert!("0xabcd".parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Address::from_label("landlord"), Address::from_label("tenant"));
+    }
+}

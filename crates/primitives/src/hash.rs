@@ -1,0 +1,126 @@
+//! Fixed-size hash type `H256` used for code hashes, transaction hashes,
+//! storage keys and content identifiers.
+
+use crate::hex::{self, FromHexError};
+use crate::keccak::keccak256;
+use crate::u256::U256;
+use core::fmt;
+use core::str::FromStr;
+
+/// A 32-byte hash (big-endian when interpreted as a number).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct H256(pub [u8; 32]);
+
+impl H256 {
+    /// The all-zero hash.
+    pub const ZERO: H256 = H256([0u8; 32]);
+
+    /// Keccak-256 of `data`.
+    pub fn keccak(data: impl AsRef<[u8]>) -> Self {
+        H256(keccak256(data.as_ref()))
+    }
+
+    /// True iff every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|b| *b == 0)
+    }
+
+    /// View as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Interpret the hash as a big-endian 256-bit number.
+    pub fn to_u256(&self) -> U256 {
+        U256::from_be_bytes(self.0)
+    }
+
+    /// Build from a big-endian 256-bit number.
+    pub fn from_u256(v: U256) -> Self {
+        H256(v.to_be_bytes())
+    }
+
+    /// Parse from a slice; must be exactly 32 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        <[u8; 32]>::try_from(bytes).ok().map(H256)
+    }
+}
+
+impl From<[u8; 32]> for H256 {
+    fn from(b: [u8; 32]) -> Self {
+        H256(b)
+    }
+}
+
+impl From<U256> for H256 {
+    fn from(v: U256) -> Self {
+        H256::from_u256(v)
+    }
+}
+
+impl AsRef<[u8]> for H256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", hex::encode(self.0))
+    }
+}
+
+impl fmt::Debug for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for H256 {
+    type Err = FromHexError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = hex::decode(s)?;
+        H256::from_slice(&bytes).ok_or(FromHexError::OddLength)
+    }
+}
+
+impl serde::Serialize for H256 {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for H256 {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keccak_and_display() {
+        let h = H256::keccak(b"");
+        assert_eq!(
+            h.to_string(),
+            "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+        assert_eq!(h.to_string().parse::<H256>().unwrap(), h);
+    }
+
+    #[test]
+    fn u256_roundtrip() {
+        let v = U256::from_u64(0xdeadbeef);
+        assert_eq!(H256::from_u256(v).to_u256(), v);
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(H256::ZERO.is_zero());
+        assert!(!H256::keccak(b"x").is_zero());
+        assert!(H256::from_slice(&[0u8; 31]).is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal hex encoding/decoding (no external dependency).
+
+use core::fmt;
+
+/// Error decoding a hex string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromHexError {
+    /// The input had an odd number of hex digits.
+    OddLength,
+    /// A character was not a hex digit.
+    InvalidChar(char),
+}
+
+impl fmt::Display for FromHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OddLength => write!(f, "hex string has odd length"),
+            Self::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FromHexError {}
+
+/// Encode bytes as lowercase hex (no `0x` prefix).
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    let data = data.as_ref();
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Encode bytes as lowercase hex with a `0x` prefix.
+pub fn encode_prefixed(data: impl AsRef<[u8]>) -> String {
+    format!("0x{}", encode(data))
+}
+
+/// Decode a hex string (tolerates a leading `0x`).
+pub fn decode(s: &str) -> Result<Vec<u8>, FromHexError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if !s.len().is_multiple_of(2) {
+        return Err(FromHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(FromHexError::InvalidChar(pair[0] as char))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(FromHexError::InvalidChar(pair[1] as char))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00, 0x01, 0xab, 0xff];
+        assert_eq!(encode(data), "0001abff");
+        assert_eq!(decode("0001abff").unwrap(), data);
+        assert_eq!(decode("0x0001ABFF").unwrap(), data);
+        assert_eq!(encode_prefixed([0xde, 0xad]), "0xdead");
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert_eq!(encode([]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("0x").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc"), Err(FromHexError::OddLength));
+        assert_eq!(decode("zz"), Err(FromHexError::InvalidChar('z')));
+    }
+}

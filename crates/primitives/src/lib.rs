@@ -1,0 +1,47 @@
+//! # lsc-primitives
+//!
+//! Ethereum primitive types implemented from scratch for the
+//! legal-smart-contracts reproduction: 256-bit arithmetic ([`U256`]),
+//! Keccak-256 ([`keccak::Keccak256`]), 20-byte addresses with `CREATE`/
+//! `CREATE2` derivation ([`Address`]), 32-byte hashes ([`H256`]), RLP
+//! ([`rlp`]) and hex ([`hex`]).
+//!
+//! No external cryptography or bignum crates are used; everything in this
+//! crate is self-contained so the rest of the workspace (EVM, chain,
+//! compiler, IPFS store) has a single audited foundation.
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod hash;
+pub mod hex;
+pub mod keccak;
+pub mod rlp;
+pub mod u256;
+
+pub use address::Address;
+pub use hash::H256;
+pub use keccak::{keccak256, Keccak256};
+pub use u256::U256;
+
+/// One ether in wei (10^18), the unit rents and deposits are quoted in.
+pub fn ether(n: u64) -> U256 {
+    U256::from_u64(n) * U256::from_u128(1_000_000_000_000_000_000)
+}
+
+/// One gwei in wei (10^9), the unit gas prices are quoted in.
+pub fn gwei(n: u64) -> U256 {
+    U256::from_u64(n) * U256::from_u64(1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units() {
+        assert_eq!(ether(1), U256::from_u128(1_000_000_000_000_000_000));
+        assert_eq!(gwei(1_000_000_000), ether(1));
+        assert_eq!(ether(0), U256::ZERO);
+    }
+}

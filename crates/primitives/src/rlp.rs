@@ -1,0 +1,244 @@
+//! Recursive Length Prefix (RLP) encoding and decoding, per the Ethereum
+//! Yellow Paper, Appendix B.
+//!
+//! Used for transaction serialization (hashing) and `CREATE` contract
+//! address derivation (`keccak(rlp([sender, nonce]))[12..]`).
+
+use crate::u256::U256;
+use core::fmt;
+
+/// An RLP item: either a byte string or a list of items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A byte string.
+    Bytes(Vec<u8>),
+    /// An ordered list of nested items.
+    List(Vec<Item>),
+}
+
+/// Error decoding RLP data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the declared payload.
+    UnexpectedEof,
+    /// A length prefix used more bytes than allowed or had leading zeros.
+    InvalidLength,
+    /// Extra bytes followed a complete top-level item.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "rlp input truncated"),
+            Self::InvalidLength => write!(f, "rlp length prefix invalid"),
+            Self::TrailingBytes => write!(f, "trailing bytes after rlp item"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Item {
+    /// Build an item from a `u64`, using the canonical minimal encoding.
+    pub fn from_u64(v: u64) -> Item {
+        Item::Bytes(trim_leading_zeros(&v.to_be_bytes()))
+    }
+
+    /// Build an item from a [`U256`], using the canonical minimal encoding.
+    pub fn from_u256(v: U256) -> Item {
+        Item::Bytes(trim_leading_zeros(&v.to_be_bytes()))
+    }
+
+    /// Interpret a byte-string item as a big-endian integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Item::Bytes(b) if b.len() <= 8 => {
+                let mut buf = [0u8; 8];
+                buf[8 - b.len()..].copy_from_slice(b);
+                Some(u64::from_be_bytes(buf))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn trim_leading_zeros(bytes: &[u8]) -> Vec<u8> {
+    let start = bytes.iter().position(|b| *b != 0).unwrap_or(bytes.len());
+    bytes[start..].to_vec()
+}
+
+/// Encode an item to its RLP byte representation.
+pub fn encode(item: &Item) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(item, &mut out);
+    out
+}
+
+fn encode_into(item: &Item, out: &mut Vec<u8>) {
+    match item {
+        Item::Bytes(bytes) => {
+            if bytes.len() == 1 && bytes[0] < 0x80 {
+                out.push(bytes[0]);
+            } else {
+                encode_length(bytes.len(), 0x80, out);
+                out.extend_from_slice(bytes);
+            }
+        }
+        Item::List(items) => {
+            let mut payload = Vec::new();
+            for it in items {
+                encode_into(it, &mut payload);
+            }
+            encode_length(payload.len(), 0xc0, out);
+            out.extend_from_slice(&payload);
+        }
+    }
+}
+
+fn encode_length(len: usize, offset: u8, out: &mut Vec<u8>) {
+    if len < 56 {
+        out.push(offset + len as u8);
+    } else {
+        let len_bytes = trim_leading_zeros(&(len as u64).to_be_bytes());
+        out.push(offset + 55 + len_bytes.len() as u8);
+        out.extend_from_slice(&len_bytes);
+    }
+}
+
+/// Decode a single top-level RLP item; rejects trailing bytes.
+pub fn decode(data: &[u8]) -> Result<Item, DecodeError> {
+    let (item, rest) = decode_partial(data)?;
+    if !rest.is_empty() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(item)
+}
+
+/// Decode one item, returning the remaining unread input.
+pub fn decode_partial(data: &[u8]) -> Result<(Item, &[u8]), DecodeError> {
+    let (&prefix, rest) = data.split_first().ok_or(DecodeError::UnexpectedEof)?;
+    match prefix {
+        0x00..=0x7f => Ok((Item::Bytes(vec![prefix]), rest)),
+        0x80..=0xb7 => {
+            let len = (prefix - 0x80) as usize;
+            let (payload, rest) = split_checked(rest, len)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(DecodeError::InvalidLength); // non-canonical
+            }
+            Ok((Item::Bytes(payload.to_vec()), rest))
+        }
+        0xb8..=0xbf => {
+            let len_len = (prefix - 0xb7) as usize;
+            let (len, rest) = read_length(rest, len_len)?;
+            let (payload, rest) = split_checked(rest, len)?;
+            Ok((Item::Bytes(payload.to_vec()), rest))
+        }
+        0xc0..=0xf7 => {
+            let len = (prefix - 0xc0) as usize;
+            let (payload, rest) = split_checked(rest, len)?;
+            Ok((Item::List(decode_list(payload)?), rest))
+        }
+        0xf8..=0xff => {
+            let len_len = (prefix - 0xf7) as usize;
+            let (len, rest) = read_length(rest, len_len)?;
+            let (payload, rest) = split_checked(rest, len)?;
+            Ok((Item::List(decode_list(payload)?), rest))
+        }
+    }
+}
+
+fn decode_list(mut payload: &[u8]) -> Result<Vec<Item>, DecodeError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, rest) = decode_partial(payload)?;
+        items.push(item);
+        payload = rest;
+    }
+    Ok(items)
+}
+
+fn read_length(data: &[u8], len_len: usize) -> Result<(usize, &[u8]), DecodeError> {
+    let (len_bytes, rest) = split_checked(data, len_len)?;
+    if len_bytes.first() == Some(&0) {
+        return Err(DecodeError::InvalidLength);
+    }
+    if len_len > 8 {
+        return Err(DecodeError::InvalidLength);
+    }
+    let mut buf = [0u8; 8];
+    buf[8 - len_len..].copy_from_slice(len_bytes);
+    let len = u64::from_be_bytes(buf) as usize;
+    if len < 56 {
+        return Err(DecodeError::InvalidLength); // non-canonical long form
+    }
+    Ok((len, rest))
+}
+
+fn split_checked(data: &[u8], len: usize) -> Result<(&[u8], &[u8]), DecodeError> {
+    if data.len() < len {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    Ok(data.split_at(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn canonical_vectors() {
+        // Vectors from the Ethereum wiki RLP page.
+        assert_eq!(encode(&Item::Bytes(b"dog".to_vec())), hex::decode("83646f67").unwrap());
+        assert_eq!(
+            encode(&Item::List(vec![
+                Item::Bytes(b"cat".to_vec()),
+                Item::Bytes(b"dog".to_vec())
+            ])),
+            hex::decode("c88363617483646f67").unwrap()
+        );
+        assert_eq!(encode(&Item::Bytes(vec![])), vec![0x80]);
+        assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
+        assert_eq!(encode(&Item::from_u64(0)), vec![0x80]);
+        assert_eq!(encode(&Item::from_u64(15)), vec![0x0f]);
+        assert_eq!(encode(&Item::from_u64(1024)), hex::decode("820400").unwrap());
+    }
+
+    #[test]
+    fn long_string_and_nested_lists() {
+        let s = "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+        let enc = encode(&Item::Bytes(s.as_bytes().to_vec()));
+        assert_eq!(enc[0], 0xb8);
+        assert_eq!(enc[1], s.len() as u8);
+        // set-theoretic representation of three: [ [], [[]], [ [], [[]] ] ]
+        let three = Item::List(vec![
+            Item::List(vec![]),
+            Item::List(vec![Item::List(vec![])]),
+            Item::List(vec![Item::List(vec![]), Item::List(vec![Item::List(vec![])])]),
+        ]);
+        assert_eq!(encode(&three), hex::decode("c7c0c1c0c3c0c1c0").unwrap());
+        assert_eq!(decode(&encode(&three)).unwrap(), three);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[]), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode(&[0x83, b'a']), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode(&[0x01, 0x02]), Err(DecodeError::TrailingBytes));
+        // Non-canonical: single byte < 0x80 wrapped in a string header.
+        assert_eq!(decode(&[0x81, 0x05]), Err(DecodeError::InvalidLength));
+        // Non-canonical: long form for a short length.
+        assert_eq!(decode(&[0xb8, 0x01, 0xff]), Err(DecodeError::InvalidLength));
+    }
+
+    #[test]
+    fn u256_items() {
+        let v = U256::from_u128(0x0102030405060708090a);
+        let item = Item::from_u256(v);
+        let decoded = decode(&encode(&item)).unwrap();
+        assert_eq!(decoded, item);
+        assert_eq!(Item::from_u64(5).as_u64(), Some(5));
+        assert_eq!(Item::List(vec![]).as_u64(), None);
+    }
+}

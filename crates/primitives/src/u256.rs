@@ -1,0 +1,1017 @@
+//! 256-bit unsigned integer arithmetic, implemented from scratch.
+//!
+//! The EVM word is 256 bits wide; every arithmetic opcode in
+//! [`lsc-evm`](../../evm) bottoms out here. The representation is four
+//! little-endian `u64` limbs. All EVM-facing operations wrap modulo 2^256,
+//! matching the Yellow Paper semantics; checked/overflowing variants are
+//! provided for host-side code that must not wrap silently.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{
+    Add, AddAssign, BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Div, Mul,
+    MulAssign, Not, Rem, Shl, Shr, Sub, SubAssign,
+};
+use core::str::FromStr;
+
+/// A 256-bit unsigned integer: four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// Error parsing a [`U256`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseU256Error {
+    /// The string was empty (or only a prefix).
+    Empty,
+    /// A character was not a valid digit for the radix.
+    InvalidDigit(char),
+    /// The value does not fit in 256 bits.
+    Overflow,
+}
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "empty numeric literal"),
+            Self::InvalidDigit(c) => write!(f, "invalid digit {c:?} in numeric literal"),
+            Self::Overflow => write!(f, "numeric literal overflows 256 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+impl U256 {
+    /// The additive identity.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The largest representable value, 2^256 - 1.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+    /// 2^255, the sign bit when interpreting a word as two's-complement.
+    pub const SIGN_BIT: U256 = U256([0, 0, 0, 1 << 63]);
+
+    /// Construct from a `u64`.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Construct from a `u128`.
+    #[inline]
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Lowest 64 bits.
+    #[inline]
+    pub const fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Lowest 128 bits.
+    #[inline]
+    pub const fn low_u128(&self) -> u128 {
+        (self.0[0] as u128) | ((self.0[1] as u128) << 64)
+    }
+
+    /// Convert to `u64` if the value fits.
+    #[inline]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Convert to `usize` if the value fits.
+    #[inline]
+    pub fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// True iff the value is zero.
+    #[inline]
+    pub const fn is_zero(&self) -> bool {
+        self.0[0] == 0 && self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0
+    }
+
+    /// True iff the two's-complement sign bit is set.
+    #[inline]
+    pub const fn is_negative(&self) -> bool {
+        self.0[3] >> 63 == 1
+    }
+
+    /// Number of leading zero bits (0..=256).
+    pub fn leading_zeros(&self) -> u32 {
+        for (i, limb) in self.0.iter().enumerate().rev() {
+            if *limb != 0 {
+                return (3 - i as u32) * 64 + limb.leading_zeros();
+            }
+        }
+        256
+    }
+
+    /// Number of significant bits, i.e. `256 - leading_zeros`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        256 - self.leading_zeros()
+    }
+
+    /// Value of bit `i` (little-endian bit order); bits ≥ 256 read as 0.
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of bytes needed to represent the value (0 for zero).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        usize::try_from(self.bits()).expect("bits <= 256").div_ceil(8)
+    }
+
+    /// Big-endian 32-byte representation.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse from a big-endian 32-byte array.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            *limb = u64::from_be_bytes(buf);
+        }
+        U256(limbs)
+    }
+
+    /// Parse from a big-endian slice of at most 32 bytes (shorter slices are
+    /// left-padded with zeros, matching EVM calldata semantics).
+    pub fn from_be_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "slice longer than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        Self::from_be_bytes(buf)
+    }
+
+    /// Wrapping addition with carry-out flag.
+    #[allow(clippy::needless_range_loop)] // index loops read clearest in carry chains
+    pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping subtraction with borrow-out flag.
+    #[allow(clippy::needless_range_loop)]
+    pub fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping addition modulo 2^256.
+    #[inline]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction modulo 2^256.
+    #[inline]
+    pub fn wrapping_sub(self, rhs: Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked addition: `None` on overflow.
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction: `None` on underflow.
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Full 512-bit product as (low, high) halves.
+    pub fn widening_mul(self, rhs: Self) -> (Self, Self) {
+        let mut prod = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = prod[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                prod[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            prod[i + 4] = carry as u64;
+        }
+        (
+            U256([prod[0], prod[1], prod[2], prod[3]]),
+            U256([prod[4], prod[5], prod[6], prod[7]]),
+        )
+    }
+
+    /// Wrapping multiplication modulo 2^256.
+    #[inline]
+    pub fn wrapping_mul(self, rhs: Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Checked multiplication: `None` on overflow.
+    pub fn checked_mul(self, rhs: Self) -> Option<Self> {
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Quotient and remainder. Division by zero yields `(0, 0)`, matching
+    /// the EVM's `DIV`/`MOD` semantics rather than trapping.
+    pub fn div_rem(self, divisor: Self) -> (Self, Self) {
+        if divisor.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if self < divisor {
+            return (U256::ZERO, self);
+        }
+        if divisor.0[1] == 0 && divisor.0[2] == 0 && divisor.0[3] == 0 {
+            // Fast path: single-limb divisor via 128/64 division.
+            let d = divisor.0[0];
+            let mut rem: u64 = 0;
+            let mut q = [0u64; 4];
+            for i in (0..4).rev() {
+                let cur = ((rem as u128) << 64) | self.0[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = (cur % d as u128) as u64;
+            }
+            return (U256(q), U256::from_u64(rem));
+        }
+        // General case: binary long division (bounded by bit-length gap).
+        let shift = divisor.leading_zeros() - self.leading_zeros();
+        let mut divisor = divisor << shift;
+        let mut quotient = U256::ZERO;
+        let mut remainder = self;
+        for i in (0..=shift).rev() {
+            if remainder >= divisor {
+                remainder = remainder.wrapping_sub(divisor);
+                quotient.0[(i / 64) as usize] |= 1u64 << (i % 64);
+            }
+            divisor = divisor >> 1u32;
+        }
+        (quotient, remainder)
+    }
+
+    /// `(self + rhs) % modulus` computed without intermediate overflow.
+    /// Zero modulus yields zero (EVM `ADDMOD`).
+    pub fn add_mod(self, rhs: Self, modulus: Self) -> Self {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let (sum, carry) = self.overflowing_add(rhs);
+        if !carry {
+            return sum.div_rem(modulus).1;
+        }
+        // sum = 2^256 + low; reduce via 512/256 remainder.
+        u512_rem(sum, U256::ONE, modulus)
+    }
+
+    /// `(self * rhs) % modulus` with a full 512-bit intermediate.
+    /// Zero modulus yields zero (EVM `MULMOD`).
+    pub fn mul_mod(self, rhs: Self, modulus: Self) -> Self {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            return lo.div_rem(modulus).1;
+        }
+        u512_rem(lo, hi, modulus)
+    }
+
+    /// Exponentiation modulo 2^256 by square-and-multiply (EVM `EXP`).
+    pub fn wrapping_pow(self, exp: Self) -> Self {
+        let mut base = self;
+        let mut result = U256::ONE;
+        let nbits = exp.bits();
+        for i in 0..nbits {
+            if exp.bit(i) {
+                result = result.wrapping_mul(base);
+            }
+            base = base.wrapping_mul(base);
+        }
+        result
+    }
+
+    /// EVM `SIGNEXTEND`: extend the sign of the byte at index `byte_index`
+    /// (0 = least significant) through the high bits.
+    pub fn sign_extend(self, byte_index: Self) -> Self {
+        let Some(idx) = byte_index.to_u64() else {
+            return self;
+        };
+        if idx >= 31 {
+            return self;
+        }
+        let bit = 8 * (idx as u32) + 7;
+        if self.bit(bit) {
+            // Set all bits above `bit`.
+            self | (U256::MAX << (bit + 1))
+        } else {
+            self & !(U256::MAX << (bit + 1))
+        }
+    }
+
+    /// EVM `BYTE`: the `i`-th byte counting from the most significant.
+    pub fn byte_be(self, i: Self) -> Self {
+        match i.to_u64() {
+            Some(i) if i < 32 => {
+                U256::from_u64(self.to_be_bytes()[usize::try_from(i).expect("i < 32")] as u64)
+            }
+            _ => U256::ZERO,
+        }
+    }
+
+    /// Two's-complement negation.
+    #[inline]
+    pub fn wrapping_neg(self) -> Self {
+        (!self).wrapping_add(U256::ONE)
+    }
+
+    /// Absolute value when interpreting as two's-complement signed.
+    #[inline]
+    pub fn abs_signed(self) -> Self {
+        if self.is_negative() {
+            self.wrapping_neg()
+        } else {
+            self
+        }
+    }
+
+    /// EVM `SDIV`: signed division, truncating toward zero; x / 0 = 0.
+    pub fn sdiv(self, rhs: Self) -> Self {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let q = self.abs_signed().div_rem(rhs.abs_signed()).0;
+        if self.is_negative() != rhs.is_negative() {
+            q.wrapping_neg()
+        } else {
+            q
+        }
+    }
+
+    /// EVM `SMOD`: signed remainder, sign follows the dividend; x % 0 = 0.
+    pub fn smod(self, rhs: Self) -> Self {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let r = self.abs_signed().div_rem(rhs.abs_signed()).1;
+        if self.is_negative() {
+            r.wrapping_neg()
+        } else {
+            r
+        }
+    }
+
+    /// Signed less-than (EVM `SLT`).
+    pub fn slt(self, rhs: Self) -> bool {
+        match (self.is_negative(), rhs.is_negative()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self < rhs,
+        }
+    }
+
+    /// Signed greater-than (EVM `SGT`).
+    #[inline]
+    pub fn sgt(self, rhs: Self) -> bool {
+        rhs.slt(self)
+    }
+
+    /// Arithmetic shift right (EVM `SAR`): shifts ≥ 256 saturate to 0 or -1.
+    pub fn sar(self, shift: Self) -> Self {
+        let neg = self.is_negative();
+        let Some(s) = shift.to_u64().filter(|s| *s < 256) else {
+            return if neg { U256::MAX } else { U256::ZERO };
+        };
+        let s = s as u32;
+        let logical = self >> s;
+        if neg && s > 0 {
+            logical | (U256::MAX << (256 - s))
+        } else {
+            logical
+        }
+    }
+
+    /// Integer square root (largest r with r*r <= self). Used by tests.
+    pub fn isqrt(self) -> Self {
+        if self < U256::from_u64(2) {
+            return self;
+        }
+        let mut x = U256::ONE << (self.bits().div_ceil(2));
+        loop {
+            let y = (x + self.div_rem(x).0) >> 1u32;
+            if y >= x {
+                return x;
+            }
+            x = y;
+        }
+    }
+
+    /// Render as a decimal string without allocating intermediates per digit.
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::with_capacity(78);
+        let mut cur = *self;
+        let ten = U256::from_u64(10);
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(ten);
+            digits.push(b'0' + r.low_u64() as u8);
+            cur = q;
+        }
+        digits.reverse();
+        String::from_utf8(digits).expect("digits are ascii")
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal_str(s: &str) -> Result<Self, ParseU256Error> {
+        if s.is_empty() {
+            return Err(ParseU256Error::Empty);
+        }
+        let mut acc = U256::ZERO;
+        let ten = U256::from_u64(10);
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseU256Error::InvalidDigit(c))?;
+            acc = acc
+                .checked_mul(ten)
+                .and_then(|v| v.checked_add(U256::from_u64(d as u64)))
+                .ok_or(ParseU256Error::Overflow)?;
+        }
+        Ok(acc)
+    }
+
+    /// Parse a hex string (with or without `0x`).
+    pub fn from_hex_str(s: &str) -> Result<Self, ParseU256Error> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() {
+            return Err(ParseU256Error::Empty);
+        }
+        if s.len() > 64 {
+            return Err(ParseU256Error::Overflow);
+        }
+        let mut acc = U256::ZERO;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(16).ok_or(ParseU256Error::InvalidDigit(c))?;
+            acc = (acc << 4u32) | U256::from_u64(d as u64);
+        }
+        Ok(acc)
+    }
+}
+
+/// Remainder of the 512-bit value `hi * 2^256 + lo` modulo `modulus`.
+fn u512_rem(lo: U256, hi: U256, modulus: U256) -> U256 {
+    // Reduce bit by bit from the top; 512 iterations worst case. This path
+    // only runs for ADDMOD/MULMOD with actual overflow, which is rare.
+    let mut rem = U256::ZERO;
+    for i in (0..512).rev() {
+        let bit = if i >= 256 { hi.bit(i - 256) } else { lo.bit(i) };
+        // rem = rem * 2 + bit, reduced mod modulus.
+        let (mut doubled, carry) = rem.overflowing_add(rem);
+        if carry || doubled >= modulus {
+            doubled = doubled.wrapping_sub(modulus);
+        }
+        if bit {
+            let (with_bit, carry) = doubled.overflowing_add(U256::ONE);
+            doubled = if carry || with_bit >= modulus {
+                with_bit.wrapping_sub(modulus)
+            } else {
+                with_bit
+            };
+        }
+        rem = doubled;
+    }
+    rem
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl AddAssign for U256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = self.wrapping_add(rhs);
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl SubAssign for U256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = self.wrapping_sub(rhs);
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl MulAssign for U256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = self.wrapping_mul(rhs);
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    #[inline]
+    fn rem(self, rhs: Self) -> Self {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> Self {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: Self) -> Self {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitAndAssign for U256 {
+    fn bitand_assign(&mut self, rhs: Self) {
+        *self = *self & rhs;
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: Self) -> Self {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitOrAssign for U256 {
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = *self | rhs;
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: Self) -> Self {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl BitXorAssign for U256 {
+    fn bitxor_assign(&mut self, rhs: Self) {
+        *self = *self ^ rhs;
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            out[i] = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    #[allow(clippy::needless_range_loop)]
+    fn shr(self, shift: u32) -> Self {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            out[i] = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shl<U256> for U256 {
+    type Output = U256;
+    fn shl(self, shift: U256) -> Self {
+        match shift.to_u64() {
+            Some(s) if s < 256 => self << (s as u32),
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl Shr<U256> for U256 {
+    type Output = U256;
+    fn shr(self, shift: U256) -> Self {
+        match shift.to_u64() {
+            Some(s) if s < 256 => self >> (s as u32),
+            _ => U256::ZERO,
+        }
+    }
+}
+
+impl Sum for U256 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(U256::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for U256 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(U256::ONE, |a, b| a * b)
+    }
+}
+
+impl From<u8> for U256 {
+    fn from(v: u8) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl From<u16> for U256 {
+    fn from(v: u16) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        Self::from_u128(v)
+    }
+}
+
+impl From<usize> for U256 {
+    fn from(v: usize) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl From<bool> for U256 {
+    fn from(v: bool) -> Self {
+        if v {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl FromStr for U256 {
+    type Err = ParseU256Error;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            U256::from_hex_str(hex)
+        } else {
+            U256::from_decimal_str(s)
+        }
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256({self})")
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.to_be_bytes();
+        let mut s = String::with_capacity(64);
+        let mut started = false;
+        for b in bytes {
+            if started {
+                s.push_str(&format!("{b:02x}"));
+            } else if b != 0 {
+                s.push_str(&format!("{b:x}"));
+                started = true;
+            }
+        }
+        if !started {
+            s.push('0');
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl serde::Serialize for U256 {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_decimal_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for U256 {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        assert_eq!(a + U256::ONE, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_wraps_at_max() {
+        assert_eq!(U256::MAX + U256::ONE, U256::ZERO);
+        assert!(U256::MAX.overflowing_add(U256::ONE).1);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = U256([0, 1, 0, 0]);
+        assert_eq!(a - U256::ONE, U256([u64::MAX, 0, 0, 0]));
+        assert_eq!(U256::ZERO - U256::ONE, U256::MAX);
+    }
+
+    #[test]
+    fn mul_small_and_large() {
+        assert_eq!(u(7) * u(6), u(42));
+        let big = U256::from_u128(u128::MAX);
+        let (lo, hi) = big.widening_mul(big);
+        // (2^128-1)^2 = 2^256 - 2^129 + 1
+        assert_eq!(hi, U256::ZERO);
+        assert_eq!(lo, U256::MAX - (U256::from_u128(2) << 128u32) + u(2));
+    }
+
+    #[test]
+    fn div_rem_matches_manual() {
+        let (q, r) = u(100).div_rem(u(7));
+        assert_eq!((q, r), (u(14), u(2)));
+        // Division by zero yields (0, 0) per EVM semantics.
+        assert_eq!(u(5).div_rem(U256::ZERO), (U256::ZERO, U256::ZERO));
+        // Multi-limb division.
+        let a = U256::from_hex_str("ffffffffffffffffffffffffffffffffffffffff").unwrap();
+        let b = U256::from_hex_str("fffffffffffffffffff").unwrap();
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q * b + r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        assert_eq!(u(3).wrapping_pow(u(0)), U256::ONE);
+        assert_eq!(u(3).wrapping_pow(u(5)), u(243));
+        assert_eq!(u(2).wrapping_pow(u(256)), U256::ZERO); // wraps
+        assert_eq!(u(10).wrapping_pow(u(18)), U256::from_u128(1_000_000_000_000_000_000));
+    }
+
+    #[test]
+    fn addmod_and_mulmod_handle_overflow() {
+        // (MAX + MAX) % 10: 2^257 - 2 mod 10.
+        let r = U256::MAX.add_mod(U256::MAX, u(10));
+        // MAX % 10 = 5 (2^256-1 ≡ 5 mod 10), so (5+5)%10 = 0.
+        assert_eq!(r, u(0));
+        let r = U256::MAX.mul_mod(U256::MAX, u(7));
+        // 2^256-1 ≡ 2^256-1 mod 7; 2^256 mod 7: 2^3=1 mod 7 so 2^256=2^(255)*2 ... compute directly:
+        let m = U256::MAX.div_rem(u(7)).1;
+        assert_eq!(r, (m * m).div_rem(u(7)).1);
+        assert_eq!(u(5).add_mod(u(5), U256::ZERO), U256::ZERO);
+        assert_eq!(u(5).mul_mod(u(5), U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn signed_division_truncates_toward_zero() {
+        let neg7 = u(7).wrapping_neg();
+        assert_eq!(neg7.sdiv(u(2)), u(3).wrapping_neg());
+        assert_eq!(neg7.smod(u(2)), U256::ONE.wrapping_neg());
+        assert_eq!(u(7).sdiv(u(2).wrapping_neg()), u(3).wrapping_neg());
+        assert_eq!(u(7).smod(u(2).wrapping_neg()), U256::ONE);
+        assert_eq!(neg7.sdiv(U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let neg1 = U256::MAX;
+        assert!(neg1.slt(U256::ZERO));
+        assert!(U256::ZERO.sgt(neg1));
+        assert!(u(1).sgt(U256::ZERO));
+        assert!(neg1.slt(u(1)));
+        assert!(!neg1.slt(neg1));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(U256::ONE << 255u32, U256::SIGN_BIT);
+        assert_eq!(U256::SIGN_BIT >> 255u32, U256::ONE);
+        assert_eq!(U256::ONE << 256u32, U256::ZERO);
+        assert_eq!((u(0xff) << 64u32).0, [0, 0xff, 0, 0]);
+        assert_eq!(U256::MAX.sar(u(255)), U256::MAX);
+        assert_eq!(U256::SIGN_BIT.sar(u(1)), U256::SIGN_BIT | (U256::SIGN_BIT >> 1u32));
+        assert_eq!(u(8).sar(u(2)), u(2));
+        assert_eq!(U256::MAX.sar(u(300)), U256::MAX);
+        assert_eq!(u(8).sar(u(300)), U256::ZERO);
+    }
+
+    #[test]
+    fn sign_extend_matches_evm() {
+        // 0xff at byte 0 sign-extends to -1.
+        assert_eq!(u(0xff).sign_extend(u(0)), U256::MAX);
+        assert_eq!(u(0x7f).sign_extend(u(0)), u(0x7f));
+        assert_eq!(u(0xff).sign_extend(u(31)), u(0xff));
+        assert_eq!(u(0x1ff).sign_extend(u(0)), U256::MAX);
+    }
+
+    #[test]
+    fn byte_be_indexing() {
+        let v = U256::from_hex_str("0x0102030405").unwrap();
+        assert_eq!(v.byte_be(u(31)), u(5));
+        assert_eq!(v.byte_be(u(27)), u(1));
+        assert_eq!(v.byte_be(u(0)), u(0));
+        assert_eq!(v.byte_be(u(32)), u(0));
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256::from_hex_str("0xdeadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        assert_eq!(U256::from_be_slice(&[1, 2]), u(258));
+    }
+
+    #[test]
+    fn decimal_roundtrip_and_display() {
+        let v = U256::from_decimal_str("115792089237316195423570985008687907853269984665640564039457584007913129639935").unwrap();
+        assert_eq!(v, U256::MAX);
+        assert_eq!(U256::MAX.to_decimal_string().len(), 78);
+        assert_eq!(format!("{}", u(42)), "42");
+        assert_eq!(format!("{:x}", u(255)), "ff");
+        assert_eq!("0x2a".parse::<U256>().unwrap(), u(42));
+        assert!(U256::from_decimal_str("").is_err());
+        assert!(U256::from_decimal_str("12a").is_err());
+        assert!(U256::from_decimal_str(&("1".to_owned() + &"0".repeat(78))).is_err());
+    }
+
+    #[test]
+    fn leading_zeros_and_bits() {
+        assert_eq!(U256::ZERO.leading_zeros(), 256);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256::MAX.bits(), 256);
+        assert_eq!((U256::ONE << 200u32).bits(), 201);
+        assert_eq!(u(255).byte_len(), 1);
+        assert_eq!(u(256).byte_len(), 2);
+        assert_eq!(U256::ZERO.byte_len(), 0);
+    }
+
+    #[test]
+    fn isqrt_small_values() {
+        assert_eq!(u(0).isqrt(), u(0));
+        assert_eq!(u(1).isqrt(), u(1));
+        assert_eq!(u(15).isqrt(), u(3));
+        assert_eq!(u(16).isqrt(), u(4));
+        assert_eq!(U256::MAX.isqrt(), U256::from_u128(u128::MAX));
+    }
+
+    #[test]
+    fn ordering_is_big_endian_on_limbs() {
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(u(1) < u(2));
+        assert_eq!(u(5).cmp(&u(5)), Ordering::Equal);
+    }
+}

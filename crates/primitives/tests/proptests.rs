@@ -1,0 +1,147 @@
+//! Property-based tests for the primitive algebra: U256 ring laws, division
+//! identities, RLP and hex roundtrips, keccak streaming consistency.
+
+use lsc_primitives::rlp::{self, Item};
+use lsc_primitives::{hex, keccak256, Address, Keccak256, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    proptest::array::uniform4(any::<u64>()).prop_map(U256)
+}
+
+/// Small values exercise the single-limb fast paths.
+fn arb_u256_mixed() -> impl Strategy<Value = U256> {
+    prop_oneof![
+        arb_u256(),
+        any::<u64>().prop_map(U256::from_u64),
+        any::<u128>().prop_map(U256::from_u128),
+        Just(U256::ZERO),
+        Just(U256::ONE),
+        Just(U256::MAX),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in arb_u256_mixed(), b in arb_u256_mixed(), c in arb_u256_mixed()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(a - a, U256::ZERO);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes(a in arb_u256_mixed(), b in arb_u256_mixed(), c in arb_u256_mixed()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn div_rem_identity(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        let (q, r) = a.div_rem(b);
+        if b.is_zero() {
+            prop_assert_eq!((q, r), (U256::ZERO, U256::ZERO));
+        } else {
+            prop_assert!(r < b);
+            prop_assert_eq!(q * b + r, a);
+        }
+    }
+
+    #[test]
+    fn sdiv_smod_identity(a in arb_u256_mixed(), b in arb_u256_mixed()) {
+        if !b.is_zero() {
+            // a == sdiv(a,b) * b + smod(a,b) in wrapping arithmetic.
+            prop_assert_eq!(a.sdiv(b).wrapping_mul(b).wrapping_add(a.smod(b)), a);
+        }
+    }
+
+    #[test]
+    fn shifts_compose(a in arb_u256_mixed(), s in 0u32..256) {
+        prop_assert_eq!((a << s) >> s, a & (U256::MAX >> s));
+        prop_assert_eq!((a >> s) << s, a & (U256::MAX << s));
+    }
+
+    #[test]
+    fn mulmod_matches_naive_when_no_overflow(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let r = U256::from_u64(a).mul_mod(U256::from_u64(b), U256::from_u64(m));
+        prop_assert_eq!(r, U256::from_u128((a as u128 * b as u128) % m as u128));
+    }
+
+    #[test]
+    fn addmod_reduces(a in arb_u256_mixed(), b in arb_u256_mixed(), m in arb_u256_mixed()) {
+        let r = a.add_mod(b, m);
+        if m.is_zero() {
+            prop_assert_eq!(r, U256::ZERO);
+        } else {
+            prop_assert!(r < m);
+        }
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in arb_u256_mixed()) {
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_u256_mixed()) {
+        prop_assert_eq!(U256::from_decimal_str(&a.to_decimal_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn keccak_streaming_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        split in 0usize..600,
+    ) {
+        let split = split.min(data.len());
+        let mut s = Keccak256::new();
+        s.update(&data[..split]);
+        s.update(&data[split..]);
+        prop_assert_eq!(s.finalize(), keccak256(&data));
+    }
+
+    #[test]
+    fn rlp_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let item = Item::Bytes(data);
+        prop_assert_eq!(rlp::decode(&rlp::encode(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn rlp_list_roundtrip(lists in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..10)) {
+        let item = Item::List(lists.into_iter().map(Item::Bytes).collect());
+        prop_assert_eq!(rlp::decode(&rlp::encode(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn address_u256_roundtrip(bytes in proptest::array::uniform20(any::<u8>())) {
+        let a = Address(bytes);
+        prop_assert_eq!(Address::from_u256(a.to_u256()), a);
+    }
+
+    #[test]
+    fn sign_extend_idempotent(a in arb_u256_mixed(), idx in 0u64..40) {
+        let idx = U256::from_u64(idx);
+        let once = a.sign_extend(idx);
+        prop_assert_eq!(once.sign_extend(idx), once);
+    }
+
+    #[test]
+    fn pow_matches_u128_for_small(base in 0u64..=30, exp in 0u64..=20) {
+        let expected = (base as u128).checked_pow(exp as u32);
+        if let Some(e) = expected {
+            prop_assert_eq!(U256::from_u64(base).wrapping_pow(U256::from_u64(exp)), U256::from_u128(e));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Abstract syntax tree for the Solidity subset.
+
+use lsc_primitives::U256;
+
+/// A parsed source file: pragmas plus contract definitions.
+#[derive(Debug, Clone, Default)]
+pub struct SourceUnit {
+    /// Raw pragma strings (recorded, not interpreted).
+    pub pragmas: Vec<String>,
+    /// Contracts in declaration order.
+    pub contracts: Vec<ContractDef>,
+}
+
+/// A `contract Name is Base { … }` definition.
+#[derive(Debug, Clone)]
+pub struct ContractDef {
+    /// Contract name.
+    pub name: String,
+    /// Base contract names (single inheritance is supported; the list is
+    /// kept for error reporting).
+    pub bases: Vec<String>,
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+    /// State variables in declaration order (drives storage layout).
+    pub state_vars: Vec<StateVar>,
+    /// Events.
+    pub events: Vec<EventDef>,
+    /// Functions, including the constructor.
+    pub functions: Vec<FunctionDef>,
+    /// Modifier definitions.
+    pub modifiers: Vec<ModifierDef>,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<(String, TypeExpr)>,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names in order (values 0..n).
+    pub variants: Vec<String>,
+}
+
+/// A state variable declaration.
+#[derive(Debug, Clone)]
+pub struct StateVar {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// `public` variables get synthesized getters.
+    pub public: bool,
+    /// Optional initializer (run in the constructor prologue).
+    pub init: Option<Expr>,
+}
+
+/// An event definition.
+#[derive(Debug, Clone)]
+pub struct EventDef {
+    /// Event name.
+    pub name: String,
+    /// Parameters: (name, type, indexed).
+    pub params: Vec<(String, TypeExpr, bool)>,
+}
+
+/// Function visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Visibility {
+    /// Callable externally and internally (the default in this subset).
+    #[default]
+    Public,
+    /// Callable externally only.
+    External,
+    /// Callable from this contract and derived ones.
+    Internal,
+    /// Callable from this contract only.
+    Private,
+}
+
+impl Visibility {
+    /// Does the function appear in the ABI / dispatcher?
+    pub fn is_externally_callable(self) -> bool {
+        matches!(self, Visibility::Public | Visibility::External)
+    }
+}
+
+/// Mutability markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutability {
+    /// Default: may read and write state, rejects ether.
+    #[default]
+    NonPayable,
+    /// Accepts ether.
+    Payable,
+    /// Promises not to write state.
+    View,
+    /// Promises not to touch state.
+    Pure,
+}
+
+/// A function (or constructor) definition.
+#[derive(Debug, Clone)]
+pub struct FunctionDef {
+    /// Name; empty string for the constructor.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, TypeExpr)>,
+    /// Named or anonymous returns: (name-or-empty, type).
+    pub returns: Vec<(String, TypeExpr)>,
+    /// Visibility.
+    pub visibility: Visibility,
+    /// Mutability.
+    pub mutability: Mutability,
+    /// Body statements (None for unimplemented/abstract — rejected later).
+    pub body: Vec<Stmt>,
+    /// True for `constructor(...)`.
+    pub is_constructor: bool,
+    /// Modifier invocations, applied outermost-first: (name, args).
+    pub modifiers: Vec<(String, Vec<Expr>)>,
+}
+
+/// A `modifier onlyX(args) { …; _; }` definition. The `_` placeholder
+/// marks where the modified function's body is spliced in.
+#[derive(Debug, Clone)]
+pub struct ModifierDef {
+    /// Modifier name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, TypeExpr)>,
+    /// Body (containing [`Stmt::Placeholder`]).
+    pub body: Vec<Stmt>,
+}
+
+/// A syntactic type expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// A named elementary or user-defined type (`uint256`, `State`, …).
+    /// `address payable` is folded to `address`.
+    Named(String),
+    /// `T[]`
+    Array(Box<TypeExpr>),
+    /// `T[N]`
+    FixedArray(Box<TypeExpr>, u64),
+    /// `mapping(K => V)`
+    Mapping(Box<TypeExpr>, Box<TypeExpr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Local variable declaration: `uint x = e;` (type, names, init).
+    VarDecl {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement (assignment, call, increment, …).
+    Expr(Expr),
+    /// `if (cond) then else`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (empty if absent).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; post) body`
+    For {
+        /// Initializer (VarDecl or Expr).
+        init: Option<Box<Stmt>>,
+        /// Condition (true if absent).
+        cond: Option<Expr>,
+        /// Post-iteration expression.
+        post: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `require(cond)` / `require(cond, "msg")`
+    Require {
+        /// Condition that must hold.
+        cond: Expr,
+        /// Revert reason.
+        message: Option<String>,
+    },
+    /// `revert("msg")` / `revert()`
+    Revert(Option<String>),
+    /// `emit Event(args);`
+    Emit {
+        /// Event name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ … }`
+    Block(Vec<Stmt>),
+    /// The `_;` placeholder inside a modifier body.
+    Placeholder,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal (already scaled by any unit suffix).
+    Number(U256),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`
+    Bool(bool),
+    /// Identifier.
+    Ident(String),
+    /// `a.b`
+    Member(Box<Expr>, String),
+    /// `a[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `f(args)` — function call, struct construction, cast or builtin.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `!e`
+    Not(Box<Expr>),
+    /// `-e`
+    Neg(Box<Expr>),
+    /// `~e`
+    BitNot(Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs` (also models `+=` etc. after desugaring).
+    Assign(Box<Expr>, Box<Expr>),
+    /// `e++` / `e--` / `++e` / `--e` (desugared flag: is_increment).
+    IncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// `true` for `++`.
+        increment: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: identifier expression.
+    pub fn ident(name: &str) -> Expr {
+        Expr::Ident(name.to_string())
+    }
+}

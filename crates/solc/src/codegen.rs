@@ -1,0 +1,413 @@
+//! Code generation: lowers a flattened [`ContractInfo`] to EVM bytecode
+//! (init + runtime) through the `lsc-evm` assembler.
+//!
+//! ## Conventions
+//!
+//! * **Memory map**: `0x00..0x40` hashing scratch, `0x40` free-memory
+//!   pointer, `0x60` the canonical empty string (always zero), `0x80..`
+//!   locals (globally unique addresses per function — no recursion),
+//!   heap from [`HEAP_BASE`].
+//! * **Values**: value types are raw words; `string`s are pointers to
+//!   `[len][bytes…]` in memory; memory structs are pointers to
+//!   word-per-field regions.
+//! * **Calls**: caller writes arguments into the callee's parameter slots,
+//!   pushes a return label and jumps; the callee writes results into its
+//!   return slots and jumps back. Multi-returns work because results
+//!   travel through memory.
+//! * **Storage**: one slot per value (no packing — a documented deviation
+//!   from solc that keeps layouts version-stable, which is exactly what
+//!   the paper's data migration needs); strings/arrays root at their slot
+//!   with data at `keccak(slot)`; mapping elements at
+//!   `keccak(key ++ slot)` (string keys hash their bytes).
+
+use crate::sema::{ContractInfo, SemaError, Ty};
+use lsc_evm::asm::{Asm, Label};
+use lsc_evm::opcode::op;
+use lsc_primitives::U256;
+use std::collections::HashMap;
+use core::fmt;
+
+/// Start of the dynamic heap (locals live below).
+pub const HEAP_BASE: u64 = 0x8000;
+/// First local slot.
+const LOCALS_BASE: u64 = 0x80;
+/// The canonical empty-string pointer (memory at 0x60 is always zero).
+const EMPTY_STRING_PTR: u64 = 0x60;
+
+/// Code generation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError(pub String);
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codegen error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<SemaError> for CodegenError {
+    fn from(e: SemaError) -> Self {
+        CodegenError(e.0)
+    }
+}
+
+fn cerr<T>(message: impl Into<String>) -> Result<T, CodegenError> {
+    Err(CodegenError(message.into()))
+}
+
+/// Where an lvalue lives.
+enum LValue {
+    /// A local variable at a constant memory address.
+    Local { addr: u64, ty: Ty },
+    /// A storage location; the slot is on the stack.
+    Storage { ty: Ty },
+    /// A memory word; the address is on the stack.
+    MemWord { ty: Ty },
+}
+
+/// Per-function compilation context.
+struct FnCtx {
+    /// Scoped local variables: name → (address, type).
+    scopes: Vec<HashMap<String, (u64, Ty)>>,
+    /// Return slots (address, type) in declaration order.
+    return_slots: Vec<(u64, Ty)>,
+    /// Loop continuation targets (continue, break).
+    loops: Vec<(Label, Label)>,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<(u64, Ty)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).cloned())
+    }
+}
+
+/// One contract's code generator (drives both runtime and init emission).
+pub struct CodeGen<'a> {
+    contract: &'a ContractInfo,
+    asm: Asm,
+    next_local: u64,
+    fn_entry: HashMap<String, Label>,
+    fn_return_slots: HashMap<String, Vec<(u64, Ty)>>,
+    fn_param_slots: HashMap<String, Vec<(u64, Ty)>>,
+    sub_sload_string: Label,
+    sub_sstore_string: Label,
+    subs_emitted: bool,
+    ctx: FnCtx,
+}
+
+impl<'a> CodeGen<'a> {
+    fn new(contract: &'a ContractInfo, next_local: u64) -> Self {
+        let mut asm = Asm::new();
+        let sub_sload_string = asm.new_label();
+        let sub_sstore_string = asm.new_label();
+        CodeGen {
+            contract,
+            asm,
+            next_local,
+            fn_entry: HashMap::new(),
+            fn_return_slots: HashMap::new(),
+            fn_param_slots: HashMap::new(),
+            sub_sload_string,
+            sub_sstore_string,
+            subs_emitted: false,
+            ctx: FnCtx { scopes: vec![], return_slots: vec![], loops: vec![] },
+        }
+    }
+
+    fn alloc_local(&mut self) -> Result<u64, CodegenError> {
+        let addr = self.next_local;
+        self.next_local += 32;
+        if self.next_local > HEAP_BASE {
+            return cerr("too many locals: exceeded the reserved locals region");
+        }
+        Ok(addr)
+    }
+
+    // ---- tiny emission helpers ----
+
+    fn push(&mut self, v: U256) {
+        self.asm.push(v);
+    }
+
+    fn pushn(&mut self, v: u64) {
+        self.asm.push_u64(v);
+    }
+
+    fn o(&mut self, byte: u8) {
+        self.asm.op(byte);
+    }
+
+    /// MLOAD from a constant address.
+    fn mload_const(&mut self, addr: u64) {
+        self.pushn(addr);
+        self.o(op::MLOAD);
+    }
+
+    /// MSTORE the stack top to a constant address.
+    fn mstore_const(&mut self, addr: u64) {
+        self.pushn(addr);
+        self.o(op::MSTORE);
+    }
+
+    /// Initialize the free-memory pointer.
+    fn emit_fmp_init(&mut self) {
+        self.pushn(HEAP_BASE);
+        self.mstore_const(0x40);
+    }
+
+    /// Round the stack top up to a multiple of 32.
+    fn emit_ceil32(&mut self) {
+        // x = (x + 31) & ~31
+        self.pushn(31);
+        self.o(op::ADD);
+        self.push(!U256::from_u64(31));
+        self.o(op::AND);
+    }
+
+    /// Allocate `[top]` bytes on the heap; leaves the base pointer.
+    /// Consumes the size from the stack.
+    fn emit_heap_alloc_dynamic(&mut self) {
+        // [size] -> [ptr]
+        self.mload_const(0x40); // [size, ptr]
+        self.o(op::SWAP1); // [ptr, size]
+        self.o(op::DUP2); // [ptr, size, ptr]
+        self.o(op::ADD); // [ptr, ptr+size]
+        self.mstore_const(0x40); // [ptr]
+    }
+
+    /// keccak256 of the 64-byte scratch formed from [value_under, value_top].
+    /// Stack: [a, b] → [keccak(a ++ b)]
+    fn emit_hash_pair(&mut self) {
+        self.mstore_const(0x20); // b -> scratch[0x20]
+        self.mstore_const(0x00); // a -> scratch[0x00]
+        self.pushn(64);
+        self.pushn(0);
+        self.o(op::KECCAK256);
+    }
+
+    /// keccak256 of a single word. Stack: [a] → [keccak(a)]
+    fn emit_hash_one(&mut self) {
+        self.mstore_const(0x00);
+        self.pushn(32);
+        self.pushn(0);
+        self.o(op::KECCAK256);
+    }
+
+    /// Hash a memory string's bytes. Stack: [ptr] → [keccak(bytes)]
+    fn emit_hash_string(&mut self) {
+        self.o(op::DUP1); // [ptr, ptr]
+        self.o(op::MLOAD); // [ptr, len]
+        self.o(op::SWAP1); // [len, ptr]
+        self.pushn(32);
+        self.o(op::ADD); // [len, ptr+32]
+        self.o(op::KECCAK256);
+    }
+
+    /// Emit `revert(Error(string))` with a static message.
+    fn emit_revert_message(&mut self, message: &str) {
+        // Layout at heap: selector ++ abi(string).
+        // 0x08c379a0 = selector of Error(string).
+        let mut payload = vec![0x08u8, 0xc3, 0x79, 0xa0];
+        let encoded = lsc_abi::encode(
+            &[lsc_abi::AbiType::String],
+            &[lsc_abi::AbiValue::string(message)],
+        )
+        .expect("static string encodes");
+        payload.extend_from_slice(&encoded);
+        // Write payload into memory word by word at fmp (no alloc needed —
+        // we are about to revert).
+        self.mload_const(0x40); // [base]
+        for (i, chunk) in payload.chunks(32).enumerate() {
+            let mut word = [0u8; 32];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.push(U256::from_be_bytes(word)); // [base, word]
+            self.o(op::DUP2); // [base, word, base]
+            self.pushn(32 * i as u64);
+            self.o(op::ADD); // [base, word, base+off]
+            self.o(op::MSTORE); // [base]
+        }
+        // revert(base, len)
+        self.pushn(payload.len() as u64); // [base, len]
+        self.o(op::SWAP1); // [len, base]
+        self.o(op::REVERT);
+    }
+
+    /// Emit a bare `revert(0,0)`.
+    fn emit_revert_bare(&mut self) {
+        self.pushn(0);
+        self.pushn(0);
+        self.o(op::REVERT);
+    }
+
+    // ---- subroutines ----
+
+    /// Append shared subroutines (storage-string load/store) once.
+    fn emit_subroutines(&mut self) -> Result<(), CodegenError> {
+        if self.subs_emitted {
+            return Ok(());
+        }
+        self.subs_emitted = true;
+
+        // --- sload_string: [ret, slot] -> [ptr] ---
+        let t_slot = self.alloc_local()?;
+        let t_len = self.alloc_local()?;
+        let t_ptr = self.alloc_local()?;
+        let t_i = self.alloc_local()?;
+        {
+            let entry = self.sub_sload_string;
+            self.asm.place(entry);
+            // slot on top
+            self.o(op::DUP1);
+            self.mstore_const(t_slot); // keep slot
+            self.o(op::SLOAD);
+            self.o(op::DUP1);
+            self.mstore_const(t_len); // [len]
+            // allocate 32 + ceil32(len)
+            self.emit_ceil32();
+            self.pushn(32);
+            self.o(op::ADD);
+            self.emit_heap_alloc_dynamic(); // [ptr]
+            self.o(op::DUP1);
+            self.mstore_const(t_ptr);
+            // mstore(ptr, len)
+            self.mload_const(t_len);
+            self.o(op::SWAP1);
+            self.o(op::MSTORE); // []
+            // base = keccak(slot)
+            self.mload_const(t_slot);
+            self.emit_hash_one(); // [base]
+            // i = 0
+            self.pushn(0);
+            self.mstore_const(t_i);
+            let loop_top = self.asm.new_label();
+            let done = self.asm.new_label();
+            self.asm.place(loop_top);
+            // if i*32 >= len: done
+            self.mload_const(t_i);
+            self.pushn(32);
+            self.o(op::MUL); // [base, i32]
+            self.mload_const(t_len); // [base, i32, len]
+            self.o(op::GT); // len > i32 ? continue : done  (GT: s0>s1 -> len? wait)
+            // Stack was [base, i32, len]; GT pops len (s0) and i32 (s1):
+            // result = len > i32. If 0 → done.
+            self.o(op::ISZERO);
+            self.asm.push_label(done);
+            self.o(op::JUMPI); // [base]
+            // word = sload(base + i)
+            self.o(op::DUP1);
+            self.mload_const(t_i);
+            self.o(op::ADD);
+            self.o(op::SLOAD); // [base, word]
+            // mstore(ptr + 32 + i*32, word)
+            self.mload_const(t_ptr);
+            self.pushn(32);
+            self.o(op::ADD);
+            self.mload_const(t_i);
+            self.pushn(32);
+            self.o(op::MUL);
+            self.o(op::ADD); // [base, word, dst]
+            self.o(op::MSTORE); // [base]
+            // i += 1
+            self.mload_const(t_i);
+            self.pushn(1);
+            self.o(op::ADD);
+            self.mstore_const(t_i);
+            self.asm.push_label(loop_top);
+            self.o(op::JUMP);
+            self.asm.place(done);
+            self.o(op::POP); // drop base -> [ret]
+            self.mload_const(t_ptr); // [ret, ptr]
+            self.o(op::SWAP1);
+            self.o(op::JUMP);
+        }
+
+        // --- sstore_string: [ret, slot, ptr] -> [] ---
+        let s_slot = self.alloc_local()?;
+        let s_len = self.alloc_local()?;
+        let s_ptr = self.alloc_local()?;
+        let s_i = self.alloc_local()?;
+        {
+            let entry = self.sub_sstore_string;
+            self.asm.place(entry);
+            self.mstore_const(s_ptr); // ptr
+            self.o(op::DUP1);
+            self.mstore_const(s_slot); // slot (kept on stack too)
+            // len = mload(ptr); sstore(slot, len)
+            self.mload_const(s_ptr);
+            self.o(op::MLOAD);
+            self.o(op::DUP1);
+            self.mstore_const(s_len); // [slot, len]
+            self.o(op::SWAP1);
+            self.o(op::SSTORE); // []
+            // base = keccak(slot)
+            self.mload_const(s_slot);
+            self.emit_hash_one(); // [base]
+            self.pushn(0);
+            self.mstore_const(s_i);
+            let loop_top = self.asm.new_label();
+            let done = self.asm.new_label();
+            self.asm.place(loop_top);
+            self.mload_const(s_i);
+            self.pushn(32);
+            self.o(op::MUL);
+            self.mload_const(s_len);
+            self.o(op::GT); // len > i32 ?
+            self.o(op::ISZERO);
+            self.asm.push_label(done);
+            self.o(op::JUMPI);
+            // word = mload(ptr + 32 + i*32)
+            self.mload_const(s_ptr);
+            self.pushn(32);
+            self.o(op::ADD);
+            self.mload_const(s_i);
+            self.pushn(32);
+            self.o(op::MUL);
+            self.o(op::ADD);
+            self.o(op::MLOAD); // [base, word]
+            // sstore(base + i, word)
+            self.o(op::DUP2);
+            self.mload_const(s_i);
+            self.o(op::ADD); // [base, word, base+i]
+            self.o(op::SSTORE); // [base]
+            self.mload_const(s_i);
+            self.pushn(1);
+            self.o(op::ADD);
+            self.mstore_const(s_i);
+            self.asm.push_label(loop_top);
+            self.o(op::JUMP);
+            self.asm.place(done);
+            self.o(op::POP); // [ret]
+            self.o(op::JUMP);
+        }
+        Ok(())
+    }
+
+    /// Call sload_string; stack: [slot] → [ptr].
+    fn call_sload_string(&mut self) {
+        let ret = self.asm.new_label();
+        self.asm.push_label(ret); // [slot, ret]
+        self.o(op::SWAP1); // [ret, slot]
+        let entry = self.sub_sload_string;
+        self.asm.push_label(entry);
+        self.o(op::JUMP);
+        self.asm.place(ret); // [ptr]
+    }
+
+    /// Call sstore_string; stack: [ptr, slot] → [].
+    fn call_sstore_string(&mut self) {
+        let ret = self.asm.new_label();
+        self.asm.push_label(ret); // [ptr, slot, ret]
+        self.o(op::SWAP2); // [ret, slot, ptr]
+        let entry = self.sub_sstore_string;
+        self.asm.push_label(entry);
+        self.o(op::JUMP);
+        self.asm.place(ret);
+    }
+}
+
+mod expr;
+mod stmt;
+mod contract;
+
+pub use contract::{compile_contract, Artifact};

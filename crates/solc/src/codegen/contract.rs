@@ -1,0 +1,503 @@
+//! Whole-contract emission: dispatcher, external wrappers, getters,
+//! constructor/init code, and the final [`Artifact`].
+
+use super::{cerr, CodeGen, CodegenError, EMPTY_STRING_PTR, LOCALS_BASE};
+use crate::ast::{FunctionDef, Mutability};
+use crate::sema::{ContractInfo, Ty};
+use lsc_abi::Abi;
+use lsc_evm::opcode::op;
+use lsc_primitives::U256;
+use std::collections::HashMap;
+
+/// A compiled contract.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Contract name.
+    pub name: String,
+    /// Deployable init bytecode (constructor args get appended).
+    pub bytecode: Vec<u8>,
+    /// Runtime bytecode (what ends up on chain).
+    pub runtime: Vec<u8>,
+    /// The contract ABI.
+    pub abi: Abi,
+    /// Storage layout: (variable, slot, type rendering).
+    pub storage_layout: Vec<(String, u64, String)>,
+}
+
+impl Artifact {
+    /// Disassemble the runtime bytecode into `offset: mnemonic` rows
+    /// (the `solc --asm`-style listing).
+    pub fn disassemble_runtime(&self) -> String {
+        lsc_evm::opcode::disassemble(&self.runtime)
+            .into_iter()
+            .map(|(offset, text)| format!("{offset:#06x}: {text}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Render the storage layout as a table (the `solc --storage-layout`
+    /// equivalent; this is what the data-migration layer keys off).
+    pub fn storage_layout_table(&self) -> String {
+        let mut out = String::from("slot | variable | type\n");
+        for (name, slot, ty) in &self.storage_layout {
+            out.push_str(&format!("{slot:>4} | {name} | {ty}\n"));
+        }
+        out
+    }
+}
+
+impl CodeGen<'_> {
+    /// Allocate parameter/return slots and an entry label for every
+    /// function, so call sites can be emitted before bodies.
+    fn prepare_functions(&mut self) -> Result<(), CodegenError> {
+        for f in &self.contract.functions {
+            let key = fn_key(f);
+            let mut params = Vec::new();
+            for (_, ty) in &f.params {
+                let ty = self.contract.resolve_type(ty)?;
+                params.push((self.alloc_local()?, ty));
+            }
+            let mut returns = Vec::new();
+            for (_, ty) in &f.returns {
+                let ty = self.contract.resolve_type(ty)?;
+                returns.push((self.alloc_local()?, ty));
+            }
+            let entry = self.asm.new_label();
+            self.fn_entry.insert(key.clone(), entry);
+            self.fn_param_slots.insert(key.clone(), params);
+            self.fn_return_slots.insert(key, returns);
+        }
+        Ok(())
+    }
+
+    /// Emit a function body behind its entry label (call convention:
+    /// `[ret_addr]` on the stack, params pre-written to their slots).
+    fn emit_function_body(&mut self, f: &FunctionDef) -> Result<(), CodegenError> {
+        let key = fn_key(f);
+        let entry = self.fn_entry[&key];
+        let params = self.fn_param_slots[&key].clone();
+        let returns = self.fn_return_slots[&key].clone();
+        self.asm.place(entry);
+        // Zero the return slots (functions may be invoked repeatedly within
+        // one frame; named returns must start from their defaults).
+        for (slot, ty) in &returns {
+            if *ty == Ty::String {
+                self.pushn(EMPTY_STRING_PTR);
+            } else {
+                self.pushn(0);
+            }
+            self.mstore_const(*slot);
+        }
+        // Scope with params and named returns.
+        let mut scope = HashMap::new();
+        for ((name, _), (slot, ty)) in f.params.iter().zip(&params) {
+            if !name.is_empty() {
+                scope.insert(name.clone(), (*slot, ty.clone()));
+            }
+        }
+        for ((name, _), (slot, ty)) in f.returns.iter().zip(&returns) {
+            if !name.is_empty() {
+                scope.insert(name.clone(), (*slot, ty.clone()));
+            }
+        }
+        self.ctx.scopes.push(scope);
+        self.ctx.return_slots = returns;
+        self.gen_block(&f.body)?;
+        self.ctx.scopes.pop();
+        // Implicit return.
+        self.o(op::JUMP);
+        Ok(())
+    }
+
+    /// Emit the calldata-copy prologue shared by wrappers; leaves the arg
+    /// blob base address in `t_base`.
+    fn emit_copy_calldata_args(&mut self, t_base: u64) -> Result<(), CodegenError> {
+        let t_len = self.alloc_local()?;
+        self.pushn(4);
+        self.o(op::CALLDATASIZE);
+        self.o(op::SUB); // size - 4
+        self.mstore_const(t_len);
+        self.mload_const(0x40);
+        self.mstore_const(t_base);
+        // fmp = base + ceil32(len)
+        self.mload_const(t_len);
+        self.emit_ceil32();
+        self.mload_const(t_base);
+        self.o(op::ADD);
+        self.mstore_const(0x40);
+        // calldatacopy(base, 4, len)
+        self.mload_const(t_len);
+        self.pushn(4);
+        self.mload_const(t_base);
+        self.o(op::CALLDATACOPY);
+        Ok(())
+    }
+
+    fn emit_nonpayable_check(&mut self) {
+        let ok = self.asm.new_label();
+        self.o(op::CALLVALUE);
+        self.o(op::ISZERO);
+        self.asm.push_label(ok);
+        self.o(op::JUMPI);
+        self.emit_revert_message("function is not payable");
+        self.asm.place(ok);
+    }
+
+    /// Emit the external wrapper for a declared function.
+    fn emit_external_wrapper(
+        &mut self,
+        f: &FunctionDef,
+        wrapper: lsc_evm::asm::Label,
+    ) -> Result<(), CodegenError> {
+        self.asm.place(wrapper);
+        self.o(op::POP); // selector copy
+        if f.mutability != Mutability::Payable {
+            self.emit_nonpayable_check();
+        }
+        let key = fn_key(f);
+        let params = self.fn_param_slots[&key].clone();
+        let returns = self.fn_return_slots[&key].clone();
+        if !params.is_empty() {
+            let t_base = self.alloc_local()?;
+            self.emit_copy_calldata_args(t_base)?;
+            self.emit_abi_decode(t_base, &params)?;
+        }
+        let exit = self.asm.new_label();
+        self.asm.push_label(exit);
+        let entry = self.fn_entry[&key];
+        self.asm.push_label(entry);
+        self.o(op::JUMP);
+        self.asm.place(exit);
+        if returns.is_empty() {
+            self.o(op::STOP);
+        } else {
+            let items: Vec<(Ty, u64)> =
+                returns.iter().map(|(slot, ty)| (ty.clone(), *slot)).collect();
+            self.emit_abi_encode(&items)?;
+            self.o(op::SWAP1); // [len, base]
+            self.o(op::RETURN);
+        }
+        Ok(())
+    }
+
+    /// Emit the synthesized getter wrapper for a public state variable.
+    fn emit_getter(
+        &mut self,
+        var_name: &str,
+        wrapper: lsc_evm::asm::Label,
+    ) -> Result<(), CodegenError> {
+        let var = self
+            .contract
+            .state_var(var_name)
+            .ok_or_else(|| CodegenError(format!("no state var `{var_name}`")))?
+            .clone();
+        self.asm.place(wrapper);
+        self.o(op::POP);
+        self.emit_nonpayable_check();
+
+        // Determine the key chain (mapping keys / array indices).
+        let mut keys: Vec<Ty> = Vec::new();
+        let mut leaf = var.ty.clone();
+        loop {
+            match leaf {
+                Ty::Mapping(k, v) => {
+                    keys.push(*k);
+                    leaf = *v;
+                }
+                Ty::Array(inner) => {
+                    keys.push(Ty::Uint(256));
+                    leaf = *inner;
+                }
+                Ty::FixedArray(inner, _) => {
+                    keys.push(Ty::Uint(256));
+                    leaf = *inner;
+                }
+                _ => break,
+            }
+        }
+        // Decode keys.
+        let mut key_slots: Vec<(u64, Ty)> = Vec::new();
+        if !keys.is_empty() {
+            let t_base = self.alloc_local()?;
+            self.emit_copy_calldata_args(t_base)?;
+            for k in &keys {
+                key_slots.push((self.alloc_local()?, k.clone()));
+            }
+            self.emit_abi_decode(t_base, &key_slots)?;
+        }
+        // Walk the storage path.
+        self.pushn(var.slot); // [slot]
+        let mut walk = var.ty.clone();
+        for (slot, _) in &key_slots {
+            match walk {
+                Ty::Mapping(k, v) => {
+                    match *k {
+                        Ty::String => {
+                            self.mload_const(*slot); // [mapslot, keyptr]
+                            self.emit_mapping_slot_string_key()?;
+                        }
+                        _ => {
+                            self.mload_const(*slot); // [mapslot, key]
+                            self.o(op::SWAP1);
+                            self.emit_hash_pair();
+                        }
+                    }
+                    walk = *v;
+                }
+                Ty::Array(inner) => {
+                    // bounds check: idx < sload(slot)
+                    let ok = self.asm.new_label();
+                    self.o(op::DUP1);
+                    self.o(op::SLOAD); // [slot, len]
+                    self.mload_const(*slot); // [slot, len, idx]
+                    self.o(op::LT); // idx < len
+                    self.asm.push_label(ok);
+                    self.o(op::JUMPI);
+                    self.emit_revert_message("array index out of bounds");
+                    self.asm.place(ok);
+                    self.emit_hash_one();
+                    self.mload_const(*slot);
+                    let size = self.contract.slots_for(&inner);
+                    if size != 1 {
+                        self.pushn(size);
+                        self.o(op::MUL);
+                    }
+                    self.o(op::ADD);
+                    walk = *inner;
+                }
+                Ty::FixedArray(inner, n) => {
+                    let ok = self.asm.new_label();
+                    self.mload_const(*slot);
+                    self.pushn(n);
+                    self.o(op::GT); // n > idx
+                    self.asm.push_label(ok);
+                    self.o(op::JUMPI);
+                    self.emit_revert_message("array index out of bounds");
+                    self.asm.place(ok);
+                    self.mload_const(*slot);
+                    let size = self.contract.slots_for(&inner);
+                    if size != 1 {
+                        self.pushn(size);
+                        self.o(op::MUL);
+                    }
+                    self.o(op::ADD);
+                    walk = *inner;
+                }
+                _ => return cerr("getter key chain mismatch"),
+            }
+        }
+        // Load the leaf and encode.
+        match walk {
+            t if t.is_value_type() => {
+                let t_out = self.alloc_local()?;
+                self.o(op::SLOAD);
+                self.mstore_const(t_out);
+                self.emit_abi_encode(&[(t, t_out)])?;
+            }
+            Ty::String => {
+                let t_out = self.alloc_local()?;
+                self.call_sload_string();
+                self.mstore_const(t_out);
+                self.emit_abi_encode(&[(Ty::String, t_out)])?;
+            }
+            Ty::Struct(i) => {
+                // [base_slot]: load each field into temps, encode as tuple.
+                let fields = self.contract.structs[i].fields.clone();
+                let mut items = Vec::new();
+                let mut offset = 0u64;
+                for (_, fty) in &fields {
+                    let t_out = self.alloc_local()?;
+                    self.o(op::DUP1);
+                    self.pushn(offset);
+                    self.o(op::ADD);
+                    match fty {
+                        t if t.is_value_type() => self.o(op::SLOAD),
+                        Ty::String => self.call_sload_string(),
+                        _ => return cerr("nested composite struct fields unsupported in getter"),
+                    }
+                    self.mstore_const(t_out);
+                    items.push((fty.clone(), t_out));
+                    offset += self.contract.slots_for(fty);
+                }
+                self.o(op::POP); // base slot
+                self.emit_abi_encode(&items)?;
+            }
+            _ => return cerr("unsupported public variable type for getter"),
+        }
+        self.o(op::SWAP1);
+        self.o(op::RETURN);
+        Ok(())
+    }
+
+}
+
+fn fn_key(f: &FunctionDef) -> String {
+    if f.is_constructor {
+        "constructor".to_string()
+    } else {
+        f.name.clone()
+    }
+}
+
+/// Compile a flattened contract into init + runtime bytecode and an ABI.
+pub fn compile_contract(info: &ContractInfo) -> Result<Artifact, CodegenError> {
+    let abi = info.build_abi()?;
+
+    // ---------- runtime ----------
+    let mut rt = CodeGen::new(info, LOCALS_BASE);
+    rt.prepare_functions()?;
+    rt.emit_fmp_init();
+    // Selector dispatch.
+    let fallback = rt.asm.new_label();
+    rt.o(op::CALLDATASIZE);
+    rt.pushn(4);
+    rt.o(op::GT); // 4 > size → fallback
+    rt.asm.push_label(fallback);
+    rt.o(op::JUMPI);
+    rt.pushn(0);
+    rt.o(op::CALLDATALOAD);
+    rt.pushn(224);
+    rt.o(op::SHR); // [selector]
+
+    // Wrapper labels per ABI function (getters + declared).
+    let mut wrappers: Vec<(String, [u8; 4], lsc_evm::asm::Label, bool)> = Vec::new();
+    for af in &abi.functions {
+        let label = rt.asm.new_label();
+        let is_getter = info.state_var(&af.name).map(|v| v.public).unwrap_or(false);
+        wrappers.push((af.name.clone(), af.selector(), label, is_getter));
+    }
+    for (_, selector, label, _) in &wrappers {
+        rt.o(op::DUP1);
+        rt.push(U256::from_be_slice(selector));
+        rt.o(op::EQ);
+        rt.asm.push_label(*label);
+        rt.o(op::JUMPI);
+    }
+    rt.asm.place(fallback);
+    rt.emit_revert_bare();
+
+    // Wrappers.
+    for (name, _, label, is_getter) in &wrappers {
+        if *is_getter {
+            rt.emit_getter(name, *label)?;
+        } else {
+            let f = info
+                .function(name)
+                .ok_or_else(|| CodegenError(format!("abi function `{name}` missing body")))?
+                .clone();
+            rt.emit_external_wrapper(&f, *label)?;
+        }
+    }
+    // Function bodies (reachable via labels only).
+    for f in info.functions.clone() {
+        if f.is_constructor {
+            continue;
+        }
+        rt.emit_function_body(&f)?;
+    }
+    rt.emit_subroutines()?;
+    let runtime = rt
+        .asm
+        .assemble()
+        .map_err(|e| CodegenError(format!("runtime assembly failed: {e}")))?;
+    if runtime.len() > lsc_evm::gas::MAX_CODE_SIZE {
+        return cerr(format!(
+            "runtime code for `{}` exceeds the EIP-170 size cap ({} bytes)",
+            info.name,
+            runtime.len()
+        ));
+    }
+
+    // ---------- init ----------
+    let mut init = CodeGen::new(info, LOCALS_BASE);
+    init.prepare_functions()?;
+    init.emit_fmp_init();
+    let end = init.asm.new_label();
+
+    // Copy constructor args (appended after [init][runtime]) into memory.
+    let ctor = info.constructor().cloned();
+    let has_args = ctor.as_ref().map(|c| !c.params.is_empty()).unwrap_or(false);
+    if has_args {
+        let t_base = init.alloc_local()?;
+        let t_off = init.alloc_local()?;
+        let t_len = init.alloc_local()?;
+        // off = end_label + runtime_len
+        init.asm.push_label(end);
+        init.pushn(runtime.len() as u64);
+        init.o(op::ADD);
+        init.o(op::DUP1);
+        init.mstore_const(t_off);
+        // len = codesize - off
+        init.o(op::CODESIZE);
+        init.o(op::SUB); // codesize - off
+        init.mstore_const(t_len);
+        // base = fmp; fmp += ceil32(len)
+        init.mload_const(0x40);
+        init.mstore_const(t_base);
+        init.mload_const(t_len);
+        init.emit_ceil32();
+        init.mload_const(t_base);
+        init.o(op::ADD);
+        init.mstore_const(0x40);
+        // codecopy(base, off, len)
+        init.mload_const(t_len);
+        init.mload_const(t_off);
+        init.mload_const(t_base);
+        init.o(op::CODECOPY);
+        // decode into constructor param slots
+        let params = init.fn_param_slots["constructor"].clone();
+        init.emit_abi_decode(t_base, &params)?;
+    }
+
+    // State variable initializers (paper-era solidity runs them first).
+    for var in info.state_vars.clone() {
+        let Some(expr) = var.init else { continue };
+        let vt = init.gen_value(&expr)?;
+        super::expr::check_assignable(&var.ty, &vt)?;
+        init.pushn(var.slot);
+        match var.ty {
+            ref t if t.is_value_type() => init.o(op::SSTORE),
+            Ty::String => init.call_sstore_string(),
+            _ => return cerr("unsupported state variable initializer type"),
+        }
+    }
+
+    // Run the constructor body.
+    if ctor.is_some() {
+        let exit = init.asm.new_label();
+        init.asm.push_label(exit);
+        let entry = init.fn_entry["constructor"];
+        init.asm.push_label(entry);
+        init.o(op::JUMP);
+        init.asm.place(exit);
+    }
+
+    // Return the runtime code.
+    init.pushn(runtime.len() as u64);
+    init.asm.push_label(end);
+    init.pushn(0);
+    init.o(op::CODECOPY); // codecopy(0, end, len)
+    init.pushn(runtime.len() as u64);
+    init.pushn(0);
+    init.o(op::RETURN);
+
+    // Bodies callable from the constructor.
+    for f in info.functions.clone() {
+        init.emit_function_body(&f)?;
+    }
+    init.emit_subroutines()?;
+    init.asm.place_raw(end);
+    init.asm.extend_raw(runtime.clone());
+    let bytecode = init
+        .asm
+        .assemble()
+        .map_err(|e| CodegenError(format!("init assembly failed: {e}")))?;
+
+    let storage_layout = info
+        .state_vars
+        .iter()
+        .map(|v| (v.name.clone(), v.slot, format!("{:?}", v.ty)))
+        .collect();
+
+    Ok(Artifact { name: info.name.clone(), bytecode, runtime, abi, storage_layout })
+}

@@ -1,0 +1,1018 @@
+//! Expression code generation.
+
+use super::{cerr, CodeGen, CodegenError, LValue, EMPTY_STRING_PTR};
+use crate::ast::{BinOp, Expr};
+use crate::sema::Ty;
+use lsc_evm::opcode::op;
+use lsc_primitives::U256;
+
+impl CodeGen<'_> {
+    /// Generate an expression; returns its type, or `None` for void calls.
+    /// Leaves exactly one value on the stack when `Some`.
+    pub(super) fn gen_expr(&mut self, e: &Expr) -> Result<Option<Ty>, CodegenError> {
+        match e {
+            Expr::Number(v) => {
+                self.push(*v);
+                Ok(Some(Ty::Uint(256)))
+            }
+            Expr::Bool(b) => {
+                self.pushn(u64::from(*b));
+                Ok(Some(Ty::Bool))
+            }
+            Expr::Str(s) => {
+                self.emit_string_literal(s);
+                Ok(Some(Ty::String))
+            }
+            Expr::Ident(name) => self.gen_ident(name).map(Some),
+            Expr::Member(base, field) => self.gen_member(base, field),
+            Expr::Index(base, index) => {
+                // Storage path (mapping/array element read).
+                let ty = self.storage_slot_of(&Expr::Index(base.clone(), index.clone()))?;
+                match ty {
+                    Some(ty) => self.load_from_slot(&ty).map(Some),
+                    None => cerr("indexing is only supported on storage mappings and arrays"),
+                }
+            }
+            Expr::Call(callee, args) => self.gen_call(callee, args),
+            Expr::Binary(op_, lhs, rhs) => self.gen_binary(*op_, lhs, rhs).map(Some),
+            Expr::Not(inner) => {
+                self.gen_value(inner)?;
+                self.o(op::ISZERO);
+                Ok(Some(Ty::Bool))
+            }
+            Expr::Neg(inner) => {
+                let ty = self.gen_value(inner)?;
+                self.pushn(0);
+                self.o(op::SUB); // 0 - x
+                Ok(Some(ty))
+            }
+            Expr::BitNot(inner) => {
+                let ty = self.gen_value(inner)?;
+                self.o(op::NOT);
+                Ok(Some(ty))
+            }
+            Expr::Ternary(cond, then, otherwise) => {
+                let else_label = self.asm.new_label();
+                let end = self.asm.new_label();
+                self.gen_value(cond)?;
+                self.o(op::ISZERO);
+                self.asm.push_label(else_label);
+                self.o(op::JUMPI);
+                let t1 = self.gen_value(then)?;
+                self.asm.push_label(end);
+                self.o(op::JUMP);
+                self.asm.place(else_label);
+                self.gen_value(otherwise)?;
+                self.asm.place(end);
+                Ok(Some(t1))
+            }
+            Expr::Assign(lhs, rhs) => {
+                self.gen_assign(lhs, rhs)?;
+                Ok(None)
+            }
+            Expr::IncDec { target, increment } => {
+                let op_ = if *increment { BinOp::Add } else { BinOp::Sub };
+                let rhs = Expr::Binary(op_, target.clone(), Box::new(Expr::Number(U256::ONE)));
+                self.gen_assign(target, &rhs)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Generate an expression that must produce a value.
+    pub(super) fn gen_value(&mut self, e: &Expr) -> Result<Ty, CodegenError> {
+        match self.gen_expr(e)? {
+            Some(ty) => Ok(ty),
+            None => cerr("expression has no value in this context"),
+        }
+    }
+
+    /// Write a string literal into the heap; leaves the pointer.
+    fn emit_string_literal(&mut self, s: &str) {
+        if s.is_empty() {
+            self.pushn(EMPTY_STRING_PTR);
+            return;
+        }
+        let bytes = s.as_bytes();
+        let padded = bytes.len().div_ceil(32) * 32;
+        self.pushn(32 + padded as u64);
+        self.emit_heap_alloc_dynamic(); // [ptr]
+        // Store length.
+        self.pushn(bytes.len() as u64); // [ptr, len]
+        self.o(op::DUP2); // [ptr, len, ptr]
+        self.o(op::MSTORE); // [ptr]
+        // Store data words.
+        for (i, chunk) in bytes.chunks(32).enumerate() {
+            let mut word = [0u8; 32];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.push(U256::from_be_bytes(word)); // [ptr, word]
+            self.o(op::DUP2); // [ptr, word, ptr]
+            self.pushn(32 * (i as u64 + 1));
+            self.o(op::ADD); // [ptr, word, dst]
+            self.o(op::MSTORE); // [ptr]
+        }
+    }
+
+    fn gen_ident(&mut self, name: &str) -> Result<Ty, CodegenError> {
+        // Local variables shadow state variables.
+        if let Some((addr, ty)) = self.ctx.lookup(name) {
+            self.mload_const(addr);
+            return Ok(ty);
+        }
+        if let Some(var) = self.contract.state_var(name) {
+            let ty = var.ty.clone();
+            self.pushn(var.slot);
+            return self.load_from_slot(&ty);
+        }
+        match name {
+            "now" => {
+                self.o(op::TIMESTAMP);
+                Ok(Ty::Uint(256))
+            }
+            "this" => {
+                self.o(op::ADDRESS);
+                Ok(Ty::Address)
+            }
+            _ => cerr(format!("unknown identifier `{name}`")),
+        }
+    }
+
+    /// Load a value of type `ty` from the storage slot on the stack.
+    /// [slot] → [value]
+    pub(super) fn load_from_slot(&mut self, ty: &Ty) -> Result<Ty, CodegenError> {
+        match ty {
+            t if t.is_value_type() => {
+                self.o(op::SLOAD);
+                Ok(t.clone())
+            }
+            Ty::String => {
+                self.call_sload_string();
+                Ok(Ty::String)
+            }
+            Ty::Struct(i) => {
+                // Copy the storage struct into a fresh memory struct.
+                let idx = *i;
+                let fields = self.contract.structs[idx].fields.clone();
+                let size = self.contract.structs[idx].slot_count(self.contract);
+                self.pushn(size * 32);
+                self.emit_heap_alloc_dynamic(); // [slot, ptr] — wait: alloc consumed size
+                // Stack here: [slot, ptr]
+                let mut offset = 0u64;
+                for (_, fty) in &fields {
+                    // load field
+                    self.o(op::DUP2); // [slot, ptr, slot]
+                    self.pushn(offset);
+                    self.o(op::ADD); // [slot, ptr, fslot]
+                    match fty {
+                        t if t.is_value_type() => self.o(op::SLOAD),
+                        Ty::String => self.call_sload_string(),
+                        _ => return cerr("nested composite struct fields are not supported"),
+                    }
+                    // [slot, ptr, fval]
+                    self.o(op::DUP2); // [slot, ptr, fval, ptr]
+                    self.pushn(offset * 32);
+                    self.o(op::ADD); // [slot, ptr, fval, faddr]
+                    self.o(op::MSTORE); // [slot, ptr]
+                    offset += self.contract.slots_for(fty);
+                }
+                self.o(op::SWAP1); // [ptr, slot]
+                self.o(op::POP); // [ptr]
+                Ok(Ty::Struct(idx))
+            }
+            Ty::Array(_) | Ty::FixedArray(_, _) => {
+                cerr("whole-array reads are not supported; index elements instead")
+            }
+            Ty::Mapping(_, _) => cerr("mappings cannot be read as values; index them"),
+            Ty::Int(_) | Ty::Uint(_) | Ty::Bool | Ty::Address | Ty::Enum(_) => unreachable!(),
+        }
+    }
+
+    fn gen_member(&mut self, base: &Expr, field: &str) -> Result<Option<Ty>, CodegenError> {
+        // Builtin namespaces first.
+        if let Expr::Ident(name) = base {
+            match (name.as_str(), field) {
+                ("msg", "sender") => {
+                    self.o(op::CALLER);
+                    return Ok(Some(Ty::Address));
+                }
+                ("msg", "value") => {
+                    self.o(op::CALLVALUE);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                ("block", "timestamp") => {
+                    self.o(op::TIMESTAMP);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                ("block", "number") => {
+                    self.o(op::NUMBER);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                ("block", "coinbase") => {
+                    self.o(op::COINBASE);
+                    return Ok(Some(Ty::Address));
+                }
+                ("block", "difficulty") => {
+                    self.o(op::DIFFICULTY);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                ("block", "gaslimit") => {
+                    self.o(op::GASLIMIT);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                ("block", "chainid") => {
+                    self.o(op::CHAINID);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                ("tx", "origin") => {
+                    self.o(op::ORIGIN);
+                    return Ok(Some(Ty::Address));
+                }
+                ("tx", "gasprice") => {
+                    self.o(op::GASPRICE);
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                _ => {}
+            }
+            // Enum variant: State.Created
+            if let Some((i, info)) = self.contract.enum_by_name(name) {
+                let Some(pos) = info.variants.iter().position(|v| v == field) else {
+                    return cerr(format!("enum `{name}` has no variant `{field}`"));
+                };
+                self.pushn(pos as u64);
+                return Ok(Some(Ty::Enum(i)));
+            }
+        }
+        // `.length` on a storage array.
+        if field == "length" {
+            if let Some(Ty::Array(_)) = self.peek_storage_type(base)? {
+                let ty = self.storage_slot_of(base)?;
+                debug_assert!(matches!(ty, Some(Ty::Array(_))));
+                self.o(op::SLOAD);
+                return Ok(Some(Ty::Uint(256)));
+            }
+            if let Some(Ty::String) = self.peek_storage_type(base)? {
+                let _ = self.storage_slot_of(base)?;
+                self.o(op::SLOAD);
+                return Ok(Some(Ty::Uint(256)));
+            }
+        }
+        // `.balance` on an address expression.
+        if field == "balance" {
+            if let Ok(Some(Ty::Address)) = self.peek_type(base) {
+                let ty = self.gen_value(base)?;
+                debug_assert_eq!(ty, Ty::Address);
+                self.o(op::BALANCE);
+                return Ok(Some(Ty::Uint(256)));
+            }
+        }
+        // Storage struct field (paidrents[i].value, or a struct state var).
+        if let Some(ty) = self.storage_slot_of(&Expr::Member(Box::new(base.clone()), field.to_string()))? {
+            return self.load_from_slot(&ty).map(Some);
+        }
+        // Memory struct field.
+        let base_ty = self.gen_value(base)?;
+        if let Ty::Struct(i) = base_ty {
+            let s = &self.contract.structs[i];
+            let Some((offset, fty)) = s.field_offset(self.contract, field) else {
+                return cerr(format!("struct `{}` has no field `{field}`", s.name));
+            };
+            self.pushn(offset * 32);
+            self.o(op::ADD);
+            self.o(op::MLOAD);
+            return Ok(Some(fty));
+        }
+        cerr(format!("unsupported member access `.{field}`"))
+    }
+
+    /// Best-effort static type of an expression without emitting code.
+    /// Only needs to handle the shapes used by member dispatch above.
+    pub(super) fn peek_type(&mut self, e: &Expr) -> Result<Option<Ty>, CodegenError> {
+        Ok(match e {
+            Expr::Number(_) => Some(Ty::Uint(256)),
+            Expr::Bool(_) => Some(Ty::Bool),
+            Expr::Str(_) => Some(Ty::String),
+            Expr::Ident(name) => {
+                if let Some((_, ty)) = self.ctx.lookup(name) {
+                    Some(ty)
+                } else if let Some(v) = self.contract.state_var(name) {
+                    Some(v.ty.clone())
+                } else if name == "this" {
+                    Some(Ty::Address)
+                } else if name == "now" {
+                    Some(Ty::Uint(256))
+                } else {
+                    None
+                }
+            }
+            Expr::Member(base, field) => match (&**base, field.as_str()) {
+                (Expr::Ident(n), "sender") if n == "msg" => Some(Ty::Address),
+                (Expr::Ident(n), "coinbase") if n == "block" => Some(Ty::Address),
+                (Expr::Ident(n), "origin") if n == "tx" => Some(Ty::Address),
+                (Expr::Ident(n), _) if n == "msg" || n == "block" || n == "tx" => {
+                    Some(Ty::Uint(256))
+                }
+                _ => {
+                    if let Some(Ty::Struct(i)) = self.peek_type(base)? {
+                        self.contract.structs[i]
+                            .field_offset(self.contract, field)
+                            .map(|(_, ty)| ty)
+                    } else {
+                        None
+                    }
+                }
+            },
+            Expr::Index(base, _) => match self.peek_type(base)? {
+                Some(Ty::Mapping(_, value)) => Some(*value),
+                Some(Ty::Array(inner)) | Some(Ty::FixedArray(inner, _)) => Some(*inner),
+                _ => None,
+            },
+            Expr::Call(callee, _) => {
+                if let Expr::Ident(name) = &**callee {
+                    if name == "address" {
+                        return Ok(Some(Ty::Address));
+                    }
+                    if let Some(f) = self.contract.function(name) {
+                        if f.returns.len() == 1 {
+                            return Ok(Some(self.contract.resolve_type(&f.returns[0].1)?));
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        })
+    }
+
+    /// Static storage type of an expression if it denotes a storage path.
+    fn peek_storage_type(&mut self, e: &Expr) -> Result<Option<Ty>, CodegenError> {
+        Ok(match e {
+            Expr::Ident(name) if self.ctx.lookup(name).is_none() => {
+                self.contract.state_var(name).map(|v| v.ty.clone())
+            }
+            Expr::Index(base, _) => match self.peek_storage_type(base)? {
+                Some(Ty::Mapping(_, value)) => Some(*value),
+                Some(Ty::Array(inner)) | Some(Ty::FixedArray(inner, _)) => Some(*inner),
+                _ => None,
+            },
+            Expr::Member(base, field) => match self.peek_storage_type(base)? {
+                Some(Ty::Struct(i)) => self.contract.structs[i]
+                    .field_offset(self.contract, field)
+                    .map(|(_, ty)| ty),
+                _ => None,
+            },
+            _ => None,
+        })
+    }
+
+    /// If `e` denotes a storage location, emit code leaving its slot on the
+    /// stack and return the element type; otherwise emit nothing.
+    pub(super) fn storage_slot_of(&mut self, e: &Expr) -> Result<Option<Ty>, CodegenError> {
+        match e {
+            Expr::Ident(name) => {
+                if self.ctx.lookup(name).is_some() {
+                    return Ok(None); // locals shadow
+                }
+                match self.contract.state_var(name) {
+                    Some(var) => {
+                        self.pushn(var.slot);
+                        Ok(Some(var.ty.clone()))
+                    }
+                    None => Ok(None),
+                }
+            }
+            Expr::Index(base, index) => {
+                let Some(base_ty) = self.storage_slot_of(base)? else {
+                    return Ok(None);
+                };
+                match base_ty {
+                    Ty::Mapping(key_ty, value_ty) => {
+                        // [slot]
+                        match *key_ty {
+                            Ty::String => {
+                                let kty = self.gen_value(index)?;
+                                if kty != Ty::String {
+                                    return cerr("mapping key must be a string");
+                                }
+                                // [slot, ptr]
+                                self.emit_mapping_slot_string_key()?;
+                            }
+                            ref k if k.is_value_type() => {
+                                let kty = self.gen_value(index)?;
+                                if !kty.is_value_type() {
+                                    return cerr("mapping key must be a value type");
+                                }
+                                // [slot, key] → keccak(key ++ slot)
+                                self.o(op::SWAP1);
+                                self.emit_hash_pair();
+                            }
+                            _ => return cerr("unsupported mapping key type"),
+                        }
+                        Ok(Some(*value_ty))
+                    }
+                    Ty::Array(inner) => {
+                        // [slot]; bounds-check then element slot.
+                        let t_idx = self.alloc_local()?;
+                        let ok = self.asm.new_label();
+                        let ity = self.gen_value(index)?;
+                        if !ity.is_value_type() {
+                            return cerr("array index must be numeric");
+                        }
+                        self.mstore_const(t_idx); // [slot]
+                        self.o(op::DUP1);
+                        self.o(op::SLOAD); // [slot, len]
+                        self.mload_const(t_idx); // [slot, len, idx]
+                        self.o(op::LT); // idx < len
+                        self.asm.push_label(ok);
+                        self.o(op::JUMPI);
+                        self.emit_revert_message("array index out of bounds");
+                        self.asm.place(ok); // [slot]
+                        self.emit_hash_one(); // [base]
+                        self.mload_const(t_idx);
+                        let elem_size = self.contract.slots_for(&inner);
+                        if elem_size != 1 {
+                            self.pushn(elem_size);
+                            self.o(op::MUL);
+                        }
+                        self.o(op::ADD);
+                        Ok(Some(*inner))
+                    }
+                    Ty::FixedArray(inner, n) => {
+                        // [slot]
+                        let ok = self.asm.new_label();
+                        let ity = self.gen_value(index)?;
+                        if !ity.is_value_type() {
+                            return cerr("array index must be numeric");
+                        }
+                        // bounds: idx < n
+                        self.o(op::DUP1); // [slot, idx, idx]
+                        self.pushn(n); // [slot, idx, idx, n]
+                        self.o(op::GT); // n > idx
+                        self.asm.push_label(ok);
+                        self.o(op::JUMPI);
+                        self.emit_revert_message("array index out of bounds");
+                        self.asm.place(ok); // [slot, idx]
+                        let elem_size = self.contract.slots_for(&inner);
+                        if elem_size != 1 {
+                            self.pushn(elem_size);
+                            self.o(op::MUL);
+                        }
+                        self.o(op::ADD);
+                        Ok(Some(*inner))
+                    }
+                    _ => cerr("only mappings and arrays can be indexed"),
+                }
+            }
+            Expr::Member(base, field) => {
+                // Struct field within storage.
+                let probe = self.peek_storage_type(base)?;
+                let Some(Ty::Struct(i)) = probe else {
+                    return Ok(None);
+                };
+                let Some(base_ty) = self.storage_slot_of(base)? else {
+                    return Ok(None);
+                };
+                debug_assert_eq!(base_ty, Ty::Struct(i));
+                let s = &self.contract.structs[i];
+                let Some((offset, fty)) = s.field_offset(self.contract, field) else {
+                    return cerr(format!("struct `{}` has no field `{field}`", s.name));
+                };
+                if offset != 0 {
+                    self.pushn(offset);
+                    self.o(op::ADD);
+                }
+                Ok(Some(fty))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Compute a mapping element slot for a string key.
+    /// Stack: [slot, key_ptr] → [element_slot]
+    pub(super) fn emit_mapping_slot_string_key(&mut self) -> Result<(), CodegenError> {
+        let t_ptr = self.alloc_local()?;
+        let t_slot = self.alloc_local()?;
+        let t_len = self.alloc_local()?;
+        let t_i = self.alloc_local()?;
+        self.mstore_const(t_ptr); // [slot]
+        self.mstore_const(t_slot); // []
+        // len = mload(ptr)
+        self.mload_const(t_ptr);
+        self.o(op::MLOAD);
+        self.mstore_const(t_len);
+        // dst = fmp (scratch use; not allocated since consumed immediately)
+        // copy words
+        let loop_top = self.asm.new_label();
+        let done = self.asm.new_label();
+        self.pushn(0);
+        self.mstore_const(t_i);
+        self.asm.place(loop_top);
+        self.mload_const(t_i);
+        self.mload_const(t_len);
+        self.o(op::GT); // len > i
+        self.o(op::ISZERO);
+        self.asm.push_label(done);
+        self.o(op::JUMPI);
+        // word = mload(ptr + 32 + i)
+        self.mload_const(t_ptr);
+        self.pushn(32);
+        self.o(op::ADD);
+        self.mload_const(t_i);
+        self.o(op::ADD);
+        self.o(op::MLOAD);
+        // mstore(fmp + i, word)
+        self.mload_const(0x40);
+        self.mload_const(t_i);
+        self.o(op::ADD);
+        self.o(op::MSTORE);
+        // i += 32
+        self.mload_const(t_i);
+        self.pushn(32);
+        self.o(op::ADD);
+        self.mstore_const(t_i);
+        self.asm.push_label(loop_top);
+        self.o(op::JUMP);
+        self.asm.place(done);
+        // mstore(fmp + len, slot)
+        self.mload_const(t_slot);
+        self.mload_const(0x40);
+        self.mload_const(t_len);
+        self.o(op::ADD);
+        self.o(op::MSTORE);
+        // keccak(fmp, len + 32)
+        self.mload_const(t_len);
+        self.pushn(32);
+        self.o(op::ADD);
+        self.mload_const(0x40);
+        self.o(op::KECCAK256);
+        Ok(())
+    }
+
+    fn gen_binary(&mut self, op_: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Ty, CodegenError> {
+        // Short-circuit logical operators.
+        match op_ {
+            BinOp::And => {
+                let end = self.asm.new_label();
+                self.gen_value(lhs)?;
+                self.o(op::DUP1);
+                self.o(op::ISZERO);
+                self.asm.push_label(end);
+                self.o(op::JUMPI);
+                self.o(op::POP);
+                self.gen_value(rhs)?;
+                self.asm.place(end);
+                return Ok(Ty::Bool);
+            }
+            BinOp::Or => {
+                let end = self.asm.new_label();
+                self.gen_value(lhs)?;
+                self.o(op::DUP1);
+                self.asm.push_label(end);
+                self.o(op::JUMPI);
+                self.o(op::POP);
+                self.gen_value(rhs)?;
+                self.asm.place(end);
+                return Ok(Ty::Bool);
+            }
+            _ => {}
+        }
+        let lt = self.gen_value(lhs)?;
+        let rt = self.gen_value(rhs)?;
+        // String equality via keccak.
+        if (lt == Ty::String || rt == Ty::String) && matches!(op_, BinOp::Eq | BinOp::Ne) {
+            if lt != Ty::String || rt != Ty::String {
+                return cerr("cannot compare a string with a non-string");
+            }
+            // [aptr, bptr]
+            self.emit_hash_string(); // [aptr, bhash]
+            self.o(op::SWAP1); // [bhash, aptr]
+            self.emit_hash_string(); // [bhash, ahash]
+            self.o(op::EQ);
+            if op_ == BinOp::Ne {
+                self.o(op::ISZERO);
+            }
+            return Ok(Ty::Bool);
+        }
+        if lt == Ty::String || rt == Ty::String {
+            return cerr("strings only support == and != comparisons");
+        }
+        let signed = lt.is_signed() || rt.is_signed();
+        let result_ty = match op_ {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => Ty::Bool,
+            _ => {
+                if lt.is_value_type() {
+                    lt.clone()
+                } else {
+                    Ty::Uint(256)
+                }
+            }
+        };
+        // Stack is [a, b] with b on top.
+        match op_ {
+            BinOp::Add => self.o(op::ADD),
+            BinOp::Mul => self.o(op::MUL),
+            BinOp::BitAnd => self.o(op::AND),
+            BinOp::BitOr => self.o(op::OR),
+            BinOp::BitXor => self.o(op::XOR),
+            BinOp::Sub => {
+                self.o(op::SWAP1);
+                self.o(op::SUB);
+            }
+            BinOp::Div => {
+                self.o(op::SWAP1);
+                self.o(if signed { op::SDIV } else { op::DIV });
+            }
+            BinOp::Mod => {
+                self.o(op::SWAP1);
+                self.o(if signed { op::SMOD } else { op::MOD });
+            }
+            BinOp::Eq => self.o(op::EQ),
+            BinOp::Ne => {
+                self.o(op::EQ);
+                self.o(op::ISZERO);
+            }
+            BinOp::Lt => {
+                self.o(op::SWAP1);
+                self.o(if signed { op::SLT } else { op::LT });
+            }
+            BinOp::Gt => {
+                self.o(op::SWAP1);
+                self.o(if signed { op::SGT } else { op::GT });
+            }
+            BinOp::Le => {
+                // a <= b  ==  !(a > b)
+                self.o(op::SWAP1);
+                self.o(if signed { op::SGT } else { op::GT });
+                self.o(op::ISZERO);
+            }
+            BinOp::Ge => {
+                self.o(op::SWAP1);
+                self.o(if signed { op::SLT } else { op::LT });
+                self.o(op::ISZERO);
+            }
+            BinOp::Pow => {
+                self.o(op::SWAP1);
+                self.o(op::EXP);
+            }
+            BinOp::Shl => self.o(op::SHL),
+            BinOp::Shr => self.o(op::SHR),
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+        Ok(result_ty)
+    }
+
+    /// Generate an assignment.
+    pub(super) fn gen_assign(&mut self, lhs: &Expr, rhs: &Expr) -> Result<(), CodegenError> {
+        let lv = self.classify_lvalue(lhs)?;
+        match lv {
+            LValue::Local { addr, ty } => {
+                let rt = self.gen_value(rhs)?;
+                check_assignable(&ty, &rt)?;
+                self.mstore_const(addr);
+            }
+            LValue::Storage { ty } => {
+                // classify_lvalue for Storage does NOT emit the slot (it
+                // can't — rhs must run first). Re-derive with rhs first.
+                let rt = self.gen_value(rhs)?; // [value]
+                check_assignable(&ty, &rt)?;
+                let slot_ty = self.storage_slot_of(lhs)?; // [value, slot]
+                debug_assert!(slot_ty.is_some());
+                match ty {
+                    t if t.is_value_type() => {
+                        self.o(op::SSTORE); // pops slot then value
+                    }
+                    Ty::String => {
+                        // [ptr, slot] expected by call_sstore_string
+                        self.call_sstore_string();
+                    }
+                    Ty::Struct(i) => {
+                        self.emit_store_struct_to_storage(i)?;
+                    }
+                    _ => return cerr("cannot assign to this storage location"),
+                }
+            }
+            LValue::MemWord { ty } => {
+                let rt = self.gen_value(rhs)?; // [value]
+                check_assignable(&ty, &rt)?;
+                self.emit_memword_addr(lhs)?; // [value, addr]
+                self.o(op::MSTORE);
+            }
+        }
+        Ok(())
+    }
+
+    /// Store a memory struct into storage. Stack: [memptr, base_slot] → [].
+    pub(super) fn emit_store_struct_to_storage(
+        &mut self,
+        struct_idx: usize,
+    ) -> Result<(), CodegenError> {
+        let fields = self.contract.structs[struct_idx].fields.clone();
+        let mut offset = 0u64;
+        for (_, fty) in &fields {
+            // [memptr, base]
+            self.o(op::DUP2); // [memptr, base, memptr]
+            self.pushn(offset * 32);
+            self.o(op::ADD);
+            self.o(op::MLOAD); // [memptr, base, fval]
+            self.o(op::DUP2); // [memptr, base, fval, base]
+            self.pushn(offset);
+            self.o(op::ADD); // [memptr, base, fval, fslot]
+            match fty {
+                t if t.is_value_type() => self.o(op::SSTORE),
+                Ty::String => {
+                    // need [ptr, slot]: we have [.., fval(ptr), fslot] ✓
+                    self.call_sstore_string();
+                }
+                _ => return cerr("nested composite struct fields are not supported"),
+            }
+            offset += self.contract.slots_for(fty);
+        }
+        self.o(op::POP); // base
+        self.o(op::POP); // memptr
+        Ok(())
+    }
+
+    /// Classify an lvalue without emitting code (except none).
+    fn classify_lvalue(&mut self, lhs: &Expr) -> Result<LValue, CodegenError> {
+        if let Expr::Ident(name) = lhs {
+            if let Some((addr, ty)) = self.ctx.lookup(name) {
+                return Ok(LValue::Local { addr, ty });
+            }
+        }
+        if let Some(ty) = self.peek_storage_type(lhs)? {
+            return Ok(LValue::Storage { ty });
+        }
+        // Memory struct field: base.field where base is a memory struct.
+        if let Expr::Member(base, field) = lhs {
+            if let Some(Ty::Struct(i)) = self.peek_type(base)? {
+                let s = &self.contract.structs[i];
+                let Some((_, fty)) = s.field_offset(self.contract, field) else {
+                    return cerr(format!("struct `{}` has no field `{field}`", s.name));
+                };
+                return Ok(LValue::MemWord { ty: fty });
+            }
+        }
+        cerr("expression is not assignable")
+    }
+
+    /// Emit the memory address of a struct-field lvalue. Stack: → [addr]
+    fn emit_memword_addr(&mut self, lhs: &Expr) -> Result<(), CodegenError> {
+        let Expr::Member(base, field) = lhs else {
+            return cerr("internal: not a memory word lvalue");
+        };
+        let base_ty = self.gen_value(base)?;
+        let Ty::Struct(i) = base_ty else {
+            return cerr("internal: memory lvalue base is not a struct");
+        };
+        let (offset, _) = self.contract.structs[i]
+            .field_offset(self.contract, field)
+            .ok_or_else(|| CodegenError(format!("no field `{field}`")))?;
+        self.pushn(offset * 32);
+        self.o(op::ADD);
+        Ok(())
+    }
+
+    /// Generate a call expression.
+    fn gen_call(&mut self, callee: &Expr, args: &[Expr]) -> Result<Option<Ty>, CodegenError> {
+        if let Expr::Ident(name) = callee {
+            // Casts.
+            match name.as_str() {
+                "address" => {
+                    if args.len() != 1 {
+                        return cerr("address() takes one argument");
+                    }
+                    self.gen_value(&args[0])?;
+                    // Mask to 160 bits.
+                    self.push((U256::ONE << 160u32) - U256::ONE);
+                    self.o(op::AND);
+                    return Ok(Some(Ty::Address));
+                }
+                "payable" => {
+                    if args.len() != 1 {
+                        return cerr("payable() takes one argument");
+                    }
+                    self.gen_value(&args[0])?;
+                    return Ok(Some(Ty::Address));
+                }
+                "keccak256" => {
+                    if args.len() != 1 {
+                        return cerr("keccak256() takes one (string) argument");
+                    }
+                    let ty = self.gen_value(&args[0])?;
+                    if ty != Ty::String {
+                        return cerr("keccak256() argument must be a string in this subset");
+                    }
+                    self.emit_hash_string();
+                    return Ok(Some(Ty::Uint(256)));
+                }
+                "selfdestruct" => {
+                    if args.len() != 1 {
+                        return cerr("selfdestruct() takes the beneficiary address");
+                    }
+                    self.gen_value(&args[0])?;
+                    self.o(op::SELFDESTRUCT);
+                    return Ok(None);
+                }
+                _ => {}
+            }
+            if name == "uint" || name == "int" {
+                if args.len() != 1 {
+                    return cerr("cast takes one argument");
+                }
+                self.gen_value(&args[0])?;
+                return Ok(Some(if name == "uint" { Ty::Uint(256) } else { Ty::Int(256) }));
+            }
+            if let Some(bits) = name.strip_prefix("uint").and_then(|b| b.parse::<u16>().ok()) {
+                if args.len() != 1 {
+                    return cerr("cast takes one argument");
+                }
+                self.gen_value(&args[0])?;
+                if bits < 256 {
+                    self.push((U256::ONE << bits as u32) - U256::ONE);
+                    self.o(op::AND);
+                }
+                return Ok(Some(Ty::Uint(bits)));
+            }
+            // Enum cast: State(x).
+            if let Some((i, _)) = self.contract.enum_by_name(name) {
+                if args.len() != 1 {
+                    return cerr("enum cast takes one argument");
+                }
+                self.gen_value(&args[0])?;
+                return Ok(Some(Ty::Enum(i)));
+            }
+            // Struct construction.
+            if let Some((i, info)) = self.contract.struct_by_name(name) {
+                let fields = info.fields.clone();
+                if args.len() != fields.len() {
+                    return cerr(format!(
+                        "struct `{name}` constructor takes {} arguments",
+                        fields.len()
+                    ));
+                }
+                let size = self.contract.structs[i].slot_count(self.contract) * 32;
+                let t_ptr = self.alloc_local()?;
+                self.pushn(size);
+                self.emit_heap_alloc_dynamic();
+                self.mstore_const(t_ptr);
+                let mut offset = 0u64;
+                for (arg, (_, fty)) in args.iter().zip(&fields) {
+                    let at = self.gen_value(arg)?;
+                    check_assignable(fty, &at)?;
+                    self.mload_const(t_ptr);
+                    self.pushn(offset);
+                    self.o(op::ADD);
+                    self.o(op::MSTORE);
+                    offset += self.contract.slots_for(fty) * 32;
+                }
+                self.mload_const(t_ptr);
+                return Ok(Some(Ty::Struct(i)));
+            }
+            // Internal/sibling function call.
+            if self.contract.function(name).is_some() {
+                return self.gen_internal_call(name, args);
+            }
+            return cerr(format!("unknown function `{name}`"));
+        }
+        // Member calls.
+        if let Expr::Member(base, method) = callee {
+            match method.as_str() {
+                "transfer" | "send" => {
+                    if args.len() != 1 {
+                        return cerr(format!("{method}() takes the amount"));
+                    }
+                    let bt = self.peek_type(base)?;
+                    if bt != Some(Ty::Address) {
+                        return cerr(format!("`.{method}` is only available on addresses"));
+                    }
+                    let t_to = self.alloc_local()?;
+                    let t_val = self.alloc_local()?;
+                    self.gen_value(base)?;
+                    self.mstore_const(t_to);
+                    self.gen_value(&args[0])?;
+                    self.mstore_const(t_val);
+                    // CALL(gas=0(+stipend), to, value, 0,0,0,0)
+                    self.pushn(0); // outLen
+                    self.pushn(0); // outOff
+                    self.pushn(0); // inLen
+                    self.pushn(0); // inOff
+                    self.mload_const(t_val);
+                    self.mload_const(t_to);
+                    self.pushn(0); // gas (stipend added on value transfer)
+                    self.o(op::CALL);
+                    if method == "transfer" {
+                        let ok = self.asm.new_label();
+                        self.asm.push_label(ok);
+                        self.o(op::JUMPI);
+                        self.emit_revert_message("ether transfer failed");
+                        self.asm.place(ok);
+                        return Ok(None);
+                    }
+                    return Ok(Some(Ty::Bool));
+                }
+                "push" => {
+                    if args.len() != 1 {
+                        return cerr("push() takes one element");
+                    }
+                    let Some(Ty::Array(inner)) = self.peek_storage_type(base)? else {
+                        return cerr("`.push` is only available on storage arrays");
+                    };
+                    let elem_size = self.contract.slots_for(&inner);
+                    // slot of array
+                    let slot_ty = self.storage_slot_of(base)?;
+                    debug_assert!(matches!(slot_ty, Some(Ty::Array(_))));
+                    // [slot]
+                    let t_slot = self.alloc_local()?;
+                    let t_len = self.alloc_local()?;
+                    self.o(op::DUP1);
+                    self.mstore_const(t_slot);
+                    self.o(op::SLOAD);
+                    self.mstore_const(t_len); // []
+                    // element base = keccak(slot) + len*size
+                    let at = self.gen_value(&args[0])?;
+                    check_assignable(&inner, &at)?;
+                    // [value]
+                    self.mload_const(t_slot);
+                    self.emit_hash_one();
+                    self.mload_const(t_len);
+                    if elem_size != 1 {
+                        self.pushn(elem_size);
+                        self.o(op::MUL);
+                    }
+                    self.o(op::ADD); // [value, elem_slot]
+                    match &*inner {
+                        t if t.is_value_type() => self.o(op::SSTORE),
+                        Ty::String => self.call_sstore_string(),
+                        Ty::Struct(i) => self.emit_store_struct_to_storage(*i)?,
+                        _ => return cerr("unsupported array element type for push"),
+                    }
+                    // len += 1
+                    self.mload_const(t_len);
+                    self.pushn(1);
+                    self.o(op::ADD);
+                    self.mload_const(t_slot);
+                    self.o(op::SSTORE);
+                    return Ok(None);
+                }
+                _ => {}
+            }
+        }
+        cerr("unsupported call expression")
+    }
+
+    /// Internal function call via the memory calling convention.
+    fn gen_internal_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<Option<Ty>, CodegenError> {
+        let params = self
+            .fn_param_slots
+            .get(name)
+            .ok_or_else(|| CodegenError(format!("function `{name}` has no emitted body")))?
+            .clone();
+        if params.len() != args.len() {
+            return cerr(format!("function `{name}` takes {} arguments", params.len()));
+        }
+        for (arg, (slot, pty)) in args.iter().zip(&params) {
+            let at = self.gen_value(arg)?;
+            check_assignable(pty, &at)?;
+            self.mstore_const(*slot);
+        }
+        let entry = *self
+            .fn_entry
+            .get(name)
+            .ok_or_else(|| CodegenError(format!("function `{name}` has no entry label")))?;
+        let ret = self.asm.new_label();
+        self.asm.push_label(ret);
+        self.asm.push_label(entry);
+        self.o(op::JUMP);
+        self.asm.place(ret);
+        let returns = self.fn_return_slots.get(name).cloned().unwrap_or_default();
+        match returns.len() {
+            0 => Ok(None),
+            1 => {
+                self.mload_const(returns[0].0);
+                Ok(Some(returns[0].1.clone()))
+            }
+            _ => Ok(None), // multi-return calls usable only as statements
+        }
+    }
+}
+
+/// Loose assignment compatibility (numbers flow into any numeric slot).
+pub(super) fn check_assignable(target: &Ty, source: &Ty) -> Result<(), CodegenError> {
+    let ok = match (target, source) {
+        (a, b) if a == b => true,
+        (Ty::Uint(_), Ty::Uint(_)) => true,
+        (Ty::Int(_), Ty::Int(_) | Ty::Uint(_)) => true,
+        (Ty::Uint(_), Ty::Int(_)) => true,
+        (Ty::Enum(_), Ty::Uint(_)) | (Ty::Uint(_), Ty::Enum(_)) => true,
+        (Ty::Address, Ty::Uint(_)) => false,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        cerr(format!("cannot assign {source:?} to {target:?}"))
+    }
+}

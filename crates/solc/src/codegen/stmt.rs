@@ -1,0 +1,376 @@
+//! Statement code generation and the ABI encode/decode helpers.
+
+use super::{cerr, expr::check_assignable, CodeGen, CodegenError, EMPTY_STRING_PTR};
+use crate::ast::{Expr, Stmt};
+use crate::sema::Ty;
+use lsc_evm::opcode::op;
+use std::collections::HashMap;
+
+impl CodeGen<'_> {
+    pub(super) fn gen_block(&mut self, stmts: &[Stmt]) -> Result<(), CodegenError> {
+        self.ctx.scopes.push(HashMap::new());
+        for stmt in stmts {
+            self.gen_stmt(stmt)?;
+        }
+        self.ctx.scopes.pop();
+        Ok(())
+    }
+
+    pub(super) fn gen_stmt(&mut self, stmt: &Stmt) -> Result<(), CodegenError> {
+        match stmt {
+            Stmt::VarDecl { ty, name, init } => {
+                let ty = self.contract.resolve_type(ty)?;
+                if matches!(ty, Ty::Mapping(_, _)) {
+                    return cerr("mappings cannot be declared as locals");
+                }
+                let addr = self.alloc_local()?;
+                match init {
+                    Some(e) => {
+                        let et = self.gen_value(e)?;
+                        check_assignable(&ty, &et)?;
+                    }
+                    None => {
+                        // Zero default; strings point at the canonical
+                        // empty string.
+                        if ty == Ty::String {
+                            self.pushn(EMPTY_STRING_PTR);
+                        } else {
+                            self.pushn(0);
+                        }
+                    }
+                }
+                self.mstore_const(addr);
+                self.ctx
+                    .scopes
+                    .last_mut()
+                    .expect("inside a block")
+                    .insert(name.clone(), (addr, ty));
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                if self.gen_expr(e)?.is_some() {
+                    self.o(op::POP);
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let else_label = self.asm.new_label();
+                let end = self.asm.new_label();
+                self.gen_value(cond)?;
+                self.o(op::ISZERO);
+                self.asm.push_label(else_label);
+                self.o(op::JUMPI);
+                self.gen_block(then_branch)?;
+                self.asm.push_label(end);
+                self.o(op::JUMP);
+                self.asm.place(else_label);
+                self.gen_block(else_branch)?;
+                self.asm.place(end);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let top = self.asm.new_label();
+                let exit = self.asm.new_label();
+                self.asm.place(top);
+                self.gen_value(cond)?;
+                self.o(op::ISZERO);
+                self.asm.push_label(exit);
+                self.o(op::JUMPI);
+                self.ctx.loops.push((top, exit));
+                self.gen_block(body)?;
+                self.ctx.loops.pop();
+                self.asm.push_label(top);
+                self.o(op::JUMP);
+                self.asm.place(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, post, body } => {
+                self.ctx.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.gen_stmt(init)?;
+                }
+                let top = self.asm.new_label();
+                let cont = self.asm.new_label();
+                let exit = self.asm.new_label();
+                self.asm.place(top);
+                if let Some(cond) = cond {
+                    self.gen_value(cond)?;
+                    self.o(op::ISZERO);
+                    self.asm.push_label(exit);
+                    self.o(op::JUMPI);
+                }
+                self.ctx.loops.push((cont, exit));
+                self.gen_block(body)?;
+                self.ctx.loops.pop();
+                self.asm.place(cont);
+                if let Some(post) = post {
+                    if self.gen_expr(post)?.is_some() {
+                        self.o(op::POP);
+                    }
+                }
+                self.asm.push_label(top);
+                self.o(op::JUMP);
+                self.asm.place(exit);
+                self.ctx.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                if let Some(value) = value {
+                    let slots = self.ctx.return_slots.clone();
+                    if slots.is_empty() {
+                        return cerr("function has no return values");
+                    }
+                    let vt = self.gen_value(value)?;
+                    check_assignable(&slots[0].1, &vt)?;
+                    self.mstore_const(slots[0].0);
+                }
+                // Jump back to the caller: stack is exactly [ret_addr].
+                self.o(op::JUMP);
+                Ok(())
+            }
+            Stmt::Require { cond, message } => {
+                let ok = self.asm.new_label();
+                self.gen_value(cond)?;
+                self.asm.push_label(ok);
+                self.o(op::JUMPI);
+                match message {
+                    Some(m) => self.emit_revert_message(m),
+                    None => self.emit_revert_bare(),
+                }
+                self.asm.place(ok);
+                Ok(())
+            }
+            Stmt::Revert(message) => {
+                match message {
+                    Some(m) => self.emit_revert_message(m),
+                    None => self.emit_revert_bare(),
+                }
+                Ok(())
+            }
+            Stmt::Emit { name, args } => self.gen_emit(name, args),
+            Stmt::Break => {
+                let Some((_, exit)) = self.ctx.loops.last().copied() else {
+                    return cerr("`break` outside of a loop");
+                };
+                self.asm.push_label(exit);
+                self.o(op::JUMP);
+                Ok(())
+            }
+            Stmt::Continue => {
+                let Some((cont, _)) = self.ctx.loops.last().copied() else {
+                    return cerr("`continue` outside of a loop");
+                };
+                self.asm.push_label(cont);
+                self.o(op::JUMP);
+                Ok(())
+            }
+            Stmt::Block(stmts) => self.gen_block(stmts),
+            Stmt::Placeholder => {
+                cerr("`_` placeholder is only valid inside a modifier body")
+            }
+        }
+    }
+
+    fn gen_emit(&mut self, name: &str, args: &[Expr]) -> Result<(), CodegenError> {
+        let event = self
+            .contract
+            .event(name)
+            .ok_or_else(|| CodegenError(format!("unknown event `{name}`")))?
+            .clone();
+        if event.params.len() != args.len() {
+            return cerr(format!("event `{name}` takes {} arguments", event.params.len()));
+        }
+        // Resolve parameter types and the topic-0 signature hash.
+        let mut sig_args = Vec::new();
+        let mut resolved = Vec::new();
+        for (_, ty, indexed) in &event.params {
+            let rty = self.contract.resolve_type(ty)?;
+            sig_args.push(self.contract.abi_type(&rty)?.canonical());
+            resolved.push((rty, *indexed));
+        }
+        let signature = format!("{}({})", event.name, sig_args.join(","));
+        let topic0 = lsc_primitives::keccak256(signature.as_bytes());
+
+        // Evaluate every argument left-to-right into temps.
+        let mut temps = Vec::with_capacity(args.len());
+        for (arg, (ty, _)) in args.iter().zip(&resolved) {
+            let at = self.gen_value(arg)?;
+            check_assignable(ty, &at)?;
+            let slot = self.alloc_local()?;
+            self.mstore_const(slot);
+            temps.push(slot);
+        }
+        let indexed: Vec<u64> = resolved
+            .iter()
+            .zip(&temps)
+            .filter(|((ty, idx), _)| {
+                *idx && ty.is_value_type() // indexed strings unsupported
+            })
+            .map(|(_, slot)| *slot)
+            .collect();
+        for ((ty, idx), _) in resolved.iter().zip(&temps) {
+            if *idx && !ty.is_value_type() {
+                return cerr("indexed dynamic event parameters are not supported");
+            }
+        }
+        let unindexed: Vec<(Ty, u64)> = resolved
+            .iter()
+            .zip(&temps)
+            .filter(|((_, idx), _)| !*idx)
+            .map(|((ty, _), slot)| (ty.clone(), *slot))
+            .collect();
+
+        // Push topics deepest-first: last indexed … first indexed, topic0.
+        for slot in indexed.iter().rev() {
+            self.mload_const(*slot);
+        }
+        self.push(lsc_primitives::U256::from_be_bytes(topic0));
+        // Encode unindexed data → [base, len] → want [len, base].
+        self.emit_abi_encode(&unindexed)?;
+        self.o(op::SWAP1);
+        let n_topics = 1 + indexed.len() as u8;
+        self.o(op::LOG0 + n_topics);
+        Ok(())
+    }
+
+    /// ABI-encode values held in local slots into fresh heap memory.
+    /// Leaves `[base, byte_len]` on the stack.
+    pub(super) fn emit_abi_encode(&mut self, items: &[(Ty, u64)]) -> Result<(), CodegenError> {
+        let t_base = self.alloc_local()?;
+        let t_tail = self.alloc_local()?;
+        let head = 32 * items.len() as u64;
+        self.mload_const(0x40);
+        self.mstore_const(t_base);
+        self.pushn(head);
+        self.mstore_const(t_tail);
+        for (i, (ty, slot)) in items.iter().enumerate() {
+            match ty {
+                t if t.is_value_type() => {
+                    self.mload_const(*slot);
+                    self.mload_const(t_base);
+                    self.pushn(32 * i as u64);
+                    self.o(op::ADD);
+                    self.o(op::MSTORE);
+                }
+                Ty::String => {
+                    // head = current tail offset
+                    self.mload_const(t_tail);
+                    self.mload_const(t_base);
+                    self.pushn(32 * i as u64);
+                    self.o(op::ADD);
+                    self.o(op::MSTORE);
+                    // copy [len][data…] into base + tail
+                    let t_src = self.alloc_local()?;
+                    let t_len = self.alloc_local()?;
+                    self.mload_const(*slot);
+                    self.mstore_const(t_src);
+                    self.mload_const(t_src);
+                    self.o(op::MLOAD);
+                    self.mstore_const(t_len);
+                    // dst = base + tail
+                    self.mload_const(t_base);
+                    self.mload_const(t_tail);
+                    self.o(op::ADD); // [dst]
+                    // src = ptr, len bytes = 32 + ceil32(len)
+                    self.mload_const(t_src); // [dst, src]
+                    self.mload_const(t_len);
+                    self.emit_ceil32();
+                    self.pushn(32);
+                    self.o(op::ADD); // [dst, src, nbytes]
+                    self.emit_memcpy()?;
+                    // tail += 32 + ceil32(len)
+                    self.mload_const(t_tail);
+                    self.mload_const(t_len);
+                    self.emit_ceil32();
+                    self.o(op::ADD);
+                    self.pushn(32);
+                    self.o(op::ADD);
+                    self.mstore_const(t_tail);
+                }
+                _ => return cerr("only value types and strings can be ABI-encoded here"),
+            }
+        }
+        // fmp = base + tail
+        self.mload_const(t_base);
+        self.mload_const(t_tail);
+        self.o(op::ADD);
+        self.mstore_const(0x40);
+        self.mload_const(t_base);
+        self.mload_const(t_tail);
+        Ok(())
+    }
+
+    /// Word-strided memcpy. Stack: `[dst, src, len_bytes]` → `[]`.
+    /// May over-copy up to 31 bytes past `len` (targets are always padded).
+    pub(super) fn emit_memcpy(&mut self) -> Result<(), CodegenError> {
+        let t_dst = self.alloc_local()?;
+        let t_src = self.alloc_local()?;
+        let t_len = self.alloc_local()?;
+        let t_i = self.alloc_local()?;
+        self.mstore_const(t_len);
+        self.mstore_const(t_src);
+        self.mstore_const(t_dst);
+        self.pushn(0);
+        self.mstore_const(t_i);
+        let top = self.asm.new_label();
+        let done = self.asm.new_label();
+        self.asm.place(top);
+        self.mload_const(t_i);
+        self.mload_const(t_len);
+        self.o(op::GT); // len > i
+        self.o(op::ISZERO);
+        self.asm.push_label(done);
+        self.o(op::JUMPI);
+        self.mload_const(t_src);
+        self.mload_const(t_i);
+        self.o(op::ADD);
+        self.o(op::MLOAD);
+        self.mload_const(t_dst);
+        self.mload_const(t_i);
+        self.o(op::ADD);
+        self.o(op::MSTORE);
+        self.mload_const(t_i);
+        self.pushn(32);
+        self.o(op::ADD);
+        self.mstore_const(t_i);
+        self.asm.push_label(top);
+        self.o(op::JUMP);
+        self.asm.place(done);
+        Ok(())
+    }
+
+    /// ABI-decode parameters from memory at `mload(t_base)` into locals.
+    pub(super) fn emit_abi_decode(
+        &mut self,
+        t_base: u64,
+        params: &[(u64, Ty)],
+    ) -> Result<(), CodegenError> {
+        for (i, (slot, ty)) in params.iter().enumerate() {
+            match ty {
+                t if t.is_value_type() => {
+                    self.mload_const(t_base);
+                    self.pushn(32 * i as u64);
+                    self.o(op::ADD);
+                    self.o(op::MLOAD);
+                    if *t == Ty::Address {
+                        self.push((lsc_primitives::U256::ONE << 160u32) - lsc_primitives::U256::ONE);
+                        self.o(op::AND);
+                    }
+                    self.mstore_const(*slot);
+                }
+                Ty::String => {
+                    // offset word → pointer into the copied arg blob.
+                    self.mload_const(t_base);
+                    self.pushn(32 * i as u64);
+                    self.o(op::ADD);
+                    self.o(op::MLOAD);
+                    self.mload_const(t_base);
+                    self.o(op::ADD);
+                    self.mstore_const(*slot);
+                }
+                _ => return cerr("unsupported parameter type (value types and strings only)"),
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,68 @@
+//! Top-level compile driver: source text → deployable artifacts.
+
+use crate::codegen::{compile_contract, Artifact, CodegenError};
+use crate::parser::ParseError;
+use crate::sema::{analyze, SemaError};
+use core::fmt;
+
+/// Any compilation failure, with the phase that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed.
+    Sema(SemaError),
+    /// Code generation failed.
+    Codegen(CodegenError),
+    /// The requested contract is not defined in the source.
+    UnknownContract(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::Sema(e) => write!(f, "{e}"),
+            Self::Codegen(e) => write!(f, "{e}"),
+            Self::UnknownContract(name) => write!(f, "contract `{name}` not found in source"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<SemaError> for CompileError {
+    fn from(e: SemaError) -> Self {
+        Self::Sema(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> Self {
+        Self::Codegen(e)
+    }
+}
+
+/// Compile every contract in `source`.
+pub fn compile_source(source: &str) -> Result<Vec<Artifact>, CompileError> {
+    let unit = crate::parser::parse(source)?;
+    let infos = analyze(&unit)?;
+    infos
+        .iter()
+        .map(|info| compile_contract(info).map_err(CompileError::from))
+        .collect()
+}
+
+/// Compile `source` and return the artifact for the named contract.
+pub fn compile_single(source: &str, name: &str) -> Result<Artifact, CompileError> {
+    compile_source(source)?
+        .into_iter()
+        .find(|a| a.name == name)
+        .ok_or_else(|| CompileError::UnknownContract(name.to_string()))
+}

@@ -1,0 +1,276 @@
+//! Tokenizer for the Solidity subset.
+
+use core::fmt;
+
+/// Source position (byte offset + 1-based line) for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser,
+    /// except the ones below that need special lexing).
+    Ident(String),
+    /// Decimal or hex number literal.
+    Number(String),
+    /// String literal (content, unescaped).
+    Str(String),
+    /// Punctuation / operators.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Number(s) => write!(f, "number `{s}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Problem description.
+    pub message: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.pos.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "**", "*=", "/=", "%=", "++", "--",
+    "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "=", "+", "-", "*", "/",
+    "%", "!", "<", ">", "&", "|", "^", "~",
+];
+
+/// Tokenize `source` into a vector ending with [`Tok::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { offset: i, line };
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        continue 'outer;
+                    }
+                    i += 1;
+                }
+                return Err(LexError { message: "unterminated block comment".into(), pos });
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut out = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                pos,
+                            })
+                        }
+                        Some(&b) if b == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let escaped = bytes.get(i + 1).copied().ok_or(LexError {
+                                message: "dangling escape".into(),
+                                pos,
+                            })?;
+                            out.push(match escaped {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                b'0' => '\0',
+                                other => other as char,
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            // Pass through raw byte (sources are UTF-8; string
+                            // literals in contracts are effectively ASCII).
+                            out.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { tok: Tok::Str(out), pos });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && (bytes[i].is_ascii_hexdigit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                tokens.push(Token { tok: Tok::Number(text.to_string()), pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                tokens.push(Token { tok: Tok::Ident(text.to_string()), pos });
+            }
+            _ => {
+                let rest = &source[i..];
+                let matched = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                match matched {
+                    Some(p) => {
+                        tokens.push(Token { tok: Tok::Punct(p), pos });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(LexError {
+                            message: format!("unexpected character {:?}", rest.chars().next()),
+                            pos,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    tokens.push(Token { tok: Tok::Eof, pos: Pos { offset: bytes.len(), line } });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("uint x = 42;"),
+            vec![
+                Tok::Ident("uint".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Number("42".into()),
+                Tok::Punct(";"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            toks("a=>b == c = d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("=>"),
+                Tok::Ident("b".into()),
+                Tok::Punct("=="),
+                Tok::Ident("c".into()),
+                Tok::Punct("="),
+                Tok::Ident("d".into()),
+                Tok::Eof,
+            ]
+        );
+        assert_eq!(toks("x += 1")[1], Tok::Punct("+="));
+        assert_eq!(toks("i++")[1], Tok::Punct("++"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""he\"llo\n""#)[0], Tok::Str("he\"llo\n".into()));
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn hex_numbers() {
+        assert_eq!(toks("0xff")[0], Tok::Number("0xff".into()));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let tokens = lex("a\nb\n  c").unwrap();
+        assert_eq!(tokens[0].pos.line, 1);
+        assert_eq!(tokens[1].pos.line, 2);
+        assert_eq!(tokens[2].pos.line, 3);
+    }
+
+    #[test]
+    fn pragma_line() {
+        let t = toks("pragma solidity ^0.5.0;");
+        // '^' then '0.5.0' lexes as number 0, '.', 5 ... the parser treats
+        // pragma content loosely (skips to ';').
+        assert_eq!(t[0], Tok::Ident("pragma".into()));
+        assert!(t.contains(&Tok::Punct(";")));
+    }
+}

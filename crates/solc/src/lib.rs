@@ -1,0 +1,33 @@
+//! # lsc-solc
+//!
+//! A compiler for the Solidity subset used by the paper's legal smart
+//! contracts (pragma 0.5 era), targeting the `lsc-evm` bytecode format.
+//! Pipeline: [`lexer`] → [`parser`] → [`sema`] (inheritance flattening,
+//! storage layout) → [`codegen`] (init + runtime bytecode, JSON ABI).
+//!
+//! The subset covers everything in the paper's Figures 3, 5 and 6 and the
+//! machinery around them: contracts with single inheritance, structs,
+//! enums, state variables with public getters, dynamic arrays with
+//! `push`/`length`, nested mappings (including string keys), strings,
+//! events/`emit`, `require`/`revert` with `Error(string)` data, payable
+//! functions, function `modifier`s with parameters and `_;` splicing,
+//! `msg`/`block` builtins, `address.transfer`/`.send`, `selfdestruct`,
+//! loops and the usual operator zoo (including right-associative `**`).
+//!
+//! Documented deviations from solc (see DESIGN.md): no storage packing
+//! (every value gets a slot — which keeps layouts version-stable, the
+//! property the paper's data migration needs), strings always use
+//! length-at-slot layout (no short-string optimization), and `ORIGIN`
+//! equals the frame caller.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use codegen::Artifact;
+pub use compile::{compile_single, compile_source, CompileError};

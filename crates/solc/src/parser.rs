@@ -1,0 +1,986 @@
+//! Recursive-descent parser for the Solidity subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Pos, Tok, Token};
+use lsc_primitives::U256;
+use core::fmt;
+
+/// Parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Problem description.
+    pub message: String,
+    /// Location.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.pos.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+/// Parse a source file.
+pub fn parse(source: &str) -> Result<SourceUnit, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.source_unit()
+}
+
+/// Elementary type names (plus sized variants checked dynamically).
+fn is_elementary(name: &str) -> bool {
+    matches!(name, "uint" | "int" | "address" | "bool" | "string" | "bytes" | "byte")
+        || (name.starts_with("uint") && name[4..].parse::<u16>().is_ok())
+        || (name.starts_with("int") && name[3..].parse::<u16>().is_ok())
+        || (name.starts_with("bytes") && name[5..].parse::<u8>().is_ok())
+}
+
+fn is_data_location(name: &str) -> bool {
+    matches!(name, "memory" | "storage" | "calldata")
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), pos: self.here() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn source_unit(&mut self) -> Result<SourceUnit, ParseError> {
+        let mut unit = SourceUnit::default();
+        loop {
+            if matches!(self.peek(), Tok::Eof) {
+                return Ok(unit);
+            }
+            if self.eat_kw("pragma") {
+                let mut text = String::from("pragma");
+                while !self.is_punct(";") {
+                    if matches!(self.peek(), Tok::Eof) {
+                        return self.err("unterminated pragma");
+                    }
+                    text.push(' ');
+                    text.push_str(&format!("{}", self.bump()));
+                    // strip token formatting backticks for readability
+                }
+                self.expect_punct(";")?;
+                unit.pragmas.push(text);
+                continue;
+            }
+            if self.is_kw("contract") {
+                unit.contracts.push(self.contract()?);
+                continue;
+            }
+            return self.err(format!("expected `contract` or `pragma`, found {}", self.peek()));
+        }
+    }
+
+    fn contract(&mut self) -> Result<ContractDef, ParseError> {
+        self.expect_kw("contract")?;
+        let name = self.ident()?;
+        let mut bases = Vec::new();
+        if self.eat_kw("is") {
+            loop {
+                bases.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct("{")?;
+        let mut contract = ContractDef {
+            name,
+            bases,
+            structs: vec![],
+            enums: vec![],
+            state_vars: vec![],
+            events: vec![],
+            functions: vec![],
+            modifiers: vec![],
+        };
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unterminated contract body");
+            }
+            self.contract_member(&mut contract)?;
+        }
+        Ok(contract)
+    }
+
+    fn contract_member(&mut self, contract: &mut ContractDef) -> Result<(), ParseError> {
+        if self.eat_kw("struct") {
+            let name = self.ident()?;
+            self.expect_punct("{")?;
+            let mut fields = Vec::new();
+            while !self.eat_punct("}") {
+                let ty = self.type_expr()?;
+                let field = self.ident()?;
+                self.expect_punct(";")?;
+                fields.push((field, ty));
+            }
+            contract.structs.push(StructDef { name, fields });
+            return Ok(());
+        }
+        if self.eat_kw("enum") {
+            let name = self.ident()?;
+            self.expect_punct("{")?;
+            let mut variants = Vec::new();
+            loop {
+                variants.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct("}")?;
+            contract.enums.push(EnumDef { name, variants });
+            return Ok(());
+        }
+        if self.eat_kw("event") {
+            let name = self.ident()?;
+            self.expect_punct("(")?;
+            let mut params = Vec::new();
+            if !self.is_punct(")") {
+                loop {
+                    let ty = self.type_expr()?;
+                    let indexed = self.eat_kw("indexed");
+                    let pname = match self.peek() {
+                        Tok::Ident(_) => self.ident()?,
+                        _ => String::new(),
+                    };
+                    params.push((pname, ty, indexed));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            contract.events.push(EventDef { name, params });
+            return Ok(());
+        }
+        if self.eat_kw("modifier") {
+            let name = self.ident()?;
+            let mut params = Vec::new();
+            if self.eat_punct("(") {
+                if !self.is_punct(")") {
+                    loop {
+                        let ty = self.type_expr()?;
+                        let pname = match self.peek() {
+                            Tok::Ident(s) if !is_data_location(s) => self.ident()?,
+                            _ => String::new(),
+                        };
+                        params.push((pname, ty));
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+            let body = self.block()?;
+            contract.modifiers.push(ModifierDef { name, params, body });
+            return Ok(());
+        }
+        if self.is_kw("constructor") || self.is_kw("function") {
+            contract.functions.push(self.function()?);
+            return Ok(());
+        }
+        // State variable(s).
+        let ty = self.type_expr()?;
+        let mut public = false;
+        loop {
+            if self.eat_kw("public") {
+                public = true;
+            } else if self.eat_kw("private") || self.eat_kw("internal") || self.eat_kw("constant")
+            {
+                // accepted and ignored (no packing/constant folding of vars)
+            } else {
+                break;
+            }
+        }
+        loop {
+            let name = self.ident()?;
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            contract.state_vars.push(StateVar { name, ty: ty.clone(), public, init });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(())
+    }
+
+    fn function(&mut self) -> Result<FunctionDef, ParseError> {
+        let is_constructor = self.eat_kw("constructor");
+        let name = if is_constructor {
+            String::new()
+        } else {
+            self.expect_kw("function")?;
+            self.ident()?
+        };
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                let ty = self.type_expr()?;
+                let pname = match self.peek() {
+                    Tok::Ident(s) if !is_data_location(s) => self.ident()?,
+                    _ => String::new(),
+                };
+                params.push((pname, ty));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let mut visibility = Visibility::Public;
+        let mut mutability = Mutability::NonPayable;
+        let mut returns = Vec::new();
+        let mut modifiers: Vec<(String, Vec<Expr>)> = Vec::new();
+        loop {
+            if self.eat_kw("public") {
+                visibility = Visibility::Public;
+            } else if self.eat_kw("external") {
+                visibility = Visibility::External;
+            } else if self.eat_kw("internal") {
+                visibility = Visibility::Internal;
+            } else if self.eat_kw("private") {
+                visibility = Visibility::Private;
+            } else if self.eat_kw("payable") {
+                mutability = Mutability::Payable;
+            } else if self.eat_kw("view") || self.eat_kw("constant") {
+                mutability = Mutability::View;
+            } else if self.eat_kw("pure") {
+                mutability = Mutability::Pure;
+            } else if self.eat_kw("returns") {
+                self.expect_punct("(")?;
+                loop {
+                    let ty = self.type_expr()?;
+                    let rname = match self.peek() {
+                        Tok::Ident(s) if !is_data_location(s) => self.ident()?,
+                        _ => String::new(),
+                    };
+                    returns.push((rname, ty));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            } else if matches!(self.peek(), Tok::Ident(_)) && !self.is_punct("{") {
+                // A modifier invocation: `name` or `name(args)`.
+                let mod_name = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat_punct("(") {
+                    if !self.is_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                modifiers.push((mod_name, args));
+            } else {
+                break;
+            }
+        }
+        if self.eat_punct(";") {
+            return self.err("abstract functions are not supported in this subset");
+        }
+        let body = self.block()?;
+        Ok(FunctionDef {
+            name,
+            params,
+            returns,
+            visibility,
+            mutability,
+            body,
+            is_constructor,
+            modifiers,
+        })
+    }
+
+    /// Parse a type expression, consuming data-location keywords after it.
+    fn type_expr(&mut self) -> Result<TypeExpr, ParseError> {
+        let base = if self.eat_kw("mapping") {
+            self.expect_punct("(")?;
+            let key = self.type_expr()?;
+            self.expect_punct("=>")?;
+            let value = self.type_expr()?;
+            self.expect_punct(")")?;
+            TypeExpr::Mapping(Box::new(key), Box::new(value))
+        } else {
+            let name = self.ident()?;
+            // `address payable` folds to address.
+            if name == "address" {
+                self.eat_kw("payable");
+            }
+            TypeExpr::Named(name)
+        };
+        let mut ty = base;
+        loop {
+            if self.is_punct("[") {
+                if let Tok::Punct("]") = self.peek_at(1) {
+                    self.bump();
+                    self.bump();
+                    ty = TypeExpr::Array(Box::new(ty));
+                    continue;
+                }
+                if let Tok::Number(n) = self.peek_at(1).clone() {
+                    if matches!(self.peek_at(2), Tok::Punct("]")) {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        let n = n.replace('_', "").parse::<u64>().map_err(|_| ParseError {
+                            message: format!("bad array size {n}"),
+                            pos: self.here(),
+                        })?;
+                        ty = TypeExpr::FixedArray(Box::new(ty), n);
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        // Trailing data location (in params / local declarations).
+        loop {
+            match self.peek() {
+                Tok::Ident(s) if is_data_location(s) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    /// Does a statement at the cursor start a local variable declaration?
+    fn looks_like_declaration(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(s) if s == "mapping" => true,
+            Tok::Ident(s) if is_elementary(s) => true,
+            Tok::Ident(_) => {
+                // `Type name`, `Type memory name`, `Type[] ...`, `Type[N] ...`
+                match self.peek_at(1) {
+                    Tok::Ident(next) if is_data_location(next) => true,
+                    Tok::Ident(_) => {
+                        // Could be `Foo bar` declaration; exclude keywords that
+                        // start statements or expressions handled elsewhere.
+                        !matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(),
+                            "return" | "if" | "while" | "for" | "require" | "revert" |
+                            "emit" | "break" | "continue" | "delete" | "new" | "assert"))
+                    }
+                    Tok::Punct("[") => {
+                        matches!(self.peek_at(2), Tok::Punct("]"))
+                            || (matches!(self.peek_at(2), Tok::Number(_))
+                                && matches!(self.peek_at(3), Tok::Punct("]"))
+                                && matches!(self.peek_at(4), Tok::Ident(_)))
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.is_punct("{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_branch = self.branch_body()?;
+            let else_branch = if self.eat_kw("else") { self.branch_body()? } else { vec![] };
+            return Ok(Stmt::If { cond, then_branch, else_branch });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.branch_body()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = if self.looks_like_declaration() {
+                    self.var_decl_statement()?
+                } else {
+                    Stmt::Expr(self.expr()?)
+                };
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if self.is_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let post = if self.is_punct(")") { None } else { Some(self.expr()?) };
+            self.expect_punct(")")?;
+            let body = self.branch_body()?;
+            return Ok(Stmt::For { init, cond, post, body });
+        }
+        if self.eat_kw("return") {
+            let value = if self.is_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value));
+        }
+        if self.eat_kw("require") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            let message = if self.eat_punct(",") {
+                match self.bump() {
+                    Tok::Str(s) => Some(s),
+                    other => return self.err(format!("require message must be a string, found {other}")),
+                }
+            } else {
+                None
+            };
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Require { cond, message });
+        }
+        if self.eat_kw("assert") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Require { cond, message: Some("assertion failed".into()) });
+        }
+        if self.eat_kw("revert") {
+            self.expect_punct("(")?;
+            let message = if self.is_punct(")") {
+                None
+            } else {
+                match self.bump() {
+                    Tok::Str(s) => Some(s),
+                    other => return self.err(format!("revert reason must be a string, found {other}")),
+                }
+            };
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Revert(message));
+        }
+        if self.eat_kw("emit") {
+            let name = self.ident()?;
+            self.expect_punct("(")?;
+            let mut args = Vec::new();
+            if !self.is_punct(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Emit { name, args });
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.is_kw("_") && matches!(self.peek_at(1), Tok::Punct(";")) {
+            self.bump();
+            self.bump();
+            return Ok(Stmt::Placeholder);
+        }
+        if self.looks_like_declaration() {
+            let s = self.var_decl_statement()?;
+            self.expect_punct(";")?;
+            return Ok(s);
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn branch_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.is_punct("{") {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn var_decl_statement(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.type_expr()?;
+        let name = self.ident()?;
+        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+        Ok(Stmt::VarDecl { ty, name, init })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        for (tok, op) in [
+            ("=", None),
+            ("+=", Some(BinOp::Add)),
+            ("-=", Some(BinOp::Sub)),
+            ("*=", Some(BinOp::Mul)),
+            ("/=", Some(BinOp::Div)),
+            ("%=", Some(BinOp::Mod)),
+        ] {
+            if self.is_punct(tok) {
+                self.bump();
+                let rhs = self.assignment()?;
+                let rhs = match op {
+                    None => rhs,
+                    Some(op) => Expr::Binary(op, Box::new(lhs.clone()), Box::new(rhs)),
+                };
+                return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat_punct("?") {
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let otherwise = self.ternary()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(otherwise)));
+        }
+        Ok(cond)
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+        ops: &[(&str, BinOp)],
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.is_punct(tok) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::logical_and, &[("||", BinOp::Or)])
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_or, &[("&&", BinOp::And)])
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_xor, &[("|", BinOp::BitOr)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::bit_and, &[("^", BinOp::BitXor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::equality, &[("&", BinOp::BitAnd)])
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::relational, &[("==", BinOp::Eq), ("!=", BinOp::Ne)])
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::shift,
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::additive, &[("<<", BinOp::Shl), (">>", BinOp::Shr)])
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::multiplicative, &[("+", BinOp::Add), ("-", BinOp::Sub)])
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::exponent,
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+        )
+    }
+
+    fn exponent(&mut self) -> Result<Expr, ParseError> {
+        // Right-associative: 2 ** 3 ** 2 == 2 ** (3 ** 2).
+        let base = self.unary()?;
+        if self.eat_punct("**") {
+            let power = self.exponent()?;
+            return Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(power)));
+        }
+        Ok(base)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::BitNot(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("++") {
+            let target = self.unary()?;
+            return Ok(Expr::IncDec { target: Box::new(target), increment: true });
+        }
+        if self.eat_punct("--") {
+            let target = self.unary()?;
+            return Ok(Expr::IncDec { target: Box::new(target), increment: false });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let member = self.ident()?;
+                e = Expr::Member(Box::new(e), member);
+            } else if self.eat_punct("[") {
+                let index = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(index));
+            } else if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.is_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+                e = Expr::Call(Box::new(e), args);
+            } else if self.eat_punct("++") {
+                e = Expr::IncDec { target: Box::new(e), increment: true };
+            } else if self.eat_punct("--") {
+                e = Expr::IncDec { target: Box::new(e), increment: false };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Number(text) => {
+                self.pos += 1;
+                let cleaned = text.replace('_', "");
+                let value = if let Some(hex) = cleaned.strip_prefix("0x") {
+                    U256::from_hex_str(hex)
+                } else {
+                    U256::from_decimal_str(&cleaned)
+                }
+                .map_err(|e| ParseError {
+                    message: format!("bad number literal: {e}"),
+                    pos: self.here(),
+                })?;
+                // Unit suffix?
+                let multiplier = match self.peek() {
+                    Tok::Ident(unit) => match unit.as_str() {
+                        "wei" => Some(U256::ONE),
+                        "gwei" | "szabo" => Some(U256::from_u64(1_000_000_000)),
+                        "finney" => Some(U256::from_u128(1_000_000_000_000_000)),
+                        "ether" => Some(U256::from_u128(1_000_000_000_000_000_000)),
+                        "seconds" => Some(U256::ONE),
+                        "minutes" => Some(U256::from_u64(60)),
+                        "hours" => Some(U256::from_u64(3600)),
+                        "days" => Some(U256::from_u64(86_400)),
+                        "weeks" => Some(U256::from_u64(604_800)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                let value = match multiplier {
+                    Some(m) => {
+                        self.pos += 1;
+                        value * m
+                    }
+                    None => value,
+                };
+                Ok(Expr::Number(value))
+            }
+            Tok::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Tok::Ident(name) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "true" => Ok(Expr::Bool(true)),
+                    "false" => Ok(Expr::Bool(false)),
+                    _ => Ok(Expr::Ident(name)),
+                }
+            }
+            Tok::Punct("(") => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_data_storage_contract() {
+        // Fig. 3 of the paper, verbatim (modulo whitespace).
+        let src = r#"
+            pragma solidity ^0.5.0;
+            contract DataStorage {
+                mapping (address => mapping( string => string )) keyValuePairs;
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.pragmas.len(), 1);
+        let c = &unit.contracts[0];
+        assert_eq!(c.name, "DataStorage");
+        assert_eq!(c.state_vars.len(), 1);
+        assert!(matches!(c.state_vars[0].ty, TypeExpr::Mapping(_, _)));
+    }
+
+    #[test]
+    fn parses_struct_enum_and_multi_declarators() {
+        let src = r#"
+            contract C {
+                struct PaidRent { uint Monthid; uint value; }
+                PaidRent[] public paidrents;
+                enum State {Created, Started, Terminated}
+                State public state;
+                address payable public landlord, tenant;
+                uint creationTime, contractTime;
+            }
+        "#;
+        let c = parse(src).unwrap().contracts.remove(0);
+        assert_eq!(c.structs[0].fields.len(), 2);
+        assert_eq!(c.enums[0].variants, vec!["Created", "Started", "Terminated"]);
+        let names: Vec<&str> = c.state_vars.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["paidrents", "state", "landlord", "tenant", "creationTime", "contractTime"]
+        );
+        assert!(c.state_vars[2].public);
+        assert!(!c.state_vars[4].public);
+    }
+
+    #[test]
+    fn parses_constructor_and_functions() {
+        let src = r#"
+            contract C {
+                uint public rent;
+                constructor (uint _rent, string memory _house) public payable {
+                    rent = _rent;
+                }
+                function payRent() public payable { }
+                function getNext() public returns (address addr) { return addr; }
+                function check() internal view returns (bool) { return true; }
+            }
+        "#;
+        let c = parse(src).unwrap().contracts.remove(0);
+        assert_eq!(c.functions.len(), 4);
+        assert!(c.functions[0].is_constructor);
+        assert_eq!(c.functions[0].params.len(), 2);
+        assert_eq!(c.functions[0].mutability, Mutability::Payable);
+        assert_eq!(c.functions[2].returns[0].0, "addr");
+        assert_eq!(c.functions[3].visibility, Visibility::Internal);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            contract C {
+                uint x;
+                function f(uint n) public {
+                    for (uint i = 0; i < n; i++) {
+                        if (i % 2 == 0) { x += i; } else x -= 1;
+                        while (x > 100) { x /= 2; break; }
+                    }
+                    require(x > 0, "x must stay positive");
+                    emit Done(x);
+                    return;
+                }
+                event Done(uint value);
+            }
+        "#;
+        let c = parse(src).unwrap().contracts.remove(0);
+        let f = &c.functions[0];
+        assert!(matches!(f.body[0], Stmt::For { .. }));
+        assert!(matches!(f.body[1], Stmt::Require { .. }));
+        assert!(matches!(f.body[2], Stmt::Emit { .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "contract C { function f() public { uint x = 1 + 2 * 3; bool b = 1 < 2 && 3 > 2 || false; } }";
+        let c = parse(src).unwrap().contracts.remove(0);
+        let Stmt::VarDecl { init: Some(Expr::Binary(BinOp::Add, _, rhs)), .. } = &c.functions[0].body[0]
+        else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn unit_literals_scale() {
+        let src = "contract C { uint x = 2 ether; uint y = 3 days; }";
+        let c = parse(src).unwrap().contracts.remove(0);
+        let Some(Expr::Number(v)) = &c.state_vars[0].init else { panic!() };
+        assert_eq!(*v, lsc_primitives::ether(2));
+        let Some(Expr::Number(v)) = &c.state_vars[1].init else { panic!() };
+        assert_eq!(*v, U256::from_u64(3 * 86_400));
+    }
+
+    #[test]
+    fn inheritance_clause() {
+        let c = parse("contract RentalAgreement is BaseRental { }").unwrap().contracts.remove(0);
+        assert_eq!(c.bases, vec!["BaseRental"]);
+    }
+
+    #[test]
+    fn member_call_chains() {
+        let src = "contract C { function f() public { msg.sender; landlord.transfer(msg.value); paidrents.push(PaidRent(1, 2)); } }";
+        let c = parse(src).unwrap().contracts.remove(0);
+        assert_eq!(c.functions[0].body.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse("contract C { function f() public { uint x = ; } }").unwrap_err();
+        assert!(err.message.contains("expected expression"));
+        assert!(parse("contract C { function f() public; }").is_err());
+        assert!(parse("contract { }").is_err());
+    }
+
+    #[test]
+    fn ternary_and_casts_parse() {
+        let src = "contract C { function f(uint a) public returns (uint) { return a > 0 ? uint(1) : 0; } }";
+        assert!(parse(src).is_ok());
+    }
+}

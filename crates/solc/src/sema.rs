@@ -1,0 +1,760 @@
+//! Semantic analysis: inheritance flattening, type resolution, storage
+//! layout assignment, and ABI construction.
+//!
+//! The paper's versioning scheme leans on inheritance (`RentalAgreement is
+//! BaseRental is Node`): base-contract state variables must occupy the
+//! same storage slots in every derived version so the data-separation
+//! layer can migrate values between versions. Flattening bases first (in
+//! C3-trivial single-inheritance order) guarantees that.
+
+use crate::ast::*;
+use lsc_abi::{Abi, AbiType, Event as AbiEvent, Function as AbiFunction, Param, StateMutability};
+use core::fmt;
+use std::collections::HashMap;
+
+/// Resolved semantic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// Unsigned integer of the given bit width.
+    Uint(u16),
+    /// Signed integer.
+    Int(u16),
+    /// Boolean.
+    Bool,
+    /// 20-byte address.
+    Address,
+    /// Dynamic UTF-8 string.
+    String,
+    /// Enum (index into [`ContractInfo::enums`]).
+    Enum(usize),
+    /// Struct (index into [`ContractInfo::structs`]).
+    Struct(usize),
+    /// Dynamic array.
+    Array(Box<Ty>),
+    /// Fixed-size array.
+    FixedArray(Box<Ty>, u64),
+    /// Mapping (storage only).
+    Mapping(Box<Ty>, Box<Ty>),
+}
+
+impl Ty {
+    /// Types representable as a single EVM word on the stack.
+    pub fn is_value_type(&self) -> bool {
+        matches!(self, Ty::Uint(_) | Ty::Int(_) | Ty::Bool | Ty::Address | Ty::Enum(_))
+    }
+
+    /// Can this be compared with `==`?
+    pub fn is_comparable(&self) -> bool {
+        self.is_value_type() || matches!(self, Ty::String)
+    }
+
+    /// Signed integer?
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Ty::Int(_))
+    }
+}
+
+/// A resolved struct.
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// Name.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, Ty)>,
+}
+
+impl StructInfo {
+    /// Number of storage slots / memory words occupied (strings take one
+    /// word — a pointer in memory, a length-root in storage).
+    pub fn slot_count(&self, contract: &ContractInfo) -> u64 {
+        self.fields.iter().map(|(_, ty)| contract.slots_for(ty)).sum()
+    }
+
+    /// Slot/word offset of a field within the struct.
+    pub fn field_offset(&self, contract: &ContractInfo, field: &str) -> Option<(u64, Ty)> {
+        let mut offset = 0;
+        for (name, ty) in &self.fields {
+            if name == field {
+                return Some((offset, ty.clone()));
+            }
+            offset += contract.slots_for(ty);
+        }
+        None
+    }
+}
+
+/// A resolved enum.
+#[derive(Debug, Clone)]
+pub struct EnumInfo {
+    /// Name.
+    pub name: String,
+    /// Variants (value = index).
+    pub variants: Vec<String>,
+}
+
+/// A state variable with its assigned storage slot.
+#[derive(Debug, Clone)]
+pub struct StateVarInfo {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// First storage slot.
+    pub slot: u64,
+    /// Whether a public getter is synthesized.
+    pub public: bool,
+    /// Initializer expression (run in the constructor prologue).
+    pub init: Option<Expr>,
+}
+
+/// A fully flattened, resolved contract ready for code generation.
+#[derive(Debug, Clone)]
+pub struct ContractInfo {
+    /// Contract name.
+    pub name: String,
+    /// Flattened inheritance chain, base-most first (incl. self).
+    pub lineage: Vec<String>,
+    /// Structs (bases first).
+    pub structs: Vec<StructInfo>,
+    /// Enums (bases first).
+    pub enums: Vec<EnumInfo>,
+    /// State variables with slots (bases first — slot-stable across
+    /// versions, which the paper's data migration relies on).
+    pub state_vars: Vec<StateVarInfo>,
+    /// Events (deduplicated by name; derived overrides base).
+    pub events: Vec<EventDef>,
+    /// Functions (derived overrides base by name). Constructor is the
+    /// derived-most one.
+    pub functions: Vec<FunctionDef>,
+    /// Total slots used by static layout.
+    pub total_slots: u64,
+}
+
+/// Semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError(pub String);
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError(message.into()))
+}
+
+impl ContractInfo {
+    /// Storage slots occupied by a type (no packing: every value type gets
+    /// a full slot, documented deviation from solc).
+    pub fn slots_for(&self, ty: &Ty) -> u64 {
+        match ty {
+            Ty::Struct(i) => self.structs[*i].slot_count(self),
+            Ty::FixedArray(inner, n) => self.slots_for(inner) * n,
+            // Dynamic arrays, mappings and strings root in a single slot.
+            _ => 1,
+        }
+    }
+
+    /// Find a state variable.
+    pub fn state_var(&self, name: &str) -> Option<&StateVarInfo> {
+        self.state_vars.iter().find(|v| v.name == name)
+    }
+
+    /// Find a struct by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<(usize, &StructInfo)> {
+        self.structs.iter().enumerate().find(|(_, s)| s.name == name)
+    }
+
+    /// Find an enum by name.
+    pub fn enum_by_name(&self, name: &str) -> Option<(usize, &EnumInfo)> {
+        self.enums.iter().enumerate().find(|(_, e)| e.name == name)
+    }
+
+    /// Find a function by name (not the constructor).
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| !f.is_constructor && f.name == name)
+    }
+
+    /// The constructor, if declared.
+    pub fn constructor(&self) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.is_constructor)
+    }
+
+    /// Find an event by name.
+    pub fn event(&self, name: &str) -> Option<&EventDef> {
+        self.events.iter().find(|e| e.name == name)
+    }
+
+    /// Resolve a syntactic type against this contract's user types.
+    pub fn resolve_type(&self, ty: &TypeExpr) -> Result<Ty, SemaError> {
+        resolve_type_with(ty, &self.structs, &self.enums)
+    }
+
+    /// Map a semantic type to its ABI type.
+    pub fn abi_type(&self, ty: &Ty) -> Result<AbiType, SemaError> {
+        Ok(match ty {
+            Ty::Uint(bits) => AbiType::Uint(*bits),
+            Ty::Int(bits) => AbiType::Int(*bits),
+            Ty::Bool => AbiType::Bool,
+            Ty::Address => AbiType::Address,
+            Ty::String => AbiType::String,
+            Ty::Enum(_) => AbiType::Uint(8),
+            Ty::Struct(i) => {
+                let fields = &self.structs[*i].fields;
+                AbiType::Tuple(
+                    fields
+                        .iter()
+                        .map(|(_, t)| self.abi_type(t))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            Ty::Array(inner) => AbiType::Array(Box::new(self.abi_type(inner)?)),
+            Ty::FixedArray(inner, n) => {
+                AbiType::FixedArray(Box::new(self.abi_type(inner)?), *n as usize)
+            }
+            Ty::Mapping(_, _) => return err("mappings have no ABI representation"),
+        })
+    }
+
+    /// Build the contract's JSON-ABI model, including synthesized getters
+    /// for public state variables.
+    pub fn build_abi(&self) -> Result<Abi, SemaError> {
+        let mut abi = Abi::default();
+        if let Some(ctor) = self.constructor() {
+            abi.constructor_inputs = ctor
+                .params
+                .iter()
+                .map(|(name, ty)| {
+                    Ok(Param::new(name.clone(), self.abi_type(&self.resolve_type(ty)?)?))
+                })
+                .collect::<Result<Vec<_>, SemaError>>()?;
+            abi.constructor_payable = ctor.mutability == Mutability::Payable;
+        }
+        for var in &self.state_vars {
+            if !var.public {
+                continue;
+            }
+            abi.functions.push(self.getter_abi(var)?);
+        }
+        for f in &self.functions {
+            if f.is_constructor || !f.visibility.is_externally_callable() {
+                continue;
+            }
+            abi.functions.push(AbiFunction {
+                name: f.name.clone(),
+                inputs: f
+                    .params
+                    .iter()
+                    .map(|(name, ty)| {
+                        Ok(Param::new(name.clone(), self.abi_type(&self.resolve_type(ty)?)?))
+                    })
+                    .collect::<Result<Vec<_>, SemaError>>()?,
+                outputs: f
+                    .returns
+                    .iter()
+                    .map(|(name, ty)| {
+                        Ok(Param::new(name.clone(), self.abi_type(&self.resolve_type(ty)?)?))
+                    })
+                    .collect::<Result<Vec<_>, SemaError>>()?,
+                mutability: match f.mutability {
+                    Mutability::Payable => StateMutability::Payable,
+                    Mutability::View => StateMutability::View,
+                    Mutability::Pure => StateMutability::Pure,
+                    Mutability::NonPayable => StateMutability::NonPayable,
+                },
+            });
+        }
+        for e in &self.events {
+            abi.events.push(AbiEvent {
+                name: e.name.clone(),
+                inputs: e
+                    .params
+                    .iter()
+                    .map(|(name, ty, indexed)| {
+                        Ok(Param {
+                            name: name.clone(),
+                            ty: self.abi_type(&self.resolve_type(ty)?)?,
+                            indexed: *indexed,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SemaError>>()?,
+                anonymous: false,
+            });
+        }
+        Ok(abi)
+    }
+
+    /// The ABI entry of a public state variable's synthesized getter.
+    pub fn getter_abi(&self, var: &StateVarInfo) -> Result<AbiFunction, SemaError> {
+        let mut inputs = Vec::new();
+        let mut ty = var.ty.clone();
+        // Mappings take one key per nesting level; arrays take an index.
+        loop {
+            match ty {
+                Ty::Mapping(key, value) => {
+                    inputs.push(Param::new("", self.abi_type(&key)?));
+                    ty = *value;
+                }
+                Ty::Array(inner) | Ty::FixedArray(inner, _) => {
+                    inputs.push(Param::new("", AbiType::Uint(256)));
+                    ty = *inner;
+                }
+                _ => break,
+            }
+        }
+        let outputs = match &ty {
+            Ty::Struct(i) => self.structs[*i]
+                .fields
+                .iter()
+                .map(|(name, t)| Ok(Param::new(name.clone(), self.abi_type(t)?)))
+                .collect::<Result<Vec<_>, SemaError>>()?,
+            other => vec![Param::new("", self.abi_type(other)?)],
+        };
+        Ok(AbiFunction {
+            name: var.name.clone(),
+            inputs,
+            outputs,
+            mutability: StateMutability::View,
+        })
+    }
+}
+
+fn resolve_type_with(
+    ty: &TypeExpr,
+    structs: &[StructInfo],
+    enums: &[EnumInfo],
+) -> Result<Ty, SemaError> {
+    Ok(match ty {
+        TypeExpr::Named(name) => match name.as_str() {
+            "bool" => Ty::Bool,
+            "address" => Ty::Address,
+            "string" => Ty::String,
+            "uint" => Ty::Uint(256),
+            "int" => Ty::Int(256),
+            other => {
+                if let Some(bits) = other.strip_prefix("uint") {
+                    let bits: u16 = bits
+                        .parse()
+                        .map_err(|_| SemaError(format!("unknown type `{other}`")))?;
+                    if bits == 0 || bits > 256 || !bits.is_multiple_of(8) {
+                        return err(format!("invalid integer width `{other}`"));
+                    }
+                    return Ok(Ty::Uint(bits));
+                }
+                if let Some(bits) = other.strip_prefix("int") {
+                    if let Ok(bits) = bits.parse::<u16>() {
+                        if bits == 0 || bits > 256 || bits % 8 != 0 {
+                            return err(format!("invalid integer width `{other}`"));
+                        }
+                        return Ok(Ty::Int(bits));
+                    }
+                }
+                if let Some((i, _)) = structs.iter().enumerate().find(|(_, s)| s.name == *other) {
+                    return Ok(Ty::Struct(i));
+                }
+                if let Some((i, _)) = enums.iter().enumerate().find(|(_, e)| e.name == *other) {
+                    return Ok(Ty::Enum(i));
+                }
+                return err(format!("unknown type `{other}`"));
+            }
+        },
+        TypeExpr::Array(inner) => Ty::Array(Box::new(resolve_type_with(inner, structs, enums)?)),
+        TypeExpr::FixedArray(inner, n) => {
+            Ty::FixedArray(Box::new(resolve_type_with(inner, structs, enums)?), *n)
+        }
+        TypeExpr::Mapping(key, value) => {
+            let key = resolve_type_with(key, structs, enums)?;
+            if !key.is_value_type() && key != Ty::String {
+                return err("mapping keys must be value types or string");
+            }
+            Ty::Mapping(Box::new(key), Box::new(resolve_type_with(value, structs, enums)?))
+        }
+    })
+}
+
+/// Replace every `_;` placeholder in `template` with `body`, recursing
+/// into nested statements. Counts splices via `spliced`.
+fn splice_placeholder(template: &[Stmt], body: &[Stmt], spliced: &mut usize) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(template.len());
+    for stmt in template {
+        match stmt {
+            Stmt::Placeholder => {
+                *spliced += 1;
+                out.extend_from_slice(body);
+            }
+            Stmt::Block(inner) => {
+                out.push(Stmt::Block(splice_placeholder(inner, body, spliced)));
+            }
+            Stmt::If { cond, then_branch, else_branch } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_branch: splice_placeholder(then_branch, body, spliced),
+                else_branch: splice_placeholder(else_branch, body, spliced),
+            }),
+            Stmt::While { cond, body: b } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: splice_placeholder(b, body, spliced),
+            }),
+            Stmt::For { init, cond, post, body: b } => out.push(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                post: post.clone(),
+                body: splice_placeholder(b, body, spliced),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Flatten and resolve every contract in a source unit.
+pub fn analyze(unit: &SourceUnit) -> Result<Vec<ContractInfo>, SemaError> {
+    let by_name: HashMap<&str, &ContractDef> =
+        unit.contracts.iter().map(|c| (c.name.as_str(), c)).collect();
+    if by_name.len() != unit.contracts.len() {
+        return err("duplicate contract name");
+    }
+    unit.contracts.iter().map(|c| flatten(c, &by_name)).collect()
+}
+
+/// Flatten one contract's inheritance chain and resolve it.
+pub fn flatten(
+    contract: &ContractDef,
+    by_name: &HashMap<&str, &ContractDef>,
+) -> Result<ContractInfo, SemaError> {
+    // Build the base-most-first lineage (single inheritance chain).
+    let mut lineage: Vec<&ContractDef> = Vec::new();
+    let mut current = contract;
+    let mut seen = vec![contract.name.clone()];
+    loop {
+        lineage.push(current);
+        match current.bases.len() {
+            0 => break,
+            1 => {
+                let base_name = &current.bases[0];
+                if seen.contains(base_name) {
+                    return err(format!("inheritance cycle through `{base_name}`"));
+                }
+                seen.push(base_name.clone());
+                current = by_name.get(base_name.as_str()).copied().ok_or_else(|| {
+                    SemaError(format!(
+                        "unknown base contract `{base_name}` for `{}`",
+                        current.name
+                    ))
+                })?;
+            }
+            _ => {
+                return err(format!(
+                    "contract `{}` uses multiple inheritance; this subset supports a single base",
+                    current.name
+                ))
+            }
+        }
+    }
+    lineage.reverse(); // base-most first
+
+    // Merge members, base-first.
+    let mut structs: Vec<StructInfo> = Vec::new();
+    let mut enums: Vec<EnumInfo> = Vec::new();
+    // First pass: user types (so state vars can reference them).
+    for c in &lineage {
+        for e in &c.enums {
+            if enums.iter().any(|x| x.name == e.name) {
+                continue; // redefinition in derived: keep base (identical in practice)
+            }
+            enums.push(EnumInfo { name: e.name.clone(), variants: e.variants.clone() });
+        }
+    }
+    for c in &lineage {
+        for s in &c.structs {
+            if structs.iter().any(|x| x.name == s.name) {
+                continue;
+            }
+            let fields = s
+                .fields
+                .iter()
+                .map(|(n, t)| Ok((n.clone(), resolve_type_with(t, &structs, &enums)?)))
+                .collect::<Result<Vec<_>, SemaError>>()?;
+            structs.push(StructInfo { name: s.name.clone(), fields });
+        }
+    }
+
+    // State variables: bases first, duplicate names rejected.
+    let mut state_vars: Vec<StateVarInfo> = Vec::new();
+    for c in &lineage {
+        for v in &c.state_vars {
+            if state_vars.iter().any(|x| x.name == v.name) {
+                return err(format!("state variable `{}` redeclared in `{}`", v.name, c.name));
+            }
+            let ty = resolve_type_with(&v.ty, &structs, &enums)?;
+            state_vars.push(StateVarInfo {
+                name: v.name.clone(),
+                ty,
+                slot: 0, // assigned below
+                public: v.public,
+                init: v.init.clone(),
+            });
+        }
+    }
+
+    // Events: derived overrides base with the same name.
+    let mut events: Vec<EventDef> = Vec::new();
+    for c in &lineage {
+        for e in &c.events {
+            if let Some(existing) = events.iter_mut().find(|x| x.name == e.name) {
+                *existing = e.clone();
+            } else {
+                events.push(e.clone());
+            }
+        }
+    }
+
+    // Modifiers: derived overrides base by name.
+    let mut modifiers: Vec<ModifierDef> = Vec::new();
+    for c in &lineage {
+        for m in &c.modifiers {
+            if let Some(existing) = modifiers.iter_mut().find(|x| x.name == m.name) {
+                *existing = m.clone();
+            } else {
+                modifiers.push(m.clone());
+            }
+        }
+    }
+
+    // Functions: derived overrides base by name; constructor: derived-most.
+    let mut functions: Vec<FunctionDef> = Vec::new();
+    for c in &lineage {
+        for f in &c.functions {
+            if f.is_constructor {
+                if let Some(existing) = functions.iter_mut().find(|x| x.is_constructor) {
+                    *existing = f.clone();
+                } else {
+                    functions.push(f.clone());
+                }
+                continue;
+            }
+            if let Some(existing) =
+                functions.iter_mut().find(|x| !x.is_constructor && x.name == f.name)
+            {
+                *existing = f.clone();
+            } else {
+                functions.push(f.clone());
+            }
+        }
+    }
+    // Expand modifier invocations into function bodies (outermost first).
+    for f in &mut functions {
+        if f.modifiers.is_empty() {
+            continue;
+        }
+        let invocations = std::mem::take(&mut f.modifiers);
+        let mut body = std::mem::take(&mut f.body);
+        for (name, args) in invocations.iter().rev() {
+            let def = modifiers
+                .iter()
+                .find(|m| m.name == *name)
+                .ok_or_else(|| SemaError(format!("unknown modifier `{name}`")))?;
+            if def.params.len() != args.len() {
+                return err(format!(
+                    "modifier `{name}` takes {} arguments",
+                    def.params.len()
+                ));
+            }
+            // Bind modifier parameters as locals, then splice the wrapped
+            // body in place of the `_` placeholder.
+            let mut wrapped: Vec<Stmt> = def
+                .params
+                .iter()
+                .zip(args)
+                .map(|((pname, ty), arg)| Stmt::VarDecl {
+                    ty: ty.clone(),
+                    name: pname.clone(),
+                    init: Some(arg.clone()),
+                })
+                .collect();
+            let mut spliced = 0usize;
+            wrapped.extend(splice_placeholder(&def.body, &body, &mut spliced));
+            if spliced == 0 {
+                return err(format!("modifier `{name}` has no `_;` placeholder"));
+            }
+            body = wrapped;
+        }
+        f.body = body;
+    }
+
+    // No overloading: names must be unique (getters add more below).
+    for f in &functions {
+        if f.is_constructor {
+            continue;
+        }
+        if state_vars.iter().any(|v| v.public && v.name == f.name) {
+            return err(format!(
+                "function `{}` collides with a public state variable getter",
+                f.name
+            ));
+        }
+    }
+
+    let mut info = ContractInfo {
+        name: contract.name.clone(),
+        lineage: lineage.iter().map(|c| c.name.clone()).collect(),
+        structs,
+        enums,
+        state_vars,
+        events,
+        functions,
+        total_slots: 0,
+    };
+    // Assign slots now that struct sizes are known.
+    let mut slot = 0u64;
+    let mut slots: Vec<u64> = Vec::with_capacity(info.state_vars.len());
+    for var in &info.state_vars {
+        slots.push(slot);
+        slot += info.slots_for(&var.ty);
+    }
+    for (var, s) in info.state_vars.iter_mut().zip(slots) {
+        var.slot = s;
+    }
+    info.total_slots = slot;
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Vec<ContractInfo> {
+        analyze(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn storage_slots_assigned_in_order() {
+        let infos = analyze_src(
+            r#"contract C {
+                uint a;
+                struct P { uint x; uint y; }
+                P b;
+                uint[3] c;
+                uint d;
+                mapping(address => uint) m;
+                string s;
+            }"#,
+        );
+        let c = &infos[0];
+        let slots: Vec<(String, u64)> =
+            c.state_vars.iter().map(|v| (v.name.clone(), v.slot)).collect();
+        assert_eq!(
+            slots,
+            vec![
+                ("a".into(), 0),
+                ("b".into(), 1),
+                ("c".into(), 3),
+                ("d".into(), 6),
+                ("m".into(), 7),
+                ("s".into(), 8),
+            ]
+        );
+        assert_eq!(c.total_slots, 9);
+    }
+
+    #[test]
+    fn inheritance_puts_base_vars_first() {
+        let infos = analyze_src(
+            r#"
+            contract Node { address next; address previous; }
+            contract Base is Node { uint rent; }
+            contract Derived is Base { uint deposit; }
+            "#,
+        );
+        let derived = infos.iter().find(|c| c.name == "Derived").unwrap();
+        assert_eq!(derived.lineage, vec!["Node", "Base", "Derived"]);
+        let names: Vec<&str> = derived.state_vars.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["next", "previous", "rent", "deposit"]);
+        // Base slots identical in Base and Derived — the versioning
+        // invariant the paper's migration depends on.
+        let base = infos.iter().find(|c| c.name == "Base").unwrap();
+        assert_eq!(
+            base.state_var("rent").unwrap().slot,
+            derived.state_var("rent").unwrap().slot
+        );
+    }
+
+    #[test]
+    fn derived_overrides_functions_and_keeps_base_ones() {
+        let infos = analyze_src(
+            r#"
+            contract Base {
+                function f() public returns (uint) { return 1; }
+                function g() public returns (uint) { return 2; }
+            }
+            contract Derived is Base {
+                function g() public returns (uint) { return 20; }
+            }
+            "#,
+        );
+        let derived = infos.iter().find(|c| c.name == "Derived").unwrap();
+        assert_eq!(derived.functions.len(), 2);
+        let g = derived.function("g").unwrap();
+        // Overridden body returns 20.
+        let Stmt::Return(Some(Expr::Number(v))) = &g.body[0] else { panic!() };
+        assert_eq!(v.to_u64(), Some(20));
+    }
+
+    #[test]
+    fn abi_includes_getters() {
+        let infos = analyze_src(
+            r#"contract C {
+                uint public rent;
+                string public house;
+                mapping(address => mapping(string => string)) public kv;
+                struct P { uint a; uint b; }
+                P[] public items;
+                uint internalVar;
+                function payRent() public payable {}
+                event paidRent();
+            }"#,
+        );
+        let abi = infos[0].build_abi().unwrap();
+        let names: Vec<&str> = abi.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["rent", "house", "kv", "items", "payRent"]);
+        let kv = abi.function("kv").unwrap();
+        assert_eq!(kv.inputs.len(), 2, "nested mapping getter takes two keys");
+        let items = abi.function("items").unwrap();
+        assert_eq!(items.inputs.len(), 1);
+        assert_eq!(items.outputs.len(), 2, "struct getter returns fields");
+        assert_eq!(abi.events.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let parsed = parse("contract C is Missing { }").unwrap();
+        assert!(analyze(&parsed).is_err());
+        let parsed = parse("contract C { uint a; uint a; }").unwrap();
+        assert!(analyze(&parsed).is_err());
+        let parsed = parse("contract C { floof x; }").unwrap();
+        assert!(analyze(&parsed).is_err());
+        let parsed = parse(
+            "contract C { uint public f; function f() public {} }",
+        )
+        .unwrap();
+        assert!(analyze(&parsed).is_err());
+        let parsed =
+            parse("contract A is B {} contract B is A {}").unwrap();
+        assert!(analyze(&parsed).is_err());
+    }
+
+    #[test]
+    fn enum_resolution() {
+        let infos = analyze_src(
+            "contract C { enum State {Created, Started, Terminated} State public state; }",
+        );
+        let c = &infos[0];
+        assert_eq!(c.state_var("state").unwrap().ty, Ty::Enum(0));
+        assert_eq!(c.enums[0].variants.len(), 3);
+        let abi = c.build_abi().unwrap();
+        assert_eq!(abi.function("state").unwrap().outputs[0].ty, AbiType::Uint(8));
+    }
+}

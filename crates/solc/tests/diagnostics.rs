@@ -1,0 +1,294 @@
+//! Compiler diagnostics and language-corner tests: every rejection path
+//! should produce a targeted error, and the supported corners should work.
+
+use lsc_abi::AbiValue;
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::U256;
+use lsc_solc::{compile_single, compile_source, CompileError};
+
+fn err_of(source: &str) -> String {
+    match compile_source(source) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("expected a compile error for:\n{source}"),
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let message = err_of("contract C {\n  function f() public {\n    uint x = ;\n  }\n}");
+    assert!(message.contains("line 3"), "{message}");
+    assert!(message.contains("expected expression"), "{message}");
+}
+
+#[test]
+fn unknown_identifier_named() {
+    let message = err_of("contract C { function f() public { missing = 1; } }");
+    assert!(message.contains("not assignable") || message.contains("missing"), "{message}");
+    let message = err_of("contract C { function f() public returns (uint) { return missing; } }");
+    assert!(message.contains("missing"), "{message}");
+}
+
+#[test]
+fn unknown_type_named() {
+    let message = err_of("contract C { Floof x; }");
+    assert!(message.contains("Floof"), "{message}");
+}
+
+#[test]
+fn unknown_base_contract_named() {
+    let message = err_of("contract C is Ghost { }");
+    assert!(message.contains("Ghost"), "{message}");
+}
+
+#[test]
+fn multiple_inheritance_rejected_clearly() {
+    let message = err_of("contract A {} contract B {} contract C is A, B { }");
+    assert!(message.contains("single base"), "{message}");
+}
+
+#[test]
+fn abstract_functions_rejected() {
+    let message = err_of("contract C { function f() public; }");
+    assert!(message.contains("abstract"), "{message}");
+}
+
+#[test]
+fn break_outside_loop_rejected() {
+    let message = err_of("contract C { function f() public { break; } }");
+    assert!(message.contains("break"), "{message}");
+    let message = err_of("contract C { function f() public { continue; } }");
+    assert!(message.contains("continue"), "{message}");
+}
+
+#[test]
+fn string_arithmetic_rejected() {
+    let message =
+        err_of(r#"contract C { function f() public returns (uint) { return "a" + 1; } }"#);
+    assert!(message.contains("string"), "{message}");
+}
+
+#[test]
+fn wrong_event_arity_rejected() {
+    let message = err_of(
+        "contract C { event E(uint a); function f() public { emit E(); } }",
+    );
+    assert!(message.contains('1'), "{message}");
+    let message = err_of("contract C { function f() public { emit Ghost(); } }");
+    assert!(message.contains("Ghost"), "{message}");
+}
+
+#[test]
+fn mapping_locals_rejected() {
+    let message = err_of(
+        "contract C { function f() public { mapping(uint => uint) m; } }",
+    );
+    assert!(message.contains("mapping"), "{message}");
+}
+
+#[test]
+fn getter_collision_rejected() {
+    let message = err_of("contract C { uint public f; function f() public {} }");
+    assert!(message.contains("collides"), "{message}");
+}
+
+#[test]
+fn unknown_contract_requested() {
+    let result = compile_single("contract A {}", "B");
+    assert!(matches!(result, Err(CompileError::UnknownContract(name)) if name == "B"));
+}
+
+// ---------- language corners that must work ----------
+
+fn eval(source: &str, fn_name: &str, args: &[AbiValue]) -> Vec<AbiValue> {
+    let artifact = compile_single(source, "C").expect("compiles");
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    let receipt = node
+        .send_transaction(Transaction::deploy(from, artifact.bytecode.clone()))
+        .unwrap();
+    assert!(receipt.is_success());
+    let address = receipt.contract_address.unwrap();
+    let f = artifact.abi.function(fn_name).unwrap();
+    let result = node.call(from, address, f.encode_call(args).unwrap());
+    assert!(result.success, "call reverted: {:?}", result.halt);
+    f.decode_output(&result.output).unwrap()
+}
+
+#[test]
+fn storage_struct_copies_to_memory() {
+    let source = r#"
+        contract C {
+            struct P { uint a; uint b; }
+            P stored;
+            constructor () public { stored = P(7, 9); }
+            function read() public view returns (uint, uint) {
+                P memory p = stored;
+                return p.a;
+            }
+            function readB() public view returns (uint) {
+                P memory p = stored;
+                return p.b;
+            }
+        }
+    "#;
+    // Note: multi-value `return (a, b)` is not in the subset; read fields
+    // separately.
+    let source = source.replace("returns (uint, uint)", "returns (uint)");
+    let out = eval(&source, "read", &[]);
+    assert_eq!(out[0].as_u64(), Some(7));
+    let out = eval(&source, "readB", &[]);
+    assert_eq!(out[0].as_u64(), Some(9));
+}
+
+#[test]
+fn memory_struct_field_assignment() {
+    let source = r#"
+        contract C {
+            struct P { uint a; uint b; }
+            function f() public pure returns (uint) {
+                P memory p = P(1, 2);
+                p.a = 10;
+                p.b = p.b + p.a;
+                return p.a + p.b;
+            }
+        }
+    "#;
+    assert_eq!(eval(source, "f", &[])[0].as_u64(), Some(22));
+}
+
+#[test]
+fn while_with_complex_condition() {
+    let source = r#"
+        contract C {
+            function f(uint n) public pure returns (uint steps) {
+                uint x = n;
+                while (x > 1 && steps < 100) {
+                    x = x % 2 == 0 ? x / 2 : x - 1;
+                    steps++;
+                }
+            }
+        }
+    "#;
+    assert_eq!(eval(source, "f", &[AbiValue::uint(16)])[0].as_u64(), Some(4));
+}
+
+#[test]
+fn string_length_member() {
+    let source = r#"
+        contract C {
+            string public s;
+            function set(string memory v) public { s = v; }
+            function len() public view returns (uint) { return s.length; }
+        }
+    "#;
+    let artifact = compile_single(source, "C").unwrap();
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    let address = node
+        .send_transaction(Transaction::deploy(from, artifact.bytecode.clone()))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let set = artifact.abi.function("set").unwrap();
+    node.send_transaction(Transaction::call(
+        from,
+        address,
+        set.encode_call(&[AbiValue::string("hello")]).unwrap(),
+    ))
+    .unwrap();
+    let len = artifact.abi.function("len").unwrap();
+    let result = node.call(from, address, len.encode_call(&[]).unwrap());
+    assert_eq!(U256::from_be_slice(&result.output), U256::from_u64(5));
+}
+
+#[test]
+fn send_returns_bool_instead_of_reverting() {
+    let source = r#"
+        contract C {
+            function trySend(address target) public payable returns (bool) {
+                return target.send(msg.value);
+            }
+        }
+    "#;
+    // Just compiles and deploys; behavioural check happens in core tests.
+    assert!(compile_single(source, "C").is_ok());
+}
+
+#[test]
+fn chained_else_if() {
+    let source = r#"
+        contract C {
+            function grade(uint score) public pure returns (uint) {
+                if (score >= 90) { return 1; }
+                else if (score >= 50) { return 2; }
+                else { return 3; }
+            }
+        }
+    "#;
+    assert_eq!(eval(source, "grade", &[AbiValue::uint(95)])[0].as_u64(), Some(1));
+    assert_eq!(eval(source, "grade", &[AbiValue::uint(60)])[0].as_u64(), Some(2));
+    assert_eq!(eval(source, "grade", &[AbiValue::uint(10)])[0].as_u64(), Some(3));
+}
+
+#[test]
+fn fixed_arrays_in_storage() {
+    let source = r#"
+        contract C {
+            uint[3] public slots;
+            function set(uint i, uint v) public { slots[i] = v; }
+            function sum() public view returns (uint total) {
+                for (uint i = 0; i < 3; i++) { total += slots[i]; }
+            }
+        }
+    "#;
+    let artifact = compile_single(source, "C").unwrap();
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    let address = node
+        .send_transaction(Transaction::deploy(from, artifact.bytecode.clone()))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let set = artifact.abi.function("set").unwrap();
+    for (i, v) in [(0u64, 10u64), (1, 20), (2, 30)] {
+        let receipt = node
+            .send_transaction(Transaction::call(
+                from,
+                address,
+                set.encode_call(&[AbiValue::uint(i), AbiValue::uint(v)]).unwrap(),
+            ))
+            .unwrap();
+        assert!(receipt.is_success());
+    }
+    let sum = artifact.abi.function("sum").unwrap();
+    let result = node.call(from, address, sum.encode_call(&[]).unwrap());
+    assert_eq!(U256::from_be_slice(&result.output), U256::from_u64(60));
+    // Out-of-bounds write reverts.
+    let receipt = node
+        .send_transaction(Transaction::call(
+            from,
+            address,
+            set.encode_call(&[AbiValue::uint(3), AbiValue::uint(1)]).unwrap(),
+        ))
+        .unwrap();
+    assert!(!receipt.is_success());
+}
+
+#[test]
+fn exponent_operator() {
+    let source = r#"
+        contract C {
+            function pow(uint b, uint e) public pure returns (uint) { return b ** e; }
+            function tower() public pure returns (uint) { return 2 ** 3 ** 2; }
+            function mixed() public pure returns (uint) { return 2 * 3 ** 2 + 1; }
+        }
+    "#;
+    assert_eq!(
+        eval(source, "pow", &[AbiValue::uint(3), AbiValue::uint(5)])[0].as_u64(),
+        Some(243)
+    );
+    // Right-associative: 2 ** (3 ** 2) = 512, not (2**3)**2 = 64.
+    assert_eq!(eval(source, "tower", &[])[0].as_u64(), Some(512));
+    // Binds tighter than `*`: 2 * (3**2) + 1 = 19.
+    assert_eq!(eval(source, "mixed", &[])[0].as_u64(), Some(19));
+}

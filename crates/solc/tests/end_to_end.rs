@@ -1,0 +1,575 @@
+//! End-to-end compiler tests: compile Solidity-subset sources, deploy the
+//! bytecode on the local chain and interact through the generated ABI.
+
+use lsc_abi::{AbiValue, Abi};
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::{Address, U256};
+use lsc_solc::compile_single;
+
+struct Deployed {
+    node: LocalNode,
+    address: Address,
+    abi: Abi,
+    owner: Address,
+}
+
+fn deploy(source: &str, contract: &str, args: &[AbiValue]) -> Deployed {
+    deploy_with_value(source, contract, args, U256::ZERO)
+}
+
+fn deploy_with_value(source: &str, contract: &str, args: &[AbiValue], value: U256) -> Deployed {
+    let artifact = compile_single(source, contract).expect("compiles");
+    let mut node = LocalNode::new(4);
+    let owner = node.accounts()[0];
+    let mut init = artifact.bytecode.clone();
+    init.extend_from_slice(&artifact.abi.encode_constructor(args).expect("ctor args"));
+    let receipt = node
+        .send_transaction(Transaction::deploy(owner, init).with_value(value))
+        .expect("deploy tx accepted");
+    assert!(receipt.is_success(), "deployment reverted: {:?}", receipt.output);
+    Deployed {
+        node,
+        address: receipt.contract_address.expect("created"),
+        abi: artifact.abi,
+        owner,
+    }
+}
+
+impl Deployed {
+    /// eth_call a function and decode its outputs.
+    fn call(&mut self, name: &str, args: &[AbiValue]) -> Vec<AbiValue> {
+        let f = self.abi.function(name).unwrap_or_else(|| panic!("no function {name}"));
+        let data = f.encode_call(args).expect("encodes");
+        let result = self.node.call(self.owner, self.address, data);
+        assert!(
+            result.success,
+            "call {name} reverted: {:?} ({:?})",
+            decode_revert(&result.output),
+            result.halt
+        );
+        f.decode_output(&result.output).expect("decodes")
+    }
+
+    /// Send a transaction invoking a function.
+    fn send(&mut self, from: Address, name: &str, args: &[AbiValue], value: U256) -> lsc_chain::Receipt {
+        let f = self.abi.function(name).unwrap_or_else(|| panic!("no function {name}"));
+        let data = f.encode_call(args).expect("encodes");
+        self.node
+            .send_transaction(Transaction::call(from, self.address, data).with_value(value))
+            .expect("tx accepted")
+    }
+
+    fn call1(&mut self, name: &str, args: &[AbiValue]) -> AbiValue {
+        self.call(name, args).remove(0)
+    }
+}
+
+/// Decode an Error(string) revert payload for nicer assertions.
+fn decode_revert(output: &[u8]) -> Option<String> {
+    if output.len() < 4 || output[..4] != [0x08, 0xc3, 0x79, 0xa0] {
+        return None;
+    }
+    let values = lsc_abi::decode(&[lsc_abi::AbiType::String], &output[4..]).ok()?;
+    values[0].as_str().map(str::to_string)
+}
+
+#[test]
+fn minimal_counter() {
+    let src = r#"
+        pragma solidity ^0.5.0;
+        contract Counter {
+            uint public count;
+            function increment() public { count += 1; }
+            function add(uint n) public returns (uint) { count += n; return count; }
+        }
+    "#;
+    let mut d = deploy(src, "Counter", &[]);
+    assert_eq!(d.call1("count", &[]).as_u64(), Some(0));
+    let r = d.send(d.owner, "increment", &[], U256::ZERO);
+    assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
+    assert_eq!(d.call1("count", &[]).as_u64(), Some(1));
+    let r = d.send(d.owner, "add", &[AbiValue::uint(41)], U256::ZERO);
+    assert!(r.is_success());
+    assert_eq!(d.call1("count", &[]).as_u64(), Some(42));
+}
+
+#[test]
+fn constructor_arguments_and_getters() {
+    let src = r#"
+        contract Config {
+            uint public rent;
+            string public house;
+            address public landlord;
+            constructor (uint _rent, string memory _house) public payable {
+                rent = _rent;
+                house = _house;
+                landlord = msg.sender;
+            }
+        }
+    "#;
+    let mut d = deploy_with_value(
+        src,
+        "Config",
+        &[AbiValue::uint(1500), AbiValue::string("12345-42 Main St")],
+        U256::from_u64(7),
+    );
+    assert_eq!(d.call1("rent", &[]).as_u64(), Some(1500));
+    assert_eq!(d.call1("house", &[]).as_str(), Some("12345-42 Main St"));
+    let owner = d.owner;
+    assert_eq!(d.call1("landlord", &[]).as_address(), Some(owner));
+    assert_eq!(d.node.balance(d.address), U256::from_u64(7));
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let src = r#"
+        contract Math {
+            function sumTo(uint n) public pure returns (uint total) {
+                for (uint i = 1; i <= n; i++) { total += i; }
+            }
+            function collatz(uint n) public pure returns (uint steps) {
+                while (n != 1) {
+                    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                    steps += 1;
+                }
+            }
+            function minmax(uint a, uint b) public pure returns (uint) {
+                return a < b ? a : b;
+            }
+            function parity(uint n) public pure returns (bool) {
+                return n % 2 == 0 && n > 0 || n == 7;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Math", &[]);
+    assert_eq!(d.call1("sumTo", &[AbiValue::uint(100)]).as_u64(), Some(5050));
+    assert_eq!(d.call1("collatz", &[AbiValue::uint(27)]).as_u64(), Some(111));
+    assert_eq!(
+        d.call1("minmax", &[AbiValue::uint(9), AbiValue::uint(4)]).as_u64(),
+        Some(4)
+    );
+    assert_eq!(d.call1("parity", &[AbiValue::uint(4)]).as_bool(), Some(true));
+    assert_eq!(d.call1("parity", &[AbiValue::uint(7)]).as_bool(), Some(true));
+    assert_eq!(d.call1("parity", &[AbiValue::uint(3)]).as_bool(), Some(false));
+}
+
+#[test]
+fn require_reverts_with_message() {
+    let src = r#"
+        contract Guard {
+            uint public value;
+            function set(uint v) public {
+                require(v < 100, "value too large");
+                value = v;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Guard", &[]);
+    let owner = d.owner;
+    let r = d.send(owner, "set", &[AbiValue::uint(5)], U256::ZERO);
+    assert!(r.is_success());
+    assert_eq!(d.call1("value", &[]).as_u64(), Some(5));
+    let r = d.send(owner, "set", &[AbiValue::uint(100)], U256::ZERO);
+    assert!(!r.is_success());
+    assert_eq!(decode_revert(&r.output).as_deref(), Some("value too large"));
+    // State untouched by the reverted call.
+    assert_eq!(d.call1("value", &[]).as_u64(), Some(5));
+}
+
+#[test]
+fn nonpayable_functions_reject_value() {
+    let src = r#"
+        contract Strict {
+            function free() public {}
+            function paid() public payable {}
+        }
+    "#;
+    let mut d = deploy(src, "Strict", &[]);
+    let owner = d.owner;
+    let r = d.send(owner, "paid", &[], U256::from_u64(10));
+    assert!(r.is_success());
+    let r = d.send(owner, "free", &[], U256::from_u64(10));
+    assert!(!r.is_success());
+    assert_eq!(decode_revert(&r.output).as_deref(), Some("function is not payable"));
+}
+
+#[test]
+fn mappings_including_nested_string_keys() {
+    // Fig. 3's DataStorage shape, made public so getters are synthesized.
+    let src = r#"
+        pragma solidity ^0.5.0;
+        contract DataStorage {
+            mapping (address => mapping( string => string )) public keyValuePairs;
+            mapping (address => uint) public balances;
+            function set(address owner, string memory key, string memory value) public {
+                keyValuePairs[owner][key] = value;
+            }
+            function credit(address owner, uint amount) public {
+                balances[owner] += amount;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "DataStorage", &[]);
+    let owner = d.owner;
+    let alice = Address::from_label("alice");
+    let r = d.send(
+        owner,
+        "set",
+        &[
+            AbiValue::Address(alice),
+            AbiValue::string("rent"),
+            AbiValue::string("1500"),
+        ],
+        U256::ZERO,
+    );
+    assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
+    assert_eq!(
+        d.call1(
+            "keyValuePairs",
+            &[AbiValue::Address(alice), AbiValue::string("rent")]
+        )
+        .as_str(),
+        Some("1500")
+    );
+    // Unset key reads as empty string.
+    assert_eq!(
+        d.call1(
+            "keyValuePairs",
+            &[AbiValue::Address(alice), AbiValue::string("deposit")]
+        )
+        .as_str(),
+        Some("")
+    );
+    d.send(owner, "credit", &[AbiValue::Address(alice), AbiValue::uint(10)], U256::ZERO);
+    d.send(owner, "credit", &[AbiValue::Address(alice), AbiValue::uint(5)], U256::ZERO);
+    assert_eq!(d.call1("balances", &[AbiValue::Address(alice)]).as_u64(), Some(15));
+}
+
+#[test]
+fn structs_arrays_and_push() {
+    let src = r#"
+        contract Ledger {
+            struct PaidRent { uint Monthid; uint value; }
+            PaidRent[] public paidrents;
+            function pay(uint month, uint amount) public {
+                paidrents.push(PaidRent(month, amount));
+            }
+            function count() public view returns (uint) {
+                return paidrents.length;
+            }
+            function total() public view returns (uint sum) {
+                for (uint i = 0; i < paidrents.length; i++) {
+                    sum += paidrents[i].value;
+                }
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Ledger", &[]);
+    let owner = d.owner;
+    for (m, v) in [(1u64, 100u64), (2, 150), (3, 150)] {
+        let r = d.send(owner, "pay", &[AbiValue::uint(m), AbiValue::uint(v)], U256::ZERO);
+        assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
+    }
+    assert_eq!(d.call1("count", &[]).as_u64(), Some(3));
+    assert_eq!(d.call1("total", &[]).as_u64(), Some(400));
+    // Struct-array getter returns the fields.
+    let fields = d.call("paidrents", &[AbiValue::uint(1)]);
+    assert_eq!(fields[0].as_u64(), Some(2));
+    assert_eq!(fields[1].as_u64(), Some(150));
+    // Out-of-bounds access reverts.
+    let f = d.abi.function("paidrents").unwrap().clone();
+    let data = f.encode_call(&[AbiValue::uint(9)]).unwrap();
+    let result = d.node.call(owner, d.address, data);
+    assert!(!result.success);
+    assert_eq!(
+        decode_revert(&result.output).as_deref(),
+        Some("array index out of bounds")
+    );
+}
+
+#[test]
+fn enums_and_state_machine() {
+    let src = r#"
+        contract Machine {
+            enum State {Created, Started, Terminated}
+            State public state;
+            function start() public {
+                require(state == State.Created, "wrong state");
+                state = State.Started;
+            }
+            function terminate() public {
+                require(state == State.Started, "wrong state");
+                state = State.Terminated;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Machine", &[]);
+    let owner = d.owner;
+    assert_eq!(d.call1("state", &[]).as_u64(), Some(0));
+    let r = d.send(owner, "terminate", &[], U256::ZERO);
+    assert!(!r.is_success());
+    d.send(owner, "start", &[], U256::ZERO);
+    assert_eq!(d.call1("state", &[]).as_u64(), Some(1));
+    d.send(owner, "terminate", &[], U256::ZERO);
+    assert_eq!(d.call1("state", &[]).as_u64(), Some(2));
+}
+
+#[test]
+fn events_are_emitted_with_args() {
+    let src = r#"
+        contract Emitter {
+            event paidRent(uint amount, address tenant);
+            event simple();
+            function pay(uint amount) public {
+                emit paidRent(amount, msg.sender);
+                emit simple();
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Emitter", &[]);
+    let owner = d.owner;
+    let r = d.send(owner, "pay", &[AbiValue::uint(77)], U256::ZERO);
+    assert!(r.is_success());
+    assert_eq!(r.logs.len(), 2);
+    let paid = d.abi.event("paidRent").unwrap();
+    assert_eq!(r.logs[0].topics[0], paid.topic0());
+    let decoded = paid.decode_data(&r.logs[0].data).unwrap();
+    assert_eq!(decoded[0].as_u64(), Some(77));
+    assert_eq!(decoded[1].as_address(), Some(owner));
+    let simple = d.abi.event("simple").unwrap();
+    assert_eq!(r.logs[1].topics[0], simple.topic0());
+}
+
+#[test]
+fn indexed_event_params_become_topics() {
+    let src = r#"
+        contract Emitter {
+            event transferred(address indexed from, address indexed to, uint amount);
+            function go(address to, uint amount) public {
+                emit transferred(msg.sender, to, amount);
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Emitter", &[]);
+    let owner = d.owner;
+    let to = Address::from_label("receiver");
+    let r = d.send(owner, "go", &[AbiValue::Address(to), AbiValue::uint(5)], U256::ZERO);
+    assert!(r.is_success());
+    let log = &r.logs[0];
+    assert_eq!(log.topics.len(), 3);
+    assert_eq!(log.topics[1].to_u256(), owner.to_u256());
+    assert_eq!(log.topics[2].to_u256(), to.to_u256());
+    let decoded = d.abi.event("transferred").unwrap().decode_data(&log.data).unwrap();
+    assert_eq!(decoded[0].as_u64(), Some(5));
+}
+
+#[test]
+fn ether_transfer_between_accounts() {
+    let src = r#"
+        contract Escrow {
+            address payable public landlord;
+            constructor () public { landlord = msg.sender; }
+            function payRent() public payable {
+                landlord.transfer(msg.value);
+            }
+            function poolBalance() public view returns (uint) {
+                return address(this).balance;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Escrow", &[]);
+    let tenant = d.node.accounts()[1];
+    let landlord_before = d.node.balance(d.owner);
+    let r = d.send(tenant, "payRent", &[], lsc_primitives::ether(2));
+    assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
+    assert_eq!(d.node.balance(d.owner), landlord_before + lsc_primitives::ether(2));
+    assert_eq!(d.call1("poolBalance", &[]).as_u64(), Some(0));
+}
+
+#[test]
+fn internal_calls_and_named_returns() {
+    let src = r#"
+        contract Lib {
+            uint public hits;
+            function double(uint x) internal pure returns (uint y) { y = 2 * x; }
+            function quadruple(uint x) public returns (uint) {
+                hits += 1;
+                return double(double(x));
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Lib", &[]);
+    let owner = d.owner;
+    let r = d.send(owner, "quadruple", &[AbiValue::uint(3)], U256::ZERO);
+    assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
+    assert_eq!(d.call1("hits", &[]).as_u64(), Some(1));
+    assert_eq!(d.call1("quadruple", &[AbiValue::uint(3)]).as_u64(), Some(12));
+}
+
+#[test]
+fn inheritance_overrides_and_base_slots() {
+    let src = r#"
+        contract Base {
+            uint public rent;
+            address next;
+            function setNext(address _next) public { next = _next; }
+            function getNext() public view returns (address addr) { return next; }
+            function kind() public pure returns (uint) { return 1; }
+        }
+        contract Derived is Base {
+            uint public deposit;
+            function kind() public pure returns (uint) { return 2; }
+            function setBoth(uint r, uint d) public { rent = r; deposit = d; }
+        }
+    "#;
+    let mut d = deploy(src, "Derived", &[]);
+    let owner = d.owner;
+    assert_eq!(d.call1("kind", &[]).as_u64(), Some(2));
+    d.send(owner, "setBoth", &[AbiValue::uint(10), AbiValue::uint(20)], U256::ZERO);
+    assert_eq!(d.call1("rent", &[]).as_u64(), Some(10));
+    assert_eq!(d.call1("deposit", &[]).as_u64(), Some(20));
+    let next = Address::from_label("next-version");
+    d.send(owner, "setNext", &[AbiValue::Address(next)], U256::ZERO);
+    assert_eq!(d.call1("getNext", &[]).as_address(), Some(next));
+    // `rent` sits in slot 0 (base-first layout).
+    assert_eq!(d.node.storage_at(d.address, U256::ZERO), U256::from_u64(10));
+}
+
+#[test]
+fn timestamps_and_now() {
+    let src = r#"
+        contract Clock {
+            uint public createdTimestamp;
+            constructor () public { createdTimestamp = block.timestamp; }
+            function age() public view returns (uint) { return now - createdTimestamp; }
+        }
+    "#;
+    let mut d = deploy(src, "Clock", &[]);
+    let created = d.call1("createdTimestamp", &[]).as_u64().unwrap();
+    assert!(created > 0);
+    d.node.increase_time(3600);
+    let age = d.call1("age", &[]).as_u64().unwrap();
+    assert!(age >= 3600, "age {age}");
+}
+
+#[test]
+fn string_equality_and_keccak() {
+    let src = r#"
+        contract Strings {
+            string public stored;
+            function set(string memory s) public { stored = s; }
+            function matches(string memory s) public view returns (bool) {
+                return keccak256(stored) == keccak256(s);
+            }
+            function eq(string memory a, string memory b) public pure returns (bool) {
+                return a == b;
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Strings", &[]);
+    let owner = d.owner;
+    d.send(owner, "set", &[AbiValue::string("hello world")], U256::ZERO);
+    assert_eq!(d.call1("stored", &[]).as_str(), Some("hello world"));
+    assert_eq!(
+        d.call1("matches", &[AbiValue::string("hello world")]).as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        d.call1("matches", &[AbiValue::string("hello")]).as_bool(),
+        Some(false)
+    );
+    assert_eq!(
+        d.call1("eq", &[AbiValue::string("a"), AbiValue::string("a")]).as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        d.call1("eq", &[AbiValue::string("a"), AbiValue::string("b")]).as_bool(),
+        Some(false)
+    );
+}
+
+#[test]
+fn long_strings_roundtrip_through_storage() {
+    let src = r#"
+        contract Store {
+            string public doc;
+            function set(string memory s) public { doc = s; }
+        }
+    "#;
+    let mut d = deploy(src, "Store", &[]);
+    let owner = d.owner;
+    let long: String = "lease agreement clause ".repeat(20); // > 32 bytes, multi-chunk
+    d.send(owner, "set", &[AbiValue::string(&long)], U256::ZERO);
+    assert_eq!(d.call1("doc", &[]).as_str(), Some(long.as_str()));
+    // Shrink and verify cleanly.
+    d.send(owner, "set", &[AbiValue::string("short")], U256::ZERO);
+    assert_eq!(d.call1("doc", &[]).as_str(), Some("short"));
+}
+
+#[test]
+fn selfdestruct_supported() {
+    let src = r#"
+        contract Ephemeral {
+            address payable owner;
+            constructor () public payable { owner = msg.sender; }
+            function destroy() public { selfdestruct(owner); }
+        }
+    "#;
+    let mut d = deploy_with_value(src, "Ephemeral", &[], lsc_primitives::ether(1));
+    let owner = d.owner;
+    let before = d.node.balance(owner);
+    let r = d.send(owner, "destroy", &[], U256::ZERO);
+    assert!(r.is_success());
+    assert!(d.node.code(d.address).is_empty());
+    assert!(d.node.balance(owner) > before, "balance refunded");
+}
+
+#[test]
+fn state_var_initializers_run_at_deploy() {
+    let src = r#"
+        contract Init {
+            uint public fee = 3 ether;
+            string public label = "genesis";
+            uint public sum = 2 + 3 * 4;
+        }
+    "#;
+    let mut d = deploy(src, "Init", &[]);
+    assert_eq!(d.call1("fee", &[]).as_uint(), Some(lsc_primitives::ether(3)));
+    assert_eq!(d.call1("label", &[]).as_str(), Some("genesis"));
+    assert_eq!(d.call1("sum", &[]).as_u64(), Some(14));
+}
+
+#[test]
+fn casts_and_masks() {
+    let src = r#"
+        contract Casts {
+            function low(uint x) public pure returns (uint) { return uint8(x); }
+            function toAddr(uint x) public pure returns (address) { return address(x); }
+        }
+    "#;
+    let mut d = deploy(src, "Casts", &[]);
+    assert_eq!(d.call1("low", &[AbiValue::uint(0x1ff)]).as_u64(), Some(0xff));
+    let got = d.call1("toAddr", &[AbiValue::uint(0x1234)]).as_address().unwrap();
+    let mut expected = [0u8; 20];
+    expected[18] = 0x12;
+    expected[19] = 0x34;
+    assert_eq!(got, Address(expected));
+}
+
+#[test]
+fn break_and_continue() {
+    let src = r#"
+        contract Loops {
+            function oddSumBelow(uint n) public pure returns (uint total) {
+                for (uint i = 0; i < 1000; i++) {
+                    if (i >= n) { break; }
+                    if (i % 2 == 0) { continue; }
+                    total += i;
+                }
+            }
+        }
+    "#;
+    let mut d = deploy(src, "Loops", &[]);
+    // 1 + 3 + 5 + 7 + 9 = 25
+    assert_eq!(d.call1("oddSumBelow", &[AbiValue::uint(10)]).as_u64(), Some(25));
+}

@@ -1,0 +1,183 @@
+//! Tests of `modifier` support: guard expansion, parameterized modifiers,
+//! stacking, inheritance and error cases.
+
+use lsc_abi::AbiValue;
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::{Address, U256};
+use lsc_solc::{compile_single, compile_source};
+
+struct Deployed {
+    node: LocalNode,
+    address: Address,
+    abi: lsc_abi::Abi,
+    owner: Address,
+    other: Address,
+}
+
+fn deploy(source: &str, name: &str) -> Deployed {
+    let artifact = compile_single(source, name).expect("compiles");
+    let mut node = LocalNode::new(2);
+    let owner = node.accounts()[0];
+    let other = node.accounts()[1];
+    let address = node
+        .send_transaction(Transaction::deploy(owner, artifact.bytecode.clone()))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    Deployed { node, address, abi: artifact.abi, owner, other }
+}
+
+impl Deployed {
+    fn send(&mut self, from: Address, name: &str, args: &[AbiValue]) -> bool {
+        let f = self.abi.function(name).unwrap();
+        self.node
+            .send_transaction(Transaction::call(from, self.address, f.encode_call(args).unwrap()))
+            .unwrap()
+            .is_success()
+    }
+
+    fn get_u64(&mut self, name: &str) -> u64 {
+        let f = self.abi.function(name).unwrap();
+        let result = self.node.call(self.owner, self.address, f.encode_call(&[]).unwrap());
+        assert!(result.success);
+        U256::from_be_slice(&result.output).to_u64().unwrap()
+    }
+}
+
+const OWNED: &str = r#"
+    contract Owned {
+        address public owner;
+        uint public value;
+        constructor () public { owner = msg.sender; }
+        modifier onlyOwner() {
+            require(msg.sender == owner, "caller is not the owner");
+            _;
+        }
+        function set(uint v) public onlyOwner { value = v; }
+        function free(uint v) public { value = v; }
+    }
+"#;
+
+#[test]
+fn only_owner_guard_expands() {
+    let mut d = deploy(OWNED, "Owned");
+    let other = d.other;
+    let owner = d.owner;
+    assert!(!d.send(other, "set", &[AbiValue::uint(5)]), "guarded");
+    assert_eq!(d.get_u64("value"), 0);
+    assert!(d.send(owner, "set", &[AbiValue::uint(5)]));
+    assert_eq!(d.get_u64("value"), 5);
+    // Unguarded function is open to everyone.
+    assert!(d.send(other, "free", &[AbiValue::uint(9)]));
+    assert_eq!(d.get_u64("value"), 9);
+}
+
+#[test]
+fn parameterized_and_stacked_modifiers() {
+    let source = r#"
+        contract C {
+            uint public value;
+            uint public entries;
+            modifier atLeast(uint minimum) {
+                require(value >= minimum, "below minimum");
+                _;
+            }
+            modifier counted() {
+                entries += 1;
+                _;
+                entries += 1;
+            }
+            function bump(uint v) public counted atLeast(0) { value += v; }
+            function strict(uint v) public atLeast(10) { value = v; }
+        }
+    "#;
+    let mut d = deploy(source, "C");
+    let owner = d.owner;
+    // counted runs code before AND after the body.
+    assert!(d.send(owner, "bump", &[AbiValue::uint(3)]));
+    assert_eq!(d.get_u64("entries"), 2);
+    assert_eq!(d.get_u64("value"), 3);
+    // strict requires value >= 10; currently 3 → guard fires.
+    assert!(!d.send(owner, "strict", &[AbiValue::uint(99)]));
+    assert!(d.send(owner, "bump", &[AbiValue::uint(7)])); // value = 10
+    assert!(d.send(owner, "strict", &[AbiValue::uint(99)]));
+    assert_eq!(d.get_u64("value"), 99);
+}
+
+#[test]
+fn modifiers_inherit_and_guard_rental_roles() {
+    // The natural use in the paper's domain: role guards via modifiers.
+    let source = r#"
+        contract Roles {
+            address payable public landlord;
+            constructor () public { landlord = msg.sender; }
+            modifier onlyLandlord() {
+                require(msg.sender == landlord, "only the landlord");
+                _;
+            }
+        }
+        contract Lease is Roles {
+            uint public terminations;
+            function terminate() public onlyLandlord { terminations += 1; }
+        }
+    "#;
+    let mut d = deploy(source, "Lease");
+    let other = d.other;
+    let owner = d.owner;
+    assert!(!d.send(other, "terminate", &[]));
+    assert!(d.send(owner, "terminate", &[]));
+    assert_eq!(d.get_u64("terminations"), 1);
+}
+
+#[test]
+fn modifier_errors() {
+    // Unknown modifier.
+    let err = compile_source(
+        "contract C { function f() public ghost {} }",
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("ghost"), "{err}");
+    // Missing placeholder.
+    let err = compile_source(
+        "contract C { modifier m() { uint x = 1; } function f() public m {} }",
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("placeholder"), "{err}");
+    // Wrong arity.
+    let err = compile_source(
+        "contract C { modifier m(uint a) { _; } function f() public m {} }",
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("argument"), "{err}");
+    // Placeholder outside a modifier.
+    let err = compile_source("contract C { function f() public { _; } }")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("placeholder"), "{err}");
+}
+
+#[test]
+fn modifier_with_conditional_placeholder() {
+    // The body only runs when the gate is open.
+    let source = r#"
+        contract C {
+            bool public open;
+            uint public hits;
+            modifier gated() {
+                if (open) { _; }
+            }
+            function toggle() public { open = !open; }
+            function hit() public gated { hits += 1; }
+        }
+    "#;
+    let mut d = deploy(source, "C");
+    let owner = d.owner;
+    assert!(d.send(owner, "hit", &[]), "tx succeeds but body skipped");
+    assert_eq!(d.get_u64("hits"), 0);
+    assert!(d.send(owner, "toggle", &[]));
+    assert!(d.send(owner, "hit", &[]));
+    assert_eq!(d.get_u64("hits"), 1);
+}

@@ -1,0 +1,73 @@
+//! Robustness: the compiler front end must never panic — random byte
+//! soup, random token sequences and mutated valid sources all have to
+//! come back as `Ok` or a structured `Err`.
+
+use lsc_solc::compile_source;
+use proptest::prelude::*;
+
+/// A valid seed program we mutate.
+const SEED: &str = r#"
+contract Seed {
+    uint public x;
+    string public s;
+    mapping(address => uint) public m;
+    event E(uint v);
+    constructor (uint _x) public { x = _x; }
+    function f(uint a, uint b) public returns (uint) {
+        for (uint i = 0; i < a; i++) { x += i % (b + 1); }
+        emit E(x);
+        return x;
+    }
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_text_never_panics(text in "\\PC{0,200}") {
+        let _ = compile_source(&text);
+    }
+
+    #[test]
+    fn random_token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("contract"), Just("function"), Just("uint"), Just("string"),
+                Just("mapping"), Just("public"), Just("payable"), Just("returns"),
+                Just("{"), Just("}"), Just("("), Just(")"), Just(";"), Just(","),
+                Just("="), Just("+"), Just("if"), Just("while"), Just("return"),
+                Just("x"), Just("y"), Just("42"), Just("=>"), Just("["), Just("]"),
+                Just("memory"), Just("require"), Just("emit"), Just("."),
+            ],
+            0..60,
+        )
+    ) {
+        let source = tokens.join(" ");
+        let _ = compile_source(&source);
+    }
+
+    #[test]
+    fn truncations_of_valid_source_never_panic(cut in 0usize..420) {
+        let cut = cut.min(SEED.len());
+        // Cut on a char boundary (SEED is ASCII so any index works).
+        let _ = compile_source(&SEED[..cut]);
+    }
+
+    #[test]
+    fn byte_mutations_of_valid_source_never_panic(
+        position in 0usize..420,
+        replacement in prop_oneof![Just('('), Just('}'), Just(';'), Just('@'), Just('0'), Just('"')],
+    ) {
+        let mut source: Vec<char> = SEED.chars().collect();
+        let position = position.min(source.len() - 1);
+        source[position] = replacement;
+        let mutated: String = source.into_iter().collect();
+        let _ = compile_source(&mutated);
+    }
+}
+
+#[test]
+fn seed_itself_compiles() {
+    assert!(compile_source(SEED).is_ok());
+}

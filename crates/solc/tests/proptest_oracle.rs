@@ -1,0 +1,222 @@
+//! Property-based compiler verification: generate random expressions,
+//! compile them into a contract, execute through the full
+//! compile→deploy→call pipeline and compare against a Rust oracle that
+//! evaluates the same expression tree with EVM semantics.
+
+use lsc_abi::AbiValue;
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::U256;
+use lsc_solc::compile_single;
+use proptest::prelude::*;
+
+/// An expression tree over three uint parameters a, b, c.
+#[derive(Debug, Clone)]
+enum E {
+    A,
+    B,
+    C,
+    Lit(u64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
+    Ternary(Box<B>, Box<E>, Box<E>),
+}
+
+/// A boolean expression tree.
+#[derive(Debug, Clone)]
+enum B {
+    Lt(Box<E>, Box<E>),
+    Ge(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    And(Box<B>, Box<B>),
+    Or(Box<B>, Box<B>),
+    Not(Box<B>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::A => "a".into(),
+            E::B => "b".into(),
+            E::C => "c".into(),
+            E::Lit(v) => v.to_string(),
+            E::Add(x, y) => format!("({} + {})", x.render(), y.render()),
+            E::Sub(x, y) => format!("({} - {})", x.render(), y.render()),
+            E::Mul(x, y) => format!("({} * {})", x.render(), y.render()),
+            E::Div(x, y) => format!("({} / {})", x.render(), y.render()),
+            E::Mod(x, y) => format!("({} % {})", x.render(), y.render()),
+            E::Ternary(c, t, f) => {
+                format!("({} ? {} : {})", c.render(), t.render(), f.render())
+            }
+        }
+    }
+
+    /// Oracle evaluation with EVM semantics (wrapping, div-by-zero = 0).
+    fn eval(&self, a: U256, b: U256, c: U256) -> U256 {
+        match self {
+            E::A => a,
+            E::B => b,
+            E::C => c,
+            E::Lit(v) => U256::from_u64(*v),
+            E::Add(x, y) => x.eval(a, b, c).wrapping_add(y.eval(a, b, c)),
+            E::Sub(x, y) => x.eval(a, b, c).wrapping_sub(y.eval(a, b, c)),
+            E::Mul(x, y) => x.eval(a, b, c).wrapping_mul(y.eval(a, b, c)),
+            E::Div(x, y) => x.eval(a, b, c).div_rem(y.eval(a, b, c)).0,
+            E::Mod(x, y) => x.eval(a, b, c).div_rem(y.eval(a, b, c)).1,
+            E::Ternary(cond, t, f) => {
+                if cond.eval(a, b, c) {
+                    t.eval(a, b, c)
+                } else {
+                    f.eval(a, b, c)
+                }
+            }
+        }
+    }
+}
+
+impl B {
+    fn render(&self) -> String {
+        match self {
+            B::Lt(x, y) => format!("({} < {})", x.render(), y.render()),
+            B::Ge(x, y) => format!("({} >= {})", x.render(), y.render()),
+            B::Eq(x, y) => format!("({} == {})", x.render(), y.render()),
+            B::And(x, y) => format!("({} && {})", x.render(), y.render()),
+            B::Or(x, y) => format!("({} || {})", x.render(), y.render()),
+            B::Not(x) => format!("(!{})", x.render()),
+        }
+    }
+
+    fn eval(&self, a: U256, b: U256, c: U256) -> bool {
+        match self {
+            B::Lt(x, y) => x.eval(a, b, c) < y.eval(a, b, c),
+            B::Ge(x, y) => x.eval(a, b, c) >= y.eval(a, b, c),
+            B::Eq(x, y) => x.eval(a, b, c) == y.eval(a, b, c),
+            B::And(x, y) => x.eval(a, b, c) && y.eval(a, b, c),
+            B::Or(x, y) => x.eval(a, b, c) || y.eval(a, b, c),
+            B::Not(x) => !x.eval(a, b, c),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        Just(E::C),
+        (0u64..1000).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        let bexpr = (inner.clone(), inner.clone()).prop_map(|(x, y)| B::Lt(Box::new(x), Box::new(y)));
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Div(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mod(Box::new(x), Box::new(y))),
+            (bexpr, inner.clone(), inner).prop_map(|(c, t, f)| E::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+        ]
+    })
+}
+
+fn arb_bool_expr() -> impl Strategy<Value = B> {
+    let leaf = prop_oneof![
+        (arb_expr(), arb_expr()).prop_map(|(x, y)| B::Lt(Box::new(x), Box::new(y))),
+        (arb_expr(), arb_expr()).prop_map(|(x, y)| B::Ge(Box::new(x), Box::new(y))),
+        (arb_expr(), arb_expr()).prop_map(|(x, y)| B::Eq(Box::new(x), Box::new(y))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| B::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| B::Or(Box::new(x), Box::new(y))),
+            inner.prop_map(|x| B::Not(Box::new(x))),
+        ]
+    })
+}
+
+/// Compile a one-function contract and evaluate it on chain.
+fn run_on_chain(body: &str, returns: &str, args: &[u64]) -> AbiValue {
+    let source = format!(
+        "contract T {{ function f(uint a, uint b, uint c) public pure returns ({returns}) {{ return {body}; }} }}"
+    );
+    let artifact = compile_single(&source, "T").expect("generated source compiles");
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    let receipt = node
+        .send_transaction(Transaction::deploy(from, artifact.bytecode.clone()))
+        .expect("deploy accepted");
+    assert!(receipt.is_success(), "deployment reverted");
+    let address = receipt.contract_address.unwrap();
+    let f = artifact.abi.function("f").unwrap();
+    let call = f
+        .encode_call(&[
+            AbiValue::uint(args[0]),
+            AbiValue::uint(args[1]),
+            AbiValue::uint(args[2]),
+        ])
+        .unwrap();
+    let result = node.call(from, address, call);
+    assert!(result.success, "call reverted: {:?}", result.halt);
+    f.decode_output(&result.output).unwrap().remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_expressions_match_oracle(
+        expr in arb_expr(),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+        c in 0u64..10_000,
+    ) {
+        let expected = expr.eval(U256::from_u64(a), U256::from_u64(b), U256::from_u64(c));
+        let got = run_on_chain(&expr.render(), "uint", &[a, b, c]);
+        prop_assert_eq!(got.as_uint().unwrap(), expected, "expr: {}", expr.render());
+    }
+
+    #[test]
+    fn compiled_boolean_expressions_match_oracle(
+        expr in arb_bool_expr(),
+        a in 0u64..100,
+        b in 0u64..100,
+        c in 0u64..100,
+    ) {
+        let expected = expr.eval(U256::from_u64(a), U256::from_u64(b), U256::from_u64(c));
+        let got = run_on_chain(&expr.render(), "bool", &[a, b, c]);
+        prop_assert_eq!(got.as_bool().unwrap(), expected, "expr: {}", expr.render());
+    }
+
+    #[test]
+    fn loops_match_iterative_oracle(n in 0u64..200, step in 1u64..7) {
+        // sum of `step`-strided values below n.
+        let source = format!(
+            "contract T {{ function f(uint a, uint b, uint c) public pure returns (uint total) {{
+                for (uint i = 0; i < a; i += {step}) {{ total += i; }}
+                c; b;
+            }} }}"
+        );
+        let artifact = compile_single(&source, "T").unwrap();
+        let mut node = LocalNode::new(1);
+        let from = node.accounts()[0];
+        let address = node
+            .send_transaction(Transaction::deploy(from, artifact.bytecode.clone()))
+            .unwrap()
+            .contract_address
+            .unwrap();
+        let f = artifact.abi.function("f").unwrap();
+        let call = f
+            .encode_call(&[AbiValue::uint(n), AbiValue::uint(0), AbiValue::uint(0)])
+            .unwrap();
+        let result = node.call(from, address, call);
+        prop_assert!(result.success);
+        let got = f.decode_output(&result.output).unwrap()[0].as_u64().unwrap();
+        let expected: u64 = (0..n).step_by(step as usize).sum();
+        prop_assert_eq!(got, expected);
+    }
+}

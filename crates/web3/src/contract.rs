@@ -1,0 +1,237 @@
+//! Typed contract handles: ABI-aware call/transact plus event decoding —
+//! the Rust equivalent of web3py's `Contract` object used throughout the
+//! paper's Fig. 8 snippet.
+
+use crate::{decode_revert_reason, Web3, Web3Error};
+use lsc_abi::{Abi, AbiValue};
+use lsc_chain::{Receipt, Transaction};
+use lsc_evm::Log;
+use lsc_primitives::{Address, U256};
+
+/// A deployed contract: client handle + ABI + address.
+#[derive(Clone)]
+pub struct Contract {
+    web3: Web3,
+    abi: Abi,
+    address: Address,
+}
+
+/// An event decoded against the contract ABI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedEvent {
+    /// Event name.
+    pub name: String,
+    /// Parameter names and decoded values. Indexed value parameters come
+    /// from topics; dynamic unindexed ones from the data section.
+    pub params: Vec<(String, AbiValue)>,
+}
+
+impl Contract {
+    /// Bind a handle.
+    pub fn new(web3: Web3, abi: Abi, address: Address) -> Self {
+        Contract { web3, abi, address }
+    }
+
+    /// On-chain address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// The ABI.
+    pub fn abi(&self) -> &Abi {
+        &self.abi
+    }
+
+    /// The client.
+    pub fn web3(&self) -> &Web3 {
+        &self.web3
+    }
+
+    /// Read-only call; decodes the outputs.
+    pub fn call(&self, name: &str, args: &[AbiValue]) -> Result<Vec<AbiValue>, Web3Error> {
+        let f = self
+            .abi
+            .function(name)
+            .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
+        let data = f.encode_call(args)?;
+        let caller = self.web3.accounts().first().copied().unwrap_or(Address::ZERO);
+        let result = self.web3.call_raw(caller, self.address, data);
+        if !result.success {
+            return Err(Web3Error::Reverted {
+                reason: decode_revert_reason(&result.output),
+                output: result.output,
+            });
+        }
+        Ok(f.decode_output(&result.output)?)
+    }
+
+    /// Read-only call returning the single output value.
+    pub fn call1(&self, name: &str, args: &[AbiValue]) -> Result<AbiValue, Web3Error> {
+        let mut values = self.call(name, args)?;
+        if values.is_empty() {
+            return Err(Web3Error::UnknownAbiItem(format!("{name} returns nothing")));
+        }
+        Ok(values.remove(0))
+    }
+
+    /// State-changing invocation; errors on revert.
+    pub fn send(
+        &self,
+        from: Address,
+        name: &str,
+        args: &[AbiValue],
+        value: U256,
+    ) -> Result<Receipt, Web3Error> {
+        let tx = self.transaction(from, name, args, value)?;
+        self.web3.send_transaction(tx)
+    }
+
+    /// State-changing invocation; returns the receipt even when reverted.
+    pub fn send_raw(
+        &self,
+        from: Address,
+        name: &str,
+        args: &[AbiValue],
+        value: U256,
+    ) -> Result<Receipt, Web3Error> {
+        let tx = self.transaction(from, name, args, value)?;
+        self.web3.send_transaction_raw(tx)
+    }
+
+    /// Build (but do not send) the transaction for a function call.
+    pub fn transaction(
+        &self,
+        from: Address,
+        name: &str,
+        args: &[AbiValue],
+        value: U256,
+    ) -> Result<Transaction, Web3Error> {
+        let f = self
+            .abi
+            .function(name)
+            .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
+        let data = f.encode_call(args)?;
+        Ok(Transaction::call(from, self.address, data).with_value(value))
+    }
+
+    /// Decode the logs of a receipt that belong to this contract.
+    pub fn decode_logs(&self, receipt: &Receipt) -> Vec<DecodedEvent> {
+        receipt
+            .logs
+            .iter()
+            .filter(|log| log.address == self.address)
+            .filter_map(|log| self.decode_log(log))
+            .collect()
+    }
+
+    /// Query this contract's events of `name` over a block range
+    /// (`eth_getLogs` with an address + topic-0 filter), decoded.
+    pub fn events_in_range(
+        &self,
+        name: &str,
+        from_block: u64,
+        to_block: u64,
+    ) -> Result<Vec<(u64, DecodedEvent)>, Web3Error> {
+        let event = self
+            .abi
+            .event(name)
+            .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
+        let raw = self
+            .web3
+            .logs(from_block, to_block, Some(self.address), Some(event.topic0()));
+        Ok(raw
+            .into_iter()
+            .filter_map(|(block, log)| self.decode_log(&log).map(|e| (block, e)))
+            .collect())
+    }
+
+    /// Decode one log against the ABI (None if no event matches).
+    pub fn decode_log(&self, log: &Log) -> Option<DecodedEvent> {
+        let topic0 = log.topics.first()?;
+        let event = self.abi.event_by_topic(*topic0)?;
+        let data_values = event.decode_data(&log.data).ok()?;
+        let mut data_iter = data_values.into_iter();
+        let mut topic_iter = log.topics.iter().skip(1);
+        let mut params = Vec::with_capacity(event.inputs.len());
+        for input in &event.inputs {
+            let value = if input.indexed {
+                let topic = topic_iter.next()?;
+                // Indexed value types are stored verbatim in the topic.
+                match input.ty {
+                    lsc_abi::AbiType::Address => {
+                        AbiValue::Address(Address::from_u256(topic.to_u256()))
+                    }
+                    lsc_abi::AbiType::Bool => AbiValue::Bool(!topic.to_u256().is_zero()),
+                    _ => AbiValue::Uint(topic.to_u256()),
+                }
+            } else {
+                data_iter.next()?
+            };
+            params.push((input.name.clone(), value));
+        }
+        Some(DecodedEvent { name: event.name.clone(), params })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_abi::{Event, Param};
+    use lsc_chain::LocalNode;
+    use lsc_primitives::H256;
+
+    fn sample_abi() -> Abi {
+        Abi {
+            events: vec![Event {
+                name: "paidRent".into(),
+                inputs: vec![
+                    Param::indexed("tenant", lsc_abi::AbiType::Address),
+                    Param::new("amount", lsc_abi::AbiType::Uint(256)),
+                ],
+                anonymous: false,
+            }],
+            ..Abi::default()
+        }
+    }
+
+    #[test]
+    fn decode_log_with_indexed_topic() {
+        let web3 = Web3::new(LocalNode::new(1));
+        let address = Address::from_label("contract");
+        let contract = web3.contract_at(sample_abi(), address);
+        let tenant = Address::from_label("tenant");
+        let event = contract.abi().event("paidRent").unwrap();
+        let log = Log {
+            address,
+            topics: vec![event.topic0(), H256::from_u256(tenant.to_u256())],
+            data: lsc_abi::encode(
+                &[lsc_abi::AbiType::Uint(256)],
+                &[AbiValue::uint(1500)],
+            )
+            .unwrap(),
+        };
+        let decoded = contract.decode_log(&log).unwrap();
+        assert_eq!(decoded.name, "paidRent");
+        assert_eq!(decoded.params[0].1.as_address(), Some(tenant));
+        assert_eq!(decoded.params[1].1.as_u64(), Some(1500));
+    }
+
+    #[test]
+    fn unknown_topic_is_ignored() {
+        let web3 = Web3::new(LocalNode::new(1));
+        let address = Address::from_label("contract");
+        let contract = web3.contract_at(sample_abi(), address);
+        let log = Log { address, topics: vec![H256::keccak(b"other")], data: vec![] };
+        assert!(contract.decode_log(&log).is_none());
+    }
+
+    #[test]
+    fn unknown_function_name_errors() {
+        let web3 = Web3::new(LocalNode::new(1));
+        let contract = web3.contract_at(Abi::default(), Address::from_label("c"));
+        assert!(matches!(
+            contract.call("missing", &[]),
+            Err(Web3Error::UnknownAbiItem(_))
+        ));
+    }
+}

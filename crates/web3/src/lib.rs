@@ -1,0 +1,324 @@
+//! # lsc-web3
+//!
+//! The client library the application tier uses to talk to the chain —
+//! the role web3py plays in the paper (Table I), with a local [`Wallet`]
+//! standing in for MetaMask: the application never signs anything itself;
+//! transactions are only accepted for accounts the wallet holds.
+//!
+//! [`Web3`] wraps a [`LocalNode`] behind a thread-safe handle and exposes
+//! deploy/call/transact plus receipt and event decoding. [`Contract`] is
+//! the typed handle (ABI + address) the contract manager works with.
+//!
+//! # Example (the paper's Fig. 8 snippet, in Rust)
+//!
+//! ```
+//! use lsc_chain::LocalNode;
+//! use lsc_web3::Web3;
+//! use lsc_abi::AbiValue;
+//! use lsc_primitives::{ether, U256};
+//!
+//! let web3 = Web3::new(LocalNode::new(2));
+//! let landlord = web3.accounts()[0];
+//!
+//! // compile → deploy (web3py: `w3.eth.contract(abi=…, bytecode=…)`).
+//! let artifact = lsc_solc::compile_single(
+//!     "contract Greeter { string public house;
+//!       constructor (string memory _house) public { house = _house; } }",
+//!     "Greeter",
+//! ).unwrap();
+//! let (contract, receipt) = web3
+//!     .deploy(landlord, artifact.abi.clone(), artifact.bytecode.clone(),
+//!             &[AbiValue::string("10001-42 Main St")], U256::ZERO)
+//!     .unwrap();
+//! assert!(receipt.is_success());
+//!
+//! // call (web3py: `contract.functions.house().call()`).
+//! assert_eq!(
+//!     contract.call1("house", &[]).unwrap().as_str(),
+//!     Some("10001-42 Main St"),
+//! );
+//! # let _ = ether(0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod wallet;
+
+pub use contract::{Contract, DecodedEvent};
+pub use wallet::Wallet;
+
+use lsc_abi::{Abi, AbiError, AbiValue};
+use lsc_chain::{LocalNode, Receipt, Transaction, TxError};
+use lsc_evm::CallResult;
+use lsc_primitives::{Address, U256};
+use parking_lot::Mutex;
+use core::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by the client layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Web3Error {
+    /// Node rejected the transaction pre-execution.
+    Tx(TxError),
+    /// ABI encode/decode failure.
+    Abi(AbiError),
+    /// The transaction or call reverted.
+    Reverted {
+        /// Decoded `Error(string)` reason, when present.
+        reason: Option<String>,
+        /// Raw revert data.
+        output: Vec<u8>,
+    },
+    /// The sending account is not held by the wallet.
+    NotInWallet(Address),
+    /// No function/event with that name in the ABI.
+    UnknownAbiItem(String),
+    /// A deployment succeeded but produced no contract address.
+    NoContractAddress,
+}
+
+impl fmt::Display for Web3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tx(e) => write!(f, "transaction rejected: {e}"),
+            Self::Abi(e) => write!(f, "abi error: {e}"),
+            Self::Reverted { reason: Some(r), .. } => write!(f, "execution reverted: {r}"),
+            Self::Reverted { reason: None, .. } => write!(f, "execution reverted"),
+            Self::NotInWallet(a) => write!(f, "account {a} is not unlocked in the wallet"),
+            Self::UnknownAbiItem(name) => write!(f, "abi has no item named `{name}`"),
+            Self::NoContractAddress => write!(f, "deployment produced no contract address"),
+        }
+    }
+}
+
+impl std::error::Error for Web3Error {}
+
+impl From<TxError> for Web3Error {
+    fn from(e: TxError) -> Self {
+        Self::Tx(e)
+    }
+}
+
+impl From<AbiError> for Web3Error {
+    fn from(e: AbiError) -> Self {
+        Self::Abi(e)
+    }
+}
+
+/// Decode a standard `Error(string)` revert payload.
+pub fn decode_revert_reason(output: &[u8]) -> Option<String> {
+    if output.len() < 4 || output[..4] != [0x08, 0xc3, 0x79, 0xa0] {
+        return None;
+    }
+    let values = lsc_abi::decode(&[lsc_abi::AbiType::String], &output[4..]).ok()?;
+    values[0].as_str().map(str::to_string)
+}
+
+/// Thread-safe client over a local node.
+#[derive(Clone)]
+pub struct Web3 {
+    node: Arc<Mutex<LocalNode>>,
+    wallet: Wallet,
+}
+
+impl Web3 {
+    /// Wrap a node; the wallet starts with every dev account unlocked
+    /// (exactly like Ganache's unlocked accounts).
+    pub fn new(node: LocalNode) -> Self {
+        let wallet = Wallet::new();
+        for account in node.accounts() {
+            wallet.unlock(*account);
+        }
+        Web3 { node: Arc::new(Mutex::new(node)), wallet }
+    }
+
+    /// The wallet (MetaMask stand-in).
+    pub fn wallet(&self) -> &Wallet {
+        &self.wallet
+    }
+
+    /// Run a closure with the locked node (escape hatch for tests/benches).
+    pub fn with_node<R>(&self, f: impl FnOnce(&mut LocalNode) -> R) -> R {
+        f(&mut self.node.lock())
+    }
+
+    /// Dev accounts of the underlying node.
+    pub fn accounts(&self) -> Vec<Address> {
+        self.node.lock().accounts().to_vec()
+    }
+
+    /// Balance of an account.
+    pub fn balance(&self, address: Address) -> U256 {
+        self.node.lock().balance(address)
+    }
+
+    /// Current block height.
+    pub fn block_number(&self) -> u64 {
+        self.node.lock().block_number()
+    }
+
+    /// Current chain time.
+    pub fn timestamp(&self) -> u64 {
+        self.node.lock().timestamp()
+    }
+
+    /// Warp chain time forward (test clock).
+    pub fn increase_time(&self, seconds: u64) {
+        self.node.lock().increase_time(seconds);
+    }
+
+    /// Code at an address (empty for EOAs).
+    pub fn code(&self, address: Address) -> Vec<u8> {
+        self.node.lock().code(address)
+    }
+
+    /// Submit a raw transaction after the wallet check; errors on revert.
+    pub fn send_transaction(&self, tx: Transaction) -> Result<Receipt, Web3Error> {
+        if !self.wallet.holds(tx.from) {
+            return Err(Web3Error::NotInWallet(tx.from));
+        }
+        let receipt = self.node.lock().send_transaction(tx)?;
+        if !receipt.is_success() {
+            return Err(Web3Error::Reverted {
+                reason: decode_revert_reason(&receipt.output),
+                output: receipt.output,
+            });
+        }
+        Ok(receipt)
+    }
+
+    /// Submit a transaction, returning the receipt even when it reverted
+    /// (the dashboard shows failed transactions too).
+    pub fn send_transaction_raw(&self, tx: Transaction) -> Result<Receipt, Web3Error> {
+        if !self.wallet.holds(tx.from) {
+            return Err(Web3Error::NotInWallet(tx.from));
+        }
+        Ok(self.node.lock().send_transaction(tx)?)
+    }
+
+    /// `eth_call`: execute read-only.
+    pub fn call_raw(&self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+        self.node.lock().call(from, to, data)
+    }
+
+    /// Deploy init code (constructor args already appended); returns the
+    /// contract handle.
+    pub fn deploy(
+        &self,
+        from: Address,
+        abi: Abi,
+        init_code: Vec<u8>,
+        args: &[AbiValue],
+        value: U256,
+    ) -> Result<(Contract, Receipt), Web3Error> {
+        let mut code = init_code;
+        code.extend_from_slice(&abi.encode_constructor(args)?);
+        let receipt =
+            self.send_transaction(Transaction::deploy(from, code).with_value(value))?;
+        let address = receipt.contract_address.ok_or(Web3Error::NoContractAddress)?;
+        Ok((Contract::new(self.clone(), abi, address), receipt))
+    }
+
+    /// Bind a contract handle to an already-deployed address.
+    pub fn contract_at(&self, abi: Abi, address: Address) -> Contract {
+        Contract::new(self.clone(), abi, address)
+    }
+
+    /// Estimate gas for a transaction.
+    pub fn estimate_gas(&self, tx: &Transaction) -> Result<u64, Web3Error> {
+        Ok(self.node.lock().estimate_gas(tx)?)
+    }
+
+    /// Queue a transaction without mining (batch mode); it executes at the
+    /// next [`Web3::mine_block`]. The wallet check still applies.
+    pub fn submit_transaction(&self, tx: Transaction) -> Result<(), Web3Error> {
+        if !self.wallet.holds(tx.from) {
+            return Err(Web3Error::NotInWallet(tx.from));
+        }
+        self.node.lock().submit_transaction(tx);
+        Ok(())
+    }
+
+    /// Mine every queued transaction into one block; returns the sealed
+    /// block and the validation errors of dropped transactions.
+    pub fn mine_block(&self) -> (lsc_chain::Block, Vec<TxError>) {
+        self.node.lock().mine_block()
+    }
+
+    /// Number of queued (unmined) transactions.
+    pub fn pending_count(&self) -> usize {
+        self.node.lock().pending_count()
+    }
+
+    /// `eth_getLogs`: fetch logs in a block range with optional filters.
+    pub fn logs(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<lsc_primitives::H256>,
+    ) -> Vec<(u64, lsc_evm::Log)> {
+        self.node.lock().logs(from_block, to_block, address, topic0)
+    }
+
+    /// Take a chain snapshot (`evm_snapshot`).
+    pub fn snapshot(&self) -> usize {
+        self.node.lock().snapshot()
+    }
+
+    /// Revert to a snapshot (`evm_revert`).
+    pub fn revert_to_snapshot(&self, id: usize) -> bool {
+        self.node.lock().revert_to_snapshot(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wallet_gates_sending() {
+        let web3 = Web3::new(LocalNode::new(2));
+        let stranger = Address::from_label("stranger");
+        let to = web3.accounts()[0];
+        let err = web3
+            .send_transaction(Transaction::call(stranger, to, vec![]).with_gas(21_000))
+            .unwrap_err();
+        assert_eq!(err, Web3Error::NotInWallet(stranger));
+    }
+
+    #[test]
+    fn value_transfer_via_client() {
+        let web3 = Web3::new(LocalNode::new(2));
+        let [a, b] = [web3.accounts()[0], web3.accounts()[1]];
+        let tx = Transaction {
+            from: a,
+            to: Some(b),
+            value: lsc_primitives::ether(1),
+            data: vec![],
+            gas: 21_000,
+            gas_price: U256::from_u64(1),
+            nonce: None,
+        };
+        let receipt = web3.send_transaction(tx).unwrap();
+        assert!(receipt.is_success());
+        assert_eq!(web3.balance(b), lsc_primitives::ether(1001));
+        assert_eq!(web3.block_number(), 1);
+    }
+
+    #[test]
+    fn revert_reason_decoding() {
+        let payload = {
+            let mut p = vec![0x08, 0xc3, 0x79, 0xa0];
+            p.extend(
+                lsc_abi::encode(&[lsc_abi::AbiType::String], &[AbiValue::string("nope")])
+                    .unwrap(),
+            );
+            p
+        };
+        assert_eq!(decode_revert_reason(&payload).as_deref(), Some("nope"));
+        assert_eq!(decode_revert_reason(b"junk"), None);
+        assert_eq!(decode_revert_reason(&[]), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! The local wallet — MetaMask's role in the paper's stack: it owns the
+//! accounts and authorizes transactions; the application only *requests*
+//! them. The node itself (like Ganache) executes whatever it is handed, so
+//! this boundary is the one place account custody is enforced.
+
+use lsc_primitives::Address;
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A thread-safe set of unlocked accounts.
+#[derive(Debug, Default, Clone)]
+pub struct Wallet {
+    accounts: Arc<RwLock<HashSet<Address>>>,
+}
+
+impl Wallet {
+    /// Empty wallet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a fresh deterministic account from a label and unlock it.
+    pub fn create_account(&self, label: &str) -> Address {
+        let address = Address::from_label(label);
+        self.unlock(address);
+        address
+    }
+
+    /// Unlock (import) an account.
+    pub fn unlock(&self, address: Address) {
+        self.accounts.write().insert(address);
+    }
+
+    /// Lock (remove) an account.
+    pub fn lock(&self, address: Address) {
+        self.accounts.write().remove(&address);
+    }
+
+    /// Is the account available for signing?
+    pub fn holds(&self, address: Address) -> bool {
+        self.accounts.read().contains(&address)
+    }
+
+    /// All unlocked accounts.
+    pub fn addresses(&self) -> Vec<Address> {
+        self.accounts.read().iter().copied().collect()
+    }
+
+    /// Number of unlocked accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.read().len()
+    }
+
+    /// True when no accounts are unlocked.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlock_and_lock() {
+        let w = Wallet::new();
+        assert!(w.is_empty());
+        let a = w.create_account("landlord");
+        assert!(w.holds(a));
+        assert_eq!(w.len(), 1);
+        w.lock(a);
+        assert!(!w.holds(a));
+    }
+
+    #[test]
+    fn labels_are_deterministic() {
+        let w = Wallet::new();
+        assert_eq!(w.create_account("x"), Address::from_label("x"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let w = Wallet::new();
+        let w2 = w.clone();
+        let a = w.create_account("shared");
+        assert!(w2.holds(a));
+    }
+}

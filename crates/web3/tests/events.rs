@@ -1,0 +1,100 @@
+//! Event-filter integration tests: the `eth_getLogs` path the dashboard
+//! uses to show a contract's transaction history.
+
+use lsc_abi::AbiValue;
+use lsc_chain::LocalNode;
+use lsc_primitives::{ether, U256};
+use lsc_solc::compile_single;
+use lsc_web3::Web3;
+
+const SOURCE: &str = r#"
+    contract Emitter {
+        event ping(uint n);
+        event pong(uint n);
+        uint public count;
+        function hit(uint n) public {
+            count += 1;
+            emit ping(n);
+            if (n % 2 == 0) { emit pong(n); }
+        }
+    }
+"#;
+
+#[test]
+fn events_filtered_by_topic_and_range() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let artifact = compile_single(SOURCE, "Emitter").unwrap();
+    let (contract, _) = web3
+        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .unwrap();
+
+    for n in 1..=6u64 {
+        contract.send(from, "hit", &[AbiValue::uint(n)], U256::ZERO).unwrap();
+    }
+
+    // All pings.
+    let pings = contract.events_in_range("ping", 0, web3.block_number()).unwrap();
+    assert_eq!(pings.len(), 6);
+    assert_eq!(pings[0].1.params[0].1.as_u64(), Some(1));
+    assert_eq!(pings[5].1.params[0].1.as_u64(), Some(6));
+
+    // Pongs only fire on even inputs.
+    let pongs = contract.events_in_range("pong", 0, web3.block_number()).unwrap();
+    assert_eq!(pongs.len(), 3);
+
+    // Range restriction: only the first three hit-transactions.
+    let first_blocks = pings[2].0;
+    let early = contract.events_in_range("ping", 0, first_blocks).unwrap();
+    assert_eq!(early.len(), 3);
+
+    // Unknown event name errors.
+    assert!(contract.events_in_range("nope", 0, 10).is_err());
+}
+
+#[test]
+fn logs_filtered_by_address() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let artifact = compile_single(SOURCE, "Emitter").unwrap();
+    let (c1, _) = web3
+        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .unwrap();
+    let (c2, _) = web3
+        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .unwrap();
+    c1.send(from, "hit", &[AbiValue::uint(1)], U256::ZERO).unwrap();
+    c2.send(from, "hit", &[AbiValue::uint(2)], U256::ZERO).unwrap();
+    c2.send(from, "hit", &[AbiValue::uint(3)], U256::ZERO).unwrap();
+
+    let head = web3.block_number();
+    assert_eq!(web3.logs(0, head, Some(c1.address()), None).len(), 1);
+    // c2 emitted ping(2) + pong(2) + ping(3) = 3 logs.
+    assert_eq!(web3.logs(0, head, Some(c2.address()), None).len(), 3);
+    // Unfiltered: everything.
+    assert_eq!(web3.logs(0, head, None, None).len(), 4);
+    let _ = ether(0);
+}
+
+#[test]
+fn batch_mode_through_the_client() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let [a, b] = [web3.accounts()[0], web3.accounts()[1]];
+    let stranger = lsc_primitives::Address::from_label("stranger");
+    // Wallet check applies at submission time.
+    assert!(web3
+        .submit_transaction(lsc_chain::Transaction::call(stranger, b, vec![]).with_gas(21_000))
+        .is_err());
+    for _ in 0..4 {
+        web3.submit_transaction(
+            lsc_chain::Transaction::call(a, b, vec![]).with_gas(21_000),
+        )
+        .unwrap();
+    }
+    assert_eq!(web3.pending_count(), 4);
+    let (block, errors) = web3.mine_block();
+    assert!(errors.is_empty());
+    assert_eq!(block.tx_hashes.len(), 4);
+    assert_eq!(web3.pending_count(), 0);
+    assert_eq!(web3.block_number(), 1);
+}

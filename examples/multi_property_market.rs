@@ -1,0 +1,125 @@
+//! A small rental market: several landlords list properties, tenants pick
+//! them up from the dashboard, a year of rent flows month by month on the
+//! warped chain clock, and one agreement is modified mid-term. Exercises
+//! the whole stack under concurrent-ish multi-party usage.
+//!
+//! Run with: `cargo run --example multi_property_market`
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::app::{dashboard, RentalApp};
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::contracts;
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, Address, U256};
+use legal_smart_contracts::web3::Web3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let web3 = Web3::new(LocalNode::new(8));
+    let accounts = web3.accounts();
+    let app = RentalApp::new(web3.clone(), IpfsNode::new());
+
+    // Two landlords, three tenants.
+    let mut sessions = Vec::new();
+    for (i, name) in ["landlady_a", "landlord_b", "tenant_x", "tenant_y", "tenant_z"]
+        .iter()
+        .enumerate()
+    {
+        app.register(name, &format!("{name}@example.org"), "pw", accounts[i])?;
+        sessions.push(app.login(name, "pw")?);
+    }
+    let [landlady_a, landlord_b, tenant_x, tenant_y, tenant_z] =
+        [sessions[0], sessions[1], sessions[2], sessions[3], sessions[4]];
+
+    let base = contracts::compile_base_rental()?;
+    let upload = app.upload_contract(
+        landlady_a,
+        "Basic rental contract",
+        base.bytecode.clone(),
+        &base.abi.to_json(),
+    )?;
+
+    // Landlords list properties with different rents.
+    let listings: [(_, u64, &str); 4] = [
+        (landlady_a, 1, "10001-42 Main St"),
+        (landlady_a, 2, "10002-7 Oak Ave"),
+        (landlord_b, 1, "10003-1 Pine Rd"),
+        (landlord_b, 3, "10004-9 Elm Blvd"),
+    ];
+    let mut addresses: Vec<Address> = Vec::new();
+    for (session, rent, house) in listings {
+        let address = app.deploy_contract(
+            session,
+            upload,
+            &[
+                AbiValue::Uint(ether(rent)),
+                AbiValue::string(house),
+                AbiValue::uint(365 * 24 * 3600),
+            ],
+            U256::ZERO,
+        )?;
+        app.attach_document(session, address, format!("%PDF-1.4 lease for {house}").as_bytes())?;
+        addresses.push(address);
+        println!("listed {house} at {rent} ETH/month → {address}");
+    }
+
+    // Tenants pick their properties from the open listings.
+    app.confirm_agreement(tenant_x, addresses[0])?;
+    app.confirm_agreement(tenant_y, addresses[1])?;
+    app.confirm_agreement(tenant_z, addresses[2])?;
+    println!("\nthree agreements confirmed; one property stays vacant");
+
+    // Six months pass, rent flows monthly.
+    for month in 1..=6u32 {
+        web3.increase_time(30 * 24 * 3600);
+        app.pay_rent(tenant_x, addresses[0])?;
+        app.pay_rent(tenant_y, addresses[1])?;
+        app.pay_rent(tenant_z, addresses[2])?;
+        println!("month {month}: all rents settled");
+    }
+
+    // Landlady A modifies the Oak Ave agreement mid-term (adds deposit &
+    // maintenance clause); tenant Y re-confirms on the new version.
+    let v2 = contracts::compile_rental_agreement()?;
+    let upload2 = app.upload_contract(
+        landlady_a,
+        "Modified rental contract",
+        v2.bytecode.clone(),
+        &v2.abi.to_json(),
+    )?;
+    let oak_v2 = app.modify_contract(
+        landlady_a,
+        addresses[1],
+        upload2,
+        &[
+            AbiValue::Uint(ether(2)),
+            AbiValue::Uint(ether(4)),
+            AbiValue::uint(180 * 24 * 3600),
+            AbiValue::Uint(U256::ZERO),
+            AbiValue::Uint(ether(1)),
+            AbiValue::string("10002-7 Oak Ave"),
+        ],
+        &[],
+    )?;
+    app.terminate(landlady_a, addresses[1])?; // old version wound down
+    app.confirm_agreement(tenant_y, oak_v2)?;
+    app.pay_rent(tenant_y, oak_v2)?;
+    println!(
+        "\nOak Ave modified; evidence line: {:?}",
+        app.version_history(tenant_y, oak_v2)?
+    );
+
+    // Final dashboards.
+    for (name, session) in [("landlady_a", landlady_a), ("tenant_y", tenant_y)] {
+        println!("\n== {name} dashboard ==");
+        println!("{}", dashboard::render(&app.dashboard(session)?));
+    }
+
+    // Market accounting sanity: landlady A received 6×1 (Main St) + 6×2 +
+    // 1×2 (Oak Ave v2 rent) = 20 ETH, minus her own gas spending.
+    let d = app.dashboard(landlady_a)?;
+    println!(
+        "landlady_a closing balance: {} ETH",
+        dashboard::format_ether(d.balance)
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate re-exporting the whole legal-smart-contracts stack.
+//!
+//! This workspace reproduces *"Legal smart contracts in Ethereum Block
+//! chain: Linking the dots"* (ICDE 2020). The paper's contribution — a
+//! contract-manager architecture with a doubly-linked-list versioning
+//! mechanism and data/logic separation for mutable *legal* contracts on an
+//! immutable chain — lives in [`core`]. Every substrate it needs (EVM,
+//! local chain, Solidity-subset compiler, ABI codec, IPFS-style store,
+//! web3 client, rental dapp) is built from scratch in the sibling crates.
+
+pub use lsc_abi as abi;
+pub use lsc_app as app;
+pub use lsc_chain as chain;
+pub use lsc_core as core;
+pub use lsc_evm as evm;
+pub use lsc_ipfs as ipfs;
+pub use lsc_primitives as primitives;
+pub use lsc_solc as solc;
+pub use lsc_web3 as web3;

@@ -1,0 +1,175 @@
+//! Deep behavioural tests: constructor-time internal calls, the 2300-gas
+//! transfer stipend against contract recipients (reentrancy resistance),
+//! artifact tooling and cross-contract value flows.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::chain::{LocalNode, Transaction};
+use legal_smart_contracts::primitives::{ether, U256};
+use legal_smart_contracts::solc::compile_single;
+use legal_smart_contracts::web3::Web3;
+
+#[test]
+fn constructor_can_call_internal_functions() {
+    let source = r#"
+        contract C {
+            uint public value;
+            constructor (uint seed) public {
+                value = grow(seed);
+            }
+            function grow(uint x) internal pure returns (uint) {
+                return x * 2 + 1;
+            }
+        }
+    "#;
+    let artifact = compile_single(source, "C").unwrap();
+    let web3 = Web3::new(LocalNode::new(1));
+    let from = web3.accounts()[0];
+    let (contract, _) = web3
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[AbiValue::uint(20)],
+            U256::ZERO,
+        )
+        .unwrap();
+    assert_eq!(contract.call1("value", &[]).unwrap().as_u64(), Some(41));
+}
+
+#[test]
+fn transfer_to_contract_without_fallback_reverts() {
+    // Solidity semantics our stack reproduces: `.transfer` forwards only
+    // the 2300-gas stipend, and a contract without a payable fallback
+    // rejects plain transfers — so a rental whose landlord is a contract
+    // cannot receive rent, and payRent reverts atomically.
+    let source = r#"
+        contract Payer {
+            function payTo(address target) public payable {
+                target.transfer(msg.value);
+            }
+            function sendTo(address target) public payable returns (bool) {
+                return target.send(msg.value);
+            }
+        }
+        contract Wall {
+            uint public x;
+            function poke() public { x += 1; }
+        }
+    "#;
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let payer_art = compile_single(source, "Payer").unwrap();
+    let wall_art = compile_single(source, "Wall").unwrap();
+    let (payer, _) = web3
+        .deploy(from, payer_art.abi.clone(), payer_art.bytecode.clone(), &[], U256::ZERO)
+        .unwrap();
+    let (wall, _) = web3
+        .deploy(from, wall_art.abi.clone(), wall_art.bytecode.clone(), &[], U256::ZERO)
+        .unwrap();
+
+    // transfer → revert with the compiler's message.
+    let result = payer.send(
+        from,
+        "payTo",
+        &[AbiValue::Address(wall.address())],
+        ether(1),
+    );
+    match result {
+        Err(legal_smart_contracts::web3::Web3Error::Reverted { reason, .. }) => {
+            assert_eq!(reason.as_deref(), Some("ether transfer failed"));
+        }
+        other => panic!("expected revert, got ok={:?}", other.is_ok()),
+    }
+    assert_eq!(web3.balance(wall.address()), U256::ZERO);
+
+    // send → returns false instead of reverting; ether stays with payer? No:
+    // send's value was already moved into the Payer frame; on failed send
+    // it stays with the Payer contract.
+    let receipt = payer
+        .send(from, "sendTo", &[AbiValue::Address(wall.address())], ether(1))
+        .unwrap();
+    assert!(receipt.is_success());
+    let f = payer_art.abi.function("sendTo").unwrap();
+    let decoded = f.decode_output(&receipt.output).unwrap();
+    assert_eq!(decoded[0].as_bool(), Some(false));
+    assert_eq!(web3.balance(wall.address()), U256::ZERO);
+    assert_eq!(web3.balance(payer.address()), ether(1), "value stranded in payer");
+
+    // Transfers to plain EOAs still work fine.
+    let eoa = web3.accounts()[1];
+    let before = web3.balance(eoa);
+    payer.send(from, "payTo", &[AbiValue::Address(eoa)], ether(2)).unwrap();
+    assert_eq!(web3.balance(eoa) - before, ether(2));
+}
+
+#[test]
+fn artifact_tooling_renders() {
+    let artifact = lsc_core_contracts_base();
+    let asm = artifact.disassemble_runtime();
+    assert!(asm.contains("0x0000:"), "starts at offset zero");
+    assert!(asm.contains("PUSH"), "has pushes");
+    assert!(asm.contains("JUMPDEST"), "has jump targets");
+    assert!(asm.contains("SSTORE") || asm.contains("SLOAD"), "touches storage");
+    let layout = artifact.storage_layout_table();
+    assert!(layout.contains("rent"));
+    assert!(layout.contains("slot | variable | type"));
+}
+
+// Helper: the paper's base contract artifact.
+fn lsc_core_contracts_base() -> legal_smart_contracts::solc::Artifact {
+    legal_smart_contracts::core::contracts::compile_base_rental().unwrap()
+}
+
+#[test]
+fn cross_contract_calls_preserve_value_accounting() {
+    // A middleman forwards rent: tenant → Middleman.forward → landlord.
+    let source = r#"
+        contract Middleman {
+            uint public forwarded;
+            function forward(address landlord) public payable {
+                forwarded += msg.value;
+                landlord.transfer(msg.value);
+            }
+        }
+    "#;
+    let web3 = Web3::new(LocalNode::new(3));
+    let [deployer, tenant, landlord] =
+        [web3.accounts()[0], web3.accounts()[1], web3.accounts()[2]];
+    let artifact = compile_single(source, "Middleman").unwrap();
+    let (middleman, _) = web3
+        .deploy(deployer, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .unwrap();
+    let landlord_before = web3.balance(landlord);
+    middleman
+        .send(tenant, "forward", &[AbiValue::Address(landlord)], ether(3))
+        .unwrap();
+    assert_eq!(web3.balance(landlord) - landlord_before, ether(3));
+    assert_eq!(web3.balance(middleman.address()), U256::ZERO, "nothing sticks");
+    assert_eq!(
+        middleman.call1("forwarded", &[]).unwrap().as_uint(),
+        Some(ether(3))
+    );
+}
+
+#[test]
+fn deploy_tx_nonce_reuse_is_impossible() {
+    // Two deployments from the same account land at distinct addresses and
+    // explicit stale nonces are rejected.
+    let mut node = LocalNode::new(1);
+    let from = node.accounts()[0];
+    let artifact = compile_single("contract C { uint public x; }", "C").unwrap();
+    let a1 = node
+        .send_transaction(Transaction::deploy(from, artifact.bytecode.clone()))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let mut tx = Transaction::deploy(from, artifact.bytecode.clone());
+    tx.nonce = Some(0); // stale
+    assert!(node.send_transaction(tx).is_err());
+    let a2 = node
+        .send_transaction(Transaction::deploy(from, artifact.bytecode))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    assert_ne!(a1, a2);
+}

@@ -1,0 +1,88 @@
+//! Experiment F1 (Fig. 1): the four-tier architecture wired end to end.
+//! A single user action entered at the presentation tier flows through
+//! the business tier (contract manager), touches the data tier (DB +
+//! IPFS) and settles on the blockchain tier — and each tier's artifact is
+//! observable afterwards.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::app::RentalApp;
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::contracts;
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, U256};
+use legal_smart_contracts::web3::Web3;
+
+#[test]
+fn one_action_touches_all_four_tiers() {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    let ipfs = IpfsNode::new();
+    let app = RentalApp::new(web3.clone(), ipfs.clone());
+
+    // Presentation tier: login.
+    app.register("landlord", "l@x", "pw", accounts[0]).unwrap();
+    let session = app.login("landlord", "pw").unwrap();
+
+    // Action: upload + deploy a contract.
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = app
+        .upload_contract(session, "Basic rental contract", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .unwrap();
+    let address = app
+        .deploy_contract(
+            session,
+            upload,
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::string("H-1"),
+                AbiValue::uint(1000),
+            ],
+            U256::ZERO,
+        )
+        .unwrap();
+
+    // Blockchain tier: real code at the address, a mined block, gas paid.
+    assert!(!web3.code(address).is_empty());
+    assert!(web3.block_number() >= 1);
+    assert!(web3.balance(accounts[0]) < ether(1000), "gas was paid");
+
+    // Data tier (DB): the Contract row exists with the landlord set.
+    let row = app.db().contract_by_address(address).unwrap();
+    assert_eq!(row.version, 1);
+    assert_eq!(row.landlord, 1);
+
+    // Data tier (IPFS): the ABI is pinned and fetchable by CID.
+    let stored = ipfs.cat(&row.abi).unwrap();
+    let abi = legal_smart_contracts::abi::Abi::from_json(std::str::from_utf8(&stored).unwrap())
+        .unwrap();
+    assert!(abi.function("confirmAgreement").is_some());
+
+    // Business tier: the manager can rebind and interact from the address
+    // alone (the Fig. 1 communication path in reverse).
+    let rebound = app.manager().contract_at(address).unwrap();
+    assert_eq!(rebound.call1("house", &[]).unwrap().as_str(), Some("H-1"));
+
+    // Presentation tier again: the dashboard shows the deployment.
+    let dashboard = app.dashboard(session).unwrap();
+    assert!(dashboard.rows.iter().any(|r| r.address == address));
+}
+
+#[test]
+fn business_tier_isolates_user_from_chain_details() {
+    // The user never handles nonces, gas, selectors or ABI encoding: the
+    // manager does. Two deployments in a row exercise nonce management.
+    let web3 = Web3::new(LocalNode::new(2));
+    let manager =
+        legal_smart_contracts::core::ContractManager::new(web3.clone(), IpfsNode::new());
+    let from = web3.accounts()[0];
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &artifact).unwrap();
+    let args = vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("H"),
+        AbiValue::uint(10),
+    ];
+    let c1 = manager.deploy(from, upload, &args, U256::ZERO).unwrap();
+    let c2 = manager.deploy(from, upload, &args, U256::ZERO).unwrap();
+    assert_ne!(c1.address(), c2.address(), "nonce-derived addresses differ");
+}

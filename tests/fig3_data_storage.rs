@@ -1,0 +1,76 @@
+//! Experiment F3 (Fig. 3): the minimal data-storage contract — the exact
+//! nested mapping of the figure — compiled from the paper's source and
+//! exercised through the data-separation layer.
+
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::{contracts, DataStore};
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::Address;
+use legal_smart_contracts::web3::Web3;
+
+#[test]
+fn figure_source_has_the_exact_mapping() {
+    // The contract is compiled from the paper's own declaration:
+    // mapping (address => mapping( string => string )) keyValuePairs;
+    assert!(contracts::RENTAL_BASE_SOURCE
+        .contains("mapping (address => mapping( string => string ))"));
+    let artifact = contracts::compile_data_storage().unwrap();
+    let getter = artifact.abi.function("keyValuePairs").unwrap();
+    assert_eq!(getter.inputs.len(), 2);
+    assert_eq!(getter.inputs[0].ty, legal_smart_contracts::abi::AbiType::Address);
+    assert_eq!(getter.inputs[1].ty, legal_smart_contracts::abi::AbiType::String);
+    assert_eq!(getter.outputs[0].ty, legal_smart_contracts::abi::AbiType::String);
+}
+
+#[test]
+fn key_value_pairs_per_contract_address() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let store = DataStore::deploy(&web3, from).unwrap();
+
+    let v1 = Address::from_label("contract-v1");
+    let v2 = Address::from_label("contract-v2");
+    store.set(from, v1, "rent", "1000").unwrap();
+    store.set(from, v1, "house", "H-12").unwrap();
+    store.set(from, v2, "rent", "2000").unwrap();
+
+    // Per-address isolation.
+    assert_eq!(store.get(v1, "rent").unwrap(), "1000");
+    assert_eq!(store.get(v2, "rent").unwrap(), "2000");
+    assert_eq!(store.get(v2, "house").unwrap(), "", "unset key is empty");
+
+    // Values are overwritable (data evolves independently of logic).
+    store.set(from, v1, "rent", "1500").unwrap();
+    assert_eq!(store.get(v1, "rent").unwrap(), "1500");
+}
+
+#[test]
+fn long_values_and_keys_roundtrip() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let store = DataStore::deploy(&web3, from).unwrap();
+    let owner = Address::from_label("v1");
+    let long_key = "clause-".repeat(30);
+    let long_value = "The tenant shall maintain the premises in good order. ".repeat(10);
+    store.set(from, owner, &long_key, &long_value).unwrap();
+    assert_eq!(store.get(owner, &long_key).unwrap(), long_value);
+}
+
+#[test]
+fn data_survives_while_logic_is_replaced() {
+    // The core promise of Section III-C1: several different versions of
+    // the logic read the same data record.
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let store = DataStore::deploy(&web3, from).unwrap();
+    let ipfs = IpfsNode::new();
+    let _ = ipfs;
+
+    let shared_subject = Address::from_label("the-agreement");
+    store.set(from, shared_subject, "rent", "1 ether").unwrap();
+
+    // "Deploy" three logic versions that all consult the same record.
+    for _ in 0..3 {
+        assert_eq!(store.get(shared_subject, "rent").unwrap(), "1 ether");
+    }
+}

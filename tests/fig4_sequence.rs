@@ -1,0 +1,103 @@
+//! Experiment F4 (Fig. 4): the sequence diagram — landlord deploys, the
+//! tenant confirms and pays rent — with every message of the diagram
+//! asserted: the tier it crosses, the state change and the ether flow.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::app::RentalApp;
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::{contracts, Rental, RentalState};
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, U256};
+use legal_smart_contracts::web3::Web3;
+
+#[test]
+fn sequence_deploy_confirm_pay() {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    let app = RentalApp::new(web3.clone(), IpfsNode::new());
+    app.register("landlord", "l@x", "pw", accounts[0]).unwrap();
+    app.register("tenant", "t@x", "pw", accounts[1]).unwrap();
+    let landlord = app.login("landlord", "pw").unwrap();
+    let tenant = app.login("tenant", "pw").unwrap();
+
+    // 1. Landlord → Manager: upload; Manager → IPFS: pin ABI.
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = app
+        .upload_contract(landlord, "Basic rental contract", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .unwrap();
+
+    // 2. Landlord → Manager → Chain: deploy. A block is mined.
+    let blocks_before = web3.block_number();
+    let address = app
+        .deploy_contract(
+            landlord,
+            upload,
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::string("H-1"),
+                AbiValue::uint(365 * 24 * 3600),
+            ],
+            U256::ZERO,
+        )
+        .unwrap();
+    assert_eq!(web3.block_number(), blocks_before + 1);
+
+    // 3. Tenant → Manager → Chain: confirmAgreement. Event emitted,
+    //    state moves Created → Started, tenant recorded on chain.
+    let rental = Rental::at(app.manager().contract_at(address).unwrap());
+    assert_eq!(rental.state().unwrap(), RentalState::Created);
+    app.confirm_agreement(tenant, address).unwrap();
+    assert_eq!(rental.state().unwrap(), RentalState::Started);
+    let on_chain_tenant = rental.contract().call1("tenant", &[]).unwrap().as_address();
+    assert_eq!(on_chain_tenant, Some(accounts[1]));
+
+    // 4. Tenant → Chain: payRent. Ether moves tenant → landlord exactly
+    //    by the rent amount; the paidRent event fires; the payment is
+    //    recorded in the paidrents array.
+    let landlord_before = web3.balance(accounts[0]);
+    let tenant_before = web3.balance(accounts[1]);
+    app.pay_rent(tenant, address).unwrap();
+    assert_eq!(web3.balance(accounts[0]) - landlord_before, ether(1));
+    // Tenant paid rent + gas.
+    assert!(tenant_before - web3.balance(accounts[1]) >= ether(1));
+    assert_eq!(rental.paid_rents().unwrap(), vec![(1, ether(1))]);
+}
+
+#[test]
+fn events_fire_along_the_sequence() {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    let manager =
+        legal_smart_contracts::core::ContractManager::new(web3.clone(), IpfsNode::new());
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &artifact).unwrap();
+    let contract = manager
+        .deploy(
+            accounts[0],
+            upload,
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::string("H"),
+                AbiValue::uint(100),
+            ],
+            U256::ZERO,
+        )
+        .unwrap();
+
+    let receipt = contract
+        .send(accounts[1], "confirmAgreement", &[], U256::ZERO)
+        .unwrap();
+    let events = contract.decode_logs(&receipt);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "agreementConfirmed");
+
+    let receipt = contract.send(accounts[1], "payRent", &[], ether(1)).unwrap();
+    let events = contract.decode_logs(&receipt);
+    assert_eq!(events[0].name, "paidRent");
+
+    let receipt = contract
+        .send(accounts[0], "terminateContract", &[], U256::ZERO)
+        .unwrap();
+    let events = contract.decode_logs(&receipt);
+    assert_eq!(events[0].name, "contractTerminated");
+}

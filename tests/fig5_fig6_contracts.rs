@@ -1,0 +1,98 @@
+//! Experiments F5/F6 (Figs. 5 and 6): the paper's contract sources — the
+//! base rental agreement and its modified version — compile with our
+//! Solidity-subset compiler, expose exactly the figures' members, and the
+//! updated version adds the new clause while staying storage-compatible.
+
+use legal_smart_contracts::abi::AbiType;
+use legal_smart_contracts::core::contracts;
+
+#[test]
+fn fig5_base_contract_members() {
+    let artifact = contracts::compile_base_rental().unwrap();
+    let abi = &artifact.abi;
+
+    // The struct-array getter of `PaidRent[] public paidrents`.
+    let paidrents = abi.function("paidrents").expect("public array getter");
+    assert_eq!(paidrents.inputs.len(), 1);
+    assert_eq!(paidrents.outputs.len(), 2, "Monthid + value");
+
+    // Public state variables from the figure.
+    for getter in ["createdTimestamp", "rent", "house", "landlord", "tenant", "state"] {
+        assert!(abi.function(getter).is_some(), "missing getter {getter}");
+    }
+    assert_eq!(abi.function("house").unwrap().outputs[0].ty, AbiType::String);
+    assert_eq!(abi.function("state").unwrap().outputs[0].ty, AbiType::Uint(8));
+
+    // Constructor (uint _rent, string _house, uint _contractTime) payable.
+    assert_eq!(abi.constructor_inputs.len(), 3);
+    assert!(abi.constructor_payable);
+
+    // Events.
+    for event in ["agreementConfirmed", "paidRent", "contractTerminated"] {
+        assert!(abi.event(event).is_some(), "missing event {event}");
+    }
+
+    // Lifecycle + linked-list functions.
+    for f in [
+        "confirmAgreement",
+        "payRent",
+        "terminateContract",
+        "getNext",
+        "getPrev",
+        "setNext",
+        "setPrev",
+    ] {
+        assert!(abi.function(f).is_some(), "missing function {f}");
+    }
+    // Payability per the figure.
+    use legal_smart_contracts::abi::StateMutability;
+    assert_eq!(abi.function("payRent").unwrap().mutability, StateMutability::Payable);
+}
+
+#[test]
+fn fig6_updated_contract_members() {
+    let artifact = contracts::compile_rental_agreement().unwrap();
+    let abi = &artifact.abi;
+
+    // New state variables of the modified version.
+    for getter in ["deposit", "discount", "fine", "nextBillingDate", "monthCounter"] {
+        assert!(abi.function(getter).is_some(), "missing getter {getter}");
+    }
+    // The new clause function.
+    assert!(abi.function("aNewFunction").is_some());
+    // Six constructor params per the figure.
+    assert_eq!(abi.constructor_inputs.len(), 6);
+    // Everything inherited from BaseRental is still present.
+    for f in ["payRent", "confirmAgreement", "terminateContract", "getNext", "paidrents"] {
+        assert!(abi.function(f).is_some(), "missing inherited {f}");
+    }
+}
+
+#[test]
+fn updated_version_is_storage_compatible_with_base() {
+    // The versioning design requires shared state variables to keep their
+    // slots so migrated data means the same thing in every version.
+    let base = contracts::compile_base_rental().unwrap();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    for (name, slot, _) in &base.storage_layout {
+        let v2_entry = v2
+            .storage_layout
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("v2 dropped state var {name}"));
+        assert_eq!(v2_entry.1, *slot, "slot of {name} moved");
+    }
+    // v2 appends its new variables strictly after the base layout.
+    let base_max = base.storage_layout.iter().map(|(_, s, _)| *s).max().unwrap();
+    let deposit = v2.storage_layout.iter().find(|(n, _, _)| n == "deposit").unwrap();
+    assert!(deposit.1 > base_max);
+}
+
+#[test]
+fn bytecode_is_within_mainnet_limits() {
+    let base = contracts::compile_base_rental().unwrap();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    assert!(base.runtime.len() <= 24_576, "EIP-170: {}", base.runtime.len());
+    assert!(v2.runtime.len() <= 24_576, "EIP-170: {}", v2.runtime.len());
+    assert!(v2.runtime.len() > base.runtime.len(), "v2 carries more clauses");
+}

@@ -1,0 +1,200 @@
+//! Experiments F7–F11 (Figs. 7–11): the web screens — dashboard, upload,
+//! deploy, terminate/modify — reproduced as deterministic renderings and
+//! action flows of the application tier.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::app::{dashboard, Action, RentalApp, SessionToken};
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::contracts;
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, Address, U256};
+use legal_smart_contracts::web3::Web3;
+
+struct Screens {
+    app: RentalApp,
+    landlord: SessionToken,
+    tenant: SessionToken,
+}
+
+fn setup() -> Screens {
+    let web3 = Web3::new(LocalNode::new(4));
+    let accounts = web3.accounts();
+    let app = RentalApp::new(web3, IpfsNode::new());
+    app.register("juned_ali", "j@x", "pw", accounts[1]).unwrap();
+    app.register("eleana_kafeza", "e@x", "pw", accounts[0]).unwrap();
+    let landlord = app.login("eleana_kafeza", "pw").unwrap();
+    let tenant = app.login("juned_ali", "pw").unwrap();
+    Screens { app, landlord, tenant }
+}
+
+fn upload_both(s: &Screens) -> (u64, u64) {
+    let base = contracts::compile_base_rental().unwrap();
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let up1 = s
+        .app
+        .upload_contract(s.landlord, "Basic rental contract", base.bytecode.clone(), &base.abi.to_json())
+        .unwrap();
+    let up2 = s
+        .app
+        .upload_contract(s.landlord, "Modified rental contract", v2.bytecode.clone(), &v2.abi.to_json())
+        .unwrap();
+    (up1, up2)
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("H-1"),
+        AbiValue::uint(365 * 24 * 3600),
+    ]
+}
+
+#[test]
+fn fig7_dashboard_shows_user_balance_and_contracts() {
+    let s = setup();
+    let (up1, _) = upload_both(&s);
+    s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    let d = s.app.dashboard(s.landlord).unwrap();
+    let screen = dashboard::render(&d);
+    // The figure's header: user name + balance.
+    assert!(screen.contains("FOR USER - ELEANA_KAFEZA BALANCE - 9"));
+    // Both uploads listed with a DEPLOY action.
+    assert!(screen.contains("Basic rental contract"));
+    assert!(screen.contains("Modified rental contract"));
+    assert!(screen.matches("DEPLOY").count() >= 2);
+    // The deployed contract row with landlord actions.
+    assert!(screen.contains("landlord"));
+    assert!(screen.contains("TERMINATE_AGREEMENT"));
+    assert!(screen.contains("MODIFY"));
+}
+
+#[test]
+fn fig8_web3_snippet_equivalent() {
+    // The figure's code: deploy a contract from bytecode+ABI, then call a
+    // function on it through the client — exactly Web3::deploy + send.
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let artifact = contracts::compile_base_rental().unwrap();
+    let (contract, receipt) = web3
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &base_args(),
+            U256::ZERO,
+        )
+        .unwrap();
+    assert!(receipt.is_success());
+    // transact: contract.functions.confirmAgreement().transact(...)
+    let tenant = web3.accounts()[1];
+    let receipt = contract.send(tenant, "confirmAgreement", &[], U256::ZERO).unwrap();
+    assert!(receipt.is_success());
+    // call: contract.functions.state().call()
+    assert_eq!(contract.call1("state", &[]).unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn fig9_upload_requires_abi_and_bytecode() {
+    let s = setup();
+    let base = contracts::compile_base_rental().unwrap();
+    // Valid upload (both files) succeeds and pins the ABI.
+    let id = s
+        .app
+        .upload_contract(s.tenant, "Basic rental contract", base.bytecode.clone(), &base.abi.to_json())
+        .unwrap();
+    let uploads = s.app.manager().uploads();
+    assert_eq!(uploads[id as usize].name, "Basic rental contract");
+    assert!(s
+        .app
+        .manager()
+        .registry()
+        .ipfs()
+        .cat(&uploads[id as usize].abi_cid)
+        .is_ok());
+    // Broken ABI or empty bytecode are rejected.
+    assert!(s.app.upload_contract(s.tenant, "bad", base.bytecode.clone(), "{oops").is_err());
+    assert!(s.app.upload_contract(s.tenant, "bad", vec![], &base.abi.to_json()).is_err());
+}
+
+#[test]
+fn fig10_deploy_from_dashboard() {
+    let s = setup();
+    let (up1, _) = upload_both(&s);
+    // The dashboard lists the upload before deployment…
+    let d = s.app.dashboard(s.landlord).unwrap();
+    assert!(d.uploads.iter().any(|(id, _)| *id == up1));
+    // …and the landlord deploys it.
+    let address = s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    // Once deployed, the application can execute its logic.
+    let rebound = s.app.manager().contract_at(address).unwrap();
+    assert_eq!(rebound.call1("rent", &[]).unwrap().as_uint(), Some(ether(1)));
+    // The dashboard row appears for the landlord.
+    let d = s.app.dashboard(s.landlord).unwrap();
+    assert!(d.rows.iter().any(|r| r.address == address && r.role == "landlord"));
+}
+
+#[test]
+fn fig11_terminate_and_modify_screen() {
+    let s = setup();
+    let (up1, up2) = upload_both(&s);
+    let v1 = s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    s.app.confirm_agreement(s.tenant, v1).unwrap();
+    s.app.pay_rent(s.tenant, v1).unwrap();
+
+    // The landlord's row offers both TERMINATE and MODIFY.
+    let d = s.app.dashboard(s.landlord).unwrap();
+    let row = d.rows.iter().find(|r| r.address == v1).unwrap();
+    assert!(row.actions.contains(&Action::Terminate));
+    assert!(row.actions.contains(&Action::Modify));
+
+    // MODIFY: deploys the new version, links it, keeps old transactions.
+    let v2 = s
+        .app
+        .modify_contract(
+            s.landlord,
+            v1,
+            up2,
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::Uint(ether(2)),
+                AbiValue::uint(365 * 24 * 3600),
+                AbiValue::Uint(U256::ZERO),
+                AbiValue::Uint(ether(1) / U256::from_u64(2)),
+                AbiValue::string("H-1"),
+            ],
+            &[],
+        )
+        .unwrap();
+    assert_ne!(v1, v2);
+    assert_eq!(s.app.version_history(s.landlord, v2).unwrap(), vec![v1, v2]);
+    // Old paid rents remain readable on the old version.
+    let old = legal_smart_contracts::core::Rental::at(s.app.manager().contract_at(v1).unwrap());
+    assert_eq!(old.paid_rents().unwrap().len(), 1);
+
+    // TERMINATE on the old version (tenant rejected the modification).
+    s.app.terminate(s.landlord, v1).unwrap();
+    let d = s.app.dashboard(s.landlord).unwrap();
+    let row = d.rows.iter().find(|r| r.address == v1).unwrap();
+    assert_eq!(row.actions, vec![Action::ViewHistory]);
+}
+
+#[test]
+fn transaction_history_visible_via_dashboard_data() {
+    // "The dashboard also shows all the previous contracts … and provides
+    // an option to see the transaction history of the contract."
+    let s = setup();
+    let (up1, _) = upload_both(&s);
+    let v1 = s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    s.app.confirm_agreement(s.tenant, v1).unwrap();
+    for _ in 0..3 {
+        s.app.pay_rent(s.tenant, v1).unwrap();
+    }
+    let rental = legal_smart_contracts::core::Rental::at(s.app.manager().contract_at(v1).unwrap());
+    let history = rental.paid_rents().unwrap();
+    assert_eq!(history.len(), 3);
+    assert_eq!(history[2].0, 3, "months numbered consecutively");
+    let summary = rental.summary().unwrap();
+    assert_eq!(summary.rents_paid, 3);
+    assert_eq!(summary.house, "H-1");
+    assert_ne!(summary.tenant, Address::ZERO);
+}

@@ -1,0 +1,98 @@
+//! Experiment A4 (Section V, future work): "the already executed part of
+//! the contract will not be able to change" — the properties the current
+//! design already provides toward that goal, verified end to end.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::{contracts, ContractManager, Rental};
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, U256};
+use legal_smart_contracts::web3::Web3;
+
+fn world() -> (ContractManager, Web3) {
+    let web3 = Web3::new(LocalNode::new(4));
+    (ContractManager::new(web3.clone(), IpfsNode::new()), web3)
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("H-1"),
+        AbiValue::uint(1000),
+    ]
+}
+
+#[test]
+fn executed_history_survives_modification() {
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    let tenant = web3.accounts()[1];
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let rental = Rental::at(v1.clone());
+    rental.confirm_agreement(tenant).unwrap();
+    rental.pay_rent(tenant).unwrap();
+    rental.pay_rent(tenant).unwrap();
+    let executed_before = rental.paid_rents().unwrap();
+
+    // Modify twice; the executed payments on v1 are untouched.
+    let v2 = manager
+        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .unwrap();
+    let _v3 = manager
+        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v2.address(), &[])
+        .unwrap();
+    assert_eq!(rental.paid_rents().unwrap(), executed_before);
+}
+
+#[test]
+fn deployed_code_is_immutable() {
+    // The chain never lets anyone change deployed code: a second CREATE
+    // lands at a new address; the old code hash is stable.
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let code_before = web3.code(v1.address());
+    let v2 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    assert_ne!(v1.address(), v2.address());
+    assert_eq!(web3.code(v1.address()), code_before);
+}
+
+#[test]
+fn terminated_versions_cannot_execute_again() {
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    let tenant = web3.accounts()[1];
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let rental = Rental::at(v1);
+    rental.confirm_agreement(tenant).unwrap();
+    rental.terminate(landlord).unwrap();
+    // Every state-changing action is now rejected by the contract itself.
+    assert!(rental.pay_rent(tenant).is_err());
+    assert!(rental.confirm_agreement(web3.accounts()[2]).is_err());
+    assert!(rental.terminate(landlord).is_err(), "already terminated");
+}
+
+#[test]
+fn abi_files_are_tamper_evident() {
+    // Content addressing: if the ABI file changed, its CID would change,
+    // so the registry mapping cannot silently serve modified interfaces.
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let cid = manager.registry().cid_of(v1.address()).unwrap();
+    let stored = manager.registry().ipfs().cat(&cid).unwrap();
+    // Recomputing the CID of the stored bytes reproduces the mapping.
+    assert_eq!(manager.registry().ipfs().add(&stored), cid);
+    // A tampered ABI gets a different identity.
+    let mut tampered = stored.clone();
+    tampered[0] ^= 1;
+    assert_ne!(manager.registry().ipfs().add(&tampered), cid);
+}

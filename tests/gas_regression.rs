@@ -1,0 +1,123 @@
+//! Gas-regression guardrails: the series recorded in EXPERIMENTS.md are
+//! deterministic in this EVM; these tests pin them within ±25% so an
+//! accidental change to the gas schedule, compiler codegen or contract
+//! sources shows up as a failing build rather than silently invalidating
+//! the documented results.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::chain::LocalNode;
+use legal_smart_contracts::core::{contracts, ContractManager, Rental};
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, U256};
+use legal_smart_contracts::web3::Web3;
+
+fn assert_near(actual: u64, recorded: u64, what: &str) {
+    let lo = recorded - recorded / 4;
+    let hi = recorded + recorded / 4;
+    assert!(
+        (lo..=hi).contains(&actual),
+        "{what}: measured {actual} gas, EXPERIMENTS.md records {recorded} (allowed {lo}..={hi})"
+    );
+}
+
+fn world() -> (ContractManager, Web3) {
+    let web3 = Web3::new(LocalNode::new(4));
+    (ContractManager::new(web3.clone(), IpfsNode::new()), web3)
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("10001-42 Main St"),
+        AbiValue::uint(365 * 24 * 3600),
+    ]
+}
+
+#[test]
+fn deployment_gas_matches_records() {
+    let (_, web3) = world();
+    let from = web3.accounts()[0];
+    let base = contracts::compile_base_rental().unwrap();
+    let (_, receipt) = web3
+        .deploy(from, base.abi.clone(), base.bytecode.clone(), &base_args(), U256::ZERO)
+        .unwrap();
+    assert_near(receipt.gas_used, 1_316_446, "BaseRental deployment");
+
+    let v2 = contracts::compile_rental_agreement().unwrap();
+    let (_, receipt) = web3
+        .deploy(
+            from,
+            v2.abi.clone(),
+            v2.bytecode.clone(),
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::Uint(ether(2)),
+                AbiValue::uint(365 * 24 * 3600),
+                AbiValue::Uint(U256::ZERO),
+                AbiValue::Uint(ether(1) / U256::from_u64(2)),
+                AbiValue::string("10001-42 Main St"),
+            ],
+            U256::ZERO,
+        )
+        .unwrap();
+    assert_near(receipt.gas_used, 1_951_169, "RentalAgreement deployment");
+}
+
+#[test]
+fn lifecycle_gas_matches_records() {
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    let tenant = web3.accounts()[1];
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let rental = Rental::at(contract);
+
+    assert_near(
+        rental.confirm_agreement(tenant).unwrap().gas_used,
+        64_090,
+        "confirmAgreement",
+    );
+    assert_near(rental.pay_rent(tenant).unwrap().gas_used, 99_962, "payRent (1st)");
+    assert_near(rental.pay_rent(tenant).unwrap().gas_used, 84_962, "payRent (2nd)");
+    assert_near(rental.terminate(landlord).unwrap().gas_used, 29_158, "terminate");
+}
+
+#[test]
+fn version_link_gas_matches_records() {
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    let base = contracts::compile_base_rental().unwrap();
+    let upload = manager.upload_artifact("base", &base).unwrap();
+    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let before = web3.block_number();
+    manager
+        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .unwrap();
+    let after = web3.block_number();
+    // Blocks: deploy + setNext + setPrev. Link gas = the two pointer txs.
+    let link_gas: u64 = web3.with_node(|node| {
+        (before + 2..=after).map(|b| node.block(b).unwrap().gas_used).sum()
+    });
+    assert_near(link_gas, 94_076, "version link (setNext + setPrev)");
+}
+
+#[test]
+fn data_storage_gas_matches_records() {
+    let (manager, web3) = world();
+    let landlord = web3.accounts()[0];
+    manager.init_data_store(landlord).unwrap();
+    let store = manager.data_store().unwrap();
+    let owner = legal_smart_contracts::primitives::Address::from_label("v1");
+    let before = web3.block_number();
+    store.set(landlord, owner, "rent", "1000000000000000000").unwrap();
+    let fresh: u64 =
+        web3.with_node(|node| node.block(before + 1).unwrap().gas_used);
+    assert_near(fresh, 68_634, "DataStorage setValue (fresh)");
+    let before = web3.block_number();
+    store.set(landlord, owner, "rent", "2000000000000000000").unwrap();
+    let overwrite: u64 =
+        web3.with_node(|node| node.block(before + 1).unwrap().gas_used);
+    assert_near(overwrite, 38_634, "DataStorage setValue (overwrite)");
+    assert!(overwrite < fresh, "warm slot must be cheaper");
+}

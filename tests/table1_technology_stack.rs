@@ -1,0 +1,83 @@
+//! Experiment T1 (Table I): every technology of the paper's stack has a
+//! working substitute in this workspace, and they interoperate: Solidity →
+//! lsc-solc, Ganache → lsc-chain, Web3py → lsc-web3, MetaMask → the
+//! wallet, IPFS → lsc-ipfs, Django/MySQL → lsc-app.
+
+use legal_smart_contracts::abi::AbiValue;
+use legal_smart_contracts::chain::{LocalNode, Transaction};
+use legal_smart_contracts::core::contracts;
+use legal_smart_contracts::ipfs::IpfsNode;
+use legal_smart_contracts::primitives::{ether, U256};
+use legal_smart_contracts::web3::{Web3, Web3Error};
+
+#[test]
+fn solidity_row_compiler_produces_runnable_bytecode() {
+    let artifact = contracts::compile_base_rental().expect("Fig. 5 compiles");
+    assert!(!artifact.bytecode.is_empty());
+    assert!(!artifact.runtime.is_empty());
+    assert!(artifact.abi.function("payRent").is_some());
+}
+
+#[test]
+fn ganache_row_local_node_mines_instantly() {
+    let mut node = LocalNode::new(2);
+    let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![]).with_gas(21_000);
+    let receipt = node.send_transaction(tx).unwrap();
+    assert_eq!(receipt.block_number, 1, "one tx, one block — instant mining");
+    assert_eq!(node.block_number(), 1);
+}
+
+#[test]
+fn web3py_row_client_deploys_and_calls() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let artifact = contracts::compile_base_rental().unwrap();
+    let (contract, receipt) = web3
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[
+                AbiValue::Uint(ether(1)),
+                AbiValue::string("H-1"),
+                AbiValue::uint(1000),
+            ],
+            U256::ZERO,
+        )
+        .unwrap();
+    assert!(receipt.is_success());
+    assert_eq!(contract.call1("house", &[]).unwrap().as_str(), Some("H-1"));
+}
+
+#[test]
+fn metamask_row_wallet_refuses_foreign_accounts() {
+    let web3 = Web3::new(LocalNode::new(1));
+    let stranger = legal_smart_contracts::primitives::Address::from_label("stranger");
+    let to = web3.accounts()[0];
+    let err = web3
+        .send_transaction(Transaction::call(stranger, to, vec![]).with_gas(21_000))
+        .unwrap_err();
+    assert!(matches!(err, Web3Error::NotInWallet(_)));
+}
+
+#[test]
+fn ipfs_row_content_addressing_works() {
+    let ipfs = IpfsNode::new();
+    let cid = ipfs.add_pinned(b"abi json");
+    assert_eq!(ipfs.cat(&cid).unwrap(), b"abi json");
+    assert_eq!(ipfs.add(b"abi json"), cid, "same content, same id");
+}
+
+#[test]
+fn django_mysql_rows_app_db_and_auth() {
+    use legal_smart_contracts::app::RentalApp;
+    let web3 = Web3::new(LocalNode::new(2));
+    let account = web3.accounts()[0];
+    let app = RentalApp::new(web3, IpfsNode::new());
+    app.register("user", "u@example.org", "pw", account).unwrap();
+    assert!(app.login("user", "bad").is_err());
+    let session = app.login("user", "pw").unwrap();
+    let dashboard = app.dashboard(session).unwrap();
+    assert_eq!(dashboard.user, "user");
+    assert_eq!(dashboard.balance, ether(1000));
+}
