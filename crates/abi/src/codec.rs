@@ -3,8 +3,8 @@
 
 use crate::types::AbiType;
 use crate::value::AbiValue;
-use lsc_primitives::{Address, U256};
 use core::fmt;
+use lsc_primitives::{Address, U256};
 
 /// Error decoding ABI data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,7 +96,8 @@ fn encode_body(ty: &AbiType, value: &AbiValue) -> Result<Vec<u8>, AbiError> {
         (AbiType::Bool, AbiValue::Bool(b)) => Ok(U256::from(*b).to_be_bytes().to_vec()),
         (AbiType::String, AbiValue::String(s)) => Ok(encode_len_prefixed(s.as_bytes())),
         (AbiType::Bytes, AbiValue::Bytes(b)) => Ok(encode_len_prefixed(b)),
-        (AbiType::FixedBytes(n), AbiValue::FixedBytes(b)) | (AbiType::FixedBytes(n), AbiValue::Bytes(b)) => {
+        (AbiType::FixedBytes(n), AbiValue::FixedBytes(b))
+        | (AbiType::FixedBytes(n), AbiValue::Bytes(b)) => {
             if b.len() != *n as usize {
                 return Err(mismatch(ty, value));
             }
@@ -176,9 +177,10 @@ fn decode_body(ty: &AbiType, data: &[u8], offset: usize) -> Result<(AbiValue, us
     match ty {
         AbiType::Uint(_) => Ok((AbiValue::Uint(read_word(data, offset)?), 32)),
         AbiType::Int(_) => Ok((AbiValue::Int(read_word(data, offset)?), 32)),
-        AbiType::Address => {
-            Ok((AbiValue::Address(Address::from_u256(read_word(data, offset)?)), 32))
-        }
+        AbiType::Address => Ok((
+            AbiValue::Address(Address::from_u256(read_word(data, offset)?)),
+            32,
+        )),
         AbiType::Bool => {
             let w = read_word(data, offset)?;
             if w == U256::ZERO {
@@ -194,7 +196,10 @@ fn decode_body(ty: &AbiType, data: &[u8], offset: usize) -> Result<(AbiValue, us
             if end > data.len() {
                 return Err(AbiError::ShortData);
             }
-            Ok((AbiValue::FixedBytes(data[offset..offset + *n as usize].to_vec()), 32))
+            Ok((
+                AbiValue::FixedBytes(data[offset..offset + *n as usize].to_vec()),
+                32,
+            ))
         }
         AbiType::String => {
             let bytes = decode_len_prefixed(data, offset)?;
@@ -210,7 +215,12 @@ fn decode_body(ty: &AbiType, data: &[u8], offset: usize) -> Result<(AbiValue, us
             for _ in 0..len {
                 let value = if inner.is_dynamic() {
                     let rel = read_usize(data, head_cursor)?;
-                    decode_body(inner, data, base.checked_add(rel).ok_or(AbiError::BadOffset)?)?.0
+                    decode_body(
+                        inner,
+                        data,
+                        base.checked_add(rel).ok_or(AbiError::BadOffset)?,
+                    )?
+                    .0
                 } else {
                     decode_body(inner, data, head_cursor)?.0
                 };
@@ -225,7 +235,12 @@ fn decode_body(ty: &AbiType, data: &[u8], offset: usize) -> Result<(AbiValue, us
             for _ in 0..*n {
                 let value = if inner.is_dynamic() {
                     let rel = read_usize(data, head_cursor)?;
-                    decode_body(inner, data, offset.checked_add(rel).ok_or(AbiError::BadOffset)?)?.0
+                    decode_body(
+                        inner,
+                        data,
+                        offset.checked_add(rel).ok_or(AbiError::BadOffset)?,
+                    )?
+                    .0
                 } else {
                     decode_body(inner, data, head_cursor)?.0
                 };
@@ -240,7 +255,12 @@ fn decode_body(ty: &AbiType, data: &[u8], offset: usize) -> Result<(AbiValue, us
             for inner in inner_types {
                 let value = if inner.is_dynamic() {
                     let rel = read_usize(data, head_cursor)?;
-                    decode_body(inner, data, offset.checked_add(rel).ok_or(AbiError::BadOffset)?)?.0
+                    decode_body(
+                        inner,
+                        data,
+                        offset.checked_add(rel).ok_or(AbiError::BadOffset)?,
+                    )?
+                    .0
                 } else {
                     decode_body(inner, data, head_cursor)?.0
                 };
@@ -301,7 +321,11 @@ mod tests {
         // (uint256, string, uint256): heads at 0,32,64; string tail at 96.
         let enc = encode(
             &[t("uint256"), t("string"), t("uint256")],
-            &[AbiValue::uint(1), AbiValue::string("hello"), AbiValue::uint(2)],
+            &[
+                AbiValue::uint(1),
+                AbiValue::string("hello"),
+                AbiValue::uint(2),
+            ],
         )
         .unwrap();
         assert_eq!(U256::from_be_slice(&enc[32..64]), U256::from_u64(96));
@@ -314,7 +338,11 @@ mod tests {
     fn roundtrip_complex() {
         let types = [t("uint256[]"), t("(string,bool)"), t("bytes")];
         let values = [
-            AbiValue::Array(vec![AbiValue::uint(1), AbiValue::uint(2), AbiValue::uint(3)]),
+            AbiValue::Array(vec![
+                AbiValue::uint(1),
+                AbiValue::uint(2),
+                AbiValue::uint(3),
+            ]),
             AbiValue::Tuple(vec![AbiValue::string("rental"), AbiValue::Bool(true)]),
             AbiValue::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
         ];
@@ -367,7 +395,11 @@ mod tests {
     #[test]
     fn encode_rejects_shape_mismatch() {
         assert!(encode(&[t("uint256")], &[AbiValue::string("x")]).is_err());
-        assert!(encode(&[t("uint256[2]")], &[AbiValue::Array(vec![AbiValue::uint(1)])]).is_err());
+        assert!(encode(
+            &[t("uint256[2]")],
+            &[AbiValue::Array(vec![AbiValue::uint(1)])]
+        )
+        .is_err());
         assert!(encode(&[t("uint256"), t("bool")], &[AbiValue::uint(1)]).is_err());
     }
 

@@ -6,8 +6,8 @@ use crate::codec::{self, AbiError};
 use crate::json::{parse, JsonError, JsonValue};
 use crate::types::AbiType;
 use crate::value::AbiValue;
-use lsc_primitives::{keccak256, H256};
 use core::fmt;
+use lsc_primitives::{keccak256, H256};
 
 /// A named, typed parameter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,12 +23,20 @@ pub struct Param {
 impl Param {
     /// Unindexed parameter.
     pub fn new(name: impl Into<String>, ty: AbiType) -> Self {
-        Param { name: name.into(), ty, indexed: false }
+        Param {
+            name: name.into(),
+            ty,
+            indexed: false,
+        }
     }
 
     /// Indexed event parameter.
     pub fn indexed(name: impl Into<String>, ty: AbiType) -> Self {
-        Param { name: name.into(), ty, indexed: true }
+        Param {
+            name: name.into(),
+            ty,
+            indexed: true,
+        }
     }
 }
 
@@ -204,8 +212,11 @@ impl Abi {
 
     /// Encode constructor arguments (appended to init code at deploy time).
     pub fn encode_constructor(&self, args: &[AbiValue]) -> Result<Vec<u8>, AbiError> {
-        let types: Vec<AbiType> =
-            self.constructor_inputs.iter().map(|p| p.ty.clone()).collect();
+        let types: Vec<AbiType> = self
+            .constructor_inputs
+            .iter()
+            .map(|p| p.ty.clone())
+            .collect();
         codec::encode(&types, args)
     }
 
@@ -219,7 +230,12 @@ impl Abi {
                 (
                     "stateMutability",
                     JsonValue::String(
-                        if self.constructor_payable { "payable" } else { "nonpayable" }.into(),
+                        if self.constructor_payable {
+                            "payable"
+                        } else {
+                            "nonpayable"
+                        }
+                        .into(),
                     ),
                 ),
             ]));
@@ -230,7 +246,10 @@ impl Abi {
                 ("name", JsonValue::String(f.name.clone())),
                 ("inputs", params_to_json(&f.inputs, false)),
                 ("outputs", params_to_json(&f.outputs, false)),
-                ("stateMutability", JsonValue::String(f.mutability.as_str().into())),
+                (
+                    "stateMutability",
+                    JsonValue::String(f.mutability.as_str().into()),
+                ),
             ]));
         }
         for e in &self.events {
@@ -275,7 +294,9 @@ impl Abi {
                         inputs: params_from_json(item.get("inputs"))?,
                         outputs: params_from_json(item.get("outputs"))?,
                         mutability: StateMutability::from_str(
-                            item.get("stateMutability").and_then(JsonValue::as_str).unwrap_or(""),
+                            item.get("stateMutability")
+                                .and_then(JsonValue::as_str)
+                                .unwrap_or(""),
                         ),
                     });
                 }
@@ -342,7 +363,10 @@ fn params_from_json(value: Option<&JsonValue>) -> Result<Vec<Param>, AbiJsonErro
                     .unwrap_or("")
                     .to_string(),
                 ty,
-                indexed: item.get("indexed").and_then(JsonValue::as_bool).unwrap_or(false),
+                indexed: item
+                    .get("indexed")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
             })
         })
         .collect()
@@ -361,7 +385,10 @@ mod tests {
     fn selector_matches_known_vector() {
         let f = Function {
             name: "transfer".into(),
-            inputs: vec![Param::new("to", AbiType::Address), Param::new("amount", u())],
+            inputs: vec![
+                Param::new("to", AbiType::Address),
+                Param::new("amount", u()),
+            ],
             outputs: vec![],
             mutability: StateMutability::NonPayable,
         };
@@ -437,11 +464,18 @@ mod tests {
                 outputs: vec![],
                 mutability: StateMutability::NonPayable,
             }],
-            events: vec![Event { name: "x".into(), inputs: vec![], anonymous: false }],
+            events: vec![Event {
+                name: "x".into(),
+                inputs: vec![],
+                anonymous: false,
+            }],
             ..Abi::default()
         };
         let f = &abi.functions[0];
-        assert_eq!(abi.function_by_selector(f.selector()).unwrap().name, "setNext");
+        assert_eq!(
+            abi.function_by_selector(f.selector()).unwrap().name,
+            "setNext"
+        );
         assert!(abi.function_by_selector([0, 0, 0, 0]).is_none());
         let e = &abi.events[0];
         assert_eq!(abi.event_by_topic(e.topic0()).unwrap().name, "x");
@@ -460,6 +494,9 @@ mod tests {
         assert!(Abi::from_json("{}").is_err());
         assert!(Abi::from_json(r#"[{"name":"f"}]"#).is_err());
         assert!(Abi::from_json(r#"[{"type":"function"}]"#).is_err());
-        assert!(Abi::from_json(r#"[{"type":"function","name":"f","inputs":[{"type":"uint7"}]}]"#).is_err());
+        assert!(
+            Abi::from_json(r#"[{"type":"function","name":"f","inputs":[{"type":"uint7"}]}]"#)
+                .is_err()
+        );
     }
 }

@@ -218,7 +218,15 @@ mod tests {
 
     #[test]
     fn invalid_types_rejected() {
-        for s in ["uint7", "uint0", "uint264", "bytes0", "bytes33", "floof", "uint256[a]"] {
+        for s in [
+            "uint7",
+            "uint0",
+            "uint264",
+            "bytes0",
+            "bytes33",
+            "floof",
+            "uint256[a]",
+        ] {
             assert!(s.parse::<AbiType>().is_err(), "{s} should fail");
         }
     }

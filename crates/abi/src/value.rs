@@ -1,8 +1,8 @@
 //! Runtime ABI values and conversions.
 
 use crate::types::AbiType;
-use lsc_primitives::{Address, U256};
 use core::fmt;
+use lsc_primitives::{Address, U256};
 
 /// A decoded/encodable ABI value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +49,10 @@ impl AbiValue {
             AbiValue::Bytes(_) => AbiType::Bytes,
             AbiValue::FixedBytes(b) => AbiType::FixedBytes(b.len() as u8),
             AbiValue::Array(items) => AbiType::Array(Box::new(
-                items.first().map(AbiValue::type_of).unwrap_or(AbiType::Uint(256)),
+                items
+                    .first()
+                    .map(AbiValue::type_of)
+                    .unwrap_or(AbiType::Uint(256)),
             )),
             AbiValue::Tuple(items) => AbiType::Tuple(items.iter().map(AbiValue::type_of).collect()),
         }

@@ -19,7 +19,10 @@ fn arb_typed_value() -> impl Strategy<Value = (AbiType, AbiValue)> {
         proptest::collection::vec(any::<u8>(), 0..50)
             .prop_map(|b| (AbiType::Bytes, AbiValue::Bytes(b))),
         (1usize..=32, proptest::collection::vec(any::<u8>(), 32)).prop_map(|(n, b)| {
-            (AbiType::FixedBytes(n as u8), AbiValue::FixedBytes(b[..n].to_vec()))
+            (
+                AbiType::FixedBytes(n as u8),
+                AbiValue::FixedBytes(b[..n].to_vec()),
+            )
         }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
@@ -51,8 +54,7 @@ fn arb_json() -> impl Strategy<Value = JsonValue> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
-            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..4)
-                .prop_map(JsonValue::Object),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..4).prop_map(JsonValue::Object),
         ]
     })
 }

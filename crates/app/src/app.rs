@@ -5,12 +5,13 @@
 
 use crate::auth::{Auth, AuthError, SessionToken};
 use crate::db::{ContractRow, ContractRowState, Database, RowId, UserRow};
+use core::fmt;
 use lsc_abi::AbiValue;
+use lsc_chain::{Block, TxError};
 use lsc_core::{ContractManager, CoreError, Rental, RentalState};
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{Address, U256};
 use lsc_web3::Web3;
-use core::fmt;
 
 /// Application-level errors.
 #[derive(Debug)]
@@ -202,7 +203,9 @@ impl RentalApp {
         value: U256,
     ) -> AppResult<Address> {
         let user = self.current_user(session)?;
-        let contract = self.manager.deploy(user.public_key, upload_id, args, value)?;
+        let contract = self
+            .manager
+            .deploy(user.public_key, upload_id, args, value)?;
         let record = self
             .manager
             .record(contract.address())
@@ -234,7 +237,9 @@ impl RentalApp {
     ) -> AppResult<()> {
         let (user, row) = self.user_and_row(session, address)?;
         if row.landlord != user.id {
-            return Err(AppError::Forbidden("only the landlord uploads the document".into()));
+            return Err(AppError::Forbidden(
+                "only the landlord uploads the document".into(),
+            ));
         }
         self.manager.attach_document(address, pdf);
         Ok(())
@@ -268,11 +273,14 @@ impl RentalApp {
     pub fn confirm_agreement(&self, session: SessionToken, address: Address) -> AppResult<()> {
         let (user, row) = self.user_and_row(session, address)?;
         if row.landlord == user.id {
-            return Err(AppError::Forbidden("a landlord cannot confirm their own contract".into()));
+            return Err(AppError::Forbidden(
+                "a landlord cannot confirm their own contract".into(),
+            ));
         }
         let rental = self.rental_at(address)?;
         rental.confirm_agreement(user.public_key)?;
-        self.db.update_contract(address, |c| c.tenant = Some(user.id));
+        self.db
+            .update_contract(address, |c| c.tenant = Some(user.id));
         Ok(())
     }
 
@@ -287,6 +295,30 @@ impl RentalApp {
         Ok(())
     }
 
+    /// Tenant queues this month's rent without mining it: the payment
+    /// executes when [`RentalApp::run_rent_day`] seals the batch. Role
+    /// checks match [`RentalApp::pay_rent`].
+    pub fn queue_rent_payment(&self, session: SessionToken, address: Address) -> AppResult<()> {
+        let (user, row) = self.user_and_row(session, address)?;
+        if row.tenant != Some(user.id) {
+            return Err(AppError::Forbidden("only the tenant pays rent".into()));
+        }
+        let rental = self.rental_at(address)?;
+        let tx = rental.rent_payment_transaction(user.public_key)?;
+        self.manager
+            .web3()
+            .submit_transaction(tx)
+            .map_err(CoreError::Web3)?;
+        Ok(())
+    }
+
+    /// "Rent day": mine every queued payment into one block — the node
+    /// executes independent agreements in parallel — and return the sealed
+    /// block plus the validation errors of any dropped transactions.
+    pub fn run_rent_day(&self) -> (Block, Vec<TxError>) {
+        self.manager.web3().mine_block()
+    }
+
     /// Tenant pays the maintenance fee (modified version's new clause).
     pub fn pay_maintenance(
         &self,
@@ -296,7 +328,9 @@ impl RentalApp {
     ) -> AppResult<()> {
         let (user, row) = self.user_and_row(session, address)?;
         if row.tenant != Some(user.id) {
-            return Err(AppError::Forbidden("only the tenant pays maintenance".into()));
+            return Err(AppError::Forbidden(
+                "only the tenant pays maintenance".into(),
+            ));
         }
         let rental = self.rental_at(address)?;
         rental.pay_maintenance(user.public_key, amount)?;
@@ -313,7 +347,8 @@ impl RentalApp {
         let rental = self.rental_at(address)?;
         rental.terminate(user.public_key)?;
         self.manager.mark_terminated(address);
-        self.db.update_contract(address, |c| c.state = ContractRowState::Terminated);
+        self.db
+            .update_contract(address, |c| c.state = ContractRowState::Terminated);
         Ok(())
     }
 
@@ -330,7 +365,9 @@ impl RentalApp {
     ) -> AppResult<Address> {
         let (user, row) = self.user_and_row(session, previous)?;
         if row.landlord != user.id {
-            return Err(AppError::Forbidden("only the landlord can modify the contract".into()));
+            return Err(AppError::Forbidden(
+                "only the landlord can modify the contract".into(),
+            ));
         }
         let contract = self.manager.deploy_version(
             user.public_key,
@@ -349,7 +386,8 @@ impl RentalApp {
             .registry()
             .cid_of(contract.address())
             .ok_or_else(|| AppError::NotFound("abi cid".into()))?;
-        self.db.update_contract(previous, |c| c.state = ContractRowState::Inactive);
+        self.db
+            .update_contract(previous, |c| c.state = ContractRowState::Inactive);
         self.db.insert_contract(ContractRow {
             id: 0,
             landlord: user.id,
@@ -433,9 +471,7 @@ impl RentalApp {
     /// Which actions the user can currently take on a contract row.
     pub fn actions_for(&self, user: &UserRow, row: &ContractRow) -> Vec<Action> {
         let mut actions = vec![Action::ViewHistory];
-        if row.state == ContractRowState::Terminated
-            || row.state == ContractRowState::Inactive
-        {
+        if row.state == ContractRowState::Terminated || row.state == ContractRowState::Inactive {
             return actions;
         }
         let on_chain_state = self
@@ -493,12 +529,7 @@ impl RentalApp {
         })
     }
 
-    fn dashboard_row(
-        &self,
-        user: &UserRow,
-        row: ContractRow,
-        role: &'static str,
-    ) -> DashboardRow {
+    fn dashboard_row(&self, user: &UserRow, row: ContractRow, role: &'static str) -> DashboardRow {
         DashboardRow {
             name: row.name.clone(),
             address: row.address,

@@ -80,7 +80,10 @@ impl Auth {
 
     /// Log in; returns a session token.
     pub fn login(&self, name: &str, password: &str) -> Result<SessionToken, AuthError> {
-        let user = self.db.user_by_name(name).ok_or(AuthError::BadCredentials)?;
+        let user = self
+            .db
+            .user_by_name(name)
+            .ok_or(AuthError::BadCredentials)?;
         if hash_password(password, &user.salt) != user.password_hash {
             return Err(AuthError::BadCredentials);
         }
@@ -133,7 +136,10 @@ mod tests {
         let auth = auth();
         auth.register("a", "a@x", "secret", Address::ZERO).unwrap();
         assert_eq!(auth.login("a", "wrong"), Err(AuthError::BadCredentials));
-        assert_eq!(auth.login("ghost", "secret"), Err(AuthError::BadCredentials));
+        assert_eq!(
+            auth.login("ghost", "secret"),
+            Err(AuthError::BadCredentials)
+        );
     }
 
     #[test]
@@ -150,11 +156,13 @@ mod tests {
     fn passwords_are_not_stored_plain() {
         let db = Database::new();
         let auth = Auth::new(db.clone());
-        auth.register("a", "a@x", "topsecret", Address::ZERO).unwrap();
+        auth.register("a", "a@x", "topsecret", Address::ZERO)
+            .unwrap();
         let user = db.user_by_name("a").unwrap();
         assert_ne!(&user.password_hash[..], b"topsecret".as_slice());
         // Distinct users with the same password get distinct hashes (salt).
-        auth.register("b", "b@x", "topsecret", Address::ZERO).unwrap();
+        auth.register("b", "b@x", "topsecret", Address::ZERO)
+            .unwrap();
         let other = db.user_by_name("b").unwrap();
         assert_ne!(user.password_hash, other.password_hash);
     }

@@ -19,7 +19,7 @@
 
 use lsc_abi::AbiValue;
 use lsc_app::{dashboard, RentalApp, SessionToken};
-use lsc_chain::LocalNode;
+use lsc_chain::{ChainConfig, LocalNode};
 use lsc_core::contracts;
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{ether, Address, U256};
@@ -35,7 +35,16 @@ struct Cli {
 
 impl Cli {
     fn new() -> Self {
-        let web3 = Web3::new(LocalNode::new(10));
+        // LSC_MINING_WORKERS pins the batch-mining worker count (the
+        // default sizes it from the machine's cores).
+        let mining_workers = std::env::var("LSC_MINING_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let config = ChainConfig {
+            mining_workers,
+            ..ChainConfig::default()
+        };
+        let web3 = Web3::new(LocalNode::with_config(config, 10));
         Cli {
             app: RentalApp::new(web3.clone(), IpfsNode::new()),
             web3,
@@ -51,7 +60,9 @@ impl Cli {
     /// Resolve `<address>` or the literal `last` to an address.
     fn address(&self, token: &str) -> Result<Address, String> {
         if token == "last" {
-            return self.last_address.ok_or_else(|| "no previous address".into());
+            return self
+                .last_address
+                .ok_or_else(|| "no previous address".into());
         }
         token.parse().map_err(|_| format!("bad address {token}"))
     }
@@ -66,7 +77,12 @@ impl Cli {
                 .accounts()
                 .iter()
                 .enumerate()
-                .map(|(i, a)| format!("{i}: {a}  {} ETH", dashboard::format_ether(self.web3.balance(*a))))
+                .map(|(i, a)| {
+                    format!(
+                        "{i}: {a}  {} ETH",
+                        dashboard::format_ether(self.web3.balance(*a))
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("\n")),
             ["register", name, email, password, account_index] => {
@@ -93,14 +109,27 @@ impl Cli {
                 let session = self.session()?;
                 let (name, artifact) = match *which {
                     "base" => ("Basic rental contract", contracts::compile_base_rental()),
-                    "v2" => ("Modified rental contract", contracts::compile_rental_agreement()),
-                    "guarded" => ("Guarded rental contract", contracts::compile_guarded_rental()),
-                    other => return Err(format!("unknown contract kind `{other}` (base|v2|guarded)")),
+                    "v2" => (
+                        "Modified rental contract",
+                        contracts::compile_rental_agreement(),
+                    ),
+                    "guarded" => (
+                        "Guarded rental contract",
+                        contracts::compile_guarded_rental(),
+                    ),
+                    other => {
+                        return Err(format!("unknown contract kind `{other}` (base|v2|guarded)"))
+                    }
                 };
                 let artifact = artifact.map_err(|e| e.to_string())?;
                 let id = self
                     .app
-                    .upload_contract(session, name, artifact.bytecode.clone(), &artifact.abi.to_json())
+                    .upload_contract(
+                        session,
+                        name,
+                        artifact.bytecode.clone(),
+                        &artifact.abi.to_json(),
+                    )
                     .map_err(|e| e.to_string())?;
                 Ok(format!("uploaded `{name}` as #{id}"))
             }
@@ -162,25 +191,57 @@ impl Cli {
             ["view-doc", address] => {
                 let session = self.session()?;
                 let address = self.address(address)?;
-                let pdf = self.app.view_document(session, address).map_err(|e| e.to_string())?;
+                let pdf = self
+                    .app
+                    .view_document(session, address)
+                    .map_err(|e| e.to_string())?;
                 Ok(String::from_utf8_lossy(&pdf).into_owned())
             }
             ["confirm", address] => {
                 let session = self.session()?;
                 let address = self.address(address)?;
-                self.app.confirm_agreement(session, address).map_err(|e| e.to_string())?;
+                self.app
+                    .confirm_agreement(session, address)
+                    .map_err(|e| e.to_string())?;
                 Ok("agreement confirmed".into())
             }
             ["pay", address] => {
                 let session = self.session()?;
                 let address = self.address(address)?;
-                self.app.pay_rent(session, address).map_err(|e| e.to_string())?;
+                self.app
+                    .pay_rent(session, address)
+                    .map_err(|e| e.to_string())?;
                 Ok("rent paid".into())
+            }
+            ["queue-pay", address] => {
+                let session = self.session()?;
+                let address = self.address(address)?;
+                self.app
+                    .queue_rent_payment(session, address)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "rent queued ({} payment(s) pending)",
+                    self.web3.pending_count()
+                ))
+            }
+            ["rent-day"] => {
+                let (block, errors) = self.app.run_rent_day();
+                let mut out = format!(
+                    "block #{} mined: {} payment(s)",
+                    block.number,
+                    block.tx_hashes.len()
+                );
+                for error in errors {
+                    out.push_str(&format!("\ndropped: {error}"));
+                }
+                Ok(out)
             }
             ["terminate", address] => {
                 let session = self.session()?;
                 let address = self.address(address)?;
-                self.app.terminate(session, address).map_err(|e| e.to_string())?;
+                self.app
+                    .terminate(session, address)
+                    .map_err(|e| e.to_string())?;
                 Ok("contract terminated".into())
             }
             ["modify", address, upload, rent_eth, deposit_eth, house, seconds] => {
@@ -213,7 +274,10 @@ impl Cli {
             ["history", address] => {
                 let session = self.session()?;
                 let address = self.address(address)?;
-                let chain = self.app.version_history(session, address).map_err(|e| e.to_string())?;
+                let chain = self
+                    .app
+                    .version_history(session, address)
+                    .map_err(|e| e.to_string())?;
                 Ok(chain
                     .iter()
                     .enumerate()
@@ -237,7 +301,10 @@ impl Cli {
                 self.web3.increase_time(seconds);
                 Ok(format!("chain clock advanced {seconds}s"))
             }
-            other => Err(format!("unknown command {:?} (try `help`)", other.join(" "))),
+            other => Err(format!(
+                "unknown command {:?} (try `help`)",
+                other.join(" ")
+            )),
         }
     }
 }
@@ -252,6 +319,8 @@ const HELP: &str = "commands:
   attach-doc <address|last> <text…>              link the legal PDF
   view-doc <address|last>
   confirm <address|last> | pay <…> | terminate <…>
+  queue-pay <address|last>                       queue rent for the next block
+  rent-day                                       mine every queued payment
   modify <address|last> <upload> <rent> <deposit> <house> <seconds>
   history <address|last> | audit <address|last>
   dashboard | warp <seconds> | help | quit";

@@ -58,7 +58,13 @@ mod tests {
 
     #[test]
     fn ether_formatting() {
-        assert_eq!(format_ether(lsc_primitives::ether(189) + lsc_primitives::ether(1) * U256::from_u64(83237) / U256::from_u64(100000)), "189.83237");
+        assert_eq!(
+            format_ether(
+                lsc_primitives::ether(189)
+                    + lsc_primitives::ether(1) * U256::from_u64(83237) / U256::from_u64(100000)
+            ),
+            "189.83237"
+        );
         assert_eq!(format_ether(U256::ZERO), "0.00000");
         assert_eq!(format_ether(lsc_primitives::ether(1000)), "1000.00000");
         assert_eq!(format_ether(U256::from_u64(1)), "0.00000", "dust truncates");

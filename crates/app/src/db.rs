@@ -122,7 +122,12 @@ impl Database {
 
     /// Fetch a user by name (login).
     pub fn user_by_name(&self, name: &str) -> Option<UserRow> {
-        self.inner.read().users.iter().find(|u| u.name == name).cloned()
+        self.inner
+            .read()
+            .users
+            .iter()
+            .find(|u| u.name == name)
+            .cloned()
     }
 
     /// Number of users.
@@ -150,11 +155,7 @@ impl Database {
     }
 
     /// Update a contract row in place (matched by address).
-    pub fn update_contract(
-        &self,
-        address: Address,
-        update: impl FnOnce(&mut ContractRow),
-    ) -> bool {
+    pub fn update_contract(&self, address: Address, update: impl FnOnce(&mut ContractRow)) -> bool {
         let mut tables = self.inner.write();
         match tables.contracts.iter_mut().find(|c| c.address == address) {
             Some(row) => {
@@ -221,7 +222,9 @@ mod tests {
         let id = db
             .insert_user("juned", "j@x", [0; 32], [1; 32], Address::from_label("j"))
             .unwrap();
-        assert!(db.insert_user("juned", "other@x", [0; 32], [1; 32], Address::ZERO).is_none());
+        assert!(db
+            .insert_user("juned", "other@x", [0; 32], [1; 32], Address::ZERO)
+            .is_none());
         assert_eq!(db.user(id).unwrap().email, "j@x");
         assert_eq!(db.user_by_name("juned").unwrap().id, id);
         assert!(db.user(99).is_none());

@@ -34,7 +34,12 @@ fn deploy_v2(w: &World) -> Address {
     let artifact = contracts::compile_rental_agreement().unwrap();
     let upload = w
         .app
-        .upload_contract(w.landlord, "v2", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .upload_contract(
+            w.landlord,
+            "v2",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
         .unwrap();
     w.app
         .deploy_contract(
@@ -57,7 +62,12 @@ fn deploy_base(w: &World) -> Address {
     let artifact = contracts::compile_base_rental().unwrap();
     let upload = w
         .app
-        .upload_contract(w.landlord, "base", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .upload_contract(
+            w.landlord,
+            "base",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
         .unwrap();
     w.app
         .deploy_contract(
@@ -99,7 +109,10 @@ fn base_contract_is_never_overdue() {
     let address = deploy_base(&w);
     w.app.confirm_agreement(w.tenant, address).unwrap();
     w.web3.increase_time(365 * 24 * 3600);
-    assert!(!w.app.rent_overdue(w.tenant, address).unwrap(), "no schedule on v1");
+    assert!(
+        !w.app.rent_overdue(w.tenant, address).unwrap(),
+        "no schedule on v1"
+    );
 }
 
 #[test]

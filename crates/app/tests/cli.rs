@@ -37,7 +37,11 @@ fn cli_session_end_to_end() {
         .write_all(SCRIPT.as_bytes())
         .expect("script written");
     let output = child.wait_with_output().expect("cli exits");
-    assert!(output.status.success(), "cli exited with {:?}", output.status);
+    assert!(
+        output.status.success(),
+        "cli exited with {:?}",
+        output.status
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
 
     for expected in [
@@ -56,7 +60,10 @@ fn cli_session_end_to_end() {
         "error: unknown command",
         "bye",
     ] {
-        assert!(stdout.contains(expected), "missing {expected:?} in:\n{stdout}");
+        assert!(
+            stdout.contains(expected),
+            "missing {expected:?} in:\n{stdout}"
+        );
     }
 }
 

@@ -1,0 +1,138 @@
+//! Bulk "rent day": on the first of the month every tenant's payment is
+//! queued and the whole batch is mined as ONE block, exercising the
+//! node's optimistic-parallel execution engine end to end through the
+//! application tier. Independent agreements (disjoint tenants, disjoint
+//! contracts) must all commit, and the landlord must collect exactly the
+//! sum of the rents.
+
+use lsc_abi::AbiValue;
+use lsc_app::{RentalApp, SessionToken};
+use lsc_chain::{ChainConfig, LocalNode};
+use lsc_core::contracts::{self};
+use lsc_core::Rental;
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+
+const N_TENANTS: usize = 8;
+
+struct World {
+    app: RentalApp,
+    web3: Web3,
+    landlord: SessionToken,
+    landlord_key: Address,
+    tenants: Vec<SessionToken>,
+}
+
+/// One landlord, `N_TENANTS` tenants, each on their own base-rental
+/// agreement. Four mining workers are forced so the parallel engine runs
+/// even on single-core CI machines.
+fn setup() -> World {
+    let config = ChainConfig {
+        mining_workers: Some(4),
+        ..ChainConfig::default()
+    };
+    let web3 = Web3::new(LocalNode::with_config(config, N_TENANTS + 1));
+    let accounts = web3.accounts();
+    let app = RentalApp::new(web3.clone(), IpfsNode::new());
+    app.register("landlord", "l@x", "pw", accounts[0]).unwrap();
+    let landlord = app.login("landlord", "pw").unwrap();
+    let tenants = (0..N_TENANTS)
+        .map(|i| {
+            let name = format!("tenant-{i}");
+            app.register(&name, &format!("t{i}@x"), "pw", accounts[i + 1])
+                .unwrap();
+            app.login(&name, "pw").unwrap()
+        })
+        .collect();
+    World {
+        app,
+        web3,
+        landlord,
+        landlord_key: accounts[0],
+        tenants,
+    }
+}
+
+/// Deploy one agreement per tenant and have each tenant confirm theirs.
+fn lease_all(w: &World) -> Vec<Address> {
+    let artifact = contracts::compile_base_rental().unwrap();
+    let upload = w
+        .app
+        .upload_contract(
+            w.landlord,
+            "base",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
+        .unwrap();
+    (0..N_TENANTS)
+        .map(|i| {
+            let address = w
+                .app
+                .deploy_contract(
+                    w.landlord,
+                    upload,
+                    &[
+                        AbiValue::Uint(ether(1)),
+                        AbiValue::string(format!("10001-{i} Main")),
+                        AbiValue::uint(365 * 24 * 3600),
+                    ],
+                    U256::ZERO,
+                )
+                .unwrap();
+            w.app.confirm_agreement(w.tenants[i], address).unwrap();
+            address
+        })
+        .collect()
+}
+
+#[test]
+fn bulk_rent_day_mines_every_payment_in_one_block() {
+    let w = setup();
+    let agreements = lease_all(&w);
+
+    let landlord_before = w.web3.balance(w.landlord_key);
+    for (tenant, address) in w.tenants.iter().zip(&agreements) {
+        w.app.queue_rent_payment(*tenant, *address).unwrap();
+    }
+    assert_eq!(w.web3.pending_count(), N_TENANTS);
+
+    let (block, errors) = w.app.run_rent_day();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(block.tx_hashes.len(), N_TENANTS);
+    assert_eq!(w.web3.pending_count(), 0);
+
+    // The landlord collected exactly the sum of the rents.
+    assert_eq!(
+        w.web3.balance(w.landlord_key) - landlord_before,
+        ether(N_TENANTS as u64)
+    );
+
+    // Every agreement recorded its payment in the same block.
+    for address in &agreements {
+        let rental = Rental::at(w.app.manager().contract_at(*address).unwrap());
+        let paid = rental.paid_rents().unwrap();
+        assert_eq!(paid.len(), 1);
+        assert_eq!(paid[0].1, ether(1));
+    }
+    for (tenant, address) in w.tenants.iter().zip(&agreements) {
+        let history = w.app.payment_history(*tenant, *address).unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].block, block.number);
+    }
+}
+
+#[test]
+fn queueing_rent_is_role_checked() {
+    let w = setup();
+    let agreements = lease_all(&w);
+    // Tenant 1 cannot queue rent on tenant 0's agreement, nor the
+    // landlord on anyone's.
+    assert!(w
+        .app
+        .queue_rent_payment(w.tenants[1], agreements[0])
+        .is_err());
+    assert!(w.app.queue_rent_payment(w.landlord, agreements[0]).is_err());
+    assert_eq!(w.web3.pending_count(), 0);
+}

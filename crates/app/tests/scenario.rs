@@ -21,11 +21,19 @@ fn setup() -> World {
     let web3 = Web3::new(LocalNode::new(4));
     let accounts = web3.accounts();
     let app = RentalApp::new(web3, IpfsNode::new());
-    app.register("eleana_kafeza", "ek@zu.ac.ae", "landlord-pass", accounts[0]).unwrap();
-    app.register("juned_ali", "ja@iiit.ac.in", "tenant-pass", accounts[1]).unwrap();
+    app.register("eleana_kafeza", "ek@zu.ac.ae", "landlord-pass", accounts[0])
+        .unwrap();
+    app.register("juned_ali", "ja@iiit.ac.in", "tenant-pass", accounts[1])
+        .unwrap();
     let landlord = app.login("eleana_kafeza", "landlord-pass").unwrap();
     let tenant = app.login("juned_ali", "tenant-pass").unwrap();
-    World { app, landlord, tenant, landlord_key: accounts[0], tenant_key: accounts[1] }
+    World {
+        app,
+        landlord,
+        tenant,
+        landlord_key: accounts[0],
+        tenant_key: accounts[1],
+    }
 }
 
 fn base_args() -> Vec<AbiValue> {
@@ -79,9 +87,16 @@ fn paper_lifecycle_end_to_end() {
     // User logs in as a landlord — done in setup. Uploading contract:
     let upload = upload_base(&w);
     // Deploying a contract:
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     w.app
-        .attach_document(w.landlord, address, b"%PDF-1.4 the rental agreement in English")
+        .attach_document(
+            w.landlord,
+            address,
+            b"%PDF-1.4 the rental agreement in English",
+        )
         .unwrap();
     // User logs in as a tenant; reviews the English-language contract:
     let pdf = w.app.view_document(w.tenant, address).unwrap();
@@ -119,7 +134,10 @@ fn paper_lifecycle_end_to_end() {
 fn role_checks_at_the_application_layer() {
     let w = setup();
     let upload = upload_base(&w);
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
 
     // Landlord cannot confirm their own agreement.
     assert!(w.app.confirm_agreement(w.landlord, address).is_err());
@@ -145,7 +163,10 @@ fn role_checks_at_the_application_layer() {
 fn dashboard_actions_follow_contract_state() {
     let w = setup();
     let upload = upload_base(&w);
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
 
     // Tenant sees the open contract with CONFIRM_AGREEMENT.
     let d = w.app.dashboard(w.tenant).unwrap();
@@ -182,7 +203,10 @@ fn dashboard_actions_follow_contract_state() {
 fn dashboard_renders_like_fig7() {
     let w = setup();
     let upload = upload_base(&w);
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let _ = address;
     let d = w.app.dashboard(w.landlord).unwrap();
     let screen = dashboard::render(&d);
@@ -197,12 +221,17 @@ fn dashboard_renders_like_fig7() {
 fn maintenance_action_appears_only_on_v2() {
     let w = setup();
     let upload2 = upload_v2(&w);
-    let address = w.app.deploy_contract(w.landlord, upload2, &v2_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload2, &v2_args(), U256::ZERO)
+        .unwrap();
     w.app.confirm_agreement(w.tenant, address).unwrap();
     let d = w.app.dashboard(w.tenant).unwrap();
     let row = d.rows.iter().find(|r| r.address == address).unwrap();
     assert!(row.actions.contains(&Action::PayMaintenance));
-    w.app.pay_maintenance(w.tenant, address, ether(1) / U256::from_u64(10)).unwrap();
+    w.app
+        .pay_maintenance(w.tenant, address, ether(1) / U256::from_u64(10))
+        .unwrap();
 }
 
 #[test]
@@ -212,7 +241,10 @@ fn tenant_rejecting_modification_terminates_old_contract() {
     // is terminated."
     let w = setup();
     let upload = upload_base(&w);
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     w.app.confirm_agreement(w.tenant, address).unwrap();
     let upload2 = upload_v2(&w);
     let address2 = w
@@ -238,7 +270,10 @@ fn data_migration_through_app_modification() {
     w.app.manager().init_data_store(w.landlord_key).unwrap();
     let store = w.app.manager().data_store().unwrap();
     let upload = upload_base(&w);
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let contract = w.app.manager().contract_at(address).unwrap();
     store
         .snapshot_contract(w.landlord_key, &contract, RENTAL_DATA_KEYS)
@@ -267,7 +302,10 @@ fn sessions_expire_on_logout() {
 fn balances_on_dashboard_track_payments() {
     let w = setup();
     let upload = upload_base(&w);
-    let address = w.app.deploy_contract(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let address = w
+        .app
+        .deploy_contract(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     w.app.confirm_agreement(w.tenant, address).unwrap();
     let before = w.app.dashboard(w.landlord).unwrap().balance;
     w.app.pay_rent(w.tenant, address).unwrap();

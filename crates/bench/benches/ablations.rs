@@ -32,7 +32,9 @@ fn a1_data_separation_vs_monolithic(c: &mut Criterion) {
                     let keys: Vec<String> = (0..n).map(|i| format!("attr{i}")).collect();
                     let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
                     for key in &keys {
-                        store.set(world.landlord, v1.address(), key, "value").unwrap();
+                        store
+                            .set(world.landlord, v1.address(), key, "value")
+                            .unwrap();
                     }
                     let v2 = world
                         .manager
@@ -65,14 +67,18 @@ fn a1_data_separation_vs_monolithic(c: &mut Criterion) {
                     let v1 = world.deploy_base();
                     let keys: Vec<String> = (0..n).map(|i| format!("attr{i}")).collect();
                     for key in &keys {
-                        store.set(world.landlord, v1.address(), key, "value").unwrap();
+                        store
+                            .set(world.landlord, v1.address(), key, "value")
+                            .unwrap();
                     }
                     // No migration support: deploy unlinked, then read every
                     // value out and write it back one by one.
                     let v2 = world.deploy_base();
                     for key in &keys {
                         let value = store.get(v1.address(), key).unwrap();
-                        store.set(world.landlord, v2.address(), key, &value).unwrap();
+                        store
+                            .set(world.landlord, v2.address(), key, &value)
+                            .unwrap();
                     }
                     black_box(v2.address())
                 })

@@ -18,14 +18,21 @@ fn bench_set_get(c: &mut Criterion) {
     let world = BenchWorld::new();
     let store = setup_store(&world);
     let owner = Address::from_label("contract-v1");
-    store.set(world.landlord, owner, "rent", "1000000000000000000").unwrap();
+    store
+        .set(world.landlord, owner, "rent", "1000000000000000000")
+        .unwrap();
 
     let mut group = c.benchmark_group("fig3/data_storage");
     group.sample_size(20);
     group.bench_function("setValue", |b| {
         b.iter(|| {
             store
-                .set(world.landlord, owner, black_box("rent"), black_box("2000000000000000000"))
+                .set(
+                    world.landlord,
+                    owner,
+                    black_box("rent"),
+                    black_box("2000000000000000000"),
+                )
                 .unwrap()
         })
     });
@@ -62,7 +69,9 @@ fn bench_migration(c: &mut Criterion) {
         let keys: Vec<String> = (0..n_attrs).map(|i| format!("attr{i}")).collect();
         let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
         for key in &keys {
-            store.set(world.landlord, old, key, "some stored value").unwrap();
+            store
+                .set(world.landlord, old, key, "some stored value")
+                .unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(n_attrs), &n_attrs, |b, _| {
             let mut salt = 0u64;

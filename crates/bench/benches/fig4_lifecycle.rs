@@ -11,12 +11,16 @@ fn bench_lifecycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/lifecycle");
     group.sample_size(10);
     for months in [1usize, 6, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(months), &months, |b, &months| {
-            b.iter(|| {
-                let world = BenchWorld::new();
-                black_box(world.run_lifecycle(months))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(months),
+            &months,
+            |b, &months| {
+                b.iter(|| {
+                    let world = BenchWorld::new();
+                    black_box(world.run_lifecycle(months))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -35,10 +39,7 @@ fn bench_single_actions(c: &mut Criterion) {
         });
     };
     group.bench_function("deploy", |b| {
-        b.iter_with_setup(
-            || refuel(&world),
-            |()| black_box(world.deploy_base()),
-        )
+        b.iter_with_setup(|| refuel(&world), |()| black_box(world.deploy_base()))
     });
     group.bench_function("confirm_agreement", |b| {
         b.iter_with_setup(

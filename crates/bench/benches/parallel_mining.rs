@@ -1,0 +1,133 @@
+//! Parallel block mining: wall-clock of `mine_block` (optimistic
+//! parallel, Block-STM-lite) against `mine_block_sequential` for two
+//! workload shapes:
+//!
+//! * `independent/N` — N tenants each hammering their **own** storage
+//!   contract: zero conflicts, every speculation commits as-is. This is
+//!   the bulk "rent day" shape and should scale with cores.
+//! * `contended/N` — N transactions hammering **one** shared
+//!   DataStorage-style contract (same slots): every commit after the
+//!   first invalidates the next speculation, so the engine degenerates
+//!   to sequential plus speculation overhead. This bounds the worst case.
+//!
+//! EXPERIMENTS.md records the speedup table produced from these lines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lsc_chain::{Account, ChainConfig, LocalNode, Transaction};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_primitives::{Address, U256};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Slots each transaction reads-modifies-writes.
+const SLOTS: u64 = 50;
+
+/// Runtime bytecode: `for slot in 0..SLOTS { storage[slot] += 1 }`,
+/// unrolled (no loop bookkeeping, pure storage work).
+fn workload_runtime() -> Vec<u8> {
+    let mut asm = Asm::new();
+    for slot in 0..SLOTS {
+        asm.push_u64(slot)
+            .op(op::SLOAD)
+            .push_u64(1)
+            .op(op::ADD)
+            .push_u64(slot)
+            .op(op::SSTORE);
+    }
+    asm.op(op::STOP);
+    asm.assemble().expect("straight-line asm")
+}
+
+fn shared_target() -> Address {
+    Address::from_label("bench-shared-store")
+}
+
+fn own_target(i: usize) -> Address {
+    Address::from_label(&format!("bench-own-store-{i}"))
+}
+
+/// Fresh node with `n` funded senders and the workload contract installed
+/// at the shared address plus one per-tenant address, `n` transactions
+/// queued according to `contended`.
+fn loaded_node(n: usize, contended: bool, workers: Option<usize>) -> LocalNode {
+    let config = ChainConfig {
+        mining_workers: workers,
+        ..ChainConfig::default()
+    };
+    let mut node = LocalNode::with_config(config, n);
+    let runtime = workload_runtime();
+    let install = |node: &mut LocalNode, address: Address| {
+        node.restore_account_state(
+            address,
+            Account {
+                code: Arc::new(runtime.clone()),
+                ..Account::default()
+            },
+        );
+    };
+    install(&mut node, shared_target());
+    for i in 0..n {
+        install(&mut node, own_target(i));
+    }
+    let accounts = node.accounts().to_vec();
+    for (i, account) in accounts.into_iter().enumerate() {
+        let target = if contended {
+            shared_target()
+        } else {
+            own_target(i)
+        };
+        let mut tx = Transaction::call(account, target, vec![]);
+        tx.gas = 5_000_000;
+        tx.gas_price = U256::from_u64(1);
+        node.submit_transaction(tx);
+    }
+    node
+}
+
+fn bench_shape(c: &mut Criterion, shape: &str, contended: bool, sizes: &[usize]) {
+    let mut group = c.benchmark_group(format!("parallel_mining/{shape}"));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for &n in sizes {
+        // `parallel` sizes its worker pool from the machine (on a
+        // single-core host it falls back to sequential by design);
+        // `parallel_forced4` pins four workers to expose the engine's
+        // speculation overhead even without real cores to win on.
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+            b.iter_batched(
+                || loaded_node(n, contended, None),
+                |mut node| black_box(node.mine_block()),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_forced4", n), &n, |b, &n| {
+            b.iter_batched(
+                || loaded_node(n, contended, Some(4)),
+                |mut node| black_box(node.mine_block()),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter_batched(
+                || loaded_node(n, contended, None),
+                |mut node| black_box(node.mine_block_sequential()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_independent(c: &mut Criterion) {
+    bench_shape(c, "independent", false, &[8, 16, 64]);
+}
+
+fn bench_contended(c: &mut Criterion) {
+    bench_shape(c, "contended", true, &[8, 64]);
+}
+
+criterion_group!(benches, bench_independent, bench_contended);
+criterion_main!(benches);

@@ -32,10 +32,18 @@ fn bench_u256(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/u256");
     let a = U256::from_be_bytes(keccak256(b"a"));
     let m = U256::from_be_bytes(keccak256(b"m"));
-    group.bench_function("mul", |b| b.iter(|| black_box(a).wrapping_mul(black_box(m))));
-    group.bench_function("div_rem", |b| b.iter(|| black_box(a).div_rem(black_box(m >> 128u32))));
-    group.bench_function("mul_mod", |b| b.iter(|| black_box(a).mul_mod(black_box(a), black_box(m))));
-    group.bench_function("to_decimal", |b| b.iter(|| black_box(a).to_decimal_string()));
+    group.bench_function("mul", |b| {
+        b.iter(|| black_box(a).wrapping_mul(black_box(m)))
+    });
+    group.bench_function("div_rem", |b| {
+        b.iter(|| black_box(a).div_rem(black_box(m >> 128u32)))
+    });
+    group.bench_function("mul_mod", |b| {
+        b.iter(|| black_box(a).mul_mod(black_box(a), black_box(m)))
+    });
+    group.bench_function("to_decimal", |b| {
+        b.iter(|| black_box(a).to_decimal_string())
+    });
     group.finish();
 }
 
@@ -52,10 +60,19 @@ fn bench_evm_loop(c: &mut Criterion) {
     asm.push_u64(32).op(op::MLOAD).push_u64(1000).op(op::LT); // 1000 < i
     asm.push_label(done).op(op::JUMPI);
     // sum += i
-    asm.push_u64(0).op(op::MLOAD).push_u64(32).op(op::MLOAD).op(op::ADD);
+    asm.push_u64(0)
+        .op(op::MLOAD)
+        .push_u64(32)
+        .op(op::MLOAD)
+        .op(op::ADD);
     asm.push_u64(0).op(op::MSTORE);
     // i += 1
-    asm.push_u64(32).op(op::MLOAD).push_u64(1).op(op::ADD).push_u64(32).op(op::MSTORE);
+    asm.push_u64(32)
+        .op(op::MLOAD)
+        .push_u64(1)
+        .op(op::ADD)
+        .push_u64(32)
+        .op(op::MSTORE);
     asm.push_label(top).op(op::JUMP);
     asm.place(done);
     asm.push_u64(32).push_u64(0).op(op::RETURN);
@@ -100,8 +117,12 @@ fn bench_abi(c: &mut Criterion) {
     ];
     let encoded = lsc_abi::encode(&types, &values).unwrap();
     let mut group = c.benchmark_group("substrate/abi");
-    group.bench_function("encode", |b| b.iter(|| lsc_abi::encode(black_box(&types), black_box(&values))));
-    group.bench_function("decode", |b| b.iter(|| lsc_abi::decode(black_box(&types), black_box(&encoded))));
+    group.bench_function("encode", |b| {
+        b.iter(|| lsc_abi::encode(black_box(&types), black_box(&values)))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| lsc_abi::decode(black_box(&types), black_box(&encoded)))
+    });
     group.finish();
 }
 

@@ -18,12 +18,28 @@ fn header(title: &str) {
 fn t1_technology_stack() {
     header("T1 (Table I): technology stack substitution check");
     let rows = [
-        ("Solidity", "lsc-solc compiler", "compiles Figs. 3/5/6 sources"),
-        ("IPFS", "lsc-ipfs content store", "ABIs + PDFs pinned by CID"),
-        ("Python app", "lsc-app application", "dashboards + role checks"),
+        (
+            "Solidity",
+            "lsc-solc compiler",
+            "compiles Figs. 3/5/6 sources",
+        ),
+        (
+            "IPFS",
+            "lsc-ipfs content store",
+            "ABIs + PDFs pinned by CID",
+        ),
+        (
+            "Python app",
+            "lsc-app application",
+            "dashboards + role checks",
+        ),
         ("Web3py", "lsc-web3 client", "deploy/call/transact + events"),
         ("MetaMask", "lsc-web3 wallet", "account custody boundary"),
-        ("Ganache", "lsc-chain LocalNode", "instant mining, dev accounts"),
+        (
+            "Ganache",
+            "lsc-chain LocalNode",
+            "instant mining, dev accounts",
+        ),
         ("Django", "lsc-app auth/sessions", "login-gated actions"),
         ("MySQL", "lsc-app database", "User + Contract tables"),
     ];
@@ -85,7 +101,10 @@ fn f2_versioning() {
         previous = Some(tail);
     }
     let verified = world.manager.verify_chain(tail).unwrap();
-    println!("evidence line verified: {} versions, bidirectional", verified.len());
+    println!(
+        "evidence line verified: {} versions, bidirectional",
+        verified.len()
+    );
 }
 
 fn f3_data_storage() {
@@ -99,20 +118,27 @@ fn f3_data_storage() {
         let b0 = world.web3.block_number();
         f();
         let b1 = world.web3.block_number();
-        world.web3.with_node(|node| {
-            (b0 + 1..=b1).map(|b| node.block(b).unwrap().gas_used).sum()
-        })
+        world
+            .web3
+            .with_node(|node| (b0 + 1..=b1).map(|b| node.block(b).unwrap().gas_used).sum())
     };
 
     let fresh = gas_of(&world, &|| {
-        store.set(world.landlord, owner, "rent", "1000000000000000000").unwrap()
+        store
+            .set(world.landlord, owner, "rent", "1000000000000000000")
+            .unwrap()
     });
     let overwrite = gas_of(&world, &|| {
-        store.set(world.landlord, owner, "rent", "2000000000000000000").unwrap()
+        store
+            .set(world.landlord, owner, "rent", "2000000000000000000")
+            .unwrap()
     });
     println!("setValue fresh slot   : {fresh:>8} gas");
     println!("setValue overwrite    : {overwrite:>8} gas   (cheaper: warm slot)");
-    println!("getValue              : {:>8} gas   (eth_call, free off-chain)", 0);
+    println!(
+        "getValue              : {:>8} gas   (eth_call, free off-chain)",
+        0
+    );
 
     println!("\nstring key length sweep (fresh writes):");
     println!("{:>10} | {:>10}", "key bytes", "gas");
@@ -158,9 +184,7 @@ fn f4_lifecycle() {
     println!("{:<22} | {:>10}", "payRent (2nd month)", rent2);
     println!("{:<22} | {:>10}", "payRent (3rd month)", rent3);
     println!("{:<22} | {:>10}", "terminateContract", terminate);
-    println!(
-        "(first payRent initializes the paidrents array slot; later months are cheaper)"
-    );
+    println!("(first payRent initializes the paidrents array slot; later months are cheaper)");
 }
 
 fn f56_contracts() {
@@ -168,7 +192,10 @@ fn f56_contracts() {
     let world = BenchWorld::new();
     let base_deploy = lsc_bench::deployment_gas(&world.base, &world.base_args());
     let v2_deploy = lsc_bench::deployment_gas(&world.v2, &world.v2_args());
-    println!("{:<26} | {:>10} | {:>10}", "metric", "BaseRental", "RentalV2");
+    println!(
+        "{:<26} | {:>10} | {:>10}",
+        "metric", "BaseRental", "RentalV2"
+    );
     println!("{}", "-".repeat(54));
     println!(
         "{:<26} | {:>10} | {:>10}",
@@ -182,7 +209,10 @@ fn f56_contracts() {
         world.base.bytecode.len(),
         world.v2.bytecode.len()
     );
-    println!("{:<26} | {:>10} | {:>10}", "deployment gas", base_deploy, v2_deploy);
+    println!(
+        "{:<26} | {:>10} | {:>10}",
+        "deployment gas", base_deploy, v2_deploy
+    );
     println!(
         "{:<26} | {:>10} | {:>10}",
         "ABI functions",
@@ -196,7 +226,12 @@ fn f56_contracts() {
         let contract = if use_v2 {
             world
                 .manager
-                .deploy(world.landlord, world.upload_v2, &world.v2_args(), U256::ZERO)
+                .deploy(
+                    world.landlord,
+                    world.upload_v2,
+                    &world.v2_args(),
+                    U256::ZERO,
+                )
                 .unwrap()
         } else {
             world.deploy_base()
@@ -211,13 +246,19 @@ fn f56_contracts() {
     let (vc, vr, vt) = run(true);
     println!("{:<26} | {:>10} | {:>10}", "confirmAgreement gas", bc, vc);
     println!("{:<26} | {:>10} | {:>10}", "payRent gas", br, vr);
-    println!("{:<26} | {:>10} | {:>10}", "terminate gas (landlord)", bt, vt);
+    println!(
+        "{:<26} | {:>10} | {:>10}",
+        "terminate gas (landlord)", bt, vt
+    );
     println!("(v2 confirm escrows the deposit; v2 terminate refunds it)");
 }
 
 fn a1_ablation() {
     header("A1: data/logic separation vs monolithic re-entry (update path)");
-    println!("{:>4} | {:>16} | {:>16}", "K", "migrate (gas)", "re-entry (gas)");
+    println!(
+        "{:>4} | {:>16} | {:>16}",
+        "K", "migrate (gas)", "re-entry (gas)"
+    );
     println!("{}", "-".repeat(44));
     for k in [2usize, 8, 24] {
         let gas_migrate = {
@@ -228,7 +269,9 @@ fn a1_ablation() {
             let keys: Vec<String> = (0..k).map(|i| format!("attr{i}")).collect();
             let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
             for key in &keys {
-                store.set(world.landlord, v1.address(), key, "value").unwrap();
+                store
+                    .set(world.landlord, v1.address(), key, "value")
+                    .unwrap();
             }
             let b0 = world.web3.block_number();
             world
@@ -243,9 +286,11 @@ fn a1_ablation() {
                 )
                 .unwrap();
             let b1 = world.web3.block_number();
-            world
-                .web3
-                .with_node(|node| (b0 + 1..=b1).map(|b| node.block(b).unwrap().gas_used).sum::<u64>())
+            world.web3.with_node(|node| {
+                (b0 + 1..=b1)
+                    .map(|b| node.block(b).unwrap().gas_used)
+                    .sum::<u64>()
+            })
         };
         let gas_reentry = {
             let world = BenchWorld::new();
@@ -254,18 +299,24 @@ fn a1_ablation() {
             let v1 = world.deploy_base();
             let keys: Vec<String> = (0..k).map(|i| format!("attr{i}")).collect();
             for key in &keys {
-                store.set(world.landlord, v1.address(), key, "value").unwrap();
+                store
+                    .set(world.landlord, v1.address(), key, "value")
+                    .unwrap();
             }
             let b0 = world.web3.block_number();
             let v2 = world.deploy_base();
             for key in &keys {
                 let value = store.get(v1.address(), key).unwrap();
-                store.set(world.landlord, v2.address(), key, &value).unwrap();
+                store
+                    .set(world.landlord, v2.address(), key, &value)
+                    .unwrap();
             }
             let b1 = world.web3.block_number();
-            world
-                .web3
-                .with_node(|node| (b0 + 1..=b1).map(|b| node.block(b).unwrap().gas_used).sum::<u64>())
+            world.web3.with_node(|node| {
+                (b0 + 1..=b1)
+                    .map(|b| node.block(b).unwrap().gas_used)
+                    .sum::<u64>()
+            })
         };
         println!("{k:>4} | {gas_migrate:>16} | {gas_reentry:>16}");
     }
@@ -274,7 +325,10 @@ fn a1_ablation() {
 
 fn a2_ablation() {
     header("A2: four-tier (IPFS) vs two-tier (on-chain) legal-document storage");
-    println!("{:>10} | {:>14} | {:>14}", "doc bytes", "IPFS gas", "on-chain gas");
+    println!(
+        "{:>10} | {:>14} | {:>14}",
+        "doc bytes", "IPFS gas", "on-chain gas"
+    );
     println!("{}", "-".repeat(46));
     for size in [1usize << 10, 4 << 10, 16 << 10] {
         let pdf: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
@@ -289,7 +343,9 @@ fn a2_ablation() {
         let b0 = world.web3.block_number();
         for (i, chunk) in pdf.chunks(1024).enumerate() {
             let text: String = chunk.iter().map(|b| (b'a' + b % 26) as char).collect();
-            store.set(world.landlord, owner, &format!("doc-{i}"), &text).unwrap();
+            store
+                .set(world.landlord, owner, &format!("doc-{i}"), &text)
+                .unwrap();
         }
         let b1 = world.web3.block_number();
         let gas: u64 = world
@@ -324,10 +380,19 @@ fn a3_ablation() {
         .web3
         .with_node(|node| (b0 + 1..=b1).map(|b| node.block(b).unwrap().gas_used).sum());
     let naive_recoverable = world2.manager.history(last.address()).unwrap().len();
-    println!("{:<28} | {:>12} | {:>18}", "mechanism", "total gas", "history recoverable");
+    println!(
+        "{:<28} | {:>12} | {:>18}",
+        "mechanism", "total gas", "history recoverable"
+    );
     println!("{}", "-".repeat(66));
-    println!("{:<28} | {versioned_gas:>12} | {recoverable:>15}/{n}", "linked versioning (5 vers.)");
-    println!("{:<28} | {naive_gas:>12} | {naive_recoverable:>15}/{n}", "redeploy-and-forget");
+    println!(
+        "{:<28} | {versioned_gas:>12} | {recoverable:>15}/{n}",
+        "linked versioning (5 vers.)"
+    );
+    println!(
+        "{:<28} | {naive_gas:>12} | {naive_recoverable:>15}/{n}",
+        "redeploy-and-forget"
+    );
     println!(
         "(the evidence line costs {} extra gas per modification — two pointer writes)",
         (versioned_gas - naive_gas) / (n as u64 - 1)

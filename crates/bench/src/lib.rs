@@ -83,7 +83,12 @@ impl BenchWorld {
     /// Deploy version 1 of the base contract.
     pub fn deploy_base(&self) -> Contract {
         self.manager
-            .deploy(self.landlord, self.upload_base, &self.base_args(), U256::ZERO)
+            .deploy(
+                self.landlord,
+                self.upload_base,
+                &self.base_args(),
+                U256::ZERO,
+            )
             .expect("deploy")
     }
 
@@ -116,7 +121,10 @@ impl BenchWorld {
         let contract = self.deploy_base();
         let rental = Rental::at(contract);
         let mut gas = 0;
-        gas += rental.confirm_agreement(self.tenant).expect("confirm").gas_used;
+        gas += rental
+            .confirm_agreement(self.tenant)
+            .expect("confirm")
+            .gas_used;
         for _ in 0..months {
             gas += rental.pay_rent(self.tenant).expect("rent").gas_used;
         }
@@ -136,7 +144,13 @@ pub fn deployment_gas(artifact: &Artifact, args: &[AbiValue]) -> u64 {
     let web3 = Web3::new(LocalNode::new(1));
     let from = web3.accounts()[0];
     let (_, receipt) = web3
-        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), args, U256::ZERO)
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            args,
+            U256::ZERO,
+        )
         .expect("deploys");
     receipt.gas_used
 }
@@ -165,6 +179,9 @@ mod tests {
         let world = BenchWorld::new();
         let base_gas = deployment_gas(&world.base, &world.base_args());
         let v2_gas = deployment_gas(&world.v2, &world.v2_args());
-        assert!(v2_gas > base_gas, "the modified contract is bigger: {v2_gas} vs {base_gas}");
+        assert!(
+            v2_gas > base_gas,
+            "the modified contract is bigger: {v2_gas} vs {base_gas}"
+        );
     }
 }

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod node;
+mod parallel;
 pub mod snapshot;
 pub mod state;
 pub mod tx;

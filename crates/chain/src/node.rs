@@ -6,11 +6,12 @@
 //! accounts; time can be warped for testing time-dependent contract
 //! clauses (rent due dates, contract duration).
 
+use crate::parallel;
 use crate::state::WorldState;
 use crate::tx::{Block, Receipt, Transaction, TxError};
-use lsc_evm::{gas, BlockEnv, CallResult, Evm, Host, Log, Message};
+use lsc_evm::{gas, AccessKey, BlockEnv, CallResult, Evm, Host, Log, Message};
 use lsc_primitives::{Address, H256, U256};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Default balance for pre-funded dev accounts: 1000 ether.
 pub fn default_dev_balance() -> U256 {
@@ -30,6 +31,10 @@ pub struct ChainConfig {
     pub genesis_timestamp: u64,
     /// Miner/coinbase address.
     pub coinbase: Address,
+    /// Worker threads for parallel batch mining; `None` uses the
+    /// machine's available parallelism. On a single-core machine (or
+    /// with `Some(1)`) batch mining runs sequentially.
+    pub mining_workers: Option<usize>,
 }
 
 impl Default for ChainConfig {
@@ -40,6 +45,7 @@ impl Default for ChainConfig {
             block_time: 1,
             genesis_timestamp: 1_577_836_800, // 2020-01-01
             coinbase: Address::from_label("coinbase"),
+            mining_workers: None,
         }
     }
 }
@@ -60,6 +66,7 @@ struct NodeSnapshot {
     state: WorldState,
     blocks_len: usize,
     timestamp: u64,
+    pending: Vec<Transaction>,
 }
 
 impl WorldState {
@@ -155,7 +162,9 @@ impl LocalNode {
                 continue;
             }
             for tx_hash in &block.tx_hashes {
-                let Some(receipt) = self.receipts.get(tx_hash) else { continue };
+                let Some(receipt) = self.receipts.get(tx_hash) else {
+                    continue;
+                };
                 for log in &receipt.logs {
                     if let Some(filter) = address {
                         if log.address != filter {
@@ -230,6 +239,7 @@ impl LocalNode {
             state: self.state.deep_clone(),
             blocks_len: self.blocks.len(),
             timestamp: self.timestamp,
+            pending: self.pending.clone(),
         });
         self.snapshots.len() - 1
     }
@@ -248,21 +258,33 @@ impl LocalNode {
         }
         self.state = snapshot.state;
         self.timestamp = snapshot.timestamp;
+        self.pending = snapshot.pending;
         true
     }
 
-    fn block_env(&self, gas_price: U256) -> (BlockEnv, U256) {
-        (
-            BlockEnv {
-                number: self.block_number() + 1,
-                timestamp: self.timestamp + self.config.block_time,
-                coinbase: self.config.coinbase,
-                gas_limit: self.config.block_gas_limit,
-                difficulty: U256::ZERO,
-                chain_id: self.config.chain_id,
-            },
-            gas_price,
-        )
+    /// The environment the *next* block will execute under. Per-transaction
+    /// data (gas price) deliberately lives outside it — every transaction
+    /// in a batch sees its own `tx.gas_price`, whether mined instantly or
+    /// together.
+    fn block_env(&self) -> BlockEnv {
+        BlockEnv {
+            number: self.block_number() + 1,
+            timestamp: self.timestamp + self.config.block_time,
+            coinbase: self.config.coinbase,
+            gas_limit: self.config.block_gas_limit,
+            difficulty: U256::ZERO,
+            chain_id: self.config.chain_id,
+        }
+    }
+
+    /// Hashes of the most recent 256 blocks, newest first (BLOCKHASH).
+    fn recent_hashes(&self) -> Vec<(u64, H256)> {
+        self.blocks
+            .iter()
+            .rev()
+            .take(256)
+            .map(|b| (b.number, b.hash))
+            .collect()
     }
 
     /// Validate, execute and mine a transaction; returns its receipt.
@@ -276,11 +298,16 @@ impl LocalNode {
         let expected_nonce = self.state.nonce(tx.from);
         let nonce = tx.nonce.unwrap_or(expected_nonce);
         if nonce != expected_nonce {
-            return Err(TxError::NonceMismatch { expected: expected_nonce, got: nonce });
+            return Err(TxError::NonceMismatch {
+                expected: expected_nonce,
+                got: nonce,
+            });
         }
         let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
         if tx.gas < intrinsic {
-            return Err(TxError::IntrinsicGasTooLow { required: intrinsic });
+            return Err(TxError::IntrinsicGasTooLow {
+                required: intrinsic,
+            });
         }
         if tx.gas > self.config.block_gas_limit {
             return Err(TxError::ExceedsBlockGasLimit);
@@ -297,8 +324,7 @@ impl LocalNode {
         let debited = self.state.debit(tx.from, upfront);
         debug_assert!(debited, "balance checked above");
 
-        let recent_hashes: Vec<(u64, H256)> =
-            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let recent_hashes = self.recent_hashes();
 
         let exec_gas = tx.gas - intrinsic;
         let message = match tx.to {
@@ -331,7 +357,8 @@ impl LocalNode {
         let gas_used = intrinsic + exec_used - refund;
         let reimburse = U256::from(tx.gas - gas_used) * tx.gas_price;
         self.state.credit(tx.from, reimburse);
-        self.state.credit(self.config.coinbase, U256::from(gas_used) * tx.gas_price);
+        self.state
+            .credit(self.config.coinbase, U256::from(gas_used) * tx.gas_price);
         self.state.commit();
 
         let tx_hash = tx.hash(nonce);
@@ -375,7 +402,7 @@ impl LocalNode {
     /// Validate, execute and instantly mine a transaction into its own
     /// block; returns its receipt.
     pub fn send_transaction(&mut self, tx: Transaction) -> Result<Receipt, TxError> {
-        let (env, _) = self.block_env(tx.gas_price);
+        let env = self.block_env();
         let (tx_hash, receipt) = self.execute_transaction(&tx, &env)?;
         self.seal_block(vec![(tx_hash, receipt.clone())]);
         // Re-read to pick up the sealed block number / index.
@@ -393,12 +420,81 @@ impl LocalNode {
         self.pending.len()
     }
 
-    /// Mine every queued transaction into ONE block (in submission order).
+    /// Mine every queued transaction into ONE block (in submission order),
+    /// executing them in parallel where their state accesses are disjoint.
     /// Returns the sealed block and the errors of transactions that failed
     /// validation (they are dropped, matching dev-node behaviour).
+    ///
+    /// The result — state, receipts, gas totals, errors — is bit-identical
+    /// to [`LocalNode::mine_block_sequential`]: transactions execute
+    /// speculatively against the block-start state with their read/write
+    /// sets recorded, then commit in submission order; any transaction
+    /// whose reads were invalidated by an earlier commit (or that observes
+    /// the coinbase account after fees started accruing) is re-executed
+    /// against the committed state, which is exactly the sequential view.
     pub fn mine_block(&mut self) -> (Block, Vec<TxError>) {
         let pending = std::mem::take(&mut self.pending);
-        let (env, _) = self.block_env(U256::from_u64(1));
+        let workers = self.config.mining_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        if pending.len() < 2 || workers < 2 {
+            return self.mine_batch_sequential(pending);
+        }
+
+        let env = self.block_env();
+        let recent_hashes = self.recent_hashes();
+        let coinbase = self.config.coinbase;
+        let block_gas_limit = self.config.block_gas_limit;
+        let outcomes = parallel::speculate_batch(
+            &self.state,
+            &env,
+            block_gas_limit,
+            &recent_hashes,
+            &pending,
+            workers,
+        );
+
+        let mut committed_writes: HashSet<AccessKey> = HashSet::new();
+        let mut any_committed = false;
+        let mut executed = Vec::with_capacity(pending.len());
+        let mut errors = Vec::new();
+        for (tx, speculated) in pending.iter().zip(outcomes) {
+            let stale = speculated.access.reads_conflict_with(&committed_writes)
+                || (any_committed && speculated.access.touches_account_balance(coinbase));
+            let outcome = if stale {
+                // Re-execute against the committed state: at this point it
+                // is exactly what sequential mining would see.
+                parallel::speculate(&self.state, &env, block_gas_limit, &recent_hashes, tx)
+            } else {
+                speculated
+            };
+            match outcome.result {
+                Ok(entry) => {
+                    parallel::apply_writes(&mut self.state, &outcome.access, &outcome.writes);
+                    self.state.credit(coinbase, outcome.fee);
+                    self.state.commit();
+                    committed_writes.extend(outcome.access.writes.iter().copied());
+                    any_committed = true;
+                    executed.push(entry);
+                }
+                Err(error) => errors.push(error),
+            }
+        }
+        (self.seal_block(executed), errors)
+    }
+
+    /// Mine every queued transaction into ONE block strictly one after
+    /// another — the reference implementation [`LocalNode::mine_block`] is
+    /// checked against, and the baseline for the speedup benchmarks.
+    pub fn mine_block_sequential(&mut self) -> (Block, Vec<TxError>) {
+        let pending = std::mem::take(&mut self.pending);
+        self.mine_batch_sequential(pending)
+    }
+
+    fn mine_batch_sequential(&mut self, pending: Vec<Transaction>) -> (Block, Vec<TxError>) {
+        let env = self.block_env();
         let mut executed = Vec::with_capacity(pending.len());
         let mut errors = Vec::new();
         for tx in pending {
@@ -418,9 +514,9 @@ impl LocalNode {
         to: Address,
         data: Vec<u8>,
     ) -> (CallResult, Vec<lsc_evm::TraceStep>) {
-        let (env, gas_price) = self.block_env(U256::from_u64(1));
-        let recent_hashes: Vec<(u64, H256)> =
-            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let env = self.block_env();
+        let gas_price = U256::from_u64(1);
+        let recent_hashes = self.recent_hashes();
         let checkpoint = self.state.checkpoint();
         let (result, trace) = {
             let mut host = StateHost {
@@ -432,7 +528,10 @@ impl LocalNode {
                 recent_hashes: &recent_hashes,
             };
             let message = Message::call(from, to, U256::ZERO, data, 30_000_000);
-            let config = lsc_evm::Config { trace: true, ..Default::default() };
+            let config = lsc_evm::Config {
+                trace: true,
+                ..Default::default()
+            };
             let mut evm = Evm::with_config(&mut host, config);
             let result = evm.execute(message);
             (result, std::mem::take(&mut evm.trace))
@@ -443,9 +542,9 @@ impl LocalNode {
 
     /// Execute a read-only call (`eth_call`): state changes are discarded.
     pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
-        let (env, gas_price) = self.block_env(U256::from_u64(1));
-        let recent_hashes: Vec<(u64, H256)> =
-            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let env = self.block_env();
+        let gas_price = U256::from_u64(1);
+        let recent_hashes = self.recent_hashes();
         let checkpoint = self.state.checkpoint();
         let result = {
             let mut host = StateHost {
@@ -467,9 +566,9 @@ impl LocalNode {
     /// executes against a throwaway journal and reports actual usage.
     pub fn estimate_gas(&mut self, tx: &Transaction) -> Result<u64, TxError> {
         let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
-        let (env, gas_price) = self.block_env(tx.gas_price);
-        let recent_hashes: Vec<(u64, H256)> =
-            self.blocks.iter().rev().take(256).map(|b| (b.number, b.hash)).collect();
+        let env = self.block_env();
+        let gas_price = tx.gas_price;
+        let recent_hashes = self.recent_hashes();
         let checkpoint = self.state.checkpoint();
         let exec_gas = self.config.block_gas_limit - intrinsic;
         let message = match tx.to {
@@ -592,7 +691,8 @@ impl Host for StateHost<'_> {
     }
 
     fn snapshot(&mut self) -> usize {
-        self.snapshots.push((self.state.checkpoint(), self.logs.len()));
+        self.snapshots
+            .push((self.state.checkpoint(), self.logs.len()));
         self.snapshots.len() - 1
     }
 

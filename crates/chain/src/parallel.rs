@@ -1,0 +1,589 @@
+//! Optimistic parallel block execution (Block-STM-lite).
+//!
+//! [`crate::node::LocalNode::mine_block`] executes every queued
+//! transaction *speculatively* against the immutable block-start state,
+//! in parallel, recording each transaction's read/write set with
+//! `lsc-evm`'s [`RecordingHost`]. A sequential commit pass then walks the
+//! transactions in submission order: a speculation whose reads are
+//! untouched by earlier commits has its buffered writes applied verbatim;
+//! anything else is re-executed against the committed state, which is
+//! exactly what sequential mining would have seen at that point. The
+//! mined block is therefore bit-identical to sequential execution
+//! (property-tested in `tests/parallel_determinism.rs`), while
+//! independent transactions pay no serialisation cost.
+//!
+//! Coinbase fees are deliberately excluded from the recorded write sets:
+//! fee credits commute, so they are applied at commit time instead.
+//! Any transaction that *observes* the coinbase account (balance or
+//! existence) after an earlier transaction has committed is forced onto
+//! the re-execution path, keeping GASPRICE/fee-sensitive contracts exact.
+
+use crate::state::{Account, WorldState};
+use crate::tx::{Receipt, Transaction, TxError};
+use lsc_evm::{gas, AccessKey, AccessSet, BlockEnv, Evm, Host, Log, Message, RecordingHost};
+use lsc_primitives::{Address, H256, U256};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The buffered result of speculatively executing one transaction.
+pub(crate) struct SpecOutcome {
+    /// Receipt (with block fields unset) or the validation error,
+    /// mirroring `LocalNode::execute_transaction`.
+    pub result: Result<(H256, Receipt), TxError>,
+    /// Everything the execution read and wrote.
+    pub access: AccessSet,
+    /// Final per-account overlay; `None` marks a self-destructed account.
+    pub writes: HashMap<Address, Option<Account>>,
+    /// Gas fee owed to the coinbase, applied commutatively at commit.
+    pub fee: U256,
+}
+
+/// World-state view for one speculative transaction: reads fall through
+/// to the shared immutable base, writes land in a private copy-on-write
+/// overlay. EVM-level snapshot/revert clones the overlay — speculative
+/// transactions are small, and the base is never copied.
+struct SpecHost<'a> {
+    base: &'a WorldState,
+    env: &'a BlockEnv,
+    gas_price: U256,
+    recent_hashes: &'a [(u64, H256)],
+    overlay: HashMap<Address, Option<Account>>,
+    logs: Vec<Log>,
+    /// Snapshot id → (overlay clone, logs length).
+    snapshots: Vec<(HashMap<Address, Option<Account>>, usize)>,
+}
+
+impl<'a> SpecHost<'a> {
+    fn new(
+        base: &'a WorldState,
+        env: &'a BlockEnv,
+        gas_price: U256,
+        recent_hashes: &'a [(u64, H256)],
+    ) -> Self {
+        SpecHost {
+            base,
+            env,
+            gas_price,
+            recent_hashes,
+            overlay: HashMap::new(),
+            logs: Vec::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Current view of an account (`None` when absent or destroyed).
+    fn view(&self, address: Address) -> Option<&Account> {
+        match self.overlay.get(&address) {
+            Some(Some(account)) => Some(account),
+            Some(None) => None,
+            None => self.base.account(address),
+        }
+    }
+
+    /// Copy-on-write mutable account, created empty when absent.
+    fn entry(&mut self, address: Address) -> &mut Account {
+        let base = self.base;
+        let slot = self
+            .overlay
+            .entry(address)
+            .or_insert_with(|| Some(base.account(address).cloned().unwrap_or_default()));
+        if slot.is_none() {
+            *slot = Some(Account::default());
+        }
+        slot.as_mut().expect("slot populated above")
+    }
+
+    fn credit(&mut self, address: Address, value: U256) {
+        let balance = self.view(address).map(|a| a.balance).unwrap_or(U256::ZERO);
+        self.entry(address).balance = balance + value;
+    }
+
+    #[must_use]
+    fn debit(&mut self, address: Address, value: U256) -> bool {
+        let balance = self.view(address).map(|a| a.balance).unwrap_or(U256::ZERO);
+        if balance < value {
+            return false;
+        }
+        self.entry(address).balance = balance - value;
+        true
+    }
+
+    fn set_nonce(&mut self, address: Address, nonce: u64) {
+        self.entry(address).nonce = nonce;
+    }
+}
+
+impl Host for SpecHost<'_> {
+    fn block(&self) -> &BlockEnv {
+        self.env
+    }
+
+    fn blockhash(&self, number: u64) -> H256 {
+        self.recent_hashes
+            .iter()
+            .find(|(n, _)| *n == number)
+            .map(|(_, h)| *h)
+            .unwrap_or(H256::ZERO)
+    }
+
+    fn gas_price(&self) -> U256 {
+        self.gas_price
+    }
+
+    fn exists(&self, address: Address) -> bool {
+        self.view(address).is_some()
+    }
+
+    fn balance(&self, address: Address) -> U256 {
+        self.view(address).map(|a| a.balance).unwrap_or(U256::ZERO)
+    }
+
+    fn nonce(&self, address: Address) -> u64 {
+        self.view(address).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    fn code(&self, address: Address) -> Vec<u8> {
+        self.view(address)
+            .map(|a| a.code.as_ref().clone())
+            .unwrap_or_default()
+    }
+
+    fn code_hash(&self, address: Address) -> H256 {
+        match self.view(address) {
+            Some(a) if !a.code.is_empty() => H256::keccak(a.code.as_slice()),
+            _ => H256::ZERO,
+        }
+    }
+
+    fn sload(&mut self, address: Address, key: U256) -> U256 {
+        self.view(address)
+            .and_then(|a| a.storage.get(&key).copied())
+            .unwrap_or(U256::ZERO)
+    }
+
+    fn sstore(&mut self, address: Address, key: U256, value: U256) -> U256 {
+        let previous = self.sload(address, key);
+        let account = self.entry(address);
+        if value.is_zero() {
+            account.storage.remove(&key);
+        } else {
+            account.storage.insert(key, value);
+        }
+        previous
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: U256) -> bool {
+        if value.is_zero() {
+            return true;
+        }
+        if !self.debit(from, value) {
+            return false;
+        }
+        self.credit(to, value);
+        true
+    }
+
+    fn mint(&mut self, to: Address, value: U256) {
+        self.credit(to, value);
+    }
+
+    fn inc_nonce(&mut self, address: Address) -> u64 {
+        let nonce = self.nonce(address);
+        self.set_nonce(address, nonce + 1);
+        nonce
+    }
+
+    fn set_code(&mut self, address: Address, code: Vec<u8>) {
+        self.entry(address).code = std::sync::Arc::new(code);
+    }
+
+    fn create_account(&mut self, address: Address) {
+        if !self.exists(address) {
+            self.overlay.insert(address, Some(Account::default()));
+        }
+    }
+
+    fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
+        let balance = self.balance(address);
+        if !balance.is_zero() {
+            let debited = self.debit(address, balance);
+            debug_assert!(debited);
+            self.credit(beneficiary, balance);
+        }
+        self.overlay.insert(address, None);
+    }
+
+    fn log(&mut self, log: Log) {
+        self.logs.push(log);
+    }
+
+    fn snapshot(&mut self) -> usize {
+        self.snapshots.push((self.overlay.clone(), self.logs.len()));
+        self.snapshots.len() - 1
+    }
+
+    fn revert(&mut self, snapshot: usize) {
+        let (overlay, logs_len) = self.snapshots[snapshot].clone();
+        self.overlay = overlay;
+        self.logs.truncate(logs_len);
+        self.snapshots.truncate(snapshot);
+    }
+}
+
+/// Speculatively execute `tx` against `state` without touching it.
+///
+/// This mirrors `LocalNode::execute_transaction` step for step (nonce
+/// check, intrinsic gas, block gas limit, upfront balance, gas purchase,
+/// call-vs-create nonce bump, execution, refund-capped settlement) so
+/// that a conflict-free speculation is indistinguishable from a
+/// sequential run. The coinbase fee is *returned*, not applied, so the
+/// caller can credit it commutatively.
+pub(crate) fn speculate(
+    state: &WorldState,
+    env: &BlockEnv,
+    block_gas_limit: u64,
+    recent_hashes: &[(u64, H256)],
+    tx: &Transaction,
+) -> SpecOutcome {
+    let mut host = RecordingHost::new(SpecHost::new(state, env, tx.gas_price, recent_hashes));
+
+    let abort = |host: RecordingHost<SpecHost<'_>>, error: TxError| {
+        // Validation failures happen before any state mutation, so the
+        // overlay is empty; the recorded *reads* still matter, because the
+        // error itself (wrong nonce, poor balance) must be revalidated if
+        // an earlier transaction touched them.
+        let (_, access) = host.into_parts();
+        SpecOutcome {
+            result: Err(error),
+            access,
+            writes: HashMap::new(),
+            fee: U256::ZERO,
+        }
+    };
+
+    let expected_nonce = host.nonce(tx.from);
+    let nonce = tx.nonce.unwrap_or(expected_nonce);
+    if nonce != expected_nonce {
+        return abort(
+            host,
+            TxError::NonceMismatch {
+                expected: expected_nonce,
+                got: nonce,
+            },
+        );
+    }
+    let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
+    if tx.gas < intrinsic {
+        return abort(
+            host,
+            TxError::IntrinsicGasTooLow {
+                required: intrinsic,
+            },
+        );
+    }
+    if tx.gas > block_gas_limit {
+        return abort(host, TxError::ExceedsBlockGasLimit);
+    }
+    let upfront = U256::from(tx.gas) * tx.gas_price;
+    let total = match upfront.checked_add(tx.value) {
+        Some(total) => total,
+        None => return abort(host, TxError::InsufficientFunds),
+    };
+    if host.balance(tx.from) < total {
+        return abort(host, TxError::InsufficientFunds);
+    }
+
+    // Buy gas.
+    host.record_write(AccessKey::Balance(tx.from));
+    let debited = host.inner.debit(tx.from, upfront);
+    debug_assert!(debited, "balance checked above");
+
+    let exec_gas = tx.gas - intrinsic;
+    let message = match tx.to {
+        Some(to) => {
+            // Calls bump the sender nonce here; creations bump it inside
+            // the EVM (the CREATE address derivation consumes it).
+            host.record_write(AccessKey::Nonce(tx.from));
+            host.inner.set_nonce(tx.from, expected_nonce + 1);
+            Message::call(tx.from, to, tx.value, tx.data.clone(), exec_gas)
+        }
+        None => Message::create(tx.from, tx.value, tx.data.clone(), exec_gas),
+    };
+
+    let result = Evm::new(&mut host).execute(message);
+
+    // Settle gas: refund capped at half of what was used.
+    let exec_used = exec_gas - result.gas_left;
+    let refund = result.gas_refund.min(exec_used / 2);
+    let gas_used = intrinsic + exec_used - refund;
+    let reimburse = U256::from(tx.gas - gas_used) * tx.gas_price;
+    host.record_write(AccessKey::Balance(tx.from));
+    host.inner.credit(tx.from, reimburse);
+    let fee = U256::from(gas_used) * tx.gas_price;
+
+    let (spec, access) = host.into_parts();
+    let tx_hash = tx.hash(nonce);
+    let receipt = Receipt {
+        tx_hash,
+        block_number: 0, // sealed by the caller
+        tx_index: 0,
+        status: u64::from(result.success),
+        gas_used,
+        contract_address: result.created,
+        logs: spec.logs,
+        output: result.output,
+    };
+    SpecOutcome {
+        result: Ok((tx_hash, receipt)),
+        access,
+        writes: spec.overlay,
+        fee,
+    }
+}
+
+/// Speculate every transaction concurrently against the same base state.
+/// Results come back in input order.
+pub(crate) fn speculate_batch(
+    state: &WorldState,
+    env: &BlockEnv,
+    block_gas_limit: u64,
+    recent_hashes: &[(u64, H256)],
+    txs: &[Transaction],
+    workers: usize,
+) -> Vec<SpecOutcome> {
+    let workers = workers.min(txs.len()).max(1);
+    if workers == 1 {
+        return txs
+            .iter()
+            .map(|tx| speculate(state, env, block_gas_limit, recent_hashes, tx))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SpecOutcome>>> = txs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= txs.len() {
+                    break;
+                }
+                let outcome = speculate(state, env, block_gas_limit, recent_hashes, &txs[index]);
+                *slots[index].lock().expect("no poisoned speculation slot") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned speculation slot")
+                .expect("every index claimed by a worker")
+        })
+        .collect()
+}
+
+/// Apply a validated speculation's buffered writes to the world state.
+///
+/// Only keys in the recorded write set are applied — never the whole
+/// overlay account — so state written by *earlier commits* on fields this
+/// transaction never touched survives. `StorageAll` (selfdestruct) is the
+/// exception: it replaces the account wholesale, which is sound because
+/// selfdestruct also *reads* `StorageAll` and therefore conflicts with
+/// any earlier per-slot write (see `RecordingHost::selfdestruct`).
+pub(crate) fn apply_writes(
+    state: &mut WorldState,
+    access: &AccessSet,
+    writes: &HashMap<Address, Option<Account>>,
+) {
+    // Whole-account replacements first.
+    let mut replaced: HashSet<Address> = HashSet::new();
+    for key in &access.writes {
+        if let AccessKey::StorageAll(address) = key {
+            state.destroy_account(*address);
+            if let Some(Some(account)) = writes.get(address) {
+                // Selfdestruct was reverted (or the account re-emerged):
+                // install its exact final state.
+                state.restore_account(*address, account.clone());
+            }
+            replaced.insert(*address);
+        }
+    }
+    for key in &access.writes {
+        let address = key.address();
+        if replaced.contains(&address) {
+            continue;
+        }
+        // A write key without an overlay entry means the write never
+        // materialised (e.g. a failed transfer records conservatively):
+        // the base value stands.
+        let Some(entry) = writes.get(&address) else {
+            continue;
+        };
+        match (key, entry) {
+            (AccessKey::StorageAll(_), _) => unreachable!("handled above"),
+            (AccessKey::Existence(a), None) => state.destroy_account(*a),
+            (AccessKey::Existence(a), Some(_)) => state.create_account(*a),
+            (_, None) => {
+                // Destroyed account without StorageAll cannot happen (the
+                // selfdestruct recorder always emits it), but stay safe.
+                state.destroy_account(address);
+            }
+            (AccessKey::Balance(a), Some(account)) => state.set_balance(*a, account.balance),
+            (AccessKey::Nonce(a), Some(account)) => state.set_nonce(*a, account.nonce),
+            (AccessKey::Code(a), Some(account)) => {
+                state.set_code(*a, account.code.as_ref().clone())
+            }
+            (AccessKey::Storage(a, slot), Some(account)) => {
+                let value = account.storage.get(slot).copied().unwrap_or(U256::ZERO);
+                state.set_storage(*a, *slot, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_evm::asm::Asm;
+    use lsc_evm::opcode::op;
+
+    fn addr(label: &str) -> Address {
+        Address::from_label(label)
+    }
+
+    fn funded_state(pairs: &[(&str, u64)]) -> WorldState {
+        let mut state = WorldState::new();
+        for (label, wei) in pairs {
+            state.credit(addr(label), U256::from_u64(*wei));
+        }
+        state.commit();
+        state
+    }
+
+    fn transfer_tx(from: &str, to: &str, wei: u64) -> Transaction {
+        let mut tx = Transaction::call(addr(from), addr(to), vec![])
+            .with_value(U256::from_u64(wei))
+            .with_gas(50_000);
+        tx.gas_price = U256::from_u64(1);
+        tx
+    }
+
+    #[test]
+    fn speculation_leaves_base_untouched() {
+        let state = funded_state(&[("alice", 1_000_000)]);
+        let env = BlockEnv::default();
+        let tx = transfer_tx("alice", "bob", 7);
+        let outcome = speculate(&state, &env, 30_000_000, &[], &tx);
+        assert!(outcome.result.is_ok());
+        assert_eq!(state.balance(addr("bob")), U256::ZERO);
+        assert!(outcome.writes.contains_key(&addr("bob")));
+        assert!(outcome
+            .access
+            .writes
+            .contains(&AccessKey::Balance(addr("alice"))));
+    }
+
+    #[test]
+    fn apply_writes_matches_direct_execution() {
+        let state = funded_state(&[("alice", 1_000_000)]);
+        let env = BlockEnv::default();
+        let tx = transfer_tx("alice", "bob", 7);
+        let outcome = speculate(&state, &env, 30_000_000, &[], &tx);
+        let mut committed = funded_state(&[("alice", 1_000_000)]);
+        apply_writes(&mut committed, &outcome.access, &outcome.writes);
+        committed.commit();
+        assert_eq!(committed.balance(addr("bob")), U256::from_u64(7));
+        let (_, receipt) = outcome.result.expect("transfer succeeds");
+        let spent = U256::from_u64(7) + U256::from(receipt.gas_used) * tx.gas_price;
+        assert_eq!(
+            committed.balance(addr("alice")),
+            U256::from_u64(1_000_000) - spent
+        );
+        assert_eq!(committed.nonce(addr("alice")), 1);
+    }
+
+    #[test]
+    fn independent_writes_do_not_conflict() {
+        let state = funded_state(&[("alice", 1_000_000), ("carol", 1_000_000)]);
+        let env = BlockEnv::default();
+        let tx1 = transfer_tx("alice", "bob", 5);
+        let tx2 = transfer_tx("carol", "dave", 5);
+        let o1 = speculate(&state, &env, 30_000_000, &[], &tx1);
+        let o2 = speculate(&state, &env, 30_000_000, &[], &tx2);
+        assert!(!o2.access.reads_conflict_with(&o1.access.writes));
+    }
+
+    #[test]
+    fn dependent_transfer_conflicts() {
+        let state = funded_state(&[("alice", 1_000_000), ("carol", 1_000_000)]);
+        let env = BlockEnv::default();
+        let tx1 = transfer_tx("alice", "bob", 5);
+        let tx2 = transfer_tx("carol", "bob", 5);
+        let o1 = speculate(&state, &env, 30_000_000, &[], &tx1);
+        let o2 = speculate(&state, &env, 30_000_000, &[], &tx2);
+        // Both credit bob: tx2 read bob's balance, tx1 wrote it.
+        assert!(o2.access.reads_conflict_with(&o1.access.writes));
+    }
+
+    #[test]
+    fn storage_contention_is_detected() {
+        // Runtime bytecode: storage[0] += 1.
+        let mut asm = Asm::new();
+        asm.push_u64(0)
+            .op(op::SLOAD)
+            .push_u64(1)
+            .op(op::ADD)
+            .push_u64(0)
+            .op(op::SSTORE)
+            .op(op::STOP);
+        let runtime = asm.assemble().expect("valid asm");
+        let counter = addr("counter");
+        let mut state = funded_state(&[("alice", 10_000_000), ("carol", 10_000_000)]);
+        state.set_code(counter, runtime);
+        state.commit();
+
+        let env = BlockEnv::default();
+        let mut tx1 = Transaction::call(addr("alice"), counter, vec![]).with_gas(200_000);
+        tx1.gas_price = U256::from_u64(1);
+        let mut tx2 = Transaction::call(addr("carol"), counter, vec![]).with_gas(200_000);
+        tx2.gas_price = U256::from_u64(1);
+        let o1 = speculate(&state, &env, 30_000_000, &[], &tx1);
+        let o2 = speculate(&state, &env, 30_000_000, &[], &tx2);
+        let (_, r1) = o1.result.as_ref().expect("tx1 ok");
+        assert_eq!(r1.status, 1);
+        assert!(o2.access.reads_conflict_with(&o1.access.writes));
+        assert!(o2
+            .access
+            .reads
+            .contains(&AccessKey::Storage(counter, U256::ZERO)));
+    }
+
+    #[test]
+    fn speculated_error_records_its_reads() {
+        let state = funded_state(&[("poor", 10)]);
+        let env = BlockEnv::default();
+        let tx = transfer_tx("poor", "bob", 1_000_000);
+        let outcome = speculate(&state, &env, 30_000_000, &[], &tx);
+        assert!(matches!(outcome.result, Err(TxError::InsufficientFunds)));
+        assert!(outcome.writes.is_empty());
+        assert!(outcome
+            .access
+            .reads
+            .contains(&AccessKey::Balance(addr("poor"))));
+    }
+
+    #[test]
+    fn batch_returns_outcomes_in_order() {
+        let state = funded_state(&[("alice", 1_000_000), ("carol", 1_000_000)]);
+        let env = BlockEnv::default();
+        let txs = vec![
+            transfer_tx("alice", "bob", 1),
+            transfer_tx("carol", "dave", 2),
+        ];
+        let outcomes = speculate_batch(&state, &env, 30_000_000, &[], &txs, 4);
+        assert_eq!(outcomes.len(), 2);
+        let (h0, _) = outcomes[0].result.as_ref().expect("tx0 ok");
+        assert_eq!(*h0, txs[0].hash(0));
+    }
+}

@@ -5,11 +5,11 @@
 
 use crate::node::LocalNode;
 use crate::state::Account;
+use core::fmt;
 use lsc_abi::json::{parse, JsonValue};
 use lsc_primitives::{hex, Address, U256};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use core::fmt;
 
 /// Error importing a snapshot document.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,17 +36,20 @@ impl LocalNode {
         for (address, account) in self.state_accounts() {
             let mut storage: BTreeMap<String, JsonValue> = BTreeMap::new();
             for (slot, value) in &account.storage {
-                storage.insert(
-                    format!("{slot:x}"),
-                    JsonValue::String(format!("{value:x}")),
-                );
+                storage.insert(format!("{slot:x}"), JsonValue::String(format!("{value:x}")));
             }
             accounts.insert(
                 address.to_string(),
                 JsonValue::object([
-                    ("balance", JsonValue::String(account.balance.to_decimal_string())),
+                    (
+                        "balance",
+                        JsonValue::String(account.balance.to_decimal_string()),
+                    ),
                     ("nonce", JsonValue::Number(account.nonce as f64)),
-                    ("code", JsonValue::String(hex::encode(account.code.as_slice()))),
+                    (
+                        "code",
+                        JsonValue::String(hex::encode(account.code.as_slice())),
+                    ),
                     ("storage", JsonValue::Object(storage)),
                 ]),
             );
@@ -80,8 +83,8 @@ impl LocalNode {
                 .get("balance")
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| SnapshotError("missing balance".into()))?;
-            let balance = U256::from_decimal_str(balance)
-                .map_err(|e| SnapshotError(e.to_string()))?;
+            let balance =
+                U256::from_decimal_str(balance).map_err(|e| SnapshotError(e.to_string()))?;
             let nonce = match body.get("nonce") {
                 Some(JsonValue::Number(n)) => *n as u64,
                 _ => return bad("missing nonce"),
@@ -96,19 +99,24 @@ impl LocalNode {
             let mut storage = std::collections::HashMap::new();
             if let Some(JsonValue::Object(slots)) = body.get("storage") {
                 for (slot, value) in slots {
-                    let slot = U256::from_hex_str(slot)
-                        .map_err(|e| SnapshotError(e.to_string()))?;
+                    let slot =
+                        U256::from_hex_str(slot).map_err(|e| SnapshotError(e.to_string()))?;
                     let value = value
                         .as_str()
                         .ok_or_else(|| SnapshotError("storage value must be a string".into()))?;
-                    let value = U256::from_hex_str(value)
-                        .map_err(|e| SnapshotError(e.to_string()))?;
+                    let value =
+                        U256::from_hex_str(value).map_err(|e| SnapshotError(e.to_string()))?;
                     storage.insert(slot, value);
                 }
             }
             self.restore_account_state(
                 address,
-                Account { balance, nonce, code: Arc::new(code), storage },
+                Account {
+                    balance,
+                    nonce,
+                    code: Arc::new(code),
+                    storage,
+                },
             );
             imported += 1;
         }
@@ -205,7 +213,10 @@ mod tests {
     #[test]
     fn save_and_load_files() {
         let mut node = LocalNode::new(2);
-        node.faucet(lsc_primitives::Address::from_label("extra"), U256::from_u64(55));
+        node.faucet(
+            lsc_primitives::Address::from_label("extra"),
+            U256::from_u64(55),
+        );
         let path = std::env::temp_dir().join("lsc-chain-snapshot-test.json");
         node.save_state(&path).unwrap();
         let mut fresh = LocalNode::new(0);
@@ -216,6 +227,8 @@ mod tests {
             U256::from_u64(55)
         );
         std::fs::remove_file(&path).ok();
-        assert!(fresh.load_state(std::path::Path::new("/nonexistent/nope.json")).is_err());
+        assert!(fresh
+            .load_state(std::path::Path::new("/nonexistent/nope.json"))
+            .is_err());
     }
 }

@@ -29,12 +29,30 @@ impl Account {
 /// Reversible operations recorded while executing a transaction.
 #[derive(Debug, Clone)]
 enum JournalEntry {
-    BalanceChange { address: Address, previous: U256 },
-    NonceChange { address: Address, previous: u64 },
-    StorageChange { address: Address, key: U256, previous: U256 },
-    CodeChange { address: Address, previous: Arc<Vec<u8>> },
-    AccountCreated { address: Address },
-    AccountDestroyed { address: Address, previous: Box<Account> },
+    BalanceChange {
+        address: Address,
+        previous: U256,
+    },
+    NonceChange {
+        address: Address,
+        previous: u64,
+    },
+    StorageChange {
+        address: Address,
+        key: U256,
+        previous: U256,
+    },
+    CodeChange {
+        address: Address,
+        previous: Arc<Vec<u8>>,
+    },
+    AccountCreated {
+        address: Address,
+    },
+    AccountDestroyed {
+        address: Address,
+        previous: Box<Account>,
+    },
 }
 
 /// The full world state with an undo journal.
@@ -67,7 +85,10 @@ impl WorldState {
 
     /// Balance (zero for unknown accounts).
     pub fn balance(&self, address: Address) -> U256 {
-        self.accounts.get(&address).map(|a| a.balance).unwrap_or(U256::ZERO)
+        self.accounts
+            .get(&address)
+            .map(|a| a.balance)
+            .unwrap_or(U256::ZERO)
     }
 
     /// Nonce (zero for unknown accounts).
@@ -101,7 +122,10 @@ impl WorldState {
 
     /// Iterate all storage slots of an account (test/diagnostic helper).
     pub fn storage_of(&self, address: Address) -> impl Iterator<Item = (&U256, &U256)> {
-        self.accounts.get(&address).into_iter().flat_map(|a| a.storage.iter())
+        self.accounts
+            .get(&address)
+            .into_iter()
+            .flat_map(|a| a.storage.iter())
     }
 
     fn entry(&mut self, address: Address) -> &mut Account {
@@ -111,7 +135,8 @@ impl WorldState {
     /// Set a balance, journaling the previous value.
     pub fn set_balance(&mut self, address: Address, balance: U256) {
         let previous = self.balance(address);
-        self.journal.push(JournalEntry::BalanceChange { address, previous });
+        self.journal
+            .push(JournalEntry::BalanceChange { address, previous });
         self.entry(address).balance = balance;
     }
 
@@ -135,14 +160,19 @@ impl WorldState {
     /// Set a nonce, journaling the previous value.
     pub fn set_nonce(&mut self, address: Address, nonce: u64) {
         let previous = self.nonce(address);
-        self.journal.push(JournalEntry::NonceChange { address, previous });
+        self.journal
+            .push(JournalEntry::NonceChange { address, previous });
         self.entry(address).nonce = nonce;
     }
 
     /// Write a storage slot, journaling; returns the previous value.
     pub fn set_storage(&mut self, address: Address, key: U256, value: U256) -> U256 {
         let previous = self.storage(address, key);
-        self.journal.push(JournalEntry::StorageChange { address, key, previous });
+        self.journal.push(JournalEntry::StorageChange {
+            address,
+            key,
+            previous,
+        });
         let account = self.entry(address);
         if value.is_zero() {
             account.storage.remove(&key);
@@ -155,7 +185,8 @@ impl WorldState {
     /// Install contract code.
     pub fn set_code(&mut self, address: Address, code: Vec<u8>) {
         let previous = self.code(address);
-        self.journal.push(JournalEntry::CodeChange { address, previous });
+        self.journal
+            .push(JournalEntry::CodeChange { address, previous });
         self.entry(address).code = Arc::new(code);
     }
 
@@ -192,7 +223,11 @@ impl WorldState {
                 JournalEntry::NonceChange { address, previous } => {
                     self.entry(address).nonce = previous;
                 }
-                JournalEntry::StorageChange { address, key, previous } => {
+                JournalEntry::StorageChange {
+                    address,
+                    key,
+                    previous,
+                } => {
                     let account = self.entry(address);
                     if previous.is_zero() {
                         account.storage.remove(&key);

@@ -171,7 +171,12 @@ impl Block {
             Item::from_u64(number),
             Item::Bytes(parent.0.to_vec()),
             Item::from_u64(timestamp),
-            Item::List(tx_hashes.iter().map(|h| Item::Bytes(h.0.to_vec())).collect()),
+            Item::List(
+                tx_hashes
+                    .iter()
+                    .map(|h| Item::Bytes(h.0.to_vec()))
+                    .collect(),
+            ),
         ]));
         H256::keccak(&encoded)
     }

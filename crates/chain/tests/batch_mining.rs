@@ -42,7 +42,10 @@ fn multiple_transactions_in_one_block() {
         assert!(receipt.is_success());
     }
     // Net balance effect applied in order.
-    assert_eq!(node.balance(b), ether(1000) + U256::from_u64(50) - U256::from_u64(21_000));
+    assert_eq!(
+        node.balance(b),
+        ether(1000) + U256::from_u64(50) - U256::from_u64(21_000)
+    );
 }
 
 #[test]
@@ -96,4 +99,100 @@ fn batch_and_instant_modes_interleave() {
     assert_eq!(node.nonce(a), 4);
     // All logs/receipts queryable across both modes.
     assert_eq!(node.block(2).unwrap().tx_hashes.len(), 2);
+}
+
+/// Init code deploying a runtime that returns GASPRICE as a 32-byte word.
+fn gasprice_echo_init() -> Vec<u8> {
+    use lsc_evm::asm::Asm;
+    use lsc_evm::opcode::op;
+    let mut runtime = Asm::new();
+    runtime.op(op::GASPRICE).push_u64(0).op(op::MSTORE);
+    runtime.push_u64(32).push_u64(0).op(op::RETURN);
+    let runtime = runtime.assemble().unwrap();
+    let mut init = Asm::new();
+    for (i, byte) in runtime.iter().enumerate() {
+        init.push_u64(*byte as u64)
+            .push_u64(i as u64)
+            .op(op::MSTORE8);
+    }
+    init.push_u64(runtime.len() as u64)
+        .push_u64(0)
+        .op(op::RETURN);
+    init.assemble().unwrap()
+}
+
+/// Regression: batched transactions must see their own `tx.gas_price`
+/// (GASPRICE opcode) and pay the coinbase at their own rate — exactly as
+/// if each had been mined instantly. An earlier `mine_block` built its
+/// environment around a hardcoded gas price of 1, inviting exactly this
+/// divergence.
+#[test]
+fn batch_receipts_match_instant_receipts_per_tx_gas_price() {
+    let mut instant = LocalNode::new(3);
+    let mut batch = LocalNode::new(3);
+
+    let deploy = |node: &mut LocalNode| {
+        let deployer = node.accounts()[0];
+        node.send_transaction(Transaction::deploy(deployer, gasprice_echo_init()))
+            .unwrap()
+            .contract_address
+            .unwrap()
+    };
+    let echo_instant = deploy(&mut instant);
+    let echo_batch = deploy(&mut batch);
+    assert_eq!(
+        echo_instant, echo_batch,
+        "identical nodes derive identical addresses"
+    );
+
+    let prices = [3u64, 7, 11];
+    let call = |node: &LocalNode, i: usize, price: u64, target: Address| {
+        let mut tx = Transaction::call(node.accounts()[i], target, vec![]);
+        tx.gas = 100_000;
+        tx.gas_price = U256::from_u64(price);
+        tx
+    };
+
+    let mut instant_receipts = Vec::new();
+    for (i, price) in prices.iter().enumerate() {
+        let tx = call(&instant, i, *price, echo_instant);
+        instant_receipts.push(instant.send_transaction(tx).unwrap());
+    }
+
+    for (i, price) in prices.iter().enumerate() {
+        let tx = call(&batch, i, *price, echo_batch);
+        batch.submit_transaction(tx);
+    }
+    let coinbase = batch.config().coinbase;
+    let coinbase_before = batch.balance(coinbase);
+    let (block, errors) = batch.mine_block();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(block.tx_hashes.len(), prices.len());
+
+    let mut expected_fees = U256::ZERO;
+    for (i, tx_hash) in block.tx_hashes.iter().enumerate() {
+        let batched = batch.receipt(*tx_hash).unwrap();
+        let instantly = &instant_receipts[i];
+        // The contract observed the transaction's own gas price …
+        assert_eq!(
+            batched.output,
+            U256::from_u64(prices[i]).to_be_bytes().to_vec(),
+            "GASPRICE must reflect tx {i}'s own gas price in batch mode"
+        );
+        // … and both modes agree on every execution-visible field.
+        assert_eq!(batched.output, instantly.output);
+        assert_eq!(batched.status, instantly.status);
+        assert_eq!(batched.gas_used, instantly.gas_used);
+        assert_eq!(batched.logs, instantly.logs);
+        expected_fees += U256::from(batched.gas_used) * U256::from_u64(prices[i]);
+    }
+    // The miner was paid per transaction at each transaction's own rate.
+    assert_eq!(batch.balance(coinbase) - coinbase_before, expected_fees);
+    // Sender balances agree between the two mining modes.
+    for i in 0..prices.len() {
+        assert_eq!(
+            batch.balance(batch.accounts()[i]),
+            instant.balance(instant.accounts()[i])
+        );
+    }
 }

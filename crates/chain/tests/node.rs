@@ -11,9 +11,13 @@ use lsc_primitives::{Address, U256};
 fn init_code_for(runtime: &[u8]) -> Vec<u8> {
     let mut init = Asm::new();
     for (i, byte) in runtime.iter().enumerate() {
-        init.push_u64(*byte as u64).push_u64(i as u64).op(op::MSTORE8);
+        init.push_u64(*byte as u64)
+            .push_u64(i as u64)
+            .op(op::MSTORE8);
     }
-    init.push_u64(runtime.len() as u64).push_u64(0).op(op::RETURN);
+    init.push_u64(runtime.len() as u64)
+        .push_u64(0)
+        .op(op::RETURN);
     init.assemble().unwrap()
 }
 
@@ -90,7 +94,10 @@ fn nonce_validation() {
     tx.nonce = Some(5);
     assert!(matches!(
         node.send_transaction(tx),
-        Err(TxError::NonceMismatch { expected: 0, got: 5 })
+        Err(TxError::NonceMismatch {
+            expected: 0,
+            got: 5
+        })
     ));
 }
 
@@ -114,15 +121,20 @@ fn insufficient_funds_rejected() {
     let pauper = Address::from_label("pauper");
     let to = node.accounts()[0];
     let tx = Transaction::call(pauper, to, vec![]);
-    assert!(matches!(node.send_transaction(tx), Err(TxError::InsufficientFunds)));
+    assert!(matches!(
+        node.send_transaction(tx),
+        Err(TxError::InsufficientFunds)
+    ));
 }
 
 #[test]
 fn block_gas_limit_enforced() {
     let mut node = LocalNode::new(2);
-    let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![])
-        .with_gas(31_000_000);
-    assert!(matches!(node.send_transaction(tx), Err(TxError::ExceedsBlockGasLimit)));
+    let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![]).with_gas(31_000_000);
+    assert!(matches!(
+        node.send_transaction(tx),
+        Err(TxError::ExceedsBlockGasLimit)
+    ));
 }
 
 #[test]
@@ -219,9 +231,14 @@ fn call_does_not_mutate_state() {
         .unwrap();
     let result = node.call(from, address, vec![]);
     assert!(result.success);
-    assert_eq!(node.storage_at(address, U256::ZERO), U256::ZERO, "eth_call discarded");
+    assert_eq!(
+        node.storage_at(address, U256::ZERO),
+        U256::ZERO,
+        "eth_call discarded"
+    );
     // A real transaction does persist.
-    node.send_transaction(Transaction::call(from, address, vec![])).unwrap();
+    node.send_transaction(Transaction::call(from, address, vec![]))
+        .unwrap();
     assert_eq!(node.storage_at(address, U256::ZERO), U256::ONE);
 }
 
@@ -240,4 +257,49 @@ fn faucet_credits() {
     let a = Address::from_label("someone");
     node.faucet(a, lsc_primitives::ether(3));
     assert_eq!(node.balance(a), lsc_primitives::ether(3));
+}
+
+/// Regression: `evm_snapshot` must capture the pending (un-mined)
+/// transaction queue. Before the fix, transactions submitted after the
+/// snapshot survived the revert and were mined into the rolled-back
+/// chain.
+#[test]
+fn snapshot_captures_pending_queue() {
+    let mut node = LocalNode::new(2);
+    let [from, to] = [node.accounts()[0], node.accounts()[1]];
+    let transfer = |wei: u64| Transaction {
+        from,
+        to: Some(to),
+        value: U256::from_u64(wei),
+        data: vec![],
+        gas: 21_000,
+        gas_price: U256::from_u64(1),
+        nonce: None,
+    };
+
+    node.submit_transaction(transfer(100));
+    let snap = node.snapshot();
+    node.submit_transaction(transfer(200));
+    node.submit_transaction(transfer(300));
+    assert_eq!(node.pending_count(), 3);
+
+    assert!(node.revert_to_snapshot(snap));
+    assert_eq!(
+        node.pending_count(),
+        1,
+        "post-snapshot submissions must be rolled back"
+    );
+
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(
+        block.tx_hashes.len(),
+        1,
+        "only the pre-snapshot transaction remains"
+    );
+    assert_eq!(
+        node.balance(to),
+        lsc_primitives::ether(1000) + U256::from_u64(100),
+        "exactly one transfer applied"
+    );
 }

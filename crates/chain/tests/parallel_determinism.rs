@@ -1,0 +1,252 @@
+//! Property test: parallel `mine_block` is bit-identical to sequential
+//! mining — same state, same receipts, same gas totals, same errors —
+//! for random mixes of dependent and independent transactions.
+
+use lsc_chain::{Account, ChainConfig, LocalNode, Transaction};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_primitives::{ether, Address, U256};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const N_ACCOUNTS: usize = 6;
+
+/// Runtime bytecode: `storage[0] += 1`.
+fn counter_runtime() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(0)
+        .op(op::SLOAD)
+        .push_u64(1)
+        .op(op::ADD)
+        .push_u64(0)
+        .op(op::SSTORE)
+        .op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Init code deploying the counter runtime (byte-by-byte MSTORE8).
+fn counter_init_code() -> Vec<u8> {
+    let runtime = counter_runtime();
+    let mut init = Asm::new();
+    for (i, byte) in runtime.iter().enumerate() {
+        init.push_u64(*byte as u64)
+            .push_u64(i as u64)
+            .op(op::MSTORE8);
+    }
+    init.push_u64(runtime.len() as u64)
+        .push_u64(0)
+        .op(op::RETURN);
+    init.assemble().unwrap()
+}
+
+fn shared_counter() -> Address {
+    Address::from_label("shared-counter")
+}
+
+fn own_counter(i: usize) -> Address {
+    Address::from_label(&format!("own-counter-{i}"))
+}
+
+/// Two nodes built this way are indistinguishable. Four mining workers
+/// are forced so the parallel engine is exercised even on single-core
+/// CI machines (where `mine_block` would otherwise fall back to the
+/// sequential path and the comparison would be vacuous).
+fn build_node() -> LocalNode {
+    let config = ChainConfig {
+        mining_workers: Some(4),
+        ..ChainConfig::default()
+    };
+    let mut node = LocalNode::with_config(config, N_ACCOUNTS);
+    let runtime = counter_runtime();
+    let mut install = |address: Address| {
+        node.restore_account_state(
+            address,
+            Account {
+                code: Arc::new(runtime.clone()),
+                ..Account::default()
+            },
+        );
+    };
+    install(shared_counter());
+    for i in 0..N_ACCOUNTS {
+        install(own_counter(i));
+    }
+    node
+}
+
+/// One generated operation → one transaction. `kind` selects the shape:
+/// plain transfers (contended recipients), calls hammering one shared
+/// counter, calls to per-sender counters (fully independent), stale
+/// nonces, overdrafts, and contract deployments.
+fn build_tx(kind: usize, from: usize, to: usize, amount: u64) -> Transaction {
+    let sender = Address::from_label(&format!("dev-account-{from}"));
+    let recipient = Address::from_label(&format!("dev-account-{to}"));
+    let gas_price = U256::from_u64(1 + amount % 3);
+    match kind {
+        0 => Transaction {
+            from: sender,
+            to: Some(recipient),
+            value: U256::from_u64(amount),
+            data: vec![],
+            gas: 21_000,
+            gas_price,
+            nonce: None,
+        },
+        1 => Transaction {
+            from: sender,
+            to: Some(shared_counter()),
+            value: U256::ZERO,
+            data: vec![],
+            gas: 200_000,
+            gas_price,
+            nonce: None,
+        },
+        2 => Transaction {
+            from: sender,
+            to: Some(own_counter(from)),
+            value: U256::ZERO,
+            data: vec![],
+            gas: 200_000,
+            gas_price,
+            nonce: None,
+        },
+        3 => Transaction {
+            from: sender,
+            to: Some(recipient),
+            value: U256::from_u64(amount),
+            data: vec![],
+            gas: 21_000,
+            gas_price,
+            nonce: Some(42 + amount), // always stale → NonceMismatch
+        },
+        4 => Transaction {
+            from: sender,
+            to: Some(recipient),
+            value: ether(2000), // dev accounts hold 1000 ether → overdraft
+            data: vec![],
+            gas: 21_000,
+            gas_price,
+            nonce: None,
+        },
+        _ => Transaction {
+            from: sender,
+            to: None,
+            value: U256::ZERO,
+            data: counter_init_code(),
+            gas: 2_000_000,
+            gas_price,
+            nonce: None,
+        },
+    }
+}
+
+type AccountImage = (U256, u64, Vec<u8>, BTreeMap<U256, U256>);
+
+/// Deterministic, comparison-friendly image of the whole world state.
+fn state_image(node: &LocalNode) -> BTreeMap<Address, AccountImage> {
+    node.state_accounts()
+        .into_iter()
+        .map(|(address, account)| {
+            let storage: BTreeMap<U256, U256> = account.storage.into_iter().collect();
+            (
+                address,
+                (
+                    account.balance,
+                    account.nonce,
+                    account.code.as_ref().clone(),
+                    storage,
+                ),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_mining_matches_sequential(
+        ops in proptest::collection::vec(
+            (0usize..6, 0usize..N_ACCOUNTS, 0usize..N_ACCOUNTS, 1u64..5000),
+            1..40,
+        )
+    ) {
+        let mut parallel_node = build_node();
+        let mut sequential_node = build_node();
+        for (kind, from, to, amount) in &ops {
+            let tx = build_tx(*kind, *from, *to, *amount);
+            parallel_node.submit_transaction(tx.clone());
+            sequential_node.submit_transaction(tx);
+        }
+
+        let (par_block, par_errors) = parallel_node.mine_block();
+        let (seq_block, seq_errors) = sequential_node.mine_block_sequential();
+
+        prop_assert_eq!(par_errors, seq_errors);
+        prop_assert_eq!(&par_block.tx_hashes, &seq_block.tx_hashes);
+        prop_assert_eq!(par_block.gas_used, seq_block.gas_used);
+        prop_assert_eq!(par_block.hash, seq_block.hash);
+        prop_assert_eq!(parallel_node.timestamp(), sequential_node.timestamp());
+
+        for tx_hash in &par_block.tx_hashes {
+            let par = parallel_node.receipt(*tx_hash).expect("parallel receipt").clone();
+            let seq = sequential_node.receipt(*tx_hash).expect("sequential receipt").clone();
+            prop_assert_eq!(par.status, seq.status);
+            prop_assert_eq!(par.gas_used, seq.gas_used);
+            prop_assert_eq!(par.tx_index, seq.tx_index);
+            prop_assert_eq!(par.block_number, seq.block_number);
+            prop_assert_eq!(par.contract_address, seq.contract_address);
+            prop_assert_eq!(par.output, seq.output);
+            prop_assert_eq!(par.logs, seq.logs);
+        }
+
+        prop_assert_eq!(state_image(&parallel_node), state_image(&sequential_node));
+    }
+}
+
+/// Directed version of the property for the fully-contended case: every
+/// transaction increments the same storage slot, so every commit after
+/// the first must take the re-execution path — and the count must still
+/// be exact.
+#[test]
+fn fully_contended_counter_is_exact() {
+    let mut node = build_node();
+    let accounts = node.accounts().to_vec();
+    for (i, account) in accounts.iter().enumerate().take(N_ACCOUNTS) {
+        let _ = i;
+        for _ in 0..4 {
+            let mut tx = Transaction::call(*account, shared_counter(), vec![]);
+            tx.gas = 200_000;
+            tx.gas_price = U256::from_u64(1);
+            node.submit_transaction(tx);
+        }
+    }
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(block.tx_hashes.len(), N_ACCOUNTS * 4);
+    assert_eq!(
+        node.storage_at(shared_counter(), U256::ZERO),
+        U256::from_u64((N_ACCOUNTS * 4) as u64)
+    );
+}
+
+/// Directed independent case: every sender hits its own counter, so no
+/// conflicts exist and every speculation commits as-is.
+#[test]
+fn independent_counters_all_commit() {
+    let mut node = build_node();
+    let accounts = node.accounts().to_vec();
+    for (i, account) in accounts.iter().enumerate() {
+        let mut tx = Transaction::call(*account, own_counter(i), vec![]);
+        tx.gas = 200_000;
+        tx.gas_price = U256::from_u64(1);
+        node.submit_transaction(tx);
+    }
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(block.tx_hashes.len(), N_ACCOUNTS);
+    for i in 0..N_ACCOUNTS {
+        assert_eq!(node.storage_at(own_counter(i), U256::ZERO), U256::ONE);
+    }
+}

@@ -42,7 +42,11 @@ impl EvidenceReport {
         out.push_str("EVIDENCE LINE AUDIT\n");
         out.push_str(&format!(
             "chain integrity: {}\n",
-            if self.chain_intact { "INTACT (bidirectional)" } else { "BROKEN" }
+            if self.chain_intact {
+                "INTACT (bidirectional)"
+            } else {
+                "BROKEN"
+            }
         ));
         out.push_str(&format!(
             "{:<4} | {:<44} | {:<10} | {:<8} | doc\n",
@@ -58,8 +62,15 @@ impl EvidenceReport {
                 entry.address.to_string(),
                 &hash[2..6],
                 &hash[hash.len() - 4..],
-                entry.block.map(|b| b.to_string()).unwrap_or_else(|| "?".into()),
-                if entry.document_cid.is_some() { "linked" } else { "-" },
+                entry
+                    .block
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                if entry.document_cid.is_some() {
+                    "linked"
+                } else {
+                    "-"
+                },
             ));
         }
         out
@@ -90,5 +101,8 @@ pub fn audit_chain(manager: &ContractManager, address: Address) -> CoreResult<Ev
                 .map(|c| c.to_string()),
         });
     }
-    Ok(EvidenceReport { entries, chain_intact })
+    Ok(EvidenceReport {
+        entries,
+        chain_intact,
+    })
 }

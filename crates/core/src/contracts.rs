@@ -61,13 +61,25 @@ mod tests {
         assert_eq!(ds.abi.function("keyValuePairs").unwrap().inputs.len(), 2);
 
         let base = compile_base_rental().expect("BaseRental compiles");
-        for f in ["confirmAgreement", "payRent", "terminateContract", "getNext", "setNext"] {
+        for f in [
+            "confirmAgreement",
+            "payRent",
+            "terminateContract",
+            "getNext",
+            "setNext",
+        ] {
             assert!(base.abi.function(f).is_some(), "BaseRental missing {f}");
         }
         assert_eq!(base.abi.constructor_inputs.len(), 3);
 
         let v2 = compile_rental_agreement().expect("RentalAgreement compiles");
-        for f in ["confirmAgreement", "payRent", "terminateContract", "aNewFunction", "deposit"] {
+        for f in [
+            "confirmAgreement",
+            "payRent",
+            "terminateContract",
+            "aNewFunction",
+            "deposit",
+        ] {
             assert!(v2.abi.function(f).is_some(), "RentalAgreement missing {f}");
         }
         assert_eq!(v2.abi.constructor_inputs.len(), 6);
@@ -80,7 +92,11 @@ mod tests {
         let base = compile_base_rental().unwrap();
         let v2 = compile_rental_agreement().unwrap();
         for key in ["rent", "house", "state", "landlord", "tenant", "paidrents"] {
-            let b = base.storage_layout.iter().find(|(n, _, _)| n == key).unwrap();
+            let b = base
+                .storage_layout
+                .iter()
+                .find(|(n, _, _)| n == key)
+                .unwrap();
             let v = v2.storage_layout.iter().find(|(n, _, _)| n == key).unwrap();
             assert_eq!(b.1, v.1, "slot of `{key}` moved between versions");
         }

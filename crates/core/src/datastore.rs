@@ -20,8 +20,7 @@ impl DataStore {
     /// Compile and deploy a fresh `DataStorage` contract.
     pub fn deploy(web3: &Web3, from: Address) -> CoreResult<Self> {
         let artifact = compile_data_storage()?;
-        let (contract, _) =
-            web3.deploy(from, artifact.abi, artifact.bytecode, &[], U256::ZERO)?;
+        let (contract, _) = web3.deploy(from, artifact.abi, artifact.bytecode, &[], U256::ZERO)?;
         Ok(DataStore { contract })
     }
 

@@ -19,7 +19,10 @@ pub struct DocumentStore {
 impl DocumentStore {
     /// New store over an IPFS node.
     pub fn new(ipfs: IpfsNode) -> Self {
-        DocumentStore { ipfs, map: Arc::new(RwLock::new(HashMap::new())) }
+        DocumentStore {
+            ipfs,
+            map: Arc::new(RwLock::new(HashMap::new())),
+        }
     }
 
     /// Attach a document to a deployed contract version.
@@ -36,7 +39,9 @@ impl DocumentStore {
 
     /// Fetch the document a tenant reviews before confirming (Fig. 4 flow).
     pub fn fetch(&self, contract: Address) -> CoreResult<Vec<u8>> {
-        let cid = self.cid_of(contract).ok_or(CoreError::UnknownContract(contract))?;
+        let cid = self
+            .cid_of(contract)
+            .ok_or(CoreError::UnknownContract(contract))?;
         Ok(self.ipfs.cat(&cid)?)
     }
 

@@ -1,9 +1,9 @@
 //! Error type for the contract-management layer.
 
+use core::fmt;
 use lsc_ipfs::DagError;
 use lsc_solc::CompileError;
 use lsc_web3::Web3Error;
-use core::fmt;
 
 /// Anything that can go wrong in the business tier.
 #[derive(Debug)]

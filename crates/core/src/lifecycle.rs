@@ -3,11 +3,11 @@
 //! landlord), modify, terminate (timely/untimely deposit split).
 
 use crate::error::{CoreError, CoreResult};
+use core::fmt;
 use lsc_abi::AbiValue;
-use lsc_chain::Receipt;
+use lsc_chain::{Receipt, Transaction};
 use lsc_primitives::{Address, U256};
 use lsc_web3::Contract;
-use core::fmt;
 
 /// The on-chain `State` enum of the rental contracts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +78,9 @@ impl Rental {
             Some(0) => Ok(RentalState::Created),
             Some(1) => Ok(RentalState::Started),
             Some(2) => Ok(RentalState::Terminated),
-            other => Err(CoreError::Invalid(format!("unexpected state value {other:?}"))),
+            other => Err(CoreError::Invalid(format!(
+                "unexpected state value {other:?}"
+            ))),
         }
     }
 
@@ -120,13 +122,23 @@ impl Rental {
     /// Tenant confirms the agreement, attaching the required deposit.
     pub fn confirm_agreement(&self, tenant: Address) -> CoreResult<Receipt> {
         let deposit = self.deposit()?;
-        Ok(self.contract.send(tenant, "confirmAgreement", &[], deposit)?)
+        Ok(self
+            .contract
+            .send(tenant, "confirmAgreement", &[], deposit)?)
     }
 
     /// Tenant pays one month's rent; ether moves tenant → landlord.
     pub fn pay_rent(&self, tenant: Address) -> CoreResult<Receipt> {
         let amount = self.amount_due()?;
         Ok(self.contract.send(tenant, "payRent", &[], amount)?)
+    }
+
+    /// Build (but do not send) the rent-payment transaction, for batch
+    /// submission: on "rent day" every tenant's payment is queued and the
+    /// whole batch is mined as one block.
+    pub fn rent_payment_transaction(&self, tenant: Address) -> CoreResult<Transaction> {
+        let amount = self.amount_due()?;
+        Ok(self.contract.transaction(tenant, "payRent", &[], amount)?)
     }
 
     /// Pay the maintenance fee (only on the modified version's new clause).
@@ -141,7 +153,9 @@ impl Rental {
 
     /// Terminate the agreement (rules depend on caller and timing).
     pub fn terminate(&self, who: Address) -> CoreResult<Receipt> {
-        Ok(self.contract.send(who, "terminateContract", &[], U256::ZERO)?)
+        Ok(self
+            .contract
+            .send(who, "terminateContract", &[], U256::ZERO)?)
     }
 
     /// Paid-rent history `(month_id, amount)` read from the public array.

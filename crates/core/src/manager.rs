@@ -178,8 +178,13 @@ impl ContractManager {
         value: U256,
     ) -> CoreResult<Contract> {
         let upload = self.upload_by_id(upload_id)?;
-        let (contract, receipt) =
-            self.web3.deploy(from, upload.abi.clone(), upload.bytecode.clone(), args, value)?;
+        let (contract, receipt) = self.web3.deploy(
+            from,
+            upload.abi.clone(),
+            upload.bytecode.clone(),
+            args,
+            value,
+        )?;
         self.registry.register(contract.address(), &upload.abi);
         self.inner.write().versions.insert(
             contract.address(),
@@ -222,8 +227,13 @@ impl ContractManager {
             ));
         }
         let upload = self.upload_by_id(upload_id)?;
-        let (contract, receipt) =
-            self.web3.deploy(from, upload.abi.clone(), upload.bytecode.clone(), args, value)?;
+        let (contract, receipt) = self.web3.deploy(
+            from,
+            upload.abi.clone(),
+            upload.bytecode.clone(),
+            args,
+            value,
+        )?;
         self.registry.register(contract.address(), &upload.abi);
         // Link the versions on chain (the evidence line).
         self.chain.link(from, previous, contract.address())?;

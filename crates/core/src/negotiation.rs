@@ -62,7 +62,10 @@ pub struct NegotiationBook {
 impl NegotiationBook {
     /// New book over a manager.
     pub fn new(manager: ContractManager) -> Self {
-        NegotiationBook { manager, proposals: Arc::new(RwLock::new(Vec::new())) }
+        NegotiationBook {
+            manager,
+            proposals: Arc::new(RwLock::new(Vec::new())),
+        }
     }
 
     /// Landlord proposes a modification of `target` to `counterparty`.
@@ -148,25 +151,48 @@ impl NegotiationBook {
 
     /// Counterparty accepts the proposed terms.
     pub fn accept(&self, id: u64, who: Address) -> CoreResult<()> {
-        self.transition(id, who, |p| p.counterparty, ProposalStatus::Proposed, ProposalStatus::Accepted)
+        self.transition(
+            id,
+            who,
+            |p| p.counterparty,
+            ProposalStatus::Proposed,
+            ProposalStatus::Accepted,
+        )
     }
 
     /// Counterparty rejects; per the paper the previous contract is then
     /// terminated by the landlord out-of-band.
     pub fn reject(&self, id: u64, who: Address) -> CoreResult<()> {
-        self.transition(id, who, |p| p.counterparty, ProposalStatus::Proposed, ProposalStatus::Rejected)
+        self.transition(
+            id,
+            who,
+            |p| p.counterparty,
+            ProposalStatus::Proposed,
+            ProposalStatus::Rejected,
+        )
     }
 
     /// Proposer withdraws a pending proposal.
     pub fn withdraw(&self, id: u64, who: Address) -> CoreResult<()> {
-        self.transition(id, who, |p| p.proposer, ProposalStatus::Proposed, ProposalStatus::Withdrawn)
+        self.transition(
+            id,
+            who,
+            |p| p.proposer,
+            ProposalStatus::Proposed,
+            ProposalStatus::Withdrawn,
+        )
     }
 
     /// Enact an accepted proposal: deploy the new version linked after the
     /// target, migrating the listed attributes. Returns the new address.
     pub fn enact(&self, id: u64, who: Address) -> CoreResult<Address> {
-        let proposal = self
-            .proposal(id)
+        // Validate, deploy and flip the status under ONE write lock. The
+        // previous validate-unlock-relock shape let a concurrent accept/
+        // withdraw/enact slip in between (the re-lookup was an
+        // `expect("checked above")` waiting to double-enact or panic).
+        let mut proposals = self.proposals.write();
+        let proposal = proposals
+            .get_mut(id as usize)
             .ok_or_else(|| CoreError::Invalid(format!("no proposal {id}")))?;
         if proposal.proposer != who {
             return Err(CoreError::Invalid("only the proposer enacts".into()));
@@ -186,10 +212,8 @@ impl NegotiationBook {
             proposal.target,
             &keys,
         )?;
-        let mut proposals = self.proposals.write();
-        let p = proposals.get_mut(id as usize).expect("checked above");
-        p.status = ProposalStatus::Enacted;
-        p.enacted_as = Some(contract.address());
+        proposal.status = ProposalStatus::Enacted;
+        proposal.enacted_as = Some(contract.address());
         Ok(contract.address())
     }
 }

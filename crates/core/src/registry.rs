@@ -26,7 +26,10 @@ pub struct AbiRegistry {
 impl AbiRegistry {
     /// New registry over an IPFS node.
     pub fn new(ipfs: IpfsNode) -> Self {
-        AbiRegistry { ipfs, map: Arc::new(RwLock::new(BTreeMap::new())) }
+        AbiRegistry {
+            ipfs,
+            map: Arc::new(RwLock::new(BTreeMap::new())),
+        }
     }
 
     /// The underlying IPFS node.
@@ -49,7 +52,9 @@ impl AbiRegistry {
     /// Fetch and parse the ABI for an address (the address→ABI path the
     /// paper's interaction flow depends on).
     pub fn abi_of(&self, address: Address) -> CoreResult<Abi> {
-        let cid = self.cid_of(address).ok_or(CoreError::UnknownContract(address))?;
+        let cid = self
+            .cid_of(address)
+            .ok_or(CoreError::UnknownContract(address))?;
         let bytes = self.ipfs.cat(&cid)?;
         let text = String::from_utf8(bytes)
             .map_err(|_| CoreError::Invalid("abi file is not utf-8".into()))?;
@@ -98,7 +103,10 @@ impl AbiRegistry {
                 .map_err(|_| CoreError::Invalid("bad cid in manifest".into()))?;
             map.insert(address, cid);
         }
-        Ok(AbiRegistry { ipfs, map: Arc::new(RwLock::new(map)) })
+        Ok(AbiRegistry {
+            ipfs,
+            map: Arc::new(RwLock::new(map)),
+        })
     }
 }
 

@@ -68,7 +68,10 @@ impl Default for RentalTemplate {
 impl RentalTemplate {
     /// A fresh template with the given contract name.
     pub fn named(name: &str) -> Self {
-        RentalTemplate { name: name.to_string(), ..Default::default() }
+        RentalTemplate {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Enable the deposit clause.
@@ -117,7 +120,9 @@ impl RentalTemplate {
     pub fn render(&self) -> CoreResult<String> {
         let name = &self.name;
         if !is_identifier(name) {
-            return Err(CoreError::Invalid(format!("`{name}` is not a valid contract name")));
+            return Err(CoreError::Invalid(format!(
+                "`{name}` is not a valid contract name"
+            )));
         }
         for clause in &self.custom_clauses {
             if !is_identifier(&clause.name) {
@@ -133,11 +138,23 @@ impl RentalTemplate {
         let _ = writeln!(w, "contract Node {{");
         let _ = writeln!(w, "    address next;");
         let _ = writeln!(w, "    address previous;");
-        let _ = writeln!(w, "    function getNext() public view returns (address addr) {{ return next; }}");
-        let _ = writeln!(w, "    function getPrev() public view returns (address addr) {{ return previous; }}");
+        let _ = writeln!(
+            w,
+            "    function getNext() public view returns (address addr) {{ return next; }}"
+        );
+        let _ = writeln!(
+            w,
+            "    function getPrev() public view returns (address addr) {{ return previous; }}"
+        );
         if !self.with_guarded_links {
-            let _ = writeln!(w, "    function setNext(address _next) public {{ next = _next; }}");
-            let _ = writeln!(w, "    function setPrev(address _previous) public {{ previous = _previous; }}");
+            let _ = writeln!(
+                w,
+                "    function setNext(address _next) public {{ next = _next; }}"
+            );
+            let _ = writeln!(
+                w,
+                "    function setPrev(address _previous) public {{ previous = _previous; }}"
+            );
         }
         let _ = writeln!(w, "}}\n");
 
@@ -169,11 +186,17 @@ impl RentalTemplate {
 
         // Role modifiers — the template writes the guards so users don't.
         let _ = writeln!(w, "    modifier onlyLandlord() {{");
-        let _ = writeln!(w, "        require(msg.sender == landlord, \"only the landlord\");");
+        let _ = writeln!(
+            w,
+            "        require(msg.sender == landlord, \"only the landlord\");"
+        );
         let _ = writeln!(w, "        _;");
         let _ = writeln!(w, "    }}");
         let _ = writeln!(w, "    modifier onlyTenant() {{");
-        let _ = writeln!(w, "        require(msg.sender == tenant, \"only the tenant\");");
+        let _ = writeln!(
+            w,
+            "        require(msg.sender == tenant, \"only the tenant\");"
+        );
         let _ = writeln!(w, "        _;");
         let _ = writeln!(w, "    }}");
         let _ = writeln!(w, "    modifier inState(State s) {{");
@@ -193,7 +216,11 @@ impl RentalTemplate {
         if self.with_discount {
             ctor_params.push("uint _discount".to_string());
         }
-        let _ = writeln!(w, "    constructor ({}) public payable {{", ctor_params.join(", "));
+        let _ = writeln!(
+            w,
+            "    constructor ({}) public payable {{",
+            ctor_params.join(", ")
+        );
         let _ = writeln!(w, "        rent = _rent;");
         let _ = writeln!(w, "        house = _house;");
         let _ = writeln!(w, "        contractTime = _contractTime;");
@@ -209,10 +236,19 @@ impl RentalTemplate {
         let _ = writeln!(w, "    }}\n");
 
         // confirmAgreement.
-        let _ = writeln!(w, "    function confirmAgreement() public payable inState(State.Created) {{");
-        let _ = writeln!(w, "        require(msg.sender != landlord, \"landlord cannot confirm\");");
+        let _ = writeln!(
+            w,
+            "    function confirmAgreement() public payable inState(State.Created) {{"
+        );
+        let _ = writeln!(
+            w,
+            "        require(msg.sender != landlord, \"landlord cannot confirm\");"
+        );
         if self.with_deposit {
-            let _ = writeln!(w, "        require(msg.value == deposit, \"deposit amount mismatch\");");
+            let _ = writeln!(
+                w,
+                "        require(msg.value == deposit, \"deposit amount mismatch\");"
+            );
         }
         let _ = writeln!(w, "        tenant = msg.sender;");
         let _ = writeln!(w, "        state = State.Started;");
@@ -220,30 +256,58 @@ impl RentalTemplate {
         let _ = writeln!(w, "    }}\n");
 
         // payRent.
-        let due = if self.with_discount { "rent - discount" } else { "rent" };
-        let _ = writeln!(w, "    function payRent() public payable onlyTenant inState(State.Started) {{");
-        let _ = writeln!(w, "        require(msg.value == {due}, \"rent amount mismatch\");");
+        let due = if self.with_discount {
+            "rent - discount"
+        } else {
+            "rent"
+        };
+        let _ = writeln!(
+            w,
+            "    function payRent() public payable onlyTenant inState(State.Started) {{"
+        );
+        let _ = writeln!(
+            w,
+            "        require(msg.value == {due}, \"rent amount mismatch\");"
+        );
         let _ = writeln!(w, "        landlord.transfer(msg.value);");
-        let _ = writeln!(w, "        paidrents.push(PaidRent(paidrents.length + 1, msg.value));");
+        let _ = writeln!(
+            w,
+            "        paidrents.push(PaidRent(paidrents.length + 1, msg.value));"
+        );
         let _ = writeln!(w, "        emit paidRent();");
         let _ = writeln!(w, "    }}\n");
 
         // terminateContract.
         let _ = writeln!(w, "    function terminateContract() public payable {{");
-        let _ = writeln!(w, "        require(state != State.Terminated, \"already terminated\");");
+        let _ = writeln!(
+            w,
+            "        require(state != State.Terminated, \"already terminated\");"
+        );
         if self.with_deposit {
-            let _ = writeln!(w, "        if (state == State.Started && msg.sender == tenant) {{");
+            let _ = writeln!(
+                w,
+                "        if (state == State.Started && msg.sender == tenant) {{"
+            );
             let _ = writeln!(w, "            if (now < creationTime + contractTime) {{");
             let _ = writeln!(w, "                uint kept = deposit / 2;");
             let _ = writeln!(w, "                tenant.transfer(deposit - kept);");
             let _ = writeln!(w, "                landlord.transfer(kept);");
             let _ = writeln!(w, "            }} else {{ tenant.transfer(deposit); }}");
             let _ = writeln!(w, "        }} else {{");
-            let _ = writeln!(w, "            require(msg.sender == landlord, \"only the parties\");");
-            let _ = writeln!(w, "            if (state == State.Started) {{ tenant.transfer(deposit); }}");
+            let _ = writeln!(
+                w,
+                "            require(msg.sender == landlord, \"only the parties\");"
+            );
+            let _ = writeln!(
+                w,
+                "            if (state == State.Started) {{ tenant.transfer(deposit); }}"
+            );
             let _ = writeln!(w, "        }}");
         } else {
-            let _ = writeln!(w, "        require(msg.sender == landlord, \"only the landlord\");");
+            let _ = writeln!(
+                w,
+                "        require(msg.sender == landlord, \"only the landlord\");"
+            );
         }
         let _ = writeln!(w, "        state = State.Terminated;");
         let _ = writeln!(w, "        emit contractTerminated();");
@@ -251,7 +315,10 @@ impl RentalTemplate {
 
         // Optional maintenance clause.
         if self.with_maintenance {
-            let _ = writeln!(w, "    function payMaintenance() public payable onlyTenant inState(State.Started) {{");
+            let _ = writeln!(
+                w,
+                "    function payMaintenance() public payable onlyTenant inState(State.Started) {{"
+            );
             let _ = writeln!(w, "        maintenanceFeesPaid += msg.value;");
             let _ = writeln!(w, "        landlord.transfer(msg.value);");
             let _ = writeln!(w, "    }}\n");
@@ -259,13 +326,25 @@ impl RentalTemplate {
 
         // Guarded links.
         if self.with_guarded_links {
-            let _ = writeln!(w, "    function setNext(address _next) public onlyLandlord {{");
-            let _ = writeln!(w, "        require(!nextLocked, \"next pointer is write-once\");");
+            let _ = writeln!(
+                w,
+                "    function setNext(address _next) public onlyLandlord {{"
+            );
+            let _ = writeln!(
+                w,
+                "        require(!nextLocked, \"next pointer is write-once\");"
+            );
             let _ = writeln!(w, "        next = _next;");
             let _ = writeln!(w, "        nextLocked = true;");
             let _ = writeln!(w, "    }}");
-            let _ = writeln!(w, "    function setPrev(address _previous) public onlyLandlord {{");
-            let _ = writeln!(w, "        require(!prevLocked, \"previous pointer is write-once\");");
+            let _ = writeln!(
+                w,
+                "    function setPrev(address _previous) public onlyLandlord {{"
+            );
+            let _ = writeln!(
+                w,
+                "        require(!prevLocked, \"previous pointer is write-once\");"
+            );
             let _ = writeln!(w, "        previous = _previous;");
             let _ = writeln!(w, "        prevLocked = true;");
             let _ = writeln!(w, "    }}\n");
@@ -279,7 +358,11 @@ impl RentalTemplate {
                 Some(Party::Tenant) => " onlyTenant",
                 None => "",
             };
-            let _ = writeln!(w, "    function {}() public{payable}{guard} {{", clause.name);
+            let _ = writeln!(
+                w,
+                "    function {}() public{payable}{guard} {{",
+                clause.name
+            );
             let _ = writeln!(w, "        {}", clause.body);
             let _ = writeln!(w, "    }}\n");
         }
@@ -297,7 +380,9 @@ impl RentalTemplate {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -314,7 +399,10 @@ mod tests {
             template.with_maintenance = bits & 4 != 0;
             template.with_guarded_links = bits & 8 != 0;
             let artifact = template.compile().unwrap_or_else(|e| {
-                panic!("combination {bits:#06b} failed: {e}\n{}", template.render().unwrap())
+                panic!(
+                    "combination {bits:#06b} failed: {e}\n{}",
+                    template.render().unwrap()
+                )
             });
             assert!(artifact.abi.function("payRent").is_some());
             assert_eq!(
@@ -344,7 +432,9 @@ mod tests {
 
     #[test]
     fn rendered_source_is_deterministic() {
-        let t = RentalTemplate::named("Det").with_deposit().with_maintenance();
+        let t = RentalTemplate::named("Det")
+            .with_deposit()
+            .with_maintenance();
         assert_eq!(t.render().unwrap(), t.render().unwrap());
     }
 }

@@ -45,15 +45,15 @@ impl VersionChain {
 
     /// Link `new_version` after `previous` by setting both pointers, as
     /// the contract manager does whenever a new version is deployed.
-    pub fn link(
-        &self,
-        from: Address,
-        previous: Address,
-        new_version: Address,
-    ) -> CoreResult<()> {
+    pub fn link(&self, from: Address, previous: Address, new_version: Address) -> CoreResult<()> {
         let prev_contract = self.contract_at(previous)?;
         let new_contract = self.contract_at(new_version)?;
-        prev_contract.send(from, "setNext", &[AbiValue::Address(new_version)], U256::ZERO)?;
+        prev_contract.send(
+            from,
+            "setNext",
+            &[AbiValue::Address(new_version)],
+            U256::ZERO,
+        )?;
         new_contract.send(from, "setPrev", &[AbiValue::Address(previous)], U256::ZERO)?;
         Ok(())
     }
@@ -109,10 +109,14 @@ impl VersionChain {
         for pair in chain.windows(2) {
             let (a, b) = (pair[0], pair[1]);
             if self.next_of(a)? != Some(b) {
-                return Err(CoreError::BrokenChain(format!("{a} does not point forward to {b}")));
+                return Err(CoreError::BrokenChain(format!(
+                    "{a} does not point forward to {b}"
+                )));
             }
             if self.prev_of(b)? != Some(a) {
-                return Err(CoreError::BrokenChain(format!("{b} does not point back to {a}")));
+                return Err(CoreError::BrokenChain(format!(
+                    "{b} does not point back to {a}"
+                )));
             }
         }
         Ok(chain)

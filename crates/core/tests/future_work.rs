@@ -34,11 +34,18 @@ fn guarded_links_reject_strangers() {
     let (manager, landlord, stranger) = setup();
     let artifact = contracts::compile_guarded_rental().unwrap();
     let upload = manager.upload_artifact("guarded", &artifact).unwrap();
-    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let contract = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
 
     let target = Address::from_label("next-version");
     // A stranger cannot relink the evidence line.
-    let attempt = contract.send(stranger, "setNext", &[AbiValue::Address(target)], U256::ZERO);
+    let attempt = contract.send(
+        stranger,
+        "setNext",
+        &[AbiValue::Address(target)],
+        U256::ZERO,
+    );
     assert!(attempt.is_err());
     match attempt {
         Err(lsc_web3::Web3Error::Reverted { reason, .. }) => {
@@ -47,8 +54,18 @@ fn guarded_links_reject_strangers() {
         other => panic!("expected revert, got {other:?}"),
     }
     // The landlord can.
-    contract.send(landlord, "setNext", &[AbiValue::Address(target)], U256::ZERO).unwrap();
-    assert_eq!(contract.call1("getNext", &[]).unwrap().as_address(), Some(target));
+    contract
+        .send(
+            landlord,
+            "setNext",
+            &[AbiValue::Address(target)],
+            U256::ZERO,
+        )
+        .unwrap();
+    assert_eq!(
+        contract.call1("getNext", &[]).unwrap().as_address(),
+        Some(target)
+    );
 }
 
 #[test]
@@ -56,21 +73,42 @@ fn guarded_links_are_write_once() {
     let (manager, landlord, _) = setup();
     let artifact = contracts::compile_guarded_rental().unwrap();
     let upload = manager.upload_artifact("guarded", &artifact).unwrap();
-    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let contract = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
 
     let v2 = Address::from_label("v2");
     let attacker_choice = Address::from_label("elsewhere");
-    contract.send(landlord, "setNext", &[AbiValue::Address(v2)], U256::ZERO).unwrap();
-    assert_eq!(contract.call1("isSuperseded", &[]).unwrap().as_bool(), Some(true));
+    contract
+        .send(landlord, "setNext", &[AbiValue::Address(v2)], U256::ZERO)
+        .unwrap();
+    assert_eq!(
+        contract.call1("isSuperseded", &[]).unwrap().as_bool(),
+        Some(true)
+    );
     // Even the landlord cannot rewrite history afterwards.
-    let attempt =
-        contract.send(landlord, "setNext", &[AbiValue::Address(attacker_choice)], U256::ZERO);
+    let attempt = contract.send(
+        landlord,
+        "setNext",
+        &[AbiValue::Address(attacker_choice)],
+        U256::ZERO,
+    );
     assert!(attempt.is_err());
-    assert_eq!(contract.call1("getNext", &[]).unwrap().as_address(), Some(v2));
+    assert_eq!(
+        contract.call1("getNext", &[]).unwrap().as_address(),
+        Some(v2)
+    );
     // The zero address is never linkable.
-    let fresh = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let fresh = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     assert!(fresh
-        .send(landlord, "setPrev", &[AbiValue::Address(Address::ZERO)], U256::ZERO)
+        .send(
+            landlord,
+            "setPrev",
+            &[AbiValue::Address(Address::ZERO)],
+            U256::ZERO
+        )
         .is_err());
 }
 
@@ -79,7 +117,9 @@ fn guarded_contract_emits_link_events() {
     let (manager, landlord, _) = setup();
     let artifact = contracts::compile_guarded_rental().unwrap();
     let upload = manager.upload_artifact("guarded", &artifact).unwrap();
-    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let contract = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let v2 = Address::from_label("v2");
     let receipt = contract
         .send(landlord, "setNext", &[AbiValue::Address(v2)], U256::ZERO)
@@ -98,7 +138,9 @@ fn negotiation_accept_then_enact() {
     let (manager, landlord, tenant) = setup();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
 
     let book = NegotiationBook::new(manager.clone());
     let id = book
@@ -137,11 +179,21 @@ fn negotiation_rejection_and_withdrawal() {
     let (manager, landlord, tenant) = setup();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let book = NegotiationBook::new(manager.clone());
 
     let id = book
-        .propose(landlord, tenant, v1.address(), "worse terms", upload, base_args(), vec![])
+        .propose(
+            landlord,
+            tenant,
+            v1.address(),
+            "worse terms",
+            upload,
+            base_args(),
+            vec![],
+        )
         .unwrap();
     // The wrong party cannot decide.
     assert!(book.accept(id, landlord).is_err());
@@ -153,11 +205,25 @@ fn negotiation_rejection_and_withdrawal() {
 
     // Withdrawal path.
     let id2 = book
-        .propose(landlord, tenant, v1.address(), "second thoughts", upload, base_args(), vec![])
+        .propose(
+            landlord,
+            tenant,
+            v1.address(),
+            "second thoughts",
+            upload,
+            base_args(),
+            vec![],
+        )
         .unwrap();
     book.withdraw(id2, landlord).unwrap();
-    assert_eq!(book.proposal(id2).unwrap().status, ProposalStatus::Withdrawn);
-    assert!(book.accept(id2, tenant).is_err(), "withdrawn proposals are closed");
+    assert_eq!(
+        book.proposal(id2).unwrap().status,
+        ProposalStatus::Withdrawn
+    );
+    assert!(
+        book.accept(id2, tenant).is_err(),
+        "withdrawn proposals are closed"
+    );
 }
 
 #[test]
@@ -165,19 +231,45 @@ fn negotiation_guards_proposer_identity() {
     let (manager, landlord, tenant) = setup();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let book = NegotiationBook::new(manager.clone());
     // Tenant cannot propose on the landlord's contract.
     assert!(book
-        .propose(tenant, landlord, v1.address(), "x", upload, base_args(), vec![])
+        .propose(
+            tenant,
+            landlord,
+            v1.address(),
+            "x",
+            upload,
+            base_args(),
+            vec![]
+        )
         .is_err());
     // Self-negotiation is rejected.
     assert!(book
-        .propose(landlord, landlord, v1.address(), "x", upload, base_args(), vec![])
+        .propose(
+            landlord,
+            landlord,
+            v1.address(),
+            "x",
+            upload,
+            base_args(),
+            vec![]
+        )
         .is_err());
     // Unknown target contract.
     assert!(book
-        .propose(landlord, tenant, Address::from_label("ghost"), "x", upload, base_args(), vec![])
+        .propose(
+            landlord,
+            tenant,
+            Address::from_label("ghost"),
+            "x",
+            upload,
+            base_args(),
+            vec![]
+        )
         .is_err());
 }
 
@@ -188,10 +280,19 @@ fn audit_report_covers_whole_chain() {
     let (manager, landlord, _) = setup();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     manager.attach_document(v1.address(), b"%PDF original terms");
     let v2 = manager
-        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .deploy_version(
+            landlord,
+            upload,
+            &base_args(),
+            U256::ZERO,
+            v1.address(),
+            &[],
+        )
         .unwrap();
 
     let report = audit_chain(&manager, v2.address()).unwrap();
@@ -217,13 +318,30 @@ fn audit_flags_tampered_chain() {
     let (manager, landlord, _) = setup();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let v2 = manager
-        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .deploy_version(
+            landlord,
+            upload,
+            &base_args(),
+            U256::ZERO,
+            v1.address(),
+            &[],
+        )
         .unwrap();
     // Tamper: point v2's previous somewhere else (unguarded base setters).
-    let v3 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
-    v2.send(landlord, "setPrev", &[AbiValue::Address(v3.address())], U256::ZERO).unwrap();
+    let v3 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
+    v2.send(
+        landlord,
+        "setPrev",
+        &[AbiValue::Address(v3.address())],
+        U256::ZERO,
+    )
+    .unwrap();
     let report = audit_chain(&manager, v1.address()).unwrap();
     assert!(!report.chain_intact);
     assert!(report.render().contains("BROKEN"));

@@ -12,13 +12,19 @@ use lsc_web3::Web3;
 fn world() -> (ContractManager, Address, Address) {
     let web3 = Web3::new(LocalNode::new(4));
     let accounts = web3.accounts();
-    (ContractManager::new(web3, IpfsNode::new()), accounts[0], accounts[1])
+    (
+        ContractManager::new(web3, IpfsNode::new()),
+        accounts[0],
+        accounts[1],
+    )
 }
 
 #[test]
 fn templated_deposit_contract_behaves_like_handwritten_v2() {
     let (manager, landlord, tenant) = world();
-    let template = RentalTemplate::named("DepositRental").with_deposit().with_discount();
+    let template = RentalTemplate::named("DepositRental")
+        .with_deposit()
+        .with_discount();
     let artifact = template.compile().unwrap();
     let upload = manager.upload_artifact("templated", &artifact).unwrap();
     let contract = manager
@@ -29,7 +35,7 @@ fn templated_deposit_contract_behaves_like_handwritten_v2() {
                 AbiValue::Uint(ether(1)),
                 AbiValue::string("T-1"),
                 AbiValue::uint(365 * 24 * 3600),
-                AbiValue::Uint(ether(2)),                       // deposit
+                AbiValue::Uint(ether(2)),                      // deposit
                 AbiValue::Uint(ether(1) / U256::from_u64(10)), // discount
             ],
             U256::ZERO,
@@ -37,7 +43,9 @@ fn templated_deposit_contract_behaves_like_handwritten_v2() {
         .unwrap();
     let rental = Rental::at(contract.clone());
     // Deposit escrow enforced.
-    assert!(contract.send(tenant, "confirmAgreement", &[], U256::ZERO).is_err());
+    assert!(contract
+        .send(tenant, "confirmAgreement", &[], U256::ZERO)
+        .is_err());
     rental.confirm_agreement(tenant).unwrap();
     assert_eq!(manager.web3().balance(contract.address()), ether(2));
     // Discounted rent.
@@ -67,7 +75,10 @@ fn custom_clause_with_role_guard() {
     // template edit: render + inject is overkill — instead use a counter the
     // template already provides? No — custom clauses may reference their own
     // state; the template does not declare it, so this must fail to compile.
-    assert!(template.compile().is_err(), "undeclared state in clause is a compile error");
+    assert!(
+        template.compile().is_err(),
+        "undeclared state in clause is a compile error"
+    );
 
     // A clause that only touches declared state works.
     let template = RentalTemplate::named("Pinged").with_clause(CustomClause {
@@ -90,11 +101,17 @@ fn custom_clause_with_role_guard() {
             U256::ZERO,
         )
         .unwrap();
-    Rental::at(contract.clone()).confirm_agreement(tenant).unwrap();
+    Rental::at(contract.clone())
+        .confirm_agreement(tenant)
+        .unwrap();
     // Guarded: the landlord cannot invoke the tenant-only clause.
-    assert!(contract.send(landlord, "pingLandlord", &[], ether(1)).is_err());
+    assert!(contract
+        .send(landlord, "pingLandlord", &[], ether(1))
+        .is_err());
     let before = manager.web3().balance(landlord);
-    contract.send(tenant, "pingLandlord", &[], ether(1)).unwrap();
+    contract
+        .send(tenant, "pingLandlord", &[], ether(1))
+        .unwrap();
     assert_eq!(manager.web3().balance(landlord) - before, ether(1));
 }
 
@@ -102,7 +119,10 @@ fn custom_clause_with_role_guard() {
 fn templated_contracts_version_like_any_other() {
     let (manager, landlord, _) = world();
     let v1_art = RentalTemplate::named("Tpl").compile().unwrap();
-    let v2_art = RentalTemplate::named("Tpl").with_maintenance().compile().unwrap();
+    let v2_art = RentalTemplate::named("Tpl")
+        .with_maintenance()
+        .compile()
+        .unwrap();
     let up1 = manager.upload_artifact("tpl-v1", &v1_art).unwrap();
     let up2 = manager.upload_artifact("tpl-v2", &v2_art).unwrap();
     let args = vec![
@@ -122,15 +142,28 @@ fn templated_contracts_version_like_any_other() {
     assert!(v1.abi().function("payMaintenance").is_none());
     assert!(v2.abi().function("payMaintenance").is_some());
     // Shared layout: `rent` sits in the same slot in both versions.
-    let s1 = v1_art.storage_layout.iter().find(|(n, _, _)| n == "rent").unwrap().1;
-    let s2 = v2_art.storage_layout.iter().find(|(n, _, _)| n == "rent").unwrap().1;
+    let s1 = v1_art
+        .storage_layout
+        .iter()
+        .find(|(n, _, _)| n == "rent")
+        .unwrap()
+        .1;
+    let s2 = v2_art
+        .storage_layout
+        .iter()
+        .find(|(n, _, _)| n == "rent")
+        .unwrap()
+        .1;
     assert_eq!(s1, s2);
 }
 
 #[test]
 fn guarded_template_protects_links() {
     let (manager, landlord, stranger) = world();
-    let artifact = RentalTemplate::named("Locked").with_guarded_links().compile().unwrap();
+    let artifact = RentalTemplate::named("Locked")
+        .with_guarded_links()
+        .compile()
+        .unwrap();
     let upload = manager.upload_artifact("locked", &artifact).unwrap();
     let contract = manager
         .deploy(
@@ -145,10 +178,29 @@ fn guarded_template_protects_links() {
         )
         .unwrap();
     let target = Address::from_label("v2");
-    assert!(contract.send(stranger, "setNext", &[AbiValue::Address(target)], U256::ZERO).is_err());
-    contract.send(landlord, "setNext", &[AbiValue::Address(target)], U256::ZERO).unwrap();
+    assert!(contract
+        .send(
+            stranger,
+            "setNext",
+            &[AbiValue::Address(target)],
+            U256::ZERO
+        )
+        .is_err());
+    contract
+        .send(
+            landlord,
+            "setNext",
+            &[AbiValue::Address(target)],
+            U256::ZERO,
+        )
+        .unwrap();
     // Write-once.
     assert!(contract
-        .send(landlord, "setNext", &[AbiValue::Address(Address::from_label("x"))], U256::ZERO)
+        .send(
+            landlord,
+            "setNext",
+            &[AbiValue::Address(Address::from_label("x"))],
+            U256::ZERO
+        )
         .is_err());
 }

@@ -21,7 +21,11 @@ fn setup() -> World {
     let web3 = Web3::new(LocalNode::new(4));
     let manager = ContractManager::new(web3.clone(), IpfsNode::new());
     let accounts = web3.accounts();
-    World { manager, landlord: accounts[0], tenant: accounts[1] }
+    World {
+        manager,
+        landlord: accounts[0],
+        tenant: accounts[1],
+    }
 }
 
 fn base_args() -> Vec<AbiValue> {
@@ -34,9 +38,9 @@ fn base_args() -> Vec<AbiValue> {
 
 fn v2_args() -> Vec<AbiValue> {
     vec![
-        AbiValue::Uint(ether(1)),           // rent
-        AbiValue::Uint(ether(2)),           // deposit
-        AbiValue::uint(365 * 24 * 3600),    // contractTime
+        AbiValue::Uint(ether(1)),                      // rent
+        AbiValue::Uint(ether(2)),                      // deposit
+        AbiValue::uint(365 * 24 * 3600),               // contractTime
         AbiValue::Uint(ether(1) / U256::from_u64(10)), // discount
         AbiValue::Uint(ether(1) / U256::from_u64(2)),  // fine
         AbiValue::string("10001-42 Main"),
@@ -47,8 +51,14 @@ fn v2_args() -> Vec<AbiValue> {
 fn full_lifecycle_on_base_contract() {
     let w = setup();
     let artifact = contracts::compile_base_rental().unwrap();
-    let upload = w.manager.upload_artifact("Basic rental contract", &artifact).unwrap();
-    let contract = w.manager.deploy(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let upload = w
+        .manager
+        .upload_artifact("Basic rental contract", &artifact)
+        .unwrap();
+    let contract = w
+        .manager
+        .deploy(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let rental = Rental::at(contract);
 
     assert_eq!(rental.state().unwrap(), RentalState::Created);
@@ -85,7 +95,10 @@ fn role_checks_enforced_on_chain() {
     let w = setup();
     let artifact = contracts::compile_base_rental().unwrap();
     let upload = w.manager.upload_artifact("base", &artifact).unwrap();
-    let contract = w.manager.deploy(w.landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let contract = w
+        .manager
+        .deploy(w.landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let rental = Rental::at(contract);
 
     // Landlord cannot be their own tenant.
@@ -108,10 +121,19 @@ fn modification_links_versions_both_ways() {
     let w = setup();
     let base = contracts::compile_base_rental().unwrap();
     let v2 = contracts::compile_rental_agreement().unwrap();
-    let up_base = w.manager.upload_artifact("Basic rental contract", &base).unwrap();
-    let up_v2 = w.manager.upload_artifact("Modified rental contract", &v2).unwrap();
+    let up_base = w
+        .manager
+        .upload_artifact("Basic rental contract", &base)
+        .unwrap();
+    let up_v2 = w
+        .manager
+        .upload_artifact("Modified rental contract", &v2)
+        .unwrap();
 
-    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up_base, &base_args(), U256::ZERO)
+        .unwrap();
     let c2 = w
         .manager
         .deploy_version(w.landlord, up_v2, &v2_args(), U256::ZERO, c1.address(), &[])
@@ -131,7 +153,10 @@ fn modification_links_versions_both_ways() {
     assert_eq!(w.manager.verify_chain(c1.address()).unwrap(), expected);
 
     // Records: v1 inactive, v2 active, version numbers increment.
-    assert_eq!(w.manager.record(c1.address()).unwrap().state, VersionState::Inactive);
+    assert_eq!(
+        w.manager.record(c1.address()).unwrap().state,
+        VersionState::Inactive
+    );
     let r2 = w.manager.record(c2.address()).unwrap();
     assert_eq!(r2.state, VersionState::Active);
     assert_eq!(r2.version, 2);
@@ -143,7 +168,10 @@ fn three_version_evidence_line() {
     let w = setup();
     let v2 = contracts::compile_rental_agreement().unwrap();
     let up = w.manager.upload_artifact("Rental", &v2).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up, &v2_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up, &v2_args(), U256::ZERO)
+        .unwrap();
     let c2 = w
         .manager
         .deploy_version(w.landlord, up, &v2_args(), U256::ZERO, c1.address(), &[])
@@ -156,8 +184,14 @@ fn three_version_evidence_line() {
     // Traversal from the middle recovers the whole line.
     assert_eq!(w.manager.history(c2.address()).unwrap(), expected);
     assert_eq!(w.manager.verify_chain(c3.address()).unwrap(), expected);
-    assert_eq!(w.manager.version_chain().latest_of(c1.address()).unwrap(), c3.address());
-    assert_eq!(w.manager.version_chain().head_of(c3.address()).unwrap(), c1.address());
+    assert_eq!(
+        w.manager.version_chain().latest_of(c1.address()).unwrap(),
+        c3.address()
+    );
+    assert_eq!(
+        w.manager.version_chain().head_of(c3.address()).unwrap(),
+        c1.address()
+    );
     assert_eq!(w.manager.record(c3.address()).unwrap().version, 3);
 }
 
@@ -166,11 +200,14 @@ fn only_original_landlord_can_modify() {
     let w = setup();
     let base = contracts::compile_base_rental().unwrap();
     let up = w.manager.upload_artifact("base", &base).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
-    let intruder = w.manager.web3().accounts()[2];
-    let result = w
+    let c1 = w
         .manager
-        .deploy_version(intruder, up, &base_args(), U256::ZERO, c1.address(), &[]);
+        .deploy(w.landlord, up, &base_args(), U256::ZERO)
+        .unwrap();
+    let intruder = w.manager.web3().accounts()[2];
+    let result =
+        w.manager
+            .deploy_version(intruder, up, &base_args(), U256::ZERO, c1.address(), &[]);
     match result {
         Err(err) => assert!(err.to_string().contains("landlord")),
         Ok(_) => panic!("intruder was allowed to modify the contract"),
@@ -185,7 +222,10 @@ fn data_separation_migrates_attributes() {
 
     let base = contracts::compile_base_rental().unwrap();
     let up_base = w.manager.upload_artifact("base", &base).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up_base, &base_args(), U256::ZERO)
+        .unwrap();
 
     // Snapshot the live contract's attributes into the DataStorage contract.
     let written = store
@@ -193,7 +233,10 @@ fn data_separation_migrates_attributes() {
         .unwrap();
     assert_eq!(written, RENTAL_DATA_KEYS.len());
     assert_eq!(store.get(c1.address(), "house").unwrap(), "10001-42 Main");
-    assert_eq!(store.get(c1.address(), "rent").unwrap(), ether(1).to_string());
+    assert_eq!(
+        store.get(c1.address(), "rent").unwrap(),
+        ether(1).to_string()
+    );
 
     // Deploy v2 with migration: the new version's record carries the data.
     let v2 = contracts::compile_rental_agreement().unwrap();
@@ -210,7 +253,10 @@ fn data_separation_migrates_attributes() {
         )
         .unwrap();
     assert_eq!(store.get(c2.address(), "house").unwrap(), "10001-42 Main");
-    assert_eq!(store.get(c2.address(), "rent").unwrap(), ether(1).to_string());
+    assert_eq!(
+        store.get(c2.address(), "rent").unwrap(),
+        ether(1).to_string()
+    );
     // Old record still intact (history preserved).
     assert_eq!(store.get(c1.address(), "house").unwrap(), "10001-42 Main");
     // Unset keys read as empty.
@@ -222,7 +268,10 @@ fn abi_travels_through_ipfs_by_address() {
     let w = setup();
     let base = contracts::compile_base_rental().unwrap();
     let up = w.manager.upload_artifact("base", &base).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up, &base_args(), U256::ZERO)
+        .unwrap();
 
     // A different party holding only the ADDRESS can reconstruct the
     // interface: registry → CID → IPFS → ABI → call.
@@ -244,16 +293,21 @@ fn registry_manifest_bootstraps_second_party() {
     let w = setup();
     let base = contracts::compile_base_rental().unwrap();
     let up = w.manager.upload_artifact("base", &base).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up, &base_args(), U256::ZERO)
+        .unwrap();
     let manifest = w.manager.registry().publish_manifest();
 
     // Second party: same IPFS network, fresh registry from the manifest.
-    let registry2 = lsc_core::AbiRegistry::from_manifest(
-        w.manager.registry().ipfs().clone(),
-        manifest,
-    )
-    .unwrap();
-    assert!(registry2.abi_of(c1.address()).unwrap().function("payRent").is_some());
+    let registry2 =
+        lsc_core::AbiRegistry::from_manifest(w.manager.registry().ipfs().clone(), manifest)
+            .unwrap();
+    assert!(registry2
+        .abi_of(c1.address())
+        .unwrap()
+        .function("payRent")
+        .is_some());
 }
 
 #[test]
@@ -266,7 +320,10 @@ fn tenant_reconfirms_after_modification() {
     let up_base = w.manager.upload_artifact("base", &base).unwrap();
     let up_v2 = w.manager.upload_artifact("v2", &v2).unwrap();
 
-    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up_base, &base_args(), U256::ZERO)
+        .unwrap();
     let rental_v1 = Rental::at(c1.clone());
     rental_v1.confirm_agreement(w.tenant).unwrap();
     rental_v1.pay_rent(w.tenant).unwrap();
@@ -308,15 +365,25 @@ fn maintenance_clause_only_on_v2() {
     let v2 = contracts::compile_rental_agreement().unwrap();
     let up_base = w.manager.upload_artifact("base", &base).unwrap();
     let up_v2 = w.manager.upload_artifact("v2", &v2).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up_base, &base_args(), U256::ZERO).unwrap();
-    let c2 = w.manager.deploy(w.landlord, up_v2, &v2_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up_base, &base_args(), U256::ZERO)
+        .unwrap();
+    let c2 = w
+        .manager
+        .deploy(w.landlord, up_v2, &v2_args(), U256::ZERO)
+        .unwrap();
 
     let r1 = Rental::at(c1);
     let r2 = Rental::at(c2);
-    assert!(r1.pay_maintenance(w.tenant, ether(1)).is_err(), "v1 has no such clause");
+    assert!(
+        r1.pay_maintenance(w.tenant, ether(1)).is_err(),
+        "v1 has no such clause"
+    );
     r2.confirm_agreement(w.tenant).unwrap();
     let landlord_before = w.manager.web3().balance(w.landlord);
-    r2.pay_maintenance(w.tenant, ether(1) / U256::from_u64(20)).unwrap();
+    r2.pay_maintenance(w.tenant, ether(1) / U256::from_u64(20))
+        .unwrap();
     assert_eq!(
         w.manager.web3().balance(w.landlord) - landlord_before,
         ether(1) / U256::from_u64(20)
@@ -328,7 +395,10 @@ fn untimely_termination_splits_deposit() {
     let w = setup();
     let v2 = contracts::compile_rental_agreement().unwrap();
     let up = w.manager.upload_artifact("v2", &v2).unwrap();
-    let c = w.manager.deploy(w.landlord, up, &v2_args(), U256::ZERO).unwrap();
+    let c = w
+        .manager
+        .deploy(w.landlord, up, &v2_args(), U256::ZERO)
+        .unwrap();
     let rental = Rental::at(c);
     rental.confirm_agreement(w.tenant).unwrap();
     // Contract escrows the deposit.
@@ -371,7 +441,11 @@ fn timely_termination_returns_full_deposit() {
     w.manager.web3().increase_time(31 * 24 * 3600);
     let landlord_before = w.manager.web3().balance(w.landlord);
     rental.terminate(w.tenant).unwrap();
-    assert_eq!(w.manager.web3().balance(w.landlord), landlord_before, "landlord keeps nothing");
+    assert_eq!(
+        w.manager.web3().balance(w.landlord),
+        landlord_before,
+        "landlord keeps nothing"
+    );
     assert_eq!(w.manager.web3().balance(rental.address()), U256::ZERO);
 }
 
@@ -380,7 +454,10 @@ fn documents_linked_to_versions() {
     let w = setup();
     let base = contracts::compile_base_rental().unwrap();
     let up = w.manager.upload_artifact("base", &base).unwrap();
-    let c1 = w.manager.deploy(w.landlord, up, &base_args(), U256::ZERO).unwrap();
+    let c1 = w
+        .manager
+        .deploy(w.landlord, up, &base_args(), U256::ZERO)
+        .unwrap();
     let pdf = b"%PDF-1.4 Rental agreement, 12 months, 1 ETH monthly";
     w.manager.attach_document(c1.address(), pdf);
     assert_eq!(w.manager.document(c1.address()).unwrap(), pdf);

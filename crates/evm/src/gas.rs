@@ -104,7 +104,11 @@ pub fn tx_intrinsic_gas(is_create: bool, data: &[u8]) -> u64 {
         gas += TX_CREATE;
     }
     for b in data {
-        gas += if *b == 0 { TX_DATA_ZERO } else { TX_DATA_NONZERO };
+        gas += if *b == 0 {
+            TX_DATA_ZERO
+        } else {
+            TX_DATA_NONZERO
+        };
     }
     gas
 }
@@ -134,7 +138,11 @@ pub struct OutOfGas;
 impl GasMeter {
     /// Start a meter with `limit` gas available.
     pub fn new(limit: u64) -> Self {
-        GasMeter { limit, used: 0, refund: 0 }
+        GasMeter {
+            limit,
+            used: 0,
+            refund: 0,
+        }
     }
 
     /// Consume `amount` gas or fail.

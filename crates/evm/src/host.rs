@@ -113,7 +113,7 @@ pub struct MockHost {
     pub created: Vec<Address>,
     /// Self-destructed accounts.
     pub destroyed: Vec<Address>,
-    snapshots: Vec<Box<MockHostState>>,
+    snapshots: Vec<MockHostState>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -182,11 +182,17 @@ impl Host for MockHost {
     }
 
     fn sload(&mut self, address: Address, key: U256) -> U256 {
-        self.storage.get(&(address, key)).copied().unwrap_or(U256::ZERO)
+        self.storage
+            .get(&(address, key))
+            .copied()
+            .unwrap_or(U256::ZERO)
     }
 
     fn sstore(&mut self, address: Address, key: U256, value: U256) -> U256 {
-        let prev = self.storage.insert((address, key), value).unwrap_or(U256::ZERO);
+        let prev = self
+            .storage
+            .insert((address, key), value)
+            .unwrap_or(U256::ZERO);
         if value.is_zero() {
             self.storage.remove(&(address, key));
         }
@@ -242,7 +248,7 @@ impl Host for MockHost {
     }
 
     fn snapshot(&mut self) -> usize {
-        self.snapshots.push(Box::new(MockHostState {
+        self.snapshots.push(MockHostState {
             balances: self.balances.clone(),
             nonces: self.nonces.clone(),
             codes: self.codes.clone(),
@@ -250,7 +256,7 @@ impl Host for MockHost {
             logs_len: self.logs.len(),
             created_len: self.created.len(),
             destroyed_len: self.destroyed.len(),
-        }));
+        });
         self.snapshots.len() - 1
     }
 
@@ -290,7 +296,11 @@ mod tests {
         h.fund(a, U256::from_u64(5));
         let snap = h.snapshot();
         h.sstore(a, U256::ONE, U256::from_u64(7));
-        h.log(Log { address: a, topics: vec![], data: vec![] });
+        h.log(Log {
+            address: a,
+            topics: vec![],
+            data: vec![],
+        });
         h.inc_nonce(a);
         h.revert(snap);
         assert_eq!(h.sload(a, U256::ONE), U256::ZERO);

@@ -159,7 +159,11 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { max_code_size: gas::MAX_CODE_SIZE, count_steps: false, trace: false }
+        Config {
+            max_code_size: gas::MAX_CODE_SIZE,
+            count_steps: false,
+            trace: false,
+        }
     }
 }
 
@@ -201,12 +205,22 @@ pub struct Evm<'h, H: Host> {
 impl<'h, H: Host> Evm<'h, H> {
     /// Create an interpreter bound to `host`.
     pub fn new(host: &'h mut H) -> Self {
-        Evm { host, config: Config::default(), steps: 0, trace: Vec::new() }
+        Evm {
+            host,
+            config: Config::default(),
+            steps: 0,
+            trace: Vec::new(),
+        }
     }
 
     /// Create with explicit configuration.
     pub fn with_config(host: &'h mut H, config: Config) -> Self {
-        Evm { host, config, steps: 0, trace: Vec::new() }
+        Evm {
+            host,
+            config,
+            steps: 0,
+            trace: Vec::new(),
+        }
     }
 
     /// Execute a message frame to completion.
@@ -307,7 +321,12 @@ impl<'h, H: Host> Evm<'h, H> {
             return CallResult::halt(Halt::InsufficientBalance);
         }
         let init_code = msg.data.clone();
-        let frame_msg = Message { target: created, code_address: created, data: Vec::new(), ..msg };
+        let frame_msg = Message {
+            target: created,
+            code_address: created,
+            data: Vec::new(),
+            ..msg
+        };
         let mut result = self.run_frame(&frame_msg, &init_code, created);
         if result.success {
             // The frame's return data is the runtime code to deploy.
@@ -321,7 +340,8 @@ impl<'h, H: Host> Evm<'h, H> {
                 return CallResult::halt(Halt::OutOfGas);
             }
             result.gas_left -= deposit;
-            self.host.set_code(created, std::mem::take(&mut result.output));
+            self.host
+                .set_code(created, std::mem::take(&mut result.output));
             result.created = Some(created);
         } else {
             self.host.revert(snapshot);
@@ -416,8 +436,20 @@ impl<'h, H: Host> Evm<'h, H> {
                         created: None,
                     };
                 }
-                op::ADD | op::SUB | op::LT | op::GT | op::SLT | op::SGT | op::EQ | op::AND
-                | op::OR | op::XOR | op::SHL | op::SHR | op::SAR | op::BYTE => {
+                op::ADD
+                | op::SUB
+                | op::LT
+                | op::GT
+                | op::SLT
+                | op::SGT
+                | op::EQ
+                | op::AND
+                | op::OR
+                | op::XOR
+                | op::SHL
+                | op::SHR
+                | op::SAR
+                | op::BYTE => {
                     try_gas!(meter.charge(gas::VERYLOW));
                     let a = try_stack!(stack.pop());
                     let b = try_stack!(stack.pop());
@@ -460,7 +492,11 @@ impl<'h, H: Host> Evm<'h, H> {
                     let a = try_stack!(stack.pop());
                     let b = try_stack!(stack.pop());
                     let m = try_stack!(stack.pop());
-                    let r = if byte == op::ADDMOD { a.add_mod(b, m) } else { a.mul_mod(b, m) };
+                    let r = if byte == op::ADDMOD {
+                        a.add_mod(b, m)
+                    } else {
+                        a.mul_mod(b, m)
+                    };
                     try_stack!(stack.push(r));
                 }
                 op::EXP => {
@@ -472,13 +508,19 @@ impl<'h, H: Host> Evm<'h, H> {
                 op::ISZERO | op::NOT => {
                     try_gas!(meter.charge(gas::VERYLOW));
                     let a = try_stack!(stack.pop());
-                    let r = if byte == op::ISZERO { U256::from(a.is_zero()) } else { !a };
+                    let r = if byte == op::ISZERO {
+                        U256::from(a.is_zero())
+                    } else {
+                        !a
+                    };
                     try_stack!(stack.push(r));
                 }
                 op::KECCAK256 => {
                     let offset = pop_usize!();
                     let len = pop_usize!();
-                    try_gas!(meter.charge(gas::KECCAK256 + gas::KECCAK256_WORD * gas::words(len as u64)));
+                    try_gas!(
+                        meter.charge(gas::KECCAK256 + gas::KECCAK256_WORD * gas::words(len as u64))
+                    );
                     expand_memory!(offset, len);
                     let hash = keccak256(memory.slice(offset, len));
                     try_stack!(stack.push(U256::from_be_bytes(hash)));
@@ -532,7 +574,11 @@ impl<'h, H: Host> Evm<'h, H> {
                     try_gas!(meter.charge(gas::VERYLOW + gas::COPY_WORD * gas::words(len as u64)));
                     expand_memory!(dst, len);
                     if len > 0 {
-                        let source: &[u8] = if byte == op::CALLDATACOPY { &msg.data } else { code };
+                        let source: &[u8] = if byte == op::CALLDATACOPY {
+                            &msg.data
+                        } else {
+                            code
+                        };
                         let tail = source.get(src..).unwrap_or(&[]);
                         memory.store_slice_padded(dst, tail, len);
                     }
@@ -589,7 +635,10 @@ impl<'h, H: Host> Evm<'h, H> {
                 op::BLOCKHASH => {
                     try_gas!(meter.charge(gas::BLOCKHASH));
                     let n = try_stack!(stack.pop());
-                    let h = n.to_u64().map(|n| self.host.blockhash(n)).unwrap_or(H256::ZERO);
+                    let h = n
+                        .to_u64()
+                        .map(|n| self.host.blockhash(n))
+                        .unwrap_or(H256::ZERO);
                     try_stack!(stack.push(h.to_u256()));
                 }
                 op::COINBASE => {
@@ -746,7 +795,11 @@ impl<'h, H: Host> Evm<'h, H> {
                         topics.push(H256::from_u256(try_stack!(stack.pop())));
                     }
                     let data = memory.to_vec(offset, len);
-                    self.host.log(Log { address: this, topics, data });
+                    self.host.log(Log {
+                        address: this,
+                        topics,
+                        data,
+                    });
                 }
                 op::CREATE | op::CREATE2 => {
                     if msg.is_static {

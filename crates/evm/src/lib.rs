@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod asm;
 pub mod gas;
 pub mod host;
@@ -19,5 +20,8 @@ pub mod memory;
 pub mod opcode;
 pub mod stack;
 
+pub use access::{AccessKey, AccessSet, RecordingHost};
 pub use host::{BlockEnv, Host, Log, MockHost};
-pub use interpreter::{CallKind, CallResult, Config, Evm, Halt, Message, TraceStep, MAX_CALL_DEPTH, MAX_TRACE_STEPS};
+pub use interpreter::{
+    CallKind, CallResult, Config, Evm, Halt, Message, TraceStep, MAX_CALL_DEPTH, MAX_TRACE_STEPS,
+};

@@ -221,7 +221,10 @@ pub fn disassemble(code: &[u8]) -> Vec<(usize, String)> {
         let imm = immediate_len(b);
         let text = if imm > 0 {
             let end = (i + 1 + imm).min(code.len());
-            let data: Vec<String> = code[i + 1..end].iter().map(|x| format!("{x:02x}")).collect();
+            let data: Vec<String> = code[i + 1..end]
+                .iter()
+                .map(|x| format!("{x:02x}"))
+                .collect();
             format!("PUSH{} 0x{}", imm, data.join(""))
         } else {
             mnemonic(b).to_string()

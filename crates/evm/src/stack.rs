@@ -23,7 +23,9 @@ pub struct Stack {
 impl Stack {
     /// An empty stack with capacity reserved for typical frames.
     pub fn new() -> Self {
-        Stack { items: Vec::with_capacity(64) }
+        Stack {
+            items: Vec::with_capacity(64),
+        }
     }
 
     /// Current depth.

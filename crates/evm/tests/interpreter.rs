@@ -32,7 +32,11 @@ fn returned_word(result: &CallResult) -> U256 {
 fn arithmetic_program() {
     // (3 + 4) * 5 = 35
     let mut a = Asm::new();
-    a.push_u64(4).push_u64(3).op(op::ADD).push_u64(5).op(op::MUL);
+    a.push_u64(4)
+        .push_u64(3)
+        .op(op::ADD)
+        .push_u64(5)
+        .op(op::MUL);
     let code = return_top(&mut a);
     let r = run_code(&mut MockHost::new(), code, vec![], U256::ZERO);
     assert_eq!(returned_word(&r), U256::from_u64(35));
@@ -126,7 +130,10 @@ fn sstore_gas_depends_on_previous_value() {
 fn calldata_load_and_size() {
     // return calldataload(0) + calldatasize()
     let mut a = Asm::new();
-    a.push_u64(0).op(op::CALLDATALOAD).op(op::CALLDATASIZE).op(op::ADD);
+    a.push_u64(0)
+        .op(op::CALLDATALOAD)
+        .op(op::CALLDATASIZE)
+        .op(op::ADD);
     let code = return_top(&mut a);
     let mut data = U256::from_u64(1000).to_be_bytes().to_vec();
     data.extend_from_slice(&[0; 4]); // size 36
@@ -150,7 +157,10 @@ fn value_transfer_moves_balance() {
     let code = vec![op::STOP];
     let r = run_code(&mut host, code, vec![], U256::from_u64(1234));
     assert!(r.success);
-    assert_eq!(host.balance(Address::from_label("contract")), U256::from_u64(1234));
+    assert_eq!(
+        host.balance(Address::from_label("contract")),
+        U256::from_u64(1234)
+    );
 }
 
 #[test]
@@ -178,7 +188,10 @@ fn revert_returns_output_and_rolls_back_state() {
     assert!(r.reverted);
     assert_eq!(U256::from_be_slice(&r.output), U256::from_u64(0xbad));
     assert!(r.gas_left > 0, "revert returns remaining gas");
-    assert_eq!(host.sload(Address::from_label("contract"), U256::ONE), U256::ZERO);
+    assert_eq!(
+        host.sload(Address::from_label("contract"), U256::ONE),
+        U256::ZERO
+    );
 }
 
 #[test]
@@ -192,7 +205,13 @@ fn out_of_gas_consumes_everything() {
     let code = a.assemble().unwrap();
     let contract = Address::from_label("contract");
     host.set_code(contract, code);
-    let msg = Message::call(Address::from_label("caller"), contract, U256::ZERO, vec![], 10_000);
+    let msg = Message::call(
+        Address::from_label("caller"),
+        contract,
+        U256::ZERO,
+        vec![],
+        10_000,
+    );
     let r = Evm::new(&mut host).execute(msg);
     assert_eq!(r.halt, Some(Halt::OutOfGas));
     assert_eq!(r.gas_left, 0);
@@ -341,7 +360,11 @@ fn call_to_empty_account_succeeds() {
     let mut host = MockHost::new();
     let nobody = Address::from_label("nobody");
     let mut a = Asm::new();
-    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0);
     a.push(nobody.to_u256());
     a.push_u64(50_000);
     a.op(op::CALL);
@@ -356,7 +379,12 @@ fn selfdestruct_pays_beneficiary() {
     let beneficiary = Address::from_label("beneficiary");
     let mut a = Asm::new();
     a.push(beneficiary.to_u256()).op(op::SELFDESTRUCT);
-    let r = run_code(&mut host, a.assemble().unwrap(), vec![], U256::from_u64(500));
+    let r = run_code(
+        &mut host,
+        a.assemble().unwrap(),
+        vec![],
+        U256::from_u64(500),
+    );
     assert!(r.success);
     assert_eq!(host.balance(beneficiary), U256::from_u64(500));
     assert!(host.code(Address::from_label("contract")).is_empty());
@@ -405,13 +433,29 @@ fn memory_expansion_is_charged() {
     let mut cheap = Asm::new();
     cheap.push_u64(1).push_u64(0).op(op::MSTORE).op(op::STOP);
     let mut dear = Asm::new();
-    dear.push_u64(1).push_u64(100_000).op(op::MSTORE).op(op::STOP);
-    let r_cheap = run_code(&mut MockHost::new(), cheap.assemble().unwrap(), vec![], U256::ZERO);
-    let r_dear = run_code(&mut MockHost::new(), dear.assemble().unwrap(), vec![], U256::ZERO);
+    dear.push_u64(1)
+        .push_u64(100_000)
+        .op(op::MSTORE)
+        .op(op::STOP);
+    let r_cheap = run_code(
+        &mut MockHost::new(),
+        cheap.assemble().unwrap(),
+        vec![],
+        U256::ZERO,
+    );
+    let r_dear = run_code(
+        &mut MockHost::new(),
+        dear.assemble().unwrap(),
+        vec![],
+        U256::ZERO,
+    );
     assert!(r_cheap.success && r_dear.success);
     let used_cheap = GAS - r_cheap.gas_left;
     let used_dear = GAS - r_dear.gas_left;
-    assert!(used_dear > used_cheap + 9_000, "{used_dear} vs {used_cheap}");
+    assert!(
+        used_dear > used_cheap + 9_000,
+        "{used_dear} vs {used_cheap}"
+    );
 }
 
 #[test]
@@ -431,7 +475,11 @@ fn call_depth_limit_enforced() {
     // Contract calls itself forever; success flag of the inner call is
     // returned. At depth 1024 the inner call fails rather than recursing.
     let mut a = Asm::new();
-    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0);
     a.push(contract.to_u256());
     a.op(op::GAS); // forward everything
     a.op(op::CALL);

@@ -93,7 +93,11 @@ fn callcode_runs_foreign_code_in_own_storage() {
     host.set_code(lib, l.assemble().unwrap());
     // CALLCODE(gas, lib, value=0, 0,0,0,0)
     let mut a = Asm::new();
-    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0);
     a.push(lib.to_u256());
     a.push_u64(500_000);
     a.op(op::CALLCODE);

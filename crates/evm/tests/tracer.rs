@@ -11,9 +11,18 @@ fn traced_run(code: Vec<u8>) -> (lsc_evm::CallResult, Vec<lsc_evm::TraceStep>) {
     let caller = Address::from_label("caller");
     host.fund(caller, U256::from_u64(1_000_000));
     host.set_code(contract, code);
-    let config = Config { trace: true, ..Default::default() };
+    let config = Config {
+        trace: true,
+        ..Default::default()
+    };
     let mut evm = Evm::with_config(&mut host, config);
-    let result = evm.execute(Message::call(caller, contract, U256::ZERO, vec![], 1_000_000));
+    let result = evm.execute(Message::call(
+        caller,
+        contract,
+        U256::ZERO,
+        vec![],
+        1_000_000,
+    ));
     let trace = std::mem::take(&mut evm.trace);
     (result, trace)
 }
@@ -35,7 +44,9 @@ fn trace_records_every_instruction_in_order() {
     assert_eq!(trace[0].stack_depth, 0);
     assert_eq!(trace[2].stack_depth, 2);
     // Gas decreases monotonically.
-    assert!(trace.windows(2).all(|w| w[0].gas_remaining >= w[1].gas_remaining));
+    assert!(trace
+        .windows(2)
+        .all(|w| w[0].gas_remaining >= w[1].gas_remaining));
 }
 
 #[test]
@@ -47,7 +58,11 @@ fn trace_covers_nested_call_depths() {
     host.set_code(callee, c.assemble().unwrap());
     // Caller CALLs callee.
     let mut a = Asm::new();
-    a.push_u64(0).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
+    a.push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0)
+        .push_u64(0);
     a.push(callee.to_u256());
     a.push_u64(100_000);
     a.op(op::CALL);
@@ -55,9 +70,18 @@ fn trace_covers_nested_call_depths() {
     let contract = Address::from_label("contract");
     let caller = Address::from_label("caller");
     host.set_code(contract, a.assemble().unwrap());
-    let config = Config { trace: true, ..Default::default() };
+    let config = Config {
+        trace: true,
+        ..Default::default()
+    };
     let mut evm = Evm::with_config(&mut host, config);
-    let result = evm.execute(Message::call(caller, contract, U256::ZERO, vec![], 1_000_000));
+    let result = evm.execute(Message::call(
+        caller,
+        contract,
+        U256::ZERO,
+        vec![],
+        1_000_000,
+    ));
     assert!(result.success);
     let depths: std::collections::BTreeSet<u32> = evm.trace.iter().map(|s| s.depth).collect();
     assert!(depths.contains(&0) && depths.contains(&1), "{depths:?}");

@@ -1,9 +1,9 @@
 //! Content identifiers: a multihash-style wrapper around keccak-256 with a
 //! codec tag distinguishing raw leaves from DAG nodes.
 
-use lsc_primitives::{hex, keccak256, H256};
 use core::fmt;
 use core::str::FromStr;
+use lsc_primitives::{hex, keccak256, H256};
 
 /// Content codec of the identified block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,7 +43,10 @@ pub struct Cid {
 impl Cid {
     /// CID of a block body under the given codec.
     pub fn of(codec: Codec, body: &[u8]) -> Self {
-        Cid { codec, digest: H256(keccak256(body)) }
+        Cid {
+            codec,
+            digest: H256(keccak256(body)),
+        }
     }
 
     /// CID of raw bytes.
@@ -118,7 +121,11 @@ mod tests {
         let c = Cid::raw(b"hello!");
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_ne!(Cid::of(Codec::DagNode, b"hello"), a, "codec is part of identity");
+        assert_ne!(
+            Cid::of(Codec::DagNode, b"hello"),
+            a,
+            "codec is part of identity"
+        );
     }
 
     #[test]

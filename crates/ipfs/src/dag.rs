@@ -133,7 +133,9 @@ mod tests {
     #[test]
     fn large_file_chunks_and_roundtrips() {
         let node = IpfsNode::new();
-        let data: Vec<u8> = (0..(CHUNK_SIZE * 2 + 100)).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(CHUNK_SIZE * 2 + 100))
+            .map(|i| (i % 251) as u8)
+            .collect();
         let cid = node.add(&data);
         assert_eq!(cid.codec, Codec::DagNode);
         assert_eq!(node.cat(&cid).unwrap(), data);

@@ -26,7 +26,11 @@ impl BlockStore {
     /// Store a block under its content id; returns the CID.
     pub fn put(&self, codec: Codec, body: Vec<u8>) -> Cid {
         let cid = Cid::of(codec, &body);
-        self.inner.write().blocks.entry(cid).or_insert_with(|| Arc::new(body));
+        self.inner
+            .write()
+            .blocks
+            .entry(cid)
+            .or_insert_with(|| Arc::new(body));
         cid
     }
 

@@ -45,7 +45,13 @@ proptest! {
 #[test]
 fn chunk_boundary_exact_sizes() {
     let node = IpfsNode::new();
-    for len in [CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 2 * CHUNK_SIZE, 2 * CHUNK_SIZE + 1] {
+    for len in [
+        CHUNK_SIZE - 1,
+        CHUNK_SIZE,
+        CHUNK_SIZE + 1,
+        2 * CHUNK_SIZE,
+        2 * CHUNK_SIZE + 1,
+    ] {
         let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
         let cid = node.add(&data);
         assert_eq!(node.cat(&cid).unwrap(), data, "len={len}");

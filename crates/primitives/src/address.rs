@@ -128,7 +128,9 @@ mod tests {
     fn create_address_known_vector() {
         // keccak(rlp([0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0, 0]))[12..]
         // = cd234a471b72ba2f1ccf0a70fcaba648a5eecd8d (the canonical example).
-        let sender: Address = "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0".parse().unwrap();
+        let sender: Address = "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0"
+            .parse()
+            .unwrap();
         assert_eq!(
             Address::create(sender, 0).to_string(),
             "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d"
@@ -167,6 +169,9 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        assert_ne!(Address::from_label("landlord"), Address::from_label("tenant"));
+        assert_ne!(
+            Address::from_label("landlord"),
+            Address::from_label("tenant")
+        );
     }
 }

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn canonical_vectors() {
         // Vectors from the Ethereum wiki RLP page.
-        assert_eq!(encode(&Item::Bytes(b"dog".to_vec())), hex::decode("83646f67").unwrap());
+        assert_eq!(
+            encode(&Item::Bytes(b"dog".to_vec())),
+            hex::decode("83646f67").unwrap()
+        );
         assert_eq!(
             encode(&Item::List(vec![
                 Item::Bytes(b"cat".to_vec()),
@@ -202,7 +205,10 @@ mod tests {
         assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
         assert_eq!(encode(&Item::from_u64(0)), vec![0x80]);
         assert_eq!(encode(&Item::from_u64(15)), vec![0x0f]);
-        assert_eq!(encode(&Item::from_u64(1024)), hex::decode("820400").unwrap());
+        assert_eq!(
+            encode(&Item::from_u64(1024)),
+            hex::decode("820400").unwrap()
+        );
     }
 
     #[test]
@@ -215,7 +221,10 @@ mod tests {
         let three = Item::List(vec![
             Item::List(vec![]),
             Item::List(vec![Item::List(vec![])]),
-            Item::List(vec![Item::List(vec![]), Item::List(vec![Item::List(vec![])])]),
+            Item::List(vec![
+                Item::List(vec![]),
+                Item::List(vec![Item::List(vec![])]),
+            ]),
         ]);
         assert_eq!(encode(&three), hex::decode("c7c0c1c0c3c0c1c0").unwrap());
         assert_eq!(decode(&encode(&three)).unwrap(), three);

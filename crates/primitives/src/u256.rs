@@ -132,7 +132,9 @@ impl U256 {
     /// Number of bytes needed to represent the value (0 for zero).
     #[inline]
     pub fn byte_len(&self) -> usize {
-        usize::try_from(self.bits()).expect("bits <= 256").div_ceil(8)
+        usize::try_from(self.bits())
+            .expect("bits <= 256")
+            .div_ceil(8)
     }
 
     /// Big-endian 32-byte representation.
@@ -226,9 +228,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = prod[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -900,7 +900,10 @@ mod tests {
         assert_eq!(u(3).wrapping_pow(u(0)), U256::ONE);
         assert_eq!(u(3).wrapping_pow(u(5)), u(243));
         assert_eq!(u(2).wrapping_pow(u(256)), U256::ZERO); // wraps
-        assert_eq!(u(10).wrapping_pow(u(18)), U256::from_u128(1_000_000_000_000_000_000));
+        assert_eq!(
+            u(10).wrapping_pow(u(18)),
+            U256::from_u128(1_000_000_000_000_000_000)
+        );
     }
 
     #[test]
@@ -944,7 +947,10 @@ mod tests {
         assert_eq!(U256::ONE << 256u32, U256::ZERO);
         assert_eq!((u(0xff) << 64u32).0, [0, 0xff, 0, 0]);
         assert_eq!(U256::MAX.sar(u(255)), U256::MAX);
-        assert_eq!(U256::SIGN_BIT.sar(u(1)), U256::SIGN_BIT | (U256::SIGN_BIT >> 1u32));
+        assert_eq!(
+            U256::SIGN_BIT.sar(u(1)),
+            U256::SIGN_BIT | (U256::SIGN_BIT >> 1u32)
+        );
         assert_eq!(u(8).sar(u(2)), u(2));
         assert_eq!(U256::MAX.sar(u(300)), U256::MAX);
         assert_eq!(u(8).sar(u(300)), U256::ZERO);
@@ -977,7 +983,10 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip_and_display() {
-        let v = U256::from_decimal_str("115792089237316195423570985008687907853269984665640564039457584007913129639935").unwrap();
+        let v = U256::from_decimal_str(
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        )
+        .unwrap();
         assert_eq!(v, U256::MAX);
         assert_eq!(U256::MAX.to_decimal_string().len(), 78);
         assert_eq!(format!("{}", u(42)), "42");

@@ -21,11 +21,11 @@
 //!   `keccak(key ++ slot)` (string keys hash their bytes).
 
 use crate::sema::{ContractInfo, SemaError, Ty};
+use core::fmt;
 use lsc_evm::asm::{Asm, Label};
 use lsc_evm::opcode::op;
 use lsc_primitives::U256;
 use std::collections::HashMap;
-use core::fmt;
 
 /// Start of the dynamic heap (locals live below).
 pub const HEAP_BASE: u64 = 0x8000;
@@ -111,7 +111,11 @@ impl<'a> CodeGen<'a> {
             sub_sload_string,
             sub_sstore_string,
             subs_emitted: false,
-            ctx: FnCtx { scopes: vec![], return_slots: vec![], loops: vec![] },
+            ctx: FnCtx {
+                scopes: vec![],
+                return_slots: vec![],
+                loops: vec![],
+            },
         }
     }
 
@@ -263,7 +267,7 @@ impl<'a> CodeGen<'a> {
             self.o(op::SLOAD);
             self.o(op::DUP1);
             self.mstore_const(t_len); // [len]
-            // allocate 32 + ceil32(len)
+                                      // allocate 32 + ceil32(len)
             self.emit_ceil32();
             self.pushn(32);
             self.o(op::ADD);
@@ -274,10 +278,10 @@ impl<'a> CodeGen<'a> {
             self.mload_const(t_len);
             self.o(op::SWAP1);
             self.o(op::MSTORE); // []
-            // base = keccak(slot)
+                                // base = keccak(slot)
             self.mload_const(t_slot);
             self.emit_hash_one(); // [base]
-            // i = 0
+                                  // i = 0
             self.pushn(0);
             self.mstore_const(t_i);
             let loop_top = self.asm.new_label();
@@ -289,17 +293,17 @@ impl<'a> CodeGen<'a> {
             self.o(op::MUL); // [base, i32]
             self.mload_const(t_len); // [base, i32, len]
             self.o(op::GT); // len > i32 ? continue : done  (GT: s0>s1 -> len? wait)
-            // Stack was [base, i32, len]; GT pops len (s0) and i32 (s1):
-            // result = len > i32. If 0 → done.
+                            // Stack was [base, i32, len]; GT pops len (s0) and i32 (s1):
+                            // result = len > i32. If 0 → done.
             self.o(op::ISZERO);
             self.asm.push_label(done);
             self.o(op::JUMPI); // [base]
-            // word = sload(base + i)
+                               // word = sload(base + i)
             self.o(op::DUP1);
             self.mload_const(t_i);
             self.o(op::ADD);
             self.o(op::SLOAD); // [base, word]
-            // mstore(ptr + 32 + i*32, word)
+                               // mstore(ptr + 32 + i*32, word)
             self.mload_const(t_ptr);
             self.pushn(32);
             self.o(op::ADD);
@@ -308,7 +312,7 @@ impl<'a> CodeGen<'a> {
             self.o(op::MUL);
             self.o(op::ADD); // [base, word, dst]
             self.o(op::MSTORE); // [base]
-            // i += 1
+                                // i += 1
             self.mload_const(t_i);
             self.pushn(1);
             self.o(op::ADD);
@@ -333,14 +337,14 @@ impl<'a> CodeGen<'a> {
             self.mstore_const(s_ptr); // ptr
             self.o(op::DUP1);
             self.mstore_const(s_slot); // slot (kept on stack too)
-            // len = mload(ptr); sstore(slot, len)
+                                       // len = mload(ptr); sstore(slot, len)
             self.mload_const(s_ptr);
             self.o(op::MLOAD);
             self.o(op::DUP1);
             self.mstore_const(s_len); // [slot, len]
             self.o(op::SWAP1);
             self.o(op::SSTORE); // []
-            // base = keccak(slot)
+                                // base = keccak(slot)
             self.mload_const(s_slot);
             self.emit_hash_one(); // [base]
             self.pushn(0);
@@ -365,7 +369,7 @@ impl<'a> CodeGen<'a> {
             self.o(op::MUL);
             self.o(op::ADD);
             self.o(op::MLOAD); // [base, word]
-            // sstore(base + i, word)
+                               // sstore(base + i, word)
             self.o(op::DUP2);
             self.mload_const(s_i);
             self.o(op::ADD); // [base, word, base+i]
@@ -406,8 +410,8 @@ impl<'a> CodeGen<'a> {
     }
 }
 
+mod contract;
 mod expr;
 mod stmt;
-mod contract;
 
 pub use contract::{compile_contract, Artifact};

@@ -171,8 +171,10 @@ impl CodeGen<'_> {
         if returns.is_empty() {
             self.o(op::STOP);
         } else {
-            let items: Vec<(Ty, u64)> =
-                returns.iter().map(|(slot, ty)| (ty.clone(), *slot)).collect();
+            let items: Vec<(Ty, u64)> = returns
+                .iter()
+                .map(|(slot, ty)| (ty.clone(), *slot))
+                .collect();
             self.emit_abi_encode(&items)?;
             self.o(op::SWAP1); // [len, base]
             self.o(op::RETURN);
@@ -328,7 +330,6 @@ impl CodeGen<'_> {
         self.o(op::RETURN);
         Ok(())
     }
-
 }
 
 fn fn_key(f: &FunctionDef) -> String {
@@ -499,5 +500,11 @@ pub fn compile_contract(info: &ContractInfo) -> Result<Artifact, CodegenError> {
         .map(|v| (v.name.clone(), v.slot, format!("{:?}", v.ty)))
         .collect();
 
-    Ok(Artifact { name: info.name.clone(), bytecode, runtime, abi, storage_layout })
+    Ok(Artifact {
+        name: info.name.clone(),
+        bytecode,
+        runtime,
+        abi,
+        storage_layout,
+    })
 }

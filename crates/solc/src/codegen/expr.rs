@@ -97,11 +97,11 @@ impl CodeGen<'_> {
         let padded = bytes.len().div_ceil(32) * 32;
         self.pushn(32 + padded as u64);
         self.emit_heap_alloc_dynamic(); // [ptr]
-        // Store length.
+                                        // Store length.
         self.pushn(bytes.len() as u64); // [ptr, len]
         self.o(op::DUP2); // [ptr, len, ptr]
         self.o(op::MSTORE); // [ptr]
-        // Store data words.
+                            // Store data words.
         for (i, chunk) in bytes.chunks(32).enumerate() {
             let mut word = [0u8; 32];
             word[..chunk.len()].copy_from_slice(chunk);
@@ -156,7 +156,7 @@ impl CodeGen<'_> {
                 let size = self.contract.structs[idx].slot_count(self.contract);
                 self.pushn(size * 32);
                 self.emit_heap_alloc_dynamic(); // [slot, ptr] — wait: alloc consumed size
-                // Stack here: [slot, ptr]
+                                                // Stack here: [slot, ptr]
                 let mut offset = 0u64;
                 for (_, fty) in &fields {
                     // load field
@@ -266,7 +266,9 @@ impl CodeGen<'_> {
             }
         }
         // Storage struct field (paidrents[i].value, or a struct state var).
-        if let Some(ty) = self.storage_slot_of(&Expr::Member(Box::new(base.clone()), field.to_string()))? {
+        if let Some(ty) =
+            self.storage_slot_of(&Expr::Member(Box::new(base.clone()), field.to_string()))?
+        {
             return self.load_from_slot(&ty).map(Some);
         }
         // Memory struct field.
@@ -495,7 +497,7 @@ impl CodeGen<'_> {
         let t_i = self.alloc_local()?;
         self.mstore_const(t_ptr); // [slot]
         self.mstore_const(t_slot); // []
-        // len = mload(ptr)
+                                   // len = mload(ptr)
         self.mload_const(t_ptr);
         self.o(op::MLOAD);
         self.mstore_const(t_len);
@@ -819,9 +821,16 @@ impl CodeGen<'_> {
                     return cerr("cast takes one argument");
                 }
                 self.gen_value(&args[0])?;
-                return Ok(Some(if name == "uint" { Ty::Uint(256) } else { Ty::Int(256) }));
+                return Ok(Some(if name == "uint" {
+                    Ty::Uint(256)
+                } else {
+                    Ty::Int(256)
+                }));
             }
-            if let Some(bits) = name.strip_prefix("uint").and_then(|b| b.parse::<u16>().ok()) {
+            if let Some(bits) = name
+                .strip_prefix("uint")
+                .and_then(|b| b.parse::<u16>().ok())
+            {
                 if args.len() != 1 {
                     return cerr("cast takes one argument");
                 }
@@ -927,7 +936,7 @@ impl CodeGen<'_> {
                     self.mstore_const(t_slot);
                     self.o(op::SLOAD);
                     self.mstore_const(t_len); // []
-                    // element base = keccak(slot) + len*size
+                                              // element base = keccak(slot) + len*size
                     let at = self.gen_value(&args[0])?;
                     check_assignable(&inner, &at)?;
                     // [value]
@@ -960,18 +969,17 @@ impl CodeGen<'_> {
     }
 
     /// Internal function call via the memory calling convention.
-    fn gen_internal_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-    ) -> Result<Option<Ty>, CodegenError> {
+    fn gen_internal_call(&mut self, name: &str, args: &[Expr]) -> Result<Option<Ty>, CodegenError> {
         let params = self
             .fn_param_slots
             .get(name)
             .ok_or_else(|| CodegenError(format!("function `{name}` has no emitted body")))?
             .clone();
         if params.len() != args.len() {
-            return cerr(format!("function `{name}` takes {} arguments", params.len()));
+            return cerr(format!(
+                "function `{name}` takes {} arguments",
+                params.len()
+            ));
         }
         for (arg, (slot, pty)) in args.iter().zip(&params) {
             let at = self.gen_value(arg)?;

@@ -53,7 +53,11 @@ impl CodeGen<'_> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let else_label = self.asm.new_label();
                 let end = self.asm.new_label();
                 self.gen_value(cond)?;
@@ -84,7 +88,12 @@ impl CodeGen<'_> {
                 self.asm.place(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, post, body } => {
+            Stmt::For {
+                init,
+                cond,
+                post,
+                body,
+            } => {
                 self.ctx.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.gen_stmt(init)?;
@@ -165,9 +174,7 @@ impl CodeGen<'_> {
                 Ok(())
             }
             Stmt::Block(stmts) => self.gen_block(stmts),
-            Stmt::Placeholder => {
-                cerr("`_` placeholder is only valid inside a modifier body")
-            }
+            Stmt::Placeholder => cerr("`_` placeholder is only valid inside a modifier body"),
         }
     }
 
@@ -178,7 +185,10 @@ impl CodeGen<'_> {
             .ok_or_else(|| CodegenError(format!("unknown event `{name}`")))?
             .clone();
         if event.params.len() != args.len() {
-            return cerr(format!("event `{name}` takes {} arguments", event.params.len()));
+            return cerr(format!(
+                "event `{name}` takes {} arguments",
+                event.params.len()
+            ));
         }
         // Resolve parameter types and the topic-0 signature hash.
         let mut sig_args = Vec::new();
@@ -271,7 +281,7 @@ impl CodeGen<'_> {
                     self.mload_const(t_base);
                     self.mload_const(t_tail);
                     self.o(op::ADD); // [dst]
-                    // src = ptr, len bytes = 32 + ceil32(len)
+                                     // src = ptr, len bytes = 32 + ceil32(len)
                     self.mload_const(t_src); // [dst, src]
                     self.mload_const(t_len);
                     self.emit_ceil32();
@@ -353,7 +363,9 @@ impl CodeGen<'_> {
                     self.o(op::ADD);
                     self.o(op::MLOAD);
                     if *t == Ty::Address {
-                        self.push((lsc_primitives::U256::ONE << 160u32) - lsc_primitives::U256::ONE);
+                        self.push(
+                            (lsc_primitives::U256::ONE << 160u32) - lsc_primitives::U256::ONE,
+                        );
                         self.o(op::AND);
                     }
                     self.mstore_const(*slot);

@@ -67,9 +67,9 @@ impl std::error::Error for LexError {}
 
 /// Multi-character operators, longest first so maximal munch works.
 const PUNCTS: &[&str] = &[
-    "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "**", "*=", "/=", "%=", "++", "--",
-    "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "=", "+", "-", "*", "/",
-    "%", "!", "<", ">", "&", "|", "^", "~",
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "**", "*=", "/=", "%=", "++", "--", "<<",
+    ">>", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "=", "+", "-", "*", "/", "%", "!",
+    "<", ">", "&", "|", "^", "~",
 ];
 
 /// Tokenize `source` into a vector ending with [`Tok::Eof`].
@@ -104,7 +104,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     }
                     i += 1;
                 }
-                return Err(LexError { message: "unterminated block comment".into(), pos });
+                return Err(LexError {
+                    message: "unterminated block comment".into(),
+                    pos,
+                });
             }
             b'"' | b'\'' => {
                 let quote = c;
@@ -147,7 +150,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { tok: Tok::Str(out), pos });
+                tokens.push(Token {
+                    tok: Tok::Str(out),
+                    pos,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -162,7 +168,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
-                tokens.push(Token { tok: Tok::Number(text.to_string()), pos });
+                tokens.push(Token {
+                    tok: Tok::Number(text.to_string()),
+                    pos,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => {
                 let start = i;
@@ -172,14 +181,20 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
-                tokens.push(Token { tok: Tok::Ident(text.to_string()), pos });
+                tokens.push(Token {
+                    tok: Tok::Ident(text.to_string()),
+                    pos,
+                });
             }
             _ => {
                 let rest = &source[i..];
                 let matched = PUNCTS.iter().find(|p| rest.starts_with(**p));
                 match matched {
                     Some(p) => {
-                        tokens.push(Token { tok: Tok::Punct(p), pos });
+                        tokens.push(Token {
+                            tok: Tok::Punct(p),
+                            pos,
+                        });
                         i += p.len();
                     }
                     None => {
@@ -192,7 +207,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { tok: Tok::Eof, pos: Pos { offset: bytes.len(), line } });
+    tokens.push(Token {
+        tok: Tok::Eof,
+        pos: Pos {
+            offset: bytes.len(),
+            line,
+        },
+    });
     Ok(tokens)
 }
 

@@ -2,8 +2,8 @@
 
 use crate::ast::*;
 use crate::lexer::{lex, LexError, Pos, Tok, Token};
-use lsc_primitives::U256;
 use core::fmt;
+use lsc_primitives::U256;
 
 /// Parse error with location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, pos: e.pos }
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
     }
 }
 
@@ -37,8 +40,10 @@ pub fn parse(source: &str) -> Result<SourceUnit, ParseError> {
 
 /// Elementary type names (plus sized variants checked dynamically).
 fn is_elementary(name: &str) -> bool {
-    matches!(name, "uint" | "int" | "address" | "bool" | "string" | "bytes" | "byte")
-        || (name.starts_with("uint") && name[4..].parse::<u16>().is_ok())
+    matches!(
+        name,
+        "uint" | "int" | "address" | "bool" | "string" | "bytes" | "byte"
+    ) || (name.starts_with("uint") && name[4..].parse::<u16>().is_ok())
         || (name.starts_with("int") && name[3..].parse::<u16>().is_ok())
         || (name.starts_with("bytes") && name[5..].parse::<u8>().is_ok())
 }
@@ -74,7 +79,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), pos: self.here() })
+        Err(ParseError {
+            message: message.into(),
+            pos: self.here(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -154,7 +162,10 @@ impl Parser {
                 unit.contracts.push(self.contract()?);
                 continue;
             }
-            return self.err(format!("expected `contract` or `pragma`, found {}", self.peek()));
+            return self.err(format!(
+                "expected `contract` or `pragma`, found {}",
+                self.peek()
+            ));
         }
     }
 
@@ -274,8 +285,7 @@ impl Parser {
         loop {
             if self.eat_kw("public") {
                 public = true;
-            } else if self.eat_kw("private") || self.eat_kw("internal") || self.eat_kw("constant")
-            {
+            } else if self.eat_kw("private") || self.eat_kw("internal") || self.eat_kw("constant") {
                 // accepted and ignored (no packing/constant folding of vars)
             } else {
                 break;
@@ -283,8 +293,17 @@ impl Parser {
         }
         loop {
             let name = self.ident()?;
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
-            contract.state_vars.push(StateVar { name, ty: ty.clone(), public, init });
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            contract.state_vars.push(StateVar {
+                name,
+                ty: ty.clone(),
+                public,
+                init,
+            });
             if !self.eat_punct(",") {
                 break;
             }
@@ -490,8 +509,16 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then_branch = self.branch_body()?;
-            let else_branch = if self.eat_kw("else") { self.branch_body()? } else { vec![] };
-            return Ok(Stmt::If { cond, then_branch, else_branch });
+            let else_branch = if self.eat_kw("else") {
+                self.branch_body()?
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.eat_kw("while") {
             self.expect_punct("(")?;
@@ -513,15 +540,32 @@ impl Parser {
                 self.expect_punct(";")?;
                 Some(Box::new(s))
             };
-            let cond = if self.is_punct(";") { None } else { Some(self.expr()?) };
+            let cond = if self.is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
-            let post = if self.is_punct(")") { None } else { Some(self.expr()?) };
+            let post = if self.is_punct(")") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(")")?;
             let body = self.branch_body()?;
-            return Ok(Stmt::For { init, cond, post, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                post,
+                body,
+            });
         }
         if self.eat_kw("return") {
-            let value = if self.is_punct(";") { None } else { Some(self.expr()?) };
+            let value = if self.is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(value));
         }
@@ -531,7 +575,9 @@ impl Parser {
             let message = if self.eat_punct(",") {
                 match self.bump() {
                     Tok::Str(s) => Some(s),
-                    other => return self.err(format!("require message must be a string, found {other}")),
+                    other => {
+                        return self.err(format!("require message must be a string, found {other}"))
+                    }
                 }
             } else {
                 None
@@ -545,7 +591,10 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Require { cond, message: Some("assertion failed".into()) });
+            return Ok(Stmt::Require {
+                cond,
+                message: Some("assertion failed".into()),
+            });
         }
         if self.eat_kw("revert") {
             self.expect_punct("(")?;
@@ -554,7 +603,9 @@ impl Parser {
             } else {
                 match self.bump() {
                     Tok::Str(s) => Some(s),
-                    other => return self.err(format!("revert reason must be a string, found {other}")),
+                    other => {
+                        return self.err(format!("revert reason must be a string, found {other}"))
+                    }
                 }
             };
             self.expect_punct(")")?;
@@ -611,7 +662,11 @@ impl Parser {
     fn var_decl_statement(&mut self) -> Result<Stmt, ParseError> {
         let ty = self.type_expr()?;
         let name = self.ident()?;
-        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+        let init = if self.eat_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Stmt::VarDecl { ty, name, init })
     }
 
@@ -650,7 +705,11 @@ impl Parser {
             let then = self.expr()?;
             self.expect_punct(":")?;
             let otherwise = self.ternary()?;
-            return Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(otherwise)));
+            return Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(otherwise),
+            ));
         }
         Ok(cond)
     }
@@ -701,7 +760,12 @@ impl Parser {
     fn relational(&mut self) -> Result<Expr, ParseError> {
         self.binary_level(
             Self::shift,
-            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
         )
     }
 
@@ -710,7 +774,10 @@ impl Parser {
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
-        self.binary_level(Self::multiplicative, &[("+", BinOp::Add), ("-", BinOp::Sub)])
+        self.binary_level(
+            Self::multiplicative,
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+        )
     }
 
     fn multiplicative(&mut self) -> Result<Expr, ParseError> {
@@ -742,11 +809,17 @@ impl Parser {
         }
         if self.eat_punct("++") {
             let target = self.unary()?;
-            return Ok(Expr::IncDec { target: Box::new(target), increment: true });
+            return Ok(Expr::IncDec {
+                target: Box::new(target),
+                increment: true,
+            });
         }
         if self.eat_punct("--") {
             let target = self.unary()?;
-            return Ok(Expr::IncDec { target: Box::new(target), increment: false });
+            return Ok(Expr::IncDec {
+                target: Box::new(target),
+                increment: false,
+            });
         }
         self.postfix()
     }
@@ -774,9 +847,15 @@ impl Parser {
                 self.expect_punct(")")?;
                 e = Expr::Call(Box::new(e), args);
             } else if self.eat_punct("++") {
-                e = Expr::IncDec { target: Box::new(e), increment: true };
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    increment: true,
+                };
             } else if self.eat_punct("--") {
-                e = Expr::IncDec { target: Box::new(e), increment: false };
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    increment: false,
+                };
             } else {
                 return Ok(e);
             }
@@ -880,11 +959,21 @@ mod tests {
         "#;
         let c = parse(src).unwrap().contracts.remove(0);
         assert_eq!(c.structs[0].fields.len(), 2);
-        assert_eq!(c.enums[0].variants, vec!["Created", "Started", "Terminated"]);
+        assert_eq!(
+            c.enums[0].variants,
+            vec!["Created", "Started", "Terminated"]
+        );
         let names: Vec<&str> = c.state_vars.iter().map(|v| v.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["paidrents", "state", "landlord", "tenant", "creationTime", "contractTime"]
+            vec![
+                "paidrents",
+                "state",
+                "landlord",
+                "tenant",
+                "creationTime",
+                "contractTime"
+            ]
         );
         assert!(c.state_vars[2].public);
         assert!(!c.state_vars[4].public);
@@ -940,7 +1029,10 @@ mod tests {
     fn expression_precedence() {
         let src = "contract C { function f() public { uint x = 1 + 2 * 3; bool b = 1 < 2 && 3 > 2 || false; } }";
         let c = parse(src).unwrap().contracts.remove(0);
-        let Stmt::VarDecl { init: Some(Expr::Binary(BinOp::Add, _, rhs)), .. } = &c.functions[0].body[0]
+        let Stmt::VarDecl {
+            init: Some(Expr::Binary(BinOp::Add, _, rhs)),
+            ..
+        } = &c.functions[0].body[0]
         else {
             panic!("expected add at top");
         };
@@ -951,15 +1043,22 @@ mod tests {
     fn unit_literals_scale() {
         let src = "contract C { uint x = 2 ether; uint y = 3 days; }";
         let c = parse(src).unwrap().contracts.remove(0);
-        let Some(Expr::Number(v)) = &c.state_vars[0].init else { panic!() };
+        let Some(Expr::Number(v)) = &c.state_vars[0].init else {
+            panic!()
+        };
         assert_eq!(*v, lsc_primitives::ether(2));
-        let Some(Expr::Number(v)) = &c.state_vars[1].init else { panic!() };
+        let Some(Expr::Number(v)) = &c.state_vars[1].init else {
+            panic!()
+        };
         assert_eq!(*v, U256::from_u64(3 * 86_400));
     }
 
     #[test]
     fn inheritance_clause() {
-        let c = parse("contract RentalAgreement is BaseRental { }").unwrap().contracts.remove(0);
+        let c = parse("contract RentalAgreement is BaseRental { }")
+            .unwrap()
+            .contracts
+            .remove(0);
         assert_eq!(c.bases, vec!["BaseRental"]);
     }
 

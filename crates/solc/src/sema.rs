@@ -8,8 +8,8 @@
 //! C3-trivial single-inheritance order) guarantees that.
 
 use crate::ast::*;
-use lsc_abi::{Abi, AbiType, Event as AbiEvent, Function as AbiFunction, Param, StateMutability};
 use core::fmt;
+use lsc_abi::{Abi, AbiType, Event as AbiEvent, Function as AbiFunction, Param, StateMutability};
 use std::collections::HashMap;
 
 /// Resolved semantic type.
@@ -40,7 +40,10 @@ pub enum Ty {
 impl Ty {
     /// Types representable as a single EVM word on the stack.
     pub fn is_value_type(&self) -> bool {
-        matches!(self, Ty::Uint(_) | Ty::Int(_) | Ty::Bool | Ty::Address | Ty::Enum(_))
+        matches!(
+            self,
+            Ty::Uint(_) | Ty::Int(_) | Ty::Bool | Ty::Address | Ty::Enum(_)
+        )
     }
 
     /// Can this be compared with `==`?
@@ -67,7 +70,10 @@ impl StructInfo {
     /// Number of storage slots / memory words occupied (strings take one
     /// word — a pointer in memory, a length-root in storage).
     pub fn slot_count(&self, contract: &ContractInfo) -> u64 {
-        self.fields.iter().map(|(_, ty)| contract.slots_for(ty)).sum()
+        self.fields
+            .iter()
+            .map(|(_, ty)| contract.slots_for(ty))
+            .sum()
     }
 
     /// Slot/word offset of a field within the struct.
@@ -165,7 +171,10 @@ impl ContractInfo {
 
     /// Find a struct by name.
     pub fn struct_by_name(&self, name: &str) -> Option<(usize, &StructInfo)> {
-        self.structs.iter().enumerate().find(|(_, s)| s.name == name)
+        self.structs
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == name)
     }
 
     /// Find an enum by name.
@@ -175,7 +184,9 @@ impl ContractInfo {
 
     /// Find a function by name (not the constructor).
     pub fn function(&self, name: &str) -> Option<&FunctionDef> {
-        self.functions.iter().find(|f| !f.is_constructor && f.name == name)
+        self.functions
+            .iter()
+            .find(|f| !f.is_constructor && f.name == name)
     }
 
     /// The constructor, if declared.
@@ -228,7 +239,10 @@ impl ContractInfo {
                 .params
                 .iter()
                 .map(|(name, ty)| {
-                    Ok(Param::new(name.clone(), self.abi_type(&self.resolve_type(ty)?)?))
+                    Ok(Param::new(
+                        name.clone(),
+                        self.abi_type(&self.resolve_type(ty)?)?,
+                    ))
                 })
                 .collect::<Result<Vec<_>, SemaError>>()?;
             abi.constructor_payable = ctor.mutability == Mutability::Payable;
@@ -249,14 +263,20 @@ impl ContractInfo {
                     .params
                     .iter()
                     .map(|(name, ty)| {
-                        Ok(Param::new(name.clone(), self.abi_type(&self.resolve_type(ty)?)?))
+                        Ok(Param::new(
+                            name.clone(),
+                            self.abi_type(&self.resolve_type(ty)?)?,
+                        ))
                     })
                     .collect::<Result<Vec<_>, SemaError>>()?,
                 outputs: f
                     .returns
                     .iter()
                     .map(|(name, ty)| {
-                        Ok(Param::new(name.clone(), self.abi_type(&self.resolve_type(ty)?)?))
+                        Ok(Param::new(
+                            name.clone(),
+                            self.abi_type(&self.resolve_type(ty)?)?,
+                        ))
                     })
                     .collect::<Result<Vec<_>, SemaError>>()?,
                 mutability: match f.mutability {
@@ -370,7 +390,10 @@ fn resolve_type_with(
             if !key.is_value_type() && key != Ty::String {
                 return err("mapping keys must be value types or string");
             }
-            Ty::Mapping(Box::new(key), Box::new(resolve_type_with(value, structs, enums)?))
+            Ty::Mapping(
+                Box::new(key),
+                Box::new(resolve_type_with(value, structs, enums)?),
+            )
         }
     })
 }
@@ -388,7 +411,11 @@ fn splice_placeholder(template: &[Stmt], body: &[Stmt], spliced: &mut usize) -> 
             Stmt::Block(inner) => {
                 out.push(Stmt::Block(splice_placeholder(inner, body, spliced)));
             }
-            Stmt::If { cond, then_branch, else_branch } => out.push(Stmt::If {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => out.push(Stmt::If {
                 cond: cond.clone(),
                 then_branch: splice_placeholder(then_branch, body, spliced),
                 else_branch: splice_placeholder(else_branch, body, spliced),
@@ -397,7 +424,12 @@ fn splice_placeholder(template: &[Stmt], body: &[Stmt], spliced: &mut usize) -> 
                 cond: cond.clone(),
                 body: splice_placeholder(b, body, spliced),
             }),
-            Stmt::For { init, cond, post, body: b } => out.push(Stmt::For {
+            Stmt::For {
+                init,
+                cond,
+                post,
+                body: b,
+            } => out.push(Stmt::For {
                 init: init.clone(),
                 cond: cond.clone(),
                 post: post.clone(),
@@ -411,12 +443,18 @@ fn splice_placeholder(template: &[Stmt], body: &[Stmt], spliced: &mut usize) -> 
 
 /// Flatten and resolve every contract in a source unit.
 pub fn analyze(unit: &SourceUnit) -> Result<Vec<ContractInfo>, SemaError> {
-    let by_name: HashMap<&str, &ContractDef> =
-        unit.contracts.iter().map(|c| (c.name.as_str(), c)).collect();
+    let by_name: HashMap<&str, &ContractDef> = unit
+        .contracts
+        .iter()
+        .map(|c| (c.name.as_str(), c))
+        .collect();
     if by_name.len() != unit.contracts.len() {
         return err("duplicate contract name");
     }
-    unit.contracts.iter().map(|c| flatten(c, &by_name)).collect()
+    unit.contracts
+        .iter()
+        .map(|c| flatten(c, &by_name))
+        .collect()
 }
 
 /// Flatten one contract's inheritance chain and resolve it.
@@ -464,7 +502,10 @@ pub fn flatten(
             if enums.iter().any(|x| x.name == e.name) {
                 continue; // redefinition in derived: keep base (identical in practice)
             }
-            enums.push(EnumInfo { name: e.name.clone(), variants: e.variants.clone() });
+            enums.push(EnumInfo {
+                name: e.name.clone(),
+                variants: e.variants.clone(),
+            });
         }
     }
     for c in &lineage {
@@ -477,7 +518,10 @@ pub fn flatten(
                 .iter()
                 .map(|(n, t)| Ok((n.clone(), resolve_type_with(t, &structs, &enums)?)))
                 .collect::<Result<Vec<_>, SemaError>>()?;
-            structs.push(StructInfo { name: s.name.clone(), fields });
+            structs.push(StructInfo {
+                name: s.name.clone(),
+                fields,
+            });
         }
     }
 
@@ -486,7 +530,10 @@ pub fn flatten(
     for c in &lineage {
         for v in &c.state_vars {
             if state_vars.iter().any(|x| x.name == v.name) {
-                return err(format!("state variable `{}` redeclared in `{}`", v.name, c.name));
+                return err(format!(
+                    "state variable `{}` redeclared in `{}`",
+                    v.name, c.name
+                ));
             }
             let ty = resolve_type_with(&v.ty, &structs, &enums)?;
             state_vars.push(StateVarInfo {
@@ -535,8 +582,9 @@ pub fn flatten(
                 }
                 continue;
             }
-            if let Some(existing) =
-                functions.iter_mut().find(|x| !x.is_constructor && x.name == f.name)
+            if let Some(existing) = functions
+                .iter_mut()
+                .find(|x| !x.is_constructor && x.name == f.name)
             {
                 *existing = f.clone();
             } else {
@@ -644,8 +692,11 @@ mod tests {
             }"#,
         );
         let c = &infos[0];
-        let slots: Vec<(String, u64)> =
-            c.state_vars.iter().map(|v| (v.name.clone(), v.slot)).collect();
+        let slots: Vec<(String, u64)> = c
+            .state_vars
+            .iter()
+            .map(|v| (v.name.clone(), v.slot))
+            .collect();
         assert_eq!(
             slots,
             vec![
@@ -699,7 +750,9 @@ mod tests {
         assert_eq!(derived.functions.len(), 2);
         let g = derived.function("g").unwrap();
         // Overridden body returns 20.
-        let Stmt::Return(Some(Expr::Number(v))) = &g.body[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Number(v))) = &g.body[0] else {
+            panic!()
+        };
         assert_eq!(v.to_u64(), Some(20));
     }
 
@@ -736,13 +789,9 @@ mod tests {
         assert!(analyze(&parsed).is_err());
         let parsed = parse("contract C { floof x; }").unwrap();
         assert!(analyze(&parsed).is_err());
-        let parsed = parse(
-            "contract C { uint public f; function f() public {} }",
-        )
-        .unwrap();
+        let parsed = parse("contract C { uint public f; function f() public {} }").unwrap();
         assert!(analyze(&parsed).is_err());
-        let parsed =
-            parse("contract A is B {} contract B is A {}").unwrap();
+        let parsed = parse("contract A is B {} contract B is A {}").unwrap();
         assert!(analyze(&parsed).is_err());
     }
 
@@ -755,6 +804,9 @@ mod tests {
         assert_eq!(c.state_var("state").unwrap().ty, Ty::Enum(0));
         assert_eq!(c.enums[0].variants.len(), 3);
         let abi = c.build_abi().unwrap();
-        assert_eq!(abi.function("state").unwrap().outputs[0].ty, AbiType::Uint(8));
+        assert_eq!(
+            abi.function("state").unwrap().outputs[0].ty,
+            AbiType::Uint(8)
+        );
     }
 }

@@ -23,7 +23,10 @@ fn parse_errors_carry_line_numbers() {
 #[test]
 fn unknown_identifier_named() {
     let message = err_of("contract C { function f() public { missing = 1; } }");
-    assert!(message.contains("not assignable") || message.contains("missing"), "{message}");
+    assert!(
+        message.contains("not assignable") || message.contains("missing"),
+        "{message}"
+    );
     let message = err_of("contract C { function f() public returns (uint) { return missing; } }");
     assert!(message.contains("missing"), "{message}");
 }
@@ -69,9 +72,7 @@ fn string_arithmetic_rejected() {
 
 #[test]
 fn wrong_event_arity_rejected() {
-    let message = err_of(
-        "contract C { event E(uint a); function f() public { emit E(); } }",
-    );
+    let message = err_of("contract C { event E(uint a); function f() public { emit E(); } }");
     assert!(message.contains('1'), "{message}");
     let message = err_of("contract C { function f() public { emit Ghost(); } }");
     assert!(message.contains("Ghost"), "{message}");
@@ -79,9 +80,7 @@ fn wrong_event_arity_rejected() {
 
 #[test]
 fn mapping_locals_rejected() {
-    let message = err_of(
-        "contract C { function f() public { mapping(uint => uint) m; } }",
-    );
+    let message = err_of("contract C { function f() public { mapping(uint => uint) m; } }");
     assert!(message.contains("mapping"), "{message}");
 }
 
@@ -169,7 +168,10 @@ fn while_with_complex_condition() {
             }
         }
     "#;
-    assert_eq!(eval(source, "f", &[AbiValue::uint(16)])[0].as_u64(), Some(4));
+    assert_eq!(
+        eval(source, "f", &[AbiValue::uint(16)])[0].as_u64(),
+        Some(4)
+    );
 }
 
 #[test]
@@ -225,9 +227,18 @@ fn chained_else_if() {
             }
         }
     "#;
-    assert_eq!(eval(source, "grade", &[AbiValue::uint(95)])[0].as_u64(), Some(1));
-    assert_eq!(eval(source, "grade", &[AbiValue::uint(60)])[0].as_u64(), Some(2));
-    assert_eq!(eval(source, "grade", &[AbiValue::uint(10)])[0].as_u64(), Some(3));
+    assert_eq!(
+        eval(source, "grade", &[AbiValue::uint(95)])[0].as_u64(),
+        Some(1)
+    );
+    assert_eq!(
+        eval(source, "grade", &[AbiValue::uint(60)])[0].as_u64(),
+        Some(2)
+    );
+    assert_eq!(
+        eval(source, "grade", &[AbiValue::uint(10)])[0].as_u64(),
+        Some(3)
+    );
 }
 
 #[test]
@@ -255,7 +266,8 @@ fn fixed_arrays_in_storage() {
             .send_transaction(Transaction::call(
                 from,
                 address,
-                set.encode_call(&[AbiValue::uint(i), AbiValue::uint(v)]).unwrap(),
+                set.encode_call(&[AbiValue::uint(i), AbiValue::uint(v)])
+                    .unwrap(),
             ))
             .unwrap();
         assert!(receipt.is_success());
@@ -268,7 +280,8 @@ fn fixed_arrays_in_storage() {
         .send_transaction(Transaction::call(
             from,
             address,
-            set.encode_call(&[AbiValue::uint(3), AbiValue::uint(1)]).unwrap(),
+            set.encode_call(&[AbiValue::uint(3), AbiValue::uint(1)])
+                .unwrap(),
         ))
         .unwrap();
     assert!(!receipt.is_success());

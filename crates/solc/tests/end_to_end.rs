@@ -1,7 +1,7 @@
 //! End-to-end compiler tests: compile Solidity-subset sources, deploy the
 //! bytecode on the local chain and interact through the generated ABI.
 
-use lsc_abi::{AbiValue, Abi};
+use lsc_abi::{Abi, AbiValue};
 use lsc_chain::{LocalNode, Transaction};
 use lsc_primitives::{Address, U256};
 use lsc_solc::compile_single;
@@ -26,7 +26,11 @@ fn deploy_with_value(source: &str, contract: &str, args: &[AbiValue], value: U25
     let receipt = node
         .send_transaction(Transaction::deploy(owner, init).with_value(value))
         .expect("deploy tx accepted");
-    assert!(receipt.is_success(), "deployment reverted: {:?}", receipt.output);
+    assert!(
+        receipt.is_success(),
+        "deployment reverted: {:?}",
+        receipt.output
+    );
     Deployed {
         node,
         address: receipt.contract_address.expect("created"),
@@ -38,7 +42,10 @@ fn deploy_with_value(source: &str, contract: &str, args: &[AbiValue], value: U25
 impl Deployed {
     /// eth_call a function and decode its outputs.
     fn call(&mut self, name: &str, args: &[AbiValue]) -> Vec<AbiValue> {
-        let f = self.abi.function(name).unwrap_or_else(|| panic!("no function {name}"));
+        let f = self
+            .abi
+            .function(name)
+            .unwrap_or_else(|| panic!("no function {name}"));
         let data = f.encode_call(args).expect("encodes");
         let result = self.node.call(self.owner, self.address, data);
         assert!(
@@ -51,8 +58,17 @@ impl Deployed {
     }
 
     /// Send a transaction invoking a function.
-    fn send(&mut self, from: Address, name: &str, args: &[AbiValue], value: U256) -> lsc_chain::Receipt {
-        let f = self.abi.function(name).unwrap_or_else(|| panic!("no function {name}"));
+    fn send(
+        &mut self,
+        from: Address,
+        name: &str,
+        args: &[AbiValue],
+        value: U256,
+    ) -> lsc_chain::Receipt {
+        let f = self
+            .abi
+            .function(name)
+            .unwrap_or_else(|| panic!("no function {name}"));
         let data = f.encode_call(args).expect("encodes");
         self.node
             .send_transaction(Transaction::call(from, self.address, data).with_value(value))
@@ -142,15 +158,31 @@ fn arithmetic_and_control_flow() {
         }
     "#;
     let mut d = deploy(src, "Math", &[]);
-    assert_eq!(d.call1("sumTo", &[AbiValue::uint(100)]).as_u64(), Some(5050));
-    assert_eq!(d.call1("collatz", &[AbiValue::uint(27)]).as_u64(), Some(111));
     assert_eq!(
-        d.call1("minmax", &[AbiValue::uint(9), AbiValue::uint(4)]).as_u64(),
+        d.call1("sumTo", &[AbiValue::uint(100)]).as_u64(),
+        Some(5050)
+    );
+    assert_eq!(
+        d.call1("collatz", &[AbiValue::uint(27)]).as_u64(),
+        Some(111)
+    );
+    assert_eq!(
+        d.call1("minmax", &[AbiValue::uint(9), AbiValue::uint(4)])
+            .as_u64(),
         Some(4)
     );
-    assert_eq!(d.call1("parity", &[AbiValue::uint(4)]).as_bool(), Some(true));
-    assert_eq!(d.call1("parity", &[AbiValue::uint(7)]).as_bool(), Some(true));
-    assert_eq!(d.call1("parity", &[AbiValue::uint(3)]).as_bool(), Some(false));
+    assert_eq!(
+        d.call1("parity", &[AbiValue::uint(4)]).as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        d.call1("parity", &[AbiValue::uint(7)]).as_bool(),
+        Some(true)
+    );
+    assert_eq!(
+        d.call1("parity", &[AbiValue::uint(3)]).as_bool(),
+        Some(false)
+    );
 }
 
 #[test]
@@ -190,7 +222,10 @@ fn nonpayable_functions_reject_value() {
     assert!(r.is_success());
     let r = d.send(owner, "free", &[], U256::from_u64(10));
     assert!(!r.is_success());
-    assert_eq!(decode_revert(&r.output).as_deref(), Some("function is not payable"));
+    assert_eq!(
+        decode_revert(&r.output).as_deref(),
+        Some("function is not payable")
+    );
 }
 
 #[test]
@@ -240,9 +275,22 @@ fn mappings_including_nested_string_keys() {
         .as_str(),
         Some("")
     );
-    d.send(owner, "credit", &[AbiValue::Address(alice), AbiValue::uint(10)], U256::ZERO);
-    d.send(owner, "credit", &[AbiValue::Address(alice), AbiValue::uint(5)], U256::ZERO);
-    assert_eq!(d.call1("balances", &[AbiValue::Address(alice)]).as_u64(), Some(15));
+    d.send(
+        owner,
+        "credit",
+        &[AbiValue::Address(alice), AbiValue::uint(10)],
+        U256::ZERO,
+    );
+    d.send(
+        owner,
+        "credit",
+        &[AbiValue::Address(alice), AbiValue::uint(5)],
+        U256::ZERO,
+    );
+    assert_eq!(
+        d.call1("balances", &[AbiValue::Address(alice)]).as_u64(),
+        Some(15)
+    );
 }
 
 #[test]
@@ -267,7 +315,12 @@ fn structs_arrays_and_push() {
     let mut d = deploy(src, "Ledger", &[]);
     let owner = d.owner;
     for (m, v) in [(1u64, 100u64), (2, 150), (3, 150)] {
-        let r = d.send(owner, "pay", &[AbiValue::uint(m), AbiValue::uint(v)], U256::ZERO);
+        let r = d.send(
+            owner,
+            "pay",
+            &[AbiValue::uint(m), AbiValue::uint(v)],
+            U256::ZERO,
+        );
         assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
     }
     assert_eq!(d.call1("count", &[]).as_u64(), Some(3));
@@ -353,13 +406,23 @@ fn indexed_event_params_become_topics() {
     let mut d = deploy(src, "Emitter", &[]);
     let owner = d.owner;
     let to = Address::from_label("receiver");
-    let r = d.send(owner, "go", &[AbiValue::Address(to), AbiValue::uint(5)], U256::ZERO);
+    let r = d.send(
+        owner,
+        "go",
+        &[AbiValue::Address(to), AbiValue::uint(5)],
+        U256::ZERO,
+    );
     assert!(r.is_success());
     let log = &r.logs[0];
     assert_eq!(log.topics.len(), 3);
     assert_eq!(log.topics[1].to_u256(), owner.to_u256());
     assert_eq!(log.topics[2].to_u256(), to.to_u256());
-    let decoded = d.abi.event("transferred").unwrap().decode_data(&log.data).unwrap();
+    let decoded = d
+        .abi
+        .event("transferred")
+        .unwrap()
+        .decode_data(&log.data)
+        .unwrap();
     assert_eq!(decoded[0].as_u64(), Some(5));
 }
 
@@ -382,7 +445,10 @@ fn ether_transfer_between_accounts() {
     let landlord_before = d.node.balance(d.owner);
     let r = d.send(tenant, "payRent", &[], lsc_primitives::ether(2));
     assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
-    assert_eq!(d.node.balance(d.owner), landlord_before + lsc_primitives::ether(2));
+    assert_eq!(
+        d.node.balance(d.owner),
+        landlord_before + lsc_primitives::ether(2)
+    );
     assert_eq!(d.call1("poolBalance", &[]).as_u64(), Some(0));
 }
 
@@ -403,7 +469,10 @@ fn internal_calls_and_named_returns() {
     let r = d.send(owner, "quadruple", &[AbiValue::uint(3)], U256::ZERO);
     assert!(r.is_success(), "revert: {:?}", decode_revert(&r.output));
     assert_eq!(d.call1("hits", &[]).as_u64(), Some(1));
-    assert_eq!(d.call1("quadruple", &[AbiValue::uint(3)]).as_u64(), Some(12));
+    assert_eq!(
+        d.call1("quadruple", &[AbiValue::uint(3)]).as_u64(),
+        Some(12)
+    );
 }
 
 #[test]
@@ -425,7 +494,12 @@ fn inheritance_overrides_and_base_slots() {
     let mut d = deploy(src, "Derived", &[]);
     let owner = d.owner;
     assert_eq!(d.call1("kind", &[]).as_u64(), Some(2));
-    d.send(owner, "setBoth", &[AbiValue::uint(10), AbiValue::uint(20)], U256::ZERO);
+    d.send(
+        owner,
+        "setBoth",
+        &[AbiValue::uint(10), AbiValue::uint(20)],
+        U256::ZERO,
+    );
     assert_eq!(d.call1("rent", &[]).as_u64(), Some(10));
     assert_eq!(d.call1("deposit", &[]).as_u64(), Some(20));
     let next = Address::from_label("next-version");
@@ -471,7 +545,8 @@ fn string_equality_and_keccak() {
     d.send(owner, "set", &[AbiValue::string("hello world")], U256::ZERO);
     assert_eq!(d.call1("stored", &[]).as_str(), Some("hello world"));
     assert_eq!(
-        d.call1("matches", &[AbiValue::string("hello world")]).as_bool(),
+        d.call1("matches", &[AbiValue::string("hello world")])
+            .as_bool(),
         Some(true)
     );
     assert_eq!(
@@ -479,11 +554,13 @@ fn string_equality_and_keccak() {
         Some(false)
     );
     assert_eq!(
-        d.call1("eq", &[AbiValue::string("a"), AbiValue::string("a")]).as_bool(),
+        d.call1("eq", &[AbiValue::string("a"), AbiValue::string("a")])
+            .as_bool(),
         Some(true)
     );
     assert_eq!(
-        d.call1("eq", &[AbiValue::string("a"), AbiValue::string("b")]).as_bool(),
+        d.call1("eq", &[AbiValue::string("a"), AbiValue::string("b")])
+            .as_bool(),
         Some(false)
     );
 }
@@ -534,7 +611,10 @@ fn state_var_initializers_run_at_deploy() {
         }
     "#;
     let mut d = deploy(src, "Init", &[]);
-    assert_eq!(d.call1("fee", &[]).as_uint(), Some(lsc_primitives::ether(3)));
+    assert_eq!(
+        d.call1("fee", &[]).as_uint(),
+        Some(lsc_primitives::ether(3))
+    );
     assert_eq!(d.call1("label", &[]).as_str(), Some("genesis"));
     assert_eq!(d.call1("sum", &[]).as_u64(), Some(14));
 }
@@ -548,8 +628,14 @@ fn casts_and_masks() {
         }
     "#;
     let mut d = deploy(src, "Casts", &[]);
-    assert_eq!(d.call1("low", &[AbiValue::uint(0x1ff)]).as_u64(), Some(0xff));
-    let got = d.call1("toAddr", &[AbiValue::uint(0x1234)]).as_address().unwrap();
+    assert_eq!(
+        d.call1("low", &[AbiValue::uint(0x1ff)]).as_u64(),
+        Some(0xff)
+    );
+    let got = d
+        .call1("toAddr", &[AbiValue::uint(0x1234)])
+        .as_address()
+        .unwrap();
     let mut expected = [0u8; 20];
     expected[18] = 0x12;
     expected[19] = 0x34;
@@ -571,5 +657,8 @@ fn break_and_continue() {
     "#;
     let mut d = deploy(src, "Loops", &[]);
     // 1 + 3 + 5 + 7 + 9 = 25
-    assert_eq!(d.call1("oddSumBelow", &[AbiValue::uint(10)]).as_u64(), Some(25));
+    assert_eq!(
+        d.call1("oddSumBelow", &[AbiValue::uint(10)]).as_u64(),
+        Some(25)
+    );
 }

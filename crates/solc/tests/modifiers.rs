@@ -24,21 +24,33 @@ fn deploy(source: &str, name: &str) -> Deployed {
         .unwrap()
         .contract_address
         .unwrap();
-    Deployed { node, address, abi: artifact.abi, owner, other }
+    Deployed {
+        node,
+        address,
+        abi: artifact.abi,
+        owner,
+        other,
+    }
 }
 
 impl Deployed {
     fn send(&mut self, from: Address, name: &str, args: &[AbiValue]) -> bool {
         let f = self.abi.function(name).unwrap();
         self.node
-            .send_transaction(Transaction::call(from, self.address, f.encode_call(args).unwrap()))
+            .send_transaction(Transaction::call(
+                from,
+                self.address,
+                f.encode_call(args).unwrap(),
+            ))
             .unwrap()
             .is_success()
     }
 
     fn get_u64(&mut self, name: &str) -> u64 {
         let f = self.abi.function(name).unwrap();
-        let result = self.node.call(self.owner, self.address, f.encode_call(&[]).unwrap());
+        let result = self
+            .node
+            .call(self.owner, self.address, f.encode_call(&[]).unwrap());
         assert!(result.success);
         U256::from_be_slice(&result.output).to_u64().unwrap()
     }
@@ -132,25 +144,20 @@ fn modifiers_inherit_and_guard_rental_roles() {
 #[test]
 fn modifier_errors() {
     // Unknown modifier.
-    let err = compile_source(
-        "contract C { function f() public ghost {} }",
-    )
-    .unwrap_err()
-    .to_string();
+    let err = compile_source("contract C { function f() public ghost {} }")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("ghost"), "{err}");
     // Missing placeholder.
-    let err = compile_source(
-        "contract C { modifier m() { uint x = 1; } function f() public m {} }",
-    )
-    .unwrap_err()
-    .to_string();
+    let err =
+        compile_source("contract C { modifier m() { uint x = 1; } function f() public m {} }")
+            .unwrap_err()
+            .to_string();
     assert!(err.contains("placeholder"), "{err}");
     // Wrong arity.
-    let err = compile_source(
-        "contract C { modifier m(uint a) { _; } function f() public m {} }",
-    )
-    .unwrap_err()
-    .to_string();
+    let err = compile_source("contract C { modifier m(uint a) { _; } function f() public m {} }")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("argument"), "{err}");
     // Placeholder outside a modifier.
     let err = compile_source("contract C { function f() public { _; } }")

@@ -108,7 +108,8 @@ fn arb_expr() -> impl Strategy<Value = E> {
         (0u64..1000).prop_map(E::Lit),
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
-        let bexpr = (inner.clone(), inner.clone()).prop_map(|(x, y)| B::Lt(Box::new(x), Box::new(y)));
+        let bexpr =
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| B::Lt(Box::new(x), Box::new(y)));
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),

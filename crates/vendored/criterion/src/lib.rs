@@ -1,0 +1,395 @@
+//! Workspace-local, dependency-free substitute for the `criterion` crate.
+//!
+//! The container building this repository has no access to crates.io, so
+//! the external crates the workspace depends on are vendored as minimal
+//! shims under `crates/vendored/`. This shim keeps criterion's API shape
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!` / `criterion_main!`) but measures
+//! with a plain adaptive wall-clock loop and prints one line per
+//! benchmark:
+//!
+//! ```text
+//! group/name/param        time: 12.345 µs/iter  (3456 iters)
+//! ```
+//!
+//! There is no statistical analysis, HTML report or regression store —
+//! the figures in EXPERIMENTS.md are produced from these lines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group: a name, an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` measured at parameter `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => format!("{group}/{}/{p}", self.name),
+            (false, None) => format!("{group}/{}", self.name),
+            (true, Some(p)) => format!("{group}/{p}"),
+            (true, None) => group.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput hint attached to a group (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost (accepted for compatibility;
+/// the shim always runs setup once per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    config: &'a BenchConfig,
+    /// Filled in by `iter*`: (total duration, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call estimates per-iteration cost.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.config.measurement_time;
+        let by_time = budget.as_nanos() / estimate.as_nanos().max(1);
+        let iters = by_time
+            .clamp(1, (self.config.sample_size as u128).max(1) * 2000)
+            .min(u128::from(u64::MAX)) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Deprecated spelling of [`Bencher::iter_batched`] kept by criterion
+    /// for backward compatibility; same semantics here.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, setup: S, routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter_batched(setup, routine, BatchSize::PerIteration);
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warmup_start = Instant::now();
+        black_box(routine(input));
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.config.measurement_time;
+        let by_time = budget.as_nanos() / estimate.as_nanos().max(1);
+        let iters = by_time.clamp(1, (self.config.sample_size as u128).max(1) * 200) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn report(label: &str, result: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_nanos() as f64 / iters as f64;
+            let (value, unit) = if per_iter < 1_000.0 {
+                (per_iter, "ns")
+            } else if per_iter < 1_000_000.0 {
+                (per_iter / 1_000.0, "µs")
+            } else if per_iter < 1_000_000_000.0 {
+                (per_iter / 1_000_000.0, "ms")
+            } else {
+                (per_iter / 1_000_000_000.0, "s")
+            };
+            let rate = match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let mbps = bytes as f64 / per_iter * 1_000.0;
+                    format!("  ({mbps:.1} MB/s)")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let eps = n as f64 / per_iter * 1_000_000_000.0;
+                    format!("  ({eps:.0} elem/s)")
+                }
+                None => String::new(),
+            };
+            println!("{label:<60} time: {value:>10.3} {unit}/iter  ({iters} iters){rate}");
+        }
+        _ => println!("{label:<60} (no measurement recorded)"),
+    }
+}
+
+impl Criterion {
+    /// Override the sample-size hint for subsequently created benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Override the measurement-time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's warmup is a single
+    /// estimating call, so the duration is ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let config = BenchConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&id.render(""), bencher.result, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample-size hint for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement-time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Attach a throughput hint, echoed in the report line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let config = BenchConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&id.render(&self.name), bencher.result, self.throughput);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let config = BenchConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&id.render(&self.name), bencher.result, self.throughput);
+        self
+    }
+
+    /// Close the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).fold(1, |acc, x| acc.wrapping_mul(x) | 1)
+    }
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("fib", |b| b.iter(|| fib(black_box(20))));
+    }
+
+    #[test]
+    fn groups_run_parameterised_benches() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        for n in [4u64, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| fib(black_box(n)))
+            });
+        }
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, fib, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixed-size array strategies (`uniform4`, `uniform20`, …).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy generating `[S::Value; N]` from one element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// Array of independently generated elements.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray(element)
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform1 => 1,
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform20 => 20,
+    uniform32 => 32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn arrays_have_the_right_shape() {
+        let mut rng = TestRng::from_seed(4);
+        let quad: [u64; 4] = uniform4(any::<u64>()).generate(&mut rng);
+        assert_eq!(quad.len(), 4);
+        let addr: [u8; 20] = uniform20(any::<u8>()).generate(&mut rng);
+        assert_eq!(addr.len(), 20);
+    }
+}

@@ -1,0 +1,527 @@
+//! Workspace-local, dependency-free substitute for the `proptest` crate.
+//!
+//! The container building this repository has no access to crates.io, so
+//! the external crates the workspace depends on are vendored as minimal
+//! shims under `crates/vendored/`. This shim reimplements the subset of
+//! proptest's API that the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`
+//! * [`Just`], integer range strategies, tuple strategies (arity 2–8),
+//!   [`array`] strategies, [`collection::vec`] / [`collection::btree_map`]
+//!   and regex-like string strategies (`"[a-z]{1,8}"`, `"\\PC{0,80}"`, …)
+//! * `any::<T>()` for the integer primitives and `bool`
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros and [`ProptestConfig::with_cases`]
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case
+//! reports the generated inputs (via `Debug`) and the assertion message.
+//! Generation is fully deterministic per test (the RNG is seeded from the
+//! test's name), so failures are reproducible run over run.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod string;
+
+/// Re-exports that `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic splitmix64 generator driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from raw state.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEECE66D,
+        }
+    }
+
+    /// Seed deterministically from a test name (FNV-1a).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform 128-bit value in `[0, n)`; 0 when `n == 0`.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        if n == 0 {
+            return 0;
+        }
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % n
+    }
+}
+
+/// How many cases a [`proptest!`] block runs per test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert*` macros inside a test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build recursive structures: `recurse` receives a handle that
+    /// generates either a leaf (this strategy) or a shallower recursive
+    /// value, nested up to `depth` levels. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility; size
+    /// control here comes from the 50% leaf probability at every level.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branched = recurse(current).boxed();
+            current = Union::new(vec![leaf.clone(), branched]).boxed();
+        }
+        current
+    }
+}
+
+/// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<T, S: Strategy<Value = T>> DynStrategy<T> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among equally weighted alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !arms.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.arms.len() as u64) as usize;
+        self.arms[index].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = rng.below_u128(span);
+                ((self.start as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as i128).wrapping_sub(self.start as i128) as u128 + 1;
+                let offset = rng.below_u128(span);
+                ((self.start as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                let span = (*self.end() as i128)
+                    .wrapping_sub(*self.start() as i128) as u128 + 1;
+                let offset = rng.below_u128(span);
+                ((*self.start() as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        self.start + rng.below_u128(self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident, $index:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, 0);
+    (A, 0, B, 1);
+    (A, 0, B, 1, C, 2);
+    (A, 0, B, 1, C, 2, D, 3);
+    (A, 0, B, 1, C, 2, D, 3, E, 4);
+    (A, 0, B, 1, C, 2, D, 3, E, 4, F, 5);
+    (A, 0, B, 1, C, 2, D, 3, E, 4, F, 5, G, 6);
+    (A, 0, B, 1, C, 2, D, 3, E, 4, F, 5, G, 6, H, 7);
+}
+
+/// Drives one `proptest!`-generated test: deterministic cases, inputs
+/// reported on failure. The `run_case` closure returns the `Debug`
+/// rendering of the generated inputs paired with the body's verdict.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut run_case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut rng = TestRng::for_test(name);
+    for case in 0..config.cases {
+        let mut inputs = String::new();
+        let outcome = {
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_case(&mut rng)));
+            match result {
+                Ok((dbg, verdict)) => {
+                    inputs = dbg;
+                    Ok(verdict)
+                }
+                Err(panic) => Err(panic),
+            }
+        };
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(error)) => panic!(
+                "proptest '{name}' failed at case {case}/{}: {error}\n  inputs: {inputs}",
+                config.cases
+            ),
+            Err(panic) => {
+                eprintln!("proptest '{name}' panicked at case {case}/{}", config.cases);
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Render generated inputs for failure reports.
+pub fn debug_inputs<T: Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+/// The `proptest! { ... }` block: expands each contained function into a
+/// `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strat,)+);
+                $crate::run_proptest(stringify!($name), &config, |rng| {
+                    let values = $crate::Strategy::generate(&strategy, rng);
+                    let rendered = $crate::debug_inputs(&values);
+                    let ($($pat,)+) = values;
+                    let verdict: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    (rendered, verdict)
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::generate(&(1usize..=3), &mut rng);
+            assert!((1..=3).contains(&w));
+            let s = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u64..1000, crate::collection::vec(any::<u8>(), 0..10));
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&strat, &mut a),
+                Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(size).sum::<usize>(),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..100 {
+            assert!(size(&Strategy::generate(&strat, &mut rng)) < 1000);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works((a, b) in (0u64..50, 0u64..50), extra in any::<bool>()) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a, "commutativity with extra={}", extra);
+        }
+    }
+}

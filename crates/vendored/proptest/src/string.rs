@@ -1,0 +1,237 @@
+//! Regex-like string strategies: `&'static str` patterns as strategies.
+//!
+//! Supports the pattern subset the workspace's tests use: character
+//! classes with ranges and escapes (`[a-zA-Z0-9 _\-"\\]`, `[ -~]`), the
+//! "printable" class `\PC`, literal characters, and `{m}` / `{m,n}`
+//! repetition. Anything outside that subset panics with a clear message
+//! at generation time.
+
+use crate::{Strategy, TestRng};
+
+#[derive(Debug, Clone)]
+enum CharGen {
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    /// A literal character.
+    Literal(char),
+}
+
+impl CharGen {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharGen::Literal(c) => *c,
+            CharGen::Printable => {
+                // Mostly ASCII printable, occasionally a wider code point
+                // (exercises multi-byte UTF-8 handling in parsers).
+                if rng.below(16) == 0 {
+                    const WIDE: [char; 8] = ['é', 'λ', '中', '¥', 'Ω', '→', '„', '🙂'];
+                    WIDE[rng.below(WIDE.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5F) as u8) as char
+                }
+            }
+            CharGen::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32) - u64::from(*lo as u32) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi as u32) - u64::from(*lo as u32) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32)
+                            .expect("class ranges hold valid chars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    gen: CharGen,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let gen = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let gen = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                gen
+            }
+            '\\' => {
+                let next = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                if next == 'P' && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    CharGen::Printable
+                } else {
+                    i += 2;
+                    CharGen::Literal(next)
+                }
+            }
+            c => {
+                i += 1;
+                CharGen::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            min <= max,
+            "bad repetition {{{min},{max}}} in pattern {pattern:?}"
+        );
+        atoms.push(Atom { gen, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> CharGen {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let lo = if body[i] == '\\' {
+            i += 1;
+            *body
+                .get(i)
+                .unwrap_or_else(|| panic!("dangling '\\' in class of pattern {pattern:?}"))
+        } else {
+            body[i]
+        };
+        i += 1;
+        // A '-' that is neither first (handled as literal via lo) nor last
+        // forms a range.
+        if body.get(i) == Some(&'-') && i + 1 < body.len() {
+            i += 1;
+            let hi = if body[i] == '\\' {
+                i += 1;
+                body[i]
+            } else {
+                body[i]
+            };
+            i += 1;
+            assert!(
+                lo <= hi,
+                "inverted class range {lo}-{hi} in pattern {pattern:?}"
+            );
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    CharGen::Class(ranges)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.gen.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &'static str, seed: u64) -> String {
+        let mut rng = TestRng::from_seed(seed);
+        Strategy::generate(&pattern, &mut rng)
+    }
+
+    #[test]
+    fn class_with_ranges_and_repetition() {
+        for seed in 0..50 {
+            let s = sample("[a-zA-Z0-9 ]{0,60}", seed);
+            assert!(s.len() <= 60);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        // The literal pattern from the abi tests: [a-zA-Z0-9 _\-"\\]
+        for seed in 0..50 {
+            let s = sample("[a-zA-Z0-9 _\\-\"\\\\]{0,24}", seed);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric()
+                    || matches!(c, ' ' | '_' | '-' | '"' | '\\')),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for seed in 0..50 {
+            let s = sample("[ -~]{0,40}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_has_no_control_chars() {
+        for seed in 0..50 {
+            let s = sample("\\PC{0,80}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 80);
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let s = sample("[a-z]{8}", 1);
+        assert_eq!(s.len(), 8);
+    }
+}

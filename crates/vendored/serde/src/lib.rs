@@ -1,0 +1,159 @@
+//! Workspace-local, dependency-free substitute for the `serde` crate.
+//!
+//! The container building this repository cannot reach crates.io, so the
+//! external crates the workspace depends on are vendored as minimal shims
+//! under `crates/vendored/`. `lsc-primitives` hand-implements
+//! `Serialize`/`Deserialize` for `Address`, `H256` and `U256` as
+//! string-shaped values; this shim provides exactly the trait surface
+//! those impls (and any string-shaped data format) need, plus a simple
+//! built-in string format so the impls are actually exercisable.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Serialization backends ("data formats").
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serialize a string value.
+    fn serialize_str(self, value: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Deserialization backends ("data formats").
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Deserialize a string value.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for &str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+/// Serializer-side error support.
+pub mod ser {
+    use super::Display;
+
+    /// Trait every serializer error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(message: T) -> Self;
+    }
+}
+
+/// Deserializer-side error support.
+pub mod de {
+    use super::Display;
+
+    /// Trait every deserializer error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(message: T) -> Self;
+    }
+}
+
+/// A minimal built-in string "format" so the hand-written impls in
+/// `lsc-primitives` can be round-trip tested without a real data format.
+pub mod str_format {
+    use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+
+    /// Error type shared by [`to_string`] and [`from_str`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(message: T) -> Self {
+            Error(message.to_string())
+        }
+    }
+
+    impl de::Error for Error {
+        fn custom<T: std::fmt::Display>(message: T) -> Self {
+            Error(message.to_string())
+        }
+    }
+
+    struct StringSerializer;
+
+    impl Serializer for StringSerializer {
+        type Ok = String;
+        type Error = Error;
+
+        fn serialize_str(self, value: &str) -> Result<String, Error> {
+            Ok(value.to_string())
+        }
+    }
+
+    struct StrDeserializer<'de>(&'de str);
+
+    impl<'de> Deserializer<'de> for StrDeserializer<'de> {
+        type Error = Error;
+
+        fn deserialize_string(self) -> Result<String, Error> {
+            Ok(self.0.to_string())
+        }
+    }
+
+    /// Serialize a value to its string form.
+    pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+        value.serialize(StringSerializer)
+    }
+
+    /// Deserialize a value from its string form.
+    pub fn from_str<'de, T: Deserialize<'de>>(input: &'de str) -> Result<T, Error> {
+        T::deserialize(StrDeserializer(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::str_format::{from_str, to_string};
+
+    #[test]
+    fn string_roundtrip() {
+        let s = to_string(&String::from("hello")).unwrap();
+        assert_eq!(s, "hello");
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, "hello");
+    }
+}

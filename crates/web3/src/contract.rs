@@ -54,7 +54,12 @@ impl Contract {
             .function(name)
             .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
         let data = f.encode_call(args)?;
-        let caller = self.web3.accounts().first().copied().unwrap_or(Address::ZERO);
+        let caller = self
+            .web3
+            .accounts()
+            .first()
+            .copied()
+            .unwrap_or(Address::ZERO);
         let result = self.web3.call_raw(caller, self.address, data);
         if !result.success {
             return Err(Web3Error::Reverted {
@@ -136,9 +141,12 @@ impl Contract {
             .abi
             .event(name)
             .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
-        let raw = self
-            .web3
-            .logs(from_block, to_block, Some(self.address), Some(event.topic0()));
+        let raw = self.web3.logs(
+            from_block,
+            to_block,
+            Some(self.address),
+            Some(event.topic0()),
+        );
         Ok(raw
             .into_iter()
             .filter_map(|(block, log)| self.decode_log(&log).map(|e| (block, e)))
@@ -169,7 +177,10 @@ impl Contract {
             };
             params.push((input.name.clone(), value));
         }
-        Some(DecodedEvent { name: event.name.clone(), params })
+        Some(DecodedEvent {
+            name: event.name.clone(),
+            params,
+        })
     }
 }
 
@@ -204,11 +215,7 @@ mod tests {
         let log = Log {
             address,
             topics: vec![event.topic0(), H256::from_u256(tenant.to_u256())],
-            data: lsc_abi::encode(
-                &[lsc_abi::AbiType::Uint(256)],
-                &[AbiValue::uint(1500)],
-            )
-            .unwrap(),
+            data: lsc_abi::encode(&[lsc_abi::AbiType::Uint(256)], &[AbiValue::uint(1500)]).unwrap(),
         };
         let decoded = contract.decode_log(&log).unwrap();
         assert_eq!(decoded.name, "paidRent");
@@ -221,7 +228,11 @@ mod tests {
         let web3 = Web3::new(LocalNode::new(1));
         let address = Address::from_label("contract");
         let contract = web3.contract_at(sample_abi(), address);
-        let log = Log { address, topics: vec![H256::keccak(b"other")], data: vec![] };
+        let log = Log {
+            address,
+            topics: vec![H256::keccak(b"other")],
+            data: vec![],
+        };
         assert!(contract.decode_log(&log).is_none());
     }
 

@@ -48,12 +48,12 @@ pub mod wallet;
 pub use contract::{Contract, DecodedEvent};
 pub use wallet::Wallet;
 
+use core::fmt;
 use lsc_abi::{Abi, AbiError, AbiValue};
 use lsc_chain::{LocalNode, Receipt, Transaction, TxError};
 use lsc_evm::CallResult;
 use lsc_primitives::{Address, U256};
 use parking_lot::Mutex;
-use core::fmt;
 use std::sync::Arc;
 
 /// Errors surfaced by the client layer.
@@ -83,7 +83,9 @@ impl fmt::Display for Web3Error {
         match self {
             Self::Tx(e) => write!(f, "transaction rejected: {e}"),
             Self::Abi(e) => write!(f, "abi error: {e}"),
-            Self::Reverted { reason: Some(r), .. } => write!(f, "execution reverted: {r}"),
+            Self::Reverted {
+                reason: Some(r), ..
+            } => write!(f, "execution reverted: {r}"),
             Self::Reverted { reason: None, .. } => write!(f, "execution reverted"),
             Self::NotInWallet(a) => write!(f, "account {a} is not unlocked in the wallet"),
             Self::UnknownAbiItem(name) => write!(f, "abi has no item named `{name}`"),
@@ -130,7 +132,10 @@ impl Web3 {
         for account in node.accounts() {
             wallet.unlock(*account);
         }
-        Web3 { node: Arc::new(Mutex::new(node)), wallet }
+        Web3 {
+            node: Arc::new(Mutex::new(node)),
+            wallet,
+        }
     }
 
     /// The wallet (MetaMask stand-in).
@@ -214,9 +219,10 @@ impl Web3 {
     ) -> Result<(Contract, Receipt), Web3Error> {
         let mut code = init_code;
         code.extend_from_slice(&abi.encode_constructor(args)?);
-        let receipt =
-            self.send_transaction(Transaction::deploy(from, code).with_value(value))?;
-        let address = receipt.contract_address.ok_or(Web3Error::NoContractAddress)?;
+        let receipt = self.send_transaction(Transaction::deploy(from, code).with_value(value))?;
+        let address = receipt
+            .contract_address
+            .ok_or(Web3Error::NoContractAddress)?;
         Ok((Contract::new(self.clone(), abi, address), receipt))
     }
 
@@ -312,8 +318,7 @@ mod tests {
         let payload = {
             let mut p = vec![0x08, 0xc3, 0x79, 0xa0];
             p.extend(
-                lsc_abi::encode(&[lsc_abi::AbiType::String], &[AbiValue::string("nope")])
-                    .unwrap(),
+                lsc_abi::encode(&[lsc_abi::AbiType::String], &[AbiValue::string("nope")]).unwrap(),
             );
             p
         };

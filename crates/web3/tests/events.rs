@@ -26,21 +26,33 @@ fn events_filtered_by_topic_and_range() {
     let from = web3.accounts()[0];
     let artifact = compile_single(SOURCE, "Emitter").unwrap();
     let (contract, _) = web3
-        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
 
     for n in 1..=6u64 {
-        contract.send(from, "hit", &[AbiValue::uint(n)], U256::ZERO).unwrap();
+        contract
+            .send(from, "hit", &[AbiValue::uint(n)], U256::ZERO)
+            .unwrap();
     }
 
     // All pings.
-    let pings = contract.events_in_range("ping", 0, web3.block_number()).unwrap();
+    let pings = contract
+        .events_in_range("ping", 0, web3.block_number())
+        .unwrap();
     assert_eq!(pings.len(), 6);
     assert_eq!(pings[0].1.params[0].1.as_u64(), Some(1));
     assert_eq!(pings[5].1.params[0].1.as_u64(), Some(6));
 
     // Pongs only fire on even inputs.
-    let pongs = contract.events_in_range("pong", 0, web3.block_number()).unwrap();
+    let pongs = contract
+        .events_in_range("pong", 0, web3.block_number())
+        .unwrap();
     assert_eq!(pongs.len(), 3);
 
     // Range restriction: only the first three hit-transactions.
@@ -58,14 +70,29 @@ fn logs_filtered_by_address() {
     let from = web3.accounts()[0];
     let artifact = compile_single(SOURCE, "Emitter").unwrap();
     let (c1, _) = web3
-        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
     let (c2, _) = web3
-        .deploy(from, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
-    c1.send(from, "hit", &[AbiValue::uint(1)], U256::ZERO).unwrap();
-    c2.send(from, "hit", &[AbiValue::uint(2)], U256::ZERO).unwrap();
-    c2.send(from, "hit", &[AbiValue::uint(3)], U256::ZERO).unwrap();
+    c1.send(from, "hit", &[AbiValue::uint(1)], U256::ZERO)
+        .unwrap();
+    c2.send(from, "hit", &[AbiValue::uint(2)], U256::ZERO)
+        .unwrap();
+    c2.send(from, "hit", &[AbiValue::uint(3)], U256::ZERO)
+        .unwrap();
 
     let head = web3.block_number();
     assert_eq!(web3.logs(0, head, Some(c1.address()), None).len(), 1);
@@ -86,10 +113,8 @@ fn batch_mode_through_the_client() {
         .submit_transaction(lsc_chain::Transaction::call(stranger, b, vec![]).with_gas(21_000))
         .is_err());
     for _ in 0..4 {
-        web3.submit_transaction(
-            lsc_chain::Transaction::call(a, b, vec![]).with_gas(21_000),
-        )
-        .unwrap();
+        web3.submit_transaction(lsc_chain::Transaction::call(a, b, vec![]).with_gas(21_000))
+            .unwrap();
     }
     assert_eq!(web3.pending_count(), 4);
     let (block, errors) = web3.mine_block();

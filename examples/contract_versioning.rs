@@ -36,21 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("v1 deployed at {}", v1.address());
     let mut previous = v1.address();
     for (version, rent) in [(2u32, 2u64), (3, 3), (4, 4)] {
-        let vn = manager.deploy_version(
-            landlord,
-            upload,
-            &args(rent),
-            U256::ZERO,
-            previous,
-            &[],
-        )?;
+        let vn =
+            manager.deploy_version(landlord, upload, &args(rent), U256::ZERO, previous, &[])?;
         println!("v{version} deployed at {} (rent {rent} ETH)", vn.address());
         previous = vn.address();
     }
 
     // Traverse the evidence line from the middle.
     let history = manager.history(previous)?;
-    println!("\nevidence line ({} versions, earliest first):", history.len());
+    println!(
+        "\nevidence line ({} versions, earliest first):",
+        history.len()
+    );
     for (i, address) in history.iter().enumerate() {
         let record = manager.record(*address).expect("record");
         let contract = manager.contract_at(*address)?;
@@ -64,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let verified = manager.verify_chain(history[0])?;
-    println!("bidirectional integrity verified across {} links", verified.len() - 1);
+    println!(
+        "bidirectional integrity verified across {} links",
+        verified.len() - 1
+    );
 
     // Third party: only has the last address + the IPFS network. The
     // registry manifest lets them rebuild address→ABI and walk the list.

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         U256::ZERO,
     )?;
     let written = store.snapshot_contract(landlord, &v1, RENTAL_DATA_KEYS)?;
-    println!("snapshotted {written} attributes of v1 {} into the data layer:", v1.address());
+    println!(
+        "snapshotted {written} attributes of v1 {} into the data layer:",
+        v1.address()
+    );
     for (key, value) in store.fetch_all(v1.address(), RENTAL_DATA_KEYS)? {
         println!("  {key} = {value}");
     }

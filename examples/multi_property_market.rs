@@ -20,15 +20,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Two landlords, three tenants.
     let mut sessions = Vec::new();
-    for (i, name) in ["landlady_a", "landlord_b", "tenant_x", "tenant_y", "tenant_z"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "landlady_a",
+        "landlord_b",
+        "tenant_x",
+        "tenant_y",
+        "tenant_z",
+    ]
+    .iter()
+    .enumerate()
     {
         app.register(name, &format!("{name}@example.org"), "pw", accounts[i])?;
         sessions.push(app.login(name, "pw")?);
     }
-    let [landlady_a, landlord_b, tenant_x, tenant_y, tenant_z] =
-        [sessions[0], sessions[1], sessions[2], sessions[3], sessions[4]];
+    let [landlady_a, landlord_b, tenant_x, tenant_y, tenant_z] = [
+        sessions[0],
+        sessions[1],
+        sessions[2],
+        sessions[3],
+        sessions[4],
+    ];
 
     let base = contracts::compile_base_rental()?;
     let upload = app.upload_contract(
@@ -57,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
             U256::ZERO,
         )?;
-        app.attach_document(session, address, format!("%PDF-1.4 lease for {house}").as_bytes())?;
+        app.attach_document(
+            session,
+            address,
+            format!("%PDF-1.4 lease for {house}").as_bytes(),
+        )?;
         addresses.push(address);
         println!("listed {house} at {rent} ETH/month → {address}");
     }

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         U256::ZERO,
     )?;
-    app.attach_document(landlord, address, b"%PDF-1.4 twelve-month lease, 1 ETH monthly")?;
+    app.attach_document(
+        landlord,
+        address,
+        b"%PDF-1.4 twelve-month lease, 1 ETH monthly",
+    )?;
     println!("== landlord dashboard after deployment (Fig. 7/10) ==");
     println!("{}", dashboard::render(&app.dashboard(landlord)?));
 

@@ -87,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "stranger tried to relink the evidence line: {}",
-        if attempt.is_err() { "rejected (guarded)" } else { "?!" }
+        if attempt.is_err() {
+            "rejected (guarded)"
+        } else {
+            "?!"
+        }
     );
     Ok(())
 }

@@ -61,10 +61,22 @@ fn transfer_to_contract_without_fallback_reverts() {
     let payer_art = compile_single(source, "Payer").unwrap();
     let wall_art = compile_single(source, "Wall").unwrap();
     let (payer, _) = web3
-        .deploy(from, payer_art.abi.clone(), payer_art.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            from,
+            payer_art.abi.clone(),
+            payer_art.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
     let (wall, _) = web3
-        .deploy(from, wall_art.abi.clone(), wall_art.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            from,
+            wall_art.abi.clone(),
+            wall_art.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
 
     // transfer → revert with the compiler's message.
@@ -86,19 +98,30 @@ fn transfer_to_contract_without_fallback_reverts() {
     // send's value was already moved into the Payer frame; on failed send
     // it stays with the Payer contract.
     let receipt = payer
-        .send(from, "sendTo", &[AbiValue::Address(wall.address())], ether(1))
+        .send(
+            from,
+            "sendTo",
+            &[AbiValue::Address(wall.address())],
+            ether(1),
+        )
         .unwrap();
     assert!(receipt.is_success());
     let f = payer_art.abi.function("sendTo").unwrap();
     let decoded = f.decode_output(&receipt.output).unwrap();
     assert_eq!(decoded[0].as_bool(), Some(false));
     assert_eq!(web3.balance(wall.address()), U256::ZERO);
-    assert_eq!(web3.balance(payer.address()), ether(1), "value stranded in payer");
+    assert_eq!(
+        web3.balance(payer.address()),
+        ether(1),
+        "value stranded in payer"
+    );
 
     // Transfers to plain EOAs still work fine.
     let eoa = web3.accounts()[1];
     let before = web3.balance(eoa);
-    payer.send(from, "payTo", &[AbiValue::Address(eoa)], ether(2)).unwrap();
+    payer
+        .send(from, "payTo", &[AbiValue::Address(eoa)], ether(2))
+        .unwrap();
     assert_eq!(web3.balance(eoa) - before, ether(2));
 }
 
@@ -109,7 +132,10 @@ fn artifact_tooling_renders() {
     assert!(asm.contains("0x0000:"), "starts at offset zero");
     assert!(asm.contains("PUSH"), "has pushes");
     assert!(asm.contains("JUMPDEST"), "has jump targets");
-    assert!(asm.contains("SSTORE") || asm.contains("SLOAD"), "touches storage");
+    assert!(
+        asm.contains("SSTORE") || asm.contains("SLOAD"),
+        "touches storage"
+    );
     let layout = artifact.storage_layout_table();
     assert!(layout.contains("rent"));
     assert!(layout.contains("slot | variable | type"));
@@ -133,18 +159,27 @@ fn cross_contract_calls_preserve_value_accounting() {
         }
     "#;
     let web3 = Web3::new(LocalNode::new(3));
-    let [deployer, tenant, landlord] =
-        [web3.accounts()[0], web3.accounts()[1], web3.accounts()[2]];
+    let [deployer, tenant, landlord] = [web3.accounts()[0], web3.accounts()[1], web3.accounts()[2]];
     let artifact = compile_single(source, "Middleman").unwrap();
     let (middleman, _) = web3
-        .deploy(deployer, artifact.abi.clone(), artifact.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            deployer,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
     let landlord_before = web3.balance(landlord);
     middleman
         .send(tenant, "forward", &[AbiValue::Address(landlord)], ether(3))
         .unwrap();
     assert_eq!(web3.balance(landlord) - landlord_before, ether(3));
-    assert_eq!(web3.balance(middleman.address()), U256::ZERO, "nothing sticks");
+    assert_eq!(
+        web3.balance(middleman.address()),
+        U256::ZERO,
+        "nothing sticks"
+    );
     assert_eq!(
         middleman.call1("forwarded", &[]).unwrap().as_uint(),
         Some(ether(3))

@@ -26,7 +26,12 @@ fn one_action_touches_all_four_tiers() {
     // Action: upload + deploy a contract.
     let artifact = contracts::compile_base_rental().unwrap();
     let upload = app
-        .upload_contract(session, "Basic rental contract", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .upload_contract(
+            session,
+            "Basic rental contract",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
         .unwrap();
     let address = app
         .deploy_contract(
@@ -53,8 +58,8 @@ fn one_action_touches_all_four_tiers() {
 
     // Data tier (IPFS): the ABI is pinned and fetchable by CID.
     let stored = ipfs.cat(&row.abi).unwrap();
-    let abi = legal_smart_contracts::abi::Abi::from_json(std::str::from_utf8(&stored).unwrap())
-        .unwrap();
+    let abi =
+        legal_smart_contracts::abi::Abi::from_json(std::str::from_utf8(&stored).unwrap()).unwrap();
     assert!(abi.function("confirmAgreement").is_some());
 
     // Business tier: the manager can rebind and interact from the address
@@ -72,8 +77,7 @@ fn business_tier_isolates_user_from_chain_details() {
     // The user never handles nonces, gas, selectors or ABI encoding: the
     // manager does. Two deployments in a row exercise nonce management.
     let web3 = Web3::new(LocalNode::new(2));
-    let manager =
-        legal_smart_contracts::core::ContractManager::new(web3.clone(), IpfsNode::new());
+    let manager = legal_smart_contracts::core::ContractManager::new(web3.clone(), IpfsNode::new());
     let from = web3.accounts()[0];
     let artifact = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &artifact).unwrap();

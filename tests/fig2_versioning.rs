@@ -32,7 +32,13 @@ fn node_contract_implements_the_figure() {
     let from = web3.accounts()[0];
     let node = contracts::compile_node().unwrap();
     let (contract, _) = web3
-        .deploy(from, node.abi.clone(), node.bytecode.clone(), &[], U256::ZERO)
+        .deploy(
+            from,
+            node.abi.clone(),
+            node.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
         .unwrap();
     assert_eq!(
         contract.call1("getNext", &[]).unwrap().as_address(),
@@ -43,8 +49,13 @@ fn node_contract_implements_the_figure() {
         Some(Address::ZERO)
     );
     let target = Address::from_label("v2");
-    contract.send(from, "setNext", &[AbiValue::Address(target)], U256::ZERO).unwrap();
-    assert_eq!(contract.call1("getNext", &[]).unwrap().as_address(), Some(target));
+    contract
+        .send(from, "setNext", &[AbiValue::Address(target)], U256::ZERO)
+        .unwrap();
+    assert_eq!(
+        contract.call1("getNext", &[]).unwrap().as_address(),
+        Some(target)
+    );
 }
 
 #[test]
@@ -52,7 +63,9 @@ fn manager_sets_pointers_on_modification() {
     let (manager, landlord) = world();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &args(), U256::ZERO)
+        .unwrap();
     // Before modification: both pointers unset.
     assert_eq!(manager.version_chain().next_of(v1.address()).unwrap(), None);
     let v2 = manager
@@ -78,8 +91,12 @@ fn links_feed_the_data_lookup() {
     let store = manager.data_store().unwrap();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &args(), U256::ZERO).unwrap();
-    store.set(landlord, v1.address(), "rent", "1 ether").unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &args(), U256::ZERO)
+        .unwrap();
+    store
+        .set(landlord, v1.address(), "rent", "1 ether")
+        .unwrap();
     let v2 = manager
         .deploy_version(landlord, upload, &args(), U256::ZERO, v1.address(), &[])
         .unwrap();
@@ -99,7 +116,10 @@ fn ten_version_chain_traverses_from_any_point() {
     let (manager, landlord) = world();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let mut addresses = vec![manager.deploy(landlord, upload, &args(), U256::ZERO).unwrap().address()];
+    let mut addresses = vec![manager
+        .deploy(landlord, upload, &args(), U256::ZERO)
+        .unwrap()
+        .address()];
     for _ in 1..10 {
         let prev = *addresses.last().unwrap();
         let next = manager
@@ -119,7 +139,9 @@ fn broken_chain_is_detected() {
     let (manager, landlord) = world();
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &args(), U256::ZERO)
+        .unwrap();
     let v2 = manager
         .deploy_version(landlord, upload, &args(), U256::ZERO, v1.address(), &[])
         .unwrap();

@@ -12,14 +12,24 @@ use legal_smart_contracts::web3::Web3;
 fn figure_source_has_the_exact_mapping() {
     // The contract is compiled from the paper's own declaration:
     // mapping (address => mapping( string => string )) keyValuePairs;
-    assert!(contracts::RENTAL_BASE_SOURCE
-        .contains("mapping (address => mapping( string => string ))"));
+    assert!(
+        contracts::RENTAL_BASE_SOURCE.contains("mapping (address => mapping( string => string ))")
+    );
     let artifact = contracts::compile_data_storage().unwrap();
     let getter = artifact.abi.function("keyValuePairs").unwrap();
     assert_eq!(getter.inputs.len(), 2);
-    assert_eq!(getter.inputs[0].ty, legal_smart_contracts::abi::AbiType::Address);
-    assert_eq!(getter.inputs[1].ty, legal_smart_contracts::abi::AbiType::String);
-    assert_eq!(getter.outputs[0].ty, legal_smart_contracts::abi::AbiType::String);
+    assert_eq!(
+        getter.inputs[0].ty,
+        legal_smart_contracts::abi::AbiType::Address
+    );
+    assert_eq!(
+        getter.inputs[1].ty,
+        legal_smart_contracts::abi::AbiType::String
+    );
+    assert_eq!(
+        getter.outputs[0].ty,
+        legal_smart_contracts::abi::AbiType::String
+    );
 }
 
 #[test]

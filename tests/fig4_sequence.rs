@@ -23,7 +23,12 @@ fn sequence_deploy_confirm_pay() {
     // 1. Landlord → Manager: upload; Manager → IPFS: pin ABI.
     let artifact = contracts::compile_base_rental().unwrap();
     let upload = app
-        .upload_contract(landlord, "Basic rental contract", artifact.bytecode.clone(), &artifact.abi.to_json())
+        .upload_contract(
+            landlord,
+            "Basic rental contract",
+            artifact.bytecode.clone(),
+            &artifact.abi.to_json(),
+        )
         .unwrap();
 
     // 2. Landlord → Manager → Chain: deploy. A block is mined.
@@ -67,8 +72,7 @@ fn sequence_deploy_confirm_pay() {
 fn events_fire_along_the_sequence() {
     let web3 = Web3::new(LocalNode::new(4));
     let accounts = web3.accounts();
-    let manager =
-        legal_smart_contracts::core::ContractManager::new(web3.clone(), IpfsNode::new());
+    let manager = legal_smart_contracts::core::ContractManager::new(web3.clone(), IpfsNode::new());
     let artifact = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &artifact).unwrap();
     let contract = manager
@@ -91,7 +95,9 @@ fn events_fire_along_the_sequence() {
     assert_eq!(events.len(), 1);
     assert_eq!(events[0].name, "agreementConfirmed");
 
-    let receipt = contract.send(accounts[1], "payRent", &[], ether(1)).unwrap();
+    let receipt = contract
+        .send(accounts[1], "payRent", &[], ether(1))
+        .unwrap();
     let events = contract.decode_logs(&receipt);
     assert_eq!(events[0].name, "paidRent");
 

@@ -17,11 +17,24 @@ fn fig5_base_contract_members() {
     assert_eq!(paidrents.outputs.len(), 2, "Monthid + value");
 
     // Public state variables from the figure.
-    for getter in ["createdTimestamp", "rent", "house", "landlord", "tenant", "state"] {
+    for getter in [
+        "createdTimestamp",
+        "rent",
+        "house",
+        "landlord",
+        "tenant",
+        "state",
+    ] {
         assert!(abi.function(getter).is_some(), "missing getter {getter}");
     }
-    assert_eq!(abi.function("house").unwrap().outputs[0].ty, AbiType::String);
-    assert_eq!(abi.function("state").unwrap().outputs[0].ty, AbiType::Uint(8));
+    assert_eq!(
+        abi.function("house").unwrap().outputs[0].ty,
+        AbiType::String
+    );
+    assert_eq!(
+        abi.function("state").unwrap().outputs[0].ty,
+        AbiType::Uint(8)
+    );
 
     // Constructor (uint _rent, string _house, uint _contractTime) payable.
     assert_eq!(abi.constructor_inputs.len(), 3);
@@ -46,7 +59,10 @@ fn fig5_base_contract_members() {
     }
     // Payability per the figure.
     use legal_smart_contracts::abi::StateMutability;
-    assert_eq!(abi.function("payRent").unwrap().mutability, StateMutability::Payable);
+    assert_eq!(
+        abi.function("payRent").unwrap().mutability,
+        StateMutability::Payable
+    );
 }
 
 #[test]
@@ -55,7 +71,13 @@ fn fig6_updated_contract_members() {
     let abi = &artifact.abi;
 
     // New state variables of the modified version.
-    for getter in ["deposit", "discount", "fine", "nextBillingDate", "monthCounter"] {
+    for getter in [
+        "deposit",
+        "discount",
+        "fine",
+        "nextBillingDate",
+        "monthCounter",
+    ] {
         assert!(abi.function(getter).is_some(), "missing getter {getter}");
     }
     // The new clause function.
@@ -63,7 +85,13 @@ fn fig6_updated_contract_members() {
     // Six constructor params per the figure.
     assert_eq!(abi.constructor_inputs.len(), 6);
     // Everything inherited from BaseRental is still present.
-    for f in ["payRent", "confirmAgreement", "terminateContract", "getNext", "paidrents"] {
+    for f in [
+        "payRent",
+        "confirmAgreement",
+        "terminateContract",
+        "getNext",
+        "paidrents",
+    ] {
         assert!(abi.function(f).is_some(), "missing inherited {f}");
     }
 }
@@ -83,8 +111,17 @@ fn updated_version_is_storage_compatible_with_base() {
         assert_eq!(v2_entry.1, *slot, "slot of {name} moved");
     }
     // v2 appends its new variables strictly after the base layout.
-    let base_max = base.storage_layout.iter().map(|(_, s, _)| *s).max().unwrap();
-    let deposit = v2.storage_layout.iter().find(|(n, _, _)| n == "deposit").unwrap();
+    let base_max = base
+        .storage_layout
+        .iter()
+        .map(|(_, s, _)| *s)
+        .max()
+        .unwrap();
+    let deposit = v2
+        .storage_layout
+        .iter()
+        .find(|(n, _, _)| n == "deposit")
+        .unwrap();
     assert!(deposit.1 > base_max);
 }
 
@@ -92,7 +129,14 @@ fn updated_version_is_storage_compatible_with_base() {
 fn bytecode_is_within_mainnet_limits() {
     let base = contracts::compile_base_rental().unwrap();
     let v2 = contracts::compile_rental_agreement().unwrap();
-    assert!(base.runtime.len() <= 24_576, "EIP-170: {}", base.runtime.len());
+    assert!(
+        base.runtime.len() <= 24_576,
+        "EIP-170: {}",
+        base.runtime.len()
+    );
     assert!(v2.runtime.len() <= 24_576, "EIP-170: {}", v2.runtime.len());
-    assert!(v2.runtime.len() > base.runtime.len(), "v2 carries more clauses");
+    assert!(
+        v2.runtime.len() > base.runtime.len(),
+        "v2 carries more clauses"
+    );
 }

@@ -21,10 +21,15 @@ fn setup() -> Screens {
     let accounts = web3.accounts();
     let app = RentalApp::new(web3, IpfsNode::new());
     app.register("juned_ali", "j@x", "pw", accounts[1]).unwrap();
-    app.register("eleana_kafeza", "e@x", "pw", accounts[0]).unwrap();
+    app.register("eleana_kafeza", "e@x", "pw", accounts[0])
+        .unwrap();
     let landlord = app.login("eleana_kafeza", "pw").unwrap();
     let tenant = app.login("juned_ali", "pw").unwrap();
-    Screens { app, landlord, tenant }
+    Screens {
+        app,
+        landlord,
+        tenant,
+    }
 }
 
 fn upload_both(s: &Screens) -> (u64, u64) {
@@ -32,11 +37,21 @@ fn upload_both(s: &Screens) -> (u64, u64) {
     let v2 = contracts::compile_rental_agreement().unwrap();
     let up1 = s
         .app
-        .upload_contract(s.landlord, "Basic rental contract", base.bytecode.clone(), &base.abi.to_json())
+        .upload_contract(
+            s.landlord,
+            "Basic rental contract",
+            base.bytecode.clone(),
+            &base.abi.to_json(),
+        )
         .unwrap();
     let up2 = s
         .app
-        .upload_contract(s.landlord, "Modified rental contract", v2.bytecode.clone(), &v2.abi.to_json())
+        .upload_contract(
+            s.landlord,
+            "Modified rental contract",
+            v2.bytecode.clone(),
+            &v2.abi.to_json(),
+        )
         .unwrap();
     (up1, up2)
 }
@@ -53,7 +68,9 @@ fn base_args() -> Vec<AbiValue> {
 fn fig7_dashboard_shows_user_balance_and_contracts() {
     let s = setup();
     let (up1, _) = upload_both(&s);
-    s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    s.app
+        .deploy_contract(s.landlord, up1, &base_args(), U256::ZERO)
+        .unwrap();
     let d = s.app.dashboard(s.landlord).unwrap();
     let screen = dashboard::render(&d);
     // The figure's header: user name + balance.
@@ -87,7 +104,9 @@ fn fig8_web3_snippet_equivalent() {
     assert!(receipt.is_success());
     // transact: contract.functions.confirmAgreement().transact(...)
     let tenant = web3.accounts()[1];
-    let receipt = contract.send(tenant, "confirmAgreement", &[], U256::ZERO).unwrap();
+    let receipt = contract
+        .send(tenant, "confirmAgreement", &[], U256::ZERO)
+        .unwrap();
     assert!(receipt.is_success());
     // call: contract.functions.state().call()
     assert_eq!(contract.call1("state", &[]).unwrap().as_u64(), Some(1));
@@ -100,7 +119,12 @@ fn fig9_upload_requires_abi_and_bytecode() {
     // Valid upload (both files) succeeds and pins the ABI.
     let id = s
         .app
-        .upload_contract(s.tenant, "Basic rental contract", base.bytecode.clone(), &base.abi.to_json())
+        .upload_contract(
+            s.tenant,
+            "Basic rental contract",
+            base.bytecode.clone(),
+            &base.abi.to_json(),
+        )
         .unwrap();
     let uploads = s.app.manager().uploads();
     assert_eq!(uploads[id as usize].name, "Basic rental contract");
@@ -112,8 +136,14 @@ fn fig9_upload_requires_abi_and_bytecode() {
         .cat(&uploads[id as usize].abi_cid)
         .is_ok());
     // Broken ABI or empty bytecode are rejected.
-    assert!(s.app.upload_contract(s.tenant, "bad", base.bytecode.clone(), "{oops").is_err());
-    assert!(s.app.upload_contract(s.tenant, "bad", vec![], &base.abi.to_json()).is_err());
+    assert!(s
+        .app
+        .upload_contract(s.tenant, "bad", base.bytecode.clone(), "{oops")
+        .is_err());
+    assert!(s
+        .app
+        .upload_contract(s.tenant, "bad", vec![], &base.abi.to_json())
+        .is_err());
 }
 
 #[test]
@@ -124,20 +154,32 @@ fn fig10_deploy_from_dashboard() {
     let d = s.app.dashboard(s.landlord).unwrap();
     assert!(d.uploads.iter().any(|(id, _)| *id == up1));
     // …and the landlord deploys it.
-    let address = s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    let address = s
+        .app
+        .deploy_contract(s.landlord, up1, &base_args(), U256::ZERO)
+        .unwrap();
     // Once deployed, the application can execute its logic.
     let rebound = s.app.manager().contract_at(address).unwrap();
-    assert_eq!(rebound.call1("rent", &[]).unwrap().as_uint(), Some(ether(1)));
+    assert_eq!(
+        rebound.call1("rent", &[]).unwrap().as_uint(),
+        Some(ether(1))
+    );
     // The dashboard row appears for the landlord.
     let d = s.app.dashboard(s.landlord).unwrap();
-    assert!(d.rows.iter().any(|r| r.address == address && r.role == "landlord"));
+    assert!(d
+        .rows
+        .iter()
+        .any(|r| r.address == address && r.role == "landlord"));
 }
 
 #[test]
 fn fig11_terminate_and_modify_screen() {
     let s = setup();
     let (up1, up2) = upload_both(&s);
-    let v1 = s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    let v1 = s
+        .app
+        .deploy_contract(s.landlord, up1, &base_args(), U256::ZERO)
+        .unwrap();
     s.app.confirm_agreement(s.tenant, v1).unwrap();
     s.app.pay_rent(s.tenant, v1).unwrap();
 
@@ -184,7 +226,10 @@ fn transaction_history_visible_via_dashboard_data() {
     // an option to see the transaction history of the contract."
     let s = setup();
     let (up1, _) = upload_both(&s);
-    let v1 = s.app.deploy_contract(s.landlord, up1, &base_args(), U256::ZERO).unwrap();
+    let v1 = s
+        .app
+        .deploy_contract(s.landlord, up1, &base_args(), U256::ZERO)
+        .unwrap();
     s.app.confirm_agreement(s.tenant, v1).unwrap();
     for _ in 0..3 {
         s.app.pay_rent(s.tenant, v1).unwrap();

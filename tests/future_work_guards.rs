@@ -29,7 +29,9 @@ fn executed_history_survives_modification() {
     let tenant = web3.accounts()[1];
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let rental = Rental::at(v1.clone());
     rental.confirm_agreement(tenant).unwrap();
     rental.pay_rent(tenant).unwrap();
@@ -38,10 +40,24 @@ fn executed_history_survives_modification() {
 
     // Modify twice; the executed payments on v1 are untouched.
     let v2 = manager
-        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .deploy_version(
+            landlord,
+            upload,
+            &base_args(),
+            U256::ZERO,
+            v1.address(),
+            &[],
+        )
         .unwrap();
     let _v3 = manager
-        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v2.address(), &[])
+        .deploy_version(
+            landlord,
+            upload,
+            &base_args(),
+            U256::ZERO,
+            v2.address(),
+            &[],
+        )
         .unwrap();
     assert_eq!(rental.paid_rents().unwrap(), executed_before);
 }
@@ -54,9 +70,13 @@ fn deployed_code_is_immutable() {
     let landlord = web3.accounts()[0];
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let code_before = web3.code(v1.address());
-    let v2 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v2 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     assert_ne!(v1.address(), v2.address());
     assert_eq!(web3.code(v1.address()), code_before);
 }
@@ -68,7 +88,9 @@ fn terminated_versions_cannot_execute_again() {
     let tenant = web3.accounts()[1];
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let rental = Rental::at(v1);
     rental.confirm_agreement(tenant).unwrap();
     rental.terminate(landlord).unwrap();
@@ -86,7 +108,9 @@ fn abi_files_are_tamper_evident() {
     let landlord = web3.accounts()[0];
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let cid = manager.registry().cid_of(v1.address()).unwrap();
     let stored = manager.registry().ipfs().cat(&cid).unwrap();
     // Recomputing the CID of the stored bytes reproduces the mapping.

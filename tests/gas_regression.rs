@@ -39,7 +39,13 @@ fn deployment_gas_matches_records() {
     let from = web3.accounts()[0];
     let base = contracts::compile_base_rental().unwrap();
     let (_, receipt) = web3
-        .deploy(from, base.abi.clone(), base.bytecode.clone(), &base_args(), U256::ZERO)
+        .deploy(
+            from,
+            base.abi.clone(),
+            base.bytecode.clone(),
+            &base_args(),
+            U256::ZERO,
+        )
         .unwrap();
     assert_near(receipt.gas_used, 1_316_446, "BaseRental deployment");
 
@@ -70,7 +76,9 @@ fn lifecycle_gas_matches_records() {
     let tenant = web3.accounts()[1];
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let contract = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let contract = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let rental = Rental::at(contract);
 
     assert_near(
@@ -78,9 +86,21 @@ fn lifecycle_gas_matches_records() {
         64_090,
         "confirmAgreement",
     );
-    assert_near(rental.pay_rent(tenant).unwrap().gas_used, 99_962, "payRent (1st)");
-    assert_near(rental.pay_rent(tenant).unwrap().gas_used, 84_962, "payRent (2nd)");
-    assert_near(rental.terminate(landlord).unwrap().gas_used, 29_158, "terminate");
+    assert_near(
+        rental.pay_rent(tenant).unwrap().gas_used,
+        99_962,
+        "payRent (1st)",
+    );
+    assert_near(
+        rental.pay_rent(tenant).unwrap().gas_used,
+        84_962,
+        "payRent (2nd)",
+    );
+    assert_near(
+        rental.terminate(landlord).unwrap().gas_used,
+        29_158,
+        "terminate",
+    );
 }
 
 #[test]
@@ -89,15 +109,26 @@ fn version_link_gas_matches_records() {
     let landlord = web3.accounts()[0];
     let base = contracts::compile_base_rental().unwrap();
     let upload = manager.upload_artifact("base", &base).unwrap();
-    let v1 = manager.deploy(landlord, upload, &base_args(), U256::ZERO).unwrap();
+    let v1 = manager
+        .deploy(landlord, upload, &base_args(), U256::ZERO)
+        .unwrap();
     let before = web3.block_number();
     manager
-        .deploy_version(landlord, upload, &base_args(), U256::ZERO, v1.address(), &[])
+        .deploy_version(
+            landlord,
+            upload,
+            &base_args(),
+            U256::ZERO,
+            v1.address(),
+            &[],
+        )
         .unwrap();
     let after = web3.block_number();
     // Blocks: deploy + setNext + setPrev. Link gas = the two pointer txs.
     let link_gas: u64 = web3.with_node(|node| {
-        (before + 2..=after).map(|b| node.block(b).unwrap().gas_used).sum()
+        (before + 2..=after)
+            .map(|b| node.block(b).unwrap().gas_used)
+            .sum()
     });
     assert_near(link_gas, 94_076, "version link (setNext + setPrev)");
 }
@@ -110,14 +141,16 @@ fn data_storage_gas_matches_records() {
     let store = manager.data_store().unwrap();
     let owner = legal_smart_contracts::primitives::Address::from_label("v1");
     let before = web3.block_number();
-    store.set(landlord, owner, "rent", "1000000000000000000").unwrap();
-    let fresh: u64 =
-        web3.with_node(|node| node.block(before + 1).unwrap().gas_used);
+    store
+        .set(landlord, owner, "rent", "1000000000000000000")
+        .unwrap();
+    let fresh: u64 = web3.with_node(|node| node.block(before + 1).unwrap().gas_used);
     assert_near(fresh, 68_634, "DataStorage setValue (fresh)");
     let before = web3.block_number();
-    store.set(landlord, owner, "rent", "2000000000000000000").unwrap();
-    let overwrite: u64 =
-        web3.with_node(|node| node.block(before + 1).unwrap().gas_used);
+    store
+        .set(landlord, owner, "rent", "2000000000000000000")
+        .unwrap();
+    let overwrite: u64 = web3.with_node(|node| node.block(before + 1).unwrap().gas_used);
     assert_near(overwrite, 38_634, "DataStorage setValue (overwrite)");
     assert!(overwrite < fresh, "warm slot must be cheaper");
 }

@@ -35,7 +35,12 @@ fn deploy_store() -> Deployed {
         .unwrap()
         .contract_address
         .unwrap();
-    Deployed { node, address, abi: artifact.abi, from }
+    Deployed {
+        node,
+        address,
+        abi: artifact.abi,
+        from,
+    }
 }
 
 impl Deployed {
@@ -54,7 +59,9 @@ impl Deployed {
 
     fn get(&mut self, name: &str, args: &[AbiValue]) -> AbiValue {
         let f = self.abi.function(name).unwrap();
-        let result = self.node.call(self.from, self.address, f.encode_call(args).unwrap());
+        let result = self
+            .node
+            .call(self.from, self.address, f.encode_call(args).unwrap());
         assert!(result.success, "{name} call reverted");
         f.decode_output(&result.output).unwrap().remove(0)
     }

@@ -23,7 +23,10 @@ fn ganache_row_local_node_mines_instantly() {
     let mut node = LocalNode::new(2);
     let tx = Transaction::call(node.accounts()[0], node.accounts()[1], vec![]).with_gas(21_000);
     let receipt = node.send_transaction(tx).unwrap();
-    assert_eq!(receipt.block_number, 1, "one tx, one block — instant mining");
+    assert_eq!(
+        receipt.block_number, 1,
+        "one tx, one block — instant mining"
+    );
     assert_eq!(node.block_number(), 1);
 }
 
@@ -74,7 +77,8 @@ fn django_mysql_rows_app_db_and_auth() {
     let web3 = Web3::new(LocalNode::new(2));
     let account = web3.accounts()[0];
     let app = RentalApp::new(web3, IpfsNode::new());
-    app.register("user", "u@example.org", "pw", account).unwrap();
+    app.register("user", "u@example.org", "pw", account)
+        .unwrap();
     assert!(app.login("user", "bad").is_err());
     let session = app.login("user", "pw").unwrap();
     let dashboard = app.dashboard(session).unwrap();
