@@ -5,10 +5,11 @@
 
 use crate::auth::{Auth, AuthError, SessionToken};
 use crate::db::{ContractRow, ContractRowState, Database, RowId, UserRow};
+use crate::events::{self, AppEvent};
 use core::fmt;
 use lsc_abi::AbiValue;
 use lsc_chain::{Block, TxError};
-use lsc_core::{ContractManager, CoreError, Rental, RentalState};
+use lsc_core::{ContractManager, CoreError, Rental, RentalState, VersionState};
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{Address, U256};
 use lsc_web3::Web3;
@@ -142,6 +143,82 @@ impl RentalApp {
         }
     }
 
+    /// Rebuild the application from a recovered node. The chain already
+    /// replayed its transactions inside [`lsc_chain::LocalNode::recover`];
+    /// this reads the app-tier events the node collected from the
+    /// write-ahead log (and, after a compaction, from the snapshot
+    /// image) and replays them over a fresh database and manager,
+    /// restoring users, uploads, version records, contract rows and
+    /// document links. Sessions are not durable — users log in again
+    /// after a restart.
+    pub fn recover(web3: Web3, ipfs: IpfsNode) -> AppResult<Self> {
+        let app = RentalApp::new(web3, ipfs);
+        for event in app.manager.web3().app_events() {
+            app.apply_event(&event)?;
+        }
+        Ok(app)
+    }
+
+    fn replay_error(message: String) -> AppError {
+        AppError::Core(CoreError::Invalid(message))
+    }
+
+    /// Replay one logged app event (see [`crate::events`]).
+    fn apply_event(&self, text: &str) -> AppResult<()> {
+        match events::decode(text).map_err(Self::replay_error)? {
+            AppEvent::User(user) => {
+                self.manager.web3().wallet().unlock(user.public_key);
+                self.db
+                    .insert_user(
+                        &user.name,
+                        &user.email,
+                        user.password_hash,
+                        user.salt,
+                        user.public_key,
+                    )
+                    .ok_or_else(|| {
+                        Self::replay_error(format!("duplicate replayed user `{}`", user.name))
+                    })?;
+            }
+            AppEvent::Upload {
+                name,
+                bytecode,
+                abi_json,
+            } => {
+                self.manager.upload(&name, bytecode, &abi_json)?;
+            }
+            AppEvent::Version { record, upload_id } => {
+                self.manager.adopt_version(record, upload_id)?;
+            }
+            AppEvent::VersionState { address, state } => {
+                self.manager.set_version_state(address, state);
+            }
+            AppEvent::Row(row) => self.db.upsert_contract_row(row),
+            AppEvent::Doc { address, pdf } => {
+                self.manager.attach_document(address, &pdf);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror a mutation into the node's write-ahead log.
+    fn log_event(&self, event: String) -> AppResult<()> {
+        self.manager
+            .web3()
+            .append_app_event(&event)
+            .map_err(CoreError::Web3)?;
+        Ok(())
+    }
+
+    /// Log the current full contract row for `address`.
+    fn log_row(&self, address: Address) -> AppResult<()> {
+        let row = self
+            .db
+            .contract_by_address(address)
+            .ok_or_else(|| AppError::NotFound(format!("contract {address}")))?;
+        self.log_event(events::row_event(&row))
+    }
+
     /// The business tier underneath.
     pub fn manager(&self) -> &ContractManager {
         &self.manager
@@ -161,7 +238,13 @@ impl RentalApp {
         public_key: Address,
     ) -> AppResult<RowId> {
         self.manager.web3().wallet().unlock(public_key);
-        Ok(self.auth.register(name, email, password, public_key)?)
+        let id = self.auth.register(name, email, password, public_key)?;
+        let user = self
+            .db
+            .user(id)
+            .ok_or_else(|| AppError::NotFound("registered user".into()))?;
+        self.log_event(events::user_event(&user))?;
+        Ok(id)
     }
 
     /// Log a user in.
@@ -190,7 +273,10 @@ impl RentalApp {
         abi_json: &str,
     ) -> AppResult<u64> {
         self.current_user(session)?;
-        Ok(self.manager.upload(name, bytecode, abi_json)?)
+        let event = events::upload_event(name, &bytecode, abi_json);
+        let id = self.manager.upload(name, bytecode, abi_json)?;
+        self.log_event(event)?;
+        Ok(id)
     }
 
     /// Fig. 10: deploy an uploaded contract; the logged-in user becomes
@@ -215,6 +301,7 @@ impl RentalApp {
             .registry()
             .cid_of(contract.address())
             .ok_or_else(|| AppError::NotFound("abi cid".into()))?;
+        self.log_event(events::version_event(&record, upload_id))?;
         self.db.insert_contract(ContractRow {
             id: 0,
             landlord: user.id,
@@ -225,6 +312,7 @@ impl RentalApp {
             address: contract.address(),
             name: record.name,
         });
+        self.log_row(contract.address())?;
         Ok(contract.address())
     }
 
@@ -242,6 +330,7 @@ impl RentalApp {
             ));
         }
         self.manager.attach_document(address, pdf);
+        self.log_event(events::doc_event(address, pdf))?;
         Ok(())
     }
 
@@ -281,6 +370,7 @@ impl RentalApp {
         rental.confirm_agreement(user.public_key)?;
         self.db
             .update_contract(address, |c| c.tenant = Some(user.id));
+        self.log_row(address)?;
         Ok(())
     }
 
@@ -349,6 +439,11 @@ impl RentalApp {
         self.manager.mark_terminated(address);
         self.db
             .update_contract(address, |c| c.state = ContractRowState::Terminated);
+        self.log_event(events::version_state_event(
+            address,
+            VersionState::Terminated,
+        ))?;
+        self.log_row(address)?;
         Ok(())
     }
 
@@ -386,8 +481,14 @@ impl RentalApp {
             .registry()
             .cid_of(contract.address())
             .ok_or_else(|| AppError::NotFound("abi cid".into()))?;
+        self.log_event(events::version_state_event(
+            previous,
+            VersionState::Inactive,
+        ))?;
+        self.log_event(events::version_event(&record, upload_id))?;
         self.db
             .update_contract(previous, |c| c.state = ContractRowState::Inactive);
+        self.log_row(previous)?;
         self.db.insert_contract(ContractRow {
             id: 0,
             landlord: user.id,
@@ -398,6 +499,7 @@ impl RentalApp {
             address: contract.address(),
             name: record.name,
         });
+        self.log_row(contract.address())?;
         Ok(contract.address())
     }
 

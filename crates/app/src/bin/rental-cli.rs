@@ -19,22 +19,38 @@
 
 use lsc_abi::AbiValue;
 use lsc_app::{dashboard, RentalApp, SessionToken};
+use lsc_chain::wal::{FaultPlan, Faults};
 use lsc_chain::{ChainConfig, LocalNode};
 use lsc_core::contracts;
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{ether, Address, U256};
 use lsc_web3::Web3;
 use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
 
 struct Cli {
     app: RentalApp,
     web3: Web3,
     session: Option<SessionToken>,
     last_address: Option<Address>,
+    data_dir: Option<PathBuf>,
 }
 
 impl Cli {
-    fn new() -> Self {
+    fn new() -> Result<Self, String> {
+        // `--data-dir <path>` makes the chain durable: state-changing
+        // intents go to a write-ahead log in that directory and a restart
+        // on the same directory recovers the committed state exactly.
+        let mut data_dir: Option<PathBuf> = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--data-dir" => {
+                    data_dir = Some(PathBuf::from(args.next().ok_or("--data-dir needs a path")?));
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
         // LSC_MINING_WORKERS pins the batch-mining worker count (the
         // default sizes it from the machine's cores).
         let mining_workers = std::env::var("LSC_MINING_WORKERS")
@@ -44,13 +60,24 @@ impl Cli {
             mining_workers,
             ..ChainConfig::default()
         };
-        let web3 = Web3::new(LocalNode::with_config(config, 10));
-        Cli {
-            app: RentalApp::new(web3.clone(), IpfsNode::new()),
+        let node = match &data_dir {
+            // LSC_FAULT arms the deterministic fault schedule (builds with
+            // the `fault-injection` feature only; a no-op otherwise).
+            Some(dir) => LocalNode::open(dir, config, 10, Faults::plan(FaultPlan::from_env()))
+                .map_err(|e| e.to_string())?,
+            None => LocalNode::with_config(config, 10),
+        };
+        let web3 = Web3::new(node);
+        // Replays any app-tier events the node pulled out of its log; a
+        // brand-new or in-memory node has none, so this is `new` then.
+        let app = RentalApp::recover(web3.clone(), IpfsNode::new()).map_err(|e| e.to_string())?;
+        Ok(Cli {
+            app,
             web3,
             session: None,
             last_address: None,
-        }
+            data_dir,
+        })
     }
 
     fn session(&self) -> Result<SessionToken, String> {
@@ -301,6 +328,40 @@ impl Cli {
                 self.web3.increase_time(seconds);
                 Ok(format!("chain clock advanced {seconds}s"))
             }
+            ["status"] => {
+                let (segment, poisoned) = self.web3.with_node(|node| {
+                    (
+                        node.wal_segment(),
+                        node.poisoned_reason().map(str::to_string),
+                    )
+                });
+                let mut out = format!(
+                    "block height {} | {} pending tx(s) | chain time {}",
+                    self.web3.block_number(),
+                    self.web3.pending_count(),
+                    self.web3.timestamp()
+                );
+                match (&self.data_dir, segment) {
+                    (Some(dir), Some(segment)) => out.push_str(&format!(
+                        "\ndurable: {} (wal segment {segment})",
+                        dir.display()
+                    )),
+                    _ => out.push_str("\nin-memory (no --data-dir)"),
+                }
+                if let Some(reason) = poisoned {
+                    out.push_str(&format!("\nPOISONED: {reason} — restart to recover"));
+                }
+                Ok(out)
+            }
+            ["compact"] => {
+                let result = self.web3.with_node(|node| node.compact());
+                match result {
+                    Ok(wal_from) => Ok(format!(
+                        "log compacted into a snapshot; wal continues at segment {wal_from}"
+                    )),
+                    Err(e) => Err(format!("compaction failed: {e}")),
+                }
+            }
             other => Err(format!(
                 "unknown command {:?} (try `help`)",
                 other.join(" ")
@@ -323,12 +384,26 @@ const HELP: &str = "commands:
   rent-day                                       mine every queued payment
   modify <address|last> <upload> <rent> <deposit> <house> <seconds>
   history <address|last> | audit <address|last>
-  dashboard | warp <seconds> | help | quit";
+  dashboard | warp <seconds> | help | quit
+  status                                         chain height + durability state
+  compact                                        fold the log into a snapshot
+run with `--data-dir <path>` for a durable chain that survives restarts";
 
 fn main() {
-    let mut cli = Cli::new();
+    let mut cli = match Cli::new() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
     let stdin = io::stdin();
     println!("legal-smart-contracts rental CLI — `help` for commands");
+    if cli.data_dir.is_some() {
+        if let Ok(status) = cli.dispatch("status") {
+            println!("{status}");
+        }
+    }
     print!("> ");
     io::stdout().flush().ok();
     for line in stdin.lock().lines() {

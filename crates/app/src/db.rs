@@ -144,6 +144,17 @@ impl Database {
         id
     }
 
+    /// Insert-or-replace a contract row by its primary key (durable-log
+    /// replay): unlike [`Database::insert_contract`] the row keeps the id
+    /// it was logged with, so replayed rows land exactly where they were.
+    pub fn upsert_contract_row(&self, row: ContractRow) {
+        let mut tables = self.inner.write();
+        match tables.contracts.iter_mut().find(|c| c.id == row.id) {
+            Some(existing) => *existing = row,
+            None => tables.contracts.push(row),
+        }
+    }
+
     /// Fetch a contract row by chain address.
     pub fn contract_by_address(&self, address: Address) -> Option<ContractRow> {
         self.inner

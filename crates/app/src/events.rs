@@ -1,0 +1,357 @@
+//! Durable app-tier events. Every database/business-tier mutation the
+//! [`crate::RentalApp`] performs is mirrored as one small JSON event in
+//! the node's write-ahead log (next to the chain transactions it belongs
+//! with). After a crash the chain replays its transactions and the app
+//! replays these events, rebuilding the user table, contract rows,
+//! uploads, version records, ABI registry and document links. IPFS
+//! content (ABI files, PDFs) is content-addressed, so re-pinning the
+//! logged bytes reproduces the original CIDs exactly.
+
+use crate::db::{ContractRow, ContractRowState, UserRow};
+use lsc_abi::json::{parse, JsonValue};
+use lsc_core::{VersionRecord, VersionState};
+use lsc_ipfs::Cid;
+use lsc_primitives::{hex, Address};
+
+/// One replayable app-tier event, decoded from its WAL JSON form.
+#[derive(Debug, Clone)]
+pub enum AppEvent {
+    /// A user registered (row fields as stored, never the password).
+    User(UserRow),
+    /// A contract was uploaded (bytecode + ABI JSON, re-pinnable).
+    Upload {
+        /// Display name.
+        name: String,
+        /// Init bytecode.
+        bytecode: Vec<u8>,
+        /// The ABI JSON exactly as uploaded.
+        abi_json: String,
+    },
+    /// A version was deployed; the record plus the upload it came from.
+    Version {
+        /// The business-tier bookkeeping for the version.
+        record: VersionRecord,
+        /// Upload id, to re-register the ABI for the address.
+        upload_id: u64,
+    },
+    /// A version record changed lifecycle state.
+    VersionState {
+        /// The version's address.
+        address: Address,
+        /// The new state.
+        state: VersionState,
+    },
+    /// A contract table row was inserted or updated (full row).
+    Row(ContractRow),
+    /// A legal document was attached to a contract.
+    Doc {
+        /// The contract address.
+        address: Address,
+        /// The PDF bytes (re-pinned on replay).
+        pdf: Vec<u8>,
+    },
+}
+
+fn s(text: &str) -> JsonValue {
+    JsonValue::String(text.to_string())
+}
+
+fn n(value: u64) -> JsonValue {
+    JsonValue::Number(value as f64)
+}
+
+fn version_state_str(state: VersionState) -> &'static str {
+    match state {
+        VersionState::Active => "active",
+        VersionState::Inactive => "inactive",
+        VersionState::Terminated => "terminated",
+    }
+}
+
+fn version_state_from(text: &str) -> Result<VersionState, String> {
+    match text {
+        "active" => Ok(VersionState::Active),
+        "inactive" => Ok(VersionState::Inactive),
+        "terminated" => Ok(VersionState::Terminated),
+        other => Err(format!("unknown version state `{other}`")),
+    }
+}
+
+fn row_state_from(text: &str) -> Result<ContractRowState, String> {
+    match text {
+        "active" => Ok(ContractRowState::Active),
+        "inactive" => Ok(ContractRowState::Inactive),
+        "terminated" => Ok(ContractRowState::Terminated),
+        other => Err(format!("unknown row state `{other}`")),
+    }
+}
+
+/// Encode a registered user (hash and salt, never the password).
+pub fn user_event(user: &UserRow) -> String {
+    JsonValue::object([
+        ("type", s("user")),
+        ("name", s(&user.name)),
+        ("email", s(&user.email)),
+        (
+            "password_hash",
+            s(&hex::encode_prefixed(user.password_hash)),
+        ),
+        ("salt", s(&hex::encode_prefixed(user.salt))),
+        ("public_key", s(&user.public_key.to_string())),
+    ])
+    .to_json()
+}
+
+/// Encode an upload (name + bytecode + the exact ABI JSON).
+pub fn upload_event(name: &str, bytecode: &[u8], abi_json: &str) -> String {
+    JsonValue::object([
+        ("type", s("upload")),
+        ("name", s(name)),
+        ("bytecode", s(&hex::encode_prefixed(bytecode))),
+        ("abi_json", s(abi_json)),
+    ])
+    .to_json()
+}
+
+/// Encode a deployed version record.
+pub fn version_event(record: &VersionRecord, upload_id: u64) -> String {
+    JsonValue::object([
+        ("type", s("version")),
+        ("address", s(&record.address.to_string())),
+        ("version", n(record.version as u64)),
+        ("name", s(&record.name)),
+        ("deployer", s(&record.deployer.to_string())),
+        ("block", n(record.block)),
+        (
+            "previous",
+            match record.previous {
+                Some(previous) => s(&previous.to_string()),
+                None => JsonValue::Null,
+            },
+        ),
+        ("state", s(version_state_str(record.state))),
+        ("upload_id", n(upload_id)),
+    ])
+    .to_json()
+}
+
+/// Encode a version lifecycle change.
+pub fn version_state_event(address: Address, state: VersionState) -> String {
+    JsonValue::object([
+        ("type", s("version_state")),
+        ("address", s(&address.to_string())),
+        ("state", s(version_state_str(state))),
+    ])
+    .to_json()
+}
+
+/// Encode a full contract table row (upserted on replay).
+pub fn row_event(row: &ContractRow) -> String {
+    JsonValue::object([
+        ("type", s("row")),
+        ("id", n(row.id)),
+        ("landlord", n(row.landlord)),
+        (
+            "tenant",
+            match row.tenant {
+                Some(tenant) => n(tenant),
+                None => JsonValue::Null,
+            },
+        ),
+        ("version", n(row.version as u64)),
+        ("state", s(&row.state.to_string())),
+        ("abi", s(&row.abi.to_string())),
+        ("address", s(&row.address.to_string())),
+        ("name", s(&row.name)),
+    ])
+    .to_json()
+}
+
+/// Encode a document attachment.
+pub fn doc_event(address: Address, pdf: &[u8]) -> String {
+    JsonValue::object([
+        ("type", s("doc")),
+        ("address", s(&address.to_string())),
+        ("pdf", s(&hex::encode_prefixed(pdf))),
+    ])
+    .to_json()
+}
+
+fn str_field<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn u64_field(doc: &JsonValue, key: &str) -> Result<u64, String> {
+    match doc.get(key) {
+        Some(JsonValue::Number(value)) if *value >= 0.0 && value.fract() == 0.0 => {
+            Ok(*value as u64)
+        }
+        _ => Err(format!("missing integer field `{key}`")),
+    }
+}
+
+fn address_field(doc: &JsonValue, key: &str) -> Result<Address, String> {
+    str_field(doc, key)?
+        .parse()
+        .map_err(|_| format!("bad address in `{key}`"))
+}
+
+fn bytes_field(doc: &JsonValue, key: &str) -> Result<Vec<u8>, String> {
+    hex::decode(str_field(doc, key)?).map_err(|_| format!("bad hex in `{key}`"))
+}
+
+fn hash32_field(doc: &JsonValue, key: &str) -> Result<[u8; 32], String> {
+    bytes_field(doc, key)?
+        .try_into()
+        .map_err(|_| format!("`{key}` is not 32 bytes"))
+}
+
+fn optional_address(doc: &JsonValue, key: &str) -> Result<Option<Address>, String> {
+    match doc.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(_) => Ok(Some(address_field(doc, key)?)),
+    }
+}
+
+/// Decode a logged app event for replay.
+pub fn decode(text: &str) -> Result<AppEvent, String> {
+    let doc = parse(text).map_err(|e| format!("bad app event json: {e}"))?;
+    match str_field(&doc, "type")? {
+        "user" => Ok(AppEvent::User(UserRow {
+            id: 0, // assigned by insertion order, identical on replay
+            name: str_field(&doc, "name")?.to_string(),
+            email: str_field(&doc, "email")?.to_string(),
+            password_hash: hash32_field(&doc, "password_hash")?,
+            salt: hash32_field(&doc, "salt")?,
+            public_key: address_field(&doc, "public_key")?,
+        })),
+        "upload" => Ok(AppEvent::Upload {
+            name: str_field(&doc, "name")?.to_string(),
+            bytecode: bytes_field(&doc, "bytecode")?,
+            abi_json: str_field(&doc, "abi_json")?.to_string(),
+        }),
+        "version" => Ok(AppEvent::Version {
+            record: VersionRecord {
+                address: address_field(&doc, "address")?,
+                version: u64_field(&doc, "version")? as u32,
+                name: str_field(&doc, "name")?.to_string(),
+                deployer: address_field(&doc, "deployer")?,
+                block: u64_field(&doc, "block")?,
+                previous: optional_address(&doc, "previous")?,
+                state: version_state_from(str_field(&doc, "state")?)?,
+            },
+            upload_id: u64_field(&doc, "upload_id")?,
+        }),
+        "version_state" => Ok(AppEvent::VersionState {
+            address: address_field(&doc, "address")?,
+            state: version_state_from(str_field(&doc, "state")?)?,
+        }),
+        "row" => {
+            let tenant = match doc.get("tenant") {
+                None | Some(JsonValue::Null) => None,
+                Some(_) => Some(u64_field(&doc, "tenant")?),
+            };
+            Ok(AppEvent::Row(ContractRow {
+                id: u64_field(&doc, "id")?,
+                landlord: u64_field(&doc, "landlord")?,
+                tenant,
+                version: u64_field(&doc, "version")? as u32,
+                state: row_state_from(str_field(&doc, "state")?)?,
+                abi: str_field(&doc, "abi")?
+                    .parse::<Cid>()
+                    .map_err(|_| "bad cid in `abi`".to_string())?,
+                address: address_field(&doc, "address")?,
+                name: str_field(&doc, "name")?.to_string(),
+            }))
+        }
+        "doc" => Ok(AppEvent::Doc {
+            address: address_field(&doc, "address")?,
+            pdf: bytes_field(&doc, "pdf")?,
+        }),
+        other => Err(format!("unknown app event type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_event_roundtrip() {
+        let user = UserRow {
+            id: 3,
+            name: "juned".into(),
+            email: "j@iiit".into(),
+            password_hash: [7; 32],
+            salt: [9; 32],
+            public_key: Address::from_label("j"),
+        };
+        match decode(&user_event(&user)).unwrap() {
+            AppEvent::User(decoded) => {
+                assert_eq!(decoded.name, user.name);
+                assert_eq!(decoded.password_hash, user.password_hash);
+                assert_eq!(decoded.salt, user.salt);
+                assert_eq!(decoded.public_key, user.public_key);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_event_roundtrip() {
+        let record = VersionRecord {
+            address: Address::from_label("v2"),
+            version: 2,
+            name: "rental".into(),
+            deployer: Address::from_label("landlord"),
+            block: 14,
+            previous: Some(Address::from_label("v1")),
+            state: VersionState::Active,
+        };
+        match decode(&version_event(&record, 5)).unwrap() {
+            AppEvent::Version {
+                record: decoded,
+                upload_id,
+            } => {
+                assert_eq!(upload_id, 5);
+                assert_eq!(decoded.address, record.address);
+                assert_eq!(decoded.previous, record.previous);
+                assert_eq!(decoded.state, record.state);
+                assert_eq!(decoded.block, 14);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_event_roundtrip() {
+        let row = ContractRow {
+            id: 2,
+            landlord: 1,
+            tenant: None,
+            version: 1,
+            state: ContractRowState::Inactive,
+            abi: Cid::raw(b"abi"),
+            address: Address::from_label("c"),
+            name: "rental".into(),
+        };
+        match decode(&row_event(&row)).unwrap() {
+            AppEvent::Row(decoded) => {
+                assert_eq!(decoded.id, 2);
+                assert_eq!(decoded.tenant, None);
+                assert_eq!(decoded.state, ContractRowState::Inactive);
+                assert_eq!(decoded.abi, row.abi);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        assert!(decode("not json").is_err());
+        assert!(decode("{\"type\":\"mystery\"}").is_err());
+        assert!(decode("{\"type\":\"user\",\"name\":\"x\"}").is_err());
+    }
+}

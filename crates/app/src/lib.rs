@@ -18,6 +18,7 @@ pub mod app;
 pub mod auth;
 pub mod dashboard;
 pub mod db;
+pub mod events;
 
 pub use app::{Action, AppError, AppResult, Dashboard, DashboardRow, PaymentRecord, RentalApp};
 pub use auth::{Auth, AuthError, SessionToken};

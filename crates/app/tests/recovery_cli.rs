@@ -1,0 +1,177 @@
+//! Crash/recovery test of the `rental-cli` binary: run a landlord/tenant
+//! workload against a durable data directory, fail it mid-workload with a
+//! deterministically injected fsync fault, restart on the same directory
+//! and check the dashboard totals match the committed state exactly.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsc-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_cli(dir: &Path, fault: Option<&str>, script: &str) -> String {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_rental-cli"));
+    command
+        .arg("--data-dir")
+        .arg(dir)
+        .env_remove("LSC_FAULT")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let Some(spec) = fault {
+        command.env("LSC_FAULT", spec);
+    }
+    let mut child = command.spawn().expect("cli starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("cli exits");
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// The first rendered dashboard in a session transcript.
+fn dashboard_section(output: &str) -> &str {
+    let start = output
+        .find("AVAILABLE CONTRACTS TO DEPLOY")
+        .expect("a dashboard was rendered");
+    let rest = &output[start..];
+    let end = rest.find("\n> ").unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn injected_crash_then_restart_preserves_dashboard_totals() {
+    if !lsc_chain::fault_injection_enabled() {
+        eprintln!("fault-injection feature off; skipping");
+        return;
+    }
+    let dir = temp_dir("crash");
+
+    // WAL appends so far: 2 registrations + 1 upload + 3 for the deploy
+    // (tx, version record, row) + 2 for the confirm (tx, row) = 8. The
+    // 9th fsync is the rent payment — it fails, the node poisons, and
+    // everything after it is refused. The dashboard rendered *after* the
+    // failure shows the poisoned node's in-memory state, which must equal
+    // what a restart recovers from disk.
+    let crashed = run_cli(
+        &dir,
+        Some("fsync:9"),
+        "register landlady l@x pw 0\n\
+         register tenant t@x pw 1\n\
+         login landlady pw\n\
+         upload base\n\
+         deploy 0 1 10001-42MainSt 31536000\n\
+         login tenant pw\n\
+         confirm last\n\
+         pay last\n\
+         dashboard\n\
+         status\n\
+         quit\n",
+    );
+    assert!(
+        crashed.contains("agreement confirmed"),
+        "confirm committed before the fault: {crashed}"
+    );
+    assert!(
+        crashed.contains("durability failure"),
+        "the armed fault fired on the payment: {crashed}"
+    );
+    assert!(
+        !crashed.contains("rent paid"),
+        "the failed payment must not be acknowledged: {crashed}"
+    );
+    assert!(crashed.contains("POISONED"), "status reports the poisoning");
+    let frozen = dashboard_section(&crashed).to_string();
+
+    let address_line = crashed
+        .lines()
+        .find(|l| l.contains("deployed at 0x"))
+        .expect("deploy printed its address");
+    let address = address_line
+        .split_whitespace()
+        .find(|w| w.starts_with("0x"))
+        .unwrap();
+
+    // Restart on the same directory, no faults: the recovered dashboard
+    // is identical, and the chain accepts the payment that was lost.
+    let recovered = run_cli(
+        &dir,
+        None,
+        &format!(
+            "login tenant pw\n\
+             dashboard\n\
+             pay {address}\n\
+             quit\n"
+        ),
+    );
+    assert_eq!(
+        dashboard_section(&recovered),
+        frozen,
+        "recovered dashboard == dashboard at the crash point"
+    );
+    assert!(
+        recovered.contains("rent paid"),
+        "the chain keeps working after recovery: {recovered}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_restart_preserves_dashboard_totals() {
+    let dir = temp_dir("clean");
+    let first = run_cli(
+        &dir,
+        None,
+        "register landlady l@x pw 0\n\
+         register tenant t@x pw 1\n\
+         login landlady pw\n\
+         upload base\n\
+         deploy 0 1 10001-42MainSt 31536000\n\
+         attach-doc last twelve month lease\n\
+         login tenant pw\n\
+         confirm last\n\
+         pay last\n\
+         compact\n\
+         dashboard\n\
+         quit\n",
+    );
+    assert!(first.contains("rent paid"), "workload ran: {first}");
+    // Compaction folds the log — including the app tier's user rows,
+    // uploads, contract rows and document links — into the snapshot and
+    // prunes the original segments; the restart below must recover the
+    // whole stack from the snapshot alone.
+    assert!(
+        first.contains("log compacted into a snapshot"),
+        "compaction ran: {first}"
+    );
+    let expected = dashboard_section(&first).to_string();
+
+    let restarted = run_cli(&dir, None, "login tenant pw\ndashboard\nquit\n");
+    assert_eq!(dashboard_section(&restarted), expected);
+    // The document survives too (re-pinned from the log, same CID).
+    let address_line = first
+        .lines()
+        .find(|l| l.contains("deployed at 0x"))
+        .expect("deploy printed its address");
+    let address = address_line
+        .split_whitespace()
+        .find(|w| w.starts_with("0x"))
+        .unwrap();
+    let doc = run_cli(
+        &dir,
+        None,
+        &format!("login tenant pw\nview-doc {address}\nquit\n"),
+    );
+    assert!(
+        doc.contains("%PDF-1.4 twelve month lease"),
+        "document recovered: {doc}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,118 @@
+//! WAL durability overhead: wall-clock of `mine_block` on an in-memory
+//! node against a durable node whose every submit and mined block is
+//! appended to the write-ahead log and fsynced. The workload is N plain
+//! value transfers — the cheapest transactions the chain accepts — so the
+//! measured gap is an upper bound on the *relative* durability tax; heavier
+//! contract workloads amortise the same per-block log append over more
+//! execution time.
+//!
+//! EXPERIMENTS.md records the durability-on/off table produced from these
+//! lines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, Transaction};
+use lsc_primitives::U256;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Queue `n` pending transfers between the node's funded accounts.
+fn queue_transfers(node: &mut LocalNode, n: usize) {
+    let accounts = node.accounts().to_vec();
+    for i in 0..n {
+        let from = accounts[i % accounts.len()];
+        let to = accounts[(i + 1) % accounts.len()];
+        node.submit_transaction(
+            Transaction::call(from, to, vec![])
+                .with_value(U256::from_u64(1))
+                .with_gas(21_000),
+        );
+    }
+}
+
+fn loaded_memory(n: usize) -> LocalNode {
+    let mut node = LocalNode::with_config(ChainConfig::default(), 8);
+    queue_transfers(&mut node, n);
+    node
+}
+
+fn bench_dir(shape: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lsc-wal-bench-{shape}-{}", std::process::id()))
+}
+
+/// Fresh durable node on a just-wiped directory; the setup's submits hit
+/// the WAL too, but only the mine call is measured.
+fn loaded_durable(dir: &PathBuf, n: usize) -> LocalNode {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut node = LocalNode::open(dir, ChainConfig::default(), 8, Faults::none())
+        .expect("durable node opens");
+    queue_transfers(&mut node, n);
+    node
+}
+
+fn bench_wal_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_overhead/mine_block");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for &n in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, &n| {
+            b.iter_batched(
+                || loaded_memory(n),
+                |mut node| black_box(node.mine_block()),
+                BatchSize::PerIteration,
+            )
+        });
+        let dir = bench_dir(&format!("mine-{n}"));
+        group.bench_with_input(BenchmarkId::new("durable", n), &n, |b, &n| {
+            b.iter_batched(
+                || loaded_durable(&dir, n),
+                |mut node| black_box(node.mine_block()),
+                BatchSize::PerIteration,
+            )
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+
+    // The submit path is where durability costs per-transaction: one framed
+    // append + fsync each. Measure it head-to-head as well.
+    let mut group = c.benchmark_group("wal_overhead/submit");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    {
+        let n = 64usize;
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, &n| {
+            b.iter_batched(
+                || LocalNode::with_config(ChainConfig::default(), 8),
+                |mut node| {
+                    queue_transfers(&mut node, n);
+                    black_box(node.pending_count())
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        let dir = bench_dir("submit");
+        group.bench_with_input(BenchmarkId::new("durable", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    LocalNode::open(&dir, ChainConfig::default(), 8, Faults::none())
+                        .expect("durable node opens")
+                },
+                |mut node| {
+                    queue_transfers(&mut node, n);
+                    black_box(node.pending_count())
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_overhead);
+criterion_main!(benches);

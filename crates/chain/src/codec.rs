@@ -1,0 +1,331 @@
+//! JSON codecs for the chain's wire types — [`Transaction`], [`Receipt`],
+//! [`Block`] and [`Log`] — shared by the state snapshot (full node image)
+//! and the write-ahead log (durable record payloads). Serialization is
+//! deterministic (object keys are sorted by the JSON module), which the
+//! snapshot checksum and WAL record checksums rely on.
+
+use crate::tx::{Block, Receipt, Transaction};
+use lsc_abi::json::JsonValue;
+use lsc_evm::Log;
+use lsc_primitives::{hex, Address, H256, U256};
+
+/// Decoding error: a field was missing or had the wrong shape.
+pub(crate) type DecodeError = String;
+
+fn bad<T>(message: impl Into<String>) -> Result<T, DecodeError> {
+    Err(message.into())
+}
+
+// ---- field helpers ---------------------------------------------------
+
+pub(crate) fn u64_field(doc: &JsonValue, key: &str) -> Result<u64, DecodeError> {
+    match doc.get(key) {
+        Some(JsonValue::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        _ => bad(format!("missing or invalid u64 field `{key}`")),
+    }
+}
+
+pub(crate) fn str_field<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, DecodeError> {
+    doc.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or invalid string field `{key}`"))
+}
+
+pub(crate) fn u256_field(doc: &JsonValue, key: &str) -> Result<U256, DecodeError> {
+    U256::from_decimal_str(str_field(doc, key)?).map_err(|e| format!("field `{key}`: {e}"))
+}
+
+pub(crate) fn address_field(doc: &JsonValue, key: &str) -> Result<Address, DecodeError> {
+    str_field(doc, key)?
+        .parse()
+        .map_err(|_| format!("field `{key}`: bad address"))
+}
+
+pub(crate) fn h256_field(doc: &JsonValue, key: &str) -> Result<H256, DecodeError> {
+    h256_from_str(str_field(doc, key)?).map_err(|e| format!("field `{key}`: {e}"))
+}
+
+pub(crate) fn bytes_field(doc: &JsonValue, key: &str) -> Result<Vec<u8>, DecodeError> {
+    hex::decode(str_field(doc, key)?).map_err(|e| format!("field `{key}`: {e}"))
+}
+
+pub(crate) fn h256_to_str(h: &H256) -> String {
+    hex::encode_prefixed(h.as_bytes())
+}
+
+pub(crate) fn h256_from_str(s: &str) -> Result<H256, DecodeError> {
+    let bytes = hex::decode(s).map_err(|e| e.to_string())?;
+    H256::from_slice(&bytes).ok_or_else(|| "h256 must be 32 bytes".into())
+}
+
+// ---- Transaction -----------------------------------------------------
+
+/// Serialize a transaction.
+pub(crate) fn tx_to_json(tx: &Transaction) -> JsonValue {
+    JsonValue::object([
+        ("from", JsonValue::String(tx.from.to_string())),
+        (
+            "to",
+            match tx.to {
+                Some(to) => JsonValue::String(to.to_string()),
+                None => JsonValue::Null,
+            },
+        ),
+        ("value", JsonValue::String(tx.value.to_decimal_string())),
+        ("data", JsonValue::String(hex::encode(&tx.data))),
+        ("gas", JsonValue::Number(tx.gas as f64)),
+        (
+            "gas_price",
+            JsonValue::String(tx.gas_price.to_decimal_string()),
+        ),
+        (
+            "nonce",
+            match tx.nonce {
+                Some(n) => JsonValue::Number(n as f64),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+/// Deserialize a transaction.
+pub(crate) fn tx_from_json(doc: &JsonValue) -> Result<Transaction, DecodeError> {
+    let to = match doc.get("to") {
+        Some(JsonValue::Null) | None => None,
+        Some(JsonValue::String(s)) => Some(
+            s.parse()
+                .map_err(|_| "field `to`: bad address".to_string())?,
+        ),
+        _ => return bad("field `to` must be null or an address"),
+    };
+    let nonce = match doc.get("nonce") {
+        Some(JsonValue::Null) | None => None,
+        Some(JsonValue::Number(n)) if *n >= 0.0 => Some(*n as u64),
+        _ => return bad("field `nonce` must be null or a number"),
+    };
+    Ok(Transaction {
+        from: address_field(doc, "from")?,
+        to,
+        value: u256_field(doc, "value")?,
+        data: bytes_field(doc, "data")?,
+        gas: u64_field(doc, "gas")?,
+        gas_price: u256_field(doc, "gas_price")?,
+        nonce,
+    })
+}
+
+// ---- Log -------------------------------------------------------------
+
+pub(crate) fn log_to_json(log: &Log) -> JsonValue {
+    JsonValue::object([
+        ("address", JsonValue::String(log.address.to_string())),
+        (
+            "topics",
+            JsonValue::Array(
+                log.topics
+                    .iter()
+                    .map(|t| JsonValue::String(h256_to_str(t)))
+                    .collect(),
+            ),
+        ),
+        ("data", JsonValue::String(hex::encode(&log.data))),
+    ])
+}
+
+pub(crate) fn log_from_json(doc: &JsonValue) -> Result<Log, DecodeError> {
+    let topics = doc
+        .get("topics")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing `topics` array".to_string())?
+        .iter()
+        .map(|t| {
+            t.as_str()
+                .ok_or_else(|| "topic must be a string".to_string())
+                .and_then(h256_from_str)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Log {
+        address: address_field(doc, "address")?,
+        topics,
+        data: bytes_field(doc, "data")?,
+    })
+}
+
+// ---- Receipt ---------------------------------------------------------
+
+pub(crate) fn receipt_to_json(receipt: &Receipt) -> JsonValue {
+    JsonValue::object([
+        ("tx_hash", JsonValue::String(h256_to_str(&receipt.tx_hash))),
+        (
+            "block_number",
+            JsonValue::Number(receipt.block_number as f64),
+        ),
+        ("tx_index", JsonValue::Number(receipt.tx_index as f64)),
+        ("status", JsonValue::Number(receipt.status as f64)),
+        ("gas_used", JsonValue::Number(receipt.gas_used as f64)),
+        (
+            "contract_address",
+            match receipt.contract_address {
+                Some(a) => JsonValue::String(a.to_string()),
+                None => JsonValue::Null,
+            },
+        ),
+        (
+            "logs",
+            JsonValue::Array(receipt.logs.iter().map(log_to_json).collect()),
+        ),
+        ("output", JsonValue::String(hex::encode(&receipt.output))),
+    ])
+}
+
+pub(crate) fn receipt_from_json(doc: &JsonValue) -> Result<Receipt, DecodeError> {
+    let contract_address = match doc.get("contract_address") {
+        Some(JsonValue::Null) | None => None,
+        Some(JsonValue::String(s)) => Some(
+            s.parse()
+                .map_err(|_| "field `contract_address`: bad address".to_string())?,
+        ),
+        _ => return bad("field `contract_address` must be null or an address"),
+    };
+    let logs = doc
+        .get("logs")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing `logs` array".to_string())?
+        .iter()
+        .map(log_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Receipt {
+        tx_hash: h256_field(doc, "tx_hash")?,
+        block_number: u64_field(doc, "block_number")?,
+        tx_index: u64_field(doc, "tx_index")? as usize,
+        status: u64_field(doc, "status")?,
+        gas_used: u64_field(doc, "gas_used")?,
+        contract_address,
+        logs,
+        output: bytes_field(doc, "output")?,
+    })
+}
+
+// ---- Block -----------------------------------------------------------
+
+pub(crate) fn block_to_json(block: &Block) -> JsonValue {
+    JsonValue::object([
+        ("number", JsonValue::Number(block.number as f64)),
+        ("hash", JsonValue::String(h256_to_str(&block.hash))),
+        (
+            "parent_hash",
+            JsonValue::String(h256_to_str(&block.parent_hash)),
+        ),
+        ("timestamp", JsonValue::Number(block.timestamp as f64)),
+        (
+            "tx_hashes",
+            JsonValue::Array(
+                block
+                    .tx_hashes
+                    .iter()
+                    .map(|h| JsonValue::String(h256_to_str(h)))
+                    .collect(),
+            ),
+        ),
+        ("gas_used", JsonValue::Number(block.gas_used as f64)),
+    ])
+}
+
+pub(crate) fn block_from_json(doc: &JsonValue) -> Result<Block, DecodeError> {
+    let tx_hashes = doc
+        .get("tx_hashes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing `tx_hashes` array".to_string())?
+        .iter()
+        .map(|h| {
+            h.as_str()
+                .ok_or_else(|| "tx hash must be a string".to_string())
+                .and_then(h256_from_str)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Block {
+        number: u64_field(doc, "number")?,
+        hash: h256_field(doc, "hash")?,
+        parent_hash: h256_field(doc, "parent_hash")?,
+        timestamp: u64_field(doc, "timestamp")?,
+        tx_hashes,
+        gas_used: u64_field(doc, "gas_used")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_roundtrip_with_and_without_optionals() {
+        let a = Address::from_label("a");
+        let mut tx = Transaction::call(a, Address::from_label("b"), vec![1, 2, 3]);
+        tx.nonce = Some(7);
+        tx.value = U256::from_u64(42);
+        let back = tx_from_json(&tx_to_json(&tx)).unwrap();
+        assert_eq!(back.from, tx.from);
+        assert_eq!(back.to, tx.to);
+        assert_eq!(back.value, tx.value);
+        assert_eq!(back.data, tx.data);
+        assert_eq!(back.gas, tx.gas);
+        assert_eq!(back.gas_price, tx.gas_price);
+        assert_eq!(back.nonce, tx.nonce);
+
+        let deploy = Transaction::deploy(a, vec![0x60, 0x00]);
+        let back = tx_from_json(&tx_to_json(&deploy)).unwrap();
+        assert_eq!(back.to, None);
+        assert_eq!(back.nonce, None);
+    }
+
+    #[test]
+    fn receipt_roundtrip_preserves_logs() {
+        let receipt = Receipt {
+            tx_hash: H256::keccak(b"tx"),
+            block_number: 3,
+            tx_index: 1,
+            status: 1,
+            gas_used: 21_000,
+            contract_address: Some(Address::from_label("c")),
+            logs: vec![Log {
+                address: Address::from_label("c"),
+                topics: vec![H256::keccak(b"topic")],
+                data: vec![9, 9],
+            }],
+            output: vec![0xca, 0xfe],
+        };
+        let back = receipt_from_json(&receipt_to_json(&receipt)).unwrap();
+        assert_eq!(back.tx_hash, receipt.tx_hash);
+        assert_eq!(back.logs.len(), 1);
+        assert_eq!(back.logs[0].topics, receipt.logs[0].topics);
+        assert_eq!(back.output, receipt.output);
+        assert_eq!(back.contract_address, receipt.contract_address);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let block = Block {
+            number: 5,
+            hash: H256::keccak(b"h"),
+            parent_hash: H256::keccak(b"p"),
+            timestamp: 1_600_000_000,
+            tx_hashes: vec![H256::keccak(b"t1"), H256::keccak(b"t2")],
+            gas_used: 99,
+        };
+        let back = block_from_json(&block_to_json(&block)).unwrap();
+        assert_eq!(back.hash, block.hash);
+        assert_eq!(back.tx_hashes, block.tx_hashes);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(tx_from_json(&JsonValue::Null).is_err());
+        assert!(receipt_from_json(&JsonValue::object([])).is_err());
+        assert!(block_from_json(&JsonValue::object([])).is_err());
+        let mut doc = tx_to_json(&Transaction::deploy(Address::ZERO, vec![]));
+        if let JsonValue::Object(map) = &mut doc {
+            map.insert("gas".into(), JsonValue::String("nope".into()));
+        }
+        assert!(tx_from_json(&doc).is_err());
+    }
+}

@@ -11,13 +11,16 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 pub mod node;
 mod parallel;
 pub mod snapshot;
 pub mod state;
 pub mod tx;
+pub mod wal;
 
 pub use node::{ChainConfig, LocalNode};
 pub use snapshot::SnapshotError;
 pub use state::{Account, WorldState};
 pub use tx::{Block, Receipt, Transaction, TxError};
+pub use wal::{fault_injection_enabled, FaultPlan, Faults, Wal, WalError, WalRecord};

@@ -9,9 +9,12 @@
 use crate::parallel;
 use crate::state::WorldState;
 use crate::tx::{Block, Receipt, Transaction, TxError};
+use crate::wal::{self, Faults, Wal, WalError, WalRecord};
+use lsc_abi::json::{parse, JsonValue};
 use lsc_evm::{gas, AccessKey, BlockEnv, CallResult, Evm, Host, Log, Message};
 use lsc_primitives::{Address, H256, U256};
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 
 /// Default balance for pre-funded dev accounts: 1000 ether.
 pub fn default_dev_balance() -> U256 {
@@ -60,6 +63,16 @@ pub struct LocalNode {
     dev_accounts: Vec<Address>,
     snapshots: Vec<NodeSnapshot>,
     pending: Vec<Transaction>,
+    /// Write-ahead log; `None` for a purely in-memory node.
+    durable_log: Option<Wal>,
+    /// True while recovery replays the log (suppresses re-appending).
+    replaying: bool,
+    /// First durability failure; once set, every state-changing call
+    /// fails — the in-memory state is frozen at exactly what disk can
+    /// recover.
+    poisoned: Option<String>,
+    /// App-tier events collected during replay for `RentalApp::recover`.
+    app_events: Vec<String>,
 }
 
 struct NodeSnapshot {
@@ -114,6 +127,10 @@ impl LocalNode {
             dev_accounts,
             snapshots: Vec::new(),
             pending: Vec::new(),
+            durable_log: None,
+            replaying: false,
+            poisoned: None,
+            app_events: Vec::new(),
         }
     }
 
@@ -217,20 +234,46 @@ impl LocalNode {
         self.state.commit();
     }
 
-    /// Credit an account out of thin air (dev faucet).
+    /// Credit an account out of thin air (dev faucet). Panics on a
+    /// durability failure — see [`LocalNode::try_faucet`].
     pub fn faucet(&mut self, address: Address, value: U256) {
+        self.try_faucet(address, value).expect("durability failure");
+    }
+
+    /// [`LocalNode::faucet`], surfacing durability failures.
+    pub fn try_faucet(&mut self, address: Address, value: U256) -> Result<(), TxError> {
+        self.log_record(|| WalRecord::Faucet(address, value))?;
         self.state.credit(address, value);
         self.state.commit();
+        Ok(())
     }
 
-    /// Warp the chain clock forward (`evm_increaseTime`).
+    /// Warp the chain clock forward (`evm_increaseTime`). Panics on a
+    /// durability failure — see [`LocalNode::try_increase_time`].
     pub fn increase_time(&mut self, seconds: u64) {
-        self.timestamp += seconds;
+        self.try_increase_time(seconds).expect("durability failure");
     }
 
-    /// Set the chain clock (`evm_setTime`); only forward jumps are allowed.
+    /// [`LocalNode::increase_time`], surfacing durability failures.
+    pub fn try_increase_time(&mut self, seconds: u64) -> Result<(), TxError> {
+        self.log_record(|| WalRecord::IncreaseTime(seconds))?;
+        self.timestamp += seconds;
+        Ok(())
+    }
+
+    /// Set the chain clock (`evm_setTime`); only forward jumps are
+    /// allowed. Panics on a durability failure — see
+    /// [`LocalNode::try_set_timestamp`].
     pub fn set_timestamp(&mut self, timestamp: u64) {
+        self.try_set_timestamp(timestamp)
+            .expect("durability failure");
+    }
+
+    /// [`LocalNode::set_timestamp`], surfacing durability failures.
+    pub fn try_set_timestamp(&mut self, timestamp: u64) -> Result<(), TxError> {
+        self.log_record(|| WalRecord::SetTime(timestamp))?;
         self.timestamp = self.timestamp.max(timestamp);
+        Ok(())
     }
 
     /// Take a snapshot of the whole chain (`evm_snapshot`).
@@ -400,8 +443,11 @@ impl LocalNode {
     }
 
     /// Validate, execute and instantly mine a transaction into its own
-    /// block; returns its receipt.
+    /// block; returns its receipt. The intent is logged to the WAL (when
+    /// one is attached) *before* execution: append-before-apply is what
+    /// makes a crash at any point recoverable.
     pub fn send_transaction(&mut self, tx: Transaction) -> Result<Receipt, TxError> {
+        self.log_record(|| WalRecord::InstantTx(tx.clone()))?;
         let env = self.block_env();
         let (tx_hash, receipt) = self.execute_transaction(&tx, &env)?;
         self.seal_block(vec![(tx_hash, receipt.clone())]);
@@ -411,8 +457,17 @@ impl LocalNode {
 
     /// Queue a transaction without mining (batch mode). Validation happens
     /// at mining time, when prior queued transactions have executed.
+    /// Panics on a durability failure — see
+    /// [`LocalNode::try_submit_transaction`].
     pub fn submit_transaction(&mut self, tx: Transaction) {
+        self.try_submit_transaction(tx).expect("durability failure");
+    }
+
+    /// [`LocalNode::submit_transaction`], surfacing durability failures.
+    pub fn try_submit_transaction(&mut self, tx: Transaction) -> Result<(), TxError> {
+        self.log_record(|| WalRecord::SubmitTx(tx.clone()))?;
         self.pending.push(tx);
+        Ok(())
     }
 
     /// Number of queued transactions.
@@ -433,6 +488,16 @@ impl LocalNode {
     /// the coinbase account after fees started accruing) is re-executed
     /// against the committed state, which is exactly the sequential view.
     pub fn mine_block(&mut self) -> (Block, Vec<TxError>) {
+        self.try_mine_block().expect("durability failure")
+    }
+
+    /// [`LocalNode::mine_block`], surfacing durability failures.
+    pub fn try_mine_block(&mut self) -> Result<(Block, Vec<TxError>), TxError> {
+        self.log_record(|| WalRecord::MineBlock)?;
+        Ok(self.mine_block_inner())
+    }
+
+    fn mine_block_inner(&mut self) -> (Block, Vec<TxError>) {
         let pending = std::mem::take(&mut self.pending);
         let workers = self.config.mining_workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -489,8 +554,18 @@ impl LocalNode {
     /// another — the reference implementation [`LocalNode::mine_block`] is
     /// checked against, and the baseline for the speedup benchmarks.
     pub fn mine_block_sequential(&mut self) -> (Block, Vec<TxError>) {
+        self.try_mine_block_sequential()
+            .expect("durability failure")
+    }
+
+    /// [`LocalNode::mine_block_sequential`], surfacing durability
+    /// failures. The WAL record is the same `mine_block` intent — both
+    /// paths are bit-identical, so recovery replays through the default
+    /// engine regardless of which one logged it.
+    pub fn try_mine_block_sequential(&mut self) -> Result<(Block, Vec<TxError>), TxError> {
+        self.log_record(|| WalRecord::MineBlock)?;
         let pending = std::mem::take(&mut self.pending);
-        self.mine_batch_sequential(pending)
+        Ok(self.mine_batch_sequential(pending))
     }
 
     fn mine_batch_sequential(&mut self, pending: Vec<Transaction>) -> (Block, Vec<TxError>) {
@@ -588,6 +663,275 @@ impl LocalNode {
         };
         self.state.revert_to(checkpoint);
         Ok(intrinsic + (exec_gas - result.gas_left))
+    }
+}
+
+// ---- durability ------------------------------------------------------
+
+fn meta_path(dir: &Path) -> PathBuf {
+    dir.join("meta.json")
+}
+
+fn meta_json(config: &ChainConfig, n_accounts: usize) -> String {
+    JsonValue::object([
+        ("chain_id", JsonValue::Number(config.chain_id as f64)),
+        (
+            "block_gas_limit",
+            JsonValue::Number(config.block_gas_limit as f64),
+        ),
+        ("block_time", JsonValue::Number(config.block_time as f64)),
+        (
+            "genesis_timestamp",
+            JsonValue::Number(config.genesis_timestamp as f64),
+        ),
+        ("coinbase", JsonValue::String(config.coinbase.to_string())),
+        (
+            "mining_workers",
+            match config.mining_workers {
+                Some(n) => JsonValue::Number(n as f64),
+                None => JsonValue::Null,
+            },
+        ),
+        ("n_accounts", JsonValue::Number(n_accounts as f64)),
+    ])
+    .to_json()
+}
+
+fn parse_meta(text: &str) -> Result<(ChainConfig, usize), WalError> {
+    let corrupt = |m: String| WalError::Corrupt(format!("meta.json: {m}"));
+    let doc = parse(text).map_err(|e| corrupt(e.to_string()))?;
+    let mining_workers = match doc.get("mining_workers") {
+        Some(JsonValue::Number(n)) if *n >= 0.0 => Some(*n as usize),
+        _ => None,
+    };
+    let config = ChainConfig {
+        chain_id: crate::codec::u64_field(&doc, "chain_id").map_err(corrupt)?,
+        block_gas_limit: crate::codec::u64_field(&doc, "block_gas_limit").map_err(corrupt)?,
+        block_time: crate::codec::u64_field(&doc, "block_time").map_err(corrupt)?,
+        genesis_timestamp: crate::codec::u64_field(&doc, "genesis_timestamp").map_err(corrupt)?,
+        coinbase: crate::codec::address_field(&doc, "coinbase").map_err(corrupt)?,
+        mining_workers,
+    };
+    let n_accounts = crate::codec::u64_field(&doc, "n_accounts").map_err(corrupt)? as usize;
+    Ok((config, n_accounts))
+}
+
+impl LocalNode {
+    /// Open a durable node in `dir`: start fresh (recording the chain
+    /// parameters in `meta.json` and appending every state-changing
+    /// intent to the write-ahead log) or, if the directory already holds
+    /// a chain, recover it — so a restarting process needs only this one
+    /// entry point.
+    pub fn open(
+        dir: &Path,
+        config: ChainConfig,
+        n_accounts: usize,
+        faults: Faults,
+    ) -> Result<LocalNode, WalError> {
+        if meta_path(dir).exists() {
+            return LocalNode::recover(dir, faults);
+        }
+        std::fs::create_dir_all(dir).map_err(|e| WalError::Io(format!("create data dir: {e}")))?;
+        // Meta is written once, before any user data exists, and is
+        // idempotent — it bypasses the fault hooks so crash-point
+        // enumeration covers data operations only.
+        wal::write_durable(
+            &meta_path(dir),
+            meta_json(&config, n_accounts).as_bytes(),
+            &Faults::none(),
+        )?;
+        let mut node = LocalNode::with_config(config, n_accounts);
+        node.durable_log = Some(Wal::open(dir, faults)?);
+        Ok(node)
+    }
+
+    /// Rebuild a node from `dir`: genesis parameters from `meta.json`,
+    /// state from the newest *valid* snapshot (invalid or torn snapshots
+    /// are skipped), then every committed WAL record from the snapshot's
+    /// `wal_from` segment onward replayed on top — truncating a torn
+    /// tail. Execution is deterministic, so the result is bit-identical
+    /// to the pre-crash committed state: block hashes, receipts, storage
+    /// and the pending queue included.
+    pub fn recover(dir: &Path, faults: Faults) -> Result<LocalNode, WalError> {
+        let text = std::fs::read_to_string(meta_path(dir))
+            .map_err(|e| WalError::Io(format!("read meta.json: {e}")))?;
+        let (config, n_accounts) = parse_meta(&text)?;
+        let mut node = LocalNode::with_config(config.clone(), n_accounts);
+        let mut wal_from = 0;
+        for (index, path) in wal::list_snapshots(dir)?.into_iter().rev() {
+            let Ok(image) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            // Import into a throwaway candidate: a snapshot that fails
+            // validation mid-way must not taint the recovered node.
+            let mut candidate = LocalNode::with_config(config.clone(), n_accounts);
+            if candidate.import_state(&image).is_ok() {
+                node = candidate;
+                wal_from = index;
+                break;
+            }
+        }
+        node.replaying = true;
+        for record in wal::committed_records(dir, wal_from)? {
+            node.apply_record(record);
+        }
+        node.replaying = false;
+        node.durable_log = Some(Wal::open(dir, faults)?);
+        Ok(node)
+    }
+
+    /// Compact the log: rotate to a fresh segment, durably publish a
+    /// full-image snapshot covering everything before it (tmp file +
+    /// fsync + atomic rename), then prune the shadowed segments and older
+    /// snapshots. Crash-safe at every step — until the rename lands, the
+    /// previous snapshot + full log remain the recovery source. Returns
+    /// the first segment the new snapshot does NOT cover.
+    pub fn compact(&mut self) -> Result<u64, WalError> {
+        if let Some(reason) = &self.poisoned {
+            return Err(WalError::Io(format!("node poisoned: {reason}")));
+        }
+        let Some(log) = self.durable_log.as_mut() else {
+            return Err(WalError::Io("node has no write-ahead log".into()));
+        };
+        let wal_from = log.rotate()?;
+        let dir = log.dir().to_path_buf();
+        let faults = log.faults();
+        let image = self.export_image(Some(wal_from));
+        wal::write_durable(
+            &wal::snapshot_path(&dir, wal_from),
+            image.as_bytes(),
+            &faults,
+        )?;
+        if let Some(log) = self.durable_log.as_ref() {
+            log.prune_segments(wal_from)?;
+        }
+        for (index, path) in wal::list_snapshots(&dir)? {
+            if index < wal_from {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(wal_from)
+    }
+
+    /// Append a record for a state change about to be applied; no-op for
+    /// in-memory nodes and during replay. The first failure poisons the
+    /// node: nothing further applies, so the in-memory state stays equal
+    /// to what [`LocalNode::recover`] reproduces from disk.
+    fn log_record(&mut self, record: impl FnOnce() -> WalRecord) -> Result<(), TxError> {
+        if self.replaying || self.durable_log.is_none() {
+            return Ok(());
+        }
+        if let Some(reason) = &self.poisoned {
+            return Err(TxError::Durability(reason.clone()));
+        }
+        let log = self.durable_log.as_mut().expect("checked above");
+        match log.append(&record()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let message = e.to_string();
+                self.poisoned = Some(message.clone());
+                Err(TxError::Durability(message))
+            }
+        }
+    }
+
+    /// Re-apply one committed record during recovery.
+    fn apply_record(&mut self, record: WalRecord) {
+        match record {
+            // A logged transaction may have failed validation originally;
+            // replay reproduces the same (deterministic) outcome.
+            WalRecord::InstantTx(tx) => {
+                let _ = self.send_transaction(tx);
+            }
+            WalRecord::SubmitTx(tx) => self.pending.push(tx),
+            WalRecord::MineBlock => {
+                let _ = self.mine_block_inner();
+            }
+            WalRecord::IncreaseTime(seconds) => self.timestamp += seconds,
+            WalRecord::SetTime(timestamp) => self.timestamp = self.timestamp.max(timestamp),
+            WalRecord::Faucet(address, value) => {
+                self.state.credit(address, value);
+                self.state.commit();
+            }
+            // Audit marker only — the pointer writes are InstantTx records.
+            WalRecord::VersionPointer { .. } => {}
+            WalRecord::AppEvent(event) => self.app_events.push(event),
+        }
+    }
+
+    /// Durably record an opaque app-tier event (user rows, uploads,
+    /// version records…); replayed to the app by
+    /// [`LocalNode::app_events`] after recovery. The node retains the
+    /// cumulative event history so compaction can fold it into the
+    /// snapshot image — otherwise pruning WAL segments would lose the
+    /// app tier while keeping the chain.
+    pub fn append_app_event(&mut self, event: &str) -> Result<(), TxError> {
+        self.log_record(|| WalRecord::AppEvent(event.to_string()))?;
+        self.app_events.push(event.to_string());
+        Ok(())
+    }
+
+    /// Durably mark a version-chain pointer update (the Fig. 2 evidence
+    /// line) in the log.
+    pub fn note_version_pointer(
+        &mut self,
+        previous: Address,
+        next: Address,
+    ) -> Result<(), TxError> {
+        self.log_record(|| WalRecord::VersionPointer { previous, next })
+    }
+
+    /// The full app-tier event history, in append order: events replayed
+    /// during recovery (from snapshot and WAL) plus everything appended
+    /// since. The app tier rebuilds its database by replaying these.
+    pub fn app_events(&self) -> &[String] {
+        &self.app_events
+    }
+
+    /// Directory the write-ahead log lives in, if the node is durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durable_log.as_ref().map(|log| log.dir())
+    }
+
+    /// Index of the WAL segment currently appended to, if durable.
+    pub fn wal_segment(&self) -> Option<u64> {
+        self.durable_log.as_ref().map(|log| log.segment())
+    }
+
+    /// The first durability failure, if the node is poisoned.
+    pub fn poisoned_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    // -- snapshot plumbing (full-image export/import lives in snapshot.rs)
+
+    pub(crate) fn all_blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    pub(crate) fn all_receipts(&self) -> &HashMap<H256, Receipt> {
+        &self.receipts
+    }
+
+    pub(crate) fn pending_txs(&self) -> &[Transaction] {
+        &self.pending
+    }
+
+    pub(crate) fn install_history(&mut self, blocks: Vec<Block>, receipts: HashMap<H256, Receipt>) {
+        self.blocks = blocks;
+        self.receipts = receipts;
+    }
+
+    pub(crate) fn install_pending(&mut self, pending: Vec<Transaction>) {
+        self.pending = pending;
+    }
+
+    pub(crate) fn install_app_events(&mut self, events: Vec<String>) {
+        self.app_events = events;
+    }
+
+    pub(crate) fn set_clock(&mut self, timestamp: u64) {
+        self.timestamp = timestamp;
     }
 }
 

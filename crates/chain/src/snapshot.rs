@@ -3,12 +3,14 @@
 //! node — the dev-chain equivalent of a genesis file, so a test fixture
 //! or a demo deployment can be frozen and revived.
 
+use crate::codec;
 use crate::node::LocalNode;
 use crate::state::Account;
+use crate::tx::{Block, Receipt, Transaction};
 use core::fmt;
 use lsc_abi::json::{parse, JsonValue};
-use lsc_primitives::{hex, Address, U256};
-use std::collections::BTreeMap;
+use lsc_primitives::{hex, keccak256, Address, H256, U256};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Error importing a snapshot document.
@@ -27,11 +29,74 @@ fn bad<T>(message: impl Into<String>) -> Result<T, SnapshotError> {
     Err(SnapshotError(message.into()))
 }
 
+/// Decode one account body from either snapshot format.
+fn account_from_json(body: &JsonValue) -> Result<Account, SnapshotError> {
+    let balance = body
+        .get("balance")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| SnapshotError("missing balance".into()))?;
+    let balance = U256::from_decimal_str(balance).map_err(|e| SnapshotError(e.to_string()))?;
+    let nonce = match body.get("nonce") {
+        Some(JsonValue::Number(n)) => *n as u64,
+        _ => return bad("missing nonce"),
+    };
+    let code = body
+        .get("code")
+        .and_then(JsonValue::as_str)
+        .map(hex::decode)
+        .transpose()
+        .map_err(|e| SnapshotError(e.to_string()))?
+        .unwrap_or_default();
+    let mut storage = std::collections::HashMap::new();
+    if let Some(JsonValue::Object(slots)) = body.get("storage") {
+        for (slot, value) in slots {
+            let slot = U256::from_hex_str(slot).map_err(|e| SnapshotError(e.to_string()))?;
+            let value = value
+                .as_str()
+                .ok_or_else(|| SnapshotError("storage value must be a string".into()))?;
+            let value = U256::from_hex_str(value).map_err(|e| SnapshotError(e.to_string()))?;
+            storage.insert(slot, value);
+        }
+    }
+    Ok(Account {
+        balance,
+        nonce,
+        code: Arc::new(code),
+        storage,
+    })
+}
+
+/// Decode and fully validate the accounts section before any of it is
+/// applied to a node.
+fn accounts_from_json(
+    accounts: &BTreeMap<String, JsonValue>,
+) -> Result<Vec<(Address, Account)>, SnapshotError> {
+    let mut out = Vec::with_capacity(accounts.len());
+    for (address, body) in accounts {
+        let address: Address = address
+            .parse()
+            .map_err(|_| SnapshotError(format!("bad address {address}")))?;
+        out.push((address, account_from_json(body)?));
+    }
+    Ok(out)
+}
+
 impl LocalNode {
-    /// Export the full world state (accounts, balances, nonces, code,
-    /// storage) plus the chain clock as a JSON document. Blocks and
-    /// receipts are history, not state, and are not exported.
+    /// Export the whole node as a checksummed JSON image: accounts
+    /// (balances, nonces, code, storage), the chain clock, the pending
+    /// transaction queue, and the full block/receipt history. The
+    /// envelope is `{"checksum": keccak(state), "state": {...}}`;
+    /// serialization is deterministic, so the checksum detects any
+    /// bit-flip or truncation.
     pub fn export_state(&self) -> String {
+        self.export_image(None)
+    }
+
+    /// [`LocalNode::export_state`] with an optional `wal_from` marker —
+    /// the first WAL segment this image does NOT cover (written by
+    /// compaction; recovery takes the boundary from the snapshot's file
+    /// name, the field makes the image self-describing).
+    pub(crate) fn export_image(&self, wal_from: Option<u64>) -> String {
         let mut accounts: BTreeMap<String, JsonValue> = BTreeMap::new();
         for (address, account) in self.state_accounts() {
             let mut storage: BTreeMap<String, JsonValue> = BTreeMap::new();
@@ -54,18 +119,67 @@ impl LocalNode {
                 ]),
             );
         }
-        JsonValue::object([
+        let mut receipts: BTreeMap<String, JsonValue> = BTreeMap::new();
+        for (tx_hash, receipt) in self.all_receipts() {
+            receipts.insert(codec::h256_to_str(tx_hash), codec::receipt_to_json(receipt));
+        }
+        let mut fields = vec![
             ("timestamp", JsonValue::Number(self.timestamp() as f64)),
             ("accounts", JsonValue::Object(accounts)),
+            (
+                "pending",
+                JsonValue::Array(self.pending_txs().iter().map(codec::tx_to_json).collect()),
+            ),
+            (
+                "blocks",
+                JsonValue::Array(self.all_blocks().iter().map(codec::block_to_json).collect()),
+            ),
+            ("receipts", JsonValue::Object(receipts)),
+            // The app tier's event history rides in the image so that
+            // compaction (which prunes the WAL segments holding the
+            // original AppEvent records) never loses it.
+            (
+                "app_events",
+                JsonValue::Array(
+                    self.app_events()
+                        .iter()
+                        .map(|e| JsonValue::String(e.clone()))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(wal_from) = wal_from {
+            fields.push(("wal_from", JsonValue::Number(wal_from as f64)));
+        }
+        let state = JsonValue::object(fields);
+        let serialized = state.to_json();
+        JsonValue::object([
+            (
+                "checksum",
+                JsonValue::String(hex::encode_prefixed(keccak256(serialized.as_bytes()))),
+            ),
+            ("state", state),
         ])
         .to_json()
     }
 
-    /// Import a state document into this node, replacing any accounts with
-    /// the same addresses (other accounts are left untouched).
+    /// Import a state document. Two formats are accepted:
+    ///
+    /// * the checksummed full image written by [`LocalNode::export_state`]
+    ///   — verified end to end (envelope checksum, recomputed block
+    ///   hashes, parent links, receipt keys) before anything is applied;
+    ///   accounts merge, while clock, pending queue and history are
+    ///   replaced;
+    /// * the legacy flat `{timestamp, accounts}` document — accounts
+    ///   merge, the clock only moves forward.
+    ///
+    /// Returns the number of accounts imported.
     pub fn import_state(&mut self, document: &str) -> Result<usize, SnapshotError> {
         let doc = parse(document).map_err(|e| SnapshotError(e.to_string()))?;
-        let Some(JsonValue::Object(accounts)) = doc.get("accounts").cloned() else {
+        if doc.get("state").is_some() {
+            return self.import_image(&doc);
+        }
+        let Some(JsonValue::Object(accounts)) = doc.get("accounts") else {
             return bad("missing \"accounts\" object");
         };
         if let Some(ts) = doc.get("timestamp").and_then(|v| match v {
@@ -74,52 +188,102 @@ impl LocalNode {
         }) {
             self.set_timestamp(ts);
         }
-        let mut imported = 0;
-        for (address, body) in accounts {
-            let address: Address = address
-                .parse()
-                .map_err(|_| SnapshotError(format!("bad address {address}")))?;
-            let balance = body
-                .get("balance")
-                .and_then(JsonValue::as_str)
-                .ok_or_else(|| SnapshotError("missing balance".into()))?;
-            let balance =
-                U256::from_decimal_str(balance).map_err(|e| SnapshotError(e.to_string()))?;
-            let nonce = match body.get("nonce") {
-                Some(JsonValue::Number(n)) => *n as u64,
-                _ => return bad("missing nonce"),
-            };
-            let code = body
-                .get("code")
-                .and_then(JsonValue::as_str)
-                .map(hex::decode)
-                .transpose()
-                .map_err(|e| SnapshotError(e.to_string()))?
-                .unwrap_or_default();
-            let mut storage = std::collections::HashMap::new();
-            if let Some(JsonValue::Object(slots)) = body.get("storage") {
-                for (slot, value) in slots {
-                    let slot =
-                        U256::from_hex_str(slot).map_err(|e| SnapshotError(e.to_string()))?;
-                    let value = value
-                        .as_str()
-                        .ok_or_else(|| SnapshotError("storage value must be a string".into()))?;
-                    let value =
-                        U256::from_hex_str(value).map_err(|e| SnapshotError(e.to_string()))?;
-                    storage.insert(slot, value);
-                }
-            }
-            self.restore_account_state(
-                address,
-                Account {
-                    balance,
-                    nonce,
-                    code: Arc::new(code),
-                    storage,
-                },
-            );
-            imported += 1;
+        let accounts = accounts_from_json(accounts)?;
+        let imported = accounts.len();
+        for (address, account) in accounts {
+            self.restore_account_state(address, account);
         }
+        Ok(imported)
+    }
+
+    fn import_image(&mut self, doc: &JsonValue) -> Result<usize, SnapshotError> {
+        let checksum = doc
+            .get("checksum")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| SnapshotError("missing checksum".into()))?;
+        let state = doc.get("state").expect("checked by caller");
+        // Serialization is deterministic, so re-serializing the parsed
+        // state reproduces the exact bytes the checksum was taken over.
+        let serialized = state.to_json();
+        if hex::encode_prefixed(keccak256(serialized.as_bytes())) != checksum.to_lowercase() {
+            return bad("checksum mismatch (corrupt or tampered snapshot)");
+        }
+        let timestamp = match state.get("timestamp") {
+            Some(JsonValue::Number(n)) if *n >= 0.0 => *n as u64,
+            _ => return bad("missing timestamp"),
+        };
+        let Some(JsonValue::Object(accounts)) = state.get("accounts") else {
+            return bad("missing \"accounts\" object");
+        };
+        let accounts = accounts_from_json(accounts)?;
+        let blocks = state
+            .get("blocks")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| SnapshotError("missing \"blocks\" array".into()))?
+            .iter()
+            .map(|b| codec::block_from_json(b).map_err(SnapshotError))
+            .collect::<Result<Vec<Block>, _>>()?;
+        if blocks.is_empty() {
+            return bad("image has no genesis block");
+        }
+        for (i, block) in blocks.iter().enumerate() {
+            if block.hash
+                != Block::compute_hash(
+                    block.number,
+                    block.parent_hash,
+                    block.timestamp,
+                    &block.tx_hashes,
+                )
+            {
+                return bad(format!(
+                    "block {} hash does not match contents",
+                    block.number
+                ));
+            }
+            if i > 0 && block.parent_hash != blocks[i - 1].hash {
+                return bad(format!("block {} breaks the parent chain", block.number));
+            }
+        }
+        let Some(JsonValue::Object(receipt_docs)) = state.get("receipts") else {
+            return bad("missing \"receipts\" object");
+        };
+        let mut receipts: HashMap<H256, Receipt> = HashMap::with_capacity(receipt_docs.len());
+        for (key, body) in receipt_docs {
+            let receipt = codec::receipt_from_json(body).map_err(SnapshotError)?;
+            let key_hash = codec::h256_from_str(key).map_err(SnapshotError)?;
+            if key_hash != receipt.tx_hash {
+                return bad(format!("receipt key {key} does not match its tx_hash"));
+            }
+            receipts.insert(key_hash, receipt);
+        }
+        let pending = state
+            .get("pending")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| SnapshotError("missing \"pending\" array".into()))?
+            .iter()
+            .map(|t| codec::tx_from_json(t).map_err(SnapshotError))
+            .collect::<Result<Vec<Transaction>, _>>()?;
+        let app_events = state
+            .get("app_events")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| SnapshotError("missing \"app_events\" array".into()))?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| SnapshotError("app_events entry is not a string".into()))
+            })
+            .collect::<Result<Vec<String>, _>>()?;
+
+        // Everything validated — apply.
+        let imported = accounts.len();
+        for (address, account) in accounts {
+            self.restore_account_state(address, account);
+        }
+        self.install_history(blocks, receipts);
+        self.install_pending(pending);
+        self.install_app_events(app_events);
+        self.set_clock(timestamp);
         Ok(imported)
     }
 }

@@ -8,7 +8,7 @@ use lsc_primitives::{Address, H256, U256};
 /// be signed; our local node (like Ganache's unlocked accounts) accepts a
 /// `from` field and performs the signature check at the wallet layer
 /// (`lsc-web3`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transaction {
     /// Sender account.
     pub from: Address,
@@ -99,6 +99,11 @@ pub enum TxError {
     },
     /// Gas limit above the block gas limit.
     ExceedsBlockGasLimit,
+    /// The durability layer failed to log the transaction (write-ahead
+    /// log append error or injected fault); the transaction was not
+    /// applied and the node refuses further state changes — the process
+    /// is expected to restart and recover from disk.
+    Durability(String),
 }
 
 impl std::fmt::Display for TxError {
@@ -112,6 +117,7 @@ impl std::fmt::Display for TxError {
                 write!(f, "intrinsic gas too low (need {required})")
             }
             Self::ExceedsBlockGasLimit => write!(f, "gas limit exceeds block gas limit"),
+            Self::Durability(message) => write!(f, "durability failure: {message}"),
         }
     }
 }

@@ -262,6 +262,25 @@ impl ContractManager {
         Ok(contract)
     }
 
+    /// Install a version record replayed from the durable log: registers
+    /// the ABI of the upload the version came from (so the address→ABI
+    /// path works again) and inserts the record as-is. The deployment
+    /// transaction itself is re-executed by the chain replay; this only
+    /// restores the business-tier bookkeeping around it.
+    pub fn adopt_version(&self, record: VersionRecord, upload_id: u64) -> CoreResult<()> {
+        let upload = self.upload_by_id(upload_id)?;
+        self.registry.register(record.address, &upload.abi);
+        self.inner.write().versions.insert(record.address, record);
+        Ok(())
+    }
+
+    /// Set a version record's lifecycle state (durable-log replay helper).
+    pub fn set_version_state(&self, address: Address, state: VersionState) {
+        if let Some(record) = self.inner.write().versions.get_mut(&address) {
+            record.state = state;
+        }
+    }
+
     /// The record for a deployed version.
     pub fn record(&self, address: Address) -> Option<VersionRecord> {
         self.inner.read().versions.get(&address).cloned()

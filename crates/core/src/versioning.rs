@@ -44,7 +44,10 @@ impl VersionChain {
     }
 
     /// Link `new_version` after `previous` by setting both pointers, as
-    /// the contract manager does whenever a new version is deployed.
+    /// the contract manager does whenever a new version is deployed. The
+    /// pointer transactions are durably logged like any other; on top of
+    /// that the link event itself is marked in the write-ahead log, so
+    /// the evidence line (Fig. 2) is auditable straight from the log.
     pub fn link(&self, from: Address, previous: Address, new_version: Address) -> CoreResult<()> {
         let prev_contract = self.contract_at(previous)?;
         let new_contract = self.contract_at(new_version)?;
@@ -55,6 +58,7 @@ impl VersionChain {
             U256::ZERO,
         )?;
         new_contract.send(from, "setPrev", &[AbiValue::Address(previous)], U256::ZERO)?;
+        self.web3.note_version_pointer(previous, new_version)?;
         Ok(())
     }
 

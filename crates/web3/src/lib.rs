@@ -252,6 +252,18 @@ impl Web3 {
         self.node.lock().mine_block()
     }
 
+    /// [`Web3::mine_block`] that surfaces durability failures instead of
+    /// panicking (used by crash-recovery harnesses).
+    pub fn try_mine_block(&self) -> Result<(lsc_chain::Block, Vec<TxError>), Web3Error> {
+        Ok(self.node.lock().try_mine_block()?)
+    }
+
+    /// [`Web3::increase_time`] that surfaces durability failures instead
+    /// of panicking.
+    pub fn try_increase_time(&self, seconds: u64) -> Result<(), Web3Error> {
+        Ok(self.node.lock().try_increase_time(seconds)?)
+    }
+
     /// Number of queued (unmined) transactions.
     pub fn pending_count(&self) -> usize {
         self.node.lock().pending_count()
@@ -266,6 +278,25 @@ impl Web3 {
         topic0: Option<lsc_primitives::H256>,
     ) -> Vec<(u64, lsc_evm::Log)> {
         self.node.lock().logs(from_block, to_block, address, topic0)
+    }
+
+    /// Durably record an opaque app-tier event in the node's write-ahead
+    /// log (no-op for in-memory nodes). The app replays these after a
+    /// restart via [`Web3::app_events`].
+    pub fn append_app_event(&self, event: &str) -> Result<(), Web3Error> {
+        Ok(self.node.lock().append_app_event(event)?)
+    }
+
+    /// Durably mark a version-chain pointer update (the Fig. 2 evidence
+    /// line) in the node's write-ahead log.
+    pub fn note_version_pointer(&self, previous: Address, next: Address) -> Result<(), Web3Error> {
+        Ok(self.node.lock().note_version_pointer(previous, next)?)
+    }
+
+    /// The node's cumulative app-tier event history (replayed during
+    /// recovery plus everything appended since).
+    pub fn app_events(&self) -> Vec<String> {
+        self.node.lock().app_events().to_vec()
     }
 
     /// Take a chain snapshot (`evm_snapshot`).
