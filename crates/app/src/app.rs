@@ -8,11 +8,12 @@ use crate::db::{ContractRow, ContractRowState, Database, RowId, UserRow};
 use crate::events::{self, AppEvent};
 use core::fmt;
 use lsc_abi::AbiValue;
-use lsc_chain::{Block, TxError};
+use lsc_chain::{Block, Transaction, TxError};
 use lsc_core::{ContractManager, CoreError, Rental, RentalState, VersionState};
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{Address, U256};
 use lsc_web3::Web3;
+use std::sync::{Arc, Mutex};
 
 /// Application-level errors.
 #[derive(Debug)]
@@ -130,6 +131,9 @@ pub struct RentalApp {
     manager: ContractManager,
     db: Database,
     auth: Auth,
+    /// Rent payments queued for the next rent day; submitted to the node
+    /// as ONE durably-logged batch (single fsync) when the day runs.
+    rent_queue: Arc<Mutex<Vec<Transaction>>>,
 }
 
 impl RentalApp {
@@ -140,6 +144,7 @@ impl RentalApp {
             manager: ContractManager::new(web3, ipfs),
             auth: Auth::new(db.clone()),
             db,
+            rent_queue: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -385,8 +390,9 @@ impl RentalApp {
         Ok(())
     }
 
-    /// Tenant queues this month's rent without mining it: the payment
-    /// executes when [`RentalApp::run_rent_day`] seals the batch. Role
+    /// Tenant queues this month's rent without mining it: the payment is
+    /// buffered app-side and executes when [`RentalApp::run_rent_day`]
+    /// submits the whole batch (one WAL fsync) and seals the block. Role
     /// checks match [`RentalApp::pay_rent`].
     pub fn queue_rent_payment(&self, session: SessionToken, address: Address) -> AppResult<()> {
         let (user, row) = self.user_and_row(session, address)?;
@@ -395,18 +401,39 @@ impl RentalApp {
         }
         let rental = self.rental_at(address)?;
         let tx = rental.rent_payment_transaction(user.public_key)?;
-        self.manager
-            .web3()
-            .submit_transaction(tx)
-            .map_err(CoreError::Web3)?;
+        self.rent_queue.lock().expect("rent queue").push(tx);
         Ok(())
     }
 
-    /// "Rent day": mine every queued payment into one block — the node
-    /// executes independent agreements in parallel — and return the sealed
-    /// block plus the validation errors of any dropped transactions.
+    /// Number of rent payments queued for the next rent day.
+    pub fn queued_rent_count(&self) -> usize {
+        self.rent_queue.lock().expect("rent queue").len()
+    }
+
+    /// "Rent day": submit every queued payment as one durably-logged batch
+    /// (single fsync instead of one per payment), then mine them into one
+    /// block — the node executes independent agreements in parallel — and
+    /// return the sealed block plus the validation errors of any dropped
+    /// transactions. Panics on a durability failure; see
+    /// [`RentalApp::try_run_rent_day`].
     pub fn run_rent_day(&self) -> (Block, Vec<TxError>) {
-        self.manager.web3().mine_block()
+        self.try_run_rent_day().expect("durability failure")
+    }
+
+    /// [`RentalApp::run_rent_day`], surfacing durability failures. On an
+    /// error nothing was applied: the batch submit is atomic (the WAL
+    /// rolls back to the pre-batch offset), and the queued payments are
+    /// restored so a later rent day can retry them.
+    pub fn try_run_rent_day(&self) -> AppResult<(Block, Vec<TxError>)> {
+        let txs = std::mem::take(&mut *self.rent_queue.lock().expect("rent queue"));
+        if let Err(e) = self.manager.web3().submit_transactions(txs.clone()) {
+            *self.rent_queue.lock().expect("rent queue") = txs;
+            return Err(AppError::Core(CoreError::Web3(e)));
+        }
+        self.manager
+            .web3()
+            .try_mine_block()
+            .map_err(|e| AppError::Core(CoreError::Web3(e)))
     }
 
     /// Tenant pays the maintenance fee (modified version's new clause).

@@ -96,11 +96,14 @@ fn bulk_rent_day_mines_every_payment_in_one_block() {
     for (tenant, address) in w.tenants.iter().zip(&agreements) {
         w.app.queue_rent_payment(*tenant, *address).unwrap();
     }
-    assert_eq!(w.web3.pending_count(), N_TENANTS);
+    // Payments buffer app-side until rent day submits them as one batch.
+    assert_eq!(w.app.queued_rent_count(), N_TENANTS);
+    assert_eq!(w.web3.pending_count(), 0);
 
     let (block, errors) = w.app.run_rent_day();
     assert!(errors.is_empty(), "{errors:?}");
     assert_eq!(block.tx_hashes.len(), N_TENANTS);
+    assert_eq!(w.app.queued_rent_count(), 0);
     assert_eq!(w.web3.pending_count(), 0);
 
     // The landlord collected exactly the sum of the rents.
@@ -134,5 +137,6 @@ fn queueing_rent_is_role_checked() {
         .queue_rent_payment(w.tenants[1], agreements[0])
         .is_err());
     assert!(w.app.queue_rent_payment(w.landlord, agreements[0]).is_err());
+    assert_eq!(w.app.queued_rent_count(), 0);
     assert_eq!(w.web3.pending_count(), 0);
 }

@@ -1,0 +1,139 @@
+//! Execution-layer fast path A/B: the same workloads with the fast path
+//! (cached code analysis, frame-buffer pool, inline top-level frames,
+//! WAL group commit) toggled OFF ("before") and ON ("after"). Semantics
+//! are bit-identical — only time changes. The deterministic companion
+//! (`cargo run -p lsc-bench --bin exec_report`) emits `BENCH_exec.json`
+//! with the before/after series EXPERIMENTS.md records.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lsc_bench::BenchWorld;
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, Transaction};
+use lsc_evm::fastpath;
+use lsc_primitives::U256;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const MODES: [(&str, bool); 2] = [("before", false), ("after", true)];
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_fastpath/lifecycle_12_months");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (label, enabled) in MODES {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            fastpath::set_enabled(enabled);
+            b.iter_batched(
+                BenchWorld::new,
+                |world| black_box(world.run_lifecycle(12)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    fastpath::set_enabled(true);
+    group.finish();
+}
+
+fn bench_version_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_fastpath/version_chain_8");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (label, enabled) in MODES {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            fastpath::set_enabled(enabled);
+            b.iter_batched(
+                BenchWorld::new,
+                |world| black_box(world.deploy_chain(8)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    fastpath::set_enabled(true);
+    group.finish();
+}
+
+fn bench_mined_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_fastpath/mined_block_64_tx");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (label, enabled) in MODES {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            fastpath::set_enabled(enabled);
+            b.iter_batched(
+                lsc_bench::loaded_rent_block,
+                |web3| black_box(web3.mine_block()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    fastpath::set_enabled(true);
+    group.finish();
+}
+
+fn bench_durable_submit(c: &mut Criterion) {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("lsc-exec-bench-submit-{}", std::process::id()));
+    let fresh = |dir: &PathBuf| -> LocalNode {
+        let _ = std::fs::remove_dir_all(dir);
+        LocalNode::open(dir, ChainConfig::default(), 8, Faults::none()).expect("durable node")
+    };
+    let txs = |node: &LocalNode| -> Vec<Transaction> {
+        let accounts = node.accounts().to_vec();
+        (0..64)
+            .map(|i| {
+                Transaction::call(accounts[i % 8], accounts[(i + 1) % 8], vec![])
+                    .with_value(U256::from_u64(1))
+                    .with_gas(21_000)
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("exec_fastpath/durable_submit_64");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("per_tx_fsync", |b| {
+        b.iter_batched(
+            || {
+                let node = fresh(&dir);
+                let batch = txs(&node);
+                (node, batch)
+            },
+            |(mut node, batch)| {
+                for tx in batch {
+                    node.submit_transaction(tx);
+                }
+                black_box(node.pending_count())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("group_commit", |b| {
+        b.iter_batched(
+            || {
+                let node = fresh(&dir);
+                let batch = txs(&node);
+                (node, batch)
+            },
+            |(mut node, batch)| {
+                node.submit_transactions(batch);
+                black_box(node.pending_count())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_lifecycle,
+    bench_version_chain,
+    bench_mined_block,
+    bench_durable_submit
+);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Execution fast-path A/B report: times the same four workloads with
+//! the fast path OFF ("before": per-frame jumpdest re-scan, per-call
+//! keccak, fresh buffers, 64 MiB per-transaction threads, one fsync per
+//! submitted transaction) and ON ("after": cached analysis, frame-buffer
+//! pool, inline top-level frames, WAL group commit), then writes the
+//! series to `BENCH_exec.json` and prints the table EXPERIMENTS.md
+//! records.
+//!
+//! Run with: `cargo run --release -p lsc-bench --bin exec_report`
+//! (`--quick` shrinks the iteration counts for CI smoke runs).
+//!
+//! Gas is untouched by the fast path — the toggle changes time only —
+//! so this report carries wall-clock numbers, unlike `report`'s
+//! deterministic gas series.
+
+use lsc_bench::{loaded_rent_block, BenchWorld};
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, Transaction};
+use lsc_evm::fastpath;
+use lsc_primitives::U256;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Series {
+    name: &'static str,
+    detail: &'static str,
+    before_ns: u128,
+    after_ns: u128,
+}
+
+/// Median wall-clock of `runs` executions of `work` (fresh input each).
+fn measure<T, I>(runs: usize, mut setup: impl FnMut() -> I, mut work: impl FnMut(I) -> T) -> u128 {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let input = setup();
+        let start = Instant::now();
+        black_box(work(input));
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn ab<T, I>(
+    runs: usize,
+    setup: impl FnMut() -> I + Copy,
+    work: impl FnMut(I) -> T + Copy,
+) -> (u128, u128) {
+    fastpath::set_enabled(false);
+    let before = measure(runs, setup, work);
+    fastpath::set_enabled(true);
+    let after = measure(runs, setup, work);
+    (before, after)
+}
+
+fn ms(ns: u128) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 3 } else { 9 };
+    let mut series = Vec::new();
+
+    // 1. Repeated-call lifecycle: confirm + 12 rents + terminate on one
+    // agreement — the same bytecode interpreted over and over.
+    let (before, after) = ab(runs, BenchWorld::new, |world| world.run_lifecycle(12));
+    series.push(Series {
+        name: "lifecycle_12_months",
+        detail: "deploy + confirm + 12 rent payments + terminate",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 2. Build an 8-version chain (Fig. 2): CREATE-heavy, each deploy
+    // re-reads the predecessor.
+    let (before, after) = ab(runs, BenchWorld::new, |world| world.deploy_chain(8));
+    series.push(Series {
+        name: "version_chain_8",
+        detail: "8 linked contract versions deployed",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 3. One mined block of 64 contract calls (8 agreements x 8 rent
+    // payments), through the parallel mining engine.
+    let (before, after) = ab(runs, loaded_rent_block, |web3| web3.mine_block());
+    series.push(Series {
+        name: "mined_block_64_tx",
+        detail: "64 queued rent payments sealed in one block",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 4. Durable submission of 64 transactions: one fsync per tx vs one
+    // group-committed batch. (Independent of the interpreter toggle.)
+    let dir: PathBuf = std::env::temp_dir().join(format!("lsc-exec-report-{}", std::process::id()));
+    let fresh = || -> (LocalNode, Vec<Transaction>) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let node =
+            LocalNode::open(&dir, ChainConfig::default(), 8, Faults::none()).expect("durable node");
+        let accounts = node.accounts().to_vec();
+        let txs = (0..64)
+            .map(|i| {
+                Transaction::call(accounts[i % 8], accounts[(i + 1) % 8], vec![])
+                    .with_value(U256::from_u64(1))
+                    .with_gas(21_000)
+            })
+            .collect();
+        (node, txs)
+    };
+    let before = measure(runs, fresh, |(mut node, txs)| {
+        for tx in txs {
+            node.submit_transaction(tx);
+        }
+        node.pending_count()
+    });
+    let after = measure(runs, fresh, |(mut node, txs)| {
+        node.submit_transactions(txs);
+        node.pending_count()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    series.push(Series {
+        name: "durable_submit_64",
+        detail: "64 tx durably queued: 64 fsyncs vs 1 group commit",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // ---- table ------------------------------------------------------
+    println!("\n=== Execution fast path: before/after (median of {runs} runs) ===");
+    println!(
+        "{:<22} | {:>12} | {:>12} | {:>8}",
+        "series", "before (ms)", "after (ms)", "speedup"
+    );
+    println!("{}", "-".repeat(64));
+    for s in &series {
+        println!(
+            "{:<22} | {:>12.3} | {:>12.3} | {:>7.2}x",
+            s.name,
+            ms(s.before_ns),
+            ms(s.after_ns),
+            s.before_ns as f64 / s.after_ns.max(1) as f64
+        );
+    }
+
+    // ---- BENCH_exec.json --------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"exec_fastpath\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"runs\": {runs},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"before_ns\": {}, \"after_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            s.name,
+            s.detail,
+            s.before_ns,
+            s.after_ns,
+            s.before_ns as f64 / s.after_ns.max(1) as f64,
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("\nwrote BENCH_exec.json");
+}

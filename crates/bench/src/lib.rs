@@ -139,6 +139,29 @@ impl Default for BenchWorld {
     }
 }
 
+/// A web3 handle whose node holds 8 confirmed rental agreements with 64
+/// queued rent payments (8 months × 8 agreements) — one `mine_block`
+/// call seals them all. Used by the `exec_fastpath` A/B series.
+pub fn loaded_rent_block() -> Web3 {
+    let world = BenchWorld::new();
+    let rentals: Vec<Rental> = (0..8)
+        .map(|_| {
+            let rental = Rental::at(world.deploy_base());
+            rental.confirm_agreement(world.tenant).expect("confirm");
+            rental
+        })
+        .collect();
+    for _month in 0..8 {
+        for rental in &rentals {
+            let tx = rental
+                .rent_payment_transaction(world.tenant)
+                .expect("rent tx");
+            world.web3.submit_transaction(tx).expect("submit");
+        }
+    }
+    world.web3
+}
+
 /// Gas used by a deployment of `artifact` with `args` on a fresh node.
 pub fn deployment_gas(artifact: &Artifact, args: &[AbiValue]) -> u64 {
     let web3 = Web3::new(LocalNode::new(1));

@@ -11,10 +11,10 @@ use crate::state::WorldState;
 use crate::tx::{Block, Receipt, Transaction, TxError};
 use crate::wal::{self, Faults, Wal, WalError, WalRecord};
 use lsc_abi::json::{parse, JsonValue};
-use lsc_evm::{gas, AccessKey, BlockEnv, CallResult, Evm, Host, Log, Message};
-use lsc_primitives::{Address, H256, U256};
-use std::collections::{HashMap, HashSet};
+use lsc_evm::{gas, AccessKey, AnalyzedCode, BlockEnv, CallResult, Evm, Host, Log, Message};
+use lsc_primitives::{Address, FxHashMap, FxHashSet, H256, U256};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Default balance for pre-funded dev accounts: 1000 ether.
 pub fn default_dev_balance() -> U256 {
@@ -58,7 +58,7 @@ pub struct LocalNode {
     config: ChainConfig,
     state: WorldState,
     blocks: Vec<Block>,
-    receipts: HashMap<H256, Receipt>,
+    receipts: FxHashMap<H256, Receipt>,
     timestamp: u64,
     dev_accounts: Vec<Address>,
     snapshots: Vec<NodeSnapshot>,
@@ -85,7 +85,9 @@ struct NodeSnapshot {
 impl WorldState {
     fn deep_clone(&self) -> WorldState {
         // Journals are empty between transactions, so cloning accounts is
-        // a complete copy.
+        // a complete copy. `Account::clone` shares the `Arc` code blob and
+        // the populated analysis cache instead of copying bytecode, so
+        // snapshots cost O(accounts + storage), not O(code bytes).
         let mut clone = WorldState::new();
         for (address, account) in self.iter_accounts() {
             clone.restore_account(*address, account.clone());
@@ -123,7 +125,7 @@ impl LocalNode {
             config,
             state,
             blocks: vec![genesis],
-            receipts: HashMap::new(),
+            receipts: FxHashMap::default(),
             dev_accounts,
             snapshots: Vec::new(),
             pending: Vec::new(),
@@ -418,8 +420,10 @@ impl LocalNode {
         Ok((tx_hash, receipt))
     }
 
-    /// Seal a block containing the given executed transactions.
-    fn seal_block(&mut self, mut receipts: Vec<(H256, Receipt)>) -> Block {
+    /// Seal a block containing the given executed transactions. Receipts
+    /// are moved into the node's map (not cloned), and the block is built
+    /// once and cloned only for the return value.
+    fn seal_block(&mut self, receipts: Vec<(H256, Receipt)>) -> Block {
         let parent = self.blocks.last().expect("genesis").hash;
         self.timestamp += self.config.block_time;
         let number = self.block_number() + 1;
@@ -433,10 +437,10 @@ impl LocalNode {
             tx_hashes,
             gas_used,
         };
-        for (index, (tx_hash, receipt)) in receipts.iter_mut().enumerate() {
+        for (index, (tx_hash, mut receipt)) in receipts.into_iter().enumerate() {
             receipt.block_number = number;
             receipt.tx_index = index;
-            self.receipts.insert(*tx_hash, receipt.clone());
+            self.receipts.insert(tx_hash, receipt);
         }
         self.blocks.push(block.clone());
         block
@@ -450,9 +454,13 @@ impl LocalNode {
         self.log_record(|| WalRecord::InstantTx(tx.clone()))?;
         let env = self.block_env();
         let (tx_hash, receipt) = self.execute_transaction(&tx, &env)?;
-        self.seal_block(vec![(tx_hash, receipt.clone())]);
+        self.seal_block(vec![(tx_hash, receipt)]);
         // Re-read to pick up the sealed block number / index.
-        Ok(self.receipts.get(&tx_hash).cloned().unwrap_or(receipt))
+        Ok(self
+            .receipts
+            .get(&tx_hash)
+            .cloned()
+            .expect("seal_block stored the receipt"))
     }
 
     /// Queue a transaction without mining (batch mode). Validation happens
@@ -467,6 +475,28 @@ impl LocalNode {
     pub fn try_submit_transaction(&mut self, tx: Transaction) -> Result<(), TxError> {
         self.log_record(|| WalRecord::SubmitTx(tx.clone()))?;
         self.pending.push(tx);
+        Ok(())
+    }
+
+    /// Queue a batch of transactions without mining, appending all of
+    /// their WAL records with a single fsync (group commit). Panics on a
+    /// durability failure — see [`LocalNode::try_submit_transactions`].
+    pub fn submit_transactions(&mut self, txs: Vec<Transaction>) {
+        self.try_submit_transactions(txs)
+            .expect("durability failure");
+    }
+
+    /// [`LocalNode::submit_transactions`], surfacing durability failures.
+    ///
+    /// Either the whole batch becomes durable (then pending) or none of
+    /// it does: the WAL rolls back to the pre-batch offset on any append
+    /// or fsync failure, so recovery never observes a partial batch.
+    pub fn try_submit_transactions(&mut self, txs: Vec<Transaction>) -> Result<(), TxError> {
+        if txs.is_empty() {
+            return Ok(());
+        }
+        self.log_batch(|| txs.iter().cloned().map(WalRecord::SubmitTx).collect())?;
+        self.pending.extend(txs);
         Ok(())
     }
 
@@ -521,7 +551,7 @@ impl LocalNode {
             workers,
         );
 
-        let mut committed_writes: HashSet<AccessKey> = HashSet::new();
+        let mut committed_writes: FxHashSet<AccessKey> = FxHashSet::default();
         let mut any_committed = false;
         let mut executed = Vec::with_capacity(pending.len());
         let mut errors = Vec::new();
@@ -835,6 +865,28 @@ impl LocalNode {
         }
     }
 
+    /// Batch variant of [`LocalNode::log_record`]: appends every record,
+    /// then fsyncs once. Same poisoning discipline — a failed batch leaves
+    /// no partial frames on disk (the WAL truncates back to the batch
+    /// start) and poisons the node.
+    fn log_batch(&mut self, records: impl FnOnce() -> Vec<WalRecord>) -> Result<(), TxError> {
+        if self.replaying || self.durable_log.is_none() {
+            return Ok(());
+        }
+        if let Some(reason) = &self.poisoned {
+            return Err(TxError::Durability(reason.clone()));
+        }
+        let log = self.durable_log.as_mut().expect("checked above");
+        match log.append_batch(&records()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let message = e.to_string();
+                self.poisoned = Some(message.clone());
+                Err(TxError::Durability(message))
+            }
+        }
+    }
+
     /// Re-apply one committed record during recovery.
     fn apply_record(&mut self, record: WalRecord) {
         match record {
@@ -909,7 +961,7 @@ impl LocalNode {
         &self.blocks
     }
 
-    pub(crate) fn all_receipts(&self) -> &HashMap<H256, Receipt> {
+    pub(crate) fn all_receipts(&self) -> &FxHashMap<H256, Receipt> {
         &self.receipts
     }
 
@@ -917,7 +969,11 @@ impl LocalNode {
         &self.pending
     }
 
-    pub(crate) fn install_history(&mut self, blocks: Vec<Block>, receipts: HashMap<H256, Receipt>) {
+    pub(crate) fn install_history(
+        &mut self,
+        blocks: Vec<Block>,
+        receipts: FxHashMap<H256, Receipt>,
+    ) {
         self.blocks = blocks;
         self.receipts = receipts;
     }
@@ -981,6 +1037,10 @@ impl Host for StateHost<'_> {
 
     fn code_hash(&self, address: Address) -> H256 {
         self.state.code_hash(address)
+    }
+
+    fn code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        self.state.code_analysis(address)
     }
 
     fn sload(&mut self, address: Address, key: U256) -> U256 {

@@ -20,11 +20,12 @@
 
 use crate::state::{Account, WorldState};
 use crate::tx::{Receipt, Transaction, TxError};
-use lsc_evm::{gas, AccessKey, AccessSet, BlockEnv, Evm, Host, Log, Message, RecordingHost};
-use lsc_primitives::{Address, H256, U256};
-use std::collections::{HashMap, HashSet};
+use lsc_evm::{
+    gas, AccessKey, AccessSet, AnalyzedCode, BlockEnv, Evm, Host, Log, Message, RecordingHost,
+};
+use lsc_primitives::{Address, FxHashMap, FxHashSet, H256, U256};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The buffered result of speculatively executing one transaction.
 pub(crate) struct SpecOutcome {
@@ -34,7 +35,7 @@ pub(crate) struct SpecOutcome {
     /// Everything the execution read and wrote.
     pub access: AccessSet,
     /// Final per-account overlay; `None` marks a self-destructed account.
-    pub writes: HashMap<Address, Option<Account>>,
+    pub writes: FxHashMap<Address, Option<Account>>,
     /// Gas fee owed to the coinbase, applied commutatively at commit.
     pub fee: U256,
 }
@@ -48,10 +49,10 @@ struct SpecHost<'a> {
     env: &'a BlockEnv,
     gas_price: U256,
     recent_hashes: &'a [(u64, H256)],
-    overlay: HashMap<Address, Option<Account>>,
+    overlay: FxHashMap<Address, Option<Account>>,
     logs: Vec<Log>,
     /// Snapshot id → (overlay clone, logs length).
-    snapshots: Vec<(HashMap<Address, Option<Account>>, usize)>,
+    snapshots: Vec<(FxHashMap<Address, Option<Account>>, usize)>,
 }
 
 impl<'a> SpecHost<'a> {
@@ -66,7 +67,7 @@ impl<'a> SpecHost<'a> {
             env,
             gas_price,
             recent_hashes,
-            overlay: HashMap::new(),
+            overlay: FxHashMap::default(),
             logs: Vec::new(),
             snapshots: Vec::new(),
         }
@@ -151,8 +152,18 @@ impl Host for SpecHost<'_> {
 
     fn code_hash(&self, address: Address) -> H256 {
         match self.view(address) {
-            Some(a) if !a.code.is_empty() => H256::keccak(a.code.as_slice()),
+            Some(a) if !a.code.is_empty() => a.analysis().code_hash(),
             _ => H256::ZERO,
+        }
+    }
+
+    fn code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        // Overlay accounts cloned from the base carry the base's cached
+        // analysis; cache fills on the shared base account benefit every
+        // later speculation (`OnceLock` is thread-safe).
+        match self.view(address) {
+            Some(a) if !a.code.is_empty() => a.analysis(),
+            _ => AnalyzedCode::empty(),
         }
     }
 
@@ -195,7 +206,10 @@ impl Host for SpecHost<'_> {
     }
 
     fn set_code(&mut self, address: Address, code: Vec<u8>) {
-        self.entry(address).code = std::sync::Arc::new(code);
+        let account = self.entry(address);
+        account.code = Arc::new(code);
+        // The cache slot must never describe the previous code.
+        account.analysis = std::sync::OnceLock::new();
     }
 
     fn create_account(&mut self, address: Address) {
@@ -257,7 +271,7 @@ pub(crate) fn speculate(
         SpecOutcome {
             result: Err(error),
             access,
-            writes: HashMap::new(),
+            writes: FxHashMap::default(),
             fee: U256::ZERO,
         }
     };
@@ -394,10 +408,10 @@ pub(crate) fn speculate_batch(
 pub(crate) fn apply_writes(
     state: &mut WorldState,
     access: &AccessSet,
-    writes: &HashMap<Address, Option<Account>>,
+    writes: &FxHashMap<Address, Option<Account>>,
 ) {
     // Whole-account replacements first.
-    let mut replaced: HashSet<Address> = HashSet::new();
+    let mut replaced: FxHashSet<Address> = FxHashSet::default();
     for key in &access.writes {
         if let AccessKey::StorageAll(address) = key {
             state.destroy_account(*address);
@@ -432,7 +446,13 @@ pub(crate) fn apply_writes(
             (AccessKey::Balance(a), Some(account)) => state.set_balance(*a, account.balance),
             (AccessKey::Nonce(a), Some(account)) => state.set_nonce(*a, account.nonce),
             (AccessKey::Code(a), Some(account)) => {
-                state.set_code(*a, account.code.as_ref().clone())
+                // Share the blob and its analysis instead of copying the
+                // bytecode and re-analyzing it after commit.
+                state.install_code(
+                    *a,
+                    Arc::clone(&account.code),
+                    account.analysis.get().cloned(),
+                );
             }
             (AccessKey::Storage(a, slot), Some(account)) => {
                 let value = account.storage.get(slot).copied().unwrap_or(U256::ZERO);

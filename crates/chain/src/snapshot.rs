@@ -10,7 +10,7 @@ use crate::tx::{Block, Receipt, Transaction};
 use core::fmt;
 use lsc_abi::json::{parse, JsonValue};
 use lsc_primitives::{hex, keccak256, Address, H256, U256};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Error importing a snapshot document.
@@ -47,7 +47,7 @@ fn account_from_json(body: &JsonValue) -> Result<Account, SnapshotError> {
         .transpose()
         .map_err(|e| SnapshotError(e.to_string()))?
         .unwrap_or_default();
-    let mut storage = std::collections::HashMap::new();
+    let mut storage = lsc_primitives::FxHashMap::default();
     if let Some(JsonValue::Object(slots)) = body.get("storage") {
         for (slot, value) in slots {
             let slot = U256::from_hex_str(slot).map_err(|e| SnapshotError(e.to_string()))?;
@@ -63,6 +63,7 @@ fn account_from_json(body: &JsonValue) -> Result<Account, SnapshotError> {
         nonce,
         code: Arc::new(code),
         storage,
+        ..Account::default()
     })
 }
 
@@ -247,7 +248,9 @@ impl LocalNode {
         let Some(JsonValue::Object(receipt_docs)) = state.get("receipts") else {
             return bad("missing \"receipts\" object");
         };
-        let mut receipts: HashMap<H256, Receipt> = HashMap::with_capacity(receipt_docs.len());
+        let mut receipts: lsc_primitives::FxHashMap<H256, Receipt> =
+            lsc_primitives::FxHashMap::default();
+        receipts.reserve(receipt_docs.len());
         for (key, body) in receipt_docs {
             let receipt = codec::receipt_from_json(body).map_err(SnapshotError)?;
             let key_hash = codec::h256_from_str(key).map_err(SnapshotError)?;

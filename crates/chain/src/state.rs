@@ -2,9 +2,9 @@
 //! with O(changes) snapshots/rollbacks (unlike the clone-everything
 //! `MockHost` used in `lsc-evm`'s own tests).
 
-use lsc_primitives::{Address, H256, U256};
-use std::collections::HashMap;
-use std::sync::Arc;
+use lsc_evm::analysis::{fastpath, AnalyzedCode};
+use lsc_primitives::{Address, FxHashMap, H256, U256};
+use std::sync::{Arc, OnceLock};
 
 /// One account's state.
 #[derive(Debug, Clone, Default)]
@@ -16,13 +16,29 @@ pub struct Account {
     /// Contract code (shared; empty for EOAs).
     pub code: Arc<Vec<u8>>,
     /// Storage slots (zero-valued slots are pruned).
-    pub storage: HashMap<U256, U256>,
+    pub storage: FxHashMap<U256, U256>,
+    /// Cached jumpdest/hash analysis of `code`, populated on first
+    /// execution and **always consistent with `code`**: every site that
+    /// assigns `code` (including journal rollback) resets this slot.
+    pub analysis: OnceLock<Arc<AnalyzedCode>>,
 }
 
 impl Account {
     /// True when the account holds nothing at all (prunable).
     pub fn is_empty(&self) -> bool {
         self.balance.is_zero() && self.nonce == 0 && self.code.is_empty() && self.storage.is_empty()
+    }
+
+    /// The cached code analysis, computing and memoizing it on first use.
+    /// With the fast path disabled the cache slot is bypassed entirely
+    /// (a fresh analysis per call — the pre-cache behaviour).
+    pub fn analysis(&self) -> Arc<AnalyzedCode> {
+        if !fastpath::enabled() {
+            return AnalyzedCode::analyze(Arc::clone(&self.code));
+        }
+        self.analysis
+            .get_or_init(|| AnalyzedCode::analyze(Arc::clone(&self.code)))
+            .clone()
     }
 }
 
@@ -45,6 +61,9 @@ enum JournalEntry {
     CodeChange {
         address: Address,
         previous: Arc<Vec<u8>>,
+        /// The analysis cached for `previous`, if any, so rollback can
+        /// reinstate the cache together with the code it describes.
+        previous_analysis: Option<Arc<AnalyzedCode>>,
     },
     AccountCreated {
         address: Address,
@@ -58,7 +77,7 @@ enum JournalEntry {
 /// The full world state with an undo journal.
 #[derive(Debug, Default)]
 pub struct WorldState {
-    accounts: HashMap<Address, Account>,
+    accounts: FxHashMap<Address, Account>,
     journal: Vec<JournalEntry>,
 }
 
@@ -105,10 +124,20 @@ impl WorldState {
     }
 
     /// Keccak hash of the code, or the zero hash for empty accounts.
+    /// Served from the account's cached analysis: keccak runs at most
+    /// once per distinct code blob.
     pub fn code_hash(&self, address: Address) -> H256 {
         match self.accounts.get(&address) {
-            Some(a) if !a.code.is_empty() => H256::keccak(a.code.as_slice()),
+            Some(a) if !a.code.is_empty() => a.analysis().code_hash(),
             _ => H256::ZERO,
+        }
+    }
+
+    /// Cached jumpdest/hash analysis of the account's code.
+    pub fn code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        match self.accounts.get(&address) {
+            Some(a) if !a.code.is_empty() => a.analysis(),
+            _ => AnalyzedCode::empty(),
         }
     }
 
@@ -184,10 +213,33 @@ impl WorldState {
 
     /// Install contract code.
     pub fn set_code(&mut self, address: Address, code: Vec<u8>) {
-        let previous = self.code(address);
-        self.journal
-            .push(JournalEntry::CodeChange { address, previous });
-        self.entry(address).code = Arc::new(code);
+        self.install_code(address, Arc::new(code), None);
+    }
+
+    /// Install an already-shared code blob, optionally together with its
+    /// analysis (parallel commit reuses the overlay account's cache
+    /// instead of copying the bytecode and re-analyzing). Journaled like
+    /// [`WorldState::set_code`]; the cache slot is reset so it can never
+    /// describe stale code.
+    pub fn install_code(
+        &mut self,
+        address: Address,
+        code: Arc<Vec<u8>>,
+        analysis: Option<Arc<AnalyzedCode>>,
+    ) {
+        let entry = self.accounts.entry(address).or_default();
+        let previous = Arc::clone(&entry.code);
+        let previous_analysis = entry.analysis.get().cloned();
+        self.journal.push(JournalEntry::CodeChange {
+            address,
+            previous,
+            previous_analysis,
+        });
+        entry.code = code;
+        entry.analysis = OnceLock::new();
+        if let Some(analysis) = analysis {
+            let _ = entry.analysis.set(analysis);
+        }
     }
 
     /// Mark an account created (so rollback can remove it again).
@@ -235,8 +287,19 @@ impl WorldState {
                         account.storage.insert(key, previous);
                     }
                 }
-                JournalEntry::CodeChange { address, previous } => {
-                    self.entry(address).code = previous;
+                JournalEntry::CodeChange {
+                    address,
+                    previous,
+                    previous_analysis,
+                } => {
+                    let account = self.entry(address);
+                    account.code = previous;
+                    // Reinstate the cache that described the restored
+                    // code (or clear it: never leave a stale analysis).
+                    account.analysis = OnceLock::new();
+                    if let Some(analysis) = previous_analysis {
+                        let _ = account.analysis.set(analysis);
+                    }
                 }
                 JournalEntry::AccountCreated { address } => {
                     self.accounts.remove(&address);

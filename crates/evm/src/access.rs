@@ -9,10 +9,11 @@
 //! and re-execute the rest sequentially. [`RecordingHost`] wraps any
 //! [`Host`] and records that [`AccessSet`] as execution proceeds.
 
+use crate::analysis::AnalyzedCode;
 use crate::host::{BlockEnv, Host, Log};
-use lsc_primitives::{Address, H256, U256};
+use lsc_primitives::{Address, FxHashSet, H256, U256};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::sync::Arc;
 
 /// One trackable piece of world state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,13 +48,16 @@ impl AccessKey {
 }
 
 /// The read and write sets accumulated over one transaction.
+///
+/// `AccessKey`s hash keccak-derived addresses and slots, so the sets use
+/// the cheap [`FxHashSet`] rather than SipHash.
 #[derive(Debug, Clone, Default)]
 pub struct AccessSet {
     /// State read during execution (writes that observe the previous
     /// value, like SSTORE, appear in both sets).
-    pub reads: HashSet<AccessKey>,
+    pub reads: FxHashSet<AccessKey>,
     /// State written during execution.
-    pub writes: HashSet<AccessKey>,
+    pub writes: FxHashSet<AccessKey>,
 }
 
 impl AccessSet {
@@ -75,7 +79,7 @@ impl AccessSet {
 
     /// Does `key` (a read) collide with `writes` of another transaction,
     /// honouring the wildcard [`AccessKey::StorageAll`]?
-    fn key_conflicts(key: &AccessKey, writes: &HashSet<AccessKey>) -> bool {
+    fn key_conflicts(key: &AccessKey, writes: &FxHashSet<AccessKey>) -> bool {
         if writes.contains(key) {
             return true;
         }
@@ -94,7 +98,7 @@ impl AccessSet {
     /// commit loop uses this to decide whether a speculative result
     /// computed against the block-start state is still valid after the
     /// given writes have been applied.
-    pub fn reads_conflict_with(&self, other_writes: &HashSet<AccessKey>) -> bool {
+    pub fn reads_conflict_with(&self, other_writes: &FxHashSet<AccessKey>) -> bool {
         self.reads
             .iter()
             .any(|r| Self::key_conflicts(r, other_writes))
@@ -213,6 +217,11 @@ impl<H: Host> Host for RecordingHost<H> {
     fn code_hash(&self, address: Address) -> H256 {
         self.record_read(AccessKey::Code(address));
         self.inner.code_hash(address)
+    }
+
+    fn code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        self.record_read(AccessKey::Code(address));
+        self.inner.code_analysis(address)
     }
 
     fn sload(&mut self, address: Address, key: U256) -> U256 {

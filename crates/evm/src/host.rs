@@ -3,8 +3,10 @@
 //! `lsc-chain` implements [`Host`] on top of its journaled state; tests in
 //! this crate use the in-memory [`MockHost`].
 
+use crate::analysis::AnalyzedCode;
 use lsc_primitives::{Address, H256, U256};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Block-level execution environment.
 #[derive(Debug, Clone)]
@@ -66,6 +68,18 @@ pub trait Host {
     fn code(&self, address: Address) -> Vec<u8>;
     /// Keccak of the code (zero hash for empty accounts).
     fn code_hash(&self, address: Address) -> H256;
+    /// Jumpdest/hash analysis of the account's code. The default
+    /// recomputes per call; hosts with an account store override this to
+    /// return a cached `Arc` so nested frames share one analysis per
+    /// code blob (see [`AnalyzedCode`]).
+    fn code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        let code = self.code(address);
+        if code.is_empty() {
+            AnalyzedCode::empty()
+        } else {
+            AnalyzedCode::analyze(Arc::new(code))
+        }
+    }
 
     /// Read a storage slot.
     fn sload(&mut self, address: Address, key: U256) -> U256;

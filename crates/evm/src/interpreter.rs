@@ -1,15 +1,29 @@
 //! The bytecode interpreter: executes call/create message frames against a
 //! [`Host`], with full gas metering, nested calls, reverts and logs.
 
+use crate::analysis::{fastpath, AnalyzedCode};
 use crate::gas::{self, GasMeter, OutOfGas};
 use crate::host::{Host, Log};
 use crate::memory::Memory;
 use crate::opcode::{self, op};
 use crate::stack::{Stack, StackError};
 use lsc_primitives::{keccak256, Address, H256, U256};
+use std::sync::Arc;
 
 /// Maximum call/create nesting depth.
 pub const MAX_CALL_DEPTH: u32 = 1024;
+
+/// With the fast path on, frames run on the caller's thread and hop to a
+/// fresh stack every `FRAME_HOP` nesting levels instead of paying one
+/// dedicated 64 MiB thread per transaction. Chosen so `FRAME_HOP` debug
+/// frames comfortably fit a default 2 MiB thread stack.
+const FRAME_HOP: u32 = 16;
+
+/// Stack size of each hop thread (holds `FRAME_HOP` interpreter frames).
+const FRAME_STACK_BYTES: usize = 8 << 20;
+
+/// Frames whose memory grew beyond this are not returned to the pool.
+const POOL_MEMORY_CAP: usize = 512 * 1024;
 
 /// What kind of message frame to execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +206,33 @@ impl TraceStep {
     }
 }
 
+/// Reusable per-frame buffers (operand stack, memory, return data),
+/// pooled on the [`Evm`] so nested frames stop reallocating them.
+#[derive(Debug)]
+struct FrameBufs {
+    stack: Stack,
+    memory: Memory,
+    return_data: Vec<u8>,
+}
+
+impl Default for FrameBufs {
+    fn default() -> Self {
+        FrameBufs {
+            stack: Stack::new(),
+            memory: Memory::new(),
+            return_data: Vec::new(),
+        }
+    }
+}
+
+impl FrameBufs {
+    fn reset(&mut self) {
+        self.stack.clear();
+        self.memory.clear();
+        self.return_data.clear();
+    }
+}
+
 /// The EVM: executes messages against a host.
 pub struct Evm<'h, H: Host> {
     host: &'h mut H,
@@ -200,17 +241,15 @@ pub struct Evm<'h, H: Host> {
     pub steps: u64,
     /// Structured step trace (when `Config::trace` is set).
     pub trace: Vec<TraceStep>,
+    /// Frame-buffer pool: buffers released by completed frames, reused
+    /// by the next frame at any depth (fast path only).
+    pool: Vec<FrameBufs>,
 }
 
 impl<'h, H: Host> Evm<'h, H> {
     /// Create an interpreter bound to `host`.
     pub fn new(host: &'h mut H) -> Self {
-        Evm {
-            host,
-            config: Config::default(),
-            steps: 0,
-            trace: Vec::new(),
-        }
+        Self::with_config(host, Config::default())
     }
 
     /// Create with explicit configuration.
@@ -220,19 +259,24 @@ impl<'h, H: Host> Evm<'h, H> {
             config,
             steps: 0,
             trace: Vec::new(),
+            pool: Vec::new(),
         }
     }
 
     /// Execute a message frame to completion.
     ///
-    /// Top-level messages (depth 0) run on a dedicated thread with a 64 MiB
-    /// stack so the full 1024-frame call depth cannot overflow the caller's
-    /// native stack (nested frames recurse within that thread).
+    /// With the fast path on (the default), frames run on the calling
+    /// thread and hop to a fresh [`FRAME_STACK_BYTES`] thread every
+    /// [`FRAME_HOP`] nesting levels, so the full 1024-frame call depth
+    /// still cannot overflow any native stack while typical shallow
+    /// transactions pay no thread spawn at all. With the fast path off,
+    /// the legacy strategy applies: every top-level message (depth 0)
+    /// runs on a dedicated thread with a 64 MiB stack.
     pub fn execute(&mut self, msg: Message) -> CallResult
     where
         H: Send,
     {
-        if msg.depth == 0 {
+        if msg.depth == 0 && !fastpath::enabled() {
             let config = self.config.clone();
             let host = &mut *self.host;
             let (result, steps, trace) = std::thread::scope(|scope| {
@@ -256,17 +300,64 @@ impl<'h, H: Host> Evm<'h, H> {
     }
 
     /// Execute a frame on the current thread (recursive entry point).
-    fn execute_frame(&mut self, msg: Message) -> CallResult {
+    fn execute_frame(&mut self, msg: Message) -> CallResult
+    where
+        H: Send,
+    {
         if msg.depth > MAX_CALL_DEPTH {
             return CallResult::halt(Halt::CallDepth);
         }
+        if fastpath::enabled() && msg.depth > 0 && msg.depth.is_multiple_of(FRAME_HOP) {
+            return self.execute_on_fresh_stack(msg);
+        }
+        self.dispatch_frame(msg)
+    }
+
+    fn dispatch_frame(&mut self, msg: Message) -> CallResult
+    where
+        H: Send,
+    {
         match msg.kind {
             CallKind::Create | CallKind::Create2(_) => self.execute_create(msg),
             _ => self.execute_call(msg),
         }
     }
 
-    fn execute_call(&mut self, msg: Message) -> CallResult {
+    /// Continue execution of `msg` on a fresh thread stack; steps, trace
+    /// and the buffer pool are handed over and merged back on return, so
+    /// semantics are identical to plain recursion.
+    fn execute_on_fresh_stack(&mut self, msg: Message) -> CallResult
+    where
+        H: Send,
+    {
+        let config = self.config.clone();
+        let host = &mut *self.host;
+        let pool = std::mem::take(&mut self.pool);
+        let (result, steps, trace, pool) = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("lsc-evm-frame".into())
+                .stack_size(FRAME_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    let mut evm = Evm::with_config(host, config);
+                    evm.pool = pool;
+                    let result = evm.dispatch_frame(msg);
+                    (result, evm.steps, evm.trace, evm.pool)
+                })
+                .expect("spawn interpreter thread")
+                .join()
+                .expect("interpreter thread panicked")
+        });
+        self.steps += steps;
+        let room = MAX_TRACE_STEPS.saturating_sub(self.trace.len());
+        self.trace.extend(trace.into_iter().take(room));
+        self.pool = pool;
+        result
+    }
+
+    fn execute_call(&mut self, msg: Message) -> CallResult
+    where
+        H: Send,
+    {
         let snapshot = self.host.snapshot();
         // Value moves from caller to target for plain calls; CALLCODE moves
         // value to self (a no-op transfer but the balance check applies).
@@ -279,8 +370,8 @@ impl<'h, H: Host> Evm<'h, H> {
             self.host.revert(snapshot);
             return CallResult::halt(Halt::InsufficientBalance);
         }
-        let code = self.host.code(msg.code_address);
-        if code.is_empty() {
+        let analysis = self.host.code_analysis(msg.code_address);
+        if analysis.is_empty() {
             // Calling an EOA or empty account succeeds immediately.
             return CallResult {
                 success: true,
@@ -292,14 +383,17 @@ impl<'h, H: Host> Evm<'h, H> {
                 created: None,
             };
         }
-        let result = self.run_frame(&msg, &code, msg.target);
+        let result = self.run_frame(&msg, &analysis, msg.target);
         if !result.success {
             self.host.revert(snapshot);
         }
         result
     }
 
-    fn execute_create(&mut self, msg: Message) -> CallResult {
+    fn execute_create(&mut self, mut msg: Message) -> CallResult
+    where
+        H: Send,
+    {
         let nonce = self.host.inc_nonce(msg.caller);
         let created = match msg.kind {
             CallKind::Create2(salt) => {
@@ -310,7 +404,7 @@ impl<'h, H: Host> Evm<'h, H> {
             _ => Address::create(msg.caller, nonce),
         };
         // Collision check: an account with code or nonce is occupied.
-        if !self.host.code(created).is_empty() || self.host.nonce(created) > 0 {
+        if !self.host.code_analysis(created).is_empty() || self.host.nonce(created) > 0 {
             return CallResult::halt(Halt::CreateCollision);
         }
         let snapshot = self.host.snapshot();
@@ -320,7 +414,8 @@ impl<'h, H: Host> Evm<'h, H> {
             self.host.revert(snapshot);
             return CallResult::halt(Halt::InsufficientBalance);
         }
-        let init_code = msg.data.clone();
+        // Init code runs once; analyze it directly without a host cache.
+        let init_code = AnalyzedCode::analyze(Arc::new(std::mem::take(&mut msg.data)));
         let frame_msg = Message {
             target: created,
             code_address: created,
@@ -349,14 +444,46 @@ impl<'h, H: Host> Evm<'h, H> {
         result
     }
 
-    /// Run the interpreter loop over `code` in the storage context `this`.
+    /// Run the interpreter loop over `analysis` in the storage context
+    /// `this`, checking frame buffers out of (and back into) the pool.
+    fn run_frame(&mut self, msg: &Message, analysis: &AnalyzedCode, this: Address) -> CallResult
+    where
+        H: Send,
+    {
+        let reuse = fastpath::enabled();
+        let mut bufs = if reuse {
+            self.pool.pop().unwrap_or_default()
+        } else {
+            FrameBufs::default()
+        };
+        bufs.reset();
+        let result = self.frame_loop(msg, analysis, this, &mut bufs);
+        // Oversized memories are dropped rather than parked in the pool.
+        if reuse && bufs.memory.capacity() <= POOL_MEMORY_CAP {
+            self.pool.push(bufs);
+        }
+        result
+    }
+
+    /// The interpreter loop proper.
     #[allow(clippy::too_many_lines)]
-    fn run_frame(&mut self, msg: &Message, code: &[u8], this: Address) -> CallResult {
+    fn frame_loop(
+        &mut self,
+        msg: &Message,
+        analysis: &AnalyzedCode,
+        this: Address,
+        bufs: &mut FrameBufs,
+    ) -> CallResult
+    where
+        H: Send,
+    {
+        let code = analysis.code();
         let mut meter = GasMeter::new(msg.gas);
-        let mut stack = Stack::new();
-        let mut memory = Memory::new();
-        let mut return_data: Vec<u8> = Vec::new();
-        let jumpdests = opcode::jumpdest_map(code);
+        let FrameBufs {
+            stack,
+            memory,
+            return_data,
+        } = bufs;
         let mut pc: usize = 0;
 
         macro_rules! halt {
@@ -594,7 +721,7 @@ impl<'h, H: Host> Evm<'h, H> {
                 op::EXTCODESIZE => {
                     try_gas!(meter.charge(gas::EXTCODE));
                     let a = Address::from_u256(try_stack!(stack.pop()));
-                    try_stack!(stack.push(U256::from(self.host.code(a).len())));
+                    try_stack!(stack.push(U256::from(self.host.code_analysis(a).len())));
                 }
                 op::EXTCODECOPY => {
                     let a = Address::from_u256(try_stack!(stack.pop()));
@@ -604,8 +731,8 @@ impl<'h, H: Host> Evm<'h, H> {
                     try_gas!(meter.charge(gas::EXTCODE + gas::COPY_WORD * gas::words(len as u64)));
                     expand_memory!(dst, len);
                     if len > 0 {
-                        let ext = self.host.code(a);
-                        let tail = ext.get(src..).unwrap_or(&[]);
+                        let ext = self.host.code_analysis(a);
+                        let tail = ext.code().get(src..).unwrap_or(&[]);
                         memory.store_slice_padded(dst, tail, len);
                     }
                 }
@@ -628,8 +755,7 @@ impl<'h, H: Host> Evm<'h, H> {
                     }
                     expand_memory!(dst, len);
                     if len > 0 {
-                        let data = return_data[src..src + len].to_vec();
-                        memory.store_slice_padded(dst, &data, len);
+                        memory.store_slice_padded(dst, &return_data[src..src + len], len);
                     }
                 }
                 op::BLOCKHASH => {
@@ -716,7 +842,7 @@ impl<'h, H: Host> Evm<'h, H> {
                     try_gas!(meter.charge(gas::MID));
                     let dest = try_stack!(stack.pop());
                     match dest.to_usize() {
-                        Some(d) if d < code.len() && jumpdests[d] => {
+                        Some(d) if analysis.is_jumpdest(d) => {
                             pc = d;
                             continue;
                         }
@@ -729,7 +855,7 @@ impl<'h, H: Host> Evm<'h, H> {
                     let cond = try_stack!(stack.pop());
                     if !cond.is_zero() {
                         match dest.to_usize() {
-                            Some(d) if d < code.len() && jumpdests[d] => {
+                            Some(d) if analysis.is_jumpdest(d) => {
                                 pc = d;
                                 continue;
                             }
@@ -844,7 +970,7 @@ impl<'h, H: Host> Evm<'h, H> {
                         let addr = result.created.expect("successful create has address");
                         try_stack!(stack.push(addr.to_u256()));
                     } else {
-                        return_data = result.output;
+                        *return_data = result.output;
                         try_stack!(stack.push(U256::ZERO));
                     }
                 }
@@ -929,17 +1055,16 @@ impl<'h, H: Host> Evm<'h, H> {
                             depth: msg.depth + 1,
                         },
                     };
-                    let result = self.execute_frame(child);
+                    let mut result = self.execute_frame(child);
                     // Unused child gas (beyond any stipend) returns to us.
                     meter.reclaim(result.gas_left.min(child_gas));
                     if result.success {
                         meter.add_refund(result.gas_refund);
                     }
-                    return_data = result.output.clone();
+                    *return_data = std::mem::take(&mut result.output);
                     let copy_len = out_len.min(return_data.len());
                     if copy_len > 0 {
-                        let data = return_data[..copy_len].to_vec();
-                        memory.store_slice_padded(out_off, &data, copy_len);
+                        memory.store_slice_padded(out_off, &return_data[..copy_len], copy_len);
                     }
                     try_stack!(stack.push(U256::from(result.success)));
                 }

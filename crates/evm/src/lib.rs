@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod analysis;
 pub mod asm;
 pub mod gas;
 pub mod host;
@@ -21,6 +22,7 @@ pub mod opcode;
 pub mod stack;
 
 pub use access::{AccessKey, AccessSet, RecordingHost};
+pub use analysis::{fastpath, AnalyzedCode};
 pub use host::{BlockEnv, Host, Log, MockHost};
 pub use interpreter::{
     CallKind, CallResult, Config, Evm, Halt, Message, TraceStep, MAX_CALL_DEPTH, MAX_TRACE_STEPS,

@@ -19,6 +19,16 @@ impl Memory {
         self.data.len()
     }
 
+    /// Reset to empty while keeping the allocation (frame-pool reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// True if never expanded.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()

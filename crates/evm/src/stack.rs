@@ -34,6 +34,11 @@ impl Stack {
         self.items.len()
     }
 
+    /// Reset to empty while keeping the allocation (frame-pool reuse).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
     /// True if empty.
     #[inline]
     pub fn is_empty(&self) -> bool {

@@ -1,0 +1,138 @@
+//! A hand-rolled Fx-style hasher for keys that are already uniform.
+//!
+//! Every hot map in this workspace is keyed by keccak-derived material —
+//! [`Address`](crate::Address)es, [`H256`](crate::H256) transaction
+//! hashes, [`U256`](crate::U256) storage slots. SipHash's DoS resistance
+//! buys nothing there (the keys are produced by a cryptographic hash
+//! already) and its per-byte cost is measurable in the execution fast
+//! path. This module provides the classic multiply-xor-rotate hash used
+//! by rustc (`FxHasher`), implemented from scratch like everything else
+//! in this crate.
+//!
+//! **Do not** use these maps for attacker-controlled non-uniform keys
+//! (e.g. raw user strings); stick to the std default hasher there.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier from rustc's Fx hash (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: a single 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Address, H256, U256};
+
+    #[test]
+    fn maps_roundtrip_uniform_keys() {
+        let mut m: FxHashMap<Address, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(Address::from_label(&format!("acct-{i}")), i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&Address::from_label(&format!("acct-{i}"))), Some(&i));
+        }
+        let mut s: FxHashSet<U256> = FxHashSet::default();
+        for i in 0..1000u64 {
+            assert!(s.insert(U256::from_u64(i)));
+        }
+        assert!(s.contains(&U256::from_u64(999)));
+        assert!(!s.contains(&U256::from_u64(1000)));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_builders() {
+        use std::hash::BuildHasher;
+        let key = H256::keccak(b"stable");
+        let hash_once = |k: &H256| FxBuildHasher::default().hash_one(k);
+        assert_eq!(hash_once(&key), hash_once(&key));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // The whole point over identity hashing: consecutive slots must
+        // not collide into consecutive buckets-of-one-bit-difference.
+        let mut seen = FxHashSet::default();
+        for i in 0..64u64 {
+            let mut h = FxHasher::default();
+            std::hash::Hash::hash(&U256::from_u64(i), &mut h);
+            seen.insert(h.finish() >> 48); // top bits must already differ
+        }
+        assert!(seen.len() > 32, "top bits too clustered: {}", seen.len());
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod address;
+pub mod fxhash;
 pub mod hash;
 pub mod hex;
 pub mod keccak;
@@ -20,6 +21,7 @@ pub mod rlp;
 pub mod u256;
 
 pub use address::Address;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hash::H256;
 pub use keccak::{keccak256, Keccak256};
 pub use u256::U256;

@@ -246,6 +246,19 @@ impl Web3 {
         Ok(())
     }
 
+    /// Queue a batch of transactions without mining, durably logged with a
+    /// single fsync (group commit) — either the whole batch is accepted or
+    /// none of it is. The wallet check applies to every transaction before
+    /// anything is submitted.
+    pub fn submit_transactions(&self, txs: Vec<Transaction>) -> Result<(), Web3Error> {
+        for tx in &txs {
+            if !self.wallet.holds(tx.from) {
+                return Err(Web3Error::NotInWallet(tx.from));
+            }
+        }
+        Ok(self.node.lock().try_submit_transactions(txs)?)
+    }
+
     /// Mine every queued transaction into one block; returns the sealed
     /// block and the validation errors of dropped transactions.
     pub fn mine_block(&self) -> (lsc_chain::Block, Vec<TxError>) {

@@ -31,6 +31,11 @@ enum Op {
     Confirm(usize),
     Pay(usize),
     QueuePay(usize),
+    /// Drain the app-side rent queue: one group-committed WAL batch
+    /// (N appends, ONE fsync) followed by a mined block. Crash points
+    /// between the batch's appends and its fsync are enumerated like any
+    /// other write/fsync, and recovery must see no partial batch.
+    RentDay,
     Mine,
     Warp(u64),
     Modify(usize),
@@ -137,6 +142,10 @@ fn run_workload(app: &RentalApp, web3: &Web3, ops: &[Op]) -> bool {
             Op::QueuePay(i) if !deployed.is_empty() => {
                 step!(app.queue_rent_payment(tenant, pick(&deployed, i)));
             }
+            Op::RentDay => match app.try_run_rent_day() {
+                Err(e) if is_durability(&e) => return false,
+                _ => {}
+            },
             Op::Mine => match web3.try_mine_block() {
                 Err(e) if is_durability_web3(&e) => return false,
                 _ => {}
@@ -183,6 +192,7 @@ fn op_strategy() -> BoxedStrategy<Op> {
         (0usize..3).prop_map(Op::Confirm),
         (0usize..3).prop_map(Op::Pay),
         (0usize..3).prop_map(Op::QueuePay),
+        Just(Op::RentDay),
         Just(Op::Mine),
         (1u64..100_000).prop_map(Op::Warp),
         (0usize..3).prop_map(Op::Modify),
