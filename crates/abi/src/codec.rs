@@ -88,7 +88,7 @@ fn encode_tuple_inner(types: &[AbiType], values: &[AbiValue]) -> Result<Vec<u8>,
 /// Encode the body of one value (no outer offset word).
 fn encode_body(ty: &AbiType, value: &AbiValue) -> Result<Vec<u8>, AbiError> {
     match (ty, value) {
-        (AbiType::Uint(_), _) | (AbiType::Int(_), _) => {
+        (AbiType::Uint(_) | AbiType::Int(_), _) => {
             let v = value.as_uint().ok_or_else(|| mismatch(ty, value))?;
             Ok(v.to_be_bytes().to_vec())
         }
@@ -96,8 +96,7 @@ fn encode_body(ty: &AbiType, value: &AbiValue) -> Result<Vec<u8>, AbiError> {
         (AbiType::Bool, AbiValue::Bool(b)) => Ok(U256::from(*b).to_be_bytes().to_vec()),
         (AbiType::String, AbiValue::String(s)) => Ok(encode_len_prefixed(s.as_bytes())),
         (AbiType::Bytes, AbiValue::Bytes(b)) => Ok(encode_len_prefixed(b)),
-        (AbiType::FixedBytes(n), AbiValue::FixedBytes(b))
-        | (AbiType::FixedBytes(n), AbiValue::Bytes(b)) => {
+        (AbiType::FixedBytes(n), AbiValue::FixedBytes(b) | AbiValue::Bytes(b)) => {
             if b.len() != *n as usize {
                 return Err(mismatch(ty, value));
             }

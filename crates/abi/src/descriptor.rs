@@ -281,8 +281,7 @@ impl Abi {
                     abi.constructor_payable = item
                         .get("stateMutability")
                         .and_then(JsonValue::as_str)
-                        .map(|s| s == "payable")
-                        .unwrap_or(false);
+                        .is_some_and(|s| s == "payable");
                 }
                 "function" => {
                     abi.functions.push(Function {

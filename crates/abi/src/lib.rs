@@ -11,6 +11,7 @@
 //! keyed by contract address, so any party holding a version-list address
 //! can interact with that version.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;

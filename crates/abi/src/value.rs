@@ -49,10 +49,7 @@ impl AbiValue {
             AbiValue::Bytes(_) => AbiType::Bytes,
             AbiValue::FixedBytes(b) => AbiType::FixedBytes(b.len() as u8),
             AbiValue::Array(items) => AbiType::Array(Box::new(
-                items
-                    .first()
-                    .map(AbiValue::type_of)
-                    .unwrap_or(AbiType::Uint(256)),
+                items.first().map_or(AbiType::Uint(256), AbiValue::type_of),
             )),
             AbiValue::Tuple(items) => AbiType::Tuple(items.iter().map(AbiValue::type_of).collect()),
         }
@@ -124,7 +121,8 @@ impl fmt::Display for AbiValue {
                 write!(f, "0x{}", lsc_primitives::hex::encode(b))
             }
             AbiValue::Array(items) | AbiValue::Tuple(items) => {
-                let parts: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+                let parts: Vec<String> =
+                    items.iter().map(std::string::ToString::to_string).collect();
                 let (open, close) = if matches!(self, AbiValue::Array(_)) {
                     ('[', ']')
                 } else {

@@ -1,0 +1,477 @@
+//! Abstract interpretation over the recovered CFG.
+//!
+//! The abstract domain per block entry is deliberately small:
+//!
+//! * a stack-depth interval `[lo, hi]` (every concrete depth reaching the
+//!   block lies inside it),
+//! * bounded constant-*set* tracking of the top [`TRACKED`] stack slots,
+//!   *relative to the top* so it stays meaningful when different paths
+//!   reach the block at different absolute depths (`tops[0]` is the top).
+//!   Sets rather than single constants matter for return addresses:
+//!   lsc-solc calls an internal function by pushing a per-call-site
+//!   return label and jumping, so a function entry joins a *different*
+//!   constant per caller — a single-constant domain decays them to
+//!   unknown and the return `JUMP` degenerates to an edge into every
+//!   `JUMPDEST`, flooding the interval analysis with junk,
+//! * a sticky `after_call` bit: some path to this point has performed a
+//!   reentrancy-capable external call (CALL/CALLCODE/DELEGATECALL with a
+//!   gas argument that is unknown or exceeds the 2 300 stipend).
+//!
+//! Soundness invariants the lints and proptests rely on:
+//!
+//! * `tops[i] == In(S)` ⇒ *every* concrete execution reaching this
+//!   point holds some member of `S` in that slot (join unions the sets,
+//!   decaying to `Top` past [`MAX_CONSTS`]), so a jump through the slot
+//!   can only go to members of `S` — edges to its valid `JUMPDEST`s
+//!   cover every non-halting continuation;
+//! * an unresolved jump conservatively edges to every `JUMPDEST` block,
+//!   so the reachable set over-approximates the executed set;
+//! * `lo ≤ depth ≤ hi` for every concrete depth, so "may underflow"
+//!   (`lo < pops`) catches every real underflow and "may overflow"
+//!   (`hi - pops + pushes > limit`) every real overflow.
+//!
+//! The join is monotone in a finite lattice (`lo` only decreases, `hi`
+//! only increases, both clamped; constant sets only grow until they
+//! decay to `Top`; the tracked window is bounded by [`TRACKED`] and the
+//! `deeper` bit only flips one way), so the worklist fixpoint
+//! terminates.
+
+use lsc_evm::cfg::{Cfg, Instr};
+use lsc_evm::opcode::{self, op};
+use lsc_evm::stack::STACK_LIMIT;
+use lsc_primitives::U256;
+use std::collections::VecDeque;
+
+/// How many top-of-stack slots carry constant values through the
+/// analysis. Deep enough for lsc-solc's call frames (selector, return
+/// label, a handful of arguments); everything deeper is `None`.
+pub const TRACKED: usize = 32;
+
+/// Gas at or below the call stipend cannot re-enter state-changing code.
+pub const STIPEND: u64 = 2_300;
+
+/// Cap on per-slot constant sets. Sized for the fan-in of lsc-solc
+/// internal functions (one return label per call site); joins past the
+/// cap decay to [`Consts::Top`].
+pub const MAX_CONSTS: usize = 16;
+
+/// May-value set for one stack slot: the slot holds one of a bounded set
+/// of known constants, or anything at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Consts {
+    /// Any value.
+    Top,
+    /// One of these values (sorted, deduped, non-empty, at most
+    /// [`MAX_CONSTS`] entries — the canonical order makes the fixpoint's
+    /// equality-based change detection reliable).
+    In(Vec<U256>),
+}
+
+impl Consts {
+    /// Exactly one known value.
+    pub fn only(v: U256) -> Consts {
+        Consts::In(vec![v])
+    }
+
+    /// The value if the set is a singleton.
+    pub fn as_single(&self) -> Option<U256> {
+        match self {
+            Consts::In(vs) if vs.len() == 1 => Some(vs[0]),
+            _ => None,
+        }
+    }
+
+    /// Set union, decaying to `Top` past [`MAX_CONSTS`].
+    pub fn join(&self, other: &Consts) -> Consts {
+        match (self, other) {
+            (Consts::In(a), Consts::In(b)) => {
+                let mut merged = a.clone();
+                merged.extend_from_slice(b);
+                merged.sort_unstable();
+                merged.dedup();
+                if merged.len() > MAX_CONSTS {
+                    Consts::Top
+                } else {
+                    Consts::In(merged)
+                }
+            }
+            _ => Consts::Top,
+        }
+    }
+}
+
+/// Abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// Minimum possible stack depth.
+    pub lo: usize,
+    /// Maximum possible stack depth (clamped to [`STACK_LIMIT`]).
+    pub hi: usize,
+    /// Known constant sets for the top slots; `tops[0]` is the top.
+    pub tops: Vec<Consts>,
+    /// Whether stack slots exist below the tracked window. `false` means
+    /// the window covers the *whole* stack on every path reaching here;
+    /// `true` means deeper slots exist with unknown contents. The
+    /// distinction matters at joins: when both sides cover their whole
+    /// stacks, a shorter side has *no* slot at the longer side's extra
+    /// indices — any access past its bottom underflows and halts — so
+    /// the longer window survives verbatim instead of being truncated.
+    /// That keeps outer-frame return addresses alive across joins of
+    /// lsc-solc call sites at different depths.
+    pub deeper: bool,
+    /// A reentrancy-capable external call may have happened on some path.
+    pub after_call: bool,
+}
+
+impl AbsState {
+    /// State at frame entry: empty stack, no calls made.
+    pub fn initial() -> AbsState {
+        AbsState {
+            lo: 0,
+            hi: 0,
+            tops: Vec::new(),
+            deeper: false,
+            after_call: false,
+        }
+    }
+
+    /// The may-value set on top of the stack (`Top` when untracked).
+    pub fn top(&self) -> Consts {
+        self.tops.first().cloned().unwrap_or(Consts::Top)
+    }
+
+    /// Least upper bound of two states reaching the same block.
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        // Window length after the join: a side with unknown deeper slots
+        // caps it at its own length (its slots past that are untracked);
+        // a side whose window is its whole stack contributes nothing at
+        // indices past its bottom, so it imposes no cap.
+        let cap = |st: &AbsState| {
+            if st.deeper {
+                st.tops.len()
+            } else {
+                usize::MAX
+            }
+        };
+        let n = self
+            .tops
+            .len()
+            .max(other.tops.len())
+            .min(cap(self))
+            .min(cap(other));
+        let slot = |st: &AbsState, i: usize| match st.tops.get(i) {
+            Some(c) => Some(c.clone()),
+            None if st.deeper => Some(Consts::Top),
+            None => None, // below this side's stack bottom: no contribution
+        };
+        let tops = (0..n)
+            .map(|i| match (slot(self, i), slot(other, i)) {
+                (Some(a), Some(b)) => a.join(&b),
+                (Some(c), None) | (None, Some(c)) => c,
+                (None, None) => unreachable!("n caps at both window ends"),
+            })
+            .collect();
+        AbsState {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            tops,
+            deeper: self.deeper || other.deeper,
+            after_call: self.after_call || other.after_call,
+        }
+    }
+}
+
+/// Where control can go after a block's last instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exit {
+    /// The block halts the frame (STOP/RETURN/REVERT/SELFDESTRUCT/
+    /// INVALID/undefined opcode).
+    Halt,
+    /// Straight-line continuation into the next block (or the implicit
+    /// STOP past the end of the code).
+    Fallthrough,
+    /// Unconditional `JUMP`.
+    Jump(JumpTarget),
+    /// `JUMPI`: the jump target plus fallthrough.
+    Branch(JumpTarget),
+}
+
+/// Resolution of a dynamic jump from the abstract top of stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JumpTarget {
+    /// Every value the jump can take is one of these valid `JUMPDEST`
+    /// pcs (more than one when the slot carries a return-label set).
+    /// Possible invalid members of a mixed set are dropped — those
+    /// executions halt at the jump and reach nothing.
+    Known(Vec<usize>),
+    /// *Every* possible target fails the `JUMPDEST` check — the jump, if
+    /// taken, halts with `InvalidJump` at runtime (one representative
+    /// value is carried for the diagnostic).
+    Invalid(U256),
+    /// Target unknown: conservatively, any `JUMPDEST` block.
+    Unknown,
+}
+
+/// Resolve the jump the state is about to take (called with the state
+/// *before* the JUMP/JUMPI pops its operands).
+pub fn jump_target(cfg: &Cfg, st: &AbsState) -> JumpTarget {
+    match st.top() {
+        Consts::In(vs) => {
+            let valid: Vec<usize> = vs
+                .iter()
+                .filter_map(U256::to_usize)
+                .filter(|&d| cfg.jump_target_block(d).is_some())
+                .collect();
+            if valid.is_empty() {
+                JumpTarget::Invalid(vs[0])
+            } else {
+                JumpTarget::Known(valid)
+            }
+        }
+        Consts::Top => JumpTarget::Unknown,
+    }
+}
+
+/// Apply one instruction to the abstract state. Undefined opcodes halt
+/// the frame and leave the state untouched (the block exit is `Halt`).
+pub fn step(st: &mut AbsState, ins: &Instr) {
+    let byte = ins.opcode;
+    let Some((pops, pushes)) = opcode::stack_io(byte) else {
+        return;
+    };
+
+    // The gas argument of a call is its top-of-stack operand; capture it
+    // before the stack effect is applied. Stipend-safe only when *every*
+    // possible gas value fits the stipend.
+    if matches!(byte, op::CALL | op::CALLCODE | op::DELEGATECALL) {
+        let capable = match st.top() {
+            Consts::In(gs) => gs.iter().any(|g| g.to_u64().is_none_or(|g| g > STIPEND)),
+            Consts::Top => true,
+        };
+        if capable {
+            st.after_call = true;
+        }
+    }
+
+    match byte {
+        op::PUSH0 => st.tops.insert(0, Consts::only(U256::ZERO)),
+        _ if opcode::is_push(byte) => {
+            st.tops
+                .insert(0, ins.push.map_or(Consts::Top, Consts::only));
+        }
+        0x80..=0x8f => {
+            // DUPn copies the n-th slot from the top.
+            let n = (byte - op::DUP1) as usize;
+            let v = st.tops.get(n).cloned().unwrap_or(Consts::Top);
+            st.tops.insert(0, v);
+        }
+        0x90..=0x9f => {
+            // SWAPn exchanges the top with the (n+1)-th slot.
+            let n = (byte - op::SWAP1 + 1) as usize;
+            if n < st.tops.len() {
+                st.tops.swap(0, n);
+            } else if !st.tops.is_empty() {
+                st.tops[0] = Consts::Top;
+            }
+        }
+        _ => {
+            let drop = pops.min(st.tops.len());
+            st.tops.drain(..drop);
+            for _ in 0..pushes {
+                st.tops.insert(0, Consts::Top);
+            }
+        }
+    }
+    if st.tops.len() > TRACKED {
+        st.tops.truncate(TRACKED);
+        st.deeper = true;
+    }
+
+    st.lo = (st.lo.saturating_sub(pops) + pushes).min(STACK_LIMIT);
+    st.hi = (st.hi.saturating_sub(pops) + pushes).min(STACK_LIMIT);
+}
+
+/// Run a whole block from `entry`, returning the out-state and the exit.
+pub fn simulate_block(cfg: &Cfg, block: usize, entry: AbsState) -> (AbsState, Exit) {
+    let blk = &cfg.blocks[block];
+    let mut st = entry;
+    let mut exit = if blk.falls_through {
+        Exit::Fallthrough
+    } else {
+        Exit::Halt
+    };
+    for ins in &cfg.instrs[blk.instr_range()] {
+        match ins.opcode {
+            op::JUMP => exit = Exit::Jump(jump_target(cfg, &st)),
+            op::JUMPI => exit = Exit::Branch(jump_target(cfg, &st)),
+            _ => {}
+        }
+        step(&mut st, ins);
+    }
+    (st, exit)
+}
+
+/// Cap on depth-keyed disjuncts per block; overflow collapses them all
+/// into one joined state (the plain interval analysis as the fallback).
+pub const MAX_DISJUNCTS: usize = 8;
+
+/// Fixpoint result: per-block entry states plus the static gas floor
+/// from entry to any frame exit.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Entry states per block, partitioned by exact stack depth
+    /// (disjuncts); empty ⇔ unreachable. Keeping distinct concrete
+    /// depths apart is what makes return continuations precise: an
+    /// internal function reached from call sites at different depths
+    /// would otherwise blur both depths into one interval and carry it
+    /// back to *every* return label, manufacturing underflow paths that
+    /// no caller actually has.
+    pub entry: Vec<Vec<AbsState>>,
+    /// Static lower bound on gas consumed by any execution that runs the
+    /// frame to a normal end (success or revert). `0` for empty code.
+    pub gas_floor: u64,
+}
+
+impl Analysis {
+    /// Whether a block is reachable from the entry point.
+    pub fn reachable(&self, block: usize) -> bool {
+        self.entry.get(block).is_some_and(|d| !d.is_empty())
+    }
+}
+
+/// States with one exact concrete depth get their own disjunct; states
+/// whose depth is already an interval share a single catch-all.
+fn disjunct_key(st: &AbsState) -> Option<usize> {
+    (st.lo == st.hi).then_some(st.lo)
+}
+
+/// Merge an incoming state into a block's disjunct set; true ⇔ changed.
+fn merge_disjunct(set: &mut Vec<AbsState>, st: AbsState) -> bool {
+    // Subsumed by an existing disjunct: joining adds nothing (this check
+    // also keeps the fixpoint from re-adding states after a collapse).
+    if set.iter().any(|d| d.join(&st) == *d) {
+        return false;
+    }
+    let key = disjunct_key(&st);
+    if let Some(d) = set.iter_mut().find(|d| disjunct_key(d) == key) {
+        *d = d.join(&st);
+        return true;
+    }
+    set.push(st);
+    if set.len() > MAX_DISJUNCTS {
+        let joined = set
+            .iter()
+            .skip(1)
+            .fold(set[0].clone(), |acc, d| acc.join(d));
+        *set = vec![joined];
+    }
+    true
+}
+
+fn successors(cfg: &Cfg, block: usize, exit: &Exit, out: &mut Vec<usize>) {
+    out.clear();
+    let fall = |out: &mut Vec<usize>| {
+        if block + 1 < cfg.blocks.len() {
+            out.push(block + 1);
+        }
+    };
+    let jump = |t: &JumpTarget, out: &mut Vec<usize>| match t {
+        JumpTarget::Known(pcs) => {
+            out.extend(pcs.iter().filter_map(|&pc| cfg.jump_target_block(pc)));
+        }
+        JumpTarget::Invalid(_) => {}
+        JumpTarget::Unknown => out.extend_from_slice(&cfg.jumpdest_blocks),
+    };
+    match exit {
+        Exit::Halt => {}
+        Exit::Fallthrough => fall(out),
+        Exit::Jump(t) => jump(t, out),
+        Exit::Branch(t) => {
+            fall(out);
+            jump(t, out);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Worklist fixpoint over block-entry disjuncts, then a shortest-path
+/// relaxation for the gas floor. Each disjunct is simulated on its own,
+/// so its exit (and jump resolution) reflects only the paths it covers.
+pub fn run(cfg: &Cfg) -> Analysis {
+    let nb = cfg.blocks.len();
+    let mut entry: Vec<Vec<AbsState>> = vec![Vec::new(); nb];
+    if nb == 0 {
+        return Analysis {
+            entry,
+            gas_floor: 0,
+        };
+    }
+
+    entry[0].push(AbsState::initial());
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+    let mut queued = vec![false; nb];
+    queued[0] = true;
+    let mut succs = Vec::new();
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        for st in entry[b].clone() {
+            let (out, exit) = simulate_block(cfg, b, st);
+            successors(cfg, b, &exit, &mut succs);
+            for &s in &succs {
+                if merge_disjunct(&mut entry[s], out.clone()) && !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    let gas_floor = gas_floor(cfg, &entry);
+    Analysis { entry, gas_floor }
+}
+
+/// Min-cost-to-exit relaxation over the resolved CFG. Block weight is
+/// the sum of [`opcode::base_gas`] lower bounds; the floor is the
+/// cheapest entry→exit path, where an exit is a halting block or falling
+/// off the end of the code. Executions that halt exceptionally consume
+/// their whole gas limit and are outside this bound's contract.
+fn gas_floor(cfg: &Cfg, entry: &[Vec<AbsState>]) -> u64 {
+    let nb = cfg.blocks.len();
+    let weight: Vec<u64> = cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            cfg.instrs[b.instr_range()]
+                .iter()
+                .map(|i| opcode::base_gas(i.opcode))
+                .sum()
+        })
+        .collect();
+
+    let mut dist: Vec<Option<u64>> = vec![None; nb];
+    dist[0] = Some(0);
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+    let mut succs = Vec::new();
+    let mut floor: Option<u64> = None;
+    while let Some(b) = work.pop_front() {
+        let d = dist[b].expect("queued blocks have distances");
+        let through = d.saturating_add(weight[b]);
+        for st in &entry[b] {
+            let (_, exit) = simulate_block(cfg, b, st.clone());
+            let exits_frame = matches!(exit, Exit::Halt)
+                || (b + 1 == nb && matches!(exit, Exit::Fallthrough | Exit::Branch(_)));
+            if exits_frame {
+                floor = Some(floor.map_or(through, |f| f.min(through)));
+            }
+            successors(cfg, b, &exit, &mut succs);
+            for &s in &succs {
+                if dist[s].is_none_or(|old| old > through) {
+                    dist[s] = Some(through);
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    floor.unwrap_or(0)
+}

@@ -1,0 +1,90 @@
+//! Runtime-code extraction from init (constructor) bytecode.
+//!
+//! A deployment transaction carries *init* code whose job is to return
+//! the *runtime* code that actually gets installed. lsc-solc (like real
+//! solc) ends its constructor with the canonical deploy tail
+//!
+//! ```text
+//! PUSH len  PUSH off  PUSH 0  CODECOPY   ; copy runtime image to mem 0
+//! PUSH len  PUSH 0    RETURN             ; return it
+//! ```
+//!
+//! and appends the runtime image as raw bytes at `off`. Matching that
+//! seven-instruction window with consistent constants recovers the
+//! region, letting the vetting gate analyze the code that will actually
+//! live at the contract address instead of the init wrapper around it.
+
+use lsc_evm::cfg::decode;
+use lsc_evm::opcode::op;
+use lsc_primitives::U256;
+use std::ops::Range;
+
+/// Locate the runtime image inside `init_code` via the deploy-tail
+/// peephole. Returns `None` when the shape is absent (hand-written init
+/// code) or the constants are inconsistent/out of range.
+pub fn extract_runtime(init_code: &[u8]) -> Option<Range<usize>> {
+    let instrs = decode(init_code);
+    for w in instrs.windows(7) {
+        if w[3].opcode != op::CODECOPY || w[6].opcode != op::RETURN {
+            continue;
+        }
+        let (Some(len), Some(off), Some(dst), Some(len2), Some(roff)) =
+            (w[0].push, w[1].push, w[2].push, w[4].push, w[5].push)
+        else {
+            continue;
+        };
+        if dst != U256::ZERO || roff != U256::ZERO || len != len2 {
+            continue;
+        }
+        let (Some(len), Some(off)) = (len.to_usize(), off.to_usize()) else {
+            continue;
+        };
+        if len == 0 || off.checked_add(len).is_none_or(|end| end > init_code.len()) {
+            continue;
+        }
+        return Some(off..off + len);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_evm::asm::Asm;
+
+    #[test]
+    fn extracts_canonical_deploy_tail() {
+        let runtime = vec![op::CALLER, op::POP, op::STOP];
+        let mut asm = Asm::new();
+        let end = asm.new_label();
+        asm.push_u64(runtime.len() as u64);
+        asm.push_label(end);
+        asm.push_u64(0);
+        asm.op(op::CODECOPY);
+        asm.push_u64(runtime.len() as u64);
+        asm.push_u64(0);
+        asm.op(op::RETURN);
+        asm.place_raw(end);
+        asm.extend_raw(runtime.clone());
+        let init = asm.assemble().unwrap();
+        let range = extract_runtime(&init).expect("deploy tail present");
+        assert_eq!(&init[range], runtime.as_slice());
+    }
+
+    #[test]
+    fn rejects_inconsistent_or_absent_tails() {
+        assert_eq!(extract_runtime(&[]), None);
+        assert_eq!(extract_runtime(&[op::STOP]), None);
+        // Length claims more bytes than the blob holds.
+        let mut asm = Asm::new();
+        asm.push_u64(1000);
+        asm.push_u64(1);
+        asm.push_u64(0);
+        asm.op(op::CODECOPY);
+        asm.push_u64(1000);
+        asm.push_u64(0);
+        asm.op(op::RETURN);
+        let code = asm.assemble().unwrap();
+        assert_eq!(extract_runtime(&code), None);
+    }
+}

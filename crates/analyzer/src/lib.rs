@@ -1,0 +1,384 @@
+//! # lsc-analyzer
+//!
+//! Static bytecode verifier for the legal-smart-contracts stack. The
+//! paper's version chain (Fig. 2) makes every deployed contract part of
+//! the permanent legal record, and its modify flow (Figs. 7–8) swaps new
+//! logic in against shared storage with no admission check. This crate
+//! is that missing check: before a deployment or version upgrade enters
+//! the chain, its bytecode is
+//!
+//! 1. decoded and shaped into a CFG ([`lsc_evm::cfg`]),
+//! 2. abstractly interpreted ([`absint`]) — stack-depth intervals,
+//!    bounded constant tracking for jump resolution, reachability, and a
+//!    static lower-bound gas estimate,
+//! 3. linted ([`lints`]) into structured [`Finding`]s,
+//! 4. judged against a [`VettingPolicy`] that maps each [`Rule`] to
+//!    deny/warn/allow.
+//!
+//! `lsc-core` enforces the policy in `ContractManager::deploy` and the
+//! negotiation `enact` path; the CLI exposes it as `vet`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absint;
+mod extract;
+pub mod lints;
+
+pub use extract::extract_runtime;
+pub use lints::LintOptions;
+
+use lsc_evm::cfg::Cfg;
+use std::fmt;
+
+/// What a finding is about. Discriminants are stable and ordered by how
+/// alarming the rule is by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Rule {
+    /// A jump whose (constant) target is not a `JUMPDEST`: guaranteed
+    /// `InvalidJump` halt if executed.
+    InvalidJump,
+    /// Some reachable path reaches an instruction with too few operands.
+    StackUnderflow,
+    /// Some reachable path may push past the 1024-slot limit.
+    StackOverflow,
+    /// Storage write after a reentrancy-capable external call — the
+    /// checks-effects-interactions violation behind the DAO-style bugs.
+    WriteAfterCall,
+    /// A CALL/CREATE status code is discarded without being inspected.
+    UncheckedCall,
+    /// PUSH immediate truncated by the end of the code (zero-padded at
+    /// runtime; almost always a build artifact).
+    TruncatedPush,
+    /// `SELFDESTRUCT` present on a reachable path.
+    Selfdestruct,
+    /// `ORIGIN` present on a reachable path.
+    Origin,
+    /// Code that no path from the entry point can reach.
+    UnreachableCode,
+}
+
+impl Rule {
+    /// Every rule, in severity order.
+    pub const ALL: [Rule; 9] = [
+        Rule::InvalidJump,
+        Rule::StackUnderflow,
+        Rule::StackOverflow,
+        Rule::WriteAfterCall,
+        Rule::UncheckedCall,
+        Rule::TruncatedPush,
+        Rule::Selfdestruct,
+        Rule::Origin,
+        Rule::UnreachableCode,
+    ];
+
+    /// Stable kebab-case name (used in audit records and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::InvalidJump => "invalid-jump",
+            Rule::StackUnderflow => "stack-underflow",
+            Rule::StackOverflow => "stack-overflow",
+            Rule::WriteAfterCall => "write-after-call",
+            Rule::UncheckedCall => "unchecked-call",
+            Rule::TruncatedPush => "truncated-push",
+            Rule::Selfdestruct => "selfdestruct",
+            Rule::Origin => "origin",
+            Rule::UnreachableCode => "unreachable-code",
+        }
+    }
+
+    /// Intrinsic severity, independent of any policy.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::InvalidJump
+            | Rule::StackUnderflow
+            | Rule::StackOverflow
+            | Rule::WriteAfterCall => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How bad a finding is on its own terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing about; the contract still behaves as written.
+    Warning,
+    /// The contract can halt or be exploited on a reachable path.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One diagnostic produced by the lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Intrinsic severity ([`Rule::severity`]).
+    pub severity: Severity,
+    /// Offset of the offending instruction (or region start).
+    pub pc: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(rule: Rule, pc: usize, message: String) -> Finding {
+        Finding {
+            severity: rule.severity(),
+            pc,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] at pc {}: {}",
+            self.severity, self.rule, self.pc, self.message
+        )
+    }
+}
+
+/// What the policy does when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Reject the deployment.
+    Deny,
+    /// Record the finding, allow the deployment.
+    Warn,
+    /// Ignore the rule entirely.
+    Allow,
+}
+
+/// Per-rule deny/warn/allow decisions enforced by the deployment gate.
+///
+/// The default denies the four [`Severity::Error`] rules and warns on
+/// the rest — every built-in template passes it, while invalid jumps,
+/// stack hazards and reentrancy shapes are kept out of the version
+/// chain.
+#[derive(Debug, Clone, Default)]
+pub struct VettingPolicy {
+    overrides: Vec<(Rule, Action)>,
+}
+
+impl VettingPolicy {
+    /// Policy that records findings but denies nothing (audit-only mode).
+    pub fn permissive() -> VettingPolicy {
+        let mut p = VettingPolicy::default();
+        for rule in Rule::ALL {
+            p = p.with_action(rule, Action::Warn);
+        }
+        p
+    }
+
+    /// Override the action for one rule (last write wins).
+    pub fn with_action(mut self, rule: Rule, action: Action) -> VettingPolicy {
+        self.overrides.retain(|(r, _)| *r != rule);
+        self.overrides.push((rule, action));
+        self
+    }
+
+    /// The action this policy takes for `rule`.
+    pub fn action(&self, rule: Rule) -> Action {
+        self.overrides.iter().find(|(r, _)| *r == rule).map_or(
+            match rule.severity() {
+                Severity::Error => Action::Deny,
+                Severity::Warning => Action::Warn,
+            },
+            |(_, a)| *a,
+        )
+    }
+}
+
+/// Analysis result for one bytecode blob.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by pc.
+    pub findings: Vec<Finding>,
+    /// Static lower bound on gas consumed by any run of this code that
+    /// ends without an exceptional halt (see `absint`).
+    pub gas_floor: u64,
+    /// Number of basic blocks recovered.
+    pub block_count: usize,
+    /// Number of decoded instructions.
+    pub instr_count: usize,
+    reachable_pcs: Vec<bool>,
+}
+
+impl Report {
+    /// True when `pc` starts a reachable instruction — the set the
+    /// interpreter's executed pcs must be a subset of (soundness
+    /// property (a)).
+    pub fn is_reachable_pc(&self, pc: usize) -> bool {
+        self.reachable_pcs.get(pc).copied().unwrap_or(false)
+    }
+
+    /// Findings for one rule.
+    pub fn findings_for(&self, rule: Rule) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// Findings the given policy denies.
+    pub fn denied<'a>(&'a self, policy: &'a VettingPolicy) -> impl Iterator<Item = &'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| policy.action(f.rule) == Action::Deny)
+    }
+}
+
+/// Analyze a bytecode blob with the default lint set.
+pub fn analyze(code: &[u8]) -> Report {
+    analyze_with(code, LintOptions::default())
+}
+
+/// Analyze with explicit lint options.
+pub fn analyze_with(code: &[u8], opts: LintOptions) -> Report {
+    let cfg = Cfg::build(code);
+    let analysis = absint::run(&cfg);
+    let findings = lints::lint(&cfg, &analysis, opts);
+    let mut reachable_pcs = vec![false; code.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if analysis.reachable(b) {
+            for ins in &cfg.instrs[blk.instr_range()] {
+                reachable_pcs[ins.pc] = true;
+            }
+        }
+    }
+    Report {
+        findings,
+        gas_floor: analysis.gas_floor,
+        block_count: cfg.blocks.len(),
+        instr_count: cfg.instrs.len(),
+        reachable_pcs,
+    }
+}
+
+/// Which blob a deployment finding came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The constructor wrapper executed once at deploy time.
+    Init,
+    /// The code installed at the contract address.
+    Runtime,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Region::Init => "init",
+            Region::Runtime => "runtime",
+        })
+    }
+}
+
+/// Vetting result for a full deployment blob: the init wrapper (analyzed
+/// without the unreachable lint — appended function bodies and the
+/// runtime image are data from init's perspective) plus, when the
+/// canonical deploy tail is found, the extracted runtime under the full
+/// lint set.
+#[derive(Debug)]
+pub struct DeploymentVetting {
+    /// Report over the init (deploy-transaction) code.
+    pub init: Report,
+    /// Report over the extracted runtime image, when recoverable.
+    pub runtime: Option<Report>,
+    /// Byte range of the runtime image inside the init blob.
+    pub runtime_range: Option<std::ops::Range<usize>>,
+}
+
+impl DeploymentVetting {
+    /// All findings with the region they came from, errors first.
+    pub fn findings(&self) -> Vec<(Region, &Finding)> {
+        let mut all: Vec<(Region, &Finding)> = self
+            .init
+            .findings
+            .iter()
+            .map(|f| (Region::Init, f))
+            .chain(
+                self.runtime
+                    .iter()
+                    .flat_map(|r| r.findings.iter().map(|f| (Region::Runtime, f))),
+            )
+            .collect();
+        all.sort_by_key(|(region, f)| {
+            (
+                std::cmp::Reverse(f.severity),
+                f.rule as u8,
+                *region as u8,
+                f.pc,
+            )
+        });
+        all
+    }
+
+    /// Enforce a policy: `Err` carries every denied finding.
+    pub fn enforce(&self, policy: &VettingPolicy) -> Result<(), VetError> {
+        let denied: Vec<(Region, Finding)> = self
+            .findings()
+            .into_iter()
+            .filter(|(_, f)| policy.action(f.rule) == Action::Deny)
+            .map(|(region, f)| (region, f.clone()))
+            .collect();
+        if denied.is_empty() {
+            Ok(())
+        } else {
+            Err(VetError { denied })
+        }
+    }
+}
+
+/// Vet a deployment blob (init code as submitted in a create
+/// transaction, *before* constructor arguments are appended).
+pub fn vet_deployment(init_code: &[u8]) -> DeploymentVetting {
+    let init = analyze_with(init_code, LintOptions { unreachable: false });
+    let runtime_range = extract_runtime(init_code);
+    let runtime = runtime_range
+        .clone()
+        .map(|r| analyze_with(&init_code[r], LintOptions::default()));
+    DeploymentVetting {
+        init,
+        runtime,
+        runtime_range,
+    }
+}
+
+/// Vetting rejected a deployment: the findings the policy denied.
+#[derive(Debug, Clone)]
+pub struct VetError {
+    /// Denied findings with their region.
+    pub denied: Vec<(Region, Finding)>,
+}
+
+impl fmt::Display for VetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vetting denied {} finding(s): ", self.denied.len())?;
+        for (i, (region, finding)) in self.denied.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "[{region}] {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VetError {}

@@ -1,0 +1,187 @@
+//! The lint pass: one walk over every reachable block with its fixpoint
+//! entry state, emitting structured findings, plus a block-granular
+//! unreachable-code sweep.
+
+use crate::absint::{self, AbsState, Analysis};
+use crate::{Finding, Rule};
+use lsc_evm::cfg::Cfg;
+use lsc_evm::opcode::{self, op};
+use lsc_evm::stack::STACK_LIMIT;
+
+/// Which optional lints to run. Stack/jump verification always runs.
+#[derive(Debug, Clone, Copy)]
+pub struct LintOptions {
+    /// Report unreachable blocks. Off when vetting *init* code: solc-style
+    /// init blobs legitimately carry function bodies, subroutine pools and
+    /// the runtime image after the deploy tail.
+    pub unreachable: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { unreachable: true }
+    }
+}
+
+pub(crate) fn lint(cfg: &Cfg, analysis: &Analysis, opts: LintOptions) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for b in 0..cfg.blocks.len() {
+        // Every concrete path through the block is covered by one of its
+        // entry disjuncts, so linting each disjunct catches everything;
+        // the same (pc, rule) firing from several disjuncts is one
+        // diagnostic.
+        for entry in &analysis.entry[b] {
+            lint_block(cfg, b, entry.clone(), &mut findings);
+        }
+    }
+    if opts.unreachable {
+        lint_unreachable(cfg, analysis, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.pc, f.rule as u8));
+    findings.dedup_by_key(|f| (f.pc, f.rule));
+    findings
+}
+
+fn lint_block(cfg: &Cfg, block: usize, mut st: AbsState, findings: &mut Vec<Finding>) {
+    let blk = &cfg.blocks[block];
+    for (idx, ins) in cfg.instrs[blk.instr_range()].iter().enumerate() {
+        let i = blk.first + idx;
+        let byte = ins.opcode;
+
+        if let Some((pops, pushes)) = opcode::stack_io(byte) {
+            if st.lo < pops {
+                findings.push(Finding::new(
+                    Rule::StackUnderflow,
+                    ins.pc,
+                    format!(
+                        "{} needs {pops} operand(s) but the stack may hold only {}",
+                        opcode::mnemonic(byte),
+                        st.lo
+                    ),
+                ));
+            }
+            if st.hi.saturating_sub(pops) + pushes > STACK_LIMIT {
+                findings.push(Finding::new(
+                    Rule::StackOverflow,
+                    ins.pc,
+                    format!(
+                        "{} may push past the {STACK_LIMIT}-slot stack limit",
+                        opcode::mnemonic(byte)
+                    ),
+                ));
+            }
+        }
+
+        if ins.truncated {
+            findings.push(Finding::new(
+                Rule::TruncatedPush,
+                ins.pc,
+                format!(
+                    "PUSH{} immediate is cut off by the end of the code (zero-padded at runtime)",
+                    opcode::immediate_len(byte)
+                ),
+            ));
+        }
+
+        match byte {
+            op::ORIGIN => findings.push(Finding::new(
+                Rule::Origin,
+                ins.pc,
+                "tx.origin-style authentication is phishable; prefer CALLER".into(),
+            )),
+            op::SELFDESTRUCT => findings.push(Finding::new(
+                Rule::Selfdestruct,
+                ins.pc,
+                "SELFDESTRUCT permanently destroys the contract and force-sends its balance".into(),
+            )),
+            op::SSTORE if st.after_call => findings.push(Finding::new(
+                Rule::WriteAfterCall,
+                ins.pc,
+                "storage write after a reentrancy-capable external call \
+                 (checks-effects-interactions violation)"
+                    .into(),
+            )),
+            op::JUMP | op::JUMPI => {
+                if let absint::JumpTarget::Invalid(v) = absint::jump_target(cfg, &st) {
+                    findings.push(Finding::new(
+                        Rule::InvalidJump,
+                        ins.pc,
+                        format!(
+                            "{} to 0x{v:x}, which is not a JUMPDEST",
+                            opcode::mnemonic(byte)
+                        ),
+                    ));
+                }
+            }
+            op::CALL
+            | op::CALLCODE
+            | op::DELEGATECALL
+            | op::STATICCALL
+            | op::CREATE
+            | op::CREATE2
+                if !result_is_checked(cfg, i) =>
+            {
+                findings.push(Finding::new(
+                    Rule::UncheckedCall,
+                    ins.pc,
+                    format!(
+                        "{} result is discarded without being checked",
+                        opcode::mnemonic(byte)
+                    ),
+                ));
+            }
+            _ => {}
+        }
+
+        // Stipend-limited transfers (gas argument a known constant ≤ the
+        // 2300 stipend, the solc `.transfer()`/`.send()` shape) cannot
+        // re-enter state-changing code; `absint::step` only arms
+        // `after_call` for calls above the stipend.
+        absint::step(&mut st, ins);
+    }
+}
+
+/// Heuristic: a call/create's status push counts as checked if, scanning
+/// the straight-line continuation (through fallthrough block splits,
+/// stopping at a JUMP or halting terminator), an `ISZERO` or `JUMPI`
+/// consumes or tests it before the frame moves on — and as *unchecked*
+/// when the very next instruction `POP`s it away.
+fn result_is_checked(cfg: &Cfg, call_idx: usize) -> bool {
+    let next = cfg.instrs.get(call_idx + 1);
+    if next.is_some_and(|n| n.opcode == op::POP) {
+        return false;
+    }
+    for ins in &cfg.instrs[call_idx + 1..] {
+        match ins.opcode {
+            op::ISZERO | op::JUMPI => return true,
+            op::JUMP => return false,
+            b if opcode::is_terminator(b) => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn lint_unreachable(cfg: &Cfg, analysis: &Analysis, findings: &mut Vec<Finding>) {
+    let mut b = 0;
+    while b < cfg.blocks.len() {
+        if analysis.reachable(b) {
+            b += 1;
+            continue;
+        }
+        let run_start = b;
+        while b < cfg.blocks.len() && !analysis.reachable(b) {
+            b += 1;
+        }
+        let start_pc = cfg.blocks[run_start].start_pc;
+        let end_pc = cfg.blocks[b - 1].end_pc;
+        findings.push(Finding::new(
+            Rule::UnreachableCode,
+            start_pc,
+            format!(
+                "bytes {start_pc}..{end_pc} ({} block(s)) are unreachable from the entry point",
+                b - run_start
+            ),
+        ));
+    }
+}

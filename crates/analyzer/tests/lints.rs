@@ -1,0 +1,290 @@
+//! Per-rule positive/negative bytecode pairs for every lint, plus policy
+//! and deployment-vetting behavior.
+
+use lsc_analyzer::{analyze, vet_deployment, Action, Report, Rule, Severity, VettingPolicy};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+
+fn fires(report: &Report, rule: Rule) -> bool {
+    report.findings_for(rule).next().is_some()
+}
+
+/// Push the six non-gas CALL operands (outLen outOff inLen inOff value
+/// to), leaving the gas argument to the caller so tests control it.
+fn call_preamble(asm: &mut Asm) {
+    for _ in 0..6 {
+        asm.push_u64(0);
+    }
+}
+
+#[test]
+fn invalid_jump_pair() {
+    // Positive: constant jump to pc 0, which is a PUSH, not a JUMPDEST.
+    let mut bad = Asm::new();
+    bad.push_u64(0).op(op::JUMP);
+    let bad = analyze(&bad.assemble().unwrap());
+    assert!(fires(&bad, Rule::InvalidJump));
+
+    // Negative: jump to a placed JUMPDEST.
+    let mut good = Asm::new();
+    let l = good.new_label();
+    good.push_label(l).op(op::JUMP).place(l).op(op::STOP);
+    let good = analyze(&good.assemble().unwrap());
+    assert!(!fires(&good, Rule::InvalidJump));
+    assert!(!fires(&good, Rule::StackUnderflow));
+}
+
+#[test]
+fn stack_underflow_pair() {
+    let bad = analyze(&[op::ADD, op::STOP]);
+    assert!(fires(&bad, Rule::StackUnderflow));
+
+    let mut good = Asm::new();
+    good.push_u64(1).push_u64(2).op(op::ADD).op(op::STOP);
+    let good = analyze(&good.assemble().unwrap());
+    assert!(!fires(&good, Rule::StackUnderflow));
+}
+
+#[test]
+fn stack_overflow_pair() {
+    // 1025 pushes exceed the 1024-slot stack.
+    let mut bad = Asm::new();
+    for _ in 0..1025 {
+        bad.push_u64(1);
+    }
+    bad.op(op::STOP);
+    let bad = analyze(&bad.assemble().unwrap());
+    assert!(fires(&bad, Rule::StackOverflow));
+
+    // Exactly 1024 fits.
+    let mut good = Asm::new();
+    for _ in 0..1024 {
+        good.push_u64(1);
+    }
+    good.op(op::STOP);
+    let good = analyze(&good.assemble().unwrap());
+    assert!(!fires(&good, Rule::StackOverflow));
+}
+
+#[test]
+fn stack_overflow_through_loop_widening() {
+    // A loop that gains one slot per iteration must be caught by the
+    // interval widening even though no single pass exceeds the limit.
+    let mut asm = Asm::new();
+    let top = asm.new_label();
+    asm.place(top);
+    asm.push_u64(1);
+    asm.push_label(top).op(op::JUMP);
+    let report = analyze(&asm.assemble().unwrap());
+    assert!(fires(&report, Rule::StackOverflow));
+}
+
+#[test]
+fn write_after_call_pair() {
+    // Positive: forward all gas (GAS opcode → unknown), then SSTORE.
+    let mut bad = Asm::new();
+    call_preamble(&mut bad);
+    bad.op(op::GAS).op(op::CALL).op(op::POP);
+    bad.push_u64(1).push_u64(0).op(op::SSTORE).op(op::STOP);
+    let bad = analyze(&bad.assemble().unwrap());
+    assert!(fires(&bad, Rule::WriteAfterCall));
+
+    // Negative: stipend-limited transfer shape (constant 0 gas) — the
+    // callee cannot re-enter, so the follow-up write is fine. This is
+    // exactly what lsc-solc emits for `.transfer()`.
+    let mut good = Asm::new();
+    call_preamble(&mut good);
+    good.push_u64(0).op(op::CALL).op(op::POP);
+    good.push_u64(1).push_u64(0).op(op::SSTORE).op(op::STOP);
+    let good = analyze(&good.assemble().unwrap());
+    assert!(!fires(&good, Rule::WriteAfterCall));
+
+    // Negative: STATICCALL cannot lead to reentrant state writes.
+    let mut st = Asm::new();
+    for _ in 0..5 {
+        st.push_u64(0);
+    }
+    st.op(op::GAS).op(op::STATICCALL).op(op::POP);
+    st.push_u64(1).push_u64(0).op(op::SSTORE).op(op::STOP);
+    let st = analyze(&st.assemble().unwrap());
+    assert!(!fires(&st, Rule::WriteAfterCall));
+}
+
+#[test]
+fn unchecked_call_pair() {
+    // Positive: status POPped straight away.
+    let mut bad = Asm::new();
+    call_preamble(&mut bad);
+    bad.push_u64(0).op(op::CALL).op(op::POP).op(op::STOP);
+    let bad = analyze(&bad.assemble().unwrap());
+    assert!(fires(&bad, Rule::UncheckedCall));
+
+    // Negative: the solc transfer shape — success flag consumed by JUMPI.
+    let mut good = Asm::new();
+    let ok = good.new_label();
+    call_preamble(&mut good);
+    good.push_u64(0).op(op::CALL);
+    good.push_label(ok).op(op::JUMPI);
+    good.push_u64(0).push_u64(0).op(op::REVERT);
+    good.place(ok).op(op::STOP);
+    let good = analyze(&good.assemble().unwrap());
+    assert!(!fires(&good, Rule::UncheckedCall));
+}
+
+#[test]
+fn truncated_push_pair() {
+    // Positive: PUSH2 with a single immediate byte at end of code.
+    let bad = analyze(&[op::PUSH1 + 1, 0xab]);
+    assert!(fires(&bad, Rule::TruncatedPush));
+
+    let good = analyze(&[op::PUSH1 + 1, 0xab, 0xcd]);
+    assert!(!fires(&good, Rule::TruncatedPush));
+
+    // Unreachable truncated bytes are data, not findings.
+    let unreachable = analyze(&[op::STOP, op::PUSH32, 0x5b]);
+    assert!(!fires(&unreachable, Rule::TruncatedPush));
+    assert!(fires(&unreachable, Rule::UnreachableCode));
+}
+
+#[test]
+fn selfdestruct_and_origin() {
+    let mut sd = Asm::new();
+    sd.push_u64(0).op(op::SELFDESTRUCT);
+    let sd = analyze(&sd.assemble().unwrap());
+    assert!(fires(&sd, Rule::Selfdestruct));
+
+    let orig = analyze(&[op::ORIGIN, op::POP, op::STOP]);
+    assert!(fires(&orig, Rule::Origin));
+
+    let clean = analyze(&[op::CALLER, op::POP, op::STOP]);
+    assert!(!fires(&clean, Rule::Selfdestruct));
+    assert!(!fires(&clean, Rule::Origin));
+}
+
+#[test]
+fn unreachable_code_merges_regions() {
+    // STOP, then three dead blocks (two INVALIDs and a JUMPDEST tail).
+    // The program has no jumps at all, so not even the JUMPDEST is a
+    // conservative target: everything after the STOP is one dead region
+    // and must produce ONE merged finding, not one per block.
+    let code = [op::STOP, op::INVALID, op::INVALID, op::JUMPDEST, op::STOP];
+    let report = analyze(&code);
+    let regions: Vec<_> = report.findings_for(Rule::UnreachableCode).collect();
+    assert_eq!(
+        regions.len(),
+        1,
+        "contiguous dead blocks merge: {regions:?}"
+    );
+    assert_eq!(regions[0].pc, 1);
+}
+
+#[test]
+fn unknown_jump_keeps_all_jumpdests_reachable() {
+    // Jump target comes from CALLDATALOAD → unknown → every JUMPDEST is a
+    // conservative successor, so neither destination is "unreachable".
+    let mut asm = Asm::new();
+    let a = asm.new_label();
+    let b = asm.new_label();
+    asm.push_u64(0).op(op::CALLDATALOAD).op(op::JUMP);
+    asm.place(a).op(op::STOP);
+    asm.place(b).op(op::STOP);
+    let report = analyze(&asm.assemble().unwrap());
+    assert!(!fires(&report, Rule::UnreachableCode));
+    assert!(!fires(&report, Rule::InvalidJump));
+}
+
+#[test]
+fn subroutine_return_address_resolves() {
+    // Caller pushes a return label, calls a subroutine, which jumps back
+    // through the stacked constant. Constant tracking must resolve both
+    // jumps: everything reachable, nothing flagged.
+    let mut asm = Asm::new();
+    let func = asm.new_label();
+    let back = asm.new_label();
+    asm.push_label(back); // return address
+    asm.push_label(func).op(op::JUMP);
+    asm.place(back).op(op::STOP);
+    asm.place(func); // subroutine: consumes return address
+    asm.op(op::JUMP); // jump back through the tracked constant
+    let report = analyze(&asm.assemble().unwrap());
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn default_policy_denies_errors_warns_rest() {
+    let policy = VettingPolicy::default();
+    assert_eq!(policy.action(Rule::InvalidJump), Action::Deny);
+    assert_eq!(policy.action(Rule::StackUnderflow), Action::Deny);
+    assert_eq!(policy.action(Rule::StackOverflow), Action::Deny);
+    assert_eq!(policy.action(Rule::WriteAfterCall), Action::Deny);
+    assert_eq!(policy.action(Rule::UncheckedCall), Action::Warn);
+    assert_eq!(policy.action(Rule::UnreachableCode), Action::Warn);
+
+    let relaxed = VettingPolicy::default().with_action(Rule::WriteAfterCall, Action::Warn);
+    assert_eq!(relaxed.action(Rule::WriteAfterCall), Action::Warn);
+    assert_eq!(relaxed.action(Rule::InvalidJump), Action::Deny);
+
+    for rule in Rule::ALL {
+        assert_ne!(VettingPolicy::permissive().action(rule), Action::Deny);
+    }
+}
+
+#[test]
+fn severity_comes_from_rule() {
+    assert_eq!(Rule::InvalidJump.severity(), Severity::Error);
+    assert_eq!(Rule::Origin.severity(), Severity::Warning);
+    let bad = analyze(&[op::ADD]);
+    assert!(bad
+        .findings_for(Rule::StackUnderflow)
+        .all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn deployment_vetting_extracts_and_gates_runtime() {
+    // Runtime with a reentrancy shape, wrapped in a clean deploy tail:
+    // the *init* code never runs the bad path, so only runtime analysis
+    // can catch it.
+    let mut runtime = Asm::new();
+    for _ in 0..6 {
+        runtime.push_u64(0);
+    }
+    runtime.op(op::GAS).op(op::CALL).op(op::POP);
+    runtime.push_u64(1).push_u64(0).op(op::SSTORE).op(op::STOP);
+    let runtime = runtime.assemble().unwrap();
+
+    let mut init = Asm::new();
+    let end = init.new_label();
+    init.push_u64(runtime.len() as u64);
+    init.push_label(end);
+    init.push_u64(0);
+    init.op(op::CODECOPY);
+    init.push_u64(runtime.len() as u64);
+    init.push_u64(0);
+    init.op(op::RETURN);
+    init.place_raw(end);
+    init.extend_raw(runtime);
+    let init = init.assemble().unwrap();
+
+    let vetting = vet_deployment(&init);
+    assert!(vetting.runtime_range.is_some());
+    let rt = vetting.runtime.as_ref().unwrap();
+    assert!(fires(rt, Rule::WriteAfterCall));
+    // Init code never flags unreachable (the runtime image is data).
+    assert!(!fires(&vetting.init, Rule::UnreachableCode));
+
+    let err = vetting.enforce(&VettingPolicy::default()).unwrap_err();
+    assert!(err.to_string().contains("write-after-call"), "{err}");
+    assert!(vetting.enforce(&VettingPolicy::permissive()).is_ok());
+}
+
+#[test]
+fn gas_floor_exact_on_straight_line() {
+    // PUSH1 1, PUSH1 2, ADD, STOP: 3 + 3 + 3 + 0.
+    let mut asm = Asm::new();
+    asm.push_u64(1).push_u64(2).op(op::ADD).op(op::STOP);
+    let report = analyze(&asm.assemble().unwrap());
+    assert_eq!(report.gas_floor, 9);
+
+    // Empty code is an immediate implicit STOP.
+    assert_eq!(analyze(&[]).gas_floor, 0);
+}

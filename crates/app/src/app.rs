@@ -284,6 +284,20 @@ impl RentalApp {
         Ok(id)
     }
 
+    /// Run the static bytecode verifier over an upload without deploying
+    /// it — the dashboard's pre-deployment "vet" action. The same
+    /// analysis gates [`RentalApp::deploy_contract`] and
+    /// [`RentalApp::modify_contract`]; this lets a landlord see the
+    /// findings before committing a transaction.
+    pub fn vet_upload(
+        &self,
+        session: SessionToken,
+        upload_id: u64,
+    ) -> AppResult<lsc_analyzer::DeploymentVetting> {
+        self.current_user(session)?;
+        Ok(self.manager.vet_upload(upload_id)?)
+    }
+
     /// Fig. 10: deploy an uploaded contract; the logged-in user becomes
     /// the landlord.
     pub fn deploy_contract(
@@ -610,8 +624,7 @@ impl RentalApp {
         let has_maintenance = self
             .manager
             .contract_at(row.address)
-            .map(|c| c.abi().function("aNewFunction").is_some())
-            .unwrap_or(false);
+            .is_ok_and(|c| c.abi().function("aNewFunction").is_some());
         if row.landlord == user.id {
             if on_chain_state != RentalState::Terminated {
                 actions.push(Action::Terminate);

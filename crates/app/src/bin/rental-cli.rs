@@ -17,10 +17,13 @@
 //! EOF
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lsc_abi::AbiValue;
+use lsc_analyzer::{DeploymentVetting, VettingPolicy};
 use lsc_app::{dashboard, RentalApp, SessionToken};
 use lsc_chain::wal::{FaultPlan, Faults};
-use lsc_chain::{ChainConfig, LocalNode};
+use lsc_chain::{ChainConfig, DeployGuard, LocalNode};
 use lsc_core::contracts;
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{ether, Address, U256};
@@ -56,8 +59,17 @@ impl Cli {
         let mining_workers = std::env::var("LSC_MINING_WORKERS")
             .ok()
             .and_then(|v| v.parse().ok());
+        // Last line of defence behind the manager's vetting gate: the
+        // node itself refuses create transactions whose init code the
+        // static verifier denies, no matter which tier submitted them.
+        let deploy_guard = DeployGuard::new(|init_code| {
+            lsc_analyzer::vet_deployment(init_code)
+                .enforce(&VettingPolicy::default())
+                .map_err(|e| e.to_string())
+        });
         let config = ChainConfig {
             mining_workers,
+            deploy_guard: Some(deploy_guard),
             ..ChainConfig::default()
         };
         let node = match &data_dir {
@@ -159,6 +171,23 @@ impl Cli {
                     )
                     .map_err(|e| e.to_string())?;
                 Ok(format!("uploaded `{name}` as #{id}"))
+            }
+            ["vet", target] => {
+                let vetting = if let Some(hex) = target.strip_prefix("0x") {
+                    let bytes = (0..hex.len())
+                        .step_by(2)
+                        .map(|i| u8::from_str_radix(hex.get(i..i + 2).unwrap_or("zz"), 16))
+                        .collect::<Result<Vec<u8>, _>>()
+                        .map_err(|_| "bad hex bytecode".to_string())?;
+                    lsc_analyzer::vet_deployment(&bytes)
+                } else {
+                    let session = self.session()?;
+                    let upload: u64 = target.parse().map_err(|_| "bad upload id")?;
+                    self.app
+                        .vet_upload(session, upload)
+                        .map_err(|e| e.to_string())?
+                };
+                Ok(render_vetting(&vetting))
             }
             ["deploy", upload, rent_eth, house, seconds] => {
                 let session = self.session()?;
@@ -354,7 +383,7 @@ impl Cli {
                 Ok(out)
             }
             ["compact"] => {
-                let result = self.web3.with_node(|node| node.compact());
+                let result = self.web3.with_node(lsc_chain::LocalNode::compact);
                 match result {
                     Ok(wal_from) => Ok(format!(
                         "log compacted into a snapshot; wal continues at segment {wal_from}"
@@ -370,11 +399,48 @@ impl Cli {
     }
 }
 
+fn render_vetting(vetting: &DeploymentVetting) -> String {
+    let mut out = String::from("STATIC BYTECODE VETTING\n");
+    out.push_str(&format!(
+        "init:    {} instr(s), {} block(s), gas floor {}\n",
+        vetting.init.instr_count, vetting.init.block_count, vetting.init.gas_floor
+    ));
+    match (&vetting.runtime, &vetting.runtime_range) {
+        (Some(rt), Some(range)) => out.push_str(&format!(
+            "runtime: {} byte(s) at {}..{}, {} instr(s), gas floor {}\n",
+            range.len(),
+            range.start,
+            range.end,
+            rt.instr_count,
+            rt.gas_floor
+        )),
+        _ => out.push_str("runtime: not recovered (no canonical deploy tail)\n"),
+    }
+    let findings = vetting.findings();
+    if findings.is_empty() {
+        out.push_str("findings: none\n");
+    } else {
+        out.push_str(&format!("findings: {}\n", findings.len()));
+        for (region, finding) in &findings {
+            out.push_str(&format!("  [{region}] {finding}\n"));
+        }
+    }
+    match vetting.enforce(&VettingPolicy::default()) {
+        Ok(()) => out.push_str("verdict: deployable under the default policy"),
+        Err(e) => out.push_str(&format!(
+            "verdict: DENIED under the default policy ({} finding(s))",
+            e.denied.len()
+        )),
+    }
+    out
+}
+
 const HELP: &str = "commands:
   accounts                                       list dev accounts
   register <name> <email> <pw> <account-index>   create a user
   login <name> <pw> | logout
   upload base|v2|guarded                         compile & upload a contract
+  vet <upload-id|0xhex>                          static-verify bytecode
   deploy <upload> <rent-eth> <house> <seconds>   deploy the base contract
   deploy-v2 <upload> <rent> <deposit> <house> <seconds>
   attach-doc <address|last> <text…>              link the legal PDF

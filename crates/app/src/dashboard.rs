@@ -27,7 +27,7 @@ pub fn render(dashboard: &Dashboard) -> String {
     out.push_str(&"-".repeat(60));
     out.push('\n');
     for (id, name) in &dashboard.uploads {
-        out.push_str(&format!("{:<34} | DEPLOY (upload #{id})\n", name));
+        out.push_str(&format!("{name:<34} | DEPLOY (upload #{id})\n"));
     }
     if !dashboard.rows.is_empty() {
         out.push('\n');
@@ -38,7 +38,11 @@ pub fn render(dashboard: &Dashboard) -> String {
         out.push_str(&"-".repeat(90));
         out.push('\n');
         for row in &dashboard.rows {
-            let actions: Vec<String> = row.actions.iter().map(|a| a.to_string()).collect();
+            let actions: Vec<String> = row
+                .actions
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             out.push_str(&format!(
                 "{:<34} | {:<9} | v{:<3} | {:<10} | {}\n",
                 row.name,

@@ -118,7 +118,7 @@ pub fn version_event(record: &VersionRecord, upload_id: u64) -> String {
     JsonValue::object([
         ("type", s("version")),
         ("address", s(&record.address.to_string())),
-        ("version", n(record.version as u64)),
+        ("version", n(u64::from(record.version))),
         ("name", s(&record.name)),
         ("deployer", s(&record.deployer.to_string())),
         ("block", n(record.block)),
@@ -158,7 +158,7 @@ pub fn row_event(row: &ContractRow) -> String {
                 None => JsonValue::Null,
             },
         ),
-        ("version", n(row.version as u64)),
+        ("version", n(u64::from(row.version))),
         ("state", s(&row.state.to_string())),
         ("abi", s(&row.abi.to_string())),
         ("address", s(&row.address.to_string())),

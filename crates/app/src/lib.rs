@@ -12,6 +12,7 @@
 //!   per-user dashboard (Fig. 7).
 //! * [`dashboard`] — deterministic text rendering of the screens.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;

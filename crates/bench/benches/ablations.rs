@@ -48,7 +48,7 @@ fn a1_data_separation_vs_monolithic(c: &mut Criterion) {
                         )
                         .unwrap();
                     black_box(v2.address())
-                })
+                });
             },
         );
         // Monolithic: the data lives only in the contract; an update means
@@ -81,7 +81,7 @@ fn a1_data_separation_vs_monolithic(c: &mut Criterion) {
                             .unwrap();
                     }
                     black_box(v2.address())
-                })
+                });
             },
         );
     }
@@ -96,7 +96,7 @@ fn a2_document_storage_tiers(c: &mut Criterion) {
         // Four-tier: document goes to IPFS; the chain holds nothing.
         group.bench_with_input(BenchmarkId::new("ipfs_offchain", size), &size, |b, _| {
             let ipfs = IpfsNode::new();
-            b.iter(|| black_box(ipfs.add(&pdf)))
+            b.iter(|| black_box(ipfs.add(&pdf)));
         });
         // Two-tier: document bytes pushed through the data-storage
         // contract (on-chain storage, word by word) — the cost the paper's
@@ -115,7 +115,7 @@ fn a2_document_storage_tiers(c: &mut Criterion) {
                         .unwrap();
                 }
                 black_box(owner)
-            })
+            });
         });
     }
     group.finish();
@@ -133,7 +133,7 @@ fn a3_versioning_vs_redeploy(c: &mut Criterion) {
             // The payoff: the evidence line is recoverable.
             assert_eq!(world.manager.history(chain[n - 1]).unwrap().len(), n);
             black_box(chain)
-        })
+        });
     });
     // Naive: redeploy n times without links — cheaper per update, but no
     // on-chain history (the assert shows each version stands alone).
@@ -147,7 +147,7 @@ fn a3_versioning_vs_redeploy(c: &mut Criterion) {
             let last = last.unwrap();
             assert_eq!(world.manager.history(last.address()).unwrap().len(), 1);
             black_box(last.address())
-        })
+        });
     });
     group.finish();
 }

@@ -1,0 +1,73 @@
+//! Cost of the static bytecode verifier: `vet_deployment` (CFG
+//! recovery, abstract interpretation and lints over init and the
+//! extracted runtime) on every artifact the deploy gate actually sees,
+//! plus the same deployment with and without the gate to show the
+//! overhead it adds to `ContractManager::deploy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_analyzer::vet_deployment;
+use lsc_bench::BenchWorld;
+use lsc_core::contracts;
+use lsc_core::templates::RentalTemplate;
+use lsc_solc::Artifact;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn artifacts() -> Vec<(&'static str, Artifact)> {
+    vec![
+        (
+            "template_full",
+            RentalTemplate::named("BenchHouse")
+                .with_deposit()
+                .with_discount()
+                .with_maintenance()
+                .with_guarded_links()
+                .compile()
+                .unwrap(),
+        ),
+        ("base_rental", contracts::compile_base_rental().unwrap()),
+        (
+            "guarded_rental",
+            contracts::compile_guarded_rental().unwrap(),
+        ),
+        ("data_storage", contracts::compile_data_storage().unwrap()),
+    ]
+}
+
+fn bench_vet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_cost/vet_deployment");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for (name, artifact) in artifacts() {
+        group.throughput(criterion::Throughput::Bytes(artifact.bytecode.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(vet_deployment(black_box(&artifact.bytecode))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gated_deploy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_cost/deploy_vs_vet");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    // The full managed deployment (vetting gate included)...
+    group.bench_function(BenchmarkId::from_parameter("managed_deploy"), |b| {
+        b.iter_batched(
+            BenchWorld::new,
+            |world| black_box(world.deploy_base()),
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    // ...against the vetting alone, to read the gate's share directly.
+    let artifact = contracts::compile_base_rental().unwrap();
+    group.bench_function(BenchmarkId::from_parameter("vet_only"), |b| {
+        b.iter(|| black_box(vet_deployment(black_box(&artifact.bytecode))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vet, bench_gated_deploy);
+criterion_main!(benches);

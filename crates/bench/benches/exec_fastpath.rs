@@ -29,7 +29,7 @@ fn bench_lifecycle(c: &mut Criterion) {
                 BenchWorld::new,
                 |world| black_box(world.run_lifecycle(12)),
                 BatchSize::PerIteration,
-            )
+            );
         });
     }
     fastpath::set_enabled(true);
@@ -48,7 +48,7 @@ fn bench_version_chain(c: &mut Criterion) {
                 BenchWorld::new,
                 |world| black_box(world.deploy_chain(8)),
                 BatchSize::PerIteration,
-            )
+            );
         });
     }
     fastpath::set_enabled(true);
@@ -67,7 +67,7 @@ fn bench_mined_block(c: &mut Criterion) {
                 lsc_bench::loaded_rent_block,
                 |web3| black_box(web3.mine_block()),
                 BatchSize::PerIteration,
-            )
+            );
         });
     }
     fastpath::set_enabled(true);
@@ -109,7 +109,7 @@ fn bench_durable_submit(c: &mut Criterion) {
                 black_box(node.pending_count())
             },
             BatchSize::PerIteration,
-        )
+        );
     });
     group.bench_function("group_commit", |b| {
         b.iter_batched(
@@ -123,7 +123,7 @@ fn bench_durable_submit(c: &mut Criterion) {
                 black_box(node.pending_count())
             },
             BatchSize::PerIteration,
-        )
+        );
     });
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);

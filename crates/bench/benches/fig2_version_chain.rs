@@ -15,7 +15,7 @@ fn bench_chain_build(c: &mut Criterion) {
             b.iter(|| {
                 let world = BenchWorld::new();
                 black_box(world.deploy_chain(n))
-            })
+            });
         });
     }
     group.finish();
@@ -33,7 +33,7 @@ fn bench_chain_traversal(c: &mut Criterion) {
                 let history = world.manager.history(black_box(tail)).unwrap();
                 assert_eq!(history.len(), n);
                 black_box(history)
-            })
+            });
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_chain_verification(c: &mut Criterion) {
     let world = BenchWorld::new();
     let addresses = world.deploy_chain(8);
     group.bench_function("n=8", |b| {
-        b.iter(|| black_box(world.manager.verify_chain(addresses[0]).unwrap()))
+        b.iter(|| black_box(world.manager.verify_chain(addresses[0]).unwrap()));
     });
     group.finish();
 }

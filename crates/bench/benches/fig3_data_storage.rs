@@ -33,11 +33,11 @@ fn bench_set_get(c: &mut Criterion) {
                     black_box("rent"),
                     black_box("2000000000000000000"),
                 )
-                .unwrap()
-        })
+                .unwrap();
+        });
     });
     group.bench_function("getValue", |b| {
-        b.iter(|| black_box(store.get(owner, black_box("rent")).unwrap()))
+        b.iter(|| black_box(store.get(owner, black_box("rent")).unwrap()));
     });
     group.finish();
 }
@@ -53,7 +53,7 @@ fn bench_key_length(c: &mut Criterion) {
         let key = "k".repeat(len);
         store.set(world.landlord, owner, &key, "value").unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| black_box(store.get(owner, &key).unwrap()))
+            b.iter(|| black_box(store.get(owner, &key).unwrap()));
         });
     }
     group.finish();
@@ -80,7 +80,7 @@ fn bench_migration(c: &mut Criterion) {
                 let new = Address::from_label(&format!("new-version-{salt}"));
                 let moved = store.migrate(world.landlord, old, new, &key_refs).unwrap();
                 assert_eq!(moved, n_attrs);
-            })
+            });
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_lifecycle(c: &mut Criterion) {
                 b.iter(|| {
                     let world = BenchWorld::new();
                     black_box(world.run_lifecycle(months))
-                })
+                });
             },
         );
     }
@@ -39,7 +39,7 @@ fn bench_single_actions(c: &mut Criterion) {
         });
     };
     group.bench_function("deploy", |b| {
-        b.iter_with_setup(|| refuel(&world), |()| black_box(world.deploy_base()))
+        b.iter_with_setup(|| refuel(&world), |()| black_box(world.deploy_base()));
     });
     group.bench_function("confirm_agreement", |b| {
         b.iter_with_setup(
@@ -50,7 +50,7 @@ fn bench_single_actions(c: &mut Criterion) {
             |rental| {
                 rental.confirm_agreement(world.tenant).unwrap();
             },
-        )
+        );
     });
     group.bench_function("pay_rent", |b| {
         b.iter_with_setup(
@@ -63,7 +63,7 @@ fn bench_single_actions(c: &mut Criterion) {
             |rental| {
                 rental.pay_rent(world.tenant).unwrap();
             },
-        )
+        );
     });
     group.finish();
 }

@@ -11,10 +11,10 @@ use std::time::Duration;
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig56/compile");
     group.bench_function("base_rental", |b| {
-        b.iter(|| black_box(contracts::compile_base_rental().unwrap()))
+        b.iter(|| black_box(contracts::compile_base_rental().unwrap()));
     });
     group.bench_function("rental_agreement_v2", |b| {
-        b.iter(|| black_box(contracts::compile_rental_agreement().unwrap()))
+        b.iter(|| black_box(contracts::compile_rental_agreement().unwrap()));
     });
     group.finish();
 }
@@ -24,10 +24,10 @@ fn bench_deploy(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig56/deploy");
     group.sample_size(20);
     group.bench_function("base_rental", |b| {
-        b.iter(|| black_box(deployment_gas(&world.base, &world.base_args())))
+        b.iter(|| black_box(deployment_gas(&world.base, &world.base_args())));
     });
     group.bench_function("rental_agreement_v2", |b| {
-        b.iter(|| black_box(deployment_gas(&world.v2, &world.v2_args())))
+        b.iter(|| black_box(deployment_gas(&world.v2, &world.v2_args())));
     });
     group.finish();
 }

@@ -101,21 +101,21 @@ fn bench_shape(c: &mut Criterion, shape: &str, contended: bool, sizes: &[usize])
                 || loaded_node(n, contended, None),
                 |mut node| black_box(node.mine_block()),
                 BatchSize::PerIteration,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("parallel_forced4", n), &n, |b, &n| {
             b.iter_batched(
                 || loaded_node(n, contended, Some(4)),
                 |mut node| black_box(node.mine_block()),
                 BatchSize::PerIteration,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
             b.iter_batched(
                 || loaded_node(n, contended, None),
                 |mut node| black_box(node.mine_block_sequential()),
                 BatchSize::PerIteration,
-            )
+            );
         });
     }
     group.finish();

@@ -22,7 +22,7 @@ fn bench_keccak(c: &mut Criterion) {
         let data = vec![0xabu8; size];
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_function(format!("{size}B"), |b| {
-            b.iter(|| keccak256(black_box(&data)))
+            b.iter(|| keccak256(black_box(&data)));
         });
     }
     group.finish();
@@ -33,16 +33,16 @@ fn bench_u256(c: &mut Criterion) {
     let a = U256::from_be_bytes(keccak256(b"a"));
     let m = U256::from_be_bytes(keccak256(b"m"));
     group.bench_function("mul", |b| {
-        b.iter(|| black_box(a).wrapping_mul(black_box(m)))
+        b.iter(|| black_box(a).wrapping_mul(black_box(m)));
     });
     group.bench_function("div_rem", |b| {
-        b.iter(|| black_box(a).div_rem(black_box(m >> 128u32)))
+        b.iter(|| black_box(a).div_rem(black_box(m >> 128u32)));
     });
     group.bench_function("mul_mod", |b| {
-        b.iter(|| black_box(a).mul_mod(black_box(a), black_box(m)))
+        b.iter(|| black_box(a).mul_mod(black_box(a), black_box(m)));
     });
     group.bench_function("to_decimal", |b| {
-        b.iter(|| black_box(a).to_decimal_string())
+        b.iter(|| black_box(a).to_decimal_string());
     });
     group.finish();
 }
@@ -98,7 +98,7 @@ fn bench_evm_loop(c: &mut Criterion) {
                 black_box(result.output);
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -118,10 +118,10 @@ fn bench_abi(c: &mut Criterion) {
     let encoded = lsc_abi::encode(&types, &values).unwrap();
     let mut group = c.benchmark_group("substrate/abi");
     group.bench_function("encode", |b| {
-        b.iter(|| lsc_abi::encode(black_box(&types), black_box(&values)))
+        b.iter(|| lsc_abi::encode(black_box(&types), black_box(&values)));
     });
     group.bench_function("decode", |b| {
-        b.iter(|| lsc_abi::decode(black_box(&types), black_box(&encoded)))
+        b.iter(|| lsc_abi::decode(black_box(&types), black_box(&encoded)));
     });
     group.finish();
 }
@@ -129,7 +129,7 @@ fn bench_abi(c: &mut Criterion) {
 fn bench_compiler(c: &mut Criterion) {
     let source = contracts::full_source();
     c.bench_function("substrate/solc_compile_rental_suite", |b| {
-        b.iter(|| lsc_solc::compile_source(black_box(&source)).unwrap())
+        b.iter(|| lsc_solc::compile_source(black_box(&source)).unwrap());
     });
 }
 

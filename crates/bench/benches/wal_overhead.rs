@@ -62,7 +62,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                 || loaded_memory(n),
                 |mut node| black_box(node.mine_block()),
                 BatchSize::PerIteration,
-            )
+            );
         });
         let dir = bench_dir(&format!("mine-{n}"));
         group.bench_with_input(BenchmarkId::new("durable", n), &n, |b, &n| {
@@ -70,7 +70,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                 || loaded_durable(&dir, n),
                 |mut node| black_box(node.mine_block()),
                 BatchSize::PerIteration,
-            )
+            );
         });
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -92,7 +92,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                     black_box(node.pending_count())
                 },
                 BatchSize::PerIteration,
-            )
+            );
         });
         let dir = bench_dir("submit");
         group.bench_with_input(BenchmarkId::new("durable", n), &n, |b, &n| {
@@ -107,7 +107,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                     black_box(node.pending_count())
                 },
                 BatchSize::PerIteration,
-            )
+            );
         });
         let _ = std::fs::remove_dir_all(&dir);
     }

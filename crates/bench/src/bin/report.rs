@@ -126,12 +126,12 @@ fn f3_data_storage() {
     let fresh = gas_of(&world, &|| {
         store
             .set(world.landlord, owner, "rent", "1000000000000000000")
-            .unwrap()
+            .unwrap();
     });
     let overwrite = gas_of(&world, &|| {
         store
             .set(world.landlord, owner, "rent", "2000000000000000000")
-            .unwrap()
+            .unwrap();
     });
     println!("setValue fresh slot   : {fresh:>8} gas");
     println!("setValue overwrite    : {overwrite:>8} gas   (cheaper: warm slot)");
@@ -145,7 +145,7 @@ fn f3_data_storage() {
     for len in [4usize, 32, 128, 512] {
         let key = "k".repeat(len);
         let gas = gas_of(&world, &|| {
-            store.set(world.landlord, owner, &key, "v").unwrap()
+            store.set(world.landlord, owner, &key, "v").unwrap();
         });
         println!("{len:>10} | {gas:>10}");
     }

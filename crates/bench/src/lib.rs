@@ -7,6 +7,7 @@
 //! (`cargo run -p lsc-bench --bin report`) that prints the series
 //! `EXPERIMENTS.md` records.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lsc_abi::AbiValue;

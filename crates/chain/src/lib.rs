@@ -9,6 +9,7 @@
 //! to mainnet via MetaMask; [`LocalNode`] plays both roles here (the
 //! wallet lives in `lsc-web3`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codec;
@@ -19,7 +20,7 @@ pub mod state;
 pub mod tx;
 pub mod wal;
 
-pub use node::{ChainConfig, LocalNode};
+pub use node::{ChainConfig, DeployGuard, LocalNode};
 pub use snapshot::SnapshotError;
 pub use state::{Account, WorldState};
 pub use tx::{Block, Receipt, Transaction, TxError};

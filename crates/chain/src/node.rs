@@ -21,6 +21,38 @@ pub fn default_dev_balance() -> U256 {
     lsc_primitives::ether(1000)
 }
 
+/// A pre-execution hook over create-transaction init code. The chain tier
+/// stays ignorant of *what* the check is (the app tier installs the
+/// static bytecode verifier here); it only promises to run it before any
+/// deployment executes, in every mining mode.
+///
+/// The check must be a pure function of the init code — both mining
+/// engines and WAL replay assume the same bytes always produce the same
+/// verdict.
+#[derive(Clone)]
+pub struct DeployGuard(Arc<GuardFn>);
+
+/// The predicate a [`DeployGuard`] runs over init code.
+type GuardFn = dyn Fn(&[u8]) -> Result<(), String> + Send + Sync;
+
+impl DeployGuard {
+    /// Wrap a checking function; `Err(reason)` rejects the transaction.
+    pub fn new(check: impl Fn(&[u8]) -> Result<(), String> + Send + Sync + 'static) -> Self {
+        DeployGuard(Arc::new(check))
+    }
+
+    /// Run the guard over a create transaction's init code.
+    pub fn check(&self, init_code: &[u8]) -> Result<(), String> {
+        (self.0)(init_code)
+    }
+}
+
+impl std::fmt::Debug for DeployGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DeployGuard(..)")
+    }
+}
+
 /// Chain configuration.
 #[derive(Debug, Clone)]
 pub struct ChainConfig {
@@ -38,6 +70,10 @@ pub struct ChainConfig {
     /// machine's available parallelism. On a single-core machine (or
     /// with `Some(1)`) batch mining runs sequentially.
     pub mining_workers: Option<usize>,
+    /// Optional vetting hook run over every create transaction's init
+    /// code before execution; `Err` rejects with
+    /// [`TxError::DeployRejected`].
+    pub deploy_guard: Option<DeployGuard>,
 }
 
 impl Default for ChainConfig {
@@ -49,6 +85,7 @@ impl Default for ChainConfig {
             genesis_timestamp: 1_577_836_800, // 2020-01-01
             coinbase: Address::from_label("coinbase"),
             mining_workers: None,
+            deploy_guard: None,
         }
     }
 }
@@ -322,6 +359,17 @@ impl LocalNode {
         }
     }
 
+    /// Run the configured deploy guard over a create transaction's init
+    /// code; calls and guard-less nodes always pass.
+    fn check_deploy_guard(&self, tx: &Transaction) -> Result<(), TxError> {
+        if tx.to.is_none() {
+            if let Some(guard) = &self.config.deploy_guard {
+                guard.check(&tx.data).map_err(TxError::DeployRejected)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Hashes of the most recent 256 blocks, newest first (BLOCKHASH).
     fn recent_hashes(&self) -> Vec<(u64, H256)> {
         self.blocks
@@ -340,6 +388,10 @@ impl LocalNode {
         tx: &Transaction,
         env: &BlockEnv,
     ) -> Result<(H256, Receipt), TxError> {
+        // The guard depends only on the payload bytes, so it runs first:
+        // both mining engines can then agree on the verdict without
+        // ordering it against state-dependent checks.
+        self.check_deploy_guard(tx)?;
         let expected_nonce = self.state.nonce(tx.from);
         let nonce = tx.nonce.unwrap_or(expected_nonce);
         if nonce != expected_nonce {
@@ -530,9 +582,7 @@ impl LocalNode {
     fn mine_block_inner(&mut self) -> (Block, Vec<TxError>) {
         let pending = std::mem::take(&mut self.pending);
         let workers = self.config.mining_workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         });
         if pending.len() < 2 || workers < 2 {
             return self.mine_batch_sequential(pending);
@@ -556,6 +606,10 @@ impl LocalNode {
         let mut executed = Vec::with_capacity(pending.len());
         let mut errors = Vec::new();
         for (tx, speculated) in pending.iter().zip(outcomes) {
+            if let Err(error) = self.check_deploy_guard(tx) {
+                errors.push(error);
+                continue;
+            }
             let stale = speculated.access.reads_conflict_with(&committed_writes)
                 || (any_committed && speculated.access.touches_account_balance(coinbase));
             let outcome = if stale {
@@ -741,6 +795,9 @@ fn parse_meta(text: &str) -> Result<(ChainConfig, usize), WalError> {
         genesis_timestamp: crate::codec::u64_field(&doc, "genesis_timestamp").map_err(corrupt)?,
         coinbase: crate::codec::address_field(&doc, "coinbase").map_err(corrupt)?,
         mining_workers,
+        // Guards are code, not data: whoever recovers the node re-installs
+        // theirs after replay (replayed deployments already passed it).
+        deploy_guard: None,
     };
     let n_accounts = crate::codec::u64_field(&doc, "n_accounts").map_err(corrupt)? as usize;
     Ok((config, n_accounts))
@@ -942,12 +999,12 @@ impl LocalNode {
 
     /// Directory the write-ahead log lives in, if the node is durable.
     pub fn data_dir(&self) -> Option<&Path> {
-        self.durable_log.as_ref().map(|log| log.dir())
+        self.durable_log.as_ref().map(super::wal::Wal::dir)
     }
 
     /// Index of the WAL segment currently appended to, if durable.
     pub fn wal_segment(&self) -> Option<u64> {
-        self.durable_log.as_ref().map(|log| log.segment())
+        self.durable_log.as_ref().map(super::wal::Wal::segment)
     }
 
     /// The first durability failure, if the node is poisoned.
@@ -1011,8 +1068,7 @@ impl Host for StateHost<'_> {
         self.recent_hashes
             .iter()
             .find(|(n, _)| *n == number)
-            .map(|(_, h)| *h)
-            .unwrap_or(H256::ZERO)
+            .map_or(H256::ZERO, |(_, h)| *h)
     }
 
     fn gas_price(&self) -> U256 {

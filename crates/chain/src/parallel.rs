@@ -96,13 +96,13 @@ impl<'a> SpecHost<'a> {
     }
 
     fn credit(&mut self, address: Address, value: U256) {
-        let balance = self.view(address).map(|a| a.balance).unwrap_or(U256::ZERO);
+        let balance = self.view(address).map_or(U256::ZERO, |a| a.balance);
         self.entry(address).balance = balance + value;
     }
 
     #[must_use]
     fn debit(&mut self, address: Address, value: U256) -> bool {
-        let balance = self.view(address).map(|a| a.balance).unwrap_or(U256::ZERO);
+        let balance = self.view(address).map_or(U256::ZERO, |a| a.balance);
         if balance < value {
             return false;
         }
@@ -124,8 +124,7 @@ impl Host for SpecHost<'_> {
         self.recent_hashes
             .iter()
             .find(|(n, _)| *n == number)
-            .map(|(_, h)| *h)
-            .unwrap_or(H256::ZERO)
+            .map_or(H256::ZERO, |(_, h)| *h)
     }
 
     fn gas_price(&self) -> U256 {
@@ -137,11 +136,11 @@ impl Host for SpecHost<'_> {
     }
 
     fn balance(&self, address: Address) -> U256 {
-        self.view(address).map(|a| a.balance).unwrap_or(U256::ZERO)
+        self.view(address).map_or(U256::ZERO, |a| a.balance)
     }
 
     fn nonce(&self, address: Address) -> u64 {
-        self.view(address).map(|a| a.nonce).unwrap_or(0)
+        self.view(address).map_or(0, |a| a.nonce)
     }
 
     fn code(&self, address: Address) -> Vec<u8> {
@@ -300,9 +299,8 @@ pub(crate) fn speculate(
         return abort(host, TxError::ExceedsBlockGasLimit);
     }
     let upfront = U256::from(tx.gas) * tx.gas_price;
-    let total = match upfront.checked_add(tx.value) {
-        Some(total) => total,
-        None => return abort(host, TxError::InsufficientFunds),
+    let Some(total) = upfront.checked_add(tx.value) else {
+        return abort(host, TxError::InsufficientFunds);
     };
     if host.balance(tx.from) < total {
         return abort(host, TxError::InsufficientFunds);

@@ -106,13 +106,12 @@ impl WorldState {
     pub fn balance(&self, address: Address) -> U256 {
         self.accounts
             .get(&address)
-            .map(|a| a.balance)
-            .unwrap_or(U256::ZERO)
+            .map_or(U256::ZERO, |a| a.balance)
     }
 
     /// Nonce (zero for unknown accounts).
     pub fn nonce(&self, address: Address) -> u64 {
-        self.accounts.get(&address).map(|a| a.nonce).unwrap_or(0)
+        self.accounts.get(&address).map_or(0, |a| a.nonce)
     }
 
     /// Code (shared buffer; empty for unknown accounts).

@@ -99,6 +99,9 @@ pub enum TxError {
     },
     /// Gas limit above the block gas limit.
     ExceedsBlockGasLimit,
+    /// A create transaction's init code was refused by the node's deploy
+    /// guard (see `ChainConfig::deploy_guard`).
+    DeployRejected(String),
     /// The durability layer failed to log the transaction (write-ahead
     /// log append error or injected fault); the transaction was not
     /// applied and the node refuses further state changes — the process
@@ -117,6 +120,7 @@ impl std::fmt::Display for TxError {
                 write!(f, "intrinsic gas too low (need {required})")
             }
             Self::ExceedsBlockGasLimit => write!(f, "gas limit exceeds block gas limit"),
+            Self::DeployRejected(message) => write!(f, "deployment rejected: {message}"),
             Self::Durability(message) => write!(f, "durability failure: {message}"),
         }
     }

@@ -110,7 +110,7 @@ impl FaultPlan {
                         n(at)?,
                         k.parse()
                             .map_err(|_| format!("bad byte count in `{part}`"))?,
-                    ))
+                    ));
                 }
                 ["fsync", at] => plan.fail_fsync = Some(n(at)?),
                 ["rename", at] => plan.fail_rename = Some(n(at)?),

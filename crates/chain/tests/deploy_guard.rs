@@ -1,0 +1,96 @@
+//! The chain-tier deploy guard: a configurable pre-execution check over
+//! create-transaction init code, enforced identically by instant mining,
+//! parallel batch mining and sequential batch mining.
+
+use lsc_chain::{ChainConfig, DeployGuard, LocalNode, Transaction, TxError};
+
+/// A guard that refuses init code containing the INVALID opcode byte —
+/// an arbitrary, easily-steered predicate for exercising the hook.
+fn marker_guard() -> DeployGuard {
+    DeployGuard::new(|code| {
+        if code.contains(&0xfe) {
+            Err("marker byte found".into())
+        } else {
+            Ok(())
+        }
+    })
+}
+
+fn guarded_node(workers: Option<usize>) -> LocalNode {
+    let config = ChainConfig {
+        deploy_guard: Some(marker_guard()),
+        mining_workers: workers,
+        ..ChainConfig::default()
+    };
+    LocalNode::with_config(config, 4)
+}
+
+const GOOD_INIT: &[u8] = &[0x00]; // STOP
+const BAD_INIT: &[u8] = &[0x60, 0x00, 0xfe]; // PUSH1 0, INVALID
+
+#[test]
+fn instant_mining_enforces_the_guard() {
+    let mut node = guarded_node(None);
+    let from = node.accounts()[0];
+
+    let err = node
+        .send_transaction(Transaction::deploy(from, BAD_INIT.to_vec()))
+        .unwrap_err();
+    assert!(
+        matches!(err, TxError::DeployRejected(ref m) if m.contains("marker")),
+        "{err:?}"
+    );
+
+    // The rejection consumed nothing: nonce and balance are untouched,
+    // and a clean deployment still goes through.
+    let receipt = node
+        .send_transaction(Transaction::deploy(from, GOOD_INIT.to_vec()))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+
+    // Plain calls never hit the guard, even with the marker byte as data.
+    let to = node.accounts()[1];
+    let receipt = node
+        .send_transaction(Transaction::call(from, to, vec![0xfe]))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+}
+
+#[test]
+fn both_batch_engines_reject_identically() {
+    let mut parallel = guarded_node(Some(4));
+    let mut sequential = guarded_node(Some(4));
+    let accounts: Vec<_> = parallel.accounts().to_vec();
+
+    let txs = vec![
+        Transaction::deploy(accounts[0], GOOD_INIT.to_vec()),
+        Transaction::deploy(accounts[1], BAD_INIT.to_vec()),
+        Transaction::deploy(accounts[2], GOOD_INIT.to_vec()),
+        Transaction::deploy(accounts[3], BAD_INIT.to_vec()),
+    ];
+    for tx in &txs {
+        parallel.submit_transaction(tx.clone());
+        sequential.submit_transaction(tx.clone());
+    }
+    let (par_block, par_errors) = parallel.mine_block();
+    let (seq_block, seq_errors) = sequential.mine_block_sequential();
+
+    assert_eq!(par_errors.len(), 2);
+    for error in &par_errors {
+        assert!(matches!(error, TxError::DeployRejected(_)), "{error:?}");
+    }
+    assert_eq!(par_errors, seq_errors);
+    assert_eq!(par_block.tx_hashes, seq_block.tx_hashes);
+    assert_eq!(par_block.tx_hashes.len(), 2);
+}
+
+#[test]
+fn guardless_node_accepts_everything() {
+    let mut node = LocalNode::new(2);
+    let from = node.accounts()[0];
+    let receipt = node
+        .send_transaction(Transaction::deploy(from, BAD_INIT.to_vec()))
+        .unwrap();
+    // The init code itself still halts (INVALID), but validation let it in.
+    assert_eq!(receipt.status, 0);
+}

@@ -11,7 +11,7 @@ use lsc_primitives::{Address, U256};
 fn init_code_for(runtime: &[u8]) -> Vec<u8> {
     let mut init = Asm::new();
     for (i, byte) in runtime.iter().enumerate() {
-        init.push_u64(*byte as u64)
+        init.push_u64(u64::from(*byte))
             .push_u64(i as u64)
             .op(op::MSTORE8);
     }

@@ -30,7 +30,7 @@ fn counter_init_code() -> Vec<u8> {
     let runtime = counter_runtime();
     let mut init = Asm::new();
     for (i, byte) in runtime.iter().enumerate() {
-        init.push_u64(*byte as u64)
+        init.push_u64(u64::from(*byte))
             .push_u64(i as u64)
             .op(op::MSTORE8);
     }

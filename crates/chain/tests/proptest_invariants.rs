@@ -46,7 +46,7 @@ proptest! {
         }
         // Nothing minted, nothing burned: fees moved to the coinbase.
         prop_assert_eq!(total_supply(&node, 4), supply_before);
-        prop_assert_eq!(node.block_number(), accepted as u64);
+        prop_assert_eq!(node.block_number(), u64::from(accepted));
     }
 
     #[test]

@@ -114,7 +114,7 @@ fn recovery_truncates_a_torn_tail() {
     // segment.
     let newest = std::fs::read_dir(&dir)
         .unwrap()
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .map(|e| e.path())
         .filter(|p| {
             p.file_name()
@@ -147,7 +147,7 @@ fn compaction_prunes_and_recovery_uses_the_snapshot() {
     // Old segments are gone, the snapshot exists.
     let names: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .filter_map(|e| e.file_name().to_str().map(String::from))
         .collect();
     assert!(
@@ -238,7 +238,7 @@ fn recovery_skips_an_invalid_snapshot() {
     // Corrupt the published snapshot: one flipped bit.
     let snapshot = std::fs::read_dir(&dir)
         .unwrap()
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .map(|e| e.path())
         .find(|p| {
             p.file_name()

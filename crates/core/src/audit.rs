@@ -24,6 +24,9 @@ pub struct AuditEntry {
     pub abi_cid: Option<String>,
     /// CID of the linked legal document, if any.
     pub document_cid: Option<String>,
+    /// Static-verifier findings recorded when the version was vetted at
+    /// deploy time (empty for clean or pre-verifier deployments).
+    pub vetting: Vec<String>,
 }
 
 /// A full evidence report over a version chain.
@@ -62,16 +65,16 @@ impl EvidenceReport {
                 entry.address.to_string(),
                 &hash[2..6],
                 &hash[hash.len() - 4..],
-                entry
-                    .block
-                    .map(|b| b.to_string())
-                    .unwrap_or_else(|| "?".into()),
+                entry.block.map_or_else(|| "?".into(), |b| b.to_string()),
                 if entry.document_cid.is_some() {
                     "linked"
                 } else {
                     "-"
                 },
             ));
+            for finding in &entry.vetting {
+                out.push_str(&format!("     | vet: {finding}\n"));
+            }
         }
         out
     }
@@ -99,6 +102,7 @@ pub fn audit_chain(manager: &ContractManager, address: Address) -> CoreResult<Ev
                 .documents()
                 .cid_of(*version_address)
                 .map(|c| c.to_string()),
+            vetting: manager.vetting_findings(*version_address),
         });
     }
     Ok(EvidenceReport {

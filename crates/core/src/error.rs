@@ -22,6 +22,8 @@ pub enum CoreError {
     UnknownUpload(u64),
     /// The version chain is inconsistent on-chain.
     BrokenChain(String),
+    /// The bytecode verifier refused to let the contract through.
+    Vetting(lsc_analyzer::VetError),
     /// A value failed validation.
     Invalid(String),
 }
@@ -36,6 +38,7 @@ impl fmt::Display for CoreError {
             Self::UnknownContract(a) => write!(f, "no ABI registered for contract {a}"),
             Self::UnknownUpload(id) => write!(f, "no uploaded contract with id {id}"),
             Self::BrokenChain(m) => write!(f, "version chain broken: {m}"),
+            Self::Vetting(e) => write!(f, "{e}"),
             Self::Invalid(m) => write!(f, "{m}"),
         }
     }
@@ -64,6 +67,12 @@ impl From<DagError> for CoreError {
 impl From<lsc_abi::AbiJsonError> for CoreError {
     fn from(e: lsc_abi::AbiJsonError) -> Self {
         Self::AbiJson(e)
+    }
+}
+
+impl From<lsc_analyzer::VetError> for CoreError {
+    fn from(e: lsc_analyzer::VetError) -> Self {
+        Self::Vetting(e)
     }
 }
 

@@ -11,6 +11,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::registry::AbiRegistry;
 use crate::versioning::VersionChain;
 use lsc_abi::{Abi, AbiValue};
+use lsc_analyzer::{vet_deployment, DeploymentVetting, VettingPolicy};
 use lsc_ipfs::{Cid, IpfsNode};
 use lsc_primitives::{Address, U256};
 use lsc_solc::Artifact;
@@ -80,6 +81,8 @@ pub struct ContractManager {
 struct ManagerState {
     uploads: Vec<UploadedContract>,
     versions: HashMap<Address, VersionRecord>,
+    policy: VettingPolicy,
+    vetting: HashMap<Address, Vec<String>>,
 }
 
 impl ContractManager {
@@ -169,6 +172,47 @@ impl ContractManager {
             .ok_or(CoreError::UnknownUpload(id))
     }
 
+    /// Replace the vetting policy enforced on deploy and modify.
+    pub fn set_vetting_policy(&self, policy: VettingPolicy) {
+        self.inner.write().policy = policy;
+    }
+
+    /// The vetting policy currently enforced.
+    pub fn vetting_policy(&self) -> VettingPolicy {
+        self.inner.read().policy.clone()
+    }
+
+    /// Run the static verifier over an upload's init bytecode without
+    /// deploying anything (the dashboard/CLI `vet` entry point).
+    pub fn vet_upload(&self, upload_id: u64) -> CoreResult<DeploymentVetting> {
+        let upload = self.upload_by_id(upload_id)?;
+        Ok(vet_deployment(&upload.bytecode))
+    }
+
+    /// The vetting gate both deploy paths pass through: analyze the init
+    /// blob (and the extracted runtime), enforce the policy, and return
+    /// the surviving findings rendered for the audit record.
+    fn vet_for_deploy(&self, upload: &UploadedContract) -> CoreResult<Vec<String>> {
+        let vetting = vet_deployment(&upload.bytecode);
+        vetting.enforce(&self.vetting_policy())?;
+        Ok(vetting
+            .findings()
+            .iter()
+            .map(|(region, f)| format!("[{region}] {f}"))
+            .collect())
+    }
+
+    /// Findings recorded when `address` was vetted at deploy time (empty
+    /// for clean contracts or pre-verifier deployments).
+    pub fn vetting_findings(&self, address: Address) -> Vec<String> {
+        self.inner
+            .read()
+            .vetting
+            .get(&address)
+            .cloned()
+            .unwrap_or_default()
+    }
+
     /// Deploy an upload as version 1 of a new legal contract (Fig. 10).
     pub fn deploy(
         &self,
@@ -178,6 +222,7 @@ impl ContractManager {
         value: U256,
     ) -> CoreResult<Contract> {
         let upload = self.upload_by_id(upload_id)?;
+        let findings = self.vet_for_deploy(&upload)?;
         let (contract, receipt) = self.web3.deploy(
             from,
             upload.abi.clone(),
@@ -186,7 +231,9 @@ impl ContractManager {
             value,
         )?;
         self.registry.register(contract.address(), &upload.abi);
-        self.inner.write().versions.insert(
+        let mut inner = self.inner.write();
+        inner.vetting.insert(contract.address(), findings);
+        inner.versions.insert(
             contract.address(),
             VersionRecord {
                 address: contract.address(),
@@ -227,6 +274,7 @@ impl ContractManager {
             ));
         }
         let upload = self.upload_by_id(upload_id)?;
+        let findings = self.vet_for_deploy(&upload)?;
         let (contract, receipt) = self.web3.deploy(
             from,
             upload.abi.clone(),
@@ -247,6 +295,7 @@ impl ContractManager {
         if let Some(record) = inner.versions.get_mut(&previous) {
             record.state = VersionState::Inactive;
         }
+        inner.vetting.insert(contract.address(), findings);
         inner.versions.insert(
             contract.address(),
             VersionRecord {

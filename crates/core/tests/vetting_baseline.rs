@@ -1,0 +1,158 @@
+//! Vet every built-in template combination and every end-to-end solc
+//! artifact, and ratchet the findings against a committed baseline:
+//!
+//! * every artifact must pass the default vetting policy (no denials),
+//! * any NEW warning — a (artifact, region, rule) count above the
+//!   baseline — fails the test,
+//! * counts below the baseline are fine (improvements don't break the
+//!   build; regenerate the baseline to lock them in).
+//!
+//! Regenerate with
+//! `LSC_UPDATE_VETTING_BASELINE=1 cargo test -p lsc-core --test vetting_baseline`.
+
+use lsc_analyzer::{vet_deployment, VettingPolicy};
+use lsc_core::contracts;
+use lsc_core::templates::RentalTemplate;
+use lsc_solc::Artifact;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// All 16 feature combinations of the rental template, named after the
+/// features they enable.
+fn template_matrix() -> Vec<(String, Artifact)> {
+    let mut out = Vec::new();
+    for bits in 0u8..16 {
+        let mut template = RentalTemplate::named("BaselineHouse");
+        let mut name = String::from("template");
+        if bits & 1 != 0 {
+            template = template.with_deposit();
+            name.push_str("+deposit");
+        }
+        if bits & 2 != 0 {
+            template = template.with_discount();
+            name.push_str("+discount");
+        }
+        if bits & 4 != 0 {
+            template = template.with_maintenance();
+            name.push_str("+maintenance");
+        }
+        if bits & 8 != 0 {
+            template = template.with_guarded_links();
+            name.push_str("+guarded");
+        }
+        let artifact = template
+            .compile()
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        out.push((name, artifact));
+    }
+    out
+}
+
+fn solc_artifacts() -> Vec<(String, Artifact)> {
+    vec![
+        (
+            "solc:base-rental".into(),
+            contracts::compile_base_rental().unwrap(),
+        ),
+        (
+            "solc:rental-agreement".into(),
+            contracts::compile_rental_agreement().unwrap(),
+        ),
+        (
+            "solc:guarded-rental".into(),
+            contracts::compile_guarded_rental().unwrap(),
+        ),
+        ("solc:node".into(), contracts::compile_node().unwrap()),
+        (
+            "solc:data-storage".into(),
+            contracts::compile_data_storage().unwrap(),
+        ),
+    ]
+}
+
+type FindingCounts = BTreeMap<(String, String, String), usize>;
+
+fn parse_baseline(text: &str) -> FindingCounts {
+    let mut counts = FindingCounts::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [name, region, rule, count] = fields.as_slice() else {
+            panic!("malformed baseline line: {line}");
+        };
+        counts.insert(
+            (name.to_string(), region.to_string(), rule.to_string()),
+            count
+                .parse()
+                .unwrap_or_else(|_| panic!("bad count in: {line}")),
+        );
+    }
+    counts
+}
+
+fn render_baseline(counts: &FindingCounts) -> String {
+    let mut out = String::from(
+        "# Vetting-findings baseline: artifact region rule count\n\
+         # New findings (count above this file) fail vetting_baseline.rs; fewer is fine.\n\
+         # Regenerate: LSC_UPDATE_VETTING_BASELINE=1 cargo test -p lsc-core --test vetting_baseline\n",
+    );
+    for ((name, region, rule), count) in counts {
+        writeln!(out, "{name} {region} {rule} {count}").unwrap();
+    }
+    out
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("vetting_baseline.txt")
+}
+
+#[test]
+fn all_artifacts_pass_the_gate_and_warnings_are_ratcheted() {
+    let policy = VettingPolicy::default();
+    let mut current = FindingCounts::new();
+    for (name, artifact) in template_matrix().into_iter().chain(solc_artifacts()) {
+        let vetting = vet_deployment(&artifact.bytecode);
+        if let Err(e) = vetting.enforce(&policy) {
+            panic!("{name} is denied by the default policy: {e}");
+        }
+        for (region, finding) in vetting.findings() {
+            *current
+                .entry((name.clone(), region.to_string(), finding.rule.to_string()))
+                .or_insert(0) += 1;
+        }
+    }
+
+    let path = baseline_path();
+    if std::env::var_os("LSC_UPDATE_VETTING_BASELINE").is_some() {
+        std::fs::write(&path, render_baseline(&current)).unwrap();
+        return;
+    }
+    let baseline = parse_baseline(
+        &std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display())),
+    );
+
+    let mut regressions = Vec::new();
+    for (key, count) in &current {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if *count > allowed {
+            regressions.push(format!(
+                "{} {} {}: {count} finding(s), baseline allows {allowed}",
+                key.0, key.1, key.2
+            ));
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "new vetting findings (fix them or consciously regenerate the baseline):\n{}\n\
+         current totals:\n{}",
+        regressions.join("\n"),
+        render_baseline(&current),
+    );
+}

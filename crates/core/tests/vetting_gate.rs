@@ -1,0 +1,186 @@
+//! The pre-deployment vetting gate (ISSUE acceptance): bytecode with a
+//! reentrancy shape or an invalid jump must be rejected by
+//! `ContractManager::deploy` AND by the modify flow (both the direct
+//! `deploy_version` call and the negotiated `enact` path), while every
+//! legitimate template still deploys; findings land in the audit trail.
+
+use lsc_abi::AbiValue;
+use lsc_chain::LocalNode;
+use lsc_core::{audit_chain, contracts, ContractManager, CoreError, NegotiationBook, VersionState};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_web3::Web3;
+
+struct World {
+    manager: ContractManager,
+    landlord: Address,
+    tenant: Address,
+}
+
+fn setup() -> World {
+    let web3 = Web3::new(LocalNode::new(4));
+    let manager = ContractManager::new(web3.clone(), IpfsNode::new());
+    let accounts = web3.accounts();
+    World {
+        manager,
+        landlord: accounts[0],
+        tenant: accounts[1],
+    }
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("10001-42 Main"),
+        AbiValue::uint(365 * 24 * 3600),
+    ]
+}
+
+/// Init code with the DAO shape: full-gas CALL, then a storage write.
+fn reentrant_bytecode() -> Vec<u8> {
+    let mut asm = Asm::new();
+    for _ in 0..6 {
+        asm.push_u64(0);
+    }
+    asm.op(op::GAS).op(op::CALL).op(op::POP);
+    asm.push_u64(1).push_u64(0).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Init code that jumps to pc 0, which is a PUSH, not a JUMPDEST.
+fn invalid_jump_bytecode() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(0).op(op::JUMP);
+    asm.assemble().unwrap()
+}
+
+fn expect_vetting_error(result: Result<lsc_web3::Contract, CoreError>, needle: &str) {
+    match result {
+        Err(CoreError::Vetting(e)) => {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+        Err(other) => panic!("expected a vetting error, got {other}"),
+        Ok(c) => panic!("deployment of bad bytecode succeeded at {}", c.address()),
+    }
+}
+
+#[test]
+fn deploy_rejects_reentrancy_shape() {
+    let w = setup();
+    let id = w
+        .manager
+        .upload("evil", reentrant_bytecode(), "[]")
+        .unwrap();
+    expect_vetting_error(
+        w.manager.deploy(w.landlord, id, &[], U256::ZERO),
+        "write-after-call",
+    );
+    // Nothing was deployed or recorded.
+    assert!(w.manager.records().is_empty());
+}
+
+#[test]
+fn deploy_rejects_invalid_jump() {
+    let w = setup();
+    let id = w
+        .manager
+        .upload("broken", invalid_jump_bytecode(), "[]")
+        .unwrap();
+    expect_vetting_error(
+        w.manager.deploy(w.landlord, id, &[], U256::ZERO),
+        "invalid-jump",
+    );
+}
+
+#[test]
+fn modify_flow_rejects_bad_upgrade() {
+    let w = setup();
+    let artifact = contracts::compile_base_rental().unwrap();
+    let good = w.manager.upload_artifact("base", &artifact).unwrap();
+    let v1 = w
+        .manager
+        .deploy(w.landlord, good, &base_args(), U256::ZERO)
+        .unwrap();
+
+    // Direct deploy_version path.
+    let evil = w
+        .manager
+        .upload("evil", reentrant_bytecode(), "[]")
+        .unwrap();
+    expect_vetting_error(
+        w.manager
+            .deploy_version(w.landlord, evil, &[], U256::ZERO, v1.address(), &[]),
+        "write-after-call",
+    );
+
+    // Negotiated path: the tenant can accept the terms, but enacting
+    // still runs the verifier and refuses to put the code on chain.
+    let book = NegotiationBook::new(w.manager.clone());
+    let proposal = book
+        .propose(
+            w.landlord,
+            w.tenant,
+            v1.address(),
+            "upgrade with a surprise",
+            evil,
+            vec![],
+            vec![],
+        )
+        .unwrap();
+    book.accept(proposal, w.tenant).unwrap();
+    match book.enact(proposal, w.landlord) {
+        Err(CoreError::Vetting(e)) => assert!(e.to_string().contains("write-after-call"), "{e}"),
+        other => panic!("expected a vetting error, got {other:?}"),
+    }
+
+    // The original version is untouched and still active.
+    let record = w.manager.record(v1.address()).unwrap();
+    assert_eq!(record.state, VersionState::Active);
+    assert_eq!(record.version, 1);
+    assert_eq!(w.manager.history(v1.address()).unwrap(), vec![v1.address()]);
+}
+
+#[test]
+fn permissive_policy_lets_flagged_code_through_and_audits_it() {
+    let w = setup();
+    w.manager
+        .set_vetting_policy(lsc_analyzer::VettingPolicy::permissive());
+    let id = w
+        .manager
+        .upload("evil", reentrant_bytecode(), "[]")
+        .unwrap();
+    let contract = w.manager.deploy(w.landlord, id, &[], U256::ZERO).unwrap();
+
+    // The findings the default policy would have denied are on record.
+    let findings = w.manager.vetting_findings(contract.address());
+    assert!(
+        findings.iter().any(|f| f.contains("write-after-call")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn template_deployment_records_clean_or_warning_findings_only() {
+    let w = setup();
+    let artifact = contracts::compile_base_rental().unwrap();
+    let id = w.manager.upload_artifact("base", &artifact).unwrap();
+    let contract = w
+        .manager
+        .deploy(w.landlord, id, &base_args(), U256::ZERO)
+        .unwrap();
+    // Whatever is recorded got through the default deny policy, so it
+    // can only be warning-level.
+    let findings = w.manager.vetting_findings(contract.address());
+    for finding in &findings {
+        assert!(finding.contains("warning"), "{finding}");
+    }
+    // The evidence report carries the recorded findings verbatim.
+    let report = audit_chain(&w.manager, contract.address()).unwrap();
+    assert_eq!(report.entries.len(), 1);
+    assert_eq!(report.entries[0].vetting, findings);
+    for finding in &findings {
+        assert!(report.render().contains(finding), "{finding}");
+    }
+}

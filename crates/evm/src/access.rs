@@ -255,7 +255,7 @@ impl<H: Host> Host for RecordingHost<H> {
         self.record_read(AccessKey::Balance(to));
         self.record_write(AccessKey::Balance(to));
         self.note_existence_write(to);
-        self.inner.mint(to, value)
+        self.inner.mint(to, value);
     }
 
     fn inc_nonce(&mut self, address: Address) -> u64 {
@@ -268,13 +268,13 @@ impl<H: Host> Host for RecordingHost<H> {
         self.record_read(AccessKey::Code(address));
         self.record_write(AccessKey::Code(address));
         self.note_existence_write(address);
-        self.inner.set_code(address, code)
+        self.inner.set_code(address, code);
     }
 
     fn create_account(&mut self, address: Address) {
         self.record_read(AccessKey::Existence(address));
         self.record_write(AccessKey::Existence(address));
-        self.inner.create_account(address)
+        self.inner.create_account(address);
     }
 
     fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
@@ -295,11 +295,11 @@ impl<H: Host> Host for RecordingHost<H> {
         self.record_write(AccessKey::Code(address));
         self.record_read(AccessKey::StorageAll(address));
         self.record_write(AccessKey::StorageAll(address));
-        self.inner.selfdestruct(address, beneficiary)
+        self.inner.selfdestruct(address, beneficiary);
     }
 
     fn log(&mut self, log: Log) {
-        self.inner.log(log)
+        self.inner.log(log);
     }
 
     fn snapshot(&mut self) -> usize {
@@ -307,7 +307,7 @@ impl<H: Host> Host for RecordingHost<H> {
     }
 
     fn revert(&mut self, snapshot: usize) {
-        self.inner.revert(snapshot)
+        self.inner.revert(snapshot);
     }
 }
 

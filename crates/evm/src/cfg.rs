@@ -1,0 +1,354 @@
+//! Control-flow-graph recovery over EVM bytecode.
+//!
+//! This is the structural half of the static analyzer (`lsc-analyzer`
+//! supplies the semantic half — abstract interpretation, reachability,
+//! lints). The decoder here must agree with the interpreter *exactly*:
+//! the same instruction boundaries `jumpdest_map` uses (PUSH immediates
+//! are skipped, truncated ones included), the same zero-padded value for
+//! a PUSH whose immediate runs past the end of the code, and the same
+//! implicit-STOP semantics for falling off the end.
+//!
+//! Basic blocks are split at every `JUMPDEST` (any of them can be a
+//! dynamic jump target), after `JUMP`/`JUMPI`, and after every halting
+//! terminator (`STOP`, `RETURN`, `REVERT`, `SELFDESTRUCT`, `INVALID`,
+//! undefined bytes). Static fallthrough edges are recorded on the block;
+//! dynamic jump edges are resolved by the analyzer's constant tracking,
+//! which is why [`BasicBlock`] carries `has_jump` instead of a target.
+
+use crate::analysis::AnalyzedCode;
+use crate::opcode::{self, op};
+use lsc_primitives::U256;
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Offset of the opcode byte.
+    pub pc: usize,
+    /// The opcode byte (may be an undefined opcode; those halt the frame).
+    pub opcode: u8,
+    /// For `PUSH1..PUSH32`: the value the interpreter pushes, including
+    /// the right zero-padding a truncated end-of-code immediate gets.
+    pub push: Option<U256>,
+    /// True when this is a PUSH whose immediate is cut off by the end of
+    /// the code (the interpreter zero-pads; the lint pass flags it).
+    pub truncated: bool,
+}
+
+impl Instr {
+    /// Total encoded size: opcode byte plus however many immediate bytes
+    /// are actually present in the code (a truncated PUSH is shorter than
+    /// its nominal width).
+    pub fn size(&self, code_len: usize) -> usize {
+        let nominal = 1 + opcode::immediate_len(self.opcode);
+        nominal.min(code_len - self.pc)
+    }
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// pc of the first instruction.
+    pub start_pc: usize,
+    /// pc one past the last instruction's last byte.
+    pub end_pc: usize,
+    /// Index of the first instruction in [`Cfg::instrs`].
+    pub first: usize,
+    /// Number of instructions in the block (always ≥ 1).
+    pub len: usize,
+    /// The block may continue into the next block: it ends with `JUMPI`,
+    /// or it was split only because the next instruction is a `JUMPDEST`.
+    /// A `true` here with no following block means implicit STOP.
+    pub falls_through: bool,
+    /// The block ends with `JUMP` or `JUMPI`; the analyzer resolves the
+    /// dynamic edge(s).
+    pub has_jump: bool,
+}
+
+impl BasicBlock {
+    /// Indices of this block's instructions in [`Cfg::instrs`].
+    pub fn instr_range(&self) -> std::ops::Range<usize> {
+        self.first..self.first + self.len
+    }
+}
+
+/// Recovered control-flow graph: decoded instructions, basic blocks, and
+/// pc→block lookup. Jump *edges* live in the analyzer.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Every decoded instruction, in code order.
+    pub instrs: Vec<Instr>,
+    /// Basic blocks, in code order (`blocks[i]` flows into `blocks[i+1]`
+    /// when `falls_through`).
+    pub blocks: Vec<BasicBlock>,
+    /// Block ids whose first instruction is a `JUMPDEST` — the universe
+    /// of possible dynamic jump targets.
+    pub jumpdest_blocks: Vec<usize>,
+    code_len: usize,
+    /// `block_of[pc]` = block id owning the instruction that *starts* at
+    /// `pc`, `u32::MAX` for immediate bytes / non-instruction offsets.
+    block_of: Vec<u32>,
+}
+
+const NO_BLOCK: u32 = u32::MAX;
+
+impl Cfg {
+    /// Decode `code` and recover basic blocks. Works for empty code
+    /// (zero instructions, zero blocks — the interpreter treats it as an
+    /// immediate STOP).
+    pub fn build(code: &[u8]) -> Cfg {
+        let instrs = decode(code);
+
+        // Leader set: instruction 0, every JUMPDEST, and the instruction
+        // after a JUMP/JUMPI or halting terminator.
+        let mut leader = vec![false; instrs.len()];
+        if !instrs.is_empty() {
+            leader[0] = true;
+        }
+        for (i, ins) in instrs.iter().enumerate() {
+            if ins.opcode == op::JUMPDEST {
+                leader[i] = true;
+            }
+            let ends_block = ins.opcode == op::JUMPI || opcode::is_terminator(ins.opcode);
+            if ends_block && i + 1 < instrs.len() {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![NO_BLOCK; code.len()];
+        let mut jumpdest_blocks = Vec::new();
+        let mut i = 0;
+        while i < instrs.len() {
+            let first = i;
+            i += 1;
+            while i < instrs.len() && !leader[i] {
+                i += 1;
+            }
+            let last = &instrs[i - 1];
+            let id = blocks.len();
+            for ins in &instrs[first..i] {
+                block_of[ins.pc] = id as u32;
+            }
+            if instrs[first].opcode == op::JUMPDEST {
+                jumpdest_blocks.push(id);
+            }
+            let has_jump = matches!(last.opcode, op::JUMP | op::JUMPI);
+            // Falls through unless the last instruction never does:
+            // JUMP and the halting terminators end the path; JUMPI and a
+            // plain split-at-JUMPDEST boundary continue.
+            let falls_through = last.opcode == op::JUMPI || !opcode::is_terminator(last.opcode);
+            blocks.push(BasicBlock {
+                start_pc: instrs[first].pc,
+                end_pc: last.pc + last.size(code.len()),
+                first,
+                len: i - first,
+                falls_through,
+                has_jump,
+            });
+        }
+
+        Cfg {
+            instrs,
+            blocks,
+            jumpdest_blocks,
+            code_len: code.len(),
+            block_of,
+        }
+    }
+
+    /// Build from cached analysis (shares the interpreter's substrate).
+    pub fn from_analysis(analysis: &AnalyzedCode) -> Cfg {
+        Cfg::build(analysis.code())
+    }
+
+    /// Length of the analyzed code.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// Block owning the instruction that starts at `pc`, if any.
+    pub fn block_of_pc(&self, pc: usize) -> Option<usize> {
+        match self.block_of.get(pc) {
+            Some(&id) if id != NO_BLOCK => Some(id as usize),
+            _ => None,
+        }
+    }
+
+    /// Block id for a jump to `target`: the target must be the start of a
+    /// block whose first instruction is a `JUMPDEST` (anything else is an
+    /// invalid jump at runtime).
+    pub fn jump_target_block(&self, target: usize) -> Option<usize> {
+        let id = self.block_of_pc(target)?;
+        let blk = &self.blocks[id];
+        (blk.start_pc == target && self.instrs[blk.first].opcode == op::JUMPDEST).then_some(id)
+    }
+
+    /// The instruction starting at `pc`, if `pc` is an instruction
+    /// boundary.
+    pub fn instr_at(&self, pc: usize) -> Option<&Instr> {
+        let id = self.block_of_pc(pc)?;
+        let blk = &self.blocks[id];
+        self.instrs[blk.instr_range()]
+            .iter()
+            .find(|ins| ins.pc == pc)
+    }
+}
+
+/// Decode bytecode into instructions, mirroring the interpreter's fetch
+/// loop: immediates are skipped (`pc += 1 + n`), and a truncated PUSH
+/// pushes its partial immediate shifted left to the nominal width.
+pub fn decode(code: &[u8]) -> Vec<Instr> {
+    let mut instrs = Vec::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        let byte = code[pc];
+        let n = opcode::immediate_len(byte);
+        let (push, truncated) = if opcode::is_push(byte) {
+            let end = (pc + 1 + n).min(code.len());
+            let mut value = U256::from_be_slice(&code[pc + 1..end]);
+            let truncated = end < pc + 1 + n;
+            if truncated {
+                // Interpreter semantics: missing trailing bytes are zero.
+                value = value << (8 * (pc + 1 + n - end) as u32);
+            }
+            (Some(value), truncated)
+        } else {
+            (None, false)
+        };
+        instrs.push(Instr {
+            pc,
+            opcode: byte,
+            push,
+            truncated,
+        });
+        pc += 1 + n;
+    }
+    instrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::opcode::disassemble;
+    use std::sync::Arc;
+
+    #[test]
+    fn decode_simple_linear() {
+        // PUSH1 2, PUSH1 3, ADD, STOP
+        let code = [op::PUSH1, 2, op::PUSH1, 3, op::ADD, op::STOP];
+        let instrs = decode(&code);
+        assert_eq!(instrs.len(), 4);
+        assert_eq!(instrs[0].push, Some(U256::from(2u64)));
+        assert_eq!(instrs[1].pc, 2);
+        assert_eq!(instrs[2].opcode, op::ADD);
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(!cfg.blocks[0].falls_through);
+    }
+
+    /// Regression (ISSUE 4 satellite): a PUSH32 two bytes before the end
+    /// of the code. The immediate is truncated to one byte; the decoder
+    /// must zero-pad exactly like the interpreter, `jumpdest_map` must
+    /// not mark bytes inside the (implicit) immediate, and the
+    /// disassembler must render the padded value.
+    #[test]
+    fn truncated_push32_two_bytes_before_end() {
+        // JUMPDEST, PUSH32 with only 0x5b as immediate data, end of code.
+        let code = [op::JUMPDEST, op::PUSH32, 0x5b];
+        let instrs = decode(&code);
+        assert_eq!(instrs.len(), 2);
+        let push = &instrs[1];
+        assert!(push.truncated);
+        // 0x5b padded right to 32 bytes: 0x5b << (8*31).
+        assert_eq!(push.push, Some(U256::from(0x5bu64) << (8 * 31)));
+        assert_eq!(push.size(code.len()), 2);
+
+        // The 0x5b immediate byte is NOT a jumpdest.
+        let analysis = AnalyzedCode::analyze(Arc::new(code.to_vec()));
+        assert!(analysis.is_jumpdest(0));
+        assert!(!analysis.is_jumpdest(2));
+
+        // Disassembly shows the zero-padded value the program pushes.
+        let rows = disassemble(&code);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].1,
+            format!("PUSH32 0x5b{} (truncated)", "00".repeat(31))
+        );
+
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 1);
+        // Truncated PUSH is the last instruction: implicit STOP, so the
+        // block "falls through" into the end of code.
+        assert!(cfg.blocks[0].falls_through);
+        assert_eq!(cfg.blocks[0].end_pc, 3);
+    }
+
+    #[test]
+    fn decoded_values_match_interpreter_push() {
+        // Full-width PUSH2 vs truncated PUSH2 with one byte.
+        let full = [op::PUSH1 + 1, 0xab, 0xcd];
+        assert_eq!(decode(&full)[0].push, Some(U256::from(0xabcdu64)));
+        let cut = [op::PUSH1 + 1, 0xab];
+        assert_eq!(decode(&cut)[0].push, Some(U256::from(0xab00u64)));
+    }
+
+    #[test]
+    fn blocks_split_at_jumpdest_and_terminators() {
+        let mut asm = Asm::new();
+        let target = asm.new_label();
+        asm.push_label(target); // block 0: PUSH3 target
+        asm.op(op::JUMP); //          JUMP  (ends block 0)
+        asm.op(op::INVALID); // block 1: INVALID (unreachable)
+        asm.place(target); // block 2: JUMPDEST
+        asm.op(op::STOP); //          STOP
+        let code = asm.assemble().unwrap();
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert!(cfg.blocks[0].has_jump);
+        assert!(!cfg.blocks[0].falls_through);
+        assert!(!cfg.blocks[1].falls_through); // INVALID halts
+        assert_eq!(cfg.jumpdest_blocks, vec![2]);
+        let dest = cfg.blocks[2].start_pc;
+        assert_eq!(cfg.jump_target_block(dest), Some(2));
+        // Jumping mid-block or to a non-JUMPDEST resolves to nothing.
+        assert_eq!(cfg.jump_target_block(0), None);
+    }
+
+    #[test]
+    fn jumpi_falls_through_and_jumps() {
+        let mut asm = Asm::new();
+        let target = asm.new_label();
+        asm.push_u64(0); // cond
+        asm.push_label(target);
+        asm.op(op::JUMPI);
+        asm.op(op::STOP);
+        asm.place(target);
+        asm.op(op::STOP);
+        let code = asm.assemble().unwrap();
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert!(cfg.blocks[0].has_jump);
+        assert!(cfg.blocks[0].falls_through);
+    }
+
+    #[test]
+    fn pc_lookup() {
+        let code = [op::PUSH1, 0xee, op::ADD];
+        let cfg = Cfg::build(&code);
+        assert_eq!(cfg.block_of_pc(0), Some(0));
+        assert_eq!(cfg.block_of_pc(1), None); // immediate byte
+        assert_eq!(cfg.block_of_pc(2), Some(0));
+        assert!(cfg.instr_at(2).is_some());
+        assert!(cfg.instr_at(1).is_none());
+        assert!(cfg.block_of_pc(99).is_none());
+    }
+
+    #[test]
+    fn empty_code() {
+        let cfg = Cfg::build(&[]);
+        assert!(cfg.instrs.is_empty());
+        assert!(cfg.blocks.is_empty());
+    }
+}

@@ -761,10 +761,7 @@ impl<'h, H: Host> Evm<'h, H> {
                 op::BLOCKHASH => {
                     try_gas!(meter.charge(gas::BLOCKHASH));
                     let n = try_stack!(stack.pop());
-                    let h = n
-                        .to_u64()
-                        .map(|n| self.host.blockhash(n))
-                        .unwrap_or(H256::ZERO);
+                    let h = n.to_u64().map_or(H256::ZERO, |n| self.host.blockhash(n));
                     try_stack!(stack.push(h.to_u256()));
                 }
                 op::COINBASE => {

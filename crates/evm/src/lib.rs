@@ -9,11 +9,13 @@
 //! Ganache); this crate is the execution substrate those contracts run on
 //! here. The [`asm`] module is the emission backend for `lsc-solc`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod analysis;
 pub mod asm;
+pub mod cfg;
 pub mod gas;
 pub mod host;
 pub mod interpreter;

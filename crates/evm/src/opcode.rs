@@ -188,6 +188,93 @@ pub fn is_push(byte: u8) -> bool {
     (op::PUSH1..=op::PUSH32).contains(&byte)
 }
 
+/// Stack effect of an opcode: `Some((pops, pushes))` for every defined
+/// opcode, `None` for undefined bytes (which halt the frame). The table
+/// mirrors the interpreter's pop/push order exactly; the static analyzer
+/// builds its abstract stack transfer function from it.
+pub fn stack_io(byte: u8) -> Option<(usize, usize)> {
+    use op::*;
+    Some(match byte {
+        STOP | JUMPDEST => (0, 0),
+        ADD | MUL | SUB | DIV | SDIV | MOD | SMOD | EXP | SIGNEXTEND | LT | GT | SLT | SGT | EQ
+        | AND | OR | XOR | BYTE | SHL | SHR | SAR | KECCAK256 => (2, 1),
+        ADDMOD | MULMOD => (3, 1),
+        ISZERO | NOT | BALANCE | EXTCODESIZE | EXTCODEHASH | BLOCKHASH | CALLDATALOAD | MLOAD
+        | SLOAD => (1, 1),
+        ADDRESS | ORIGIN | CALLER | CALLVALUE | CALLDATASIZE | CODESIZE | GASPRICE
+        | RETURNDATASIZE | COINBASE | TIMESTAMP | NUMBER | DIFFICULTY | GASLIMIT | CHAINID
+        | SELFBALANCE | PC | MSIZE | GAS => (0, 1),
+        CALLDATACOPY | CODECOPY | RETURNDATACOPY => (3, 0),
+        EXTCODECOPY => (4, 0),
+        POP | JUMP | SELFDESTRUCT => (1, 0),
+        MSTORE | MSTORE8 | SSTORE | JUMPI | RETURN | REVERT => (2, 0),
+        PUSH0 => (0, 1),
+        0x60..=0x7f => (0, 1),
+        0x80..=0x8f => {
+            let n = (byte - DUP1 + 1) as usize;
+            (n, n + 1)
+        }
+        0x90..=0x9f => {
+            let n = (byte - SWAP1 + 2) as usize;
+            (n, n)
+        }
+        0xa0..=0xa4 => ((byte - LOG0 + 2) as usize, 0),
+        CREATE => (3, 1),
+        CALL | CALLCODE => (7, 1),
+        DELEGATECALL | STATICCALL => (6, 1),
+        CREATE2 => (4, 1),
+        _ => return None,
+    })
+}
+
+/// Static lower bound on the gas an opcode charges, with every dynamic
+/// component (memory expansion, copy words, value transfers, storage
+/// state) taken at its minimum. Undefined opcodes return 0: they consume
+/// all remaining gas at runtime, so any bound is vacuously safe.
+pub fn base_gas(byte: u8) -> u64 {
+    use crate::gas;
+    use op::*;
+    match byte {
+        STOP | INVALID => 0,
+        ADD | SUB | LT | GT | SLT | SGT | EQ | AND | OR | XOR | SHL | SHR | SAR | BYTE | ISZERO
+        | NOT | CALLDATALOAD | MLOAD | MSTORE | MSTORE8 | CALLDATACOPY | CODECOPY
+        | RETURNDATACOPY => gas::VERYLOW,
+        MUL | DIV | SDIV | MOD | SMOD | SIGNEXTEND | SELFBALANCE => gas::LOW,
+        ADDMOD | MULMOD | JUMP => gas::MID,
+        JUMPI => gas::HIGH,
+        EXP => gas::EXP,
+        KECCAK256 => gas::KECCAK256,
+        ADDRESS | ORIGIN | CALLER | CALLVALUE | CALLDATASIZE | CODESIZE | GASPRICE
+        | RETURNDATASIZE | COINBASE | TIMESTAMP | NUMBER | DIFFICULTY | GASLIMIT | CHAINID
+        | POP | PC | MSIZE | GAS | PUSH0 => gas::BASE,
+        BALANCE | EXTCODEHASH => gas::BALANCE,
+        EXTCODESIZE | EXTCODECOPY => gas::EXTCODE,
+        BLOCKHASH => gas::BLOCKHASH,
+        SLOAD => gas::SLOAD,
+        SSTORE => gas::SSTORE_RESET,
+        JUMPDEST => gas::JUMPDEST,
+        0x60..=0x7f => gas::VERYLOW,
+        0x80..=0x9f => gas::VERYLOW,
+        0xa0..=0xa4 => gas::LOG + gas::LOG_TOPIC * u64::from(byte - LOG0),
+        CREATE | CREATE2 => gas::CREATE,
+        CALL | CALLCODE | DELEGATECALL | STATICCALL => gas::CALL,
+        RETURN | REVERT => 0,
+        SELFDESTRUCT => gas::SELFDESTRUCT,
+        _ => 0,
+    }
+}
+
+/// True if the opcode unconditionally ends a basic block's straight-line
+/// flow: it either halts the frame (STOP, RETURN, REVERT, SELFDESTRUCT,
+/// INVALID and every undefined byte) or transfers control (JUMP).
+/// `JUMPI` is *not* a terminator here — it falls through.
+pub fn is_terminator(byte: u8) -> bool {
+    matches!(
+        byte,
+        op::STOP | op::JUMP | op::RETURN | op::REVERT | op::SELFDESTRUCT
+    ) || stack_io(byte).is_none()
+}
+
 /// Number of immediate bytes following the opcode (nonzero only for PUSH).
 pub fn immediate_len(byte: u8) -> usize {
     if is_push(byte) {
@@ -221,11 +308,17 @@ pub fn disassemble(code: &[u8]) -> Vec<(usize, String)> {
         let imm = immediate_len(b);
         let text = if imm > 0 {
             let end = (i + 1 + imm).min(code.len());
-            let data: Vec<String> = code[i + 1..end]
+            // The interpreter zero-pads a truncated immediate on the right
+            // (missing trailing bytes read as 0x00); render the value the
+            // program actually pushes, flagging the truncation.
+            let mut data: Vec<String> = code[i + 1..end]
                 .iter()
                 .map(|x| format!("{x:02x}"))
                 .collect();
-            format!("PUSH{} 0x{}", imm, data.join(""))
+            let missing = (i + 1 + imm) - end;
+            data.extend(std::iter::repeat_n("00".to_string(), missing));
+            let marker = if missing > 0 { " (truncated)" } else { "" };
+            format!("PUSH{} 0x{}{}", imm, data.join(""), marker)
         } else {
             mnemonic(b).to_string()
         };

@@ -82,24 +82,24 @@ impl Host for CachingHost {
         self.inner.transfer(from, to, value)
     }
     fn mint(&mut self, to: Address, value: U256) {
-        self.inner.mint(to, value)
+        self.inner.mint(to, value);
     }
     fn inc_nonce(&mut self, address: Address) -> u64 {
         self.inner.inc_nonce(address)
     }
     fn set_code(&mut self, address: Address, code: Vec<u8>) {
         self.cache.borrow_mut().remove(&address);
-        self.inner.set_code(address, code)
+        self.inner.set_code(address, code);
     }
     fn create_account(&mut self, address: Address) {
-        self.inner.create_account(address)
+        self.inner.create_account(address);
     }
     fn selfdestruct(&mut self, address: Address, beneficiary: Address) {
         self.cache.borrow_mut().remove(&address);
-        self.inner.selfdestruct(address, beneficiary)
+        self.inner.selfdestruct(address, beneficiary);
     }
     fn log(&mut self, log: Log) {
-        self.inner.log(log)
+        self.inner.log(log);
     }
     fn snapshot(&mut self) -> usize {
         self.inner.snapshot()
@@ -109,7 +109,7 @@ impl Host for CachingHost {
         // drop everything (coarse but always correct — the chain's
         // journaled variant restores exact entries instead).
         self.cache.borrow_mut().clear();
-        self.inner.revert(snapshot)
+        self.inner.revert(snapshot);
     }
 }
 

@@ -34,7 +34,7 @@ fn trace_records_every_instruction_in_order() {
     a.push_u64(2).push_u64(3).op(op::ADD).op(op::STOP);
     let (result, trace) = traced_run(a.assemble().unwrap());
     assert!(result.success);
-    let mnemonics: Vec<&str> = trace.iter().map(|s| s.mnemonic()).collect();
+    let mnemonics: Vec<&str> = trace.iter().map(lsc_evm::TraceStep::mnemonic).collect();
     assert_eq!(mnemonics, vec!["PUSH", "PUSH", "ADD", "STOP"]);
     // PCs advance past immediates.
     assert_eq!(trace[0].pc, 0);

@@ -10,6 +10,7 @@
 //! store, a fixed-size chunker building a two-level DAG for large files,
 //! pinning and mark-and-sweep garbage collection.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cid;

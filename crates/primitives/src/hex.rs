@@ -27,8 +27,8 @@ pub fn encode(data: impl AsRef<[u8]>) -> String {
     let data = data.as_ref();
     let mut out = String::with_capacity(data.len() * 2);
     for b in data {
-        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble < 16"));
     }
     out
 }

@@ -10,6 +10,7 @@
 //! crate is self-contained so the rest of the workspace (EVM, chain,
 //! compiler, IPFS store) has a single audited foundation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod address;

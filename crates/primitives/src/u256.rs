@@ -173,7 +173,7 @@ impl U256 {
         let mut carry = false;
         for i in 0..4 {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
-            let (s2, c2) = s1.overflowing_add(carry as u64);
+            let (s2, c2) = s1.overflowing_add(u64::from(carry));
             out[i] = s2;
             carry = c1 | c2;
         }
@@ -187,7 +187,7 @@ impl U256 {
         let mut borrow = false;
         for i in 0..4 {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
-            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
             out[i] = d2;
             borrow = b1 | b2;
         }
@@ -228,7 +228,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                let cur =
+                    u128::from(prod[i + j]) + u128::from(self.0[i]) * u128::from(rhs.0[j]) + carry;
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -271,9 +272,9 @@ impl U256 {
             let mut rem: u64 = 0;
             let mut q = [0u64; 4];
             for i in (0..4).rev() {
-                let cur = ((rem as u128) << 64) | self.0[i] as u128;
-                q[i] = (cur / d as u128) as u64;
-                rem = (cur % d as u128) as u64;
+                let cur = (u128::from(rem) << 64) | u128::from(self.0[i]);
+                q[i] = (cur / u128::from(d)) as u64;
+                rem = (cur % u128::from(d)) as u64;
             }
             return (U256(q), U256::from_u64(rem));
         }
@@ -354,9 +355,9 @@ impl U256 {
     /// EVM `BYTE`: the `i`-th byte counting from the most significant.
     pub fn byte_be(self, i: Self) -> Self {
         match i.to_u64() {
-            Some(i) if i < 32 => {
-                U256::from_u64(self.to_be_bytes()[usize::try_from(i).expect("i < 32")] as u64)
-            }
+            Some(i) if i < 32 => U256::from_u64(u64::from(
+                self.to_be_bytes()[usize::try_from(i).expect("i < 32")],
+            )),
             _ => U256::ZERO,
         }
     }
@@ -479,7 +480,7 @@ impl U256 {
             let d = c.to_digit(10).ok_or(ParseU256Error::InvalidDigit(c))?;
             acc = acc
                 .checked_mul(ten)
-                .and_then(|v| v.checked_add(U256::from_u64(d as u64)))
+                .and_then(|v| v.checked_add(U256::from_u64(u64::from(d))))
                 .ok_or(ParseU256Error::Overflow)?;
         }
         Ok(acc)
@@ -500,7 +501,7 @@ impl U256 {
                 continue;
             }
             let d = c.to_digit(16).ok_or(ParseU256Error::InvalidDigit(c))?;
-            acc = (acc << 4u32) | U256::from_u64(d as u64);
+            acc = (acc << 4u32) | U256::from_u64(u64::from(d));
         }
         Ok(acc)
     }
@@ -744,19 +745,19 @@ impl Product for U256 {
 
 impl From<u8> for U256 {
     fn from(v: u8) -> Self {
-        Self::from_u64(v as u64)
+        Self::from_u64(u64::from(v))
     }
 }
 
 impl From<u16> for U256 {
     fn from(v: u16) -> Self {
-        Self::from_u64(v as u64)
+        Self::from_u64(u64::from(v))
     }
 }
 
 impl From<u32> for U256 {
     fn from(v: u32) -> Self {
-        Self::from_u64(v as u64)
+        Self::from_u64(u64::from(v))
     }
 }
 

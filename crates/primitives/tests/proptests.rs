@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn mulmod_matches_naive_when_no_overflow(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
         let r = U256::from_u64(a).mul_mod(U256::from_u64(b), U256::from_u64(m));
-        prop_assert_eq!(r, U256::from_u128((a as u128 * b as u128) % m as u128));
+        prop_assert_eq!(r, U256::from_u128((u128::from(a) * u128::from(b)) % u128::from(m)));
     }
 
     #[test]
@@ -139,7 +139,7 @@ proptest! {
 
     #[test]
     fn pow_matches_u128_for_small(base in 0u64..=30, exp in 0u64..=20) {
-        let expected = (base as u128).checked_pow(exp as u32);
+        let expected = u128::from(base).checked_pow(exp as u32);
         if let Some(e) = expected {
             prop_assert_eq!(U256::from_u64(base).wrapping_pow(U256::from_u64(exp)), U256::from_u128(e));
         }

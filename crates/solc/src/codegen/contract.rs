@@ -364,7 +364,7 @@ pub fn compile_contract(info: &ContractInfo) -> Result<Artifact, CodegenError> {
     let mut wrappers: Vec<(String, [u8; 4], lsc_evm::asm::Label, bool)> = Vec::new();
     for af in &abi.functions {
         let label = rt.asm.new_label();
-        let is_getter = info.state_var(&af.name).map(|v| v.public).unwrap_or(false);
+        let is_getter = info.state_var(&af.name).is_some_and(|v| v.public);
         wrappers.push((af.name.clone(), af.selector(), label, is_getter));
     }
     for (_, selector, label, _) in &wrappers {
@@ -417,7 +417,7 @@ pub fn compile_contract(info: &ContractInfo) -> Result<Artifact, CodegenError> {
 
     // Copy constructor args (appended after [init][runtime]) into memory.
     let ctor = info.constructor().cloned();
-    let has_args = ctor.as_ref().map(|c| !c.params.is_empty()).unwrap_or(false);
+    let has_args = ctor.as_ref().is_some_and(|c| !c.params.is_empty());
     if has_args {
         let t_base = init.alloc_local()?;
         let t_off = init.alloc_local()?;

@@ -325,7 +325,7 @@ impl CodeGen<'_> {
             },
             Expr::Index(base, _) => match self.peek_type(base)? {
                 Some(Ty::Mapping(_, value)) => Some(*value),
-                Some(Ty::Array(inner)) | Some(Ty::FixedArray(inner, _)) => Some(*inner),
+                Some(Ty::Array(inner) | Ty::FixedArray(inner, _)) => Some(*inner),
                 _ => None,
             },
             Expr::Call(callee, _) => {
@@ -353,7 +353,7 @@ impl CodeGen<'_> {
             }
             Expr::Index(base, _) => match self.peek_storage_type(base)? {
                 Some(Ty::Mapping(_, value)) => Some(*value),
-                Some(Ty::Array(inner)) | Some(Ty::FixedArray(inner, _)) => Some(*inner),
+                Some(Ty::Array(inner) | Ty::FixedArray(inner, _)) => Some(*inner),
                 _ => None,
             },
             Expr::Member(base, field) => match self.peek_storage_type(base)? {
@@ -836,7 +836,7 @@ impl CodeGen<'_> {
                 }
                 self.gen_value(&args[0])?;
                 if bits < 256 {
-                    self.push((U256::ONE << bits as u32) - U256::ONE);
+                    self.push((U256::ONE << u32::from(bits)) - U256::ONE);
                     self.o(op::AND);
                 }
                 return Ok(Some(Ty::Uint(bits)));

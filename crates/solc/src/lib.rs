@@ -20,6 +20,7 @@
 //! length-at-slot layout (no short-string optimization), and `ORIGIN`
 //! equals the frame caller.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -40,6 +40,7 @@
 //! # let _ = ether(0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod contract;

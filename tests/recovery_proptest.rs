@@ -178,7 +178,7 @@ fn run_workload(app: &RentalApp, web3: &Web3, ops: &[Op]) -> bool {
             // must leave the log fully recoverable — the workload keeps
             // going and the final recovery check still has to hold.
             Op::Compact => {
-                let _ = web3.with_node(|node| node.compact());
+                let _ = web3.with_node(lsc_chain::LocalNode::compact);
             }
             _ => {}
         }
