@@ -554,9 +554,11 @@ impl RentalApp {
     ) -> AppResult<Vec<PaymentRecord>> {
         self.current_user(session)?;
         let contract = self.manager.contract_at(address)?;
-        let head = self.manager.web3().block_number();
+        // One snapshot: the head and the log query see the same
+        // committed prefix, without taking the node lock.
+        let snap = self.manager.web3().read_snapshot();
         let events = contract
-            .events_in_range("paidRent", 0, head)
+            .events_in_range_at(&snap, "paidRent", 0, snap.block_number())
             .map_err(CoreError::Web3)?;
         Ok(events
             .into_iter()
@@ -577,12 +579,15 @@ impl RentalApp {
         if contract.abi().function("nextBillingDate").is_none() {
             return Ok(false);
         }
+        // One snapshot: the billing date and the clock it is compared
+        // against come from the same committed prefix.
+        let snap = self.manager.web3().read_snapshot();
         let due = contract
-            .call1("nextBillingDate", &[])
+            .call1_at(&snap, "nextBillingDate", &[])
             .map_err(CoreError::Web3)?
             .as_u64()
             .unwrap_or(u64::MAX);
-        Ok(self.manager.web3().timestamp() > due)
+        Ok(snap.timestamp() > due)
     }
 
     /// All of a landlord's or tenant's agreements with overdue rent.

@@ -1,0 +1,148 @@
+//! MVCC read-path benchmarks: what the lock-free [`ReadHandle`] buys
+//! over funnelling every read through the node mutex.
+//!
+//! * `single_reader/*` — latency of one mixed read battery, handle vs
+//!   mutex. The handle saves the lock acquisition and the receipt/block
+//!   clones.
+//! * `multi_reader_8/*` — 8 threads each running the battery
+//!   concurrently. The mutex serialises them; snapshot readers scale.
+//! * `getlogs/*` — `eth_getLogs` over a log-heavy chain: the posting-list
+//!   index against the full linear scan it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::log_heavy_node;
+use lsc_chain::{LocalNode, ReadHandle};
+use lsc_primitives::{Address, U256};
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One mixed read battery against the handle: grab ONE snapshot, then
+/// read balances, nonces, storage, a block and a receipt from it — the
+/// recommended consistent-prefix usage.
+fn battery_handle(handle: &ReadHandle, accounts: &[Address], emitter: Address) -> u64 {
+    let snap = handle.snapshot();
+    let mut acc = 0u64;
+    for &account in accounts {
+        acc ^= u64::from(snap.balance(account).to_be_bytes()[31]);
+        acc ^= snap.nonce(account);
+    }
+    acc ^= u64::from(snap.storage_at(emitter, U256::from_u64(1)).to_be_bytes()[31]);
+    let tip = snap.block_number();
+    if let Some(block) = snap.block(tip) {
+        acc ^= block.tx_hashes.len() as u64;
+        if let Some(tx_hash) = block.tx_hashes.first() {
+            acc ^= u64::from(snap.receipt(*tx_hash).is_some());
+        }
+    }
+    acc
+}
+
+/// The same battery with every read taking the node mutex — the
+/// pre-MVCC shape of `Web3`'s read accessors.
+fn battery_mutex(node: &Arc<Mutex<LocalNode>>, accounts: &[Address], emitter: Address) -> u64 {
+    let mut acc = 0u64;
+    for &account in accounts {
+        acc ^= u64::from(node.lock().unwrap().balance(account).to_be_bytes()[31]);
+        acc ^= node.lock().unwrap().nonce(account);
+    }
+    acc ^= u64::from(
+        node.lock()
+            .unwrap()
+            .storage_at(emitter, U256::from_u64(1))
+            .to_be_bytes()[31],
+    );
+    let tip = node.lock().unwrap().block_number();
+    let guard = node.lock().unwrap();
+    if let Some(block) = guard.block(tip) {
+        acc ^= block.tx_hashes.len() as u64;
+        if let Some(tx_hash) = block.tx_hashes.first() {
+            acc ^= u64::from(guard.receipt(*tx_hash).is_some());
+        }
+    }
+    acc
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let (node, emitters) = log_heavy_node(20, 16);
+    let accounts: Vec<Address> = node.accounts().to_vec();
+    let emitter = emitters[0];
+    let handle = node.read_handle();
+    let shared = Arc::new(Mutex::new(node));
+
+    let mut group = c.benchmark_group("single_reader");
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("handle", |b| {
+        b.iter(|| black_box(battery_handle(&handle, &accounts, emitter)));
+    });
+    group.bench_function("mutex", |b| {
+        b.iter(|| black_box(battery_mutex(&shared, &accounts, emitter)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("multi_reader_8");
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    const PER_THREAD: usize = 50;
+    group.bench_function("handle", |b| {
+        b.iter(|| {
+            let threads: Vec<_> = (0..8)
+                .map(|_| {
+                    let handle = handle.clone();
+                    let accounts = accounts.clone();
+                    std::thread::spawn(move || {
+                        let mut acc = 0u64;
+                        for _ in 0..PER_THREAD {
+                            acc ^= battery_handle(&handle, &accounts, emitter);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            threads
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .fold(0u64, |a, b| a ^ b)
+        });
+    });
+    group.bench_function("mutex", |b| {
+        b.iter(|| {
+            let threads: Vec<_> = (0..8)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    let accounts = accounts.clone();
+                    std::thread::spawn(move || {
+                        let mut acc = 0u64;
+                        for _ in 0..PER_THREAD {
+                            acc ^= battery_mutex(&shared, &accounts, emitter);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            threads
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .fold(0u64, |a, b| a ^ b)
+        });
+    });
+    group.finish();
+
+    // eth_getLogs: indexed vs scan, unfiltered and selective.
+    let snapshot = handle.snapshot();
+    let tip = snapshot.block_number();
+    let mut group = c.benchmark_group("getlogs");
+    group.measurement_time(Duration::from_secs(3));
+    for (label, address) in [("all", None), ("one_address", Some(emitter))] {
+        group.bench_with_input(BenchmarkId::new("indexed", label), &address, |b, addr| {
+            b.iter(|| black_box(snapshot.logs(0, tip, *addr, None)).len());
+        });
+        group.bench_with_input(BenchmarkId::new("scan", label), &address, |b, addr| {
+            b.iter(|| black_box(snapshot.logs_scan(0, tip, *addr, None)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_path);
+criterion_main!(benches);

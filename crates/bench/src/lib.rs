@@ -163,6 +163,70 @@ pub fn loaded_rent_block() -> Web3 {
     world.web3
 }
 
+/// A node whose chain holds `blocks` mined blocks, each carrying
+/// `txs_per_block` log-emitting calls spread round-robin over four
+/// emitter contracts (every call fires one `LOG1` with the contract's
+/// own topic plus one `LOG0`). The `eth_getLogs` benchmark substrate:
+/// selective filters match only 1/4 of a large log population.
+pub fn log_heavy_node(blocks: usize, txs_per_block: usize) -> (LocalNode, Vec<Address>) {
+    use lsc_chain::Transaction;
+    use lsc_evm::asm::Asm;
+    use lsc_evm::opcode::op;
+
+    let emitter_runtime = |topic: u64| -> Vec<u8> {
+        let mut runtime = Asm::new();
+        runtime.push_u64(0).op(op::CALLDATALOAD);
+        runtime.push_u64(0).op(op::MSTORE);
+        runtime
+            .push_u64(topic)
+            .push_u64(32)
+            .push_u64(0)
+            .op(op::LOG0 + 1);
+        runtime.push_u64(8).push_u64(0).op(op::LOG0);
+        runtime.op(op::STOP);
+        runtime.assemble().expect("straight-line asm")
+    };
+    let init_code_for = |runtime: &[u8]| -> Vec<u8> {
+        let mut init = Asm::new();
+        for (i, byte) in runtime.iter().enumerate() {
+            init.push_u64(u64::from(*byte))
+                .push_u64(i as u64)
+                .op(op::MSTORE8);
+        }
+        init.push_u64(runtime.len() as u64)
+            .push_u64(0)
+            .op(op::RETURN);
+        init.assemble().expect("straight-line asm")
+    };
+
+    let mut node = LocalNode::new(4);
+    let sender = node.accounts()[0];
+    let emitters: Vec<Address> = (0..4u64)
+        .map(|i| {
+            node.send_transaction(Transaction::deploy(
+                sender,
+                init_code_for(&emitter_runtime(100 + i)),
+            ))
+            .expect("deploy emitter")
+            .contract_address
+            .expect("create address")
+        })
+        .collect();
+
+    for block in 0..blocks {
+        for i in 0..txs_per_block {
+            let target = emitters[i % emitters.len()];
+            let value = U256::from_u64((block * txs_per_block + i) as u64);
+            node.submit_transaction(
+                Transaction::call(sender, target, value.to_be_bytes().to_vec()).with_gas(200_000),
+            );
+        }
+        let (_, errors) = node.mine_block();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+    (node, emitters)
+}
+
 /// Gas used by a deployment of `artifact` with `args` on a fresh node.
 pub fn deployment_gas(artifact: &Artifact, args: &[AbiValue]) -> u64 {
     let web3 = Web3::new(LocalNode::new(1));

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+pub mod mvcc;
 pub mod node;
 mod parallel;
 pub mod snapshot;
@@ -20,6 +21,7 @@ pub mod state;
 pub mod tx;
 pub mod wal;
 
+pub use mvcc::{log_matches, CommittedSnapshot, LogIndex, ReadHandle};
 pub use node::{ChainConfig, DeployGuard, LocalNode};
 pub use snapshot::SnapshotError;
 pub use state::{Account, WorldState};

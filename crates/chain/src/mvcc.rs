@@ -1,0 +1,743 @@
+//! The MVCC read path: immutable published snapshots and lock-free
+//! read handles.
+//!
+//! On every committed mutation (instant tx, mined batch, faucet, clock
+//! move, snapshot revert, WAL recovery) the node publishes an immutable
+//! [`CommittedSnapshot`] — world state with `Arc`-shared accounts and
+//! code blobs, block headers, receipts, and a log index — by swapping an
+//! `Arc` behind a `parking_lot::RwLock`. A [`ReadHandle`] clones that
+//! `Arc` (one brief read-lock of the *slot*, never of the node) and then
+//! serves every read — balances, code, storage, receipts, `eth_getLogs`,
+//! even full `eth_call`/`eth_estimateGas` via a [`SnapshotHost`] overlay
+//! — against a frozen committed prefix of the chain. Readers scale with
+//! cores; writers pay O(changed accounts + new blocks) per publication
+//! because everything unchanged is shared by pointer.
+//!
+//! The publication invariant: **by the time any public state-changing
+//! entry point of `LocalNode` returns, the published snapshot reflects
+//! it.** A handle therefore always observes some committed prefix of the
+//! chain — never a mid-block, mid-call or rolled-back state — and a
+//! single-threaded caller gets read-after-write consistency.
+
+use crate::node::ChainConfig;
+use crate::state::Account;
+use crate::tx::{Block, Receipt, Transaction};
+use lsc_evm::{
+    gas, AnalyzedCode, BlockEnv, CallResult, Config, Evm, Log, Message, SnapshotHost, StateView,
+    TraceStep,
+};
+use lsc_primitives::{keccak256, Address, FxHashMap, H256, U256};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The shared filter predicate for `eth_getLogs`: does `log` pass the
+/// optional emitting-address and topic-0 filters? Both the node's
+/// reference scan and the snapshot's index query go through this one
+/// function, so the two paths cannot drift apart.
+pub fn log_matches(log: &Log, address: Option<Address>, topic0: Option<H256>) -> bool {
+    if let Some(filter) = address {
+        if log.address != filter {
+            return false;
+        }
+    }
+    if let Some(filter) = topic0 {
+        if log.topics.first() != Some(&filter) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A 256-bit per-block bloom filter over log addresses and topic-0
+/// values — a constant-time "definitely not in this block" check used to
+/// skip whole blocks when a query carries a second filter.
+#[derive(Clone, Copy, Default)]
+pub struct BlockBloom([u64; 4]);
+
+impl BlockBloom {
+    /// Three bit positions derived from the keccak of the item.
+    fn bits(item: &[u8]) -> [u8; 3] {
+        let h = keccak256(item);
+        [h[0], h[1], h[2]]
+    }
+
+    fn insert(&mut self, item: &[u8]) {
+        for b in Self::bits(item) {
+            self.0[usize::from(b >> 6)] |= 1 << (b & 63);
+        }
+    }
+
+    fn contains_bits(&self, bits: [u8; 3]) -> bool {
+        bits.iter()
+            .all(|b| self.0[usize::from(b >> 6)] & (1 << (b & 63)) != 0)
+    }
+}
+
+/// Position of one log: block number + ordinal within the block's flat
+/// log list (transaction order, then intra-receipt order — exactly the
+/// order the reference scan emits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogPos {
+    /// Block height.
+    pub block: u64,
+    /// Index into the block's flattened log list.
+    pub ordinal: u32,
+}
+
+/// Inverted index over the chain's logs: per-block flat lists (shared by
+/// `Arc`), per-block blooms, and per-address / per-topic0 posting lists.
+/// Appends are copy-on-write per key, so cloning the index into a new
+/// snapshot is pointer copies only.
+#[derive(Clone, Default)]
+pub struct LogIndex {
+    /// Logs of block `n`, flattened in emission order.
+    per_block: Vec<Arc<Vec<Log>>>,
+    /// Bloom over addresses + topic-0s of block `n`.
+    blooms: Vec<BlockBloom>,
+    by_address: FxHashMap<Address, Arc<Vec<LogPos>>>,
+    by_topic0: FxHashMap<H256, Arc<Vec<LogPos>>>,
+}
+
+impl LogIndex {
+    /// Index one newly sealed block. A receipt missing from the map is
+    /// skipped — the same (historically silent) semantics as the
+    /// reference scan, now shared by construction.
+    fn append_block(&mut self, block: &Block, receipts: &FxHashMap<H256, Receipt>) {
+        debug_assert_eq!(self.per_block.len() as u64, block.number);
+        let mut logs = Vec::new();
+        for tx_hash in &block.tx_hashes {
+            let Some(receipt) = receipts.get(tx_hash) else {
+                continue;
+            };
+            logs.extend(receipt.logs.iter().cloned());
+        }
+        let mut bloom = BlockBloom::default();
+        for (ordinal, log) in logs.iter().enumerate() {
+            let pos = LogPos {
+                block: block.number,
+                ordinal: ordinal as u32,
+            };
+            bloom.insert(&log.address.0);
+            Arc::make_mut(self.by_address.entry(log.address).or_default()).push(pos);
+            if let Some(topic0) = log.topics.first() {
+                bloom.insert(&topic0.0);
+                Arc::make_mut(self.by_topic0.entry(*topic0).or_default()).push(pos);
+            }
+        }
+        self.per_block.push(Arc::new(logs));
+        self.blooms.push(bloom);
+    }
+
+    /// Walk one posting list over the block range, re-checking every
+    /// candidate with [`log_matches`] (the index narrows, the predicate
+    /// decides). `other_bits` — the bloom bits of the *other* filter, if
+    /// any — lets whole blocks be skipped without touching their logs.
+    fn query_postings(
+        &self,
+        postings: Option<&Arc<Vec<LogPos>>>,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+        other_bits: Option<[u8; 3]>,
+    ) -> Vec<(u64, Log)> {
+        let mut out = Vec::new();
+        let Some(postings) = postings else {
+            return out;
+        };
+        let start = postings.partition_point(|pos| pos.block < from_block);
+        for pos in &postings[start..] {
+            if pos.block > to_block {
+                break;
+            }
+            if let Some(bits) = other_bits {
+                if !self.blooms[pos.block as usize].contains_bits(bits) {
+                    continue;
+                }
+            }
+            let log = &self.per_block[pos.block as usize][pos.ordinal as usize];
+            if log_matches(log, address, topic0) {
+                out.push((pos.block, log.clone()));
+            }
+        }
+        out
+    }
+
+    /// Indexed `eth_getLogs`: O(postings in range) when a filter is
+    /// present, O(logs in range) otherwise — never O(whole chain).
+    /// Results are emitted in exactly the reference-scan order (block
+    /// ascending, then flat emission order within the block).
+    pub fn query(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, Log)> {
+        match (address, topic0) {
+            (Some(filter), topic0) => self.query_postings(
+                self.by_address.get(&filter),
+                from_block,
+                to_block,
+                Some(filter),
+                topic0,
+                topic0.map(|t| BlockBloom::bits(&t.0)),
+            ),
+            (None, Some(filter)) => self.query_postings(
+                self.by_topic0.get(&filter),
+                from_block,
+                to_block,
+                None,
+                Some(filter),
+                None,
+            ),
+            (None, None) => {
+                let mut out = Vec::new();
+                for (number, logs) in self.per_block.iter().enumerate() {
+                    let number = number as u64;
+                    if number < from_block || number > to_block {
+                        continue;
+                    }
+                    out.extend(logs.iter().map(|log| (number, log.clone())));
+                }
+                out
+            }
+        }
+    }
+
+    /// Reference implementation: linear scan over the per-block lists
+    /// with the same shared predicate. Kept for differential tests and
+    /// the indexed-vs-scan benchmark.
+    pub fn scan(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, Log)> {
+        let mut out = Vec::new();
+        for (number, logs) in self.per_block.iter().enumerate() {
+            let number = number as u64;
+            if number < from_block || number > to_block {
+                continue;
+            }
+            for log in logs.iter() {
+                if log_matches(log, address, topic0) {
+                    out.push((number, log.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One immutable, committed-prefix view of the whole chain. Cloning is
+/// pointer copies + refcount bumps: accounts, code blobs, analyses,
+/// blocks, receipts and posting lists are all `Arc`-shared with the
+/// previous snapshot — only what changed was re-shared by the publisher.
+#[derive(Clone)]
+pub struct CommittedSnapshot {
+    config: ChainConfig,
+    accounts: FxHashMap<Address, Arc<Account>>,
+    dev_accounts: Arc<Vec<Address>>,
+    blocks: Vec<Arc<Block>>,
+    receipts: FxHashMap<H256, Arc<Receipt>>,
+    timestamp: u64,
+    pending_count: usize,
+    log_index: LogIndex,
+    /// Hashes of the most recent 256 blocks, newest first (BLOCKHASH).
+    recent_hashes: Vec<(u64, H256)>,
+}
+
+impl CommittedSnapshot {
+    pub(crate) fn new(config: ChainConfig, dev_accounts: Vec<Address>) -> Self {
+        CommittedSnapshot {
+            config,
+            accounts: FxHashMap::default(),
+            dev_accounts: Arc::new(dev_accounts),
+            blocks: Vec::new(),
+            receipts: FxHashMap::default(),
+            timestamp: 0,
+            pending_count: 0,
+            log_index: LogIndex::default(),
+            recent_hashes: Vec::new(),
+        }
+    }
+
+    /// Re-share one account's current state (publisher side, per dirty
+    /// address).
+    pub(crate) fn upsert_account(&mut self, address: Address, account: Account) {
+        self.accounts.insert(address, Arc::new(account));
+    }
+
+    /// Drop a destroyed account (publisher side).
+    pub(crate) fn remove_account(&mut self, address: Address) {
+        self.accounts.remove(&address);
+    }
+
+    /// Append the blocks (and their receipts + index entries) the node
+    /// has sealed since the last sync. The chain is append-only between
+    /// rebuilds, so this is O(new blocks).
+    pub(crate) fn sync_history(&mut self, blocks: &[Block], receipts: &FxHashMap<H256, Receipt>) {
+        debug_assert!(
+            self.blocks.len() <= blocks.len(),
+            "history shrank without a rebuild"
+        );
+        for block in &blocks[self.blocks.len()..] {
+            for tx_hash in &block.tx_hashes {
+                if let Some(receipt) = receipts.get(tx_hash) {
+                    self.receipts.insert(*tx_hash, Arc::new(receipt.clone()));
+                }
+            }
+            self.log_index.append_block(block, receipts);
+            self.blocks.push(Arc::new(block.clone()));
+        }
+        self.recent_hashes = self
+            .blocks
+            .iter()
+            .rev()
+            .take(256)
+            .map(|b| (b.number, b.hash))
+            .collect();
+    }
+
+    pub(crate) fn set_clock(&mut self, timestamp: u64) {
+        self.timestamp = timestamp;
+    }
+
+    pub(crate) fn set_pending(&mut self, count: usize) {
+        self.pending_count = count;
+    }
+
+    // ---- read API -----------------------------------------------------
+
+    /// The chain parameters this snapshot was committed under.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// The pre-funded dev accounts, shared.
+    pub fn accounts(&self) -> Arc<Vec<Address>> {
+        Arc::clone(&self.dev_accounts)
+    }
+
+    /// Account balance at this snapshot.
+    pub fn balance(&self, address: Address) -> U256 {
+        self.accounts
+            .get(&address)
+            .map_or(U256::ZERO, |a| a.balance)
+    }
+
+    /// Account nonce at this snapshot.
+    pub fn nonce(&self, address: Address) -> u64 {
+        self.accounts.get(&address).map_or(0, |a| a.nonce)
+    }
+
+    /// Contract code at this snapshot (shared, zero-copy).
+    pub fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.accounts
+            .get(&address)
+            .map(|a| Arc::clone(&a.code))
+            .unwrap_or_default()
+    }
+
+    /// Keccak of the code, served from the account's memoized analysis.
+    pub fn code_hash(&self, address: Address) -> H256 {
+        match self.accounts.get(&address) {
+            Some(a) if !a.code.is_empty() => a.analysis().code_hash(),
+            _ => H256::ZERO,
+        }
+    }
+
+    /// Read a storage slot at this snapshot.
+    pub fn storage_at(&self, address: Address, key: U256) -> U256 {
+        self.accounts
+            .get(&address)
+            .and_then(|a| a.storage.get(&key).copied())
+            .unwrap_or(U256::ZERO)
+    }
+
+    /// Block height of this snapshot.
+    pub fn block_number(&self) -> u64 {
+        self.blocks.last().map_or(0, |b| b.number)
+    }
+
+    /// Chain clock of this snapshot.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Queued (not yet mined) transactions at this snapshot.
+    pub fn pending_count(&self) -> usize {
+        self.pending_count
+    }
+
+    /// Fetch a block by number, shared.
+    pub fn block(&self, number: u64) -> Option<Arc<Block>> {
+        self.blocks.get(usize::try_from(number).ok()?).cloned()
+    }
+
+    /// Fetch a receipt by transaction hash, shared.
+    pub fn receipt(&self, tx_hash: H256) -> Option<Arc<Receipt>> {
+        self.receipts.get(&tx_hash).cloned()
+    }
+
+    /// `eth_getLogs` via the inverted index — O(matching entries).
+    pub fn logs(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, Log)> {
+        self.log_index.query(from_block, to_block, address, topic0)
+    }
+
+    /// `eth_getLogs` by linear scan — the differential-test and
+    /// benchmark baseline for [`CommittedSnapshot::logs`].
+    pub fn logs_scan(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, Log)> {
+        self.log_index.scan(from_block, to_block, address, topic0)
+    }
+
+    /// The environment the *next* block would execute under — the same
+    /// env the locked node uses for `eth_call`, so results agree bit for
+    /// bit.
+    fn block_env(&self) -> BlockEnv {
+        BlockEnv {
+            number: self.block_number() + 1,
+            timestamp: self.timestamp + self.config.block_time,
+            coinbase: self.config.coinbase,
+            gas_limit: self.config.block_gas_limit,
+            difficulty: U256::ZERO,
+            chain_id: self.config.chain_id,
+        }
+    }
+
+    /// Read-only `eth_call` against this snapshot: the interpreter runs
+    /// over a [`SnapshotHost`] overlay, so SSTOREs/CREATEs inside the
+    /// call work and are discarded — without locking the node.
+    pub fn call(&self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+        let env = self.block_env();
+        run_call(self, &env, &self.recent_hashes, from, to, data)
+    }
+
+    /// `debug_traceCall` against this snapshot (read-only, lock-free).
+    pub fn debug_trace_call(
+        &self,
+        from: Address,
+        to: Address,
+        data: Vec<u8>,
+    ) -> (CallResult, Vec<TraceStep>) {
+        let env = self.block_env();
+        run_trace_call(self, &env, &self.recent_hashes, from, to, data)
+    }
+
+    /// Read-only `eth_estimateGas` against this snapshot.
+    pub fn estimate_gas(&self, tx: &Transaction) -> Result<u64, crate::tx::TxError> {
+        let env = self.block_env();
+        Ok(run_estimate(
+            self,
+            &env,
+            &self.recent_hashes,
+            self.config.block_gas_limit,
+            tx,
+        ))
+    }
+}
+
+impl StateView for CommittedSnapshot {
+    fn view_exists(&self, address: Address) -> bool {
+        self.accounts.contains_key(&address)
+    }
+    fn view_balance(&self, address: Address) -> U256 {
+        self.balance(address)
+    }
+    fn view_nonce(&self, address: Address) -> u64 {
+        self.nonce(address)
+    }
+    fn view_code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.code(address)
+    }
+    fn view_code_hash(&self, address: Address) -> H256 {
+        self.code_hash(address)
+    }
+    fn view_code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        match self.accounts.get(&address) {
+            Some(a) if !a.code.is_empty() => a.analysis(),
+            _ => AnalyzedCode::empty(),
+        }
+    }
+    fn view_storage(&self, address: Address, key: U256) -> U256 {
+        self.storage_at(address, key)
+    }
+}
+
+// ---- shared read-only execution helpers ------------------------------
+//
+// Generic over any immutable view so the node's `&mut`-compatible entry
+// points (running over `&WorldState` between transactions) and the
+// lock-free handle (running over a `CommittedSnapshot`) execute the
+// exact same code path.
+
+/// Run a read-only `eth_call` over an immutable view.
+pub(crate) fn run_call<V: StateView + Sync>(
+    view: &V,
+    env: &BlockEnv,
+    recent_hashes: &[(u64, H256)],
+    from: Address,
+    to: Address,
+    data: Vec<u8>,
+) -> CallResult {
+    let mut host = SnapshotHost::new(view, env, U256::from_u64(1), recent_hashes);
+    Evm::new(&mut host).execute(Message::call(from, to, U256::ZERO, data, 30_000_000))
+}
+
+/// Run a traced read-only call over an immutable view.
+pub(crate) fn run_trace_call<V: StateView + Sync>(
+    view: &V,
+    env: &BlockEnv,
+    recent_hashes: &[(u64, H256)],
+    from: Address,
+    to: Address,
+    data: Vec<u8>,
+) -> (CallResult, Vec<TraceStep>) {
+    let mut host = SnapshotHost::new(view, env, U256::from_u64(1), recent_hashes);
+    let config = Config {
+        trace: true,
+        ..Default::default()
+    };
+    let mut evm = Evm::with_config(&mut host, config);
+    let result = evm.execute(Message::call(from, to, U256::ZERO, data, 30_000_000));
+    let trace = std::mem::take(&mut evm.trace);
+    (result, trace)
+}
+
+/// Run a read-only gas estimate over an immutable view. Mirrors the
+/// node's settlement arithmetic exactly: intrinsic + execution gas used.
+pub(crate) fn run_estimate<V: StateView + Sync>(
+    view: &V,
+    env: &BlockEnv,
+    recent_hashes: &[(u64, H256)],
+    block_gas_limit: u64,
+    tx: &Transaction,
+) -> u64 {
+    let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
+    let exec_gas = block_gas_limit - intrinsic;
+    let message = match tx.to {
+        Some(to) => Message::call(tx.from, to, tx.value, tx.data.clone(), exec_gas),
+        None => Message::create(tx.from, tx.value, tx.data.clone(), exec_gas),
+    };
+    let mut host = SnapshotHost::new(view, env, tx.gas_price, recent_hashes);
+    let result = Evm::new(&mut host).execute(message);
+    intrinsic + (exec_gas - result.gas_left)
+}
+
+// ---- the handle ------------------------------------------------------
+
+/// The slot a node publishes into and handles read from.
+pub(crate) type PublishedSlot = Arc<RwLock<Arc<CommittedSnapshot>>>;
+
+/// A lock-free read handle onto a node's published snapshots.
+///
+/// Cloning the handle is cheap; every read first clones the currently
+/// published `Arc<CommittedSnapshot>` (a brief read-lock of the slot —
+/// never of the node's mutex) and then runs entirely on that immutable
+/// snapshot. Use [`ReadHandle::snapshot`] directly when several reads
+/// must observe the *same* committed prefix (e.g. an audit).
+#[derive(Clone)]
+pub struct ReadHandle {
+    slot: PublishedSlot,
+}
+
+impl ReadHandle {
+    pub(crate) fn new(slot: PublishedSlot) -> Self {
+        ReadHandle { slot }
+    }
+
+    /// The latest published snapshot. Everything read from it is frozen
+    /// at one committed prefix of the chain.
+    pub fn snapshot(&self) -> Arc<CommittedSnapshot> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// The pre-funded dev accounts (shared, zero-copy).
+    pub fn accounts(&self) -> Arc<Vec<Address>> {
+        self.snapshot().accounts()
+    }
+
+    /// Latest committed balance.
+    pub fn balance(&self, address: Address) -> U256 {
+        self.snapshot().balance(address)
+    }
+
+    /// Latest committed nonce.
+    pub fn nonce(&self, address: Address) -> u64 {
+        self.snapshot().nonce(address)
+    }
+
+    /// Latest committed code (shared, zero-copy).
+    pub fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.snapshot().code(address)
+    }
+
+    /// Latest committed storage slot value.
+    pub fn storage_at(&self, address: Address, key: U256) -> U256 {
+        self.snapshot().storage_at(address, key)
+    }
+
+    /// Latest committed block height.
+    pub fn block_number(&self) -> u64 {
+        self.snapshot().block_number()
+    }
+
+    /// Latest committed chain time.
+    pub fn timestamp(&self) -> u64 {
+        self.snapshot().timestamp()
+    }
+
+    /// Queued transactions at the latest committed snapshot.
+    pub fn pending_count(&self) -> usize {
+        self.snapshot().pending_count()
+    }
+
+    /// Fetch a block by number.
+    pub fn block(&self, number: u64) -> Option<Arc<Block>> {
+        self.snapshot().block(number)
+    }
+
+    /// Fetch a receipt by transaction hash.
+    pub fn receipt(&self, tx_hash: H256) -> Option<Arc<Receipt>> {
+        self.snapshot().receipt(tx_hash)
+    }
+
+    /// Indexed `eth_getLogs` over the latest committed snapshot.
+    pub fn logs(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, Log)> {
+        self.snapshot().logs(from_block, to_block, address, topic0)
+    }
+
+    /// Lock-free read-only `eth_call`.
+    pub fn call(&self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+        self.snapshot().call(from, to, data)
+    }
+
+    /// Lock-free read-only `eth_estimateGas`.
+    pub fn estimate_gas(&self, tx: &Transaction) -> Result<u64, crate::tx::TxError> {
+        self.snapshot().estimate_gas(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(address: Address, topic0: Option<H256>) -> Log {
+        Log {
+            address,
+            topics: topic0.into_iter().collect(),
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn log_matches_filters() {
+        let a = Address::from_label("a");
+        let b = Address::from_label("b");
+        let t = H256::keccak(b"Event()");
+        let l = log(a, Some(t));
+        assert!(log_matches(&l, None, None));
+        assert!(log_matches(&l, Some(a), Some(t)));
+        assert!(!log_matches(&l, Some(b), None));
+        assert!(!log_matches(&l, None, Some(H256::keccak(b"Other()"))));
+        let bare = log(a, None);
+        assert!(!log_matches(&bare, None, Some(t)));
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bloom = BlockBloom::default();
+        let a = Address::from_label("a");
+        bloom.insert(&a.0);
+        assert!(bloom.contains_bits(BlockBloom::bits(&a.0)));
+    }
+
+    #[test]
+    fn index_query_matches_scan() {
+        let a = Address::from_label("a");
+        let b = Address::from_label("b");
+        let t1 = H256::keccak(b"T1()");
+        let t2 = H256::keccak(b"T2()");
+        let mut index = LogIndex::default();
+        let mut receipts: FxHashMap<H256, Receipt> = FxHashMap::default();
+        // Block 0: genesis, no txs.
+        let genesis = Block {
+            number: 0,
+            hash: H256::ZERO,
+            parent_hash: H256::ZERO,
+            timestamp: 0,
+            tx_hashes: vec![],
+            gas_used: 0,
+        };
+        index.append_block(&genesis, &receipts);
+        // Blocks 1..=6 with a mix of logs.
+        for n in 1u64..=6 {
+            let tx_hash = H256::keccak(n.to_be_bytes());
+            let logs = vec![
+                log(if n % 2 == 0 { a } else { b }, Some(t1)),
+                log(a, if n % 3 == 0 { Some(t2) } else { None }),
+            ];
+            receipts.insert(
+                tx_hash,
+                Receipt {
+                    tx_hash,
+                    block_number: n,
+                    tx_index: 0,
+                    status: 1,
+                    gas_used: 0,
+                    contract_address: None,
+                    logs,
+                    output: vec![],
+                },
+            );
+            let block = Block {
+                number: n,
+                hash: H256::keccak(n.to_le_bytes()),
+                parent_hash: H256::ZERO,
+                timestamp: n,
+                tx_hashes: vec![tx_hash],
+                gas_used: 0,
+            };
+            index.append_block(&block, &receipts);
+        }
+        let filters = [
+            (None, None),
+            (Some(a), None),
+            (Some(b), None),
+            (None, Some(t1)),
+            (None, Some(t2)),
+            (Some(a), Some(t1)),
+            (Some(a), Some(t2)),
+            (Some(b), Some(t2)),
+        ];
+        for (address, topic0) in filters {
+            for (from, to) in [(0, 6), (2, 4), (5, 3), (7, 9)] {
+                assert_eq!(
+                    index.query(from, to, address, topic0),
+                    index.scan(from, to, address, topic0),
+                    "filter {address:?}/{topic0:?} range {from}..={to}"
+                );
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! accounts; time can be warped for testing time-dependent contract
 //! clauses (rent due dates, contract duration).
 
+use crate::mvcc::{self, CommittedSnapshot, PublishedSlot, ReadHandle};
 use crate::parallel;
 use crate::state::WorldState;
 use crate::tx::{Block, Receipt, Transaction, TxError};
@@ -13,6 +14,7 @@ use crate::wal::{self, Faults, Wal, WalError, WalRecord};
 use lsc_abi::json::{parse, JsonValue};
 use lsc_evm::{gas, AccessKey, AnalyzedCode, BlockEnv, CallResult, Evm, Host, Log, Message};
 use lsc_primitives::{Address, FxHashMap, FxHashSet, H256, U256};
+use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -110,6 +112,13 @@ pub struct LocalNode {
     poisoned: Option<String>,
     /// App-tier events collected during replay for `RentalApp::recover`.
     app_events: Vec<String>,
+    /// Latest published MVCC snapshot; swapped whole on every committed
+    /// mutation, read lock-free through [`ReadHandle`]s.
+    published: PublishedSlot,
+    /// The publisher's working copy, updated incrementally (dirty
+    /// accounts + new blocks) and cloned into `published` on each
+    /// publication.
+    shadow: CommittedSnapshot,
 }
 
 struct NodeSnapshot {
@@ -157,7 +166,8 @@ impl LocalNode {
             tx_hashes: vec![],
             gas_used: 0,
         };
-        LocalNode {
+        let shadow = CommittedSnapshot::new(config.clone(), dev_accounts.clone());
+        let mut node = LocalNode {
             timestamp: config.genesis_timestamp,
             config,
             state,
@@ -170,7 +180,67 @@ impl LocalNode {
             replaying: false,
             poisoned: None,
             app_events: Vec::new(),
+            published: Arc::new(RwLock::new(Arc::new(shadow.clone()))),
+            shadow,
+        };
+        node.rebuild_published();
+        node
+    }
+
+    /// A lock-free [`ReadHandle`] onto this node's published snapshots.
+    /// Handles stay valid (and keep observing new publications) for the
+    /// node's whole life, across snapshot reverts and compactions.
+    pub fn read_handle(&self) -> ReadHandle {
+        ReadHandle::new(Arc::clone(&self.published))
+    }
+
+    /// The currently published snapshot (what a fresh handle would see).
+    pub fn published_snapshot(&self) -> Arc<CommittedSnapshot> {
+        Arc::clone(&self.published.read())
+    }
+
+    /// Current undo-journal depth — read-only entry points must leave
+    /// this untouched (regression guard for the MVCC call path).
+    pub fn journal_depth(&self) -> usize {
+        self.state.journal_depth()
+    }
+
+    /// Publish the node's committed state: re-share every dirty account
+    /// into the shadow snapshot, append newly sealed blocks, then swap
+    /// the published `Arc`. O(changed accounts + new blocks); suppressed
+    /// during WAL replay ([`LocalNode::recover`] rebuilds once at the
+    /// end instead of once per replayed record).
+    fn publish(&mut self) {
+        if self.replaying {
+            return;
         }
+        for address in self.state.take_dirty() {
+            match self.state.account(address) {
+                Some(account) => self.shadow.upsert_account(address, account.clone()),
+                None => self.shadow.remove_account(address),
+            }
+        }
+        self.shadow.sync_history(&self.blocks, &self.receipts);
+        self.shadow.set_clock(self.timestamp);
+        self.shadow.set_pending(self.pending.len());
+        *self.published.write() = Arc::new(self.shadow.clone());
+    }
+
+    /// Rebuild the shadow snapshot from scratch and publish it. Used
+    /// when history is replaced wholesale (snapshot revert, full-image
+    /// import, end of WAL recovery) — the incremental sync assumes an
+    /// append-only chain.
+    pub(crate) fn rebuild_published(&mut self) {
+        let mut snapshot = CommittedSnapshot::new(self.config.clone(), self.dev_accounts.clone());
+        for (address, account) in self.state.iter_accounts() {
+            snapshot.upsert_account(*address, account.clone());
+        }
+        snapshot.sync_history(&self.blocks, &self.receipts);
+        snapshot.set_clock(self.timestamp);
+        snapshot.set_pending(self.pending.len());
+        let _ = self.state.take_dirty();
+        self.shadow = snapshot;
+        *self.published.write() = Arc::new(self.shadow.clone());
     }
 
     /// The pre-funded dev accounts.
@@ -222,17 +292,11 @@ impl LocalNode {
                     continue;
                 };
                 for log in &receipt.logs {
-                    if let Some(filter) = address {
-                        if log.address != filter {
-                            continue;
-                        }
+                    // Same predicate as the snapshot's indexed query —
+                    // scan and index cannot drift apart.
+                    if mvcc::log_matches(log, address, topic0) {
+                        out.push((block.number, log.clone()));
                     }
-                    if let Some(filter) = topic0 {
-                        if log.topics.first() != Some(&filter) {
-                            continue;
-                        }
-                    }
-                    out.push((block.number, log.clone()));
                 }
             }
         }
@@ -249,9 +313,10 @@ impl LocalNode {
         self.state.nonce(address)
     }
 
-    /// Contract code.
-    pub fn code(&self, address: Address) -> Vec<u8> {
-        self.state.code(address).as_ref().clone()
+    /// Contract code, shared (zero-copy — the same `Arc` the EVM and the
+    /// published snapshots hold).
+    pub fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.state.code(address)
     }
 
     /// Read contract storage directly (diagnostics; `eth_getStorageAt`).
@@ -271,6 +336,7 @@ impl LocalNode {
     pub fn restore_account_state(&mut self, address: Address, account: crate::state::Account) {
         self.state.restore_account(address, account);
         self.state.commit();
+        self.publish();
     }
 
     /// Credit an account out of thin air (dev faucet). Panics on a
@@ -284,6 +350,7 @@ impl LocalNode {
         self.log_record(|| WalRecord::Faucet(address, value))?;
         self.state.credit(address, value);
         self.state.commit();
+        self.publish();
         Ok(())
     }
 
@@ -297,6 +364,7 @@ impl LocalNode {
     pub fn try_increase_time(&mut self, seconds: u64) -> Result<(), TxError> {
         self.log_record(|| WalRecord::IncreaseTime(seconds))?;
         self.timestamp += seconds;
+        self.publish();
         Ok(())
     }
 
@@ -312,6 +380,7 @@ impl LocalNode {
     pub fn try_set_timestamp(&mut self, timestamp: u64) -> Result<(), TxError> {
         self.log_record(|| WalRecord::SetTime(timestamp))?;
         self.timestamp = self.timestamp.max(timestamp);
+        self.publish();
         Ok(())
     }
 
@@ -341,6 +410,9 @@ impl LocalNode {
         self.state = snapshot.state;
         self.timestamp = snapshot.timestamp;
         self.pending = snapshot.pending;
+        // History shrank: the incremental sync can't express that, so
+        // republish from scratch.
+        self.rebuild_published();
         true
     }
 
@@ -495,6 +567,9 @@ impl LocalNode {
             self.receipts.insert(tx_hash, receipt);
         }
         self.blocks.push(block.clone());
+        // All three mining modes funnel through here: every sealed block
+        // is published before its entry point returns.
+        self.publish();
         block
     }
 
@@ -527,6 +602,7 @@ impl LocalNode {
     pub fn try_submit_transaction(&mut self, tx: Transaction) -> Result<(), TxError> {
         self.log_record(|| WalRecord::SubmitTx(tx.clone()))?;
         self.pending.push(tx);
+        self.publish();
         Ok(())
     }
 
@@ -549,6 +625,7 @@ impl LocalNode {
         }
         self.log_batch(|| txs.iter().cloned().map(WalRecord::SubmitTx).collect())?;
         self.pending.extend(txs);
+        self.publish();
         Ok(())
     }
 
@@ -666,87 +743,65 @@ impl LocalNode {
     }
 
     /// `debug_traceCall`: execute a read-only call with a structured
-    /// instruction trace; state changes are discarded.
+    /// instruction trace. Runs over an overlay host — the shared state
+    /// (journal, analysis caches) is never touched.
     pub fn debug_trace_call(
         &mut self,
         from: Address,
         to: Address,
         data: Vec<u8>,
     ) -> (CallResult, Vec<lsc_evm::TraceStep>) {
-        let env = self.block_env();
-        let gas_price = U256::from_u64(1);
-        let recent_hashes = self.recent_hashes();
-        let checkpoint = self.state.checkpoint();
-        let (result, trace) = {
-            let mut host = StateHost {
-                state: &mut self.state,
-                env: &env,
-                gas_price,
-                logs: Vec::new(),
-                snapshots: Vec::new(),
-                recent_hashes: &recent_hashes,
-            };
-            let message = Message::call(from, to, U256::ZERO, data, 30_000_000);
-            let config = lsc_evm::Config {
-                trace: true,
-                ..Default::default()
-            };
-            let mut evm = Evm::with_config(&mut host, config);
-            let result = evm.execute(message);
-            (result, std::mem::take(&mut evm.trace))
-        };
-        self.state.revert_to(checkpoint);
-        (result, trace)
+        self.debug_trace_call_readonly(from, to, data)
     }
 
-    /// Execute a read-only call (`eth_call`): state changes are discarded.
-    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+    /// [`LocalNode::debug_trace_call`] through `&self` — the actual
+    /// implementation; the `&mut` entry point is a compatibility shim.
+    pub fn debug_trace_call_readonly(
+        &self,
+        from: Address,
+        to: Address,
+        data: Vec<u8>,
+    ) -> (CallResult, Vec<lsc_evm::TraceStep>) {
         let env = self.block_env();
-        let gas_price = U256::from_u64(1);
         let recent_hashes = self.recent_hashes();
-        let checkpoint = self.state.checkpoint();
-        let result = {
-            let mut host = StateHost {
-                state: &mut self.state,
-                env: &env,
-                gas_price,
-                logs: Vec::new(),
-                snapshots: Vec::new(),
-                recent_hashes: &recent_hashes,
-            };
-            let message = Message::call(from, to, U256::ZERO, data, 30_000_000);
-            Evm::new(&mut host).execute(message)
-        };
-        self.state.revert_to(checkpoint);
-        result
+        mvcc::run_trace_call(&self.state, &env, &recent_hashes, from, to, data)
+    }
+
+    /// Execute a read-only call (`eth_call`): writes land in a private
+    /// overlay and are discarded — the shared journaled state is never
+    /// mutated (no checkpoint, no rollback, no cache churn).
+    pub fn call(&mut self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+        self.call_readonly(from, to, data)
+    }
+
+    /// [`LocalNode::call`] through `&self` — the actual implementation;
+    /// the `&mut` entry point is a compatibility shim. Bit-identical to
+    /// the historical mutate-and-rollback path (the overlay host mirrors
+    /// the journaled host's semantics op for op).
+    pub fn call_readonly(&self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
+        let env = self.block_env();
+        let recent_hashes = self.recent_hashes();
+        mvcc::run_call(&self.state, &env, &recent_hashes, from, to, data)
     }
 
     /// Estimate the gas a transaction would use (`eth_estimateGas`):
-    /// executes against a throwaway journal and reports actual usage.
+    /// executes against a private overlay and reports actual usage.
     pub fn estimate_gas(&mut self, tx: &Transaction) -> Result<u64, TxError> {
-        let intrinsic = gas::tx_intrinsic_gas(tx.to.is_none(), &tx.data);
+        self.estimate_gas_readonly(tx)
+    }
+
+    /// [`LocalNode::estimate_gas`] through `&self` — the actual
+    /// implementation; the `&mut` entry point is a compatibility shim.
+    pub fn estimate_gas_readonly(&self, tx: &Transaction) -> Result<u64, TxError> {
         let env = self.block_env();
-        let gas_price = tx.gas_price;
         let recent_hashes = self.recent_hashes();
-        let checkpoint = self.state.checkpoint();
-        let exec_gas = self.config.block_gas_limit - intrinsic;
-        let message = match tx.to {
-            Some(to) => Message::call(tx.from, to, tx.value, tx.data.clone(), exec_gas),
-            None => Message::create(tx.from, tx.value, tx.data.clone(), exec_gas),
-        };
-        let result = {
-            let mut host = StateHost {
-                state: &mut self.state,
-                env: &env,
-                gas_price,
-                logs: Vec::new(),
-                snapshots: Vec::new(),
-                recent_hashes: &recent_hashes,
-            };
-            Evm::new(&mut host).execute(message)
-        };
-        self.state.revert_to(checkpoint);
-        Ok(intrinsic + (exec_gas - result.gas_left))
+        Ok(mvcc::run_estimate(
+            &self.state,
+            &env,
+            &recent_hashes,
+            self.config.block_gas_limit,
+            tx,
+        ))
     }
 }
 
@@ -863,6 +918,9 @@ impl LocalNode {
             node.apply_record(record);
         }
         node.replaying = false;
+        // Publication was suppressed during replay; publish the fully
+        // recovered chain once.
+        node.rebuild_published();
         node.durable_log = Some(Wal::open(dir, faults)?);
         Ok(node)
     }

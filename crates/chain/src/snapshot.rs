@@ -287,6 +287,8 @@ impl LocalNode {
         self.install_pending(pending);
         self.install_app_events(app_events);
         self.set_clock(timestamp);
+        // History was replaced wholesale — republish from scratch.
+        self.rebuild_published();
         Ok(imported)
     }
 }

@@ -3,7 +3,8 @@
 //! `MockHost` used in `lsc-evm`'s own tests).
 
 use lsc_evm::analysis::{fastpath, AnalyzedCode};
-use lsc_primitives::{Address, FxHashMap, H256, U256};
+use lsc_evm::StateView;
+use lsc_primitives::{Address, FxHashMap, FxHashSet, H256, U256};
 use std::sync::{Arc, OnceLock};
 
 /// One account's state.
@@ -79,6 +80,10 @@ enum JournalEntry {
 pub struct WorldState {
     accounts: FxHashMap<Address, Account>,
     journal: Vec<JournalEntry>,
+    /// Addresses whose state may have changed since the last
+    /// [`WorldState::take_dirty`] — the copy-on-write seed for MVCC
+    /// snapshot publication (only these accounts are re-shared).
+    dirty: FxHashSet<Address>,
 }
 
 impl WorldState {
@@ -165,6 +170,7 @@ impl WorldState {
         let previous = self.balance(address);
         self.journal
             .push(JournalEntry::BalanceChange { address, previous });
+        self.dirty.insert(address);
         self.entry(address).balance = balance;
     }
 
@@ -190,6 +196,7 @@ impl WorldState {
         let previous = self.nonce(address);
         self.journal
             .push(JournalEntry::NonceChange { address, previous });
+        self.dirty.insert(address);
         self.entry(address).nonce = nonce;
     }
 
@@ -201,6 +208,7 @@ impl WorldState {
             key,
             previous,
         });
+        self.dirty.insert(address);
         let account = self.entry(address);
         if value.is_zero() {
             account.storage.remove(&key);
@@ -226,6 +234,7 @@ impl WorldState {
         code: Arc<Vec<u8>>,
         analysis: Option<Arc<AnalyzedCode>>,
     ) {
+        self.dirty.insert(address);
         let entry = self.accounts.entry(address).or_default();
         let previous = Arc::clone(&entry.code);
         let previous_analysis = entry.analysis.get().cloned();
@@ -245,6 +254,7 @@ impl WorldState {
     pub fn create_account(&mut self, address: Address) {
         if !self.exists(address) {
             self.journal.push(JournalEntry::AccountCreated { address });
+            self.dirty.insert(address);
             self.accounts.insert(address, Account::default());
         }
     }
@@ -256,6 +266,7 @@ impl WorldState {
                 address,
                 previous: Box::new(account),
             });
+            self.dirty.insert(address);
         }
     }
 
@@ -265,13 +276,20 @@ impl WorldState {
     }
 
     /// Undo everything journaled after `checkpoint`.
+    ///
+    /// Reverted addresses are re-marked dirty: relative to the last
+    /// published snapshot their value may still differ (publication
+    /// re-shares them; re-sharing an unchanged account is merely
+    /// redundant, never wrong).
     pub fn revert_to(&mut self, checkpoint: usize) {
         while self.journal.len() > checkpoint {
             match self.journal.pop().expect("len > checkpoint") {
                 JournalEntry::BalanceChange { address, previous } => {
+                    self.dirty.insert(address);
                     self.entry(address).balance = previous;
                 }
                 JournalEntry::NonceChange { address, previous } => {
+                    self.dirty.insert(address);
                     self.entry(address).nonce = previous;
                 }
                 JournalEntry::StorageChange {
@@ -279,6 +297,7 @@ impl WorldState {
                     key,
                     previous,
                 } => {
+                    self.dirty.insert(address);
                     let account = self.entry(address);
                     if previous.is_zero() {
                         account.storage.remove(&key);
@@ -291,6 +310,7 @@ impl WorldState {
                     previous,
                     previous_analysis,
                 } => {
+                    self.dirty.insert(address);
                     let account = self.entry(address);
                     account.code = previous;
                     // Reinstate the cache that described the restored
@@ -301,9 +321,11 @@ impl WorldState {
                     }
                 }
                 JournalEntry::AccountCreated { address } => {
+                    self.dirty.insert(address);
                     self.accounts.remove(&address);
                 }
                 JournalEntry::AccountDestroyed { address, previous } => {
+                    self.dirty.insert(address);
                     self.accounts.insert(address, *previous);
                 }
             }
@@ -323,7 +345,49 @@ impl WorldState {
 
     /// Install an account wholesale (node snapshot restore). Not journaled.
     pub fn restore_account(&mut self, address: Address, account: Account) {
+        self.dirty.insert(address);
         self.accounts.insert(address, account);
+    }
+
+    /// Drain the set of addresses touched since the last call. The MVCC
+    /// publication path re-shares exactly these accounts into the next
+    /// [`crate::mvcc::CommittedSnapshot`].
+    pub fn take_dirty(&mut self) -> FxHashSet<Address> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Current journal depth (diagnostic: read-only call paths must leave
+    /// this untouched).
+    pub fn journal_depth(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+/// A journaled world state doubles as an immutable [`StateView`] between
+/// mutations: the node's `&mut` read-only entry points run a
+/// [`lsc_evm::SnapshotHost`] directly over `&self.state` with zero
+/// journal traffic.
+impl StateView for WorldState {
+    fn view_exists(&self, address: Address) -> bool {
+        self.exists(address)
+    }
+    fn view_balance(&self, address: Address) -> U256 {
+        self.balance(address)
+    }
+    fn view_nonce(&self, address: Address) -> u64 {
+        self.nonce(address)
+    }
+    fn view_code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.code(address)
+    }
+    fn view_code_hash(&self, address: Address) -> H256 {
+        self.code_hash(address)
+    }
+    fn view_code_analysis(&self, address: Address) -> Arc<AnalyzedCode> {
+        self.code_analysis(address)
+    }
+    fn view_storage(&self, address: Address, key: U256) -> U256 {
+        self.storage(address, key)
     }
 }
 

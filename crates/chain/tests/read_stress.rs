@@ -1,0 +1,180 @@
+//! Concurrent MVCC stress: reader threads hammer a [`ReadHandle`] while
+//! one writer mines, warps the clock and reverts. Every snapshot a reader
+//! observes must be a committed prefix of the writer's history — ether
+//! conserved, blocks linked, receipts present — no matter where the
+//! publication lands relative to the read.
+
+use lsc_chain::{ChainConfig, LocalNode, Transaction};
+use lsc_primitives::{ether, U256};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const N_ACCOUNTS: usize = 4;
+
+/// Total supply visible in a snapshot: dev accounts plus the coinbase
+/// (fees). The stress workload only moves ether between dev accounts, so
+/// this is constant in every committed prefix.
+fn snapshot_supply(snap: &lsc_chain::CommittedSnapshot) -> U256 {
+    let mut total = U256::ZERO;
+    for account in snap.accounts().iter() {
+        total += snap.balance(*account);
+    }
+    total + snap.balance(snap.config().coinbase)
+}
+
+#[test]
+fn readers_only_ever_see_committed_prefixes() {
+    let config = ChainConfig {
+        mining_workers: Some(4),
+        ..ChainConfig::default()
+    };
+    let mut node = LocalNode::with_config(config, N_ACCOUNTS);
+    let expected_supply = ether(N_ACCOUNTS as u64 * 1000);
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapshots_taken = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let handle = node.read_handle();
+            let stop = Arc::clone(&stop);
+            let snapshots_taken = Arc::clone(&snapshots_taken);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = handle.snapshot();
+                    // (a) Nothing minted, nothing burned.
+                    assert_eq!(
+                        snapshot_supply(&snap),
+                        expected_supply,
+                        "ether conserved in every published prefix"
+                    );
+                    // (b) The chain is hash-linked genesis..tip.
+                    let tip = snap.block_number();
+                    for number in 1..=tip {
+                        let block = snap.block(number).expect("interior block present");
+                        let parent = snap.block(number - 1).expect("parent present");
+                        assert_eq!(block.parent_hash, parent.hash, "linked at {number}");
+                        assert!(block.timestamp >= parent.timestamp, "clock monotone");
+                    }
+                    // (c) Every mined transaction has its receipt.
+                    if let Some(block) = snap.block(tip) {
+                        for tx_hash in &block.tx_hashes {
+                            let receipt = snap.receipt(*tx_hash).expect("tip receipts present");
+                            assert_eq!(receipt.block_number, tip);
+                        }
+                    }
+                    snapshots_taken.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // The writer: instant txs, batches, clock warps, and periodic
+    // snapshot/revert — each entry point publishes on return.
+    let accounts: Vec<_> = node.accounts().to_vec();
+    for round in 0u64..60 {
+        let from = accounts[(round % 4) as usize];
+        let to = accounts[((round + 1) % 4) as usize];
+        node.send_transaction(
+            Transaction::call(from, to, vec![])
+                .with_value(U256::from_u64(1000 + round))
+                .with_gas(21_000),
+        )
+        .unwrap();
+        if round % 5 == 0 {
+            for i in 0..3u64 {
+                node.submit_transaction(
+                    Transaction::call(to, from, vec![])
+                        .with_value(U256::from_u64(i + 1))
+                        .with_gas(21_000),
+                );
+            }
+            let (_, errors) = node.mine_block();
+            assert!(errors.is_empty());
+        }
+        if round % 7 == 0 {
+            node.increase_time(17);
+        }
+        if round % 11 == 0 {
+            let snap_id = node.snapshot();
+            node.send_transaction(
+                Transaction::call(from, to, vec![])
+                    .with_value(ether(1))
+                    .with_gas(21_000),
+            )
+            .unwrap();
+            assert!(node.revert_to_snapshot(snap_id));
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        reader.join().expect("reader invariants held");
+    }
+    assert!(
+        snapshots_taken.load(Ordering::Relaxed) > 0,
+        "readers actually ran"
+    );
+
+    // After the writer quiesces, the handle converges to the final state.
+    let handle = node.read_handle();
+    assert_eq!(handle.block_number(), node.block_number());
+    assert_eq!(handle.balance(accounts[0]), node.balance(accounts[0]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linearizability, single-threaded form: after any prefix of an
+    /// arbitrary interleaving of instant txs, batch submits, mining,
+    /// and clock moves, the handle's reads equal the locked node's —
+    /// i.e. every mutation's publication is visible the moment the
+    /// entry point returns (read-after-write for the committing thread).
+    #[test]
+    fn handle_is_linearizable_with_writer_ops(
+        ops in proptest::collection::vec((0u8..5, 0usize..4, 1u64..500), 1..40),
+    ) {
+        let mut node = LocalNode::new(4);
+        let handle = node.read_handle();
+        let accounts: Vec<_> = node.accounts().to_vec();
+
+        for (kind, which, amount) in ops {
+            let from = accounts[which];
+            let to = accounts[(which + 1) % 4];
+            match kind {
+                0 => {
+                    // Instant transaction (may fail on funds — fine).
+                    let _ = node.send_transaction(
+                        Transaction::call(from, to, vec![])
+                            .with_value(U256::from_u64(amount))
+                            .with_gas(21_000),
+                    );
+                }
+                1 => {
+                    node.submit_transaction(
+                        Transaction::call(from, to, vec![])
+                            .with_value(U256::from_u64(amount))
+                            .with_gas(21_000),
+                    );
+                }
+                2 => {
+                    let _ = node.mine_block();
+                }
+                3 => {
+                    node.increase_time(amount);
+                }
+                _ => {
+                    node.faucet(to, U256::from_u64(amount));
+                }
+            }
+            // Read-after-write: the committed prefix is already published.
+            prop_assert_eq!(handle.block_number(), node.block_number());
+            prop_assert_eq!(handle.timestamp(), node.timestamp());
+            prop_assert_eq!(handle.pending_count(), node.pending_count());
+            for account in &accounts {
+                prop_assert_eq!(handle.balance(*account), node.balance(*account));
+                prop_assert_eq!(handle.nonce(*account), node.nonce(*account));
+            }
+        }
+    }
+}

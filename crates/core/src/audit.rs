@@ -81,17 +81,30 @@ impl EvidenceReport {
 }
 
 /// Build an evidence report for the chain containing `address`.
+///
+/// Every on-chain fact in the report is read from ONE published MVCC
+/// snapshot — lock-free, and internally consistent even while blocks are
+/// being mined concurrently.
 pub fn audit_chain(manager: &ContractManager, address: Address) -> CoreResult<EvidenceReport> {
     let chain_intact = manager.verify_chain(address).is_ok();
     let chain = manager.history(address)?;
+    let snapshot = manager.web3().read_snapshot();
     let mut entries = Vec::with_capacity(chain.len());
     for (i, version_address) in chain.iter().enumerate() {
         let record = manager.record(*version_address);
-        let code = manager.web3().code(*version_address);
+        let code = snapshot.code(*version_address);
+        // Deployed code hashes come from the account's memoized analysis
+        // (keccak runs at most once per blob); codeless addresses hash
+        // the empty blob, matching the pre-MVCC report bit for bit.
+        let code_hash = if code.is_empty() {
+            H256::keccak(code.as_slice())
+        } else {
+            snapshot.code_hash(*version_address)
+        };
         entries.push(AuditEntry {
             version: i as u32 + 1,
             address: *version_address,
-            code_hash: H256::keccak(&code),
+            code_hash,
             deployer: record.as_ref().map(|r| r.deployer),
             block: record.as_ref().map(|r| r.block),
             abi_cid: manager

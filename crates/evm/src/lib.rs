@@ -21,6 +21,7 @@ pub mod host;
 pub mod interpreter;
 pub mod memory;
 pub mod opcode;
+pub mod snapshot_host;
 pub mod stack;
 
 pub use access::{AccessKey, AccessSet, RecordingHost};
@@ -29,3 +30,4 @@ pub use host::{BlockEnv, Host, Log, MockHost};
 pub use interpreter::{
     CallKind, CallResult, Config, Evm, Halt, Message, TraceStep, MAX_CALL_DEPTH, MAX_TRACE_STEPS,
 };
+pub use snapshot_host::{SnapshotHost, StateView};

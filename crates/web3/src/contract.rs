@@ -4,7 +4,7 @@
 
 use crate::{decode_revert_reason, Web3, Web3Error};
 use lsc_abi::{Abi, AbiValue};
-use lsc_chain::{Receipt, Transaction};
+use lsc_chain::{CommittedSnapshot, Receipt, Transaction};
 use lsc_evm::Log;
 use lsc_primitives::{Address, U256};
 
@@ -79,6 +79,45 @@ impl Contract {
         Ok(values.remove(0))
     }
 
+    /// Read-only call against one published snapshot: every call (and
+    /// any other read) made against the same `snap` observes the same
+    /// committed prefix, lock-free. Decodes like [`Contract::call`].
+    pub fn call_at(
+        &self,
+        snap: &CommittedSnapshot,
+        name: &str,
+        args: &[AbiValue],
+    ) -> Result<Vec<AbiValue>, Web3Error> {
+        let f = self
+            .abi
+            .function(name)
+            .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
+        let data = f.encode_call(args)?;
+        let caller = snap.accounts().first().copied().unwrap_or(Address::ZERO);
+        let result = snap.call(caller, self.address, data);
+        if !result.success {
+            return Err(Web3Error::Reverted {
+                reason: decode_revert_reason(&result.output),
+                output: result.output,
+            });
+        }
+        Ok(f.decode_output(&result.output)?)
+    }
+
+    /// [`Contract::call_at`] returning the single output value.
+    pub fn call1_at(
+        &self,
+        snap: &CommittedSnapshot,
+        name: &str,
+        args: &[AbiValue],
+    ) -> Result<AbiValue, Web3Error> {
+        let mut values = self.call_at(snap, name, args)?;
+        if values.is_empty() {
+            return Err(Web3Error::UnknownAbiItem(format!("{name} returns nothing")));
+        }
+        Ok(values.remove(0))
+    }
+
     /// State-changing invocation; errors on revert.
     pub fn send(
         &self,
@@ -142,6 +181,32 @@ impl Contract {
             .event(name)
             .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
         let raw = self.web3.logs(
+            from_block,
+            to_block,
+            Some(self.address),
+            Some(event.topic0()),
+        );
+        Ok(raw
+            .into_iter()
+            .filter_map(|(block, log)| self.decode_log(&log).map(|e| (block, e)))
+            .collect())
+    }
+
+    /// [`Contract::events_in_range`] against one published snapshot —
+    /// uses its indexed `eth_getLogs` and observes the same committed
+    /// prefix as every other read of `snap`.
+    pub fn events_in_range_at(
+        &self,
+        snap: &CommittedSnapshot,
+        name: &str,
+        from_block: u64,
+        to_block: u64,
+    ) -> Result<Vec<(u64, DecodedEvent)>, Web3Error> {
+        let event = self
+            .abi
+            .event(name)
+            .ok_or_else(|| Web3Error::UnknownAbiItem(name.to_string()))?;
+        let raw = snap.logs(
             from_block,
             to_block,
             Some(self.address),

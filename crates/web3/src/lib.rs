@@ -51,9 +51,9 @@ pub use wallet::Wallet;
 
 use core::fmt;
 use lsc_abi::{Abi, AbiError, AbiValue};
-use lsc_chain::{LocalNode, Receipt, Transaction, TxError};
+use lsc_chain::{Block, CommittedSnapshot, LocalNode, ReadHandle, Receipt, Transaction, TxError};
 use lsc_evm::CallResult;
-use lsc_primitives::{Address, U256};
+use lsc_primitives::{Address, H256, U256};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -119,9 +119,18 @@ pub fn decode_revert_reason(output: &[u8]) -> Option<String> {
 }
 
 /// Thread-safe client over a local node.
+///
+/// Writes (deploy, send, mine, clock warps) serialize through the node's
+/// mutex; **reads never touch it** — they are served lock-free from the
+/// node's published MVCC snapshots through a [`ReadHandle`], so any
+/// number of dashboard/audit readers proceed while a block is being
+/// mined. Each read observes one committed prefix of the chain; use
+/// [`Web3::read_handle`] / [`ReadHandle::snapshot`] when several reads
+/// must agree on the same prefix.
 #[derive(Clone)]
 pub struct Web3 {
     node: Arc<Mutex<LocalNode>>,
+    reads: ReadHandle,
     wallet: Wallet,
 }
 
@@ -133,8 +142,10 @@ impl Web3 {
         for account in node.accounts() {
             wallet.unlock(*account);
         }
+        let reads = node.read_handle();
         Web3 {
             node: Arc::new(Mutex::new(node)),
+            reads,
             wallet,
         }
     }
@@ -149,24 +160,42 @@ impl Web3 {
         f(&mut self.node.lock())
     }
 
-    /// Dev accounts of the underlying node.
-    pub fn accounts(&self) -> Vec<Address> {
-        self.node.lock().accounts().to_vec()
+    /// The lock-free read handle this client serves its reads from.
+    /// Clone it onto as many reader threads as you like.
+    pub fn read_handle(&self) -> ReadHandle {
+        self.reads.clone()
+    }
+
+    /// The latest published chain snapshot — every read from it observes
+    /// the same committed prefix (audits, consistent dashboards). Not to
+    /// be confused with [`Web3::snapshot`], the `evm_snapshot` RPC.
+    pub fn read_snapshot(&self) -> Arc<CommittedSnapshot> {
+        self.reads.snapshot()
+    }
+
+    /// Dev accounts of the underlying node (shared, zero-copy).
+    pub fn accounts(&self) -> Arc<Vec<Address>> {
+        self.reads.accounts()
     }
 
     /// Balance of an account.
     pub fn balance(&self, address: Address) -> U256 {
-        self.node.lock().balance(address)
+        self.reads.balance(address)
+    }
+
+    /// Nonce of an account.
+    pub fn nonce(&self, address: Address) -> u64 {
+        self.reads.nonce(address)
     }
 
     /// Current block height.
     pub fn block_number(&self) -> u64 {
-        self.node.lock().block_number()
+        self.reads.block_number()
     }
 
     /// Current chain time.
     pub fn timestamp(&self) -> u64 {
-        self.node.lock().timestamp()
+        self.reads.timestamp()
     }
 
     /// Warp chain time forward (test clock).
@@ -174,9 +203,24 @@ impl Web3 {
         self.node.lock().increase_time(seconds);
     }
 
-    /// Code at an address (empty for EOAs).
-    pub fn code(&self, address: Address) -> Vec<u8> {
-        self.node.lock().code(address)
+    /// Code at an address (shared, zero-copy; empty for EOAs).
+    pub fn code(&self, address: Address) -> Arc<Vec<u8>> {
+        self.reads.code(address)
+    }
+
+    /// Read a storage slot (`eth_getStorageAt`).
+    pub fn storage_at(&self, address: Address, key: U256) -> U256 {
+        self.reads.storage_at(address, key)
+    }
+
+    /// Fetch a block by number (`eth_getBlockByNumber`).
+    pub fn block(&self, number: u64) -> Option<Arc<Block>> {
+        self.reads.block(number)
+    }
+
+    /// Fetch a receipt by tx hash (`eth_getTransactionReceipt`).
+    pub fn receipt(&self, tx_hash: H256) -> Option<Arc<Receipt>> {
+        self.reads.receipt(tx_hash)
     }
 
     /// Submit a raw transaction after the wallet check; errors on revert.
@@ -203,9 +247,10 @@ impl Web3 {
         Ok(self.node.lock().send_transaction(tx)?)
     }
 
-    /// `eth_call`: execute read-only.
+    /// `eth_call`: execute read-only against the latest published
+    /// snapshot — lock-free, writes discarded in a private overlay.
     pub fn call_raw(&self, from: Address, to: Address, data: Vec<u8>) -> CallResult {
-        self.node.lock().call(from, to, data)
+        self.reads.call(from, to, data)
     }
 
     /// Deploy init code (constructor args already appended); returns the
@@ -232,9 +277,9 @@ impl Web3 {
         Contract::new(self.clone(), abi, address)
     }
 
-    /// Estimate gas for a transaction.
+    /// Estimate gas for a transaction (lock-free, snapshot-backed).
     pub fn estimate_gas(&self, tx: &Transaction) -> Result<u64, Web3Error> {
-        Ok(self.node.lock().estimate_gas(tx)?)
+        Ok(self.reads.estimate_gas(tx)?)
     }
 
     /// Queue a transaction without mining (batch mode); it executes at the
@@ -280,10 +325,12 @@ impl Web3 {
 
     /// Number of queued (unmined) transactions.
     pub fn pending_count(&self) -> usize {
-        self.node.lock().pending_count()
+        self.reads.pending_count()
     }
 
     /// `eth_getLogs`: fetch logs in a block range with optional filters.
+    /// Served from the snapshot's inverted log index — O(matching
+    /// entries), not O(whole chain).
     pub fn logs(
         &self,
         from_block: u64,
@@ -291,7 +338,7 @@ impl Web3 {
         address: Option<Address>,
         topic0: Option<lsc_primitives::H256>,
     ) -> Vec<(u64, lsc_evm::Log)> {
-        self.node.lock().logs(from_block, to_block, address, topic0)
+        self.reads.logs(from_block, to_block, address, topic0)
     }
 
     /// Durably record an opaque app-tier event in the node's write-ahead

@@ -1,0 +1,134 @@
+//! Acceptance tests for the lock-free web3 read path: a [`ReadHandle`]
+//! must serve the complete read battery — including `eth_call` and
+//! `eth_estimateGas` — with ZERO acquisitions of the node mutex. Proven
+//! by holding the mutex for the whole duration of the reads.
+
+use lsc_abi::AbiValue;
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::{H256, U256};
+use lsc_solc::compile_single;
+use lsc_web3::Web3;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SOURCE: &str = r#"
+    contract Emitter {
+        event ping(uint n);
+        uint public count;
+        function hit(uint n) public {
+            count += 1;
+            emit ping(n);
+        }
+    }
+"#;
+
+fn selector(signature: &str) -> Vec<u8> {
+    H256::keccak(signature.as_bytes()).as_bytes()[..4].to_vec()
+}
+
+#[test]
+fn full_read_battery_completes_while_node_mutex_is_held() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    let other = web3.accounts()[1];
+    let artifact = compile_single(SOURCE, "Emitter").unwrap();
+    let (contract, receipt) = web3
+        .deploy(
+            from,
+            artifact.abi.clone(),
+            artifact.bytecode.clone(),
+            &[],
+            U256::ZERO,
+        )
+        .unwrap();
+    contract
+        .send(from, "hit", &[AbiValue::uint(9)], U256::ZERO)
+        .unwrap();
+
+    let handle = web3.read_handle();
+    let contract_address = contract.address();
+    let deploy_tx_hash = receipt.tx_hash;
+    let count_calldata = selector("count()");
+    let tip = web3.block_number();
+
+    let (done_tx, done_rx) = mpsc::channel::<u64>();
+    // Hold the node mutex for the entire read battery. If any read below
+    // touched the node, the battery would deadlock and the recv would
+    // time out.
+    web3.with_node(|locked| {
+        let reader = std::thread::spawn(move || {
+            let snap = handle.snapshot();
+            assert_eq!(snap.block_number(), tip);
+            assert!(handle.balance(from) > U256::ZERO);
+            assert_eq!(handle.nonce(from), 2, "deploy + hit");
+            assert!(!handle.code(contract_address).is_empty());
+            assert_eq!(
+                handle.storage_at(contract_address, U256::ZERO),
+                U256::from_u64(1),
+                "count == 1"
+            );
+            assert_eq!(handle.timestamp(), snap.timestamp());
+            assert_eq!(handle.pending_count(), 0);
+            assert_eq!(handle.accounts().len(), 2);
+            assert!(handle.block(tip).is_some());
+            assert!(handle.receipt(deploy_tx_hash).is_some());
+            assert_eq!(
+                handle.logs(0, tip, Some(contract_address), None).len(),
+                1,
+                "one ping"
+            );
+
+            // The interpreter itself runs lock-free against the snapshot.
+            let result = handle.call(from, contract_address, count_calldata.clone());
+            assert!(result.success);
+            assert_eq!(result.output, U256::from_u64(1).to_be_bytes().to_vec());
+            let gas = handle
+                .estimate_gas(&Transaction::call(from, contract_address, count_calldata))
+                .unwrap();
+            assert!(gas > 21_000, "estimate covers execution gas");
+
+            handle.block_number()
+        });
+        let observed = reader.join().expect("read battery panicked");
+        assert_eq!(observed, locked.block_number());
+        done_tx.send(observed).unwrap();
+    });
+    // The battery finished while the lock was held — no deadlock.
+    let observed = done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("reads completed without the node mutex");
+    assert_eq!(observed, tip);
+
+    // Sanity: web3's own read accessors agree with the locked node.
+    assert_eq!(web3.block_number(), tip);
+    assert_eq!(web3.balance(other), web3.read_handle().balance(other));
+}
+
+#[test]
+fn accounts_and_code_are_arc_shared_not_copied() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let from = web3.accounts()[0];
+    let artifact = compile_single(SOURCE, "Emitter").unwrap();
+    let (contract, _) = web3
+        .deploy(from, artifact.abi, artifact.bytecode, &[], U256::ZERO)
+        .unwrap();
+
+    // Two reads of an unchanged snapshot hand back the SAME allocation.
+    let a1 = web3.accounts();
+    let a2 = web3.accounts();
+    assert!(Arc::ptr_eq(&a1, &a2), "accounts list is shared, not cloned");
+
+    let c1 = web3.code(contract.address());
+    let c2 = web3.code(contract.address());
+    assert!(Arc::ptr_eq(&c1, &c2), "deployed code is shared, not cloned");
+    assert!(!c1.is_empty());
+
+    // The snapshot's copy and the node's copy are the same allocation
+    // too: publication re-shares the account's Arc.
+    let from_node = web3.with_node(|node| node.code(contract.address()));
+    assert!(
+        Arc::ptr_eq(&c1, &from_node),
+        "snapshot shares the node's code Arc"
+    );
+}
