@@ -37,6 +37,14 @@ struct Cli {
     session: Option<SessionToken>,
     last_address: Option<Address>,
     data_dir: Option<PathBuf>,
+    serve: Option<ServeOptions>,
+}
+
+/// Options for the `serve` subcommand: expose the node over JSON-RPC
+/// instead of the REPL.
+struct ServeOptions {
+    addr: String,
+    mining: lsc_rpc::MiningMode,
 }
 
 impl Cli {
@@ -44,16 +52,36 @@ impl Cli {
         // `--data-dir <path>` makes the chain durable: state-changing
         // intents go to a write-ahead log in that directory and a restart
         // on the same directory recovers the committed state exactly.
+        //
+        // `serve` switches from the REPL to a JSON-RPC server:
+        //   rental-cli serve [--addr host:port] [--block-time-ms N]
+        // Instant mining (Ganache style) unless --block-time-ms is given.
         let mut data_dir: Option<PathBuf> = None;
+        let mut serve = false;
+        let mut addr = "127.0.0.1:8545".to_string();
+        let mut mining = lsc_rpc::MiningMode::Instant;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--data-dir" => {
                     data_dir = Some(PathBuf::from(args.next().ok_or("--data-dir needs a path")?));
                 }
+                "serve" => serve = true,
+                "--addr" => {
+                    addr = args.next().ok_or("--addr needs host:port")?;
+                }
+                "--block-time-ms" => {
+                    let ms: u64 = args
+                        .next()
+                        .ok_or("--block-time-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "--block-time-ms needs a number")?;
+                    mining = lsc_rpc::MiningMode::Interval(std::time::Duration::from_millis(ms));
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
+        let serve = serve.then_some(ServeOptions { addr, mining });
         // LSC_MINING_WORKERS pins the batch-mining worker count (the
         // default sizes it from the machine's cores).
         let mining_workers = std::env::var("LSC_MINING_WORKERS")
@@ -89,6 +117,7 @@ impl Cli {
             session: None,
             last_address: None,
             data_dir,
+            serve,
         })
     }
 
@@ -453,7 +482,9 @@ const HELP: &str = "commands:
   dashboard | warp <seconds> | help | quit
   status                                         chain height + durability state
   compact                                        fold the log into a snapshot
-run with `--data-dir <path>` for a durable chain that survives restarts";
+run with `--data-dir <path>` for a durable chain that survives restarts
+run `serve [--addr host:port] [--block-time-ms N]` to expose the node
+over JSON-RPC (default 127.0.0.1:8545, instant mining) instead of the REPL";
 
 fn main() {
     let mut cli = match Cli::new() {
@@ -463,6 +494,40 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(options) = &cli.serve {
+        // `serve` mode: same node, JSON-RPC instead of the REPL. The
+        // server owns a clone of the Web3 handle; reads come off MVCC
+        // snapshots, writes go through the node mutex, and persistent
+        // (JSON-lines) connections may `eth_subscribe`.
+        let server = match lsc_rpc::RpcServer::bind(
+            cli.web3.clone(),
+            &options.addr,
+            lsc_rpc::RpcConfig {
+                mining: options.mining,
+                ..lsc_rpc::RpcConfig::default()
+            },
+        ) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("error: cannot bind {}: {e}", options.addr);
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "serving JSON-RPC on http://{} ({} dev account(s), {}) — Ctrl-C to stop",
+            server.local_addr(),
+            cli.web3.accounts().len(),
+            match options.mining {
+                lsc_rpc::MiningMode::Instant => "instant mining".to_string(),
+                lsc_rpc::MiningMode::Manual => "manual mining".to_string(),
+                lsc_rpc::MiningMode::Interval(period) =>
+                    format!("{} ms blocks", period.as_millis()),
+            },
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     let stdin = io::stdin();
     println!("legal-smart-contracts rental CLI — `help` for commands");
     if cli.data_dir.is_some() {

@@ -1,0 +1,339 @@
+//! JSON-RPC wire-protocol load report: drives a live [`RpcServer`] over
+//! real TCP with many concurrent keep-alive HTTP connections — one per
+//! simulated tenant — and measures aggregate throughput (req/s) and
+//! per-request latency (p50/p99) for three workloads:
+//!
+//! - `read_only`  — the dashboard mix: balances, blocks, logs, `eth_call`
+//! - `write_only` — `eth_sendTransaction` against an interval miner
+//! - `mixed`      — 90% reads / 10% writes, the dapp's steady state
+//!
+//! Every request crosses the socket: latencies include HTTP framing,
+//! JSON parse/encode, and the server's snapshot or mutex path — the
+//! numbers a real web3 client would see. Writes the series to
+//! `BENCH_rpc.json` and prints the table EXPERIMENTS.md records.
+//!
+//! Run with: `cargo run --release -p lsc-bench --bin rpc_report`
+//! (`--quick` shrinks tenant/request counts for CI smoke runs;
+//! `--tenants N` overrides the connection count).
+
+use lsc_bench::log_heavy_node_with_accounts;
+use lsc_primitives::Address;
+use lsc_rpc::{MiningMode, RpcConfig, RpcServer};
+use lsc_web3::Web3;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One tenant's keep-alive HTTP/1.1 connection.
+struct Tenant {
+    reader: BufReader<TcpStream>,
+}
+
+impl Tenant {
+    fn connect(addr: SocketAddr) -> Tenant {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Tenant {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// POST one JSON-RPC body, return the response body.
+    fn round_trip(&mut self, body: &str) -> String {
+        let request = format!(
+            "POST / HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        self.reader
+            .get_ref()
+            .write_all(request.as_bytes())
+            .expect("write request");
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("status line");
+        assert!(status.contains("200"), "unexpected status {status:?}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        String::from_utf8(body).expect("utf8 body")
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Workload {
+    ReadOnly,
+    WriteOnly,
+    Mixed,
+}
+
+/// Build the `i`-th request body for tenant `t`. The read mix rotates
+/// through the five read shapes a dashboard poll issues; writes are
+/// 21k-gas transfers between dev accounts (nonces resolve server-side).
+fn request_for(
+    workload: Workload,
+    t: usize,
+    i: usize,
+    accounts: &[Address],
+    emitters: &[Address],
+    tip: u64,
+) -> String {
+    let is_write = match workload {
+        Workload::ReadOnly => false,
+        Workload::WriteOnly => true,
+        Workload::Mixed => (t + i).is_multiple_of(10),
+    };
+    let id = t * 1_000_000 + i;
+    if is_write {
+        let from = accounts[t % accounts.len()];
+        let to = accounts[(t + 1) % accounts.len()];
+        return format!(
+            "{{\"id\":{id},\"jsonrpc\":\"2.0\",\"method\":\"eth_sendTransaction\",\"params\":[{{\"from\":\"{from}\",\"to\":\"{to}\",\"value\":\"0x1\",\"gas\":\"0x5208\"}}]}}"
+        );
+    }
+    let account = accounts[(t + i) % accounts.len()];
+    let emitter = emitters[(t + i) % emitters.len()];
+    let (method, params) = match (t + i) % 5 {
+        0 => ("eth_blockNumber", "[]".to_string()),
+        1 => ("eth_getBalance", format!("[\"{account}\",\"latest\"]")),
+        2 => (
+            "eth_getBlockByNumber",
+            format!("[\"0x{:x}\"]", (i as u64) % (tip + 1)),
+        ),
+        3 => (
+            "eth_getLogs",
+            format!(
+                "[{{\"address\":\"{emitter}\",\"fromBlock\":\"0x{:x}\",\"toBlock\":\"latest\"}}]",
+                tip.saturating_sub(8),
+            ),
+        ),
+        _ => (
+            "eth_call",
+            format!(
+                "[{{\"from\":\"{account}\",\"to\":\"{emitter}\",\"data\":\"0x{id:064x}\"}},\"latest\"]"
+            ),
+        ),
+    };
+    format!("{{\"id\":{id},\"jsonrpc\":\"2.0\",\"method\":\"{method}\",\"params\":{params}}}")
+}
+
+struct Series {
+    name: &'static str,
+    detail: &'static str,
+    mining: String,
+    requests: usize,
+    ok: usize,
+    queue_full: usize,
+    elapsed_ns: u128,
+    p50_us: f64,
+    p99_us: f64,
+    req_per_sec: f64,
+}
+
+/// Serve a fresh populated chain and hammer it with `tenants`
+/// connections issuing `per_tenant` requests each.
+fn run_series(
+    name: &'static str,
+    detail: &'static str,
+    workload: Workload,
+    mining: MiningMode,
+    tenants: usize,
+    per_tenant: usize,
+    substrate: (usize, usize, usize),
+) -> Series {
+    let (accounts, blocks, txs_per_block) = substrate;
+    let (node, emitters) = log_heavy_node_with_accounts(accounts, blocks, txs_per_block);
+    let accounts: Vec<Address> = node.accounts().to_vec();
+    let tip = node.block_number();
+    let web3 = Web3::new(node);
+    // Keep-alive connections pin a pool worker each, so the pool must be
+    // at least as wide as the tenant fleet (see DESIGN.md §threading).
+    let server = RpcServer::bind(
+        web3,
+        "127.0.0.1:0",
+        RpcConfig {
+            workers: tenants + 4,
+            mining,
+            ..RpcConfig::default()
+        },
+    )
+    .expect("bind load server");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(tenants + 1));
+    let accounts = Arc::new(accounts);
+    let emitters = Arc::new(emitters);
+    let threads: Vec<_> = (0..tenants)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let accounts = Arc::clone(&accounts);
+            let emitters = Arc::clone(&emitters);
+            std::thread::spawn(move || {
+                let mut tenant = Tenant::connect(addr);
+                let requests: Vec<String> = (0..per_tenant)
+                    .map(|i| request_for(workload, t, i, &accounts, &emitters, tip))
+                    .collect();
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(per_tenant);
+                let mut ok = 0usize;
+                let mut queue_full = 0usize;
+                for body in &requests {
+                    let start = Instant::now();
+                    let response = tenant.round_trip(body);
+                    latencies.push(start.elapsed().as_nanos());
+                    // Responses encode sorted keys, so errors lead with
+                    // `{"error"`. The only error this workload may see is
+                    // queue backpressure (-32005) — anything else is a bug.
+                    if response.starts_with("{\"error\"") {
+                        assert!(
+                            response.contains("-32005"),
+                            "unexpected error response: {response}"
+                        );
+                        queue_full += 1;
+                    } else {
+                        ok += 1;
+                    }
+                }
+                (latencies, ok, queue_full)
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(tenants * per_tenant);
+    let (mut ok, mut queue_full) = (0usize, 0usize);
+    for thread in threads {
+        let (lat, o, q) = thread.join().expect("tenant thread");
+        latencies.extend(lat);
+        ok += o;
+        queue_full += q;
+    }
+    let elapsed = start.elapsed();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx] as f64 / 1_000.0
+    };
+    let requests = latencies.len();
+    Series {
+        name,
+        detail,
+        mining: match mining {
+            MiningMode::Instant => "instant".to_string(),
+            MiningMode::Manual => "manual".to_string(),
+            MiningMode::Interval(period) => format!("interval_{}ms", period.as_millis()),
+        },
+        requests,
+        ok,
+        queue_full,
+        elapsed_ns: elapsed.as_nanos(),
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        req_per_sec: requests as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tenants = args
+        .iter()
+        .position(|a| a == "--tenants")
+        .and_then(|i| args.get(i + 1))
+        .map_or(if quick { 16 } else { 1_000 }, |v| {
+            v.parse().expect("--tenants takes a number")
+        });
+    let per_tenant = if quick { 25 } else { 30 };
+    // Substrate: dev accounts for the senders, plus a log-heavy history
+    // so eth_getLogs queries have an index to exercise.
+    let substrate = if quick { (16, 8, 8) } else { (64, 40, 16) };
+
+    println!("rpc_report: {tenants} tenants x {per_tenant} requests per workload");
+    let series = vec![
+        run_series(
+            "read_only",
+            "balance/block/logs/call dashboard mix, snapshot reads",
+            Workload::ReadOnly,
+            MiningMode::Manual,
+            tenants,
+            per_tenant,
+            substrate,
+        ),
+        run_series(
+            "write_only",
+            "eth_sendTransaction transfers, 10 ms interval miner",
+            Workload::WriteOnly,
+            MiningMode::Interval(Duration::from_millis(10)),
+            tenants,
+            per_tenant,
+            substrate,
+        ),
+        run_series(
+            "mixed_90_10",
+            "90% reads / 10% writes, 10 ms interval miner",
+            Workload::Mixed,
+            MiningMode::Interval(Duration::from_millis(10)),
+            tenants,
+            per_tenant,
+            substrate,
+        ),
+    ];
+
+    // ---- table ------------------------------------------------------
+    println!("\n=== JSON-RPC load: {tenants} tenants over TCP ===");
+    println!(
+        "{:<12} | {:>9} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "series", "requests", "rejected", "req/s", "p50 (us)", "p99 (us)"
+    );
+    println!("{}", "-".repeat(76));
+    for s in &series {
+        println!(
+            "{:<12} | {:>9} | {:>9} | {:>10.0} | {:>10.1} | {:>10.1}",
+            s.name, s.requests, s.queue_full, s.req_per_sec, s.p50_us, s.p99_us
+        );
+    }
+
+    // ---- BENCH_rpc.json ---------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"rpc_load\",\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"tenants\": {tenants},\n  \"requests_per_tenant\": {per_tenant},\n"
+    ));
+    json.push_str("  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"mining\": \"{}\", \"requests\": {}, \"ok\": {}, \"queue_full\": {}, \"elapsed_ns\": {}, \"req_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+            s.name,
+            s.detail,
+            s.mining,
+            s.requests,
+            s.ok,
+            s.queue_full,
+            s.elapsed_ns,
+            s.req_per_sec,
+            s.p50_us,
+            s.p99_us,
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_rpc.json", &json).expect("write BENCH_rpc.json");
+    println!("\nwrote BENCH_rpc.json");
+}

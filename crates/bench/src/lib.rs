@@ -169,6 +169,17 @@ pub fn loaded_rent_block() -> Web3 {
 /// own topic plus one `LOG0`). The `eth_getLogs` benchmark substrate:
 /// selective filters match only 1/4 of a large log population.
 pub fn log_heavy_node(blocks: usize, txs_per_block: usize) -> (LocalNode, Vec<Address>) {
+    log_heavy_node_with_accounts(4, blocks, txs_per_block)
+}
+
+/// [`log_heavy_node`] with a configurable dev-account count — the RPC
+/// load harness spreads thousands of simulated tenants round-robin over
+/// these senders, so it wants more than the default four.
+pub fn log_heavy_node_with_accounts(
+    accounts: usize,
+    blocks: usize,
+    txs_per_block: usize,
+) -> (LocalNode, Vec<Address>) {
     use lsc_chain::Transaction;
     use lsc_evm::asm::Asm;
     use lsc_evm::opcode::op;
@@ -199,7 +210,7 @@ pub fn log_heavy_node(blocks: usize, txs_per_block: usize) -> (LocalNode, Vec<Ad
         init.assemble().expect("straight-line asm")
     };
 
-    let mut node = LocalNode::new(4);
+    let mut node = LocalNode::new(accounts);
     let sender = node.accounts()[0];
     let emitters: Vec<Address> = (0..4u64)
         .map(|i| {

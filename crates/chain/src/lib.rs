@@ -21,8 +21,8 @@ pub mod state;
 pub mod tx;
 pub mod wal;
 
-pub use mvcc::{log_matches, CommittedSnapshot, LogIndex, ReadHandle};
-pub use node::{ChainConfig, DeployGuard, LocalNode};
+pub use mvcc::{log_matches, CommittedSnapshot, LogFilter, LogIndex, ReadHandle};
+pub use node::{ChainConfig, DeployGuard, LocalNode, DEFAULT_MAX_PENDING};
 pub use snapshot::SnapshotError;
 pub use state::{Account, WorldState};
 pub use tx::{Block, Receipt, Transaction, TxError};

@@ -29,23 +29,62 @@ use lsc_evm::{
 use lsc_primitives::{keccak256, Address, FxHashMap, H256, U256};
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Duration;
 
-/// The shared filter predicate for `eth_getLogs`: does `log` pass the
-/// optional emitting-address and topic-0 filters? Both the node's
-/// reference scan and the snapshot's index query go through this one
-/// function, so the two paths cannot drift apart.
+/// An `eth_getLogs` filter with the full wire-format semantics: an
+/// OR-list of emitting addresses (empty = any) and a *positional* topic
+/// filter — `topics[i]` is an OR-list the log's `i`-th topic must hit,
+/// and an empty list at a position is the JSON `null` wildcard.
+///
+/// Every log-filtering path in the chain — the node's reference scan,
+/// the snapshot scan and the inverted-index query — evaluates candidates
+/// through [`LogFilter::matches`], so the paths cannot drift apart.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogFilter {
+    /// Emitting addresses to accept; empty accepts every address.
+    pub addresses: Vec<Address>,
+    /// Positional topic OR-lists; an empty inner list is a wildcard.
+    /// Positions beyond the log's topic count never match (per spec: a
+    /// filter on topic-1 cannot match a log with a single topic).
+    pub topics: Vec<Vec<H256>>,
+}
+
+impl LogFilter {
+    /// The historical (address, topic0) filter shape as a [`LogFilter`].
+    pub fn address_topic0(address: Option<Address>, topic0: Option<H256>) -> Self {
+        LogFilter {
+            addresses: address.into_iter().collect(),
+            topics: match topic0 {
+                Some(t) => vec![vec![t]],
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Does `log` pass this filter?
+    pub fn matches(&self, log: &Log) -> bool {
+        if !self.addresses.is_empty() && !self.addresses.contains(&log.address) {
+            return false;
+        }
+        for (position, or_list) in self.topics.iter().enumerate() {
+            if or_list.is_empty() {
+                continue; // null wildcard
+            }
+            match log.topics.get(position) {
+                Some(topic) if or_list.contains(topic) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The shared filter predicate for the historical `eth_getLogs` surface
+/// (one optional address, one optional topic-0) — a thin wrapper over
+/// [`LogFilter::matches`], kept for the many call sites that predate the
+/// positional filter.
 pub fn log_matches(log: &Log, address: Option<Address>, topic0: Option<H256>) -> bool {
-    if let Some(filter) = address {
-        if log.address != filter {
-            return false;
-        }
-    }
-    if let Some(filter) = topic0 {
-        if log.topics.first() != Some(&filter) {
-            return false;
-        }
-    }
-    true
+    LogFilter::address_topic0(address, topic0).matches(log)
 }
 
 /// A 256-bit per-block bloom filter over log addresses and topic-0
@@ -128,45 +167,85 @@ impl LogIndex {
         self.blooms.push(bloom);
     }
 
-    /// Walk one posting list over the block range, re-checking every
-    /// candidate with [`log_matches`] (the index narrows, the predicate
-    /// decides). `other_bits` — the bloom bits of the *other* filter, if
-    /// any — lets whole blocks be skipped without touching their logs.
-    fn query_postings(
-        &self,
-        postings: Option<&Arc<Vec<LogPos>>>,
+    /// Collect the posting positions of every key in `lists`, restricted
+    /// to the block range. Lists for distinct addresses (or distinct
+    /// topic-0 values) are disjoint — a log has exactly one address and
+    /// at most one topic-0 — so a sort restores global emission order
+    /// without deduplication.
+    fn union_postings<'a>(
+        lists: impl Iterator<Item = Option<&'a Arc<Vec<LogPos>>>>,
         from_block: u64,
         to_block: u64,
-        address: Option<Address>,
-        topic0: Option<H256>,
-        other_bits: Option<[u8; 3]>,
+    ) -> Vec<LogPos> {
+        let mut positions: Vec<LogPos> = Vec::new();
+        for postings in lists.flatten() {
+            let start = postings.partition_point(|pos| pos.block < from_block);
+            positions.extend(
+                postings[start..]
+                    .iter()
+                    .take_while(|pos| pos.block <= to_block)
+                    .copied(),
+            );
+        }
+        positions.sort_unstable_by_key(|pos| (pos.block, pos.ordinal));
+        positions
+    }
+
+    /// Indexed `eth_getLogs` with full positional-filter semantics:
+    /// O(postings in range) whenever an address or topic-0 constraint is
+    /// present (the posting lists are the prefilter, [`LogFilter::matches`]
+    /// decides), O(logs in range) otherwise — never O(whole chain).
+    /// Results are emitted in exactly the reference-scan order (block
+    /// ascending, then flat emission order within the block).
+    pub fn query_filter(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        filter: &LogFilter,
     ) -> Vec<(u64, Log)> {
-        let mut out = Vec::new();
-        let Some(postings) = postings else {
-            return out;
+        let topic0 = filter.topics.first().map_or(&[] as &[H256], Vec::as_slice);
+        // Bloom bits of the *other* single-valued constraint, if any —
+        // lets whole blocks be skipped without touching their logs.
+        let (positions, other_bits) = if !filter.addresses.is_empty() {
+            let positions = Self::union_postings(
+                filter.addresses.iter().map(|a| self.by_address.get(a)),
+                from_block,
+                to_block,
+            );
+            let bits = match topic0 {
+                [only] => Some(BlockBloom::bits(&only.0)),
+                _ => None,
+            };
+            (positions, bits)
+        } else if !topic0.is_empty() {
+            let positions = Self::union_postings(
+                topic0.iter().map(|t| self.by_topic0.get(t)),
+                from_block,
+                to_block,
+            );
+            (positions, None)
+        } else {
+            // No indexed constraint (topic-1+ only, or no filter at
+            // all): walk the range.
+            return self.scan_filter(from_block, to_block, filter);
         };
-        let start = postings.partition_point(|pos| pos.block < from_block);
-        for pos in &postings[start..] {
-            if pos.block > to_block {
-                break;
-            }
+        let mut out = Vec::new();
+        for pos in positions {
             if let Some(bits) = other_bits {
                 if !self.blooms[pos.block as usize].contains_bits(bits) {
                     continue;
                 }
             }
             let log = &self.per_block[pos.block as usize][pos.ordinal as usize];
-            if log_matches(log, address, topic0) {
+            if filter.matches(log) {
                 out.push((pos.block, log.clone()));
             }
         }
         out
     }
 
-    /// Indexed `eth_getLogs`: O(postings in range) when a filter is
-    /// present, O(logs in range) otherwise — never O(whole chain).
-    /// Results are emitted in exactly the reference-scan order (block
-    /// ascending, then flat emission order within the block).
+    /// [`LogIndex::query_filter`] for the historical (address, topic0)
+    /// surface.
     pub fn query(
         &self,
         from_block: u64,
@@ -174,46 +253,21 @@ impl LogIndex {
         address: Option<Address>,
         topic0: Option<H256>,
     ) -> Vec<(u64, Log)> {
-        match (address, topic0) {
-            (Some(filter), topic0) => self.query_postings(
-                self.by_address.get(&filter),
-                from_block,
-                to_block,
-                Some(filter),
-                topic0,
-                topic0.map(|t| BlockBloom::bits(&t.0)),
-            ),
-            (None, Some(filter)) => self.query_postings(
-                self.by_topic0.get(&filter),
-                from_block,
-                to_block,
-                None,
-                Some(filter),
-                None,
-            ),
-            (None, None) => {
-                let mut out = Vec::new();
-                for (number, logs) in self.per_block.iter().enumerate() {
-                    let number = number as u64;
-                    if number < from_block || number > to_block {
-                        continue;
-                    }
-                    out.extend(logs.iter().map(|log| (number, log.clone())));
-                }
-                out
-            }
-        }
+        self.query_filter(
+            from_block,
+            to_block,
+            &LogFilter::address_topic0(address, topic0),
+        )
     }
 
     /// Reference implementation: linear scan over the per-block lists
     /// with the same shared predicate. Kept for differential tests and
     /// the indexed-vs-scan benchmark.
-    pub fn scan(
+    pub fn scan_filter(
         &self,
         from_block: u64,
         to_block: u64,
-        address: Option<Address>,
-        topic0: Option<H256>,
+        filter: &LogFilter,
     ) -> Vec<(u64, Log)> {
         let mut out = Vec::new();
         for (number, logs) in self.per_block.iter().enumerate() {
@@ -222,12 +276,28 @@ impl LogIndex {
                 continue;
             }
             for log in logs.iter() {
-                if log_matches(log, address, topic0) {
+                if filter.matches(log) {
                     out.push((number, log.clone()));
                 }
             }
         }
         out
+    }
+
+    /// [`LogIndex::scan_filter`] for the historical (address, topic0)
+    /// surface.
+    pub fn scan(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        address: Option<Address>,
+        topic0: Option<H256>,
+    ) -> Vec<(u64, Log)> {
+        self.scan_filter(
+            from_block,
+            to_block,
+            &LogFilter::address_topic0(address, topic0),
+        )
     }
 }
 
@@ -241,6 +311,8 @@ pub struct CommittedSnapshot {
     accounts: FxHashMap<Address, Arc<Account>>,
     dev_accounts: Arc<Vec<Address>>,
     blocks: Vec<Arc<Block>>,
+    /// Block hash → height (`eth_getBlockByHash`).
+    blocks_by_hash: FxHashMap<H256, u64>,
     receipts: FxHashMap<H256, Arc<Receipt>>,
     timestamp: u64,
     pending_count: usize,
@@ -256,6 +328,7 @@ impl CommittedSnapshot {
             accounts: FxHashMap::default(),
             dev_accounts: Arc::new(dev_accounts),
             blocks: Vec::new(),
+            blocks_by_hash: FxHashMap::default(),
             receipts: FxHashMap::default(),
             timestamp: 0,
             pending_count: 0,
@@ -290,6 +363,7 @@ impl CommittedSnapshot {
                 }
             }
             self.log_index.append_block(block, receipts);
+            self.blocks_by_hash.insert(block.hash, block.number);
             self.blocks.push(Arc::new(block.clone()));
         }
         self.recent_hashes = self
@@ -377,6 +451,11 @@ impl CommittedSnapshot {
         self.blocks.get(usize::try_from(number).ok()?).cloned()
     }
 
+    /// Fetch a block by hash, shared (`eth_getBlockByHash`).
+    pub fn block_by_hash(&self, hash: H256) -> Option<Arc<Block>> {
+        self.block(*self.blocks_by_hash.get(&hash)?)
+    }
+
     /// Fetch a receipt by transaction hash, shared.
     pub fn receipt(&self, tx_hash: H256) -> Option<Arc<Receipt>> {
         self.receipts.get(&tx_hash).cloned()
@@ -393,6 +472,17 @@ impl CommittedSnapshot {
         self.log_index.query(from_block, to_block, address, topic0)
     }
 
+    /// `eth_getLogs` with full positional wire-format semantics, via the
+    /// inverted index.
+    pub fn logs_filtered(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        filter: &LogFilter,
+    ) -> Vec<(u64, Log)> {
+        self.log_index.query_filter(from_block, to_block, filter)
+    }
+
     /// `eth_getLogs` by linear scan — the differential-test and
     /// benchmark baseline for [`CommittedSnapshot::logs`].
     pub fn logs_scan(
@@ -403,6 +493,17 @@ impl CommittedSnapshot {
         topic0: Option<H256>,
     ) -> Vec<(u64, Log)> {
         self.log_index.scan(from_block, to_block, address, topic0)
+    }
+
+    /// [`CommittedSnapshot::logs_filtered`] by linear scan — the
+    /// differential baseline for the positional filter.
+    pub fn logs_scan_filtered(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        filter: &LogFilter,
+    ) -> Vec<(u64, Log)> {
+        self.log_index.scan_filter(from_block, to_block, filter)
     }
 
     /// The environment the *next* block would execute under — the same
@@ -540,8 +641,47 @@ pub(crate) fn run_estimate<V: StateView + Sync>(
 
 // ---- the handle ------------------------------------------------------
 
+/// The slot a node publishes into and handles read from: the current
+/// snapshot `Arc` plus a monotone publication sequence number with a
+/// condvar, so long-lived subscribers (`eth_subscribe`) can *block*
+/// until the chain moves instead of polling.
+pub struct PublishedInner {
+    slot: RwLock<Arc<CommittedSnapshot>>,
+    seq: std::sync::Mutex<u64>,
+    publish_signal: std::sync::Condvar,
+}
+
+impl PublishedInner {
+    pub(crate) fn new(snapshot: Arc<CommittedSnapshot>) -> Self {
+        PublishedInner {
+            slot: RwLock::new(snapshot),
+            seq: std::sync::Mutex::new(0),
+            publish_signal: std::sync::Condvar::new(),
+        }
+    }
+
+    /// The currently published snapshot (one brief read-lock of the slot).
+    pub(crate) fn load(&self) -> Arc<CommittedSnapshot> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// Swap in a new snapshot, bump the publication sequence and wake
+    /// every subscriber blocked in [`ReadHandle::wait_for_publication`].
+    pub(crate) fn store(&self, snapshot: Arc<CommittedSnapshot>) {
+        *self.slot.write() = snapshot;
+        let mut seq = self.seq.lock().expect("publication seq poisoned");
+        *seq += 1;
+        drop(seq);
+        self.publish_signal.notify_all();
+    }
+
+    fn sequence(&self) -> u64 {
+        *self.seq.lock().expect("publication seq poisoned")
+    }
+}
+
 /// The slot a node publishes into and handles read from.
-pub(crate) type PublishedSlot = Arc<RwLock<Arc<CommittedSnapshot>>>;
+pub(crate) type PublishedSlot = Arc<PublishedInner>;
 
 /// A lock-free read handle onto a node's published snapshots.
 ///
@@ -563,7 +703,46 @@ impl ReadHandle {
     /// The latest published snapshot. Everything read from it is frozen
     /// at one committed prefix of the chain.
     pub fn snapshot(&self) -> Arc<CommittedSnapshot> {
-        Arc::clone(&self.slot.read())
+        self.slot.load()
+    }
+
+    /// The monotone publication sequence number: bumped on every
+    /// committed mutation the node publishes. Use with
+    /// [`ReadHandle::wait_for_publication`] to follow the chain without
+    /// polling.
+    pub fn publication_seq(&self) -> u64 {
+        self.slot.sequence()
+    }
+
+    /// Block until a publication newer than `seen` lands (or `timeout`
+    /// expires), then return the current sequence number and snapshot.
+    /// The subscription hook: a `newHeads`/`logs` pusher sleeps here and
+    /// diffs the block range it has already delivered on wake-up.
+    pub fn wait_for_publication(
+        &self,
+        seen: u64,
+        timeout: Duration,
+    ) -> (u64, Arc<CommittedSnapshot>) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut seq = self.slot.seq.lock().expect("publication seq poisoned");
+        while *seq <= seen {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                break;
+            };
+            let (guard, wait) = self
+                .slot
+                .publish_signal
+                .wait_timeout(seq, remaining)
+                .expect("publication seq poisoned");
+            seq = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let current = *seq;
+        drop(seq);
+        (current, self.slot.load())
     }
 
     /// The pre-funded dev accounts (shared, zero-copy).
@@ -625,6 +804,17 @@ impl ReadHandle {
         topic0: Option<H256>,
     ) -> Vec<(u64, Log)> {
         self.snapshot().logs(from_block, to_block, address, topic0)
+    }
+
+    /// Indexed `eth_getLogs` with full positional wire-format semantics
+    /// over the latest committed snapshot.
+    pub fn logs_filtered(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        filter: &LogFilter,
+    ) -> Vec<(u64, Log)> {
+        self.snapshot().logs_filtered(from_block, to_block, filter)
     }
 
     /// Lock-free read-only `eth_call`.

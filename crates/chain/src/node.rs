@@ -6,7 +6,7 @@
 //! accounts; time can be warped for testing time-dependent contract
 //! clauses (rent due dates, contract duration).
 
-use crate::mvcc::{self, CommittedSnapshot, PublishedSlot, ReadHandle};
+use crate::mvcc::{self, CommittedSnapshot, LogFilter, PublishedInner, PublishedSlot, ReadHandle};
 use crate::parallel;
 use crate::state::WorldState;
 use crate::tx::{Block, Receipt, Transaction, TxError};
@@ -14,7 +14,6 @@ use crate::wal::{self, Faults, Wal, WalError, WalRecord};
 use lsc_abi::json::{parse, JsonValue};
 use lsc_evm::{gas, AccessKey, AnalyzedCode, BlockEnv, CallResult, Evm, Host, Log, Message};
 use lsc_primitives::{Address, FxHashMap, FxHashSet, H256, U256};
-use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -22,6 +21,10 @@ use std::sync::Arc;
 pub fn default_dev_balance() -> U256 {
     lsc_primitives::ether(1000)
 }
+
+/// Default [`ChainConfig::max_pending`]: generous for batch workloads,
+/// but bounded — a hostile client cannot grow node memory without limit.
+pub const DEFAULT_MAX_PENDING: usize = 8_192;
 
 /// A pre-execution hook over create-transaction init code. The chain tier
 /// stays ignorant of *what* the check is (the app tier installs the
@@ -72,6 +75,10 @@ pub struct ChainConfig {
     /// machine's available parallelism. On a single-core machine (or
     /// with `Some(1)`) batch mining runs sequentially.
     pub mining_workers: Option<usize>,
+    /// Upper bound on the pending (submitted, unmined) queue. Submissions
+    /// beyond it fail with [`TxError::QueueFull`] — backpressure instead
+    /// of unbounded node memory under hostile or runaway clients.
+    pub max_pending: usize,
     /// Optional vetting hook run over every create transaction's init
     /// code before execution; `Err` rejects with
     /// [`TxError::DeployRejected`].
@@ -87,6 +94,7 @@ impl Default for ChainConfig {
             genesis_timestamp: 1_577_836_800, // 2020-01-01
             coinbase: Address::from_label("coinbase"),
             mining_workers: None,
+            max_pending: DEFAULT_MAX_PENDING,
             deploy_guard: None,
         }
     }
@@ -102,6 +110,10 @@ pub struct LocalNode {
     dev_accounts: Vec<Address>,
     snapshots: Vec<NodeSnapshot>,
     pending: Vec<Transaction>,
+    /// Submit-time hashes of everything in `pending`; the duplicate
+    /// check `try_submit_transaction` enforces, kept in lockstep with
+    /// the queue by every path that installs or drains it.
+    pending_hashes: FxHashSet<H256>,
     /// Write-ahead log; `None` for a purely in-memory node.
     durable_log: Option<Wal>,
     /// True while recovery replays the log (suppresses re-appending).
@@ -176,11 +188,12 @@ impl LocalNode {
             dev_accounts,
             snapshots: Vec::new(),
             pending: Vec::new(),
+            pending_hashes: FxHashSet::default(),
             durable_log: None,
             replaying: false,
             poisoned: None,
             app_events: Vec::new(),
-            published: Arc::new(RwLock::new(Arc::new(shadow.clone()))),
+            published: Arc::new(PublishedInner::new(Arc::new(shadow.clone()))),
             shadow,
         };
         node.rebuild_published();
@@ -196,7 +209,7 @@ impl LocalNode {
 
     /// The currently published snapshot (what a fresh handle would see).
     pub fn published_snapshot(&self) -> Arc<CommittedSnapshot> {
-        Arc::clone(&self.published.read())
+        self.published.load()
     }
 
     /// Current undo-journal depth — read-only entry points must leave
@@ -223,7 +236,7 @@ impl LocalNode {
         self.shadow.sync_history(&self.blocks, &self.receipts);
         self.shadow.set_clock(self.timestamp);
         self.shadow.set_pending(self.pending.len());
-        *self.published.write() = Arc::new(self.shadow.clone());
+        self.published.store(Arc::new(self.shadow.clone()));
     }
 
     /// Rebuild the shadow snapshot from scratch and publish it. Used
@@ -240,7 +253,7 @@ impl LocalNode {
         snapshot.set_pending(self.pending.len());
         let _ = self.state.take_dirty();
         self.shadow = snapshot;
-        *self.published.write() = Arc::new(self.shadow.clone());
+        self.published.store(Arc::new(self.shadow.clone()));
     }
 
     /// The pre-funded dev accounts.
@@ -282,6 +295,21 @@ impl LocalNode {
         address: Option<Address>,
         topic0: Option<H256>,
     ) -> Vec<(u64, lsc_evm::Log)> {
+        self.logs_filtered(
+            from_block,
+            to_block,
+            &LogFilter::address_topic0(address, topic0),
+        )
+    }
+
+    /// `eth_getLogs` with the full positional wire-format filter
+    /// (address OR-list, per-position topic OR-lists, null wildcards).
+    pub fn logs_filtered(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        filter: &LogFilter,
+    ) -> Vec<(u64, lsc_evm::Log)> {
         let mut out = Vec::new();
         for block in &self.blocks {
             if block.number < from_block || block.number > to_block {
@@ -294,7 +322,7 @@ impl LocalNode {
                 for log in &receipt.logs {
                     // Same predicate as the snapshot's indexed query —
                     // scan and index cannot drift apart.
-                    if mvcc::log_matches(log, address, topic0) {
+                    if filter.matches(log) {
                         out.push((block.number, log.clone()));
                     }
                 }
@@ -409,7 +437,7 @@ impl LocalNode {
         }
         self.state = snapshot.state;
         self.timestamp = snapshot.timestamp;
-        self.pending = snapshot.pending;
+        self.install_pending(snapshot.pending);
         // History shrank: the incremental sync can't express that, so
         // republish from scratch.
         self.rebuild_published();
@@ -577,7 +605,16 @@ impl LocalNode {
     /// block; returns its receipt. The intent is logged to the WAL (when
     /// one is attached) *before* execution: append-before-apply is what
     /// makes a crash at any point recoverable.
+    ///
+    /// If the sender already has submissions in the pending queue, the
+    /// queue is mined first: queued nonces (and therefore hashes) were
+    /// fixed at submit time, so an instant transaction may never jump
+    /// ahead of them. The flush is logged as an ordinary `MineBlock`
+    /// record ahead of the `InstantTx` record, keeping replay exact.
     pub fn send_transaction(&mut self, tx: Transaction) -> Result<Receipt, TxError> {
+        if self.pending.iter().any(|p| p.from == tx.from) {
+            self.try_mine_block()?;
+        }
         self.log_record(|| WalRecord::InstantTx(tx.clone()))?;
         let env = self.block_env();
         let (tx_hash, receipt) = self.execute_transaction(&tx, &env)?;
@@ -590,43 +627,115 @@ impl LocalNode {
             .expect("seal_block stored the receipt"))
     }
 
-    /// Queue a transaction without mining (batch mode). Validation happens
-    /// at mining time, when prior queued transactions have executed.
-    /// Panics on a durability failure — see
-    /// [`LocalNode::try_submit_transaction`].
-    pub fn submit_transaction(&mut self, tx: Transaction) {
-        self.try_submit_transaction(tx).expect("durability failure");
+    /// The nonce a `nonce: None` submission from `from` resolves to:
+    /// the account's committed next nonce plus everything already queued
+    /// from the same sender (queued transactions execute first).
+    fn next_pending_nonce(&self, from: Address) -> u64 {
+        self.state.nonce(from) + self.pending.iter().filter(|p| p.from == from).count() as u64
     }
 
-    /// [`LocalNode::submit_transaction`], surfacing durability failures.
-    pub fn try_submit_transaction(&mut self, tx: Transaction) -> Result<(), TxError> {
+    /// Resolve a submission's nonce **once, now** — from this point the
+    /// transaction hash is stable: the hash returned at submit time is
+    /// the hash the receipt is stored under after mining, no matter what
+    /// other traffic lands in between.
+    fn resolve_submission(&self, tx: &mut Transaction, same_sender_ahead: u64) -> H256 {
+        let nonce = tx
+            .nonce
+            .unwrap_or_else(|| self.next_pending_nonce(tx.from) + same_sender_ahead);
+        tx.nonce = Some(nonce);
+        tx.hash(nonce)
+    }
+
+    /// Push an already-resolved transaction into the queue, bypassing the
+    /// cap and duplicate checks — the WAL-replay and image-import path,
+    /// where the committed prefix is authoritative. Transactions from
+    /// legacy images may still carry `nonce: None`; they are resolved
+    /// here with the same rule as live submission.
+    fn enqueue_pending_unchecked(&mut self, mut tx: Transaction) {
+        let hash = self.resolve_submission(&mut tx, 0);
+        self.pending.push(tx);
+        self.pending_hashes.insert(hash);
+    }
+
+    /// Queue a transaction without mining (batch mode); returns its
+    /// stable hash. Validation happens at mining time, when prior queued
+    /// transactions have executed. Panics on a durability failure — see
+    /// [`LocalNode::try_submit_transaction`].
+    pub fn submit_transaction(&mut self, tx: Transaction) -> H256 {
+        self.try_submit_transaction(tx).expect("durability failure")
+    }
+
+    /// [`LocalNode::submit_transaction`], surfacing failures.
+    ///
+    /// The nonce is resolved here — the returned hash is the
+    /// transaction's identity for its whole life ([`LocalNode::receipt`]
+    /// finds it after mining). A submission whose resolved hash is
+    /// already queued is rejected ([`TxError::DuplicateTransaction`]),
+    /// and a full queue pushes back ([`TxError::QueueFull`]) *before*
+    /// anything is logged to the WAL.
+    pub fn try_submit_transaction(&mut self, mut tx: Transaction) -> Result<H256, TxError> {
+        if self.pending.len() >= self.config.max_pending {
+            return Err(TxError::QueueFull {
+                limit: self.config.max_pending,
+            });
+        }
+        let hash = self.resolve_submission(&mut tx, 0);
+        if self.pending_hashes.contains(&hash) {
+            return Err(TxError::DuplicateTransaction(hash));
+        }
         self.log_record(|| WalRecord::SubmitTx(tx.clone()))?;
         self.pending.push(tx);
+        self.pending_hashes.insert(hash);
         self.publish();
-        Ok(())
+        Ok(hash)
     }
 
     /// Queue a batch of transactions without mining, appending all of
-    /// their WAL records with a single fsync (group commit). Panics on a
-    /// durability failure — see [`LocalNode::try_submit_transactions`].
-    pub fn submit_transactions(&mut self, txs: Vec<Transaction>) {
+    /// their WAL records with a single fsync (group commit); returns the
+    /// stable hashes in submission order. Panics on a durability failure
+    /// — see [`LocalNode::try_submit_transactions`].
+    pub fn submit_transactions(&mut self, txs: Vec<Transaction>) -> Vec<H256> {
         self.try_submit_transactions(txs)
-            .expect("durability failure");
+            .expect("durability failure")
     }
 
-    /// [`LocalNode::submit_transactions`], surfacing durability failures.
+    /// [`LocalNode::submit_transactions`], surfacing failures.
     ///
     /// Either the whole batch becomes durable (then pending) or none of
-    /// it does: the WAL rolls back to the pre-batch offset on any append
-    /// or fsync failure, so recovery never observes a partial batch.
-    pub fn try_submit_transactions(&mut self, txs: Vec<Transaction>) -> Result<(), TxError> {
+    /// it does: cap and duplicate checks run over the entire batch first,
+    /// and the WAL rolls back to the pre-batch offset on any append or
+    /// fsync failure, so recovery never observes a partial batch.
+    pub fn try_submit_transactions(&mut self, txs: Vec<Transaction>) -> Result<Vec<H256>, TxError> {
         if txs.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
-        self.log_batch(|| txs.iter().cloned().map(WalRecord::SubmitTx).collect())?;
-        self.pending.extend(txs);
+        if self.pending.len() + txs.len() > self.config.max_pending {
+            return Err(TxError::QueueFull {
+                limit: self.config.max_pending,
+            });
+        }
+        let mut resolved = Vec::with_capacity(txs.len());
+        let mut hashes = Vec::with_capacity(txs.len());
+        let mut batch_hashes: FxHashSet<H256> = FxHashSet::default();
+        let mut same_sender_ahead: FxHashMap<Address, u64> = FxHashMap::default();
+        for mut tx in txs {
+            let ahead = same_sender_ahead.entry(tx.from).or_insert(0);
+            let hash = {
+                let ahead = *ahead;
+                self.resolve_submission(&mut tx, ahead)
+            };
+            *ahead += 1;
+            if self.pending_hashes.contains(&hash) || !batch_hashes.insert(hash) {
+                return Err(TxError::DuplicateTransaction(hash));
+            }
+            hashes.push(hash);
+            resolved.push(tx);
+        }
+        self.log_batch(|| resolved.iter().cloned().map(WalRecord::SubmitTx).collect())?;
+        self.pending.extend(resolved);
+        self.pending_hashes.extend(hashes.iter().copied());
         self.publish();
-        Ok(())
+        Ok(hashes)
     }
 
     /// Number of queued transactions.
@@ -658,6 +767,7 @@ impl LocalNode {
 
     fn mine_block_inner(&mut self) -> (Block, Vec<TxError>) {
         let pending = std::mem::take(&mut self.pending);
+        self.pending_hashes.clear();
         let workers = self.config.mining_workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         });
@@ -726,6 +836,7 @@ impl LocalNode {
     pub fn try_mine_block_sequential(&mut self) -> Result<(Block, Vec<TxError>), TxError> {
         self.log_record(|| WalRecord::MineBlock)?;
         let pending = std::mem::take(&mut self.pending);
+        self.pending_hashes.clear();
         Ok(self.mine_batch_sequential(pending))
     }
 
@@ -831,6 +942,7 @@ fn meta_json(config: &ChainConfig, n_accounts: usize) -> String {
                 None => JsonValue::Null,
             },
         ),
+        ("max_pending", JsonValue::Number(config.max_pending as f64)),
         ("n_accounts", JsonValue::Number(n_accounts as f64)),
     ])
     .to_json()
@@ -843,6 +955,12 @@ fn parse_meta(text: &str) -> Result<(ChainConfig, usize), WalError> {
         Some(JsonValue::Number(n)) if *n >= 0.0 => Some(*n as usize),
         _ => None,
     };
+    // Metas written before the queue bound existed fall back to the
+    // default — the cap must survive restarts, not weaken across them.
+    let max_pending = match doc.get("max_pending") {
+        Some(JsonValue::Number(n)) if *n >= 1.0 => *n as usize,
+        _ => DEFAULT_MAX_PENDING,
+    };
     let config = ChainConfig {
         chain_id: crate::codec::u64_field(&doc, "chain_id").map_err(corrupt)?,
         block_gas_limit: crate::codec::u64_field(&doc, "block_gas_limit").map_err(corrupt)?,
@@ -850,6 +968,7 @@ fn parse_meta(text: &str) -> Result<(ChainConfig, usize), WalError> {
         genesis_timestamp: crate::codec::u64_field(&doc, "genesis_timestamp").map_err(corrupt)?,
         coinbase: crate::codec::address_field(&doc, "coinbase").map_err(corrupt)?,
         mining_workers,
+        max_pending,
         // Guards are code, not data: whoever recovers the node re-installs
         // theirs after replay (replayed deployments already passed it).
         deploy_guard: None,
@@ -1010,7 +1129,11 @@ impl LocalNode {
             WalRecord::InstantTx(tx) => {
                 let _ = self.send_transaction(tx);
             }
-            WalRecord::SubmitTx(tx) => self.pending.push(tx),
+            // Committed submissions re-enter the queue unconditionally —
+            // the cap and duplicate checks already held when the record
+            // was logged, and replay must reproduce the committed prefix
+            // exactly (never drop below it, never exceed it).
+            WalRecord::SubmitTx(tx) => self.enqueue_pending_unchecked(tx),
             WalRecord::MineBlock => {
                 let _ = self.mine_block_inner();
             }
@@ -1094,7 +1217,11 @@ impl LocalNode {
     }
 
     pub(crate) fn install_pending(&mut self, pending: Vec<Transaction>) {
-        self.pending = pending;
+        self.pending.clear();
+        self.pending_hashes.clear();
+        for tx in pending {
+            self.enqueue_pending_unchecked(tx);
+        }
     }
 
     pub(crate) fn install_app_events(&mut self, events: Vec<String>) {

@@ -65,6 +65,12 @@ impl Transaction {
         self
     }
 
+    /// Attach an explicit nonce.
+    pub fn with_nonce(mut self, nonce: u64) -> Self {
+        self.nonce = Some(nonce);
+        self
+    }
+
     /// Hash of the RLP encoding (with the resolved nonce) — the tx id.
     pub fn hash(&self, resolved_nonce: u64) -> H256 {
         let encoded = rlp::encode(&Item::List(vec![
@@ -102,6 +108,15 @@ pub enum TxError {
     /// A create transaction's init code was refused by the node's deploy
     /// guard (see `ChainConfig::deploy_guard`).
     DeployRejected(String),
+    /// The pending queue is at `ChainConfig::max_pending`; the client
+    /// should mine (or wait for the miner) and resubmit — backpressure
+    /// instead of unbounded node memory.
+    QueueFull {
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// A transaction with this submit-time hash is already queued.
+    DuplicateTransaction(H256),
     /// The durability layer failed to log the transaction (write-ahead
     /// log append error or injected fault); the transaction was not
     /// applied and the node refuses further state changes — the process
@@ -121,6 +136,12 @@ impl std::fmt::Display for TxError {
             }
             Self::ExceedsBlockGasLimit => write!(f, "gas limit exceeds block gas limit"),
             Self::DeployRejected(message) => write!(f, "deployment rejected: {message}"),
+            Self::QueueFull { limit } => {
+                write!(f, "pending queue full ({limit} transactions)")
+            }
+            Self::DuplicateTransaction(hash) => {
+                write!(f, "transaction already queued: {hash}")
+            }
             Self::Durability(message) => write!(f, "durability failure: {message}"),
         }
     }

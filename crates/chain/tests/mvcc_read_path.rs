@@ -4,7 +4,7 @@
 //! snapshot/revert, and failing calls.
 
 use lsc_chain::wal::Faults;
-use lsc_chain::{ChainConfig, LocalNode, ReadHandle, Transaction};
+use lsc_chain::{ChainConfig, LocalNode, LogFilter, ReadHandle, Transaction};
 use lsc_evm::asm::Asm;
 use lsc_evm::opcode::op;
 use lsc_evm::CallResult;
@@ -42,6 +42,24 @@ fn emitter_runtime(topic: u64) -> Vec<u8> {
         .op(op::LOG0 + 1);
     // LOG0(offset=0, len=8).
     runtime.push_u64(8).push_u64(0).op(op::LOG0);
+    runtime.op(op::STOP);
+    runtime.assemble().unwrap()
+}
+
+/// Runtime emitting `LOG2(calldata[0..32], topic, calldata[0..32])` —
+/// the calldata word doubles as topic **1**, exercising positional
+/// filters beyond topic 0.
+fn emitter2_runtime(topic: u64) -> Vec<u8> {
+    let mut runtime = Asm::new();
+    runtime.push_u64(0).op(op::CALLDATALOAD);
+    runtime.op(op::DUP1).push_u64(0).op(op::MSTORE);
+    // Stack: [word]. LOG2 pops offset, len, topic1, topic2 — the word
+    // already on the stack becomes topic2.
+    runtime
+        .push_u64(topic)
+        .push_u64(32)
+        .push_u64(0)
+        .op(op::LOG0 + 2);
     runtime.op(op::STOP);
     runtime.assemble().unwrap()
 }
@@ -422,13 +440,13 @@ proptest! {
     /// combination and arbitrary block ranges.
     #[test]
     fn indexed_logs_equal_scan(
-        ops in proptest::collection::vec((0usize..3, 1u64..1000, 0u8..2), 1..30),
+        ops in proptest::collection::vec((0usize..4, 1u64..1000, 0u8..2), 1..30),
         ranges in proptest::collection::vec((0u64..40, 0u64..40), 4),
     ) {
         let mut node = LocalNode::new(2);
         let [a, _] = [node.accounts()[0], node.accounts()[1]];
         let topics = [11u64, 22, 33];
-        let contracts: Vec<Address> = topics
+        let mut contracts: Vec<Address> = topics
             .iter()
             .map(|t| {
                 node.send_transaction(Transaction::deploy(a, init_code_for(&emitter_runtime(*t))))
@@ -437,6 +455,14 @@ proptest! {
                     .unwrap()
             })
             .collect();
+        // Fourth contract: a LOG2 emitter whose topic 1 is the calldata
+        // word, so positional filters beyond topic 0 have real targets.
+        contracts.push(
+            node.send_transaction(Transaction::deploy(a, init_code_for(&emitter2_runtime(44))))
+                .unwrap()
+                .contract_address
+                .unwrap(),
+        );
 
         let mut batched = false;
         for (which, value, instant) in &ops {
@@ -469,13 +495,60 @@ proptest! {
 
         let mut sweeps: Vec<(u64, u64)> = vec![(0, tip)];
         sweeps.extend(ranges.iter().copied());
-        for (from_block, to_block) in sweeps {
+        for (from_block, to_block) in &sweeps {
+            let (from_block, to_block) = (*from_block, *to_block);
             for (address, topic0) in &filters {
                 let indexed = snap.logs(from_block, to_block, *address, *topic0);
                 let scanned = snap.logs_scan(from_block, to_block, *address, *topic0);
                 let node_scan = node.logs(from_block, to_block, *address, *topic0);
                 prop_assert_eq!(&indexed, &scanned, "index vs scan");
                 prop_assert_eq!(&indexed, &node_scan, "index vs node");
+            }
+        }
+
+        // Positional multi-topic filters: address OR-lists, topic-0
+        // OR-lists, and topic-1 constraints (which only the LOG2 emitter
+        // can satisfy) — including the null wildcard at position 0.
+        let topic_hash = |t: u64| H256::from_u256(U256::from_u64(t));
+        let word_hash = |v: u64| H256::from_u256(U256::from_u64(v));
+        let t1_candidates: Vec<H256> =
+            ops.iter().take(2).map(|(_, v, _)| word_hash(*v)).collect();
+        let address_choices: Vec<Vec<Address>> = vec![
+            vec![],
+            vec![contracts[0]],
+            vec![contracts[0], contracts[3]],
+            contracts.clone(),
+        ];
+        let topic0_choices: Vec<Vec<H256>> = vec![
+            vec![],
+            vec![topic_hash(11)],
+            vec![topic_hash(22), topic_hash(44)],
+            vec![topic_hash(11), topic_hash(22), topic_hash(33), topic_hash(44)],
+        ];
+        let mut topic1_choices: Vec<Option<Vec<H256>>> = vec![None, Some(vec![])];
+        topic1_choices.push(Some(t1_candidates.clone()));
+        if let Some(first) = t1_candidates.first() {
+            topic1_choices.push(Some(vec![*first]));
+        }
+        for (from_block, to_block) in &sweeps {
+            for addresses in &address_choices {
+                for topic0 in &topic0_choices {
+                    for topic1 in &topic1_choices {
+                        let mut filter_topics = vec![topic0.clone()];
+                        if let Some(t1) = topic1 {
+                            filter_topics.push(t1.clone());
+                        }
+                        let filter = LogFilter {
+                            addresses: addresses.clone(),
+                            topics: filter_topics,
+                        };
+                        let indexed = snap.logs_filtered(*from_block, *to_block, &filter);
+                        let scanned = snap.logs_scan_filtered(*from_block, *to_block, &filter);
+                        let node_scan = node.logs_filtered(*from_block, *to_block, &filter);
+                        prop_assert_eq!(&indexed, &scanned, "positional index vs scan");
+                        prop_assert_eq!(&indexed, &node_scan, "positional index vs node");
+                    }
+                }
             }
         }
     }

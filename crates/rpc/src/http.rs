@@ -1,0 +1,167 @@
+//! Minimal HTTP/1.1 server-side framing over `std::net::TcpStream`.
+//!
+//! Exactly what a JSON-RPC endpoint needs and nothing more: request-line +
+//! headers + `Content-Length` body parsing with hard size caps, and plain
+//! `Content-Length` responses. Chunked transfer encoding is rejected
+//! (411), as are bodies over the configured cap (413) — the caller turns
+//! both into spec-shaped JSON-RPC error bodies.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Hard cap on the request line + headers (8 KiB, nginx's default).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request.
+pub(crate) struct HttpRequest {
+    /// Request method (`POST`, `GET`, …), uppercase as received.
+    pub method: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+pub(crate) enum HttpError {
+    /// Peer closed the connection (clean end of keep-alive).
+    Closed,
+    /// Server is shutting down.
+    Shutdown,
+    /// The head or body exceeded a cap; respond 413 and close.
+    TooLarge,
+    /// The request used chunked transfer encoding; respond 411 and close.
+    LengthRequired,
+    /// The bytes were not parseable HTTP; respond 400 and close.
+    Malformed,
+    /// Socket-level failure; just close.
+    Io,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Read one request. The stream must have a read timeout set; timeouts
+/// while *no* bytes of the request have arrived yet are idle keep-alive
+/// waits and loop until `shutdown` flips, while timeouts mid-request mean
+/// a stalled peer and fail the read.
+pub(crate) fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    shutdown: &Arc<AtomicBool>,
+) -> Result<HttpRequest, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the blank line ending the head.
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    HttpError::Closed
+                } else {
+                    HttpError::Malformed
+                });
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Err(HttpError::Shutdown);
+                }
+                if !buf.is_empty() {
+                    // A started-then-stalled request: give up on it.
+                    return Err(HttpError::Io);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(HttpError::Io),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::Malformed)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed)?.to_string();
+    let _path = parts.next().ok_or(HttpError::Malformed)?;
+    let version = parts.next().ok_or(HttpError::Malformed)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed);
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = Some(value.parse().map_err(|_| HttpError::Malformed)?);
+            }
+            "transfer-encoding" if value.to_ascii_lowercase().contains("chunked") => {
+                return Err(HttpError::LengthRequired);
+            }
+            "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+            _ => {}
+        }
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > max_body {
+        return Err(HttpError::TooLarge);
+    }
+
+    // Phase 2: the body. Some of it may already be in `buf`.
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < body_len {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Malformed),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return Err(HttpError::Shutdown);
+                }
+                return Err(HttpError::Io);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(HttpError::Io),
+        }
+    }
+    if body.len() > body_len {
+        // Pipelined extra bytes are not supported; treat as malformed
+        // rather than silently dropping a request.
+        return Err(HttpError::Malformed);
+    }
+
+    Ok(HttpRequest {
+        method,
+        body,
+        keep_alive,
+    })
+}
+
+/// Write a JSON response with the given status line.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}

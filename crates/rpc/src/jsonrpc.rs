@@ -1,0 +1,419 @@
+//! JSON-RPC 2.0 envelope handling and the `eth_*` method dispatch.
+//!
+//! Every response is built from [`JsonValue`]s, whose object keys
+//! serialize sorted — so a result produced here is byte-identical to the
+//! same result encoded in-process through `lsc_web3::wire`, which is what
+//! the socket differential suite asserts.
+
+use crate::subs::{SubKind, SubRegistry};
+use crate::MiningMode;
+use lsc_abi::json::{self, JsonValue};
+use lsc_chain::TxError;
+use lsc_primitives::{Address, H256};
+use lsc_web3::{decode_revert_reason, wire, Web3, Web3Error};
+use std::sync::Arc;
+
+/// Standard JSON-RPC error codes (plus the conventional eth extensions).
+pub mod codes {
+    /// Invalid JSON was received.
+    pub const PARSE_ERROR: i64 = -32700;
+    /// The JSON was not a valid request object (or batch).
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// Method does not exist.
+    pub const METHOD_NOT_FOUND: i64 = -32601;
+    /// Invalid method parameters.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// Internal server error.
+    pub const INTERNAL_ERROR: i64 = -32603;
+    /// Generic server rejection (nonce, funds, duplicates, …).
+    pub const SERVER_ERROR: i64 = -32000;
+    /// Backpressure: the pending queue is full (`eth` limit-exceeded).
+    pub const LIMIT_EXCEEDED: i64 = -32005;
+    /// Execution reverted (the de-facto eth convention).
+    pub const EXECUTION_REVERTED: i64 = 3;
+}
+
+/// A JSON-RPC error: code + message + optional data payload.
+#[derive(Debug, Clone)]
+pub struct RpcError {
+    /// Numeric error code (see [`codes`]).
+    pub code: i64,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional structured payload (revert data, …).
+    pub data: Option<JsonValue>,
+}
+
+impl RpcError {
+    /// Build an error with no data payload.
+    pub fn new(code: i64, message: impl Into<String>) -> Self {
+        RpcError {
+            code,
+            message: message.into(),
+            data: None,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("code", JsonValue::Number(self.code as f64)),
+            ("message", JsonValue::String(self.message.clone())),
+        ];
+        if let Some(data) = &self.data {
+            pairs.push(("data", data.clone()));
+        }
+        JsonValue::object(pairs)
+    }
+}
+
+impl From<wire::WireError> for RpcError {
+    fn from(e: wire::WireError) -> Self {
+        RpcError::new(codes::INVALID_PARAMS, e.to_string())
+    }
+}
+
+impl From<Web3Error> for RpcError {
+    fn from(e: Web3Error) -> Self {
+        match &e {
+            Web3Error::Tx(TxError::QueueFull { .. }) => {
+                RpcError::new(codes::LIMIT_EXCEEDED, e.to_string())
+            }
+            Web3Error::Reverted { reason, output } => {
+                let message = match reason {
+                    Some(r) => format!("execution reverted: {r}"),
+                    None => "execution reverted".to_string(),
+                };
+                RpcError {
+                    code: codes::EXECUTION_REVERTED,
+                    message,
+                    data: Some(wire::data_json(output)),
+                }
+            }
+            Web3Error::Tx(_) | Web3Error::NotInWallet(_) => {
+                RpcError::new(codes::SERVER_ERROR, e.to_string())
+            }
+            _ => RpcError::new(codes::INTERNAL_ERROR, e.to_string()),
+        }
+    }
+}
+
+/// Shared dispatch context: the client handle plus server policy.
+pub(crate) struct Ctx {
+    pub web3: Web3,
+    pub mining: MiningMode,
+    pub max_batch: usize,
+}
+
+fn response_ok(id: &JsonValue, result: JsonValue) -> JsonValue {
+    JsonValue::object([
+        ("jsonrpc", JsonValue::String("2.0".to_string())),
+        ("id", id.clone()),
+        ("result", result),
+    ])
+}
+
+fn response_err(id: &JsonValue, error: &RpcError) -> JsonValue {
+    JsonValue::object([
+        ("jsonrpc", JsonValue::String("2.0".to_string())),
+        ("id", id.clone()),
+        ("error", error.to_json()),
+    ])
+}
+
+/// A parse-failure response body (no id is recoverable from the input).
+pub(crate) fn parse_error_body() -> String {
+    response_err(
+        &JsonValue::Null,
+        &RpcError::new(codes::PARSE_ERROR, "invalid JSON"),
+    )
+    .to_json()
+}
+
+/// A bare error response body with a `null` id (transport-level
+/// rejections: oversized bodies, wrong HTTP method, …).
+pub(crate) fn bare_error_body(code: i64, message: &str) -> String {
+    response_err(&JsonValue::Null, &RpcError::new(code, message)).to_json()
+}
+
+/// Handle one request payload (single object or batch array), returning
+/// the response body.
+pub(crate) fn handle_payload(body: &str, ctx: &Ctx, subs: Option<&Arc<SubRegistry>>) -> String {
+    let Ok(parsed) = json::parse(body) else {
+        return parse_error_body();
+    };
+    match parsed {
+        JsonValue::Array(requests) => {
+            if requests.is_empty() || requests.len() > ctx.max_batch {
+                return bare_error_body(
+                    codes::INVALID_REQUEST,
+                    if requests.is_empty() {
+                        "empty batch"
+                    } else {
+                        "batch too large"
+                    },
+                );
+            }
+            let responses: Vec<JsonValue> = requests
+                .iter()
+                .map(|request| handle_single(request, ctx, subs))
+                .collect();
+            JsonValue::Array(responses).to_json()
+        }
+        single => handle_single(&single, ctx, subs).to_json(),
+    }
+}
+
+fn handle_single(request: &JsonValue, ctx: &Ctx, subs: Option<&Arc<SubRegistry>>) -> JsonValue {
+    let id = request.get("id").cloned().unwrap_or(JsonValue::Null);
+    let Some(JsonValue::String(method)) = request.get("method") else {
+        return response_err(
+            &id,
+            &RpcError::new(codes::INVALID_REQUEST, "missing method"),
+        );
+    };
+    let empty: Vec<JsonValue> = Vec::new();
+    let params: &[JsonValue] = match request.get("params") {
+        None | Some(JsonValue::Null) => &empty,
+        Some(JsonValue::Array(items)) => items,
+        Some(_) => {
+            return response_err(
+                &id,
+                &RpcError::new(codes::INVALID_REQUEST, "params must be an array"),
+            );
+        }
+    };
+    match dispatch(ctx, method, params, subs) {
+        Ok(result) => response_ok(&id, result),
+        Err(error) => response_err(&id, &error),
+    }
+}
+
+fn require<'p>(
+    params: &'p [JsonValue],
+    index: usize,
+    what: &str,
+) -> Result<&'p JsonValue, RpcError> {
+    params.get(index).ok_or_else(|| {
+        RpcError::new(
+            codes::INVALID_PARAMS,
+            format!("missing parameter {index}: {what}"),
+        )
+    })
+}
+
+/// Reads ignore the height of a block tag (state is served from the
+/// latest published snapshot — the node keeps no historical state), but
+/// the tag must still *parse* so malformed requests fail loudly.
+fn check_tag(params: &[JsonValue], index: usize) -> Result<(), RpcError> {
+    if let Some(tag) = params.get(index) {
+        wire::parse_block_tag(tag, "blockTag")?;
+    }
+    Ok(())
+}
+
+fn call_fields(value: &JsonValue) -> Result<(Address, Address, Vec<u8>), RpcError> {
+    let JsonValue::Object(_) = value else {
+        return Err(RpcError::new(
+            codes::INVALID_PARAMS,
+            "call: expected an object",
+        ));
+    };
+    let from = match value.get("from") {
+        None | Some(JsonValue::Null) => Address::from([0u8; 20]),
+        Some(v) => wire::parse_address(v, "call.from")?,
+    };
+    let to = wire::parse_address(
+        value
+            .get("to")
+            .ok_or_else(|| RpcError::new(codes::INVALID_PARAMS, "call.to is required"))?,
+        "call.to",
+    )?;
+    let data = match value.get("data").or_else(|| value.get("input")) {
+        None | Some(JsonValue::Null) => Vec::new(),
+        Some(v) => wire::parse_data(v, "call.data")?,
+    };
+    Ok((from, to, data))
+}
+
+fn send_transaction(ctx: &Ctx, tx: lsc_chain::Transaction) -> Result<JsonValue, RpcError> {
+    let hash: H256 = match ctx.mining {
+        // Instant mode mines on arrival (Ganache's default): the hash is
+        // the mined transaction's id and its receipt already exists.
+        MiningMode::Instant => ctx.web3.send_transaction_raw(tx)?.tx_hash,
+        // Queued modes return the submit-time hash — stable because the
+        // nonce was resolved at submission (the PR's headline bugfix);
+        // the receipt appears once the miner (or `evm_mine`) fires.
+        MiningMode::Manual | MiningMode::Interval(_) => ctx.web3.submit_transaction(tx)?,
+    };
+    Ok(wire::h256_json(hash))
+}
+
+#[allow(clippy::too_many_lines)]
+fn dispatch(
+    ctx: &Ctx,
+    method: &str,
+    params: &[JsonValue],
+    subs: Option<&Arc<SubRegistry>>,
+) -> Result<JsonValue, RpcError> {
+    match method {
+        "web3_clientVersion" => Ok(JsonValue::String(format!(
+            "lsc-rpc/{}",
+            env!("CARGO_PKG_VERSION")
+        ))),
+        "net_version" => Ok(JsonValue::String(
+            ctx.web3.read_snapshot().config().chain_id.to_string(),
+        )),
+        "eth_chainId" => Ok(wire::quantity(ctx.web3.read_snapshot().config().chain_id)),
+        "eth_blockNumber" => Ok(wire::quantity(ctx.web3.block_number())),
+        "eth_gasPrice" => Ok(wire::quantity(1_000_000_000)),
+        "eth_accounts" => Ok(JsonValue::Array(
+            ctx.web3
+                .accounts()
+                .iter()
+                .map(|a| wire::address_json(*a))
+                .collect(),
+        )),
+        "eth_getBalance" => {
+            let address = wire::parse_address(require(params, 0, "address")?, "address")?;
+            check_tag(params, 1)?;
+            Ok(wire::quantity_u256(ctx.web3.balance(address)))
+        }
+        "eth_getTransactionCount" => {
+            let address = wire::parse_address(require(params, 0, "address")?, "address")?;
+            check_tag(params, 1)?;
+            Ok(wire::quantity(ctx.web3.nonce(address)))
+        }
+        "eth_getCode" => {
+            let address = wire::parse_address(require(params, 0, "address")?, "address")?;
+            check_tag(params, 1)?;
+            Ok(wire::data_json(&ctx.web3.code(address)))
+        }
+        "eth_getStorageAt" => {
+            let address = wire::parse_address(require(params, 0, "address")?, "address")?;
+            let slot = wire::parse_quantity_u256(require(params, 1, "slot")?, "slot")?;
+            check_tag(params, 2)?;
+            Ok(wire::h256_json(H256::from_u256(
+                ctx.web3.storage_at(address, slot),
+            )))
+        }
+        "eth_call" => {
+            let (from, to, data) = call_fields(require(params, 0, "call object")?)?;
+            check_tag(params, 1)?;
+            let result = ctx.web3.call_raw(from, to, data);
+            if result.success {
+                Ok(wire::data_json(&result.output))
+            } else if result.reverted {
+                Err(Web3Error::Reverted {
+                    reason: decode_revert_reason(&result.output),
+                    output: result.output,
+                }
+                .into())
+            } else {
+                Err(RpcError::new(
+                    codes::SERVER_ERROR,
+                    match result.halt {
+                        Some(halt) => format!("execution halted: {halt:?}"),
+                        None => "execution halted".to_string(),
+                    },
+                ))
+            }
+        }
+        "eth_estimateGas" => {
+            let tx = wire::tx_from_json(require(params, 0, "transaction")?)?;
+            Ok(wire::quantity(ctx.web3.estimate_gas(&tx)?))
+        }
+        "eth_getBlockByNumber" => {
+            let tag = wire::parse_block_tag(require(params, 0, "block tag")?, "blockTag")?;
+            let snap = ctx.web3.read_snapshot();
+            let number = tag.resolve(snap.block_number());
+            Ok(snap
+                .block(number)
+                .map_or(JsonValue::Null, |b| wire::block_to_json(&b)))
+        }
+        "eth_getBlockByHash" => {
+            let hash = wire::parse_h256(require(params, 0, "block hash")?, "blockHash")?;
+            Ok(ctx
+                .web3
+                .read_snapshot()
+                .block_by_hash(hash)
+                .map_or(JsonValue::Null, |b| wire::block_to_json(&b)))
+        }
+        "eth_getTransactionReceipt" => {
+            let hash = wire::parse_h256(require(params, 0, "tx hash")?, "transactionHash")?;
+            let snap = ctx.web3.read_snapshot();
+            Ok(snap.receipt(hash).map_or(JsonValue::Null, |receipt| {
+                let block_hash = snap.block(receipt.block_number).map(|b| b.hash);
+                wire::receipt_to_json(&receipt, block_hash)
+            }))
+        }
+        "eth_getLogs" => {
+            let (from_tag, to_tag, filter) = wire::filter_from_json(require(params, 0, "filter")?)?;
+            let snap = ctx.web3.read_snapshot();
+            let tip = snap.block_number();
+            let logs = snap.logs_filtered(from_tag.resolve(tip), to_tag.resolve(tip), &filter);
+            Ok(JsonValue::Array(
+                logs.iter()
+                    .enumerate()
+                    .map(|(i, (block, log))| wire::log_to_json(*block, i as u64, log))
+                    .collect(),
+            ))
+        }
+        "eth_sendTransaction" => {
+            let tx = wire::tx_from_json(require(params, 0, "transaction")?)?;
+            send_transaction(ctx, tx)
+        }
+        "eth_sendRawTransaction" => {
+            let tx = wire::decode_raw_transaction(require(params, 0, "raw transaction")?)?;
+            send_transaction(ctx, tx)
+        }
+        "evm_mine" => {
+            ctx.web3.try_mine_block()?;
+            Ok(JsonValue::String("0x0".to_string()))
+        }
+        "evm_increaseTime" => {
+            let seconds = wire::parse_quantity(require(params, 0, "seconds")?, "seconds")?;
+            ctx.web3.try_increase_time(seconds)?;
+            Ok(wire::quantity(seconds))
+        }
+        "eth_subscribe" => {
+            let Some(registry) = subs else {
+                return Err(RpcError::new(
+                    codes::SERVER_ERROR,
+                    "subscriptions require a persistent (JSON-lines) connection",
+                ));
+            };
+            let kind = match require(params, 0, "subscription kind")?.as_str() {
+                Some("newHeads") => SubKind::NewHeads,
+                Some("logs") => {
+                    let filter = match params.get(1) {
+                        None | Some(JsonValue::Null) => lsc_chain::LogFilter::default(),
+                        Some(obj) => wire::filter_from_json(obj)?.2,
+                    };
+                    SubKind::Logs(filter)
+                }
+                _ => {
+                    return Err(RpcError::new(
+                        codes::INVALID_PARAMS,
+                        "unknown subscription kind (expected newHeads or logs)",
+                    ));
+                }
+            };
+            let id = registry.subscribe(kind, ctx.web3.block_number());
+            Ok(wire::quantity(id))
+        }
+        "eth_unsubscribe" => {
+            let Some(registry) = subs else {
+                return Err(RpcError::new(
+                    codes::SERVER_ERROR,
+                    "subscriptions require a persistent (JSON-lines) connection",
+                ));
+            };
+            let id = wire::parse_quantity(require(params, 0, "subscription id")?, "subscription")?;
+            Ok(JsonValue::Bool(registry.unsubscribe(id)))
+        }
+        _ => Err(RpcError::new(
+            codes::METHOD_NOT_FOUND,
+            format!("method not found: {method}"),
+        )),
+    }
+}

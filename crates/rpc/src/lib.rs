@@ -1,0 +1,321 @@
+//! # lsc-rpc
+//!
+//! A JSON-RPC server over plain TCP for the workspace's local chain —
+//! the wire protocol the paper's dapp would speak to a real node. Built
+//! on `std::net` only (the container has no async runtime): a listener
+//! thread accepts connections and a fixed worker pool serves them.
+//!
+//! Two framings share one port, sniffed from the first byte of each
+//! connection:
+//!
+//! - **HTTP/1.1** (`POST` with a JSON body — what `curl` and web3
+//!   providers send): request/response with keep-alive. Each request is
+//!   answered and the worker moves on.
+//! - **JSON lines** (first byte `{` or `[` — geth's IPC framing over
+//!   TCP): a persistent session with newline-delimited requests and
+//!   responses. Only these connections may `eth_subscribe`; each gets a
+//!   dedicated reader + pusher thread pair so a parked subscriber never
+//!   occupies a pool worker.
+//!
+//! ## Threading model
+//!
+//! Reads (`eth_call`, `eth_getLogs`, `eth_getBlockByNumber`, balances,
+//! receipts…) are served **lock-free** from the node's published MVCC
+//! snapshots: every worker holds a cloned [`Web3`] whose read surface
+//! goes through a `ReadHandle`, so a mining write never blocks a read
+//! and N workers scale reads without contending. Writes
+//! (`eth_sendTransaction`, `eth_sendRawTransaction`, `evm_mine`,
+//! `evm_increaseTime`) serialize on the node mutex inside `Web3` — same
+//! as any other writer in the workspace. Subscription pushers park on
+//! the chain's publication condvar and wake exactly when a snapshot is
+//! published: no polling while idle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+pub mod jsonrpc;
+mod subs;
+
+pub use jsonrpc::{codes, RpcError};
+
+use jsonrpc::Ctx;
+use lsc_web3::Web3;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How `eth_sendTransaction` / `eth_sendRawTransaction` are mined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiningMode {
+    /// Mine each transaction into its own block on arrival (Ganache's
+    /// default). The returned hash already has a receipt.
+    Instant,
+    /// Queue submissions; blocks are mined only by explicit `evm_mine`
+    /// calls. The returned hash is the stable submit-time hash.
+    Manual,
+    /// Queue submissions; a miner thread seals a block every interval
+    /// (geth's dev `--dev.period`). Millisecond granularity.
+    Interval(Duration),
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// Worker threads serving HTTP connections.
+    pub workers: usize,
+    /// Cap on an HTTP request body (bytes). Oversized requests get a
+    /// spec-shaped `-32600` error with HTTP status 413.
+    pub max_body_bytes: usize,
+    /// Cap on a JSON-RPC batch array's length.
+    pub max_batch: usize,
+    /// Mining policy for write methods.
+    pub mining: MiningMode,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            workers: 8,
+            max_body_bytes: 1024 * 1024,
+            max_batch: 256,
+            mining: MiningMode::Instant,
+        }
+    }
+}
+
+/// A running JSON-RPC server. Dropping it (or calling
+/// [`RpcServer::shutdown`]) stops the listener, the workers, the miner
+/// and every live connection.
+pub struct RpcServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving the given client handle.
+    pub fn bind(web3: Web3, addr: &str, config: RpcConfig) -> std::io::Result<RpcServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            web3: web3.clone(),
+            mining: config.mining,
+            max_batch: config.max_batch,
+        });
+
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(parking_lot::Mutex::new(receiver));
+        let mut threads = Vec::new();
+
+        for _ in 0..config.workers.max(1) {
+            let receiver = Arc::clone(&receiver);
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            let web3 = web3.clone();
+            let max_body = config.max_body_bytes;
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&receiver, &ctx, &web3, max_body, &shutdown);
+            }));
+        }
+
+        {
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&listener, &sender, &shutdown);
+            }));
+        }
+
+        if let MiningMode::Interval(period) = config.mining {
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                miner_loop(&web3, period, &shutdown);
+            }));
+        }
+
+        Ok(RpcServer {
+            addr: local,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wind down workers and connections, and join the
+    /// server threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    sender: &mpsc::Sender<TcpStream>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if sender.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn miner_loop(web3: &Web3, period: Duration, shutdown: &Arc<AtomicBool>) {
+    let tick = Duration::from_millis(20).min(period);
+    let mut elapsed = Duration::ZERO;
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        elapsed += tick;
+        if elapsed >= period {
+            elapsed = Duration::ZERO;
+            if web3.pending_count() > 0 {
+                let _ = web3.try_mine_block();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    receiver: &Arc<parking_lot::Mutex<mpsc::Receiver<TcpStream>>>,
+    ctx: &Arc<Ctx>,
+    web3: &Web3,
+    max_body: usize,
+    shutdown: &Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        let next = receiver.lock().recv_timeout(Duration::from_millis(100));
+        match next {
+            Ok(stream) => handle_connection(stream, ctx, web3, max_body, shutdown),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Sniff the framing from the first byte and dispatch. HTTP requests are
+/// served on this worker; a JSON-lines session is long-lived, so it is
+/// peeled off to a dedicated thread and the worker returns to the pool.
+fn handle_connection(
+    stream: TcpStream,
+    ctx: &Arc<Ctx>,
+    web3: &Web3,
+    max_body: usize,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let mut first = [0u8; 1];
+    loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return,
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    if first[0] == b'{' || first[0] == b'[' {
+        let ctx = Arc::clone(ctx);
+        let reads = web3.read_handle();
+        let shutdown = Arc::clone(shutdown);
+        std::thread::spawn(move || {
+            subs::serve_json_lines(stream, &ctx, &reads, &shutdown);
+        });
+    } else {
+        serve_http(stream, ctx, max_body, shutdown);
+    }
+}
+
+fn serve_http(mut stream: TcpStream, ctx: &Arc<Ctx>, max_body: usize, shutdown: &Arc<AtomicBool>) {
+    loop {
+        match http::read_request(&mut stream, max_body, shutdown) {
+            Ok(request) => {
+                if !request.method.eq_ignore_ascii_case("POST") {
+                    let body =
+                        jsonrpc::bare_error_body(codes::INVALID_REQUEST, "expected HTTP POST");
+                    let keep = request.keep_alive;
+                    if http::write_response(&mut stream, "405 Method Not Allowed", &body, keep)
+                        .is_err()
+                        || !keep
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                let Ok(text) = std::str::from_utf8(&request.body) else {
+                    let body = jsonrpc::parse_error_body();
+                    let _ = http::write_response(&mut stream, "400 Bad Request", &body, false);
+                    return;
+                };
+                let body = jsonrpc::handle_payload(text, ctx, None);
+                if http::write_response(&mut stream, "200 OK", &body, request.keep_alive).is_err()
+                    || !request.keep_alive
+                {
+                    return;
+                }
+            }
+            Err(http::HttpError::Closed | http::HttpError::Shutdown | http::HttpError::Io) => {
+                return;
+            }
+            Err(http::HttpError::TooLarge) => {
+                let body = jsonrpc::bare_error_body(codes::INVALID_REQUEST, "request too large");
+                let _ = http::write_response(&mut stream, "413 Payload Too Large", &body, false);
+                return;
+            }
+            Err(http::HttpError::LengthRequired) => {
+                let body = jsonrpc::bare_error_body(
+                    codes::INVALID_REQUEST,
+                    "chunked transfer encoding is not supported",
+                );
+                let _ = http::write_response(&mut stream, "411 Length Required", &body, false);
+                return;
+            }
+            Err(http::HttpError::Malformed) => {
+                let body =
+                    jsonrpc::bare_error_body(codes::INVALID_REQUEST, "malformed HTTP request");
+                let _ = http::write_response(&mut stream, "400 Bad Request", &body, false);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Persistent JSON-lines connections and `eth_subscribe` push delivery.
+//!
+//! A client that opens a connection and sends newline-delimited JSON-RPC
+//! requests (geth's IPC framing) gets a stateful session: requests are
+//! answered in arrival order on the same socket, and `eth_subscribe`
+//! registers a push subscription. A per-connection pusher thread parks on
+//! the chain's publication condvar ([`ReadHandle::wait_for_publication`])
+//! — zero polling while the chain is idle — and on every published
+//! snapshot delivers the block-range delta each subscription has not seen
+//! yet:
+//!
+//! - `newHeads`: one `eth_subscription` notification per new block;
+//! - `logs`: one notification per log matching the positional
+//!   [`LogFilter`] in the new blocks.
+//!
+//! Delivery tracks the *snapshot* tip, so a subscription never misses a
+//! block mined between two wakeups and never delivers one twice — reverts
+//! (`evm_revert`) rewind the delivered cursor to the new tip rather than
+//! replaying old blocks.
+
+use crate::jsonrpc::{self, Ctx};
+use lsc_abi::json::JsonValue;
+use lsc_chain::{LogFilter, ReadHandle};
+use lsc_web3::wire;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a subscription watches.
+pub(crate) enum SubKind {
+    /// Every newly sealed block header.
+    NewHeads,
+    /// Logs matching a positional filter.
+    Logs(LogFilter),
+}
+
+struct Subscription {
+    kind: SubKind,
+    /// Highest block number already delivered.
+    delivered: u64,
+}
+
+/// Per-connection subscription table, shared between the request reader
+/// (subscribe/unsubscribe) and the pusher thread.
+pub(crate) struct SubRegistry {
+    next_id: AtomicU64,
+    subs: Mutex<BTreeMap<u64, Subscription>>,
+}
+
+impl SubRegistry {
+    pub(crate) fn new() -> Self {
+        SubRegistry {
+            next_id: AtomicU64::new(1),
+            subs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Register a subscription; deliveries start *after* `tip`.
+    pub(crate) fn subscribe(&self, kind: SubKind, tip: u64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().insert(
+            id,
+            Subscription {
+                kind,
+                delivered: tip,
+            },
+        );
+        id
+    }
+
+    pub(crate) fn unsubscribe(&self, id: u64) -> bool {
+        self.subs.lock().remove(&id).is_some()
+    }
+}
+
+fn notification(sub_id: u64, result: JsonValue) -> JsonValue {
+    JsonValue::object([
+        ("jsonrpc", JsonValue::String("2.0".to_string())),
+        ("method", JsonValue::String("eth_subscription".to_string())),
+        (
+            "params",
+            JsonValue::object([("subscription", wire::quantity(sub_id)), ("result", result)]),
+        ),
+    ])
+}
+
+/// Write one newline-terminated JSON value; returns `false` when the
+/// socket is gone (the session should wind down).
+fn write_line(writer: &Mutex<TcpStream>, value: &JsonValue) -> bool {
+    let mut line = value.to_json();
+    line.push('\n');
+    writer.lock().write_all(line.as_bytes()).is_ok()
+}
+
+/// Serve a JSON-lines session until the peer hangs up or the server shuts
+/// down. Spawns the pusher thread and reads requests on the calling
+/// thread; on exit the pusher is signalled down and joined.
+pub(crate) fn serve_json_lines(
+    mut stream: TcpStream,
+    ctx: &Arc<Ctx>,
+    reads: &ReadHandle,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let registry = Arc::new(SubRegistry::new());
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let closed = Arc::new(AtomicBool::new(false));
+
+    let pusher = {
+        let registry = Arc::clone(&registry);
+        let writer = Arc::clone(&writer);
+        let closed = Arc::clone(&closed);
+        let shutdown = Arc::clone(shutdown);
+        let reads = reads.clone();
+        std::thread::spawn(move || {
+            push_loop(&reads, &registry, &writer, &closed, &shutdown);
+        })
+    };
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::Relaxed) || closed.load(Ordering::Relaxed) {
+            break;
+        }
+        // Drain every complete line currently buffered.
+        while let Some(newline) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=newline).collect();
+            let Ok(text) = std::str::from_utf8(&line[..line.len() - 1]) else {
+                let body = jsonrpc::parse_error_body();
+                let _ = writer.lock().write_all(format!("{body}\n").as_bytes());
+                continue;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            let body = jsonrpc::handle_payload(text, ctx, Some(&registry));
+            if writer
+                .lock()
+                .write_all(format!("{body}\n").as_bytes())
+                .is_err()
+            {
+                closed.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        if closed.load(Ordering::Relaxed) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    closed.store(true, Ordering::Relaxed);
+    let _ = pusher.join();
+}
+
+fn push_loop(
+    reads: &ReadHandle,
+    registry: &SubRegistry,
+    writer: &Mutex<TcpStream>,
+    closed: &AtomicBool,
+    shutdown: &AtomicBool,
+) {
+    let mut seen = reads.publication_seq();
+    loop {
+        if closed.load(Ordering::Relaxed) || shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let (next_seen, snap) = reads.wait_for_publication(seen, Duration::from_millis(200));
+        let advanced = next_seen != seen;
+        seen = next_seen;
+        if !advanced {
+            continue; // timeout tick: only re-check the exit flags
+        }
+        let tip = snap.block_number();
+        let mut subs = registry.subs.lock();
+        for (id, sub) in subs.iter_mut() {
+            if sub.delivered > tip {
+                // The chain rewound (evm_revert): realign, don't replay.
+                sub.delivered = tip;
+                continue;
+            }
+            if sub.delivered == tip {
+                continue;
+            }
+            let alive = match &sub.kind {
+                SubKind::NewHeads => (sub.delivered + 1..=tip).all(|number| {
+                    snap.block(number).is_none_or(|block| {
+                        write_line(writer, &notification(*id, wire::block_to_json(&block)))
+                    })
+                }),
+                SubKind::Logs(filter) => snap
+                    .logs_filtered(sub.delivered + 1, tip, filter)
+                    .iter()
+                    .enumerate()
+                    .all(|(index, (block, log))| {
+                        write_line(
+                            writer,
+                            &notification(*id, wire::log_to_json(*block, index as u64, log)),
+                        )
+                    }),
+            };
+            sub.delivered = tip;
+            if !alive {
+                closed.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}

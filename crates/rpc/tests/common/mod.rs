@@ -1,0 +1,223 @@
+//! Tiny blocking HTTP + JSON-lines test clients over `std::net`, plus
+//! hand-assembled contract fixtures shared by the RPC suites.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+use lsc_abi::json::{self, JsonValue};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_primitives::U256;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Build init code that deploys the given runtime bytecode.
+pub fn init_code_for(runtime: &[u8]) -> Vec<u8> {
+    let mut init = Asm::new();
+    for (i, byte) in runtime.iter().enumerate() {
+        init.push_u64(u64::from(*byte))
+            .push_u64(i as u64)
+            .op(op::MSTORE8);
+    }
+    init.push_u64(runtime.len() as u64)
+        .push_u64(0)
+        .op(op::RETURN);
+    init.assemble().unwrap()
+}
+
+/// Runtime that stores `calldata[0..32]` at slot 1, emits
+/// `LOG1(word, topic)` then `LOG0(word[0..8])`.
+pub fn emitter_runtime(topic: u64) -> Vec<u8> {
+    let mut runtime = Asm::new();
+    runtime.push_u64(0).op(op::CALLDATALOAD);
+    runtime.op(op::DUP1).push_u64(0).op(op::MSTORE);
+    runtime.push_u64(1).op(op::SSTORE);
+    runtime
+        .push_u64(topic)
+        .push_u64(32)
+        .push_u64(0)
+        .op(op::LOG0 + 1);
+    runtime.push_u64(8).push_u64(0).op(op::LOG0);
+    runtime.op(op::STOP);
+    runtime.assemble().unwrap()
+}
+
+/// Runtime returning `SLOAD(1)`.
+pub fn getter_runtime() -> Vec<u8> {
+    let mut runtime = Asm::new();
+    runtime.push_u64(1).op(op::SLOAD).push_u64(0).op(op::MSTORE);
+    runtime.push_u64(32).push_u64(0).op(op::RETURN);
+    runtime.assemble().unwrap()
+}
+
+/// Runtime that always REVERTs with 4 bytes of output.
+pub fn reverter_runtime() -> Vec<u8> {
+    let mut runtime = Asm::new();
+    runtime.push_u64(0xdead_beef).push_u64(0).op(op::MSTORE);
+    runtime.push_u64(4).push_u64(28).op(op::REVERT);
+    runtime.assemble().unwrap()
+}
+
+/// A 32-byte big-endian calldata word.
+pub fn word(n: u64) -> Vec<u8> {
+    U256::from_u64(n).to_be_bytes().to_vec()
+}
+
+/// A keep-alive HTTP/1.1 client for one connection.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        HttpClient { stream }
+    }
+
+    /// POST a body to `/`, returning `(status_line, response_body)`.
+    pub fn post(&mut self, body: &str) -> (String, String) {
+        self.send_raw(&format!(
+            "POST / HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        ))
+    }
+
+    /// Send arbitrary request bytes and read one HTTP response.
+    pub fn send_raw(&mut self, raw: &str) -> (String, String) {
+        self.stream.write_all(raw.as_bytes()).expect("write");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (String, String) {
+        let mut reader = BufReader::new(&mut self.stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (
+            status.trim_end().to_string(),
+            String::from_utf8(body).expect("utf8 body"),
+        )
+    }
+
+    /// Issue a JSON-RPC call, asserting HTTP 200; returns the raw body.
+    pub fn rpc_raw(&mut self, id: u64, method: &str, params: &str) -> String {
+        let request = format!(
+            "{{\"id\":{id},\"jsonrpc\":\"2.0\",\"method\":\"{method}\",\"params\":{params}}}"
+        );
+        let (status, body) = self.post(&request);
+        assert!(status.contains("200"), "{method}: {status}: {body}");
+        body
+    }
+
+    /// Issue a JSON-RPC call and return the parsed `result`, panicking on
+    /// an error response.
+    pub fn rpc(&mut self, id: u64, method: &str, params: &str) -> JsonValue {
+        let body = self.rpc_raw(id, method, params);
+        let parsed = json::parse(&body).expect("response JSON");
+        if let Some(error) = parsed.get("error") {
+            panic!("{method} returned error: {}", error.to_json());
+        }
+        parsed.get("result").cloned().expect("result field")
+    }
+}
+
+/// The expected wire bytes of a successful response with this id/result.
+pub fn expect_ok(id: u64, result: &JsonValue) -> String {
+    JsonValue::object([
+        ("jsonrpc", JsonValue::String("2.0".to_string())),
+        ("id", JsonValue::Number(id as f64)),
+        ("result", result.clone()),
+    ])
+    .to_json()
+}
+
+/// Parse a response body and return its `error.code`.
+pub fn error_code(body: &str) -> i64 {
+    let parsed = json::parse(body).expect("response JSON");
+    let error = parsed.get("error").expect("error field");
+    match error.get("code") {
+        Some(JsonValue::Number(n)) => *n as i64,
+        other => panic!("bad error code: {other:?}"),
+    }
+}
+
+/// A JSON-lines (persistent) client connection.
+pub struct LinesClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LinesClient {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let writer = stream.try_clone().expect("clone");
+        LinesClient {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    pub fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    /// Read one newline-terminated JSON value (10 s timeout).
+    pub fn read_value(&mut self) -> JsonValue {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        json::parse(line.trim_end()).expect("line JSON")
+    }
+
+    /// Attempt to read a line with a short timeout; `None` on timeout.
+    pub fn try_read_value(&mut self, timeout: Duration) -> Option<JsonValue> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .unwrap();
+        let mut line = String::new();
+        let result = match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(json::parse(line.trim_end()).expect("line JSON")),
+            Err(_) => None,
+        };
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        result
+    }
+
+    /// Round-trip one JSON-RPC request, returning the `result`.
+    pub fn rpc(&mut self, id: u64, method: &str, params: &str) -> JsonValue {
+        self.send(&format!(
+            "{{\"id\":{id},\"jsonrpc\":\"2.0\",\"method\":\"{method}\",\"params\":{params}}}"
+        ));
+        let response = self.read_value();
+        if let Some(error) = response.get("error") {
+            panic!("{method} returned error: {}", error.to_json());
+        }
+        response.get("result").cloned().expect("result field")
+    }
+}

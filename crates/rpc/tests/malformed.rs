@@ -1,0 +1,238 @@
+//! Malformed-request suite: every kind of garbage a client can throw at
+//! the socket must come back as a spec-shaped JSON-RPC error object with
+//! the right code — never a hang, a crash, or a bare TCP reset.
+
+mod common;
+
+use common::{error_code, HttpClient};
+use lsc_abi::json::{self, JsonValue};
+use lsc_chain::LocalNode;
+use lsc_rpc::{codes, MiningMode, RpcConfig, RpcServer};
+use lsc_web3::Web3;
+
+fn serve_small() -> (RpcServer, Web3) {
+    let web3 = Web3::new(LocalNode::new(2));
+    let server = RpcServer::bind(
+        web3.clone(),
+        "127.0.0.1:0",
+        RpcConfig {
+            max_body_bytes: 4096,
+            max_batch: 4,
+            mining: MiningMode::Instant,
+            ..RpcConfig::default()
+        },
+    )
+    .expect("bind");
+    (server, web3)
+}
+
+/// Every error response must carry the envelope: jsonrpc, id, and an
+/// error object with numeric code + string message.
+fn assert_spec_shaped(body: &str) {
+    let parsed = json::parse(body).unwrap_or_else(|e| panic!("unparseable response {body:?}: {e}"));
+    assert_eq!(
+        parsed.get("jsonrpc").and_then(JsonValue::as_str),
+        Some("2.0"),
+        "{body}"
+    );
+    assert!(parsed.get("id").is_some(), "{body}");
+    let error = parsed.get("error").expect("error object");
+    assert!(
+        matches!(error.get("code"), Some(JsonValue::Number(_))),
+        "{body}"
+    );
+    assert!(
+        matches!(error.get("message"), Some(JsonValue::String(_))),
+        "{body}"
+    );
+}
+
+#[test]
+fn bad_json_is_parse_error() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    for garbage in ["{not json", "", "[1,2", "{\"id\":}"] {
+        let (status, body) = client.post(garbage);
+        assert!(status.contains("200"), "{status}");
+        assert_spec_shaped(&body);
+        assert_eq!(
+            error_code(&body),
+            codes::PARSE_ERROR,
+            "{garbage:?} -> {body}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unknown_method_is_method_not_found() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let body = client.rpc_raw(1, "eth_coinbase", "[]");
+    assert_spec_shaped(&body);
+    assert_eq!(error_code(&body), codes::METHOD_NOT_FOUND);
+    // The id echoes back.
+    let parsed = json::parse(&body).unwrap();
+    assert!(matches!(parsed.get("id"), Some(JsonValue::Number(n)) if *n == 1.0));
+    server.shutdown();
+}
+
+#[test]
+fn missing_method_and_bad_params_are_invalid_request() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let (_, body) = client.post("{\"id\":1,\"params\":[]}");
+    assert_spec_shaped(&body);
+    assert_eq!(error_code(&body), codes::INVALID_REQUEST);
+    let (_, body) = client.post("{\"id\":1,\"method\":\"eth_blockNumber\",\"params\":{}}");
+    assert_eq!(error_code(&body), codes::INVALID_REQUEST);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_hex_params_are_invalid_params() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let cases = [
+        ("eth_getBalance", "[\"0x1234\"]"),           // short address
+        ("eth_getBalance", "[\"not hex at all\"]"),   // not hex
+        ("eth_getTransactionReceipt", "[\"0xzz\"]"),  // bad hash
+        ("eth_getBlockByNumber", "[\"0x\"]"),         // empty quantity
+        ("eth_getBlockByNumber", "[\"12\"]"),         // missing 0x
+        ("eth_getStorageAt", "[]"),                   // missing params
+        ("eth_sendRawTransaction", "[\"0xabc\"]"),    // odd-length hex
+        ("eth_getLogs", "[{\"topics\":[\"0x12\"]}]"), // short topic
+    ];
+    for (id, (method, params)) in cases.iter().enumerate() {
+        let body = client.rpc_raw(id as u64, method, params);
+        assert_spec_shaped(&body);
+        assert_eq!(
+            error_code(&body),
+            codes::INVALID_PARAMS,
+            "{method}({params}) -> {body}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let huge = format!(
+        "{{\"id\":1,\"method\":\"eth_blockNumber\",\"params\":[\"{}\"]}}",
+        "a".repeat(8192)
+    );
+    let (status, body) = client.post(&huge);
+    assert!(status.contains("413"), "{status}");
+    assert_spec_shaped(&body);
+    assert_eq!(error_code(&body), codes::INVALID_REQUEST);
+    server.shutdown();
+}
+
+#[test]
+fn batch_limits_and_shapes() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+
+    // Empty batch.
+    let (_, body) = client.post("[]");
+    assert_spec_shaped(&body);
+    assert_eq!(error_code(&body), codes::INVALID_REQUEST);
+
+    // Over the 4-request cap.
+    let over: Vec<String> = (0..5)
+        .map(|i| format!("{{\"id\":{i},\"method\":\"eth_blockNumber\",\"params\":[]}}"))
+        .collect();
+    let (_, body) = client.post(&format!("[{}]", over.join(",")));
+    assert_eq!(error_code(&body), codes::INVALID_REQUEST);
+
+    // A mixed batch answers element-wise, same order.
+    let (_, body) = client.post(
+        "[{\"id\":1,\"method\":\"eth_blockNumber\",\"params\":[]},{\"id\":2,\"method\":\"nope\",\"params\":[]}]",
+    );
+    let parsed = json::parse(&body).unwrap();
+    let JsonValue::Array(items) = parsed else {
+        panic!("expected array response: {body}");
+    };
+    assert_eq!(items.len(), 2);
+    assert!(items[0].get("result").is_some());
+    assert_eq!(
+        items[1]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| match c {
+                JsonValue::Number(n) => Some(*n as i64),
+                _ => None,
+            }),
+        Some(codes::METHOD_NOT_FOUND)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn wrong_http_method_is_405() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let (status, body) = client.send_raw("GET / HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    assert!(status.contains("405"), "{status}");
+    assert_spec_shaped(&body);
+    // The connection survives: a real request still works after.
+    let result = client.rpc(9, "eth_blockNumber", "[]");
+    assert!(result.as_str().unwrap().starts_with("0x"));
+    server.shutdown();
+}
+
+#[test]
+fn chunked_encoding_is_refused() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let (status, body) = client.send_raw(
+        "POST / HTTP/1.1\r\nHost: localhost\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert!(status.contains("411"), "{status}");
+    assert_spec_shaped(&body);
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_over_http_is_rejected() {
+    let (server, _web3) = serve_small();
+    let mut client = HttpClient::connect(server.local_addr());
+    let body = client.rpc_raw(1, "eth_subscribe", "[\"newHeads\"]");
+    assert_spec_shaped(&body);
+    assert_eq!(error_code(&body), codes::SERVER_ERROR);
+    server.shutdown();
+}
+
+#[test]
+fn reverting_call_returns_revert_error_with_data() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let reverter = web3
+        .send_transaction_raw(lsc_chain::Transaction::deploy(
+            web3.accounts()[0],
+            common::init_code_for(&common::reverter_runtime()),
+        ))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let server = RpcServer::bind(web3.clone(), "127.0.0.1:0", RpcConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.local_addr());
+    let body = client.rpc_raw(
+        1,
+        "eth_call",
+        &format!("[{{\"to\":\"{reverter}\"}},\"latest\"]"),
+    );
+    assert_spec_shaped(&body);
+    assert_eq!(error_code(&body), codes::EXECUTION_REVERTED);
+    let parsed = json::parse(&body).unwrap();
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("data"))
+            .and_then(JsonValue::as_str),
+        Some("0xdeadbeef"),
+        "{body}"
+    );
+    server.shutdown();
+}

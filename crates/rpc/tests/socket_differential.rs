@@ -1,0 +1,484 @@
+//! Socket differential suite: every read served over a real TCP socket
+//! must be **byte-identical** to the same result encoded in-process from
+//! the `Web3` handle through the shared `lsc_web3::wire` codecs — across
+//! instant mining, manual (batch) mining, and a WAL-recovery restart.
+
+mod common;
+
+use common::{expect_ok, HttpClient};
+use lsc_abi::json::JsonValue;
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, LogFilter, Transaction};
+use lsc_primitives::{Address, H256};
+use lsc_rpc::{MiningMode, RpcConfig, RpcServer};
+use lsc_web3::{wire, Web3};
+use std::path::PathBuf;
+
+fn serve(web3: &Web3, mining: MiningMode) -> RpcServer {
+    RpcServer::bind(
+        web3.clone(),
+        "127.0.0.1:0",
+        RpcConfig {
+            mining,
+            ..RpcConfig::default()
+        },
+    )
+    .expect("bind")
+}
+
+/// Deploy the three fixture contracts and generate mixed traffic.
+/// Returns (emitter, getter, reverter) addresses.
+fn populate(web3: &Web3) -> (Address, Address, Address) {
+    let accounts = web3.accounts();
+    let [a, b] = [accounts[0], accounts[1]];
+    let emitter = web3
+        .send_transaction_raw(Transaction::deploy(
+            a,
+            common::init_code_for(&common::emitter_runtime(7)),
+        ))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let getter = web3
+        .send_transaction_raw(Transaction::deploy(
+            a,
+            common::init_code_for(&common::getter_runtime()),
+        ))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let reverter = web3
+        .send_transaction_raw(Transaction::deploy(
+            b,
+            common::init_code_for(&common::reverter_runtime()),
+        ))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    for value in [1u64, 42, 1000] {
+        web3.send_transaction_raw(
+            Transaction::call(a, emitter, common::word(value)).with_gas(200_000),
+        )
+        .unwrap();
+    }
+    // A batch-mined block too, so receipts span both mining modes.
+    web3.submit_transaction(Transaction::call(b, emitter, common::word(5)).with_gas(200_000))
+        .unwrap();
+    web3.submit_transaction(Transaction::call(a, emitter, common::word(6)).with_gas(200_000))
+        .unwrap();
+    let (_, errors) = web3.mine_block();
+    assert!(errors.is_empty());
+    (emitter, getter, reverter)
+}
+
+/// Assert a socket response is byte-identical to the expected in-process
+/// encoding.
+fn assert_wire_eq(
+    client: &mut HttpClient,
+    id: u64,
+    method: &str,
+    params: &str,
+    expected: &JsonValue,
+) {
+    let body = client.rpc_raw(id, method, params);
+    assert_eq!(
+        body,
+        expect_ok(id, expected),
+        "{method}({params}) differs from in-process result"
+    );
+}
+
+/// Drive the full read surface over the socket and compare bytes.
+fn differential_read_sweep(
+    web3: &Web3,
+    client: &mut HttpClient,
+    emitter: Address,
+    getter: Address,
+) {
+    let snap = web3.read_snapshot();
+    let tip = snap.block_number();
+    let mut id = 100;
+
+    assert_wire_eq(client, id, "eth_blockNumber", "[]", &wire::quantity(tip));
+    id += 1;
+    assert_wire_eq(
+        client,
+        id,
+        "eth_chainId",
+        "[]",
+        &wire::quantity(snap.config().chain_id),
+    );
+    id += 1;
+    assert_wire_eq(
+        client,
+        id,
+        "eth_accounts",
+        "[]",
+        &JsonValue::Array(
+            snap.accounts()
+                .iter()
+                .map(|a| wire::address_json(*a))
+                .collect(),
+        ),
+    );
+    id += 1;
+
+    // Account state: balances, nonces, code, storage.
+    let mut interesting: Vec<Address> = snap.accounts().to_vec();
+    interesting.push(emitter);
+    interesting.push(getter);
+    for address in &interesting {
+        assert_wire_eq(
+            client,
+            id,
+            "eth_getBalance",
+            &format!("[\"{address}\",\"latest\"]"),
+            &wire::quantity_u256(snap.balance(*address)),
+        );
+        id += 1;
+        assert_wire_eq(
+            client,
+            id,
+            "eth_getTransactionCount",
+            &format!("[\"{address}\"]"),
+            &wire::quantity(snap.nonce(*address)),
+        );
+        id += 1;
+        assert_wire_eq(
+            client,
+            id,
+            "eth_getCode",
+            &format!("[\"{address}\",\"latest\"]"),
+            &wire::data_json(&snap.code(*address)),
+        );
+        id += 1;
+    }
+    assert_wire_eq(
+        client,
+        id,
+        "eth_getStorageAt",
+        &format!("[\"{emitter}\",\"0x1\",\"latest\"]"),
+        &wire::h256_json(H256::from_u256(
+            snap.storage_at(emitter, lsc_primitives::U256::from_u64(1)),
+        )),
+    );
+    id += 1;
+
+    // Blocks by number and by hash, plus every receipt they contain.
+    for number in 0..=tip {
+        let block = snap.block(number).expect("block");
+        assert_wire_eq(
+            client,
+            id,
+            "eth_getBlockByNumber",
+            &format!("[\"0x{number:x}\"]"),
+            &wire::block_to_json(&block),
+        );
+        id += 1;
+        assert_wire_eq(
+            client,
+            id,
+            "eth_getBlockByHash",
+            &format!("[\"{}\"]", block.hash),
+            &wire::block_to_json(&block),
+        );
+        id += 1;
+        for tx_hash in &block.tx_hashes {
+            let receipt = snap.receipt(*tx_hash).expect("receipt");
+            assert_wire_eq(
+                client,
+                id,
+                "eth_getTransactionReceipt",
+                &format!("[\"{tx_hash}\"]"),
+                &wire::receipt_to_json(&receipt, Some(block.hash)),
+            );
+            id += 1;
+        }
+    }
+    // "latest" resolves to the tip block.
+    assert_wire_eq(
+        client,
+        id,
+        "eth_getBlockByNumber",
+        "[\"latest\"]",
+        &wire::block_to_json(&snap.block(tip).unwrap()),
+    );
+    id += 1;
+    // Missing entities encode as null.
+    assert_wire_eq(
+        client,
+        id,
+        "eth_getBlockByNumber",
+        "[\"0xffff\"]",
+        &JsonValue::Null,
+    );
+    id += 1;
+    assert_wire_eq(
+        client,
+        id,
+        "eth_getTransactionReceipt",
+        &format!("[\"{}\"]", H256::keccak(b"no such tx")),
+        &JsonValue::Null,
+    );
+    id += 1;
+
+    // Logs: wildcard, by address, by topic0, and positional topics.
+    let topic7 = H256::from_u256(lsc_primitives::U256::from_u64(7));
+    let filters: Vec<(String, LogFilter)> = vec![
+        ("{}".to_string(), LogFilter::default()),
+        (
+            format!("{{\"address\":\"{emitter}\"}}"),
+            LogFilter {
+                addresses: vec![emitter],
+                topics: vec![],
+            },
+        ),
+        (
+            format!("{{\"topics\":[\"{topic7}\"]}}"),
+            LogFilter {
+                addresses: vec![],
+                topics: vec![vec![topic7]],
+            },
+        ),
+        (
+            format!("{{\"address\":[\"{emitter}\",\"{getter}\"],\"topics\":[null]}}"),
+            LogFilter {
+                addresses: vec![emitter, getter],
+                topics: vec![vec![]],
+            },
+        ),
+    ];
+    for (params_filter, filter) in &filters {
+        let logs = snap.logs_filtered(0, tip, filter);
+        let expected = JsonValue::Array(
+            logs.iter()
+                .enumerate()
+                .map(|(i, (block, log))| wire::log_to_json(*block, i as u64, log))
+                .collect(),
+        );
+        assert_wire_eq(
+            client,
+            id,
+            "eth_getLogs",
+            &format!("[{params_filter}]"),
+            &expected,
+        );
+        id += 1;
+    }
+
+    // eth_call against the getter mirrors the in-process call result.
+    let accounts = snap.accounts();
+    let call = snap.call(accounts[0], getter, vec![]);
+    assert!(call.success);
+    assert_wire_eq(
+        client,
+        id,
+        "eth_call",
+        &format!(
+            "[{{\"from\":\"{}\",\"to\":\"{getter}\"}},\"latest\"]",
+            accounts[0]
+        ),
+        &wire::data_json(&call.output),
+    );
+    id += 1;
+
+    // eth_estimateGas mirrors the in-process estimate.
+    let probe = Transaction::call(accounts[0], getter, vec![]);
+    let estimate = web3.estimate_gas(&probe).unwrap();
+    assert_wire_eq(
+        client,
+        id,
+        "eth_estimateGas",
+        &format!("[{}]", wire::tx_to_json(&probe).to_json()),
+        &wire::quantity(estimate),
+    );
+}
+
+#[test]
+fn reads_are_byte_identical_instant_mode() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let (emitter, getter, _) = populate(&web3);
+    let server = serve(&web3, MiningMode::Instant);
+    let mut client = HttpClient::connect(server.local_addr());
+    differential_read_sweep(&web3, &mut client, emitter, getter);
+    server.shutdown();
+}
+
+/// Writes over the socket in instant mode: the returned hash has a
+/// receipt immediately, and that receipt matches the in-process bytes.
+#[test]
+fn instant_write_over_socket() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let (emitter, _, _) = populate(&web3);
+    let server = serve(&web3, MiningMode::Instant);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    let from = web3.accounts()[0];
+    let tx = Transaction::call(from, emitter, common::word(77)).with_gas(200_000);
+    let raw = wire::encode_raw_transaction(&tx);
+    let result = client.rpc(1, "eth_sendRawTransaction", &format!("[\"{raw}\"]"));
+    let hash: H256 = result.as_str().unwrap().parse().unwrap();
+
+    let receipt = web3.receipt(hash).expect("instant mode mines immediately");
+    let block_hash = web3.block(receipt.block_number).unwrap().hash;
+    assert_wire_eq(
+        &mut client,
+        2,
+        "eth_getTransactionReceipt",
+        &format!("[\"{hash}\"]"),
+        &wire::receipt_to_json(&receipt, Some(block_hash)),
+    );
+    server.shutdown();
+}
+
+/// Manual (batch) mining over the socket: `eth_sendTransaction` returns
+/// the stable submit-time hash; the receipt appears under exactly that
+/// hash after `evm_mine` — the headline bugfix, end to end over TCP.
+#[test]
+fn batch_write_stable_hash_over_socket() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let (emitter, getter, _) = populate(&web3);
+    let server = serve(&web3, MiningMode::Manual);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    let from = web3.accounts()[0];
+    let send = |client: &mut HttpClient, id: u64, value: u64| -> H256 {
+        let tx = Transaction::call(from, emitter, common::word(value)).with_gas(200_000);
+        let result = client.rpc(
+            id,
+            "eth_sendTransaction",
+            &format!("[{}]", wire::tx_to_json(&tx).to_json()),
+        );
+        result.as_str().unwrap().parse().unwrap()
+    };
+    // Two auto-nonce submissions from one sender: distinct stable hashes.
+    let h1 = send(&mut client, 1, 501);
+    let h2 = send(&mut client, 2, 502);
+    assert_ne!(h1, h2);
+    assert_eq!(
+        client.rpc(3, "eth_getTransactionReceipt", &format!("[\"{h1}\"]")),
+        lsc_abi::json::JsonValue::Null
+    );
+
+    client.rpc(4, "evm_mine", "[]");
+
+    for (id, hash) in [(5u64, h1), (6, h2)] {
+        let receipt = web3.receipt(hash).expect("mined under submit-time hash");
+        let block_hash = web3.block(receipt.block_number).unwrap().hash;
+        assert_wire_eq(
+            &mut client,
+            id,
+            "eth_getTransactionReceipt",
+            &format!("[\"{hash}\"]"),
+            &wire::receipt_to_json(&receipt, Some(block_hash)),
+        );
+    }
+    // Reads still agree after batch mining.
+    differential_read_sweep(&web3, &mut client, emitter, getter);
+    server.shutdown();
+}
+
+/// Queue backpressure surfaces as the JSON-RPC limit-exceeded code over
+/// the socket.
+#[test]
+fn queue_full_maps_to_limit_exceeded() {
+    let config = ChainConfig {
+        max_pending: 2,
+        ..ChainConfig::default()
+    };
+    let web3 = Web3::new(LocalNode::with_config(config, 2));
+    let server = serve(&web3, MiningMode::Manual);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    let [a, b] = [web3.accounts()[0], web3.accounts()[1]];
+    let tx = |value: u64| {
+        let t = Transaction::call(a, b, vec![]).with_value(lsc_primitives::U256::from_u64(value));
+        wire::tx_to_json(&t).to_json()
+    };
+    client.rpc(1, "eth_sendTransaction", &format!("[{}]", tx(1)));
+    client.rpc(2, "eth_sendTransaction", &format!("[{}]", tx(2)));
+    let body = client.rpc_raw(3, "eth_sendTransaction", &format!("[{}]", tx(3)));
+    assert_eq!(common::error_code(&body), -32005, "{body}");
+
+    client.rpc(4, "evm_mine", "[]");
+    client.rpc(5, "eth_sendTransaction", &format!("[{}]", tx(4)));
+    server.shutdown();
+}
+
+/// A WAL-recovery restart must not change a single byte of the served
+/// chain: capture the full read sweep before shutdown, recover the node
+/// from disk, serve again, and replay the same requests.
+#[test]
+fn reads_identical_after_recovery_restart() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("lsc-rpc-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let requests: Vec<(u64, String, String)> = {
+        let node = LocalNode::open(&dir, ChainConfig::default(), 3, Faults::none()).unwrap();
+        let web3 = Web3::new(node);
+        let (emitter, getter, _) = populate(&web3);
+        let snap = web3.read_snapshot();
+        let tip = snap.block_number();
+        let mut requests: Vec<(u64, String, String)> = vec![
+            (1, "eth_blockNumber".into(), "[]".into()),
+            (2, "eth_getLogs".into(), "[{}]".into()),
+            (
+                3,
+                "eth_call".into(),
+                format!(
+                    "[{{\"from\":\"{}\",\"to\":\"{getter}\"}},\"latest\"]",
+                    snap.accounts()[0]
+                ),
+            ),
+            (
+                4,
+                "eth_getBalance".into(),
+                format!("[\"{emitter}\",\"latest\"]"),
+            ),
+        ];
+        for number in 0..=tip {
+            let block = snap.block(number).unwrap();
+            requests.push((
+                10 + number,
+                "eth_getBlockByNumber".into(),
+                format!("[\"0x{number:x}\"]"),
+            ));
+            for (i, tx_hash) in block.tx_hashes.iter().enumerate() {
+                requests.push((
+                    100 + number * 10 + i as u64,
+                    "eth_getTransactionReceipt".into(),
+                    format!("[\"{tx_hash}\"]"),
+                ));
+            }
+        }
+        requests
+    };
+
+    // First run: capture the bytes.
+    let node = LocalNode::recover(&dir, Faults::none()).unwrap();
+    let web3 = Web3::new(node);
+    let server = serve(&web3, MiningMode::Instant);
+    let mut client = HttpClient::connect(server.local_addr());
+    let before: Vec<String> = requests
+        .iter()
+        .map(|(id, method, params)| client.rpc_raw(*id, method, params))
+        .collect();
+    server.shutdown();
+    drop(web3);
+
+    // Second run: recover again, replay, compare bytes.
+    let node = LocalNode::recover(&dir, Faults::none()).unwrap();
+    let web3 = Web3::new(node);
+    let server = serve(&web3, MiningMode::Instant);
+    let mut client = HttpClient::connect(server.local_addr());
+    for ((id, method, params), expected) in requests.iter().zip(&before) {
+        let body = client.rpc_raw(*id, method, params);
+        assert_eq!(
+            &body, expected,
+            "{method}({params}) changed across recovery"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

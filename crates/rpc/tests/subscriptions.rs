@@ -1,0 +1,176 @@
+//! Subscription push over persistent JSON-lines connections:
+//! `newHeads` delivers every sealed block exactly once and in order,
+//! `logs` delivers filtered logs, unsubscribe stops delivery, and the
+//! same connection keeps answering ordinary requests throughout.
+
+mod common;
+
+use common::LinesClient;
+use lsc_abi::json::JsonValue;
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::H256;
+use lsc_rpc::{MiningMode, RpcConfig, RpcServer};
+use lsc_web3::{wire, Web3};
+use std::time::Duration;
+
+fn notification_result(value: &JsonValue, expect_sub: &str) -> JsonValue {
+    assert_eq!(
+        value.get("method").and_then(JsonValue::as_str),
+        Some("eth_subscription"),
+        "{}",
+        value.to_json()
+    );
+    let params = value.get("params").expect("params");
+    assert_eq!(
+        params.get("subscription").and_then(JsonValue::as_str),
+        Some(expect_sub),
+        "{}",
+        value.to_json()
+    );
+    params.get("result").cloned().expect("result")
+}
+
+#[test]
+fn new_heads_push_every_block_in_order() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let server = RpcServer::bind(web3.clone(), "127.0.0.1:0", RpcConfig::default()).unwrap();
+    let mut client = LinesClient::connect(server.local_addr());
+
+    // The connection serves ordinary requests too.
+    let tip = client.rpc(1, "eth_blockNumber", "[]");
+    assert_eq!(tip.as_str(), Some("0x0"));
+
+    let sub = client.rpc(2, "eth_subscribe", "[\"newHeads\"]");
+    let sub = sub.as_str().expect("subscription id").to_string();
+
+    // Mine three blocks from the node side; each must arrive, in order.
+    let [a, b] = [web3.accounts()[0], web3.accounts()[1]];
+    let mut expected = Vec::new();
+    for value in [1u64, 2, 3] {
+        let receipt = web3
+            .send_transaction_raw(
+                Transaction::call(a, b, vec![]).with_value(lsc_primitives::U256::from_u64(value)),
+            )
+            .unwrap();
+        expected.push(receipt.block_number);
+    }
+    for number in expected {
+        let note = client.read_value();
+        let result = notification_result(&note, &sub);
+        let block = web3.block(number).unwrap();
+        assert_eq!(
+            result.to_json(),
+            wire::block_to_json(&block).to_json(),
+            "newHeads payload is the wire block encoding"
+        );
+    }
+
+    // Unsubscribe; further blocks produce no notifications.
+    let ok = client.rpc(3, "eth_unsubscribe", &format!("[\"{sub}\"]"));
+    assert_eq!(ok, JsonValue::Bool(true));
+    web3.send_transaction_raw(Transaction::call(a, b, vec![]))
+        .unwrap();
+    assert!(
+        client.try_read_value(Duration::from_millis(400)).is_none(),
+        "no push after unsubscribe"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn logs_subscription_filters_and_batches() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let a = web3.accounts()[0];
+    let emitter = web3
+        .send_transaction_raw(Transaction::deploy(
+            a,
+            common::init_code_for(&common::emitter_runtime(9)),
+        ))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    let other = web3
+        .send_transaction_raw(Transaction::deploy(
+            a,
+            common::init_code_for(&common::emitter_runtime(10)),
+        ))
+        .unwrap()
+        .contract_address
+        .unwrap();
+
+    let server = RpcServer::bind(
+        web3.clone(),
+        "127.0.0.1:0",
+        RpcConfig {
+            mining: MiningMode::Manual,
+            ..RpcConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = LinesClient::connect(server.local_addr());
+
+    // Subscribe to the emitter's topic only.
+    let topic9 = H256::from_u256(lsc_primitives::U256::from_u64(9));
+    let sub = client.rpc(
+        1,
+        "eth_subscribe",
+        &format!("[\"logs\",{{\"address\":\"{emitter}\",\"topics\":[\"{topic9}\"]}}]"),
+    );
+    let sub = sub.as_str().expect("subscription id").to_string();
+
+    // One matching and one non-matching tx, batch-mined in one block.
+    web3.submit_transaction(Transaction::call(a, emitter, common::word(55)).with_gas(200_000))
+        .unwrap();
+    web3.submit_transaction(Transaction::call(a, other, common::word(66)).with_gas(200_000))
+        .unwrap();
+    let (block, errors) = web3.mine_block();
+    assert!(errors.is_empty());
+
+    let note = client.read_value();
+    let result = notification_result(&note, &sub);
+    assert_eq!(
+        result.get("address").and_then(JsonValue::as_str),
+        Some(emitter.to_string().as_str())
+    );
+    assert_eq!(
+        result.get("blockNumber").and_then(JsonValue::as_str),
+        Some(format!("0x{:x}", block.number).as_str())
+    );
+    let topics = result.get("topics").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(topics.len(), 1);
+    assert_eq!(topics[0].as_str(), Some(topic9.to_string().as_str()));
+
+    // The non-matching contract's log was filtered out.
+    assert!(
+        client.try_read_value(Duration::from_millis(400)).is_none(),
+        "only the matching log is pushed"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn two_connections_get_independent_subscriptions() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let server = RpcServer::bind(web3.clone(), "127.0.0.1:0", RpcConfig::default()).unwrap();
+    let mut first = LinesClient::connect(server.local_addr());
+    let mut second = LinesClient::connect(server.local_addr());
+
+    let sub1 = first.rpc(1, "eth_subscribe", "[\"newHeads\"]");
+    let sub2 = second.rpc(1, "eth_subscribe", "[\"newHeads\"]");
+    let (sub1, sub2) = (
+        sub1.as_str().unwrap().to_string(),
+        sub2.as_str().unwrap().to_string(),
+    );
+
+    let [a, b] = [web3.accounts()[0], web3.accounts()[1]];
+    let receipt = web3
+        .send_transaction_raw(Transaction::call(a, b, vec![]))
+        .unwrap();
+    let block = web3.block(receipt.block_number).unwrap();
+    for (client, sub) in [(&mut first, &sub1), (&mut second, &sub2)] {
+        let note = client.read_value();
+        let result = notification_result(&note, sub);
+        assert_eq!(result.to_json(), wire::block_to_json(&block).to_json());
+    }
+    server.shutdown();
+}

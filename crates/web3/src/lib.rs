@@ -45,6 +45,7 @@
 
 pub mod contract;
 pub mod wallet;
+pub mod wire;
 
 pub use contract::{Contract, DecodedEvent};
 pub use wallet::Wallet;
@@ -283,20 +284,23 @@ impl Web3 {
     }
 
     /// Queue a transaction without mining (batch mode); it executes at the
-    /// next [`Web3::mine_block`]. The wallet check still applies.
-    pub fn submit_transaction(&self, tx: Transaction) -> Result<(), Web3Error> {
+    /// next [`Web3::mine_block`]. The wallet check still applies. Returns
+    /// the transaction's stable hash — the nonce is resolved at
+    /// submission, so this is the hash [`Web3::receipt`] finds after the
+    /// block is mined, regardless of interleaved traffic.
+    pub fn submit_transaction(&self, tx: Transaction) -> Result<H256, Web3Error> {
         if !self.wallet.holds(tx.from) {
             return Err(Web3Error::NotInWallet(tx.from));
         }
-        self.node.lock().submit_transaction(tx);
-        Ok(())
+        Ok(self.node.lock().try_submit_transaction(tx)?)
     }
 
     /// Queue a batch of transactions without mining, durably logged with a
     /// single fsync (group commit) — either the whole batch is accepted or
     /// none of it is. The wallet check applies to every transaction before
-    /// anything is submitted.
-    pub fn submit_transactions(&self, txs: Vec<Transaction>) -> Result<(), Web3Error> {
+    /// anything is submitted. Returns the stable hashes in submission
+    /// order.
+    pub fn submit_transactions(&self, txs: Vec<Transaction>) -> Result<Vec<H256>, Web3Error> {
         for tx in &txs {
             if !self.wallet.holds(tx.from) {
                 return Err(Web3Error::NotInWallet(tx.from));
@@ -339,6 +343,18 @@ impl Web3 {
         topic0: Option<lsc_primitives::H256>,
     ) -> Vec<(u64, lsc_evm::Log)> {
         self.reads.logs(from_block, to_block, address, topic0)
+    }
+
+    /// `eth_getLogs` with the full positional filter: address OR-list and
+    /// per-position topic OR-lists (`null` wildcards). Same indexed path
+    /// as [`Web3::logs`].
+    pub fn logs_filtered(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        filter: &lsc_chain::LogFilter,
+    ) -> Vec<(u64, lsc_evm::Log)> {
+        self.reads.logs_filtered(from_block, to_block, filter)
     }
 
     /// Durably record an opaque app-tier event in the node's write-ahead

@@ -1,0 +1,479 @@
+//! Ethereum wire-format JSON codecs, shared by the JSON-RPC server
+//! (`lsc-rpc`) and the differential test suites.
+//!
+//! Everything here speaks the `eth_*` surface conventions: quantities are
+//! minimal `0x`-hex strings (`0x0`, `0x2a`), addresses are 20-byte
+//! `0x`-hex, hashes 32-byte `0x`-hex, and data blobs even-length
+//! `0x`-hex. Encoders produce [`JsonValue`]s whose object keys serialize
+//! sorted — the same bytes no matter which layer built them, which is what
+//! lets the socket differential tests compare responses byte-for-byte
+//! against in-process calls.
+//!
+//! The repo has no real transaction signing (the wallet layer plays
+//! MetaMask), so `eth_sendRawTransaction` carries a *wallet-format* raw
+//! transaction: the `0x`-hex of the UTF-8 JSON transaction object encoded
+//! by [`tx_to_json`]. [`decode_raw_transaction`] inverts it.
+
+use lsc_abi::json::{self, JsonValue};
+use lsc_chain::{Block, LogFilter, Receipt, Transaction};
+use lsc_evm::Log;
+use lsc_primitives::{hex, Address, H256, U256};
+use std::str::FromStr;
+
+/// A malformed wire value: the field that failed and why. Maps to the
+/// JSON-RPC *invalid params* error (`-32602`) at the server boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Which parameter or field was malformed.
+    pub field: String,
+    /// Human-readable description of the problem.
+    pub reason: String,
+}
+
+impl WireError {
+    fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        WireError {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Scalar encoders
+// ---------------------------------------------------------------------
+
+/// Encode a `u64` as a minimal `0x`-hex quantity string (`0x0`, `0x2a`).
+pub fn quantity(n: u64) -> JsonValue {
+    JsonValue::String(format!("0x{n:x}"))
+}
+
+/// Encode a [`U256`] as a minimal `0x`-hex quantity string.
+pub fn quantity_u256(value: U256) -> JsonValue {
+    let bytes = value.to_be_bytes();
+    let first = bytes.iter().position(|b| *b != 0).unwrap_or(31);
+    let mut out = String::from("0x");
+    let mut digits = hex::encode(&bytes[first..]);
+    // Minimal form: strip one leading zero nibble if present.
+    if digits.len() > 1 && digits.starts_with('0') {
+        digits.remove(0);
+    }
+    out.push_str(&digits);
+    JsonValue::String(out)
+}
+
+/// Encode an [`Address`] as 20-byte `0x`-hex.
+pub fn address_json(address: Address) -> JsonValue {
+    JsonValue::String(address.to_string())
+}
+
+/// Encode an [`H256`] as 32-byte `0x`-hex.
+pub fn h256_json(hash: H256) -> JsonValue {
+    JsonValue::String(hash.to_string())
+}
+
+/// Encode a data blob as even-length `0x`-hex (`0x` when empty).
+pub fn data_json(data: &[u8]) -> JsonValue {
+    JsonValue::String(hex::encode_prefixed(data))
+}
+
+// ---------------------------------------------------------------------
+// Scalar decoders
+// ---------------------------------------------------------------------
+
+fn expect_string<'v>(value: &'v JsonValue, field: &str) -> Result<&'v str, WireError> {
+    value
+        .as_str()
+        .ok_or_else(|| WireError::new(field, "expected a string"))
+}
+
+/// Decode a `0x`-hex quantity string into a `u64`.
+pub fn parse_quantity(value: &JsonValue, field: &str) -> Result<u64, WireError> {
+    let text = expect_string(value, field)?;
+    let digits = text
+        .strip_prefix("0x")
+        .ok_or_else(|| WireError::new(field, "quantity must start with 0x"))?;
+    if digits.is_empty() {
+        return Err(WireError::new(field, "quantity has no digits"));
+    }
+    u64::from_str_radix(digits, 16)
+        .map_err(|e| WireError::new(field, format!("bad hex quantity: {e}")))
+}
+
+/// Decode a `0x`-hex quantity string into a [`U256`].
+pub fn parse_quantity_u256(value: &JsonValue, field: &str) -> Result<U256, WireError> {
+    let text = expect_string(value, field)?;
+    if !text.starts_with("0x") {
+        return Err(WireError::new(field, "quantity must start with 0x"));
+    }
+    U256::from_hex_str(text).map_err(|e| WireError::new(field, format!("bad hex quantity: {e}")))
+}
+
+/// Decode a 20-byte `0x`-hex string into an [`Address`].
+pub fn parse_address(value: &JsonValue, field: &str) -> Result<Address, WireError> {
+    let text = expect_string(value, field)?;
+    if !text.starts_with("0x") || text.len() != 42 {
+        return Err(WireError::new(
+            field,
+            "expected a 0x-prefixed 20-byte address",
+        ));
+    }
+    Address::from_str(text).map_err(|e| WireError::new(field, format!("bad address: {e}")))
+}
+
+/// Decode a 32-byte `0x`-hex string into an [`H256`].
+pub fn parse_h256(value: &JsonValue, field: &str) -> Result<H256, WireError> {
+    let text = expect_string(value, field)?;
+    if !text.starts_with("0x") || text.len() != 66 {
+        return Err(WireError::new(field, "expected a 0x-prefixed 32-byte hash"));
+    }
+    H256::from_str(text).map_err(|e| WireError::new(field, format!("bad hash: {e}")))
+}
+
+/// Decode an even-length `0x`-hex string into bytes.
+pub fn parse_data(value: &JsonValue, field: &str) -> Result<Vec<u8>, WireError> {
+    let text = expect_string(value, field)?;
+    if !text.starts_with("0x") {
+        return Err(WireError::new(field, "data must start with 0x"));
+    }
+    hex::decode(text).map_err(|e| WireError::new(field, format!("bad hex data: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Block tags
+// ---------------------------------------------------------------------
+
+/// An `eth_*` block selector: `"latest"`, `"earliest"`, `"pending"` or a
+/// hex block number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockTag {
+    /// The snapshot tip.
+    Latest,
+    /// Block 0 (genesis).
+    Earliest,
+    /// Treated as the tip — the node has no speculative pending block.
+    Pending,
+    /// An explicit height.
+    Number(u64),
+}
+
+impl BlockTag {
+    /// Resolve against the snapshot tip.
+    pub fn resolve(self, tip: u64) -> u64 {
+        match self {
+            BlockTag::Latest | BlockTag::Pending => tip,
+            BlockTag::Earliest => 0,
+            BlockTag::Number(n) => n,
+        }
+    }
+}
+
+/// Parse a block tag (`"latest"`, `"earliest"`, `"pending"` or `0x`-hex).
+pub fn parse_block_tag(value: &JsonValue, field: &str) -> Result<BlockTag, WireError> {
+    let text = expect_string(value, field)?;
+    match text {
+        "latest" => Ok(BlockTag::Latest),
+        "earliest" => Ok(BlockTag::Earliest),
+        "pending" => Ok(BlockTag::Pending),
+        _ => Ok(BlockTag::Number(parse_quantity(value, field)?)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Object codecs
+// ---------------------------------------------------------------------
+
+/// Encode a transaction as an `eth_*` transaction object. `nonce` is
+/// `null` when not yet resolved; `to` is `null` for deployments.
+pub fn tx_to_json(tx: &Transaction) -> JsonValue {
+    JsonValue::object([
+        ("from", address_json(tx.from)),
+        ("to", tx.to.map_or(JsonValue::Null, address_json)),
+        ("value", quantity_u256(tx.value)),
+        ("data", data_json(&tx.data)),
+        ("gas", quantity(tx.gas)),
+        ("gasPrice", quantity_u256(tx.gas_price)),
+        ("nonce", tx.nonce.map_or(JsonValue::Null, quantity)),
+    ])
+}
+
+/// Decode an `eth_sendTransaction`-style object. `from` is required;
+/// `to`, `value`, `data` (or its alias `input`), `gas`, `gasPrice` and
+/// `nonce` are optional with the same defaults as [`Transaction::call`].
+pub fn tx_from_json(value: &JsonValue) -> Result<Transaction, WireError> {
+    let JsonValue::Object(_) = value else {
+        return Err(WireError::new("transaction", "expected an object"));
+    };
+    let from = parse_address(
+        value
+            .get("from")
+            .ok_or_else(|| WireError::new("transaction.from", "missing required field"))?,
+        "transaction.from",
+    )?;
+    let to = match value.get("to") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(parse_address(v, "transaction.to")?),
+    };
+    let data = match value.get("data").or_else(|| value.get("input")) {
+        None | Some(JsonValue::Null) => Vec::new(),
+        Some(v) => parse_data(v, "transaction.data")?,
+    };
+    let value_wei = match value.get("value") {
+        None | Some(JsonValue::Null) => U256::ZERO,
+        Some(v) => parse_quantity_u256(v, "transaction.value")?,
+    };
+    let gas = match value.get("gas") {
+        None | Some(JsonValue::Null) => {
+            if to.is_none() {
+                12_000_000
+            } else {
+                8_000_000
+            }
+        }
+        Some(v) => parse_quantity(v, "transaction.gas")?,
+    };
+    let gas_price = match value.get("gasPrice") {
+        None | Some(JsonValue::Null) => U256::from_u64(1_000_000_000),
+        Some(v) => parse_quantity_u256(v, "transaction.gasPrice")?,
+    };
+    let nonce = match value.get("nonce") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(parse_quantity(v, "transaction.nonce")?),
+    };
+    Ok(Transaction {
+        from,
+        to,
+        value: value_wei,
+        data,
+        gas,
+        gas_price,
+        nonce,
+    })
+}
+
+/// Encode a transaction as wallet-format raw bytes: `0x`-hex of the UTF-8
+/// deterministic JSON object (`eth_sendRawTransaction` payload).
+pub fn encode_raw_transaction(tx: &Transaction) -> String {
+    hex::encode_prefixed(tx_to_json(tx).to_json().as_bytes())
+}
+
+/// Decode a wallet-format raw transaction produced by
+/// [`encode_raw_transaction`].
+pub fn decode_raw_transaction(raw: &JsonValue) -> Result<Transaction, WireError> {
+    let bytes = parse_data(raw, "rawTransaction")?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| WireError::new("rawTransaction", "payload is not UTF-8 JSON"))?;
+    let value = json::parse(&text)
+        .map_err(|e| WireError::new("rawTransaction", format!("payload is not JSON: {e}")))?;
+    tx_from_json(&value)
+}
+
+/// Encode one log as an `eth_getLogs` entry. `log_index` is the position
+/// within the *filter result*, mirroring the flat per-block emission
+/// order the chain indexes.
+pub fn log_to_json(block_number: u64, log_index: u64, log: &Log) -> JsonValue {
+    JsonValue::object([
+        ("address", address_json(log.address)),
+        (
+            "topics",
+            JsonValue::Array(log.topics.iter().map(|t| h256_json(*t)).collect()),
+        ),
+        ("data", data_json(&log.data)),
+        ("blockNumber", quantity(block_number)),
+        ("logIndex", quantity(log_index)),
+        ("removed", JsonValue::Bool(false)),
+    ])
+}
+
+/// Encode a receipt as an `eth_getTransactionReceipt` object. The
+/// non-standard `output` field carries return/revert data (Ganache-style
+/// diagnostics; the dashboard uses it for revert reasons).
+pub fn receipt_to_json(receipt: &Receipt, block_hash: Option<H256>) -> JsonValue {
+    JsonValue::object([
+        ("transactionHash", h256_json(receipt.tx_hash)),
+        ("transactionIndex", quantity(receipt.tx_index as u64)),
+        ("blockNumber", quantity(receipt.block_number)),
+        ("blockHash", block_hash.map_or(JsonValue::Null, h256_json)),
+        ("status", quantity(receipt.status)),
+        ("gasUsed", quantity(receipt.gas_used)),
+        (
+            "contractAddress",
+            receipt
+                .contract_address
+                .map_or(JsonValue::Null, address_json),
+        ),
+        (
+            "logs",
+            JsonValue::Array(
+                receipt
+                    .logs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, log)| log_to_json(receipt.block_number, i as u64, log))
+                    .collect(),
+            ),
+        ),
+        ("output", data_json(&receipt.output)),
+    ])
+}
+
+/// Encode a block as an `eth_getBlockByNumber` object (transactions as
+/// hashes — the `fullTransactions` flag is not supported).
+pub fn block_to_json(block: &Block) -> JsonValue {
+    JsonValue::object([
+        ("number", quantity(block.number)),
+        ("hash", h256_json(block.hash)),
+        ("parentHash", h256_json(block.parent_hash)),
+        ("timestamp", quantity(block.timestamp)),
+        (
+            "transactions",
+            JsonValue::Array(block.tx_hashes.iter().map(|h| h256_json(*h)).collect()),
+        ),
+        ("gasUsed", quantity(block.gas_used)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Log filter
+// ---------------------------------------------------------------------
+
+/// Decode an `eth_getLogs` filter object: `fromBlock`/`toBlock` tags,
+/// `address` (single or array) and the positional `topics` array (each
+/// position `null` = wildcard, a hash, or an OR-array of hashes).
+pub fn filter_from_json(value: &JsonValue) -> Result<(BlockTag, BlockTag, LogFilter), WireError> {
+    let JsonValue::Object(_) = value else {
+        return Err(WireError::new("filter", "expected an object"));
+    };
+    let from_block = match value.get("fromBlock") {
+        None | Some(JsonValue::Null) => BlockTag::Earliest,
+        Some(v) => parse_block_tag(v, "filter.fromBlock")?,
+    };
+    let to_block = match value.get("toBlock") {
+        None | Some(JsonValue::Null) => BlockTag::Latest,
+        Some(v) => parse_block_tag(v, "filter.toBlock")?,
+    };
+    let addresses = match value.get("address") {
+        None | Some(JsonValue::Null) => Vec::new(),
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|v| parse_address(v, "filter.address"))
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(single) => vec![parse_address(single, "filter.address")?],
+    };
+    let topics = match value.get("topics") {
+        None | Some(JsonValue::Null) => Vec::new(),
+        Some(JsonValue::Array(positions)) => positions
+            .iter()
+            .map(|position| match position {
+                JsonValue::Null => Ok(Vec::new()),
+                JsonValue::Array(options) => options
+                    .iter()
+                    .map(|v| parse_h256(v, "filter.topics"))
+                    .collect(),
+                single => Ok(vec![parse_h256(single, "filter.topics")?]),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => {
+            return Err(WireError::new("filter.topics", "expected an array"));
+        }
+    };
+    Ok((from_block, to_block, LogFilter { addresses, topics }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantities_are_minimal_hex() {
+        assert_eq!(quantity(0).to_json(), "\"0x0\"");
+        assert_eq!(quantity(42).to_json(), "\"0x2a\"");
+        assert_eq!(quantity_u256(U256::ZERO).to_json(), "\"0x0\"");
+        assert_eq!(quantity_u256(U256::from_u64(255)).to_json(), "\"0xff\"");
+        assert_eq!(quantity_u256(U256::from_u64(4096)).to_json(), "\"0x1000\"");
+        let q = quantity_u256(U256::from_u64(42));
+        assert_eq!(parse_quantity_u256(&q, "q").unwrap(), U256::from_u64(42));
+    }
+
+    #[test]
+    fn quantity_roundtrip() {
+        for n in [0u64, 1, 15, 16, 255, 256, u64::MAX] {
+            let v = quantity(n);
+            assert_eq!(parse_quantity(&v, "n").unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_scalars() {
+        let bad = JsonValue::String("42".into());
+        assert!(parse_quantity(&bad, "n").is_err());
+        let bad = JsonValue::String("0x".into());
+        assert!(parse_quantity(&bad, "n").is_err());
+        let bad = JsonValue::String("0xzz".into());
+        assert!(parse_quantity(&bad, "n").is_err());
+        let short = JsonValue::String("0x1234".into());
+        assert!(parse_address(&short, "a").is_err());
+        assert!(parse_h256(&short, "h").is_err());
+        let odd = JsonValue::String("0xabc".into());
+        assert!(parse_data(&odd, "d").is_err());
+    }
+
+    #[test]
+    fn tx_roundtrip_via_raw_encoding() {
+        let tx = Transaction::call(
+            Address::from_label("alice"),
+            Address::from_label("bob"),
+            vec![1, 2, 3],
+        )
+        .with_value(U256::from_u64(7))
+        .with_nonce(3);
+        let raw = encode_raw_transaction(&tx);
+        let decoded = decode_raw_transaction(&JsonValue::String(raw)).unwrap();
+        assert_eq!(decoded, tx);
+    }
+
+    #[test]
+    fn deploy_tx_roundtrip_defaults() {
+        let tx = Transaction::deploy(Address::from_label("alice"), vec![0x60, 0x00]);
+        let decoded = tx_from_json(&tx_to_json(&tx)).unwrap();
+        assert_eq!(decoded, tx);
+        assert_eq!(decoded.gas, 12_000_000);
+    }
+
+    #[test]
+    fn filter_decodes_positional_topics() {
+        let t1 = H256::keccak(b"Transfer");
+        let t2 = H256::keccak(b"extra");
+        let raw = format!(
+            "{{\"fromBlock\":\"0x1\",\"toBlock\":\"latest\",\"address\":\"{}\",\"topics\":[\"{t1}\",null,[\"{t1}\",\"{t2}\"]]}}",
+            Address::from_label("c"),
+        );
+        let value = json::parse(&raw).unwrap();
+        let (from, to, filter) = filter_from_json(&value).unwrap();
+        assert_eq!(from, BlockTag::Number(1));
+        assert_eq!(to, BlockTag::Latest);
+        assert_eq!(filter.addresses, vec![Address::from_label("c")]);
+        assert_eq!(filter.topics.len(), 3);
+        assert_eq!(filter.topics[0], vec![t1]);
+        assert!(filter.topics[1].is_empty());
+        assert_eq!(filter.topics[2], vec![t1, t2]);
+    }
+
+    #[test]
+    fn filter_empty_object_is_wildcard() {
+        let value = json::parse("{}").unwrap();
+        let (from, to, filter) = filter_from_json(&value).unwrap();
+        assert_eq!(from, BlockTag::Earliest);
+        assert_eq!(to, BlockTag::Latest);
+        assert!(filter.addresses.is_empty());
+        assert!(filter.topics.is_empty());
+    }
+}
