@@ -445,6 +445,10 @@ fn render_vetting(vetting: &DeploymentVetting) -> String {
         )),
         _ => out.push_str("runtime: not recovered (no canonical deploy tail)\n"),
     }
+    match &vetting.superinstr {
+        Some(line) => out.push_str(&format!("{line}\n")),
+        None => out.push_str("superinstr: not compiled (plain interpreter path)\n"),
+    }
     let findings = vetting.findings();
     if findings.is_empty() {
         out.push_str("findings: none\n");

@@ -4,7 +4,10 @@
 //! submitted transaction) and ON ("after": cached analysis, frame-buffer
 //! pool, inline top-level frames, WAL group commit), then writes the
 //! series to `BENCH_exec.json` and prints the table EXPERIMENTS.md
-//! records.
+//! records. A second `superinstr_*` group re-times the interpreter-bound
+//! workloads with the fast path ON for both sides, isolating the
+//! superinstruction block loop (fused block gas + threaded dispatch)
+//! against the plain per-opcode interpreter.
 //!
 //! Run with: `cargo run --release -p lsc-bench --bin exec_report`
 //! (`--quick` shrinks the iteration counts for CI smoke runs).
@@ -16,7 +19,7 @@
 use lsc_bench::{loaded_rent_block, BenchWorld};
 use lsc_chain::wal::Faults;
 use lsc_chain::{ChainConfig, LocalNode, Transaction};
-use lsc_evm::fastpath;
+use lsc_evm::{fastpath, superinstr};
 use lsc_primitives::U256;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -42,16 +45,53 @@ fn measure<T, I>(runs: usize, mut setup: impl FnMut() -> I, mut work: impl FnMut
     samples[samples.len() / 2]
 }
 
-fn ab<T, I>(
+/// Interleaved A/B: alternate off/on samples pairwise so slow machine
+/// drift (thermal, scheduler) hits both sides equally instead of biasing
+/// whichever batch ran second. Returns (median off, median on).
+fn ab_with<T, I>(
     runs: usize,
-    setup: impl FnMut() -> I + Copy,
-    work: impl FnMut(I) -> T + Copy,
+    toggle: impl Fn(bool),
+    mut setup: impl FnMut() -> I,
+    mut work: impl FnMut(I) -> T,
 ) -> (u128, u128) {
-    fastpath::set_enabled(false);
-    let before = measure(runs, setup, work);
+    let mut before = Vec::with_capacity(runs);
+    let mut after = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        toggle(false);
+        let input = setup();
+        let start = Instant::now();
+        black_box(work(input));
+        before.push(start.elapsed().as_nanos());
+
+        toggle(true);
+        let input = setup();
+        let start = Instant::now();
+        black_box(work(input));
+        after.push(start.elapsed().as_nanos());
+    }
+    before.sort_unstable();
+    after.sort_unstable();
+    (before[runs / 2], after[runs / 2])
+}
+
+fn ab<T, I>(runs: usize, setup: impl FnMut() -> I, work: impl FnMut(I) -> T) -> (u128, u128) {
+    let result = ab_with(runs, fastpath::set_enabled, setup, work);
     fastpath::set_enabled(true);
-    let after = measure(runs, setup, work);
-    (before, after)
+    result
+}
+
+/// A/B over the superinstruction block loop alone: the fast path (cached
+/// analysis, buffer pool) stays ON for both sides, so the delta isolates
+/// fused-gas threaded dispatch vs the plain per-opcode interpreter.
+fn ab_superinstr<T, I>(
+    runs: usize,
+    setup: impl FnMut() -> I,
+    work: impl FnMut(I) -> T,
+) -> (u128, u128) {
+    fastpath::set_enabled(true);
+    let result = ab_with(runs, superinstr::set_enabled, setup, work);
+    superinstr::set_enabled(true);
+    result
 }
 
 fn ms(ns: u128) -> f64 {
@@ -93,7 +133,87 @@ fn main() {
         after_ns: after,
     });
 
-    // 4. Durable submission of 64 transactions: one fsync per tx vs one
+    // 4-6. Same interpreter-bound workloads, isolating the
+    // superinstruction block loop (fast path ON both sides): one fused
+    // static-gas charge + one stack check per basic block, threaded
+    // block dispatch, constant-folded PUSH chains.
+    let (before, after) = ab_superinstr(runs, BenchWorld::new, |world| world.run_lifecycle(12));
+    series.push(Series {
+        name: "superinstr_lifecycle_12_months",
+        detail: "lifecycle_12_months, plain loop vs compiled blocks",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    let (before, after) = ab_superinstr(runs, BenchWorld::new, |world| world.deploy_chain(8));
+    series.push(Series {
+        name: "superinstr_version_chain_8",
+        detail: "version_chain_8, plain loop vs compiled blocks",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    let (before, after) = ab_superinstr(runs, loaded_rent_block, |web3| web3.mine_block());
+    series.push(Series {
+        name: "superinstr_mined_block_64_tx",
+        detail: "mined_block_64_tx, plain loop vs compiled blocks",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 7. Interpreter-bound hot calls: a pure counting loop (~580k gas
+    // per call) over the read-only node call path. Rental transactions
+    // are short and state-dominated, which caps what any interpreter
+    // change can show there; this series is the workload the block
+    // compiler actually targets (airdrop-, hashing-, proof-verification-
+    // style compute) with everything else held constant.
+    let hot_setup = || -> (LocalNode, lsc_primitives::Address, lsc_primitives::Address) {
+        // PUSH1 0; JUMPDEST; PUSH1 1; ADD; DUP1; PUSH3 20_000; GT;
+        // PUSH1 2; JUMPI; STOP — counts to 20k, ~9 ops per iteration.
+        let runtime: Vec<u8> = vec![
+            0x60, 0x00, 0x5b, 0x60, 0x01, 0x01, 0x80, 0x62, 0x00, 0x4e, 0x20, 0x11, 0x60, 0x02,
+            0x57, 0x00,
+        ];
+        let mut init = vec![
+            0x61,
+            (runtime.len() >> 8) as u8,
+            runtime.len() as u8, // PUSH2 len
+            0x80,                // DUP1
+            0x60,
+            0x0c, // PUSH1 12 (runtime offset)
+            0x60,
+            0x00, // PUSH1 0
+            0x39, // CODECOPY
+            0x60,
+            0x00, // PUSH1 0
+            0xf3, // RETURN
+        ];
+        init.extend_from_slice(&runtime);
+        let mut node = LocalNode::new(2);
+        let from = node.accounts()[0];
+        let contract = node
+            .send_transaction(Transaction::deploy(from, init))
+            .expect("hot deploy")
+            .contract_address
+            .expect("hot address");
+        // Warm the per-account analysis (and, when enabled, the
+        // compiled artifact) outside the timed region.
+        assert!(node.call(from, contract, vec![]).success);
+        (node, from, contract)
+    };
+    let (before, after) = ab_superinstr(runs, hot_setup, |(mut node, from, contract)| {
+        for _ in 0..4 {
+            assert!(node.call(from, contract, vec![]).success);
+        }
+    });
+    series.push(Series {
+        name: "superinstr_hot_calls_4",
+        detail: "4 calls of a 20k-iteration loop, plain vs compiled",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 8. Durable submission of 64 transactions: one fsync per tx vs one
     // group-committed batch. (Independent of the interpreter toggle.)
     let dir: PathBuf = std::env::temp_dir().join(format!("lsc-exec-report-{}", std::process::id()));
     let fresh = || -> (LocalNode, Vec<Transaction>) {

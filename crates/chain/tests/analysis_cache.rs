@@ -5,10 +5,14 @@
 //! run at most once per distinct code blob (the cached `AnalyzedCode` is
 //! shared by pointer, so its memoized hash is computed a single time).
 
-use lsc_chain::WorldState;
+use lsc_chain::{LocalNode, Transaction, WorldState};
 use lsc_evm::AnalyzedCode;
 use lsc_primitives::{Address, H256};
 use std::sync::Arc;
+
+mod common;
+use common::child_runtime;
+use common::{deploy_child, destroy_child, factory_runtime, init_for, read_constant, set_template};
 
 fn addr(label: &str) -> Address {
     Address::from_label(label)
@@ -138,4 +142,118 @@ fn keccak_runs_at_most_once_per_distinct_code_blob() {
         &AnalyzedCode::empty()
     ));
     assert_eq!(state.code_hash(eoa), H256::ZERO);
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction artifact: the compiled blocks live INSIDE AnalyzedCode,
+// so the per-account cache slot, install_code invalidation and journal
+// rollback cover the jumpdest bitmap, the memoized keccak and the compiled
+// artifact as ONE entry. These tests pin that down by pointer identity.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn compiled_artifact_shares_the_analysis_cache_entry() {
+    let contract = addr("compiled-cache");
+    let mut state = WorldState::new();
+    state.set_code(contract, code_v1());
+    state.commit();
+
+    let analysis = state.code_analysis(contract);
+    assert!(
+        analysis.compiled_if_cached().is_none(),
+        "artifact must be lazy — nothing compiled before first use"
+    );
+    let artifact = analysis.compiled().expect("v1 compiles");
+    // Every later lookup sees the same analysis AND the same artifact.
+    let again = state.code_analysis(contract);
+    assert!(Arc::ptr_eq(&analysis, &again));
+    assert!(Arc::ptr_eq(&artifact, &again.compiled().unwrap()));
+
+    // install_code invalidation drops both together — no split-brain
+    // where a fresh jumpdest bitmap pairs with stale compiled blocks.
+    state.set_code(contract, code_v2());
+    let v2 = state.code_analysis(contract);
+    assert!(!Arc::ptr_eq(&analysis, &v2), "stale analysis after upgrade");
+    let v2_artifact = v2.compiled().expect("v2 compiles");
+    assert!(
+        !Arc::ptr_eq(&artifact, &v2_artifact),
+        "stale compiled artifact after upgrade"
+    );
+    // The artifacts really describe their own code: pc 0 is a JUMPDEST
+    // block start in v1 but a PUSH immediate prefix in v2.
+    assert!(artifact.jump_target(0).is_some());
+    assert!(v2_artifact.jump_target(0).is_none());
+}
+
+#[test]
+fn rollback_reinstates_the_exact_compiled_artifact() {
+    let contract = addr("compiled-rollback");
+    let mut state = WorldState::new();
+    state.set_code(contract, code_v1());
+    state.commit();
+    let analysis = state.code_analysis(contract);
+    let artifact = analysis.compiled().expect("v1 compiles");
+
+    let cp = state.checkpoint();
+    state.set_code(contract, code_v2());
+    let _ = state.code_analysis(contract).compiled();
+    state.revert_to(cp);
+
+    // Rollback reinstates the exact prior cache entry: same analysis Arc,
+    // and its compiled slot is still populated with the same artifact —
+    // no recompilation, no stale v2 blocks.
+    let restored = state.code_analysis(contract);
+    assert!(
+        Arc::ptr_eq(&analysis, &restored),
+        "cache lost across revert"
+    );
+    let cached = restored
+        .compiled_if_cached()
+        .expect("compiled slot must ride the rollback")
+        .expect("v1 compiles");
+    assert!(
+        Arc::ptr_eq(&artifact, &cached),
+        "rollback must reinstate the exact prior compiled artifact"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic CREATE2 redeploy: the one production shape where an address
+// gets NEW code (SELFDESTRUCT, then CREATE2 with identical init code that
+// fetches its runtime from the factory). Under `superinstr` the second
+// incarnation must never execute the first incarnation's compiled blocks.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn create2_redeploy_under_superinstr_never_executes_old_blocks() {
+    let mut node = LocalNode::new(3);
+    let from = node.accounts()[0];
+    let factory = node
+        .send_transaction(Transaction::deploy(from, init_for(&factory_runtime())))
+        .unwrap()
+        .contract_address
+        .unwrap();
+
+    // First incarnation: returns 0x11; calling it warms the compiled
+    // blocks in the per-account analysis cache.
+    set_template(&mut node, from, factory, 0x11);
+    let child = deploy_child(&mut node, from, factory);
+    assert_eq!(node.code(child).as_slice(), &child_runtime(0x11));
+    assert_eq!(read_constant(&mut node, from, child), 0x11);
+    assert_eq!(read_constant(&mut node, from, child), 0x11);
+
+    // Upgrade: SELFDESTRUCT, retarget the factory, CREATE2 again — the
+    // identical init code lands the NEW runtime at the SAME address.
+    destroy_child(&mut node, from, child);
+    set_template(&mut node, from, factory, 0x22);
+    let reborn = deploy_child(&mut node, from, factory);
+    assert_eq!(child, reborn, "CREATE2 redeploy must reuse the address");
+
+    // The regression: a stale compiled artifact would return 0x11 here.
+    assert_eq!(node.code(child).as_slice(), &child_runtime(0x22));
+    assert_eq!(
+        read_constant(&mut node, from, child),
+        0x22,
+        "stale compiled superinstruction blocks executed after redeploy"
+    );
 }

@@ -8,6 +8,12 @@ use lsc_chain::{fault_injection_enabled, ChainConfig, LocalNode, Transaction, Tx
 use lsc_primitives::U256;
 use std::path::PathBuf;
 
+mod common;
+use common::{
+    child_runtime, deploy_child, destroy_child, factory_runtime, init_for, read_constant,
+    set_template,
+};
+
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("lsc-recovery-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -300,5 +306,51 @@ fn segment_rotation_under_real_workload() {
     // identical block-for-block.
     let again = LocalNode::recover(&dir, Faults::none()).unwrap();
     assert_identical(&recovered, &again);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Superinstruction satellite: WAL recovery rebuilds the per-account
+/// compiled artifacts from the recovered code, never resurrecting a stale
+/// one. The metamorphic CREATE2 harness changes the code at a fixed
+/// address mid-history; after each crash/recover the compiled path must
+/// execute the FINAL incarnation's blocks.
+#[test]
+fn recovery_rebuilds_compiled_artifacts_for_final_code() {
+    let dir = temp_dir("superinstr");
+    let mut node = LocalNode::open(&dir, ChainConfig::default(), 3, Faults::none()).unwrap();
+    let from = node.accounts()[0];
+    let factory = node
+        .send_transaction(Transaction::deploy(from, init_for(&factory_runtime())))
+        .unwrap()
+        .contract_address
+        .unwrap();
+    set_template(&mut node, from, factory, 0x11);
+    let child = deploy_child(&mut node, from, factory);
+    assert_eq!(read_constant(&mut node, from, child), 0x11);
+    drop(node); // crash 1: v1 live, its compiled blocks warm
+
+    let mut node = LocalNode::recover(&dir, Faults::none()).unwrap();
+    assert_eq!(
+        read_constant(&mut node, from, child),
+        0x11,
+        "recovered node must compile the recovered code"
+    );
+
+    // Upgrade on the recovered node: destroy, retarget, CREATE2 again —
+    // same address, new runtime.
+    destroy_child(&mut node, from, child);
+    set_template(&mut node, from, factory, 0x22);
+    let reborn = deploy_child(&mut node, from, factory);
+    assert_eq!(child, reborn, "CREATE2 redeploy must reuse the address");
+    assert_eq!(read_constant(&mut node, from, child), 0x22);
+    drop(node); // crash 2: after the upgrade
+
+    let mut node = LocalNode::recover(&dir, Faults::none()).unwrap();
+    assert_eq!(node.code(child).as_slice(), &child_runtime(0x22));
+    assert_eq!(
+        read_constant(&mut node, from, child),
+        0x22,
+        "recovery resurrected a stale compiled artifact"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

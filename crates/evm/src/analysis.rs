@@ -15,10 +15,36 @@
 //! `OnceLock` in `lsc-chain`) must be cleared whenever the code they sit
 //! next to changes — `set_code`, `destroy_account`, journal rollback.
 
-use lsc_primitives::H256;
-use std::sync::{Arc, OnceLock};
+use lsc_primitives::{FxHashMap, H256};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::compile::{self, CompiledCode};
 use crate::opcode;
+
+/// Bound on the process-wide content-addressed compile memo. Entries are
+/// immutable and keyed by code keccak, so eviction is purely a memory
+/// cap, never a correctness concern.
+const COMPILED_MEMO_CAP: usize = 4096;
+
+/// fx(code) → (code, compiled artifact or memoized bail) chains, shared
+/// across every account that carries the same bytecode. The key is a
+/// cheap non-cryptographic hash, so hits verify the stored code is
+/// byte-identical before serving — a collision costs one memcmp, never
+/// a wrong artifact. (keccak would make the key collision-free but costs
+/// more than the compile amortization saves on multi-KB blobs.)
+type MemoChain = Vec<(Arc<Vec<u8>>, Option<Arc<CompiledCode>>)>;
+
+fn compiled_memo() -> &'static Mutex<FxHashMap<u64, MemoChain>> {
+    static MEMO: OnceLock<Mutex<FxHashMap<u64, MemoChain>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+fn fx_bytes(bytes: &[u8]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = lsc_primitives::FxHasher::default();
+    bytes.hash(&mut hasher);
+    hasher.finish()
+}
 
 /// Immutable analysis of one bytecode blob.
 #[derive(Debug, Default)]
@@ -30,6 +56,13 @@ pub struct AnalyzedCode {
     /// keccak256 of the code, memoized on first use. Empty code hashes
     /// to `H256::ZERO` to match `WorldState::code_hash` semantics.
     hash: OnceLock<H256>,
+    /// Superinstruction artifact, compiled lazily on first use. `None`
+    /// inside means compilation bailed: this blob permanently takes the
+    /// plain path. Living *inside* the analysis means the per-account
+    /// cache slot, `install_code` invalidation and journal rollback
+    /// cover the jumpdest bitmap, the memoized keccak AND the compiled
+    /// artifact as one entry — they cannot split-brain.
+    compiled: OnceLock<Option<Arc<CompiledCode>>>,
 }
 
 impl AnalyzedCode {
@@ -47,6 +80,7 @@ impl AnalyzedCode {
             code,
             jumpdests,
             hash: OnceLock::new(),
+            compiled: OnceLock::new(),
         })
     }
 
@@ -98,6 +132,55 @@ impl AnalyzedCode {
             }
         })
     }
+
+    /// The superinstruction artifact for this blob, compiling on first
+    /// use and memoizing the result (including a bail, which pins the
+    /// blob to the plain path).
+    ///
+    /// Artifacts are additionally shared process-wide through a
+    /// content-addressed memo: the per-account analysis cache holds one
+    /// `AnalyzedCode` per *account*, so without the memo every redeploy
+    /// of identical bytecode — factories stamping out template
+    /// contracts, or a bench world rebuilt per iteration — would pay
+    /// the block compiler again. Hits are verified byte-for-byte
+    /// against the stored blob, so staleness is impossible: different
+    /// code can never alias an entry.
+    pub fn compiled(&self) -> Option<Arc<CompiledCode>> {
+        self.compiled
+            .get_or_init(|| {
+                if self.code.is_empty() {
+                    return None;
+                }
+                let key = fx_bytes(&self.code);
+                let memo = compiled_memo();
+                if let Some(chain) = memo.lock().expect("compile memo poisoned").get(&key) {
+                    for (blob, artifact) in chain {
+                        if Arc::ptr_eq(blob, &self.code) || **blob == *self.code {
+                            return artifact.clone();
+                        }
+                    }
+                }
+                let artifact = compile::try_compile(self).map(Arc::new);
+                let mut memo = memo.lock().expect("compile memo poisoned");
+                // Content-addressed entries never go stale, so when the
+                // memo fills up, dropping it wholesale is safe — worst
+                // case the next user of each blob recompiles once.
+                if memo.len() >= COMPILED_MEMO_CAP {
+                    memo.clear();
+                }
+                memo.entry(key)
+                    .or_default()
+                    .push((Arc::clone(&self.code), artifact.clone()));
+                artifact
+            })
+            .clone()
+    }
+
+    /// Peek at the compiled slot without triggering compilation
+    /// (cache-identity tests).
+    pub fn compiled_if_cached(&self) -> Option<Option<Arc<CompiledCode>>> {
+        self.compiled.get().cloned()
+    }
 }
 
 /// Process-wide toggle for the execution fast path (analysis cache,
@@ -117,6 +200,28 @@ pub mod fastpath {
     }
 
     /// Turn the fast path on or off (benchmarks/tests only).
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide A/B toggle for the basic-block superinstruction path.
+/// Defaults to **on**; the plain interpreter remains the executable
+/// oracle and can be restored at runtime by flipping this off. Semantics
+/// are bit-identical either way — the differential suite in
+/// `tests/superinstr_equivalence.rs` enforces it.
+pub mod superinstr {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Is the superinstruction path on?
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Turn the superinstruction path on or off (A/B benches and tests).
     pub fn set_enabled(on: bool) {
         ENABLED.store(on, Ordering::Relaxed);
     }

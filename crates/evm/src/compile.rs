@@ -1,0 +1,463 @@
+//! Basic-block superinstruction compilation of vetted bytecode.
+//!
+//! The plain interpreter pays a gas check, a stack check and a dispatch
+//! per opcode. The CFG (`cfg.rs`) already knows the straight-line blocks,
+//! so at analysis time we lower each block into a *superinstruction*:
+//! ONE fused upfront charge for the block's static gas, ONE stack-depth
+//! range check, pre-decoded PUSH immediates, a pc→block jump table for
+//! threaded dispatch, and constant-folded PUSH chains feeding
+//! `JUMP`/`JUMPI`/`MSTORE`/`MLOAD`/`RETURN`/`REVERT`.
+//!
+//! # Exactness scheme
+//!
+//! The compiled path must be bit-identical to the plain interpreter (the
+//! executable oracle) on results, gas, logs, storage and halt reason.
+//! The block's static gas is charged up front, so mid-block the fused
+//! counter runs *ahead* of the plain interpreter's. We keep the fused
+//! remaining gas as an `i64` and store, per instruction, `corr_post` =
+//! the static gas of all *later* instructions in the block (pre-charged
+//! but not yet "earned"). The invariant is
+//!
+//! ```text
+//! plain_remaining(after instr i's static charge) = fused + corr_post(i)
+//! ```
+//!
+//! Pure opcodes (arithmetic, PUSH/DUP/SWAP, context reads, SLOAD …) need
+//! no gas code at all. Every opcode that observes gas, charges a dynamic
+//! amount, touches host state or terminates is a *checkpoint*: it first
+//! materializes a pending out-of-gas (`fused + corr < 0` means the plain
+//! interpreter already died earlier in the block), then charges its
+//! dynamic extras against `fused + corr_post`. Because any exceptional
+//! halt reverts the whole frame snapshot and consumes all gas, running a
+//! few extra *pure* ops past the plain interpreter's death point is
+//! unobservable — only the `Halt` variant must match, and it does.
+//!
+//! When a block-entry check fails (insufficient static gas or stack range
+//! out of bounds), the plain interpreter is *guaranteed* to halt inside
+//! the block; rather than approximating which violation it hits first,
+//! the runtime deopts: it hands the current machine state to the plain
+//! loop at the block's start pc, making the failure path exact by
+//! construction. A handful of rare opcodes (`CREATE`, `CREATE2`,
+//! `SELFDESTRUCT`, `EXTCODECOPY`) deopt the same way instead of carrying
+//! a second copy of their delicate semantics — see [`classify`].
+
+use crate::analysis::AnalyzedCode;
+use crate::cfg::Cfg;
+use crate::opcode::{self, op};
+use lsc_primitives::U256;
+
+/// Code blobs larger than this are not compiled (init code can exceed the
+/// EIP-170 runtime cap; beyond this bound the decode/lowering cost is not
+/// worth paying for a one-shot frame).
+pub const MAX_COMPILED_CODE: usize = 256 * 1024;
+
+/// Sentinel for "no jump target" entries in the pc→block table.
+pub const NO_TARGET: u32 = u32::MAX;
+
+/// How the compiled path treats an opcode byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathClass {
+    /// Executed natively by the compiled block loop.
+    Native,
+    /// Provably falls back: the compiled loop deopts to the plain
+    /// interpreter at this instruction with the exact machine state.
+    Fallback,
+    /// Undefined/INVALID byte: halts the frame identically on both paths
+    /// (the CFG makes it a block terminator).
+    Halts,
+}
+
+/// Total classification of every opcode byte for the compiled path.
+/// There is no fourth state: the `opcode_coverage` sweep asserts each
+/// tracked opcode behaves per its class under the `superinstr` toggle.
+pub fn classify(byte: u8) -> PathClass {
+    match byte {
+        op::CREATE | op::CREATE2 | op::SELFDESTRUCT | op::EXTCODECOPY => PathClass::Fallback,
+        _ if opcode::stack_io(byte).is_none() => PathClass::Halts,
+        _ => PathClass::Native,
+    }
+}
+
+/// One lowered instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum COp {
+    /// Natively handled opcode, generic path (the byte is from the
+    /// original code; PUSHes never appear here).
+    Plain(u8),
+    /// `PUSH0..PUSH32` with the immediate pre-decoded (truncated pushes
+    /// already zero-padded, exactly like the interpreter's fetch).
+    Push(U256),
+    /// A PUSH consumed by fusion; executes nothing. Its static gas and
+    /// stack effect remain in the block metadata (computed from the
+    /// original sequence), so gas and stack checks stay exact.
+    Nop,
+    /// Fused `PUSH target; JUMP` with the target resolved at compile time
+    /// to a block index.
+    JumpStatic(u32),
+    /// Fused `PUSH target; JUMPI` (pops only the condition).
+    JumpIStatic(u32),
+    /// Fused `PUSH offset; MSTORE` (pops only the value).
+    MStoreK(u32),
+    /// Fused `PUSH offset; MLOAD`.
+    MLoadK(u32),
+    /// Fused `PUSH len; PUSH offset; RETURN/REVERT`.
+    ReturnK {
+        /// Memory offset of the output.
+        offset: u32,
+        /// Output length.
+        len: u32,
+        /// True for REVERT, false for RETURN.
+        revert: bool,
+    },
+    /// Opcode the compiled loop does not carry semantics for: deopt to
+    /// the plain interpreter at this pc (see [`classify`]).
+    Deopt(u8),
+}
+
+/// One instruction in the compiled stream.
+#[derive(Debug, Clone)]
+pub struct CInstr {
+    /// Lowered operation.
+    pub op: COp,
+    /// Original pc of the opcode byte (for `PC`, deopt re-entry, and
+    /// divergence diagnostics).
+    pub pc: u32,
+    /// Static gas of all *later* instructions in this block (the fused
+    /// charge not yet earned once this instruction's own static portion
+    /// is accounted). `corr_pre = corr_post + base_gas(opcode)`.
+    pub corr_post: u32,
+}
+
+/// One basic block lowered to a superinstruction.
+#[derive(Debug, Clone)]
+pub struct CBlock {
+    /// Index of the first instruction in [`CompiledCode::instrs`].
+    pub first: u32,
+    /// Number of instructions.
+    pub len: u32,
+    /// Sum of `opcode::base_gas` over the block — the single fused
+    /// upfront charge.
+    pub static_gas: u64,
+    /// Minimum stack depth required at entry so no instruction in the
+    /// block underflows (from the ORIGINAL pre-fusion sequence).
+    pub needed: u32,
+    /// Maximum net stack growth over any prefix of the block; entry
+    /// depth + this must stay within the 1024 limit.
+    pub max_growth: i64,
+    /// Control continues into block `id + 1` after the last instruction.
+    pub falls_through: bool,
+    /// pc of the first instruction (deopt re-entry point).
+    pub start_pc: u32,
+}
+
+/// A contract compiled to superinstruction form. Lives inside
+/// [`AnalyzedCode`] so the per-account analysis cache, `install_code`
+/// invalidation and journal rollback cover exactly one artifact.
+#[derive(Debug)]
+pub struct CompiledCode {
+    /// Lowered blocks, in code order.
+    pub blocks: Vec<CBlock>,
+    /// Lowered instructions, in code order.
+    pub instrs: Vec<CInstr>,
+    /// `jump_table[pc]` = block id iff `pc` starts a block whose first
+    /// instruction is a `JUMPDEST` (the exact `is_jumpdest` universe);
+    /// [`NO_TARGET`] elsewhere. Dynamic JUMP/JUMPI dispatch is one load.
+    pub jump_table: Vec<u32>,
+    /// Number of `PUSH+JUMP(I)` pairs fused to static targets.
+    pub fused_jumps: usize,
+    /// Number of constant-folded PUSH chains (MSTORE/MLOAD/RETURN/REVERT).
+    pub folded: usize,
+}
+
+impl CompiledCode {
+    /// Resolve a dynamic jump destination to a block id, mirroring
+    /// `AnalyzedCode::is_jumpdest` semantics exactly.
+    #[inline]
+    pub fn jump_target(&self, dest: usize) -> Option<u32> {
+        match self.jump_table.get(dest) {
+            Some(&id) if id != NO_TARGET => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// Lower `analysis` into superinstruction form, or `None` when
+/// compilation bails (empty or oversized code). A `None` is cached by
+/// the caller and means this blob permanently uses the plain path.
+pub fn try_compile(analysis: &AnalyzedCode) -> Option<CompiledCode> {
+    let code = analysis.code();
+    if code.is_empty() || code.len() > MAX_COMPILED_CODE {
+        return None;
+    }
+    let cfg = Cfg::from_analysis(analysis);
+    if cfg.blocks.is_empty() {
+        return None;
+    }
+
+    // pc → block table over the is_jumpdest universe: every JUMPDEST
+    // instruction starts a block in the CFG, so "valid jump target" ≡
+    // "block start whose first instruction is JUMPDEST".
+    let mut jump_table = vec![NO_TARGET; code.len()];
+    for &id in &cfg.jumpdest_blocks {
+        jump_table[cfg.blocks[id].start_pc] = id as u32;
+    }
+
+    let mut instrs: Vec<CInstr> = Vec::with_capacity(cfg.instrs.len());
+    let mut blocks: Vec<CBlock> = Vec::with_capacity(cfg.blocks.len());
+    let mut fused_jumps = 0usize;
+    let mut folded = 0usize;
+
+    for blk in &cfg.blocks {
+        let range = blk.instr_range();
+        let src = &cfg.instrs[range.clone()];
+
+        // Block metadata from the ORIGINAL instruction sequence: the
+        // fused gas charge and stack range check must describe what the
+        // plain interpreter would do, not the post-fusion stream.
+        let mut static_gas = 0u64;
+        let mut net = 0i64;
+        let mut needed = 0i64;
+        let mut max_growth = 0i64;
+        for ins in src {
+            static_gas += opcode::base_gas(ins.opcode);
+            let (pops, pushes) = opcode::stack_io(ins.opcode).unwrap_or((0, 0));
+            needed = needed.max(pops as i64 - net);
+            net += pushes as i64 - pops as i64;
+            max_growth = max_growth.max(net);
+        }
+
+        // Lower each instruction.
+        let first = instrs.len() as u32;
+        for ins in src {
+            let cop = if opcode::is_push(ins.opcode) || ins.opcode == op::PUSH0 {
+                COp::Push(ins.push.unwrap_or(U256::ZERO))
+            } else {
+                match classify(ins.opcode) {
+                    PathClass::Fallback => COp::Deopt(ins.opcode),
+                    _ => COp::Plain(ins.opcode),
+                }
+            };
+            instrs.push(CInstr {
+                op: cop,
+                pc: ins.pc as u32,
+                corr_post: 0,
+            });
+        }
+
+        // corr_post: suffix sums of static gas, excluding each
+        // instruction's own portion.
+        let mut suffix = 0u64;
+        for (slot, ins) in instrs[first as usize..]
+            .iter_mut()
+            .rev()
+            .zip(src.iter().rev())
+        {
+            slot.corr_post = u32::try_from(suffix).ok()?;
+            suffix += opcode::base_gas(ins.opcode);
+        }
+
+        // Peephole fusion within the block (adjacent instructions are
+        // guaranteed same-block here). Skip slots already consumed.
+        let lowered = &mut instrs[first as usize..];
+        let n = lowered.len();
+        for i in 0..n {
+            let COp::Push(v) = lowered[i].op else {
+                continue;
+            };
+            let Some(k) = v.to_usize().filter(|&k| k <= u32::MAX as usize) else {
+                continue;
+            };
+            let k32 = k as u32;
+            // PUSH target; JUMP/JUMPI → threaded static jump, only when
+            // the target is a valid JUMPDEST block start (otherwise the
+            // runtime InvalidJump check must stay).
+            if i + 1 < n {
+                match lowered[i + 1].op {
+                    COp::Plain(op::JUMP) => {
+                        if let Some(&t) = jump_table.get(k).filter(|&&t| t != NO_TARGET) {
+                            lowered[i].op = COp::Nop;
+                            lowered[i + 1].op = COp::JumpStatic(t);
+                            fused_jumps += 1;
+                        }
+                        continue;
+                    }
+                    COp::Plain(op::JUMPI) => {
+                        if let Some(&t) = jump_table.get(k).filter(|&&t| t != NO_TARGET) {
+                            lowered[i].op = COp::Nop;
+                            lowered[i + 1].op = COp::JumpIStatic(t);
+                            fused_jumps += 1;
+                        }
+                        continue;
+                    }
+                    COp::Plain(op::MSTORE) => {
+                        lowered[i].op = COp::Nop;
+                        lowered[i + 1].op = COp::MStoreK(k32);
+                        folded += 1;
+                        continue;
+                    }
+                    COp::Plain(op::MLOAD) => {
+                        lowered[i].op = COp::Nop;
+                        lowered[i + 1].op = COp::MLoadK(k32);
+                        folded += 1;
+                        continue;
+                    }
+                    COp::Push(off) => {
+                        // PUSH len; PUSH offset; RETURN/REVERT.
+                        if i + 2 < n {
+                            if let COp::Plain(term @ (op::RETURN | op::REVERT)) = lowered[i + 2].op
+                            {
+                                if let Some(o) = off.to_usize().filter(|&o| o <= u32::MAX as usize)
+                                {
+                                    lowered[i].op = COp::Nop;
+                                    lowered[i + 1].op = COp::Nop;
+                                    lowered[i + 2].op = COp::ReturnK {
+                                        offset: o as u32,
+                                        len: k32,
+                                        revert: term == op::REVERT,
+                                    };
+                                    folded += 1;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        blocks.push(CBlock {
+            first,
+            len: src.len() as u32,
+            static_gas,
+            needed: u32::try_from(needed.max(0)).ok()?,
+            max_growth,
+            falls_through: blk.falls_through,
+            start_pc: blk.start_pc as u32,
+        });
+    }
+
+    Some(CompiledCode {
+        blocks,
+        instrs,
+        jump_table,
+        fused_jumps,
+        folded,
+    })
+}
+
+/// One-line human summary of a compiled artifact (vetting reports).
+pub fn summary(analysis: &AnalyzedCode) -> Option<String> {
+    analysis.compiled().map(|c| {
+        format!(
+            "superinstr: {} blocks, {} instrs, {} fused jumps, {} folded chains",
+            c.blocks.len(),
+            c.instrs.len(),
+            c.fused_jumps,
+            c.folded
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn compiled(code: &[u8]) -> CompiledCode {
+        try_compile(&AnalyzedCode::analyze(Arc::new(code.to_vec()))).expect("compiles")
+    }
+
+    #[test]
+    fn empty_and_oversized_bail() {
+        assert!(try_compile(&AnalyzedCode::empty()).is_none());
+        let big = vec![op::JUMPDEST; MAX_COMPILED_CODE + 1];
+        assert!(try_compile(&AnalyzedCode::analyze(Arc::new(big))).is_none());
+    }
+
+    #[test]
+    fn static_jump_is_fused() {
+        // PUSH1 4; JUMP; INVALID; JUMPDEST; STOP
+        let code = [op::PUSH1, 4, op::JUMP, op::INVALID, op::JUMPDEST, op::STOP];
+        let c = compiled(&code);
+        assert_eq!(c.fused_jumps, 1);
+        assert_eq!(c.instrs[0].op, COp::Nop);
+        let COp::JumpStatic(t) = c.instrs[1].op else {
+            panic!("not fused: {:?}", c.instrs[1].op);
+        };
+        assert_eq!(c.blocks[t as usize].start_pc, 4);
+        // Jump table mirrors is_jumpdest.
+        assert_eq!(c.jump_target(4), Some(t));
+        assert_eq!(c.jump_target(0), None);
+        assert_eq!(c.jump_target(999), None);
+    }
+
+    #[test]
+    fn invalid_static_target_stays_unfused() {
+        // PUSH1 3; JUMP; STOP — target 3 is STOP, not a JUMPDEST.
+        let code = [op::PUSH1, 3, op::JUMP, op::STOP];
+        let c = compiled(&code);
+        assert_eq!(c.fused_jumps, 0);
+        assert!(matches!(c.instrs[1].op, COp::Plain(op::JUMP)));
+    }
+
+    #[test]
+    fn push_chains_fold() {
+        // PUSH1 0x2a; PUSH1 0; MSTORE; PUSH1 32; PUSH1 0; RETURN
+        let code = [
+            op::PUSH1,
+            0x2a,
+            op::PUSH1,
+            0,
+            op::MSTORE,
+            op::PUSH1,
+            32,
+            op::PUSH1,
+            0,
+            op::RETURN,
+        ];
+        let c = compiled(&code);
+        assert_eq!(c.folded, 2);
+        assert!(matches!(c.instrs[2].op, COp::MStoreK(0)));
+        assert_eq!(
+            c.instrs[5].op,
+            COp::ReturnK {
+                offset: 0,
+                len: 32,
+                revert: false
+            }
+        );
+    }
+
+    #[test]
+    fn block_metadata_from_original_sequence() {
+        // One block: PUSH1 1; PUSH1 2; ADD; POP; STOP
+        let code = [op::PUSH1, 1, op::PUSH1, 2, op::ADD, op::POP, op::STOP];
+        let c = compiled(&code);
+        assert_eq!(c.blocks.len(), 1);
+        let b = &c.blocks[0];
+        assert_eq!(b.static_gas, 3 + 3 + 3 + 2); // two pushes, ADD, POP, STOP=0
+        assert_eq!(b.needed, 0);
+        assert_eq!(b.max_growth, 2);
+        // corr_post: suffix statics. instr 0 (PUSH): 3+3+2+0=8.
+        assert_eq!(c.instrs[0].corr_post, 8);
+        assert_eq!(c.instrs[4].corr_post, 0);
+    }
+
+    #[test]
+    fn classification_is_total() {
+        for byte in 0u8..=255 {
+            let class = classify(byte);
+            if matches!(
+                byte,
+                op::CREATE | op::CREATE2 | op::SELFDESTRUCT | op::EXTCODECOPY
+            ) {
+                assert_eq!(class, PathClass::Fallback);
+            } else if opcode::stack_io(byte).is_none() {
+                assert_eq!(class, PathClass::Halts);
+            } else {
+                assert_eq!(class, PathClass::Native);
+            }
+        }
+    }
+}

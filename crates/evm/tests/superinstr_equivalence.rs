@@ -1,0 +1,211 @@
+//! Interpreter-differential suite for the superinstruction path: random
+//! bytecode + random calldata + random gas limits executed with the
+//! compiled block loop ON must agree **bit-exactly** with the plain
+//! interpreter (the executable oracle, toggle OFF) on success/revert,
+//! halt reason, return data, gas left, gas refund, logs and final host
+//! state. Gas limits are swept down into the out-of-gas range on purpose:
+//! the fused upfront block charge, the correction table and the deopt
+//! re-entry path only differ from the oracle when gas runs out mid-block,
+//! so the cheap cases are the interesting ones.
+//!
+//! On divergence the failure message prints the compiled block containing
+//! the oracle's last executed pc — the superinstruction that disagreed.
+//!
+//! This file holds exactly one `#[test]` so flipping the process-global
+//! `superinstr` toggle cannot race another test thread in the binary.
+
+use lsc_evm::analysis::superinstr;
+use lsc_evm::compile;
+use lsc_evm::opcode::op;
+use lsc_evm::{AnalyzedCode, CallResult, Config, Evm, Host, MockHost};
+use lsc_primitives::{Address, H256, U256};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Restore the global toggle even if an assertion unwinds mid-test.
+struct SuperinstrGuard;
+impl Drop for SuperinstrGuard {
+    fn drop(&mut self) {
+        superinstr::set_enabled(true);
+    }
+}
+
+fn caller() -> Address {
+    Address::from_label("superinstr-caller")
+}
+
+fn contract() -> Address {
+    Address::from_label("superinstr-contract")
+}
+
+fn setup_host(code: &[u8]) -> MockHost {
+    let mut host = MockHost::new();
+    host.fund(caller(), U256::from_u64(1_000_000_000));
+    host.fund(contract(), U256::from_u64(500));
+    host.set_code(contract(), code.to_vec());
+    host
+}
+
+fn message(data: &[u8], gas: u64) -> lsc_evm::Message {
+    lsc_evm::Message::call(caller(), contract(), U256::from_u64(3), data.to_vec(), gas)
+}
+
+fn digest(result: &CallResult) -> (bool, bool, Option<lsc_evm::Halt>, Vec<u8>, u64, u64) {
+    (
+        result.success,
+        result.reverted,
+        result.halt,
+        result.output.clone(),
+        result.gas_left,
+        result.gas_refund,
+    )
+}
+
+fn host_digest(host: &MockHost) -> String {
+    let mut balances: Vec<_> = host
+        .balances
+        .iter()
+        .map(|(a, v)| format!("{a}={v:x}"))
+        .collect();
+    balances.sort();
+    let mut storage: Vec<_> = host
+        .storage
+        .iter()
+        .map(|((a, k), v)| format!("{a}/{k:x}={v:x}"))
+        .collect();
+    storage.sort();
+    let mut codes: Vec<_> = host
+        .codes
+        .iter()
+        .map(|(a, c)| format!("{a}:{}", H256::keccak(c)))
+        .collect();
+    codes.sort();
+    let mut logs: Vec<_> = host
+        .logs
+        .iter()
+        .map(|l| format!("{}@{:?}#{:02x?}", l.address, l.topics, l.data))
+        .collect();
+    logs.sort();
+    format!(
+        "b={balances:?} s={storage:?} c={codes:?} logs={logs:?} created={:?} destroyed={:?}",
+        host.created, host.destroyed
+    )
+}
+
+/// Mostly-decodable opcode soup, so execution regularly survives past the
+/// first few bytes and exercises jumps, memory, storage, logs and calls —
+/// raw uniform bytes die almost immediately on an undefined opcode.
+fn soup_byte() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        0x01u8..0x0c, // arithmetic
+        0x10u8..0x1e, // comparison / bitwise
+        0x30u8..0x49, // context reads & copies
+        0x50u8..0x5c, // mem/storage/JUMP/JUMPI/PC/MSIZE/GAS/JUMPDEST
+        Just(op::KECCAK256),
+        op::PUSH1..=op::PUSH1 + 3, // short pushes (immediates follow)
+        op::DUP1..=op::DUP16,
+        op::SWAP1..=op::SWAP16,
+        op::LOG0..=op::LOG4,
+        Just(op::CALL),
+        Just(op::DELEGATECALL),
+        Just(op::STATICCALL),
+        Just(op::CREATE),       // deopt class
+        Just(op::SELFDESTRUCT), // deopt class
+        Just(op::RETURN),
+        Just(op::REVERT),
+        Just(op::STOP),
+        any::<u8>(),
+    ]
+}
+
+fn code_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..192),
+        proptest::collection::vec(soup_byte(), 0..256),
+    ]
+}
+
+/// Gas sweep: deep OOG, borderline, and comfortable.
+fn gas_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..300, 300u64..5_000, 5_000u64..60_000, Just(200_000u64)]
+}
+
+/// Locate (and render) the compiled block containing the oracle's last
+/// executed pc — the superinstruction where the paths parted ways.
+fn diverging_block(code: &[u8], data: &[u8], gas: u64) -> String {
+    superinstr::set_enabled(false);
+    let mut host = setup_host(code);
+    let mut evm = Evm::with_config(
+        &mut host,
+        Config {
+            trace: true,
+            ..Config::default()
+        },
+    );
+    let _ = evm.execute(message(data, gas));
+    let last_pc = evm.trace.last().map(|s| s.pc);
+    superinstr::set_enabled(true);
+
+    let analysis = AnalyzedCode::analyze(Arc::new(code.to_vec()));
+    let Some(compiled) = compile::try_compile(&analysis) else {
+        return "code does not compile (permanent plain fallback)".into();
+    };
+    let Some(pc) = last_pc else {
+        return "oracle executed no instructions".into();
+    };
+    for (id, b) in compiled.blocks.iter().enumerate() {
+        let range = b.first as usize..(b.first + b.len) as usize;
+        let instrs = &compiled.instrs[range.clone()];
+        if instrs.iter().any(|i| i.pc as usize == pc) {
+            let ops: Vec<_> = instrs.iter().map(|i| (i.pc, i.op)).collect();
+            return format!(
+                "oracle last pc {pc} in block {id} (start_pc {}, static_gas {}, needed {}, \
+                 max_growth {}, falls_through {}): {ops:?}",
+                b.start_pc, b.static_gas, b.needed, b.max_growth, b.falls_through
+            );
+        }
+    }
+    format!("oracle last pc {pc} not in any compiled block")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_and_plain_interpreters_are_bit_identical(
+        code in code_strategy(),
+        data in proptest::collection::vec(any::<u8>(), 0..32),
+        gas in gas_strategy(),
+    ) {
+        let _guard = SuperinstrGuard;
+
+        // Oracle: plain interpreter, superinstructions off.
+        superinstr::set_enabled(false);
+        let mut plain = setup_host(&code);
+        let plain_result = Evm::new(&mut plain).execute(message(&data, gas));
+
+        // Compiled block loop on (per-contract fallback still applies
+        // when compilation bails — that path must be identical too).
+        superinstr::set_enabled(true);
+        let mut fast = setup_host(&code);
+        let fast_result = Evm::new(&mut fast).execute(message(&data, gas));
+
+        if digest(&plain_result) != digest(&fast_result)
+            || host_digest(&plain) != host_digest(&fast)
+        {
+            let block = diverging_block(&code, &data, gas);
+            prop_assert_eq!(
+                digest(&plain_result),
+                digest(&fast_result),
+                "result diverged for code {:02x?} data {:02x?} gas {} — {}",
+                code, data, gas, block
+            );
+            prop_assert_eq!(
+                host_digest(&plain),
+                host_digest(&fast),
+                "state diverged for code {:02x?} data {:02x?} gas {} — {}",
+                code, data, gas, block
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Full-table A/B sweep: every opcode the interpreter implements runs its
+//! smoke program on BOTH the plain interpreter (superinstructions off)
+//! and the compiled block loop (on), and the two executions must agree
+//! bit-exactly on result, output, gas, refund and final host state. This
+//! covers natively-compiled opcodes, the provable-deopt class (CREATE,
+//! CREATE2, SELFDESTRUCT, EXTCODECOPY) and the halting class alike — the
+//! classification tripartition itself is guarded in `opcode_coverage.rs`.
+//!
+//! This file holds exactly one `#[test]` so flipping the process-global
+//! `superinstr` toggle cannot race another test thread in the binary.
+
+use lsc_evm::analysis::superinstr;
+use lsc_evm::opcode::{self, op};
+use lsc_evm::{CallResult, Evm, Host, Message, MockHost};
+use lsc_primitives::{Address, H256, U256};
+
+const GAS: u64 = 2_000_000;
+
+struct SuperinstrGuard;
+impl Drop for SuperinstrGuard {
+    fn drop(&mut self) {
+        superinstr::set_enabled(true);
+    }
+}
+
+fn run(host: &mut MockHost, code: Vec<u8>) -> CallResult {
+    let contract = Address::from_label("contract");
+    let caller = Address::from_label("caller");
+    host.fund(caller, lsc_primitives::ether(10));
+    host.set_code(contract, code);
+    Evm::new(host).execute(Message::call(caller, contract, U256::ZERO, vec![], GAS))
+}
+
+fn digest(r: &CallResult) -> (bool, bool, Option<lsc_evm::Halt>, Vec<u8>, u64, u64) {
+    (
+        r.success,
+        r.reverted,
+        r.halt,
+        r.output.clone(),
+        r.gas_left,
+        r.gas_refund,
+    )
+}
+
+fn host_digest(host: &MockHost) -> String {
+    let mut balances: Vec<_> = host
+        .balances
+        .iter()
+        .map(|(a, v)| format!("{a}={v:x}"))
+        .collect();
+    balances.sort();
+    let mut storage: Vec<_> = host
+        .storage
+        .iter()
+        .map(|((a, k), v)| format!("{a}/{k:x}={v:x}"))
+        .collect();
+    storage.sort();
+    let mut codes: Vec<_> = host
+        .codes
+        .iter()
+        .map(|(a, c)| format!("{a}:{}", H256::keccak(c)))
+        .collect();
+    codes.sort();
+    format!(
+        "b={balances:?} s={storage:?} c={codes:?} logs={} created={:?} destroyed={:?}",
+        host.logs.len(),
+        host.created,
+        host.destroyed
+    )
+}
+
+/// Mirror of `opcode_coverage::implemented_opcodes`.
+fn implemented_opcodes() -> Vec<(u8, &'static str)> {
+    (0u8..=255)
+        .filter_map(|byte| match opcode::mnemonic(byte) {
+            "INVALID" if byte != op::INVALID => None,
+            name => Some((byte, name)),
+        })
+        .collect()
+}
+
+/// Mirror of `opcode_coverage::stack_in`.
+fn stack_in(byte: u8) -> usize {
+    use op::*;
+    match byte {
+        ADD | MUL | SUB | DIV | SDIV | MOD | SMOD | EXP | SIGNEXTEND | LT | GT | SLT | SGT | EQ
+        | AND | OR | XOR | BYTE | SHL | SHR | SAR | KECCAK256 | MSTORE | MSTORE8 | SSTORE
+        | RETURN | REVERT => 2,
+        ISZERO | NOT | BALANCE | CALLDATALOAD | EXTCODESIZE | EXTCODEHASH | BLOCKHASH | POP
+        | MLOAD | SLOAD | SELFDESTRUCT => 1,
+        ADDMOD | MULMOD | CALLDATACOPY | CODECOPY | RETURNDATACOPY | CREATE => 3,
+        EXTCODECOPY | CREATE2 => 4,
+        DELEGATECALL | STATICCALL => 6,
+        CALL | CALLCODE => 7,
+        0x80..=0x8f => (byte - 0x80 + 1) as usize,
+        0x90..=0x9f => (byte - 0x90 + 2) as usize,
+        0xa0..=0xa4 => (byte - 0xa0 + 2) as usize,
+        _ => 0,
+    }
+}
+
+/// Mirror of `opcode_coverage::smoke_program`, plus a variant with
+/// non-zero operands so dynamic-gas arms (EXP, SSTORE set, KECCAK over
+/// real memory, LOG data) actually charge something.
+fn smoke_programs(byte: u8) -> Vec<Vec<u8>> {
+    match byte {
+        op::JUMP => return vec![vec![0x60, 0x03, op::JUMP, op::JUMPDEST, op::STOP]],
+        op::JUMPI => {
+            return vec![vec![
+                0x60,
+                0x01,
+                0x60,
+                0x05,
+                op::JUMPI,
+                op::JUMPDEST,
+                op::STOP,
+            ]]
+        }
+        _ => {}
+    }
+    let mut programs = Vec::new();
+    for operand in [0x00u8, 0x07] {
+        let mut code = Vec::new();
+        for _ in 0..stack_in(byte) {
+            code.extend_from_slice(&[0x60, operand]);
+        }
+        code.push(byte);
+        code.extend(std::iter::repeat_n(0x00, opcode::immediate_len(byte)));
+        code.push(op::STOP);
+        programs.push(code);
+    }
+    programs
+}
+
+#[test]
+fn every_opcode_agrees_between_compiled_and_plain() {
+    let _guard = SuperinstrGuard;
+    for (byte, name) in implemented_opcodes() {
+        for program in smoke_programs(byte) {
+            superinstr::set_enabled(false);
+            let mut plain = MockHost::new();
+            let plain_result = run(&mut plain, program.clone());
+
+            superinstr::set_enabled(true);
+            let mut fast = MockHost::new();
+            let fast_result = run(&mut fast, program.clone());
+
+            assert_eq!(
+                digest(&plain_result),
+                digest(&fast_result),
+                "0x{byte:02x} ({name}) result diverged on {program:02x?}"
+            );
+            assert_eq!(
+                host_digest(&plain),
+                host_digest(&fast),
+                "0x{byte:02x} ({name}) state diverged on {program:02x?}"
+            );
+        }
+    }
+}
