@@ -56,6 +56,14 @@ impl From<CoreError> for AppError {
 /// Result alias.
 pub type AppResult<T> = Result<T, AppError>;
 
+/// Gas price bid attached to rent-day batch payments, in wei — double
+/// the node's default 1-gwei bid. On a shared interval-mining node the
+/// fee-ordered mempool drains higher bids first, so the month's rent
+/// batch jumps ahead of default-priced background traffic instead of
+/// queueing behind it. Receipts surface the bid as
+/// `effective_gas_price`, keeping the fee auditable end to end.
+pub const RENT_DAY_GAS_PRICE: u64 = 2_000_000_000;
+
 /// Dashboard actions a user can take on a contract (Figs. 7, 10, 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
@@ -414,7 +422,10 @@ impl RentalApp {
             return Err(AppError::Forbidden("only the tenant pays rent".into()));
         }
         let rental = self.rental_at(address)?;
-        let tx = rental.rent_payment_transaction(user.public_key)?;
+        let mut tx = rental.rent_payment_transaction(user.public_key)?;
+        // Priority bid: rent day must not queue behind default-priced
+        // background traffic in the fee-ordered pool.
+        tx.gas_price = U256::from_u64(RENT_DAY_GAS_PRICE);
         self.rent_queue.lock().expect("rent queue").push(tx);
         Ok(())
     }

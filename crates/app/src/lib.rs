@@ -21,6 +21,9 @@ pub mod dashboard;
 pub mod db;
 pub mod events;
 
-pub use app::{Action, AppError, AppResult, Dashboard, DashboardRow, PaymentRecord, RentalApp};
+pub use app::{
+    Action, AppError, AppResult, Dashboard, DashboardRow, PaymentRecord, RentalApp,
+    RENT_DAY_GAS_PRICE,
+};
 pub use auth::{Auth, AuthError, SessionToken};
 pub use db::{ContractRow, ContractRowState, Database, RowId, UserRow};

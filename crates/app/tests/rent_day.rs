@@ -112,7 +112,8 @@ fn bulk_rent_day_mines_every_payment_in_one_block() {
         ether(N_TENANTS as u64)
     );
 
-    // Every agreement recorded its payment in the same block.
+    // Every agreement recorded its payment in the same block, and every
+    // receipt carries the rent-day priority bid end to end.
     for address in &agreements {
         let rental = Rental::at(w.app.manager().contract_at(*address).unwrap());
         let paid = rental.paid_rents().unwrap();
@@ -124,6 +125,47 @@ fn bulk_rent_day_mines_every_payment_in_one_block() {
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].block, block.number);
     }
+    for tx_hash in &block.tx_hashes {
+        let receipt = w.web3.receipt(*tx_hash).unwrap();
+        assert_eq!(
+            receipt.effective_gas_price,
+            U256::from_u64(lsc_app::RENT_DAY_GAS_PRICE),
+            "rent payment receipts surface the priority bid"
+        );
+    }
+}
+
+/// The rent batch's priority bid must outrank default-priced background
+/// traffic in the fee-ordered pool: when a plain transfer is already
+/// pending, rent day still mines every payment ahead of it in the block.
+#[test]
+fn rent_day_batch_outranks_background_traffic() {
+    let w = setup();
+    let agreements = lease_all(&w);
+    let accounts = w.web3.accounts();
+
+    // A default-priced (1 gwei) background transfer, queued first. Sent
+    // from the landlord so it shares no nonce chain with any tenant's
+    // rent payment.
+    let background = lsc_chain::Transaction::call(accounts[0], accounts[2], vec![])
+        .with_gas(21_000)
+        .with_value(U256::from_u64(1));
+    let background_hash = w.web3.submit_transaction(background).unwrap();
+
+    for (tenant, address) in w.tenants.iter().zip(&agreements) {
+        w.app.queue_rent_payment(*tenant, *address).unwrap();
+    }
+    let (block, errors) = w.app.run_rent_day();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(block.tx_hashes.len(), N_TENANTS + 1);
+    // The background transfer drains last despite arriving first.
+    assert_eq!(block.tx_hashes.last(), Some(&background_hash));
+    let receipt = w.web3.receipt(background_hash).unwrap();
+    assert_eq!(
+        receipt.effective_gas_price,
+        U256::from_u64(1_000_000_000),
+        "background traffic pays its own default bid"
+    );
 }
 
 #[test]

@@ -4,8 +4,11 @@
 //! per-request latency (p50/p99) for three workloads:
 //!
 //! - `read_only`  — the dashboard mix: balances, blocks, logs, `eth_call`
-//! - `write_only` — `eth_sendTransaction` against an interval miner
+//! - `write_only` — `eth_sendTransaction` against the pipelined
+//!   interval producer, bids spread across 1–4 gwei
 //! - `mixed`      — 90% reads / 10% writes, the dapp's steady state
+//! - `write_sustained` — the write workload over a 4x longer window, so
+//!   steady-state producer throughput dominates the number
 //!
 //! Every request crosses the socket: latencies include HTTP framing,
 //! JSON parse/encode, and the server's snapshot or mutex path — the
@@ -102,8 +105,12 @@ fn request_for(
     if is_write {
         let from = accounts[t % accounts.len()];
         let to = accounts[(t + 1) % accounts.len()];
+        // Spread bids across 1–4 gwei so the fee-ordered pool does real
+        // priority work under load (same-sender txs still chain by
+        // nonce, so varied bids never cause replacements here).
+        let gas_price = (1 + (t + i) % 4) as u64 * 1_000_000_000;
         return format!(
-            "{{\"id\":{id},\"jsonrpc\":\"2.0\",\"method\":\"eth_sendTransaction\",\"params\":[{{\"from\":\"{from}\",\"to\":\"{to}\",\"value\":\"0x1\",\"gas\":\"0x5208\"}}]}}"
+            "{{\"id\":{id},\"jsonrpc\":\"2.0\",\"method\":\"eth_sendTransaction\",\"params\":[{{\"from\":\"{from}\",\"to\":\"{to}\",\"value\":\"0x1\",\"gas\":\"0x5208\",\"gasPrice\":\"0x{gas_price:x}\"}}]}}"
         );
     }
     let account = accounts[(t + i) % accounts.len()];
@@ -279,7 +286,7 @@ fn main() {
         ),
         run_series(
             "write_only",
-            "eth_sendTransaction transfers, 10 ms interval miner",
+            "eth_sendTransaction transfers, 10 ms pipelined producer",
             Workload::WriteOnly,
             MiningMode::Interval(Duration::from_millis(10)),
             tenants,
@@ -295,18 +302,30 @@ fn main() {
             per_tenant,
             substrate,
         ),
+        // Sustained pressure: a longer write window so the pipelined
+        // producer's steady-state throughput (not connection setup or a
+        // single burst) dominates the number.
+        run_series(
+            "write_sustained",
+            "eth_sendTransaction transfers, 4x window, 10 ms pipelined producer",
+            Workload::WriteOnly,
+            MiningMode::Interval(Duration::from_millis(10)),
+            tenants,
+            per_tenant * 4,
+            substrate,
+        ),
     ];
 
     // ---- table ------------------------------------------------------
     println!("\n=== JSON-RPC load: {tenants} tenants over TCP ===");
     println!(
-        "{:<12} | {:>9} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "{:<15} | {:>9} | {:>9} | {:>10} | {:>10} | {:>10}",
         "series", "requests", "rejected", "req/s", "p50 (us)", "p99 (us)"
     );
     println!("{}", "-".repeat(76));
     for s in &series {
         println!(
-            "{:<12} | {:>9} | {:>9} | {:>10.0} | {:>10.1} | {:>10.1}",
+            "{:<15} | {:>9} | {:>9} | {:>10.0} | {:>10.1} | {:>10.1}",
             s.name, s.requests, s.queue_full, s.req_per_sec, s.p50_us, s.p99_us
         );
     }

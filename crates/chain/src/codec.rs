@@ -164,6 +164,10 @@ pub(crate) fn receipt_to_json(receipt: &Receipt) -> JsonValue {
         ("status", JsonValue::Number(receipt.status as f64)),
         ("gas_used", JsonValue::Number(receipt.gas_used as f64)),
         (
+            "effective_gas_price",
+            JsonValue::String(receipt.effective_gas_price.to_decimal_string()),
+        ),
+        (
             "contract_address",
             match receipt.contract_address {
                 Some(a) => JsonValue::String(a.to_string()),
@@ -194,12 +198,21 @@ pub(crate) fn receipt_from_json(doc: &JsonValue) -> Result<Receipt, DecodeError>
         .iter()
         .map(log_from_json)
         .collect::<Result<Vec<_>, _>>()?;
+    // Images written before fee auditing existed lack the field; zero
+    // keeps legacy decodes loss-free (the price was never recorded).
+    let effective_gas_price = match doc.get("effective_gas_price") {
+        Some(JsonValue::String(s)) => {
+            U256::from_decimal_str(s).map_err(|e| format!("field `effective_gas_price`: {e}"))?
+        }
+        _ => U256::ZERO,
+    };
     Ok(Receipt {
         tx_hash: h256_field(doc, "tx_hash")?,
         block_number: u64_field(doc, "block_number")?,
         tx_index: u64_field(doc, "tx_index")? as usize,
         status: u64_field(doc, "status")?,
         gas_used: u64_field(doc, "gas_used")?,
+        effective_gas_price,
         contract_address,
         logs,
         output: bytes_field(doc, "output")?,
@@ -286,6 +299,7 @@ mod tests {
             tx_index: 1,
             status: 1,
             gas_used: 21_000,
+            effective_gas_price: U256::from_u64(1_000_000_000),
             contract_address: Some(Address::from_label("c")),
             logs: vec![Log {
                 address: Address::from_label("c"),
@@ -300,6 +314,7 @@ mod tests {
         assert_eq!(back.logs[0].topics, receipt.logs[0].topics);
         assert_eq!(back.output, receipt.output);
         assert_eq!(back.contract_address, receipt.contract_address);
+        assert_eq!(back.effective_gas_price, receipt.effective_gas_price);
     }
 
     #[test]

@@ -13,16 +13,20 @@
 #![warn(missing_docs)]
 
 mod codec;
+pub mod mempool;
 pub mod mvcc;
 pub mod node;
 mod parallel;
+pub mod producer;
 pub mod snapshot;
 pub mod state;
 pub mod tx;
 pub mod wal;
 
+pub use mempool::{Mempool, PRICE_BUMP_PERCENT};
 pub use mvcc::{log_matches, CommittedSnapshot, LogFilter, LogIndex, ReadHandle};
 pub use node::{ChainConfig, DeployGuard, LocalNode, DEFAULT_MAX_PENDING};
+pub use producer::{BlockProducer, ProducerConfig};
 pub use snapshot::SnapshotError;
 pub use state::{Account, WorldState};
 pub use tx::{Block, Receipt, Transaction, TxError};

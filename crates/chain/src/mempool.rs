@@ -1,0 +1,722 @@
+//! The fee-ordered mempool: per-sender nonce chains with gap parking,
+//! effective-gas-price priority across senders, same-nonce replacement
+//! with a price-bump rule, and bounded size with lowest-price eviction.
+//!
+//! ## Ordering rules
+//!
+//! Each sender owns a nonce-sorted chain (`BTreeMap<u64, _>`). A
+//! transaction is **ready** when every nonce between the sender's
+//! committed account nonce and its own is also pooled; anything behind a
+//! hole is **parked** and never executes (no gap execution). Dequeue
+//! merges the ready heads of all chains through a max-heap keyed by
+//! `(gas_price desc, arrival seq asc)` — the highest bidder goes first,
+//! equal bids preserve submission order, and draining a head exposes the
+//! sender's next nonce so one sender's chain can win several consecutive
+//! slots if it keeps outbidding the rest.
+//!
+//! ## Replacement and eviction
+//!
+//! A second transaction for an occupied `(sender, nonce)` slot is a
+//! *replacement decision*, not a duplicate: it must bid at least
+//! [`PRICE_BUMP_PERCENT`] percent over the incumbent (minimum one wei) or
+//! it is rejected with [`TxError::ReplacementUnderpriced`]. At capacity,
+//! a newcomer may evict the lowest-priced *chain tail* (tails only —
+//! evicting mid-chain would park the rest of that sender's chain) if it
+//! strictly outbids it; otherwise the pool pushes back with
+//! [`TxError::QueueFull`].
+//!
+//! ## Replay exactness
+//!
+//! Every decision — accept, replace, evict, reject — is a pure function
+//! of the pool content and the incoming transaction, and the pool content
+//! is itself a fold over the accepted submissions. WAL replay re-runs the
+//! same [`Mempool::plan_insert`]/[`Mempool::commit_insert`] pair over the
+//! same record sequence, so recovery reconstructs the identical pool:
+//! same entries, same priority order, same tie-breaks (arrival sequence
+//! numbers are assigned in insertion order, which replay preserves).
+
+use crate::tx::{Transaction, TxError};
+use lsc_primitives::{Address, FxHashMap, FxHashSet, H256, U256};
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Minimum relative price bump (percent) a replacement transaction must
+/// pay over the incumbent in its `(sender, nonce)` slot — geth's default.
+pub const PRICE_BUMP_PERCENT: u64 = 10;
+
+/// One pooled transaction: the resolved-nonce transaction, its stable
+/// submit-time hash, and its arrival sequence (the FIFO tie-break).
+#[derive(Debug, Clone)]
+struct PoolTx {
+    tx: Transaction,
+    hash: H256,
+    seq: u64,
+}
+
+/// How an accepted insertion lands — computed by [`Mempool::plan_insert`]
+/// *before* the WAL record is written, applied verbatim afterwards by
+/// [`Mempool::commit_insert`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum InsertPlan {
+    /// Replaces the incumbent in the same `(sender, nonce)` slot.
+    Replace,
+    /// Plain insert, optionally evicting the named lowest-priced tail
+    /// first (capacity was reached).
+    Insert {
+        /// `(sender, nonce)` of the evicted tail, if any.
+        evict: Option<(Address, u64)>,
+    },
+}
+
+/// Max-heap key for merging ready chain heads: highest gas price first,
+/// submission order among equal prices.
+#[derive(PartialEq, Eq)]
+struct ReadyHead {
+    price: U256,
+    seq: u64,
+    sender: Address,
+    nonce: u64,
+}
+
+impl Ord for ReadyHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.price
+            .cmp(&other.price)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ReadyHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pending-transaction pool. See the module docs for the rules.
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    /// Per-sender nonce chains.
+    senders: FxHashMap<Address, BTreeMap<u64, PoolTx>>,
+    /// Submit-time hashes of everything pooled (duplicate detection).
+    by_hash: FxHashSet<H256>,
+    /// Total pooled transactions (ready + parked).
+    len: usize,
+    /// Next arrival sequence number.
+    next_seq: u64,
+    /// Capacity; beyond it only strictly-higher-priced eviction admits.
+    max_size: usize,
+}
+
+impl Mempool {
+    /// An empty pool bounded at `max_size` transactions.
+    pub fn new(max_size: usize) -> Self {
+        Mempool {
+            senders: FxHashMap::default(),
+            by_hash: FxHashSet::default(),
+            len: 0,
+            next_seq: 0,
+            max_size,
+        }
+    }
+
+    /// Total pooled transactions (ready + parked).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is this submit-time hash already pooled?
+    pub fn contains_hash(&self, hash: H256) -> bool {
+        self.by_hash.contains(&hash)
+    }
+
+    /// The nonce a `nonce: None` submission from `sender` resolves to:
+    /// the first nonce at or above the committed account nonce that is
+    /// not already occupied in the sender's chain.
+    pub fn next_nonce(&self, sender: Address, state_nonce: u64) -> u64 {
+        let mut nonce = state_nonce;
+        if let Some(chain) = self.senders.get(&sender) {
+            while chain.contains_key(&nonce) {
+                nonce += 1;
+            }
+        }
+        nonce
+    }
+
+    /// Does `sender` have a ready head (a pooled transaction at exactly
+    /// the committed account nonce)?
+    pub fn has_ready(&self, sender: Address, state_nonce: u64) -> bool {
+        self.senders
+            .get(&sender)
+            .is_some_and(|chain| chain.contains_key(&state_nonce))
+    }
+
+    /// The minimum replacement price for an incumbent priced `old`:
+    /// `old + max(old / 10, 1)`. `None` on overflow (no finite bid
+    /// replaces it).
+    fn bump_floor(old: U256) -> Option<U256> {
+        let bump = (old / U256::from_u64(100 / PRICE_BUMP_PERCENT)).max(U256::ONE);
+        old.checked_add(bump)
+    }
+
+    /// Decide how a resolved-nonce submission lands, without mutating the
+    /// pool. `state_nonce` is the sender's committed account nonce. The
+    /// caller logs the WAL record between this and
+    /// [`Mempool::commit_insert`] — append-before-apply.
+    pub(crate) fn plan_insert(
+        &self,
+        tx: &Transaction,
+        hash: H256,
+        state_nonce: u64,
+    ) -> Result<InsertPlan, TxError> {
+        let nonce = tx.nonce.expect("submission nonce resolved before planning");
+        if self.by_hash.contains(&hash) {
+            return Err(TxError::DuplicateTransaction(hash));
+        }
+        if nonce < state_nonce {
+            return Err(TxError::NonceMismatch {
+                expected: state_nonce,
+                got: nonce,
+            });
+        }
+        if let Some(incumbent) = self.senders.get(&tx.from).and_then(|c| c.get(&nonce)) {
+            // Same slot, different payload: a replacement decision.
+            return match Self::bump_floor(incumbent.tx.gas_price) {
+                Some(floor) if tx.gas_price >= floor => Ok(InsertPlan::Replace),
+                _ => Err(TxError::ReplacementUnderpriced),
+            };
+        }
+        if self.len >= self.max_size {
+            // Evict the globally lowest-priced chain tail — latest
+            // arrival among equal prices — but only for a strictly
+            // higher-priced newcomer.
+            let victim = self
+                .senders
+                .iter()
+                .filter_map(|(sender, chain)| {
+                    let (nonce, tail) = chain.last_key_value()?;
+                    Some((tail.tx.gas_price, tail.seq, *sender, *nonce))
+                })
+                .min_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+            return match victim {
+                Some((price, _, sender, nonce)) if tx.gas_price > price => Ok(InsertPlan::Insert {
+                    evict: Some((sender, nonce)),
+                }),
+                _ => Err(TxError::QueueFull {
+                    limit: self.max_size,
+                }),
+            };
+        }
+        Ok(InsertPlan::Insert { evict: None })
+    }
+
+    /// Apply a previously planned insertion. Infallible: every rejection
+    /// already happened in [`Mempool::plan_insert`].
+    pub(crate) fn commit_insert(&mut self, tx: Transaction, hash: H256, plan: InsertPlan) {
+        let nonce = tx.nonce.expect("resolved before planning");
+        if let InsertPlan::Insert {
+            evict: Some((sender, victim_nonce)),
+        } = plan
+        {
+            self.remove(sender, victim_nonce);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self
+            .senders
+            .entry(tx.from)
+            .or_default()
+            .insert(nonce, PoolTx { tx, hash, seq });
+        match slot {
+            Some(replaced) => {
+                debug_assert!(matches!(plan, InsertPlan::Replace));
+                self.by_hash.remove(&replaced.hash);
+            }
+            None => self.len += 1,
+        }
+        self.by_hash.insert(hash);
+    }
+
+    /// Plan and commit in one step — the WAL-replay and test path, where
+    /// no record needs to interleave between decision and application.
+    pub(crate) fn insert(
+        &mut self,
+        tx: Transaction,
+        hash: H256,
+        state_nonce: u64,
+    ) -> Result<InsertPlan, TxError> {
+        let plan = self.plan_insert(&tx, hash, state_nonce)?;
+        self.commit_insert(tx, hash, plan);
+        Ok(plan)
+    }
+
+    /// Install a dumped transaction verbatim (image import / snapshot
+    /// revert): no cap, duplicate or replacement checks — the dump is
+    /// authoritative. Insertion order is the dump's order, so arrival
+    /// sequences (and therefore equal-price tie-breaks) are preserved.
+    pub(crate) fn insert_unchecked(&mut self, tx: Transaction, hash: H256) {
+        let nonce = tx.nonce.expect("dumped transactions carry their nonce");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self
+            .senders
+            .entry(tx.from)
+            .or_default()
+            .insert(nonce, PoolTx { tx, hash, seq })
+            .is_none()
+        {
+            self.len += 1;
+        }
+        self.by_hash.insert(hash);
+    }
+
+    /// Remove one entry; returns it if present.
+    fn remove(&mut self, sender: Address, nonce: u64) -> Option<PoolTx> {
+        let chain = self.senders.get_mut(&sender)?;
+        let removed = chain.remove(&nonce)?;
+        if chain.is_empty() {
+            self.senders.remove(&sender);
+        }
+        self.by_hash.remove(&removed.hash);
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Drain up to `take` ready transactions in priority order (all of
+    /// them when `None`). Entries staler than the committed account nonce
+    /// are pruned. Pure function of (pool, committed nonces, `take`) —
+    /// the property WAL replay and the pipelined producer both rely on.
+    pub fn take_ready(
+        &mut self,
+        state_nonce: impl Fn(Address) -> u64,
+        take: Option<usize>,
+    ) -> Vec<Transaction> {
+        let limit = take.unwrap_or(usize::MAX);
+        // Prune stale entries (below the committed nonce — e.g. after an
+        // account restore) so they can never shadow the ready head.
+        let stale: Vec<(Address, u64)> = self
+            .senders
+            .iter()
+            .flat_map(|(sender, chain)| {
+                let floor = state_nonce(*sender);
+                chain
+                    .range(..floor)
+                    .map(|(nonce, _)| (*sender, *nonce))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (sender, nonce) in stale {
+            self.remove(sender, nonce);
+        }
+
+        let mut heap: BinaryHeap<ReadyHead> = self
+            .senders
+            .iter()
+            .filter_map(|(sender, chain)| {
+                let nonce = state_nonce(*sender);
+                let head = chain.get(&nonce)?;
+                Some(ReadyHead {
+                    price: head.tx.gas_price,
+                    seq: head.seq,
+                    sender: *sender,
+                    nonce,
+                })
+            })
+            .collect();
+
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let Some(head) = heap.pop() else {
+                break;
+            };
+            let taken = self
+                .remove(head.sender, head.nonce)
+                .expect("ready head present");
+            out.push(taken.tx);
+            let next = head.nonce + 1;
+            if let Some(chain) = self.senders.get(&head.sender) {
+                if let Some(successor) = chain.get(&next) {
+                    heap.push(ReadyHead {
+                        price: successor.tx.gas_price,
+                        seq: successor.seq,
+                        sender: head.sender,
+                        nonce: next,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The exact sequence [`Mempool::take_ready`] would drain, without
+    /// mutating the pool — the pipelined producer's speculation hint.
+    pub fn peek_ready(
+        &self,
+        state_nonce: impl Fn(Address) -> u64,
+        take: Option<usize>,
+    ) -> Vec<(H256, Transaction)> {
+        let limit = take.unwrap_or(usize::MAX);
+        let mut heap: BinaryHeap<ReadyHead> = self
+            .senders
+            .iter()
+            .filter_map(|(sender, chain)| {
+                let nonce = state_nonce(*sender);
+                let head = chain.get(&nonce)?;
+                Some(ReadyHead {
+                    price: head.tx.gas_price,
+                    seq: head.seq,
+                    sender: *sender,
+                    nonce,
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let Some(head) = heap.pop() else {
+                break;
+            };
+            let chain = &self.senders[&head.sender];
+            let entry = &chain[&head.nonce];
+            out.push((entry.hash, entry.tx.clone()));
+            if let Some(successor) = chain.get(&(head.nonce + 1)) {
+                heap.push(ReadyHead {
+                    price: successor.tx.gas_price,
+                    seq: successor.seq,
+                    sender: head.sender,
+                    nonce: head.nonce + 1,
+                });
+            }
+        }
+        out
+    }
+
+    /// `(ready, parked)` counts under the given committed nonces — the
+    /// `txpool_status` split. Ready = nonce-contiguous run from each
+    /// sender's account nonce; parked = everything behind a hole.
+    pub fn status(&self, state_nonce: impl Fn(Address) -> u64) -> (usize, usize) {
+        let mut ready = 0usize;
+        for (sender, chain) in &self.senders {
+            let mut nonce = state_nonce(*sender);
+            while chain.contains_key(&nonce) {
+                ready += 1;
+                nonce += 1;
+            }
+        }
+        (ready, self.len - ready.min(self.len))
+    }
+
+    /// Full pool content split into ready and parked groups, each as
+    /// `(sender, nonce, tx)` sorted by sender address then nonce — the
+    /// `txpool_content` shape.
+    #[allow(clippy::type_complexity)]
+    pub fn content(
+        &self,
+        state_nonce: impl Fn(Address) -> u64,
+    ) -> (
+        Vec<(Address, u64, Transaction)>,
+        Vec<(Address, u64, Transaction)>,
+    ) {
+        let mut ready = Vec::new();
+        let mut parked = Vec::new();
+        let mut senders: Vec<_> = self.senders.iter().collect();
+        senders.sort_by_key(|(sender, _)| **sender);
+        for (sender, chain) in senders {
+            let mut next = state_nonce(*sender);
+            for (nonce, entry) in chain {
+                if *nonce == next {
+                    ready.push((*sender, *nonce, entry.tx.clone()));
+                    next += 1;
+                } else {
+                    parked.push((*sender, *nonce, entry.tx.clone()));
+                }
+            }
+        }
+        (ready, parked)
+    }
+
+    /// Dump every pooled transaction in arrival order — the snapshot
+    /// image / chain-snapshot representation. Re-importing the dump via
+    /// [`Mempool::insert_unchecked`] in order reconstructs the identical
+    /// pool (same chains, same tie-break order), so export → import →
+    /// export round-trips byte-identically.
+    pub fn dump(&self) -> Vec<Transaction> {
+        let mut entries: Vec<(u64, &Transaction)> = self
+            .senders
+            .values()
+            .flat_map(|chain| chain.values().map(|p| (p.seq, &p.tx)))
+            .collect();
+        entries.sort_unstable_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, tx)| tx.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(label: &str) -> Address {
+        Address::from_label(label)
+    }
+
+    fn tx(from: &str, nonce: u64, price: u64) -> Transaction {
+        Transaction {
+            from: addr(from),
+            to: Some(addr("sink")),
+            value: U256::from_u64(1),
+            data: vec![],
+            gas: 21_000,
+            gas_price: U256::from_u64(price),
+            nonce: Some(nonce),
+        }
+    }
+
+    fn insert(pool: &mut Mempool, t: Transaction) -> Result<H256, TxError> {
+        let hash = t.hash(t.nonce.unwrap());
+        pool.insert(t, hash, 0)?;
+        Ok(hash)
+    }
+
+    #[test]
+    fn priority_order_across_senders() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 5)).unwrap();
+        insert(&mut pool, tx("b", 0, 9)).unwrap();
+        insert(&mut pool, tx("c", 0, 7)).unwrap();
+        let drained = pool.take_ready(|_| 0, None);
+        let prices: Vec<u64> = drained
+            .iter()
+            .map(|t| {
+                let bytes = t.gas_price;
+                u64::from(bytes == U256::from_u64(9)) * 9
+                    + u64::from(bytes == U256::from_u64(7)) * 7
+                    + u64::from(bytes == U256::from_u64(5)) * 5
+            })
+            .collect();
+        assert_eq!(prices, vec![9, 7, 5]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn equal_price_preserves_arrival_order() {
+        let mut pool = Mempool::new(100);
+        let h1 = insert(&mut pool, tx("a", 0, 5)).unwrap();
+        let h2 = insert(&mut pool, tx("b", 0, 5)).unwrap();
+        let h3 = insert(&mut pool, tx("c", 0, 5)).unwrap();
+        let drained = pool.take_ready(|_| 0, None);
+        let hashes: Vec<H256> = drained.iter().map(|t| t.hash(t.nonce.unwrap())).collect();
+        assert_eq!(hashes, vec![h1, h2, h3]);
+    }
+
+    #[test]
+    fn gapped_nonce_parks_until_filled() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 2, 50)).unwrap();
+        assert!(pool.take_ready(|_| 0, None).is_empty(), "gap never mines");
+        assert_eq!(pool.len(), 1, "parked, not dropped");
+        insert(&mut pool, tx("a", 0, 1)).unwrap();
+        insert(&mut pool, tx("a", 1, 1)).unwrap();
+        let drained = pool.take_ready(|_| 0, None);
+        let nonces: Vec<u64> = drained.iter().map(|t| t.nonce.unwrap()).collect();
+        assert_eq!(nonces, vec![0, 1, 2], "chain drains in nonce order");
+    }
+
+    #[test]
+    fn high_price_does_not_jump_own_nonce_chain() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 1)).unwrap();
+        insert(&mut pool, tx("a", 1, 500)).unwrap();
+        insert(&mut pool, tx("b", 0, 10)).unwrap();
+        let drained = pool.take_ready(|_| 0, None);
+        let nonces: Vec<(Address, u64)> =
+            drained.iter().map(|t| (t.from, t.nonce.unwrap())).collect();
+        // b(10) outbids a's head (1); once a(0) drains, a(500) leads.
+        assert_eq!(nonces, vec![(addr("b"), 0), (addr("a"), 0), (addr("a"), 1)]);
+    }
+
+    #[test]
+    fn replacement_requires_price_bump() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 100)).unwrap();
+        // Same slot, equal price: underpriced.
+        let equal = Transaction {
+            value: U256::from_u64(2),
+            ..tx("a", 0, 100)
+        };
+        assert!(matches!(
+            insert(&mut pool, equal),
+            Err(TxError::ReplacementUnderpriced)
+        ));
+        // 9% bump: still underpriced.
+        assert!(matches!(
+            insert(&mut pool, tx("a", 0, 109)),
+            Err(TxError::ReplacementUnderpriced)
+        ));
+        // 10% bump: accepted, replaces in place.
+        let bumped = insert(&mut pool, tx("a", 0, 110)).unwrap();
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains_hash(bumped));
+        let drained = pool.take_ready(|_| 0, None);
+        assert_eq!(drained[0].gas_price, U256::from_u64(110));
+    }
+
+    #[test]
+    fn tiny_price_bump_floor_is_one_wei() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 1)).unwrap();
+        assert!(matches!(
+            insert(&mut pool, tx("a", 0, 1)),
+            Err(TxError::DuplicateTransaction(_))
+        ));
+        let different = Transaction {
+            value: U256::from_u64(9),
+            ..tx("a", 0, 1)
+        };
+        assert!(matches!(
+            insert(&mut pool, different),
+            Err(TxError::ReplacementUnderpriced)
+        ));
+        insert(&mut pool, tx("a", 0, 2)).unwrap();
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn eviction_requires_strictly_higher_price() {
+        let mut pool = Mempool::new(2);
+        insert(&mut pool, tx("a", 0, 5)).unwrap();
+        insert(&mut pool, tx("b", 0, 3)).unwrap();
+        // Equal to the cheapest tail: rejected.
+        assert!(matches!(
+            insert(&mut pool, tx("c", 0, 3)),
+            Err(TxError::QueueFull { limit: 2 })
+        ));
+        // Strictly higher: evicts b's tail.
+        insert(&mut pool, tx("c", 0, 4)).unwrap();
+        assert_eq!(pool.len(), 2);
+        let drained = pool.take_ready(|_| 0, None);
+        let froms: Vec<Address> = drained.iter().map(|t| t.from).collect();
+        assert_eq!(froms, vec![addr("a"), addr("c")]);
+    }
+
+    #[test]
+    fn eviction_targets_tails_only() {
+        let mut pool = Mempool::new(2);
+        insert(&mut pool, tx("a", 0, 1)).unwrap();
+        insert(&mut pool, tx("a", 1, 100)).unwrap();
+        // a's tail is nonce 1 at price 100; its cheap head at nonce 0 is
+        // not an eviction candidate (removing it would park the chain).
+        assert!(matches!(
+            insert(&mut pool, tx("b", 0, 50)),
+            Err(TxError::QueueFull { .. })
+        ));
+        insert(&mut pool, tx("b", 0, 101)).unwrap();
+        assert!(pool.has_ready(addr("a"), 0));
+        assert!(!pool.contains_hash(tx("a", 1, 100).hash(1)));
+    }
+
+    #[test]
+    fn next_nonce_skips_pooled_and_fills_holes() {
+        let mut pool = Mempool::new(100);
+        assert_eq!(pool.next_nonce(addr("a"), 3), 3);
+        insert(&mut pool, tx("a", 3, 1)).unwrap();
+        insert(&mut pool, tx("a", 4, 1)).unwrap();
+        assert_eq!(pool.next_nonce(addr("a"), 3), 5);
+        insert(&mut pool, tx("a", 7, 1)).unwrap();
+        assert_eq!(pool.next_nonce(addr("a"), 3), 5, "fills the hole first");
+    }
+
+    #[test]
+    fn take_bound_stops_at_limit() {
+        let mut pool = Mempool::new(100);
+        for i in 0..5 {
+            insert(&mut pool, tx("a", i, 1)).unwrap();
+        }
+        let first = pool.take_ready(|_| 0, Some(2));
+        assert_eq!(first.len(), 2);
+        assert_eq!(pool.len(), 3);
+        let rest = pool.take_ready(|_| 2, None);
+        assert_eq!(rest.len(), 3);
+    }
+
+    #[test]
+    fn peek_matches_take() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 3)).unwrap();
+        insert(&mut pool, tx("a", 1, 9)).unwrap();
+        insert(&mut pool, tx("b", 0, 5)).unwrap();
+        insert(&mut pool, tx("c", 2, 99)).unwrap(); // parked
+        let peeked: Vec<H256> = pool
+            .peek_ready(|_| 0, None)
+            .into_iter()
+            .map(|(h, _)| h)
+            .collect();
+        let taken: Vec<H256> = pool
+            .take_ready(|_| 0, None)
+            .iter()
+            .map(|t| t.hash(t.nonce.unwrap()))
+            .collect();
+        assert_eq!(peeked, taken);
+        assert_eq!(pool.len(), 1, "parked entry survives the drain");
+    }
+
+    #[test]
+    fn status_and_content_split_ready_from_parked() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 1)).unwrap();
+        insert(&mut pool, tx("a", 1, 1)).unwrap();
+        insert(&mut pool, tx("a", 3, 1)).unwrap(); // hole at 2
+        insert(&mut pool, tx("b", 5, 1)).unwrap(); // parked (state nonce 0)
+        let (ready, parked) = pool.status(|_| 0);
+        assert_eq!((ready, parked), (2, 2));
+        let (ready, parked) = pool.content(|_| 0);
+        assert_eq!(ready.len(), 2);
+        assert_eq!(parked.len(), 2);
+        assert!(ready.iter().all(|(s, _, _)| *s == addr("a")));
+    }
+
+    #[test]
+    fn dump_roundtrip_preserves_order_and_tiebreaks() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("b", 0, 5)).unwrap();
+        insert(&mut pool, tx("a", 0, 5)).unwrap();
+        insert(&mut pool, tx("a", 1, 2)).unwrap();
+        let dump = pool.dump();
+        let mut rebuilt = Mempool::new(100);
+        for t in dump.clone() {
+            let hash = t.hash(t.nonce.unwrap());
+            rebuilt.insert_unchecked(t, hash);
+        }
+        assert_eq!(rebuilt.dump(), dump, "dump → import → dump is stable");
+        let a: Vec<Transaction> = pool.take_ready(|_| 0, None);
+        let b: Vec<Transaction> = rebuilt.take_ready(|_| 0, None);
+        assert_eq!(a, b, "rebuilt pool drains identically");
+    }
+
+    #[test]
+    fn stale_entries_pruned_on_drain() {
+        let mut pool = Mempool::new(100);
+        insert(&mut pool, tx("a", 0, 1)).unwrap();
+        insert(&mut pool, tx("a", 1, 1)).unwrap();
+        // Account nonce moved past 0 (e.g. restored state): 0 is stale.
+        let drained = pool.take_ready(|_| 1, None);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].nonce, Some(1));
+        assert!(pool.is_empty(), "stale entry pruned, not retained");
+    }
+
+    #[test]
+    fn stale_nonce_rejected_at_plan() {
+        let pool = Mempool::new(100);
+        let t = tx("a", 0, 1);
+        let hash = t.hash(0);
+        assert!(matches!(
+            pool.plan_insert(&t, hash, 3),
+            Err(TxError::NonceMismatch {
+                expected: 3,
+                got: 0
+            })
+        ));
+    }
+}

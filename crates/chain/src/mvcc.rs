@@ -18,6 +18,16 @@
 //! it.** A handle therefore always observes some committed prefix of the
 //! chain — never a mid-block, mid-call or rolled-back state — and a
 //! single-threaded caller gets read-after-write consistency.
+//!
+//! One deliberate exception: the *pool depth* is live, not part of the
+//! committed prefix. The count lives in an atomic shared between the
+//! publisher's shadow and every clone it published, so a submission
+//! updates it in place (plus a sequence bump waking publication
+//! waiters) instead of cloning a whole snapshot per submit — the write
+//! path's former bottleneck. Chain state in the snapshot stays frozen;
+//! only the depth gauge moves. Snapshots detached by a wholesale
+//! rebuild (revert, import, recovery) keep their own final counter and
+//! may lag; fresh handles always see the live one.
 
 use crate::node::ChainConfig;
 use crate::state::Account;
@@ -28,6 +38,7 @@ use lsc_evm::{
 };
 use lsc_primitives::{keccak256, Address, FxHashMap, H256, U256};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -315,7 +326,10 @@ pub struct CommittedSnapshot {
     blocks_by_hash: FxHashMap<H256, u64>,
     receipts: FxHashMap<H256, Arc<Receipt>>,
     timestamp: u64,
-    pending_count: usize,
+    /// Live pool-depth gauge, shared between the publisher's shadow and
+    /// every published clone (see the module docs) — submissions update
+    /// it without republishing.
+    pending_count: Arc<AtomicUsize>,
     log_index: LogIndex,
     /// Hashes of the most recent 256 blocks, newest first (BLOCKHASH).
     recent_hashes: Vec<(u64, H256)>,
@@ -331,7 +345,7 @@ impl CommittedSnapshot {
             blocks_by_hash: FxHashMap::default(),
             receipts: FxHashMap::default(),
             timestamp: 0,
-            pending_count: 0,
+            pending_count: Arc::new(AtomicUsize::new(0)),
             log_index: LogIndex::default(),
             recent_hashes: Vec::new(),
         }
@@ -380,7 +394,7 @@ impl CommittedSnapshot {
     }
 
     pub(crate) fn set_pending(&mut self, count: usize) {
-        self.pending_count = count;
+        self.pending_count.store(count, Ordering::Release);
     }
 
     // ---- read API -----------------------------------------------------
@@ -441,9 +455,10 @@ impl CommittedSnapshot {
         self.timestamp
     }
 
-    /// Queued (not yet mined) transactions at this snapshot.
+    /// Pooled (not yet mined) transactions — a *live* gauge shared with
+    /// the publisher, not a frozen part of this snapshot (module docs).
     pub fn pending_count(&self) -> usize {
-        self.pending_count
+        self.pending_count.load(Ordering::Acquire)
     }
 
     /// Fetch a block by number, shared.
@@ -549,6 +564,12 @@ impl CommittedSnapshot {
             self.config.block_gas_limit,
             tx,
         ))
+    }
+}
+
+impl crate::parallel::BaseView for CommittedSnapshot {
+    fn base_account(&self, address: Address) -> Option<&Account> {
+        self.accounts.get(&address).map(Arc::as_ref)
     }
 }
 
@@ -669,6 +690,17 @@ impl PublishedInner {
     /// every subscriber blocked in [`ReadHandle::wait_for_publication`].
     pub(crate) fn store(&self, snapshot: Arc<CommittedSnapshot>) {
         *self.slot.write() = snapshot;
+        let mut seq = self.seq.lock().expect("publication seq poisoned");
+        *seq += 1;
+        drop(seq);
+        self.publish_signal.notify_all();
+    }
+
+    /// Bump the publication sequence and wake waiters *without* swapping
+    /// the snapshot — used when only the live pool-depth gauge moved
+    /// (see the module docs): subscribers re-check, readers keep the
+    /// same committed prefix, and no snapshot clone is paid.
+    pub(crate) fn notify_publication(&self) {
         let mut seq = self.seq.lock().expect("publication seq poisoned");
         *seq += 1;
         drop(seq);
@@ -895,6 +927,7 @@ mod tests {
                     tx_index: 0,
                     status: 1,
                     gas_used: 0,
+                    effective_gas_price: U256::ZERO,
                     contract_address: None,
                     logs,
                     output: vec![],

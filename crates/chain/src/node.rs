@@ -6,6 +6,7 @@
 //! accounts; time can be warped for testing time-dependent contract
 //! clauses (rent due dates, contract duration).
 
+use crate::mempool::Mempool;
 use crate::mvcc::{self, CommittedSnapshot, LogFilter, PublishedInner, PublishedSlot, ReadHandle};
 use crate::parallel;
 use crate::state::WorldState;
@@ -109,11 +110,15 @@ pub struct LocalNode {
     timestamp: u64,
     dev_accounts: Vec<Address>,
     snapshots: Vec<NodeSnapshot>,
-    pending: Vec<Transaction>,
-    /// Submit-time hashes of everything in `pending`; the duplicate
-    /// check `try_submit_transaction` enforces, kept in lockstep with
-    /// the queue by every path that installs or drains it.
-    pending_hashes: FxHashSet<H256>,
+    /// The fee-ordered pending pool: per-sender nonce chains, priced
+    /// dequeue, replacement and eviction rules (see [`crate::mempool`]).
+    pool: Mempool,
+    /// Bumped by every committed-state or block-env mutation (sealing,
+    /// faucet, time warps, reverts, imports) — NOT by pure submissions.
+    /// The pipelined producer stamps its speculation hints with this and
+    /// the commit step refuses a stale stamp, so overlapping execution
+    /// can never commit against a world that moved underneath it.
+    state_epoch: u64,
     /// Write-ahead log; `None` for a purely in-memory node.
     durable_log: Option<Wal>,
     /// True while recovery replays the log (suppresses re-appending).
@@ -138,6 +143,19 @@ struct NodeSnapshot {
     blocks_len: usize,
     timestamp: u64,
     pending: Vec<Transaction>,
+}
+
+/// A captured next-block candidate for the pipelined producer: the
+/// ready prefix in drain order, its identity (hashes), the environment
+/// it executes under, and the state epoch it was captured at. See
+/// [`LocalNode::peek_block_hint`] / [`LocalNode::commit_pipelined`].
+pub(crate) struct BlockHint {
+    pub(crate) txs: Vec<Transaction>,
+    pub(crate) hashes: Vec<H256>,
+    pub(crate) take: Option<usize>,
+    pub(crate) epoch: u64,
+    pub(crate) env: BlockEnv,
+    pub(crate) recent_hashes: Vec<(u64, H256)>,
 }
 
 impl WorldState {
@@ -181,14 +199,14 @@ impl LocalNode {
         let shadow = CommittedSnapshot::new(config.clone(), dev_accounts.clone());
         let mut node = LocalNode {
             timestamp: config.genesis_timestamp,
+            pool: Mempool::new(config.max_pending),
             config,
             state,
             blocks: vec![genesis],
             receipts: FxHashMap::default(),
             dev_accounts,
             snapshots: Vec::new(),
-            pending: Vec::new(),
-            pending_hashes: FxHashSet::default(),
+            state_epoch: 0,
             durable_log: None,
             replaying: false,
             poisoned: None,
@@ -235,8 +253,22 @@ impl LocalNode {
         }
         self.shadow.sync_history(&self.blocks, &self.receipts);
         self.shadow.set_clock(self.timestamp);
-        self.shadow.set_pending(self.pending.len());
+        self.shadow.set_pending(self.pool.len());
         self.published.store(Arc::new(self.shadow.clone()));
+    }
+
+    /// Publish only the pool depth: the count lives in an atomic shared
+    /// between the shadow and every published clone, so readers observe
+    /// the new depth immediately without the node cloning a whole
+    /// snapshot per submission (the old write-path bottleneck). The
+    /// publication sequence is still bumped so blocked
+    /// `wait_for_publication` callers re-check.
+    fn note_pool_depth(&mut self) {
+        if self.replaying {
+            return;
+        }
+        self.shadow.set_pending(self.pool.len());
+        self.published.notify_publication();
     }
 
     /// Rebuild the shadow snapshot from scratch and publish it. Used
@@ -250,8 +282,9 @@ impl LocalNode {
         }
         snapshot.sync_history(&self.blocks, &self.receipts);
         snapshot.set_clock(self.timestamp);
-        snapshot.set_pending(self.pending.len());
+        snapshot.set_pending(self.pool.len());
         let _ = self.state.take_dirty();
+        self.state_epoch += 1;
         self.shadow = snapshot;
         self.published.store(Arc::new(self.shadow.clone()));
     }
@@ -364,6 +397,7 @@ impl LocalNode {
     pub fn restore_account_state(&mut self, address: Address, account: crate::state::Account) {
         self.state.restore_account(address, account);
         self.state.commit();
+        self.state_epoch += 1;
         self.publish();
     }
 
@@ -378,6 +412,7 @@ impl LocalNode {
         self.log_record(|| WalRecord::Faucet(address, value))?;
         self.state.credit(address, value);
         self.state.commit();
+        self.state_epoch += 1;
         self.publish();
         Ok(())
     }
@@ -392,6 +427,7 @@ impl LocalNode {
     pub fn try_increase_time(&mut self, seconds: u64) -> Result<(), TxError> {
         self.log_record(|| WalRecord::IncreaseTime(seconds))?;
         self.timestamp += seconds;
+        self.state_epoch += 1;
         self.publish();
         Ok(())
     }
@@ -408,6 +444,7 @@ impl LocalNode {
     pub fn try_set_timestamp(&mut self, timestamp: u64) -> Result<(), TxError> {
         self.log_record(|| WalRecord::SetTime(timestamp))?;
         self.timestamp = self.timestamp.max(timestamp);
+        self.state_epoch += 1;
         self.publish();
         Ok(())
     }
@@ -418,7 +455,7 @@ impl LocalNode {
             state: self.state.deep_clone(),
             blocks_len: self.blocks.len(),
             timestamp: self.timestamp,
-            pending: self.pending.clone(),
+            pending: self.pool.dump(),
         });
         self.snapshots.len() - 1
     }
@@ -565,6 +602,7 @@ impl LocalNode {
             tx_index: 0,
             status: u64::from(result.success),
             gas_used,
+            effective_gas_price: tx.gas_price,
             contract_address: result.created,
             logs,
             output: result.output,
@@ -595,6 +633,7 @@ impl LocalNode {
             self.receipts.insert(tx_hash, receipt);
         }
         self.blocks.push(block.clone());
+        self.state_epoch += 1;
         // All three mining modes funnel through here: every sealed block
         // is published before its entry point returns.
         self.publish();
@@ -606,13 +645,16 @@ impl LocalNode {
     /// one is attached) *before* execution: append-before-apply is what
     /// makes a crash at any point recoverable.
     ///
-    /// If the sender already has submissions in the pending queue, the
-    /// queue is mined first: queued nonces (and therefore hashes) were
-    /// fixed at submit time, so an instant transaction may never jump
-    /// ahead of them. The flush is logged as an ordinary `MineBlock`
-    /// record ahead of the `InstantTx` record, keeping replay exact.
+    /// If the sender already has *ready* submissions pooled, the pool is
+    /// mined first: pooled nonces (and therefore hashes) were fixed at
+    /// submit time, so an instant transaction may never jump ahead of
+    /// them. The flush is logged as an ordinary `MineBlock` record ahead
+    /// of the `InstantTx` record, keeping replay exact. Gap-parked
+    /// transactions from the sender stay pooled — they cannot execute
+    /// before the hole fills, so the instant transaction (which executes
+    /// at the committed nonce) correctly goes first.
     pub fn send_transaction(&mut self, tx: Transaction) -> Result<Receipt, TxError> {
-        if self.pending.iter().any(|p| p.from == tx.from) {
+        while self.pool.has_ready(tx.from, self.state.nonce(tx.from)) {
             self.try_mine_block()?;
         }
         self.log_record(|| WalRecord::InstantTx(tx.clone()))?;
@@ -627,34 +669,38 @@ impl LocalNode {
             .expect("seal_block stored the receipt"))
     }
 
-    /// The nonce a `nonce: None` submission from `from` resolves to:
-    /// the account's committed next nonce plus everything already queued
-    /// from the same sender (queued transactions execute first).
+    /// The nonce a `nonce: None` submission from `from` resolves to: the
+    /// first unoccupied nonce at or above the account's committed nonce
+    /// (pooled transactions execute first; holes are filled first).
     fn next_pending_nonce(&self, from: Address) -> u64 {
-        self.state.nonce(from) + self.pending.iter().filter(|p| p.from == from).count() as u64
+        self.pool.next_nonce(from, self.state.nonce(from))
     }
 
     /// Resolve a submission's nonce **once, now** — from this point the
     /// transaction hash is stable: the hash returned at submit time is
     /// the hash the receipt is stored under after mining, no matter what
     /// other traffic lands in between.
-    fn resolve_submission(&self, tx: &mut Transaction, same_sender_ahead: u64) -> H256 {
-        let nonce = tx
-            .nonce
-            .unwrap_or_else(|| self.next_pending_nonce(tx.from) + same_sender_ahead);
+    fn resolve_submission(&self, tx: &mut Transaction) -> H256 {
+        let nonce = tx.nonce.unwrap_or_else(|| self.next_pending_nonce(tx.from));
         tx.nonce = Some(nonce);
         tx.hash(nonce)
     }
 
-    /// Push an already-resolved transaction into the queue, bypassing the
-    /// cap and duplicate checks — the WAL-replay and image-import path,
-    /// where the committed prefix is authoritative. Transactions from
-    /// legacy images may still carry `nonce: None`; they are resolved
-    /// here with the same rule as live submission.
+    /// Re-pool a replayed `SubmitTx` record — the WAL-recovery path.
+    /// Replay re-runs the *same* insert decision live submission made:
+    /// the pool before each record is the same fold over the same prior
+    /// records, so every committed record re-accepts with the same plan
+    /// (replacement, eviction) and recovery reconstructs the identical
+    /// pool — entries, priority order and tie-breaks included.
+    /// Transactions from legacy logs may still carry `nonce: None`; they
+    /// resolve here with the same rule as live submission.
     fn enqueue_pending_unchecked(&mut self, mut tx: Transaction) {
-        let hash = self.resolve_submission(&mut tx, 0);
-        self.pending.push(tx);
-        self.pending_hashes.insert(hash);
+        let hash = self.resolve_submission(&mut tx);
+        let state_nonce = self.state.nonce(tx.from);
+        // An error is only reachable replaying a log written by an older
+        // node version with weaker rules; drop deterministically rather
+        // than poison recovery.
+        let _ = self.pool.insert(tx, hash, state_nonce);
     }
 
     /// Queue a transaction without mining (batch mode); returns its
@@ -669,24 +715,19 @@ impl LocalNode {
     ///
     /// The nonce is resolved here — the returned hash is the
     /// transaction's identity for its whole life ([`LocalNode::receipt`]
-    /// finds it after mining). A submission whose resolved hash is
-    /// already queued is rejected ([`TxError::DuplicateTransaction`]),
-    /// and a full queue pushes back ([`TxError::QueueFull`]) *before*
-    /// anything is logged to the WAL.
+    /// finds it after mining). Every rejection — duplicate hash, stale
+    /// nonce, underpriced replacement, full pool without an evictable
+    /// cheaper tail — is decided *before* anything is logged to the WAL
+    /// ([`Mempool::plan_insert`]), and the planned outcome is applied
+    /// verbatim after the append: append-before-apply, decision-first.
     pub fn try_submit_transaction(&mut self, mut tx: Transaction) -> Result<H256, TxError> {
-        if self.pending.len() >= self.config.max_pending {
-            return Err(TxError::QueueFull {
-                limit: self.config.max_pending,
-            });
-        }
-        let hash = self.resolve_submission(&mut tx, 0);
-        if self.pending_hashes.contains(&hash) {
-            return Err(TxError::DuplicateTransaction(hash));
-        }
+        let hash = self.resolve_submission(&mut tx);
+        let plan = self
+            .pool
+            .plan_insert(&tx, hash, self.state.nonce(tx.from))?;
         self.log_record(|| WalRecord::SubmitTx(tx.clone()))?;
-        self.pending.push(tx);
-        self.pending_hashes.insert(hash);
-        self.publish();
+        self.pool.commit_insert(tx, hash, plan);
+        self.note_pool_depth();
         Ok(hash)
     }
 
@@ -701,46 +742,48 @@ impl LocalNode {
 
     /// [`LocalNode::submit_transactions`], surfacing failures.
     ///
-    /// Either the whole batch becomes durable (then pending) or none of
-    /// it does: cap and duplicate checks run over the entire batch first,
-    /// and the WAL rolls back to the pre-batch offset on any append or
-    /// fsync failure, so recovery never observes a partial batch.
+    /// Either the whole batch becomes durable (then pooled) or none of
+    /// it does: the batch is staged on a scratch copy of the pool where
+    /// every insert runs the full live decision — nonce resolution
+    /// against earlier batch entries, duplicate, replacement and
+    /// eviction rules — and the first rejection aborts the batch before
+    /// anything touches the WAL. The WAL rolls back to the pre-batch
+    /// offset on any append or fsync failure, so recovery never observes
+    /// a partial batch; committing the staged pool wholesale equals the
+    /// sequential per-record inserts replay performs.
     pub fn try_submit_transactions(&mut self, txs: Vec<Transaction>) -> Result<Vec<H256>, TxError> {
         if txs.is_empty() {
             return Ok(Vec::new());
         }
-        if self.pending.len() + txs.len() > self.config.max_pending {
-            return Err(TxError::QueueFull {
-                limit: self.config.max_pending,
-            });
-        }
+        let mut staged = self.pool.clone();
         let mut resolved = Vec::with_capacity(txs.len());
         let mut hashes = Vec::with_capacity(txs.len());
-        let mut batch_hashes: FxHashSet<H256> = FxHashSet::default();
-        let mut same_sender_ahead: FxHashMap<Address, u64> = FxHashMap::default();
         for mut tx in txs {
-            let ahead = same_sender_ahead.entry(tx.from).or_insert(0);
-            let hash = {
-                let ahead = *ahead;
-                self.resolve_submission(&mut tx, ahead)
-            };
-            *ahead += 1;
-            if self.pending_hashes.contains(&hash) || !batch_hashes.insert(hash) {
-                return Err(TxError::DuplicateTransaction(hash));
-            }
+            let state_nonce = self.state.nonce(tx.from);
+            let nonce = tx
+                .nonce
+                .unwrap_or_else(|| staged.next_nonce(tx.from, state_nonce));
+            tx.nonce = Some(nonce);
+            let hash = tx.hash(nonce);
+            staged.insert(tx.clone(), hash, state_nonce)?;
             hashes.push(hash);
             resolved.push(tx);
         }
         self.log_batch(|| resolved.iter().cloned().map(WalRecord::SubmitTx).collect())?;
-        self.pending.extend(resolved);
-        self.pending_hashes.extend(hashes.iter().copied());
-        self.publish();
+        self.pool = staged;
+        self.note_pool_depth();
         Ok(hashes)
     }
 
-    /// Number of queued transactions.
+    /// Number of pooled transactions (ready + gap-parked).
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pool.len()
+    }
+
+    /// Current state epoch (see the field docs); pure submissions do not
+    /// bump it.
+    pub fn state_epoch(&self) -> u64 {
+        self.state_epoch
     }
 
     /// Mine every queued transaction into ONE block (in submission order),
@@ -761,13 +804,20 @@ impl LocalNode {
 
     /// [`LocalNode::mine_block`], surfacing durability failures.
     pub fn try_mine_block(&mut self) -> Result<(Block, Vec<TxError>), TxError> {
-        self.log_record(|| WalRecord::MineBlock)?;
-        Ok(self.mine_block_inner())
+        self.log_record(|| WalRecord::MineBlock { take: None })?;
+        Ok(self.mine_block_inner(None))
     }
 
-    fn mine_block_inner(&mut self) -> (Block, Vec<TxError>) {
-        let pending = std::mem::take(&mut self.pending);
-        self.pending_hashes.clear();
+    /// Drain up to `take` ready transactions from the pool in priority
+    /// order (everything ready when `None`). Gap-parked transactions
+    /// stay pooled — no gap execution, ever.
+    fn drain_ready(&mut self, take: Option<usize>) -> Vec<Transaction> {
+        let state = &self.state;
+        self.pool.take_ready(|address| state.nonce(address), take)
+    }
+
+    fn mine_block_inner(&mut self, take: Option<usize>) -> (Block, Vec<TxError>) {
+        let pending = self.drain_ready(take);
         let workers = self.config.mining_workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         });
@@ -777,17 +827,34 @@ impl LocalNode {
 
         let env = self.block_env();
         let recent_hashes = self.recent_hashes();
-        let coinbase = self.config.coinbase;
-        let block_gas_limit = self.config.block_gas_limit;
         let outcomes = parallel::speculate_batch(
             &self.state,
             &env,
-            block_gas_limit,
+            self.config.block_gas_limit,
             &recent_hashes,
             &pending,
             workers,
         );
+        self.commit_speculated(&pending, outcomes, &env, &recent_hashes)
+    }
 
+    /// The ordered, conflict-checked commit pass shared by in-lock batch
+    /// mining and the pipelined producer: transactions committed in batch
+    /// order; any whose speculative reads were invalidated by an earlier
+    /// commit (or that observes the coinbase balance after fees started
+    /// accruing) is re-executed against the committed state — which is
+    /// exactly the sequential view, making the result bit-identical to
+    /// [`LocalNode::mine_block_sequential`] no matter where the
+    /// speculation ran.
+    fn commit_speculated(
+        &mut self,
+        pending: &[Transaction],
+        outcomes: Vec<parallel::SpecOutcome>,
+        env: &BlockEnv,
+        recent_hashes: &[(u64, H256)],
+    ) -> (Block, Vec<TxError>) {
+        let coinbase = self.config.coinbase;
+        let block_gas_limit = self.config.block_gas_limit;
         let mut committed_writes: FxHashSet<AccessKey> = FxHashSet::default();
         let mut any_committed = false;
         let mut executed = Vec::with_capacity(pending.len());
@@ -802,7 +869,7 @@ impl LocalNode {
             let outcome = if stale {
                 // Re-execute against the committed state: at this point it
                 // is exactly what sequential mining would see.
-                parallel::speculate(&self.state, &env, block_gas_limit, &recent_hashes, tx)
+                parallel::speculate(&self.state, env, block_gas_limit, recent_hashes, tx)
             } else {
                 speculated
             };
@@ -834,9 +901,8 @@ impl LocalNode {
     /// paths are bit-identical, so recovery replays through the default
     /// engine regardless of which one logged it.
     pub fn try_mine_block_sequential(&mut self) -> Result<(Block, Vec<TxError>), TxError> {
-        self.log_record(|| WalRecord::MineBlock)?;
-        let pending = std::mem::take(&mut self.pending);
-        self.pending_hashes.clear();
+        self.log_record(|| WalRecord::MineBlock { take: None })?;
+        let pending = self.drain_ready(None);
         Ok(self.mine_batch_sequential(pending))
     }
 
@@ -851,6 +917,99 @@ impl LocalNode {
             }
         }
         (self.seal_block(executed), errors)
+    }
+
+    /// Capture everything stage A of the pipelined producer needs under
+    /// a brief lock: the exact ready prefix [`LocalNode::mine_block`]
+    /// would drain next (order included), the block environment it will
+    /// execute under, and the state epoch of the capture. Speculation
+    /// then runs *outside* the lock against the published snapshot —
+    /// which equals the committed state at this epoch — and
+    /// [`LocalNode::commit_pipelined`] refuses the hint if either the
+    /// epoch moved or the ready prefix changed in the meantime.
+    /// `None` when nothing is ready.
+    pub(crate) fn peek_block_hint(&self, take: Option<usize>) -> Option<BlockHint> {
+        let state = &self.state;
+        let peeked = self.pool.peek_ready(|address| state.nonce(address), take);
+        if peeked.is_empty() {
+            return None;
+        }
+        let mut hashes = Vec::with_capacity(peeked.len());
+        let mut txs = Vec::with_capacity(peeked.len());
+        for (hash, tx) in peeked {
+            hashes.push(hash);
+            txs.push(tx);
+        }
+        Some(BlockHint {
+            txs,
+            hashes,
+            take,
+            epoch: self.state_epoch,
+            env: self.block_env(),
+            recent_hashes: self.recent_hashes(),
+        })
+    }
+
+    /// Stage B of the pipeline: re-validate a hint and commit its
+    /// speculated outcomes as the next block. The hint is fresh iff the
+    /// state epoch is unchanged (no block sealed, no time warp, revert
+    /// or import since the peek) *and* the pool's ready prefix still
+    /// drains the identical transaction sequence (concurrent submissions
+    /// that would reorder or replace any hinted transaction invalidate
+    /// it). A stale hint falls back to plain in-lock mining —
+    /// correctness never depends on the fast path. The `MineBlock`
+    /// record carries the drained count so WAL replay takes exactly the
+    /// same prefix.
+    pub(crate) fn commit_pipelined(
+        &mut self,
+        hint: &BlockHint,
+        outcomes: Vec<parallel::SpecOutcome>,
+    ) -> Result<(Block, Vec<TxError>), TxError> {
+        let fresh = self.state_epoch == hint.epoch && outcomes.len() == hint.txs.len() && {
+            let state = &self.state;
+            let peeked = self
+                .pool
+                .peek_ready(|address| state.nonce(address), hint.take);
+            peeked.len() == hint.hashes.len()
+                && peeked
+                    .iter()
+                    .map(|(hash, _)| *hash)
+                    .eq(hint.hashes.iter().copied())
+        };
+        if !fresh {
+            return self.try_mine_block();
+        }
+        self.log_record(|| WalRecord::MineBlock {
+            take: Some(hint.txs.len()),
+        })?;
+        let drained = self.drain_ready(Some(hint.txs.len()));
+        debug_assert_eq!(drained.len(), hint.txs.len(), "validated prefix drains");
+        Ok(self.commit_speculated(&drained, outcomes, &hint.env, &hint.recent_hashes))
+    }
+
+    /// Mine one block through the two-stage pipelined path
+    /// *synchronously*: stage A speculates against the published
+    /// snapshot (exactly what the producer thread does lock-free),
+    /// stage B validates the hint and commits. Exists so tests and
+    /// benches can drive the pipelined engine deterministically; the
+    /// result is bit-identical to [`LocalNode::mine_block`].
+    pub fn try_mine_block_pipelined(&mut self) -> Result<(Block, Vec<TxError>), TxError> {
+        let Some(hint) = self.peek_block_hint(None) else {
+            return self.try_mine_block();
+        };
+        let snapshot = self.published_snapshot();
+        let workers = self.config.mining_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        });
+        let outcomes = parallel::speculate_batch(
+            snapshot.as_ref(),
+            &hint.env,
+            self.config.block_gas_limit,
+            &hint.recent_hashes,
+            &hint.txs,
+            workers,
+        );
+        self.commit_pipelined(&hint, outcomes)
     }
 
     /// `debug_traceCall`: execute a read-only call with a structured
@@ -1134,8 +1293,8 @@ impl LocalNode {
             // was logged, and replay must reproduce the committed prefix
             // exactly (never drop below it, never exceed it).
             WalRecord::SubmitTx(tx) => self.enqueue_pending_unchecked(tx),
-            WalRecord::MineBlock => {
-                let _ = self.mine_block_inner();
+            WalRecord::MineBlock { take } => {
+                let _ = self.mine_block_inner(take);
             }
             WalRecord::IncreaseTime(seconds) => self.timestamp += seconds,
             WalRecord::SetTime(timestamp) => self.timestamp = self.timestamp.max(timestamp),
@@ -1203,8 +1362,28 @@ impl LocalNode {
         &self.receipts
     }
 
-    pub(crate) fn pending_txs(&self) -> &[Transaction] {
-        &self.pending
+    /// Pooled transactions in arrival order (snapshot-image export).
+    pub(crate) fn pending_txs(&self) -> Vec<Transaction> {
+        self.pool.dump()
+    }
+
+    /// Full pool content split into `(ready, parked)` per-sender groups
+    /// — the `txpool_content` introspection shape.
+    #[allow(clippy::type_complexity)]
+    pub fn txpool_content(
+        &self,
+    ) -> (
+        Vec<(Address, u64, Transaction)>,
+        Vec<(Address, u64, Transaction)>,
+    ) {
+        let state = &self.state;
+        self.pool.content(|address| state.nonce(address))
+    }
+
+    /// `(ready, parked)` pool counts — the `txpool_status` split.
+    pub fn txpool_status(&self) -> (usize, usize) {
+        let state = &self.state;
+        self.pool.status(|address| state.nonce(address))
     }
 
     pub(crate) fn install_history(
@@ -1216,11 +1395,20 @@ impl LocalNode {
         self.receipts = receipts;
     }
 
+    /// Replace the pool with a dumped transaction list (image import,
+    /// snapshot revert). Entries install verbatim in dump order — no
+    /// cap, duplicate or replacement checks; the dump is authoritative —
+    /// so arrival order, and with it every equal-price tie-break, is
+    /// reconstructed exactly.
     pub(crate) fn install_pending(&mut self, pending: Vec<Transaction>) {
-        self.pending.clear();
-        self.pending_hashes.clear();
-        for tx in pending {
-            self.enqueue_pending_unchecked(tx);
+        self.pool = Mempool::new(self.config.max_pending);
+        for mut tx in pending {
+            let nonce = tx
+                .nonce
+                .unwrap_or_else(|| self.pool.next_nonce(tx.from, self.state.nonce(tx.from)));
+            tx.nonce = Some(nonce);
+            let hash = tx.hash(nonce);
+            self.pool.insert_unchecked(tx, hash);
         }
     }
 

@@ -40,12 +40,29 @@ pub(crate) struct SpecOutcome {
     pub fee: U256,
 }
 
+/// Read-only account source a speculation can run against: the node's
+/// live [`WorldState`] (in-lock mining) or a published
+/// [`crate::mvcc::CommittedSnapshot`] (the pipelined producer's
+/// lock-free stage A). The two views are equal at a given state epoch —
+/// every committed mutation publishes before its entry point returns —
+/// so speculation outcomes are interchangeable between them.
+pub(crate) trait BaseView: Sync {
+    /// The committed account at `address`, if one exists.
+    fn base_account(&self, address: Address) -> Option<&Account>;
+}
+
+impl BaseView for WorldState {
+    fn base_account(&self, address: Address) -> Option<&Account> {
+        self.account(address)
+    }
+}
+
 /// World-state view for one speculative transaction: reads fall through
 /// to the shared immutable base, writes land in a private copy-on-write
 /// overlay. EVM-level snapshot/revert clones the overlay — speculative
 /// transactions are small, and the base is never copied.
-struct SpecHost<'a> {
-    base: &'a WorldState,
+struct SpecHost<'a, B: BaseView> {
+    base: &'a B,
     env: &'a BlockEnv,
     gas_price: U256,
     recent_hashes: &'a [(u64, H256)],
@@ -55,9 +72,9 @@ struct SpecHost<'a> {
     snapshots: Vec<(FxHashMap<Address, Option<Account>>, usize)>,
 }
 
-impl<'a> SpecHost<'a> {
+impl<'a, B: BaseView> SpecHost<'a, B> {
     fn new(
-        base: &'a WorldState,
+        base: &'a B,
         env: &'a BlockEnv,
         gas_price: U256,
         recent_hashes: &'a [(u64, H256)],
@@ -78,7 +95,7 @@ impl<'a> SpecHost<'a> {
         match self.overlay.get(&address) {
             Some(Some(account)) => Some(account),
             Some(None) => None,
-            None => self.base.account(address),
+            None => self.base.base_account(address),
         }
     }
 
@@ -88,7 +105,7 @@ impl<'a> SpecHost<'a> {
         let slot = self
             .overlay
             .entry(address)
-            .or_insert_with(|| Some(base.account(address).cloned().unwrap_or_default()));
+            .or_insert_with(|| Some(base.base_account(address).cloned().unwrap_or_default()));
         if slot.is_none() {
             *slot = Some(Account::default());
         }
@@ -115,7 +132,7 @@ impl<'a> SpecHost<'a> {
     }
 }
 
-impl Host for SpecHost<'_> {
+impl<B: BaseView> Host for SpecHost<'_, B> {
     fn block(&self) -> &BlockEnv {
         self.env
     }
@@ -252,8 +269,8 @@ impl Host for SpecHost<'_> {
 /// that a conflict-free speculation is indistinguishable from a
 /// sequential run. The coinbase fee is *returned*, not applied, so the
 /// caller can credit it commutatively.
-pub(crate) fn speculate(
-    state: &WorldState,
+pub(crate) fn speculate<B: BaseView>(
+    state: &B,
     env: &BlockEnv,
     block_gas_limit: u64,
     recent_hashes: &[(u64, H256)],
@@ -261,7 +278,7 @@ pub(crate) fn speculate(
 ) -> SpecOutcome {
     let mut host = RecordingHost::new(SpecHost::new(state, env, tx.gas_price, recent_hashes));
 
-    let abort = |host: RecordingHost<SpecHost<'_>>, error: TxError| {
+    let abort = |host: RecordingHost<SpecHost<'_, B>>, error: TxError| {
         // Validation failures happen before any state mutation, so the
         // overlay is empty; the recorded *reads* still matter, because the
         // error itself (wrong nonce, poor balance) must be revalidated if
@@ -342,6 +359,7 @@ pub(crate) fn speculate(
         tx_index: 0,
         status: u64::from(result.success),
         gas_used,
+        effective_gas_price: tx.gas_price,
         contract_address: result.created,
         logs: spec.logs,
         output: result.output,
@@ -356,8 +374,8 @@ pub(crate) fn speculate(
 
 /// Speculate every transaction concurrently against the same base state.
 /// Results come back in input order.
-pub(crate) fn speculate_batch(
-    state: &WorldState,
+pub(crate) fn speculate_batch<B: BaseView>(
+    state: &B,
     env: &BlockEnv,
     block_gas_limit: u64,
     recent_hashes: &[(u64, H256)],

@@ -1,0 +1,306 @@
+//! The pipelined block producer.
+//!
+//! The interval miner this module replaces was stop-and-go: on every tick
+//! it took the node lock and ran the *whole* block lifecycle inside it —
+//! drain the pool, execute every transaction, seal, publish — while
+//! submitters queued on the mutex. Execution and submission strictly
+//! alternated, so sustained write throughput was bounded by
+//! `1 / (submit_cost + execute_cost)` even though the two phases touch
+//! disjoint data (submissions only append to the pool; execution only
+//! reads committed state).
+//!
+//! [`BlockProducer`] splits the lifecycle into the two stages the MVCC
+//! layer already makes safe:
+//!
+//! * **Stage A (lock-free execution).** Under a brief lock the producer
+//!   peeks the fee-ordered ready prefix as a [`BlockHint`] — the exact
+//!   transaction sequence, the block environment, and the state epoch it
+//!   was computed at — plus the matching published
+//!   [`CommittedSnapshot`](crate::mvcc::CommittedSnapshot). It then
+//!   releases the lock and runs `speculate_batch` against the snapshot.
+//!   While speculation executes, submitters keep appending to the pool
+//!   and the WAL group commit for their records proceeds — execution
+//!   and durability overlap instead of alternating.
+//! * **Stage B (brief-lock commit).** The producer re-takes the lock and
+//!   calls [`commit_pipelined`](crate::node::LocalNode): the hint is
+//!   validated (same epoch, same ready prefix) and the precomputed
+//!   outcomes are committed through the same Block-STM-lite commit pass
+//!   the in-lock miner uses — per-transaction conflict checks against
+//!   the block's own committed writes, with in-lock re-execution for
+//!   any transaction invalidated by a concurrent state change. A stale
+//!   hint falls back to plain in-lock mining, so the fast path is an
+//!   optimisation, never a correctness dependency; the differential
+//!   test suite proves the pipelined path bit-identical to sequential
+//!   mining.
+//!
+//! # Wake-up policy
+//!
+//! The producer sleeps on the publication condvar
+//! ([`ReadHandle::wait_for_publication`]) instead of a fixed-tick poll.
+//! Every submission bumps the publication sequence through the node's
+//! pool-depth gauge, so the producer wakes the moment work arrives and
+//! mines early when the pool reaches [`ProducerConfig::pressure`] — a
+//! full batch never waits out the remainder of the interval. Otherwise
+//! it seals at most once per [`ProducerConfig::interval`], preserving
+//! the interval-mining contract for block timestamps and `newHeads`
+//! cadence.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::mvcc::ReadHandle;
+use crate::node::LocalNode;
+use crate::parallel;
+
+/// Tuning for a [`BlockProducer`].
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// Maximum time a pending transaction waits before a block seals.
+    /// The producer mines on the first wake-up at or after the deadline
+    /// whenever the pool is non-empty.
+    pub interval: Duration,
+    /// Pool depth that triggers an early block before the interval
+    /// elapses. Set to the expected batch size so a full batch mines
+    /// immediately instead of waiting out the tick.
+    pub pressure: usize,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        ProducerConfig {
+            interval: Duration::from_millis(1000),
+            pressure: 128,
+        }
+    }
+}
+
+impl ProducerConfig {
+    /// A config with the given interval and the default pressure bound.
+    pub fn with_interval(interval: Duration) -> Self {
+        ProducerConfig {
+            interval,
+            ..ProducerConfig::default()
+        }
+    }
+}
+
+/// Handle to the producer thread. Dropping it (or calling
+/// [`BlockProducer::stop`]) shuts the thread down and joins it, so the
+/// producer never outlives the server that spawned it.
+pub struct BlockProducer {
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BlockProducer {
+    /// Spawn the producer thread over a shared node.
+    ///
+    /// `reads` must be the node's own read handle
+    /// ([`LocalNode::read_handle`]): the producer sleeps on its
+    /// publication signal and speculates against its snapshots.
+    pub fn spawn(
+        node: Arc<Mutex<LocalNode>>,
+        reads: ReadHandle,
+        config: ProducerConfig,
+    ) -> BlockProducer {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("lsc-block-producer".into())
+            .spawn(move || producer_loop(&node, &reads, &config, &flag))
+            .expect("failed to spawn block producer thread");
+        BlockProducer {
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal shutdown and join the producer thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BlockProducer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// How long the producer sleeps per condvar wait. Bounds shutdown
+/// latency and re-checks the interval deadline even when no
+/// publications arrive.
+const WAKE_SLICE: Duration = Duration::from_millis(20);
+
+fn producer_loop(
+    node: &Mutex<LocalNode>,
+    reads: &ReadHandle,
+    config: &ProducerConfig,
+    shutdown: &AtomicBool,
+) {
+    let mut seen = reads.publication_seq();
+    let mut deadline = Instant::now() + config.interval;
+    while !shutdown.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now < deadline {
+            let timeout = (deadline - now).min(WAKE_SLICE);
+            let (next_seen, snapshot) = reads.wait_for_publication(seen, timeout);
+            seen = next_seen;
+            // Early wake: a full batch is ready — mine it now rather
+            // than letting it wait out the rest of the interval.
+            let full_batch = config.pressure > 0 && snapshot.pending_count() >= config.pressure;
+            if !full_batch && Instant::now() < deadline {
+                continue;
+            }
+        }
+        // Whether a block sealed or the pool was empty, the next block
+        // is due one interval from now.
+        produce_block(node);
+        deadline = Instant::now() + config.interval;
+    }
+}
+
+/// Run one pipelined block production attempt. Returns `true` iff a
+/// block was sealed.
+fn produce_block(node: &Mutex<LocalNode>) -> bool {
+    // Stage A, in-lock half: capture the hint and its snapshot. Cheap —
+    // a ready-prefix peek plus two Arc clones.
+    let (hint, snapshot, workers, gas_limit) = {
+        let node = node.lock();
+        let Some(hint) = node.peek_block_hint(None) else {
+            return false;
+        };
+        let config = node.config();
+        let workers = config.mining_workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        });
+        (
+            hint,
+            node.published_snapshot(),
+            workers,
+            config.block_gas_limit,
+        )
+    };
+    // Stage A, lock-free half: execute against the frozen snapshot while
+    // submitters keep the node busy elsewhere.
+    let outcomes = parallel::speculate_batch(
+        snapshot.as_ref(),
+        &hint.env,
+        gas_limit,
+        &hint.recent_hashes,
+        &hint.txs,
+        workers,
+    );
+    // Stage B: validate and commit (or fall back to in-lock mining if
+    // the hint went stale under concurrent traffic).
+    node.lock().commit_pipelined(&hint, outcomes).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transaction;
+    use lsc_primitives::U256;
+
+    fn wait_for_height(reads: &ReadHandle, height: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut seen = 0;
+        while Instant::now() < deadline {
+            let (next, snapshot) = reads.wait_for_publication(seen, Duration::from_millis(10));
+            seen = next;
+            if snapshot.block_number() >= height {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn producer_mines_pending_transactions() {
+        let node = LocalNode::new(4);
+        let accounts = node.accounts();
+        let (alice, bob) = (accounts[0], accounts[1]);
+        let reads = node.read_handle();
+        let node = Arc::new(Mutex::new(node));
+        let mut producer = BlockProducer::spawn(
+            Arc::clone(&node),
+            reads.clone(),
+            ProducerConfig {
+                interval: Duration::from_millis(10),
+                pressure: 64,
+            },
+        );
+        for _ in 0..3 {
+            let tx = Transaction::call(alice, bob, vec![]).with_value(U256::from_u64(7));
+            node.lock()
+                .try_submit_transaction(tx)
+                .expect("submit succeeds");
+        }
+        // Generous deadline: on a loaded CI machine the producer thread
+        // can be starved for seconds; the assertion is about *whether*
+        // it seals, not how fast.
+        assert!(
+            wait_for_height(&reads, 1, Duration::from_secs(60)),
+            "producer never sealed a block"
+        );
+        producer.stop();
+        let node = node.lock();
+        assert_eq!(node.pending_count(), 0, "pool drained");
+        assert_eq!(node.nonce(alice), 3);
+    }
+
+    #[test]
+    fn pressure_threshold_mines_before_interval() {
+        let node = LocalNode::new(4);
+        let accounts = node.accounts();
+        let (alice, bob) = (accounts[0], accounts[1]);
+        let reads = node.read_handle();
+        let node = Arc::new(Mutex::new(node));
+        // Interval far beyond the assertion window: only the pressure
+        // trigger can seal this block.
+        let mut producer = BlockProducer::spawn(
+            Arc::clone(&node),
+            reads.clone(),
+            ProducerConfig {
+                interval: Duration::from_secs(3600),
+                pressure: 4,
+            },
+        );
+        for _ in 0..4 {
+            let tx = Transaction::call(alice, bob, vec![]).with_value(U256::from_u64(1));
+            node.lock()
+                .try_submit_transaction(tx)
+                .expect("submit succeeds");
+        }
+        // The hour-long interval keeps this sound at any deadline: only
+        // the pressure trigger can seal inside the window.
+        assert!(
+            wait_for_height(&reads, 1, Duration::from_secs(60)),
+            "pressure threshold never fired"
+        );
+        producer.stop();
+        assert_eq!(node.lock().pending_count(), 0);
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_joins() {
+        let node = LocalNode::new(1);
+        let reads = node.read_handle();
+        let node = Arc::new(Mutex::new(node));
+        let mut producer = BlockProducer::spawn(
+            node,
+            reads,
+            ProducerConfig::with_interval(Duration::from_millis(5)),
+        );
+        producer.stop();
+        producer.stop();
+        // Drop after stop must not hang or panic.
+    }
+}

@@ -117,6 +117,10 @@ pub enum TxError {
     },
     /// A transaction with this submit-time hash is already queued.
     DuplicateTransaction(H256),
+    /// A different transaction already occupies this sender/nonce slot
+    /// and the new gas price does not clear the replacement price bump
+    /// (see `mempool::PRICE_BUMP_PERCENT`).
+    ReplacementUnderpriced,
     /// The durability layer failed to log the transaction (write-ahead
     /// log append error or injected fault); the transaction was not
     /// applied and the node refuses further state changes — the process
@@ -142,6 +146,9 @@ impl std::fmt::Display for TxError {
             Self::DuplicateTransaction(hash) => {
                 write!(f, "transaction already queued: {hash}")
             }
+            Self::ReplacementUnderpriced => {
+                write!(f, "replacement transaction underpriced")
+            }
             Self::Durability(message) => write!(f, "durability failure: {message}"),
         }
     }
@@ -162,6 +169,10 @@ pub struct Receipt {
     pub status: u64,
     /// Gas consumed (after refunds).
     pub gas_used: u64,
+    /// The per-gas price the transaction actually paid — its own
+    /// `gas_price` bid (no base-fee mechanics here), surfaced so fees
+    /// are auditable end-to-end: submit bid → pool priority → receipt.
+    pub effective_gas_price: U256,
     /// Deployed contract address, if a deployment.
     pub contract_address: Option<Address>,
     /// Event logs emitted.
@@ -253,6 +264,7 @@ mod tests {
             tx_index: 0,
             status: 1,
             gas_used: 0,
+            effective_gas_price: U256::ZERO,
             contract_address: None,
             logs: vec![],
             output: vec![],

@@ -241,8 +241,15 @@ pub enum WalRecord {
     InstantTx(Transaction),
     /// `submit_transaction`: queue without mining.
     SubmitTx(Transaction),
-    /// `mine_block`: mine the whole pending queue into one block.
-    MineBlock,
+    /// `mine_block`: drain the pool's ready set in priority order into
+    /// one block. `take: None` drains everything ready (the classic
+    /// manual/interval mine); `take: Some(n)` drains exactly the first
+    /// `n` — logged by the pipelined producer so replay re-takes the
+    /// identical prefix it committed.
+    MineBlock {
+        /// Bound on how many ready transactions the block drains.
+        take: Option<usize>,
+    },
     /// `increase_time`.
     IncreaseTime(u64),
     /// `set_timestamp`.
@@ -274,9 +281,16 @@ impl WalRecord {
                 ("type", JsonValue::String("submit_tx".into())),
                 ("tx", codec::tx_to_json(tx)),
             ]),
-            WalRecord::MineBlock => {
+            // `take: None` encodes byte-identically to the legacy
+            // record, so logs written before the bound existed replay
+            // unchanged (and checksums keep matching).
+            WalRecord::MineBlock { take: None } => {
                 JsonValue::object([("type", JsonValue::String("mine_block".into()))])
             }
+            WalRecord::MineBlock { take: Some(n) } => JsonValue::object([
+                ("type", JsonValue::String("mine_block".into())),
+                ("take", JsonValue::Number(*n as f64)),
+            ]),
             WalRecord::IncreaseTime(seconds) => JsonValue::object([
                 ("type", JsonValue::String("increase_time".into())),
                 ("seconds", JsonValue::Number(*seconds as f64)),
@@ -312,7 +326,12 @@ impl WalRecord {
         match kind {
             "instant_tx" => Ok(WalRecord::InstantTx(tx(doc)?)),
             "submit_tx" => Ok(WalRecord::SubmitTx(tx(doc)?)),
-            "mine_block" => Ok(WalRecord::MineBlock),
+            "mine_block" => Ok(WalRecord::MineBlock {
+                take: match doc.get("take") {
+                    Some(JsonValue::Number(n)) if *n >= 0.0 => Some(*n as usize),
+                    _ => None,
+                },
+            }),
             "increase_time" => Ok(WalRecord::IncreaseTime(codec::u64_field(doc, "seconds")?)),
             "set_time" => Ok(WalRecord::SetTime(codec::u64_field(doc, "timestamp")?)),
             "faucet" => Ok(WalRecord::Faucet(
@@ -705,7 +724,7 @@ mod tests {
             WalRecord::Faucet(a, U256::from_u64(1000)),
             WalRecord::InstantTx(Transaction::call(a, b, vec![]).with_value(U256::from_u64(5))),
             WalRecord::SubmitTx(Transaction::call(a, b, vec![1, 2, 3])),
-            WalRecord::MineBlock,
+            WalRecord::MineBlock { take: None },
             WalRecord::IncreaseTime(86_400),
             WalRecord::SetTime(1_700_000_000),
             WalRecord::VersionPointer {
@@ -737,7 +756,7 @@ mod tests {
         // Re-opening appends to the same segment.
         drop(wal);
         let mut wal = Wal::open(&dir, Faults::none()).unwrap();
-        wal.append(&WalRecord::MineBlock).unwrap();
+        wal.append(&WalRecord::MineBlock { take: None }).unwrap();
         assert_eq!(
             committed_records(&dir, 0).unwrap().len(),
             sample_records().len() + 1
@@ -756,7 +775,7 @@ mod tests {
         // Tear the tail by hand: append half a frame.
         let path = segment_path(&dir, 1);
         let good_len = std::fs::metadata(&path).unwrap().len();
-        let torn = frame(&WalRecord::MineBlock.encode());
+        let torn = frame(&WalRecord::MineBlock { take: None }.encode());
         let mut file = OpenOptions::new().append(true).open(&path).unwrap();
         file.write_all(&torn[..torn.len() / 2]).unwrap();
         drop(file);
@@ -883,7 +902,7 @@ mod tests {
         let dir = temp_dir("batch");
         let faults = Faults::none();
         let mut wal = Wal::open(&dir, faults.clone()).unwrap();
-        wal.append(&WalRecord::MineBlock).unwrap();
+        wal.append(&WalRecord::MineBlock { take: None }).unwrap();
         let before = faults.op_counts();
         let batch = sample_records();
         wal.append_batch(&batch).unwrap();
@@ -894,7 +913,7 @@ mod tests {
             "one write per record"
         );
         assert_eq!(after.fsyncs - before.fsyncs, 1, "one fsync per batch");
-        let mut expected = vec![WalRecord::MineBlock];
+        let mut expected = vec![WalRecord::MineBlock { take: None }];
         expected.extend(batch);
         assert_eq!(committed_records(&dir, 0).unwrap(), expected);
         // Empty batches are free: no I/O at all.
@@ -931,18 +950,18 @@ mod tests {
         for (i, plan) in plans.into_iter().enumerate() {
             let dir = temp_dir(&format!("batch-fault-{i}"));
             let mut wal = Wal::open(&dir, Faults::plan(plan.clone())).unwrap();
-            wal.append(&WalRecord::MineBlock).unwrap();
+            wal.append(&WalRecord::MineBlock { take: None }).unwrap();
             let err = wal.append_batch(&batch).unwrap_err();
             assert!(matches!(err, WalError::Injected(_)), "plan {plan:?}");
             assert_eq!(
                 committed_records(&dir, 0).unwrap(),
-                vec![WalRecord::MineBlock],
+                vec![WalRecord::MineBlock { take: None }],
                 "plan {plan:?}: partial batch visible after crash"
             );
             // The wal stays usable after the rollback: a retry appends
             // the whole batch cleanly at the pre-batch offset.
             wal.append_batch(&batch).unwrap();
-            let mut expected = vec![WalRecord::MineBlock];
+            let mut expected = vec![WalRecord::MineBlock { take: None }];
             expected.extend(batch.clone());
             assert_eq!(committed_records(&dir, 0).unwrap(), expected);
             std::fs::remove_dir_all(&dir).ok();

@@ -159,18 +159,31 @@ fn batch_receipts_match_instant_receipts_per_tx_gas_price() {
         instant_receipts.push(instant.send_transaction(tx).unwrap());
     }
 
+    let mut submitted = Vec::new();
     for (i, price) in prices.iter().enumerate() {
         let tx = call(&batch, i, *price, echo_batch);
-        batch.submit_transaction(tx);
+        submitted.push((batch.submit_transaction(tx), i));
     }
     let coinbase = batch.config().coinbase;
     let coinbase_before = batch.balance(coinbase);
     let (block, errors) = batch.mine_block();
     assert!(errors.is_empty(), "{errors:?}");
     assert_eq!(block.tx_hashes.len(), prices.len());
+    // The fee-ordered pool drains highest gas price first, so the block
+    // reorders the three independent senders by descending bid.
+    let block_order: Vec<usize> = block
+        .tx_hashes
+        .iter()
+        .map(|h| submitted.iter().find(|(hash, _)| hash == h).unwrap().1)
+        .collect();
+    assert_eq!(
+        block_order,
+        vec![2, 1, 0],
+        "block drains by descending gas price"
+    );
 
     let mut expected_fees = U256::ZERO;
-    for (i, tx_hash) in block.tx_hashes.iter().enumerate() {
+    for (tx_hash, i) in block.tx_hashes.iter().zip(block_order) {
         let batched = batch.receipt(*tx_hash).unwrap();
         let instantly = &instant_receipts[i];
         // The contract observed the transaction's own gas price …

@@ -1,0 +1,317 @@
+//! Mempool + pipelined-producer invariants.
+//!
+//! Property tests drive random traffic (auto and explicit nonces, varied
+//! gas prices, replacements, nonce gaps) through the fee-ordered pool and
+//! assert the structural invariants the design document promises:
+//!
+//! - **Nonce-contiguous ready set**: every ready transaction sits in an
+//!   unbroken nonce run from its sender's account nonce; parked ones
+//!   wait behind a gap and are never executed (no gap execution).
+//! - **Price-sorted dequeue**: each sender's first transaction in a
+//!   block appears in non-increasing gas-price order (the heap pops the
+//!   highest-priced ready head first; a sender's own chain never
+//!   reorders).
+//! - **Replay exactness**: WAL recovery and snapshot/revert reproduce
+//!   the pool bit-for-bit — same entries, same order, same tie-breaks.
+//! - **Mode equivalence**: parallel in-lock mining, sequential mining
+//!   and the two-stage pipelined path produce bit-identical chains from
+//!   identical submissions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, Transaction, TxError};
+use lsc_primitives::{Address, H256, U256};
+use proptest::prelude::*;
+
+const N_ACCOUNTS: usize = 4;
+
+/// One randomly generated submission: `(from, to, price, nonce_pick,
+/// value)`. `nonce_pick = 0` lets the node resolve the nonce; `k > 0`
+/// bids for `account_nonce + (k - 1)` explicitly (offsets beyond the
+/// pooled run park; offsets colliding with a pooled slot force a
+/// replacement decision).
+type Move = (usize, usize, u64, u64, u64);
+
+fn move_strategy() -> impl Strategy<Value = Vec<Move>> {
+    proptest::collection::vec(
+        (
+            0usize..N_ACCOUNTS,
+            0usize..N_ACCOUNTS,
+            1u64..8,
+            0u64..4,
+            1u64..100,
+        ),
+        0..40,
+    )
+}
+
+fn build_tx(node: &LocalNode, m: Move) -> Transaction {
+    let accounts = node.accounts();
+    let (from, to, price, nonce_pick, value) = m;
+    let mut tx = Transaction::call(accounts[from], accounts[to], vec![])
+        .with_gas(21_000)
+        .with_value(U256::from_u64(value));
+    tx.gas_price = U256::from_u64(price);
+    if nonce_pick > 0 {
+        tx.nonce = Some(node.nonce(accounts[from]) + (nonce_pick - 1));
+    }
+    tx
+}
+
+/// Submit the stream, recording `(hash, sender, price)` for accepted
+/// transactions. Rejections are fine — the invariants only concern what
+/// the pool admitted.
+fn submit_stream(node: &mut LocalNode, moves: &[Move]) -> Vec<(H256, Address, u64)> {
+    let mut accepted = Vec::new();
+    for &m in moves {
+        let tx = build_tx(node, m);
+        let (from, price) = (tx.from, m.2);
+        if let Ok(hash) = node.try_submit_transaction(tx) {
+            accepted.push((hash, from, price));
+        }
+    }
+    accepted
+}
+
+/// Assert the `(ready, parked)` split is structurally sound: ready
+/// entries form an unbroken nonce run from each sender's account nonce,
+/// parked entries all sit beyond a gap.
+fn assert_pool_invariants(node: &LocalNode) {
+    let (ready, parked) = node.txpool_content();
+    let mut next_expected: HashMap<Address, u64> = HashMap::new();
+    for (sender, nonce, _) in &ready {
+        let expected = next_expected
+            .entry(*sender)
+            .or_insert_with(|| node.nonce(*sender));
+        assert_eq!(
+            *nonce, *expected,
+            "ready set must be nonce-contiguous from the account nonce"
+        );
+        *expected += 1;
+    }
+    for (sender, nonce, _) in &parked {
+        let floor = next_expected
+            .get(sender)
+            .copied()
+            .unwrap_or_else(|| node.nonce(*sender));
+        assert!(
+            *nonce > floor,
+            "parked tx at nonce {nonce} would be executable (floor {floor})"
+        );
+    }
+    let (n_ready, n_parked) = node.txpool_status();
+    assert_eq!(n_ready, ready.len());
+    assert_eq!(n_parked, parked.len());
+    assert_eq!(node.pending_count(), ready.len() + parked.len());
+}
+
+/// Mine until no transaction is ready, asserting per-block ordering
+/// invariants: a sender's transactions execute gaplessly in nonce order,
+/// and first-per-sender block positions are sorted by descending bid.
+fn drain_and_check(node: &mut LocalNode, submitted: &[(H256, Address, u64)]) {
+    let by_hash: HashMap<H256, (Address, u64)> =
+        submitted.iter().map(|(h, s, p)| (*h, (*s, *p))).collect();
+    let mut mined_per_sender: HashMap<Address, u64> = HashMap::new();
+    let start_nonce: HashMap<Address, u64> = node
+        .accounts()
+        .iter()
+        .map(|a| (*a, node.nonce(*a)))
+        .collect();
+    while node.txpool_status().0 > 0 {
+        let before = node.block_number();
+        let (block, errors) = node.mine_block();
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(block.number, before + 1);
+        let mut last_first_price: Option<u64> = None;
+        let mut seen_in_block: HashMap<Address, bool> = HashMap::new();
+        for hash in &block.tx_hashes {
+            let (sender, price) = by_hash[hash];
+            if !seen_in_block.get(&sender).copied().unwrap_or(false) {
+                seen_in_block.insert(sender, true);
+                if let Some(previous) = last_first_price {
+                    assert!(
+                        price <= previous,
+                        "senders must enter the block in descending bid order \
+                         ({price} after {previous})"
+                    );
+                }
+                last_first_price = Some(price);
+            }
+            *mined_per_sender.entry(sender).or_insert(0) += 1;
+        }
+    }
+    // No gap execution: every sender's account nonce advanced by exactly
+    // the mined count, and whatever remains pooled is parked beyond it.
+    for (sender, mined) in &mined_per_sender {
+        assert_eq!(node.nonce(*sender), start_nonce[sender] + mined);
+    }
+    assert_eq!(node.txpool_status().0, 0);
+    assert_pool_invariants(node);
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("lsc-mempool-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traffic keeps the (ready, parked) split structurally
+    /// sound, and draining it respects fee ordering with no gap
+    /// execution.
+    #[test]
+    fn pool_invariants_hold_under_random_traffic(moves in move_strategy()) {
+        let mut node = LocalNode::new(N_ACCOUNTS);
+        let submitted = submit_stream(&mut node, &moves);
+        assert_pool_invariants(&node);
+        drain_and_check(&mut node, &submitted);
+    }
+
+    /// Parallel in-lock, sequential, and pipelined mining produce
+    /// bit-identical chains from identical submission streams.
+    #[test]
+    fn mining_modes_are_bit_identical(moves in move_strategy()) {
+        let config = ChainConfig {
+            mining_workers: Some(4),
+            ..ChainConfig::default()
+        };
+        let mut parallel = LocalNode::with_config(config.clone(), N_ACCOUNTS);
+        let mut sequential = LocalNode::with_config(config.clone(), N_ACCOUNTS);
+        let mut pipelined = LocalNode::with_config(config, N_ACCOUNTS);
+        for &m in &moves {
+            let tx = build_tx(&parallel, m);
+            let a = parallel.try_submit_transaction(tx.clone());
+            let b = sequential.try_submit_transaction(tx.clone());
+            let c = pipelined.try_submit_transaction(tx);
+            prop_assert_eq!(&a, &b, "parallel vs sequential submission verdicts diverge");
+            prop_assert_eq!(&a, &c, "parallel vs pipelined submission verdicts diverge");
+        }
+        while parallel.txpool_status().0 > 0 {
+            let (pa, ea) = parallel.mine_block();
+            let (sb, eb) = sequential.mine_block_sequential();
+            let (pc, ec) = pipelined.try_mine_block_pipelined().unwrap();
+            prop_assert_eq!(pa.hash, sb.hash, "sequential block hash diverges");
+            prop_assert_eq!(pa.hash, pc.hash, "pipelined block hash diverges");
+            prop_assert_eq!(&pa.tx_hashes, &sb.tx_hashes);
+            prop_assert_eq!(&pa.tx_hashes, &pc.tx_hashes);
+            prop_assert_eq!(ea.len(), eb.len());
+            prop_assert_eq!(ea.len(), ec.len());
+        }
+        prop_assert_eq!(sequential.txpool_status().0, 0);
+        prop_assert_eq!(pipelined.txpool_status().0, 0);
+        let image = parallel.export_state();
+        prop_assert_eq!(&image, &sequential.export_state(), "sequential state diverges");
+        prop_assert_eq!(&image, &pipelined.export_state(), "pipelined state diverges");
+    }
+
+    /// WAL recovery reproduces the pool exactly: same entries, same
+    /// (ready, parked) split, same drain order afterwards.
+    #[test]
+    fn recovery_preserves_the_pool_exactly(moves in move_strategy()) {
+        let dir = fresh_dir("recover");
+        let mut node = LocalNode::open(&dir, ChainConfig::default(), N_ACCOUNTS, Faults::none())
+            .unwrap();
+        let submitted = submit_stream(&mut node, &moves);
+        // Mine part of the traffic so recovery replays submissions both
+        // before and after a MineBlock record.
+        if node.txpool_status().0 > 0 {
+            node.mine_block();
+        }
+        let expected_state = node.export_state();
+        let expected_content = node.txpool_content();
+        let expected_status = node.txpool_status();
+        drop(node);
+
+        let mut recovered = LocalNode::recover(&dir, Faults::none()).unwrap();
+        prop_assert_eq!(recovered.export_state(), expected_state);
+        prop_assert_eq!(recovered.txpool_content(), expected_content);
+        prop_assert_eq!(recovered.txpool_status(), expected_status);
+        assert_pool_invariants(&recovered);
+        drain_and_check(&mut recovered, &submitted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// `evm_revert` restores the pool alongside the state: entries submitted
+/// after the snapshot vanish, entries from before survive with their
+/// order and park status intact.
+#[test]
+fn revert_restores_the_pool_with_the_state() {
+    let mut node = LocalNode::new(3);
+    let [a, b, c] = [node.accounts()[0], node.accounts()[1], node.accounts()[2]];
+    let bid = |from: Address, to: Address, price: u64, nonce: Option<u64>| {
+        let mut tx = Transaction::call(from, to, vec![])
+            .with_gas(21_000)
+            .with_value(U256::from_u64(1));
+        tx.gas_price = U256::from_u64(price);
+        tx.nonce = nonce;
+        tx
+    };
+    node.try_submit_transaction(bid(a, b, 5, None)).unwrap();
+    // Parked: nonce 2 while the account is at 0 with one pooled tx.
+    node.try_submit_transaction(bid(b, c, 3, Some(2))).unwrap();
+    let snap = node.snapshot();
+    let content_at_snap = node.txpool_content();
+    assert_eq!(node.txpool_status(), (1, 1));
+
+    node.try_submit_transaction(bid(c, a, 7, None)).unwrap();
+    node.mine_block();
+    assert_ne!(node.txpool_content(), content_at_snap);
+
+    assert!(node.revert_to_snapshot(snap));
+    assert_eq!(node.txpool_content(), content_at_snap);
+    assert_eq!(node.txpool_status(), (1, 1));
+
+    // The revived pool still drains correctly.
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty());
+    assert_eq!(block.tx_hashes.len(), 1);
+    assert_eq!(node.txpool_status(), (0, 1));
+}
+
+/// A same-sender same-nonce resubmission is a replacement decision:
+/// an insufficient bump is rejected with `ReplacementUnderpriced`, a
+/// sufficient one replaces the entry without growing the pool, and the
+/// replaced transaction's hash stops resolving.
+#[test]
+fn replacement_is_a_decision_not_a_duplicate() {
+    let mut node = LocalNode::new(2);
+    let [a, b] = [node.accounts()[0], node.accounts()[1]];
+    let mut tx = Transaction::call(a, b, vec![])
+        .with_gas(21_000)
+        .with_value(U256::from_u64(1))
+        .with_nonce(0);
+    tx.gas_price = U256::from_u64(100);
+    let original = node.try_submit_transaction(tx.clone()).unwrap();
+
+    // +9% — below the 10% bump floor.
+    tx.gas_price = U256::from_u64(109);
+    assert_eq!(
+        node.try_submit_transaction(tx.clone()),
+        Err(TxError::ReplacementUnderpriced)
+    );
+    // Identical resubmission is a duplicate, not a replacement.
+    tx.gas_price = U256::from_u64(100);
+    assert!(matches!(
+        node.try_submit_transaction(tx.clone()),
+        Err(TxError::DuplicateTransaction(_))
+    ));
+    // +10% — meets the floor and replaces in place.
+    tx.gas_price = U256::from_u64(110);
+    let replacement = node.try_submit_transaction(tx).unwrap();
+    assert_ne!(original, replacement);
+    assert_eq!(node.pending_count(), 1);
+
+    let (block, errors) = node.mine_block();
+    assert!(errors.is_empty());
+    assert_eq!(block.tx_hashes, vec![replacement]);
+    let receipt = node.receipt(replacement).unwrap();
+    assert_eq!(receipt.effective_gas_price, U256::from_u64(110));
+    assert!(node.receipt(original).is_none());
+}

@@ -235,6 +235,22 @@ fn call_fields(value: &JsonValue) -> Result<(Address, Address, Vec<u8>), RpcErro
     Ok((from, to, data))
 }
 
+/// Group `(sender, nonce, tx)` pool rows into the geth `txpool_content`
+/// shape: sender address → decimal nonce string → transaction object.
+fn txpool_group(entries: &[(Address, u64, lsc_chain::Transaction)]) -> JsonValue {
+    let mut by_sender: std::collections::BTreeMap<String, JsonValue> =
+        std::collections::BTreeMap::new();
+    for (sender, nonce, tx) in entries {
+        let chain = by_sender
+            .entry(sender.to_string())
+            .or_insert_with(|| JsonValue::Object(std::collections::BTreeMap::new()));
+        if let JsonValue::Object(map) = chain {
+            map.insert(nonce.to_string(), wire::tx_to_json(tx));
+        }
+    }
+    JsonValue::Object(by_sender)
+}
+
 fn send_transaction(ctx: &Ctx, tx: lsc_chain::Transaction) -> Result<JsonValue, RpcError> {
     let hash: H256 = match ctx.mining {
         // Instant mode mines on arrival (Ganache's default): the hash is
@@ -374,6 +390,20 @@ fn dispatch(
             let seconds = wire::parse_quantity(require(params, 0, "seconds")?, "seconds")?;
             ctx.web3.try_increase_time(seconds)?;
             Ok(wire::quantity(seconds))
+        }
+        "txpool_status" => {
+            let (ready, parked) = ctx.web3.txpool_status();
+            Ok(JsonValue::object([
+                ("pending", wire::quantity(ready as u64)),
+                ("queued", wire::quantity(parked as u64)),
+            ]))
+        }
+        "txpool_content" => {
+            let (ready, parked) = ctx.web3.txpool_content();
+            Ok(JsonValue::object([
+                ("pending", txpool_group(&ready)),
+                ("queued", txpool_group(&parked)),
+            ]))
         }
         "eth_subscribe" => {
             let Some(registry) = subs else {

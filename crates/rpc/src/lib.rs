@@ -58,8 +58,10 @@ pub enum MiningMode {
     /// Queue submissions; blocks are mined only by explicit `evm_mine`
     /// calls. The returned hash is the stable submit-time hash.
     Manual,
-    /// Queue submissions; a miner thread seals a block every interval
-    /// (geth's dev `--dev.period`). Millisecond granularity.
+    /// Queue submissions; a pipelined producer thread seals a block
+    /// every interval (geth's dev `--dev.period`), waking early when
+    /// the pool reaches [`RpcConfig::pressure`] so a full batch never
+    /// waits out the tick. Millisecond granularity.
     Interval(Duration),
 }
 
@@ -75,6 +77,9 @@ pub struct RpcConfig {
     pub max_batch: usize,
     /// Mining policy for write methods.
     pub mining: MiningMode,
+    /// Pool depth at which the interval producer mines early instead of
+    /// waiting out the tick ([`MiningMode::Interval`] only).
+    pub pressure: usize,
 }
 
 impl Default for RpcConfig {
@@ -84,17 +89,19 @@ impl Default for RpcConfig {
             max_body_bytes: 1024 * 1024,
             max_batch: 256,
             mining: MiningMode::Instant,
+            pressure: 128,
         }
     }
 }
 
 /// A running JSON-RPC server. Dropping it (or calling
-/// [`RpcServer::shutdown`]) stops the listener, the workers, the miner
-/// and every live connection.
+/// [`RpcServer::shutdown`]) stops the listener, the workers, the block
+/// producer and every live connection.
 pub struct RpcServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    producer: Option<lsc_chain::BlockProducer>,
 }
 
 impl RpcServer {
@@ -133,17 +140,23 @@ impl RpcServer {
             }));
         }
 
-        if let MiningMode::Interval(period) = config.mining {
-            let shutdown = Arc::clone(&shutdown);
-            threads.push(std::thread::spawn(move || {
-                miner_loop(&web3, period, &shutdown);
-            }));
-        }
+        // Interval mining runs the pipelined producer: speculate the
+        // next block lock-free against the published snapshot while
+        // submitters keep writing, commit under a brief lock, and wake
+        // early when a full batch is pending.
+        let producer = match config.mining {
+            MiningMode::Interval(period) => Some(web3.spawn_producer(lsc_chain::ProducerConfig {
+                interval: period,
+                pressure: config.pressure,
+            })),
+            MiningMode::Instant | MiningMode::Manual => None,
+        };
 
         Ok(RpcServer {
             addr: local,
             shutdown,
             threads,
+            producer,
         })
     }
 
@@ -160,6 +173,9 @@ impl RpcServer {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(mut producer) = self.producer.take() {
+            producer.stop();
+        }
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -188,21 +204,6 @@ fn accept_loop(
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-fn miner_loop(web3: &Web3, period: Duration, shutdown: &Arc<AtomicBool>) {
-    let tick = Duration::from_millis(20).min(period);
-    let mut elapsed = Duration::ZERO;
-    while !shutdown.load(Ordering::Relaxed) {
-        std::thread::sleep(tick);
-        elapsed += tick;
-        if elapsed >= period {
-            elapsed = Duration::ZERO;
-            if web3.pending_count() > 0 {
-                let _ = web3.try_mine_block();
-            }
         }
     }
 }

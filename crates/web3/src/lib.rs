@@ -332,6 +332,34 @@ impl Web3 {
         self.reads.pending_count()
     }
 
+    /// `txpool_status`: `(ready, parked)` pool counts. Ready
+    /// transactions form nonce-contiguous runs from each sender's
+    /// account nonce; parked ones wait behind a nonce gap.
+    pub fn txpool_status(&self) -> (usize, usize) {
+        self.node.lock().txpool_status()
+    }
+
+    /// `txpool_content`: the full pool split into `(ready, parked)`
+    /// entries of `(sender, resolved nonce, transaction)`, sorted by
+    /// sender then nonce.
+    #[allow(clippy::type_complexity)]
+    pub fn txpool_content(
+        &self,
+    ) -> (
+        Vec<(Address, u64, Transaction)>,
+        Vec<(Address, u64, Transaction)>,
+    ) {
+        self.node.lock().txpool_content()
+    }
+
+    /// Spawn a pipelined [`BlockProducer`](lsc_chain::BlockProducer)
+    /// over this client's node. The producer speculates each block
+    /// against the published snapshot outside the node lock and commits
+    /// under a brief lock; dropping the returned handle stops it.
+    pub fn spawn_producer(&self, config: lsc_chain::ProducerConfig) -> lsc_chain::BlockProducer {
+        lsc_chain::BlockProducer::spawn(Arc::clone(&self.node), self.reads.clone(), config)
+    }
+
     /// `eth_getLogs`: fetch logs in a block range with optional filters.
     /// Served from the snapshot's inverted log index — O(matching
     /// entries), not O(whole chain).

@@ -305,6 +305,10 @@ pub fn receipt_to_json(receipt: &Receipt, block_hash: Option<H256>) -> JsonValue
         ("status", quantity(receipt.status)),
         ("gasUsed", quantity(receipt.gas_used)),
         (
+            "effectiveGasPrice",
+            quantity_u256(receipt.effective_gas_price),
+        ),
+        (
             "contractAddress",
             receipt
                 .contract_address
