@@ -1,0 +1,242 @@
+//! Cross-version storage compatibility: diff two recovered
+//! [`StorageLayout`]s and report upgrade hazards as [`Finding`]s.
+//!
+//! The version chain (paper Fig. 2) keeps every version's storage alive
+//! under the successor's code, so an upgrade is only safe when v(N+1)
+//! still treats v(N)'s live slots as the same kind of data. Four rules,
+//! each a distinct way an upgrade can silently break the legal record:
+//!
+//! * [`Rule::SlotRepurposed`] — a slot the predecessor *reads* is
+//!   written by the successor with a provably different provenance class
+//!   (e.g. a slot that always held a PUSH constant is now assigned
+//!   `msg.sender`). Fires only when both sides' write-class sets are
+//!   non-empty, fully recovered (no `unknown`), and disjoint — any
+//!   overlap or any imprecision suppresses the rule, because "different
+//!   meaning" is then not provable.
+//! * [`Rule::MappingBaseCollision`] — a slot that roots mapping/array
+//!   data in the predecessor is scalar-written by the successor *without*
+//!   the successor also using it as a hash base. (Array length slots are
+//!   legitimately both scalar-written and hash roots, hence the second
+//!   clause.)
+//! * [`Rule::LinkPointerClobbered`] — the successor writes the version
+//!   chain's `next`/`previous` pointer slots (0 and 1) with a value that
+//!   is provably not calldata-derived. The designated upgrade path
+//!   (`setNext`/`setPrev`) stores its address argument, so a const-,
+//!   storage-, or keccak-classed write there is a contract rebinding the
+//!   chain out from under the registry.
+//! * [`Rule::LayoutUnknown`] — either layout has unrecovered reads or
+//!   writes, so compatibility is unprovable. Warn-level: the gate
+//!   records it but does not deny on it by default.
+//!
+//! The asymmetry is deliberate: `check_upgrade` judges the *successor*
+//! against the predecessor's live layout. The predecessor is already on
+//! chain; its own hazards were vetted when it deployed.
+
+use crate::layout::{ClassSet, StorageLayout};
+use crate::{Finding, Rule};
+use lsc_primitives::U256;
+use std::collections::BTreeSet;
+
+/// Slots holding the version chain's doubly-linked list pointers: the
+/// `Node` base contract declares `next` then `previous` first, so every
+/// chain participant has them at slots 0 and 1.
+pub const LINK_SLOTS: [u64; 2] = [0, 1];
+
+/// Diff `new` (the successor candidate) against `old` (the live
+/// predecessor). Finding pcs point into the successor's runtime except
+/// for [`Rule::LayoutUnknown`] on the predecessor side (pc 0).
+pub fn check_upgrade(old: &StorageLayout, new: &StorageLayout) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    if old.unknown_reads || old.unknown_writes {
+        findings.push(Finding::new(
+            Rule::LayoutUnknown,
+            0,
+            format!(
+                "predecessor layout incomplete (unknown reads: {}, unknown writes: {}); compatibility is unprovable for the escaped accesses",
+                old.unknown_reads, old.unknown_writes
+            ),
+        ));
+    }
+    if new.unknown_reads || new.unknown_writes {
+        findings.push(Finding::new(
+            Rule::LayoutUnknown,
+            0,
+            format!(
+                "successor layout incomplete (unknown reads: {}, unknown writes: {}); compatibility is unprovable for the escaped accesses",
+                new.unknown_reads, new.unknown_writes
+            ),
+        ));
+    }
+
+    // SlotRepurposed: a live (read-by-old) slot now written with a
+    // provably disjoint provenance class.
+    for (slot, nu) in &new.slots {
+        if !nu.writes {
+            continue;
+        }
+        let Some(ou) = old.slots.get(slot) else {
+            continue;
+        };
+        if !ou.reads {
+            continue;
+        }
+        let ow = ou.write_classes;
+        let nw = nu.write_classes;
+        let proven = |c: ClassSet| !c.is_empty() && !c.contains(ClassSet::UNKNOWN);
+        if proven(ow) && proven(nw) && !ow.intersects(nw) {
+            findings.push(Finding::new(
+                Rule::SlotRepurposed,
+                nu.write_pc.unwrap_or(0),
+                format!(
+                    "slot {slot} is read by the predecessor and held {ow} data there, but the successor writes {nw} values to it"
+                ),
+            ));
+        }
+    }
+
+    // MappingBaseCollision: old hash root scalar-written by new without
+    // new also rooting hashed data there.
+    let old_bases: BTreeSet<U256> = old
+        .keccak_read_bases
+        .union(&old.keccak_write_bases)
+        .copied()
+        .collect();
+    for base in old_bases {
+        let scalar_written = new.slots.get(&base).is_some_and(|u| u.writes);
+        let still_a_base =
+            new.keccak_read_bases.contains(&base) || new.keccak_write_bases.contains(&base);
+        if scalar_written && !still_a_base {
+            let pc = new.slots[&base].write_pc.unwrap_or(0);
+            findings.push(Finding::new(
+                Rule::MappingBaseCollision,
+                pc,
+                format!(
+                    "slot {base} roots mapping/array data in the predecessor but the successor scalar-writes it without using it as a hash base"
+                ),
+            ));
+        }
+    }
+
+    // LinkPointerClobbered: next/previous written with a provably
+    // non-calldata value.
+    for slot in LINK_SLOTS.map(U256::from_u64) {
+        let Some(nu) = new.slots.get(&slot) else {
+            continue;
+        };
+        if !nu.writes {
+            continue;
+        }
+        let suspicious = ClassSet::CONST
+            .union(ClassSet::STORAGE)
+            .union(ClassSet::KECCAK);
+        if nu.write_classes.intersects(suspicious) {
+            findings.push(Finding::new(
+                Rule::LinkPointerClobbered,
+                nu.write_pc.unwrap_or(0),
+                format!(
+                    "version-chain link pointer slot {slot} is written with {} values outside the designated setNext/setPrev path",
+                    nu.write_classes
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by_key(|f| (std::cmp::Reverse(f.severity), f.rule as u8, f.pc));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::SlotUse;
+
+    fn slot(n: u64) -> U256 {
+        U256::from_u64(n)
+    }
+
+    fn layout_with(slots: &[(u64, bool, bool, ClassSet)]) -> StorageLayout {
+        let mut l = StorageLayout::default();
+        for &(s, reads, writes, classes) in slots {
+            l.slots.insert(
+                slot(s),
+                SlotUse {
+                    reads,
+                    writes,
+                    write_classes: classes,
+                    read_pc: reads.then_some(1),
+                    write_pc: writes.then_some(2),
+                },
+            );
+        }
+        l
+    }
+
+    #[test]
+    fn repurposed_slot_detected() {
+        let old = layout_with(&[(9, true, true, ClassSet::CONST)]);
+        let new = layout_with(&[(9, false, true, ClassSet::INPUT)]);
+        let f = check_upgrade(&old, &new);
+        assert!(f.iter().any(|f| f.rule == Rule::SlotRepurposed));
+    }
+
+    #[test]
+    fn overlapping_classes_pass() {
+        let old = layout_with(&[(9, true, true, ClassSet::CONST.union(ClassSet::INPUT))]);
+        let new = layout_with(&[(9, false, true, ClassSet::INPUT)]);
+        assert!(check_upgrade(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn unknown_class_suppresses_repurposing() {
+        let old = layout_with(&[(9, true, true, ClassSet::UNKNOWN)]);
+        let new = layout_with(&[(9, false, true, ClassSet::INPUT)]);
+        let f = check_upgrade(&old, &new);
+        assert!(!f.iter().any(|f| f.rule == Rule::SlotRepurposed));
+    }
+
+    #[test]
+    fn link_pointer_clobber_detected() {
+        let old = StorageLayout::default();
+        let new = layout_with(&[(0, false, true, ClassSet::STORAGE)]);
+        let f = check_upgrade(&old, &new);
+        assert!(f.iter().any(|f| f.rule == Rule::LinkPointerClobbered));
+    }
+
+    #[test]
+    fn calldata_link_write_is_fine() {
+        let old = StorageLayout::default();
+        let new = layout_with(&[(0, false, true, ClassSet::INPUT)]);
+        assert!(check_upgrade(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn mapping_base_collision_detected() {
+        let mut old = StorageLayout::default();
+        old.keccak_write_bases.insert(slot(2));
+        let new = layout_with(&[(2, false, true, ClassSet::CONST)]);
+        let f = check_upgrade(&old, &new);
+        assert!(f.iter().any(|f| f.rule == Rule::MappingBaseCollision));
+    }
+
+    #[test]
+    fn array_length_slot_is_not_a_collision() {
+        let mut old = StorageLayout::default();
+        old.keccak_write_bases.insert(slot(2));
+        let mut new = layout_with(&[(2, true, true, ClassSet::STORAGE)]);
+        new.keccak_write_bases.insert(slot(2));
+        assert!(check_upgrade(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn incomplete_layout_warns() {
+        let old = StorageLayout {
+            unknown_writes: true,
+            ..StorageLayout::default()
+        };
+        let f = check_upgrade(&old, &StorageLayout::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::LayoutUnknown);
+        assert_eq!(f[0].severity, crate::Severity::Warning);
+    }
+}

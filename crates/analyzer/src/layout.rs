@@ -1,0 +1,741 @@
+//! Storage-layout recovery: which slots a contract's runtime reads and
+//! writes, and where the written values come from.
+//!
+//! The version chain makes upgrades first-class, so the question the
+//! upgrade gate has to answer is not "is this bytecode well-formed" (the
+//! lint pass answers that) but "does v(N+1) still mean the same thing
+//! v(N)'s storage meant". This module recovers the evidence: a
+//! [`StorageLayout`] per runtime image, built on the same [`absint`]
+//! fixpoint the lints use — the entry disjuncts give reachability and
+//! sound constant sets for SSTORE/SLOAD keys, and a second, block-local
+//! walk layers a *provenance* domain on top of them.
+//!
+//! ## Provenance tags
+//!
+//! Each shadow-stack slot carries a [`Tag`] describing where its value
+//! came from:
+//!
+//! * `Const` — built from PUSH immediates only (the carried [`Consts`]
+//!   set is the value set when still known),
+//! * `Input` — derived from transaction input (CALLER / CALLVALUE /
+//!   CALLDATALOAD / CALLDATASIZE / ORIGIN),
+//! * `Storage` — derived from an SLOAD result,
+//! * `Keccak(bases)` — a hash of one of the given constant root slots,
+//!   recovered from lsc-solc's hashing idiom: the slot word is MSTOREd
+//!   at `offset + len - 32` of the hashed region (`keccak(key ++ slot)`
+//!   for mappings, `keccak(slot)` for string/array data), so a KECCAK256
+//!   over a constant-offset region whose last word is a known constant
+//!   yields the mapping/array base. Nested mappings chain through: the
+//!   outer hash is the "slot" word of the inner one and keeps the root
+//!   base set.
+//! * `Unknown` — anything else.
+//!
+//! Binary operators keep the non-`Const` operand's tag (adding an index
+//! to a hash base stays keccak-derived; `x += msg.value` on a loaded
+//! value joins `Storage ⊕ Input` and decays to `Unknown`).
+//!
+//! ## Bail conditions (and why they are sound)
+//!
+//! Tags and the constant-offset memory model reset at every basic-block
+//! boundary, so provenance that crosses a branch (e.g. the storage-string
+//! subroutines, which carry a hash base around a copy loop) degrades to
+//! `Unknown`. An SSTORE whose key is neither a known constant set nor a
+//! recovered hash base sets [`StorageLayout::unknown_writes`] (likewise
+//! `unknown_reads` for SLOAD); the compatibility pass treats either bit
+//! as "layout incomplete" and refuses to *prove* anything about such a
+//! contract instead of guessing. Every imprecision therefore widens the
+//! recovered layout, never narrows it — the direction the soundness
+//! proptest (`tests/layout_soundness.rs`) checks against the real
+//! interpreter.
+
+use crate::absint::{self, AbsState, Consts};
+use lsc_evm::cfg::{Cfg, Instr};
+use lsc_evm::opcode::{self, op};
+use lsc_primitives::U256;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Cap on the number of root slots one `Keccak` tag can carry; unions
+/// past the cap decay the tag to `Unknown` (sound: the slot write is
+/// then recorded under the unknown bit instead of a too-small base set).
+const MAX_BASES: usize = 8;
+
+/// Provenance classes an SSTOREd value can belong to, as a bitset (a
+/// slot written on several paths accumulates several classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct ClassSet(u8);
+
+impl ClassSet {
+    /// Built from PUSH immediates only.
+    pub const CONST: ClassSet = ClassSet(1);
+    /// Derived from transaction input (caller, value, calldata).
+    pub const INPUT: ClassSet = ClassSet(2);
+    /// Derived from a storage read.
+    pub const STORAGE: ClassSet = ClassSet(4);
+    /// Derived from a recovered mapping/array hash.
+    pub const KECCAK: ClassSet = ClassSet(8);
+    /// Provenance not recovered.
+    pub const UNKNOWN: ClassSet = ClassSet(16);
+
+    /// The empty set.
+    pub fn empty() -> ClassSet {
+        ClassSet(0)
+    }
+
+    /// True when no class has been recorded.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when `other`'s classes are all present in `self`.
+    pub fn contains(self, other: ClassSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when the two sets share at least one class.
+    pub fn intersects(self, other: ClassSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: ClassSet) -> ClassSet {
+        ClassSet(self.0 | other.0)
+    }
+}
+
+impl fmt::Display for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for (bit, name) in [
+            (ClassSet::CONST, "const"),
+            (ClassSet::INPUT, "input"),
+            (ClassSet::STORAGE, "storage"),
+            (ClassSet::KECCAK, "keccak"),
+            (ClassSet::UNKNOWN, "unknown"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How one statically-known slot is used by the runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotUse {
+    /// The slot is read (SLOAD) on some reachable path.
+    pub reads: bool,
+    /// The slot is written (SSTORE) on some reachable path.
+    pub writes: bool,
+    /// Union of the provenance classes of every value written to it.
+    pub write_classes: ClassSet,
+    /// A representative read site, for diagnostics.
+    pub read_pc: Option<usize>,
+    /// A representative write site, for diagnostics.
+    pub write_pc: Option<usize>,
+}
+
+/// Recovered storage layout of one runtime image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageLayout {
+    /// Constant slots with their read/write direction and write
+    /// provenance.
+    pub slots: BTreeMap<U256, SlotUse>,
+    /// Root slots whose hashed region (mapping/array data) is read.
+    pub keccak_read_bases: BTreeSet<U256>,
+    /// Root slots whose hashed region is written.
+    pub keccak_write_bases: BTreeSet<U256>,
+    /// Some reachable SLOAD key escaped the domain.
+    pub unknown_reads: bool,
+    /// Some reachable SSTORE key escaped the domain — the slot map is an
+    /// under-approximation of the write set and the compatibility pass
+    /// must not treat absence as proof.
+    pub unknown_writes: bool,
+}
+
+impl StorageLayout {
+    /// Whether a concrete write to `slot` is accounted for: the slot is
+    /// in the map as written, the layout admits unknown writes, or the
+    /// write went through a recovered hash base. This is the exact
+    /// predicate the interpreter-differential soundness test holds over
+    /// every executed SSTORE.
+    pub fn covers_write(&self, slot: U256) -> bool {
+        self.unknown_writes
+            || !self.keccak_write_bases.is_empty()
+            || self.slots.get(&slot).is_some_and(|u| u.writes)
+    }
+
+    /// One-line summary used in per-address vetting records.
+    pub fn summary(&self) -> String {
+        let written: Vec<String> = self
+            .slots
+            .iter()
+            .filter(|(_, u)| u.writes)
+            .map(|(s, u)| format!("{s}:{}", u.write_classes))
+            .collect();
+        let read: Vec<String> = self
+            .slots
+            .iter()
+            .filter(|(_, u)| u.reads)
+            .map(|(s, _)| s.to_string())
+            .collect();
+        let bases: Vec<String> = self
+            .keccak_read_bases
+            .union(&self.keccak_write_bases)
+            .map(std::string::ToString::to_string)
+            .collect();
+        format!(
+            "writes {{{}}} reads {{{}}} hash-bases {{{}}} unknown r/w {}/{}",
+            written.join(", "),
+            read.join(", "),
+            bases.join(", "),
+            self.unknown_reads,
+            self.unknown_writes,
+        )
+    }
+}
+
+/// Shadow value: provenance of one stack slot, layered over the absint
+/// constant sets (which remain authoritative for *values*; tags only add
+/// the *origin* dimension plus value propagation through memory, which
+/// the absint domain does not model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tag {
+    /// PUSH-derived; the set is the known value set, `Top` once
+    /// arithmetic obscured it.
+    Const(Consts),
+    /// Constant reloaded from a fixed memory local across a block
+    /// boundary (lsc-solc's `mstore_const`/`mload_const` idiom). The
+    /// value set comes from the whole-code may-analysis of stores to
+    /// that offset and can be stale under memory aliasing, so it is good
+    /// enough to *derive hash bases* (a keccak-classed write covers
+    /// every slot, see [`StorageLayout::covers_write`]) but must never
+    /// resolve a storage key on its own — key uses record the slot facts
+    /// *and* set the unknown bit.
+    MemConst(Consts),
+    Input,
+    Storage,
+    Keccak(BTreeSet<U256>),
+    Unknown,
+}
+
+impl Tag {
+    fn class(&self) -> ClassSet {
+        match self {
+            Tag::Const(_) | Tag::MemConst(_) => ClassSet::CONST,
+            Tag::Input => ClassSet::INPUT,
+            Tag::Storage => ClassSet::STORAGE,
+            Tag::Keccak(_) => ClassSet::KECCAK,
+            Tag::Unknown => ClassSet::UNKNOWN,
+        }
+    }
+
+    fn is_const(&self) -> bool {
+        matches!(self, Tag::Const(_) | Tag::MemConst(_))
+    }
+
+    /// Tag of a binary operator's result. A constant operand is the
+    /// identity: offsetting a value does not change where it came from.
+    /// Joining two distinct non-const origins is not attributable to
+    /// either.
+    fn combine(&self, other: &Tag) -> Tag {
+        match (self, other) {
+            // A keccak-derived pointer stays keccak-derived under any
+            // offset arithmetic — array/struct element addressing adds
+            // dynamic indexes to the hash base.
+            (Tag::Keccak(a), Tag::Keccak(b)) => {
+                let merged: BTreeSet<U256> = a.union(b).copied().collect();
+                if merged.len() > MAX_BASES {
+                    Tag::Unknown
+                } else {
+                    Tag::Keccak(merged)
+                }
+            }
+            (Tag::Keccak(b), _) | (_, Tag::Keccak(b)) => Tag::Keccak(b.clone()),
+            (Tag::Const(_), Tag::Const(_)) => Tag::Const(Consts::Top),
+            (a, b) if a.is_const() && b.is_const() => Tag::MemConst(Consts::Top),
+            (t, c) | (c, t) if c.is_const() => match t {
+                // Re-deriving the value set through arithmetic is out of
+                // scope; only provenance survives.
+                Tag::Input => Tag::Input,
+                Tag::Storage => Tag::Storage,
+                _ => Tag::Unknown,
+            },
+            (Tag::Input, Tag::Input) => Tag::Input,
+            (Tag::Storage, Tag::Storage) => Tag::Storage,
+            _ => Tag::Unknown,
+        }
+    }
+}
+
+/// Block-local model of scratch memory at constant offsets: lsc-solc
+/// stages hash inputs and subroutine locals through MSTOREs at known
+/// offsets, all within straight-line code. Any write at an unknown
+/// offset, or any opcode that can write memory wholesale, clears it.
+#[derive(Default)]
+struct ScratchMem {
+    words: HashMap<u64, Tag>,
+}
+
+impl ScratchMem {
+    fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    fn store(&mut self, offset: Option<u64>, value: Tag) {
+        match offset {
+            Some(off) => {
+                self.words.insert(off, value);
+            }
+            None => self.clear(),
+        }
+    }
+
+    fn load(&self, offset: Option<u64>) -> Tag {
+        offset
+            .and_then(|off| self.words.get(&off).cloned())
+            .unwrap_or(Tag::Unknown)
+    }
+}
+
+/// The shadow stack mirrors the structural stack effects of
+/// [`absint::step`] exactly, so `tags[i]` always describes the same slot
+/// as `st.tops[i]`.
+struct Shadow {
+    tags: Vec<Tag>,
+}
+
+impl Shadow {
+    fn at_block_entry(st: &AbsState) -> Shadow {
+        Shadow {
+            tags: vec![Tag::Unknown; st.tops.len()],
+        }
+    }
+
+    fn get(&self, i: usize) -> Tag {
+        self.tags.get(i).cloned().unwrap_or(Tag::Unknown)
+    }
+
+    /// Key-grade constant knowledge of a slot: the absint domain first
+    /// (sound across blocks), a pure `Const` tag second. `MemConst` is
+    /// deliberately excluded — storage keys resolved from it must go
+    /// through the conservative path in the SLOAD/SSTORE handlers.
+    fn key_consts(&self, st: &AbsState, i: usize) -> Consts {
+        match st.tops.get(i) {
+            Some(Consts::In(vs)) => Consts::In(vs.clone()),
+            _ => match self.tags.get(i) {
+                Some(Tag::Const(c)) => c.clone(),
+                _ => Consts::Top,
+            },
+        }
+    }
+
+    /// Value-grade constant knowledge: like [`Shadow::key_consts`] but
+    /// accepting `MemConst` — fine for memory offsets and hash-region
+    /// bounds, where staleness only mis-attributes a hash base.
+    fn value_consts(&self, st: &AbsState, i: usize) -> Consts {
+        match st.tops.get(i) {
+            Some(Consts::In(vs)) => Consts::In(vs.clone()),
+            _ => match self.tags.get(i) {
+                Some(Tag::Const(c) | Tag::MemConst(c)) => c.clone(),
+                _ => Consts::Top,
+            },
+        }
+    }
+}
+
+/// Whole-code may-analysis of constant-offset memory locals, built by
+/// the phase-A walk: for each fixed offset, the join of every constant
+/// value observed stored there. Offsets whose stores were not all
+/// constant decay to `Top` and are dropped before phase B.
+type LocalStores = HashMap<u64, Consts>;
+
+/// Walk one instruction: record storage accesses into `out`, then apply
+/// the same structural stack transformation as [`absint::step`]. Must be
+/// called with `st` still holding the *pre*-instruction state.
+/// `locals` is the phase-A store map (phase B only); `collect` is the
+/// map being built (phase A only).
+fn step_shadow(
+    sh: &mut Shadow,
+    mem: &mut ScratchMem,
+    st: &AbsState,
+    ins: &Instr,
+    locals: Option<&LocalStores>,
+    collect: Option<&mut LocalStores>,
+    out: &mut StorageLayout,
+) {
+    let byte = ins.opcode;
+    let Some((pops, pushes)) = opcode::stack_io(byte) else {
+        return;
+    };
+
+    // Resolve operands against the pre-state before any stack mutation.
+    let result: Option<Tag> = match byte {
+        op::SLOAD => {
+            match sh.key_consts(st, 0) {
+                Consts::In(slots) => {
+                    for slot in slots {
+                        let u = out.slots.entry(slot).or_default();
+                        u.reads = true;
+                        u.read_pc.get_or_insert(ins.pc);
+                    }
+                }
+                Consts::Top => match sh.get(0) {
+                    Tag::Keccak(bases) => out.keccak_read_bases.extend(bases),
+                    // A key reloaded from a memory local: keep the slot
+                    // facts for diagnostics, but the set may be stale
+                    // under aliasing, so the unknown bit stays honest.
+                    Tag::MemConst(Consts::In(slots)) => {
+                        for slot in slots {
+                            let u = out.slots.entry(slot).or_default();
+                            u.reads = true;
+                            u.read_pc.get_or_insert(ins.pc);
+                        }
+                        out.unknown_reads = true;
+                    }
+                    _ => out.unknown_reads = true,
+                },
+            }
+            Some(Tag::Storage)
+        }
+        op::SSTORE => {
+            let class = sh.get(1).class();
+            let record = |slots: Vec<U256>, out: &mut StorageLayout| {
+                for slot in slots {
+                    let u = out.slots.entry(slot).or_default();
+                    u.writes = true;
+                    u.write_classes = u.write_classes.union(class);
+                    u.write_pc.get_or_insert(ins.pc);
+                }
+            };
+            match sh.key_consts(st, 0) {
+                Consts::In(slots) => record(slots, out),
+                Consts::Top => match sh.get(0) {
+                    Tag::Keccak(bases) => out.keccak_write_bases.extend(bases),
+                    Tag::MemConst(Consts::In(slots)) => {
+                        record(slots, out);
+                        out.unknown_writes = true;
+                    }
+                    _ => out.unknown_writes = true,
+                },
+            }
+            None
+        }
+        op::KECCAK256 => {
+            // lsc-solc's hashing idiom: the root-slot word sits at the
+            // end of the hashed region. Both bounds must be known for
+            // the scratch model to find it.
+            let off = sh.value_consts(st, 0).as_single().and_then(|v| v.to_u64());
+            let len = sh.value_consts(st, 1).as_single().and_then(|v| v.to_u64());
+            let tag = match (off, len) {
+                (Some(off), Some(len)) if len >= 32 => match mem.load(off.checked_add(len - 32)) {
+                    Tag::Const(Consts::In(vs)) | Tag::MemConst(Consts::In(vs)) => {
+                        Tag::Keccak(vs.into_iter().collect())
+                    }
+                    Tag::Keccak(bases) => Tag::Keccak(bases),
+                    _ => Tag::Unknown,
+                },
+                _ => Tag::Unknown,
+            };
+            Some(tag)
+        }
+        op::MLOAD => {
+            let off = sh.value_consts(st, 0).as_single().and_then(|v| v.to_u64());
+            let tag = match mem.load(off) {
+                // Block-local knowledge first; the cross-block store map
+                // second, downgraded to MemConst.
+                Tag::Unknown => off
+                    .and_then(|o| locals.and_then(|l| l.get(&o)))
+                    .map_or(Tag::Unknown, |c| Tag::MemConst(c.clone())),
+                t => t,
+            };
+            Some(tag)
+        }
+        op::MSTORE => {
+            let off = sh.value_consts(st, 0).as_single().and_then(|v| v.to_u64());
+            // Prefer the absint value set for the stored word; fall back
+            // to the shadow tag (which may itself carry a value set).
+            let value = match st.tops.get(1) {
+                Some(Consts::In(vs)) => Tag::Const(Consts::In(vs.clone())),
+                _ => sh.get(1),
+            };
+            if let (Some(off), Some(collect)) = (off, collect) {
+                let stored = match &value {
+                    Tag::Const(c) | Tag::MemConst(c) => c.clone(),
+                    _ => Consts::Top,
+                };
+                collect
+                    .entry(off)
+                    .and_modify(|c| *c = c.join(&stored))
+                    .or_insert(stored);
+            }
+            mem.store(off, value);
+            None
+        }
+        op::MSTORE8 | op::CALLDATACOPY | op::CODECOPY | op::RETURNDATACOPY | op::EXTCODECOPY => {
+            // Byte-granular or bulk memory writes: drop the model.
+            mem.clear();
+            None
+        }
+        op::CALL | op::CALLCODE | op::DELEGATECALL | op::STATICCALL => {
+            // The return-data region overwrites memory.
+            mem.clear();
+            Some(Tag::Unknown)
+        }
+        op::CALLER | op::CALLVALUE | op::CALLDATALOAD | op::CALLDATASIZE | op::ORIGIN => {
+            Some(Tag::Input)
+        }
+        op::ISZERO | op::NOT => Some(match sh.get(0) {
+            // Value changes, provenance does not.
+            Tag::Const(_) => Tag::Const(Consts::Top),
+            t => t,
+        }),
+        op::ADD
+        | op::SUB
+        | op::MUL
+        | op::DIV
+        | op::SDIV
+        | op::MOD
+        | op::SMOD
+        | op::EXP
+        | op::SIGNEXTEND
+        | op::LT
+        | op::GT
+        | op::SLT
+        | op::SGT
+        | op::EQ
+        | op::AND
+        | op::OR
+        | op::XOR
+        | op::BYTE
+        | op::SHL
+        | op::SHR
+        | op::SAR => Some(sh.get(0).combine(&sh.get(1))),
+        _ => None,
+    };
+
+    // Structural mirror of absint::step.
+    match byte {
+        op::PUSH0 => sh.tags.insert(0, Tag::Const(Consts::only(U256::ZERO))),
+        _ if opcode::is_push(byte) => {
+            sh.tags
+                .insert(0, Tag::Const(ins.push.map_or(Consts::Top, Consts::only)));
+        }
+        0x80..=0x8f => {
+            let n = (byte - op::DUP1) as usize;
+            let v = sh.get(n);
+            sh.tags.insert(0, v);
+        }
+        0x90..=0x9f => {
+            let n = (byte - op::SWAP1 + 1) as usize;
+            if n < sh.tags.len() {
+                sh.tags.swap(0, n);
+            } else if !sh.tags.is_empty() {
+                sh.tags[0] = Tag::Unknown;
+            }
+        }
+        _ => {
+            let drop = pops.min(sh.tags.len());
+            sh.tags.drain(..drop);
+            for _ in 0..pushes {
+                sh.tags.insert(0, result.clone().unwrap_or(Tag::Unknown));
+            }
+        }
+    }
+    if sh.tags.len() > absint::TRACKED {
+        sh.tags.truncate(absint::TRACKED);
+    }
+}
+
+fn walk_blocks(
+    cfg: &Cfg,
+    analysis: &absint::Analysis,
+    locals: Option<&LocalStores>,
+    mut collect: Option<&mut LocalStores>,
+    out: &mut StorageLayout,
+) {
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let Some(disjuncts) = analysis.entry.get(b) else {
+            continue;
+        };
+        for entry in disjuncts {
+            let mut st = entry.clone();
+            let mut sh = Shadow::at_block_entry(&st);
+            let mut mem = ScratchMem::default();
+            for ins in &cfg.instrs[blk.instr_range()] {
+                step_shadow(
+                    &mut sh,
+                    &mut mem,
+                    &st,
+                    ins,
+                    locals,
+                    collect.as_deref_mut(),
+                    out,
+                );
+                absint::step(&mut st, ins);
+                debug_assert_eq!(sh.tags.len(), st.tops.len());
+            }
+        }
+    }
+}
+
+/// Recover the storage layout of a runtime image.
+///
+/// Runs the shared absint fixpoint, then re-walks every reachable block
+/// (once per entry disjunct) with the provenance shadow on top —
+/// unioning over disjuncts is sound because each concrete execution is
+/// covered by the disjunct that abstracts it. Two walks: phase A builds
+/// the may-set of constants stored at each fixed memory offset (the
+/// `mstore_const` locals lsc-solc threads values through), phase B
+/// recovers the layout with that map as the cross-block MLOAD fallback.
+pub fn recover_layout(code: &[u8]) -> StorageLayout {
+    let cfg = Cfg::build(code);
+    let analysis = absint::run(&cfg);
+
+    let mut stores = LocalStores::new();
+    walk_blocks(
+        &cfg,
+        &analysis,
+        None,
+        Some(&mut stores),
+        &mut StorageLayout::default(),
+    );
+    stores.retain(|_, c| matches!(c, Consts::In(_)));
+    if std::env::var_os("LSC_LAYOUT_DEBUG").is_some() {
+        let mut dump: Vec<_> = stores.iter().collect();
+        dump.sort_by_key(|(k, _)| **k);
+        for (off, c) in dump {
+            eprintln!("local 0x{off:x} = {c:?}");
+        }
+    }
+
+    let mut out = StorageLayout::default();
+    walk_blocks(&cfg, &analysis, Some(&stores), None, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pushed(slot: u64) -> U256 {
+        U256::from_u64(slot)
+    }
+
+    // PUSH1 v; PUSH1 slot; SSTORE — constant write to a constant slot.
+    #[test]
+    fn constant_write_recovered() {
+        let code = [op::PUSH1, 0x2a, op::PUSH1, 0x07, op::SSTORE, op::STOP];
+        let layout = recover_layout(&code);
+        let u = &layout.slots[&pushed(7)];
+        assert!(u.writes && !u.reads);
+        assert_eq!(u.write_classes, ClassSet::CONST);
+        assert!(!layout.unknown_writes);
+        assert!(layout.covers_write(pushed(7)));
+    }
+
+    // CALLER; PUSH1 slot; SSTORE — calldata-derived write.
+    #[test]
+    fn input_write_classified() {
+        let code = [op::CALLER, op::PUSH1, 0x03, op::SSTORE, op::STOP];
+        let layout = recover_layout(&code);
+        assert_eq!(layout.slots[&pushed(3)].write_classes, ClassSet::INPUT);
+    }
+
+    // SLOAD-derived value written back: storage class, slot read+write.
+    #[test]
+    fn storage_roundtrip_classified() {
+        let code = [
+            op::PUSH1,
+            0x05,
+            op::SLOAD,
+            op::PUSH1,
+            0x01,
+            op::ADD,
+            op::PUSH1,
+            0x05,
+            op::SSTORE,
+            op::STOP,
+        ];
+        let layout = recover_layout(&code);
+        let u = &layout.slots[&pushed(5)];
+        assert!(u.reads && u.writes);
+        assert_eq!(u.write_classes, ClassSet::STORAGE);
+    }
+
+    // The emit_hash_one idiom: MSTORE(0, slot); KECCAK256(0, 32) → base.
+    #[test]
+    fn hash_one_base_recovered() {
+        let code = [
+            op::PUSH1,
+            0x02, // slot
+            op::PUSH0,
+            op::MSTORE, // mem[0] = 2
+            op::PUSH1,
+            0x20,
+            op::PUSH0,
+            op::KECCAK256, // keccak(mem[0..32])
+            op::PUSH1,
+            0x2a,
+            op::SWAP1, // value under the key
+            op::SSTORE,
+            op::STOP,
+        ];
+        let layout = recover_layout(&code);
+        assert!(layout.keccak_write_bases.contains(&pushed(2)));
+        assert!(!layout.unknown_writes);
+        // A write through a hash base covers arbitrary concrete slots.
+        assert!(layout.covers_write(pushed(1234)));
+    }
+
+    // The emit_hash_pair idiom: key at 0x00, slot at 0x20, hash 64 bytes.
+    #[test]
+    fn hash_pair_base_recovered() {
+        let code = [
+            op::PUSH1,
+            0x04, // slot
+            op::PUSH1,
+            0x20,
+            op::MSTORE, // mem[0x20] = slot
+            op::CALLER,
+            op::PUSH0,
+            op::MSTORE, // mem[0x00] = key
+            op::PUSH1,
+            0x40,
+            op::PUSH0,
+            op::KECCAK256,
+            op::SLOAD,
+            op::POP,
+            op::STOP,
+        ];
+        let layout = recover_layout(&code);
+        assert!(layout.keccak_read_bases.contains(&pushed(4)));
+        assert!(!layout.unknown_reads);
+    }
+
+    // A computed key the domain cannot see sets the unknown bit.
+    #[test]
+    fn escaped_key_sets_unknown() {
+        let code = [
+            op::PUSH1,
+            0x01,
+            op::CALLDATALOAD, // key from calldata
+            op::PUSH1,
+            0x2a,
+            op::SWAP1,
+            op::SSTORE,
+            op::STOP,
+        ];
+        let layout = recover_layout(&code);
+        assert!(layout.unknown_writes);
+        assert!(layout.covers_write(pushed(999)));
+    }
+}

@@ -22,14 +22,20 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod compat;
 mod extract;
+pub mod layout;
 pub mod lints;
 
+pub use compat::check_upgrade;
 pub use extract::extract_runtime;
+pub use layout::{ClassSet, SlotUse, StorageLayout};
 pub use lints::LintOptions;
 
 use lsc_evm::cfg::Cfg;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// What a finding is about. Discriminants are stable and ordered by how
 /// alarming the rule is by default.
@@ -57,11 +63,25 @@ pub enum Rule {
     Origin,
     /// Code that no path from the entry point can reach.
     UnreachableCode,
+    /// Upgrade hazard: a storage slot the predecessor reads is written
+    /// by the successor with a provably different provenance class.
+    SlotRepurposed,
+    /// Upgrade hazard: a predecessor mapping/array root slot is
+    /// scalar-written by the successor without remaining a hash base.
+    MappingBaseCollision,
+    /// Upgrade hazard: the version-chain `next`/`previous` pointer slots
+    /// are written with a provably non-calldata value.
+    LinkPointerClobbered,
+    /// Layout recovery was incomplete, so upgrade compatibility is
+    /// unprovable (warn-level by design: the gate records, not denies).
+    LayoutUnknown,
 }
 
 impl Rule {
-    /// Every rule, in severity order.
-    pub const ALL: [Rule; 9] = [
+    /// Every rule. New variants append — the discriminant and name of an
+    /// existing rule never change, which is what keeps committed
+    /// finding baselines stable across analyzer growth.
+    pub const ALL: [Rule; 13] = [
         Rule::InvalidJump,
         Rule::StackUnderflow,
         Rule::StackOverflow,
@@ -71,6 +91,10 @@ impl Rule {
         Rule::Selfdestruct,
         Rule::Origin,
         Rule::UnreachableCode,
+        Rule::SlotRepurposed,
+        Rule::MappingBaseCollision,
+        Rule::LinkPointerClobbered,
+        Rule::LayoutUnknown,
     ];
 
     /// Stable kebab-case name (used in audit records and CLI output).
@@ -85,6 +109,10 @@ impl Rule {
             Rule::Selfdestruct => "selfdestruct",
             Rule::Origin => "origin",
             Rule::UnreachableCode => "unreachable-code",
+            Rule::SlotRepurposed => "slot-repurposed",
+            Rule::MappingBaseCollision => "mapping-base-collision",
+            Rule::LinkPointerClobbered => "link-pointer-clobbered",
+            Rule::LayoutUnknown => "layout-unknown",
         }
     }
 
@@ -94,7 +122,10 @@ impl Rule {
             Rule::InvalidJump
             | Rule::StackUnderflow
             | Rule::StackOverflow
-            | Rule::WriteAfterCall => Severity::Error,
+            | Rule::WriteAfterCall
+            | Rule::SlotRepurposed
+            | Rule::MappingBaseCollision
+            | Rule::LinkPointerClobbered => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -171,10 +202,10 @@ pub enum Action {
 
 /// Per-rule deny/warn/allow decisions enforced by the deployment gate.
 ///
-/// The default denies the four [`Severity::Error`] rules and warns on
-/// the rest — every built-in template passes it, while invalid jumps,
-/// stack hazards and reentrancy shapes are kept out of the version
-/// chain.
+/// The default denies the [`Severity::Error`] rules and warns on the
+/// rest — every built-in template passes it, while invalid jumps, stack
+/// hazards, reentrancy shapes and incompatible upgrades are kept out of
+/// the version chain.
 #[derive(Debug, Clone, Default)]
 pub struct VettingPolicy {
     overrides: Vec<(Rule, Action)>,
@@ -279,6 +310,9 @@ pub enum Region {
     Init,
     /// The code installed at the contract address.
     Runtime,
+    /// A cross-version comparison (the finding is about the pair, not
+    /// one blob).
+    Upgrade,
 }
 
 impl fmt::Display for Region {
@@ -286,6 +320,7 @@ impl fmt::Display for Region {
         f.write_str(match self {
             Region::Init => "init",
             Region::Runtime => "runtime",
+            Region::Upgrade => "upgrade",
         })
     }
 }
@@ -396,3 +431,175 @@ impl fmt::Display for VetError {
 }
 
 impl std::error::Error for VetError {}
+
+/// Vetting result for a version upgrade: the predecessor's recovered
+/// layout, the successor's (when its runtime was recoverable), and the
+/// compatibility findings between them.
+#[derive(Debug, Clone)]
+pub struct UpgradeVetting {
+    /// Layout of the live predecessor's runtime.
+    pub old_layout: Arc<StorageLayout>,
+    /// Layout of the successor's runtime; `None` when runtime extraction
+    /// failed (which itself yields a hard [`Rule::LayoutUnknown`]
+    /// finding — extraction failure is never silently skipped).
+    pub new_layout: Option<Arc<StorageLayout>>,
+    /// Byte range of the successor's runtime inside its init blob, when
+    /// it was extracted here rather than supplied directly.
+    pub new_runtime_range: Option<std::ops::Range<usize>>,
+    /// Compatibility findings, sorted errors-first.
+    pub findings: Vec<Finding>,
+}
+
+impl UpgradeVetting {
+    /// All findings with their region (always [`Region::Upgrade`]),
+    /// matching [`DeploymentVetting::findings`]'s shape so callers can
+    /// render both the same way.
+    pub fn findings(&self) -> Vec<(Region, &Finding)> {
+        self.findings.iter().map(|f| (Region::Upgrade, f)).collect()
+    }
+
+    /// Enforce a policy: `Err` carries every denied finding.
+    pub fn enforce(&self, policy: &VettingPolicy) -> Result<(), VetError> {
+        let denied: Vec<(Region, Finding)> = self
+            .findings
+            .iter()
+            .filter(|f| policy.action(f.rule) == Action::Deny)
+            .map(|f| (Region::Upgrade, f.clone()))
+            .collect();
+        if denied.is_empty() {
+            Ok(())
+        } else {
+            Err(VetError { denied })
+        }
+    }
+}
+
+/// Vet an upgrade where the successor is still an init blob (the deploy
+/// transaction's code, as `deploy_version`/`enact` see it). The
+/// comparison must run runtime-against-runtime — init code writes
+/// constructor state and would drown the diff — so the successor's
+/// runtime image is extracted first; when extraction fails, layout
+/// compatibility is unprovable and a [`Rule::LayoutUnknown`] finding is
+/// emitted instead of silently skipping the check.
+pub fn vet_upgrade(old_runtime: &[u8], new_init: &[u8]) -> UpgradeVetting {
+    match extract_runtime(new_init) {
+        Some(range) => {
+            let mut vetting = vet_upgrade_runtime(old_runtime, &new_init[range.clone()]);
+            vetting.new_runtime_range = Some(range);
+            vetting
+        }
+        None => {
+            let old_layout = recover_layout_cached(old_runtime);
+            let findings = vec![Finding::new(
+                Rule::LayoutUnknown,
+                0,
+                "successor runtime image not recoverable from init code; upgrade compatibility is unprovable".to_string(),
+            )];
+            UpgradeVetting {
+                old_layout,
+                new_layout: None,
+                new_runtime_range: None,
+                findings,
+            }
+        }
+    }
+}
+
+/// Vet an upgrade where both sides are already runtime images (e.g. both
+/// fetched from chain state).
+pub fn vet_upgrade_runtime(old_runtime: &[u8], new_runtime: &[u8]) -> UpgradeVetting {
+    let old_layout = recover_layout_cached(old_runtime);
+    let new_layout = recover_layout_cached(new_runtime);
+    let findings = compat::check_upgrade(&old_layout, &new_layout);
+    UpgradeVetting {
+        old_layout,
+        new_layout: Some(new_layout),
+        new_runtime_range: None,
+        findings,
+    }
+}
+
+// ---- content-addressed memoization ----
+//
+// The 16 template combos deploy byte-identical runtimes to many
+// addresses, and the upgrade gate re-analyzes the same predecessor for
+// every candidate successor, so vetting and layout recovery are keyed on
+// code content. Same discipline as the compiler's analysis memo: hash
+// for the bucket, byte-compare for the hit (a hash collision must never
+// serve another blob's verdict), bounded size with wholesale eviction.
+
+/// Cached blobs across both memos before they are cleared wholesale.
+const MEMO_CAP: usize = 1024;
+
+type MemoMap<T> = Mutex<BTreeMap<u64, Vec<(Arc<Vec<u8>>, Arc<T>)>>>;
+
+/// FNV-1a; the byte-verified chain behind it makes collision quality a
+/// throughput concern only.
+fn content_key(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn memo_get_or_insert<T>(memo: &MemoMap<T>, code: &[u8], build: impl FnOnce() -> T) -> Arc<T> {
+    let key = content_key(code);
+    {
+        let map = memo.lock().expect("analyzer memo poisoned");
+        if let Some(chain) = map.get(&key) {
+            if let Some((_, cached)) = chain.iter().find(|(bytes, _)| ***bytes == *code) {
+                return Arc::clone(cached);
+            }
+        }
+    }
+    // Build outside the lock: analysis is the expensive part and two
+    // racing builders of the same blob agree on the result anyway.
+    let built = Arc::new(build());
+    let mut map = memo.lock().expect("analyzer memo poisoned");
+    if map.values().map(Vec::len).sum::<usize>() >= MEMO_CAP {
+        map.clear();
+    }
+    let chain = map.entry(key).or_default();
+    if let Some((_, cached)) = chain.iter().find(|(bytes, _)| ***bytes == *code) {
+        return Arc::clone(cached);
+    }
+    chain.push((Arc::new(code.to_vec()), Arc::clone(&built)));
+    built
+}
+
+static VET_MEMO: MemoMap<DeploymentVetting> = Mutex::new(BTreeMap::new());
+static LAYOUT_MEMO: MemoMap<StorageLayout> = Mutex::new(BTreeMap::new());
+
+/// [`vet_deployment`] behind the content-addressed memo. Identical init
+/// blobs (the common case for template re-deploys) analyze once.
+pub fn vet_deployment_cached(init_code: &[u8]) -> Arc<DeploymentVetting> {
+    memo_get_or_insert(&VET_MEMO, init_code, || vet_deployment(init_code))
+}
+
+/// [`layout::recover_layout`] behind the content-addressed memo.
+pub fn recover_layout_cached(code: &[u8]) -> Arc<StorageLayout> {
+    memo_get_or_insert(&LAYOUT_MEMO, code, || layout::recover_layout(code))
+}
+
+#[cfg(test)]
+mod memo_tests {
+    use super::*;
+
+    #[test]
+    fn identical_bytes_share_one_analysis() {
+        let code = [0x60, 0x2a, 0x60, 0x07, 0x55, 0x00]; // PUSH PUSH SSTORE STOP
+        let a = recover_layout_cached(&code);
+        let b = recover_layout_cached(&code);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_bytes_never_share() {
+        let a = recover_layout_cached(&[0x60, 0x01, 0x60, 0x02, 0x55, 0x00]);
+        let b = recover_layout_cached(&[0x60, 0x01, 0x60, 0x03, 0x55, 0x00]);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.slots.keys().next(), b.slots.keys().next());
+    }
+}

@@ -1,0 +1,205 @@
+//! Positive/negative pairs for every upgrade-compatibility rule, driven
+//! through the public `vet_upgrade_runtime`/`vet_upgrade` entry points
+//! over hand-assembled runtime images — each hazard is demonstrated by a
+//! minimal program pair, and each rule's escape hatch (the benign twin)
+//! is pinned as a non-finding.
+
+use lsc_analyzer::{vet_upgrade, vet_upgrade_runtime, Rule, Severity};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+
+/// Runtime that reads slot 5 and writes a PUSH constant to it — a fully
+/// recovered, const-classed live slot.
+fn old_const_slot() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(1).push_u64(5).op(op::SSTORE);
+    asm.push_u64(5).op(op::SLOAD).op(op::POP).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that writes `msg.sender` to slot 5.
+fn new_caller_into_slot_5() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.op(op::CALLER).push_u64(5).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that writes a different PUSH constant to slot 5 — same
+/// provenance class as the predecessor, so not a repurposing.
+fn new_const_into_slot_5() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(2).push_u64(5).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that stores through `keccak256(slot 3)` — the mapping idiom:
+/// the base constant goes to memory 0, the hash of that word is the
+/// storage key.
+fn keccak_store_base_3() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(7); // value
+    asm.push_u64(3).push_u64(0).op(op::MSTORE); // mem[0] = base 3
+    asm.push_u64(32).push_u64(0).op(op::KECCAK256); // key = keccak(mem[0..32])
+    asm.op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that scalar-writes slot 3 and never hashes it.
+fn scalar_write_slot_3() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(9).push_u64(3).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that scalar-writes slot 3 AND keeps using it as a hash base —
+/// the array-length idiom, which is legitimate.
+fn length_write_slot_3() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(9).push_u64(3).op(op::SSTORE);
+    asm.push_u64(7);
+    asm.push_u64(3).push_u64(0).op(op::MSTORE);
+    asm.push_u64(32).push_u64(0).op(op::KECCAK256);
+    asm.op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that writes a PUSH constant into link-pointer slot 0.
+fn const_write_link_slot() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(0xdead).push_u64(0).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that writes a calldata word into link-pointer slot 0 — the
+/// shape of the designated setNext/setPrev path.
+fn calldata_write_link_slot() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(4).op(op::CALLDATALOAD);
+    asm.push_u64(0).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+fn rules(old: &[u8], new: &[u8]) -> Vec<Rule> {
+    vet_upgrade_runtime(old, new)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn slot_repurposed_fires_on_disjoint_write_classes() {
+    let fired = rules(&old_const_slot(), &new_caller_into_slot_5());
+    assert!(fired.contains(&Rule::SlotRepurposed), "{fired:?}");
+}
+
+#[test]
+fn slot_repurposed_spares_matching_write_classes() {
+    let fired = rules(&old_const_slot(), &new_const_into_slot_5());
+    assert!(!fired.contains(&Rule::SlotRepurposed), "{fired:?}");
+}
+
+#[test]
+fn mapping_base_collision_fires_on_scalar_clobber() {
+    let fired = rules(&keccak_store_base_3(), &scalar_write_slot_3());
+    assert!(fired.contains(&Rule::MappingBaseCollision), "{fired:?}");
+}
+
+#[test]
+fn mapping_base_collision_spares_the_length_slot_idiom() {
+    let fired = rules(&keccak_store_base_3(), &length_write_slot_3());
+    assert!(!fired.contains(&Rule::MappingBaseCollision), "{fired:?}");
+}
+
+#[test]
+fn link_pointer_clobber_fires_on_const_write() {
+    let fired = rules(&old_const_slot(), &const_write_link_slot());
+    assert!(fired.contains(&Rule::LinkPointerClobbered), "{fired:?}");
+}
+
+#[test]
+fn link_pointer_clobber_spares_the_calldata_path() {
+    let fired = rules(&old_const_slot(), &calldata_write_link_slot());
+    assert!(!fired.contains(&Rule::LinkPointerClobbered), "{fired:?}");
+}
+
+#[test]
+fn layout_unknown_warns_when_a_key_escapes() {
+    // A computed storage key (keccak result is fine, but a raw unknown
+    // like a TIMESTAMP-derived key is not recoverable).
+    let mut asm = Asm::new();
+    asm.push_u64(1)
+        .op(op::TIMESTAMP)
+        .op(op::SSTORE)
+        .op(op::STOP);
+    let new = asm.assemble().unwrap();
+    let vetting = vet_upgrade_runtime(&old_const_slot(), &new);
+    let unknowns: Vec<_> = vetting
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LayoutUnknown)
+        .collect();
+    assert!(!unknowns.is_empty(), "{:?}", vetting.findings);
+    assert!(unknowns.iter().all(|f| f.severity == Severity::Warning));
+}
+
+/// ISSUE 9 satellite bugfix regression: the upgrade comparison must run
+/// runtime-against-runtime, and when the successor's runtime image
+/// cannot be extracted from its init blob the gate must emit a hard
+/// `LayoutUnknown` finding — never silently skip the check.
+#[test]
+fn extraction_failure_is_a_finding_not_a_skip() {
+    let garbage_init = vec![op::STOP]; // no canonical deploy tail
+    let vetting = vet_upgrade(&old_const_slot(), &garbage_init);
+    assert!(vetting.new_layout.is_none());
+    assert!(vetting.new_runtime_range.is_none());
+    assert!(
+        vetting
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::LayoutUnknown && f.message.contains("not recoverable")),
+        "{:?}",
+        vetting.findings
+    );
+}
+
+/// Build `ctor store + CODECOPY/RETURN tail` init code around a runtime
+/// image, mirroring what the compiler emits. The constructor writes
+/// CALLER into slot 5 — a store that would read as a repurposing if the
+/// diff ever ran over init bytes instead of the extracted runtime.
+fn canonical_init(runtime: &[u8]) -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.op(op::CALLER).push_u64(5).op(op::SSTORE);
+    let image = asm.new_label();
+    asm.push_u64(runtime.len() as u64);
+    asm.push_label(image);
+    asm.push_u64(0);
+    asm.op(op::CODECOPY);
+    asm.push_u64(runtime.len() as u64);
+    asm.push_u64(0);
+    asm.op(op::RETURN);
+    asm.place_raw(image);
+    asm.extend_raw(runtime.to_vec());
+    asm.assemble().unwrap()
+}
+
+/// And the happy half of the same bugfix: with a canonical init blob the
+/// diff runs over the *extracted runtime*, not the init bytes — init
+/// code's constructor stores must not pollute the verdict.
+#[test]
+fn extraction_success_diffs_runtimes_not_init_blobs() {
+    let runtime = new_const_into_slot_5();
+    let init = canonical_init(&runtime);
+    let vetting = vet_upgrade(&old_const_slot(), &init);
+    let range = vetting.new_runtime_range.clone().expect("tail extracted");
+    assert_eq!(&init[range], runtime.as_slice());
+    assert!(vetting.new_layout.is_some());
+    assert!(
+        !vetting
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::SlotRepurposed),
+        "{:?}",
+        vetting.findings
+    );
+}

@@ -301,9 +301,24 @@ impl RentalApp {
         &self,
         session: SessionToken,
         upload_id: u64,
-    ) -> AppResult<lsc_analyzer::DeploymentVetting> {
+    ) -> AppResult<std::sync::Arc<lsc_analyzer::DeploymentVetting>> {
         self.current_user(session)?;
         Ok(self.manager.vet_upload(upload_id)?)
+    }
+
+    /// Run the upgrade-compatibility pass: diff an upload's recovered
+    /// storage layout against the live contract at `previous` — the
+    /// dashboard/CLI `vet --against` action. Reports findings without
+    /// enforcing the policy; the same analysis (policy-enforced) gates
+    /// [`RentalApp::modify_contract`].
+    pub fn vet_upload_against(
+        &self,
+        session: SessionToken,
+        upload_id: u64,
+        previous: Address,
+    ) -> AppResult<lsc_analyzer::UpgradeVetting> {
+        self.current_user(session)?;
+        Ok(self.manager.vet_upload_against(upload_id, previous)?)
     }
 
     /// Fig. 10: deploy an uploaded contract; the logged-in user becomes

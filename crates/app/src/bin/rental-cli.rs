@@ -20,10 +20,10 @@
 #![forbid(unsafe_code)]
 
 use lsc_abi::AbiValue;
-use lsc_analyzer::{DeploymentVetting, VettingPolicy};
+use lsc_analyzer::{DeploymentVetting, Finding, Region, UpgradeVetting, VettingPolicy};
 use lsc_app::{dashboard, RentalApp, SessionToken};
 use lsc_chain::wal::{FaultPlan, Faults};
-use lsc_chain::{ChainConfig, DeployGuard, LocalNode};
+use lsc_chain::{ChainConfig, DeployGuard, LocalNode, UpgradeGuard};
 use lsc_core::contracts;
 use lsc_ipfs::IpfsNode;
 use lsc_primitives::{ether, Address, U256};
@@ -91,13 +91,22 @@ impl Cli {
         // node itself refuses create transactions whose init code the
         // static verifier denies, no matter which tier submitted them.
         let deploy_guard = DeployGuard::new(|init_code| {
-            lsc_analyzer::vet_deployment(init_code)
+            lsc_analyzer::vet_deployment_cached(init_code)
+                .enforce(&VettingPolicy::default())
+                .map_err(|e| e.to_string())
+        });
+        // Same last line of defence for upgrades: a setNext/setPrev call
+        // only executes if the successor's recovered storage layout is
+        // compatible with the live predecessor's under the default policy.
+        let upgrade_guard = UpgradeGuard::new(|old_runtime, new_runtime| {
+            lsc_analyzer::vet_upgrade_runtime(old_runtime, new_runtime)
                 .enforce(&VettingPolicy::default())
                 .map_err(|e| e.to_string())
         });
         let config = ChainConfig {
             mining_workers,
             deploy_guard: Some(deploy_guard),
+            upgrade_guard: Some(upgrade_guard),
             ..ChainConfig::default()
         };
         let node = match &data_dir {
@@ -203,12 +212,7 @@ impl Cli {
             }
             ["vet", target] => {
                 let vetting = if let Some(hex) = target.strip_prefix("0x") {
-                    let bytes = (0..hex.len())
-                        .step_by(2)
-                        .map(|i| u8::from_str_radix(hex.get(i..i + 2).unwrap_or("zz"), 16))
-                        .collect::<Result<Vec<u8>, _>>()
-                        .map_err(|_| "bad hex bytecode".to_string())?;
-                    lsc_analyzer::vet_deployment(&bytes)
+                    std::sync::Arc::new(lsc_analyzer::vet_deployment(&parse_hex_bytecode(hex)?))
                 } else {
                     let session = self.session()?;
                     let upload: u64 = target.parse().map_err(|_| "bad upload id")?;
@@ -217,6 +221,24 @@ impl Cli {
                         .map_err(|e| e.to_string())?
                 };
                 Ok(render_vetting(&vetting))
+            }
+            ["vet", target, "--against", prev] => {
+                let previous = self.address(prev)?;
+                let vetting = if let Some(hex) = target.strip_prefix("0x") {
+                    let bytes = parse_hex_bytecode(hex)?;
+                    let old_runtime = self.web3.code(previous);
+                    if old_runtime.is_empty() {
+                        return Err(format!("no code on chain at predecessor {previous}"));
+                    }
+                    lsc_analyzer::vet_upgrade(&old_runtime, &bytes)
+                } else {
+                    let session = self.session()?;
+                    let upload: u64 = target.parse().map_err(|_| "bad upload id")?;
+                    self.app
+                        .vet_upload_against(session, upload, previous)
+                        .map_err(|e| e.to_string())?
+                };
+                Ok(render_upgrade_vetting(previous, &vetting))
             }
             ["deploy", upload, rent_eth, house, seconds] => {
                 let session = self.session()?;
@@ -428,6 +450,51 @@ impl Cli {
     }
 }
 
+fn parse_hex_bytecode(hex: &str) -> Result<Vec<u8>, String> {
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2).unwrap_or("zz"), 16))
+        .collect::<Result<Vec<u8>, _>>()
+        .map_err(|_| "bad hex bytecode".to_string())
+}
+
+/// Render findings grouped by (region, rule) with pc ranges: 16 template
+/// combos firing the same lint at many pcs become one line each instead
+/// of a page of per-pc repeats.
+fn render_findings(out: &mut String, findings: &[(Region, &Finding)]) {
+    if findings.is_empty() {
+        out.push_str("findings: none\n");
+        return;
+    }
+    out.push_str(&format!("findings: {}\n", findings.len()));
+    let mut groups: Vec<((Region, lsc_analyzer::Rule), Vec<&Finding>)> = Vec::new();
+    for (region, finding) in findings {
+        match groups
+            .iter_mut()
+            .find(|((r, rule), _)| r == region && *rule == finding.rule)
+        {
+            Some((_, group)) => group.push(finding),
+            None => groups.push(((*region, finding.rule), vec![finding])),
+        }
+    }
+    for ((region, rule), group) in groups {
+        let mut pcs: Vec<usize> = group.iter().map(|f| f.pc).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        let span = match pcs.as_slice() {
+            [only] => format!("pc {only}"),
+            [first, .., last] => format!("{} site(s), pc {first}-{last}", pcs.len()),
+            [] => unreachable!("group is never empty"),
+        };
+        out.push_str(&format!(
+            "  [{region}] {} ({}): {span} — {}\n",
+            rule.name(),
+            group[0].severity,
+            group[0].message
+        ));
+    }
+}
+
 fn render_vetting(vetting: &DeploymentVetting) -> String {
     let mut out = String::from("STATIC BYTECODE VETTING\n");
     out.push_str(&format!(
@@ -449,17 +516,40 @@ fn render_vetting(vetting: &DeploymentVetting) -> String {
         Some(line) => out.push_str(&format!("{line}\n")),
         None => out.push_str("superinstr: not compiled (plain interpreter path)\n"),
     }
-    let findings = vetting.findings();
-    if findings.is_empty() {
-        out.push_str("findings: none\n");
-    } else {
-        out.push_str(&format!("findings: {}\n", findings.len()));
-        for (region, finding) in &findings {
-            out.push_str(&format!("  [{region}] {finding}\n"));
-        }
-    }
+    render_findings(&mut out, &vetting.findings());
     match vetting.enforce(&VettingPolicy::default()) {
         Ok(()) => out.push_str("verdict: deployable under the default policy"),
+        Err(e) => out.push_str(&format!(
+            "verdict: DENIED under the default policy ({} finding(s))",
+            e.denied.len()
+        )),
+    }
+    out
+}
+
+fn render_upgrade_vetting(previous: Address, vetting: &UpgradeVetting) -> String {
+    let mut out = String::from("UPGRADE COMPATIBILITY VETTING\n");
+    out.push_str(&format!(
+        "predecessor: {previous}\n  layout: {}\n",
+        vetting.old_layout.summary()
+    ));
+    match (&vetting.new_layout, &vetting.new_runtime_range) {
+        (Some(layout), Some(range)) => out.push_str(&format!(
+            "successor: runtime {} byte(s) at {}..{}\n  layout: {}\n",
+            range.len(),
+            range.start,
+            range.end,
+            layout.summary()
+        )),
+        (Some(layout), None) => out.push_str(&format!(
+            "successor: runtime\n  layout: {}\n",
+            layout.summary()
+        )),
+        _ => out.push_str("successor: runtime not recovered (no canonical deploy tail)\n"),
+    }
+    render_findings(&mut out, &vetting.findings());
+    match vetting.enforce(&VettingPolicy::default()) {
+        Ok(()) => out.push_str("verdict: upgrade-compatible under the default policy"),
         Err(e) => out.push_str(&format!(
             "verdict: DENIED under the default policy ({} finding(s))",
             e.denied.len()
@@ -474,6 +564,7 @@ const HELP: &str = "commands:
   login <name> <pw> | logout
   upload base|v2|guarded                         compile & upload a contract
   vet <upload-id|0xhex>                          static-verify bytecode
+  vet <upload-id|0xhex> --against <address|last> diff storage layouts for an upgrade
   deploy <upload> <rent-eth> <house> <seconds>   deploy the base contract
   deploy-v2 <upload> <rent> <deposit> <house> <seconds>
   attach-doc <address|last> <text…>              link the legal PDF

@@ -5,7 +5,7 @@
 //! overhead it adds to `ContractManager::deploy`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsc_analyzer::vet_deployment;
+use lsc_analyzer::{extract_runtime, vet_deployment, vet_upgrade, vet_upgrade_runtime};
 use lsc_bench::BenchWorld;
 use lsc_core::contracts;
 use lsc_core::templates::RentalTemplate;
@@ -69,5 +69,56 @@ fn bench_gated_deploy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vet, bench_gated_deploy);
+fn bench_vet_upgrade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_cost/vet_upgrade");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let base = contracts::compile_base_rental().unwrap();
+    let range = extract_runtime(&base.bytecode).expect("solc emits the canonical deploy tail");
+    let old_runtime = base.bytecode[range].to_vec();
+    for (name, artifact) in artifacts() {
+        // A cold upgrade check: two fresh layout recoveries plus the
+        // cross-version diff, from the successor's raw init blob.
+        group.throughput(criterion::Throughput::Bytes(
+            (old_runtime.len() + artifact.bytecode.len()) as u64,
+        ));
+        group.bench_function(BenchmarkId::new("cold", name), |b| {
+            b.iter(|| {
+                black_box(vet_upgrade(
+                    black_box(&old_runtime),
+                    black_box(&artifact.bytecode),
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    // The gate budget ISSUE 9 promises: a warm runtime-vs-runtime check
+    // over the base rental contract must stay under a millisecond —
+    // this is what every setNext/setPrev link pays at transaction
+    // admission. Asserted, not just measured, so CI catches regressions.
+    let warm = vet_upgrade_runtime(&old_runtime, &old_runtime); // prime
+    assert!(
+        warm.enforce(&lsc_analyzer::VettingPolicy::default())
+            .is_ok(),
+        "self-upgrade must pass the default policy"
+    );
+    const ROUNDS: u32 = 64;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        black_box(vet_upgrade_runtime(
+            black_box(&old_runtime),
+            black_box(&old_runtime),
+        ));
+    }
+    let per_check = start.elapsed() / ROUNDS;
+    println!("analyzer_cost/vet_upgrade/warm_gate: {per_check:?} per check");
+    assert!(
+        per_check < Duration::from_millis(1),
+        "warm upgrade gate blew its 1 ms budget: {per_check:?} per check"
+    );
+}
+
+criterion_group!(benches, bench_vet, bench_gated_deploy, bench_vet_upgrade);
 criterion_main!(benches);

@@ -25,7 +25,7 @@ pub mod wal;
 
 pub use mempool::{Mempool, PRICE_BUMP_PERCENT};
 pub use mvcc::{log_matches, CommittedSnapshot, LogFilter, LogIndex, ReadHandle};
-pub use node::{ChainConfig, DeployGuard, LocalNode, DEFAULT_MAX_PENDING};
+pub use node::{ChainConfig, DeployGuard, LocalNode, UpgradeGuard, DEFAULT_MAX_PENDING};
 pub use producer::{BlockProducer, ProducerConfig};
 pub use snapshot::SnapshotError;
 pub use state::{Account, WorldState};

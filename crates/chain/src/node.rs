@@ -59,6 +59,69 @@ impl std::fmt::Debug for DeployGuard {
     }
 }
 
+/// A pre-execution hook over version-chain relinking. When a call
+/// transaction carries a `setNext(address)`/`setPrev(address)` payload —
+/// the designated upgrade path from the paper's doubly linked version
+/// list — the node resolves both sides' runtime code from state and runs
+/// this check over (predecessor, successor) before the pointer moves.
+/// The app tier installs the storage-layout compatibility gate here; the
+/// chain tier only promises the check runs in every mining mode.
+///
+/// The check must be a pure function of the two code blobs. The code a
+/// given transaction sees is determined by its position in the committed
+/// order, so both mining engines and WAL replay reach the same verdict.
+#[derive(Clone)]
+pub struct UpgradeGuard(Arc<UpgradeGuardFn>);
+
+/// The predicate an [`UpgradeGuard`] runs over (old, new) runtime code.
+type UpgradeGuardFn = dyn Fn(&[u8], &[u8]) -> Result<(), String> + Send + Sync;
+
+impl UpgradeGuard {
+    /// Wrap a checking function over `(old_runtime, new_runtime)`;
+    /// `Err(reason)` rejects the transaction.
+    pub fn new(check: impl Fn(&[u8], &[u8]) -> Result<(), String> + Send + Sync + 'static) -> Self {
+        UpgradeGuard(Arc::new(check))
+    }
+
+    /// Run the guard over a predecessor/successor runtime pair.
+    pub fn check(&self, old_runtime: &[u8], new_runtime: &[u8]) -> Result<(), String> {
+        (self.0)(old_runtime, new_runtime)
+    }
+}
+
+impl std::fmt::Debug for UpgradeGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("UpgradeGuard(..)")
+    }
+}
+
+/// When `tx` is a `setNext(address)`/`setPrev(address)` call, the
+/// (predecessor, successor) pair it would link: `setNext` on the old
+/// version names the new one, `setPrev` on the new version names the old.
+fn version_pointer_call(tx: &Transaction) -> Option<(Address, Address)> {
+    use std::sync::OnceLock;
+    static SELECTORS: OnceLock<([u8; 4], [u8; 4])> = OnceLock::new();
+    let (set_next, set_prev) = SELECTORS.get_or_init(|| {
+        let sel = |sig: &str| {
+            let hash = lsc_primitives::keccak::keccak256(sig.as_bytes());
+            [hash[0], hash[1], hash[2], hash[3]]
+        };
+        (sel("setNext(address)"), sel("setPrev(address)"))
+    });
+    let to = tx.to?;
+    if tx.data.len() != 36 {
+        return None;
+    }
+    let mut arg = [0u8; 20];
+    arg.copy_from_slice(&tx.data[16..36]);
+    let arg = Address::from(arg);
+    match &tx.data[..4] {
+        s if s == set_next => Some((to, arg)),
+        s if s == set_prev => Some((arg, to)),
+        _ => None,
+    }
+}
+
 /// Chain configuration.
 #[derive(Debug, Clone)]
 pub struct ChainConfig {
@@ -84,6 +147,10 @@ pub struct ChainConfig {
     /// code before execution; `Err` rejects with
     /// [`TxError::DeployRejected`].
     pub deploy_guard: Option<DeployGuard>,
+    /// Optional compatibility hook run over (predecessor, successor)
+    /// runtime code before any `setNext`/`setPrev` version-pointer call
+    /// executes; `Err` rejects with [`TxError::UpgradeRejected`].
+    pub upgrade_guard: Option<UpgradeGuard>,
 }
 
 impl Default for ChainConfig {
@@ -97,6 +164,7 @@ impl Default for ChainConfig {
             mining_workers: None,
             max_pending: DEFAULT_MAX_PENDING,
             deploy_guard: None,
+            upgrade_guard: None,
         }
     }
 }
@@ -507,6 +575,33 @@ impl LocalNode {
         Ok(())
     }
 
+    /// Run the configured upgrade guard when `tx` is a version-pointer
+    /// call (`setNext`/`setPrev`); anything else — and guard-less nodes —
+    /// always passes. The check is skipped when either side has no code
+    /// yet: a pointer aimed at an empty account is not an upgrade, and
+    /// the designated path always deploys the successor first.
+    ///
+    /// The guard reads committed code only, so its verdict is a function
+    /// of the transaction's position in the committed order — identical
+    /// across instant, sequential, and parallel mining and across WAL
+    /// replay (which re-executes in that same order).
+    fn check_upgrade_guard(&self, tx: &Transaction) -> Result<(), TxError> {
+        let Some(guard) = &self.config.upgrade_guard else {
+            return Ok(());
+        };
+        let Some((old, new)) = version_pointer_call(tx) else {
+            return Ok(());
+        };
+        let old_code = self.state.code(old);
+        let new_code = self.state.code(new);
+        if old_code.is_empty() || new_code.is_empty() {
+            return Ok(());
+        }
+        guard
+            .check(&old_code, &new_code)
+            .map_err(TxError::UpgradeRejected)
+    }
+
     /// Hashes of the most recent 256 blocks, newest first (BLOCKHASH).
     fn recent_hashes(&self) -> Vec<(u64, H256)> {
         self.blocks
@@ -525,10 +620,13 @@ impl LocalNode {
         tx: &Transaction,
         env: &BlockEnv,
     ) -> Result<(H256, Receipt), TxError> {
-        // The guard depends only on the payload bytes, so it runs first:
-        // both mining engines can then agree on the verdict without
-        // ordering it against state-dependent checks.
+        // The deploy guard depends only on the payload bytes, so it runs
+        // first: both mining engines can then agree on the verdict
+        // without ordering it against state-dependent checks. The upgrade
+        // guard reads committed code, which is equally fixed by the
+        // transaction's position in the committed order.
         self.check_deploy_guard(tx)?;
+        self.check_upgrade_guard(tx)?;
         let expected_nonce = self.state.nonce(tx.from);
         let nonce = tx.nonce.unwrap_or(expected_nonce);
         if nonce != expected_nonce {
@@ -860,7 +958,10 @@ impl LocalNode {
         let mut executed = Vec::with_capacity(pending.len());
         let mut errors = Vec::new();
         for (tx, speculated) in pending.iter().zip(outcomes) {
-            if let Err(error) = self.check_deploy_guard(tx) {
+            if let Err(error) = self
+                .check_deploy_guard(tx)
+                .and_then(|()| self.check_upgrade_guard(tx))
+            {
                 errors.push(error);
                 continue;
             }
@@ -1131,6 +1232,7 @@ fn parse_meta(text: &str) -> Result<(ChainConfig, usize), WalError> {
         // Guards are code, not data: whoever recovers the node re-installs
         // theirs after replay (replayed deployments already passed it).
         deploy_guard: None,
+        upgrade_guard: None,
     };
     let n_accounts = crate::codec::u64_field(&doc, "n_accounts").map_err(corrupt)? as usize;
     Ok((config, n_accounts))
@@ -1149,7 +1251,14 @@ impl LocalNode {
         faults: Faults,
     ) -> Result<LocalNode, WalError> {
         if meta_path(dir).exists() {
-            return LocalNode::recover(dir, faults);
+            let mut node = LocalNode::recover(dir, faults)?;
+            // Guards are code, not data: meta.json cannot carry them, so
+            // the caller's hooks are re-installed over the replayed chain
+            // (every replayed transaction already passed them — the WAL
+            // only ever holds admitted submissions).
+            node.config.deploy_guard = config.deploy_guard;
+            node.config.upgrade_guard = config.upgrade_guard;
+            return Ok(node);
         }
         std::fs::create_dir_all(dir).map_err(|e| WalError::Io(format!("create data dir: {e}")))?;
         // Meta is written once, before any user data exists, and is

@@ -108,6 +108,11 @@ pub enum TxError {
     /// A create transaction's init code was refused by the node's deploy
     /// guard (see `ChainConfig::deploy_guard`).
     DeployRejected(String),
+    /// A version-pointer call (`setNext`/`setPrev`) was refused by the
+    /// node's upgrade guard because the successor's storage layout is
+    /// incompatible with the live predecessor's (see
+    /// `ChainConfig::upgrade_guard`).
+    UpgradeRejected(String),
     /// The pending queue is at `ChainConfig::max_pending`; the client
     /// should mine (or wait for the miner) and resubmit — backpressure
     /// instead of unbounded node memory.
@@ -140,6 +145,7 @@ impl std::fmt::Display for TxError {
             }
             Self::ExceedsBlockGasLimit => write!(f, "gas limit exceeds block gas limit"),
             Self::DeployRejected(message) => write!(f, "deployment rejected: {message}"),
+            Self::UpgradeRejected(message) => write!(f, "upgrade rejected: {message}"),
             Self::QueueFull { limit } => {
                 write!(f, "pending queue full ({limit} transactions)")
             }

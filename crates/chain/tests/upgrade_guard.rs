@@ -1,0 +1,250 @@
+//! The chain-tier upgrade guard: a configurable pre-execution check over
+//! version-pointer calls (`setNext`/`setPrev`), enforced identically by
+//! instant mining, parallel batch mining and sequential batch mining,
+//! and surviving WAL recovery.
+
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, Transaction, TxError, UpgradeGuard};
+use lsc_primitives::{keccak256, Address};
+use std::path::PathBuf;
+
+// Only `init_for` is used here; the factory/metamorphic helpers are for
+// the other suites sharing this module.
+#[allow(dead_code)]
+mod common;
+use common::init_for;
+
+/// A guard that refuses successors containing the INVALID opcode byte —
+/// an arbitrary, easily-steered predicate for exercising the hook.
+fn marker_guard() -> UpgradeGuard {
+    UpgradeGuard::new(|_old, new| {
+        if new.contains(&0xfe) {
+            Err("marker byte found".into())
+        } else {
+            Ok(())
+        }
+    })
+}
+
+fn guarded_config(workers: Option<usize>) -> ChainConfig {
+    ChainConfig {
+        upgrade_guard: Some(marker_guard()),
+        mining_workers: workers,
+        ..ChainConfig::default()
+    }
+}
+
+fn guarded_node(workers: Option<usize>) -> LocalNode {
+    LocalNode::with_config(guarded_config(workers), 4)
+}
+
+const GOOD_RUNTIME: &[u8] = &[0x00]; // STOP
+const BAD_RUNTIME: &[u8] = &[0x60, 0x00, 0xfe]; // PUSH1 0, INVALID
+
+fn selector(sig: &str) -> [u8; 4] {
+    let hash = keccak256(sig.as_bytes());
+    [hash[0], hash[1], hash[2], hash[3]]
+}
+
+/// ABI payload for `setNext(address)` / `setPrev(address)`.
+fn pointer_call_data(sig: &str, arg: Address) -> Vec<u8> {
+    let mut data = selector(sig).to_vec();
+    data.extend_from_slice(&[0u8; 12]);
+    data.extend_from_slice(arg.as_bytes());
+    data
+}
+
+fn deploy(node: &mut LocalNode, from: Address, runtime: &[u8]) -> Address {
+    let receipt = node
+        .send_transaction(Transaction::deploy(from, init_for(runtime)))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+    receipt.contract_address.unwrap()
+}
+
+#[test]
+fn instant_mining_enforces_the_guard() {
+    let mut node = guarded_node(None);
+    let from = node.accounts()[0];
+    let old = deploy(&mut node, from, GOOD_RUNTIME);
+    let good = deploy(&mut node, from, GOOD_RUNTIME);
+    let bad = deploy(&mut node, from, BAD_RUNTIME);
+
+    // setNext on the predecessor naming an incompatible successor.
+    let err = node
+        .send_transaction(Transaction::call(
+            from,
+            old,
+            pointer_call_data("setNext(address)", bad),
+        ))
+        .unwrap_err();
+    assert!(
+        matches!(err, TxError::UpgradeRejected(ref m) if m.contains("marker")),
+        "{err:?}"
+    );
+
+    // setPrev on the successor naming the predecessor: same pair, same
+    // verdict — both halves of the link are covered.
+    let err = node
+        .send_transaction(Transaction::call(
+            from,
+            bad,
+            pointer_call_data("setPrev(address)", old),
+        ))
+        .unwrap_err();
+    assert!(matches!(err, TxError::UpgradeRejected(_)), "{err:?}");
+
+    // A compatible successor links fine.
+    let receipt = node
+        .send_transaction(Transaction::call(
+            from,
+            old,
+            pointer_call_data("setNext(address)", good),
+        ))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+
+    // A pointer aimed at a codeless account is not an upgrade.
+    let receipt = node
+        .send_transaction(Transaction::call(
+            from,
+            old,
+            pointer_call_data("setNext(address)", node.accounts()[1]),
+        ))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+
+    // Plain calls never hit the guard, marker byte in the data or not:
+    // validation admits the call (its runtime then halts on INVALID,
+    // which is the contract's business, not the guard's).
+    let receipt = node
+        .send_transaction(Transaction::call(from, bad, vec![0xfe]))
+        .unwrap();
+    assert_eq!(receipt.status, 0);
+}
+
+#[test]
+fn both_batch_engines_reject_identically() {
+    let mut parallel = guarded_node(Some(4));
+    let mut sequential = guarded_node(Some(4));
+    let accounts: Vec<_> = parallel.accounts().to_vec();
+
+    // Same pre-state on both nodes.
+    let (old_p, bad_p, good_p) = (
+        deploy(&mut parallel, accounts[0], GOOD_RUNTIME),
+        deploy(&mut parallel, accounts[0], BAD_RUNTIME),
+        deploy(&mut parallel, accounts[0], GOOD_RUNTIME),
+    );
+    let (old_s, bad_s, good_s) = (
+        deploy(&mut sequential, accounts[0], GOOD_RUNTIME),
+        deploy(&mut sequential, accounts[0], BAD_RUNTIME),
+        deploy(&mut sequential, accounts[0], GOOD_RUNTIME),
+    );
+    assert_eq!((old_p, bad_p, good_p), (old_s, bad_s, good_s));
+
+    let txs = vec![
+        Transaction::call(
+            accounts[1],
+            old_p,
+            pointer_call_data("setNext(address)", good_p),
+        ),
+        Transaction::call(
+            accounts[2],
+            old_p,
+            pointer_call_data("setNext(address)", bad_p),
+        ),
+        Transaction::call(
+            accounts[3],
+            bad_p,
+            pointer_call_data("setPrev(address)", old_p),
+        ),
+    ];
+    for tx in &txs {
+        parallel.submit_transaction(tx.clone());
+        sequential.submit_transaction(tx.clone());
+    }
+    let (par_block, par_errors) = parallel.mine_block();
+    let (seq_block, seq_errors) = sequential.mine_block_sequential();
+
+    assert_eq!(par_errors.len(), 2);
+    for error in &par_errors {
+        assert!(matches!(error, TxError::UpgradeRejected(_)), "{error:?}");
+    }
+    assert_eq!(par_errors, seq_errors);
+    assert_eq!(par_block.tx_hashes, seq_block.tx_hashes);
+    assert_eq!(par_block.tx_hashes.len(), 1);
+}
+
+#[test]
+fn guardless_node_links_anything() {
+    let mut node = LocalNode::new(2);
+    let from = node.accounts()[0];
+    let old = deploy(&mut node, from, GOOD_RUNTIME);
+    let bad = deploy(&mut node, from, BAD_RUNTIME);
+    let receipt = node
+        .send_transaction(Transaction::call(
+            from,
+            old,
+            pointer_call_data("setNext(address)", bad),
+        ))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsc-upgrade-guard-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn guard_survives_wal_recovery() {
+    let dir = temp_dir("survive");
+    let (old, good, bad, height) = {
+        let mut node = LocalNode::open(&dir, guarded_config(None), 4, Faults::none()).unwrap();
+        let from = node.accounts()[0];
+        let old = deploy(&mut node, from, GOOD_RUNTIME);
+        let good = deploy(&mut node, from, GOOD_RUNTIME);
+        let bad = deploy(&mut node, from, BAD_RUNTIME);
+        // An admitted link lands before the crash; replay must re-admit
+        // it (the WAL only ever holds transactions that passed the guard).
+        let receipt = node
+            .send_transaction(Transaction::call(
+                from,
+                old,
+                pointer_call_data("setNext(address)", good),
+            ))
+            .unwrap();
+        assert_eq!(receipt.status, 1);
+        (old, good, bad, node.block_number())
+    }; // drop = crash
+
+    let mut node = LocalNode::open(&dir, guarded_config(None), 4, Faults::none()).unwrap();
+    // The committed chain replayed bit-identically.
+    assert_eq!(node.block_number(), height);
+    assert!(!node.code(old).is_empty());
+    assert!(!node.code(bad).is_empty());
+
+    // And the re-installed guard still rejects what it always rejected.
+    let from = node.accounts()[0];
+    let err = node
+        .send_transaction(Transaction::call(
+            from,
+            old,
+            pointer_call_data("setNext(address)", bad),
+        ))
+        .unwrap_err();
+    assert!(matches!(err, TxError::UpgradeRejected(_)), "{err:?}");
+
+    // While compatible links keep flowing after recovery.
+    let receipt = node
+        .send_transaction(Transaction::call(
+            from,
+            old,
+            pointer_call_data("setNext(address)", good),
+        ))
+        .unwrap();
+    assert_eq!(receipt.status, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

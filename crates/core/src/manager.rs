@@ -11,7 +11,9 @@ use crate::error::{CoreError, CoreResult};
 use crate::registry::AbiRegistry;
 use crate::versioning::VersionChain;
 use lsc_abi::{Abi, AbiValue};
-use lsc_analyzer::{vet_deployment, DeploymentVetting, VettingPolicy};
+use lsc_analyzer::{
+    vet_deployment_cached, vet_upgrade, DeploymentVetting, UpgradeVetting, VettingPolicy,
+};
 use lsc_ipfs::{Cid, IpfsNode};
 use lsc_primitives::{Address, U256};
 use lsc_solc::Artifact;
@@ -183,23 +185,72 @@ impl ContractManager {
     }
 
     /// Run the static verifier over an upload's init bytecode without
-    /// deploying anything (the dashboard/CLI `vet` entry point).
-    pub fn vet_upload(&self, upload_id: u64) -> CoreResult<DeploymentVetting> {
+    /// deploying anything (the dashboard/CLI `vet` entry point). The
+    /// result is content-addressed: identical bytecode is analyzed once.
+    pub fn vet_upload(&self, upload_id: u64) -> CoreResult<Arc<DeploymentVetting>> {
         let upload = self.upload_by_id(upload_id)?;
-        Ok(vet_deployment(&upload.bytecode))
+        Ok(vet_deployment_cached(&upload.bytecode))
+    }
+
+    /// Run the upgrade-compatibility pass: diff an upload's recovered
+    /// storage layout against the live runtime at `previous` (the CLI
+    /// `vet --against` entry point). Does not enforce the policy.
+    pub fn vet_upload_against(
+        &self,
+        upload_id: u64,
+        previous: Address,
+    ) -> CoreResult<UpgradeVetting> {
+        let upload = self.upload_by_id(upload_id)?;
+        let old_runtime = self.web3.code(previous);
+        if old_runtime.is_empty() {
+            return Err(CoreError::Invalid(format!(
+                "no code on chain at predecessor {previous}"
+            )));
+        }
+        Ok(vet_upgrade(&old_runtime, &upload.bytecode))
     }
 
     /// The vetting gate both deploy paths pass through: analyze the init
     /// blob (and the extracted runtime), enforce the policy, and return
     /// the surviving findings rendered for the audit record.
     fn vet_for_deploy(&self, upload: &UploadedContract) -> CoreResult<Vec<String>> {
-        let vetting = vet_deployment(&upload.bytecode);
+        let vetting = vet_deployment_cached(&upload.bytecode);
         vetting.enforce(&self.vetting_policy())?;
         Ok(vetting
             .findings()
             .iter()
             .map(|(region, f)| format!("[{region}] {f}"))
             .collect())
+    }
+
+    /// The upgrade gate `deploy_version` (and through it
+    /// `Negotiation::enact`) passes through: fetch the predecessor's
+    /// *runtime* from chain state, diff the recovered layouts, enforce
+    /// the policy, and return the audit-record lines — the surviving
+    /// findings plus both layout summaries, so the audit chain shows the
+    /// facts the verdict was computed from.
+    fn vet_for_upgrade(&self, previous: Address, new_init: &[u8]) -> CoreResult<Vec<String>> {
+        let old_runtime = self.web3.code(previous);
+        if old_runtime.is_empty() {
+            return Err(CoreError::Invalid(format!(
+                "no code on chain at predecessor {previous}"
+            )));
+        }
+        let vetting = vet_upgrade(&old_runtime, new_init);
+        vetting.enforce(&self.vetting_policy())?;
+        let mut lines: Vec<String> = vetting
+            .findings()
+            .iter()
+            .map(|(region, f)| format!("[{region}] {f}"))
+            .collect();
+        lines.push(format!(
+            "[layout] predecessor {}",
+            vetting.old_layout.summary()
+        ));
+        if let Some(new_layout) = &vetting.new_layout {
+            lines.push(format!("[layout] successor {}", new_layout.summary()));
+        }
+        Ok(lines)
     }
 
     /// Findings recorded when `address` was vetted at deploy time (empty
@@ -274,7 +325,11 @@ impl ContractManager {
             ));
         }
         let upload = self.upload_by_id(upload_id)?;
-        let findings = self.vet_for_deploy(&upload)?;
+        let mut findings = self.vet_for_deploy(&upload)?;
+        // The upgrade gate: the successor's recovered storage layout must
+        // be compatible with the live predecessor's, or the deploy is
+        // refused before anything touches the chain.
+        findings.extend(self.vet_for_upgrade(previous, &upload.bytecode)?);
         let (contract, receipt) = self.web3.deploy(
             from,
             upload.abi.clone(),

@@ -1,0 +1,129 @@
+//! Recover the storage layout of every built-in template combination
+//! and every end-to-end solc artifact, and pin the result to a committed
+//! baseline. Unlike the findings ratchet (vetting_baseline.rs) this is
+//! an exact-match fingerprint: a layout is a *fact* about the artifact,
+//! and any drift — a slot gained or lost, a provenance class changing, a
+//! hash base disappearing, an unknown bit flipping — must be a conscious
+//! decision, because the upgrade gate's verdicts are built on these
+//! facts.
+//!
+//! Regenerate with
+//! `LSC_UPDATE_LAYOUT_BASELINE=1 cargo test -p lsc-core --test layout_baseline`.
+
+use lsc_analyzer::{extract_runtime, layout::recover_layout};
+use lsc_core::contracts;
+use lsc_core::templates::RentalTemplate;
+use lsc_solc::Artifact;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn template_matrix() -> Vec<(String, Artifact)> {
+    let mut out = Vec::new();
+    for bits in 0u8..16 {
+        let mut template = RentalTemplate::named("BaselineHouse");
+        let mut name = String::from("template");
+        if bits & 1 != 0 {
+            template = template.with_deposit();
+            name.push_str("+deposit");
+        }
+        if bits & 2 != 0 {
+            template = template.with_discount();
+            name.push_str("+discount");
+        }
+        if bits & 4 != 0 {
+            template = template.with_maintenance();
+            name.push_str("+maintenance");
+        }
+        if bits & 8 != 0 {
+            template = template.with_guarded_links();
+            name.push_str("+guarded");
+        }
+        let artifact = template
+            .compile()
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        out.push((name, artifact));
+    }
+    out
+}
+
+fn solc_artifacts() -> Vec<(String, Artifact)> {
+    vec![
+        (
+            "solc:base-rental".into(),
+            contracts::compile_base_rental().unwrap(),
+        ),
+        (
+            "solc:rental-agreement".into(),
+            contracts::compile_rental_agreement().unwrap(),
+        ),
+        (
+            "solc:guarded-rental".into(),
+            contracts::compile_guarded_rental().unwrap(),
+        ),
+        ("solc:node".into(), contracts::compile_node().unwrap()),
+        (
+            "solc:data-storage".into(),
+            contracts::compile_data_storage().unwrap(),
+        ),
+    ]
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("layout_baseline.txt")
+}
+
+fn current_layouts() -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for (name, artifact) in template_matrix().into_iter().chain(solc_artifacts()) {
+        let range = extract_runtime(&artifact.bytecode)
+            .unwrap_or_else(|| panic!("{name}: runtime not recoverable from init code"));
+        let layout = recover_layout(&artifact.bytecode[range]);
+        out.insert(name, layout.summary());
+    }
+    out
+}
+
+fn render(layouts: &BTreeMap<String, String>) -> String {
+    let mut out = String::from(
+        "# Storage-layout baseline: artifact = recovered runtime layout\n\
+         # Exact match required by layout_baseline.rs; any drift is a conscious regeneration.\n\
+         # Regenerate: LSC_UPDATE_LAYOUT_BASELINE=1 cargo test -p lsc-core --test layout_baseline\n",
+    );
+    for (name, summary) in layouts {
+        writeln!(out, "{name} = {summary}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn recovered_layouts_match_the_committed_baseline() {
+    let current = current_layouts();
+    let path = baseline_path();
+    if std::env::var_os("LSC_UPDATE_LAYOUT_BASELINE").is_some() {
+        std::fs::write(&path, render(&current)).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+    let mut baseline = BTreeMap::new();
+    for line in committed.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, summary) = line
+            .split_once(" = ")
+            .unwrap_or_else(|| panic!("malformed baseline line: {line}"));
+        baseline.insert(name.to_string(), summary.to_string());
+    }
+    assert_eq!(
+        baseline,
+        current,
+        "recovered layouts drifted from the committed baseline; \
+         if intentional, regenerate it:\n{}",
+        render(&current)
+    );
+}

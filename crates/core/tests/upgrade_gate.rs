@@ -1,0 +1,288 @@
+//! The upgrade-compatibility gate (ISSUE 9 acceptance): a successor
+//! whose recovered storage layout repurposes a live slot, scalar-clobbers
+//! a mapping base, or rebinds the version-chain link pointers must be
+//! rejected by `ContractManager::deploy_version` AND by the negotiated
+//! `enact` path, with the structured finding visible in the audit chain —
+//! while every legitimate template upgrade still deploys clean.
+
+use lsc_abi::AbiValue;
+use lsc_chain::LocalNode;
+use lsc_core::templates::RentalTemplate;
+use lsc_core::{audit_chain, contracts, ContractManager, CoreError, NegotiationBook, VersionState};
+use lsc_ipfs::IpfsNode;
+use lsc_primitives::{ether, Address, U256};
+use lsc_solc::compile_single;
+use lsc_web3::{Contract, Web3};
+
+struct World {
+    manager: ContractManager,
+    landlord: Address,
+    tenant: Address,
+}
+
+fn setup() -> World {
+    let web3 = Web3::new(LocalNode::new(4));
+    let manager = ContractManager::new(web3.clone(), IpfsNode::new());
+    let accounts = web3.accounts();
+    World {
+        manager,
+        landlord: accounts[0],
+        tenant: accounts[1],
+    }
+}
+
+fn base_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Uint(ether(1)),
+        AbiValue::string("10001-42 Main"),
+        AbiValue::uint(365 * 24 * 3600),
+    ]
+}
+
+/// Deploy BaseRental as v1 — the live predecessor every evil successor
+/// is vetted against. Its recovered layout has proven write classes at
+/// slot 7 (tenant: input) and slot 10 (state: const), and roots the
+/// paidrents array at hash base 2.
+fn deploy_base(w: &World) -> Contract {
+    let artifact = contracts::compile_base_rental().unwrap();
+    let id = w.manager.upload_artifact("base", &artifact).unwrap();
+    w.manager
+        .deploy(w.landlord, id, &base_args(), U256::ZERO)
+        .unwrap()
+}
+
+/// A successor that keeps BaseRental's slot map but writes `msg.sender`
+/// into slot 10 — the slot where the predecessor keeps its `State` enum
+/// as PUSH constants. Input-classed vs const-classed: provably disjoint.
+const REPURPOSE_SOURCE: &str = r#"
+pragma solidity ^0.5.0;
+contract EvilRepurpose {
+    address next;
+    address previous;
+    uint f2;
+    uint f3;
+    uint f4;
+    uint f5;
+    uint f6;
+    uint f7;
+    uint f8;
+    uint f9;
+    address payable hijacker;
+
+    function seize() public {
+        hijacker = msg.sender;
+    }
+    /* A plausible upgrade keeps the Node linking surface. */
+    function setNext(address _next) public { next = _next; }
+    function setPrev(address _previous) public { previous = _previous; }
+    function getNext() public view returns (address addr) { return next; }
+    function getPrev() public view returns (address addr) { return previous; }
+}
+"#;
+
+/// A successor that declares a scalar where the predecessor roots its
+/// `paidrents` array (slot 2) and writes it — without ever using slot 2
+/// as a keccak base itself.
+const COLLIDE_SOURCE: &str = r#"
+pragma solidity ^0.5.0;
+contract EvilCollide {
+    address next;
+    address previous;
+    uint counter;
+
+    function bump(uint v) public {
+        counter = v;
+    }
+}
+"#;
+
+/// A successor that rebinds the version chain's `next` pointer (slot 0)
+/// from storage instead of the designated calldata-carrying
+/// setNext/setPrev path.
+const REBIND_SOURCE: &str = r#"
+pragma solidity ^0.5.0;
+contract EvilRebind {
+    address next;
+    address previous;
+    address shadow;
+
+    function rebind() public {
+        next = shadow;
+    }
+}
+"#;
+
+fn upload_evil(w: &World, name: &str, source: &str) -> u64 {
+    let artifact = compile_single(source, name).unwrap();
+    w.manager.upload_artifact(name, &artifact).unwrap()
+}
+
+fn expect_upgrade_rejection(result: Result<Contract, CoreError>, rule: &str) {
+    match result {
+        Err(CoreError::Vetting(e)) => {
+            assert!(e.to_string().contains(rule), "{e}");
+        }
+        Err(other) => panic!("expected a vetting error mentioning {rule}, got {other}"),
+        Ok(c) => panic!("incompatible upgrade deployed at {}", c.address()),
+    }
+}
+
+#[test]
+fn deploy_version_rejects_slot_repurposing() {
+    let w = setup();
+    let v1 = deploy_base(&w);
+    let evil = upload_evil(&w, "EvilRepurpose", REPURPOSE_SOURCE);
+    expect_upgrade_rejection(
+        w.manager
+            .deploy_version(w.landlord, evil, &[], U256::ZERO, v1.address(), &[]),
+        "slot-repurposed",
+    );
+    // The predecessor is untouched: still active, still version 1.
+    let record = w.manager.record(v1.address()).unwrap();
+    assert_eq!(record.state, VersionState::Active);
+    assert_eq!(w.manager.history(v1.address()).unwrap(), vec![v1.address()]);
+}
+
+#[test]
+fn deploy_version_rejects_mapping_base_collision() {
+    let w = setup();
+    let v1 = deploy_base(&w);
+    let evil = upload_evil(&w, "EvilCollide", COLLIDE_SOURCE);
+    expect_upgrade_rejection(
+        w.manager
+            .deploy_version(w.landlord, evil, &[], U256::ZERO, v1.address(), &[]),
+        "mapping-base-collision",
+    );
+}
+
+#[test]
+fn deploy_version_rejects_link_pointer_clobbering() {
+    let w = setup();
+    let v1 = deploy_base(&w);
+    let evil = upload_evil(&w, "EvilRebind", REBIND_SOURCE);
+    expect_upgrade_rejection(
+        w.manager
+            .deploy_version(w.landlord, evil, &[], U256::ZERO, v1.address(), &[]),
+        "link-pointer-clobbered",
+    );
+}
+
+#[test]
+fn enact_runs_the_same_upgrade_gate() {
+    let w = setup();
+    let v1 = deploy_base(&w);
+    let evil = upload_evil(&w, "EvilRepurpose", REPURPOSE_SOURCE);
+
+    let book = NegotiationBook::new(w.manager.clone());
+    let proposal = book
+        .propose(
+            w.landlord,
+            w.tenant,
+            v1.address(),
+            "upgrade with a land grab",
+            evil,
+            vec![],
+            vec![],
+        )
+        .unwrap();
+    book.accept(proposal, w.tenant).unwrap();
+    match book.enact(proposal, w.landlord) {
+        Err(CoreError::Vetting(e)) => {
+            assert!(e.to_string().contains("slot-repurposed"), "{e}");
+        }
+        other => panic!("expected a vetting error, got {other:?}"),
+    }
+    // Negotiation failed safely: v1 stays the active head of its chain.
+    let record = w.manager.record(v1.address()).unwrap();
+    assert_eq!(record.state, VersionState::Active);
+}
+
+#[test]
+fn audited_upgrade_findings_reach_the_evidence_report() {
+    let w = setup();
+    // Audit-only mode: the incompatibility is recorded, not denied.
+    w.manager
+        .set_vetting_policy(lsc_analyzer::VettingPolicy::permissive());
+    let v1 = deploy_base(&w);
+    let evil = upload_evil(&w, "EvilRepurpose", REPURPOSE_SOURCE);
+    let v2 = w
+        .manager
+        .deploy_version(w.landlord, evil, &[], U256::ZERO, v1.address(), &[])
+        .unwrap();
+
+    let findings = w.manager.vetting_findings(v2.address());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.starts_with("[upgrade]") && f.contains("slot-repurposed")),
+        "{findings:?}"
+    );
+    // Both layouts — the facts behind the verdict — are on record too.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.starts_with("[layout] predecessor")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.starts_with("[layout] successor")),
+        "{findings:?}"
+    );
+
+    let report = audit_chain(&w.manager, v2.address()).unwrap();
+    let rendered = report.render();
+    assert!(rendered.contains("slot-repurposed"), "{rendered}");
+    assert!(rendered.contains("[layout] predecessor"), "{rendered}");
+}
+
+#[test]
+fn every_template_combination_upgrades_clean() {
+    let w = setup();
+    // v1: the plain base template.
+    let base = RentalTemplate::named("BaselineHouse").compile().unwrap();
+    let id = w.manager.upload_artifact("template", &base).unwrap();
+    let mut head = w
+        .manager
+        .deploy(w.landlord, id, &base_args(), U256::ZERO)
+        .unwrap()
+        .address();
+
+    // Then every feature combination, each deployed as the next version
+    // of the previous one — a 16-link chain none of which the upgrade
+    // gate may refuse.
+    for bits in 1u8..16 {
+        let mut template = RentalTemplate::named("BaselineHouse");
+        let mut name = String::from("template");
+        if bits & 1 != 0 {
+            template = template.with_deposit();
+            name.push_str("+deposit");
+        }
+        if bits & 2 != 0 {
+            template = template.with_discount();
+            name.push_str("+discount");
+        }
+        if bits & 4 != 0 {
+            template = template.with_maintenance();
+            name.push_str("+maintenance");
+        }
+        if bits & 8 != 0 {
+            template = template.with_guarded_links();
+            name.push_str("+guarded");
+        }
+        let mut args = base_args();
+        if template.with_deposit {
+            args.push(AbiValue::Uint(ether(1)));
+        }
+        if template.with_discount {
+            args.push(AbiValue::Uint(U256::ZERO));
+        }
+        let artifact = template.compile().unwrap();
+        let id = w.manager.upload_artifact(&name, &artifact).unwrap();
+        let next = w
+            .manager
+            .deploy_version(w.landlord, id, &args, U256::ZERO, head, &[])
+            .unwrap_or_else(|e| panic!("{name} was refused as an upgrade: {e}"));
+        head = next.address();
+    }
+    assert_eq!(w.manager.history(head).unwrap().len(), 16);
+}

@@ -251,6 +251,59 @@ fn txpool_group(entries: &[(Address, u64, lsc_chain::Transaction)]) -> JsonValue
     JsonValue::Object(by_sender)
 }
 
+/// An `lsc_vetUpgrade` operand: a 20-byte address string resolves to the
+/// runtime deployed at that account (it is an error for the account to
+/// be codeless); any other `0x…` string is an inline bytecode blob.
+/// Returns the bytes and whether they came from the chain.
+fn vet_operand(ctx: &Ctx, value: &JsonValue, name: &str) -> Result<(Vec<u8>, bool), RpcError> {
+    if value.as_str().is_some_and(|s| s.len() == 42) {
+        let address = wire::parse_address(value, name)?;
+        let code = ctx.web3.code(address);
+        if code.is_empty() {
+            return Err(RpcError::new(
+                codes::INVALID_PARAMS,
+                format!("{name}: no code at {address}"),
+            ));
+        }
+        return Ok((code.to_vec(), true));
+    }
+    Ok((wire::parse_data(value, name)?, false))
+}
+
+fn vetting_to_json(vetting: &lsc_analyzer::UpgradeVetting) -> JsonValue {
+    let deployable = vetting
+        .enforce(&lsc_analyzer::VettingPolicy::default())
+        .is_ok();
+    let findings: Vec<JsonValue> = vetting
+        .findings
+        .iter()
+        .map(|f| {
+            JsonValue::object([
+                ("severity", JsonValue::String(f.severity.to_string())),
+                ("rule", JsonValue::String(f.rule.name().to_string())),
+                ("pc", wire::quantity(f.pc as u64)),
+                ("message", JsonValue::String(f.message.clone())),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("deployable", JsonValue::Bool(deployable)),
+        (
+            "newRuntimeRecovered",
+            JsonValue::Bool(vetting.new_layout.is_some()),
+        ),
+        ("oldLayout", JsonValue::String(vetting.old_layout.summary())),
+        (
+            "newLayout",
+            vetting
+                .new_layout
+                .as_ref()
+                .map_or(JsonValue::Null, |l| JsonValue::String(l.summary())),
+        ),
+        ("findings", JsonValue::Array(findings)),
+    ])
+}
+
 fn send_transaction(ctx: &Ctx, tx: lsc_chain::Transaction) -> Result<JsonValue, RpcError> {
     let hash: H256 = match ctx.mining {
         // Instant mode mines on arrival (Ganache's default): the hash is
@@ -303,6 +356,22 @@ fn dispatch(
             let address = wire::parse_address(require(params, 0, "address")?, "address")?;
             check_tag(params, 1)?;
             Ok(wire::data_json(&ctx.web3.code(address)))
+        }
+        "lsc_vetUpgrade" => {
+            // Read-only upgrade-compatibility vetting: diff the storage
+            // layout of a live predecessor (address) or runtime blob
+            // against a successor given as a deployed address or as the
+            // init code of a pending deployment. Never touches state.
+            let (old_runtime, _) =
+                vet_operand(ctx, require(params, 0, "predecessor")?, "predecessor")?;
+            let (new_code, deployed) =
+                vet_operand(ctx, require(params, 1, "successor")?, "successor")?;
+            let vetting = if deployed {
+                lsc_analyzer::vet_upgrade_runtime(&old_runtime, &new_code)
+            } else {
+                lsc_analyzer::vet_upgrade(&old_runtime, &new_code)
+            };
+            Ok(vetting_to_json(&vetting))
         }
         "eth_getStorageAt" => {
             let address = wire::parse_address(require(params, 0, "address")?, "address")?;

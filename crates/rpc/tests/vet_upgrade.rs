@@ -1,0 +1,174 @@
+//! `lsc_vetUpgrade` over the wire: read-only storage-layout diffing of a
+//! live predecessor against a successor named by address or supplied as
+//! init code, with the analyzer's verdict and findings serialized as a
+//! structured JSON object.
+
+mod common;
+
+use common::{error_code, HttpClient};
+use lsc_abi::json::JsonValue;
+use lsc_chain::{LocalNode, Transaction};
+use lsc_evm::asm::Asm;
+use lsc_evm::opcode::op;
+use lsc_primitives::Address;
+use lsc_rpc::{codes, MiningMode, RpcConfig, RpcServer};
+use lsc_web3::Web3;
+
+fn serve(web3: &Web3) -> RpcServer {
+    RpcServer::bind(
+        web3.clone(),
+        "127.0.0.1:0",
+        RpcConfig {
+            mining: MiningMode::Manual,
+            ..RpcConfig::default()
+        },
+    )
+    .expect("bind")
+}
+
+/// Runtime that reads slot 5 and writes a PUSH constant to it.
+fn old_runtime() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.push_u64(1).push_u64(5).op(op::SSTORE);
+    asm.push_u64(5).op(op::SLOAD).op(op::POP).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Runtime that repurposes slot 5 with an input-classed write.
+fn evil_runtime() -> Vec<u8> {
+    let mut asm = Asm::new();
+    asm.op(op::CALLER).push_u64(5).op(op::SSTORE).op(op::STOP);
+    asm.assemble().unwrap()
+}
+
+/// Compiler-shaped init code: `CODECOPY`/`RETURN` tail around `runtime`.
+fn canonical_init(runtime: &[u8]) -> Vec<u8> {
+    let mut asm = Asm::new();
+    let image = asm.new_label();
+    asm.push_u64(runtime.len() as u64);
+    asm.push_label(image);
+    asm.push_u64(0);
+    asm.op(op::CODECOPY);
+    asm.push_u64(runtime.len() as u64);
+    asm.push_u64(0);
+    asm.op(op::RETURN);
+    asm.place_raw(image);
+    asm.extend_raw(runtime.to_vec());
+    asm.assemble().unwrap()
+}
+
+fn deploy(web3: &Web3, from: Address, runtime: &[u8]) -> Address {
+    let receipt = web3
+        .send_transaction(Transaction::deploy(from, canonical_init(runtime)))
+        .expect("deploy");
+    assert_eq!(receipt.status, 1);
+    receipt.contract_address.expect("created address")
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::from("0x");
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn rule_names(result: &JsonValue) -> Vec<String> {
+    match result.get("findings") {
+        Some(JsonValue::Array(findings)) => findings
+            .iter()
+            .filter_map(|f| f.get("rule").and_then(JsonValue::as_str))
+            .map(str::to_string)
+            .collect(),
+        other => panic!("bad findings field: {other:?}"),
+    }
+}
+
+#[test]
+fn address_pair_is_vetted_runtime_against_runtime() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let accounts = web3.accounts();
+    let old = deploy(&web3, accounts[0], &old_runtime());
+    let evil = deploy(&web3, accounts[0], &evil_runtime());
+    let server = serve(&web3);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    let verdict = client.rpc(1, "lsc_vetUpgrade", &format!("[\"{old}\",\"{evil}\"]"));
+    assert_eq!(verdict.get("deployable"), Some(&JsonValue::Bool(false)));
+    assert_eq!(
+        verdict.get("newRuntimeRecovered"),
+        Some(&JsonValue::Bool(true))
+    );
+    assert!(rule_names(&verdict).contains(&"slot-repurposed".to_string()));
+    // Both layout summaries ride along as the facts behind the verdict.
+    for side in ["oldLayout", "newLayout"] {
+        let summary = verdict.get(side).and_then(JsonValue::as_str).unwrap();
+        assert!(summary.contains("writes"), "{side}: {summary}");
+    }
+    // Each finding is structured: severity + rule + pc + message.
+    if let Some(JsonValue::Array(findings)) = verdict.get("findings") {
+        for f in findings {
+            for key in ["severity", "rule", "pc", "message"] {
+                assert!(f.get(key).is_some(), "finding missing {key}");
+            }
+        }
+    }
+
+    // The compatible direction passes the default policy.
+    let verdict = client.rpc(2, "lsc_vetUpgrade", &format!("[\"{old}\",\"{old}\"]"));
+    assert_eq!(verdict.get("deployable"), Some(&JsonValue::Bool(true)));
+    server.shutdown();
+}
+
+#[test]
+fn init_blob_successor_is_extracted_before_the_diff() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let accounts = web3.accounts();
+    let old = deploy(&web3, accounts[0], &old_runtime());
+    let server = serve(&web3);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    // A canonical init blob: the runtime image is recovered and diffed.
+    let init = canonical_init(&evil_runtime());
+    let verdict = client.rpc(
+        1,
+        "lsc_vetUpgrade",
+        &format!("[\"{old}\",\"{}\"]", hex(&init)),
+    );
+    assert_eq!(
+        verdict.get("newRuntimeRecovered"),
+        Some(&JsonValue::Bool(true))
+    );
+    assert!(rule_names(&verdict).contains(&"slot-repurposed".to_string()));
+
+    // An unextractable blob: hard layout-unknown finding, null newLayout.
+    let verdict = client.rpc(2, "lsc_vetUpgrade", &format!("[\"{old}\",\"0x00\"]"));
+    assert_eq!(
+        verdict.get("newRuntimeRecovered"),
+        Some(&JsonValue::Bool(false))
+    );
+    assert_eq!(verdict.get("newLayout"), Some(&JsonValue::Null));
+    assert!(rule_names(&verdict).contains(&"layout-unknown".to_string()));
+    server.shutdown();
+}
+
+#[test]
+fn codeless_or_missing_operands_are_param_errors() {
+    let web3 = Web3::new(LocalNode::new(3));
+    let accounts = web3.accounts();
+    let server = serve(&web3);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    // An externally-owned account has no runtime to vet against.
+    let body = client.rpc_raw(
+        1,
+        "lsc_vetUpgrade",
+        &format!("[\"{}\",\"0x00\"]", accounts[1]),
+    );
+    assert_eq!(error_code(&body), codes::INVALID_PARAMS);
+    assert!(body.contains("no code at"), "{body}");
+
+    let body = client.rpc_raw(2, "lsc_vetUpgrade", "[\"0x00\"]");
+    assert_eq!(error_code(&body), codes::INVALID_PARAMS);
+    server.shutdown();
+}
