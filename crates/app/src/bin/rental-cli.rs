@@ -60,11 +60,23 @@ impl Cli {
         let mut serve = false;
         let mut addr = "127.0.0.1:8545".to_string();
         let mut mining = lsc_rpc::MiningMode::Instant;
+        let mut state_cache_bytes: Option<usize> = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--data-dir" => {
                     data_dir = Some(PathBuf::from(args.next().ok_or("--data-dir needs a path")?));
+                }
+                // Byte budget for the state store's page cache. Only
+                // meaningful with --data-dir (the in-memory node keeps
+                // every trie node resident regardless).
+                "--state-cache-bytes" => {
+                    state_cache_bytes = Some(
+                        args.next()
+                            .ok_or("--state-cache-bytes needs a byte count")?
+                            .parse()
+                            .map_err(|_| "--state-cache-bytes needs a byte count")?,
+                    );
                 }
                 "serve" => serve = true,
                 "--addr" => {
@@ -103,12 +115,15 @@ impl Cli {
                 .enforce(&VettingPolicy::default())
                 .map_err(|e| e.to_string())
         });
-        let config = ChainConfig {
+        let mut config = ChainConfig {
             mining_workers,
             deploy_guard: Some(deploy_guard),
             upgrade_guard: Some(upgrade_guard),
             ..ChainConfig::default()
         };
+        if let Some(bytes) = state_cache_bytes {
+            config.state_cache_bytes = bytes;
+        }
         let node = match &data_dir {
             // LSC_FAULT arms the deterministic fault schedule (builds with
             // the `fault-injection` feature only; a no-op otherwise).
@@ -433,6 +448,43 @@ impl Cli {
                 }
                 Ok(out)
             }
+            ["proof", address, slot_tokens @ ..] => {
+                let address = self.address(address)?;
+                let slots = slot_tokens
+                    .iter()
+                    .map(|token| parse_slot(token))
+                    .collect::<Result<Vec<U256>, String>>()?;
+                let proof = self
+                    .web3
+                    .proof(address, &slots)
+                    .map_err(|e| format!("state proof: {e}"))?;
+                let head = self.web3.block_number();
+                let trusted_root = self.web3.block(head).ok_or("no head block")?.state_root;
+                let doc = lsc_web3::wire::proof_to_json(&proof);
+                let mut out = format!("eth_getProof bundle (block #{head}):\n{}", doc.to_json());
+                // Re-verify the bundle exactly as an offline auditor
+                // would: nothing but the JSON and the header root.
+                match lsc_web3::proof::verify_proof_response(&doc, trusted_root) {
+                    Ok(verified) => {
+                        out.push_str(&format!(
+                            "\nverified offline against state root {trusted_root}\n  account: {}",
+                            if verified.present {
+                                format!(
+                                    "present (balance {} wei, nonce {})",
+                                    verified.balance, verified.nonce
+                                )
+                            } else {
+                                "proven absent".to_string()
+                            }
+                        ));
+                        for (slot, value) in &verified.slots {
+                            out.push_str(&format!("\n  slot {slot}: {value:#x}"));
+                        }
+                    }
+                    Err(e) => out.push_str(&format!("\nVERIFICATION FAILED: {e}")),
+                }
+                Ok(out)
+            }
             ["compact"] => {
                 let result = self.web3.with_node(lsc_chain::LocalNode::compact);
                 match result {
@@ -448,6 +500,15 @@ impl Cli {
             )),
         }
     }
+}
+
+/// Parse a storage-slot index: decimal (`0`, `1`) or hex (`0x1f`).
+fn parse_slot(token: &str) -> Result<U256, String> {
+    let parsed = match token.strip_prefix("0x") {
+        Some(hex) => U256::from_hex_str(hex),
+        None => U256::from_decimal_str(token),
+    };
+    parsed.map_err(|_| format!("bad storage slot {token}"))
 }
 
 fn parse_hex_bytecode(hex: &str) -> Result<Vec<u8>, String> {
@@ -577,7 +638,9 @@ const HELP: &str = "commands:
   dashboard | warp <seconds> | help | quit
   status                                         chain height + durability state
   compact                                        fold the log into a snapshot
+  proof <address|last> [slot…]                   eth_getProof bundle + offline check
 run with `--data-dir <path>` for a durable chain that survives restarts
+`--state-cache-bytes <n>` caps the durable state store's page cache
 run `serve [--addr host:port] [--block-time-ms N]` to expose the node
 over JSON-RPC (default 127.0.0.1:8545, instant mining) instead of the REPL";
 

@@ -19,7 +19,7 @@
 use lsc_bench::{loaded_rent_block, BenchWorld};
 use lsc_chain::wal::Faults;
 use lsc_chain::{ChainConfig, LocalNode, Transaction};
-use lsc_evm::{fastpath, superinstr};
+use lsc_evm::{fastpath, memo_stats, superinstr};
 use lsc_primitives::U256;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -137,6 +137,13 @@ fn main() {
     // superinstruction block loop (fast path ON both sides): one fused
     // static-gas charge + one stack check per basic block, threaded
     // block dispatch, constant-folded PUSH chains.
+    //
+    // The compile-memo counters bracket this group: every A/B iteration
+    // rebuilds its world and redeploys the same template bytecode, so a
+    // healthy memo shows ~1 miss per distinct blob and hits for every
+    // redeploy. A flat speedup with a high hit rate is workload-bound
+    // (host/state-dominated), not a cold-cache artifact.
+    memo_stats::reset();
     let (before, after) = ab_superinstr(runs, BenchWorld::new, |world| world.run_lifecycle(12));
     series.push(Series {
         name: "superinstr_lifecycle_12_months",
@@ -212,6 +219,7 @@ fn main() {
         before_ns: before,
         after_ns: after,
     });
+    let (memo_hits, memo_misses) = memo_stats::snapshot();
 
     // 8. Durable submission of 64 transactions: one fsync per tx vs one
     // group-committed batch. (Independent of the interpreter toggle.)
@@ -264,10 +272,14 @@ fn main() {
             s.before_ns as f64 / s.after_ns.max(1) as f64
         );
     }
+    println!("compile memo over superinstr series: {memo_hits} hits / {memo_misses} misses");
 
     // ---- BENCH_exec.json --------------------------------------------
     let mut json = String::from("{\n  \"bench\": \"exec_fastpath\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n  \"runs\": {runs},\n"));
+    json.push_str(&format!(
+        "  \"compile_memo\": {{\"hits\": {memo_hits}, \"misses\": {memo_misses}}},\n"
+    ));
     json.push_str("  \"series\": [\n");
     for (i, s) in series.iter().enumerate() {
         json.push_str(&format!(

@@ -1,0 +1,326 @@
+//! Authenticated state-store report: measures the tentpole claim — a
+//! restart that adopts the persisted trie pages is O(live state), not
+//! O(history) — plus the write-path cost of durability and the page
+//! cache's byte-budget curve. Writes the series to `BENCH_state.json`
+//! and prints the table EXPERIMENTS.md records.
+//!
+//! Run with: `cargo run --release -p lsc-bench --bin state_report`
+//! (`--quick` shrinks history depths for CI smoke runs).
+
+use lsc_chain::wal::Faults;
+use lsc_chain::{ChainConfig, LocalNode, Transaction};
+use lsc_primitives::{Address, U256};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsc-state-report-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+/// Mine `blocks` single-transfer blocks (instant mining: one send = one
+/// sealed block), rotating senders so no nonce bottlenecks.
+fn grow(node: &mut LocalNode, blocks: usize) {
+    let accounts: Vec<Address> = node.accounts().to_vec();
+    for i in 0..blocks {
+        let from = accounts[i % accounts.len()];
+        let to = accounts[(i + 1) % accounts.len()];
+        node.send_transaction(
+            Transaction::call(from, to, vec![])
+                .with_value(U256::from_u64(1))
+                .with_gas(21_000),
+        )
+        .expect("transfer");
+    }
+}
+
+/// Deploy a storage-churn contract: each call loads a seed word from
+/// calldata and SSTOREs it into 40 fixed slots — the write profile of a
+/// busy application block (rent runs, pointer updates), compressed into
+/// one transaction.
+fn deploy_writer(node: &mut LocalNode) -> Address {
+    use lsc_evm::asm::Asm;
+    use lsc_evm::opcode::op;
+    let mut runtime = Asm::new();
+    runtime.push_u64(0).op(op::CALLDATALOAD);
+    for slot in 0..40u64 {
+        runtime.op(op::DUP1).push_u64(slot).op(op::SSTORE);
+    }
+    runtime.op(op::STOP);
+    let runtime = runtime.assemble().expect("straight-line asm");
+    let mut init = Asm::new();
+    for (i, byte) in runtime.iter().enumerate() {
+        init.push_u64(u64::from(*byte))
+            .push_u64(i as u64)
+            .op(op::MSTORE8);
+    }
+    init.push_u64(runtime.len() as u64)
+        .push_u64(0)
+        .op(op::RETURN);
+    let sender = node.accounts()[0];
+    node.send_transaction(Transaction::deploy(
+        sender,
+        init.assemble().expect("straight-line asm"),
+    ))
+    .expect("deploy writer")
+    .contract_address
+    .expect("create address")
+}
+
+/// Mine `blocks` blocks each carrying one storage-churn call: replay
+/// must re-execute every SSTORE and re-hash every trie update; an
+/// adopting restart does neither.
+fn grow_heavy(node: &mut LocalNode, writer: Address, blocks: usize) {
+    let accounts: Vec<Address> = node.accounts().to_vec();
+    for i in 0..blocks {
+        let from = accounts[i % accounts.len()];
+        let seed = U256::from_u64(i as u64 + 1);
+        node.send_transaction(
+            Transaction::call(from, writer, seed.to_be_bytes().to_vec()).with_gas(2_000_000),
+        )
+        .expect("churn call");
+    }
+}
+
+struct RestartPoint {
+    depth: usize,
+    replay_ns: u128,
+    adopted_ns: u128,
+}
+
+/// One restart experiment at a given history depth: build the chain,
+/// time a full-log-replay recovery (no compaction), then compact and
+/// time the page-adopting recovery of the *same* chain.
+fn restart_at(depth: usize) -> RestartPoint {
+    let dir = temp_dir(&format!("restart-{depth}"));
+    let mut node = LocalNode::open(&dir, ChainConfig::default(), 6, Faults::none())
+        .expect("open durable node");
+    let writer = deploy_writer(&mut node);
+    grow_heavy(&mut node, writer, depth);
+    let want_blocks = node.block_number();
+    let want_root = node.state_root();
+    drop(node);
+
+    // Before: nothing compacted, recovery replays every logged block.
+    let start = Instant::now();
+    let mut replayed = LocalNode::recover(&dir, Faults::none()).expect("replay recovery");
+    let replay_ns = start.elapsed().as_nanos();
+    assert_eq!(replayed.block_number(), want_blocks);
+    assert_eq!(replayed.state_root(), want_root);
+
+    // After: compact at the tip — snapshot + persisted trie pages + root
+    // file — so the next restart adopts instead of replaying.
+    replayed.compact().expect("compact");
+    drop(replayed);
+    let start = Instant::now();
+    let mut adopted = LocalNode::recover(&dir, Faults::none()).expect("adopting recovery");
+    let adopted_ns = start.elapsed().as_nanos();
+    assert_eq!(adopted.block_number(), want_blocks);
+    assert_eq!(adopted.state_root(), want_root);
+    drop(adopted);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartPoint {
+        depth,
+        replay_ns,
+        adopted_ns,
+    }
+}
+
+struct Throughput {
+    txs: usize,
+    memory_ns: u128,
+    durable_ns: u128,
+}
+
+/// Sustained transfer throughput, in-memory vs store-backed.
+fn throughput(txs: usize) -> Throughput {
+    let mut node = LocalNode::new(6);
+    let start = Instant::now();
+    grow(&mut node, txs);
+    let memory_ns = start.elapsed().as_nanos();
+    drop(node);
+
+    let dir = temp_dir("throughput");
+    let mut node = LocalNode::open(&dir, ChainConfig::default(), 6, Faults::none()).expect("open");
+    let start = Instant::now();
+    grow(&mut node, txs);
+    let durable_ns = start.elapsed().as_nanos();
+    drop(node);
+    let _ = std::fs::remove_dir_all(&dir);
+    Throughput {
+        txs,
+        memory_ns,
+        durable_ns,
+    }
+}
+
+struct CachePoint {
+    cache_bytes: usize,
+    proofs: usize,
+    total_ns: u128,
+}
+
+/// Proof-serving latency under a byte-budgeted page cache: build a wide
+/// trie (`accounts` fresh externally-owned accounts), compact, restart
+/// so every node lives on disk, then generate proofs through the cache.
+fn cache_sweep(accounts: usize, proofs: usize, budgets: &[usize]) -> Vec<CachePoint> {
+    budgets
+        .iter()
+        .map(|&cache_bytes| {
+            let dir = temp_dir(&format!("cache-{cache_bytes}"));
+            let config = ChainConfig {
+                state_cache_bytes: cache_bytes,
+                ..ChainConfig::default()
+            };
+            let mut node = LocalNode::open(&dir, config, 6, Faults::none()).expect("open");
+            let sender = node.accounts()[0];
+            let targets: Vec<Address> = (0..accounts)
+                .map(|i| Address::from_label(&format!("tenant-{i}")))
+                .collect();
+            for chunk in targets.chunks(64) {
+                for to in chunk {
+                    node.submit_transaction(
+                        Transaction::call(sender, *to, vec![])
+                            .with_value(U256::from_u64(1))
+                            .with_gas(21_000),
+                    );
+                }
+                let (_, errors) = node.mine_block();
+                assert!(errors.is_empty(), "{errors:?}");
+            }
+            node.compact().expect("compact");
+            drop(node);
+            // The restart adopts the persisted pages: the trie is now
+            // disk-resident and every proof walk goes through the cache.
+            let mut node = LocalNode::recover(&dir, Faults::none()).expect("recover");
+            let start = Instant::now();
+            for i in 0..proofs {
+                let target = targets[(i * 31) % targets.len()];
+                let proof = node.proof(target, &[]).expect("proof");
+                assert!(proof.account.is_some());
+            }
+            let total_ns = start.elapsed().as_nanos();
+            drop(node);
+            let _ = std::fs::remove_dir_all(&dir);
+            CachePoint {
+                cache_bytes,
+                proofs,
+                total_ns,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let depths: &[usize] = if quick {
+        &[100, 300, 900]
+    } else {
+        &[1_000, 4_000, 10_000]
+    };
+    let tx_count = if quick { 300 } else { 3_000 };
+    let (cache_accounts, cache_proofs) = if quick { (256, 400) } else { (2_048, 4_000) };
+    let budgets: &[usize] = &[16 << 10, 64 << 10, 256 << 10, 4 << 20];
+
+    // ---- restart latency vs history depth ---------------------------
+    let restarts: Vec<RestartPoint> = depths.iter().map(|&d| restart_at(d)).collect();
+    println!("\n=== restart latency vs history depth ===");
+    println!(
+        "{:>8} | {:>14} | {:>14} | {:>8}",
+        "blocks", "replay (ms)", "adopted (ms)", "speedup"
+    );
+    println!("{}", "-".repeat(54));
+    for p in &restarts {
+        println!(
+            "{:>8} | {:>14.2} | {:>14.2} | {:>7.1}x",
+            p.depth,
+            p.replay_ns as f64 / 1e6,
+            p.adopted_ns as f64 / 1e6,
+            p.replay_ns as f64 / p.adopted_ns.max(1) as f64
+        );
+    }
+    // Flatness: the adopting restart re-executes nothing, so its
+    // per-block cost (header + receipt decode) must stay constant as
+    // history deepens — unlike replay, whose per-block cost is the
+    // block's execution + trie hashing.
+    let per_block: Vec<f64> = restarts
+        .iter()
+        .map(|p| p.adopted_ns as f64 / p.depth.max(1) as f64)
+        .collect();
+    let flatness = per_block.iter().copied().fold(0.0, f64::max)
+        / per_block.iter().copied().fold(f64::MAX, f64::min).max(1.0);
+    println!(
+        "adopted restart cost per block: {} ns — max/min {flatness:.2}x (flat if ~1)",
+        per_block
+            .iter()
+            .map(|ns| format!("{ns:.0}"))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+
+    // ---- sustained throughput ---------------------------------------
+    let tp = throughput(tx_count);
+    let mem_tps = tp.txs as f64 / (tp.memory_ns as f64 / 1e9);
+    let dur_tps = tp.txs as f64 / (tp.durable_ns as f64 / 1e9);
+    println!("\n=== sustained single-transfer blocks ===");
+    println!("in-memory:    {mem_tps:>10.0} tx/s");
+    println!(
+        "store-backed: {dur_tps:>10.0} tx/s ({:.2}x the in-memory cost)",
+        tp.durable_ns as f64 / tp.memory_ns.max(1) as f64
+    );
+
+    // ---- cache-budget sweep -----------------------------------------
+    let sweep = cache_sweep(cache_accounts, cache_proofs, budgets);
+    println!("\n=== proof latency vs page-cache budget ({cache_accounts} accounts) ===");
+    println!("{:>12} | {:>14} | {:>12}", "cache", "proofs/s", "us/proof");
+    println!("{}", "-".repeat(44));
+    for p in &sweep {
+        let per_sec = p.proofs as f64 / (p.total_ns as f64 / 1e9);
+        println!(
+            "{:>10}KB | {:>14.0} | {:>12.1}",
+            p.cache_bytes >> 10,
+            per_sec,
+            p.total_ns as f64 / 1e3 / p.proofs as f64
+        );
+    }
+
+    // ---- BENCH_state.json -------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"state_store\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"restart\": [\n");
+    for (i, p) in restarts.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"blocks\": {}, \"replay_ns\": {}, \"adopted_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            p.depth,
+            p.replay_ns,
+            p.adopted_ns,
+            p.replay_ns as f64 / p.adopted_ns.max(1) as f64,
+            if i + 1 < restarts.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"adopted_per_block_flatness_ratio\": {flatness:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"throughput\": {{\"txs\": {}, \"memory_ns\": {}, \"durable_ns\": {}, \"memory_tps\": {:.0}, \"durable_tps\": {:.0}}},\n",
+        tp.txs, tp.memory_ns, tp.durable_ns, mem_tps, dur_tps
+    ));
+    json.push_str("  \"cache_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cache_bytes\": {}, \"proofs\": {}, \"total_ns\": {}, \"proofs_per_sec\": {:.0}}}{}\n",
+            p.cache_bytes,
+            p.proofs,
+            p.total_ns,
+            p.proofs as f64 / (p.total_ns as f64 / 1e9),
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_state.json", &json).expect("write BENCH_state.json");
+    println!("\nwrote BENCH_state.json");
+}

@@ -231,6 +231,10 @@ pub(crate) fn block_to_json(block: &Block) -> JsonValue {
         ),
         ("timestamp", JsonValue::Number(block.timestamp as f64)),
         (
+            "state_root",
+            JsonValue::String(h256_to_str(&block.state_root)),
+        ),
+        (
             "tx_hashes",
             JsonValue::Array(
                 block
@@ -256,11 +260,19 @@ pub(crate) fn block_from_json(doc: &JsonValue) -> Result<Block, DecodeError> {
                 .and_then(h256_from_str)
         })
         .collect::<Result<Vec<_>, _>>()?;
+    // Blocks serialized before the authenticated state trie existed
+    // carry no root; zero keeps legacy decodes loss-free (their hashes
+    // were computed without one and validation recomputes with zero).
+    let state_root = match doc.get("state_root") {
+        Some(JsonValue::String(s)) => h256_from_str(s).map_err(|e| format!("state_root: {e}"))?,
+        _ => H256::ZERO,
+    };
     Ok(Block {
         number: u64_field(doc, "number")?,
         hash: h256_field(doc, "hash")?,
         parent_hash: h256_field(doc, "parent_hash")?,
         timestamp: u64_field(doc, "timestamp")?,
+        state_root,
         tx_hashes,
         gas_used: u64_field(doc, "gas_used")?,
     })
@@ -324,11 +336,13 @@ mod tests {
             hash: H256::keccak(b"h"),
             parent_hash: H256::keccak(b"p"),
             timestamp: 1_600_000_000,
+            state_root: H256::keccak(b"root"),
             tx_hashes: vec![H256::keccak(b"t1"), H256::keccak(b"t2")],
             gas_used: 99,
         };
         let back = block_from_json(&block_to_json(&block)).unwrap();
         assert_eq!(back.hash, block.hash);
+        assert_eq!(back.state_root, block.state_root);
         assert_eq!(back.tx_hashes, block.tx_hashes);
     }
 

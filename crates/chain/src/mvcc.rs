@@ -908,6 +908,7 @@ mod tests {
             hash: H256::ZERO,
             parent_hash: H256::ZERO,
             timestamp: 0,
+            state_root: H256::ZERO,
             tx_hashes: vec![],
             gas_used: 0,
         };
@@ -938,6 +939,7 @@ mod tests {
                 hash: H256::keccak(n.to_le_bytes()),
                 parent_hash: H256::ZERO,
                 timestamp: n,
+                state_root: H256::ZERO,
                 tx_hashes: vec![tx_hash],
                 gas_used: 0,
             };

@@ -149,6 +149,14 @@ impl LocalNode {
                 ),
             ),
         ];
+        // The trie root of the exported account set: recovery adopts the
+        // persisted page store without rebuilding iff its committed root
+        // matches this (the trie is canonical, so the root is a pure
+        // function of the accounts above).
+        fields.push((
+            "state_root",
+            JsonValue::String(codec::h256_to_str(&self.canonical_state_root())),
+        ));
         if let Some(wal_from) = wal_from {
             fields.push(("wal_from", JsonValue::Number(wal_from as f64)));
         }
@@ -233,6 +241,7 @@ impl LocalNode {
                     block.number,
                     block.parent_hash,
                     block.timestamp,
+                    block.state_root,
                     &block.tx_hashes,
                 )
             {
@@ -283,6 +292,14 @@ impl LocalNode {
         for (address, account) in accounts {
             self.restore_account_state(address, account);
         }
+        // Remember the image's trie root (when present): recovery uses it
+        // to decide whether the on-disk page store can be adopted as-is.
+        self.set_adoptable_root(
+            state
+                .get("state_root")
+                .and_then(JsonValue::as_str)
+                .and_then(|s| codec::h256_from_str(s).ok()),
+        );
         self.install_history(blocks, receipts);
         self.install_pending(pending);
         self.install_app_events(app_events);

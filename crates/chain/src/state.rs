@@ -75,6 +75,13 @@ enum JournalEntry {
     },
 }
 
+/// Per-account dirt granularity for the authenticated state trie:
+/// `Some(slots)` means only those storage slots (plus the account
+/// fields) changed — the trie updates them incrementally; `None` means
+/// the storage set changed wholesale (destroy/restore) and the
+/// account's storage trie is rebuilt from scratch.
+pub type TrieDirt = Option<FxHashSet<U256>>;
+
 /// The full world state with an undo journal.
 #[derive(Debug, Default)]
 pub struct WorldState {
@@ -84,6 +91,11 @@ pub struct WorldState {
     /// [`WorldState::take_dirty`] — the copy-on-write seed for MVCC
     /// snapshot publication (only these accounts are re-shared).
     dirty: FxHashSet<Address>,
+    /// Slot-granular dirt since the last [`WorldState::take_trie_dirty`]
+    /// — tells the state trie exactly which paths to rehash at the next
+    /// block seal. Kept separate from `dirty`, which the (more frequent)
+    /// MVCC publication drains.
+    trie_dirty: FxHashMap<Address, TrieDirt>,
 }
 
 impl WorldState {
@@ -165,12 +177,38 @@ impl WorldState {
         self.accounts.entry(address).or_default()
     }
 
+    /// Mark an account's non-storage fields trie-dirty. A `None`
+    /// (rebuild-wholesale) mark is never downgraded.
+    fn mark_trie_account(&mut self, address: Address) {
+        self.trie_dirty
+            .entry(address)
+            .or_insert_with(|| Some(FxHashSet::default()));
+    }
+
+    /// Mark one storage slot trie-dirty.
+    fn mark_trie_slot(&mut self, address: Address, key: U256) {
+        if let Some(slots) = self
+            .trie_dirty
+            .entry(address)
+            .or_insert_with(|| Some(FxHashSet::default()))
+        {
+            slots.insert(key);
+        }
+    }
+
+    /// Mark an account's storage as changed wholesale (destroy/restore):
+    /// the trie rebuilds its storage trie from the account state.
+    fn mark_trie_wholesale(&mut self, address: Address) {
+        self.trie_dirty.insert(address, None);
+    }
+
     /// Set a balance, journaling the previous value.
     pub fn set_balance(&mut self, address: Address, balance: U256) {
         let previous = self.balance(address);
         self.journal
             .push(JournalEntry::BalanceChange { address, previous });
         self.dirty.insert(address);
+        self.mark_trie_account(address);
         self.entry(address).balance = balance;
     }
 
@@ -197,6 +235,7 @@ impl WorldState {
         self.journal
             .push(JournalEntry::NonceChange { address, previous });
         self.dirty.insert(address);
+        self.mark_trie_account(address);
         self.entry(address).nonce = nonce;
     }
 
@@ -209,6 +248,7 @@ impl WorldState {
             previous,
         });
         self.dirty.insert(address);
+        self.mark_trie_slot(address, key);
         let account = self.entry(address);
         if value.is_zero() {
             account.storage.remove(&key);
@@ -235,6 +275,7 @@ impl WorldState {
         analysis: Option<Arc<AnalyzedCode>>,
     ) {
         self.dirty.insert(address);
+        self.mark_trie_account(address);
         let entry = self.accounts.entry(address).or_default();
         let previous = Arc::clone(&entry.code);
         let previous_analysis = entry.analysis.get().cloned();
@@ -255,6 +296,7 @@ impl WorldState {
         if !self.exists(address) {
             self.journal.push(JournalEntry::AccountCreated { address });
             self.dirty.insert(address);
+            self.mark_trie_account(address);
             self.accounts.insert(address, Account::default());
         }
     }
@@ -267,6 +309,7 @@ impl WorldState {
                 previous: Box::new(account),
             });
             self.dirty.insert(address);
+            self.mark_trie_wholesale(address);
         }
     }
 
@@ -286,10 +329,12 @@ impl WorldState {
             match self.journal.pop().expect("len > checkpoint") {
                 JournalEntry::BalanceChange { address, previous } => {
                     self.dirty.insert(address);
+                    self.mark_trie_account(address);
                     self.entry(address).balance = previous;
                 }
                 JournalEntry::NonceChange { address, previous } => {
                     self.dirty.insert(address);
+                    self.mark_trie_account(address);
                     self.entry(address).nonce = previous;
                 }
                 JournalEntry::StorageChange {
@@ -298,6 +343,7 @@ impl WorldState {
                     previous,
                 } => {
                     self.dirty.insert(address);
+                    self.mark_trie_slot(address, key);
                     let account = self.entry(address);
                     if previous.is_zero() {
                         account.storage.remove(&key);
@@ -311,6 +357,7 @@ impl WorldState {
                     previous_analysis,
                 } => {
                     self.dirty.insert(address);
+                    self.mark_trie_account(address);
                     let account = self.entry(address);
                     account.code = previous;
                     // Reinstate the cache that described the restored
@@ -322,10 +369,13 @@ impl WorldState {
                 }
                 JournalEntry::AccountCreated { address } => {
                     self.dirty.insert(address);
+                    self.mark_trie_account(address);
                     self.accounts.remove(&address);
                 }
                 JournalEntry::AccountDestroyed { address, previous } => {
                     self.dirty.insert(address);
+                    // The full storage map comes back: rebuild wholesale.
+                    self.mark_trie_wholesale(address);
                     self.accounts.insert(address, *previous);
                 }
             }
@@ -346,6 +396,7 @@ impl WorldState {
     /// Install an account wholesale (node snapshot restore). Not journaled.
     pub fn restore_account(&mut self, address: Address, account: Account) {
         self.dirty.insert(address);
+        self.mark_trie_wholesale(address);
         self.accounts.insert(address, account);
     }
 
@@ -354,6 +405,13 @@ impl WorldState {
     /// [`crate::mvcc::CommittedSnapshot`].
     pub fn take_dirty(&mut self) -> FxHashSet<Address> {
         std::mem::take(&mut self.dirty)
+    }
+
+    /// Drain the slot-granular trie dirt accumulated since the last call
+    /// — consumed once per sealed block by the state trie's incremental
+    /// rehash (see `StateTrie::apply`).
+    pub fn take_trie_dirty(&mut self) -> FxHashMap<Address, TrieDirt> {
+        std::mem::take(&mut self.trie_dirty)
     }
 
     /// Current journal depth (diagnostic: read-only call paths must leave

@@ -206,6 +206,9 @@ pub struct Block {
     pub parent_hash: H256,
     /// Unix timestamp.
     pub timestamp: u64,
+    /// Root of the authenticated state trie after this block executed
+    /// — what `eth_getProof` responses verify against.
+    pub state_root: H256,
     /// Hashes of included transactions.
     pub tx_hashes: Vec<H256>,
     /// Total gas used.
@@ -213,12 +216,21 @@ pub struct Block {
 }
 
 impl Block {
-    /// Compute a block hash from header contents.
-    pub fn compute_hash(number: u64, parent: H256, timestamp: u64, tx_hashes: &[H256]) -> H256 {
+    /// Compute a block hash from header contents. The state root is part
+    /// of the hashed header, so a header attests to the post-state and a
+    /// proof checked against `state_root` is anchored by `hash`.
+    pub fn compute_hash(
+        number: u64,
+        parent: H256,
+        timestamp: u64,
+        state_root: H256,
+        tx_hashes: &[H256],
+    ) -> H256 {
         let encoded = rlp::encode(&Item::List(vec![
             Item::from_u64(number),
             Item::Bytes(parent.0.to_vec()),
             Item::from_u64(timestamp),
+            Item::Bytes(state_root.0.to_vec()),
             Item::List(
                 tx_hashes
                     .iter()
@@ -255,11 +267,13 @@ mod tests {
 
     #[test]
     fn block_hash_changes_with_contents() {
-        let h1 = Block::compute_hash(1, H256::ZERO, 100, &[]);
-        let h2 = Block::compute_hash(1, H256::ZERO, 101, &[]);
-        let h3 = Block::compute_hash(1, H256::ZERO, 100, &[H256::keccak(b"tx")]);
+        let h1 = Block::compute_hash(1, H256::ZERO, 100, H256::ZERO, &[]);
+        let h2 = Block::compute_hash(1, H256::ZERO, 101, H256::ZERO, &[]);
+        let h3 = Block::compute_hash(1, H256::ZERO, 100, H256::ZERO, &[H256::keccak(b"tx")]);
+        let h4 = Block::compute_hash(1, H256::ZERO, 100, H256::keccak(b"root"), &[]);
         assert_ne!(h1, h2);
         assert_ne!(h1, h3);
+        assert_ne!(h1, h4, "state root is part of the hashed header");
     }
 
     #[test]

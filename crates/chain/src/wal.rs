@@ -162,7 +162,7 @@ pub struct Faults(Arc<Mutex<FaultState>>);
 
 // Fail/Short are only produced when `fault-injection` is compiled in.
 #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
-enum WriteCheck {
+pub(crate) enum WriteCheck {
     Proceed,
     Fail,
     Short(usize),
@@ -188,7 +188,7 @@ impl Faults {
     }
 
     #[allow(unused_variables, unused_mut)]
-    fn check_write(&self) -> WriteCheck {
+    pub(crate) fn check_write(&self) -> WriteCheck {
         #[cfg(feature = "fault-injection")]
         {
             let mut s = self.0.lock().expect("fault state lock");
@@ -206,7 +206,7 @@ impl Faults {
         WriteCheck::Proceed
     }
 
-    fn check_fsync(&self) -> bool {
+    pub(crate) fn check_fsync(&self) -> bool {
         #[cfg(feature = "fault-injection")]
         {
             let mut s = self.0.lock().expect("fault state lock");
@@ -218,7 +218,7 @@ impl Faults {
         false
     }
 
-    fn check_rename(&self) -> bool {
+    pub(crate) fn check_rename(&self) -> bool {
         #[cfg(feature = "fault-injection")]
         {
             let mut s = self.0.lock().expect("fault state lock");

@@ -39,6 +39,35 @@ fn compiled_memo() -> &'static Mutex<FxHashMap<u64, MemoChain>> {
     MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
 }
 
+/// Process-wide hit/miss counters for the content-addressed compile
+/// memo. A "hit" is a [`AnalyzedCode::compiled`] call that found an
+/// existing artifact (or memoized bail) for byte-identical code; a
+/// "miss" ran the block compiler. Per-account `OnceLock` reuse never
+/// reaches the memo, so these count exactly the cross-account sharing
+/// the memo exists for — redeploys of template bytecode.
+pub mod memo_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn record(hit: bool) {
+        let counter = if hit { &HITS } else { &MISSES };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses)` accumulated since process start or [`reset`].
+    pub fn snapshot() -> (u64, u64) {
+        (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    }
+
+    /// Zero both counters (test/bench isolation).
+    pub fn reset() {
+        HITS.store(0, Ordering::Relaxed);
+        MISSES.store(0, Ordering::Relaxed);
+    }
+}
+
 fn fx_bytes(bytes: &[u8]) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut hasher = lsc_primitives::FxHasher::default();
@@ -156,10 +185,12 @@ impl AnalyzedCode {
                 if let Some(chain) = memo.lock().expect("compile memo poisoned").get(&key) {
                     for (blob, artifact) in chain {
                         if Arc::ptr_eq(blob, &self.code) || **blob == *self.code {
+                            memo_stats::record(true);
                             return artifact.clone();
                         }
                     }
                 }
+                memo_stats::record(false);
                 let artifact = compile::try_compile(self).map(Arc::new);
                 let mut memo = memo.lock().expect("compile memo poisoned");
                 // Content-addressed entries never go stale, so when the

@@ -26,7 +26,7 @@ pub mod snapshot_host;
 pub mod stack;
 
 pub use access::{AccessKey, AccessSet, RecordingHost};
-pub use analysis::{fastpath, superinstr, AnalyzedCode};
+pub use analysis::{fastpath, memo_stats, superinstr, AnalyzedCode};
 pub use compile::{classify, CompiledCode, PathClass};
 pub use host::{BlockEnv, Host, Log, MockHost};
 pub use interpreter::{

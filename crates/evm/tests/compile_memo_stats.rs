@@ -1,0 +1,85 @@
+//! The process-wide compile memo must serve redeploys of byte-identical
+//! code without re-running the block compiler. This is the mechanism the
+//! `superinstr_version_chain_8` bench series leans on: every A/B run
+//! rebuilds its world and redeploys the same template bytecode, so the
+//! compile cost must be paid once per process, not once per run.
+//!
+//! This file holds exactly one `#[test]` because the hit/miss counters
+//! in `analysis::memo_stats` are process-global; a sibling test in the
+//! same binary would race them.
+
+use lsc_evm::analysis::memo_stats;
+use lsc_evm::opcode::op;
+use lsc_evm::AnalyzedCode;
+use std::sync::Arc;
+
+/// A small loop with storage traffic — comfortably inside the block
+/// compiler's supported opcode set, so `compiled()` yields an artifact
+/// rather than a memoized bail.
+fn template_code() -> Vec<u8> {
+    vec![
+        op::PUSH1,
+        0x05,
+        op::PUSH1,
+        0x00,
+        op::SSTORE, // slot 0 = 5
+        op::JUMPDEST,
+        op::PUSH1,
+        0x00,
+        op::SLOAD, // counter
+        op::PUSH1,
+        0x01,
+        op::SWAP1,
+        op::SUB, // counter - 1
+        op::DUP1,
+        op::PUSH1,
+        0x00,
+        op::SSTORE, // store it back
+        op::PUSH1,
+        0x05,
+        op::JUMPI, // loop while non-zero
+        op::STOP,
+    ]
+}
+
+#[test]
+fn redeploys_of_identical_bytecode_hit_the_memo() {
+    let code = template_code();
+    memo_stats::reset();
+
+    // First "deploy": a fresh analysis for a fresh account. The memo has
+    // never seen this blob, so the block compiler runs once.
+    let first = AnalyzedCode::analyze(Arc::new(code.clone()));
+    let first_artifact = first.compiled();
+    assert_eq!(memo_stats::snapshot(), (0, 1), "first deploy must compile");
+
+    // Redeploys: distinct `AnalyzedCode` values (as distinct accounts
+    // carry), same bytes. Every one must be served from the memo.
+    for round in 1..=4u64 {
+        let redeploy = AnalyzedCode::analyze(Arc::new(code.clone()));
+        let artifact = redeploy.compiled();
+        assert_eq!(
+            memo_stats::snapshot(),
+            (round, 1),
+            "redeploy {round} must hit, not recompile"
+        );
+        match (&first_artifact, &artifact) {
+            (Some(a), Some(b)) => {
+                assert!(Arc::ptr_eq(a, b), "memo must share one artifact");
+            }
+            (None, None) => {} // a memoized bail is shared the same way
+            _ => panic!("memo served a different compile outcome"),
+        }
+    }
+
+    // The per-analysis `OnceLock` short-circuits repeat calls on the SAME
+    // analysis — those never reach the memo and must not inflate hits.
+    let _ = first.compiled();
+    assert_eq!(memo_stats::snapshot(), (4, 1));
+
+    // Different bytecode is a different memo entry: a miss, not a hit.
+    let mut other = code;
+    other[1] = 0x07;
+    let _ = AnalyzedCode::analyze(Arc::new(other)).compiled();
+    assert_eq!(memo_stats::snapshot(), (4, 2));
+}

@@ -373,6 +373,27 @@ fn dispatch(
             };
             Ok(vetting_to_json(&vetting))
         }
+        "eth_getProof" => {
+            let address = wire::parse_address(require(params, 0, "address")?, "address")?;
+            let slots = match require(params, 1, "storageKeys")? {
+                JsonValue::Array(items) => items
+                    .iter()
+                    .map(|v| wire::parse_quantity_u256(v, "storageKeys"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => {
+                    return Err(RpcError::new(
+                        codes::INVALID_PARAMS,
+                        "storageKeys must be an array",
+                    ))
+                }
+            };
+            check_tag(params, 2)?;
+            let proof = ctx
+                .web3
+                .proof(address, &slots)
+                .map_err(|e| RpcError::new(codes::SERVER_ERROR, format!("state proof: {e}")))?;
+            Ok(wire::proof_to_json(&proof))
+        }
         "eth_getStorageAt" => {
             let address = wire::parse_address(require(params, 0, "address")?, "address")?;
             let slot = wire::parse_quantity_u256(require(params, 1, "slot")?, "slot")?;

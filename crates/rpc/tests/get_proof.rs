@@ -1,0 +1,101 @@
+//! `eth_getProof` over a real TCP socket: the wire bytes must match the
+//! in-process encoding exactly, and the response must verify **offline**
+//! against the head block's `state_root` with the standalone verifier —
+//! no access to the node beyond the response itself.
+
+mod common;
+
+use common::{expect_ok, HttpClient};
+use lsc_chain::{LocalNode, Transaction};
+use lsc_primitives::{Address, U256};
+use lsc_rpc::{MiningMode, RpcConfig, RpcServer};
+use lsc_web3::proof::{verify_proof_response, ProofCheckError};
+use lsc_web3::{wire, Web3};
+
+fn serve(web3: &Web3) -> RpcServer {
+    RpcServer::bind(
+        web3.clone(),
+        "127.0.0.1:0",
+        RpcConfig {
+            mining: MiningMode::Instant,
+            ..RpcConfig::default()
+        },
+    )
+    .expect("bind")
+}
+
+#[test]
+fn socket_proof_matches_in_process_and_verifies_offline() {
+    let web3 = Web3::new(LocalNode::new(2));
+    let from = web3.accounts()[0];
+    // A contract whose slots 0/1 hold values — the version-pointer shape.
+    let init = vec![
+        0x60, 0x2a, 0x60, 0x00, 0x55, // SSTORE(0, 42)
+        0x60, 0x07, 0x60, 0x01, 0x55, // SSTORE(1, 7)
+        0x60, 0x00, 0x60, 0x00, 0xf3,
+    ];
+    let contract = web3
+        .send_transaction_raw(Transaction::deploy(from, init))
+        .unwrap()
+        .contract_address
+        .unwrap();
+
+    let server = serve(&web3);
+    let mut client = HttpClient::connect(server.local_addr());
+
+    // Byte-identical to the in-process encoding.
+    let expected = wire::proof_to_json(
+        &web3
+            .proof(contract, &[U256::ZERO, U256::from_u64(1)])
+            .unwrap(),
+    );
+    let body = client.rpc_raw(
+        7,
+        "eth_getProof",
+        &format!("[\"{contract}\",[\"0x0\",\"0x1\"],\"latest\"]"),
+    );
+    assert_eq!(body, expect_ok(7, &expected));
+
+    // And the socket response alone verifies against the header root.
+    let trusted_root = web3.block(web3.block_number()).unwrap().state_root;
+    let doc = client.rpc(
+        8,
+        "eth_getProof",
+        &format!("[\"{contract}\",[\"0x0\"],\"latest\"]"),
+    );
+    let verified = verify_proof_response(&doc, trusted_root).expect("offline verification");
+    assert!(verified.present);
+    assert_eq!(verified.slots, vec![(U256::ZERO, U256::from_u64(42))]);
+
+    // An absent account proves absence over the same socket.
+    let ghost = Address::from_label("nobody");
+    let doc = client.rpc(9, "eth_getProof", &format!("[\"{ghost}\",[],\"latest\"]"));
+    let verified = verify_proof_response(&doc, trusted_root).unwrap();
+    assert!(!verified.present);
+    assert_eq!(verified.balance, U256::ZERO);
+
+    // A stale root is rejected — the verifier pins one header.
+    let stale = web3.block(0).unwrap().state_root;
+    assert!(matches!(
+        verify_proof_response(&doc, stale),
+        Err(ProofCheckError::WrongRoot { .. })
+    ));
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_storage_keys_are_invalid_params() {
+    let web3 = Web3::new(LocalNode::new(1));
+    let server = serve(&web3);
+    let mut client = HttpClient::connect(server.local_addr());
+    let body = client.rpc_raw(
+        1,
+        "eth_getProof",
+        &format!("[\"{}\",\"0x0\",\"latest\"]", web3.accounts()[0]),
+    );
+    assert_eq!(common::error_code(&body), -32602);
+    drop(client);
+    server.shutdown();
+}

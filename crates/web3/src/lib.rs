@@ -44,10 +44,12 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+pub mod proof;
 pub mod wallet;
 pub mod wire;
 
 pub use contract::{Contract, DecodedEvent};
+pub use proof::{verify_proof_response, ProofCheckError, VerifiedProof};
 pub use wallet::Wallet;
 
 use core::fmt;
@@ -212,6 +214,22 @@ impl Web3 {
     /// Read a storage slot (`eth_getStorageAt`).
     pub fn storage_at(&self, address: Address, key: U256) -> U256 {
         self.reads.storage_at(address, key)
+    }
+
+    /// Merkle proofs for an account and a set of its storage slots
+    /// (`eth_getProof`), verifiable offline against the returned
+    /// `state_root` with [`proof::verify_proof_response`].
+    pub fn proof(
+        &self,
+        address: Address,
+        slots: &[U256],
+    ) -> Result<lsc_chain::AccountProof, lsc_chain::TrieError> {
+        self.with_node(|node| node.proof(address, slots))
+    }
+
+    /// The authenticated state root over the committed world state.
+    pub fn state_root(&self) -> H256 {
+        self.with_node(LocalNode::state_root)
     }
 
     /// Fetch a block by number (`eth_getBlockByNumber`).

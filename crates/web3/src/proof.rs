@@ -1,0 +1,274 @@
+//! Offline verification of `eth_getProof` responses — the paper's
+//! "evidence line" made checkable without trusting the node.
+//!
+//! A rental agreement's committed facts (the contract's balance, its
+//! version-pointer slots 0/1, the tenant's deposit) live under a block
+//! header's `state_root`. [`verify_proof_response`] takes the untrusted
+//! JSON a node returned and a *trusted* root (read from a header the
+//! verifier already believes) and either authenticates every claimed
+//! field against the Merkle proofs — pure hashing, no chain, no store —
+//! or says exactly what failed. A court-side auditor needs only this
+//! function, the response bytes and one 32-byte root.
+
+use crate::wire::{
+    parse_address, parse_data, parse_h256, parse_quantity, parse_quantity_u256, WireError,
+};
+use lsc_abi::json::JsonValue;
+use lsc_chain::{account_key, decode_account, decode_slot_value, storage_key, verify_proof};
+use lsc_chain::{AccountProof, ProofError};
+use lsc_primitives::{Address, H256, U256};
+
+/// Why an `eth_getProof` response failed offline verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofCheckError {
+    /// The response JSON was malformed.
+    Wire(WireError),
+    /// The response names a different root than the trusted one.
+    WrongRoot {
+        /// The root the verifier trusts (from a block header).
+        expected: H256,
+        /// The root the response claims.
+        got: H256,
+    },
+    /// A Merkle proof failed to authenticate.
+    Proof(ProofError),
+    /// A proven leaf disagrees with the named claimed field.
+    Claim(&'static str),
+}
+
+impl From<WireError> for ProofCheckError {
+    fn from(e: WireError) -> Self {
+        ProofCheckError::Wire(e)
+    }
+}
+
+impl From<ProofError> for ProofCheckError {
+    fn from(e: ProofError) -> Self {
+        ProofCheckError::Proof(e)
+    }
+}
+
+impl std::fmt::Display for ProofCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofCheckError::Wire(e) => write!(f, "malformed proof response: {e}"),
+            ProofCheckError::WrongRoot { expected, got } => {
+                write!(f, "proof is for root {got}, trusted root is {expected}")
+            }
+            ProofCheckError::Proof(e) => write!(f, "{e}"),
+            ProofCheckError::Claim(field) => {
+                write!(f, "claimed {field} does not match the proven leaf")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofCheckError {}
+
+/// The facts an [`verify_proof_response`] call authenticated: every
+/// field here is backed by a hash chain up to the trusted root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedProof {
+    /// The proven account.
+    pub address: Address,
+    /// False when the proof demonstrates the account is absent.
+    pub present: bool,
+    /// Proven balance (zero for an absent account).
+    pub balance: U256,
+    /// Proven nonce (zero for an absent account).
+    pub nonce: u64,
+    /// Proven code hash ([`H256::ZERO`] for an absent account).
+    pub code_hash: H256,
+    /// Proven storage root ([`H256::ZERO`] when empty or absent).
+    pub storage_root: H256,
+    /// Proven `(slot, value)` pairs, in response order. Absent slots
+    /// prove as zero — same convention as `SLOAD`.
+    pub slots: Vec<(U256, U256)>,
+}
+
+fn field<'v>(doc: &'v JsonValue, name: &'static str) -> Result<&'v JsonValue, ProofCheckError> {
+    doc.get(name).ok_or(ProofCheckError::Wire(WireError {
+        field: name.to_string(),
+        reason: "missing field".to_string(),
+    }))
+}
+
+fn parse_nodes(value: &JsonValue, name: &'static str) -> Result<Vec<Vec<u8>>, ProofCheckError> {
+    let JsonValue::Array(items) = value else {
+        return Err(ProofCheckError::Wire(WireError {
+            field: name.to_string(),
+            reason: "expected an array of hex node encodings".to_string(),
+        }));
+    };
+    items
+        .iter()
+        .map(|n| parse_data(n, name).map_err(ProofCheckError::Wire))
+        .collect()
+}
+
+/// Verify an `eth_getProof` response against a trusted `state_root`.
+///
+/// Checks, in order: the response's `stateRoot` equals the trusted one;
+/// the account proof authenticates under that root and its leaf (or
+/// proven absence) matches the claimed `balance`/`nonce`/`codeHash`/
+/// `storageHash`; every `storageProof` entry authenticates under the
+/// proven storage root and matches its claimed `value`. Pure — no node,
+/// no store, no chain access.
+pub fn verify_proof_response(
+    doc: &JsonValue,
+    trusted_root: H256,
+) -> Result<VerifiedProof, ProofCheckError> {
+    let address = parse_address(field(doc, "address")?, "address")?;
+    let got_root = parse_h256(field(doc, "stateRoot")?, "stateRoot")?;
+    if got_root != trusted_root {
+        return Err(ProofCheckError::WrongRoot {
+            expected: trusted_root,
+            got: got_root,
+        });
+    }
+    let claimed_balance = parse_quantity_u256(field(doc, "balance")?, "balance")?;
+    let claimed_nonce = parse_quantity(field(doc, "nonce")?, "nonce")?;
+    let claimed_code_hash = parse_h256(field(doc, "codeHash")?, "codeHash")?;
+    let claimed_storage_root = parse_h256(field(doc, "storageHash")?, "storageHash")?;
+    let account_proof = parse_nodes(field(doc, "accountProof")?, "accountProof")?;
+
+    let leaf = verify_proof(trusted_root, account_key(address), &account_proof)?;
+    let (present, balance, nonce, code_hash, storage_root) = match leaf {
+        Some(bytes) => {
+            let account = decode_account(&bytes).ok_or(ProofCheckError::Claim("account leaf"))?;
+            (
+                true,
+                account.balance,
+                account.nonce,
+                account.code_hash,
+                account.storage_root,
+            )
+        }
+        None => (false, U256::ZERO, 0, H256::ZERO, H256::ZERO),
+    };
+    if balance != claimed_balance {
+        return Err(ProofCheckError::Claim("balance"));
+    }
+    if nonce != claimed_nonce {
+        return Err(ProofCheckError::Claim("nonce"));
+    }
+    if code_hash != claimed_code_hash {
+        return Err(ProofCheckError::Claim("codeHash"));
+    }
+    if storage_root != claimed_storage_root {
+        return Err(ProofCheckError::Claim("storageHash"));
+    }
+
+    let mut slots = Vec::new();
+    if let Some(entries) = doc.get("storageProof") {
+        let JsonValue::Array(entries) = entries else {
+            return Err(ProofCheckError::Wire(WireError {
+                field: "storageProof".to_string(),
+                reason: "expected an array".to_string(),
+            }));
+        };
+        for entry in entries {
+            let key = parse_quantity_u256(field(entry, "key")?, "storageProof.key")?;
+            let claimed_value = parse_quantity_u256(field(entry, "value")?, "storageProof.value")?;
+            let proof = parse_nodes(field(entry, "proof")?, "storageProof.proof")?;
+            let value = verify_proof(storage_root, storage_key(key), &proof)?
+                .and_then(|bytes| decode_slot_value(&bytes))
+                .unwrap_or(U256::ZERO);
+            if value != claimed_value {
+                return Err(ProofCheckError::Claim("storageProof.value"));
+            }
+            slots.push((key, value));
+        }
+    }
+
+    Ok(VerifiedProof {
+        address,
+        present,
+        balance,
+        nonce,
+        code_hash,
+        storage_root,
+        slots,
+    })
+}
+
+/// Convenience: encode an in-process [`AccountProof`] to wire JSON and
+/// verify it — exactly what a remote client does with a socket response.
+pub fn verify_account_proof(
+    proof: &AccountProof,
+    trusted_root: H256,
+) -> Result<VerifiedProof, ProofCheckError> {
+    verify_proof_response(&crate::wire::proof_to_json(proof), trusted_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_chain::LocalNode;
+
+    fn proven_node() -> (LocalNode, Address) {
+        let mut node = LocalNode::new(3);
+        let from = node.accounts()[0];
+        // A contract with storage at slots 0 and 1 (version-pointer shape).
+        let init = vec![
+            0x60, 0x2a, 0x60, 0x00, 0x55, // SSTORE(0, 42)
+            0x60, 0x07, 0x60, 0x01, 0x55, // SSTORE(1, 7)
+            0x60, 0x00, 0x60, 0x00, 0xf3,
+        ];
+        let receipt = node
+            .send_transaction(lsc_chain::Transaction::deploy(from, init))
+            .unwrap();
+        let contract = receipt.contract_address.unwrap();
+        (node, contract)
+    }
+
+    #[test]
+    fn wire_roundtrip_verifies_and_tampering_fails() {
+        let (mut node, contract) = proven_node();
+        let root = node.state_root();
+        let proof = node
+            .proof(contract, &[U256::ZERO, U256::from_u64(1)])
+            .unwrap();
+        let doc = crate::wire::proof_to_json(&proof);
+        let verified = verify_proof_response(&doc, root).unwrap();
+        assert!(verified.present);
+        assert_eq!(verified.slots.len(), 2);
+        assert_eq!(verified.slots[0].1, U256::from_u64(42));
+        assert_eq!(verified.slots[1].1, U256::from_u64(7));
+
+        // Re-parse from serialized text (the actual socket path).
+        let reparsed = lsc_abi::json::parse(&doc.to_json()).unwrap();
+        assert_eq!(verify_proof_response(&reparsed, root).unwrap(), verified);
+
+        // Wrong trusted root → rejected before any hashing.
+        let bogus = H256::keccak(b"bogus");
+        assert!(matches!(
+            verify_proof_response(&doc, bogus),
+            Err(ProofCheckError::WrongRoot { .. })
+        ));
+
+        // Inflate the claimed balance → claim mismatch.
+        let mut text = doc.to_json();
+        let honest = format!("\"balance\":\"0x{:x}\"", proof.account.unwrap().balance);
+        assert!(text.contains(&honest));
+        text = text.replace(&honest, "\"balance\":\"0xffff\"");
+        let tampered = lsc_abi::json::parse(&text).unwrap();
+        assert!(matches!(
+            verify_proof_response(&tampered, root),
+            Err(ProofCheckError::Claim("balance"))
+        ));
+    }
+
+    #[test]
+    fn absent_account_proves_absence() {
+        let (mut node, _) = proven_node();
+        let root = node.state_root();
+        let ghost = Address::from_label("nobody-here");
+        let proof = node.proof(ghost, &[U256::ZERO]).unwrap();
+        assert!(proof.account.is_none());
+        let verified = verify_account_proof(&proof, root).unwrap();
+        assert!(!verified.present);
+        assert_eq!(verified.balance, U256::ZERO);
+        assert_eq!(verified.slots, vec![(U256::ZERO, U256::ZERO)]);
+    }
+}

@@ -336,12 +336,64 @@ pub fn block_to_json(block: &Block) -> JsonValue {
         ("number", quantity(block.number)),
         ("hash", h256_json(block.hash)),
         ("parentHash", h256_json(block.parent_hash)),
+        ("stateRoot", h256_json(block.state_root)),
         ("timestamp", quantity(block.timestamp)),
         (
             "transactions",
             JsonValue::Array(block.tx_hashes.iter().map(|h| h256_json(*h)).collect()),
         ),
         ("gasUsed", quantity(block.gas_used)),
+    ])
+}
+
+/// Encode an [`AccountProof`](lsc_chain::AccountProof) bundle as an
+/// `eth_getProof` response object. An absent account reports zero
+/// balance/nonce and all-zero `codeHash`/`storageHash` alongside its
+/// non-inclusion proof, mirroring geth. The non-standard `stateRoot`
+/// field names the root the proofs verify against, so the response is
+/// checkable offline without a separate header fetch (see
+/// [`crate::proof::verify_proof_response`]).
+pub fn proof_to_json(proof: &lsc_chain::AccountProof) -> JsonValue {
+    let account = proof.account;
+    JsonValue::object([
+        (
+            "accountProof",
+            JsonValue::Array(proof.account_proof.iter().map(|n| data_json(n)).collect()),
+        ),
+        ("address", address_json(proof.address)),
+        (
+            "balance",
+            quantity_u256(account.map_or(U256::ZERO, |a| a.balance)),
+        ),
+        (
+            "codeHash",
+            h256_json(account.map_or(H256::ZERO, |a| a.code_hash)),
+        ),
+        ("nonce", quantity(account.map_or(0, |a| a.nonce))),
+        ("stateRoot", h256_json(proof.state_root)),
+        (
+            "storageHash",
+            h256_json(account.map_or(H256::ZERO, |a| a.storage_root)),
+        ),
+        (
+            "storageProof",
+            JsonValue::Array(
+                proof
+                    .storage_proofs
+                    .iter()
+                    .map(|sp| {
+                        JsonValue::object([
+                            ("key", quantity_u256(sp.key)),
+                            (
+                                "proof",
+                                JsonValue::Array(sp.proof.iter().map(|n| data_json(n)).collect()),
+                            ),
+                            ("value", quantity_u256(sp.value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 

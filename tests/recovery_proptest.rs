@@ -213,6 +213,16 @@ proptest! {
             "this test requires the fault-injection feature"
         );
 
+        // Every run ends with a compaction and one more block, so the
+        // paged state store's persist sequence (page appends, the page
+        // fsync, the `state.root` tmp-write/fsync/rename) is always in
+        // the enumerated crash-point set — a crash between the snapshot
+        // rename and the root-file flip must recover bit-identically
+        // via the rebuild fallback.
+        let mut ops = ops;
+        ops.push(Op::Compact);
+        ops.push(Op::Mine);
+
         // Clean run: executes the whole workload and — via the shared
         // fault handle's counters — enumerates every crash point it
         // touched.
@@ -290,4 +300,66 @@ proptest! {
             std::fs::remove_dir_all(&dir).ok();
         }
     }
+}
+
+/// Restart equivalence for the authenticated state store: recovering by
+/// *adopting* the persisted trie pages and recovering by *rebuilding*
+/// the trie from the imported world state (persisted root deleted) must
+/// produce bit-identical nodes — same image, same block hashes, same
+/// state root, and proofs generated by either verify against it.
+#[test]
+fn adopted_and_rebuilt_restarts_agree() {
+    let ops = [
+        Op::Deploy,
+        Op::Confirm(0),
+        Op::Pay(0),
+        Op::Warp(40_000),
+        Op::Compact,
+        Op::Pay(0),
+        Op::Mine,
+    ];
+    let dir = fresh_dir();
+    let (app, web3) = open_app(&dir, Faults::none());
+    assert!(run_workload(&app, &web3, &ops));
+    let expected = web3.with_node(|node| node.export_state());
+    let expected_root = web3.with_node(lsc_chain::LocalNode::state_root);
+    drop(app);
+    drop(web3);
+
+    // Adoption path: `state.root` matches the newest snapshot's trie
+    // root, so recovery walks the persisted pages instead of re-hashing.
+    let mut adopted = LocalNode::recover(&dir, Faults::none()).expect("adopting recovery");
+    assert_eq!(adopted.export_state(), expected);
+    assert_eq!(adopted.state_root(), expected_root);
+    let account = adopted.accounts()[0];
+    let proof = adopted
+        .proof(account, &[U256::ZERO, U256::from_u64(1)])
+        .expect("proof over adopted trie");
+    assert_eq!(proof.state_root, expected_root);
+    assert!(lsc_chain::verify_proof(
+        proof.state_root,
+        lsc_chain::account_key(account),
+        &proof.account_proof
+    )
+    .is_ok());
+    drop(adopted);
+
+    // Rebuild path: delete the persisted root — recovery must fall back
+    // to the canonical from-scratch rebuild and land on the same root.
+    std::fs::remove_file(dir.join("state.root")).expect("persisted root exists");
+    let mut rebuilt = LocalNode::recover(&dir, Faults::none()).expect("rebuilding recovery");
+    assert_eq!(rebuilt.export_state(), expected);
+    assert_eq!(rebuilt.state_root(), expected_root);
+    drop(rebuilt);
+
+    // Paranoia: a torn page file must not break the rebuild either.
+    let pages = dir.join("state.pages");
+    if pages.exists() {
+        let bytes = std::fs::read(&pages).unwrap();
+        std::fs::write(&pages, &bytes[..bytes.len() / 2]).unwrap();
+    }
+    let mut torn = LocalNode::recover(&dir, Faults::none()).expect("recovery over torn pages");
+    assert_eq!(torn.export_state(), expected);
+    assert_eq!(torn.state_root(), expected_root);
+    std::fs::remove_dir_all(&dir).ok();
 }
